@@ -1,0 +1,25 @@
+// snapfwd_cli - run one SSMFP (or baseline) experiment from the shell.
+//
+//   $ snapfwd_cli --topology=random-connected --n=12 --corrupt-routing=1
+//                 --invalid-messages=10 --scramble-queues --messages=30
+//   (flags on one line; split here only for readability)
+//
+// Tooling: --snapshot-out/--snapshot-in archive and replay the exact
+// initial configuration; --trace prints every rule firing; --render shows
+// the buffer contents before and after.
+//
+// Exit code: 0 when the run satisfies SP (for SSMFP this should be every
+// run - that is the theorem), 1 on an SP violation, 2 on a usage error.
+
+#include <iostream>
+
+#include "cli/args.hpp"
+
+int main(int argc, char** argv) {
+  const snapfwd::cli::ParseResult parsed = snapfwd::cli::parseArgs(argc, argv);
+  if (!parsed.options.has_value()) {
+    std::cerr << "error: " << parsed.error << "\n";
+    return 2;
+  }
+  return snapfwd::cli::runCli(*parsed.options, std::cout, std::cerr);
+}

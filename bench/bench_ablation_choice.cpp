@@ -1,0 +1,75 @@
+// Ablation - choice_p(d) selection policies (conclusion's future work:
+// "we believe that we can keep our protocol and modify the fair scheme of
+// selection of messages choice_p(d)" to improve the worst case).
+//
+// Same contended workloads under the paper's round-robin queue, an unfair
+// fixed-priority selector, and an oldest-message-first selector. Reported:
+// max/avg delivery latency and the generation tail (when the last request
+// was served). Expected shape: oldest-first flattens the latency tail
+// (no message is passed unboundedly often), fixed-priority stretches it.
+
+#include <iostream>
+
+#include "sim/runner.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace snapfwd;
+  std::cout << "# Ablation: choice_p(d) selection policies\n\n";
+
+  Table table("All-to-one floods (6 msgs/source), corrupted start",
+              {"topology", "policy", "SP", "rounds", "max latency",
+               "avg latency", "last generation (round)"});
+
+  struct Net {
+    TopologyKind topology;
+    std::size_t n;
+    NodeId hotspot;
+  };
+  const Net nets[] = {
+      {TopologyKind::kStar, 8, 0},
+      {TopologyKind::kRing, 8, 0},
+      {TopologyKind::kGrid, 9, 4},
+  };
+  const ChoicePolicy policies[] = {ChoicePolicy::kRoundRobin,
+                                   ChoicePolicy::kFixedPriority,
+                                   ChoicePolicy::kOldestFirst};
+  bool allSp = true;
+  for (const auto& net : nets) {
+    for (const auto policy : policies) {
+      ExperimentConfig cfg;
+      cfg.topology = net.topology;
+      cfg.n = net.n;
+      cfg.rows = 3;
+      cfg.cols = 3;
+      cfg.seed = 33;
+      cfg.daemon = DaemonKind::kDistributedRandom;
+      cfg.traffic = TrafficKind::kAllToOne;
+      cfg.hotspot = net.hotspot;
+      cfg.perSource = 6;
+      cfg.choicePolicy = policy;
+      cfg.corruption.routingFraction = 1.0;
+      cfg.corruption.invalidMessages = 6;
+      const ExperimentResult r = runSsmfpExperiment(cfg);
+      allSp &= r.spec.satisfiesSp() && r.quiescent;
+      table.addRow({toString(net.topology), toString(policy),
+                    Table::yesNo(r.spec.satisfiesSp()), Table::num(r.rounds),
+                    Table::num(r.maxDeliveryRounds),
+                    Table::num(r.avgDeliveryRounds, 1),
+                    Table::num(r.maxGenerationRound)});
+    }
+  }
+  table.printMarkdown(std::cout);
+  std::cout << "all policies satisfied SP on these finite workloads: "
+            << (allSp ? "yes" : "NO") << "\n";
+  std::cout << "\nInterpretation: round-robin (the paper) bounds passes per hop\n"
+               "by Delta, which keeps the worst single-message latency low at\n"
+               "the cost of a longer generation tail; oldest-first trades the\n"
+               "other way (better average, earlier drain on ring/grid, worse\n"
+               "worst-case on the star hotspot). Fixed-priority only drains\n"
+               "because the workload is finite - under continuous traffic its\n"
+               "privileged sender starves the rest, which is why the proofs\n"
+               "need a fair choice. No policy dominates: the conclusion's\n"
+               "open question is real.\n";
+  return allSp ? 0 : 1;
+}

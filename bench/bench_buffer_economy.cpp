@@ -1,0 +1,161 @@
+// Ablation - buffer economy across deadlock-free controllers (the
+// conclusion's discussion: the acyclic-covering buffer graph needs far
+// fewer buffers per processor - 2 for a tree, small constant for a ring -
+// but cannot stabilize and is NP-hard to size for general graphs).
+//
+// Three comparisons on identical workloads:
+//   1. buffers per processor: orientation scheme (k), destination-based
+//      baseline (n), SSMFP (2n);
+//   2. correctness: all three satisfy exactly-once from clean starts;
+//   3. the deadlock-freedom content of acyclicity: a naive single-class
+//      ring (cyclic buffer graph) deadlocks under saturation where the
+//      2-class dateline cover drains.
+
+#include <iostream>
+#include <unordered_map>
+
+#include "baseline/orientation_forwarding.hpp"
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+#include "sim/runner.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace snapfwd;
+
+/// Deliberately broken cover: one class, dateline included -> the buffer
+/// graph is the full directed ring cycle.
+class NaiveRingScheme final : public BufferClassScheme {
+ public:
+  explicit NaiveRingScheme(std::size_t n) : n_(n) {}
+  std::string_view name() const override { return "ring-naive"; }
+  std::size_t classCount() const override { return 1; }
+  std::size_t initialClass(NodeId, NodeId) const override { return 0; }
+  std::optional<std::size_t> classAfterHop(NodeId u, NodeId v,
+                                           std::size_t cls) const override {
+    return (u + 1) % n_ == v ? std::optional<std::size_t>{cls} : std::nullopt;
+  }
+
+ private:
+  std::size_t n_;
+};
+
+struct RunStats {
+  bool drained = false;
+  std::size_t delivered = 0;
+  std::size_t expected = 0;
+  std::uint64_t steps = 0;
+};
+
+template <typename SchemeT, typename RoutingT>
+RunStats runOrientation(const Graph& g, RoutingT& routing, SchemeT& scheme,
+                        int waves, std::uint64_t seed) {
+  OrientationForwardingProtocol proto(g, routing, scheme);
+  RunStats stats;
+  for (int w = 0; w < waves; ++w) {
+    for (NodeId s = 0; s < g.size(); ++s) {
+      for (NodeId d = 0; d < g.size(); ++d) {
+        if (s != d) {
+          proto.send(s, d, s * 100 + d);
+          ++stats.expected;
+        }
+      }
+    }
+  }
+  Rng rng(seed);
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  engine.run(3'000'000);
+  stats.drained = proto.fullyDrained();
+  stats.delivered = proto.deliveries().size();
+  stats.steps = engine.stepCount();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Ablation: buffer economy of deadlock-free controllers\n\n";
+
+  // --- 1 & 2: buffers per processor + correctness on identical nets -----
+  Table economy("Buffers per processor, all-pairs workload, clean start",
+                {"network", "scheme", "buffers/processor", "stabilizing",
+                 "drained", "delivered/expected"});
+
+  {
+    const Graph tree = topo::binaryTree(7);
+    TreeUpDownScheme scheme(tree, 0);
+    TreePathRouting routing(tree, scheme);
+    const RunStats s = runOrientation(tree, routing, scheme, 1, 11);
+    economy.addRow({"tree(7)", "acyclic-cover (up/down)", "2", "no",
+                    Table::yesNo(s.drained),
+                    Table::num(std::uint64_t{s.delivered}) + "/" +
+                        Table::num(std::uint64_t{s.expected})});
+  }
+  {
+    const Graph ring = topo::ring(6);
+    UnidirectionalRingScheme scheme(6);
+    ClockwiseRingRouting routing(6);
+    const RunStats s = runOrientation(ring, routing, scheme, 1, 12);
+    economy.addRow({"ring(6)", "acyclic-cover (dateline)", "2", "no",
+                    Table::yesNo(s.drained),
+                    Table::num(std::uint64_t{s.delivered}) + "/" +
+                        Table::num(std::uint64_t{s.expected})});
+  }
+  for (const bool tree : {true, false}) {
+    ExperimentConfig cfg;
+    cfg.topology = tree ? TopologyKind::kBinaryTree : TopologyKind::kRing;
+    cfg.n = tree ? 7 : 6;
+    cfg.seed = 13;
+    cfg.daemon = DaemonKind::kDistributedRandom;
+    cfg.traffic = TrafficKind::kPermutation;
+    const char* net = tree ? "tree(7)" : "ring(6)";
+    const ExperimentResult base = runBaselineExperiment(cfg);
+    economy.addRow({net, "destination-based (Fig.1)",
+                    Table::num(std::uint64_t{cfg.n}), "no",
+                    Table::yesNo(base.quiescent),
+                    Table::num(base.spec.validDelivered) + "/" +
+                        Table::num(base.spec.validGenerated)});
+    const ExperimentResult ssmfp = runSsmfpExperiment(cfg);
+    economy.addRow({net, "SSMFP (Fig.2)", Table::num(std::uint64_t{2 * cfg.n}),
+                    "SNAP", Table::yesNo(ssmfp.quiescent),
+                    Table::num(ssmfp.spec.validDelivered) + "/" +
+                        Table::num(ssmfp.spec.validGenerated)});
+  }
+  economy.printMarkdown(std::cout);
+
+  // --- 3: acyclicity is what prevents deadlock --------------------------
+  Table deadlock("Saturated ring(6), 3 all-pairs waves (90 msgs)",
+                 {"scheme", "classes", "buffer graph", "drained", "delivered"});
+  const Graph ring = topo::ring(6);
+  ClockwiseRingRouting routing(6);
+  bool coverDrained = false, naiveStuck = false;
+  {
+    UnidirectionalRingScheme scheme(6);
+    const RunStats s = runOrientation(ring, routing, scheme, 3, 14);
+    coverDrained = s.drained;
+    deadlock.addRow({"dateline cover", "2", "acyclic", Table::yesNo(s.drained),
+                     Table::num(std::uint64_t{s.delivered})});
+  }
+  {
+    NaiveRingScheme scheme(6);
+    const RunStats s = runOrientation(ring, routing, scheme, 3, 14);
+    naiveStuck = !s.drained;
+    deadlock.addRow({"naive single class", "1", "CYCLIC",
+                     Table::yesNo(s.drained),
+                     Table::num(std::uint64_t{s.delivered})});
+  }
+  deadlock.printMarkdown(std::cout);
+
+  std::cout << "acyclic cover drained: " << (coverDrained ? "yes" : "NO")
+            << "; naive cyclic scheme wedged: " << (naiveStuck ? "yes" : "NO")
+            << "\n";
+  std::cout << "\nConclusion's trade-off, measured: the acyclic-covering\n"
+               "controller needs only k=2 buffers per processor on trees and\n"
+               "unidirectional rings (vs n and 2n), but offers no stabilization\n"
+               "story, and sizing k is NP-hard in general [Kralovic-Ruzicka].\n"
+               "SSMFP pays 2n buffers and in exchange is snap-stabilizing.\n";
+  return (coverDrained && naiveStuck) ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// E12 - engine throughput and the parallel guard-evaluation ablation.
+//
+// google-benchmark microbenchmarks of the state-model engine: steps/second
+// as a function of network size, serial vs thread-pool guard evaluation.
+// This quantifies the simulator substrate itself (not a paper claim).
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "ssmfp/ssmfp.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace snapfwd;
+
+void runSteps(benchmark::State& state, ThreadPool* pool) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  const Graph graph = topo::randomConnected(n, n / 2, rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SelfStabBfsRouting routing(graph);
+    // Restrict destinations to keep state quadratic growth in check.
+    std::vector<NodeId> dests{0, static_cast<NodeId>(n / 2)};
+    SsmfpProtocol forwarding(graph, routing, dests);
+    Rng faultRng(7);
+    routing.corrupt(faultRng, 0.5);
+    for (NodeId p = 1; p < graph.size(); ++p) forwarding.send(p, 0, p);
+    DistributedRandomDaemon daemon(rng.fork(1), 0.5);
+    Engine engine(graph, {&routing, &forwarding}, daemon, pool);
+    forwarding.attachEngine(&engine);
+    state.ResumeTiming();
+
+    const std::uint64_t executed = engine.run(500);
+    benchmark::DoNotOptimize(executed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 500);
+}
+
+void BM_EngineSerial(benchmark::State& state) { runSteps(state, nullptr); }
+
+void BM_EngineParallel(benchmark::State& state) {
+  static ThreadPool pool(4);
+  runSteps(state, &pool);
+}
+
+BENCHMARK(BM_EngineSerial)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineParallel)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

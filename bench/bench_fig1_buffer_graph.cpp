@@ -1,0 +1,93 @@
+// E1 - Figure 1: the "destination-based" buffer graph.
+//
+// Reconstructs the Merlin-Schweitzer destination-based buffer graph on a
+// 5-processor example network (one buffer b_p(d) per processor per
+// destination, arcs along the routing trees T_d) and verifies the property
+// the deadlock-freedom argument rests on: with correct routing tables the
+// graph is acyclic for every destination; with corrupted tables it is not.
+
+#include <iostream>
+
+#include "graph/builders.hpp"
+#include "graph/dot.hpp"
+#include "routing/frozen.hpp"
+#include "routing/oracle.hpp"
+#include "ssmfp/buffer_graph.hpp"
+#include "stats/table.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace snapfwd;
+  std::cout << "# E1 / Figure 1: destination-based buffer graph\n\n";
+
+  // The illustrative 5-node network (a house graph: ring + chord).
+  Graph example(5);
+  example.addEdge(0, 1);
+  example.addEdge(1, 2);
+  example.addEdge(2, 3);
+  example.addEdge(3, 4);
+  example.addEdge(4, 0);
+  example.addEdge(1, 4);
+  const OracleRouting oracle(example);
+
+  std::cout << "Example network (n=5), component of destination 0:\n";
+  const auto bg0 = destinationBufferGraph(example, oracle, 0);
+  std::cout << toDotDirected(bg0.arcs, bg0.labels, "Fig1_d0") << "\n";
+
+  Table perDest("Per-destination components on the example network",
+                {"destination", "buffers", "arcs", "acyclic"});
+  for (NodeId d = 0; d < example.size(); ++d) {
+    const auto bg = destinationBufferGraph(example, oracle, d);
+    perDest.addRow({Table::num(std::uint64_t{d}),
+                    Table::num(std::uint64_t{bg.vertexCount}),
+                    Table::num(std::uint64_t{bg.arcs.size()}),
+                    Table::yesNo(isAcyclic(bg))});
+  }
+  perDest.printMarkdown(std::cout);
+
+  // Sweep: acyclicity under correct vs corrupted tables across topologies.
+  Table sweep("Acyclicity sweep: correct vs corrupted routing tables",
+              {"topology", "n", "acyclic (correct)", "acyclic components (corrupted)",
+               "cyclic components (corrupted)"});
+  Rng rng(2024);
+  struct Case {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"ring(8)", topo::ring(8)});
+  cases.push_back({"grid(3x3)", topo::grid(3, 3)});
+  cases.push_back({"star(8)", topo::star(8)});
+  cases.push_back({"hypercube(3)", topo::hypercube(3)});
+  Rng g1 = rng.fork(1);
+  cases.push_back({"random(10,+5)", topo::randomConnected(10, 5, g1)});
+
+  for (auto& c : cases) {
+    const OracleRouting correct(c.graph);
+    bool allAcyclic = true;
+    for (NodeId d = 0; d < c.graph.size(); ++d) {
+      allAcyclic &= isAcyclic(destinationBufferGraph(c.graph, correct, d));
+    }
+    FrozenRouting corrupted(c.graph);
+    Rng corruptRng = rng.fork(mix64(reinterpret_cast<std::uintptr_t>(c.name)));
+    corrupted.corrupt(corruptRng, 1.0);
+    std::size_t acyclicCount = 0, cyclicCount = 0;
+    for (NodeId d = 0; d < c.graph.size(); ++d) {
+      if (isAcyclic(destinationBufferGraph(c.graph, corrupted, d))) {
+        ++acyclicCount;
+      } else {
+        ++cyclicCount;
+      }
+    }
+    sweep.addRow({c.name, Table::num(std::uint64_t{c.graph.size()}),
+                  Table::yesNo(allAcyclic), Table::num(std::uint64_t{acyclicCount}),
+                  Table::num(std::uint64_t{cyclicCount})});
+  }
+  sweep.printMarkdown(std::cout);
+
+  std::cout << "Paper claim: with correct tables every destination component is\n"
+               "isomorphic to the routing tree T_d, hence acyclic (deadlock-free\n"
+               "controller); corruption introduces cycles, which is why the\n"
+               "fault-free controller cannot be started before stabilization.\n";
+  return 0;
+}

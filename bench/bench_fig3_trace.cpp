@@ -1,0 +1,42 @@
+// E3 - Figure 3: the paper's worked execution, regenerated.
+//
+// Replays the 16 scripted moves on the 4-processor network (a, b, c, d)
+// from the corrupted initial configuration (a <-> c routing cycle, invalid
+// message with color 0 in bufR_b(b)) and prints every configuration in the
+// style of the figure's diagrams, asserting the narration's color
+// assignments and the final delivery multiset.
+
+#include <iostream>
+
+#include "checker/spec_checker.hpp"
+#include "sim/figure3.hpp"
+
+int main() {
+  using namespace snapfwd;
+  std::cout << "# E3 / Figure 3: worked execution replay\n\n";
+  Figure3Replay replay;
+
+  std::cout << "(0) initial configuration (routing cycle a<->c; '!' marks an\n"
+               "    invalid message):\n"
+            << replay.renderConfiguration() << "\n";
+
+  const bool ok = replay.run([&](std::size_t, const std::string& description) {
+    std::cout << description << "\n" << replay.renderConfiguration() << "\n";
+  });
+
+  const SpecReport report = checkSpec(replay.protocol());
+  std::cout << "final verdict: " << report.summary() << "\n";
+  std::cout << "script matched: " << (replay.scriptMatched() ? "yes" : "no")
+            << ", deliveries as in the figure: "
+            << (replay.deliveriesCorrect() ? "yes" : "no")
+            << ", colors as narrated (1 then 2): "
+            << (replay.colorsCorrect() ? "yes" : "no") << "\n";
+  if (!ok) {
+    std::cout << "REPLAY MISMATCH\n";
+    return 1;
+  }
+  std::cout << "\nPaper claim reproduced: the three messages (one invalid, two\n"
+               "valid with colliding useful information) are each delivered\n"
+               "exactly once despite the corrupted initial configuration.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Extension - message-passing embedding (the conclusion's open problem,
+// explored): SSMFP run over asynchronous FIFO channels through an
+// alpha-synchronizer, measured against the state-model execution.
+//
+// Reports, per topology: protocol rounds, wall ticks (asynchrony cost),
+// packets exchanged (the synchronizer's overhead), SP verdict, and whether
+// the per-round state hashes match the synchronous state-model engine
+// (they must: the embedding theorem).
+
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+#include "mp/mp_ssmfp.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace snapfwd;
+  std::cout << "# Extension: SSMFP in the message-passing model\n\n";
+
+  Table table("Alpha-synchronizer embedding, corrupted start, all-to-one traffic",
+              {"topology", "n", "channel delay", "rounds", "ticks",
+               "packets", "packets/round", "exactly-once", "hashes match engine"});
+
+  struct Case {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"path(6)", topo::path(6)});
+  cases.push_back({"ring(8)", topo::ring(8)});
+  cases.push_back({"star(6)", topo::star(6)});
+  cases.push_back({"grid(3x3)", topo::grid(3, 3)});
+
+  bool allOk = true;
+  for (auto& c : cases) {
+    for (const std::uint32_t delay : {1u, 4u}) {
+      // Shared corruption + workload description.
+      Rng corruptRng(42);
+      std::vector<std::tuple<NodeId, NodeId, std::uint32_t, NodeId>> fixes;
+      for (NodeId p = 0; p < c.graph.size(); ++p) {
+        const auto& nbrs = c.graph.neighbors(p);
+        for (NodeId d = 0; d < c.graph.size(); ++d) {
+          if (!corruptRng.chance(0.8)) continue;
+          fixes.emplace_back(
+              p, d, static_cast<std::uint32_t>(corruptRng.below(c.graph.size() + 1)),
+              nbrs[static_cast<std::size_t>(corruptRng.below(nbrs.size()))]);
+        }
+      }
+
+      // Message-passing run.
+      MpSsmfpSimulator sim(c.graph, {}, 7, delay);
+      for (const auto& [p, d, dist, parent] : fixes) {
+        sim.setRoutingEntry(p, d, dist, parent);
+      }
+      std::vector<TraceId> traces;
+      for (NodeId p = 1; p < c.graph.size(); ++p) {
+        traces.push_back(sim.send(p, 0, 100 + p));
+      }
+      const std::uint64_t ticks = sim.run(5'000'000);
+
+      // State-model reference.
+      SelfStabBfsRouting routing(c.graph);
+      SsmfpProtocol proto(c.graph, routing);
+      for (const auto& [p, d, dist, parent] : fixes) {
+        routing.setEntry(p, d, dist, parent);
+      }
+      for (NodeId p = 1; p < c.graph.size(); ++p) proto.send(p, 0, 100 + p);
+      SynchronousDaemon daemon;
+      Engine engine(c.graph, {&routing, &proto}, daemon);
+      proto.attachEngine(&engine);
+      std::vector<std::uint64_t> engineHashes{protocolStateHash(proto, routing)};
+      while (engine.step()) engineHashes.push_back(protocolStateHash(proto, routing));
+
+      bool hashesMatch = sim.roundHashes().size() >= engineHashes.size();
+      for (std::size_t r = 0; hashesMatch && r < engineHashes.size(); ++r) {
+        hashesMatch = sim.roundHashes()[r] == engineHashes[r];
+      }
+      std::size_t exactlyOnce = 0;
+      for (const TraceId t : traces) {
+        std::size_t count = 0;
+        for (const auto& rec : sim.deliveries()) {
+          if (rec.msg.valid && rec.msg.trace == t) ++count;
+        }
+        exactlyOnce += (count == 1) ? 1 : 0;
+      }
+      const bool ok =
+          sim.quiescent() && hashesMatch && exactlyOnce == traces.size();
+      allOk &= ok;
+      table.addRow(
+          {c.name, Table::num(std::uint64_t{c.graph.size()}),
+           Table::num(std::uint64_t{delay}), Table::num(sim.completedRounds()),
+           Table::num(ticks), Table::num(sim.packetsSent()),
+           Table::num(static_cast<double>(sim.packetsSent()) /
+                          static_cast<double>(std::max<std::uint64_t>(
+                              1, sim.completedRounds())),
+                      1),
+           Table::num(std::uint64_t{exactlyOnce}) + "/" +
+               Table::num(std::uint64_t{traces.size()}),
+           Table::yesNo(hashesMatch)});
+    }
+  }
+  table.printMarkdown(std::cout);
+  std::cout << "all runs exactly-once with matching hashes: "
+            << (allOk ? "yes" : "NO") << "\n";
+  std::cout << "\nThe embedding realizes the paper's 'carry to message passing'\n"
+               "direction for PROTOCOL-state corruption: the synchronizer makes\n"
+               "the asynchronous execution bisimilar to a synchronous state-model\n"
+               "execution (hash-equal per round), so Proposition 3 transfers.\n"
+               "Synchronizer state itself is assumed clean - making IT\n"
+               "stabilizing is exactly the open problem the paper cites.\n";
+  return allOk ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// E9 - the conclusion's claim: "snap-stabilization without significant
+// over cost in space or in time with respect to the fault-free algorithm".
+//
+// Runs IDENTICAL workloads from CLEAN configurations (correct constant
+// tables - the only setting where the fault-free Merlin-Schweitzer
+// baseline is specified) through both stacks and compares time (rounds,
+// rounds per delivered message, actions per message) and space (buffers
+// per processor per destination). The expected shape: SSMFP within a small
+// constant factor (~2x buffers, ~2x moves per hop: R3+R4 vs B2+B3 plus the
+// internal R2 move).
+
+#include <iostream>
+
+#include "sim/runner.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace snapfwd;
+  std::cout << "# E9: SSMFP vs fault-free baseline, clean start\n\n";
+
+  Table table("Identical uniform workloads (24 msgs), distributed-random daemon",
+              {"topology", "protocol", "SP", "rounds", "rounds/msg",
+               "actions/msg", "buffers per (p,d)"});
+
+  struct Row {
+    TopologyKind topology;
+    std::size_t n;
+  };
+  const Row rows[] = {
+      {TopologyKind::kPath, 8},
+      {TopologyKind::kRing, 8},
+      {TopologyKind::kGrid, 9},
+      {TopologyKind::kRandomConnected, 10},
+  };
+  double worstTimeFactor = 0.0;
+  for (const auto& row : rows) {
+    ExperimentConfig cfg;
+    cfg.topology = row.topology;
+    cfg.n = row.n;
+    cfg.rows = 3;
+    cfg.cols = 3;
+    cfg.seed = 21;
+    cfg.daemon = DaemonKind::kDistributedRandom;
+    cfg.traffic = TrafficKind::kUniform;
+    cfg.messageCount = 24;
+
+    const ExperimentResult ssmfp = runSsmfpExperiment(cfg);
+    const ExperimentResult baseline = runBaselineExperiment(cfg);
+
+    auto addRow = [&](const char* name, const ExperimentResult& r, int buffers) {
+      const double msgs = static_cast<double>(r.spec.validDelivered);
+      table.addRow({toString(row.topology), name, Table::yesNo(r.spec.satisfiesSp()),
+                    Table::num(r.rounds), Table::num(r.rounds / msgs, 2),
+                    Table::num(static_cast<double>(r.actions) / msgs, 2),
+                    Table::num(std::int64_t{buffers})});
+    };
+    addRow("ssmfp", ssmfp, 2);
+    addRow("baseline", baseline, 1);
+    if (baseline.rounds > 0) {
+      worstTimeFactor =
+          std::max(worstTimeFactor, static_cast<double>(ssmfp.rounds) /
+                                        static_cast<double>(baseline.rounds));
+    }
+  }
+  table.printMarkdown(std::cout);
+  std::cout << "worst-case SSMFP/baseline round factor: "
+            << Table::num(worstTimeFactor, 2) << "\n";
+  const bool ok = worstTimeFactor < 6.0;
+  std::cout << "\nPaper claim: constant-factor overhead only (2x space, small\n"
+               "constant in time) - in exchange SSMFP additionally survives\n"
+               "arbitrary initial configurations (see E10).\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Framework demo - snap-stabilizing PIF wave cost vs tree shape.
+//
+// Not an experiment of THIS paper (PIF is its foundational reference
+// [2,3]); included to show the engine hosts the protocol family and to
+// measure the textbook shape: a full wave costs Theta(h) rounds on a tree
+// of height h, independent of the initial configuration.
+
+#include <iostream>
+
+#include "graph/builders.hpp"
+#include "pif/pif.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace snapfwd;
+  std::cout << "# Framework demo: snap-stabilizing PIF on trees\n\n";
+
+  Table table("3 waves from scrambled states, 5 seeds, distributed daemon",
+              {"tree", "n", "height", "rounds/wave (mean)", "rounds/height",
+               "all waves complete"});
+
+  struct Case {
+    const char* name;
+    Graph graph;
+    std::uint32_t height;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"path(8)", topo::path(8), 7});
+  cases.push_back({"path(16)", topo::path(16), 15});
+  cases.push_back({"btree(15)", topo::binaryTree(15), 3});
+  cases.push_back({"btree(31)", topo::binaryTree(31), 4});
+  cases.push_back({"star(16)", topo::star(16), 1});
+
+  bool allOk = true;
+  for (auto& c : cases) {
+    Summary roundsPerWave;
+    bool ok = true;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      PifProtocol pif(c.graph, 0);
+      Rng rng(seed);
+      pif.scrambleStates(rng);
+      for (int i = 0; i < 3; ++i) pif.requestWave();
+      DistributedRandomDaemon daemon(rng.fork(1), 0.5);
+      Engine engine(c.graph, {&pif}, daemon);
+      pif.attachEngine(&engine);
+      engine.run(3'000'000);
+      ok &= engine.isTerminal() && pif.allClean();
+      std::size_t valid = 0;
+      for (const auto& wave : pif.waves()) {
+        if (wave.valid) {
+          ++valid;
+          ok &= (wave.participants == c.graph.size());
+        }
+      }
+      ok &= (valid == 3);
+      roundsPerWave.add(static_cast<double>(engine.roundCount()) / 3.0);
+    }
+    allOk &= ok;
+    table.addRow({c.name, Table::num(std::uint64_t{c.graph.size()}),
+                  Table::num(std::uint64_t{c.height}),
+                  Table::num(roundsPerWave.mean(), 1),
+                  Table::num(roundsPerWave.mean() / c.height, 2),
+                  Table::yesNo(ok)});
+  }
+  table.printMarkdown(std::cout);
+  std::cout << "\nShape: rounds per wave scale with tree height (the B, F and\n"
+               "C fronts each traverse the height once), independent of the\n"
+               "scrambled initial configuration - snap-stabilization for the\n"
+               "protocol family the paper builds on.\n";
+  return allOk ? 0 : 1;
+}

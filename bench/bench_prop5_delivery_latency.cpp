@@ -1,0 +1,74 @@
+// E6 - Proposition 5: delivery latency O(max(R_A, Delta^D)) rounds.
+//
+// Measures, per topology and corruption level, the worst and average
+// number of rounds from generation (R1) to delivery (R6) of a valid
+// message, alongside the bound's two ingredients: the measured routing
+// stabilization time R_A and Delta^D. The paper's worst case is driven by
+// the fairness queue letting up to Delta messages "pass" a given message
+// per hop; real executions sit far below the exponential envelope, which
+// the table makes visible.
+
+#include <cmath>
+#include <iostream>
+
+#include "sim/runner.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace snapfwd;
+  std::cout << "# E6 / Proposition 5: delivery latency vs O(max(R_A, Delta^D))\n\n";
+
+  Table table("Valid-message delivery latency in rounds (antipodal traffic)",
+              {"topology", "n", "Delta", "D", "corrupted", "R_A (rounds)",
+               "Delta^D", "max latency", "avg latency", "within bound"});
+
+  struct Row {
+    TopologyKind topology;
+    std::size_t n;
+  };
+  const Row rows[] = {
+      {TopologyKind::kPath, 8},  {TopologyKind::kRing, 8},
+      {TopologyKind::kStar, 8},  {TopologyKind::kGrid, 9},
+      {TopologyKind::kComplete, 8}, {TopologyKind::kRandomConnected, 10},
+  };
+  bool allWithin = true;
+  for (const auto& row : rows) {
+    for (const bool corrupted : {false, true}) {
+      ExperimentConfig cfg;
+      cfg.topology = row.topology;
+      cfg.n = row.n;
+      cfg.rows = 3;
+      cfg.cols = 3;
+      cfg.seed = 5;
+      cfg.daemon = DaemonKind::kDistributedRandom;
+      cfg.traffic = TrafficKind::kAntipodal;
+      if (corrupted) {
+        cfg.corruption.routingFraction = 1.0;
+        cfg.corruption.invalidMessages = 6;
+        cfg.corruption.scrambleQueues = true;
+      }
+      const ExperimentResult r = runSsmfpExperiment(cfg);
+      const double deltaPowD = std::pow(static_cast<double>(r.graphDelta),
+                                        static_cast<double>(r.graphDiameter));
+      const double bound =
+          4.0 * std::max(static_cast<double>(r.routingSilentRound), deltaPowD) +
+          16.0;
+      const bool within = r.quiescent && r.spec.satisfiesSp() &&
+                          static_cast<double>(r.maxDeliveryRounds) <= bound;
+      allWithin &= within;
+      table.addRow({toString(row.topology), Table::num(std::uint64_t{r.graphN}),
+                    Table::num(std::uint64_t{r.graphDelta}),
+                    Table::num(std::uint64_t{r.graphDiameter}),
+                    Table::yesNo(corrupted), Table::num(r.routingSilentRound),
+                    Table::num(deltaPowD, 0), Table::num(r.maxDeliveryRounds),
+                    Table::num(r.avgDeliveryRounds, 1), Table::yesNo(within)});
+    }
+  }
+  table.printMarkdown(std::cout);
+  std::cout << "all runs within bound: " << (allWithin ? "yes" : "NO") << "\n";
+  std::cout << "\nPaper claim: latency is O(max(R_A, Delta^D)) rounds; the\n"
+               "exponential term is a worst-case envelope (Delta messages can\n"
+               "pass per hop) - measured latencies track a few x D instead,\n"
+               "matching the remark motivating the amortized analysis (Prop. 7).\n";
+  return allWithin ? 0 : 1;
+}

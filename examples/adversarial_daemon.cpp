@@ -1,0 +1,62 @@
+// Daemon sensitivity demo: the same workload under the whole daemon zoo.
+//
+//   $ ./examples/adversarial_daemon [seed]
+//
+// The paper proves snap-stabilization under a weakly fair daemon. This
+// example runs one corrupted-start workload under every scheduler - from
+// fully synchronous to a starvation-seeking adversary - and reports steps,
+// rounds and the SP verdict for each, showing how the fairness assumption
+// affects cost but (for the fair ones) never correctness.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/runner.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snapfwd;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 17;
+
+  Table table("One corrupted-start workload under every daemon (seed " +
+                  std::to_string(seed) + ")",
+              {"daemon", "quiescent", "steps", "rounds", "R_A (rounds)", "SP"});
+
+  const DaemonKind daemons[] = {
+      DaemonKind::kSynchronous,   DaemonKind::kCentralRoundRobin,
+      DaemonKind::kCentralRandom, DaemonKind::kDistributedRandom,
+      DaemonKind::kWeaklyFair,    DaemonKind::kAdversarial,
+  };
+  bool fairAllSp = true;
+  for (const auto daemon : daemons) {
+    ExperimentConfig cfg;
+    cfg.topology = TopologyKind::kRandomConnected;
+    cfg.n = 10;
+    cfg.extraEdges = 5;
+    cfg.seed = seed;
+    cfg.daemon = daemon;
+    cfg.traffic = TrafficKind::kUniform;
+    cfg.messageCount = 20;
+    cfg.corruption.routingFraction = 1.0;
+    cfg.corruption.invalidMessages = 8;
+    cfg.corruption.scrambleQueues = true;
+    cfg.maxSteps = 1'000'000;
+    const ExperimentResult r = runSsmfpExperiment(cfg);
+    table.addRow({toString(daemon), Table::yesNo(r.quiescent),
+                  Table::num(r.steps), Table::num(r.rounds),
+                  Table::num(r.routingSilentRound),
+                  Table::yesNo(r.spec.satisfiesSp())});
+    if (daemon != DaemonKind::kAdversarial) {
+      fairAllSp &= r.spec.satisfiesSp() && r.quiescent;
+    }
+  }
+  table.printMarkdown(std::cout);
+  std::cout << "The adversarial daemon is OUTSIDE the paper's weakly-fair\n"
+            << "assumption; everything it manages to deliver is still\n"
+            << "exactly-once, but it may starve progress indefinitely.\n";
+  if (!fairAllSp) {
+    std::cout << "UNEXPECTED: a fair daemon violated SP\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Snap-stabilization demo: the same corrupted initial configuration run
+// through SSMFP and through the fault-free baseline, side by side.
+//
+//   $ ./examples/corrupted_start [seed]
+//
+// Expected outcome on most seeds: SSMFP delivers everything exactly once;
+// the baseline deadlocks in the frozen routing cycle or mis-handles the
+// garbage flags, losing or duplicating messages. This is the paper's
+// motivation in one program.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snapfwd;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4;
+
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kRing;
+  cfg.n = 8;
+  cfg.seed = seed;
+  cfg.daemon = DaemonKind::kDistributedRandom;
+  cfg.traffic = TrafficKind::kUniform;
+  cfg.messageCount = 16;
+  cfg.payloadSpace = 4;  // payload collisions on purpose
+  cfg.corruption.routingFraction = 1.0;
+  cfg.corruption.invalidMessages = 10;
+  cfg.corruption.scrambleQueues = true;
+  cfg.maxSteps = 400'000;
+
+  std::cout << "=== Arbitrary initial configuration (seed " << seed << ") ===\n"
+            << "ring of 8, ALL routing entries randomized, 10 invalid messages,\n"
+            << "fairness queues scrambled, 16 valid messages submitted.\n\n";
+
+  const ExperimentResult ssmfp = runSsmfpExperiment(cfg);
+  std::cout << "--- SSMFP (with self-stabilizing routing, priority layer) ---\n"
+            << "  quiescent: " << (ssmfp.quiescent ? "yes" : "NO (stuck)") << "\n"
+            << "  routing silent after " << ssmfp.routingSilentRound
+            << " rounds (R_A)\n"
+            << "  " << ssmfp.spec.summary() << "\n\n";
+
+  const ExperimentResult baseline = runBaselineExperiment(cfg);
+  std::cout << "--- fault-free baseline (frozen corrupted tables) ---\n"
+            << "  quiescent: " << (baseline.quiescent ? "yes" : "NO (stuck)") << "\n"
+            << "  " << baseline.spec.summary() << "\n\n";
+
+  if (ssmfp.spec.satisfiesSp() && !baseline.spec.satisfiesSp()) {
+    std::cout << "SSMFP satisfied SP from the corrupted start; the fault-free\n"
+              << "algorithm did not. That asymmetry is snap-stabilization.\n";
+  } else if (ssmfp.spec.satisfiesSp()) {
+    std::cout << "SSMFP satisfied SP; the baseline happened to survive this\n"
+              << "seed - try others (e.g. 1, 2, 3, 5) to see it fail.\n";
+  } else {
+    std::cout << "UNEXPECTED: SSMFP violated SP - please report this seed.\n";
+    return 1;
+  }
+  return 0;
+}

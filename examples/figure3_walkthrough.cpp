@@ -1,0 +1,46 @@
+// Walkthrough of the paper's Figure 3 execution, printed configuration by
+// configuration - run this to "read" the paper's example live.
+//
+//   $ ./examples/figure3_walkthrough
+//
+// Network: a=0, b=1, c=2, d=3 (edges a-b, a-c, a-d, c-b; Delta = 3).
+// The initial configuration is adversarial: the routing tables contain an
+// a <-> c forwarding cycle for destination b, and an invalid message m'
+// already occupies bufR_b(b) with color 0. Processor c then sends m and a
+// second message whose useful information collides with the invalid one.
+
+#include <iostream>
+
+#include "checker/spec_checker.hpp"
+#include "sim/figure3.hpp"
+
+int main() {
+  using namespace snapfwd;
+  Figure3Replay replay;
+
+  std::cout << "=== Figure 3 walkthrough ===\n\n"
+            << "network: a-b, a-c, a-d, c-b (Delta=3, colors 0..3)\n"
+            << "corrupted tables: nextHop_a(b)=c, nextHop_c(b)=a (a cycle!)\n\n"
+            << "(0) initial configuration ('!' marks the invalid message):\n"
+            << replay.renderConfiguration() << "\n";
+
+  const bool ok = replay.run([&](std::size_t, const std::string& description) {
+    std::cout << description << "\n" << replay.renderConfiguration() << "\n";
+  });
+
+  std::cout << "deliveries at b, in order:\n";
+  for (const auto& rec : replay.protocol().deliveries()) {
+    std::cout << "  payload " << rec.msg.payload
+              << (rec.msg.valid ? " (valid)" : " (invalid)") << " at step "
+              << rec.step << "\n";
+  }
+  std::cout << "\n" << checkSpec(replay.protocol()).summary() << "\n";
+  if (!ok) {
+    std::cout << "REPLAY FAILED\n";
+    return 1;
+  }
+  std::cout << "\nBoth valid messages were delivered exactly once even though\n"
+            << "one of them is byte-identical to garbage that predated it -\n"
+            << "the color flags kept them apart (this is Lemma 5 at work).\n";
+  return 0;
+}

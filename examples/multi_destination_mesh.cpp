@@ -1,0 +1,90 @@
+// Multi-destination workload on a mesh: every processor of a 4x4 grid
+// talks to every other (permutation waves), all destination components
+// running simultaneously, from a corrupted start.
+//
+//   $ ./examples/multi_destination_mesh [waves] [seed]
+//
+// Demonstrates the "n independent per-destination algorithms run
+// simultaneously" composition of Section 3.2 at a realistic scale, and
+// prints per-destination delivery statistics plus caterpillar census
+// snapshots while traffic is in flight.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "checker/caterpillar.hpp"
+#include "checker/spec_checker.hpp"
+#include "core/engine.hpp"
+#include "faults/corruptor.hpp"
+#include "graph/builders.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "ssmfp/ssmfp.hpp"
+#include "workload/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snapfwd;
+  const std::size_t waves = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 9;
+
+  const Graph graph = topo::grid(4, 4);
+  std::cout << "4x4 mesh: n=" << graph.size() << " Delta=" << graph.maxDegree()
+            << " D=" << graph.diameter() << ", " << waves
+            << " permutation waves (" << waves * graph.size() << " messages)\n";
+
+  SelfStabBfsRouting routing(graph);
+  SsmfpProtocol forwarding(graph, routing);
+  Rng rng(seed);
+
+  CorruptionPlan plan;
+  plan.routingFraction = 1.0;
+  plan.invalidMessages = 20;
+  plan.scrambleQueues = true;
+  Rng faultRng = rng.fork(1);
+  const std::size_t injected = applyCorruption(plan, routing, forwarding, faultRng);
+  std::cout << "corrupted start: all tables randomized, " << injected
+            << " invalid messages\n\n";
+
+  Rng trafficRng = rng.fork(2);
+  for (std::size_t w = 0; w < waves; ++w) {
+    submitAll(forwarding, permutationTraffic(graph.size(), trafficRng, 16));
+  }
+
+  DistributedRandomDaemon daemon(rng.fork(3), 0.5);
+  Engine engine(graph, {&routing, &forwarding}, daemon);
+  forwarding.attachEngine(&engine);
+
+  // Periodic in-flight census.
+  engine.setPostStepHook([&](Engine& e) {
+    if (e.stepCount() % 400 == 0) {
+      const CaterpillarCensus census = censusOf(forwarding);
+      std::cout << "  step " << e.stepCount() << ": delivered "
+                << forwarding.deliveries().size() << ", in flight t1/t2/t3/tail = "
+                << census.type1 << "/" << census.type2 << "/" << census.type3
+                << "/" << census.tails << "\n";
+    }
+  });
+  engine.run(5'000'000);
+
+  const SpecReport report = checkSpec(forwarding);
+  std::cout << "\nafter " << engine.stepCount() << " steps / "
+            << engine.roundCount() << " rounds:\n  " << report.summary() << "\n";
+
+  std::map<NodeId, std::uint64_t> perDest;
+  for (const auto& rec : forwarding.deliveries()) {
+    if (rec.msg.valid) ++perDest[rec.at];
+  }
+  std::cout << "valid deliveries per destination:";
+  for (const auto& [dest, count] : perDest) {
+    std::cout << " " << dest << ":" << count;
+  }
+  std::cout << "\n";
+  if (!report.satisfiesSp()) {
+    std::cout << "SPEC VIOLATION\n";
+    return 1;
+  }
+  std::cout << "all " << report.validGenerated
+            << " messages delivered exactly once across "
+            << perDest.size() << " destinations.\n";
+  return 0;
+}

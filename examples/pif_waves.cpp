@@ -1,0 +1,64 @@
+// Snap-stabilizing PIF waves on a tree - the protocol family that coined
+// "snap-stabilization" (the paper's refs [2,3]), on the same engine.
+//
+//   $ ./examples/pif_waves [seed]
+//
+// Starts from a scrambled configuration (every node's PIF state random),
+// requests three waves, and prints the broadcast/feedback fronts as they
+// sweep the tree.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "graph/builders.hpp"
+#include "pif/pif.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snapfwd;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+
+  const Graph g = topo::binaryTree(15);
+  PifProtocol pif(g, 0);
+  Rng rng(seed);
+  pif.scrambleStates(rng);
+
+  std::cout << "binary tree of 15, root 0; initial (scrambled) states:\n  ";
+  for (NodeId p = 0; p < g.size(); ++p) {
+    std::cout << toString(pif.state(p));
+  }
+  std::cout << "\n\n";
+
+  for (int i = 0; i < 3; ++i) pif.requestWave();
+
+  DistributedRandomDaemon daemon(rng.fork(1), 0.5);
+  Engine engine(g, {&pif}, daemon);
+  pif.attachEngine(&engine);
+  std::string last;
+  engine.setPostStepHook([&](Engine& e) {
+    std::string now;
+    for (NodeId p = 0; p < g.size(); ++p) now += toString(pif.state(p));
+    if (now != last) {
+      std::cout << "  step " << e.stepCount() << ": " << now << "\n";
+      last = now;
+    }
+  });
+  engine.run(1'000'000);
+
+  std::cout << "\nwaves observed at the root:\n";
+  for (const auto& wave : pif.waves()) {
+    std::cout << "  " << (wave.valid ? "valid" : "INVALID (initial garbage)")
+              << ": completed at step " << wave.completeStep;
+    if (wave.valid) {
+      std::cout << ", participants " << wave.participants << "/" << g.size();
+    }
+    std::cout << "\n";
+  }
+  bool ok = engine.isTerminal() && pif.allClean();
+  for (const auto& wave : pif.waves()) {
+    if (wave.valid) ok &= (wave.participants == g.size());
+  }
+  std::cout << (ok ? "\nall requested waves completed with full participation,\n"
+                     "despite the arbitrary initial configuration.\n"
+                   : "\nUNEXPECTED: a wave misbehaved\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Quickstart: build a small network, corrupt everything, send messages,
+// and watch SSMFP deliver each of them exactly once anyway.
+//
+//   $ ./examples/quickstart [seed]
+//
+// This is the minimal end-to-end use of the public API:
+//   Graph -> SelfStabBfsRouting -> SsmfpProtocol -> Engine -> checkSpec.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "checker/spec_checker.hpp"
+#include "core/engine.hpp"
+#include "faults/corruptor.hpp"
+#include "graph/builders.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "ssmfp/ssmfp.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snapfwd;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  // 1. A 12-processor random connected network.
+  Rng rng(seed);
+  const Graph graph = topo::randomConnected(12, 6, rng);
+  std::cout << "network: n=" << graph.size() << " edges=" << graph.edgeCount()
+            << " Delta=" << graph.maxDegree() << " D=" << graph.diameter()
+            << "\n";
+
+  // 2. The protocol stack: self-stabilizing routing (priority layer) under
+  //    SSMFP. Corrupt the routing tables and drop garbage messages into
+  //    buffers: snap-stabilization means correctness from ANY configuration.
+  SelfStabBfsRouting routing(graph);
+  SsmfpProtocol forwarding(graph, routing);
+
+  CorruptionPlan chaos;
+  chaos.routingFraction = 1.0;   // every table entry randomized
+  chaos.invalidMessages = 10;    // garbage in 10 buffers
+  chaos.scrambleQueues = true;
+  Rng faultRng = rng.fork(1);
+  const std::size_t injected = applyCorruption(chaos, routing, forwarding, faultRng);
+  std::cout << "corrupted: all routing entries randomized, " << injected
+            << " invalid messages injected\n";
+
+  // 3. Application traffic: every processor sends one message to processor 0.
+  for (NodeId p = 1; p < graph.size(); ++p) {
+    forwarding.send(p, 0, /*payload=*/100 + p);
+  }
+
+  // 4. Run under an asynchronous (distributed random) daemon to quiescence.
+  DistributedRandomDaemon daemon(rng.fork(2), 0.5);
+  Engine engine(graph, {&routing, &forwarding}, daemon);
+  forwarding.attachEngine(&engine);
+  engine.run(1'000'000);
+
+  // 5. Check the paper's specification SP.
+  const SpecReport report = checkSpec(forwarding);
+  std::cout << "after " << engine.stepCount() << " steps / "
+            << engine.roundCount() << " rounds:\n  " << report.summary() << "\n";
+  for (const auto& rec : forwarding.deliveries()) {
+    if (!rec.msg.valid) continue;
+    std::cout << "  delivered payload " << rec.msg.payload << " from "
+              << rec.msg.source << " at round " << rec.round << "\n";
+  }
+  if (!report.satisfiesSp()) {
+    std::cout << "SPEC VIOLATION\n";
+    return 1;
+  }
+  std::cout << "SP satisfied: every valid message delivered exactly once,\n"
+            << "despite fully corrupted routing tables and buffer garbage.\n";
+  return 0;
+}

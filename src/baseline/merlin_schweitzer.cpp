@@ -1,0 +1,234 @@
+#include "baseline/merlin_schweitzer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snapfwd {
+
+MerlinSchweitzerProtocol::MerlinSchweitzerProtocol(const Graph& graph,
+                                                   const RoutingProvider& routing,
+                                                   std::vector<NodeId> destinations)
+    : graph_(graph),
+      routing_(routing),
+      dests_(std::move(destinations)),
+      destSlot_(graph.size(), kNoSlot),
+      outbox_(graph.size()) {
+  if (dests_.empty()) {
+    dests_.resize(graph.size());
+    for (NodeId d = 0; d < graph.size(); ++d) dests_[d] = d;
+  }
+  std::sort(dests_.begin(), dests_.end());
+  dests_.erase(std::unique(dests_.begin(), dests_.end()), dests_.end());
+  for (std::size_t slot = 0; slot < dests_.size(); ++slot) {
+    destSlot_[dests_[slot]] = static_cast<std::uint32_t>(slot);
+  }
+  const std::size_t cells = graph.size() * dests_.size();
+  buf_.resize(cells);
+  lastFlag_.resize(cells);
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : dests_) {
+      lastFlag_[cell(p, d)].resize(graph.degree(p));
+    }
+  }
+  genBit_.assign(cells, 0);
+  queue_.resize(cells);
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : dests_) {
+      auto& q = queue_[cell(p, d)];
+      q = graph.neighbors(p);
+      q.push_back(p);
+    }
+  }
+}
+
+std::uint64_t MerlinSchweitzerProtocol::nowStep() const {
+  return engine_ != nullptr ? engine_->stepCount() : 0;
+}
+
+std::uint64_t MerlinSchweitzerProtocol::nowRound() const {
+  return engine_ != nullptr ? engine_->roundCount() : 0;
+}
+
+NodeId MerlinSchweitzerProtocol::nextDestination(NodeId p) const {
+  return outbox_[p].empty() ? kNoNode : outbox_[p].front().dest;
+}
+
+bool MerlinSchweitzerProtocol::choiceCandidate(NodeId p, NodeId d, NodeId c) const {
+  if (c == p) return request(p) && nextDestination(p) == d;
+  const auto& b = buf_[cell(c, d)];
+  if (!b.has_value() || routing_.nextHop(c, d) != p) return false;
+  // Per-link flag dedupe: do not re-accept from c the exact copy p already
+  // took from c.
+  const auto slot = graph_.neighborIndex(p, c);
+  if (!slot.has_value()) return false;
+  const auto& last = lastFlag_[cell(p, d)][*slot];
+  return !(last.has_value() && *last == b->flag);
+}
+
+NodeId MerlinSchweitzerProtocol::choice(NodeId p, NodeId d) const {
+  for (const NodeId c : queue_[cell(p, d)]) {
+    if (choiceCandidate(p, d, c)) return c;
+  }
+  return kNoNode;
+}
+
+bool MerlinSchweitzerProtocol::guardB1(NodeId p, NodeId d) const {
+  return request(p) && nextDestination(p) == d && !buf_[cell(p, d)].has_value() &&
+         choice(p, d) == p;
+}
+
+NodeId MerlinSchweitzerProtocol::guardB2(NodeId p, NodeId d) const {
+  if (buf_[cell(p, d)].has_value()) return kNoNode;
+  const NodeId s = choice(p, d);
+  if (s == kNoNode || s == p) return kNoNode;
+  return s;
+}
+
+bool MerlinSchweitzerProtocol::guardB3(NodeId p, NodeId d) const {
+  if (p == d) return false;
+  const auto& b = buf_[cell(p, d)];
+  if (!b.has_value()) return false;
+  const NodeId h = routing_.nextHop(p, d);
+  const auto& hb = buf_[cell(h, d)];
+  if (hb.has_value() && hb->flag == b->flag) return true;
+  const auto slot = graph_.neighborIndex(h, p);
+  if (!slot.has_value()) return false;
+  const auto& hl = lastFlag_[cell(h, d)][*slot];
+  return hl.has_value() && *hl == b->flag;
+}
+
+bool MerlinSchweitzerProtocol::guardB4(NodeId p, NodeId d) const {
+  return p == d && buf_[cell(p, d)].has_value();
+}
+
+void MerlinSchweitzerProtocol::enumerateEnabled(NodeId p,
+                                                std::vector<Action>& out) const {
+  for (const NodeId d : dests_) {
+    if (guardB1(p, d)) out.push_back(Action{kB1Generate, d, 0});
+    if (const NodeId s = guardB2(p, d); s != kNoNode) {
+      out.push_back(Action{kB2Copy, d, s});
+    }
+    if (guardB3(p, d)) out.push_back(Action{kB3Erase, d, 0});
+    if (guardB4(p, d)) out.push_back(Action{kB4Consume, d, 0});
+  }
+}
+
+void MerlinSchweitzerProtocol::stage(NodeId p, const Action& a) {
+  const NodeId d = a.dest;
+  StagedOp op;
+  op.p = p;
+  op.d = d;
+  op.rule = a.rule;
+  switch (a.rule) {
+    case kB1Generate: {
+      assert(guardB1(p, d));
+      const auto& waiting = outbox_[p].front();
+      BaselineMessage msg;
+      msg.payload = waiting.payload;
+      msg.flag = {p, genBit_[cell(p, d)]};
+      msg.trace = waiting.trace;
+      msg.valid = true;
+      msg.source = p;
+      msg.dest = d;
+      msg.bornStep = nowStep();
+      msg.bornRound = nowRound();
+      op.writeBuf = true;
+      op.newBuf = msg;
+      op.flipGenBit = true;
+      op.popOutbox = true;
+      op.rotateToBack = p;
+      op.generated = msg;
+      break;
+    }
+    case kB2Copy: {
+      const NodeId s = static_cast<NodeId>(a.aux);
+      assert(guardB2(p, d) == s);
+      const BaselineMessage msg = *buf_[cell(s, d)];
+      op.writeBuf = true;
+      op.newBuf = msg;
+      op.writeLastFlag = true;
+      op.lastFlagSlot = *graph_.neighborIndex(p, s);
+      op.newLastFlag = msg.flag;
+      op.rotateToBack = s;
+      break;
+    }
+    case kB3Erase: {
+      assert(guardB3(p, d));
+      op.writeBuf = true;
+      op.newBuf = std::nullopt;
+      break;
+    }
+    case kB4Consume: {
+      assert(guardB4(p, d));
+      op.delivered = *buf_[cell(p, d)];
+      op.writeBuf = true;
+      op.newBuf = std::nullopt;
+      break;
+    }
+    default:
+      assert(false && "unknown baseline rule");
+  }
+  staged_.push_back(std::move(op));
+}
+
+void MerlinSchweitzerProtocol::commit() {
+  for (auto& op : staged_) {
+    const std::size_t idx = cell(op.p, op.d);
+    if (op.writeBuf) buf_[idx] = op.newBuf;
+    if (op.writeLastFlag) lastFlag_[idx][op.lastFlagSlot] = op.newLastFlag;
+    if (op.flipGenBit) genBit_[idx] ^= 1;
+    if (op.rotateToBack != kNoNode) {
+      auto& q = queue_[idx];
+      const auto it = std::find(q.begin(), q.end(), op.rotateToBack);
+      if (it != q.end()) {
+        q.erase(it);
+        q.push_back(op.rotateToBack);
+      }
+    }
+    if (op.popOutbox) {
+      assert(!outbox_[op.p].empty());
+      outbox_[op.p].pop_front();
+    }
+    if (op.generated.has_value()) {
+      generations_.push_back({*op.generated, nowStep(), nowRound()});
+    }
+    if (op.delivered.has_value()) {
+      deliveries_.push_back({*op.delivered, op.p, nowStep(), nowRound()});
+    }
+  }
+  staged_.clear();
+}
+
+TraceId MerlinSchweitzerProtocol::send(NodeId src, NodeId dest, Payload payload) {
+  assert(src < graph_.size());
+  assert(dest < graph_.size() && destSlot_[dest] != kNoSlot);
+  const TraceId trace = nextTrace_++;
+  outbox_[src].push_back({dest, payload, trace});
+  return trace;
+}
+
+std::size_t MerlinSchweitzerProtocol::occupiedBufferCount() const {
+  std::size_t count = 0;
+  for (const auto& b : buf_) count += b.has_value() ? 1 : 0;
+  return count;
+}
+
+bool MerlinSchweitzerProtocol::fullyDrained() const {
+  if (occupiedBufferCount() != 0) return false;
+  return std::all_of(outbox_.begin(), outbox_.end(),
+                     [](const auto& box) { return box.empty(); });
+}
+
+void MerlinSchweitzerProtocol::injectBuffer(NodeId p, NodeId d, BaselineMessage msg) {
+  assert(p < graph_.size() && destSlot_[d] != kNoSlot);
+  msg.valid = false;
+  msg.dest = d;
+  if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
+  buf_[cell(p, d)] = msg;
+}
+
+void MerlinSchweitzerProtocol::scrambleQueues(Rng& rng) {
+  for (auto& q : queue_) rng.shuffle(q);
+}
+
+}  // namespace snapfwd

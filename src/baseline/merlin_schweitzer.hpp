@@ -1,0 +1,187 @@
+#pragma once
+// The fault-free comparator: destination-based buffer-graph forwarding in
+// the style of Merlin & Schweitzer 1978 (paper Section 3.1 and Figure 1).
+//
+// One buffer b_p(d) per processor per destination; messages carry a flag
+// (source identity, alternating bit) - the paper's "concatenation of the
+// identity of the source and a two-value flag" - used to (a) let a sender
+// detect that its next hop accepted a copy (so it may erase its own) and
+// (b) prevent the receiver from accepting the same copy twice. Moves:
+//
+//  B1 generate : request_p && nextDestination_p = d && b_p(d) empty &&
+//                choice_p(d) = p
+//                -> b_p(d) := (nextMessage_p, flag=(p, genBit_p(d)));
+//                   genBit flips; request_p := false
+//  B2 copy     : b_p(d) empty && choice_p(d) = s != p
+//                -> b_p(d) := b_s(d); lastFlag_p(d)[s] := flag(b_s(d))
+//  B3 erase    : b_p(d) occupied && p != d && h = nextHop_p(d) &&
+//                (flag(b_h(d)) = flag(b_p(d)) ||
+//                 lastFlag_h(d)[p] = flag(b_p(d)))
+//                -> b_p(d) := empty
+//  B4 consume  : b_d(d) occupied -> deliver; b_d(d) := empty
+//
+// choice_p(d) is the same round-robin fairness queue as SSMFP's; a neighbor
+// s qualifies when b_s(d) is occupied, nextHop_s(d) = p and p has not
+// already accepted that exact flag FROM s (lastFlag is per incoming link,
+// as in a real hop-by-hop handshake - a single per-buffer flag would be
+// clobbered by interleaved traffic from other senders and break the
+// exactly-once handshake even with correct tables).
+//
+// Under CORRECT, CONSTANT routing tables this satisfies SP: the buffer
+// graph is the forest of routing trees (acyclic -> deadlock-free), flags
+// make the copy-then-erase handshake exactly-once. Under corrupted or
+// still-stabilizing tables it demonstrably deadlocks, loses or duplicates
+// messages - the failures SSMFP's two-buffer/color scheme eliminates. The
+// experiments E9/E10 quantify both sides.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "ssmfp/message.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+
+enum BaselineRule : std::uint16_t {
+  kB1Generate = 1,
+  kB2Copy = 2,
+  kB3Erase = 3,
+  kB4Consume = 4,
+};
+
+/// The baseline's message flag.
+struct BaselineFlag {
+  NodeId source = kNoNode;
+  std::uint8_t bit = 0;
+  friend bool operator==(const BaselineFlag&, const BaselineFlag&) = default;
+};
+
+struct BaselineMessage {
+  Payload payload = 0;
+  BaselineFlag flag;
+  // Verification metadata (never read by guards):
+  TraceId trace = kInvalidTrace;
+  bool valid = false;
+  NodeId source = kNoNode;
+  NodeId dest = kNoNode;
+  std::uint64_t bornStep = 0;
+  std::uint64_t bornRound = 0;
+};
+
+struct BaselineGenerationRecord {
+  BaselineMessage msg;
+  std::uint64_t step = 0;
+  std::uint64_t round = 0;
+};
+
+struct BaselineDeliveryRecord {
+  BaselineMessage msg;
+  NodeId at = kNoNode;
+  std::uint64_t step = 0;
+  std::uint64_t round = 0;
+};
+
+class MerlinSchweitzerProtocol final : public Protocol {
+ public:
+  MerlinSchweitzerProtocol(const Graph& graph, const RoutingProvider& routing,
+                           std::vector<NodeId> destinations = {});
+
+  // -- Protocol ---------------------------------------------------------
+  [[nodiscard]] std::string_view name() const override { return "merlin-schweitzer"; }
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
+  void stage(NodeId p, const Action& a) override;
+  void commit() override;
+
+  // -- Application interface ---------------------------------------------
+  TraceId send(NodeId src, NodeId dest, Payload payload);
+  [[nodiscard]] bool request(NodeId p) const { return !outbox_[p].empty(); }
+  [[nodiscard]] NodeId nextDestination(NodeId p) const;
+  [[nodiscard]] std::size_t outboxSize(NodeId p) const { return outbox_[p].size(); }
+
+  // -- Events & state -------------------------------------------------------
+  [[nodiscard]] const std::vector<BaselineGenerationRecord>& generations() const {
+    return generations_;
+  }
+  [[nodiscard]] const std::vector<BaselineDeliveryRecord>& deliveries() const {
+    return deliveries_;
+  }
+  void attachEngine(const Engine* engine) { engine_ = engine; }
+
+  [[nodiscard]] const std::optional<BaselineMessage>& buffer(NodeId p, NodeId d) const {
+    return buf_[cell(p, d)];
+  }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] const std::vector<NodeId>& destinations() const { return dests_; }
+  [[nodiscard]] NodeId choice(NodeId p, NodeId d) const;
+
+  [[nodiscard]] std::size_t occupiedBufferCount() const;
+  [[nodiscard]] bool fullyDrained() const;
+
+  /// Injection of garbage for arbitrary-initial-configuration experiments.
+  void injectBuffer(NodeId p, NodeId d, BaselineMessage msg);
+  void scrambleQueues(Rng& rng);
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFFu;
+  [[nodiscard]] std::size_t cell(NodeId p, NodeId d) const {
+    return static_cast<std::size_t>(p) * dests_.size() + destSlot_[d];
+  }
+
+  [[nodiscard]] bool choiceCandidate(NodeId p, NodeId d, NodeId c) const;
+  [[nodiscard]] bool guardB1(NodeId p, NodeId d) const;
+  [[nodiscard]] NodeId guardB2(NodeId p, NodeId d) const;
+  [[nodiscard]] bool guardB3(NodeId p, NodeId d) const;
+  [[nodiscard]] bool guardB4(NodeId p, NodeId d) const;
+
+  [[nodiscard]] std::uint64_t nowStep() const;
+  [[nodiscard]] std::uint64_t nowRound() const;
+
+  const Graph& graph_;
+  const RoutingProvider& routing_;
+  std::vector<NodeId> dests_;
+  std::vector<std::uint32_t> destSlot_;
+
+  std::vector<std::optional<BaselineMessage>> buf_;
+  // lastFlag_[cell(p,d)][i] = flag of the last message p accepted into
+  // b_p(d) from its i-th neighbor (per-link handshake state).
+  std::vector<std::vector<std::optional<BaselineFlag>>> lastFlag_;
+  std::vector<std::uint8_t> genBit_;
+  std::vector<std::vector<NodeId>> queue_;
+
+  struct OutboxEntry {
+    NodeId dest;
+    Payload payload;
+    TraceId trace;
+  };
+  std::vector<std::deque<OutboxEntry>> outbox_;
+  TraceId nextTrace_ = 1;
+
+  std::vector<BaselineGenerationRecord> generations_;
+  std::vector<BaselineDeliveryRecord> deliveries_;
+  const Engine* engine_ = nullptr;
+
+  struct StagedOp {
+    NodeId p = kNoNode;
+    NodeId d = kNoNode;
+    std::uint16_t rule = 0;
+    bool writeBuf = false;
+    std::optional<BaselineMessage> newBuf;
+    bool writeLastFlag = false;
+    std::size_t lastFlagSlot = 0;  // neighbor index within N_p
+    std::optional<BaselineFlag> newLastFlag;
+    bool flipGenBit = false;
+    NodeId rotateToBack = kNoNode;
+    bool popOutbox = false;
+    std::optional<BaselineMessage> delivered;
+    std::optional<BaselineMessage> generated;
+  };
+  std::vector<StagedOp> staged_;
+};
+
+}  // namespace snapfwd

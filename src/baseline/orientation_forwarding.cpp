@@ -1,0 +1,276 @@
+#include "baseline/orientation_forwarding.hpp"
+
+#include <cassert>
+
+namespace snapfwd {
+
+// ---------------------------------------------------------------------------
+// Covers
+// ---------------------------------------------------------------------------
+
+TreeUpDownScheme::TreeUpDownScheme(const Graph& graph, NodeId root)
+    : root_(root), parent_(graph.size(), kNoNode) {
+  assert(graph.isConnected() && graph.edgeCount() + 1 == graph.size() &&
+         "TreeUpDownScheme requires a tree");
+  // BFS from the root to orient every edge.
+  const auto dist = graph.bfsDistances(root);
+  parent_[root] = root;
+  for (NodeId v = 0; v < graph.size(); ++v) {
+    if (v == root) continue;
+    for (const NodeId u : graph.neighbors(v)) {
+      if (dist[u] + 1 == dist[v]) {
+        parent_[v] = u;
+        break;
+      }
+    }
+    assert(parent_[v] != kNoNode);
+  }
+}
+
+std::optional<std::size_t> TreeUpDownScheme::classAfterHop(NodeId u, NodeId v,
+                                                           std::size_t cls) const {
+  if (parent_[u] == v) {
+    // Upward hop: only admissible while still in the up phase.
+    return cls == 0 ? std::optional<std::size_t>{0} : std::nullopt;
+  }
+  if (parent_[v] == u) {
+    // Downward hop: enters (or continues) the down phase.
+    return 1;
+  }
+  return std::nullopt;  // not a tree edge
+}
+
+std::optional<std::size_t> UnidirectionalRingScheme::classAfterHop(
+    NodeId u, NodeId v, std::size_t cls) const {
+  if ((u + 1) % n_ != v) return std::nullopt;  // clockwise hops only
+  if (u == n_ - 1) {
+    // The dateline hop: bump. A route of length < n crosses it once.
+    return cls == 0 ? std::optional<std::size_t>{1} : std::nullopt;
+  }
+  return cls;
+}
+
+TreePathRouting::TreePathRouting(const Graph& graph, const TreeUpDownScheme& scheme)
+    : n_(graph.size()), next_(n_ * n_, kNoNode) {
+  // Unique tree path: up toward the root while d is not in our subtree,
+  // otherwise down toward d. BFS distances from every node suffice: the
+  // tree's shortest path IS the tree path, and the min-distance neighbor
+  // is the unique next hop.
+  for (NodeId d = 0; d < n_; ++d) {
+    const auto dist = graph.bfsDistances(d);
+    for (NodeId p = 0; p < n_; ++p) {
+      if (p == d) {
+        next_[p * n_ + d] = p;
+        continue;
+      }
+      for (const NodeId q : graph.neighbors(p)) {
+        if (dist[q] + 1 == dist[p]) {
+          next_[p * n_ + d] = q;
+          break;
+        }
+      }
+    }
+  }
+  (void)scheme;
+}
+
+NodeId TreePathRouting::nextHop(NodeId p, NodeId d) const {
+  return next_[static_cast<std::size_t>(p) * n_ + d];
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+OrientationForwardingProtocol::OrientationForwardingProtocol(
+    const Graph& graph, const RoutingProvider& routing,
+    const BufferClassScheme& scheme)
+    : graph_(graph),
+      routing_(routing),
+      scheme_(scheme),
+      k_(scheme.classCount()),
+      buf_(graph.size() * k_),
+      lastFlag_(graph.size() * k_),
+      genBit_(graph.size() * graph.size(), 0),
+      outbox_(graph.size()) {
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (std::size_t cls = 0; cls < k_; ++cls) {
+      lastFlag_[cell(p, cls)].resize(graph.degree(p));
+    }
+  }
+}
+
+std::uint64_t OrientationForwardingProtocol::nowStep() const {
+  return engine_ != nullptr ? engine_->stepCount() : 0;
+}
+
+std::uint64_t OrientationForwardingProtocol::nowRound() const {
+  return engine_ != nullptr ? engine_->roundCount() : 0;
+}
+
+std::optional<std::size_t> OrientationForwardingProtocol::incomingClass(
+    NodeId p, NodeId s, std::size_t cls) const {
+  const auto& b = buf_[cell(s, cls)];
+  if (!b.has_value() || b->dest == s) return std::nullopt;
+  if (routing_.nextHop(s, b->dest) != p) return std::nullopt;
+  const auto target = scheme_.classAfterHop(s, p, cls);
+  if (!target.has_value()) return std::nullopt;
+  if (buf_[cell(p, *target)].has_value()) return std::nullopt;
+  const auto slot = graph_.neighborIndex(p, s);
+  if (!slot.has_value()) return std::nullopt;
+  const auto& last = lastFlag_[cell(p, *target)][*slot];
+  if (last.has_value() && *last == b->flag) return std::nullopt;
+  return target;
+}
+
+void OrientationForwardingProtocol::enumerateEnabled(NodeId p,
+                                                     std::vector<Action>& out) const {
+  // O1: generate the waiting message into its initial class.
+  if (request(p)) {
+    const auto& waiting = outbox_[p].front();
+    const std::size_t c0 = scheme_.initialClass(p, waiting.dest);
+    if (!buf_[cell(p, c0)].has_value()) {
+      out.push_back(Action{kO1Generate, kNoNode, 0});
+    }
+  }
+  // O2: copy from a neighbor's class buffer routed through p.
+  for (const NodeId s : graph_.neighbors(p)) {
+    for (std::size_t cls = 0; cls < k_; ++cls) {
+      if (incomingClass(p, s, cls).has_value()) {
+        out.push_back(Action{kO2Copy, kNoNode,
+                             static_cast<std::uint64_t>(s) * k_ + cls});
+      }
+    }
+  }
+  for (std::size_t cls = 0; cls < k_; ++cls) {
+    const auto& b = buf_[cell(p, cls)];
+    if (!b.has_value()) continue;
+    if (b->dest == p) {
+      // O4: consume at the destination.
+      out.push_back(Action{kO4Consume, kNoNode, cls});
+      continue;
+    }
+    // O3: erase once the downstream copy is acknowledged.
+    const NodeId v = routing_.nextHop(p, b->dest);
+    const auto target = scheme_.classAfterHop(p, v, cls);
+    if (!target.has_value()) continue;  // cover mismatch: hold (tests catch)
+    const auto& vb = buf_[cell(v, *target)];
+    bool acked = vb.has_value() && vb->flag == b->flag;
+    if (!acked) {
+      const auto slot = graph_.neighborIndex(v, p);
+      if (slot.has_value()) {
+        const auto& last = lastFlag_[cell(v, *target)][*slot];
+        acked = last.has_value() && *last == b->flag;
+      }
+    }
+    if (acked) out.push_back(Action{kO3Erase, kNoNode, cls});
+  }
+}
+
+void OrientationForwardingProtocol::stage(NodeId p, const Action& a) {
+  StagedOp op;
+  op.p = p;
+  switch (a.rule) {
+    case kO1Generate: {
+      assert(request(p));
+      const auto& waiting = outbox_[p].front();
+      const std::size_t c0 = scheme_.initialClass(p, waiting.dest);
+      assert(!buf_[cell(p, c0)].has_value());
+      OrientMessage msg;
+      msg.payload = waiting.payload;
+      msg.dest = waiting.dest;
+      msg.flag = {p, waiting.dest,
+                  genBit_[static_cast<std::size_t>(p) * graph_.size() + waiting.dest]};
+      msg.trace = waiting.trace;
+      msg.valid = true;
+      msg.source = p;
+      msg.bornStep = nowStep();
+      msg.bornRound = nowRound();
+      op.cls = c0;
+      op.writeBuf = true;
+      op.newBuf = msg;
+      op.flipGenBit = true;
+      op.popOutbox = true;
+      op.generated = msg;
+      break;
+    }
+    case kO2Copy: {
+      const NodeId s = static_cast<NodeId>(a.aux / k_);
+      const std::size_t cls = static_cast<std::size_t>(a.aux % k_);
+      const auto target = incomingClass(p, s, cls);
+      assert(target.has_value());
+      const OrientMessage msg = *buf_[cell(s, cls)];
+      op.cls = *target;
+      op.writeBuf = true;
+      op.newBuf = msg;
+      op.writeLastFlag = true;
+      op.lastFlagSlot = *graph_.neighborIndex(p, s);
+      op.newLastFlag = msg.flag;
+      break;
+    }
+    case kO3Erase: {
+      op.cls = static_cast<std::size_t>(a.aux);
+      assert(buf_[cell(p, op.cls)].has_value());
+      op.writeBuf = true;
+      op.newBuf = std::nullopt;
+      break;
+    }
+    case kO4Consume: {
+      op.cls = static_cast<std::size_t>(a.aux);
+      assert(buf_[cell(p, op.cls)].has_value());
+      op.delivered = *buf_[cell(p, op.cls)];
+      op.writeBuf = true;
+      op.newBuf = std::nullopt;
+      break;
+    }
+    default:
+      assert(false && "unknown orientation rule");
+  }
+  staged_.push_back(std::move(op));
+}
+
+void OrientationForwardingProtocol::commit() {
+  for (auto& op : staged_) {
+    const std::size_t idx = cell(op.p, op.cls);
+    if (op.writeBuf) buf_[idx] = op.newBuf;
+    if (op.writeLastFlag) lastFlag_[idx][op.lastFlagSlot] = op.newLastFlag;
+    if (op.flipGenBit && op.newBuf.has_value()) {
+      genBit_[static_cast<std::size_t>(op.p) * graph_.size() + op.newBuf->dest] ^= 1;
+    }
+    if (op.popOutbox) {
+      assert(!outbox_[op.p].empty());
+      outbox_[op.p].pop_front();
+    }
+    if (op.generated.has_value()) {
+      generations_.push_back({*op.generated, nowStep(), nowRound()});
+    }
+    if (op.delivered.has_value()) {
+      deliveries_.push_back({*op.delivered, op.p, nowStep(), nowRound()});
+    }
+  }
+  staged_.clear();
+}
+
+TraceId OrientationForwardingProtocol::send(NodeId src, NodeId dest,
+                                            Payload payload) {
+  assert(src < graph_.size() && dest < graph_.size());
+  const TraceId trace = nextTrace_++;
+  outbox_[src].push_back({dest, payload, trace});
+  return trace;
+}
+
+std::size_t OrientationForwardingProtocol::occupiedBufferCount() const {
+  std::size_t count = 0;
+  for (const auto& b : buf_) count += b.has_value() ? 1 : 0;
+  return count;
+}
+
+bool OrientationForwardingProtocol::fullyDrained() const {
+  if (occupiedBufferCount() != 0) return false;
+  for (const auto& box : outbox_) {
+    if (!box.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace snapfwd

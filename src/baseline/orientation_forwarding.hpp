@@ -1,0 +1,256 @@
+#pragma once
+// Deadlock-free forwarding over an ACYCLIC-ORIENTATION buffer-class cover
+// (Merlin & Schweitzer's second construction; the paper's conclusion:
+// "one of them (based on the acyclic covering of the network) is very
+// interesting since it needs less buffers per processor in general (3 for
+// a ring, 2 for a tree...) [but] it is NP-hard to compute the size of the
+// acyclic covering of any graph").
+//
+// Idea: instead of one buffer per DESTINATION per processor (n per node,
+// Figure 1) or two (2n per node, SSMFP), give every processor k buffer
+// CLASSES shared by all traffic. A cover assigns each routed hop a class
+// transition: within class i, moves follow an acyclic orientation; a hop
+// outside the current orientation bumps the message to class i+1. Classes
+// are totally ordered and each class's moves are acyclic, so the combined
+// buffer graph is acyclic -> deadlock freedom, with only k buffers per
+// node, independent of n.
+//
+// We implement the scheme generically over a BufferClassScheme and provide
+// the two covers the conclusion names:
+//   - TreeUpDownScheme (k = 2): class 0 = hops toward the root, class 1 =
+//     hops away from it; every tree path is up* down*, bumping once.
+//   - UnidirectionalRingScheme (k = 2): all traffic clockwise; crossing
+//     the dateline edge (n-1 -> 0) bumps 0 -> 1; a route of length < n
+//     crosses it at most once.
+//
+// Like the destination-based baseline this is a FAULT-FREE protocol
+// (correct constant tables assumed); it exists to reproduce the
+// conclusion's buffer-count comparison and its deadlock-freedom claim,
+// not to be stabilizing.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baseline/merlin_schweitzer.hpp"  // BaselineFlag
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "ssmfp/message.hpp"
+
+namespace snapfwd {
+
+/// A buffer-class cover: class count, initial class, and the class
+/// transition of each routed hop.
+class BufferClassScheme {
+ public:
+  virtual ~BufferClassScheme() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::size_t classCount() const = 0;
+  /// Class a freshly generated message occupies at its source.
+  [[nodiscard]] virtual std::size_t initialClass(NodeId source, NodeId dest) const = 0;
+  /// Target class when a message in `cls` at u takes the routed hop u -> v;
+  /// nullopt means the cover does not admit this hop from this class (a
+  /// route/cover mismatch - never happens for well-formed covers).
+  [[nodiscard]] virtual std::optional<std::size_t> classAfterHop(
+      NodeId u, NodeId v, std::size_t cls) const = 0;
+};
+
+/// k = 2 cover for trees: up toward `root`, then down.
+class TreeUpDownScheme final : public BufferClassScheme {
+ public:
+  /// `graph` must be a tree (edgeCount == n-1, connected; asserted).
+  TreeUpDownScheme(const Graph& graph, NodeId root);
+
+  [[nodiscard]] std::string_view name() const override { return "tree-updown"; }
+  [[nodiscard]] std::size_t classCount() const override { return 2; }
+  [[nodiscard]] std::size_t initialClass(NodeId, NodeId) const override { return 0; }
+  [[nodiscard]] std::optional<std::size_t> classAfterHop(
+      NodeId u, NodeId v, std::size_t cls) const override;
+
+  [[nodiscard]] NodeId parentOf(NodeId v) const { return parent_[v]; }
+  [[nodiscard]] NodeId root() const { return root_; }
+
+ private:
+  NodeId root_;
+  std::vector<NodeId> parent_;  // parent_[root] == root
+};
+
+/// k = 2 cover for rings with clockwise-only routing: bump at the
+/// dateline hop (n-1 -> 0).
+class UnidirectionalRingScheme final : public BufferClassScheme {
+ public:
+  explicit UnidirectionalRingScheme(std::size_t n) : n_(n) {}
+
+  [[nodiscard]] std::string_view name() const override { return "ring-cw"; }
+  [[nodiscard]] std::size_t classCount() const override { return 2; }
+  [[nodiscard]] std::size_t initialClass(NodeId, NodeId) const override { return 0; }
+  [[nodiscard]] std::optional<std::size_t> classAfterHop(
+      NodeId u, NodeId v, std::size_t cls) const override;
+
+ private:
+  std::size_t n_;
+};
+
+/// Tree routing along parent/child links (the unique tree path).
+class TreePathRouting final : public RoutingProvider {
+ public:
+  TreePathRouting(const Graph& graph, const TreeUpDownScheme& scheme);
+  [[nodiscard]] NodeId nextHop(NodeId p, NodeId d) const override;
+
+ private:
+  std::size_t n_;
+  std::vector<NodeId> next_;
+};
+
+/// Clockwise-only ring routing: nextHop(p, d) = (p + 1) mod n.
+class ClockwiseRingRouting final : public RoutingProvider {
+ public:
+  explicit ClockwiseRingRouting(std::size_t n) : n_(n) {}
+  [[nodiscard]] NodeId nextHop(NodeId p, NodeId d) const override {
+    return p == d ? p : static_cast<NodeId>((p + 1) % n_);
+  }
+
+ private:
+  std::size_t n_;
+};
+
+/// Handshake flag of the orientation scheme. Unlike the destination-based
+/// baseline, buffers are shared across destinations, so messages from one
+/// source to DIFFERENT destinations can interleave arbitrarily on a link;
+/// the flag therefore carries (source, dest, alternating bit) - same
+/// source+dest messages follow one route in FIFO order, so the bit
+/// disambiguates consecutive copies, and distinct destinations never
+/// collide on the flag.
+struct OrientFlag {
+  NodeId source = kNoNode;
+  NodeId dest = kNoNode;
+  std::uint8_t bit = 0;
+  friend bool operator==(const OrientFlag&, const OrientFlag&) = default;
+};
+
+/// A message of the orientation scheme: destination travels with the
+/// message (buffers are shared across destinations - that is the scheme's
+/// space saving), plus the per-link handshake flag.
+struct OrientMessage {
+  Payload payload = 0;
+  NodeId dest = kNoNode;
+  OrientFlag flag;
+  // Verification metadata (never read by guards):
+  TraceId trace = kInvalidTrace;
+  bool valid = false;
+  NodeId source = kNoNode;
+  std::uint64_t bornStep = 0;
+  std::uint64_t bornRound = 0;
+};
+
+struct OrientGenerationRecord {
+  OrientMessage msg;
+  std::uint64_t step = 0;
+  std::uint64_t round = 0;
+};
+
+struct OrientDeliveryRecord {
+  OrientMessage msg;
+  NodeId at = kNoNode;
+  std::uint64_t step = 0;
+  std::uint64_t round = 0;
+};
+
+/// Rule ids.
+enum OrientRule : std::uint16_t {
+  kO1Generate = 1,
+  kO2Copy = 2,     // aux encodes (sender, senderClass): aux = s * k + cls
+  kO3Erase = 3,    // aux encodes the class of the erased buffer
+  kO4Consume = 4,  // aux encodes the class consumed from
+};
+
+class OrientationForwardingProtocol final : public Protocol {
+ public:
+  OrientationForwardingProtocol(const Graph& graph, const RoutingProvider& routing,
+                                const BufferClassScheme& scheme);
+
+  // -- Protocol ---------------------------------------------------------
+  [[nodiscard]] std::string_view name() const override { return "orientation-fwd"; }
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
+  void stage(NodeId p, const Action& a) override;
+  void commit() override;
+
+  // -- Application interface ---------------------------------------------
+  TraceId send(NodeId src, NodeId dest, Payload payload);
+  [[nodiscard]] bool request(NodeId p) const { return !outbox_[p].empty(); }
+
+  // -- Events & state -------------------------------------------------------
+  [[nodiscard]] const std::vector<OrientGenerationRecord>& generations() const {
+    return generations_;
+  }
+  [[nodiscard]] const std::vector<OrientDeliveryRecord>& deliveries() const {
+    return deliveries_;
+  }
+  void attachEngine(const Engine* engine) { engine_ = engine; }
+
+  [[nodiscard]] const std::optional<OrientMessage>& buffer(NodeId p,
+                                                           std::size_t cls) const {
+    return buf_[cell(p, cls)];
+  }
+  [[nodiscard]] std::size_t classCount() const { return k_; }
+  /// Buffers per processor - the quantity the conclusion compares.
+  [[nodiscard]] std::size_t buffersPerProcessor() const { return k_; }
+  [[nodiscard]] std::size_t occupiedBufferCount() const;
+  [[nodiscard]] bool fullyDrained() const;
+
+ private:
+  [[nodiscard]] std::size_t cell(NodeId p, std::size_t cls) const {
+    return static_cast<std::size_t>(p) * k_ + cls;
+  }
+
+  /// If s's class-i buffer holds a message routed through p, the class it
+  /// would occupy at p; nullopt otherwise (or when dedupe rejects it).
+  [[nodiscard]] std::optional<std::size_t> incomingClass(NodeId p, NodeId s,
+                                                         std::size_t cls) const;
+
+  [[nodiscard]] std::uint64_t nowStep() const;
+  [[nodiscard]] std::uint64_t nowRound() const;
+
+  const Graph& graph_;
+  const RoutingProvider& routing_;
+  const BufferClassScheme& scheme_;
+  std::size_t k_;
+
+  std::vector<std::optional<OrientMessage>> buf_;  // [p * k + cls]
+  // lastFlag_[cell][neighborIndex]: per-link, per-class handshake state.
+  std::vector<std::vector<std::optional<OrientFlag>>> lastFlag_;
+  std::vector<std::uint8_t> genBit_;  // per (source, dest)
+
+  struct OutboxEntry {
+    NodeId dest;
+    Payload payload;
+    TraceId trace;
+  };
+  std::vector<std::deque<OutboxEntry>> outbox_;
+  TraceId nextTrace_ = 1;
+
+  std::vector<OrientGenerationRecord> generations_;
+  std::vector<OrientDeliveryRecord> deliveries_;
+  const Engine* engine_ = nullptr;
+
+  struct StagedOp {
+    NodeId p = kNoNode;
+    std::size_t cls = 0;
+    bool writeBuf = false;
+    std::optional<OrientMessage> newBuf;
+    bool writeLastFlag = false;
+    std::size_t lastFlagSlot = 0;
+    std::optional<OrientFlag> newLastFlag;
+    bool flipGenBit = false;
+    bool popOutbox = false;
+    std::optional<OrientMessage> delivered;
+    std::optional<OrientMessage> generated;
+  };
+  std::vector<StagedOp> staged_;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,72 @@
+#include "checker/caterpillar.hpp"
+
+#include <cassert>
+
+namespace snapfwd {
+
+const char* toString(CaterpillarType type) {
+  switch (type) {
+    case CaterpillarType::kType1: return "type1";
+    case CaterpillarType::kType2: return "type2";
+    case CaterpillarType::kType3: return "type3";
+    case CaterpillarType::kTail: return "tail";
+  }
+  return "?";
+}
+
+CaterpillarType classifyReception(const SsmfpProtocol& protocol, NodeId p,
+                                  NodeId d) {
+  const Buffer& r = protocol.bufR(p, d);
+  assert(r.has_value());
+  const NodeId q = r->lastHop;
+  if (q == p || q >= protocol.graph().size()) return CaterpillarType::kType1;
+  const Buffer& upstream = protocol.bufE(q, d);
+  if (!upstream.has_value() || !sameInfoAndColor(*upstream, *r)) {
+    return CaterpillarType::kType1;
+  }
+  return CaterpillarType::kTail;
+}
+
+CaterpillarType classifyEmission(const SsmfpProtocol& protocol, NodeId p,
+                                 NodeId d) {
+  const Buffer& e = protocol.bufE(p, d);
+  assert(e.has_value());
+  for (const NodeId q : protocol.graph().neighbors(p)) {
+    const Buffer& rb = protocol.bufR(q, d);
+    if (rb.has_value() && matchesTriplet(*rb, e->payload, p, e->color)) {
+      return CaterpillarType::kType3;
+    }
+  }
+  return CaterpillarType::kType2;
+}
+
+std::vector<BufferClass> classifyBuffers(const SsmfpProtocol& protocol) {
+  std::vector<BufferClass> out;
+  const Graph& g = protocol.graph();
+  for (NodeId p = 0; p < g.size(); ++p) {
+    for (const NodeId d : protocol.destinations()) {
+      if (const Buffer& r = protocol.bufR(p, d); r.has_value()) {
+        out.push_back({p, d, true, classifyReception(protocol, p, d), *r});
+      }
+      if (const Buffer& e = protocol.bufE(p, d); e.has_value()) {
+        out.push_back({p, d, false, classifyEmission(protocol, p, d), *e});
+      }
+    }
+  }
+  return out;
+}
+
+CaterpillarCensus censusOf(const SsmfpProtocol& protocol) {
+  CaterpillarCensus census;
+  for (const auto& bc : classifyBuffers(protocol)) {
+    switch (bc.type) {
+      case CaterpillarType::kType1: ++census.type1; break;
+      case CaterpillarType::kType2: ++census.type2; break;
+      case CaterpillarType::kType3: ++census.type3; break;
+      case CaterpillarType::kTail: ++census.tails; break;
+    }
+  }
+  return census;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,61 @@
+#pragma once
+// Caterpillar classification (paper Definition 3, Figure 4).
+//
+// For a message m of destination d existing on processor p:
+//   type 1: bufR_p(d) = (m,q,c) and (bufE_q(d) != (m,.,c) or q = p)
+//           -- a lone reception copy, ready for the internal move R2;
+//   type 2: bufE_p(d) = (m,q,c) and bufR_{nextHop_p(d)}(d) != (m,p,c)
+//           -- an emission copy whose downstream copy does not exist yet;
+//   type 3: bufE_p(d) = (m,q',c) and exists q in N_p: bufR_q(d) = (m,p,c)
+//           -- an emission copy with at least one downstream reception copy
+//           (possibly several, due to initial garbage / table moves).
+// A reception buffer that is not type 1 is the *tail* of an upstream
+// type-3 caterpillar. The proof of Lemma 1 walks a message's caterpillar
+// through 1 -> 2 -> 3 -> (1 at the next hop); the classifier below lets
+// tests observe exactly that progression and check coverage (every
+// occupied buffer is classified) at every step.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd {
+
+enum class CaterpillarType : std::uint8_t {
+  kType1,  // lone reception copy
+  kType2,  // emission copy, no downstream copy
+  kType3,  // emission copy with downstream copy/copies
+  kTail,   // reception copy belonging to an upstream type-3 caterpillar
+};
+
+[[nodiscard]] const char* toString(CaterpillarType type);
+
+struct BufferClass {
+  NodeId p = kNoNode;
+  NodeId d = kNoNode;
+  bool reception = false;  // true: bufR_p(d); false: bufE_p(d)
+  CaterpillarType type = CaterpillarType::kType1;
+  Message msg;
+};
+
+/// Classifies every occupied buffer of the protocol.
+[[nodiscard]] std::vector<BufferClass> classifyBuffers(const SsmfpProtocol& protocol);
+
+/// Classifies one occupied buffer (asserts occupancy).
+[[nodiscard]] CaterpillarType classifyReception(const SsmfpProtocol& protocol,
+                                                NodeId p, NodeId d);
+[[nodiscard]] CaterpillarType classifyEmission(const SsmfpProtocol& protocol,
+                                               NodeId p, NodeId d);
+
+/// Counts per type, for trace printing and the Figure 4 experiment.
+struct CaterpillarCensus {
+  std::uint64_t type1 = 0;
+  std::uint64_t type2 = 0;
+  std::uint64_t type3 = 0;
+  std::uint64_t tails = 0;
+};
+[[nodiscard]] CaterpillarCensus censusOf(const SsmfpProtocol& protocol);
+
+}  // namespace snapfwd

@@ -1,0 +1,131 @@
+#include "checker/deadlock.hpp"
+
+#include <sstream>
+#include <functional>
+#include <unordered_map>
+
+namespace snapfwd {
+namespace {
+
+/// Generic cycle search over a wait-for successor function on integer
+/// vertex ids. successor(v) returns the waited-for vertex or SIZE_MAX.
+std::optional<std::vector<std::size_t>> findCycle(
+    std::size_t vertexCount,
+    const std::function<std::size_t(std::size_t)>& successor) {
+  constexpr std::size_t kNone = ~std::size_t{0};
+  // Functional-graph cycle detection with coloring.
+  std::vector<std::uint8_t> color(vertexCount, 0);  // 0 new, 1 active, 2 done
+  std::vector<std::size_t> order;
+  for (std::size_t start = 0; start < vertexCount; ++start) {
+    if (color[start] != 0) continue;
+    order.clear();
+    std::size_t v = start;
+    while (v != kNone && color[v] == 0) {
+      color[v] = 1;
+      order.push_back(v);
+      v = successor(v);
+    }
+    if (v != kNone && color[v] == 1) {
+      // Found: the cycle is the suffix of `order` starting at v.
+      std::vector<std::size_t> cycle;
+      bool in = false;
+      for (const std::size_t u : order) {
+        in |= (u == v);
+        if (in) cycle.push_back(u);
+      }
+      return cycle;
+    }
+    for (const std::size_t u : order) color[u] = 2;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string DeadlockCycle::describe() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const auto& node = cycle[i];
+    if (i != 0) out << " -> ";
+    out << node.kind << "_" << node.p << "(d=" << node.d
+        << ", payload=" << node.payload << ")";
+  }
+  out << " -> (back to start)";
+  return out.str();
+}
+
+std::optional<DeadlockCycle> findForwardingCycle(
+    const MerlinSchweitzerProtocol& protocol, const RoutingProvider& routing) {
+  const Graph& g = protocol.graph();
+  const auto& dests = protocol.destinations();
+  const std::size_t cells = g.size() * dests.size();
+  std::unordered_map<NodeId, std::size_t> slot;
+  for (std::size_t i = 0; i < dests.size(); ++i) slot[dests[i]] = i;
+
+  auto cellOf = [&](NodeId p, NodeId d) {
+    return static_cast<std::size_t>(p) * dests.size() + slot.at(d);
+  };
+  auto successor = [&](std::size_t cell) -> std::size_t {
+    const NodeId p = static_cast<NodeId>(cell / dests.size());
+    const NodeId d = dests[cell % dests.size()];
+    const auto& b = protocol.buffer(p, d);
+    if (!b.has_value() || p == b->dest) return ~std::size_t{0};
+    const NodeId h = routing.nextHop(p, b->dest);
+    const std::size_t next = cellOf(h, d);
+    return protocol.buffer(h, d).has_value() ? next : ~std::size_t{0};
+  };
+  const auto cycle = findCycle(cells, successor);
+  if (!cycle.has_value()) return std::nullopt;
+  DeadlockCycle result;
+  for (const std::size_t cell : *cycle) {
+    const NodeId p = static_cast<NodeId>(cell / dests.size());
+    const NodeId d = dests[cell % dests.size()];
+    result.cycle.push_back({p, d, protocol.buffer(p, d)->payload, "buf"});
+  }
+  return result;
+}
+
+std::optional<DeadlockCycle> findForwardingCycle(const SsmfpProtocol& protocol) {
+  const Graph& g = protocol.graph();
+  const auto& dests = protocol.destinations();
+  // Vertex encoding: 2 * (p * |dests| + slot) + (0 = bufR, 1 = bufE).
+  const std::size_t cells = 2 * g.size() * dests.size();
+  std::unordered_map<NodeId, std::size_t> slot;
+  for (std::size_t i = 0; i < dests.size(); ++i) slot[dests[i]] = i;
+  auto encode = [&](NodeId p, NodeId d, bool emission) {
+    return 2 * (static_cast<std::size_t>(p) * dests.size() + slot.at(d)) +
+           (emission ? 1 : 0);
+  };
+  auto successor = [&](std::size_t v) -> std::size_t {
+    const bool emission = (v % 2) == 1;
+    const std::size_t cell = v / 2;
+    const NodeId p = static_cast<NodeId>(cell / dests.size());
+    const NodeId d = dests[cell % dests.size()];
+    if (!emission) {
+      // bufR_p(d)'s internal move waits for bufE_p(d).
+      if (!protocol.bufR(p, d).has_value()) return ~std::size_t{0};
+      return protocol.bufE(p, d).has_value() ? encode(p, d, true)
+                                             : ~std::size_t{0};
+    }
+    // bufE_p(d)'s hop move waits for bufR at the routed next hop.
+    const auto& e = protocol.bufE(p, d);
+    if (!e.has_value() || p == d) return ~std::size_t{0};
+    const NodeId h = protocol.routing().nextHop(p, d);
+    return protocol.bufR(h, d).has_value() ? encode(h, d, false)
+                                           : ~std::size_t{0};
+  };
+  const auto cycle = findCycle(cells, successor);
+  if (!cycle.has_value()) return std::nullopt;
+  DeadlockCycle result;
+  for (const std::size_t v : *cycle) {
+    const bool emission = (v % 2) == 1;
+    const std::size_t cell = v / 2;
+    const NodeId p = static_cast<NodeId>(cell / dests.size());
+    const NodeId d = dests[cell % dests.size()];
+    const Buffer& b = emission ? protocol.bufE(p, d) : protocol.bufR(p, d);
+    result.cycle.push_back({p, d, b->payload, emission ? "bufE" : "bufR"});
+  }
+  return result;
+}
+
+}  // namespace snapfwd

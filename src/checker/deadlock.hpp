@@ -1,0 +1,48 @@
+#pragma once
+// Deadlock diagnosis: when a forwarding system wedges (engine terminal
+// but buffers still occupied), extract the circular wait that explains it.
+//
+// A store-and-forward deadlock is a cycle in the wait-for relation over
+// occupied buffers: each buffer's message waits for the next buffer on
+// its route, which is occupied by a message waiting further along, back
+// to the start. The Merlin-Schweitzer acyclic-buffer-graph theorem says
+// this cannot happen when the buffer graph is acyclic; these helpers make
+// the failing case inspectable when it IS cyclic (frozen corrupted
+// tables, the naive single-class ring, ...).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/merlin_schweitzer.hpp"
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd {
+
+/// One buffer in a circular wait.
+struct WaitForNode {
+  NodeId p = kNoNode;
+  NodeId d = kNoNode;       // destination of the occupying message
+  Payload payload = 0;      // of the occupying message
+  const char* kind = "buf"; // "buf" (baseline) / "bufR" / "bufE" (SSMFP)
+};
+
+/// A circular wait: node[i] waits for node[i+1], the last for the first.
+struct DeadlockCycle {
+  std::vector<WaitForNode> cycle;
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Searches the baseline's wait-for relation (buf_p(d) -> buf_{nextHop}(d))
+/// for a cycle of occupied buffers; nullopt when none exists.
+[[nodiscard]] std::optional<DeadlockCycle> findForwardingCycle(
+    const MerlinSchweitzerProtocol& protocol, const RoutingProvider& routing);
+
+/// Same for SSMFP's two-buffer scheme (bufE_p(d) -> bufR/bufE at the next
+/// hop). With a self-stabilizing routing layer this returns nullopt once
+/// tables are silent (the acyclicity theorem); with frozen corrupted
+/// tables it exhibits the trap messages circulate in.
+[[nodiscard]] std::optional<DeadlockCycle> findForwardingCycle(
+    const SsmfpProtocol& protocol);
+
+}  // namespace snapfwd

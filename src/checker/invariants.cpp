@@ -1,0 +1,94 @@
+#include "checker/invariants.hpp"
+
+#include <sstream>
+
+#include "checker/caterpillar.hpp"
+
+namespace snapfwd {
+
+std::optional<std::string> InvariantMonitor::check() {
+  ++checksRun_;
+  const Graph& g = protocol_.graph();
+
+  // Ingest new deliveries (I4: exactly-once online).
+  const auto& deliveries = protocol_.deliveries();
+  for (; deliveriesSeen_ < deliveries.size(); ++deliveriesSeen_) {
+    const auto& rec = deliveries[deliveriesSeen_];
+    if (!rec.msg.valid) continue;
+    if (!deliveredValid_.insert(rec.msg.trace).second) {
+      std::ostringstream out;
+      out << "I4 violated: valid trace " << rec.msg.trace
+          << " delivered more than once (payload=" << rec.msg.payload << ")";
+      return out.str();
+    }
+    if (rec.at != rec.msg.dest) {
+      std::ostringstream out;
+      out << "I4 violated: valid trace " << rec.msg.trace << " delivered at "
+          << rec.at << " instead of " << rec.msg.dest;
+      return out.str();
+    }
+  }
+
+  // Sweep buffers: I1, I3 and copy census for I2.
+  std::unordered_map<TraceId, std::uint32_t> copies;
+  std::unordered_map<TraceId, std::uint32_t> emissionCopies;
+  auto checkBuffer = [&](NodeId p, NodeId d, const Buffer& b, bool reception)
+      -> std::optional<std::string> {
+    if (!b.has_value()) return std::nullopt;
+    if (b->color > protocol_.delta()) {
+      std::ostringstream out;
+      out << "I1 violated: " << (reception ? "bufR" : "bufE") << "_" << p << "("
+          << d << ") holds color " << b->color << " > Delta=" << protocol_.delta();
+      return out.str();
+    }
+    if (b->lastHop != p && !g.hasEdge(p, b->lastHop)) {
+      std::ostringstream out;
+      out << "I1 violated: " << (reception ? "bufR" : "bufE") << "_" << p << "("
+          << d << ") lastHop " << b->lastHop << " not in N_p u {p}";
+      return out.str();
+    }
+    if (b->valid) {
+      ++copies[b->trace];
+      if (!reception) ++emissionCopies[b->trace];
+    }
+    return std::nullopt;
+  };
+
+  for (NodeId p = 0; p < g.size(); ++p) {
+    for (const NodeId d : protocol_.destinations()) {
+      if (auto v = checkBuffer(p, d, protocol_.bufR(p, d), true)) return v;
+      if (auto v = checkBuffer(p, d, protocol_.bufE(p, d), false)) return v;
+    }
+  }
+
+  // I3: at most one emission copy per valid trace.
+  for (const auto& [trace, count] : emissionCopies) {
+    if (count > 1) {
+      std::ostringstream out;
+      out << "I3 violated: valid trace " << trace << " occupies " << count
+          << " emission buffers";
+      return out.str();
+    }
+  }
+
+  // I2: every generated-but-undelivered valid trace has >= 1 copy.
+  for (const auto& gen : protocol_.generations()) {
+    const TraceId trace = gen.msg.trace;
+    if (deliveredValid_.count(trace) != 0) continue;
+    if (copies.find(trace) == copies.end()) {
+      std::ostringstream out;
+      out << "I2 violated: valid trace " << trace << " (payload="
+          << gen.msg.payload << ", " << gen.msg.source << "->" << gen.msg.dest
+          << ") vanished without delivery";
+      return out.str();
+    }
+  }
+
+  // I5: classification is total by construction; classifyBuffers asserts
+  // occupancy and covers every occupied buffer, so just exercise it.
+  (void)classifyBuffers(protocol_);
+
+  return std::nullopt;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,51 @@
+#pragma once
+// Per-step invariant battery for SSMFP executions.
+//
+// An InvariantMonitor is checked after every committed step (tests install
+// it via Engine::setPostStepHook). It verifies structural properties that
+// the paper's proof relies on:
+//
+//   I1  well-formedness: every occupied buffer holds color <= Delta and
+//       lastHop in N_p u {p} (or at least a valid node id for garbage);
+//   I2  conservation: every valid generated trace that has not been
+//       delivered still has at least one copy in some buffer (Lemma 4 -
+//       no valid message is lost);
+//   I3  single emission copy: a valid trace occupies at most one emission
+//       buffer at a time (the color handshake forbids a second R2 before
+//       the upstream R4);
+//   I4  exactly-once so far: no valid trace has been delivered twice
+//       (Lemma 5), checked online rather than only at quiescence;
+//   I5  caterpillar coverage: every occupied buffer classifies as
+//       type 1/2/3 or as the tail of an upstream type-3 (Definition 3 is
+//       exhaustive).
+//
+// check() returns the first violation found as a human-readable string, or
+// std::nullopt. Tests fail on the first violation with full context.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd {
+
+class InvariantMonitor {
+ public:
+  explicit InvariantMonitor(const SsmfpProtocol& protocol) : protocol_(protocol) {}
+
+  /// Checks I1..I5 against the current configuration; remembers delivery
+  /// progress between calls. Call after every committed step.
+  [[nodiscard]] std::optional<std::string> check();
+
+  [[nodiscard]] std::uint64_t checksRun() const { return checksRun_; }
+
+ private:
+  const SsmfpProtocol& protocol_;
+  std::uint64_t checksRun_ = 0;
+  std::unordered_set<TraceId> deliveredValid_;
+  std::size_t deliveriesSeen_ = 0;
+};
+
+}  // namespace snapfwd

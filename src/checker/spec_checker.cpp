@@ -1,0 +1,107 @@
+#include "checker/spec_checker.hpp"
+
+#include "baseline/orientation_forwarding.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace snapfwd {
+
+SpecReport checkSpec(const std::vector<GenEvent>& generated,
+                     const std::vector<DelEvent>& delivered) {
+  SpecReport report;
+  struct PerTrace {
+    NodeId dest = kNoNode;
+    std::uint64_t deliveredCount = 0;
+    bool misdelivered = false;
+  };
+  std::unordered_map<TraceId, PerTrace> traces;
+  traces.reserve(generated.size());
+  for (const auto& g : generated) {
+    traces[g.trace].dest = g.dest;
+  }
+  report.validGenerated = generated.size();
+
+  for (const auto& d : delivered) {
+    if (!d.valid) {
+      ++report.invalidDelivered;
+      continue;
+    }
+    const auto it = traces.find(d.trace);
+    if (it == traces.end()) {
+      // A delivery marked valid without a matching generation record is a
+      // bookkeeping impossibility; count it as an invalid delivery.
+      ++report.invalidDelivered;
+      continue;
+    }
+    ++report.validDelivered;
+    ++it->second.deliveredCount;
+    if (d.at != it->second.dest) it->second.misdelivered = true;
+  }
+
+  for (const auto& [trace, info] : traces) {
+    if (info.deliveredCount == 0) {
+      ++report.lostTraces;
+      report.lost.push_back(trace);
+    } else if (info.deliveredCount > 1) {
+      ++report.duplicatedTraces;
+      report.duplicated.push_back(trace);
+    }
+    if (info.misdelivered) ++report.misdelivered;
+  }
+  return report;
+}
+
+SpecReport checkSpec(const SsmfpProtocol& protocol) {
+  std::vector<GenEvent> gen;
+  gen.reserve(protocol.generations().size());
+  for (const auto& g : protocol.generations()) {
+    gen.push_back({g.msg.trace, g.msg.dest});
+  }
+  std::vector<DelEvent> del;
+  del.reserve(protocol.deliveries().size());
+  for (const auto& d : protocol.deliveries()) {
+    del.push_back({d.msg.trace, d.msg.valid, d.at});
+  }
+  return checkSpec(gen, del);
+}
+
+SpecReport checkSpec(const MerlinSchweitzerProtocol& protocol) {
+  std::vector<GenEvent> gen;
+  gen.reserve(protocol.generations().size());
+  for (const auto& g : protocol.generations()) {
+    gen.push_back({g.msg.trace, g.msg.dest});
+  }
+  std::vector<DelEvent> del;
+  del.reserve(protocol.deliveries().size());
+  for (const auto& d : protocol.deliveries()) {
+    del.push_back({d.msg.trace, d.msg.valid, d.at});
+  }
+  return checkSpec(gen, del);
+}
+
+SpecReport checkSpec(const OrientationForwardingProtocol& protocol) {
+  std::vector<GenEvent> gen;
+  gen.reserve(protocol.generations().size());
+  for (const auto& g : protocol.generations()) {
+    gen.push_back({g.msg.trace, g.msg.dest});
+  }
+  std::vector<DelEvent> del;
+  del.reserve(protocol.deliveries().size());
+  for (const auto& d : protocol.deliveries()) {
+    del.push_back({d.msg.trace, d.msg.valid, d.at});
+  }
+  return checkSpec(gen, del);
+}
+
+std::string SpecReport::summary() const {
+  std::ostringstream out;
+  out << "generated=" << validGenerated << " delivered=" << validDelivered
+      << " lost=" << lostTraces << " duplicated=" << duplicatedTraces
+      << " misdelivered=" << misdelivered << " invalid_delivered="
+      << invalidDelivered << " SP=" << (satisfiesSp() ? "yes" : "NO")
+      << " SP'=" << (satisfiesSpPrime() ? "yes" : "NO");
+  return out.str();
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,66 @@
+#pragma once
+// Specification oracles for SP and SP' (paper Specifications 1 and 2).
+//
+// SP  : every message can be generated in finite time, and every VALID
+//       message is delivered to its destination ONCE AND ONLY ONCE in
+//       finite time (no loss, no duplication).
+// SP' : as SP but duplications allowed (used as the proof's stepping stone).
+//
+// The oracle works on the event streams recorded by the protocols: each
+// generated message carries a unique trace id invisible to the protocol's
+// guards, so exactly-once is decidable even under payload collisions. A
+// run is judged at quiescence: with all traffic submitted and the engine
+// terminal, "finite time" reduces to "has happened".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/merlin_schweitzer.hpp"
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd {
+
+struct SpecReport {
+  std::uint64_t validGenerated = 0;
+  std::uint64_t validDelivered = 0;       // counting multiplicity
+  std::uint64_t duplicatedTraces = 0;     // valid traces delivered > once
+  std::uint64_t lostTraces = 0;           // valid traces generated, never delivered
+  std::uint64_t misdelivered = 0;         // valid traces delivered to a non-destination
+  std::uint64_t invalidDelivered = 0;     // deliveries of initial garbage
+  std::vector<TraceId> duplicated;
+  std::vector<TraceId> lost;
+
+  /// SP' (duplication allowed): every valid generated trace delivered >= 1x
+  /// to the right place.
+  [[nodiscard]] bool satisfiesSpPrime() const {
+    return lostTraces == 0 && misdelivered == 0;
+  }
+  /// SP: SP' and no duplication.
+  [[nodiscard]] bool satisfiesSp() const {
+    return satisfiesSpPrime() && duplicatedTraces == 0;
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Core oracle over (trace, valid, dest) generation tuples and
+/// (trace, valid, at) delivery tuples.
+struct GenEvent {
+  TraceId trace;
+  NodeId dest;
+};
+struct DelEvent {
+  TraceId trace;
+  bool valid;
+  NodeId at;
+};
+[[nodiscard]] SpecReport checkSpec(const std::vector<GenEvent>& generated,
+                                   const std::vector<DelEvent>& delivered);
+
+/// Convenience adapters for the protocols.
+[[nodiscard]] SpecReport checkSpec(const SsmfpProtocol& protocol);
+[[nodiscard]] SpecReport checkSpec(const MerlinSchweitzerProtocol& protocol);
+[[nodiscard]] SpecReport checkSpec(const class OrientationForwardingProtocol& protocol);
+
+}  // namespace snapfwd

@@ -1,0 +1,397 @@
+#include "cli/args.hpp"
+
+#include <fstream>
+#include <optional>
+
+#include "sim/snapshot.hpp"
+#include "sim/trace.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "stats/table.hpp"
+
+namespace snapfwd::cli {
+namespace {
+
+struct Flag {
+  std::string key;
+  std::string value;
+  bool hasValue = false;
+};
+
+std::optional<Flag> splitFlag(const std::string& arg) {
+  if (arg.rfind("--", 0) != 0) return std::nullopt;
+  Flag flag;
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos) {
+    flag.key = arg.substr(2);
+  } else {
+    flag.key = arg.substr(2, eq - 2);
+    flag.value = arg.substr(eq + 1);
+    flag.hasValue = true;
+  }
+  return flag;
+}
+
+template <typename T>
+bool parseNumber(const std::string& text, T& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parseDouble(const std::string& text, double& out) {
+  try {
+    std::size_t consumed = 0;
+    out = std::stod(text, &consumed);
+    return consumed == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+std::optional<TopologyKind> topologyFromName(const std::string& name) {
+  if (name == "path") return TopologyKind::kPath;
+  if (name == "ring") return TopologyKind::kRing;
+  if (name == "star") return TopologyKind::kStar;
+  if (name == "complete") return TopologyKind::kComplete;
+  if (name == "binary-tree") return TopologyKind::kBinaryTree;
+  if (name == "random-tree") return TopologyKind::kRandomTree;
+  if (name == "grid") return TopologyKind::kGrid;
+  if (name == "torus") return TopologyKind::kTorus;
+  if (name == "hypercube") return TopologyKind::kHypercube;
+  if (name == "random-connected") return TopologyKind::kRandomConnected;
+  if (name == "figure3") return TopologyKind::kFigure3;
+  return std::nullopt;
+}
+
+std::optional<DaemonKind> daemonFromName(const std::string& name) {
+  if (name == "synchronous") return DaemonKind::kSynchronous;
+  if (name == "central-rr") return DaemonKind::kCentralRoundRobin;
+  if (name == "central-random") return DaemonKind::kCentralRandom;
+  if (name == "distributed-random") return DaemonKind::kDistributedRandom;
+  if (name == "weakly-fair") return DaemonKind::kWeaklyFair;
+  if (name == "adversarial") return DaemonKind::kAdversarial;
+  return std::nullopt;
+}
+
+std::optional<TrafficKind> trafficFromName(const std::string& name) {
+  if (name == "none") return TrafficKind::kNone;
+  if (name == "uniform") return TrafficKind::kUniform;
+  if (name == "all-to-one") return TrafficKind::kAllToOne;
+  if (name == "permutation") return TrafficKind::kPermutation;
+  if (name == "antipodal") return TrafficKind::kAntipodal;
+  return std::nullopt;
+}
+
+std::optional<ChoicePolicy> policyFromName(const std::string& name) {
+  if (name == "round-robin") return ChoicePolicy::kRoundRobin;
+  if (name == "fixed-priority") return ChoicePolicy::kFixedPriority;
+  if (name == "oldest-first") return ChoicePolicy::kOldestFirst;
+  return std::nullopt;
+}
+
+ParseResult fail(const std::string& message) {
+  return {std::nullopt, message + " (try --help)"};
+}
+
+}  // namespace
+
+ParseResult parseArgs(int argc, const char* const* argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto flag = splitFlag(arg);
+    if (!flag.has_value()) return fail("unrecognized argument '" + arg + "'");
+    const auto& [key, value, hasValue] = *flag;
+
+    auto needValue = [&]() -> bool { return hasValue && !value.empty(); };
+
+    if (key == "help") {
+      options.showHelp = true;
+    } else if (key == "topology") {
+      if (!needValue()) return fail("--topology needs a value");
+      const auto kind = topologyFromName(value);
+      if (!kind) return fail("unknown topology '" + value + "'");
+      options.config.topology = *kind;
+    } else if (key == "daemon") {
+      if (!needValue()) return fail("--daemon needs a value");
+      const auto kind = daemonFromName(value);
+      if (!kind) return fail("unknown daemon '" + value + "'");
+      options.config.daemon = *kind;
+    } else if (key == "traffic") {
+      if (!needValue()) return fail("--traffic needs a value");
+      const auto kind = trafficFromName(value);
+      if (!kind) return fail("unknown traffic '" + value + "'");
+      options.config.traffic = *kind;
+    } else if (key == "policy") {
+      if (!needValue()) return fail("--policy needs a value");
+      const auto policy = policyFromName(value);
+      if (!policy) return fail("unknown policy '" + value + "'");
+      options.config.choicePolicy = *policy;
+    } else if (key == "protocol") {
+      if (value == "ssmfp") {
+        options.protocol = ProtocolChoice::kSsmfp;
+      } else if (value == "baseline") {
+        options.protocol = ProtocolChoice::kBaseline;
+      } else {
+        return fail("unknown protocol '" + value + "'");
+      }
+    } else if (key == "n") {
+      if (!needValue() || !parseNumber(value, options.config.n)) {
+        return fail("--n needs an integer");
+      }
+    } else if (key == "rows") {
+      if (!needValue() || !parseNumber(value, options.config.rows)) {
+        return fail("--rows needs an integer");
+      }
+    } else if (key == "cols") {
+      if (!needValue() || !parseNumber(value, options.config.cols)) {
+        return fail("--cols needs an integer");
+      }
+    } else if (key == "dims") {
+      if (!needValue() || !parseNumber(value, options.config.dims)) {
+        return fail("--dims needs an integer");
+      }
+    } else if (key == "extra-edges") {
+      if (!needValue() || !parseNumber(value, options.config.extraEdges)) {
+        return fail("--extra-edges needs an integer");
+      }
+    } else if (key == "seed") {
+      if (!needValue() || !parseNumber(value, options.config.seed)) {
+        return fail("--seed needs an integer");
+      }
+    } else if (key == "messages") {
+      if (!needValue() || !parseNumber(value, options.config.messageCount)) {
+        return fail("--messages needs an integer");
+      }
+    } else if (key == "per-source") {
+      if (!needValue() || !parseNumber(value, options.config.perSource)) {
+        return fail("--per-source needs an integer");
+      }
+    } else if (key == "hotspot") {
+      if (!needValue() || !parseNumber(value, options.config.hotspot)) {
+        return fail("--hotspot needs an integer");
+      }
+    } else if (key == "payload-space") {
+      if (!needValue() || !parseNumber(value, options.config.payloadSpace)) {
+        return fail("--payload-space needs an integer");
+      }
+    } else if (key == "max-steps") {
+      if (!needValue() || !parseNumber(value, options.config.maxSteps)) {
+        return fail("--max-steps needs an integer");
+      }
+    } else if (key == "corrupt-routing") {
+      if (!needValue() ||
+          !parseDouble(value, options.config.corruption.routingFraction)) {
+        return fail("--corrupt-routing needs a number in [0,1]");
+      }
+    } else if (key == "invalid-messages") {
+      if (!needValue() ||
+          !parseNumber(value, options.config.corruption.invalidMessages)) {
+        return fail("--invalid-messages needs an integer");
+      }
+    } else if (key == "daemon-probability") {
+      if (!needValue() ||
+          !parseDouble(value, options.config.daemonProbability)) {
+        return fail("--daemon-probability needs a number in (0,1]");
+      }
+    } else if (key == "scramble-queues") {
+      options.config.corruption.scrambleQueues = true;
+    } else if (key == "check-invariants") {
+      options.config.checkInvariantsEveryStep = true;
+    } else if (key == "csv") {
+      options.format = OutputFormat::kCsv;
+    } else if (key == "snapshot-out") {
+      if (!needValue()) return fail("--snapshot-out needs a file path");
+      options.snapshotOut = value;
+    } else if (key == "snapshot-in") {
+      if (!needValue()) return fail("--snapshot-in needs a file path");
+      options.snapshotIn = value;
+    } else if (key == "trace") {
+      options.trace = true;
+    } else if (key == "render") {
+      options.render = true;
+    } else {
+      return fail("unknown flag '--" + key + "'");
+    }
+  }
+  return {options, ""};
+}
+
+std::string usage() {
+  std::ostringstream out;
+  out << "snapfwd_cli - run one SSMFP/baseline experiment and report SP\n\n"
+      << "usage: snapfwd_cli [--flag=value ...]\n\n"
+      << "  --topology=path|ring|star|complete|binary-tree|random-tree|grid|\n"
+      << "             torus|hypercube|random-connected|figure3   (default ring)\n"
+      << "  --n=<k> --rows=<k> --cols=<k> --dims=<k> --extra-edges=<k>\n"
+      << "  --daemon=synchronous|central-rr|central-random|\n"
+      << "           distributed-random|weakly-fair|adversarial\n"
+      << "  --daemon-probability=<p>\n"
+      << "  --traffic=none|uniform|all-to-one|permutation|antipodal\n"
+      << "  --messages=<k> --per-source=<k> --hotspot=<id> --payload-space=<k>\n"
+      << "  --corrupt-routing=<fraction> --invalid-messages=<k> "
+         "--scramble-queues\n"
+      << "  --policy=round-robin|fixed-priority|oldest-first\n"
+      << "  --protocol=ssmfp|baseline --seed=<u64> --max-steps=<u64>\n"
+      << "  --check-invariants --csv --help\n"
+      << "  --snapshot-out=<file>  write the initial configuration (ssmfp)\n"
+      << "  --snapshot-in=<file>   load the initial configuration (ssmfp)\n"
+      << "  --trace                print the action trace after the run\n"
+      << "  --render               print initial/final configurations\n\n"
+      << "example:\n"
+      << "  snapfwd_cli --topology=random-connected --n=12 "
+         "--corrupt-routing=1 \\\n"
+      << "              --invalid-messages=10 --scramble-queues "
+         "--messages=30\n";
+  return out.str();
+}
+
+std::string renderResult(const CliOptions& options, const ExperimentResult& r) {
+  Table table("snapfwd experiment", {"metric", "value"});
+  table.addRow({"protocol",
+                options.protocol == ProtocolChoice::kSsmfp ? "ssmfp" : "baseline"});
+  table.addRow({"topology", toString(options.config.topology)});
+  table.addRow({"n", Table::num(std::uint64_t{r.graphN})});
+  table.addRow({"Delta", Table::num(std::uint64_t{r.graphDelta})});
+  table.addRow({"D", Table::num(std::uint64_t{r.graphDiameter})});
+  table.addRow({"daemon", toString(options.config.daemon)});
+  table.addRow({"choice policy", toString(options.config.choicePolicy)});
+  table.addRow({"seed", Table::num(options.config.seed)});
+  table.addRow({"quiescent", Table::yesNo(r.quiescent)});
+  table.addRow({"steps", Table::num(r.steps)});
+  table.addRow({"rounds", Table::num(r.rounds)});
+  table.addRow({"routing corrupted at start", Table::yesNo(r.routingCorrupted)});
+  table.addRow({"R_A (rounds)", Table::num(r.routingSilentRound)});
+  table.addRow({"valid generated", Table::num(r.spec.validGenerated)});
+  table.addRow({"valid delivered", Table::num(r.spec.validDelivered)});
+  table.addRow({"lost", Table::num(r.spec.lostTraces)});
+  table.addRow({"duplicated", Table::num(r.spec.duplicatedTraces)});
+  table.addRow({"invalid delivered", Table::num(r.invalidDelivered)});
+  table.addRow({"max delivery rounds", Table::num(r.maxDeliveryRounds)});
+  table.addRow({"avg delivery rounds", Table::num(r.avgDeliveryRounds, 2)});
+  table.addRow({"amortized rounds/delivery",
+                Table::num(r.amortizedRoundsPerDelivery, 2)});
+  table.addRow({"SP satisfied", Table::yesNo(r.spec.satisfiesSp())});
+  table.addRow({"SP' satisfied", Table::yesNo(r.spec.satisfiesSpPrime())});
+  if (r.invariantViolation.has_value()) {
+    table.addRow({"invariant violation", *r.invariantViolation});
+  }
+  std::ostringstream out;
+  if (options.format == OutputFormat::kCsv) {
+    table.printCsv(out);
+  } else {
+    table.printMarkdown(out);
+  }
+  return out.str();
+}
+
+int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  if (options.showHelp) {
+    out << usage();
+    return 0;
+  }
+  const bool tooling = !options.snapshotOut.empty() ||
+                       !options.snapshotIn.empty() || options.trace ||
+                       options.render;
+  if (options.protocol == ProtocolChoice::kBaseline) {
+    if (tooling) {
+      err << "error: snapshot/trace/render flags support --protocol=ssmfp "
+             "only\n";
+      return 2;
+    }
+    const ExperimentResult result = runBaselineExperiment(options.config);
+    out << renderResult(options, result);
+    return result.spec.satisfiesSp() && result.quiescent ? 0 : 1;
+  }
+  if (!tooling) {
+    const ExperimentResult result = runSsmfpExperiment(options.config);
+    out << renderResult(options, result);
+    return result.spec.satisfiesSp() && result.quiescent ? 0 : 1;
+  }
+
+  // Tooling path: live stack.
+  SsmfpStack stack;
+  RestoredStack restored;
+  if (!options.snapshotIn.empty()) {
+    std::ifstream in(options.snapshotIn);
+    if (!in) {
+      err << "error: cannot read '" << options.snapshotIn << "'\n";
+      return 2;
+    }
+    try {
+      restored = readSnapshot(in);
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 2;
+    }
+    stack.graph = std::move(restored.graph);
+    stack.routing = std::move(restored.routing);
+    stack.forwarding = std::move(restored.forwarding);
+    // Advance the seed stream exactly as buildSsmfpStack does (topology,
+    // fault and traffic forks), so --snapshot-in with the same --seed
+    // reproduces the archived run's daemon schedule bit for bit.
+    stack.rng = Rng(options.config.seed);
+    (void)stack.rng.fork(0x7070);
+    (void)stack.rng.fork(0xFA17);
+    (void)stack.rng.fork(0x7AFF);
+  } else {
+    stack = buildSsmfpStack(options.config);
+  }
+  if (!options.snapshotOut.empty()) {
+    std::ofstream snapOut(options.snapshotOut);
+    if (!snapOut) {
+      err << "error: cannot write '" << options.snapshotOut << "'\n";
+      return 2;
+    }
+    writeSnapshot(snapOut, *stack.graph, *stack.routing, *stack.forwarding);
+    out << "initial configuration written to " << options.snapshotOut << "\n";
+  }
+  if (options.render) {
+    out << "--- initial configuration ---\n"
+        << renderOccupiedConfiguration(*stack.forwarding);
+  }
+
+  auto daemon =
+      makeDaemon(options.config.daemon, options.config.daemonProbability,
+                 stack.rng);
+  Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+                *daemon);
+  stack.forwarding->attachEngine(&engine);
+  std::optional<ExecutionTracer> tracer;
+  if (options.trace) tracer.emplace(engine, /*routingLayer=*/0);
+  engine.run(options.config.maxSteps);
+
+  ExperimentResult result;
+  result.quiescent = engine.isTerminal();
+  result.steps = engine.stepCount();
+  result.rounds = engine.roundCount();
+  result.actions = engine.actionCount();
+  result.graphN = stack.graph->size();
+  result.graphDelta = stack.graph->maxDegree();
+  result.graphDiameter = stack.graph->diameter();
+  result.invalidInjected = stack.invalidInjected;
+  result.spec = checkSpec(*stack.forwarding);
+  result.invalidDelivered = stack.forwarding->invalidDeliveryCount();
+  for (const auto& rec : stack.forwarding->deliveries()) {
+    if (rec.msg.valid) {
+      result.maxDeliveryRounds =
+          std::max(result.maxDeliveryRounds, rec.round - rec.msg.bornRound);
+    }
+  }
+
+  if (options.render) {
+    out << "--- final configuration ---\n"
+        << renderOccupiedConfiguration(*stack.forwarding);
+  }
+  out << renderResult(options, result);
+  if (options.trace && tracer.has_value()) {
+    out << "--- action trace (first 200) ---\n" << tracer->render(200);
+  }
+  return result.spec.satisfiesSp() && result.quiescent ? 0 : 1;
+}
+
+}  // namespace snapfwd::cli

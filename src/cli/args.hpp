@@ -1,0 +1,65 @@
+#pragma once
+// Command-line front end for the experiment runner: parses `--key=value`
+// flags into an ExperimentConfig so any scenario from the test and bench
+// suites can be reproduced from a shell (see apps/snapfwd_cli).
+//
+// Kept in the library (rather than in the binary) so the parser itself is
+// unit-tested.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace snapfwd::cli {
+
+enum class ProtocolChoice { kSsmfp, kBaseline };
+enum class OutputFormat { kText, kCsv };
+
+struct CliOptions {
+  ExperimentConfig config;
+  ProtocolChoice protocol = ProtocolChoice::kSsmfp;
+  OutputFormat format = OutputFormat::kText;
+  bool showHelp = false;
+
+  // Tooling (SSMFP stack only):
+  std::string snapshotOut;  // write the initial configuration to this file
+  std::string snapshotIn;   // load the initial configuration from this file
+  bool trace = false;       // print the action trace after the run
+  bool render = false;      // print initial/final configuration renderings
+};
+
+struct ParseResult {
+  std::optional<CliOptions> options;  // nullopt on error
+  std::string error;                  // non-empty on error
+};
+
+/// Parses argv[1..argc). Recognized flags (all --key=value):
+///   --topology=path|ring|star|complete|binary-tree|random-tree|grid|torus|
+///              hypercube|random-connected|figure3
+///   --n --rows --cols --dims --extra-edges
+///   --daemon=synchronous|central-rr|central-random|distributed-random|
+///            weakly-fair|adversarial        --daemon-probability=<0..1>
+///   --traffic=none|uniform|all-to-one|permutation|antipodal
+///   --messages --per-source --hotspot --payload-space
+///   --corrupt-routing=<0..1> --invalid-messages=<k> --scramble-queues
+///   --policy=round-robin|fixed-priority|oldest-first
+///   --protocol=ssmfp|baseline --seed=<u64> --max-steps=<u64>
+///   --check-invariants --csv --help
+[[nodiscard]] ParseResult parseArgs(int argc, const char* const* argv);
+
+/// The usage text printed by --help.
+[[nodiscard]] std::string usage();
+
+/// Renders an ExperimentResult in the requested format.
+[[nodiscard]] std::string renderResult(const CliOptions& options,
+                                       const ExperimentResult& result);
+
+/// Full CLI orchestration: builds (or loads) the stack, applies the
+/// tooling flags, runs, prints to `out`. Returns the process exit code
+/// (0 = SP satisfied and quiescent, 1 = violation/stuck, 2 = usage/IO
+/// error). Factored out of main() for testability.
+int runCli(const CliOptions& options, std::ostream& out, std::ostream& err);
+
+}  // namespace snapfwd::cli

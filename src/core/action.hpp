@@ -1,0 +1,26 @@
+#pragma once
+// An enabled guarded action, as presented to the daemon.
+//
+// In the state model (paper Section 2.1) a protocol is a set of rules
+// <label> :: <guard> -> <statement>. A protocol instance reports, per
+// processor, which (rule, operands) pairs currently have a true guard; the
+// daemon selects among them. `rule` is protocol-defined (e.g. SSMFP's R1..R6),
+// `dest` identifies the per-destination protocol copy the rule belongs to
+// (kNoNode when the protocol is not destination-indexed) and `aux` carries a
+// rule operand such as the sender selected by choice_p(d).
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace snapfwd {
+
+struct Action {
+  std::uint16_t rule = 0;
+  NodeId dest = kNoNode;
+  std::uint64_t aux = 0;
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+}  // namespace snapfwd

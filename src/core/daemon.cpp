@@ -1,0 +1,134 @@
+#include "core/daemon.hpp"
+
+#include <algorithm>
+
+namespace snapfwd {
+
+void SynchronousDaemon::choose(std::uint64_t /*step*/,
+                               const std::vector<EnabledProcessor>& enabled,
+                               std::vector<Choice>& out) {
+  out.reserve(enabled.size());
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    out.push_back({i, 0});
+  }
+}
+
+void CentralRoundRobinDaemon::choose(std::uint64_t /*step*/,
+                                     const std::vector<EnabledProcessor>& enabled,
+                                     std::vector<Choice>& out) {
+  if (enabled.empty()) return;
+  // Entries arrive sorted by processor id; pick the first with p >= cursor_,
+  // wrapping around, then advance the cursor past it.
+  std::size_t chosen = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    if (enabled[i].p >= cursor_) {
+      chosen = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) chosen = 0;  // wrap
+  out.push_back({chosen, 0});
+  cursor_ = enabled[chosen].p + 1;
+}
+
+void CentralRandomDaemon::choose(std::uint64_t /*step*/,
+                                 const std::vector<EnabledProcessor>& enabled,
+                                 std::vector<Choice>& out) {
+  if (enabled.empty()) return;
+  const std::size_t entry = static_cast<std::size_t>(rng_.below(enabled.size()));
+  const std::size_t action =
+      static_cast<std::size_t>(rng_.below(enabled[entry].actions.size()));
+  out.push_back({entry, action});
+}
+
+void DistributedRandomDaemon::choose(std::uint64_t /*step*/,
+                                     const std::vector<EnabledProcessor>& enabled,
+                                     std::vector<Choice>& out) {
+  if (enabled.empty()) return;
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    if (rng_.chance(probability_)) {
+      const std::size_t action =
+          static_cast<std::size_t>(rng_.below(enabled[i].actions.size()));
+      out.push_back({i, action});
+    }
+  }
+  if (out.empty()) {
+    // The distributed daemon must select at least one enabled processor.
+    const std::size_t entry = static_cast<std::size_t>(rng_.below(enabled.size()));
+    const std::size_t action =
+        static_cast<std::size_t>(rng_.below(enabled[entry].actions.size()));
+    out.push_back({entry, action});
+  }
+}
+
+void WeaklyFairDaemon::choose(std::uint64_t step,
+                              const std::vector<EnabledProcessor>& enabled,
+                              std::vector<Choice>& out) {
+  if (enabled.empty()) return;
+  // Serve the enabled processor that has waited longest since last service.
+  // Deterministic and weakly fair: a continuously enabled processor's wait
+  // strictly grows until it becomes the minimum and is served.
+  std::size_t best = 0;
+  std::uint64_t bestServed = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    const NodeId p = enabled[i].p;
+    if (p >= lastServed_.size()) lastServed_.resize(p + 1, 0);
+    if (lastServed_[p] < bestServed) {
+      bestServed = lastServed_[p];
+      best = i;
+    }
+  }
+  out.push_back({best, 0});
+  lastServed_[enabled[best].p] = step + 1;
+}
+
+void AdversarialDaemon::choose(std::uint64_t /*step*/,
+                               const std::vector<EnabledProcessor>& enabled,
+                               std::vector<Choice>& out) {
+  if (enabled.empty()) return;
+  // Unfair central daemon: keep serving the same processor for as long as it
+  // stays enabled (maximally starving everybody else), switching to a random
+  // enabled processor only when forced to. Picks the last enabled action to
+  // diversify rule coverage.
+  std::size_t chosen = enabled.size();
+  if (favourite_) {
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      if (enabled[i].p == *favourite_) {
+        chosen = i;
+        break;
+      }
+    }
+  }
+  if (chosen == enabled.size()) {
+    chosen = static_cast<std::size_t>(rng_.below(enabled.size()));
+    favourite_ = enabled[chosen].p;
+  }
+  out.push_back({chosen, enabled[chosen].actions.size() - 1});
+}
+
+void ScriptedDaemon::choose(std::uint64_t /*step*/,
+                            const std::vector<EnabledProcessor>& enabled,
+                            std::vector<Choice>& out) {
+  if (position_ >= script_.size()) return;  // end of script: halt engine
+  const auto& wanted = script_[position_++];
+  for (const auto& sel : wanted) {
+    bool matched = false;
+    for (std::size_t i = 0; i < enabled.size() && !matched; ++i) {
+      if (enabled[i].p != sel.p) continue;
+      const auto& actions = enabled[i].actions;
+      for (std::size_t a = 0; a < actions.size(); ++a) {
+        if (actions[a].rule == sel.rule &&
+            (sel.dest == kNoNode || actions[a].dest == sel.dest)) {
+          out.push_back({i, a});
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) allMatched_ = false;
+  }
+}
+
+}  // namespace snapfwd

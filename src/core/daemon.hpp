@@ -1,0 +1,156 @@
+#pragma once
+// Daemons (schedulers) of the state model.
+//
+// A daemon receives, each step, the set of enabled processors together with
+// their enabled actions (already filtered by layer priority: for each
+// processor only the actions of its highest-priority enabled layer are
+// shown, implementing "A has priority over SSMFP"). It must select a
+// non-empty subset of processors and, for each, exactly one action
+// (distributed daemon, paper Section 2.1).
+//
+// The zoo below covers the fairness spectrum the paper discusses:
+//   - SynchronousDaemon       : every enabled processor moves each step.
+//   - CentralRoundRobinDaemon : one processor per step, id-cyclic (weakly fair).
+//   - CentralRandomDaemon     : one uniformly random processor per step
+//                               (strongly fair with probability 1).
+//   - DistributedRandomDaemon : each enabled processor moves with probability
+//                               p, at least one guaranteed.
+//   - WeaklyFairDaemon        : serves the longest-continuously-enabled
+//                               processors first (deterministic weak fairness).
+//   - AdversarialDaemon       : starvation-seeking central daemon (keeps
+//                               re-serving the most recently served enabled
+//                               processor; unfair).
+//   - ScriptedDaemon          : replays an explicit (processor, rule) script;
+//                               used to reproduce the paper's Figure 3.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/action.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+
+/// One enabled processor as shown to the daemon.
+struct EnabledProcessor {
+  NodeId p = kNoNode;
+  std::uint16_t layer = 0;  // index into the engine's priority-ordered layers
+  std::vector<Action> actions;
+};
+
+/// A daemon's selection: entry index into the enabled vector plus the index
+/// of the chosen action within that entry.
+struct Choice {
+  std::size_t entryIndex = 0;
+  std::size_t actionIndex = 0;
+};
+
+class Daemon {
+ public:
+  virtual ~Daemon() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Selects a non-empty set of choices, at most one per processor.
+  /// `step` is the index of the step about to execute. An empty `out`
+  /// halts the engine (only ScriptedDaemon uses this, at end of script).
+  virtual void choose(std::uint64_t step,
+                      const std::vector<EnabledProcessor>& enabled,
+                      std::vector<Choice>& out) = 0;
+};
+
+class SynchronousDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "synchronous"; }
+  void choose(std::uint64_t step, const std::vector<EnabledProcessor>& enabled,
+              std::vector<Choice>& out) override;
+};
+
+class CentralRoundRobinDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "central-rr"; }
+  void choose(std::uint64_t step, const std::vector<EnabledProcessor>& enabled,
+              std::vector<Choice>& out) override;
+
+ private:
+  NodeId cursor_ = 0;
+};
+
+class CentralRandomDaemon final : public Daemon {
+ public:
+  explicit CentralRandomDaemon(Rng rng) : rng_(rng) {}
+  [[nodiscard]] std::string_view name() const override { return "central-random"; }
+  void choose(std::uint64_t step, const std::vector<EnabledProcessor>& enabled,
+              std::vector<Choice>& out) override;
+
+ private:
+  Rng rng_;
+};
+
+class DistributedRandomDaemon final : public Daemon {
+ public:
+  DistributedRandomDaemon(Rng rng, double selectProbability)
+      : rng_(rng), probability_(selectProbability) {}
+  [[nodiscard]] std::string_view name() const override { return "distributed-random"; }
+  void choose(std::uint64_t step, const std::vector<EnabledProcessor>& enabled,
+              std::vector<Choice>& out) override;
+
+ private:
+  Rng rng_;
+  double probability_;
+};
+
+class WeaklyFairDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "weakly-fair"; }
+  void choose(std::uint64_t step, const std::vector<EnabledProcessor>& enabled,
+              std::vector<Choice>& out) override;
+
+ private:
+  // lastServed_[p] = step at which p last executed (0 if never).
+  std::vector<std::uint64_t> lastServed_;
+};
+
+class AdversarialDaemon final : public Daemon {
+ public:
+  explicit AdversarialDaemon(Rng rng) : rng_(rng) {}
+  [[nodiscard]] std::string_view name() const override { return "adversarial"; }
+  void choose(std::uint64_t step, const std::vector<EnabledProcessor>& enabled,
+              std::vector<Choice>& out) override;
+
+ private:
+  Rng rng_;
+  std::optional<NodeId> favourite_;
+};
+
+class ScriptedDaemon final : public Daemon {
+ public:
+  /// One scripted selection: processor `p` must have an enabled action with
+  /// rule id `rule` (and destination `dest` when dest != kNoNode).
+  struct Selection {
+    NodeId p = kNoNode;
+    std::uint16_t rule = 0;
+    NodeId dest = kNoNode;
+  };
+  /// The script: selections to execute at consecutive steps (one entry may
+  /// select several processors for a synchronous scripted step).
+  explicit ScriptedDaemon(std::vector<std::vector<Selection>> script)
+      : script_(std::move(script)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "scripted"; }
+  void choose(std::uint64_t step, const std::vector<EnabledProcessor>& enabled,
+              std::vector<Choice>& out) override;
+
+  /// True iff every scripted selection so far matched an enabled action.
+  [[nodiscard]] bool allMatched() const { return allMatched_; }
+  [[nodiscard]] std::size_t position() const { return position_; }
+
+ private:
+  std::vector<std::vector<Selection>> script_;
+  std::size_t position_ = 0;
+  bool allMatched_ = true;
+};
+
+}  // namespace snapfwd

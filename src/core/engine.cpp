@@ -1,0 +1,148 @@
+#include "core/engine.hpp"
+
+#include <cassert>
+
+namespace snapfwd {
+
+Engine::Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
+               ThreadPool* pool)
+    : graph_(graph),
+      layers_(std::move(layers)),
+      daemon_(daemon),
+      pool_(pool),
+      executedThisStep_(graph.size(), false),
+      roundPending_(graph.size(), false),
+      actionsPerLayer_(layers_.size(), 0) {
+  assert(!layers_.empty());
+}
+
+void Engine::buildEnabled() {
+  const std::size_t n = graph_.size();
+  enabled_.clear();
+
+  auto evaluate = [&](NodeId p, EnabledProcessor& entry) -> bool {
+    for (std::uint16_t l = 0; l < layers_.size(); ++l) {
+      entry.actions.clear();
+      layers_[l]->enumerateEnabled(p, entry.actions);
+      if (!entry.actions.empty()) {
+        entry.p = p;
+        entry.layer = l;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (pool_ != nullptr && pool_->threadCount() > 1 && n >= 64) {
+    // Parallel sweep with deterministic merge: fixed chunking by processor
+    // ranges, chunk results concatenated in chunk order.
+    const std::size_t chunks = pool_->threadCount() * 4;
+    const std::size_t per = (n + chunks - 1) / chunks;
+    std::vector<std::vector<EnabledProcessor>> partial(chunks);
+    pool_->parallelFor(chunks, [&](std::size_t c) {
+      const std::size_t begin = c * per;
+      const std::size_t end = std::min(n, begin + per);
+      for (std::size_t p = begin; p < end; ++p) {
+        EnabledProcessor entry;
+        if (evaluate(static_cast<NodeId>(p), entry)) {
+          partial[c].push_back(std::move(entry));
+        }
+      }
+    });
+    for (auto& chunk : partial) {
+      for (auto& entry : chunk) enabled_.push_back(std::move(entry));
+    }
+  } else {
+    EnabledProcessor entry;
+    for (NodeId p = 0; p < n; ++p) {
+      if (evaluate(p, entry)) {
+        enabled_.push_back(entry);
+        entry = EnabledProcessor{};
+      }
+    }
+  }
+}
+
+void Engine::settleRoundAccounting() {
+  // Called with enabled_ freshly computed for the imminent step.
+  // 1. Neutralization: processors owing the round that are no longer
+  //    enabled are discharged.
+  if (roundActive_ && roundPendingCount_ > 0) {
+    std::vector<bool> enabledNow(graph_.size(), false);
+    for (const auto& e : enabled_) enabledNow[e.p] = true;
+    for (NodeId p = 0; p < graph_.size(); ++p) {
+      if (roundPending_[p] && !enabledNow[p]) {
+        roundPending_[p] = false;
+        --roundPendingCount_;
+      }
+    }
+  }
+  // 2. Round completion / (re)start.
+  if (roundActive_ && roundPendingCount_ == 0) {
+    ++rounds_;
+    roundActive_ = false;
+  }
+  if (!roundActive_ && !enabled_.empty()) {
+    std::fill(roundPending_.begin(), roundPending_.end(), false);
+    for (const auto& e : enabled_) roundPending_[e.p] = true;
+    roundPendingCount_ = enabled_.size();
+    roundActive_ = true;
+  }
+}
+
+bool Engine::isTerminal() {
+  buildEnabled();
+  return enabled_.empty();
+}
+
+bool Engine::step() {
+  buildEnabled();
+  settleRoundAccounting();
+  if (enabled_.empty()) return false;
+
+  choices_.clear();
+  daemon_.choose(steps_, enabled_, choices_);
+  if (choices_.empty()) return false;
+
+  // Stage all chosen actions against the pre-step configuration, then
+  // commit layer by layer (composite atomicity).
+  std::fill(executedThisStep_.begin(), executedThisStep_.end(), false);
+  executedActions_.clear();
+  std::vector<bool> layerTouched(layers_.size(), false);
+  for (const auto& choice : choices_) {
+    assert(choice.entryIndex < enabled_.size());
+    const auto& entry = enabled_[choice.entryIndex];
+    assert(choice.actionIndex < entry.actions.size());
+    if (executedThisStep_[entry.p]) continue;  // at most one action per processor
+    executedThisStep_[entry.p] = true;
+    layers_[entry.layer]->stage(entry.p, entry.actions[choice.actionIndex]);
+    layerTouched[entry.layer] = true;
+    executedActions_.push_back(
+        {entry.p, entry.layer, entry.actions[choice.actionIndex]});
+    ++actions_;
+    ++actionsPerLayer_[entry.layer];
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    if (layerTouched[l]) layers_[l]->commit();
+  }
+
+  // Round accounting: executed processors discharge their obligation.
+  for (NodeId p = 0; p < graph_.size(); ++p) {
+    if (executedThisStep_[p] && roundPending_[p]) {
+      roundPending_[p] = false;
+      --roundPendingCount_;
+    }
+  }
+
+  ++steps_;
+  if (postStepHook_) postStepHook_(*this);
+  return true;
+}
+
+std::uint64_t Engine::run(std::uint64_t maxSteps) {
+  std::uint64_t executed = 0;
+  while (executed < maxSteps && step()) ++executed;
+  return executed;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,116 @@
+#pragma once
+// The state-model execution engine.
+//
+// An Engine owns the step loop of the paper's computational model
+// (Section 2.1). Each atomic step:
+//   (i)   every processor evaluates its guards on the current configuration
+//         gamma_i (optionally in parallel - guards are pure reads);
+//   (ii)  the daemon chooses a non-empty subset of enabled processors and
+//         one enabled action each;
+//   (iii) all chosen actions are staged against gamma_i and committed
+//         together, yielding gamma_{i+1}.
+//
+// Layer priority: layers are given in priority order; for each processor
+// only the enabled actions of its first layer with any enabled action are
+// shown to the daemon. This implements the paper's assumption that the
+// routing algorithm A has priority over SSMFP.
+//
+// Rounds are counted per the paper's definition: a round completes when
+// every processor that was enabled at the round's start has either executed
+// an action or been neutralized (enabled -> disabled without executing).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snapfwd {
+
+class Engine {
+ public:
+  /// `layers` in priority order (layers[0] wins). All pointers must outlive
+  /// the engine. `pool` may be null (serial guard evaluation).
+  Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
+         ThreadPool* pool = nullptr);
+
+  /// Executes one atomic step. Returns false without executing anything if
+  /// the configuration is terminal (no enabled processor) or the daemon
+  /// declined to choose (scripted daemon at end of script).
+  bool step();
+
+  /// Runs until terminal or `maxSteps` more steps executed.
+  /// Returns the number of steps executed by this call.
+  std::uint64_t run(std::uint64_t maxSteps);
+
+  /// True iff no processor has any enabled action right now.
+  [[nodiscard]] bool isTerminal();
+
+  [[nodiscard]] std::uint64_t stepCount() const noexcept { return steps_; }
+  /// Completed rounds so far.
+  [[nodiscard]] std::uint64_t roundCount() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t actionCount() const noexcept { return actions_; }
+  /// Actions executed per layer index.
+  [[nodiscard]] const std::vector<std::uint64_t>& actionsPerLayer() const noexcept {
+    return actionsPerLayer_;
+  }
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  /// Invoked after each committed step; used e.g. by online workloads to
+  /// submit new messages between steps.
+  void setPostStepHook(std::function<void(Engine&)> hook) {
+    postStepHook_ = std::move(hook);
+  }
+
+  /// The enabled set computed for the imminent step (valid after a step()
+  /// or isTerminal() call); exposed for tests and trace tooling.
+  [[nodiscard]] const std::vector<EnabledProcessor>& lastEnabled() const noexcept {
+    return enabled_;
+  }
+
+  /// One action executed by the most recent committed step.
+  struct ExecutedAction {
+    NodeId p = kNoNode;
+    std::uint16_t layer = 0;
+    Action action;
+  };
+  /// The actions of the most recent committed step, in commit order
+  /// (valid after a successful step(); used by the execution tracer).
+  [[nodiscard]] const std::vector<ExecutedAction>& lastExecuted() const noexcept {
+    return executedActions_;
+  }
+
+ private:
+  void buildEnabled();
+  void settleRoundAccounting();
+
+  const Graph& graph_;
+  std::vector<Protocol*> layers_;
+  Daemon& daemon_;
+  ThreadPool* pool_;
+
+  std::vector<EnabledProcessor> enabled_;
+  std::vector<Choice> choices_;
+  std::vector<bool> executedThisStep_;
+  std::vector<ExecutedAction> executedActions_;
+
+  // Round accounting: processors still owing an execution/neutralization in
+  // the current round. roundActive_ is false before the first enabled-set
+  // computation.
+  std::vector<bool> roundPending_;
+  std::size_t roundPendingCount_ = 0;
+  bool roundActive_ = false;
+
+  std::uint64_t steps_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t actions_ = 0;
+  std::vector<std::uint64_t> actionsPerLayer_;
+
+  std::function<void(Engine&)> postStepHook_;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,54 @@
+#pragma once
+// The guarded-rule protocol interface executed by the Engine.
+//
+// Faithfulness to the state model requires *composite atomicity*: in one
+// atomic step, all chosen processors execute their actions "simultaneously",
+// each reading the pre-step configuration and writing only its own
+// variables. We realize this with a two-phase contract:
+//
+//   1. stage(p, a)  - compute the effect of action `a` at processor `p`,
+//                     reading ONLY current observable state; record the
+//                     pending writes internally; DO NOT modify observable
+//                     state. Called once per chosen processor per step.
+//   2. commit()     - apply every pending write recorded since the last
+//                     commit. Called once per step per protocol that staged
+//                     anything.
+//
+// Because a processor writes only its own variables and at most one action
+// per processor is chosen per step, staged writes never conflict.
+
+#include <string_view>
+#include <vector>
+
+#include "core/action.hpp"
+
+namespace snapfwd {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Appends every enabled action of processor `p` (guards evaluated on the
+  /// current configuration) to `out`. Must be const and thread-safe for
+  /// concurrent calls with distinct or equal `p` (pure read).
+  virtual void enumerateEnabled(NodeId p, std::vector<Action>& out) const = 0;
+
+  /// True iff `p` has at least one enabled action. Override when a cheaper
+  /// check than full enumeration exists.
+  [[nodiscard]] virtual bool anyEnabled(NodeId p) const {
+    thread_local std::vector<Action> scratch;
+    scratch.clear();
+    enumerateEnabled(p, scratch);
+    return !scratch.empty();
+  }
+
+  /// Phase 1 of the atomic step: record the writes of action `a` at `p`.
+  virtual void stage(NodeId p, const Action& a) = 0;
+
+  /// Phase 2: apply all staged writes.
+  virtual void commit() = 0;
+};
+
+}  // namespace snapfwd

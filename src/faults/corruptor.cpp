@@ -1,0 +1,99 @@
+#include "faults/corruptor.hpp"
+
+#include <vector>
+
+namespace snapfwd {
+namespace {
+
+/// Builds an invalid message at processor p with legal lastHop and color.
+Message randomGarbage(const Graph& graph, NodeId p, Color delta, Payload payloadSpace,
+                      Rng& rng) {
+  Message msg;
+  msg.payload = rng.below(payloadSpace);
+  const auto& nbrs = graph.neighbors(p);
+  const std::size_t pick = static_cast<std::size_t>(rng.below(nbrs.size() + 1));
+  msg.lastHop = pick == nbrs.size() ? p : nbrs[pick];
+  msg.color = static_cast<Color>(rng.below(static_cast<std::uint64_t>(delta) + 1));
+  msg.valid = false;
+  msg.source = kNoNode;
+  return msg;
+}
+
+}  // namespace
+
+std::size_t injectInvalidMessages(SsmfpProtocol& forwarding, std::size_t count,
+                                  Payload payloadSpace, Rng& rng) {
+  const Graph& graph = forwarding.graph();
+  // Enumerate empty buffer slots: (p, d, isReception).
+  struct Slot {
+    NodeId p;
+    NodeId d;
+    bool reception;
+  };
+  std::vector<Slot> empty;
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : forwarding.destinations()) {
+      if (!forwarding.bufR(p, d).has_value()) empty.push_back({p, d, true});
+      if (!forwarding.bufE(p, d).has_value()) empty.push_back({p, d, false});
+    }
+  }
+  rng.shuffle(empty);
+  const std::size_t placed = std::min(count, empty.size());
+  for (std::size_t i = 0; i < placed; ++i) {
+    const Slot& slot = empty[i];
+    Message msg = randomGarbage(graph, slot.p, forwarding.delta(), payloadSpace, rng);
+    if (slot.reception) {
+      forwarding.injectReception(slot.p, slot.d, msg);
+    } else {
+      forwarding.injectEmission(slot.p, slot.d, msg);
+    }
+  }
+  return placed;
+}
+
+std::size_t applyCorruption(const CorruptionPlan& plan, SelfStabBfsRouting& routing,
+                            SsmfpProtocol& forwarding, Rng& rng) {
+  if (plan.routingFraction > 0.0) routing.corrupt(rng, plan.routingFraction);
+  if (plan.scrambleQueues) forwarding.scrambleQueues(rng);
+  return injectInvalidMessages(forwarding, plan.invalidMessages, plan.payloadSpace,
+                               rng);
+}
+
+std::size_t applyCorruption(const CorruptionPlan& plan, FrozenRouting& routing,
+                            SsmfpProtocol& forwarding, Rng& rng) {
+  if (plan.routingFraction > 0.0) routing.corrupt(rng, plan.routingFraction);
+  if (plan.scrambleQueues) forwarding.scrambleQueues(rng);
+  return injectInvalidMessages(forwarding, plan.invalidMessages, plan.payloadSpace,
+                               rng);
+}
+
+std::size_t applyCorruption(const CorruptionPlan& plan, FrozenRouting& routing,
+                            MerlinSchweitzerProtocol& forwarding, Rng& rng) {
+  if (plan.routingFraction > 0.0) routing.corrupt(rng, plan.routingFraction);
+  if (plan.scrambleQueues) forwarding.scrambleQueues(rng);
+
+  const Graph& graph = forwarding.graph();
+  struct Slot {
+    NodeId p;
+    NodeId d;
+  };
+  std::vector<Slot> empty;
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : forwarding.destinations()) {
+      if (!forwarding.buffer(p, d).has_value()) empty.push_back({p, d});
+    }
+  }
+  rng.shuffle(empty);
+  const std::size_t placed = std::min(plan.invalidMessages, empty.size());
+  for (std::size_t i = 0; i < placed; ++i) {
+    BaselineMessage msg;
+    msg.payload = rng.below(plan.payloadSpace);
+    msg.flag.source = static_cast<NodeId>(rng.below(graph.size()));
+    msg.flag.bit = static_cast<std::uint8_t>(rng.below(2));
+    msg.valid = false;
+    forwarding.injectBuffer(empty[i].p, empty[i].d, msg);
+  }
+  return placed;
+}
+
+}  // namespace snapfwd

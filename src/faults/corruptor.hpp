@@ -1,0 +1,60 @@
+#pragma once
+// Arbitrary-initial-configuration generator.
+//
+// Snap-stabilization quantifies over EVERY initial configuration; this
+// module samples them. A corruption plan combines:
+//   - routing-table corruption (each (p,d) entry randomized with a given
+//     probability, possibly creating forwarding cycles),
+//   - invalid messages (garbage occupying reception/emission buffers, with
+//     arbitrary payloads from a small colliding space, arbitrary legal
+//     lastHop in N_p u {p} and arbitrary color <= Delta),
+//   - fairness-queue scrambling (their content is part of the state and
+//     thus arbitrary at start-up).
+//
+// All sampling is driven by a caller-provided Rng, so a (topology, seed)
+// pair reproduces the exact same "arbitrary" configuration.
+
+#include <cstdint>
+
+#include "baseline/merlin_schweitzer.hpp"
+#include "routing/frozen.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "ssmfp/ssmfp.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+
+struct CorruptionPlan {
+  /// Probability that each routing-table entry is randomized.
+  double routingFraction = 0.0;
+  /// Number of invalid messages to place into uniformly chosen empty
+  /// buffers (reception or emission, any active destination).
+  std::size_t invalidMessages = 0;
+  /// Payloads of invalid messages are drawn from [0, payloadSpace) - keep
+  /// small to force collisions with valid traffic.
+  Payload payloadSpace = 4;
+  /// Shuffle every choice_p(d) fairness queue.
+  bool scrambleQueues = false;
+};
+
+/// Applies the plan to an SSMFP stack (routing layer + forwarding layer).
+/// Returns the number of invalid messages actually placed (can be lower if
+/// the buffers run out).
+std::size_t applyCorruption(const CorruptionPlan& plan, SelfStabBfsRouting& routing,
+                            SsmfpProtocol& forwarding, Rng& rng);
+
+/// Same for a frozen-routing stack (ablation experiments).
+std::size_t applyCorruption(const CorruptionPlan& plan, FrozenRouting& routing,
+                            SsmfpProtocol& forwarding, Rng& rng);
+
+/// Baseline variant: corrupts tables and injects garbage buffer contents
+/// with arbitrary (source, bit) flags.
+std::size_t applyCorruption(const CorruptionPlan& plan, FrozenRouting& routing,
+                            MerlinSchweitzerProtocol& forwarding, Rng& rng);
+
+/// Places exactly `count` invalid messages into uniformly chosen empty
+/// SSMFP buffers (no routing corruption). Returns number placed.
+std::size_t injectInvalidMessages(SsmfpProtocol& forwarding, std::size_t count,
+                                  Payload payloadSpace, Rng& rng);
+
+}  // namespace snapfwd

@@ -1,0 +1,177 @@
+#include "graph/builders.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace snapfwd::topo {
+
+Graph path(std::size_t n) {
+  assert(n >= 1);
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.addEdge(i, i + 1);
+  return g;
+}
+
+Graph ring(std::size_t n) {
+  assert(n >= 3);
+  Graph g = path(n);
+  g.addEdge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+Graph star(std::size_t n) {
+  assert(n >= 2);
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) g.addEdge(0, i);
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  assert(n >= 1);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.addEdge(u, v);
+  }
+  return g;
+}
+
+Graph binaryTree(std::size_t n) {
+  assert(n >= 1);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const std::size_t left = 2 * static_cast<std::size_t>(i) + 1;
+    const std::size_t right = left + 1;
+    if (left < n) g.addEdge(i, static_cast<NodeId>(left));
+    if (right < n) g.addEdge(i, static_cast<NodeId>(right));
+  }
+  return g;
+}
+
+Graph randomTree(std::size_t n, Rng& rng) {
+  assert(n >= 1);
+  Graph g(n);
+  if (n <= 1) return g;
+  if (n == 2) {
+    g.addEdge(0, 1);
+    return g;
+  }
+  // Decode a uniformly random Pruefer sequence of length n-2.
+  std::vector<std::size_t> pruefer(n - 2);
+  for (auto& x : pruefer) x = static_cast<std::size_t>(rng.below(n));
+  std::vector<std::size_t> degree(n, 1);
+  for (const auto x : pruefer) ++degree[x];
+  // leaves = min-heap emulated with a sorted scan; n is small in our uses,
+  // but use an index-based pointer walk for O(n log n)-ish behavior.
+  std::vector<bool> used(n, false);
+  std::size_t ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  std::size_t leaf = ptr;
+  for (const auto v : pruefer) {
+    g.addEdge(static_cast<NodeId>(leaf), static_cast<NodeId>(v));
+    if (--degree[v] == 1 && v < ptr) {
+      leaf = v;  // new leaf below the pointer: use it immediately
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  // Connect the final leaf to n-1.
+  g.addEdge(static_cast<NodeId>(leaf), static_cast<NodeId>(n - 1));
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  assert(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.addEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.addEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph torus(std::size_t rows, std::size_t cols) {
+  assert(rows >= 3 && cols >= 3);
+  Graph g = grid(rows, cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) g.addEdge(id(r, 0), id(r, cols - 1));
+  for (std::size_t c = 0; c < cols; ++c) g.addEdge(id(0, c), id(rows - 1, c));
+  return g;
+}
+
+Graph hypercube(std::size_t dims) {
+  assert(dims >= 1 && dims < 20);
+  const std::size_t n = std::size_t{1} << dims;
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t bit = 0; bit < dims; ++bit) {
+      const std::size_t u = v ^ (std::size_t{1} << bit);
+      if (u > v) g.addEdge(static_cast<NodeId>(v), static_cast<NodeId>(u));
+    }
+  }
+  return g;
+}
+
+Graph randomConnected(std::size_t n, std::size_t extraEdges, Rng& rng) {
+  Graph g = randomTree(n, rng);
+  if (n < 2) return g;
+  const std::size_t maxEdges = n * (n - 1) / 2;
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t attemptCap = 64 * (extraEdges + 1);
+  while (added < extraEdges && g.edgeCount() < maxEdges && attempts < attemptCap) {
+    ++attempts;
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v || g.hasEdge(u, v)) continue;
+    g.addEdge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+Graph figure3Network() {
+  // a=0, b=1, c=2, d=3; Delta = 3 at processor a (neighbors b, c, d).
+  Graph g(4);
+  g.addEdge(0, 1);  // a - b
+  g.addEdge(0, 2);  // a - c
+  g.addEdge(0, 3);  // a - d
+  g.addEdge(2, 1);  // c - b
+  return g;
+}
+
+Graph spanningTree(const Graph& graph, NodeId root) {
+  assert(graph.isConnected());
+  Graph tree(graph.size());
+  const auto dist = graph.bfsDistances(root);
+  for (NodeId v = 0; v < graph.size(); ++v) {
+    if (v == root) continue;
+    for (const NodeId u : graph.neighbors(v)) {
+      if (dist[u] + 1 == dist[v]) {  // sorted neighbors: min-id parent
+        tree.addEdge(v, u);
+        break;
+      }
+    }
+  }
+  return tree;
+}
+
+const char* figure3Label(NodeId node) {
+  switch (node) {
+    case 0: return "a";
+    case 1: return "b";
+    case 2: return "c";
+    case 3: return "d";
+    default: return "?";
+  }
+}
+
+}  // namespace snapfwd::topo

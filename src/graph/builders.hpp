@@ -1,0 +1,56 @@
+#pragma once
+// Topology builders used throughout tests, examples and the benchmark sweeps.
+// Every builder returns a connected graph on vertices 0..n-1.
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd::topo {
+
+/// Simple path 0-1-...-(n-1). Delta = 2, D = n-1. n >= 1.
+[[nodiscard]] Graph path(std::size_t n);
+
+/// Cycle 0-1-...-(n-1)-0. Delta = 2, D = floor(n/2). n >= 3.
+[[nodiscard]] Graph ring(std::size_t n);
+
+/// Star with center 0. Delta = n-1, D = 2. n >= 2.
+[[nodiscard]] Graph star(std::size_t n);
+
+/// Complete graph K_n. Delta = n-1, D = 1. n >= 1.
+[[nodiscard]] Graph complete(std::size_t n);
+
+/// Complete binary tree (heap-shaped: children of i are 2i+1, 2i+2). n >= 1.
+[[nodiscard]] Graph binaryTree(std::size_t n);
+
+/// Uniform random labeled spanning tree (random Pruefer sequence). n >= 1.
+[[nodiscard]] Graph randomTree(std::size_t n, Rng& rng);
+
+/// rows x cols 2D mesh, row-major vertex layout. rows, cols >= 1.
+[[nodiscard]] Graph grid(std::size_t rows, std::size_t cols);
+
+/// rows x cols 2D torus (wrap-around mesh). rows, cols >= 3 for simple graph.
+[[nodiscard]] Graph torus(std::size_t rows, std::size_t cols);
+
+/// d-dimensional hypercube on 2^d vertices. d >= 1.
+[[nodiscard]] Graph hypercube(std::size_t dims);
+
+/// Random connected graph: random spanning tree plus `extraEdges` distinct
+/// random non-tree edges (silently fewer if the graph saturates).
+[[nodiscard]] Graph randomConnected(std::size_t n, std::size_t extraEdges, Rng& rng);
+
+/// The 4-processor network of the paper's Figure 3 walkthrough:
+/// vertices a=0, b=1, c=2, d=3; edges a-b, a-c, a-d, c-b. Delta = 3.
+[[nodiscard]] Graph figure3Network();
+
+/// BFS spanning tree of a connected graph, rooted at `root` (same vertex
+/// ids, tree edges only, min-id parent tie-break). Lets tree-only schemes
+/// (PIF, the up/down orientation cover) run on arbitrary topologies at the
+/// cost of path stretch.
+[[nodiscard]] Graph spanningTree(const Graph& graph, NodeId root);
+
+/// Node labels for figure3Network (a, b, c, d).
+[[nodiscard]] const char* figure3Label(NodeId node);
+
+}  // namespace snapfwd::topo

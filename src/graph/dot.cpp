@@ -1,0 +1,35 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace snapfwd {
+
+std::string toDot(const Graph& graph, const std::string& name) {
+  std::ostringstream out;
+  out << "graph " << name << " {\n";
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    out << "  n" << p << ";\n";
+  }
+  for (const auto& [u, v] : graph.edges()) {
+    out << "  n" << u << " -- n" << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string toDotDirected(
+    const std::vector<std::pair<std::size_t, std::size_t>>& arcs,
+    const std::vector<std::string>& labels, const std::string& name) {
+  std::ostringstream out;
+  out << "digraph " << name << " {\n";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    out << "  v" << i << " [label=\"" << labels[i] << "\"];\n";
+  }
+  for (const auto& [src, dst] : arcs) {
+    out << "  v" << src << " -> v" << dst << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,20 @@
+#pragma once
+// Graphviz DOT export for topologies and buffer graphs, so the structures of
+// the paper's Figures 1 and 2 can be rendered and inspected.
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace snapfwd {
+
+/// Undirected topology as a DOT `graph`.
+[[nodiscard]] std::string toDot(const Graph& graph, const std::string& name = "G");
+
+/// A directed edge list (e.g. a buffer graph component) as a DOT `digraph`.
+/// `labels[i]` names vertex i of the directed structure.
+[[nodiscard]] std::string toDotDirected(
+    const std::vector<std::pair<std::size_t, std::size_t>>& arcs,
+    const std::vector<std::string>& labels, const std::string& name = "BG");
+
+}  // namespace snapfwd

@@ -1,0 +1,98 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace snapfwd {
+
+Graph::Graph(std::size_t n) : adjacency_(n) {}
+
+void Graph::addEdge(NodeId u, NodeId v) {
+  assert(u < size() && v < size());
+  if (u == v || hasEdge(u, v)) return;
+  auto insertSorted = [](std::vector<NodeId>& list, NodeId x) {
+    list.insert(std::lower_bound(list.begin(), list.end(), x), x);
+  };
+  insertSorted(adjacency_[u], v);
+  insertSorted(adjacency_[v], u);
+}
+
+bool Graph::hasEdge(NodeId u, NodeId v) const {
+  if (u >= size() || v >= size()) return false;
+  const auto& list = adjacency_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+std::size_t Graph::maxDegree() const {
+  std::size_t best = 0;
+  for (const auto& list : adjacency_) best = std::max(best, list.size());
+  return best;
+}
+
+std::size_t Graph::edgeCount() const {
+  std::size_t twice = 0;
+  for (const auto& list : adjacency_) twice += list.size();
+  return twice / 2;
+}
+
+bool Graph::isConnected() const {
+  if (size() == 0) return true;
+  const auto dist = bfsDistances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::vector<std::uint32_t> Graph::bfsDistances(NodeId from) const {
+  std::vector<std::uint32_t> dist(size(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[from] = 0;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    const NodeId p = queue.front();
+    queue.pop_front();
+    for (const NodeId q : adjacency_[p]) {
+      if (dist[q] == kUnreachable) {
+        dist[q] = dist[p] + 1;
+        queue.push_back(q);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t Graph::distance(NodeId p, NodeId q) const {
+  return bfsDistances(p)[q];
+}
+
+std::uint32_t Graph::diameter() const {
+  std::uint32_t best = 0;
+  for (NodeId p = 0; p < size(); ++p) {
+    const auto dist = bfsDistances(p);
+    for (const auto d : dist) {
+      assert(d != kUnreachable && "diameter of a disconnected graph");
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edgeCount());
+  for (NodeId u = 0; u < size(); ++u) {
+    for (const NodeId v : adjacency_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::optional<std::size_t> Graph::neighborIndex(NodeId p, NodeId q) const {
+  const auto& list = adjacency_[p];
+  const auto it = std::lower_bound(list.begin(), list.end(), q);
+  if (it == list.end() || *it != q) return std::nullopt;
+  return static_cast<std::size_t>(it - list.begin());
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,69 @@
+#pragma once
+// Undirected network topology.
+//
+// The paper's model (Section 2): an undirected connected graph G = (V, E)
+// of processors and bidirectional asynchronous links; every processor is
+// identified (NodeId doubles as the identity) and knows the identity set I.
+// The quantities n, Delta (max degree) and D (diameter) parameterize the
+// complexity bounds (Propositions 4-7), so Graph exposes them directly.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace snapfwd {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xFFFF'FFFFu;
+
+class Graph {
+ public:
+  Graph() = default;
+  /// Creates a graph with `n` isolated vertices 0..n-1.
+  explicit Graph(std::size_t n);
+
+  /// Number of processors (the paper's n).
+  [[nodiscard]] std::size_t size() const noexcept { return adjacency_.size(); }
+
+  /// Adds the undirected edge {u, v}. Ignores duplicates and self-loops.
+  void addEdge(NodeId u, NodeId v);
+
+  [[nodiscard]] bool hasEdge(NodeId u, NodeId v) const;
+
+  /// Neighbor identities of p, sorted ascending (the paper's N_p).
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId p) const {
+    return adjacency_[p];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId p) const { return adjacency_[p].size(); }
+
+  /// The paper's Delta: maximum degree over all processors.
+  [[nodiscard]] std::size_t maxDegree() const;
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t edgeCount() const;
+
+  [[nodiscard]] bool isConnected() const;
+
+  /// BFS hop distances from `from`; unreachable vertices get kUnreachable.
+  static constexpr std::uint32_t kUnreachable = 0xFFFF'FFFFu;
+  [[nodiscard]] std::vector<std::uint32_t> bfsDistances(NodeId from) const;
+
+  /// dist(p, q) in hops, or kUnreachable.
+  [[nodiscard]] std::uint32_t distance(NodeId p, NodeId q) const;
+
+  /// The paper's D: max over pairs of dist(p,q). Precondition: connected.
+  [[nodiscard]] std::uint32_t diameter() const;
+
+  /// All edges as (u, v) with u < v, lexicographically sorted.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// Index of q within neighbors(p), if q is a neighbor of p.
+  [[nodiscard]] std::optional<std::size_t> neighborIndex(NodeId p, NodeId q) const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,553 @@
+#include "mp/mp_ssmfp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "routing/selfstab_bfs.hpp"
+
+namespace snapfwd {
+namespace {
+
+/// Order-sensitive accumulator; both models feed it the same field
+/// sequence so equal protocol states hash equal.
+struct StateHasher {
+  std::uint64_t h = 0x5AFE'C0DE'1234'5678ULL;
+  void add(std::uint64_t v) {
+    h = mix64(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
+  }
+};
+
+void addBuffer(StateHasher& hasher, const Buffer& b) {
+  if (!b.has_value()) {
+    hasher.add(0);
+    return;
+  }
+  hasher.add(1);
+  hasher.add(b->payload);
+  hasher.add(b->lastHop);
+  hasher.add(b->color);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction & injection
+// ---------------------------------------------------------------------------
+
+MpSsmfpSimulator::MpSsmfpSimulator(const Graph& graph,
+                                   std::vector<NodeId> destinations,
+                                   std::uint64_t seed,
+                                   std::uint32_t maxChannelDelay,
+                                   double lossProbability)
+    : graph_(graph),
+      dests_(std::move(destinations)),
+      destSlot_(graph.size(), 0xFFFF'FFFFu),
+      delta_(static_cast<Color>(graph.maxDegree())),
+      cap_(static_cast<std::uint32_t>(graph.size())),
+      rng_(seed),
+      maxChannelDelay_(std::max<std::uint32_t>(1, maxChannelDelay)),
+      lossProbability_(lossProbability) {
+  assert(graph.isConnected());
+  if (dests_.empty()) {
+    dests_.resize(graph.size());
+    for (NodeId d = 0; d < graph.size(); ++d) dests_[d] = d;
+  }
+  std::sort(dests_.begin(), dests_.end());
+  for (std::size_t slot = 0; slot < dests_.size(); ++slot) {
+    destSlot_[dests_[slot]] = static_cast<std::uint32_t>(slot);
+  }
+
+  state_.resize(graph.size() * dests_.size());
+  queue_.resize(graph.size() * dests_.size());
+  nodes_.resize(graph.size());
+  edgeIndex_.resize(graph.size());
+
+  // Correct initial routing tables (corrupt explicitly for experiments) -
+  // identical initialization to SelfStabBfsRouting.
+  for (const NodeId d : dests_) {
+    const auto fromD = graph.bfsDistances(d);
+    for (NodeId p = 0; p < graph.size(); ++p) {
+      auto& cellState = state_[cell(p, d)];
+      cellState.dist = fromD[p];
+      if (p == d) {
+        cellState.parent = graph.degree(p) > 0 ? graph.neighbors(p)[0] : p;
+      } else {
+        for (const NodeId q : graph.neighbors(p)) {
+          if (fromD[q] + 1 == fromD[p]) {
+            cellState.parent = q;
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : dests_) {
+      auto& q = queue_[cell(p, d)];
+      q = graph.neighbors(p);
+      q.push_back(p);
+    }
+    nodes_[p].neighborState.resize(graph.degree(p));
+    nodes_[p].neighborRound.assign(graph.degree(p), 0);
+  }
+
+  // One FIFO channel per directed edge.
+  std::size_t channelCount = 0;
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    edgeIndex_[p].resize(graph.degree(p));
+    for (std::size_t i = 0; i < graph.degree(p); ++i) {
+      edgeIndex_[p][i] = channelCount++;
+    }
+  }
+  channels_.resize(channelCount);
+  channelLastDelivery_.assign(channelCount, 0);
+}
+
+TraceId MpSsmfpSimulator::send(NodeId src, NodeId dest, Payload payload) {
+  assert(src < graph_.size() && destSlot_[dest] != 0xFFFF'FFFFu);
+  const TraceId trace = nextTrace_++;
+  nodes_[src].outbox.emplace_back(dest, payload);
+  nodes_[src].outboxTraces.push_back(trace);
+  return trace;
+}
+
+void MpSsmfpSimulator::setRoutingEntry(NodeId p, NodeId d, std::uint32_t dist,
+                                       NodeId parent) {
+  assert(graph_.hasEdge(p, parent));
+  state_[cell(p, d)].dist = std::min(dist, cap_);
+  state_[cell(p, d)].parent = parent;
+}
+
+void MpSsmfpSimulator::corruptRouting(Rng& rng, double fraction) {
+  for (NodeId p = 0; p < graph_.size(); ++p) {
+    if (graph_.degree(p) == 0) continue;
+    const auto& nbrs = graph_.neighbors(p);
+    for (const NodeId d : dests_) {
+      if (!rng.chance(fraction)) continue;
+      state_[cell(p, d)].dist = static_cast<std::uint32_t>(rng.below(cap_ + 1));
+      state_[cell(p, d)].parent =
+          nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+    }
+  }
+}
+
+void MpSsmfpSimulator::injectReception(NodeId p, NodeId d, Message msg) {
+  assert(msg.color <= delta_);
+  assert(msg.lastHop == p || graph_.hasEdge(p, msg.lastHop));
+  msg.valid = false;
+  msg.dest = d;
+  if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
+  state_[cell(p, d)].bufR = msg;
+}
+
+void MpSsmfpSimulator::injectEmission(NodeId p, NodeId d, Message msg) {
+  assert(msg.color <= delta_);
+  assert(msg.lastHop == p || graph_.hasEdge(p, msg.lastHop));
+  msg.valid = false;
+  msg.dest = d;
+  if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
+  state_[cell(p, d)].bufE = msg;
+}
+
+void MpSsmfpSimulator::scrambleQueues(Rng& rng) {
+  for (auto& q : queue_) rng.shuffle(q);
+}
+
+// ---------------------------------------------------------------------------
+// Views (cached neighbor snapshots of the node currently executing)
+// ---------------------------------------------------------------------------
+
+const MpDestState* MpSsmfpSimulator::viewOf(NodeId viewer, NodeId q,
+                                            NodeId d) const {
+  const auto idx = graph_.neighborIndex(viewer, q);
+  if (!idx.has_value()) return nullptr;
+  const auto& snapshot = nodes_[viewer].neighborState[*idx];
+  if (snapshot.empty()) return nullptr;
+  return &snapshot[slotOf(d)];
+}
+
+NodeId MpSsmfpSimulator::cachedNextHop(NodeId p, NodeId d) const {
+  if (p == d) return p;
+  const NodeId parent = state_[cell(p, d)].parent;
+  if (graph_.hasEdge(p, parent)) return parent;
+  return graph_.degree(p) > 0 ? graph_.neighbors(p)[0] : p;
+}
+
+NodeId MpSsmfpSimulator::viewNextHop(NodeId q, NodeId viewer, NodeId d) const {
+  if (q == d) return q;
+  const MpDestState* view = viewOf(viewer, q, d);
+  const NodeId parent = view != nullptr ? view->parent : kNoNode;
+  if (graph_.hasEdge(q, parent)) return parent;
+  return graph_.degree(q) > 0 ? graph_.neighbors(q)[0] : q;
+}
+
+// ---------------------------------------------------------------------------
+// Guards against cached views (mirrors SsmfpProtocol / SelfStabBfsRouting)
+// ---------------------------------------------------------------------------
+
+bool MpSsmfpSimulator::routingStepEnabled(NodeId p, NodeId d,
+                                          std::uint32_t& newDist,
+                                          NodeId& newParent) const {
+  std::uint32_t targetDist;
+  NodeId targetParent;
+  if (p == d) {
+    targetDist = 0;
+    targetParent = graph_.degree(p) > 0 ? graph_.neighbors(p)[0] : p;
+  } else {
+    std::uint32_t best = cap_;
+    NodeId bestNeighbor = graph_.neighbors(p)[0];
+    for (const NodeId q : graph_.neighbors(p)) {
+      const MpDestState* view = viewOf(p, q, d);
+      const std::uint32_t dq = view != nullptr ? view->dist : cap_;
+      if (dq < best) {
+        best = dq;
+        bestNeighbor = q;
+      }
+    }
+    targetDist = best >= cap_ ? cap_ : best + 1;
+    targetParent = bestNeighbor;
+  }
+  const auto& own = state_[cell(p, d)];
+  if (own.dist == targetDist && own.parent == targetParent) return false;
+  newDist = targetDist;
+  newParent = targetParent;
+  return true;
+}
+
+bool MpSsmfpSimulator::choiceCandidate(NodeId p, NodeId d, NodeId c) const {
+  if (c == p) {
+    return !nodes_[p].outbox.empty() && nodes_[p].outbox.front().first == d;
+  }
+  const MpDestState* view = viewOf(p, c, d);
+  if (view == nullptr || !view->bufE.has_value()) return false;
+  return viewNextHop(c, p, d) == p;
+}
+
+NodeId MpSsmfpSimulator::choiceOf(NodeId p, NodeId d) const {
+  for (const NodeId c : queue_[cell(p, d)]) {
+    if (choiceCandidate(p, d, c)) return c;
+  }
+  return kNoNode;
+}
+
+Color MpSsmfpSimulator::colorFor(NodeId p, NodeId d) const {
+  // Mirrors SsmfpProtocol::colorFor (degree-safe for any Delta).
+  thread_local std::vector<bool> used;
+  used.assign(static_cast<std::size_t>(delta_) + 1, false);
+  for (const NodeId q : graph_.neighbors(p)) {
+    const MpDestState* view = viewOf(p, q, d);
+    if (view != nullptr && view->bufR.has_value() && view->bufR->color <= delta_) {
+      used[view->bufR->color] = true;
+    }
+  }
+  for (Color c = 0; c <= delta_; ++c) {
+    if (!used[c]) return c;
+  }
+  assert(false && "color_p(d): pigeonhole violated");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Round execution (one synchronous-daemon step per node per round)
+// ---------------------------------------------------------------------------
+
+bool MpSsmfpSimulator::executeNodeRound(NodeId p) {
+  // Priority layer A: fix the first routing mismatch, if any.
+  for (const NodeId d : dests_) {
+    std::uint32_t newDist;
+    NodeId newParent;
+    if (routingStepEnabled(p, d, newDist, newParent)) {
+      state_[cell(p, d)].dist = newDist;
+      state_[cell(p, d)].parent = newParent;
+      return true;
+    }
+  }
+  // SSMFP: the first enabled rule in (destination, R1..R6) order - the
+  // same selection the state-model SynchronousDaemon makes (actions[0]).
+  for (const NodeId d : dests_) {
+    auto& own = state_[cell(p, d)];
+    // R1
+    if (!nodes_[p].outbox.empty() && nodes_[p].outbox.front().first == d &&
+        !own.bufR.has_value() && choiceOf(p, d) == p) {
+      Message msg;
+      msg.payload = nodes_[p].outbox.front().second;
+      msg.lastHop = p;
+      msg.color = 0;
+      msg.trace = nodes_[p].outboxTraces.front();
+      msg.valid = true;
+      msg.source = p;
+      msg.dest = d;
+      msg.bornRound = nodes_[p].round;  // round about to complete
+      own.bufR = msg;
+      nodes_[p].outbox.pop_front();
+      nodes_[p].outboxTraces.pop_front();
+      auto& q = queue_[cell(p, d)];
+      const auto it = std::find(q.begin(), q.end(), p);
+      if (it != q.end()) {
+        q.erase(it);
+        q.push_back(p);
+      }
+      generations_.push_back({msg, tick_, nodes_[p].round});
+      return true;
+    }
+    // R2
+    if (!own.bufE.has_value() && own.bufR.has_value()) {
+      const NodeId q = own.bufR->lastHop;
+      bool upstreamGone = true;
+      if (q != p && q < graph_.size()) {
+        const MpDestState* view = viewOf(p, q, d);
+        if (view != nullptr && view->bufE.has_value() &&
+            sameInfoAndColor(*view->bufE, *own.bufR)) {
+          upstreamGone = false;
+        }
+      }
+      if (upstreamGone) {
+        Message msg = *own.bufR;
+        msg.lastHop = p;
+        msg.color = colorFor(p, d);
+        own.bufE = msg;
+        own.bufR = std::nullopt;
+        return true;
+      }
+    }
+    // R3
+    if (!own.bufR.has_value()) {
+      const NodeId s = choiceOf(p, d);
+      if (s != kNoNode && s != p) {
+        const MpDestState* view = viewOf(p, s, d);
+        assert(view != nullptr && view->bufE.has_value());
+        Message msg = *view->bufE;
+        msg.lastHop = s;
+        own.bufR = msg;
+        auto& q = queue_[cell(p, d)];
+        const auto it = std::find(q.begin(), q.end(), s);
+        if (it != q.end()) {
+          q.erase(it);
+          q.push_back(s);
+        }
+        return true;
+      }
+    }
+    // R4
+    if (own.bufE.has_value() && p != d) {
+      const NodeId hop = cachedNextHop(p, d);
+      bool copyAtHop = false;
+      bool stray = false;
+      for (const NodeId r : graph_.neighbors(p)) {
+        const MpDestState* view = viewOf(p, r, d);
+        const bool match = view != nullptr && view->bufR.has_value() &&
+                           matchesTriplet(*view->bufR, own.bufE->payload, p,
+                                          own.bufE->color);
+        if (r == hop) {
+          copyAtHop = match;
+        } else if (match) {
+          stray = true;
+        }
+      }
+      if (copyAtHop && !stray) {
+        own.bufE = std::nullopt;
+        return true;
+      }
+    }
+    // R5
+    if (own.bufR.has_value()) {
+      const NodeId q = own.bufR->lastHop;
+      if (q != p && q < graph_.size()) {
+        const MpDestState* view = viewOf(p, q, d);
+        if (view != nullptr && view->bufE.has_value() &&
+            sameInfoAndColor(*view->bufE, *own.bufR) &&
+            viewNextHop(q, p, d) != p) {
+          own.bufR = std::nullopt;
+          return true;
+        }
+      }
+    }
+    // R6
+    if (p == d && own.bufE.has_value()) {
+      deliveries_.push_back({*own.bufE, p, tick_, nodes_[p].round});
+      own.bufE = std::nullopt;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Synchronizer plumbing
+// ---------------------------------------------------------------------------
+
+std::vector<MpDestState> MpSsmfpSimulator::makeSnapshot(NodeId p) const {
+  std::vector<MpDestState> snapshot(dests_.size());
+  for (std::size_t slot = 0; slot < dests_.size(); ++slot) {
+    snapshot[slot] = state_[static_cast<std::size_t>(p) * dests_.size() + slot];
+  }
+  return snapshot;
+}
+
+void MpSsmfpSimulator::broadcastSnapshot(NodeId p, std::uint64_t tick) {
+  const auto snapshot = makeSnapshot(p);
+  const auto& nbrs = graph_.neighbors(p);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (lossProbability_ > 0.0 && rng_.chance(lossProbability_)) {
+      ++packetsDropped_;
+      continue;  // lossy channel: the snapshot never arrives
+    }
+    Packet packet;
+    packet.from = p;
+    packet.round = nodes_[p].round;
+    packet.snapshot = snapshot;
+    const std::size_t ch = edgeIndex_[p][i];
+    const std::uint64_t delay = 1 + rng_.below(maxChannelDelay_);
+    packet.deliverAt = std::max(channelLastDelivery_[ch], tick + delay);
+    channelLastDelivery_[ch] = packet.deliverAt;
+    channels_[ch].push_back(std::move(packet));
+    ++packetsSent_;
+  }
+}
+
+std::uint64_t MpSsmfpSimulator::run(std::uint64_t maxTicks) {
+  // Per-node snapshot queues keyed by round: we reuse neighborState as the
+  // "current round view" and stage newer snapshots in pending queues.
+  std::vector<std::vector<std::deque<Packet>>> pending(graph_.size());
+  for (NodeId p = 0; p < graph_.size(); ++p) {
+    pending[p].resize(graph_.degree(p));
+  }
+
+  std::vector<std::vector<std::uint64_t>> nodeRoundHashes(graph_.size());
+  auto nodeHash = [&](NodeId p) {
+    StateHasher hasher;
+    for (const NodeId d : dests_) {
+      const auto& cellState = state_[cell(p, d)];
+      addBuffer(hasher, cellState.bufR);
+      addBuffer(hasher, cellState.bufE);
+      hasher.add(cellState.dist);
+      hasher.add(cellState.parent);
+      for (const NodeId c : queue_[cell(p, d)]) hasher.add(c);
+    }
+    hasher.add(nodes_[p].outbox.size());
+    for (const auto& [dest, payload] : nodes_[p].outbox) {
+      hasher.add(dest);
+      hasher.add(payload);
+    }
+    return hasher.h;
+  };
+
+  // Round 0 = the initial configuration.
+  for (NodeId p = 0; p < graph_.size(); ++p) {
+    nodeRoundHashes[p].push_back(nodeHash(p));
+    broadcastSnapshot(p, tick_);
+  }
+  std::uint64_t globalHashed = 0;
+
+  const std::uint64_t deadline = tick_ + maxTicks;
+  while (tick_ < deadline) {
+    ++tick_;
+    // Deliver due packets into per-round pending queues.
+    for (NodeId p = 0; p < graph_.size(); ++p) {
+      const auto& nbrs = graph_.neighbors(p);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId q = nbrs[i];
+        auto& channel = channels_[edgeIndex_[q][*graph_.neighborIndex(q, p)]];
+        while (!channel.empty() && channel.front().deliverAt <= tick_) {
+          pending[p][i].push_back(std::move(channel.front()));
+          channel.pop_front();
+        }
+      }
+    }
+    // Node execution: a node at round r executes round r+1 once it holds a
+    // round-r snapshot from every neighbor.
+    for (NodeId p = 0; p < graph_.size(); ++p) {
+      auto& node = nodes_[p];
+      bool ready = true;
+      for (std::size_t i = 0; i < graph_.degree(p); ++i) {
+        // Promote pending snapshots up to the round we need.
+        while (!pending[p][i].empty() &&
+               pending[p][i].front().round <= node.round) {
+          node.neighborState[i] = std::move(pending[p][i].front().snapshot);
+          node.neighborRound[i] = pending[p][i].front().round;
+          pending[p][i].pop_front();
+        }
+        if (node.neighborState[i].empty() || node.neighborRound[i] < node.round) {
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      const bool acted = executeNodeRound(p);
+      ++node.round;
+      if (acted) lastActiveRound_ = std::max(lastActiveRound_, node.round);
+      nodeRoundHashes[p].push_back(nodeHash(p));
+      broadcastSnapshot(p, tick_);
+    }
+    // Global round bookkeeping + hashes.
+    std::uint64_t globalMin = ~std::uint64_t{0};
+    for (NodeId p = 0; p < graph_.size(); ++p) {
+      globalMin = std::min(globalMin, nodes_[p].round);
+    }
+    completedRounds_ = globalMin;
+    while (globalHashed <= globalMin) {
+      StateHasher hasher;
+      for (NodeId p = 0; p < graph_.size(); ++p) {
+        hasher.add(nodeRoundHashes[p][globalHashed]);
+      }
+      roundHashes_.push_back(hasher.h);
+      ++globalHashed;
+    }
+    if (globalMin > lastActiveRound_ + 3) {
+      quiescent_ = true;
+      break;
+    }
+  }
+  return tick_;
+}
+
+std::uint64_t MpSsmfpSimulator::stateHash() const {
+  StateHasher global;
+  for (NodeId p = 0; p < graph_.size(); ++p) {
+    StateHasher hasher;
+    for (const NodeId d : dests_) {
+      const auto& cellState = state_[cell(p, d)];
+      addBuffer(hasher, cellState.bufR);
+      addBuffer(hasher, cellState.bufE);
+      hasher.add(cellState.dist);
+      hasher.add(cellState.parent);
+      for (const NodeId c : queue_[cell(p, d)]) hasher.add(c);
+    }
+    hasher.add(nodes_[p].outbox.size());
+    for (const auto& [dest, payload] : nodes_[p].outbox) {
+      hasher.add(dest);
+      hasher.add(payload);
+    }
+    global.add(hasher.h);
+  }
+  return global.h;
+}
+
+// ---------------------------------------------------------------------------
+// State-model bridge
+// ---------------------------------------------------------------------------
+
+std::uint64_t protocolStateHash(const SsmfpProtocol& protocol,
+                                const SelfStabBfsRouting& routing) {
+  const Graph& g = protocol.graph();
+  StateHasher global;
+  for (NodeId p = 0; p < g.size(); ++p) {
+    StateHasher hasher;
+    for (const NodeId d : protocol.destinations()) {
+      addBuffer(hasher, protocol.bufR(p, d));
+      addBuffer(hasher, protocol.bufE(p, d));
+      hasher.add(routing.dist(p, d));
+      hasher.add(routing.parent(p, d));
+      for (const NodeId c : protocol.fairnessQueue(p, d)) hasher.add(c);
+    }
+    hasher.add(protocol.outboxSize(p));
+    protocol.forEachWaiting(
+        p, [&](NodeId dest, Payload payload) {
+          hasher.add(dest);
+          hasher.add(payload);
+        });
+    global.add(hasher.h);
+  }
+  return global.h;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,171 @@
+#include "pif/pif.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snapfwd {
+
+const char* toString(PifState s) {
+  switch (s) {
+    case PifState::kClean: return "C";
+    case PifState::kBroadcast: return "B";
+    case PifState::kFeedback: return "F";
+  }
+  return "?";
+}
+
+PifProtocol::PifProtocol(const Graph& graph, NodeId root)
+    : graph_(graph),
+      root_(root),
+      parent_(graph.size(), kNoNode),
+      children_(graph.size()),
+      state_(graph.size(), PifState::kClean),
+      bSteps_(graph.size()) {
+  assert(graph.isConnected() && graph.edgeCount() + 1 == graph.size() &&
+         "PIF requires a tree");
+  const auto dist = graph.bfsDistances(root);
+  parent_[root] = root;
+  for (NodeId v = 0; v < graph.size(); ++v) {
+    if (v == root) continue;
+    for (const NodeId u : graph.neighbors(v)) {
+      if (dist[u] + 1 == dist[v]) {
+        parent_[v] = u;
+        children_[u].push_back(v);
+        break;
+      }
+    }
+    assert(parent_[v] != kNoNode);
+  }
+}
+
+std::uint64_t PifProtocol::nowStep() const {
+  return engine_ != nullptr ? engine_->stepCount() : 0;
+}
+
+bool PifProtocol::allChildren(NodeId p, PifState s) const {
+  return std::all_of(children_[p].begin(), children_[p].end(),
+                     [&](NodeId c) { return state_[c] == s; });
+}
+
+void PifProtocol::enumerateEnabled(NodeId p, std::vector<Action>& out) const {
+  if (p == root_) {
+    if (pendingRequests_ > 0 && state_[p] == PifState::kClean &&
+        allChildren(p, PifState::kClean)) {
+      out.push_back(Action{kPifStart, kNoNode, 0});
+    }
+    if (state_[p] == PifState::kBroadcast && allChildren(p, PifState::kFeedback)) {
+      out.push_back(Action{kPifComplete, kNoNode, 0});
+    }
+    return;
+  }
+  const PifState parentState = state_[parent_[p]];
+  switch (state_[p]) {
+    case PifState::kClean:
+      if (parentState == PifState::kBroadcast &&
+          allChildren(p, PifState::kClean)) {
+        out.push_back(Action{kPifBroadcast, kNoNode, 0});
+      }
+      break;
+    case PifState::kBroadcast:
+      if (parentState == PifState::kBroadcast &&
+          allChildren(p, PifState::kFeedback)) {
+        out.push_back(Action{kPifFeedback, kNoNode, 0});
+      } else if (parentState != PifState::kBroadcast) {
+        out.push_back(Action{kPifAbort, kNoNode, 0});
+      }
+      break;
+    case PifState::kFeedback:
+      if (parentState != PifState::kBroadcast) {
+        out.push_back(Action{kPifClean, kNoNode, 0});
+      }
+      break;
+  }
+}
+
+void PifProtocol::stage(NodeId p, const Action& a) {
+  switch (a.rule) {
+    case kPifStart:
+      staged_.push_back({p, a.rule, PifState::kBroadcast});
+      break;
+    case kPifComplete:
+      staged_.push_back({p, a.rule, PifState::kClean});
+      break;
+    case kPifBroadcast:
+      staged_.push_back({p, a.rule, PifState::kBroadcast});
+      break;
+    case kPifFeedback:
+      staged_.push_back({p, a.rule, PifState::kFeedback});
+      break;
+    case kPifClean:
+      staged_.push_back({p, a.rule, PifState::kClean});
+      break;
+    case kPifAbort:
+      staged_.push_back({p, a.rule, PifState::kFeedback});
+      break;
+    default:
+      assert(false && "unknown PIF rule");
+  }
+}
+
+void PifProtocol::commit() {
+  for (const auto& op : staged_) {
+    state_[op.p] = op.newState;
+    switch (op.rule) {
+      case kPifStart:
+        assert(pendingRequests_ > 0);
+        --pendingRequests_;
+        ++starts_;
+        startSeen_ = true;
+        lastStartStep_ = nowStep();
+        bSteps_[op.p].push_back(nowStep());  // the root participates at start
+        break;
+      case kPifBroadcast:
+        bSteps_[op.p].push_back(nowStep());
+        break;
+      case kPifComplete: {
+        WaveRecord wave;
+        wave.valid = startSeen_;
+        wave.startStep = lastStartStep_;
+        wave.completeStep = nowStep();
+        // Participation: processors whose latest BROADCAST falls in
+        // [startStep, completeStep] (valid waves only; garbage completions
+        // have no meaningful window).
+        if (wave.valid) {
+          for (NodeId q = 0; q < graph_.size(); ++q) {
+            const auto& steps = bSteps_[q];
+            if (!steps.empty() && steps.back() >= wave.startStep &&
+                steps.back() <= wave.completeStep) {
+              ++wave.participants;
+            }
+          }
+        }
+        waves_.push_back(wave);
+        startSeen_ = false;  // the next completion needs its own start
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  staged_.clear();
+}
+
+void PifProtocol::scrambleStates(Rng& rng) {
+  for (NodeId p = 0; p < graph_.size(); ++p) {
+    const auto pick = rng.below(p == root_ ? 2 : 3);
+    state_[p] = pick == 0 ? PifState::kClean
+                          : (pick == 1 ? PifState::kBroadcast : PifState::kFeedback);
+  }
+}
+
+void PifProtocol::setState(NodeId p, PifState s) {
+  assert(p != root_ || s != PifState::kFeedback);
+  state_[p] = s;
+}
+
+bool PifProtocol::allClean() const {
+  return std::all_of(state_.begin(), state_.end(),
+                     [](PifState s) { return s == PifState::kClean; });
+}
+
+}  // namespace snapfwd

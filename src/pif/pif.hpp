@@ -1,0 +1,133 @@
+#pragma once
+// Snap-stabilizing PIF (Propagation of Information with Feedback) on
+// rooted trees - the protocol family that INTRODUCED snap-stabilization
+// (the paper's references [2, 3], Bui/Datta/Petit/Villain), implemented on
+// the same state-model engine to show the framework hosts the whole
+// protocol class, not just SSMFP.
+//
+// PIF: on request, the root broadcasts a wave down the tree; every
+// processor participates; feedback returns bottom-up; the root learns the
+// wave completed. Snap-stabilization: starting from ANY configuration,
+// every requested wave starts in finite time, and every wave started by
+// the starting action has FULL participation before the root announces
+// completion.
+//
+// State: S_p in {B, F, C} (broadcast / feedback / clean), root without F.
+// Rules (ids in parentheses; parent() per the fixed tree):
+//   root:
+//     (1) START    : request && S_r = C && all children C  -> S_r := B
+//     (2) COMPLETE : S_r = B && all children F -> announce; S_r := C
+//   non-root p:
+//     (3) BROADCAST: S_p = C && S_parent = B && all children C -> S_p := B
+//     (4) FEEDBACK : S_p = B && S_parent = B && all children F -> S_p := F
+//     (5) CLEAN    : S_p = F && S_parent != B                  -> S_p := C
+//     (6) ABORT    : S_p = B && S_parent != B                  -> S_p := F
+//
+// Why this is snap-stabilizing (the argument the tests verify
+// empirically): a processor only reaches F from B via FEEDBACK while its
+// parent is still B, and it only reaches B via BROADCAST when all its
+// children are C - so when the root completes a wave it started, every
+// F it sees transitively certifies a fresh B-participation of the whole
+// subtree DURING this wave. Garbage B/F states abort/clean away before
+// they can be double-counted, because BROADCAST requires clean children
+// first. At most one completion can ever occur without a starting action
+// (the initial configuration may already look completed); the checker
+// counts such "invalid waves" exactly like SSMFP's invalid messages.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+
+enum class PifState : std::uint8_t { kClean = 0, kBroadcast = 1, kFeedback = 2 };
+
+[[nodiscard]] const char* toString(PifState s);
+
+enum PifRule : std::uint16_t {
+  kPifStart = 1,
+  kPifComplete = 2,
+  kPifBroadcast = 3,
+  kPifFeedback = 4,
+  kPifClean = 5,
+  kPifAbort = 6,
+};
+
+/// A completed wave, as observed at the root.
+struct WaveRecord {
+  bool valid = false;           // preceded by a START this execution
+  std::uint64_t startStep = 0;  // step of the START (valid waves)
+  std::uint64_t completeStep = 0;
+  std::uint64_t participants = 0;  // processors with a BROADCAST in-window
+};
+
+class PifProtocol final : public Protocol {
+ public:
+  /// `graph` must be a tree (asserted); `root` its root.
+  PifProtocol(const Graph& graph, NodeId root);
+
+  // -- Protocol ---------------------------------------------------------
+  [[nodiscard]] std::string_view name() const override { return "pif"; }
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
+  void stage(NodeId p, const Action& a) override;
+  void commit() override;
+
+  // -- Application interface ---------------------------------------------
+  /// Queues one wave request at the root (the paper's request flag).
+  void requestWave() { ++pendingRequests_; }
+  [[nodiscard]] std::size_t pendingRequests() const { return pendingRequests_; }
+
+  // -- Observation -----------------------------------------------------------
+  [[nodiscard]] PifState state(NodeId p) const { return state_[p]; }
+  [[nodiscard]] NodeId parent(NodeId p) const { return parent_[p]; }
+  [[nodiscard]] NodeId root() const { return root_; }
+  [[nodiscard]] const std::vector<WaveRecord>& waves() const { return waves_; }
+  [[nodiscard]] std::uint64_t startsExecuted() const { return starts_; }
+
+  /// Steps of each processor's BROADCAST executions (the checker uses
+  /// this to verify full participation per completed wave).
+  [[nodiscard]] const std::vector<std::vector<std::uint64_t>>& broadcastSteps()
+      const {
+    return bSteps_;
+  }
+
+  /// Fault injection: arbitrary initial states.
+  void scrambleStates(Rng& rng);
+  void setState(NodeId p, PifState s);
+
+  void attachEngine(const Engine* engine) { engine_ = engine; }
+
+  /// True iff every processor is Clean (the silent idle configuration).
+  [[nodiscard]] bool allClean() const;
+
+ private:
+  [[nodiscard]] bool allChildren(NodeId p, PifState s) const;
+  [[nodiscard]] std::uint64_t nowStep() const;
+
+  const Graph& graph_;
+  NodeId root_;
+  std::vector<NodeId> parent_;                 // parent_[root] == root
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<PifState> state_;
+
+  std::size_t pendingRequests_ = 0;
+  std::uint64_t starts_ = 0;
+  std::uint64_t lastStartStep_ = 0;
+  bool startSeen_ = false;
+  std::vector<WaveRecord> waves_;
+  std::vector<std::vector<std::uint64_t>> bSteps_;
+  const Engine* engine_ = nullptr;
+
+  struct StagedOp {
+    NodeId p;
+    std::uint16_t rule;
+    PifState newState;
+  };
+  std::vector<StagedOp> staged_;
+};
+
+}  // namespace snapfwd

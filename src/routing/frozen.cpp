@@ -1,0 +1,39 @@
+#include "routing/frozen.hpp"
+
+#include <cassert>
+
+#include "routing/oracle.hpp"
+
+namespace snapfwd {
+
+FrozenRouting::FrozenRouting(const Graph& graph)
+    : graph_(graph), n_(graph.size()), next_(n_ * n_, kNoNode) {
+  const OracleRouting oracle(graph);
+  for (NodeId p = 0; p < n_; ++p) {
+    for (NodeId d = 0; d < n_; ++d) {
+      next_[index(p, d)] = oracle.nextHop(p, d);
+    }
+  }
+}
+
+NodeId FrozenRouting::nextHop(NodeId p, NodeId d) const {
+  return next_[index(p, d)];
+}
+
+void FrozenRouting::setEntry(NodeId p, NodeId d, NodeId parent) {
+  assert(graph_.hasEdge(p, parent));
+  next_[index(p, d)] = parent;
+}
+
+void FrozenRouting::corrupt(Rng& rng, double fraction) {
+  for (NodeId p = 0; p < n_; ++p) {
+    if (graph_.degree(p) == 0) continue;
+    const auto& nbrs = graph_.neighbors(p);
+    for (NodeId d = 0; d < n_; ++d) {
+      if (p == d || !rng.chance(fraction)) continue;
+      next_[index(p, d)] = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+    }
+  }
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,42 @@
+#pragma once
+// Deliberately non-repairing routing tables (ablation substrate).
+//
+// The paper's guarantee requires a self-stabilizing routing layer A to run
+// alongside SSMFP. FrozenRouting holds whatever tables it is given forever,
+// so experiments can demonstrate that the assumption is *necessary*: with a
+// frozen routing cycle, messages circulate indefinitely and delivery is not
+// guaranteed, while the same initial configuration with SelfStabBfsRouting
+// is always delivered.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+
+class FrozenRouting final : public RoutingProvider {
+ public:
+  /// Starts with correct BFS tables; mutate via setEntry / corrupt.
+  explicit FrozenRouting(const Graph& graph);
+
+  [[nodiscard]] NodeId nextHop(NodeId p, NodeId d) const override;
+
+  /// `parent` must be a neighbor of p.
+  void setEntry(NodeId p, NodeId d, NodeId parent);
+
+  /// Randomizes each entry with probability `fraction` to a uniform neighbor.
+  void corrupt(Rng& rng, double fraction);
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId p, NodeId d) const {
+    return static_cast<std::size_t>(p) * n_ + d;
+  }
+
+  const Graph& graph_;
+  std::size_t n_;
+  std::vector<NodeId> next_;
+};
+
+}  // namespace snapfwd

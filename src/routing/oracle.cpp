@@ -1,0 +1,39 @@
+#include "routing/oracle.hpp"
+
+#include <cassert>
+
+namespace snapfwd {
+
+OracleRouting::OracleRouting(const Graph& graph)
+    : n_(graph.size()), next_(n_ * n_, kNoNode), dist_(n_ * n_, Graph::kUnreachable) {
+  // For each destination d: BFS from d, then parent of p = the smallest-id
+  // neighbor strictly closer to d (matching SelfStabBfsRouting's
+  // deterministic tie-break so "stabilized" means "equal to the oracle").
+  for (NodeId d = 0; d < n_; ++d) {
+    const auto fromD = graph.bfsDistances(d);
+    for (NodeId p = 0; p < n_; ++p) {
+      dist_[index(p, d)] = fromD[p];
+      if (p == d) {
+        // The destination is the ROOT of T_d: it has no outgoing arc in the
+        // buffer graph, so nextHop_d(d) = d (never a neighbor). This is what
+        // keeps a message in bufE_d(d) consumable-only: a neighbor's
+        // choice predicate nextHop_s(d) = p can then never select s = d.
+        next_[index(p, d)] = p;
+        continue;
+      }
+      assert(fromD[p] != Graph::kUnreachable && "network must be connected");
+      for (const NodeId q : graph.neighbors(p)) {
+        if (fromD[q] + 1 == fromD[p]) {
+          next_[index(p, d)] = q;  // neighbors are sorted: first hit = min id
+          break;
+        }
+      }
+    }
+  }
+}
+
+NodeId OracleRouting::nextHop(NodeId p, NodeId d) const {
+  return next_[index(p, d)];
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,37 @@
+#pragma once
+// Always-correct routing tables computed offline by BFS.
+//
+// Serves two purposes: (a) the "routing tables are correct in the initial
+// configuration" setting of Proposition 1 and of the fault-free baseline
+// comparison, and (b) the reference answer against which the
+// self-stabilizing routing layer's convergence is checked.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+
+namespace snapfwd {
+
+class OracleRouting final : public RoutingProvider {
+ public:
+  explicit OracleRouting(const Graph& graph);
+
+  [[nodiscard]] NodeId nextHop(NodeId p, NodeId d) const override;
+
+  /// BFS hop distance from p to d.
+  [[nodiscard]] std::uint32_t distance(NodeId p, NodeId d) const {
+    return dist_[index(p, d)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId p, NodeId d) const {
+    return static_cast<std::size_t>(p) * n_ + d;
+  }
+
+  std::size_t n_;
+  std::vector<NodeId> next_;           // next_[p*n+d]
+  std::vector<std::uint32_t> dist_;    // dist_[p*n+d]
+};
+
+}  // namespace snapfwd

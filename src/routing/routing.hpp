@@ -1,0 +1,29 @@
+#pragma once
+// Routing-table access interface (the paper's nextHop_p(d) procedure).
+//
+// SSMFP never owns routing state; it reads whatever tables the routing
+// layer currently holds, correct or corrupted. The contract matches the
+// paper: nextHop_p(d) returns *a neighbor of p* for every p != d -- even
+// when the tables are garbage -- and the routing layer is expected to
+// repair itself over time (self-stabilizing, silent).
+
+#include "graph/graph.hpp"
+
+namespace snapfwd {
+
+class RoutingProvider {
+ public:
+  virtual ~RoutingProvider() = default;
+
+  /// The neighbor of `p` to which messages for destination `d` should be
+  /// forwarded. Must return an element of N_p for p != d, even when tables
+  /// are garbage. For p == d it MUST return d itself: the destination is
+  /// the root of T_d with no outgoing buffer-graph arc, so it never
+  /// satisfies a neighbor's choice predicate nextHop_s(d) = p. (Returning
+  /// a neighbor here would let messages be pulled back out of bufE_d(d)
+  /// before consumption - a duplication the paper's model excludes by
+  /// construction of the destination-based buffer graph.)
+  [[nodiscard]] virtual NodeId nextHop(NodeId p, NodeId d) const = 0;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,139 @@
+#include "routing/selfstab_bfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snapfwd {
+
+SelfStabBfsRouting::SelfStabBfsRouting(const Graph& graph)
+    : graph_(graph),
+      n_(graph.size()),
+      cap_(static_cast<std::uint32_t>(graph.size())),
+      dist_(n_ * n_, 0),
+      parent_(n_ * n_, kNoNode) {
+  assert(graph.isConnected() && "SSMFP is specified on connected networks");
+  // Initialize correct (tests corrupt explicitly when needed).
+  for (NodeId d = 0; d < n_; ++d) {
+    const auto fromD = graph.bfsDistances(d);
+    for (NodeId p = 0; p < n_; ++p) {
+      dist_[index(p, d)] = fromD[p];
+      if (p == d) {
+        parent_[index(p, d)] = graph.degree(p) > 0 ? graph.neighbors(p)[0] : p;
+      } else {
+        for (const NodeId q : graph.neighbors(p)) {
+          if (fromD[q] + 1 == fromD[p]) {
+            parent_[index(p, d)] = q;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+SelfStabBfsRouting::Target SelfStabBfsRouting::computeTarget(NodeId p,
+                                                             NodeId d) const {
+  if (p == d) {
+    // The destination pins distance 0; its parent entry is irrelevant to
+    // forwarding (R4 never fires at d) but kept normalized for silence.
+    return {0, graph_.degree(p) > 0 ? graph_.neighbors(p)[0] : p};
+  }
+  std::uint32_t best = cap_;
+  NodeId bestNeighbor = graph_.neighbors(p)[0];
+  for (const NodeId q : graph_.neighbors(p)) {
+    const std::uint32_t dq = dist_[index(q, d)];
+    if (dq < best) {
+      best = dq;
+      bestNeighbor = q;  // sorted neighbors: first strict improvement = min id
+    }
+  }
+  const std::uint32_t target = best >= cap_ ? cap_ : best + 1;
+  return {std::min(target, cap_), bestNeighbor};
+}
+
+void SelfStabBfsRouting::enumerateEnabled(NodeId p, std::vector<Action>& out) const {
+  for (NodeId d = 0; d < n_; ++d) {
+    const Target t = computeTarget(p, d);
+    if (t.dist != dist_[index(p, d)] || t.parent != parent_[index(p, d)]) {
+      out.push_back(Action{kRuleFix, d, 0});
+    }
+  }
+}
+
+bool SelfStabBfsRouting::anyEnabled(NodeId p) const {
+  for (NodeId d = 0; d < n_; ++d) {
+    const Target t = computeTarget(p, d);
+    if (t.dist != dist_[index(p, d)] || t.parent != parent_[index(p, d)]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SelfStabBfsRouting::stage(NodeId p, const Action& a) {
+  assert(a.rule == kRuleFix && a.dest < n_);
+  const Target t = computeTarget(p, a.dest);
+  staged_.push_back({p, a.dest, t.dist, t.parent});
+}
+
+void SelfStabBfsRouting::commit() {
+  for (const auto& w : staged_) {
+    dist_[index(w.p, w.d)] = w.dist;
+    parent_[index(w.p, w.d)] = w.parent;
+  }
+  staged_.clear();
+}
+
+NodeId SelfStabBfsRouting::nextHop(NodeId p, NodeId d) const {
+  // The destination is the root of T_d: nextHop_d(d) = d, so d never
+  // qualifies as a forwarder in any neighbor's choice predicate (a message
+  // reaching bufE_d(d) can only be consumed by R6, never pulled back out).
+  if (p == d) return p;
+  const NodeId par = parent_[index(p, d)];
+  // The contract guarantees a neighbor even for garbage state.
+  if (graph_.hasEdge(p, par)) return par;
+  return graph_.degree(p) > 0 ? graph_.neighbors(p)[0] : p;
+}
+
+void SelfStabBfsRouting::setEntry(NodeId p, NodeId d, std::uint32_t distance,
+                                  NodeId parent) {
+  assert(graph_.hasEdge(p, parent) && "routing parent must be a neighbor");
+  dist_[index(p, d)] = std::min(distance, cap_);
+  parent_[index(p, d)] = parent;
+}
+
+void SelfStabBfsRouting::corrupt(Rng& rng, double fraction) {
+  for (NodeId p = 0; p < n_; ++p) {
+    if (graph_.degree(p) == 0) continue;
+    for (NodeId d = 0; d < n_; ++d) {
+      if (!rng.chance(fraction)) continue;
+      const auto& nbrs = graph_.neighbors(p);
+      dist_[index(p, d)] = static_cast<std::uint32_t>(rng.below(cap_ + 1));
+      parent_[index(p, d)] = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+    }
+  }
+}
+
+bool SelfStabBfsRouting::isSilent() const {
+  for (NodeId p = 0; p < n_; ++p) {
+    if (anyEnabled(p)) return false;
+  }
+  return true;
+}
+
+bool SelfStabBfsRouting::matchesBfs() const {
+  for (NodeId d = 0; d < n_; ++d) {
+    const auto fromD = graph_.bfsDistances(d);
+    for (NodeId p = 0; p < n_; ++p) {
+      if (dist_[index(p, d)] != fromD[p]) return false;
+      if (p != d) {
+        const NodeId par = parent_[index(p, d)];
+        if (!graph_.hasEdge(p, par)) return false;
+        if (fromD[par] + 1 != fromD[p]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace snapfwd

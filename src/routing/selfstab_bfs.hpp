@@ -1,0 +1,103 @@
+#pragma once
+// Self-stabilizing silent routing algorithm A.
+//
+// The paper assumes the existence of a self-stabilizing *silent* algorithm
+// computing shortest-path routing tables that runs with priority over
+// SSMFP (Section 3.1, citing Huang-Chen / Dolev-style BFS constructions).
+// This is that substrate: a per-destination self-stabilizing BFS in the
+// same guarded-rule state model.
+//
+// State of processor p for destination d:
+//   dist_p(d)   in {0, ..., n}   (n encodes "unknown / unreachable")
+//   parent_p(d) in N_p           (the routing table entry; nextHop reads it)
+//
+// Single rule per (p, d):
+//   RFix :: current (dist, parent) differ from the locally computed target
+//           -> overwrite with the target,
+// where the target for p == d is (0, -) and for p != d is
+// (min_q(dist_q(d)) + 1 capped at n, smallest-id minimizing neighbor).
+//
+// The protocol is silent: once every (p, d) matches its target -- i.e. the
+// tables equal the BFS oracle with min-id tie-break -- no guard is enabled.
+// Starting from arbitrary corruption it converges under any daemon (the
+// classic min+1 argument), and the engine measures R_A, the stabilization
+// time in rounds, which parameterizes Propositions 5-7.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+
+class SelfStabBfsRouting final : public Protocol, public RoutingProvider {
+ public:
+  /// Rule id of the single correction rule (Action::rule).
+  static constexpr std::uint16_t kRuleFix = 0;
+
+  /// Builds the protocol with *correct* initial tables (call corrupt*() to
+  /// start from garbage). Tables are maintained for every destination.
+  explicit SelfStabBfsRouting(const Graph& graph);
+
+  // -- Protocol -------------------------------------------------------------
+  [[nodiscard]] std::string_view name() const override { return "selfstab-bfs"; }
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
+  [[nodiscard]] bool anyEnabled(NodeId p) const override;
+  void stage(NodeId p, const Action& a) override;
+  void commit() override;
+
+  // -- RoutingProvider ------------------------------------------------------
+  [[nodiscard]] NodeId nextHop(NodeId p, NodeId d) const override;
+
+  // -- State access & fault injection ---------------------------------------
+  [[nodiscard]] std::uint32_t dist(NodeId p, NodeId d) const {
+    return dist_[index(p, d)];
+  }
+  [[nodiscard]] NodeId parent(NodeId p, NodeId d) const {
+    return parent_[index(p, d)];
+  }
+
+  /// Overwrites one table entry (fault injection / crafted scenarios).
+  /// `parent` must be a neighbor of p (asserted).
+  void setEntry(NodeId p, NodeId d, std::uint32_t distance, NodeId parent);
+
+  /// Randomizes every (p, d) entry with probability `fraction`: dist drawn
+  /// uniformly from {0..n}, parent a uniform neighbor.
+  void corrupt(Rng& rng, double fraction);
+
+  /// True iff no correction rule is enabled anywhere (tables converged).
+  [[nodiscard]] bool isSilent() const;
+
+  /// True iff the tables equal the BFS shortest-path answer (stronger than
+  /// isSilent only in that it is checked against an independent BFS).
+  [[nodiscard]] bool matchesBfs() const;
+
+ private:
+  struct Target {
+    std::uint32_t dist;
+    NodeId parent;
+  };
+  [[nodiscard]] Target computeTarget(NodeId p, NodeId d) const;
+  [[nodiscard]] std::size_t index(NodeId p, NodeId d) const {
+    return static_cast<std::size_t>(p) * n_ + d;
+  }
+
+  const Graph& graph_;
+  std::size_t n_;
+  std::uint32_t cap_;  // = n, the "unknown" distance value
+  std::vector<std::uint32_t> dist_;
+  std::vector<NodeId> parent_;
+
+  struct Pending {
+    NodeId p;
+    NodeId d;
+    std::uint32_t dist;
+    NodeId parent;
+  };
+  std::vector<Pending> staged_;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,140 @@
+#include "sim/figure3.hpp"
+
+#include <sstream>
+
+#include "graph/builders.hpp"
+
+namespace snapfwd {
+namespace {
+
+std::string describeBuffer(const Buffer& b) {
+  if (!b.has_value()) return "-";
+  std::ostringstream out;
+  const char* info = b->payload == Figure3Replay::kPayloadM ? "m" : "m'";
+  out << "(" << info << "," << topo::figure3Label(b->lastHop) << ","
+      << b->color << ")" << (b->valid ? "" : "!");
+  return out.str();
+}
+
+}  // namespace
+
+Figure3Replay::Figure3Replay() {
+  graph_ = std::make_unique<Graph>(topo::figure3Network());
+  routing_ = std::make_unique<FrozenRouting>(*graph_);
+  proto_ = std::make_unique<SsmfpProtocol>(*graph_, *routing_);
+
+  // Corrupted initial tables: the a <-> c cycle for destination b.
+  routing_->setEntry(kA, kB, kC);
+  routing_->setEntry(kC, kB, kA);
+
+  // Invalid message m' (color 0) in b's reception buffer.
+  Message garbage;
+  garbage.payload = kPayloadMPrime;
+  garbage.lastHop = kB;
+  garbage.color = 0;
+  proto_->injectReception(kB, kB, garbage);
+
+  // c's higher layer wants to send m, then a message with the same useful
+  // information as the invalid one.
+  proto_->send(kC, kB, kPayloadM);
+  proto_->send(kC, kB, kPayloadMPrime);
+
+  using Sel = ScriptedDaemon::Selection;
+  std::vector<std::vector<Sel>> script{
+      /* 1*/ {{kC, kR1Generate, kB}},
+      /* 2*/ {{kC, kR2Internal, kB}},
+      /* 3*/ {{kA, kR3Forward, kB}, {kC, kR1Generate, kB}},
+      /* 4*/ {{kC, kR4EraseForwarded, kB}},
+      /* 5*/ {{kC, kR2Internal, kB}},
+      // --- routing tables repaired between steps 5 and 6 ---
+      /* 6*/ {{kA, kR2Internal, kB}},
+      /* 7*/ {{kB, kR2Internal, kB}},
+      /* 8*/ {{kB, kR6Consume, kB}},
+      /* 9*/ {{kB, kR3Forward, kB}},
+      /*10*/ {{kA, kR4EraseForwarded, kB}},
+      /*11*/ {{kB, kR2Internal, kB}},
+      /*12*/ {{kB, kR6Consume, kB}},
+      /*13*/ {{kB, kR3Forward, kB}},
+      /*14*/ {{kC, kR4EraseForwarded, kB}},
+      /*15*/ {{kB, kR2Internal, kB}},
+      /*16*/ {{kB, kR6Consume, kB}},
+  };
+  descriptions_ = {
+      "(1)  R1 at c: c emits m into bufR_c(b) with color 0",
+      "(2)  R2 at c: m moves to bufE_c(b); color 0 forbidden by invalid m' "
+      "at b, so m gets color 1",
+      "(3)  R3 at a + R1 at c: m forwarded to bufR_a(b) (color kept); c "
+      "emits m' (same useful info as the invalid message)",
+      "(4)  R4 at c: m erased from bufE_c(b) (its copy reached bufR_a(b))",
+      "(5)  R2 at c: m' moves to bufE_c(b); colors 0 and 1 taken, so m' "
+      "gets color 2",
+      "(6)  [tables repaired] R2 at a: m moves to bufE_a(b) with color 1",
+      "(7)  R2 at b: invalid m' moves to bufE_b(b)",
+      "(8)  R6 at b: invalid m' DELIVERED",
+      "(9)  R3 at b: m forwarded to bufR_b(b)",
+      "(10) R4 at a: m erased from bufE_a(b)",
+      "(11) R2 at b: m moves to bufE_b(b)",
+      "(12) R6 at b: m DELIVERED",
+      "(13) R3 at b: valid m' forwarded to bufR_b(b)",
+      "(14) R4 at c: m' erased from bufE_c(b)",
+      "(15) R2 at b: m' moves to bufE_b(b)",
+      "(16) R6 at b: valid m' DELIVERED",
+  };
+
+  daemon_ = std::make_unique<ScriptedDaemon>(std::move(script));
+  engine_ = std::make_unique<Engine>(*graph_, std::vector<Protocol*>{proto_.get()},
+                                     *daemon_);
+  proto_->attachEngine(engine_.get());
+}
+
+bool Figure3Replay::run(
+    const std::function<void(std::size_t, const std::string&)>& onStep) {
+  colorsCorrect_ = true;
+  std::size_t step = 0;
+  while (engine_->step()) {
+    ++step;
+    // The paper's narration: the self-stabilizing routing layer converges
+    // between configurations (4) and (5) - our scripted steps 5 and 6.
+    if (step == 5) {
+      routing_->setEntry(kA, kB, kB);
+      routing_->setEntry(kC, kB, kB);
+    }
+    // Check the color claims of the figure.
+    if (step == 2) {
+      const Buffer& e = proto_->bufE(kC, kB);
+      colorsCorrect_ &= e.has_value() && e->color == 1;
+    }
+    if (step == 5) {
+      const Buffer& e = proto_->bufE(kC, kB);
+      colorsCorrect_ &= e.has_value() && e->color == 2;
+    }
+    if (onStep && step <= descriptions_.size()) {
+      onStep(step, descriptions_[step - 1]);
+    }
+  }
+  scriptMatched_ = daemon_->allMatched() && step == descriptions_.size();
+
+  // Expected deliveries, in order: invalid m', valid m, valid m'.
+  const auto& deliveries = proto_->deliveries();
+  deliveriesCorrect_ =
+      deliveries.size() == 3 && !deliveries[0].msg.valid &&
+      deliveries[0].msg.payload == kPayloadMPrime && deliveries[1].msg.valid &&
+      deliveries[1].msg.payload == kPayloadM && deliveries[2].msg.valid &&
+      deliveries[2].msg.payload == kPayloadMPrime &&
+      deliveries[0].at == kB && deliveries[1].at == kB && deliveries[2].at == kB;
+
+  const bool drained = proto_->fullyDrained();
+  return scriptMatched_ && deliveriesCorrect_ && colorsCorrect_ && drained;
+}
+
+std::string Figure3Replay::renderConfiguration() const {
+  std::ostringstream out;
+  for (NodeId p = 0; p < graph_->size(); ++p) {
+    out << "  " << topo::figure3Label(p)
+        << ": bufR=" << describeBuffer(proto_->bufR(p, kB))
+        << "  bufE=" << describeBuffer(proto_->bufE(p, kB)) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,244 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "baseline/merlin_schweitzer.hpp"
+#include "checker/invariants.hpp"
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+#include "routing/frozen.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd {
+
+const char* toString(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kPath: return "path";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kComplete: return "complete";
+    case TopologyKind::kBinaryTree: return "binary-tree";
+    case TopologyKind::kRandomTree: return "random-tree";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kTorus: return "torus";
+    case TopologyKind::kHypercube: return "hypercube";
+    case TopologyKind::kRandomConnected: return "random-connected";
+    case TopologyKind::kFigure3: return "figure3";
+  }
+  return "?";
+}
+
+const char* toString(DaemonKind kind) {
+  switch (kind) {
+    case DaemonKind::kSynchronous: return "synchronous";
+    case DaemonKind::kCentralRoundRobin: return "central-rr";
+    case DaemonKind::kCentralRandom: return "central-random";
+    case DaemonKind::kDistributedRandom: return "distributed-random";
+    case DaemonKind::kWeaklyFair: return "weakly-fair";
+    case DaemonKind::kAdversarial: return "adversarial";
+  }
+  return "?";
+}
+
+const char* toString(TrafficKind kind) {
+  switch (kind) {
+    case TrafficKind::kNone: return "none";
+    case TrafficKind::kUniform: return "uniform";
+    case TrafficKind::kAllToOne: return "all-to-one";
+    case TrafficKind::kPermutation: return "permutation";
+    case TrafficKind::kAntipodal: return "antipodal";
+  }
+  return "?";
+}
+
+Graph buildTopology(const ExperimentConfig& cfg, Rng& rng) {
+  switch (cfg.topology) {
+    case TopologyKind::kPath: return topo::path(cfg.n);
+    case TopologyKind::kRing: return topo::ring(cfg.n);
+    case TopologyKind::kStar: return topo::star(cfg.n);
+    case TopologyKind::kComplete: return topo::complete(cfg.n);
+    case TopologyKind::kBinaryTree: return topo::binaryTree(cfg.n);
+    case TopologyKind::kRandomTree: return topo::randomTree(cfg.n, rng);
+    case TopologyKind::kGrid: return topo::grid(cfg.rows, cfg.cols);
+    case TopologyKind::kTorus: return topo::torus(cfg.rows, cfg.cols);
+    case TopologyKind::kHypercube: return topo::hypercube(cfg.dims);
+    case TopologyKind::kRandomConnected:
+      return topo::randomConnected(cfg.n, cfg.extraEdges, rng);
+    case TopologyKind::kFigure3: return topo::figure3Network();
+  }
+  return Graph(1);
+}
+
+std::unique_ptr<Daemon> makeDaemon(DaemonKind kind, double probability, Rng& rng) {
+  switch (kind) {
+    case DaemonKind::kSynchronous:
+      return std::make_unique<SynchronousDaemon>();
+    case DaemonKind::kCentralRoundRobin:
+      return std::make_unique<CentralRoundRobinDaemon>();
+    case DaemonKind::kCentralRandom:
+      return std::make_unique<CentralRandomDaemon>(rng.fork(0xDAE1));
+    case DaemonKind::kDistributedRandom:
+      return std::make_unique<DistributedRandomDaemon>(rng.fork(0xDAE2), probability);
+    case DaemonKind::kWeaklyFair:
+      return std::make_unique<WeaklyFairDaemon>();
+    case DaemonKind::kAdversarial:
+      return std::make_unique<AdversarialDaemon>(rng.fork(0xDAE3));
+  }
+  return std::make_unique<SynchronousDaemon>();
+}
+
+std::vector<TrafficItem> makeTraffic(const ExperimentConfig& cfg, std::size_t n,
+                                     Rng& rng) {
+  switch (cfg.traffic) {
+    case TrafficKind::kNone: return {};
+    case TrafficKind::kUniform:
+      return uniformTraffic(n, cfg.messageCount, rng, cfg.payloadSpace);
+    case TrafficKind::kAllToOne:
+      return allToOneTraffic(n, cfg.hotspot, cfg.perSource, cfg.payloadSpace);
+    case TrafficKind::kPermutation:
+      return permutationTraffic(n, rng, cfg.payloadSpace);
+    case TrafficKind::kAntipodal:
+      return antipodalTraffic(n, cfg.payloadSpace);
+  }
+  return {};
+}
+
+namespace {
+
+/// Timing + amortized metrics common to both stacks.
+template <typename ProtocolT>
+void fillTimingMetrics(const ProtocolT& protocol, ExperimentResult& result) {
+  double sumLatency = 0.0;
+  double sumGeneration = 0.0;
+  std::uint64_t validDeliveries = 0;
+  for (const auto& rec : protocol.deliveries()) {
+    if (!rec.msg.valid) continue;
+    ++validDeliveries;
+    const std::uint64_t latency = rec.round - rec.msg.bornRound;
+    sumLatency += static_cast<double>(latency);
+    result.maxDeliveryRounds = std::max(result.maxDeliveryRounds, latency);
+  }
+  for (const auto& rec : protocol.generations()) {
+    sumGeneration += static_cast<double>(rec.round);
+    result.maxGenerationRound = std::max(result.maxGenerationRound, rec.round);
+  }
+  if (validDeliveries > 0) {
+    result.avgDeliveryRounds = sumLatency / static_cast<double>(validDeliveries);
+  }
+  if (!protocol.generations().empty()) {
+    result.avgGenerationRound =
+        sumGeneration / static_cast<double>(protocol.generations().size());
+  }
+  const std::size_t totalDeliveries = protocol.deliveries().size();
+  if (totalDeliveries > 0) {
+    result.amortizedRoundsPerDelivery =
+        static_cast<double>(result.rounds) / static_cast<double>(totalDeliveries);
+  }
+}
+
+}  // namespace
+
+SsmfpStack buildSsmfpStack(const ExperimentConfig& cfg) {
+  SsmfpStack stack;
+  stack.rng = Rng(cfg.seed);
+  Rng topoRng = stack.rng.fork(0x7070);
+  stack.graph = std::make_unique<Graph>(buildTopology(cfg, topoRng));
+  assert(stack.graph->isConnected());
+  stack.routing = std::make_unique<SelfStabBfsRouting>(*stack.graph);
+  stack.forwarding = std::make_unique<SsmfpProtocol>(
+      *stack.graph, *stack.routing, cfg.destinations, cfg.choicePolicy);
+
+  Rng faultRng = stack.rng.fork(0xFA17);
+  stack.invalidInjected =
+      applyCorruption(cfg.corruption, *stack.routing, *stack.forwarding, faultRng);
+
+  Rng trafficRng = stack.rng.fork(0x7AFF);
+  submitAll(*stack.forwarding, makeTraffic(cfg, stack.graph->size(), trafficRng));
+  return stack;
+}
+
+ExperimentResult runSsmfpExperiment(const ExperimentConfig& cfg) {
+  SsmfpStack stack = buildSsmfpStack(cfg);
+  const Graph& graph = *stack.graph;
+  SelfStabBfsRouting& routing = *stack.routing;
+  SsmfpProtocol& forwarding = *stack.forwarding;
+  Rng& rng = stack.rng;
+
+  ExperimentResult result;
+  result.graphN = graph.size();
+  result.graphDelta = graph.maxDegree();
+  result.graphDiameter = graph.diameter();
+  result.invalidInjected = stack.invalidInjected;
+  result.routingCorrupted = !routing.isSilent();
+
+  auto daemon = makeDaemon(cfg.daemon, cfg.daemonProbability, rng);
+  Engine engine(graph, {&routing, &forwarding}, *daemon);
+  forwarding.attachEngine(&engine);
+
+  InvariantMonitor monitor(forwarding);
+  bool routingSilentSeen = routing.isSilent();
+  engine.setPostStepHook([&](Engine& e) {
+    if (!routingSilentSeen && routing.isSilent()) {
+      routingSilentSeen = true;
+      result.routingSilentStep = e.stepCount();
+      result.routingSilentRound = e.roundCount();
+    }
+    if (cfg.checkInvariantsEveryStep && !result.invariantViolation) {
+      result.invariantViolation = monitor.check();
+    }
+  });
+
+  const std::uint64_t executed = engine.run(cfg.maxSteps);
+  result.quiescent = executed < cfg.maxSteps;
+  result.steps = engine.stepCount();
+  result.rounds = engine.roundCount();
+  result.actions = engine.actionCount();
+
+  result.spec = checkSpec(forwarding);
+  result.invalidDelivered = forwarding.invalidDeliveryCount();
+  fillTimingMetrics(forwarding, result);
+  return result;
+}
+
+ExperimentResult runBaselineExperiment(const ExperimentConfig& cfg) {
+  Rng rng(cfg.seed);
+  Rng topoRng = rng.fork(0x7070);
+  const Graph graph = buildTopology(cfg, topoRng);
+  assert(graph.isConnected());
+
+  FrozenRouting routing(graph);
+  MerlinSchweitzerProtocol forwarding(graph, routing, cfg.destinations);
+
+  ExperimentResult result;
+  result.graphN = graph.size();
+  result.graphDelta = graph.maxDegree();
+  result.graphDiameter = graph.diameter();
+
+  Rng faultRng = rng.fork(0xFA17);
+  result.invalidInjected =
+      applyCorruption(cfg.corruption, routing, forwarding, faultRng);
+  result.routingCorrupted = cfg.corruption.routingFraction > 0.0;
+
+  Rng trafficRng = rng.fork(0x7AFF);
+  const auto traffic = makeTraffic(cfg, graph.size(), trafficRng);
+  submitAll(forwarding, traffic);
+
+  auto daemon = makeDaemon(cfg.daemon, cfg.daemonProbability, rng);
+  Engine engine(graph, {&forwarding}, *daemon);
+  forwarding.attachEngine(&engine);
+
+  const std::uint64_t executed = engine.run(cfg.maxSteps);
+  result.quiescent = executed < cfg.maxSteps;
+  result.steps = engine.stepCount();
+  result.rounds = engine.roundCount();
+  result.actions = engine.actionCount();
+
+  result.spec = checkSpec(forwarding);
+  result.invalidDelivered = result.spec.invalidDelivered;
+  fillTimingMetrics(forwarding, result);
+  return result;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,151 @@
+#pragma once
+// One-call experiment runner: composes topology + routing + SSMFP (or the
+// baseline) + daemon + corruption + workload, runs to quiescence, and
+// returns the measurements Propositions 4-7 are stated in.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "checker/spec_checker.hpp"
+#include "core/daemon.hpp"
+#include "faults/corruptor.hpp"
+#include "graph/graph.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "ssmfp/ssmfp.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace snapfwd {
+
+enum class TopologyKind {
+  kPath,
+  kRing,
+  kStar,
+  kComplete,
+  kBinaryTree,
+  kRandomTree,
+  kGrid,
+  kTorus,
+  kHypercube,
+  kRandomConnected,
+  kFigure3,
+};
+
+enum class DaemonKind {
+  kSynchronous,
+  kCentralRoundRobin,
+  kCentralRandom,
+  kDistributedRandom,
+  kWeaklyFair,
+  kAdversarial,
+};
+
+enum class TrafficKind {
+  kNone,
+  kUniform,
+  kAllToOne,
+  kPermutation,
+  kAntipodal,
+};
+
+[[nodiscard]] const char* toString(TopologyKind kind);
+[[nodiscard]] const char* toString(DaemonKind kind);
+[[nodiscard]] const char* toString(TrafficKind kind);
+
+struct ExperimentConfig {
+  TopologyKind topology = TopologyKind::kRing;
+  std::size_t n = 8;          // path/ring/star/complete/trees/random
+  std::size_t rows = 3;       // grid/torus
+  std::size_t cols = 3;
+  std::size_t dims = 3;       // hypercube
+  std::size_t extraEdges = 4; // randomConnected
+
+  DaemonKind daemon = DaemonKind::kDistributedRandom;
+  double daemonProbability = 0.5;
+
+  std::uint64_t seed = 1;
+
+  CorruptionPlan corruption;  // default: clean start
+
+  TrafficKind traffic = TrafficKind::kUniform;
+  std::size_t messageCount = 16;  // uniform
+  std::size_t perSource = 1;      // allToOne
+  NodeId hotspot = 0;             // allToOne destination
+  Payload payloadSpace = 8;
+
+  std::uint64_t maxSteps = 2'000'000;
+  bool checkInvariantsEveryStep = false;
+
+  /// Restrict SSMFP buffer pairs to these destinations (empty = all of I).
+  std::vector<NodeId> destinations;
+
+  /// choice_p(d) selection policy (paper: round-robin; others = ablation).
+  ChoicePolicy choicePolicy = ChoicePolicy::kRoundRobin;
+};
+
+struct ExperimentResult {
+  bool quiescent = false;
+  std::uint64_t steps = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t actions = 0;
+
+  bool routingCorrupted = false;
+  std::uint64_t routingSilentStep = 0;   // first step with silent tables (R_A)
+  std::uint64_t routingSilentRound = 0;  // same, in rounds
+
+  SpecReport spec;
+  std::size_t invalidInjected = 0;
+  std::uint64_t invalidDelivered = 0;
+
+  // Valid-message timing, in rounds.
+  double avgDeliveryRounds = 0.0;  // delivery round - generation round
+  std::uint64_t maxDeliveryRounds = 0;
+  double avgGenerationRound = 0.0;  // delay proxy: when R1 fired
+  std::uint64_t maxGenerationRound = 0;
+  double amortizedRoundsPerDelivery = 0.0;  // rounds / deliveries (Prop. 7)
+
+  std::size_t graphN = 0;
+  std::size_t graphDelta = 0;
+  std::uint32_t graphDiameter = 0;
+
+  std::optional<std::string> invariantViolation;
+};
+
+/// Builds the configured topology (uses `rng` for the random families).
+[[nodiscard]] Graph buildTopology(const ExperimentConfig& cfg, Rng& rng);
+
+/// Builds the configured daemon (owns its Rng fork).
+[[nodiscard]] std::unique_ptr<Daemon> makeDaemon(DaemonKind kind, double probability,
+                                                 Rng& rng);
+
+/// Builds the configured traffic.
+[[nodiscard]] std::vector<TrafficItem> makeTraffic(const ExperimentConfig& cfg,
+                                                   std::size_t n, Rng& rng);
+
+/// A fully composed SSMFP stack: topology built, corruption applied,
+/// traffic submitted - ready to attach to an Engine. `rng` continues the
+/// config's seed stream (pass it to makeDaemon for the canonical daemon).
+struct SsmfpStack {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<SelfStabBfsRouting> routing;
+  std::unique_ptr<SsmfpProtocol> forwarding;
+  std::size_t invalidInjected = 0;
+  Rng rng{0};
+};
+
+/// Composes the stack exactly as runSsmfpExperiment does (same RNG fork
+/// order, so seeds reproduce identically); exposed for tooling that needs
+/// the live objects (CLI snapshotting, tracing, custom measurement).
+[[nodiscard]] SsmfpStack buildSsmfpStack(const ExperimentConfig& cfg);
+
+/// SSMFP stack: SelfStabBfsRouting (priority layer) + SsmfpProtocol.
+[[nodiscard]] ExperimentResult runSsmfpExperiment(const ExperimentConfig& cfg);
+
+/// Baseline stack: Merlin-Schweitzer over frozen tables (corrupted per the
+/// plan's routingFraction; correct when the plan is clean).
+[[nodiscard]] ExperimentResult runBaselineExperiment(const ExperimentConfig& cfg);
+
+}  // namespace snapfwd

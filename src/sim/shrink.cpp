@@ -1,0 +1,113 @@
+#include "sim/shrink.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace snapfwd {
+namespace {
+
+std::vector<std::string> splitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string joinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    if (line.empty()) continue;  // removal marker
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+bool startsWith(const std::string& line, const char* tag) {
+  return line.rfind(tag, 0) == 0;
+}
+
+/// A line whose removal is a candidate reduction. Routing lines reset the
+/// entry to correct-by-construction; buffer/outbox lines delete a message.
+bool isRemovable(const std::string& line) {
+  return startsWith(line, "bufR ") || startsWith(line, "bufE ") ||
+         startsWith(line, "outbox ") || startsWith(line, "routing ");
+}
+
+/// For buffer/outbox lines: rewrite the payload field (3rd value for
+/// buffers and outbox alike) to 0; returns the edited line or empty when
+/// not applicable / already zero.
+std::string withZeroPayload(const std::string& line) {
+  if (!(startsWith(line, "bufR ") || startsWith(line, "bufE ") ||
+        startsWith(line, "outbox "))) {
+    return {};
+  }
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  // Layout: tag p d payload ...
+  if (tokens.size() < 4 || tokens[3] == "0") return {};
+  tokens[3] = "0";
+  std::string out = tokens[0];
+  for (std::size_t i = 1; i < tokens.size(); ++i) out += " " + tokens[i];
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrinkSnapshot(const std::string& snapshot,
+                            const ShrinkPredicate& stillExhibits,
+                            int maxPasses) {
+  ShrinkResult result;
+  result.snapshot = snapshot;
+
+  auto probe = [&](const std::string& candidate) -> bool {
+    ++result.probes;
+    try {
+      RestoredStack stack = snapshotFromString(candidate);
+      return stillExhibits(stack);
+    } catch (const std::exception&) {
+      return false;  // malformed candidate: reject the edit
+    }
+  };
+
+  if (!probe(snapshot)) return result;  // input does not exhibit: no-op
+
+  std::vector<std::string> lines = splitLines(result.snapshot);
+  for (int pass = 0; pass < maxPasses; ++pass) {
+    bool changed = false;
+    // Phase 1: try removing each removable line.
+    for (auto& line : lines) {
+      if (line.empty() || !isRemovable(line)) continue;
+      const std::string saved = line;
+      line.clear();
+      if (probe(joinLines(lines))) {
+        ++result.removedLines;
+        changed = true;
+      } else {
+        line = saved;
+      }
+    }
+    // Phase 2: try zeroing payloads of surviving message lines.
+    for (auto& line : lines) {
+      if (line.empty()) continue;
+      const std::string zeroed = withZeroPayload(line);
+      if (zeroed.empty()) continue;
+      const std::string saved = line;
+      line = zeroed;
+      if (probe(joinLines(lines))) {
+        ++result.zeroedPayloads;
+        changed = true;
+      } else {
+        line = saved;
+      }
+    }
+    if (!changed) break;
+  }
+  result.snapshot = joinLines(lines);
+  return result;
+}
+
+}  // namespace snapfwd

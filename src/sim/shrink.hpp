@@ -1,0 +1,40 @@
+#pragma once
+// Configuration shrinking (delta debugging) over snapshots.
+//
+// Fuzzing finds violating configurations with dozens of garbage messages
+// and fully random tables; understanding them wants the MINIMAL
+// configuration that still violates. shrinkSnapshot() repeatedly applies
+// reduction edits - drop a buffer's contents, drop a waiting message,
+// reset a routing entry to its correct value, zero a payload - keeping an
+// edit only while the caller's predicate still reports the behavior under
+// investigation. The result is a (locally) minimal snapshot exhibiting the
+// same behavior, ready for a regression test.
+
+#include <functional>
+#include <string>
+
+#include "sim/snapshot.hpp"
+
+namespace snapfwd {
+
+/// Returns true when the (restored) configuration still exhibits the
+/// behavior being minimized - e.g. "running this to quiescence violates
+/// SP" or "this delivers garbage to node 0". The stack is freshly parsed
+/// for every probe, so the predicate may freely mutate/run it.
+using ShrinkPredicate = std::function<bool(RestoredStack&)>;
+
+struct ShrinkResult {
+  std::string snapshot;    // the minimized snapshot text
+  std::size_t probes = 0;  // predicate evaluations spent
+  std::size_t removedLines = 0;
+  std::size_t zeroedPayloads = 0;
+};
+
+/// Minimizes `snapshot` with respect to `stillExhibits`. Precondition: the
+/// input snapshot itself satisfies the predicate (asserted via one probe;
+/// if not, the input is returned unchanged with probes = 1).
+[[nodiscard]] ShrinkResult shrinkSnapshot(const std::string& snapshot,
+                                          const ShrinkPredicate& stillExhibits,
+                                          int maxPasses = 4);
+
+}  // namespace snapfwd

@@ -1,0 +1,45 @@
+#pragma once
+// Configuration snapshots: serialize the complete protocol-visible state
+// of an SSMFP stack (topology, routing tables, buffers, fairness queues,
+// outboxes) to a line-based text format and restore it exactly.
+//
+// Use cases: archiving the exact "arbitrary initial configuration" behind
+// a result, reproducing a failing fuzz case outside the harness, and
+// checkpoint/resume of long simulations (restoring mid-run state resumes
+// an equivalent execution - see tests/test_snapshot.cpp).
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd {
+
+/// Serializes graph + routing + forwarding state. The output is stable
+/// across runs (no addresses, no iteration-order dependence).
+void writeSnapshot(std::ostream& out, const Graph& graph,
+                   const SelfStabBfsRouting& routing,
+                   const SsmfpProtocol& forwarding);
+
+/// Convenience: snapshot to a string.
+[[nodiscard]] std::string snapshotToString(const Graph& graph,
+                                           const SelfStabBfsRouting& routing,
+                                           const SsmfpProtocol& forwarding);
+
+/// A restored stack. Objects own each other's lifetimes in declaration
+/// order; `forwarding` reads `routing` which reads `graph`.
+struct RestoredStack {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<SelfStabBfsRouting> routing;
+  std::unique_ptr<SsmfpProtocol> forwarding;
+};
+
+/// Parses a snapshot; throws std::runtime_error with a line-numbered
+/// message on malformed input.
+[[nodiscard]] RestoredStack readSnapshot(std::istream& in);
+[[nodiscard]] RestoredStack snapshotFromString(const std::string& text);
+
+}  // namespace snapfwd

@@ -1,0 +1,52 @@
+#include "sim/sweep.hpp"
+
+#include "stats/table.hpp"
+
+namespace snapfwd {
+
+SweepResult runSweep(
+    ExperimentConfig cfg, std::uint64_t firstSeed, std::size_t seedCount,
+    bool baseline,
+    const std::function<void(ExperimentConfig&, std::uint64_t seed)>& mutate) {
+  SweepResult result;
+  result.runs.reserve(seedCount);
+  for (std::size_t i = 0; i < seedCount; ++i) {
+    const std::uint64_t seed = firstSeed + i;
+    ExperimentConfig runCfg = cfg;
+    runCfg.seed = seed;
+    if (mutate) mutate(runCfg, seed);
+    ExperimentResult run =
+        baseline ? runBaselineExperiment(runCfg) : runSsmfpExperiment(runCfg);
+
+    if (!run.quiescent) {
+      ++result.nonQuiescent;
+    } else if (run.spec.satisfiesSp()) {
+      ++result.satisfiedSp;
+    }
+    if (!run.spec.satisfiesSp()) ++result.violatedSp;
+
+    result.rounds.add(static_cast<double>(run.rounds));
+    result.steps.add(static_cast<double>(run.steps));
+    result.avgDeliveryRounds.add(run.avgDeliveryRounds);
+    result.maxDeliveryRounds.add(static_cast<double>(run.maxDeliveryRounds));
+    result.amortizedRoundsPerDelivery.add(run.amortizedRoundsPerDelivery);
+    result.routingSilentRound.add(static_cast<double>(run.routingSilentRound));
+    result.invalidDelivered.add(static_cast<double>(run.invalidDelivered));
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+std::vector<std::string> sweepRowCells(const SweepResult& result) {
+  return {
+      Table::num(std::uint64_t{result.runs.size()}),
+      Table::num(std::uint64_t{result.satisfiedSp}) + "/" +
+          Table::num(std::uint64_t{result.runs.size()}),
+      Table::num(result.rounds.mean(), 1),
+      Table::num(result.avgDeliveryRounds.mean(), 1) + " +/- " +
+          Table::num(result.avgDeliveryRounds.stddev(), 1),
+      Table::num(result.amortizedRoundsPerDelivery.mean(), 2),
+  };
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,49 @@
+#pragma once
+// Multi-seed sweep runner: run the same experiment across seeds (and
+// optional config variants), aggregate the metrics of interest with
+// Summary statistics, and keep the per-run results for inspection.
+//
+// This is the library form of the loops every benchmark harness writes by
+// hand; downstream users evaluating a variant (new choice policy, new
+// daemon) get mean/stddev/percentiles and an SP tally in one call.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "stats/summary.hpp"
+
+namespace snapfwd {
+
+struct SweepResult {
+  std::vector<ExperimentResult> runs;
+
+  std::size_t satisfiedSp = 0;      // runs with SP && quiescent
+  std::size_t violatedSp = 0;
+  std::size_t nonQuiescent = 0;
+
+  Summary rounds;
+  Summary steps;
+  Summary avgDeliveryRounds;
+  Summary maxDeliveryRounds;
+  Summary amortizedRoundsPerDelivery;
+  Summary routingSilentRound;
+  Summary invalidDelivered;
+
+  [[nodiscard]] bool allSp() const { return violatedSp == 0 && nonQuiescent == 0; }
+};
+
+/// Runs `cfg` once per seed in [firstSeed, firstSeed + seedCount), with
+/// `mutate` (optional) applied to each seed's config before running.
+/// `baseline` selects the Merlin-Schweitzer stack instead of SSMFP.
+[[nodiscard]] SweepResult runSweep(
+    ExperimentConfig cfg, std::uint64_t firstSeed, std::size_t seedCount,
+    bool baseline = false,
+    const std::function<void(ExperimentConfig&, std::uint64_t seed)>& mutate = {});
+
+/// Convenience: one row of summary cells for a Table
+/// (n runs, SP tally, rounds mean, avg-latency mean+/-sd, amortized mean).
+[[nodiscard]] std::vector<std::string> sweepRowCells(const SweepResult& result);
+
+}  // namespace snapfwd

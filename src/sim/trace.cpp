@@ -1,0 +1,131 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace snapfwd {
+
+std::string ruleName(std::uint16_t layer, std::uint16_t rule) {
+  if (layer == 0xFFFF) return "rule" + std::to_string(rule);
+  if (rule >= kR1Generate && rule <= kR6Consume) {
+    return "R" + std::to_string(rule);
+  }
+  return "rule" + std::to_string(rule);
+}
+
+ExecutionTracer::ExecutionTracer(Engine& engine, int routingLayer)
+    : routingLayer_(routingLayer) {
+  engine.setPostStepHook([this](Engine& e) {
+    for (const auto& executed : e.lastExecuted()) {
+      entries_.push_back({e.stepCount(), e.roundCount(), executed.p,
+                          executed.layer, executed.action.rule,
+                          executed.action.dest, executed.action.aux});
+    }
+  });
+}
+
+std::vector<TraceEntry> ExecutionTracer::byRule(std::uint16_t layer,
+                                                std::uint16_t rule) const {
+  std::vector<TraceEntry> out;
+  for (const auto& entry : entries_) {
+    if (entry.layer == layer && entry.rule == rule) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<TraceEntry> ExecutionTracer::byProcessor(NodeId p) const {
+  std::vector<TraceEntry> out;
+  for (const auto& entry : entries_) {
+    if (entry.p == p) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<ExecutionTracer::RuleCount> ExecutionTracer::ruleCounts() const {
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::uint64_t> counts;
+  for (const auto& entry : entries_) {
+    ++counts[{entry.layer, entry.rule}];
+  }
+  std::vector<RuleCount> out;
+  out.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    out.push_back({key.first, key.second, count});
+  }
+  return out;
+}
+
+std::string ExecutionTracer::render(std::size_t maxEntries) const {
+  std::ostringstream out;
+  std::size_t shown = 0;
+  for (const auto& entry : entries_) {
+    if (shown++ >= maxEntries) {
+      out << "  ... (" << entries_.size() - maxEntries << " more)\n";
+      break;
+    }
+    out << "  step " << entry.step << " [round " << entry.round << "] p" << entry.p;
+    if (static_cast<int>(entry.layer) == routingLayer_) {
+      out << " RFix(d=" << entry.dest << ")";
+    } else {
+      out << " " << ruleName(entry.layer, entry.rule);
+      out << "(d=" << entry.dest;
+      if (entry.rule == kR3Forward) out << ", s=" << entry.aux;
+      out << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<std::vector<ScriptedDaemon::Selection>> scriptFromTrace(
+    const std::vector<TraceEntry>& entries) {
+  std::vector<std::vector<ScriptedDaemon::Selection>> script;
+  std::uint64_t currentStep = 0;
+  for (const auto& entry : entries) {
+    // Entries are stamped with the post-commit step count, so the first
+    // step's actions carry step == 1.
+    if (script.empty() || entry.step != currentStep) {
+      script.emplace_back();
+      currentStep = entry.step;
+    }
+    script.back().push_back({entry.p, entry.rule, entry.dest});
+  }
+  return script;
+}
+
+namespace {
+
+std::string describeBuffer(const Buffer& b) {
+  if (!b.has_value()) return "-";
+  std::ostringstream out;
+  out << "(" << b->payload << ",p" << b->lastHop << ",c" << b->color << ")"
+      << (b->valid ? "" : "!");
+  return out.str();
+}
+
+}  // namespace
+
+std::string renderConfiguration(const SsmfpProtocol& protocol, NodeId d) {
+  std::ostringstream out;
+  out << "destination " << d << ":\n";
+  for (NodeId p = 0; p < protocol.graph().size(); ++p) {
+    out << "  p" << p << ": bufR=" << describeBuffer(protocol.bufR(p, d))
+        << "  bufE=" << describeBuffer(protocol.bufE(p, d)) << "\n";
+  }
+  return out.str();
+}
+
+std::string renderOccupiedConfiguration(const SsmfpProtocol& protocol) {
+  std::ostringstream out;
+  for (const NodeId d : protocol.destinations()) {
+    bool occupied = false;
+    for (NodeId p = 0; p < protocol.graph().size() && !occupied; ++p) {
+      occupied = protocol.bufR(p, d).has_value() || protocol.bufE(p, d).has_value();
+    }
+    if (occupied) out << renderConfiguration(protocol, d);
+  }
+  const std::string text = out.str();
+  return text.empty() ? "(all buffers empty)\n" : text;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,81 @@
+#pragma once
+// Execution tracing and configuration rendering.
+//
+// ExecutionTracer hooks an Engine and records every executed action (step,
+// processor, layer, rule, destination) - the machine-readable form of the
+// paper's execution diagrams. renderConfiguration() prints one
+// destination's buffer pairs in the style of Figure 3's diagrams, for any
+// network. Together they turn an arbitrary run into a readable trace (see
+// examples/trace_explorer.cpp).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd {
+
+/// Human-readable names for SSMFP rules ("R1".."R6") and the routing
+/// layer's correction rule ("RFix"); falls back to "rule<k>".
+[[nodiscard]] std::string ruleName(std::uint16_t layer, std::uint16_t rule);
+
+struct TraceEntry {
+  std::uint64_t step = 0;
+  std::uint64_t round = 0;
+  NodeId p = kNoNode;
+  std::uint16_t layer = 0;
+  std::uint16_t rule = 0;
+  NodeId dest = kNoNode;
+  std::uint64_t aux = 0;
+};
+
+/// Records every executed action of an engine run. Install BEFORE running;
+/// chains with any previously installed post-step hook.
+class ExecutionTracer {
+ public:
+  /// `layerOfRouting` is the engine layer index of the routing protocol
+  /// (rule names of that layer render as "RFix"); pass -1 if absent.
+  explicit ExecutionTracer(Engine& engine, int routingLayer = 0);
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  /// Entries filtered to one rule / one processor.
+  [[nodiscard]] std::vector<TraceEntry> byRule(std::uint16_t layer,
+                                               std::uint16_t rule) const;
+  [[nodiscard]] std::vector<TraceEntry> byProcessor(NodeId p) const;
+
+  /// Tallies per (layer, rule) - how often each rule fired.
+  struct RuleCount {
+    std::uint16_t layer;
+    std::uint16_t rule;
+    std::uint64_t count;
+  };
+  [[nodiscard]] std::vector<RuleCount> ruleCounts() const;
+
+  /// One line per action: "step 12 [round 3] p5 R3(d=0, s=4)".
+  [[nodiscard]] std::string render(std::size_t maxEntries = ~std::size_t{0}) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+  int routingLayer_;
+};
+
+/// Converts a recorded trace into a ScriptedDaemon script: replaying it
+/// against an identically prepared initial configuration re-executes the
+/// run deterministically, whatever daemon originally produced it (each
+/// original step becomes one scripted step selecting the same
+/// (processor, rule, destination) actions).
+[[nodiscard]] std::vector<std::vector<ScriptedDaemon::Selection>> scriptFromTrace(
+    const std::vector<TraceEntry>& entries);
+
+/// Renders the destination-d buffer pairs of every processor, one line
+/// each, e.g. "  p3: bufR=(7,p2,c1)  bufE=-" ('!' marks invalid messages).
+[[nodiscard]] std::string renderConfiguration(const SsmfpProtocol& protocol,
+                                              NodeId d);
+
+/// Renders every destination with at least one occupied buffer.
+[[nodiscard]] std::string renderOccupiedConfiguration(const SsmfpProtocol& protocol);
+
+}  // namespace snapfwd

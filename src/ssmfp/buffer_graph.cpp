@@ -1,0 +1,69 @@
+#include "ssmfp/buffer_graph.hpp"
+
+#include <deque>
+
+namespace snapfwd {
+
+DirectedBufferGraph destinationBufferGraph(const Graph& graph,
+                                           const RoutingProvider& routing,
+                                           NodeId d) {
+  DirectedBufferGraph bg;
+  bg.vertexCount = graph.size();
+  bg.labels.reserve(graph.size());
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    bg.labels.push_back("b_" + std::to_string(p) + "(" + std::to_string(d) + ")");
+  }
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    if (p == d) continue;  // the destination consumes; no outgoing arc
+    bg.arcs.emplace_back(p, routing.nextHop(p, d));
+  }
+  return bg;
+}
+
+DirectedBufferGraph ssmfpBufferGraph(const Graph& graph,
+                                     const RoutingProvider& routing, NodeId d) {
+  DirectedBufferGraph bg;
+  bg.vertexCount = 2 * graph.size();
+  bg.labels.reserve(bg.vertexCount);
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    bg.labels.push_back("bufR_" + std::to_string(p) + "(" + std::to_string(d) + ")");
+    bg.labels.push_back("bufE_" + std::to_string(p) + "(" + std::to_string(d) + ")");
+  }
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    // Internal move R2: reception -> emission of the same processor.
+    bg.arcs.emplace_back(2 * static_cast<std::size_t>(p),
+                         2 * static_cast<std::size_t>(p) + 1);
+    // Hop move R3: emission -> reception of the routed next hop.
+    if (p != d) {
+      const NodeId hop = routing.nextHop(p, d);
+      bg.arcs.emplace_back(2 * static_cast<std::size_t>(p) + 1,
+                           2 * static_cast<std::size_t>(hop));
+    }
+  }
+  return bg;
+}
+
+bool isAcyclic(const DirectedBufferGraph& bg) {
+  std::vector<std::size_t> indegree(bg.vertexCount, 0);
+  std::vector<std::vector<std::size_t>> out(bg.vertexCount);
+  for (const auto& [from, to] : bg.arcs) {
+    out[from].push_back(to);
+    ++indegree[to];
+  }
+  std::deque<std::size_t> ready;
+  for (std::size_t v = 0; v < bg.vertexCount; ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  std::size_t removed = 0;
+  while (!ready.empty()) {
+    const std::size_t v = ready.front();
+    ready.pop_front();
+    ++removed;
+    for (const std::size_t w : out[v]) {
+      if (--indegree[w] == 0) ready.push_back(w);
+    }
+  }
+  return removed == bg.vertexCount;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,46 @@
+#pragma once
+// Buffer graphs (Merlin & Schweitzer 1978; paper Figures 1 and 2).
+//
+// A buffer graph BG is a directed graph over the network's buffers; a
+// deadlock-free controller restricts message moves to arcs of BG, and
+// acyclicity of BG guarantees deadlock freedom. Two constructions appear
+// in the paper:
+//   - Figure 1, "destination-based": one buffer b_p(d) per processor per
+//     destination; arcs b_p(d) -> b_{nextHop_p(d)}(d). The component for d
+//     is isomorphic to the routing tree T_d (acyclic iff tables are
+//     cycle-free).
+//   - Figure 2, SSMFP's adaptation: two buffers per processor per
+//     destination with arcs bufR_p(d) -> bufE_p(d) (internal move R2) and
+//     bufE_p(d) -> bufR_{nextHop_p(d)}(d) (hop move R3).
+//
+// Building these against a *corrupted* RoutingProvider exhibits the cycles
+// that make the fault-free controller deadlock, which is exactly the
+// situation SSMFP survives.
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+
+namespace snapfwd {
+
+struct DirectedBufferGraph {
+  std::size_t vertexCount = 0;
+  std::vector<std::string> labels;                       // one per vertex
+  std::vector<std::pair<std::size_t, std::size_t>> arcs; // (from, to)
+};
+
+/// Figure 1 construction for destination d (one buffer per processor).
+[[nodiscard]] DirectedBufferGraph destinationBufferGraph(
+    const Graph& graph, const RoutingProvider& routing, NodeId d);
+
+/// Figure 2 construction for destination d (bufR/bufE per processor).
+/// Vertex 2p is bufR_p(d); vertex 2p+1 is bufE_p(d).
+[[nodiscard]] DirectedBufferGraph ssmfpBufferGraph(
+    const Graph& graph, const RoutingProvider& routing, NodeId d);
+
+/// Kahn's algorithm; true iff the graph has no directed cycle.
+[[nodiscard]] bool isAcyclic(const DirectedBufferGraph& bg);
+
+}  // namespace snapfwd

@@ -1,0 +1,405 @@
+#include "ssmfp/ssmfp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snapfwd {
+
+const char* toString(ChoicePolicy policy) {
+  switch (policy) {
+    case ChoicePolicy::kRoundRobin: return "round-robin";
+    case ChoicePolicy::kFixedPriority: return "fixed-priority";
+    case ChoicePolicy::kOldestFirst: return "oldest-first";
+  }
+  return "?";
+}
+
+SsmfpProtocol::SsmfpProtocol(const Graph& graph, const RoutingProvider& routing,
+                             std::vector<NodeId> destinations,
+                             ChoicePolicy policy)
+    : graph_(graph),
+      routing_(routing),
+      dests_(std::move(destinations)),
+      destSlot_(graph.size(), kNoSlot),
+      delta_(static_cast<Color>(graph.maxDegree())),
+      policy_(policy),
+      outbox_(graph.size()) {
+  if (dests_.empty()) {
+    dests_.resize(graph.size());
+    for (NodeId d = 0; d < graph.size(); ++d) dests_[d] = d;
+  }
+  std::sort(dests_.begin(), dests_.end());
+  dests_.erase(std::unique(dests_.begin(), dests_.end()), dests_.end());
+  for (std::size_t slot = 0; slot < dests_.size(); ++slot) {
+    assert(dests_[slot] < graph.size());
+    destSlot_[dests_[slot]] = static_cast<std::uint32_t>(slot);
+  }
+
+  const std::size_t cells = graph.size() * dests_.size();
+  bufR_.resize(cells);
+  bufE_.resize(cells);
+  queue_.resize(cells);
+  // Fairness queue: N_p in id order, then p itself (the Delta+1 queue).
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : dests_) {
+      auto& q = queue_[cell(p, d)];
+      q = graph.neighbors(p);
+      q.push_back(p);
+    }
+  }
+}
+
+std::uint64_t SsmfpProtocol::nowStep() const {
+  return engine_ != nullptr ? engine_->stepCount() : 0;
+}
+
+std::uint64_t SsmfpProtocol::nowRound() const {
+  return engine_ != nullptr ? engine_->roundCount() : 0;
+}
+
+NodeId SsmfpProtocol::nextDestination(NodeId p) const {
+  return outbox_[p].empty() ? kNoNode : outbox_[p].front().dest;
+}
+
+bool SsmfpProtocol::choiceCandidate(NodeId p, NodeId d, NodeId c) const {
+  if (c == p) {
+    // Self-candidacy: p can generate into bufR_p(d). (See the divergence
+    // note in the header: we require the waiting message to target d.)
+    return request(p) && nextDestination(p) == d;
+  }
+  // Neighbor candidacy: c's emission buffer holds a message routed to p.
+  const Buffer& e = bufE_[cell(c, d)];
+  return e.has_value() && routing_.nextHop(c, d) == p;
+}
+
+NodeId SsmfpProtocol::choice(NodeId p, NodeId d) const {
+  switch (policy_) {
+    case ChoicePolicy::kRoundRobin:
+      for (const NodeId c : queue_[cell(p, d)]) {
+        if (choiceCandidate(p, d, c)) return c;
+      }
+      return kNoNode;
+    case ChoicePolicy::kFixedPriority: {
+      // Smallest candidate id wins (self counts with id p). Deterministic,
+      // cheap, and deliberately unfair - see the ChoicePolicy docs.
+      NodeId best = kNoNode;
+      for (const NodeId c : graph_.neighbors(p)) {
+        if (c < best && choiceCandidate(p, d, c)) best = c;
+      }
+      if (p < best && choiceCandidate(p, d, p)) best = p;
+      return best;
+    }
+    case ChoicePolicy::kOldestFirst: {
+      // The candidate offering the oldest message (smallest trace id;
+      // trace ids are allocated monotonically). Ties by smaller id.
+      NodeId best = kNoNode;
+      TraceId bestAge = ~TraceId{0};
+      auto consider = [&](NodeId c, TraceId age) {
+        if (age < bestAge || (age == bestAge && c < best)) {
+          best = c;
+          bestAge = age;
+        }
+      };
+      for (const NodeId c : graph_.neighbors(p)) {
+        if (!choiceCandidate(p, d, c)) continue;
+        consider(c, bufE_[cell(c, d)]->trace);
+      }
+      if (choiceCandidate(p, d, p)) consider(p, outbox_[p].front().trace);
+      return best;
+    }
+  }
+  return kNoNode;
+}
+
+Color SsmfpProtocol::colorFor(NodeId p, NodeId d) const {
+  // Smallest color in {0..Delta} carried by no message in a reception
+  // buffer of a neighbor of p. At most Delta neighbors occupy at most
+  // Delta colors, so a free one always exists among Delta+1. Only the
+  // degree(p) colors actually present matter, so a degree-sized scan
+  // suffices for any Delta.
+  thread_local std::vector<bool> used;
+  used.assign(static_cast<std::size_t>(delta_) + 1, false);
+  for (const NodeId q : graph_.neighbors(p)) {
+    const Buffer& r = bufR_[cell(q, d)];
+    if (r.has_value() && r->color <= delta_) used[r->color] = true;
+  }
+  for (Color c = 0; c <= delta_; ++c) {
+    if (!used[c]) return c;
+  }
+  assert(false && "color_p(d): no free color - pigeonhole violated");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Guards
+// ---------------------------------------------------------------------------
+
+bool SsmfpProtocol::guardR1(NodeId p, NodeId d) const {
+  return request(p) && nextDestination(p) == d && !bufR_[cell(p, d)].has_value() &&
+         choice(p, d) == p;
+}
+
+bool SsmfpProtocol::guardR2(NodeId p, NodeId d) const {
+  if (bufE_[cell(p, d)].has_value()) return false;
+  const Buffer& r = bufR_[cell(p, d)];
+  if (!r.has_value()) return false;
+  const NodeId q = r->lastHop;
+  if (q == p) return true;
+  // Defensive: lastHop of injected garbage is constrained to N_p u {p},
+  // but treat an out-of-range q as "no matching upstream copy".
+  if (q >= graph_.size()) return true;
+  const Buffer& upstream = bufE_[cell(q, d)];
+  return !upstream.has_value() || !sameInfoAndColor(*upstream, *r);
+}
+
+NodeId SsmfpProtocol::guardR3(NodeId p, NodeId d) const {
+  if (bufR_[cell(p, d)].has_value()) return kNoNode;
+  const NodeId s = choice(p, d);
+  if (s == kNoNode || s == p) return kNoNode;
+  // choiceCandidate already checked bufE_s(d) non-empty.
+  return s;
+}
+
+bool SsmfpProtocol::guardR4(NodeId p, NodeId d) const {
+  if (p == d) return false;
+  const Buffer& e = bufE_[cell(p, d)];
+  if (!e.has_value()) return false;
+  const NodeId hop = routing_.nextHop(p, d);
+  bool copyAtHop = false;
+  for (const NodeId r : graph_.neighbors(p)) {
+    const Buffer& rb = bufR_[cell(r, d)];
+    const bool match =
+        rb.has_value() && matchesTriplet(*rb, e->payload, p, e->color);
+    if (r == hop) {
+      copyAtHop = match;
+    } else if (match) {
+      return false;  // a stray copy elsewhere: R5 must clean it first
+    }
+  }
+  return copyAtHop;
+}
+
+bool SsmfpProtocol::guardR5(NodeId p, NodeId d) const {
+  const Buffer& r = bufR_[cell(p, d)];
+  if (!r.has_value()) return false;
+  const NodeId q = r->lastHop;
+  // q = p means the message was generated here (R1), not forwarded: it can
+  // never be a forwarding duplicate. Algorithm 1's guard does not state
+  // q != p explicitly, but without it a freshly generated (m, p, 0) would
+  // be erased whenever bufE_p(d) coincidentally holds an older message
+  // with the same payload and color 0 - deleting a valid message and
+  // contradicting Lemma 4. The type-1 caterpillar definition's "(q = p)"
+  // disjunct confirms the intended reading.
+  if (q == p) return false;
+  if (q >= graph_.size()) return false;
+  const Buffer& upstream = bufE_[cell(q, d)];
+  if (!upstream.has_value() || !sameInfoAndColor(*upstream, *r)) return false;
+  return routing_.nextHop(q, d) != p;
+}
+
+bool SsmfpProtocol::guardR6(NodeId p, NodeId d) const {
+  return p == d && bufE_[cell(p, d)].has_value();
+}
+
+void SsmfpProtocol::enumerateEnabled(NodeId p, std::vector<Action>& out) const {
+  for (const NodeId d : dests_) {
+    if (guardR1(p, d)) out.push_back(Action{kR1Generate, d, 0});
+    if (guardR2(p, d)) out.push_back(Action{kR2Internal, d, 0});
+    if (const NodeId s = guardR3(p, d); s != kNoNode) {
+      out.push_back(Action{kR3Forward, d, s});
+    }
+    if (guardR4(p, d)) out.push_back(Action{kR4EraseForwarded, d, 0});
+    if (guardR5(p, d)) out.push_back(Action{kR5EraseDuplicate, d, 0});
+    if (guardR6(p, d)) out.push_back(Action{kR6Consume, d, 0});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statements (staged against the pre-step configuration)
+// ---------------------------------------------------------------------------
+
+void SsmfpProtocol::stage(NodeId p, const Action& a) {
+  const NodeId d = a.dest;
+  assert(d < graph_.size() && destSlot_[d] != kNoSlot);
+  StagedOp op;
+  op.p = p;
+  op.d = d;
+  op.rule = a.rule;
+
+  switch (a.rule) {
+    case kR1Generate: {
+      assert(guardR1(p, d));
+      const OutboxEntry& waiting = outbox_[p].front();
+      Message msg;
+      msg.payload = waiting.payload;
+      msg.lastHop = p;
+      msg.color = 0;
+      msg.trace = waiting.trace;
+      msg.valid = true;
+      msg.source = p;
+      msg.dest = d;
+      msg.bornStep = nowStep();
+      msg.bornRound = nowRound();
+      op.writeR = true;
+      op.newR = msg;
+      op.popOutbox = true;          // request_p := false
+      op.rotateToBack = p;          // choice served p: rotate for fairness
+      op.generated = msg;
+      break;
+    }
+    case kR2Internal: {
+      assert(guardR2(p, d));
+      Message msg = *bufR_[cell(p, d)];
+      msg.lastHop = p;
+      msg.color = colorFor(p, d);
+      op.writeE = true;
+      op.newE = msg;
+      op.writeR = true;
+      op.newR = std::nullopt;
+      break;
+    }
+    case kR3Forward: {
+      const NodeId s = static_cast<NodeId>(a.aux);
+      assert(guardR3(p, d) == s);
+      Message msg = *bufE_[cell(s, d)];
+      msg.lastHop = s;  // color kept (the footnote's q != s case applies to
+                        // invalid initial messages; we forward them anyway)
+      op.writeR = true;
+      op.newR = msg;
+      op.rotateToBack = s;
+      break;
+    }
+    case kR4EraseForwarded: {
+      assert(guardR4(p, d));
+      op.writeE = true;
+      op.newE = std::nullopt;
+      break;
+    }
+    case kR5EraseDuplicate: {
+      assert(guardR5(p, d));
+      op.writeR = true;
+      op.newR = std::nullopt;
+      break;
+    }
+    case kR6Consume: {
+      assert(guardR6(p, d));
+      op.delivered = *bufE_[cell(p, d)];
+      op.writeE = true;
+      op.newE = std::nullopt;
+      break;
+    }
+    default:
+      assert(false && "unknown SSMFP rule");
+  }
+  staged_.push_back(std::move(op));
+}
+
+void SsmfpProtocol::commit() {
+  for (auto& op : staged_) {
+    const std::size_t idx = cell(op.p, op.d);
+    if (op.writeR) bufR_[idx] = op.newR;
+    if (op.writeE) bufE_[idx] = op.newE;
+    if (op.rotateToBack != kNoNode) {
+      auto& q = queue_[idx];
+      const auto it = std::find(q.begin(), q.end(), op.rotateToBack);
+      if (it != q.end()) {
+        q.erase(it);
+        q.push_back(op.rotateToBack);
+      }
+    }
+    if (op.popOutbox) {
+      assert(!outbox_[op.p].empty());
+      outbox_[op.p].pop_front();
+    }
+    if (op.generated.has_value()) {
+      generations_.push_back({*op.generated, nowStep(), nowRound()});
+    }
+    if (op.delivered.has_value()) {
+      DeliveryRecord record{*op.delivered, op.p, nowStep(), nowRound()};
+      if (!record.msg.valid) ++invalidDeliveries_;
+      deliveries_.push_back(record);
+      if (deliveryHook_) deliveryHook_(deliveries_.back());
+    }
+  }
+  staged_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Application interface & injection
+// ---------------------------------------------------------------------------
+
+TraceId SsmfpProtocol::send(NodeId src, NodeId dest, Payload payload) {
+  assert(src < graph_.size());
+  assert(dest < graph_.size() && destSlot_[dest] != kNoSlot &&
+         "dest must be an active destination");
+  const TraceId trace = nextTrace_++;
+  outbox_[src].push_back({dest, payload, trace});
+  return trace;
+}
+
+void SsmfpProtocol::injectReception(NodeId p, NodeId d, Message msg) {
+  assert(p < graph_.size() && destSlot_[d] != kNoSlot);
+  assert(msg.color <= delta_);
+  assert(msg.lastHop == p || graph_.hasEdge(p, msg.lastHop));
+  msg.valid = false;
+  msg.dest = d;
+  if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
+  bufR_[cell(p, d)] = msg;
+}
+
+void SsmfpProtocol::injectEmission(NodeId p, NodeId d, Message msg) {
+  assert(p < graph_.size() && destSlot_[d] != kNoSlot);
+  assert(msg.color <= delta_);
+  assert(msg.lastHop == p || graph_.hasEdge(p, msg.lastHop));
+  msg.valid = false;
+  msg.dest = d;
+  if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
+  bufE_[cell(p, d)] = msg;
+}
+
+void SsmfpProtocol::scrambleQueues(Rng& rng) {
+  for (auto& q : queue_) rng.shuffle(q);
+}
+
+void SsmfpProtocol::restoreReception(NodeId p, NodeId d, const Message& msg) {
+  assert(p < graph_.size() && destSlot_[d] != kNoSlot);
+  assert(msg.color <= delta_);
+  bufR_[cell(p, d)] = msg;
+}
+
+void SsmfpProtocol::restoreEmission(NodeId p, NodeId d, const Message& msg) {
+  assert(p < graph_.size() && destSlot_[d] != kNoSlot);
+  assert(msg.color <= delta_);
+  bufE_[cell(p, d)] = msg;
+}
+
+void SsmfpProtocol::setFairnessQueue(NodeId p, NodeId d, std::vector<NodeId> order) {
+  assert(order.size() == graph_.degree(p) + 1);
+#ifndef NDEBUG
+  for (const NodeId c : order) {
+    assert(c == p || graph_.hasEdge(p, c));
+  }
+#endif
+  queue_[cell(p, d)] = std::move(order);
+}
+
+void SsmfpProtocol::restoreOutboxEntry(NodeId p, NodeId dest, Payload payload,
+                                       TraceId trace) {
+  assert(p < graph_.size() && destSlot_[dest] != kNoSlot);
+  outbox_[p].push_back({dest, payload, trace});
+}
+
+std::size_t SsmfpProtocol::occupiedBufferCount() const {
+  std::size_t count = 0;
+  for (const auto& b : bufR_) count += b.has_value() ? 1 : 0;
+  for (const auto& b : bufE_) count += b.has_value() ? 1 : 0;
+  return count;
+}
+
+bool SsmfpProtocol::fullyDrained() const {
+  if (occupiedBufferCount() != 0) return false;
+  return std::all_of(outbox_.begin(), outbox_.end(),
+                     [](const auto& box) { return box.empty(); });
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,295 @@
+#pragma once
+// SSMFP - the paper's Snap-Stabilizing Message Forwarding Protocol
+// (Algorithm 1), implemented as a guarded-rule Protocol in the state model.
+//
+// Per destination d, every processor p holds two buffers:
+//   bufR_p(d) - reception buffer (messages arrive here: generation R1,
+//               hop forwarding R3),
+//   bufE_p(d) - emission buffer (messages leave from here: internal
+//               forwarding R2 gives them a fresh color, hop erasure R4,
+//               consumption R6 at the destination).
+//
+// Rules (destination d, processor p):
+//  R1 generation : request_p && nextDestination_p = d && bufR_p(d) empty
+//                  && choice_p(d) = p
+//                  -> bufR_p(d) := (nextMessage_p, p, 0); request_p := false
+//  R2 internal   : bufE_p(d) empty && bufR_p(d) = (m,q,c)
+//                  && (q = p || bufE_q(d) != (m,.,c))
+//                  -> bufE_p(d) := (m, p, color_p(d)); bufR_p(d) := empty
+//  R3 forwarding : bufR_p(d) empty && choice_p(d) = s != p
+//                  && bufE_s(d) = (m,q,c)
+//                  -> bufR_p(d) := (m, s, c)
+//  R4 erase-fwd  : bufE_p(d) = (m,q,c) && p != d
+//                  && bufR_{nextHop_p(d)}(d) = (m,p,c)
+//                  && forall r in N_p \ {nextHop_p(d)}: bufR_r(d) != (m,p,c)
+//                  -> bufE_p(d) := empty
+//  R5 erase-dup  : bufR_p(d) = (m,q,c) && bufE_q(d) = (m,.,c)
+//                  && nextHop_q(d) != p
+//                  -> bufR_p(d) := empty
+//  R6 consume    : bufE_p(p) = (m,q,c) -> deliver_p(m); bufE_p(p) := empty
+//
+// color_p(d) returns the smallest color in {0..Delta} carried by no message
+// in a reception buffer of a neighbor of p (destination d); choice_p(d) is
+// a round-robin queue over N_p u {p} (the paper's queue of length Delta+1)
+// returning its first element that can currently forward or generate into
+// bufR_p(d).
+//
+// Faithfulness note (documented divergence): the paper's self-candidacy
+// predicate for choice_p(d) is "choice = p && request_p"; we additionally
+// require nextDestination_p = d, i.e. p only competes for the reception
+// buffer its waiting message actually targets. This avoids the transient
+// stall where the d-queue's head is p while p's waiting message targets
+// d' != d; the fairness argument (at most Delta other candidates pass a
+// waiting one) is unchanged.
+//
+// The class also exposes the application interface of the paper
+// (request_p / nextMessage_p as a per-processor blocking outbox), delivery
+// and generation event records, and state injection entry points used to
+// build *arbitrary initial configurations* (invalid messages, scrambled
+// fairness queues) for snap-stabilization experiments.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "ssmfp/message.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+
+/// Selection policy behind choice_p(d).
+///
+/// The paper manages fairness with a round-robin queue of length Delta+1
+/// (kRoundRobin) and notes in its conclusion that the worst-case latency
+/// could be improved by modifying this fair selection scheme - the other
+/// policies implement that ablation:
+///   kRoundRobin    - the paper's queue: first queue element satisfying the
+///                    candidate predicate; serving rotates it to the back.
+///   kFixedPriority - always the smallest-id candidate. NOT fair: a
+///                    low-id neighbor with steady traffic starves the
+///                    others; kept to demonstrate why fairness is needed.
+///   kOldestFirst   - the candidate holding the oldest message (smallest
+///                    trace id; the self-candidate uses its waiting
+///                    message's trace). Global FIFO-ish service: removes
+///                    the "Delta messages can pass per hop" factor from
+///                    the Prop. 5 worst case.
+enum class ChoicePolicy : std::uint8_t {
+  kRoundRobin,
+  kFixedPriority,
+  kOldestFirst,
+};
+
+[[nodiscard]] const char* toString(ChoicePolicy policy);
+
+/// Rule identifiers (Action::rule), numbered as in Algorithm 1.
+enum SsmfpRule : std::uint16_t {
+  kR1Generate = 1,
+  kR2Internal = 2,
+  kR3Forward = 3,
+  kR4EraseForwarded = 4,
+  kR5EraseDuplicate = 5,
+  kR6Consume = 6,
+};
+
+/// A message accepted by R1 (the paper's "generation" move).
+struct GenerationRecord {
+  Message msg;
+  std::uint64_t step = 0;
+  std::uint64_t round = 0;
+};
+
+/// A message handed to the higher layer by R6 (the "consumption" move).
+struct DeliveryRecord {
+  Message msg;
+  NodeId at = kNoNode;
+  std::uint64_t step = 0;
+  std::uint64_t round = 0;
+};
+
+class SsmfpProtocol final : public Protocol {
+ public:
+  /// `routing` is the nextHop oracle (typically the self-stabilizing layer
+  /// running above this protocol in engine priority). `destinations` lists
+  /// the destinations for which buffer pairs exist; empty means "all of I"
+  /// (the paper's setting; restrict for large sweeps).
+  SsmfpProtocol(const Graph& graph, const RoutingProvider& routing,
+                std::vector<NodeId> destinations = {},
+                ChoicePolicy policy = ChoicePolicy::kRoundRobin);
+
+  [[nodiscard]] ChoicePolicy choicePolicy() const { return policy_; }
+
+  // -- Protocol ---------------------------------------------------------
+  [[nodiscard]] std::string_view name() const override { return "ssmfp"; }
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
+  void stage(NodeId p, const Action& a) override;
+  void commit() override;
+
+  // -- Application interface (request_p / nextMessage_p) -----------------
+  /// Queues a message at src's higher layer; it is "waiting" until R1
+  /// accepts it (request_p semantics; the wait is blocking, so queue order
+  /// is preserved). Returns the unique trace id used by the SP checker.
+  TraceId send(NodeId src, NodeId dest, Payload payload);
+
+  /// request_p of the paper: true iff src's higher layer has a waiting
+  /// message (we model the flag as outbox non-emptiness).
+  [[nodiscard]] bool request(NodeId p) const { return !outbox_[p].empty(); }
+  [[nodiscard]] std::size_t outboxSize(NodeId p) const { return outbox_[p].size(); }
+  /// Destination of the waiting message, or kNoNode (nextDestination_p).
+  [[nodiscard]] NodeId nextDestination(NodeId p) const;
+
+  /// Iterates p's waiting messages in queue order as f(dest, payload)
+  /// (used by the cross-model state hash; see mp/mp_ssmfp.hpp).
+  template <typename F>
+  void forEachWaiting(NodeId p, F&& f) const {
+    for (const auto& entry : outbox_[p]) f(entry.dest, entry.payload);
+  }
+
+  // -- Event records ------------------------------------------------------
+  [[nodiscard]] const std::vector<GenerationRecord>& generations() const {
+    return generations_;
+  }
+  [[nodiscard]] const std::vector<DeliveryRecord>& deliveries() const {
+    return deliveries_;
+  }
+  /// Deliveries whose message was not generated by R1 in this execution
+  /// (Proposition 4 counts these; bound 2n per destination).
+  [[nodiscard]] std::uint64_t invalidDeliveryCount() const {
+    return invalidDeliveries_;
+  }
+  /// Optional callback invoked at commit time for each delivery.
+  void setDeliveryHook(std::function<void(const DeliveryRecord&)> hook) {
+    deliveryHook_ = std::move(hook);
+  }
+
+  /// Attach the engine whose step/round counters stamp events. Must be the
+  /// engine executing this protocol; may be null (counters stay 0).
+  void attachEngine(const Engine* engine) { engine_ = engine; }
+
+  // -- State access (checkers, printers, tests) ----------------------------
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] const RoutingProvider& routing() const { return routing_; }
+  [[nodiscard]] const std::vector<NodeId>& destinations() const { return dests_; }
+  [[nodiscard]] bool isDestination(NodeId d) const {
+    return destSlot_[d] != kNoSlot;
+  }
+  [[nodiscard]] Color delta() const { return delta_; }
+
+  [[nodiscard]] const Buffer& bufR(NodeId p, NodeId d) const {
+    return bufR_[cell(p, d)];
+  }
+  [[nodiscard]] const Buffer& bufE(NodeId p, NodeId d) const {
+    return bufE_[cell(p, d)];
+  }
+  /// The fairness queue backing choice_p(d), in current rotation order.
+  [[nodiscard]] const std::vector<NodeId>& fairnessQueue(NodeId p, NodeId d) const {
+    return queue_[cell(p, d)];
+  }
+
+  /// The procedures of Algorithm 1, exposed for tests and checkers.
+  /// choice_p(d): first fairness-queue element that can forward or generate
+  /// into bufR_p(d); kNoNode when no candidate qualifies.
+  [[nodiscard]] NodeId choice(NodeId p, NodeId d) const;
+  /// color_p(d): smallest color in {0..Delta} absent from all reception
+  /// buffers of neighbors of p (destination d).
+  [[nodiscard]] Color colorFor(NodeId p, NodeId d) const;
+
+  /// Number of occupied buffers over all processors and destinations.
+  [[nodiscard]] std::size_t occupiedBufferCount() const;
+  /// True iff every buffer is empty and every outbox drained.
+  [[nodiscard]] bool fullyDrained() const;
+
+  // -- Arbitrary-initial-configuration injection ----------------------------
+  /// Places `msg` in bufR_p(d) / bufE_p(d). Marks it invalid (a message
+  /// "present in the initial configuration"). lastHop must be in N_p u {p}
+  /// and color <= Delta (asserted); trace is auto-assigned if kInvalidTrace.
+  void injectReception(NodeId p, NodeId d, Message msg);
+  void injectEmission(NodeId p, NodeId d, Message msg);
+  /// Random rotation of every fairness queue (their initial content is
+  /// arbitrary in a stabilizing setting).
+  void scrambleQueues(Rng& rng);
+
+  // -- Exact state restoration (snapshot support; see sim/snapshot.hpp) -----
+  /// Unlike injectReception/injectEmission these copy `msg` verbatim
+  /// (validity, trace and provenance preserved).
+  void restoreReception(NodeId p, NodeId d, const Message& msg);
+  void restoreEmission(NodeId p, NodeId d, const Message& msg);
+  /// `order` must be a permutation of N_p u {p} (asserted).
+  void setFairnessQueue(NodeId p, NodeId d, std::vector<NodeId> order);
+  /// Appends a waiting message with an explicit trace id.
+  void restoreOutboxEntry(NodeId p, NodeId dest, Payload payload, TraceId trace);
+  [[nodiscard]] TraceId nextTraceId() const { return nextTrace_; }
+  void setNextTraceId(TraceId next) { nextTrace_ = next; }
+  /// Trace id of p's k-th waiting message (snapshot support).
+  [[nodiscard]] TraceId waitingTrace(NodeId p, std::size_t k) const {
+    return outbox_[p][k].trace;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFFu;
+
+  [[nodiscard]] std::size_t cell(NodeId p, NodeId d) const {
+    return static_cast<std::size_t>(p) * dests_.size() + destSlot_[d];
+  }
+
+  // Guard predicates, factored per rule; all read only current state.
+  [[nodiscard]] bool guardR1(NodeId p, NodeId d) const;
+  [[nodiscard]] bool guardR2(NodeId p, NodeId d) const;
+  [[nodiscard]] NodeId guardR3(NodeId p, NodeId d) const;  // returns s or kNoNode
+  [[nodiscard]] bool guardR4(NodeId p, NodeId d) const;
+  [[nodiscard]] bool guardR5(NodeId p, NodeId d) const;
+  [[nodiscard]] bool guardR6(NodeId p, NodeId d) const;
+
+  /// Can candidate c currently "forward or generate a message in bufR_p(d)"?
+  [[nodiscard]] bool choiceCandidate(NodeId p, NodeId d, NodeId c) const;
+
+  [[nodiscard]] std::uint64_t nowStep() const;
+  [[nodiscard]] std::uint64_t nowRound() const;
+
+  const Graph& graph_;
+  const RoutingProvider& routing_;
+  std::vector<NodeId> dests_;
+  std::vector<std::uint32_t> destSlot_;  // node id -> slot in dests_, kNoSlot
+  Color delta_;
+  ChoicePolicy policy_;
+
+  std::vector<Buffer> bufR_;
+  std::vector<Buffer> bufE_;
+  std::vector<std::vector<NodeId>> queue_;  // fairness queue per (p, d)
+
+  struct OutboxEntry {
+    NodeId dest;
+    Payload payload;
+    TraceId trace;
+  };
+  std::vector<std::deque<OutboxEntry>> outbox_;
+
+  TraceId nextTrace_ = 1;
+  std::vector<GenerationRecord> generations_;
+  std::vector<DeliveryRecord> deliveries_;
+  std::uint64_t invalidDeliveries_ = 0;
+  std::function<void(const DeliveryRecord&)> deliveryHook_;
+  const Engine* engine_ = nullptr;
+
+  // Staged effects of the current atomic step.
+  struct StagedOp {
+    NodeId p = kNoNode;
+    NodeId d = kNoNode;
+    std::uint16_t rule = 0;
+    bool writeR = false;
+    Buffer newR;
+    bool writeE = false;
+    Buffer newE;
+    NodeId rotateToBack = kNoNode;  // fairness-queue element served
+    bool popOutbox = false;
+    Buffer delivered;  // message handed to the higher layer (R6)
+    Buffer generated;  // message accepted from the higher layer (R1)
+  };
+  std::vector<StagedOp> staged_;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,53 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace snapfwd {
+
+void Summary::add(double value) {
+  values_.push_back(value);
+  sortedValid_ = false;
+}
+
+double Summary::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::min() const {
+  assert(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  assert(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::percentile(double q) const {
+  assert(!values_.empty());
+  if (!sortedValid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+  }
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  // Nearest-rank: ceil(q/100 * N), 1-indexed.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted_.size())));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace snapfwd

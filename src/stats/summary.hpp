@@ -1,0 +1,33 @@
+#pragma once
+// Small-sample summary statistics for experiment sweeps: mean, standard
+// deviation, min/max and percentiles over a set of measurements.
+
+#include <cstdint>
+#include <vector>
+
+namespace snapfwd {
+
+class Summary {
+ public:
+  Summary() = default;
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for < 2 samples.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Nearest-rank percentile, q in [0, 100].
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sortedValid_ = false;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,69 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace snapfwd {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+Table& Table::addRow(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string Table::yesNo(bool v) { return v ? "yes" : "no"; }
+
+void Table::printMarkdown(std::ostream& out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  out << "### " << title_ << "\n\n";
+  auto writeRow = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << " " << cells[c] << std::string(width[c] - cells[c].size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  writeRow(columns_);
+  out << "|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) writeRow(row);
+  out << "\n";
+}
+
+void Table::printCsv(std::ostream& out) const {
+  auto writeRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ",";
+      out << cells[c];
+    }
+    out << "\n";
+  };
+  writeRow(columns_);
+  for (const auto& row : rows_) writeRow(row);
+}
+
+}  // namespace snapfwd

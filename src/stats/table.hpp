@@ -1,0 +1,40 @@
+#pragma once
+// Minimal table formatter used by every benchmark binary: each experiment
+// prints the rows the paper's evaluation would contain, in aligned
+// markdown (human) and CSV (machine) form.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace snapfwd {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  Table& addRow(std::vector<std::string> cells);
+
+  /// Cell formatting helpers.
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+  static std::string num(double v, int precision = 2);
+  static std::string yesNo(bool v);
+
+  void printMarkdown(std::ostream& out) const;
+  void printCsv(std::ostream& out) const;
+
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,82 @@
+#pragma once
+// Deterministic, seedable random number generation for reproducible
+// simulations. Every stochastic component in the library (daemons, fault
+// injectors, workload generators) draws from an explicitly passed Rng so a
+// (topology, seed) pair fully determines an execution.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// splitmix64 so that even adjacent integer seeds produce decorrelated
+// streams. It is not cryptographic; it is fast, high-quality and tiny,
+// which is what a discrete-event simulator wants.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace snapfwd {
+
+/// splitmix64 step: used for seeding and for hashing small integers into
+/// well-mixed 64-bit values (e.g. deriving per-node sub-seeds).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mixing of a single value (convenience over splitmix64).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t value) noexcept;
+
+/// xoshiro256** pseudo-random generator.
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements, so it can also
+/// be used with <random> distributions if ever needed, but the member
+/// helpers below cover everything this library uses.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds via splitmix64; any 64-bit value (including 0) is a valid seed.
+  explicit Rng(std::uint64_t seed = 0xC0FFEE'5EED'1234ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; children with distinct tags are
+  /// decorrelated from each other and from the parent.
+  [[nodiscard]] Rng fork(std::uint64_t tag) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,83 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace snapfwd {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;  // inline mode
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t seenGeneration = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] {
+      return shutdown_ || (job_ != nullptr && jobGeneration_ != seenGeneration);
+    });
+    if (shutdown_) return;
+    seenGeneration = jobGeneration_;
+    while (nextChunk_ < jobChunks_) {
+      const std::size_t chunk = nextChunk_++;
+      lock.unlock();
+      (*job_)(chunk);
+      lock.lock();
+      if (--pendingChunks_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t chunks,
+                             const std::function<void(std::size_t)>& body) {
+  if (chunks == 0) return;
+  if (workers_.empty() || chunks == 1) {
+    for (std::size_t i = 0; i < chunks; ++i) body(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &body;
+  jobChunks_ = chunks;
+  nextChunk_ = 0;
+  pendingChunks_ = chunks;
+  ++jobGeneration_;
+  wake_.notify_all();
+  // The calling thread helps drain chunks instead of idling.
+  while (nextChunk_ < jobChunks_) {
+    const std::size_t chunk = nextChunk_++;
+    lock.unlock();
+    body(chunk);
+    lock.lock();
+    if (--pendingChunks_ == 0) done_.notify_all();
+  }
+  done_.wait(lock, [&] { return pendingChunks_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::parallelForRange(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t parallelism = std::max<std::size_t>(1, workers_.size());
+  // Over-decompose mildly for load balance without swamping the queue.
+  const std::size_t chunks = std::min(count, parallelism * 4);
+  const std::size_t per = (count + chunks - 1) / chunks;
+  parallelFor(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * per;
+    const std::size_t end = std::min(count, begin + per);
+    if (begin < end) body(begin, end);
+  });
+}
+
+}  // namespace snapfwd

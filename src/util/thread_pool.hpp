@@ -1,0 +1,56 @@
+#pragma once
+// A small fixed-size worker pool with a blocking parallel_for, used by the
+// state-model engine to evaluate guards of large configurations in parallel.
+//
+// Guard evaluation is a pure read of the pre-step configuration, so the only
+// synchronization needed is the fork/join around each sweep. The pool keeps
+// its threads alive across calls to avoid per-step thread spawn cost.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snapfwd {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 or 1 means "run inline, no workers").
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const noexcept { return workers_.size(); }
+
+  /// Invokes body(chunkIndex) for chunkIndex in [0, chunks), distributing
+  /// chunks over workers; blocks until all chunks finished. The body must
+  /// not itself call parallelFor on the same pool.
+  void parallelFor(std::size_t chunks, const std::function<void(std::size_t)>& body);
+
+  /// Convenience: splits [0, count) into roughly equal ranges (one per
+  /// worker, or fewer when count is small) and calls body(begin, end).
+  void parallelForRange(std::size_t count,
+                        const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+
+  // Current job state (valid while jobActive_):
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t jobChunks_ = 0;
+  std::size_t nextChunk_ = 0;
+  std::size_t pendingChunks_ = 0;
+  std::uint64_t jobGeneration_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace snapfwd

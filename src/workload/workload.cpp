@@ -1,0 +1,90 @@
+#include "workload/workload.hpp"
+
+#include <cassert>
+#include <numeric>
+
+#include "baseline/merlin_schweitzer.hpp"
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd {
+
+std::vector<TrafficItem> uniformTraffic(std::size_t n, std::size_t count, Rng& rng,
+                                        Payload payloadSpace) {
+  assert(n >= 2);
+  std::vector<TrafficItem> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src = static_cast<NodeId>(rng.below(n));
+    NodeId dest = static_cast<NodeId>(rng.below(n - 1));
+    if (dest >= src) ++dest;
+    out.push_back({src, dest, rng.below(payloadSpace)});
+  }
+  return out;
+}
+
+std::vector<TrafficItem> allToOneTraffic(std::size_t n, NodeId dest,
+                                         std::size_t perSource,
+                                         Payload payloadSpace) {
+  std::vector<TrafficItem> out;
+  out.reserve((n - 1) * perSource);
+  Payload payload = 0;
+  for (NodeId src = 0; src < n; ++src) {
+    if (src == dest) continue;
+    for (std::size_t k = 0; k < perSource; ++k) {
+      out.push_back({src, dest, payload++ % payloadSpace});
+    }
+  }
+  return out;
+}
+
+std::vector<TrafficItem> permutationTraffic(std::size_t n, Rng& rng,
+                                            Payload payloadSpace) {
+  assert(n >= 2);
+  std::vector<NodeId> pi(n);
+  std::iota(pi.begin(), pi.end(), NodeId{0});
+  // Sattolo's algorithm: a uniform cyclic permutation, so pi(p) != p.
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(pi[i], pi[j]);
+  }
+  std::vector<TrafficItem> out;
+  out.reserve(n);
+  for (NodeId p = 0; p < n; ++p) {
+    out.push_back({p, pi[p], rng.below(payloadSpace)});
+  }
+  return out;
+}
+
+std::vector<TrafficItem> antipodalTraffic(std::size_t n, Payload payloadSpace) {
+  assert(n >= 2);
+  std::vector<TrafficItem> out;
+  out.reserve(n);
+  for (NodeId p = 0; p < n; ++p) {
+    const auto dest = static_cast<NodeId>((p + n / 2) % n);
+    if (dest == p) continue;
+    out.push_back({p, dest, static_cast<Payload>(p) % payloadSpace});
+  }
+  return out;
+}
+
+std::vector<TraceId> submitAll(SsmfpProtocol& protocol,
+                               const std::vector<TrafficItem>& traffic) {
+  std::vector<TraceId> traces;
+  traces.reserve(traffic.size());
+  for (const auto& item : traffic) {
+    traces.push_back(protocol.send(item.src, item.dest, item.payload));
+  }
+  return traces;
+}
+
+std::vector<TraceId> submitAll(MerlinSchweitzerProtocol& protocol,
+                               const std::vector<TrafficItem>& traffic) {
+  std::vector<TraceId> traces;
+  traces.reserve(traffic.size());
+  for (const auto& item : traffic) {
+    traces.push_back(protocol.send(item.src, item.dest, item.payload));
+  }
+  return traces;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,56 @@
+#pragma once
+// Traffic generators for the experiments.
+//
+// A workload is a list of (src, dest, payload) submissions. Payloads are
+// drawn from a deliberately small space by default so that distinct
+// messages frequently carry identical useful information - the case the
+// paper's flag construction must disambiguate.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ssmfp/message.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+
+class SsmfpProtocol;
+class MerlinSchweitzerProtocol;
+class Engine;
+
+struct TrafficItem {
+  NodeId src = kNoNode;
+  NodeId dest = kNoNode;
+  Payload payload = 0;
+};
+
+/// `count` messages between uniformly random distinct (src, dest) pairs.
+[[nodiscard]] std::vector<TrafficItem> uniformTraffic(std::size_t n,
+                                                      std::size_t count, Rng& rng,
+                                                      Payload payloadSpace = 8);
+
+/// Every processor != dest sends `perSource` messages to `dest` (hotspot /
+/// convergecast; stresses the fairness of choice_dest and Prop. 6 waiting
+/// times).
+[[nodiscard]] std::vector<TrafficItem> allToOneTraffic(std::size_t n, NodeId dest,
+                                                       std::size_t perSource,
+                                                       Payload payloadSpace = 8);
+
+/// A random permutation pi; each p sends one message to pi(p) (pi(p) != p).
+[[nodiscard]] std::vector<TrafficItem> permutationTraffic(std::size_t n, Rng& rng,
+                                                          Payload payloadSpace = 8);
+
+/// Each processor sends one message to (p + n/2) mod n (antipodal traffic;
+/// maximizes path lengths on rings/tori).
+[[nodiscard]] std::vector<TrafficItem> antipodalTraffic(std::size_t n,
+                                                        Payload payloadSpace = 8);
+
+/// Submits every item to the protocol's outbox (order preserved). Returns
+/// the assigned trace ids.
+std::vector<TraceId> submitAll(SsmfpProtocol& protocol,
+                               const std::vector<TrafficItem>& traffic);
+std::vector<TraceId> submitAll(MerlinSchweitzerProtocol& protocol,
+                               const std::vector<TrafficItem>& traffic);
+
+}  // namespace snapfwd

@@ -1,0 +1,108 @@
+// Tests of the buffer-graph constructions (Figures 1 and 2) and the
+// acyclicity checker underlying the deadlock-freedom argument.
+#include "ssmfp/buffer_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "graph/dot.hpp"
+#include "routing/frozen.hpp"
+#include "routing/oracle.hpp"
+
+namespace snapfwd {
+namespace {
+
+TEST(BufferGraph, Figure1HasOneArcPerNonDestination) {
+  const Graph g = topo::ring(6);
+  const OracleRouting routing(g);
+  const auto bg = destinationBufferGraph(g, routing, 0);
+  EXPECT_EQ(bg.vertexCount, 6u);
+  EXPECT_EQ(bg.arcs.size(), 5u);  // all but the destination
+  EXPECT_EQ(bg.labels[2], "b_2(0)");
+}
+
+TEST(BufferGraph, Figure1AcyclicUnderCorrectTables) {
+  Rng rng(4);
+  const Graph g = topo::randomConnected(10, 6, rng);
+  const OracleRouting routing(g);
+  for (NodeId d = 0; d < g.size(); ++d) {
+    EXPECT_TRUE(isAcyclic(destinationBufferGraph(g, routing, d))) << "d=" << d;
+  }
+}
+
+TEST(BufferGraph, Figure1CyclicUnderCorruptedTables) {
+  const Graph g = topo::ring(4);
+  FrozenRouting routing(g);
+  routing.setEntry(0, 3, 1);
+  routing.setEntry(1, 3, 0);  // 0 <-> 1 cycle
+  EXPECT_FALSE(isAcyclic(destinationBufferGraph(g, routing, 3)));
+}
+
+TEST(BufferGraph, Figure2HasInternalAndHopArcs) {
+  const Graph g = topo::path(3);
+  const OracleRouting routing(g);
+  const auto bg = ssmfpBufferGraph(g, routing, 2);
+  EXPECT_EQ(bg.vertexCount, 6u);  // 2 buffers per processor
+  // 3 internal arcs + 2 hop arcs (destination has no outgoing hop arc).
+  EXPECT_EQ(bg.arcs.size(), 5u);
+  EXPECT_EQ(bg.labels[0], "bufR_0(2)");
+  EXPECT_EQ(bg.labels[1], "bufE_0(2)");
+}
+
+TEST(BufferGraph, Figure2AcyclicUnderCorrectTables) {
+  Rng rng(5);
+  const Graph g = topo::randomConnected(9, 5, rng);
+  const OracleRouting routing(g);
+  for (NodeId d = 0; d < g.size(); ++d) {
+    EXPECT_TRUE(isAcyclic(ssmfpBufferGraph(g, routing, d))) << "d=" << d;
+  }
+}
+
+TEST(BufferGraph, Figure2CyclicUnderCorruptedTables) {
+  const Graph g = topo::figure3Network();
+  FrozenRouting routing(g);
+  // The paper's initial configuration: a <-> c cycle for destination b.
+  routing.setEntry(0, 1, 2);  // nextHop_a(b) = c
+  routing.setEntry(2, 1, 0);  // nextHop_c(b) = a
+  EXPECT_FALSE(isAcyclic(ssmfpBufferGraph(g, routing, 1)));
+}
+
+TEST(BufferGraph, AcyclicityDetectsSelfContainedCycles) {
+  DirectedBufferGraph bg;
+  bg.vertexCount = 3;
+  bg.labels = {"x", "y", "z"};
+  bg.arcs = {{0, 1}, {1, 2}};
+  EXPECT_TRUE(isAcyclic(bg));
+  bg.arcs.push_back({2, 0});
+  EXPECT_FALSE(isAcyclic(bg));
+}
+
+TEST(BufferGraph, EmptyGraphIsAcyclic) {
+  EXPECT_TRUE(isAcyclic(DirectedBufferGraph{}));
+}
+
+TEST(BufferGraph, DotExportRenders) {
+  const Graph g = topo::path(3);
+  const OracleRouting routing(g);
+  const auto bg = ssmfpBufferGraph(g, routing, 2);
+  const std::string dot = toDotDirected(bg.arcs, bg.labels, "Fig2");
+  EXPECT_NE(dot.find("digraph Fig2"), std::string::npos);
+  EXPECT_NE(dot.find("bufR_0(2)"), std::string::npos);
+}
+
+TEST(BufferGraph, DestinationComponentsAreIndependent) {
+  // The full buffer graph is n components; verify each destination's
+  // component only references its own buffers (structural sanity).
+  const Graph g = topo::star(5);
+  const OracleRouting routing(g);
+  for (NodeId d = 0; d < g.size(); ++d) {
+    const auto bg = ssmfpBufferGraph(g, routing, d);
+    for (const auto& [from, to] : bg.arcs) {
+      EXPECT_LT(from, bg.vertexCount);
+      EXPECT_LT(to, bg.vertexCount);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snapfwd

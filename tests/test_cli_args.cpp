@@ -1,0 +1,133 @@
+// Tests of the CLI flag parser and result renderer.
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snapfwd::cli {
+namespace {
+
+ParseResult parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "snapfwd_cli");
+  return parseArgs(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliArgs, DefaultsWhenNoFlags) {
+  const auto result = parse({});
+  ASSERT_TRUE(result.options.has_value());
+  const auto& o = *result.options;
+  EXPECT_EQ(o.config.topology, TopologyKind::kRing);
+  EXPECT_EQ(o.protocol, ProtocolChoice::kSsmfp);
+  EXPECT_EQ(o.format, OutputFormat::kText);
+  EXPECT_FALSE(o.showHelp);
+}
+
+TEST(CliArgs, ParsesTopologyAndSize) {
+  const auto result = parse({"--topology=grid", "--rows=4", "--cols=5"});
+  ASSERT_TRUE(result.options.has_value());
+  EXPECT_EQ(result.options->config.topology, TopologyKind::kGrid);
+  EXPECT_EQ(result.options->config.rows, 4u);
+  EXPECT_EQ(result.options->config.cols, 5u);
+}
+
+TEST(CliArgs, ParsesDaemonTrafficPolicyProtocol) {
+  const auto result = parse({"--daemon=weakly-fair", "--traffic=all-to-one",
+                             "--policy=oldest-first", "--protocol=baseline"});
+  ASSERT_TRUE(result.options.has_value());
+  EXPECT_EQ(result.options->config.daemon, DaemonKind::kWeaklyFair);
+  EXPECT_EQ(result.options->config.traffic, TrafficKind::kAllToOne);
+  EXPECT_EQ(result.options->config.choicePolicy, ChoicePolicy::kOldestFirst);
+  EXPECT_EQ(result.options->protocol, ProtocolChoice::kBaseline);
+}
+
+TEST(CliArgs, ParsesCorruptionFlags) {
+  const auto result = parse({"--corrupt-routing=0.75", "--invalid-messages=9",
+                             "--scramble-queues"});
+  ASSERT_TRUE(result.options.has_value());
+  EXPECT_DOUBLE_EQ(result.options->config.corruption.routingFraction, 0.75);
+  EXPECT_EQ(result.options->config.corruption.invalidMessages, 9u);
+  EXPECT_TRUE(result.options->config.corruption.scrambleQueues);
+}
+
+TEST(CliArgs, ParsesNumericFlags) {
+  const auto result = parse({"--seed=99", "--messages=44", "--max-steps=1000",
+                             "--payload-space=3", "--n=17"});
+  ASSERT_TRUE(result.options.has_value());
+  EXPECT_EQ(result.options->config.seed, 99u);
+  EXPECT_EQ(result.options->config.messageCount, 44u);
+  EXPECT_EQ(result.options->config.maxSteps, 1000u);
+  EXPECT_EQ(result.options->config.payloadSpace, 3u);
+  EXPECT_EQ(result.options->config.n, 17u);
+}
+
+TEST(CliArgs, HelpAndCsvAndInvariants) {
+  const auto result = parse({"--help", "--csv", "--check-invariants"});
+  ASSERT_TRUE(result.options.has_value());
+  EXPECT_TRUE(result.options->showHelp);
+  EXPECT_EQ(result.options->format, OutputFormat::kCsv);
+  EXPECT_TRUE(result.options->config.checkInvariantsEveryStep);
+}
+
+TEST(CliArgs, RejectsUnknownFlag) {
+  const auto result = parse({"--frobnicate=1"});
+  EXPECT_FALSE(result.options.has_value());
+  EXPECT_NE(result.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(CliArgs, RejectsUnknownEnumValue) {
+  EXPECT_FALSE(parse({"--topology=moebius"}).options.has_value());
+  EXPECT_FALSE(parse({"--daemon=fairy"}).options.has_value());
+  EXPECT_FALSE(parse({"--traffic=carrier-pigeon"}).options.has_value());
+  EXPECT_FALSE(parse({"--policy=chaotic"}).options.has_value());
+  EXPECT_FALSE(parse({"--protocol=udp"}).options.has_value());
+}
+
+TEST(CliArgs, RejectsMalformedNumbers) {
+  EXPECT_FALSE(parse({"--n=three"}).options.has_value());
+  EXPECT_FALSE(parse({"--seed="}).options.has_value());
+  EXPECT_FALSE(parse({"--corrupt-routing=lots"}).options.has_value());
+}
+
+TEST(CliArgs, RejectsNonFlagArgument) {
+  EXPECT_FALSE(parse({"ring"}).options.has_value());
+}
+
+TEST(CliArgs, UsageMentionsEveryFlagGroup) {
+  const std::string text = usage();
+  for (const char* needle :
+       {"--topology", "--daemon", "--traffic", "--policy", "--protocol",
+        "--corrupt-routing", "--csv", "--check-invariants"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(CliRender, TextContainsVerdict) {
+  CliOptions options;
+  options.config.messageCount = 2;
+  ExperimentResult result = runSsmfpExperiment(options.config);
+  const std::string text = renderResult(options, result);
+  EXPECT_NE(text.find("SP satisfied"), std::string::npos);
+  EXPECT_NE(text.find("yes"), std::string::npos);
+}
+
+TEST(CliRender, CsvFormat) {
+  CliOptions options;
+  options.format = OutputFormat::kCsv;
+  options.config.messageCount = 2;
+  ExperimentResult result = runSsmfpExperiment(options.config);
+  const std::string text = renderResult(options, result);
+  EXPECT_NE(text.find("metric,value"), std::string::npos);
+  EXPECT_EQ(text.find("###"), std::string::npos);
+}
+
+TEST(CliEndToEnd, ParsedConfigRunsAndSatisfiesSp) {
+  const auto parsed = parse({"--topology=random-connected", "--n=8",
+                             "--corrupt-routing=1", "--invalid-messages=6",
+                             "--scramble-queues", "--messages=12", "--seed=5"});
+  ASSERT_TRUE(parsed.options.has_value());
+  const ExperimentResult result = runSsmfpExperiment(parsed.options->config);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.spec.satisfiesSp()) << result.spec.summary();
+}
+
+}  // namespace
+}  // namespace snapfwd::cli

@@ -1,0 +1,155 @@
+// Tests of the CLI orchestration layer (runCli) including the tooling
+// flags: snapshot out/in round trips, tracing and rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/args.hpp"
+
+namespace snapfwd::cli {
+namespace {
+
+/// Temp-file helper: unique path under the build tree, removed on exit.
+class TempFile {
+ public:
+  explicit TempFile(const char* name)
+      : path_(std::string("cli_test_") + name + ".snapfwd") {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+CliOptions corruptedOptions() {
+  CliOptions options;
+  options.config.topology = TopologyKind::kRing;
+  options.config.n = 6;
+  options.config.seed = 11;
+  options.config.messageCount = 8;
+  options.config.corruption.routingFraction = 1.0;
+  options.config.corruption.invalidMessages = 5;
+  return options;
+}
+
+TEST(CliRun, PlainRunReportsSp) {
+  CliOptions options = corruptedOptions();
+  std::ostringstream out, err;
+  EXPECT_EQ(runCli(options, out, err), 0);
+  EXPECT_NE(out.str().find("SP satisfied"), std::string::npos);
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST(CliRun, HelpShortCircuits) {
+  CliOptions options;
+  options.showHelp = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(runCli(options, out, err), 0);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliRun, SnapshotOutWritesParsableFile) {
+  TempFile file("snapout");
+  CliOptions options = corruptedOptions();
+  options.snapshotOut = file.path();
+  std::ostringstream out, err;
+  EXPECT_EQ(runCli(options, out, err), 0);
+  std::ifstream in(file.path());
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("snapfwd-snapshot v1"), std::string::npos);
+}
+
+TEST(CliRun, SnapshotRoundTripReproducesRun) {
+  TempFile file("roundtrip");
+  // Run 1: archive the initial configuration.
+  CliOptions first = corruptedOptions();
+  first.snapshotOut = file.path();
+  std::ostringstream out1, err1;
+  ASSERT_EQ(runCli(first, out1, err1), 0);
+  // Run 2: replay from the archive with the same daemon seed.
+  CliOptions second = corruptedOptions();
+  second.snapshotIn = file.path();
+  std::ostringstream out2, err2;
+  ASSERT_EQ(runCli(second, out2, err2), 0);
+  // Same step/round counts (the daemon stream and configuration agree).
+  auto extract = [](const std::string& text, const char* key) {
+    const auto pos = text.find(key);
+    return pos == std::string::npos ? std::string() : text.substr(pos, 40);
+  };
+  EXPECT_EQ(extract(out1.str(), "| steps"), extract(out2.str(), "| steps"));
+  EXPECT_EQ(extract(out1.str(), "| rounds"), extract(out2.str(), "| rounds"));
+}
+
+TEST(CliRun, SnapshotInMissingFileFails) {
+  CliOptions options = corruptedOptions();
+  options.snapshotIn = "definitely_not_a_file.snapfwd";
+  std::ostringstream out, err;
+  EXPECT_EQ(runCli(options, out, err), 2);
+  EXPECT_NE(err.str().find("cannot read"), std::string::npos);
+}
+
+TEST(CliRun, SnapshotInMalformedFileFails) {
+  TempFile file("malformed");
+  {
+    std::ofstream bad(file.path());
+    bad << "this is not a snapshot\n";
+  }
+  CliOptions options = corruptedOptions();
+  options.snapshotIn = file.path();
+  std::ostringstream out, err;
+  EXPECT_EQ(runCli(options, out, err), 2);
+  EXPECT_NE(err.str().find("parse error"), std::string::npos);
+}
+
+TEST(CliRun, TraceFlagPrintsActions) {
+  CliOptions options = corruptedOptions();
+  options.trace = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(runCli(options, out, err), 0);
+  EXPECT_NE(out.str().find("action trace"), std::string::npos);
+  EXPECT_NE(out.str().find("RFix"), std::string::npos);  // routing repairs
+}
+
+TEST(CliRun, RenderFlagShowsConfigurations) {
+  CliOptions options = corruptedOptions();
+  options.render = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(runCli(options, out, err), 0);
+  EXPECT_NE(out.str().find("initial configuration"), std::string::npos);
+  EXPECT_NE(out.str().find("final configuration"), std::string::npos);
+  EXPECT_NE(out.str().find("(all buffers empty)"), std::string::npos);
+}
+
+TEST(CliRun, BaselineRejectsToolingFlags) {
+  CliOptions options = corruptedOptions();
+  options.protocol = ProtocolChoice::kBaseline;
+  options.trace = true;
+  std::ostringstream out, err;
+  EXPECT_EQ(runCli(options, out, err), 2);
+  EXPECT_NE(err.str().find("ssmfp only"), std::string::npos);
+}
+
+TEST(CliRun, BaselineCorruptedReturnsNonZero) {
+  CliOptions options = corruptedOptions();
+  options.protocol = ProtocolChoice::kBaseline;
+  options.config.maxSteps = 150'000;
+  std::ostringstream out, err;
+  EXPECT_EQ(runCli(options, out, err), 1);  // corrupted frozen tables: not SP
+}
+
+TEST(CliRun, ParserAcceptsToolingFlags) {
+  std::vector<const char*> args{"snapfwd_cli", "--snapshot-out=x.snap",
+                                "--trace", "--render"};
+  const auto parsed = parseArgs(static_cast<int>(args.size()), args.data());
+  ASSERT_TRUE(parsed.options.has_value());
+  EXPECT_EQ(parsed.options->snapshotOut, "x.snap");
+  EXPECT_TRUE(parsed.options->trace);
+  EXPECT_TRUE(parsed.options->render);
+}
+
+}  // namespace
+}  // namespace snapfwd::cli

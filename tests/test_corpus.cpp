@@ -1,0 +1,126 @@
+// Corpus regression tests: checked-in snapshots of interesting
+// configurations (tests/corpus/*.snapfwd), each with documented expected
+// behavior. The corpus pins down exact configurations found by fuzzing or
+// crafted for the proofs, independent of generator code drift.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "checker/deadlock.hpp"
+#include "checker/invariants.hpp"
+#include "checker/spec_checker.hpp"
+#include "core/engine.hpp"
+#include "sim/snapshot.hpp"
+
+#ifndef SNAPFWD_CORPUS_DIR
+#define SNAPFWD_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace snapfwd {
+namespace {
+
+RestoredStack load(const char* name) {
+  const std::string path = std::string(SNAPFWD_CORPUS_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing corpus file " << path;
+  return readSnapshot(in);
+}
+
+std::uint64_t runToQuiescence(RestoredStack& stack, std::uint64_t daemonSeed) {
+  Rng rng(daemonSeed);
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+                daemon);
+  stack.forwarding->attachEngine(&engine);
+  engine.run(1'000'000);
+  EXPECT_TRUE(engine.isTerminal());
+  return engine.stepCount();
+}
+
+TEST(Corpus, CorruptedRing6SatisfiesSp) {
+  // Fully randomized tables, 10 garbage messages, scrambled queues, 10
+  // pending messages: the headline theorem on a frozen-in-time instance.
+  RestoredStack stack = load("corrupted_ring6.snapfwd");
+  EXPECT_FALSE(stack.routing->isSilent());  // genuinely corrupted
+  EXPECT_GT(stack.forwarding->occupiedBufferCount(), 0u);
+  runToQuiescence(stack, 1);
+  const SpecReport report = checkSpec(*stack.forwarding);
+  EXPECT_TRUE(report.satisfiesSp()) << report.summary();
+  EXPECT_EQ(report.validGenerated, 10u);
+  EXPECT_TRUE(stack.forwarding->fullyDrained());
+}
+
+TEST(Corpus, CorruptedRing6SpHoldsUnderManyDaemonSeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RestoredStack stack = load("corrupted_ring6.snapfwd");
+    runToQuiescence(stack, seed);
+    EXPECT_TRUE(checkSpec(*stack.forwarding).satisfiesSp()) << "seed " << seed;
+  }
+}
+
+TEST(Corpus, ShrunkGarbageDeliveryIsMinimal) {
+  // The shrinker's output: a minimal configuration whose run delivers
+  // garbage to node 0. It must stay minimal (few state lines) and still
+  // exhibit the behavior.
+  RestoredStack stack = load("shrunk_garbage_delivery.snapfwd");
+  EXPECT_LE(stack.forwarding->occupiedBufferCount(), 2u);
+  Rng rng(1234);  // the seed the shrink predicate used
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+                daemon);
+  stack.forwarding->attachEngine(&engine);
+  engine.run(300'000);
+  bool garbageAtZero = false;
+  for (const auto& rec : stack.forwarding->deliveries()) {
+    garbageAtZero |= (!rec.msg.valid && rec.at == 0);
+  }
+  EXPECT_TRUE(garbageAtZero);
+}
+
+TEST(Corpus, RoutingTrapResolvesUnderSelfStabilization) {
+  // Four occupied buffers around a corrupted 0 <-> 1 routing cycle: wedged
+  // for the forwarding layer alone, but the routing layer repairs with
+  // priority and everything drains (no wait-for cycle at quiescence).
+  RestoredStack stack = load("routing_trap_ring4.snapfwd");
+  EXPECT_EQ(stack.forwarding->occupiedBufferCount(), 4u);
+  ASSERT_TRUE(findForwardingCycle(*stack.forwarding).has_value());
+  runToQuiescence(stack, 2);
+  EXPECT_EQ(stack.forwarding->occupiedBufferCount(), 0u);
+  EXPECT_FALSE(findForwardingCycle(*stack.forwarding).has_value());
+  EXPECT_TRUE(stack.routing->matchesBfs());
+}
+
+TEST(Corpus, SnapshotsAreSerializationStable) {
+  // load -> re-serialize must reproduce an equivalent snapshot (hash
+  // equality; text equality would overconstrain field ordering).
+  for (const char* name : {"corrupted_ring6.snapfwd", "routing_trap_ring4.snapfwd",
+                           "shrunk_garbage_delivery.snapfwd"}) {
+    RestoredStack a = load(name);
+    const std::string text =
+        snapshotToString(*a.graph, *a.routing, *a.forwarding);
+    const RestoredStack b = snapshotFromString(text);
+    // Cross-check via the protocol-state hash used by the MP bridge.
+    std::ostringstream out;
+    writeSnapshot(out, *b.graph, *b.routing, *b.forwarding);
+    EXPECT_EQ(text, out.str()) << name;
+  }
+}
+
+TEST(Corpus, InvariantsHoldThroughoutCorpusRuns) {
+  RestoredStack stack = load("corrupted_ring6.snapfwd");
+  Rng rng(3);
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+                daemon);
+  stack.forwarding->attachEngine(&engine);
+  InvariantMonitor monitor(*stack.forwarding);
+  std::optional<std::string> violation;
+  engine.setPostStepHook([&](Engine&) {
+    if (!violation) violation = monitor.check();
+  });
+  engine.run(1'000'000);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -1,0 +1,213 @@
+// Unit tests of the daemon zoo against hand-built enabled sets, plus
+// fairness properties observed through a real engine.
+#include "core/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+
+namespace snapfwd {
+namespace {
+
+std::vector<EnabledProcessor> makeEnabled(std::initializer_list<NodeId> ids,
+                                          std::size_t actionsEach = 1) {
+  std::vector<EnabledProcessor> out;
+  for (const NodeId p : ids) {
+    EnabledProcessor e;
+    e.p = p;
+    for (std::size_t a = 0; a < actionsEach; ++a) {
+      e.actions.push_back(Action{static_cast<std::uint16_t>(a), kNoNode, 0});
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+TEST(SynchronousDaemonTest, ChoosesEveryone) {
+  SynchronousDaemon daemon;
+  const auto enabled = makeEnabled({0, 2, 5});
+  std::vector<Choice> out;
+  daemon.choose(0, enabled, out);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(out[i].entryIndex, i);
+}
+
+TEST(CentralRoundRobinDaemonTest, CyclesThroughProcessors) {
+  CentralRoundRobinDaemon daemon;
+  const auto enabled = makeEnabled({1, 3, 7});
+  std::set<NodeId> served;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Choice> out;
+    daemon.choose(i, enabled, out);
+    ASSERT_EQ(out.size(), 1u);
+    served.insert(enabled[out[0].entryIndex].p);
+  }
+  EXPECT_EQ(served, (std::set<NodeId>{1, 3, 7}));
+}
+
+TEST(CentralRoundRobinDaemonTest, WrapsAround) {
+  CentralRoundRobinDaemon daemon;
+  std::vector<Choice> out;
+  daemon.choose(0, makeEnabled({5}), out);
+  ASSERT_EQ(out.size(), 1u);
+  out.clear();
+  // Cursor is now 6; only processor 2 enabled -> must wrap to it.
+  daemon.choose(1, makeEnabled({2}), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].entryIndex, 0u);
+}
+
+TEST(CentralRandomDaemonTest, AlwaysExactlyOne) {
+  CentralRandomDaemon daemon{Rng(1)};
+  const auto enabled = makeEnabled({0, 1, 2, 3}, 3);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Choice> out;
+    daemon.choose(i, enabled, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_LT(out[0].entryIndex, 4u);
+    EXPECT_LT(out[0].actionIndex, 3u);
+  }
+}
+
+TEST(CentralRandomDaemonTest, EventuallyCoversAll) {
+  CentralRandomDaemon daemon{Rng(2)};
+  const auto enabled = makeEnabled({0, 1, 2, 3});
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Choice> out;
+    daemon.choose(i, enabled, out);
+    seen.insert(out[0].entryIndex);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(DistributedRandomDaemonTest, NeverEmpty) {
+  DistributedRandomDaemon daemon{Rng(3), 0.01};  // nearly always empty draw
+  const auto enabled = makeEnabled({0, 1});
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Choice> out;
+    daemon.choose(i, enabled, out);
+    EXPECT_GE(out.size(), 1u);
+  }
+}
+
+TEST(DistributedRandomDaemonTest, HighProbabilitySelectsMost) {
+  DistributedRandomDaemon daemon{Rng(4), 0.99};
+  const auto enabled = makeEnabled({0, 1, 2, 3, 4, 5, 6, 7});
+  std::size_t total = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Choice> out;
+    daemon.choose(i, enabled, out);
+    total += out.size();
+  }
+  EXPECT_GT(total, 700u);
+}
+
+TEST(WeaklyFairDaemonTest, ServesLongestWaiting) {
+  WeaklyFairDaemon daemon;
+  const auto enabled = makeEnabled({0, 1, 2});
+  std::vector<NodeId> order;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<Choice> out;
+    daemon.choose(i, enabled, out);
+    ASSERT_EQ(out.size(), 1u);
+    order.push_back(enabled[out[0].entryIndex].p);
+  }
+  // Round-robin-like behavior: each of the 3 served exactly twice.
+  for (NodeId p = 0; p < 3; ++p) {
+    EXPECT_EQ(std::count(order.begin(), order.end(), p), 2);
+  }
+}
+
+TEST(WeaklyFairDaemonTest, ContinuouslyEnabledEventuallyServed) {
+  WeaklyFairDaemon daemon;
+  // Processor 9 is always enabled; a rotating set of others competes.
+  bool served9 = false;
+  for (int i = 0; i < 20 && !served9; ++i) {
+    const auto enabled = makeEnabled({static_cast<NodeId>(i % 3), 9});
+    std::vector<Choice> out;
+    daemon.choose(i, enabled, out);
+    served9 |= (enabled[out[0].entryIndex].p == 9);
+  }
+  EXPECT_TRUE(served9);
+}
+
+TEST(AdversarialDaemonTest, StarvesWhilePossible) {
+  AdversarialDaemon daemon{Rng(5)};
+  const auto enabled = makeEnabled({0, 1, 2});
+  std::vector<Choice> out;
+  daemon.choose(0, enabled, out);
+  const NodeId favourite = enabled[out[0].entryIndex].p;
+  for (int i = 1; i < 20; ++i) {
+    out.clear();
+    daemon.choose(i, enabled, out);
+    EXPECT_EQ(enabled[out[0].entryIndex].p, favourite);
+  }
+}
+
+TEST(AdversarialDaemonTest, SwitchesWhenFavouriteDisabled) {
+  AdversarialDaemon daemon{Rng(6)};
+  std::vector<Choice> out;
+  daemon.choose(0, makeEnabled({4}), out);
+  out.clear();
+  daemon.choose(1, makeEnabled({1, 2}), out);
+  ASSERT_EQ(out.size(), 1u);  // forced to pick someone else
+}
+
+TEST(ScriptedDaemonTest, MatchesScriptInOrder) {
+  ScriptedDaemon daemon({{{2, 7, kNoNode}}, {{0, 9, kNoNode}}});
+  auto enabled = makeEnabled({0, 2});
+  enabled[1].actions[0].rule = 7;
+  enabled[0].actions[0].rule = 9;
+  std::vector<Choice> out;
+  daemon.choose(0, enabled, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(enabled[out[0].entryIndex].p, 2u);
+  out.clear();
+  daemon.choose(1, enabled, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(enabled[out[0].entryIndex].p, 0u);
+  EXPECT_TRUE(daemon.allMatched());
+}
+
+TEST(ScriptedDaemonTest, RecordsMismatch) {
+  ScriptedDaemon daemon({{{5, 1, kNoNode}}});
+  std::vector<Choice> out;
+  daemon.choose(0, makeEnabled({0}), out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(daemon.allMatched());
+}
+
+TEST(ScriptedDaemonTest, HaltsAtEndOfScript) {
+  ScriptedDaemon daemon({{{0, 0, kNoNode}}});
+  std::vector<Choice> out;
+  daemon.choose(0, makeEnabled({0}), out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  daemon.choose(1, makeEnabled({0}), out);
+  EXPECT_TRUE(out.empty());  // script exhausted -> engine halts
+}
+
+TEST(ScriptedDaemonTest, FiltersByDestination) {
+  ScriptedDaemon daemon({{{0, 3, 9}}});
+  auto enabled = makeEnabled({0});
+  enabled[0].actions[0] = Action{3, 8, 0};           // wrong destination
+  enabled[0].actions.push_back(Action{3, 9, 0});     // right destination
+  std::vector<Choice> out;
+  daemon.choose(0, enabled, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].actionIndex, 1u);
+}
+
+TEST(ScriptedDaemonTest, SynchronousScriptedStep) {
+  ScriptedDaemon daemon({{{0, 0, kNoNode}, {1, 0, kNoNode}}});
+  std::vector<Choice> out;
+  daemon.choose(0, makeEnabled({0, 1}), out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace snapfwd

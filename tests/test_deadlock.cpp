@@ -1,0 +1,149 @@
+// Tests of the deadlock-cycle diagnostic.
+#include "checker/deadlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+#include "routing/frozen.hpp"
+#include "routing/selfstab_bfs.hpp"
+
+namespace snapfwd {
+namespace {
+
+Message mk(Payload payload, NodeId lastHop, Color color) {
+  Message m;
+  m.payload = payload;
+  m.lastHop = lastHop;
+  m.color = color;
+  return m;
+}
+
+TEST(Deadlock, CleanBaselineHasNoCycle) {
+  const Graph g = topo::ring(5);
+  FrozenRouting routing(g);
+  MerlinSchweitzerProtocol proto(g, routing);
+  proto.send(0, 2, 1);
+  EXPECT_FALSE(findForwardingCycle(proto, routing).has_value());
+}
+
+TEST(Deadlock, BaselineFrozenCycleDetectedWhenWedged) {
+  // Ring, destination 3, frozen 0 <-> 1 cycle; fill both trap buffers.
+  const Graph g = topo::ring(4);
+  FrozenRouting routing(g);
+  routing.setEntry(0, 3, 1);
+  routing.setEntry(1, 3, 0);
+  MerlinSchweitzerProtocol proto(g, routing);
+  BaselineMessage m1;
+  m1.payload = 7;
+  m1.flag = {0, 0};
+  m1.dest = 3;
+  proto.injectBuffer(0, 3, m1);
+  BaselineMessage m2;
+  m2.payload = 8;
+  m2.flag = {1, 0};
+  m2.dest = 3;
+  proto.injectBuffer(1, 3, m2);
+
+  const auto cycle = findForwardingCycle(proto, routing);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->cycle.size(), 2u);
+  const std::string text = cycle->describe();
+  EXPECT_NE(text.find("buf_0(d=3"), std::string::npos);
+  EXPECT_NE(text.find("buf_1(d=3"), std::string::npos);
+}
+
+TEST(Deadlock, BaselineNoCycleWhenTrapHasAFreeBuffer) {
+  const Graph g = topo::ring(4);
+  FrozenRouting routing(g);
+  routing.setEntry(0, 3, 1);
+  routing.setEntry(1, 3, 0);
+  MerlinSchweitzerProtocol proto(g, routing);
+  BaselineMessage m1;
+  m1.payload = 7;
+  m1.flag = {0, 0};
+  m1.dest = 3;
+  proto.injectBuffer(0, 3, m1);  // 1's buffer free: the message can move
+  EXPECT_FALSE(findForwardingCycle(proto, routing).has_value());
+}
+
+TEST(Deadlock, SsmfpCleanRunNeverCycles) {
+  const Graph g = topo::ring(6);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  for (NodeId p = 1; p < 6; ++p) proto.send(p, 0, p);
+  Rng rng(3);
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(g, {&routing, &proto}, daemon);
+  proto.attachEngine(&engine);
+  std::size_t checked = 0;
+  engine.setPostStepHook([&](Engine&) {
+    if (routing.isSilent()) {
+      // The acyclicity theorem: with silent (correct) tables no wait-for
+      // cycle can exist in the two-buffer graph.
+      EXPECT_FALSE(findForwardingCycle(proto).has_value());
+      ++checked;
+    }
+  });
+  engine.run(1'000'000);
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Deadlock, SsmfpFrozenCycleFullyWedgedIsDetected) {
+  // Frozen a <-> b trap for destination 3, all four buffers of the trap
+  // occupied so no rule applies: a true SSMFP deadlock, only possible
+  // because the routing layer never repairs (the ablation setting).
+  const Graph g = topo::ring(4);  // 0-1-2-3-0
+  FrozenRouting routing(g);
+  routing.setEntry(0, 3, 1);
+  routing.setEntry(1, 3, 0);
+  SsmfpProtocol proto(g, routing);
+  // Emission buffers hold the cycling messages; reception buffers hold
+  // self-originated garbage whose internal move is blocked by the
+  // occupied emission buffers.
+  proto.injectEmission(0, 3, mk(10, 0, 0));
+  proto.injectEmission(1, 3, mk(11, 1, 1));
+  proto.injectReception(0, 3, mk(12, 0, 2));
+  proto.injectReception(1, 3, mk(13, 1, 2));
+
+  // Verify it is genuinely wedged (no enabled SSMFP action at 0 or 1 for
+  // destination 3).
+  std::vector<Action> actions;
+  proto.enumerateEnabled(0, actions);
+  proto.enumerateEnabled(1, actions);
+  for (const auto& a : actions) EXPECT_NE(a.dest, 3u);
+
+  const auto cycle = findForwardingCycle(proto);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->cycle.size(), 4u);  // E0 -> R1 -> E1 -> R0
+  const std::string text = cycle->describe();
+  EXPECT_NE(text.find("bufE_0"), std::string::npos);
+  EXPECT_NE(text.find("bufR_1"), std::string::npos);
+  EXPECT_NE(text.find("back to start"), std::string::npos);
+}
+
+TEST(Deadlock, SsmfpSameTrapWithSelfStabilizingRoutingResolves) {
+  // The same four-buffer configuration, but with the REAL routing layer:
+  // the tables repair, the trap opens and everything drains - no cycle at
+  // quiescence. This is the theorem in miniature.
+  const Graph g = topo::ring(4);
+  SelfStabBfsRouting routing(g);
+  routing.setEntry(0, 3, 1, 1);
+  routing.setEntry(1, 3, 1, 0);
+  SsmfpProtocol proto(g, routing);
+  proto.injectEmission(0, 3, mk(10, 0, 0));
+  proto.injectEmission(1, 3, mk(11, 1, 1));
+  proto.injectReception(0, 3, mk(12, 0, 2));
+  proto.injectReception(1, 3, mk(13, 1, 2));
+  Rng rng(4);
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(g, {&routing, &proto}, daemon);
+  proto.attachEngine(&engine);
+  engine.run(1'000'000);
+  EXPECT_TRUE(engine.isTerminal());
+  EXPECT_FALSE(findForwardingCycle(proto).has_value());
+  EXPECT_EQ(proto.occupiedBufferCount(), 0u);
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -1,0 +1,254 @@
+// Edge-case battery across modules: boundary topologies, self-sends,
+// restricted destinations in every layer, pending-wave queueing, empty
+// tables, duplicate-choice suppression in the engine.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "checker/spec_checker.hpp"
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+#include "mp/mp_ssmfp.hpp"
+#include "pif/pif.hpp"
+#include "routing/oracle.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "sim/snapshot.hpp"
+#include "ssmfp/ssmfp.hpp"
+#include "stats/table.hpp"
+
+namespace snapfwd {
+namespace {
+
+TEST(EdgeCases, TwoNodeNetworkFullLifecycle) {
+  const Graph g = topo::path(2);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Rng rng(1);
+  routing.corrupt(rng, 1.0);
+  proto.send(0, 1, 1);
+  proto.send(1, 0, 2);
+  DistributedRandomDaemon daemon(rng.fork(1), 0.5);
+  Engine engine(g, {&routing, &proto}, daemon);
+  proto.attachEngine(&engine);
+  engine.run(100000);
+  EXPECT_TRUE(engine.isTerminal());
+  EXPECT_TRUE(checkSpec(proto).satisfiesSp());
+}
+
+TEST(EdgeCases, SelfSendDeliversLocally) {
+  // dist(p, p) = 0: R1 -> R2 -> R6 entirely at p, no forwarding.
+  const Graph g = topo::ring(4);
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  proto.send(2, 2, 42);
+  Rng rng(2);
+  CentralRandomDaemon daemon(rng);
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  engine.run(1000);
+  EXPECT_TRUE(engine.isTerminal());
+  ASSERT_EQ(proto.deliveries().size(), 1u);
+  EXPECT_EQ(proto.deliveries()[0].at, 2u);
+  EXPECT_TRUE(checkSpec(proto).satisfiesSp());
+}
+
+TEST(EdgeCases, NeighborSendIsSingleHop) {
+  const Graph g = topo::path(3);
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  proto.send(0, 1, 5);
+  Rng rng(3);
+  CentralRandomDaemon daemon(rng);
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  engine.run(10000);
+  EXPECT_TRUE(checkSpec(proto).satisfiesSp());
+}
+
+TEST(EdgeCases, RestrictedDestinationSnapshotRoundTrip) {
+  const Graph g = topo::ring(5);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing, {0, 3});
+  proto.send(1, 0, 9);
+  proto.send(2, 3, 8);
+  const std::string text = snapshotToString(g, routing, proto);
+  const RestoredStack restored = snapshotFromString(text);
+  EXPECT_EQ(restored.forwarding->destinations(),
+            (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(protocolStateHash(proto, routing),
+            protocolStateHash(*restored.forwarding, *restored.routing));
+}
+
+TEST(EdgeCases, MpRestrictedDestinations) {
+  const Graph g = topo::ring(6);
+  MpSsmfpSimulator sim(g, {0}, 4);
+  for (NodeId p = 1; p < 6; ++p) sim.send(p, 0, p);
+  sim.run(200'000);
+  EXPECT_TRUE(sim.quiescent());
+  std::size_t valid = 0;
+  for (const auto& rec : sim.deliveries()) valid += rec.msg.valid ? 1 : 0;
+  EXPECT_EQ(valid, 5u);
+}
+
+TEST(EdgeCases, PifRequestsQueueWhileWaveInFlight) {
+  const Graph g = topo::path(4);
+  PifProtocol pif(g, 0);
+  pif.requestWave();
+  Rng rng(5);
+  CentralRandomDaemon daemon(rng);
+  Engine engine(g, {&pif}, daemon);
+  pif.attachEngine(&engine);
+  // Run a few steps (wave mid-flight), then request two more waves.
+  engine.run(3);
+  pif.requestWave();
+  pif.requestWave();
+  EXPECT_EQ(pif.pendingRequests() + pif.startsExecuted(), 3u);
+  engine.run(1'000'000);
+  EXPECT_TRUE(engine.isTerminal());
+  EXPECT_EQ(pif.startsExecuted(), 3u);
+  std::size_t valid = 0;
+  for (const auto& wave : pif.waves()) {
+    if (wave.valid) {
+      ++valid;
+      EXPECT_EQ(wave.participants, g.size());
+    }
+  }
+  EXPECT_EQ(valid, 3u);
+}
+
+TEST(EdgeCases, EngineSuppressesDuplicateChoicesPerProcessor) {
+  // A daemon returning the same processor twice must execute only one
+  // action for it (the model admits one action per processor per step).
+  class DoubleDaemon final : public Daemon {
+   public:
+    std::string_view name() const override { return "double"; }
+    void choose(std::uint64_t, const std::vector<EnabledProcessor>& enabled,
+                std::vector<Choice>& out) override {
+      if (enabled.empty()) return;
+      out.push_back({0, 0});
+      out.push_back({0, 0});  // duplicate: must be ignored
+    }
+  };
+  const Graph g = topo::path(2);
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  proto.send(0, 1, 7);
+  DoubleDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  ASSERT_TRUE(engine.step());
+  EXPECT_EQ(engine.actionCount(), 1u);
+  EXPECT_EQ(engine.lastExecuted().size(), 1u);
+}
+
+TEST(EdgeCases, EmptyTablePrints) {
+  Table t("Empty", {"a", "b"});
+  std::ostringstream out;
+  t.printMarkdown(out);
+  EXPECT_NE(out.str().find("### Empty"), std::string::npos);
+  std::ostringstream csv;
+  t.printCsv(csv);
+  EXPECT_EQ(csv.str(), "a,b\n");
+}
+
+TEST(EdgeCases, StarCenterAsUniversalDestination) {
+  // All leaves target the center: the center's choice queue cycles
+  // through Delta contenders; everything drains exactly once.
+  const Graph g = topo::star(9);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing, {0});
+  Rng rng(6);
+  routing.corrupt(rng, 1.0);
+  for (NodeId leaf = 1; leaf < 9; ++leaf) {
+    proto.send(leaf, 0, leaf);
+    proto.send(leaf, 0, leaf + 100);
+  }
+  DistributedRandomDaemon daemon(rng.fork(1), 0.5);
+  Engine engine(g, {&routing, &proto}, daemon);
+  proto.attachEngine(&engine);
+  engine.run(2'000'000);
+  EXPECT_TRUE(engine.isTerminal());
+  const SpecReport report = checkSpec(proto);
+  EXPECT_TRUE(report.satisfiesSp()) << report.summary();
+  EXPECT_EQ(report.validDelivered, 16u);
+}
+
+TEST(EdgeCases, CompleteGraphEveryPairAdjacent) {
+  // D = 1: every forwarding is a single hop; colors still needed because
+  // Delta = n-1 contenders share each reception buffer.
+  const Graph g = topo::complete(6);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Rng rng(7);
+  routing.corrupt(rng, 1.0);
+  std::size_t expected = 0;
+  for (NodeId s = 0; s < 6; ++s) {
+    for (NodeId d = 0; d < 6; ++d) {
+      if (s != d) {
+        proto.send(s, d, s * 10 + d);
+        ++expected;
+      }
+    }
+  }
+  DistributedRandomDaemon daemon(rng.fork(1), 0.5);
+  Engine engine(g, {&routing, &proto}, daemon);
+  proto.attachEngine(&engine);
+  engine.run(3'000'000);
+  EXPECT_TRUE(engine.isTerminal());
+  const SpecReport report = checkSpec(proto);
+  EXPECT_TRUE(report.satisfiesSp()) << report.summary();
+  EXPECT_EQ(report.validDelivered, expected);
+}
+
+TEST(EdgeCases, LargeDegreeColorsBeyondSixtyFour) {
+  // Delta >= 64 exceeds a single machine word of colors: the color scan
+  // must stay correct (regression for a former bitmask implementation).
+  const Graph g = topo::star(71);  // Delta = 70
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  EXPECT_EQ(proto.delta(), 70u);
+  for (NodeId leaf = 1; leaf <= 70; ++leaf) {
+    Message m;
+    m.payload = leaf;
+    m.lastHop = 0;
+    m.color = static_cast<Color>(leaf - 1);  // occupy colors 0..69
+    proto.injectReception(leaf, 1, m);
+  }
+  EXPECT_EQ(proto.colorFor(0, 1), 70u);  // the only free color
+
+  // And a full delivery on the same huge-degree topology.
+  SsmfpProtocol fresh(g, routing, {1});
+  fresh.send(42, 1, 7);
+  Rng rng(8);
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(g, {&fresh}, daemon);
+  fresh.attachEngine(&engine);
+  engine.run(100'000);
+  EXPECT_TRUE(checkSpec(fresh).satisfiesSp());
+}
+
+TEST(EdgeCases, FootnoteForwardedInvalidGetsSenderStamp) {
+  // Algorithm 1's footnote: in R3, q may differ from s only for messages
+  // present in the initial configuration; we forward them anyway (as the
+  // footnote says deletion "will not improve the performance") and the
+  // copy records the actual sender s.
+  const Graph g = topo::path(4);
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Message garbage;
+  garbage.payload = 9;
+  garbage.lastHop = 0;  // q = 0: NOT the buffer's holder (1)
+  garbage.color = 1;
+  proto.injectEmission(1, 3, garbage);
+  ScriptedDaemon daemon({{{2, kR3Forward, 3}}});
+  Engine engine(g, {&proto}, daemon);
+  ASSERT_TRUE(engine.step());
+  ASSERT_TRUE(daemon.allMatched());
+  const Buffer& copy = proto.bufR(2, 3);
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(copy->lastHop, 1u);  // stamped with the sender s, not q
+  EXPECT_EQ(copy->color, 1u);    // color kept
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -1,0 +1,320 @@
+// Tests of the state-model engine: composite atomicity (stage/commit),
+// layer priority, termination, and the paper's round accounting.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builders.hpp"
+
+namespace snapfwd {
+namespace {
+
+/// Toy protocol: every processor holds `tokens[p]`; rule 0 decrements while
+/// positive. Terminal when all zero.
+class CountdownProtocol final : public Protocol {
+ public:
+  explicit CountdownProtocol(std::vector<int> tokens) : tokens_(std::move(tokens)) {}
+
+  std::string_view name() const override { return "countdown"; }
+
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
+    if (tokens_[p] > 0) out.push_back(Action{0, kNoNode, 0});
+  }
+
+  void stage(NodeId p, const Action&) override { staged_.push_back(p); }
+
+  void commit() override {
+    for (const NodeId p : staged_) --tokens_[p];
+    staged_.clear();
+  }
+
+  [[nodiscard]] int tokens(NodeId p) const { return tokens_[p]; }
+  [[nodiscard]] int total() const {
+    return std::accumulate(tokens_.begin(), tokens_.end(), 0);
+  }
+
+ private:
+  std::vector<int> tokens_;
+  std::vector<NodeId> staged_;
+};
+
+/// Toy protocol proving reads happen against the pre-step configuration:
+/// every processor simultaneously adopts its right neighbor's value (on a
+/// ring). Only correct staging yields a pure rotation.
+class RotateProtocol final : public Protocol {
+ public:
+  RotateProtocol(const Graph& graph, std::vector<int> values, int steps)
+      : graph_(graph), values_(std::move(values)), remaining_(steps) {}
+
+  std::string_view name() const override { return "rotate"; }
+
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
+    if (remaining_ > 0) out.push_back(Action{0, kNoNode, 0});
+    (void)p;
+  }
+
+  void stage(NodeId p, const Action&) override {
+    const NodeId right = static_cast<NodeId>((p + 1) % graph_.size());
+    staged_.push_back({p, values_[right]});  // read of pre-step state
+  }
+
+  void commit() override {
+    for (const auto& [p, v] : staged_) values_[p] = v;
+    staged_.clear();
+    --remaining_;
+  }
+
+  [[nodiscard]] const std::vector<int>& values() const { return values_; }
+
+ private:
+  const Graph& graph_;
+  std::vector<int> values_;
+  int remaining_;
+  std::vector<std::pair<NodeId, int>> staged_;
+};
+
+/// Toy protocol with neutralization: x[p] = 1 marks a token; p is enabled
+/// if it or any neighbor holds a token; executing clears p's own token.
+/// A processor enabled only via a neighbor's token is neutralized when
+/// that neighbor executes.
+class SinkProtocol final : public Protocol {
+ public:
+  SinkProtocol(const Graph& graph, std::vector<int> x)
+      : graph_(graph), x_(std::move(x)) {}
+
+  std::string_view name() const override { return "sink"; }
+
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
+    if (x_[p] == 1) {
+      out.push_back(Action{0, kNoNode, 0});
+      return;
+    }
+    for (const NodeId q : graph_.neighbors(p)) {
+      if (x_[q] == 1) {
+        out.push_back(Action{0, kNoNode, 0});
+        return;
+      }
+    }
+  }
+
+  void stage(NodeId p, const Action&) override { staged_.push_back(p); }
+  void commit() override {
+    for (const NodeId p : staged_) x_[p] = 0;
+    staged_.clear();
+  }
+
+ private:
+  const Graph& graph_;
+  std::vector<int> x_;
+  std::vector<NodeId> staged_;
+};
+
+TEST(Engine, TerminalWhenNothingEnabled) {
+  const Graph g = topo::path(3);
+  CountdownProtocol proto({0, 0, 0});
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  EXPECT_TRUE(engine.isTerminal());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(engine.stepCount(), 0u);
+}
+
+TEST(Engine, SynchronousStepExecutesAllEnabled) {
+  const Graph g = topo::path(4);
+  CountdownProtocol proto({2, 2, 0, 2});
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  ASSERT_TRUE(engine.step());
+  EXPECT_EQ(proto.tokens(0), 1);
+  EXPECT_EQ(proto.tokens(1), 1);
+  EXPECT_EQ(proto.tokens(2), 0);
+  EXPECT_EQ(proto.tokens(3), 1);
+  EXPECT_EQ(engine.actionCount(), 3u);
+}
+
+TEST(Engine, RunDrainsToTerminal) {
+  const Graph g = topo::ring(5);
+  CountdownProtocol proto({3, 1, 4, 1, 5});
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  const auto executed = engine.run(1000);
+  EXPECT_EQ(proto.total(), 0);
+  EXPECT_EQ(executed, 5u);  // max token count
+  EXPECT_TRUE(engine.isTerminal());
+}
+
+TEST(Engine, RunRespectsMaxSteps) {
+  const Graph g = topo::ring(3);
+  CountdownProtocol proto({100, 100, 100});
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  EXPECT_EQ(engine.run(7), 7u);
+  EXPECT_EQ(engine.stepCount(), 7u);
+}
+
+TEST(Engine, CompositeAtomicityRotation) {
+  const Graph g = topo::ring(5);
+  RotateProtocol proto(g, {10, 20, 30, 40, 50}, 2);
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  engine.run(10);
+  // Two simultaneous left-rotations.
+  EXPECT_EQ(proto.values(), (std::vector<int>{30, 40, 50, 10, 20}));
+}
+
+TEST(Engine, SynchronousRoundsEqualSteps) {
+  const Graph g = topo::path(4);
+  CountdownProtocol proto({3, 3, 3, 3});
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  engine.run(100);
+  EXPECT_EQ(engine.stepCount(), 3u);
+  EXPECT_EQ(engine.roundCount(), 3u);
+}
+
+TEST(Engine, CentralRoundRobinRoundsCountNSteps) {
+  const Graph g = topo::path(4);
+  CountdownProtocol proto({2, 2, 2, 2});
+  CentralRoundRobinDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  engine.run(100);
+  EXPECT_EQ(engine.stepCount(), 8u);
+  // Every round needed all 4 processors to execute: 2 rounds.
+  EXPECT_EQ(engine.roundCount(), 2u);
+}
+
+TEST(Engine, NeutralizationCompletesRound) {
+  // x = [1, 0]: both processors enabled (p1 via p0's token). A central
+  // daemon serving p0 clears the token; p1 is neutralized, the round ends.
+  const Graph g = topo::path(2);
+  SinkProtocol proto(g, {1, 0});
+  CentralRoundRobinDaemon daemon;  // serves p0 first
+  Engine engine(g, {&proto}, daemon);
+  ASSERT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());  // terminal
+  EXPECT_EQ(engine.stepCount(), 1u);
+  EXPECT_EQ(engine.roundCount(), 1u);
+}
+
+TEST(Engine, LayerPriorityMasksLowerLayer) {
+  const Graph g = topo::path(2);
+  CountdownProtocol high({1, 0});  // p0 enabled in priority layer
+  CountdownProtocol low({1, 1});
+  SynchronousDaemon daemon;
+  Engine engine(g, {&high, &low}, daemon);
+  ASSERT_TRUE(engine.step());
+  // p0 had both layers enabled: only the high action may run. p1 had only
+  // the low layer: it runs.
+  EXPECT_EQ(high.tokens(0), 0);
+  EXPECT_EQ(low.tokens(0), 1);
+  EXPECT_EQ(low.tokens(1), 0);
+  EXPECT_EQ(engine.actionsPerLayer()[0], 1u);
+  EXPECT_EQ(engine.actionsPerLayer()[1], 1u);
+}
+
+TEST(Engine, LowerLayerRunsAfterHigherSilent) {
+  const Graph g = topo::path(2);
+  CountdownProtocol high({1, 0});
+  CountdownProtocol low({1, 1});
+  SynchronousDaemon daemon;
+  Engine engine(g, {&high, &low}, daemon);
+  engine.run(100);
+  EXPECT_EQ(high.total(), 0);
+  EXPECT_EQ(low.total(), 0);
+}
+
+TEST(Engine, PostStepHookObservesEveryStep) {
+  const Graph g = topo::path(3);
+  CountdownProtocol proto({2, 2, 2});
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  std::uint64_t calls = 0;
+  engine.setPostStepHook([&](Engine& e) {
+    ++calls;
+    EXPECT_EQ(calls, e.stepCount());
+  });
+  engine.run(100);
+  EXPECT_EQ(calls, engine.stepCount());
+}
+
+TEST(Engine, ParallelGuardEvaluationMatchesSerial) {
+  // 200 processors so the parallel path (n >= 64) actually engages.
+  std::vector<int> tokens(200);
+  for (std::size_t i = 0; i < tokens.size(); ++i) tokens[i] = 1 + int(i % 5);
+  const Graph g = topo::ring(200);
+
+  CountdownProtocol serialProto(tokens);
+  SynchronousDaemon d1;
+  Engine serial(g, {&serialProto}, d1);
+  const auto serialSteps = serial.run(100000);
+
+  ThreadPool pool(4);
+  CountdownProtocol parallelProto(tokens);
+  SynchronousDaemon d2;
+  Engine parallel(g, {&parallelProto}, d2, &pool);
+  const auto parallelSteps = parallel.run(100000);
+
+  EXPECT_EQ(serialSteps, parallelSteps);
+  EXPECT_EQ(serial.roundCount(), parallel.roundCount());
+  EXPECT_EQ(serialProto.total(), 0);
+  EXPECT_EQ(parallelProto.total(), 0);
+}
+
+TEST(Engine, LastEnabledExposesEntries) {
+  const Graph g = topo::path(3);
+  CountdownProtocol proto({1, 0, 1});
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  ASSERT_TRUE(engine.step());
+  const auto& enabled = engine.lastEnabled();
+  ASSERT_EQ(enabled.size(), 2u);
+  EXPECT_EQ(enabled[0].p, 0u);
+  EXPECT_EQ(enabled[1].p, 2u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllChunks) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<int> plain(64, 0);
+  std::mutex m;
+  pool.parallelFor(64, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(m);
+    ++plain[i];
+  });
+  int total = 0;
+  for (const int h : plain) {
+    EXPECT_EQ(h, 1);
+    total += h;
+  }
+  EXPECT_EQ(total, 64);
+}
+
+TEST(ThreadPoolTest, InlineModeWorks) {
+  ThreadPool pool(0);
+  int sum = 0;
+  pool.parallelFor(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, RangeVariantCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallelForRange(1000, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) counts[i].fetch_add(1);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, RepeatedJobsDoNotDeadlock) {
+  ThreadPool pool(2);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::atomic<int> n{0};
+    pool.parallelFor(8, [&](std::size_t) { n.fetch_add(1); });
+    ASSERT_EQ(n.load(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -1,0 +1,201 @@
+// Tests of the fault injector, traffic generators and table formatter.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "faults/corruptor.hpp"
+#include "graph/builders.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "stats/table.hpp"
+#include "workload/workload.hpp"
+
+namespace snapfwd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Corruptor
+// ---------------------------------------------------------------------------
+
+TEST(Corruptor, InjectsRequestedInvalidMessages) {
+  const Graph g = topo::ring(5);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Rng rng(1);
+  const std::size_t placed = injectInvalidMessages(proto, 7, 4, rng);
+  EXPECT_EQ(placed, 7u);
+  EXPECT_EQ(proto.occupiedBufferCount(), 7u);
+}
+
+TEST(Corruptor, InjectedMessagesAreWellFormed) {
+  const Graph g = topo::ring(5);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Rng rng(2);
+  injectInvalidMessages(proto, 20, 4, rng);
+  for (NodeId p = 0; p < g.size(); ++p) {
+    for (const NodeId d : proto.destinations()) {
+      for (const Buffer* b : {&proto.bufR(p, d), &proto.bufE(p, d)}) {
+        if (!b->has_value()) continue;
+        EXPECT_FALSE((*b)->valid);
+        EXPECT_LE((*b)->color, proto.delta());
+        EXPECT_LT((*b)->payload, 4u);
+        EXPECT_TRUE((*b)->lastHop == p || g.hasEdge(p, (*b)->lastHop));
+      }
+    }
+  }
+}
+
+TEST(Corruptor, SaturatesAtBufferCapacity) {
+  const Graph g = topo::path(3);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing, {0});  // one destination: 6 buffers total
+  Rng rng(3);
+  const std::size_t placed = injectInvalidMessages(proto, 100, 4, rng);
+  EXPECT_EQ(placed, 6u);
+}
+
+TEST(Corruptor, FullPlanCorruptsEverything) {
+  const Graph g = topo::grid(3, 3);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  CorruptionPlan plan;
+  plan.routingFraction = 1.0;
+  plan.invalidMessages = 5;
+  plan.scrambleQueues = true;
+  Rng rng(4);
+  const std::size_t placed = applyCorruption(plan, routing, proto, rng);
+  EXPECT_EQ(placed, 5u);
+  EXPECT_FALSE(routing.isSilent());
+}
+
+TEST(Corruptor, DeterministicUnderSeed) {
+  const Graph g = topo::ring(6);
+  auto run = [&](std::uint64_t seed) {
+    SelfStabBfsRouting routing(g);
+    SsmfpProtocol proto(g, routing);
+    Rng rng(seed);
+    injectInvalidMessages(proto, 5, 4, rng);
+    std::ostringstream sig;
+    for (NodeId p = 0; p < g.size(); ++p) {
+      for (const NodeId d : proto.destinations()) {
+        if (proto.bufR(p, d).has_value()) {
+          sig << "R" << p << "," << d << ":" << proto.bufR(p, d)->payload << ";";
+        }
+        if (proto.bufE(p, d).has_value()) {
+          sig << "E" << p << "," << d << ":" << proto.bufE(p, d)->payload << ";";
+        }
+      }
+    }
+    return sig.str();
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+TEST(Workload, UniformAvoidsSelfSend) {
+  Rng rng(5);
+  const auto traffic = uniformTraffic(6, 200, rng, 4);
+  EXPECT_EQ(traffic.size(), 200u);
+  for (const auto& t : traffic) {
+    EXPECT_NE(t.src, t.dest);
+    EXPECT_LT(t.src, 6u);
+    EXPECT_LT(t.dest, 6u);
+    EXPECT_LT(t.payload, 4u);
+  }
+}
+
+TEST(Workload, UniformCoversPairsEventually) {
+  Rng rng(6);
+  const auto traffic = uniformTraffic(4, 500, rng, 4);
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (const auto& t : traffic) pairs.insert({t.src, t.dest});
+  EXPECT_EQ(pairs.size(), 12u);  // all ordered pairs with src != dest
+}
+
+TEST(Workload, AllToOneTargetsHotspot) {
+  const auto traffic = allToOneTraffic(5, 2, 3, 8);
+  EXPECT_EQ(traffic.size(), 4u * 3u);
+  for (const auto& t : traffic) {
+    EXPECT_EQ(t.dest, 2u);
+    EXPECT_NE(t.src, 2u);
+  }
+}
+
+TEST(Workload, PermutationIsDerangement) {
+  Rng rng(7);
+  const auto traffic = permutationTraffic(9, rng, 8);
+  EXPECT_EQ(traffic.size(), 9u);
+  std::set<NodeId> dests;
+  for (const auto& t : traffic) {
+    EXPECT_NE(t.src, t.dest);
+    dests.insert(t.dest);
+  }
+  EXPECT_EQ(dests.size(), 9u);  // a bijection
+}
+
+TEST(Workload, AntipodalPairsAreOpposite) {
+  const auto traffic = antipodalTraffic(8, 8);
+  EXPECT_EQ(traffic.size(), 8u);
+  for (const auto& t : traffic) {
+    EXPECT_EQ(t.dest, (t.src + 4) % 8);
+  }
+}
+
+TEST(Workload, SubmitAllPreservesOrderAndReturnsTraces) {
+  const Graph g = topo::path(4);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  const std::vector<TrafficItem> traffic{{0, 3, 1}, {0, 2, 2}, {1, 3, 3}};
+  const auto traces = submitAll(proto, traffic);
+  EXPECT_EQ(traces.size(), 3u);
+  EXPECT_EQ(proto.outboxSize(0), 2u);
+  EXPECT_EQ(proto.nextDestination(0), 3u);
+  EXPECT_EQ(proto.outboxSize(1), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, MarkdownContainsHeaderAndRows) {
+  Table t("Demo", {"name", "value"});
+  t.addRow({"alpha", Table::num(std::uint64_t{42})});
+  t.addRow({"beta", Table::num(2.5, 1)});
+  std::ostringstream out;
+  t.printMarkdown(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("### Demo"), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("|------"), std::string::npos);
+}
+
+TEST(TableTest, CsvIsCommaSeparated) {
+  Table t("Demo", {"a", "b"});
+  t.addRow({"1", "2"});
+  std::ostringstream out;
+  t.printCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, FormattersAreStable) {
+  EXPECT_EQ(Table::num(std::uint64_t{7}), "7");
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::yesNo(true), "yes");
+  EXPECT_EQ(Table::yesNo(false), "no");
+}
+
+TEST(TableTest, RowCountTracksAdds) {
+  Table t("Demo", {"a"});
+  EXPECT_EQ(t.rowCount(), 0u);
+  t.addRow({"x"}).addRow({"y"});
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+}  // namespace
+}  // namespace snapfwd

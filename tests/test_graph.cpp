@@ -1,0 +1,219 @@
+// Unit tests for the topology substrate: Graph plus every builder.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builders.hpp"
+#include "graph/dot.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(Graph, DuplicateAndSelfLoopIgnored) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(0, 1);
+  g.addEdge(1, 0);
+  g.addEdge(2, 2);
+  EXPECT_EQ(g.edgeCount(), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5);
+  g.addEdge(2, 4);
+  g.addEdge(2, 0);
+  g.addEdge(2, 3);
+  const auto& nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 3u);
+  EXPECT_EQ(nbrs[2], 4u);
+}
+
+TEST(Graph, NeighborIndex) {
+  Graph g(4);
+  g.addEdge(0, 2);
+  g.addEdge(0, 3);
+  EXPECT_EQ(g.neighborIndex(0, 2), std::optional<std::size_t>(0));
+  EXPECT_EQ(g.neighborIndex(0, 3), std::optional<std::size_t>(1));
+  EXPECT_EQ(g.neighborIndex(0, 1), std::nullopt);
+}
+
+TEST(Graph, BfsDistancesOnPath) {
+  const Graph g = topo::path(5);
+  const auto dist = g.bfsDistances(0);
+  for (NodeId i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(Graph, DisconnectedDetected) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  EXPECT_FALSE(g.isConnected());
+  EXPECT_EQ(g.bfsDistances(0)[2], Graph::kUnreachable);
+}
+
+TEST(Graph, EdgesListSorted) {
+  const Graph g = topo::ring(4);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges.front(), (std::pair<NodeId, NodeId>{0, 1}));
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+// ---- Builders -------------------------------------------------------------
+
+TEST(Builders, PathProperties) {
+  const Graph g = topo::path(7);
+  EXPECT_EQ(g.size(), 7u);
+  EXPECT_EQ(g.edgeCount(), 6u);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.maxDegree(), 2u);
+  EXPECT_EQ(g.diameter(), 6u);
+}
+
+TEST(Builders, SingletonPath) {
+  const Graph g = topo::path(1);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.diameter(), 0u);
+}
+
+TEST(Builders, RingProperties) {
+  const Graph g = topo::ring(8);
+  EXPECT_EQ(g.edgeCount(), 8u);
+  EXPECT_EQ(g.maxDegree(), 2u);
+  EXPECT_EQ(g.diameter(), 4u);
+  const Graph g5 = topo::ring(5);
+  EXPECT_EQ(g5.diameter(), 2u);
+}
+
+TEST(Builders, StarProperties) {
+  const Graph g = topo::star(9);
+  EXPECT_EQ(g.edgeCount(), 8u);
+  EXPECT_EQ(g.maxDegree(), 8u);
+  EXPECT_EQ(g.degree(0), 8u);
+  EXPECT_EQ(g.diameter(), 2u);
+}
+
+TEST(Builders, CompleteProperties) {
+  const Graph g = topo::complete(6);
+  EXPECT_EQ(g.edgeCount(), 15u);
+  EXPECT_EQ(g.maxDegree(), 5u);
+  EXPECT_EQ(g.diameter(), 1u);
+}
+
+TEST(Builders, BinaryTreeProperties) {
+  const Graph g = topo::binaryTree(7);  // perfect depth-2 tree
+  EXPECT_EQ(g.edgeCount(), 6u);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.maxDegree(), 3u);  // internal node: parent + 2 children
+  EXPECT_EQ(g.diameter(), 4u);   // leaf -> root -> leaf
+}
+
+TEST(Builders, GridProperties) {
+  const Graph g = topo::grid(3, 4);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_EQ(g.edgeCount(), 3u * 3 + 4u * 2);  // 17
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.maxDegree(), 4u);
+  EXPECT_EQ(g.diameter(), 5u);  // (3-1)+(4-1)
+}
+
+TEST(Builders, TorusProperties) {
+  const Graph g = topo::torus(4, 4);
+  EXPECT_EQ(g.size(), 16u);
+  EXPECT_EQ(g.edgeCount(), 32u);
+  for (NodeId p = 0; p < g.size(); ++p) EXPECT_EQ(g.degree(p), 4u);
+  EXPECT_EQ(g.diameter(), 4u);  // 2 + 2
+}
+
+TEST(Builders, HypercubeProperties) {
+  const Graph g = topo::hypercube(4);
+  EXPECT_EQ(g.size(), 16u);
+  EXPECT_EQ(g.edgeCount(), 32u);
+  for (NodeId p = 0; p < g.size(); ++p) EXPECT_EQ(g.degree(p), 4u);
+  EXPECT_EQ(g.diameter(), 4u);
+}
+
+TEST(Builders, RandomTreeIsTree) {
+  Rng rng(99);
+  for (const std::size_t n : {1u, 2u, 3u, 5u, 16u, 40u}) {
+    const Graph g = topo::randomTree(n, rng);
+    EXPECT_EQ(g.size(), n);
+    if (n > 0) EXPECT_EQ(g.edgeCount(), n - 1);
+    EXPECT_TRUE(g.isConnected()) << "n=" << n;
+  }
+}
+
+TEST(Builders, RandomTreeVariesWithSeed) {
+  Rng a(1), b(2);
+  const Graph ga = topo::randomTree(12, a);
+  const Graph gb = topo::randomTree(12, b);
+  EXPECT_NE(ga.edges(), gb.edges());
+}
+
+TEST(Builders, RandomConnectedHasExtraEdges) {
+  Rng rng(7);
+  const Graph g = topo::randomConnected(10, 5, rng);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.edgeCount(), 9u + 5u);
+}
+
+TEST(Builders, RandomConnectedSaturates) {
+  Rng rng(7);
+  const Graph g = topo::randomConnected(4, 100, rng);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_LE(g.edgeCount(), 6u);
+}
+
+TEST(Builders, Figure3Network) {
+  const Graph g = topo::figure3Network();
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.maxDegree(), 3u);  // the paper's Delta = 3
+  EXPECT_TRUE(g.hasEdge(0, 1));  // a-b
+  EXPECT_TRUE(g.hasEdge(0, 2));  // a-c
+  EXPECT_TRUE(g.hasEdge(0, 3));  // a-d
+  EXPECT_TRUE(g.hasEdge(2, 1));  // c-b
+  EXPECT_STREQ(topo::figure3Label(0), "a");
+  EXPECT_STREQ(topo::figure3Label(3), "d");
+}
+
+TEST(Dot, UndirectedExportContainsEdges) {
+  const Graph g = topo::path(3);
+  const std::string dot = toDot(g, "P3");
+  EXPECT_NE(dot.find("graph P3"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+}
+
+TEST(Dot, DirectedExportContainsArcsAndLabels) {
+  const std::string dot =
+      toDotDirected({{0, 1}, {1, 2}}, {"x", "y", "z"}, "BG");
+  EXPECT_NE(dot.find("digraph BG"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"y\""), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -1,0 +1,186 @@
+// Tests of snap-stabilizing PIF on trees (the framework-generality demo;
+// paper references [2, 3]).
+#include "pif/pif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+
+namespace snapfwd {
+namespace {
+
+/// Checks the PIF specification over a finished run: every wave completed
+/// after a START has full participation.
+void expectValidWavesComplete(const PifProtocol& pif, std::size_t expectedValid) {
+  std::size_t valid = 0;
+  for (const auto& wave : pif.waves()) {
+    if (!wave.valid) continue;
+    ++valid;
+    EXPECT_EQ(wave.participants, pif.broadcastSteps().size())
+        << "wave starting at step " << wave.startStep
+        << " completed without full participation";
+  }
+  EXPECT_EQ(valid, expectedValid);
+}
+
+TEST(Pif, SingleWaveOnPathCleanStart) {
+  const Graph g = topo::path(5);
+  PifProtocol pif(g, 0);
+  pif.requestWave();
+  Rng rng(1);
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(g, {&pif}, daemon);
+  pif.attachEngine(&engine);
+  engine.run(100000);
+  EXPECT_TRUE(engine.isTerminal());
+  EXPECT_TRUE(pif.allClean());
+  ASSERT_EQ(pif.waves().size(), 1u);
+  EXPECT_TRUE(pif.waves()[0].valid);
+  expectValidWavesComplete(pif, 1);
+}
+
+TEST(Pif, ParentsAreBfsTree) {
+  const Graph g = topo::binaryTree(7);
+  const PifProtocol pif(g, 0);
+  EXPECT_EQ(pif.parent(0), 0u);
+  EXPECT_EQ(pif.parent(5), 2u);
+  EXPECT_EQ(pif.root(), 0u);
+}
+
+TEST(Pif, ConsecutiveWavesDoNotMix) {
+  const Graph g = topo::binaryTree(15);
+  PifProtocol pif(g, 0);
+  for (int i = 0; i < 5; ++i) pif.requestWave();
+  Rng rng(2);
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(g, {&pif}, daemon);
+  pif.attachEngine(&engine);
+  engine.run(2'000'000);
+  EXPECT_TRUE(engine.isTerminal());
+  EXPECT_EQ(pif.startsExecuted(), 5u);
+  expectValidWavesComplete(pif, 5);
+}
+
+TEST(Pif, NonRootStatesMatter) {
+  EXPECT_STREQ(toString(PifState::kClean), "C");
+  EXPECT_STREQ(toString(PifState::kBroadcast), "B");
+  EXPECT_STREQ(toString(PifState::kFeedback), "F");
+}
+
+// --- snap-stabilization: arbitrary initial states --------------------------
+
+struct PifFuzzParam {
+  int topology;  // 0 path, 1 binary tree, 2 star, 3 random tree
+  std::uint64_t seed;
+};
+
+class PifSnapFuzz : public ::testing::TestWithParam<PifFuzzParam> {};
+
+TEST_P(PifSnapFuzz, RequestedWavesCompleteCorrectlyFromAnyConfiguration) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  Graph g;
+  switch (param.topology) {
+    case 0: g = topo::path(7); break;
+    case 1: g = topo::binaryTree(15); break;
+    case 2: g = topo::star(8); break;
+    default: g = topo::randomTree(10, rng); break;
+  }
+  PifProtocol pif(g, 0);
+  Rng scrambleRng = rng.fork(1);
+  pif.scrambleStates(scrambleRng);
+  for (int i = 0; i < 3; ++i) pif.requestWave();
+
+  DistributedRandomDaemon daemon(rng.fork(2), 0.5);
+  Engine engine(g, {&pif}, daemon);
+  pif.attachEngine(&engine);
+  engine.run(2'000'000);
+
+  EXPECT_TRUE(engine.isTerminal()) << "PIF did not quiesce";
+  EXPECT_TRUE(pif.allClean());
+  EXPECT_EQ(pif.pendingRequests(), 0u);  // every request served (delay finite)
+  EXPECT_EQ(pif.startsExecuted(), 3u);
+  // Snap-stabilization: every STARTED wave completed with full
+  // participation; at most one garbage completion predates the first start.
+  expectValidWavesComplete(pif, 3);
+  std::size_t invalidWaves = 0;
+  for (const auto& wave : pif.waves()) invalidWaves += wave.valid ? 0 : 1;
+  EXPECT_LE(invalidWaves, 1u);
+}
+
+std::vector<PifFuzzParam> pifGrid() {
+  std::vector<PifFuzzParam> out;
+  for (int topology = 0; topology <= 3; ++topology) {
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      out.push_back({topology, seed});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, PifSnapFuzz, ::testing::ValuesIn(pifGrid()),
+                         [](const auto& paramInfo) {
+                           return "t" + std::to_string(paramInfo.param.topology) +
+                                  "_s" + std::to_string(paramInfo.param.seed);
+                         });
+
+TEST(PifSnap, GarbageCompletionCountedInvalid) {
+  // Initial configuration that LOOKS like a completing wave: root B, all
+  // children F. The root completes immediately - but the wave is marked
+  // invalid (no START preceded it), mirroring SSMFP's invalid messages.
+  const Graph g = topo::star(5);
+  PifProtocol pif(g, 0);
+  pif.setState(0, PifState::kBroadcast);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) pif.setState(leaf, PifState::kFeedback);
+  Rng rng(3);
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(g, {&pif}, daemon);
+  pif.attachEngine(&engine);
+  engine.run(100000);
+  EXPECT_TRUE(engine.isTerminal());
+  ASSERT_GE(pif.waves().size(), 1u);
+  EXPECT_FALSE(pif.waves()[0].valid);
+  EXPECT_TRUE(pif.allClean());
+}
+
+TEST(PifSnap, AbortClearsOrphanBroadcasts) {
+  // A node stuck in B with a Clean parent must abort (-> F) then clean.
+  const Graph g = topo::path(4);
+  PifProtocol pif(g, 0);
+  pif.setState(2, PifState::kBroadcast);
+  Rng rng(4);
+  CentralRandomDaemon daemon(rng);
+  Engine engine(g, {&pif}, daemon);
+  pif.attachEngine(&engine);
+  engine.run(100000);
+  EXPECT_TRUE(engine.isTerminal());
+  EXPECT_TRUE(pif.allClean());
+  EXPECT_TRUE(pif.waves().empty());  // no completion was fabricated
+}
+
+TEST(PifSnap, WorksUnderEveryFairDaemon) {
+  for (int daemonKind = 0; daemonKind < 4; ++daemonKind) {
+    const Graph g = topo::binaryTree(7);
+    PifProtocol pif(g, 0);
+    Rng rng(100 + daemonKind);
+    pif.scrambleStates(rng);
+    pif.requestWave();
+    std::unique_ptr<Daemon> daemon;
+    switch (daemonKind) {
+      case 0: daemon = std::make_unique<SynchronousDaemon>(); break;
+      case 1: daemon = std::make_unique<CentralRoundRobinDaemon>(); break;
+      case 2: daemon = std::make_unique<CentralRandomDaemon>(rng.fork(1)); break;
+      default:
+        daemon = std::make_unique<DistributedRandomDaemon>(rng.fork(2), 0.5);
+        break;
+    }
+    Engine engine(g, {&pif}, *daemon);
+    pif.attachEngine(&engine);
+    engine.run(1'000'000);
+    EXPECT_TRUE(engine.isTerminal()) << "daemon " << daemonKind;
+    expectValidWavesComplete(pif, 1);
+  }
+}
+
+}  // namespace
+}  // namespace snapfwd

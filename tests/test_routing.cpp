@@ -1,0 +1,246 @@
+// Tests of the routing substrate: the BFS oracle, the self-stabilizing
+// silent routing algorithm A (convergence from arbitrary corruption, under
+// several daemons and topologies), and the frozen-routing ablation provider.
+#include "routing/selfstab_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+#include "routing/frozen.hpp"
+#include "routing/oracle.hpp"
+
+namespace snapfwd {
+namespace {
+
+TEST(OracleRouting, NextHopIsNeighborAndCloser) {
+  Rng rng(1);
+  const Graph g = topo::randomConnected(12, 6, rng);
+  const OracleRouting oracle(g);
+  for (NodeId p = 0; p < g.size(); ++p) {
+    for (NodeId d = 0; d < g.size(); ++d) {
+      if (p == d) {
+        EXPECT_EQ(oracle.nextHop(p, d), p);  // destination = root of T_d
+        continue;
+      }
+      const NodeId hop = oracle.nextHop(p, d);
+      EXPECT_TRUE(g.hasEdge(p, hop));
+      EXPECT_EQ(oracle.distance(hop, d) + 1, oracle.distance(p, d));
+    }
+  }
+}
+
+TEST(OracleRouting, DistancesMatchBfs) {
+  const Graph g = topo::grid(3, 4);
+  const OracleRouting oracle(g);
+  for (NodeId p = 0; p < g.size(); ++p) {
+    const auto dist = g.bfsDistances(p);
+    for (NodeId d = 0; d < g.size(); ++d) {
+      EXPECT_EQ(oracle.distance(p, d), dist[d]);
+    }
+  }
+}
+
+TEST(OracleRouting, PathIsMinimal) {
+  // Walking nextHop from p must reach d in exactly dist(p, d) hops.
+  const Graph g = topo::binaryTree(15);
+  const OracleRouting oracle(g);
+  for (NodeId p = 0; p < g.size(); ++p) {
+    for (NodeId d = 0; d < g.size(); ++d) {
+      NodeId cur = p;
+      std::uint32_t hops = 0;
+      while (cur != d) {
+        cur = oracle.nextHop(cur, d);
+        ++hops;
+        ASSERT_LE(hops, g.size());
+      }
+      EXPECT_EQ(hops, g.distance(p, d));
+    }
+  }
+}
+
+TEST(SelfStabBfs, InitiallySilentAndCorrect) {
+  const Graph g = topo::ring(7);
+  const SelfStabBfsRouting routing(g);
+  EXPECT_TRUE(routing.isSilent());
+  EXPECT_TRUE(routing.matchesBfs());
+}
+
+TEST(SelfStabBfs, NextHopMatchesOracleWhenSilent) {
+  Rng rng(3);
+  const Graph g = topo::randomConnected(10, 5, rng);
+  const SelfStabBfsRouting routing(g);
+  const OracleRouting oracle(g);
+  for (NodeId p = 0; p < g.size(); ++p) {
+    for (NodeId d = 0; d < g.size(); ++d) {
+      EXPECT_EQ(routing.nextHop(p, d), oracle.nextHop(p, d));
+    }
+  }
+}
+
+TEST(SelfStabBfs, CorruptionEnablesRules) {
+  const Graph g = topo::path(6);
+  SelfStabBfsRouting routing(g);
+  Rng rng(4);
+  routing.corrupt(rng, 1.0);
+  EXPECT_FALSE(routing.isSilent());
+  EXPECT_FALSE(routing.matchesBfs());
+}
+
+TEST(SelfStabBfs, NextHopAlwaysLegalEvenCorrupted) {
+  const Graph g = topo::star(8);
+  SelfStabBfsRouting routing(g);
+  Rng rng(5);
+  routing.corrupt(rng, 1.0);
+  for (NodeId p = 0; p < g.size(); ++p) {
+    for (NodeId d = 0; d < g.size(); ++d) {
+      const NodeId hop = routing.nextHop(p, d);
+      if (p == d) {
+        EXPECT_EQ(hop, p);
+      } else {
+        EXPECT_TRUE(g.hasEdge(p, hop));
+      }
+    }
+  }
+}
+
+TEST(SelfStabBfs, SetEntryOverwrites) {
+  const Graph g = topo::path(4);
+  SelfStabBfsRouting routing(g);
+  routing.setEntry(0, 3, 1, 1);
+  EXPECT_EQ(routing.dist(0, 3), 1u);
+  EXPECT_EQ(routing.parent(0, 3), 1u);
+  EXPECT_FALSE(routing.isSilent());  // 0 claims distance 1 to node 3: wrong
+}
+
+TEST(SelfStabBfs, StagingReadsPreStepState) {
+  // Two adjacent corrupted entries corrected in the same synchronous step
+  // must both compute from the pre-step values (no cascade within a step).
+  const Graph g = topo::path(3);
+  SelfStabBfsRouting routing(g);
+  // Destination 2. Corrupt both 0 and 1 to distance 0.
+  routing.setEntry(0, 2, 0, 1);
+  routing.setEntry(1, 2, 0, 0);
+  SynchronousDaemon daemon;
+  Engine engine(g, {&routing}, daemon);
+  ASSERT_TRUE(engine.step());
+  // p1's target reads neighbor values of the PRE-step state:
+  // min(dist_0=0, dist_2=0) + 1 = 1 with parent 0 (min id among minima).
+  EXPECT_EQ(routing.dist(1, 2), 1u);
+  // p0 read dist_1 = 0 -> set itself to 1.
+  EXPECT_EQ(routing.dist(0, 2), 1u);
+}
+
+// Parameterized convergence sweep: topology x daemon x seed.
+struct ConvergenceParam {
+  int topology;  // 0 path, 1 ring, 2 star, 3 btree, 4 grid, 5 random
+  int daemon;    // 0 sync, 1 central-rr, 2 central-random, 3 dist-random, 4 adversarial
+  std::uint64_t seed;
+};
+
+class SelfStabBfsConvergence : public ::testing::TestWithParam<ConvergenceParam> {};
+
+TEST_P(SelfStabBfsConvergence, StabilizesToBfsFromFullCorruption) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  Graph g;
+  switch (param.topology) {
+    case 0: g = topo::path(7); break;
+    case 1: g = topo::ring(8); break;
+    case 2: g = topo::star(7); break;
+    case 3: g = topo::binaryTree(7); break;
+    case 4: g = topo::grid(3, 3); break;
+    default: g = topo::randomConnected(8, 4, rng); break;
+  }
+  SelfStabBfsRouting routing(g);
+  Rng corruptRng = rng.fork(1);
+  routing.corrupt(corruptRng, 1.0);
+
+  std::unique_ptr<Daemon> daemon;
+  switch (param.daemon) {
+    case 0: daemon = std::make_unique<SynchronousDaemon>(); break;
+    case 1: daemon = std::make_unique<CentralRoundRobinDaemon>(); break;
+    case 2: daemon = std::make_unique<CentralRandomDaemon>(rng.fork(2)); break;
+    case 3:
+      daemon = std::make_unique<DistributedRandomDaemon>(rng.fork(3), 0.5);
+      break;
+    default: daemon = std::make_unique<AdversarialDaemon>(rng.fork(4)); break;
+  }
+
+  Engine engine(g, {&routing}, *daemon);
+  engine.run(500000);
+  EXPECT_TRUE(engine.isTerminal()) << "routing did not converge";
+  EXPECT_TRUE(routing.isSilent());
+  EXPECT_TRUE(routing.matchesBfs());
+}
+
+std::vector<ConvergenceParam> convergenceGrid() {
+  std::vector<ConvergenceParam> out;
+  for (int topology = 0; topology <= 5; ++topology) {
+    for (int daemon = 0; daemon <= 4; ++daemon) {
+      for (std::uint64_t seed : {11ull, 22ull}) {
+        out.push_back({topology, daemon, seed});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SelfStabBfsConvergence,
+                         ::testing::ValuesIn(convergenceGrid()),
+                         [](const auto& paramInfo) {
+                           const auto& p = paramInfo.param;
+                           return "t" + std::to_string(p.topology) + "_d" +
+                                  std::to_string(p.daemon) + "_s" +
+                                  std::to_string(p.seed);
+                         });
+
+TEST(SelfStabBfs, ConvergenceIsFastInRounds) {
+  // BFS information propagates one hop per round: expect O(D) rounds.
+  const Graph g = topo::path(10);  // D = 9
+  SelfStabBfsRouting routing(g);
+  Rng rng(9);
+  routing.corrupt(rng, 1.0);
+  SynchronousDaemon daemon;
+  Engine engine(g, {&routing}, daemon);
+  engine.run(100000);
+  EXPECT_TRUE(routing.matchesBfs());
+  EXPECT_LE(engine.roundCount(), 3u * g.diameter() + 5u);
+}
+
+TEST(FrozenRouting, StartsCorrect) {
+  const Graph g = topo::ring(6);
+  const FrozenRouting frozen(g);
+  const OracleRouting oracle(g);
+  for (NodeId p = 0; p < g.size(); ++p) {
+    for (NodeId d = 0; d < g.size(); ++d) {
+      EXPECT_EQ(frozen.nextHop(p, d), oracle.nextHop(p, d));
+    }
+  }
+}
+
+TEST(FrozenRouting, SetEntryPersists) {
+  const Graph g = topo::ring(6);
+  FrozenRouting frozen(g);
+  frozen.setEntry(0, 3, 5);  // send "the wrong way" around the ring
+  EXPECT_EQ(frozen.nextHop(0, 3), 5u);
+}
+
+TEST(FrozenRouting, CorruptKeepsNeighborsOnly) {
+  const Graph g = topo::grid(3, 3);
+  FrozenRouting frozen(g);
+  Rng rng(10);
+  frozen.corrupt(rng, 1.0);
+  for (NodeId p = 0; p < g.size(); ++p) {
+    for (NodeId d = 0; d < g.size(); ++d) {
+      if (p == d) {
+        EXPECT_EQ(frozen.nextHop(p, d), p);
+      } else {
+        EXPECT_TRUE(g.hasEdge(p, frozen.nextHop(p, d)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -1,0 +1,139 @@
+// Tests of the experiment runner facade (topology/daemon/traffic factories
+// and the two stack runners).
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snapfwd {
+namespace {
+
+TEST(RunnerFactories, TopologyNamesAreStable) {
+  EXPECT_STREQ(toString(TopologyKind::kRing), "ring");
+  EXPECT_STREQ(toString(TopologyKind::kRandomConnected), "random-connected");
+  EXPECT_STREQ(toString(DaemonKind::kWeaklyFair), "weakly-fair");
+  EXPECT_STREQ(toString(TrafficKind::kAllToOne), "all-to-one");
+}
+
+TEST(RunnerFactories, BuildTopologyHonorsKind) {
+  ExperimentConfig cfg;
+  Rng rng(1);
+  cfg.topology = TopologyKind::kStar;
+  cfg.n = 9;
+  EXPECT_EQ(buildTopology(cfg, rng).maxDegree(), 8u);
+  cfg.topology = TopologyKind::kGrid;
+  cfg.rows = 2;
+  cfg.cols = 5;
+  EXPECT_EQ(buildTopology(cfg, rng).size(), 10u);
+  cfg.topology = TopologyKind::kHypercube;
+  cfg.dims = 4;
+  EXPECT_EQ(buildTopology(cfg, rng).size(), 16u);
+  cfg.topology = TopologyKind::kFigure3;
+  EXPECT_EQ(buildTopology(cfg, rng).size(), 4u);
+}
+
+TEST(RunnerFactories, MakeDaemonReturnsRequestedKind) {
+  Rng rng(2);
+  EXPECT_EQ(makeDaemon(DaemonKind::kSynchronous, 0.5, rng)->name(), "synchronous");
+  EXPECT_EQ(makeDaemon(DaemonKind::kAdversarial, 0.5, rng)->name(), "adversarial");
+}
+
+TEST(RunnerFactories, MakeTrafficHonorsKind) {
+  ExperimentConfig cfg;
+  Rng rng(3);
+  cfg.traffic = TrafficKind::kNone;
+  EXPECT_TRUE(makeTraffic(cfg, 8, rng).empty());
+  cfg.traffic = TrafficKind::kPermutation;
+  EXPECT_EQ(makeTraffic(cfg, 8, rng).size(), 8u);
+  cfg.traffic = TrafficKind::kAllToOne;
+  cfg.perSource = 3;
+  cfg.hotspot = 2;
+  EXPECT_EQ(makeTraffic(cfg, 8, rng).size(), 21u);
+}
+
+TEST(Runner, SsmfpExperimentPopulatesGraphMetrics) {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kRing;
+  cfg.n = 6;
+  cfg.messageCount = 4;
+  const ExperimentResult r = runSsmfpExperiment(cfg);
+  EXPECT_EQ(r.graphN, 6u);
+  EXPECT_EQ(r.graphDelta, 2u);
+  EXPECT_EQ(r.graphDiameter, 3u);
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_GT(r.steps, 0u);
+  EXPECT_GT(r.rounds, 0u);
+}
+
+TEST(Runner, CleanStartHasNoRoutingWork) {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kPath;
+  cfg.n = 5;
+  cfg.messageCount = 4;
+  const ExperimentResult r = runSsmfpExperiment(cfg);
+  EXPECT_FALSE(r.routingCorrupted);
+  EXPECT_EQ(r.routingSilentRound, 0u);
+}
+
+TEST(Runner, CorruptedStartRecordsRoutingSilence) {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kPath;
+  cfg.n = 6;
+  cfg.seed = 4;
+  cfg.messageCount = 4;
+  cfg.corruption.routingFraction = 1.0;
+  const ExperimentResult r = runSsmfpExperiment(cfg);
+  EXPECT_TRUE(r.routingCorrupted);
+  EXPECT_GT(r.routingSilentStep, 0u);
+  EXPECT_TRUE(r.spec.satisfiesSp());
+}
+
+TEST(Runner, BaselineExperimentCleanSatisfiesSp) {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kGrid;
+  cfg.rows = 3;
+  cfg.cols = 3;
+  cfg.seed = 5;
+  cfg.messageCount = 12;
+  const ExperimentResult r = runBaselineExperiment(cfg);
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_TRUE(r.spec.satisfiesSp()) << r.spec.summary();
+}
+
+TEST(Runner, BaselineExperimentCorruptedViolatesSpSomewhere) {
+  // Across a handful of seeds, fully corrupted frozen tables must produce
+  // at least one SP violation (deadlocked, lost or duplicated messages) -
+  // the failure mode motivating the paper.
+  bool anyViolation = false;
+  for (std::uint64_t seed = 1; seed <= 6 && !anyViolation; ++seed) {
+    ExperimentConfig cfg;
+    cfg.topology = TopologyKind::kRing;
+    cfg.n = 8;
+    cfg.seed = seed;
+    cfg.messageCount = 16;
+    cfg.corruption.routingFraction = 1.0;
+    cfg.corruption.invalidMessages = 8;
+    cfg.maxSteps = 200'000;
+    const ExperimentResult r = runBaselineExperiment(cfg);
+    anyViolation |= !r.spec.satisfiesSp();
+  }
+  EXPECT_TRUE(anyViolation);
+}
+
+TEST(Runner, SsmfpRestrictedDestinationsStillSp) {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kRing;
+  cfg.n = 8;
+  cfg.seed = 6;
+  cfg.traffic = TrafficKind::kAllToOne;
+  cfg.hotspot = 0;
+  cfg.perSource = 2;
+  cfg.destinations = {0};
+  cfg.corruption.routingFraction = 1.0;
+  cfg.corruption.invalidMessages = 6;
+  const ExperimentResult r = runSsmfpExperiment(cfg);
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_TRUE(r.spec.satisfiesSp()) << r.spec.summary();
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -1,0 +1,152 @@
+// Tests of configuration snapshot save/restore.
+#include "sim/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "checker/spec_checker.hpp"
+#include "core/engine.hpp"
+#include "faults/corruptor.hpp"
+#include "graph/builders.hpp"
+#include "mp/mp_ssmfp.hpp"  // protocolStateHash
+#include "workload/workload.hpp"
+
+namespace snapfwd {
+namespace {
+
+struct Stack {
+  Graph graph;
+  SelfStabBfsRouting routing;
+  SsmfpProtocol proto;
+
+  explicit Stack(Graph g, ChoicePolicy policy = ChoicePolicy::kRoundRobin)
+      : graph(std::move(g)), routing(graph), proto(graph, routing, {}, policy) {}
+};
+
+TEST(Snapshot, RoundTripCleanState) {
+  Stack original(topo::ring(5));
+  original.proto.send(0, 3, 42);
+  original.proto.send(2, 4, 7);
+  const std::string text =
+      snapshotToString(original.graph, original.routing, original.proto);
+  const RestoredStack restored = snapshotFromString(text);
+  EXPECT_EQ(protocolStateHash(original.proto, original.routing),
+            protocolStateHash(*restored.forwarding, *restored.routing));
+  EXPECT_EQ(restored.forwarding->nextTraceId(), original.proto.nextTraceId());
+}
+
+TEST(Snapshot, RoundTripCorruptedState) {
+  Stack original(topo::grid(3, 3));
+  Rng rng(5);
+  CorruptionPlan plan;
+  plan.routingFraction = 1.0;
+  plan.invalidMessages = 15;
+  plan.payloadSpace = 3;
+  plan.scrambleQueues = true;
+  applyCorruption(plan, original.routing, original.proto, rng);
+  original.proto.send(1, 7, 9);
+
+  const std::string text =
+      snapshotToString(original.graph, original.routing, original.proto);
+  const RestoredStack restored = snapshotFromString(text);
+  EXPECT_EQ(protocolStateHash(original.proto, original.routing),
+            protocolStateHash(*restored.forwarding, *restored.routing));
+  // Field-level spot checks including verification metadata.
+  for (NodeId p = 0; p < original.graph.size(); ++p) {
+    for (const NodeId d : original.proto.destinations()) {
+      const auto& a = original.proto.bufR(p, d);
+      const auto& b = restored.forwarding->bufR(p, d);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (a.has_value()) {
+        EXPECT_EQ(a->trace, b->trace);
+        EXPECT_EQ(a->valid, b->valid);
+      }
+    }
+  }
+}
+
+TEST(Snapshot, MidRunCheckpointResumesEquivalently) {
+  // Run A for 25 steps, snapshot, restore into B; continue both with
+  // identical fresh daemons: every subsequent hash and the delivery
+  // multiset must agree.
+  Stack a(topo::ring(6));
+  Rng rng(7);
+  a.routing.corrupt(rng, 1.0);
+  submitAll(a.proto, uniformTraffic(6, 10, rng, 4));
+  {
+    DistributedRandomDaemon warmup(Rng(99), 0.5);
+    Engine engine(a.graph, {&a.routing, &a.proto}, warmup);
+    a.proto.attachEngine(&engine);
+    engine.run(25);
+  }
+  const std::string checkpoint = snapshotToString(a.graph, a.routing, a.proto);
+  RestoredStack b = snapshotFromString(checkpoint);
+  ASSERT_EQ(protocolStateHash(a.proto, a.routing),
+            protocolStateHash(*b.forwarding, *b.routing));
+
+  DistributedRandomDaemon daemonA(Rng(123), 0.5);
+  Engine engineA(a.graph, {&a.routing, &a.proto}, daemonA);
+  a.proto.attachEngine(&engineA);
+  DistributedRandomDaemon daemonB(Rng(123), 0.5);
+  Engine engineB(*b.graph, {b.routing.get(), b.forwarding.get()}, daemonB);
+  b.forwarding->attachEngine(&engineB);
+
+  for (int i = 0; i < 10000; ++i) {
+    const bool stepA = engineA.step();
+    const bool stepB = engineB.step();
+    ASSERT_EQ(stepA, stepB) << "termination divergence at step " << i;
+    if (!stepA) break;
+    ASSERT_EQ(protocolStateHash(a.proto, a.routing),
+              protocolStateHash(*b.forwarding, *b.routing))
+        << "state divergence at step " << i;
+  }
+  // Deliveries AFTER the checkpoint agree (records before it live only in A).
+  std::multiset<Payload> fromB;
+  for (const auto& rec : b.forwarding->deliveries()) fromB.insert(rec.msg.payload);
+  std::multiset<Payload> fromATail;
+  std::size_t skip = a.proto.deliveries().size() - fromB.size();
+  for (std::size_t i = skip; i < a.proto.deliveries().size(); ++i) {
+    fromATail.insert(a.proto.deliveries()[i].msg.payload);
+  }
+  EXPECT_EQ(fromATail, fromB);
+}
+
+TEST(Snapshot, PreservesChoicePolicy) {
+  Stack original(topo::ring(4), ChoicePolicy::kOldestFirst);
+  const std::string text =
+      snapshotToString(original.graph, original.routing, original.proto);
+  const RestoredStack restored = snapshotFromString(text);
+  EXPECT_EQ(restored.forwarding->choicePolicy(), ChoicePolicy::kOldestFirst);
+}
+
+TEST(Snapshot, RejectsMissingHeader) {
+  EXPECT_THROW(snapshotFromString("graph 3\nend\n"), std::runtime_error);
+}
+
+TEST(Snapshot, RejectsUnknownTag) {
+  EXPECT_THROW(
+      snapshotFromString("snapfwd-snapshot v1\ngraph 3\nfrobnicate 1\nend\n"),
+      std::runtime_error);
+}
+
+TEST(Snapshot, RejectsTruncatedInput) {
+  Stack original(topo::ring(4));
+  std::string text =
+      snapshotToString(original.graph, original.routing, original.proto);
+  text.resize(text.size() - 5);  // drop "end\n" plus a byte
+  EXPECT_THROW(snapshotFromString(text), std::runtime_error);
+}
+
+TEST(Snapshot, RejectsEdgeBeforeGraph) {
+  EXPECT_THROW(snapshotFromString("snapfwd-snapshot v1\nedge 0 1\nend\n"),
+               std::runtime_error);
+}
+
+TEST(Snapshot, StableOutput) {
+  Stack s1(topo::binaryTree(7));
+  Stack s2(topo::binaryTree(7));
+  EXPECT_EQ(snapshotToString(s1.graph, s1.routing, s1.proto),
+            snapshotToString(s2.graph, s2.routing, s2.proto));
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -1,0 +1,132 @@
+// Tests of the spanning-tree utility and the generalizations it enables:
+// tree-only schemes (PIF, the up/down orientation cover) running on
+// arbitrary connected topologies at the cost of path stretch.
+#include <gtest/gtest.h>
+
+#include "baseline/orientation_forwarding.hpp"
+#include "checker/spec_checker.hpp"
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+#include "pif/pif.hpp"
+#include "workload/workload.hpp"
+
+namespace snapfwd {
+namespace {
+
+TEST(SpanningTree, IsATreeWithSameVertices) {
+  Rng rng(1);
+  const Graph g = topo::randomConnected(12, 8, rng);
+  const Graph tree = topo::spanningTree(g, 0);
+  EXPECT_EQ(tree.size(), g.size());
+  EXPECT_EQ(tree.edgeCount(), g.size() - 1);
+  EXPECT_TRUE(tree.isConnected());
+}
+
+TEST(SpanningTree, EdgesAreSubsetOfOriginal) {
+  Rng rng(2);
+  const Graph g = topo::randomConnected(10, 6, rng);
+  const Graph tree = topo::spanningTree(g, 3);
+  for (const auto& [u, v] : tree.edges()) {
+    EXPECT_TRUE(g.hasEdge(u, v));
+  }
+}
+
+TEST(SpanningTree, BfsDistancesFromRootPreserved) {
+  // A BFS tree preserves distances TO THE ROOT (not between other pairs).
+  const Graph g = topo::torus(3, 3);
+  const Graph tree = topo::spanningTree(g, 4);
+  const auto gDist = g.bfsDistances(4);
+  const auto tDist = tree.bfsDistances(4);
+  for (NodeId v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(gDist[v], tDist[v]);
+  }
+}
+
+TEST(SpanningTree, OfATreeIsItself) {
+  const Graph tree = topo::binaryTree(7);
+  const Graph spanning = topo::spanningTree(tree, 0);
+  EXPECT_EQ(spanning.edges(), tree.edges());
+}
+
+TEST(SpanningTree, PathStretchExists) {
+  // On a ring, antipodal pairs take the long way around the tree: the
+  // buffer-economy trade-off of tree-only schemes made concrete.
+  const Graph g = topo::ring(8);
+  const Graph tree = topo::spanningTree(g, 0);
+  EXPECT_EQ(g.distance(3, 5), 2u);
+  EXPECT_GT(tree.distance(3, 5), 2u);
+}
+
+TEST(SpanningTree, PifRunsOnArbitraryGraphsViaTree) {
+  // PIF requires a tree; the spanning tree lets it serve any topology.
+  Rng rng(3);
+  const Graph g = topo::randomConnected(10, 7, rng);
+  const Graph tree = topo::spanningTree(g, 0);
+  PifProtocol pif(tree, 0);
+  Rng scrambleRng = rng.fork(1);
+  pif.scrambleStates(scrambleRng);
+  pif.requestWave();
+  DistributedRandomDaemon daemon(rng.fork(2), 0.5);
+  Engine engine(tree, {&pif}, daemon);
+  pif.attachEngine(&engine);
+  engine.run(1'000'000);
+  EXPECT_TRUE(engine.isTerminal());
+  std::size_t valid = 0;
+  for (const auto& wave : pif.waves()) {
+    if (wave.valid) {
+      ++valid;
+      EXPECT_EQ(wave.participants, tree.size());
+    }
+  }
+  EXPECT_EQ(valid, 1u);
+}
+
+TEST(SpanningTree, OrientationCoverRunsOnArbitraryGraphsViaTree) {
+  // The 2-buffer up/down cover generalizes to any topology through its
+  // spanning tree: exactly-once all-pairs delivery with 2 buffers per
+  // node, on a graph that is not itself a tree.
+  Rng rng(4);
+  const Graph g = topo::randomConnected(8, 5, rng);
+  const Graph tree = topo::spanningTree(g, 0);
+  TreeUpDownScheme scheme(tree, 0);
+  TreePathRouting routing(tree, scheme);
+  OrientationForwardingProtocol proto(tree, routing, scheme);
+  std::size_t expected = 0;
+  for (NodeId s = 0; s < tree.size(); ++s) {
+    for (NodeId d = 0; d < tree.size(); ++d) {
+      if (s != d) {
+        proto.send(s, d, s * 100 + d);
+        ++expected;
+      }
+    }
+  }
+  DistributedRandomDaemon daemon(rng.fork(1), 0.5);
+  Engine engine(tree, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  engine.run(3'000'000);
+  EXPECT_TRUE(engine.isTerminal());
+  const SpecReport report = checkSpec(proto);
+  EXPECT_TRUE(report.satisfiesSp()) << report.summary();
+  EXPECT_EQ(report.validDelivered, expected);
+  EXPECT_EQ(proto.buffersPerProcessor(), 2u);
+}
+
+TEST(SpecChecker, OrientationAdapterCountsCorrectly) {
+  const Graph tree = topo::path(4);
+  TreeUpDownScheme scheme(tree, 0);
+  TreePathRouting routing(tree, scheme);
+  OrientationForwardingProtocol proto(tree, routing, scheme);
+  proto.send(0, 3, 42);
+  Rng rng(5);
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(tree, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  engine.run(100'000);
+  const SpecReport report = checkSpec(proto);
+  EXPECT_EQ(report.validGenerated, 1u);
+  EXPECT_EQ(report.validDelivered, 1u);
+  EXPECT_TRUE(report.satisfiesSp());
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -1,0 +1,448 @@
+// Rule-level unit tests for SSMFP: every guard of R1-R6 exercised both
+// firing and blocked, on crafted configurations, plus the color_p(d) and
+// choice_p(d) procedures. A ScriptedDaemon drives exactly one rule at a
+// time so each statement's effect is observed in isolation.
+#include "ssmfp/ssmfp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+#include "routing/oracle.hpp"
+#include "routing/selfstab_bfs.hpp"
+
+namespace snapfwd {
+namespace {
+
+/// Returns true iff processor p has rule `rule` enabled for destination d.
+bool ruleEnabled(const SsmfpProtocol& proto, NodeId p, std::uint16_t rule,
+                 NodeId d) {
+  std::vector<Action> actions;
+  proto.enumerateEnabled(p, actions);
+  for (const auto& a : actions) {
+    if (a.rule == rule && a.dest == d) return true;
+  }
+  return false;
+}
+
+/// Executes exactly one (p, rule, d) action through a scripted engine step.
+void fireRule(const Graph& g, std::vector<Protocol*> layers, NodeId p,
+              std::uint16_t rule, NodeId d) {
+  ScriptedDaemon daemon({{{p, rule, d}}});
+  Engine engine(g, std::move(layers), daemon);
+  ASSERT_TRUE(engine.step());
+  ASSERT_TRUE(daemon.allMatched());
+}
+
+Message invalidMsg(Payload payload, NodeId lastHop, Color color) {
+  Message m;
+  m.payload = payload;
+  m.lastHop = lastHop;
+  m.color = color;
+  return m;
+}
+
+// Fixture: path 0-1-2-3, destination 3, correct routing.
+class SsmfpPathFixture : public ::testing::Test {
+ protected:
+  SsmfpPathFixture()
+      : graph_(topo::path(4)), routing_(graph_), proto_(graph_, routing_) {}
+
+  Graph graph_;
+  OracleRouting routing_;
+  SsmfpProtocol proto_;
+};
+
+// ---------------------------------------------------------------------------
+// R1: generation
+// ---------------------------------------------------------------------------
+
+TEST_F(SsmfpPathFixture, R1EnabledAfterSend) {
+  EXPECT_FALSE(ruleEnabled(proto_, 0, kR1Generate, 3));
+  proto_.send(0, 3, 42);
+  EXPECT_TRUE(proto_.request(0));
+  EXPECT_EQ(proto_.nextDestination(0), 3u);
+  EXPECT_TRUE(ruleEnabled(proto_, 0, kR1Generate, 3));
+}
+
+TEST_F(SsmfpPathFixture, R1OnlyForWaitingDestination) {
+  proto_.send(0, 3, 42);
+  EXPECT_FALSE(ruleEnabled(proto_, 0, kR1Generate, 2));
+  EXPECT_FALSE(ruleEnabled(proto_, 0, kR1Generate, 1));
+}
+
+TEST_F(SsmfpPathFixture, R1BlockedByOccupiedReceptionBuffer) {
+  proto_.injectReception(0, 3, invalidMsg(7, 0, 0));
+  proto_.send(0, 3, 42);
+  EXPECT_FALSE(ruleEnabled(proto_, 0, kR1Generate, 3));
+}
+
+TEST_F(SsmfpPathFixture, R1StatementCreatesColorZeroMessage) {
+  proto_.send(0, 3, 42);
+  fireRule(graph_, {&proto_}, 0, kR1Generate, 3);
+  const Buffer& r = proto_.bufR(0, 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->payload, 42u);
+  EXPECT_EQ(r->lastHop, 0u);  // (nextMessage, p, 0)
+  EXPECT_EQ(r->color, 0u);
+  EXPECT_TRUE(r->valid);
+  EXPECT_FALSE(proto_.request(0));  // request := false
+  ASSERT_EQ(proto_.generations().size(), 1u);
+  EXPECT_EQ(proto_.generations()[0].msg.payload, 42u);
+}
+
+TEST_F(SsmfpPathFixture, R1HeadOfLineBlocking) {
+  // Outbox is a blocking queue: the second message waits for the first.
+  proto_.send(0, 3, 1);
+  proto_.send(0, 2, 2);
+  EXPECT_TRUE(ruleEnabled(proto_, 0, kR1Generate, 3));
+  EXPECT_FALSE(ruleEnabled(proto_, 0, kR1Generate, 2));
+  fireRule(graph_, {&proto_}, 0, kR1Generate, 3);
+  EXPECT_TRUE(ruleEnabled(proto_, 0, kR1Generate, 2));
+}
+
+TEST_F(SsmfpPathFixture, R1BlockedWhenNeighborHeadsQueue) {
+  // Destination 0, processor 1. Neighbor 2 holds an emission routed to 1
+  // and precedes "self" in 1's fairness queue (initial order: neighbors,
+  // then self), so choice_1(0) = 2 != 1 and R1 is blocked until 2 is
+  // served and rotated behind.
+  proto_.injectEmission(2, 0, invalidMsg(9, 2, 1));  // nextHop_2(0) = 1
+  proto_.send(1, 0, 42);
+  EXPECT_EQ(proto_.choice(1, 0), 2u);
+  EXPECT_FALSE(ruleEnabled(proto_, 1, kR1Generate, 0));
+  // Serve neighbor 2 (R3 at 1), rotating it to the back of the queue; the
+  // upstream erases (R4) and the copy advances internally (R2). Now self
+  // heads the viable queue and generation unblocks.
+  fireRule(graph_, {&proto_}, 1, kR3Forward, 0);
+  fireRule(graph_, {&proto_}, 2, kR4EraseForwarded, 0);
+  fireRule(graph_, {&proto_}, 1, kR2Internal, 0);
+  EXPECT_TRUE(ruleEnabled(proto_, 1, kR1Generate, 0));
+}
+
+// ---------------------------------------------------------------------------
+// R2: internal forwarding
+// ---------------------------------------------------------------------------
+
+TEST_F(SsmfpPathFixture, R2EnabledForSelfOriginMessage) {
+  proto_.send(0, 3, 42);
+  fireRule(graph_, {&proto_}, 0, kR1Generate, 3);
+  EXPECT_TRUE(ruleEnabled(proto_, 0, kR2Internal, 3));  // q = p case
+}
+
+TEST_F(SsmfpPathFixture, R2BlockedByOccupiedEmissionBuffer) {
+  proto_.send(0, 3, 42);
+  fireRule(graph_, {&proto_}, 0, kR1Generate, 3);
+  proto_.injectEmission(0, 3, invalidMsg(9, 0, 2));
+  EXPECT_FALSE(ruleEnabled(proto_, 0, kR2Internal, 3));
+}
+
+TEST_F(SsmfpPathFixture, R2BlockedWhileUpstreamCopyExists) {
+  // bufR_1(3) = (m, 0, c) with bufE_0(3) = (m, ., c): upstream copy still
+  // present -> R2 blocked at 1 (this is what prevents duplication).
+  proto_.injectEmission(0, 3, invalidMsg(5, 0, 1));
+  proto_.injectReception(1, 3, invalidMsg(5, 0, 1));
+  EXPECT_FALSE(ruleEnabled(proto_, 1, kR2Internal, 3));
+}
+
+TEST_F(SsmfpPathFixture, R2EnabledWhenUpstreamDiffers) {
+  // Same payload but different color upstream: not the same copy.
+  proto_.injectEmission(0, 3, invalidMsg(5, 0, 2));
+  proto_.injectReception(1, 3, invalidMsg(5, 0, 1));
+  EXPECT_TRUE(ruleEnabled(proto_, 1, kR2Internal, 3));
+}
+
+TEST_F(SsmfpPathFixture, R2StatementAssignsFreshColorAndClearsReception) {
+  proto_.send(0, 3, 42);
+  fireRule(graph_, {&proto_}, 0, kR1Generate, 3);
+  fireRule(graph_, {&proto_}, 0, kR2Internal, 3);
+  EXPECT_FALSE(proto_.bufR(0, 3).has_value());
+  const Buffer& e = proto_.bufE(0, 3);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->payload, 42u);
+  EXPECT_EQ(e->lastHop, 0u);
+  EXPECT_EQ(e->color, proto_.colorFor(0, 3));
+}
+
+TEST_F(SsmfpPathFixture, R2ColorAvoidsNeighborReceptionBuffers) {
+  // Neighbor 1 holds colors 0 in its reception buffer for destination 3:
+  // the internal move at 0 must pick color 1.
+  proto_.injectReception(1, 3, invalidMsg(9, 2, 0));
+  proto_.send(0, 3, 42);
+  fireRule(graph_, {&proto_}, 0, kR1Generate, 3);
+  fireRule(graph_, {&proto_}, 0, kR2Internal, 3);
+  EXPECT_EQ(proto_.bufE(0, 3)->color, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// R3: hop forwarding
+// ---------------------------------------------------------------------------
+
+TEST_F(SsmfpPathFixture, R3EnabledAtRoutedReceiver) {
+  proto_.injectEmission(1, 3, invalidMsg(5, 1, 1));  // nextHop_1(3) = 2
+  EXPECT_TRUE(ruleEnabled(proto_, 2, kR3Forward, 3));
+  EXPECT_FALSE(ruleEnabled(proto_, 0, kR3Forward, 3));  // not the next hop
+}
+
+TEST_F(SsmfpPathFixture, R3BlockedByOccupiedReceptionBuffer) {
+  proto_.injectEmission(1, 3, invalidMsg(5, 1, 1));
+  proto_.injectReception(2, 3, invalidMsg(8, 2, 0));
+  EXPECT_FALSE(ruleEnabled(proto_, 2, kR3Forward, 3));
+}
+
+TEST_F(SsmfpPathFixture, R3StatementCopiesWithSenderAndKeepsColor) {
+  proto_.injectEmission(1, 3, invalidMsg(5, 1, 1));
+  fireRule(graph_, {&proto_}, 2, kR3Forward, 3);
+  const Buffer& r = proto_.bufR(2, 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->payload, 5u);
+  EXPECT_EQ(r->lastHop, 1u);  // (m, s, c)
+  EXPECT_EQ(r->color, 1u);    // color kept across the hop
+  // Sender's emission buffer untouched by R3 itself (R4 erases later).
+  EXPECT_TRUE(proto_.bufE(1, 3).has_value());
+}
+
+TEST_F(SsmfpPathFixture, R3AuxCarriesSender) {
+  proto_.injectEmission(1, 3, invalidMsg(5, 1, 1));
+  std::vector<Action> actions;
+  proto_.enumerateEnabled(2, actions);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].rule, kR3Forward);
+  EXPECT_EQ(actions[0].aux, 1u);
+}
+
+TEST_F(SsmfpPathFixture, R3DestinationNeverPullsFromItsOwnEmission) {
+  // A message in bufE_3(3) is consumable only (R6): nextHop_3(3) = 3, so
+  // no neighbor's choice selects 3 as sender. (Regression test for the
+  // duplication-by-pullback bug.)
+  proto_.injectEmission(3, 3, invalidMsg(5, 3, 1));
+  EXPECT_FALSE(ruleEnabled(proto_, 2, kR3Forward, 3));
+  EXPECT_TRUE(ruleEnabled(proto_, 3, kR6Consume, 3));
+}
+
+// ---------------------------------------------------------------------------
+// R4: erase after forwarding
+// ---------------------------------------------------------------------------
+
+TEST_F(SsmfpPathFixture, R4EnabledWhenCopyAtNextHop) {
+  proto_.injectEmission(1, 3, invalidMsg(5, 1, 1));
+  proto_.injectReception(2, 3, invalidMsg(5, 1, 1));  // (m, p=1, c)
+  EXPECT_TRUE(ruleEnabled(proto_, 1, kR4EraseForwarded, 3));
+}
+
+TEST_F(SsmfpPathFixture, R4BlockedWithoutCopy) {
+  proto_.injectEmission(1, 3, invalidMsg(5, 1, 1));
+  EXPECT_FALSE(ruleEnabled(proto_, 1, kR4EraseForwarded, 3));
+}
+
+TEST_F(SsmfpPathFixture, R4BlockedByWrongColorCopy) {
+  proto_.injectEmission(1, 3, invalidMsg(5, 1, 1));
+  proto_.injectReception(2, 3, invalidMsg(5, 1, 2));  // color mismatch
+  EXPECT_FALSE(ruleEnabled(proto_, 1, kR4EraseForwarded, 3));
+}
+
+TEST_F(SsmfpPathFixture, R4BlockedByStrayCopyAtOtherNeighbor) {
+  proto_.injectEmission(1, 3, invalidMsg(5, 1, 1));
+  proto_.injectReception(2, 3, invalidMsg(5, 1, 1));  // at next hop
+  proto_.injectReception(0, 3, invalidMsg(5, 1, 1));  // stray at neighbor 0
+  EXPECT_FALSE(ruleEnabled(proto_, 1, kR4EraseForwarded, 3));
+}
+
+TEST_F(SsmfpPathFixture, R4NeverAtDestination) {
+  proto_.injectEmission(3, 3, invalidMsg(5, 3, 1));
+  proto_.injectReception(2, 3, invalidMsg(5, 3, 1));
+  EXPECT_FALSE(ruleEnabled(proto_, 3, kR4EraseForwarded, 3));
+}
+
+TEST_F(SsmfpPathFixture, R4StatementErasesEmission) {
+  proto_.injectEmission(1, 3, invalidMsg(5, 1, 1));
+  proto_.injectReception(2, 3, invalidMsg(5, 1, 1));
+  fireRule(graph_, {&proto_}, 1, kR4EraseForwarded, 3);
+  EXPECT_FALSE(proto_.bufE(1, 3).has_value());
+  EXPECT_TRUE(proto_.bufR(2, 3).has_value());  // downstream copy survives
+}
+
+// ---------------------------------------------------------------------------
+// R5: erase after duplication
+// ---------------------------------------------------------------------------
+
+class SsmfpStarFixture : public ::testing::Test {
+ protected:
+  // Star center 0 with leaves 1..3; destination 1; routing corruptible.
+  SsmfpStarFixture()
+      : graph_(topo::star(4)), routing_(graph_), proto_(graph_, routing_) {}
+
+  Graph graph_;
+  SelfStabBfsRouting routing_;
+  SsmfpProtocol proto_;
+};
+
+TEST_F(SsmfpStarFixture, R5EnabledForStaleCopy) {
+  // Center 0 emits toward 1; a stale copy sits at leaf 2 (lastHop 0).
+  proto_.injectEmission(0, 1, invalidMsg(5, 0, 1));
+  proto_.injectReception(2, 1, invalidMsg(5, 0, 1));
+  // nextHop_0(1) = 1 != 2, so the copy at 2 is stale.
+  EXPECT_TRUE(ruleEnabled(proto_, 2, kR5EraseDuplicate, 1));
+}
+
+TEST_F(SsmfpStarFixture, R5BlockedAtTheRoutedHop) {
+  proto_.injectEmission(0, 1, invalidMsg(5, 0, 1));
+  proto_.injectReception(1, 1, invalidMsg(5, 0, 1));
+  // nextHop_0(1) = 1 == this processor: not a duplicate, R5 must not fire.
+  EXPECT_FALSE(ruleEnabled(proto_, 1, kR5EraseDuplicate, 1));
+}
+
+TEST_F(SsmfpStarFixture, R5BlockedWithoutUpstreamCopy) {
+  proto_.injectReception(2, 1, invalidMsg(5, 0, 1));
+  EXPECT_FALSE(ruleEnabled(proto_, 2, kR5EraseDuplicate, 1));
+}
+
+TEST_F(SsmfpStarFixture, R5StatementErasesReception) {
+  proto_.injectEmission(0, 1, invalidMsg(5, 0, 1));
+  proto_.injectReception(2, 1, invalidMsg(5, 0, 1));
+  fireRule(graph_, {&routing_, &proto_}, 2, kR5EraseDuplicate, 1);
+  EXPECT_FALSE(proto_.bufR(2, 1).has_value());
+  EXPECT_TRUE(proto_.bufE(0, 1).has_value());  // upstream copy survives
+}
+
+// ---------------------------------------------------------------------------
+// R6: consumption
+// ---------------------------------------------------------------------------
+
+TEST_F(SsmfpPathFixture, R6OnlyAtDestination) {
+  proto_.injectEmission(2, 3, invalidMsg(5, 2, 1));
+  EXPECT_FALSE(ruleEnabled(proto_, 2, kR6Consume, 3));
+  proto_.injectEmission(3, 3, invalidMsg(5, 3, 1));
+  EXPECT_TRUE(ruleEnabled(proto_, 3, kR6Consume, 3));
+}
+
+TEST_F(SsmfpPathFixture, R6DeliversAndEmpties) {
+  proto_.injectEmission(3, 3, invalidMsg(5, 3, 1));
+  fireRule(graph_, {&proto_}, 3, kR6Consume, 3);
+  EXPECT_FALSE(proto_.bufE(3, 3).has_value());
+  ASSERT_EQ(proto_.deliveries().size(), 1u);
+  EXPECT_EQ(proto_.deliveries()[0].msg.payload, 5u);
+  EXPECT_EQ(proto_.deliveries()[0].at, 3u);
+  EXPECT_EQ(proto_.invalidDeliveryCount(), 1u);
+}
+
+TEST_F(SsmfpPathFixture, R6DeliveryHookFires) {
+  int hooked = 0;
+  proto_.setDeliveryHook([&](const DeliveryRecord& rec) {
+    ++hooked;
+    EXPECT_EQ(rec.msg.payload, 5u);
+  });
+  proto_.injectEmission(3, 3, invalidMsg(5, 3, 1));
+  fireRule(graph_, {&proto_}, 3, kR6Consume, 3);
+  EXPECT_EQ(hooked, 1);
+}
+
+// ---------------------------------------------------------------------------
+// choice_p(d) and color_p(d)
+// ---------------------------------------------------------------------------
+
+TEST_F(SsmfpStarFixture, ChoiceReturnsNoNodeWithoutCandidates) {
+  EXPECT_EQ(proto_.choice(0, 1), kNoNode);
+}
+
+TEST_F(SsmfpStarFixture, ChoicePrefersQueueOrder) {
+  // Destination 1. Two leaves 2 and 3 both have emissions routed to 0.
+  routing_.setEntry(2, 1, 1, 0);
+  routing_.setEntry(3, 1, 1, 0);
+  proto_.injectEmission(2, 1, invalidMsg(5, 2, 1));
+  proto_.injectEmission(3, 1, invalidMsg(6, 3, 2));
+  // Initial queue at (0, 1) is neighbors in id order then self: 1,2,3,0.
+  EXPECT_EQ(proto_.choice(0, 1), 2u);
+}
+
+TEST_F(SsmfpStarFixture, ChoiceRotatesAfterService) {
+  routing_.setEntry(2, 1, 1, 0);
+  routing_.setEntry(3, 1, 1, 0);
+  proto_.injectEmission(2, 1, invalidMsg(5, 2, 1));
+  proto_.injectEmission(3, 1, invalidMsg(6, 3, 2));
+  fireRule(graph_, {&routing_, &proto_}, 0, kR3Forward, 1);
+  // Processor 2 was served and rotated to the back; 3 is now preferred
+  // (once 0's reception buffer frees up).
+  const auto& q = proto_.fairnessQueue(0, 1);
+  EXPECT_EQ(q.back(), 2u);
+}
+
+TEST_F(SsmfpStarFixture, ChoiceSelfCandidacy) {
+  proto_.send(0, 1, 9);
+  EXPECT_EQ(proto_.choice(0, 1), 0u);
+}
+
+TEST_F(SsmfpPathFixture, ColorSkipsOccupiedNeighborColors) {
+  // Destination 3; processor 1 has neighbors 0 and 2.
+  proto_.injectReception(0, 3, invalidMsg(7, 0, 0));
+  proto_.injectReception(2, 3, invalidMsg(8, 2, 1));
+  EXPECT_EQ(proto_.colorFor(1, 3), 2u);
+}
+
+TEST_F(SsmfpPathFixture, ColorZeroWhenAllFree) {
+  EXPECT_EQ(proto_.colorFor(1, 3), 0u);
+}
+
+TEST_F(SsmfpPathFixture, ColorIgnoresOwnBuffers) {
+  proto_.injectReception(1, 3, invalidMsg(7, 1, 0));
+  EXPECT_EQ(proto_.colorFor(1, 3), 0u);
+}
+
+TEST(SsmfpColor, AlwaysFindsAFreeColorAtMaxDegree) {
+  // Star with center 0 of degree Delta: even with every neighbor reception
+  // buffer occupied by distinct colors, a color remains (pigeonhole).
+  const Graph g = topo::star(6);  // Delta = 5
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  for (NodeId leaf = 1; leaf <= 5; ++leaf) {
+    Message m;
+    m.payload = leaf;
+    m.lastHop = 0;
+    m.color = static_cast<Color>(leaf - 1);  // colors 0..4
+    proto.injectReception(leaf, 1, m);
+  }
+  EXPECT_EQ(proto.colorFor(0, 1), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Misc state
+// ---------------------------------------------------------------------------
+
+TEST_F(SsmfpPathFixture, OccupancyAndDrainAccounting) {
+  EXPECT_TRUE(proto_.fullyDrained());
+  proto_.injectReception(0, 3, invalidMsg(7, 0, 0));
+  EXPECT_EQ(proto_.occupiedBufferCount(), 1u);
+  EXPECT_FALSE(proto_.fullyDrained());
+}
+
+TEST_F(SsmfpPathFixture, PendingOutboxBlocksDrain) {
+  proto_.send(0, 3, 1);
+  EXPECT_EQ(proto_.occupiedBufferCount(), 0u);
+  EXPECT_FALSE(proto_.fullyDrained());
+}
+
+TEST_F(SsmfpPathFixture, DestinationRestriction) {
+  SsmfpProtocol restricted(graph_, routing_, {3});
+  EXPECT_TRUE(restricted.isDestination(3));
+  EXPECT_FALSE(restricted.isDestination(1));
+  EXPECT_EQ(restricted.destinations().size(), 1u);
+}
+
+TEST_F(SsmfpPathFixture, ScrambleQueuesKeepsMembers) {
+  Rng rng(3);
+  proto_.scrambleQueues(rng);
+  const auto& q = proto_.fairnessQueue(1, 3);
+  EXPECT_EQ(q.size(), 3u);  // neighbors {0, 2} + self
+  EXPECT_NE(std::find(q.begin(), q.end(), 0u), q.end());
+  EXPECT_NE(std::find(q.begin(), q.end(), 1u), q.end());
+  EXPECT_NE(std::find(q.begin(), q.end(), 2u), q.end());
+}
+
+TEST_F(SsmfpPathFixture, TraceIdsAreUnique) {
+  const TraceId a = proto_.send(0, 3, 1);
+  const TraceId b = proto_.send(1, 3, 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, kInvalidTrace);
+}
+
+}  // namespace
+}  // namespace snapfwd

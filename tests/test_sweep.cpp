@@ -1,0 +1,80 @@
+// Tests of the multi-seed sweep runner.
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snapfwd {
+namespace {
+
+ExperimentConfig smallConfig() {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kRing;
+  cfg.n = 6;
+  cfg.daemon = DaemonKind::kDistributedRandom;
+  cfg.messageCount = 8;
+  return cfg;
+}
+
+TEST(Sweep, RunsRequestedSeedCount) {
+  const SweepResult result = runSweep(smallConfig(), 1, 4);
+  EXPECT_EQ(result.runs.size(), 4u);
+  EXPECT_EQ(result.rounds.count(), 4u);
+  EXPECT_TRUE(result.allSp());
+  EXPECT_EQ(result.satisfiedSp, 4u);
+}
+
+TEST(Sweep, SeedsProduceDistinctRuns) {
+  const SweepResult result = runSweep(smallConfig(), 1, 4);
+  bool anyDifferent = false;
+  for (std::size_t i = 1; i < result.runs.size(); ++i) {
+    anyDifferent |= (result.runs[i].steps != result.runs[0].steps);
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Sweep, MutateHookAppliesPerSeed) {
+  std::vector<std::uint64_t> seenSeeds;
+  const SweepResult result =
+      runSweep(smallConfig(), 10, 3, false,
+               [&](ExperimentConfig& cfg, std::uint64_t seed) {
+                 seenSeeds.push_back(seed);
+                 cfg.messageCount = 4;
+               });
+  EXPECT_EQ(seenSeeds, (std::vector<std::uint64_t>{10, 11, 12}));
+  for (const auto& run : result.runs) {
+    EXPECT_EQ(run.spec.validGenerated, 4u);
+  }
+}
+
+TEST(Sweep, BaselineSelectionWorks) {
+  ExperimentConfig cfg = smallConfig();
+  cfg.corruption.routingFraction = 1.0;
+  cfg.corruption.invalidMessages = 6;
+  cfg.maxSteps = 150'000;
+  const SweepResult ssmfp = runSweep(cfg, 1, 5, /*baseline=*/false);
+  const SweepResult baseline = runSweep(cfg, 1, 5, /*baseline=*/true);
+  EXPECT_TRUE(ssmfp.allSp());
+  EXPECT_FALSE(baseline.allSp());  // corrupted frozen tables break it
+  EXPECT_GT(baseline.violatedSp + baseline.nonQuiescent, 0u);
+}
+
+TEST(Sweep, RowCellsShapeAndContent) {
+  const SweepResult result = runSweep(smallConfig(), 1, 3);
+  const auto cells = sweepRowCells(result);
+  ASSERT_EQ(cells.size(), 5u);
+  EXPECT_EQ(cells[0], "3");
+  EXPECT_EQ(cells[1], "3/3");
+  EXPECT_NE(cells[3].find("+/-"), std::string::npos);
+}
+
+TEST(Sweep, AggregatesTrackRuns) {
+  const SweepResult result = runSweep(smallConfig(), 1, 4);
+  double maxRounds = 0;
+  for (const auto& run : result.runs) {
+    maxRounds = std::max(maxRounds, static_cast<double>(run.rounds));
+  }
+  EXPECT_DOUBLE_EQ(result.rounds.max(), maxRounds);
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -1,0 +1,208 @@
+// Tests of the execution tracer and configuration renderer.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "routing/oracle.hpp"
+#include "routing/selfstab_bfs.hpp"
+
+namespace snapfwd {
+namespace {
+
+TEST(Trace, RecordsEveryExecutedAction) {
+  const Graph g = topo::path(3);
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  proto.send(0, 2, 42);
+  Rng rng(1);
+  CentralRandomDaemon daemon(rng);
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  ExecutionTracer tracer(engine, /*routingLayer=*/-1);
+  engine.run(100000);
+  EXPECT_EQ(tracer.entries().size(), engine.actionCount());
+  // The full lifecycle fired at least R1, R2, R3, R4, R6.
+  for (const std::uint16_t rule :
+       {kR1Generate, kR2Internal, kR3Forward, kR4EraseForwarded, kR6Consume}) {
+    EXPECT_GE(tracer.byRule(0, rule).size(), 1u) << "rule " << rule;
+  }
+}
+
+TEST(Trace, StepNumbersAreMonotone) {
+  const Graph g = topo::ring(5);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Rng rng(2);
+  routing.corrupt(rng, 1.0);
+  proto.send(0, 2, 7);
+  DistributedRandomDaemon daemon(rng.fork(1), 0.5);
+  Engine engine(g, {&routing, &proto}, daemon);
+  proto.attachEngine(&engine);
+  ExecutionTracer tracer(engine, 0);
+  engine.run(100000);
+  std::uint64_t last = 0;
+  for (const auto& entry : tracer.entries()) {
+    EXPECT_GE(entry.step, last);
+    last = entry.step;
+  }
+}
+
+TEST(Trace, ByProcessorFilters) {
+  const Graph g = topo::path(3);
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  proto.send(0, 2, 42);
+  Rng rng(3);
+  CentralRandomDaemon daemon(rng);
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  ExecutionTracer tracer(engine, -1);
+  engine.run(100000);
+  for (NodeId p = 0; p < 3; ++p) {
+    for (const auto& entry : tracer.byProcessor(p)) {
+      EXPECT_EQ(entry.p, p);
+    }
+  }
+}
+
+TEST(Trace, RuleCountsSumToTotal) {
+  const Graph g = topo::ring(5);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Rng rng(4);
+  routing.corrupt(rng, 1.0);
+  proto.send(1, 3, 9);
+  proto.send(4, 0, 8);
+  DistributedRandomDaemon daemon(rng.fork(1), 0.5);
+  Engine engine(g, {&routing, &proto}, daemon);
+  proto.attachEngine(&engine);
+  ExecutionTracer tracer(engine, 0);
+  engine.run(100000);
+  std::uint64_t total = 0;
+  for (const auto& rc : tracer.ruleCounts()) total += rc.count;
+  EXPECT_EQ(total, tracer.entries().size());
+}
+
+TEST(Trace, RenderMentionsRulesAndTruncates) {
+  const Graph g = topo::path(3);
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  proto.send(0, 2, 42);
+  Rng rng(5);
+  CentralRandomDaemon daemon(rng);
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  ExecutionTracer tracer(engine, -1);
+  engine.run(100000);
+  const std::string full = tracer.render();
+  EXPECT_NE(full.find("R1(d=2)"), std::string::npos);
+  EXPECT_NE(full.find("R6(d=2)"), std::string::npos);
+  const std::string truncated = tracer.render(2);
+  EXPECT_NE(truncated.find("more)"), std::string::npos);
+}
+
+TEST(Trace, RuleNames) {
+  EXPECT_EQ(ruleName(1, kR3Forward), "R3");
+  EXPECT_EQ(ruleName(1, 42), "rule42");
+}
+
+TEST(Render, ConfigurationShowsBuffersAndValidity) {
+  const Graph g = topo::path(3);
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Message m;
+  m.payload = 7;
+  m.lastHop = 1;
+  m.color = 2;
+  proto.injectReception(1, 2, m);
+  const std::string text = renderConfiguration(proto, 2);
+  EXPECT_NE(text.find("p1: bufR=(7,p1,c2)!"), std::string::npos);
+  EXPECT_NE(text.find("p0: bufR=-  bufE=-"), std::string::npos);
+}
+
+TEST(Render, OccupiedOnlySkipsEmptyDestinations) {
+  const Graph g = topo::path(3);
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Message m;
+  m.payload = 7;
+  m.lastHop = 0;
+  m.color = 0;
+  proto.injectEmission(0, 1, m);
+  const std::string text = renderOccupiedConfiguration(proto);
+  EXPECT_NE(text.find("destination 1:"), std::string::npos);
+  EXPECT_EQ(text.find("destination 0:"), std::string::npos);
+  EXPECT_EQ(text.find("destination 2:"), std::string::npos);
+}
+
+TEST(Trace, ScriptFromTraceReplaysRunExactly) {
+  // Record a random-daemon run on a corrupted stack, then replay its
+  // trace as a script against an identically prepared stack: final state
+  // and deliveries must match bit for bit - any recorded execution is
+  // reproducible without its daemon.
+  struct Stack {
+    std::unique_ptr<SelfStabBfsRouting> routing;
+    std::unique_ptr<SsmfpProtocol> proto;
+  };
+  const Graph g = topo::ring(5);
+  auto buildStack = [&g]() {
+    Stack stack;
+    stack.routing = std::make_unique<SelfStabBfsRouting>(g);
+    stack.proto = std::make_unique<SsmfpProtocol>(g, *stack.routing);
+    Rng rng(17);
+    stack.routing->corrupt(rng, 1.0);
+    stack.proto->scrambleQueues(rng);
+    stack.proto->send(1, 4, 9);
+    stack.proto->send(3, 0, 8);
+    stack.proto->send(2, 4, 9);  // payload collision on purpose
+    return stack;
+  };
+
+  Stack a = buildStack();
+  Rng rng(99);
+  DistributedRandomDaemon daemonA(rng, 0.5);
+  Engine engineA(g, {a.routing.get(), a.proto.get()}, daemonA);
+  a.proto->attachEngine(&engineA);
+  ExecutionTracer tracer(engineA, 0);
+  engineA.run(1'000'000);
+  ASSERT_TRUE(engineA.isTerminal());
+
+  Stack b = buildStack();
+  ScriptedDaemon daemonB(scriptFromTrace(tracer.entries()));
+  Engine engineB(g, {b.routing.get(), b.proto.get()}, daemonB);
+  b.proto->attachEngine(&engineB);
+  engineB.run(1'000'000);
+  EXPECT_TRUE(daemonB.allMatched()) << "replay diverged from the recording";
+  EXPECT_EQ(engineB.stepCount(), engineA.stepCount());
+  EXPECT_EQ(engineB.actionCount(), engineA.actionCount());
+  ASSERT_EQ(b.proto->deliveries().size(), a.proto->deliveries().size());
+  for (std::size_t i = 0; i < a.proto->deliveries().size(); ++i) {
+    EXPECT_EQ(b.proto->deliveries()[i].msg.trace,
+              a.proto->deliveries()[i].msg.trace);
+    EXPECT_EQ(b.proto->deliveries()[i].at, a.proto->deliveries()[i].at);
+  }
+}
+
+TEST(Trace, ScriptFromTraceGroupsSynchronousSteps) {
+  const std::vector<TraceEntry> entries{
+      {1, 0, 0, 1, kR1Generate, 3, 0},
+      {1, 0, 2, 1, kR2Internal, 3, 0},  // same step: same scripted group
+      {2, 0, 0, 1, kR2Internal, 3, 0},
+  };
+  const auto script = scriptFromTrace(entries);
+  ASSERT_EQ(script.size(), 2u);
+  EXPECT_EQ(script[0].size(), 2u);
+  EXPECT_EQ(script[1].size(), 1u);
+  EXPECT_EQ(script[0][1].p, 2u);
+}
+
+TEST(Render, AllEmptyMessage) {
+  const Graph g = topo::path(3);
+  OracleRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  EXPECT_EQ(renderOccupiedConfiguration(proto), "(all buffers empty)\n");
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -4,52 +4,54 @@
 // graph with garbage (all 2n buffers), fully corrupt the routing tables,
 // scramble the fairness queues, run to quiescence and count how many
 // invalid messages R6 hands to the destination. The paper's bound is 2n.
+//
+// Runs as a topology x seed SweepMatrix (all hardware threads; results are
+// bit-identical to a serial run) and archives every run as JSONL -
+// argv[1] overrides the output path ("-" = stdout).
 
+#include <fstream>
 #include <iostream>
 
-#include "sim/runner.hpp"
+#include "sim/experiment_json.hpp"
+#include "sim/sweep_matrix.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snapfwd;
   std::cout << "# E5 / Proposition 4: invalid deliveries <= 2n\n\n";
+
+  SweepMatrix matrix;
+  matrix.base.daemon = DaemonKind::kDistributedRandom;
+  matrix.base.traffic = TrafficKind::kNone;
+  matrix.base.destinations = {0};
+  matrix.base.corruption.routingFraction = 1.0;
+  matrix.base.corruption.invalidMessages = 1'000'000;  // saturate
+  matrix.base.corruption.scrambleQueues = true;
+  matrix.topologies = {
+      TopologySpec::path(8),    TopologySpec::ring(8),
+      TopologySpec::star(8),    TopologySpec::binaryTree(7),
+      TopologySpec::grid(3, 3), TopologySpec::complete(6),
+      TopologySpec::randomConnected(10, 4),
+  };
+  matrix.options.firstSeed = 1;
+  matrix.options.seedCount = 3;
+  matrix.options.threads = 0;  // all hardware threads
+  const SweepMatrixResult result = runSweepMatrix(matrix);
 
   Table table("Invalid deliveries to destination 0 (buffers saturated with garbage)",
               {"topology", "n", "seed", "injected", "delivered invalid",
                "bound 2n", "within bound"});
-
-  struct Row {
-    TopologyKind topology;
-    std::size_t n;
-  };
-  const Row rows[] = {
-      {TopologyKind::kPath, 8},       {TopologyKind::kRing, 8},
-      {TopologyKind::kStar, 8},       {TopologyKind::kBinaryTree, 7},
-      {TopologyKind::kGrid, 9},       {TopologyKind::kComplete, 6},
-      {TopologyKind::kRandomConnected, 10},
-  };
   bool allWithin = true;
   std::uint64_t maxObserved = 0;
-  for (const auto& row : rows) {
-    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
-      ExperimentConfig cfg;
-      cfg.topology = row.topology;
-      cfg.n = row.n;
-      cfg.rows = 3;
-      cfg.cols = 3;
-      cfg.seed = seed;
-      cfg.daemon = DaemonKind::kDistributedRandom;
-      cfg.traffic = TrafficKind::kNone;
-      cfg.destinations = {0};
-      cfg.corruption.routingFraction = 1.0;
-      cfg.corruption.invalidMessages = 1'000'000;  // saturate
-      cfg.corruption.scrambleQueues = true;
-      const ExperimentResult r = runSsmfpExperiment(cfg);
+  for (const SweepCell& cell : result.cells) {
+    for (std::size_t i = 0; i < cell.result.runs.size(); ++i) {
+      const ExperimentResult& r = cell.result.runs[i];
+      const std::uint64_t seed = matrix.options.firstSeed + i;
       const std::uint64_t bound = 2 * r.graphN;
       const bool within = r.quiescent && r.invalidDelivered <= bound;
       allWithin &= within;
       maxObserved = std::max(maxObserved, r.invalidDelivered);
-      table.addRow({toString(row.topology), Table::num(std::uint64_t{r.graphN}),
+      table.addRow({toString(cell.topo.kind), Table::num(std::uint64_t{r.graphN}),
                     Table::num(seed), Table::num(std::uint64_t{r.invalidInjected}),
                     Table::num(r.invalidDelivered), Table::num(bound),
                     Table::yesNo(within)});
@@ -58,6 +60,22 @@ int main() {
   table.printMarkdown(std::cout);
   std::cout << "all runs within the 2n bound: " << (allWithin ? "yes" : "NO")
             << " (max observed " << maxObserved << ")\n";
+
+  RunManifest manifest;
+  manifest.experiment = "bench_prop4_invalid_deliveries";
+  manifest.firstSeed = matrix.options.firstSeed;
+  manifest.seedCount = matrix.options.seedCount;
+  manifest.threads = resolveThreadCount(matrix.options.threads);
+  const std::string jsonlPath =
+      argc > 1 ? argv[1] : "bench_prop4_invalid_deliveries.jsonl";
+  if (jsonlPath == "-") {
+    writeMatrixJsonl(std::cout, manifest, matrix.base, result);
+  } else {
+    std::ofstream out(jsonlPath);
+    writeMatrixJsonl(out, manifest, matrix.base, result);
+    std::cout << "JSONL results: " << jsonlPath << "\n";
+  }
+
   std::cout << "\nPaper claim: the d-component has 2n buffers, each holding at\n"
                "most one invalid message in the initial configuration, and in\n"
                "the worst case all of them are delivered to d.\n";

@@ -7,33 +7,45 @@
 // report measured amortized cost against the 3D line - the paper's
 // Theta(D) claim means the ratio (amortized / D) should stay flat as n
 // grows, which the last column shows.
+//
+// Runs as a ring-size x corruption SweepMatrix (all hardware threads) and
+// archives every run as JSONL - argv[1] overrides the output path
+// ("-" = stdout).
 
+#include <fstream>
 #include <iostream>
 
-#include "sim/runner.hpp"
+#include "sim/experiment_json.hpp"
+#include "sim/sweep_matrix.hpp"
 #include "stats/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snapfwd;
   std::cout << "# E8 / Proposition 7: amortized rounds per delivery\n\n";
+
+  SweepMatrix matrix;
+  matrix.base.daemon = DaemonKind::kSynchronous;
+  matrix.base.traffic = TrafficKind::kAllToOne;
+  matrix.base.hotspot = 0;
+  matrix.base.perSource = 8;
+  for (const std::size_t n : {6u, 8u, 10u, 12u, 16u}) {
+    matrix.topologies.push_back(TopologySpec::ring(n));
+  }
+  CorruptionPlan corruptedPlan;
+  corruptedPlan.routingFraction = 1.0;
+  matrix.corruptions = {{"clean", {}}, {"corrupted", corruptedPlan}};
+  matrix.options.firstSeed = 13;
+  matrix.options.seedCount = 1;
+  matrix.options.threads = 0;  // all hardware threads
+  const SweepMatrixResult result = runSweepMatrix(matrix);
 
   Table table("Saturated all-to-one traffic, synchronous daemon",
               {"ring n", "D", "corrupted", "R_A", "rounds", "deliveries",
                "amortized", "3D bound", "amortized / D", "within"});
-
   bool allWithin = true;
-  for (const std::size_t n : {6u, 8u, 10u, 12u, 16u}) {
-    for (const bool corrupted : {false, true}) {
-      ExperimentConfig cfg;
-      cfg.topology = TopologyKind::kRing;
-      cfg.n = n;
-      cfg.seed = 13;
-      cfg.daemon = DaemonKind::kSynchronous;
-      cfg.traffic = TrafficKind::kAllToOne;
-      cfg.hotspot = 0;
-      cfg.perSource = 8;
-      if (corrupted) cfg.corruption.routingFraction = 1.0;
-      const ExperimentResult r = runSsmfpExperiment(cfg);
+  for (const SweepCell& cell : result.cells) {
+    const bool corrupted = cell.corruptionLabel == "corrupted";
+    for (const ExperimentResult& r : cell.result.runs) {
       const std::uint64_t deliveries = r.spec.validDelivered + r.invalidDelivered;
       const double bound =
           3.0 * r.graphDiameter + 6.0 +
@@ -43,7 +55,7 @@ int main() {
       const bool within =
           r.quiescent && r.spec.satisfiesSp() && r.amortizedRoundsPerDelivery <= bound;
       allWithin &= within;
-      table.addRow({Table::num(std::uint64_t{n}),
+      table.addRow({Table::num(std::uint64_t{cell.topo.n}),
                     Table::num(std::uint64_t{r.graphDiameter}),
                     Table::yesNo(corrupted), Table::num(r.routingSilentRound),
                     Table::num(r.rounds), Table::num(deliveries),
@@ -57,6 +69,21 @@ int main() {
   }
   table.printMarkdown(std::cout);
   std::cout << "all runs within bound: " << (allWithin ? "yes" : "NO") << "\n";
+
+  RunManifest manifest;
+  manifest.experiment = "bench_prop7_amortized";
+  manifest.firstSeed = matrix.options.firstSeed;
+  manifest.seedCount = matrix.options.seedCount;
+  manifest.threads = resolveThreadCount(matrix.options.threads);
+  const std::string jsonlPath = argc > 1 ? argv[1] : "bench_prop7_amortized.jsonl";
+  if (jsonlPath == "-") {
+    writeMatrixJsonl(std::cout, manifest, matrix.base, result);
+  } else {
+    std::ofstream out(jsonlPath);
+    writeMatrixJsonl(out, manifest, matrix.base, result);
+    std::cout << "JSONL results: " << jsonlPath << "\n";
+  }
+
   std::cout << "\nPaper claim: amortized complexity Theta(D) (plus an R_A term\n"
                "amortized over the workload) - the amortized/D column staying\n"
                "flat as n doubles is the Theta(D) shape.\n";

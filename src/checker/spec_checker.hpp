@@ -42,6 +42,8 @@ struct SpecReport {
   }
 
   [[nodiscard]] std::string summary() const;
+
+  friend bool operator==(const SpecReport&, const SpecReport&) = default;
 };
 
 /// Core oracle over (trace, valid, dest) generation tuples and

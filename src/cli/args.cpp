@@ -3,7 +3,9 @@
 #include <fstream>
 #include <optional>
 
+#include "sim/experiment_json.hpp"
 #include "sim/snapshot.hpp"
+#include "sim/sweep.hpp"
 #include "sim/trace.hpp"
 
 #include <charconv>
@@ -52,47 +54,6 @@ bool parseDouble(const std::string& text, double& out) {
   }
 }
 
-std::optional<TopologyKind> topologyFromName(const std::string& name) {
-  if (name == "path") return TopologyKind::kPath;
-  if (name == "ring") return TopologyKind::kRing;
-  if (name == "star") return TopologyKind::kStar;
-  if (name == "complete") return TopologyKind::kComplete;
-  if (name == "binary-tree") return TopologyKind::kBinaryTree;
-  if (name == "random-tree") return TopologyKind::kRandomTree;
-  if (name == "grid") return TopologyKind::kGrid;
-  if (name == "torus") return TopologyKind::kTorus;
-  if (name == "hypercube") return TopologyKind::kHypercube;
-  if (name == "random-connected") return TopologyKind::kRandomConnected;
-  if (name == "figure3") return TopologyKind::kFigure3;
-  return std::nullopt;
-}
-
-std::optional<DaemonKind> daemonFromName(const std::string& name) {
-  if (name == "synchronous") return DaemonKind::kSynchronous;
-  if (name == "central-rr") return DaemonKind::kCentralRoundRobin;
-  if (name == "central-random") return DaemonKind::kCentralRandom;
-  if (name == "distributed-random") return DaemonKind::kDistributedRandom;
-  if (name == "weakly-fair") return DaemonKind::kWeaklyFair;
-  if (name == "adversarial") return DaemonKind::kAdversarial;
-  return std::nullopt;
-}
-
-std::optional<TrafficKind> trafficFromName(const std::string& name) {
-  if (name == "none") return TrafficKind::kNone;
-  if (name == "uniform") return TrafficKind::kUniform;
-  if (name == "all-to-one") return TrafficKind::kAllToOne;
-  if (name == "permutation") return TrafficKind::kPermutation;
-  if (name == "antipodal") return TrafficKind::kAntipodal;
-  return std::nullopt;
-}
-
-std::optional<ChoicePolicy> policyFromName(const std::string& name) {
-  if (name == "round-robin") return ChoicePolicy::kRoundRobin;
-  if (name == "fixed-priority") return ChoicePolicy::kFixedPriority;
-  if (name == "oldest-first") return ChoicePolicy::kOldestFirst;
-  return std::nullopt;
-}
-
 ParseResult fail(const std::string& message) {
   return {std::nullopt, message + " (try --help)"};
 }
@@ -101,7 +62,12 @@ ParseResult fail(const std::string& message) {
 
 ParseResult parseArgs(int argc, const char* const* argv) {
   CliOptions options;
-  for (int i = 1; i < argc; ++i) {
+  int first = 1;
+  if (argc > 1 && std::string(argv[1]) == "sweep") {
+    options.command = Command::kSweep;
+    first = 2;
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto flag = splitFlag(arg);
     if (!flag.has_value()) return fail("unrecognized argument '" + arg + "'");
@@ -113,24 +79,45 @@ ParseResult parseArgs(int argc, const char* const* argv) {
       options.showHelp = true;
     } else if (key == "topology") {
       if (!needValue()) return fail("--topology needs a value");
-      const auto kind = topologyFromName(value);
+      const auto kind = parseEnum<TopologyKind>(value);
       if (!kind) return fail("unknown topology '" + value + "'");
-      options.config.topology = *kind;
+      options.config.topo.kind = *kind;
     } else if (key == "daemon") {
       if (!needValue()) return fail("--daemon needs a value");
-      const auto kind = daemonFromName(value);
+      const auto kind = parseEnum<DaemonKind>(value);
       if (!kind) return fail("unknown daemon '" + value + "'");
       options.config.daemon = *kind;
     } else if (key == "traffic") {
       if (!needValue()) return fail("--traffic needs a value");
-      const auto kind = trafficFromName(value);
+      const auto kind = parseEnum<TrafficKind>(value);
       if (!kind) return fail("unknown traffic '" + value + "'");
       options.config.traffic = *kind;
     } else if (key == "policy") {
       if (!needValue()) return fail("--policy needs a value");
-      const auto policy = policyFromName(value);
+      const auto policy = parseEnum<ChoicePolicy>(value);
       if (!policy) return fail("unknown policy '" + value + "'");
       options.config.choicePolicy = *policy;
+    } else if (key == "seeds") {
+      if (options.command != Command::kSweep) {
+        return fail("--seeds is a sweep flag (snapfwd_cli sweep ...)");
+      }
+      if (!needValue() || !parseNumber(value, options.sweepSeeds) ||
+          options.sweepSeeds == 0) {
+        return fail("--seeds needs a positive integer");
+      }
+    } else if (key == "threads") {
+      if (options.command != Command::kSweep) {
+        return fail("--threads is a sweep flag (snapfwd_cli sweep ...)");
+      }
+      if (!needValue() || !parseNumber(value, options.sweepThreads)) {
+        return fail("--threads needs an integer (0 = all hardware threads)");
+      }
+    } else if (key == "jsonl") {
+      if (options.command != Command::kSweep) {
+        return fail("--jsonl is a sweep flag (snapfwd_cli sweep ...)");
+      }
+      if (!needValue()) return fail("--jsonl needs a file path (or '-')");
+      options.jsonlOut = value;
     } else if (key == "protocol") {
       if (value == "ssmfp") {
         options.protocol = ProtocolChoice::kSsmfp;
@@ -140,23 +127,23 @@ ParseResult parseArgs(int argc, const char* const* argv) {
         return fail("unknown protocol '" + value + "'");
       }
     } else if (key == "n") {
-      if (!needValue() || !parseNumber(value, options.config.n)) {
+      if (!needValue() || !parseNumber(value, options.config.topo.n)) {
         return fail("--n needs an integer");
       }
     } else if (key == "rows") {
-      if (!needValue() || !parseNumber(value, options.config.rows)) {
+      if (!needValue() || !parseNumber(value, options.config.topo.rows)) {
         return fail("--rows needs an integer");
       }
     } else if (key == "cols") {
-      if (!needValue() || !parseNumber(value, options.config.cols)) {
+      if (!needValue() || !parseNumber(value, options.config.topo.cols)) {
         return fail("--cols needs an integer");
       }
     } else if (key == "dims") {
-      if (!needValue() || !parseNumber(value, options.config.dims)) {
+      if (!needValue() || !parseNumber(value, options.config.topo.dims)) {
         return fail("--dims needs an integer");
       }
     } else if (key == "extra-edges") {
-      if (!needValue() || !parseNumber(value, options.config.extraEdges)) {
+      if (!needValue() || !parseNumber(value, options.config.topo.extraEdges)) {
         return fail("--extra-edges needs an integer");
       }
     } else if (key == "seed") {
@@ -224,29 +211,36 @@ ParseResult parseArgs(int argc, const char* const* argv) {
 std::string usage() {
   std::ostringstream out;
   out << "snapfwd_cli - run one SSMFP/baseline experiment and report SP\n\n"
-      << "usage: snapfwd_cli [--flag=value ...]\n\n"
-      << "  --topology=path|ring|star|complete|binary-tree|random-tree|grid|\n"
-      << "             torus|hypercube|random-connected|figure3   (default ring)\n"
+      << "usage: snapfwd_cli [--flag=value ...]\n"
+      << "       snapfwd_cli sweep [--flag=value ...]   multi-seed sweep\n\n"
+      << "  --topology=" << enumNameList<TopologyKind>() << "\n"
+      << "             (default ring)\n"
       << "  --n=<k> --rows=<k> --cols=<k> --dims=<k> --extra-edges=<k>\n"
-      << "  --daemon=synchronous|central-rr|central-random|\n"
-      << "           distributed-random|weakly-fair|adversarial\n"
+      << "  --daemon=" << enumNameList<DaemonKind>() << "\n"
       << "  --daemon-probability=<p>\n"
-      << "  --traffic=none|uniform|all-to-one|permutation|antipodal\n"
+      << "  --traffic=" << enumNameList<TrafficKind>() << "\n"
       << "  --messages=<k> --per-source=<k> --hotspot=<id> --payload-space=<k>\n"
       << "  --corrupt-routing=<fraction> --invalid-messages=<k> "
          "--scramble-queues\n"
-      << "  --policy=round-robin|fixed-priority|oldest-first\n"
+      << "  --policy=" << enumNameList<ChoicePolicy>() << "\n"
       << "  --protocol=ssmfp|baseline --seed=<u64> --max-steps=<u64>\n"
       << "  --check-invariants --csv --help\n"
       << "  --snapshot-out=<file>  write the initial configuration (ssmfp)\n"
       << "  --snapshot-in=<file>   load the initial configuration (ssmfp)\n"
       << "  --trace                print the action trace after the run\n"
       << "  --render               print initial/final configurations\n\n"
-      << "example:\n"
+      << "sweep flags (seed range starts at --seed):\n"
+      << "  --seeds=<k>            seeds to run (default 10)\n"
+      << "  --threads=<k>          worker threads, 0 = all hardware (default)\n"
+      << "  --jsonl=<file|->       write manifest + per-run + aggregate JSONL\n\n"
+      << "examples:\n"
       << "  snapfwd_cli --topology=random-connected --n=12 "
          "--corrupt-routing=1 \\\n"
       << "              --invalid-messages=10 --scramble-queues "
-         "--messages=30\n";
+         "--messages=30\n"
+      << "  snapfwd_cli sweep --topology=ring --n=8 --seeds=100 "
+         "--threads=0 \\\n"
+      << "              --jsonl=ring.jsonl\n";
   return out.str();
 }
 
@@ -254,7 +248,7 @@ std::string renderResult(const CliOptions& options, const ExperimentResult& r) {
   Table table("snapfwd experiment", {"metric", "value"});
   table.addRow({"protocol",
                 options.protocol == ProtocolChoice::kSsmfp ? "ssmfp" : "baseline"});
-  table.addRow({"topology", toString(options.config.topology)});
+  table.addRow({"topology", options.config.topo.label()});
   table.addRow({"n", Table::num(std::uint64_t{r.graphN})});
   table.addRow({"Delta", Table::num(std::uint64_t{r.graphDelta})});
   table.addRow({"D", Table::num(std::uint64_t{r.graphDiameter})});
@@ -289,6 +283,62 @@ std::string renderResult(const CliOptions& options, const ExperimentResult& r) {
   return out.str();
 }
 
+namespace {
+
+int runSweepCommand(const CliOptions& options, std::ostream& out,
+                    std::ostream& err) {
+  SweepOptions sweepOptions;
+  sweepOptions.firstSeed = options.config.seed;
+  sweepOptions.seedCount = options.sweepSeeds;
+  sweepOptions.threads = options.sweepThreads;
+  sweepOptions.baseline = options.protocol == ProtocolChoice::kBaseline;
+  const SweepResult result = runSweep(options.config, sweepOptions);
+
+  std::vector<std::string> columns = sweepRowHeader();
+  columns.insert(columns.begin(), "config");
+  Table table("snapfwd sweep, seeds [" + std::to_string(sweepOptions.firstSeed) +
+                  ", " +
+                  std::to_string(sweepOptions.firstSeed + sweepOptions.seedCount) +
+                  "), " + std::to_string(resolveThreadCount(sweepOptions.threads)) +
+                  " threads",
+              std::move(columns));
+  std::vector<std::string> cells = sweepRowCells(result);
+  cells.insert(cells.begin(), options.config.topo.label() + " " +
+                                  toString(options.config.daemon));
+  table.addRow(std::move(cells));
+  std::ostringstream rendered;
+  if (options.format == OutputFormat::kCsv) {
+    table.printCsv(rendered);
+  } else {
+    table.printMarkdown(rendered);
+  }
+  out << rendered.str();
+
+  if (!options.jsonlOut.empty()) {
+    RunManifest manifest;
+    manifest.experiment = "snapfwd_cli sweep";
+    manifest.firstSeed = sweepOptions.firstSeed;
+    manifest.seedCount = sweepOptions.seedCount;
+    manifest.threads = resolveThreadCount(sweepOptions.threads);
+    manifest.baseline = sweepOptions.baseline;
+    if (options.jsonlOut == "-") {
+      writeSweepJsonl(out, manifest, options.config, result);
+    } else {
+      std::ofstream file(options.jsonlOut);
+      if (!file) {
+        err << "error: cannot write '" << options.jsonlOut << "'\n";
+        return 2;
+      }
+      writeSweepJsonl(file, manifest, options.config, result);
+      out << "jsonl written to " << options.jsonlOut << " ("
+          << result.runs.size() + 2 << " lines)\n";
+    }
+  }
+  return result.allSp() ? 0 : 1;
+}
+
+}  // namespace
+
 int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
   if (options.showHelp) {
     out << usage();
@@ -297,6 +347,13 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
   const bool tooling = !options.snapshotOut.empty() ||
                        !options.snapshotIn.empty() || options.trace ||
                        options.render;
+  if (options.command == Command::kSweep) {
+    if (tooling) {
+      err << "error: snapshot/trace/render flags do not apply to sweep\n";
+      return 2;
+    }
+    return runSweepCommand(options, out, err);
+  }
   if (options.protocol == ProtocolChoice::kBaseline) {
     if (tooling) {
       err << "error: snapshot/trace/render flags support --protocol=ssmfp "

@@ -17,11 +17,21 @@ namespace snapfwd::cli {
 enum class ProtocolChoice { kSsmfp, kBaseline };
 enum class OutputFormat { kText, kCsv };
 
+/// `snapfwd_cli [--flags]` runs one experiment; `snapfwd_cli sweep
+/// [--flags]` runs a multi-seed parallel sweep and can emit JSONL.
+enum class Command { kRun, kSweep };
+
 struct CliOptions {
   ExperimentConfig config;
+  Command command = Command::kRun;
   ProtocolChoice protocol = ProtocolChoice::kSsmfp;
   OutputFormat format = OutputFormat::kText;
   bool showHelp = false;
+
+  // Sweep subcommand (config.seed is the first seed of the range):
+  std::size_t sweepSeeds = 10;   // --seeds
+  std::size_t sweepThreads = 0;  // --threads (0 = all hardware threads)
+  std::string jsonlOut;          // --jsonl=<path> ("-" = stdout)
 
   // Tooling (SSMFP stack only):
   std::string snapshotOut;  // write the initial configuration to this file
@@ -35,7 +45,9 @@ struct ParseResult {
   std::string error;                  // non-empty on error
 };
 
-/// Parses argv[1..argc). Recognized flags (all --key=value):
+/// Parses argv[1..argc). An optional leading "sweep" word selects the
+/// multi-seed sweep subcommand (adds --seeds/--threads/--jsonl; the run
+/// uses config.seed as the first seed). Recognized flags (all --key=value):
 ///   --topology=path|ring|star|complete|binary-tree|random-tree|grid|torus|
 ///              hypercube|random-connected|figure3
 ///   --n --rows --cols --dims --extra-edges

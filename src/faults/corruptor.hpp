@@ -35,6 +35,8 @@ struct CorruptionPlan {
   Payload payloadSpace = 4;
   /// Shuffle every choice_p(d) fairness queue.
   bool scrambleQueues = false;
+
+  friend bool operator==(const CorruptionPlan&, const CorruptionPlan&) = default;
 };
 
 /// Applies the plan to an SSMFP stack (routing layer + forwarding layer).

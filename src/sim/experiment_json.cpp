@@ -1,0 +1,324 @@
+#include "sim/experiment_json.hpp"
+
+#include <ostream>
+
+namespace snapfwd {
+
+namespace {
+
+template <typename Enum>
+Enum enumFromJson(const jsonl::Value& value, std::string_view key, Enum fallback) {
+  const jsonl::Value* member = value.find(key);
+  if (member == nullptr || member->kind != jsonl::Value::Kind::kString) {
+    return fallback;
+  }
+  return parseEnum<Enum>(member->text).value_or(fallback);
+}
+
+}  // namespace
+
+const char* buildGitDescribe() {
+#ifdef SNAPFWD_GIT_DESCRIBE
+  return SNAPFWD_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+jsonl::Object toJson(const TopologySpec& spec) {
+  jsonl::Object out;
+  out.field("kind", toString(spec.kind));
+  switch (spec.kind) {
+    case TopologyKind::kGrid:
+    case TopologyKind::kTorus:
+      out.field("rows", std::uint64_t{spec.rows});
+      out.field("cols", std::uint64_t{spec.cols});
+      break;
+    case TopologyKind::kHypercube:
+      out.field("dims", std::uint64_t{spec.dims});
+      break;
+    case TopologyKind::kRandomConnected:
+      out.field("n", std::uint64_t{spec.n});
+      out.field("extraEdges", std::uint64_t{spec.extraEdges});
+      break;
+    case TopologyKind::kFigure3:
+      break;
+    default:
+      out.field("n", std::uint64_t{spec.n});
+      break;
+  }
+  return out;
+}
+
+TopologySpec topologySpecFromJson(const jsonl::Value& value) {
+  TopologySpec spec;
+  spec.kind = enumFromJson(value, "kind", spec.kind);
+  spec.n = value.u64At("n", spec.n);
+  spec.rows = value.u64At("rows", spec.rows);
+  spec.cols = value.u64At("cols", spec.cols);
+  spec.dims = value.u64At("dims", spec.dims);
+  spec.extraEdges = value.u64At("extraEdges", spec.extraEdges);
+  return spec;
+}
+
+jsonl::Object toJson(const CorruptionPlan& plan) {
+  jsonl::Object out;
+  out.field("routingFraction", plan.routingFraction);
+  out.field("invalidMessages", std::uint64_t{plan.invalidMessages});
+  out.field("payloadSpace", std::uint64_t{plan.payloadSpace});
+  out.field("scrambleQueues", plan.scrambleQueues);
+  return out;
+}
+
+CorruptionPlan corruptionPlanFromJson(const jsonl::Value& value) {
+  CorruptionPlan plan;
+  plan.routingFraction = value.doubleAt("routingFraction", plan.routingFraction);
+  plan.invalidMessages = value.u64At("invalidMessages", plan.invalidMessages);
+  plan.payloadSpace =
+      static_cast<Payload>(value.u64At("payloadSpace", plan.payloadSpace));
+  plan.scrambleQueues = value.boolAt("scrambleQueues", plan.scrambleQueues);
+  return plan;
+}
+
+jsonl::Object toJson(const ExperimentConfig& config) {
+  jsonl::Object out;
+  out.field("topology", toJson(config.topo));
+  out.field("daemon", toString(config.daemon));
+  out.field("daemonProbability", config.daemonProbability);
+  out.field("seed", config.seed);
+  out.field("corruption", toJson(config.corruption));
+  out.field("traffic", toString(config.traffic));
+  out.field("messageCount", std::uint64_t{config.messageCount});
+  out.field("perSource", std::uint64_t{config.perSource});
+  out.field("hotspot", std::uint64_t{config.hotspot});
+  out.field("payloadSpace", std::uint64_t{config.payloadSpace});
+  out.field("maxSteps", config.maxSteps);
+  out.field("checkInvariantsEveryStep", config.checkInvariantsEveryStep);
+  jsonl::Array destinations;
+  for (const NodeId d : config.destinations) destinations.push(std::uint64_t{d});
+  out.field("destinations", destinations);
+  out.field("choicePolicy", toString(config.choicePolicy));
+  return out;
+}
+
+ExperimentConfig experimentConfigFromJson(const jsonl::Value& value) {
+  ExperimentConfig config;
+  if (const jsonl::Value* topo = value.find("topology")) {
+    config.topo = topologySpecFromJson(*topo);
+  }
+  config.daemon = enumFromJson(value, "daemon", config.daemon);
+  config.daemonProbability =
+      value.doubleAt("daemonProbability", config.daemonProbability);
+  config.seed = value.u64At("seed", config.seed);
+  if (const jsonl::Value* corruption = value.find("corruption")) {
+    config.corruption = corruptionPlanFromJson(*corruption);
+  }
+  config.traffic = enumFromJson(value, "traffic", config.traffic);
+  config.messageCount = value.u64At("messageCount", config.messageCount);
+  config.perSource = value.u64At("perSource", config.perSource);
+  config.hotspot = static_cast<NodeId>(value.u64At("hotspot", config.hotspot));
+  config.payloadSpace =
+      static_cast<Payload>(value.u64At("payloadSpace", config.payloadSpace));
+  config.maxSteps = value.u64At("maxSteps", config.maxSteps);
+  config.checkInvariantsEveryStep =
+      value.boolAt("checkInvariantsEveryStep", config.checkInvariantsEveryStep);
+  if (const jsonl::Value* destinations = value.find("destinations")) {
+    for (const jsonl::Value& d : destinations->items) {
+      config.destinations.push_back(static_cast<NodeId>(d.asU64()));
+    }
+  }
+  config.choicePolicy = enumFromJson(value, "choicePolicy", config.choicePolicy);
+  return config;
+}
+
+jsonl::Object toJson(const SpecReport& report) {
+  jsonl::Object out;
+  out.field("validGenerated", report.validGenerated);
+  out.field("validDelivered", report.validDelivered);
+  out.field("duplicatedTraces", report.duplicatedTraces);
+  out.field("lostTraces", report.lostTraces);
+  out.field("misdelivered", report.misdelivered);
+  out.field("invalidDelivered", report.invalidDelivered);
+  jsonl::Array duplicated;
+  for (const TraceId id : report.duplicated) duplicated.push(std::uint64_t{id});
+  out.field("duplicated", duplicated);
+  jsonl::Array lost;
+  for (const TraceId id : report.lost) lost.push(std::uint64_t{id});
+  out.field("lost", lost);
+  out.field("satisfiesSp", report.satisfiesSp());
+  out.field("satisfiesSpPrime", report.satisfiesSpPrime());
+  return out;
+}
+
+SpecReport specReportFromJson(const jsonl::Value& value) {
+  SpecReport report;
+  report.validGenerated = value.u64At("validGenerated");
+  report.validDelivered = value.u64At("validDelivered");
+  report.duplicatedTraces = value.u64At("duplicatedTraces");
+  report.lostTraces = value.u64At("lostTraces");
+  report.misdelivered = value.u64At("misdelivered");
+  report.invalidDelivered = value.u64At("invalidDelivered");
+  if (const jsonl::Value* duplicated = value.find("duplicated")) {
+    for (const jsonl::Value& id : duplicated->items) {
+      report.duplicated.push_back(static_cast<TraceId>(id.asU64()));
+    }
+  }
+  if (const jsonl::Value* lost = value.find("lost")) {
+    for (const jsonl::Value& id : lost->items) {
+      report.lost.push_back(static_cast<TraceId>(id.asU64()));
+    }
+  }
+  return report;
+}
+
+jsonl::Object toJson(const ExperimentResult& result) {
+  jsonl::Object out;
+  out.field("quiescent", result.quiescent);
+  out.field("steps", result.steps);
+  out.field("rounds", result.rounds);
+  out.field("actions", result.actions);
+  out.field("routingCorrupted", result.routingCorrupted);
+  out.field("routingSilentStep", result.routingSilentStep);
+  out.field("routingSilentRound", result.routingSilentRound);
+  out.field("spec", toJson(result.spec));
+  out.field("invalidInjected", std::uint64_t{result.invalidInjected});
+  out.field("invalidDelivered", result.invalidDelivered);
+  out.field("avgDeliveryRounds", result.avgDeliveryRounds);
+  out.field("maxDeliveryRounds", result.maxDeliveryRounds);
+  out.field("avgGenerationRound", result.avgGenerationRound);
+  out.field("maxGenerationRound", result.maxGenerationRound);
+  out.field("amortizedRoundsPerDelivery", result.amortizedRoundsPerDelivery);
+  out.field("graphN", std::uint64_t{result.graphN});
+  out.field("graphDelta", std::uint64_t{result.graphDelta});
+  out.field("graphDiameter", std::uint64_t{result.graphDiameter});
+  if (result.invariantViolation.has_value()) {
+    out.field("invariantViolation", *result.invariantViolation);
+  }
+  return out;
+}
+
+ExperimentResult experimentResultFromJson(const jsonl::Value& value) {
+  ExperimentResult result;
+  result.quiescent = value.boolAt("quiescent");
+  result.steps = value.u64At("steps");
+  result.rounds = value.u64At("rounds");
+  result.actions = value.u64At("actions");
+  result.routingCorrupted = value.boolAt("routingCorrupted");
+  result.routingSilentStep = value.u64At("routingSilentStep");
+  result.routingSilentRound = value.u64At("routingSilentRound");
+  if (const jsonl::Value* spec = value.find("spec")) {
+    result.spec = specReportFromJson(*spec);
+  }
+  result.invalidInjected = value.u64At("invalidInjected");
+  result.invalidDelivered = value.u64At("invalidDelivered");
+  result.avgDeliveryRounds = value.doubleAt("avgDeliveryRounds");
+  result.maxDeliveryRounds = value.u64At("maxDeliveryRounds");
+  result.avgGenerationRound = value.doubleAt("avgGenerationRound");
+  result.maxGenerationRound = value.u64At("maxGenerationRound");
+  result.amortizedRoundsPerDelivery = value.doubleAt("amortizedRoundsPerDelivery");
+  result.graphN = value.u64At("graphN");
+  result.graphDelta = value.u64At("graphDelta");
+  result.graphDiameter = static_cast<std::uint32_t>(value.u64At("graphDiameter"));
+  if (const jsonl::Value* violation = value.find("invariantViolation")) {
+    result.invariantViolation = violation->text;
+  }
+  return result;
+}
+
+jsonl::Object toJson(const Summary& summary) {
+  jsonl::Object out;
+  out.field("count", std::uint64_t{summary.count()});
+  if (!summary.empty()) {
+    out.field("mean", summary.mean());
+    out.field("stddev", summary.stddev());
+    out.field("min", summary.min());
+    out.field("max", summary.max());
+    out.field("p50", summary.percentile(50.0));
+    out.field("p90", summary.percentile(90.0));
+  }
+  return out;
+}
+
+jsonl::Object aggregatesJson(const SweepResult& result) {
+  jsonl::Object out;
+  out.field("runs", std::uint64_t{result.runs.size()});
+  out.field("satisfiedSp", std::uint64_t{result.satisfiedSp});
+  out.field("violatedSp", std::uint64_t{result.violatedSp});
+  out.field("nonQuiescent", std::uint64_t{result.nonQuiescent});
+  out.field("rounds", toJson(result.rounds));
+  out.field("steps", toJson(result.steps));
+  out.field("avgDeliveryRounds", toJson(result.avgDeliveryRounds));
+  out.field("maxDeliveryRounds", toJson(result.maxDeliveryRounds));
+  out.field("amortizedRoundsPerDelivery",
+            toJson(result.amortizedRoundsPerDelivery));
+  out.field("routingSilentRound", toJson(result.routingSilentRound));
+  out.field("invalidDelivered", toJson(result.invalidDelivered));
+  return out;
+}
+
+jsonl::Array toJson(const std::vector<ExecutionTracer::RuleCount>& counts,
+                    int routingLayer) {
+  jsonl::Array out;
+  for (const ExecutionTracer::RuleCount& count : counts) {
+    jsonl::Object entry;
+    entry.field("layer", std::uint64_t{count.layer});
+    entry.field("rule", static_cast<int>(count.layer) == routingLayer
+                            ? std::string("RFix")
+                            : ruleName(count.layer, count.rule));
+    entry.field("count", count.count);
+    out.push(entry);
+  }
+  return out;
+}
+
+jsonl::Object toJson(const RunManifest& manifest, const ExperimentConfig& base) {
+  jsonl::Object out;
+  out.field("type", "manifest");
+  out.field("experiment", manifest.experiment);
+  out.field("git", manifest.gitDescribe);
+  out.field("firstSeed", manifest.firstSeed);
+  out.field("seedCount", std::uint64_t{manifest.seedCount});
+  out.field("threads", std::uint64_t{manifest.threads});
+  out.field("baseline", manifest.baseline);
+  out.field("config", toJson(base));
+  return out;
+}
+
+namespace {
+
+void writeCellLines(jsonl::Writer& writer, std::string_view cellLabel,
+                    std::uint64_t firstSeed, const SweepResult& result) {
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    jsonl::Object line;
+    line.field("type", "run");
+    line.field("cell", cellLabel);
+    line.field("seed", firstSeed + i);
+    line.field("result", toJson(result.runs[i]));
+    writer.write(line);
+  }
+  jsonl::Object aggregate;
+  aggregate.field("type", "sweep");
+  aggregate.field("cell", cellLabel);
+  aggregate.field("aggregates", aggregatesJson(result));
+  writer.write(aggregate);
+}
+
+}  // namespace
+
+void writeSweepJsonl(std::ostream& out, const RunManifest& manifest,
+                     const ExperimentConfig& base, const SweepResult& result) {
+  jsonl::Writer writer(out);
+  writer.write(toJson(manifest, base));
+  writeCellLines(writer, "", manifest.firstSeed, result);
+}
+
+void writeMatrixJsonl(std::ostream& out, const RunManifest& manifest,
+                      const ExperimentConfig& base, const SweepMatrixResult& result) {
+  jsonl::Writer writer(out);
+  writer.write(toJson(manifest, base));
+  for (const SweepCell& cell : result.cells) {
+    writeCellLines(writer, cell.label(), manifest.firstSeed, cell.result);
+  }
+}
+
+}  // namespace snapfwd

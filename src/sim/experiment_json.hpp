@@ -1,0 +1,76 @@
+#pragma once
+// JSONL schema for experiments: serializes the experiment types
+// (ExperimentConfig, ExperimentResult, SweepResult, SweepMatrixResult,
+// ExecutionTracer rule tallies) onto the generic stats/jsonl writer, and
+// parses them back (the round-trip is pinned by tests, so archived result
+// files stay readable).
+//
+// File layout written by writeSweepJsonl / writeMatrixJsonl:
+//   {"type":"manifest", "experiment":..., "git":..., "firstSeed":...,
+//    "seedCount":..., "threads":..., "baseline":..., "config":{...}}
+//   {"type":"run", "cell":<label or "">, "seed":..., "result":{...}}  x N
+//   {"type":"sweep", "cell":<label or "">, "aggregates":{...}}        x cells
+// One JSON object per line; every line carries a "type" discriminator so
+// consumers can stream-filter without schema knowledge.
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "sim/sweep_matrix.hpp"
+#include "sim/trace.hpp"
+#include "stats/jsonl.hpp"
+
+namespace snapfwd {
+
+/// `git describe --always --dirty` of the tree this binary was built from
+/// ("unknown" when the build system could not run git).
+[[nodiscard]] const char* buildGitDescribe();
+
+/// Identifies one sweep invocation in the output stream.
+struct RunManifest {
+  std::string experiment;        // harness name, e.g. "bench_prop4"
+  std::uint64_t firstSeed = 1;
+  std::size_t seedCount = 1;
+  std::size_t threads = 1;
+  bool baseline = false;
+  std::string gitDescribe = buildGitDescribe();
+};
+
+[[nodiscard]] jsonl::Object toJson(const TopologySpec& spec);
+[[nodiscard]] jsonl::Object toJson(const CorruptionPlan& plan);
+[[nodiscard]] jsonl::Object toJson(const ExperimentConfig& config);
+[[nodiscard]] jsonl::Object toJson(const SpecReport& report);
+[[nodiscard]] jsonl::Object toJson(const ExperimentResult& result);
+/// Aggregate stats: {"count":..,"mean":..,"stddev":..,"min":..,"max":..,
+/// "p50":..,"p90":..} (empty summaries serialize as {"count":0}).
+[[nodiscard]] jsonl::Object toJson(const Summary& summary);
+/// SweepResult aggregates (tallies + per-metric summaries); per-run
+/// results are emitted as separate "run" lines, not nested here.
+[[nodiscard]] jsonl::Object aggregatesJson(const SweepResult& result);
+/// Rule tallies: [{"layer":0,"rule":"RFix","count":12}, ...].
+[[nodiscard]] jsonl::Array toJson(const std::vector<ExecutionTracer::RuleCount>& counts,
+                                  int routingLayer);
+[[nodiscard]] jsonl::Object toJson(const RunManifest& manifest,
+                                   const ExperimentConfig& base);
+
+/// Inverses (tolerant: missing fields keep defaults). Round-trips are
+/// exact, including doubles.
+[[nodiscard]] TopologySpec topologySpecFromJson(const jsonl::Value& value);
+[[nodiscard]] CorruptionPlan corruptionPlanFromJson(const jsonl::Value& value);
+[[nodiscard]] ExperimentConfig experimentConfigFromJson(const jsonl::Value& value);
+[[nodiscard]] SpecReport specReportFromJson(const jsonl::Value& value);
+[[nodiscard]] ExperimentResult experimentResultFromJson(const jsonl::Value& value);
+
+/// Writes manifest + per-run lines + one aggregate line for a single
+/// sweep (see file-layout comment above).
+void writeSweepJsonl(std::ostream& out, const RunManifest& manifest,
+                     const ExperimentConfig& base, const SweepResult& result);
+
+/// Same for a matrix: manifest (base config), then per-cell runs and
+/// aggregates tagged with the cell label.
+void writeMatrixJsonl(std::ostream& out, const RunManifest& manifest,
+                      const ExperimentConfig& base, const SweepMatrixResult& result);
+
+}  // namespace snapfwd

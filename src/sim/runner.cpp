@@ -13,59 +13,165 @@
 
 namespace snapfwd {
 
-const char* toString(TopologyKind kind) {
-  switch (kind) {
-    case TopologyKind::kPath: return "path";
-    case TopologyKind::kRing: return "ring";
-    case TopologyKind::kStar: return "star";
-    case TopologyKind::kComplete: return "complete";
-    case TopologyKind::kBinaryTree: return "binary-tree";
-    case TopologyKind::kRandomTree: return "random-tree";
-    case TopologyKind::kGrid: return "grid";
-    case TopologyKind::kTorus: return "torus";
-    case TopologyKind::kHypercube: return "hypercube";
-    case TopologyKind::kRandomConnected: return "random-connected";
-    case TopologyKind::kFigure3: return "figure3";
-  }
-  return "?";
+TopologySpec TopologySpec::path(std::size_t n) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kPath;
+  spec.n = n;
+  return spec;
 }
 
-const char* toString(DaemonKind kind) {
-  switch (kind) {
-    case DaemonKind::kSynchronous: return "synchronous";
-    case DaemonKind::kCentralRoundRobin: return "central-rr";
-    case DaemonKind::kCentralRandom: return "central-random";
-    case DaemonKind::kDistributedRandom: return "distributed-random";
-    case DaemonKind::kWeaklyFair: return "weakly-fair";
-    case DaemonKind::kAdversarial: return "adversarial";
-  }
-  return "?";
+TopologySpec TopologySpec::ring(std::size_t n) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kRing;
+  spec.n = n;
+  return spec;
 }
 
-const char* toString(TrafficKind kind) {
+TopologySpec TopologySpec::star(std::size_t n) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kStar;
+  spec.n = n;
+  return spec;
+}
+
+TopologySpec TopologySpec::complete(std::size_t n) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kComplete;
+  spec.n = n;
+  return spec;
+}
+
+TopologySpec TopologySpec::binaryTree(std::size_t n) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kBinaryTree;
+  spec.n = n;
+  return spec;
+}
+
+TopologySpec TopologySpec::randomTree(std::size_t n) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kRandomTree;
+  spec.n = n;
+  return spec;
+}
+
+TopologySpec TopologySpec::grid(std::size_t rows, std::size_t cols) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kGrid;
+  spec.rows = rows;
+  spec.cols = cols;
+  return spec;
+}
+
+TopologySpec TopologySpec::torus(std::size_t rows, std::size_t cols) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kTorus;
+  spec.rows = rows;
+  spec.cols = cols;
+  return spec;
+}
+
+TopologySpec TopologySpec::hypercube(std::size_t dims) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kHypercube;
+  spec.dims = dims;
+  return spec;
+}
+
+TopologySpec TopologySpec::randomConnected(std::size_t n, std::size_t extraEdges) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kRandomConnected;
+  spec.n = n;
+  spec.extraEdges = extraEdges;
+  return spec;
+}
+
+TopologySpec TopologySpec::figure3() {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kFigure3;
+  return spec;
+}
+
+std::string TopologySpec::label() const {
+  const std::string base = toString(kind);
   switch (kind) {
-    case TrafficKind::kNone: return "none";
-    case TrafficKind::kUniform: return "uniform";
-    case TrafficKind::kAllToOne: return "all-to-one";
-    case TrafficKind::kPermutation: return "permutation";
-    case TrafficKind::kAntipodal: return "antipodal";
+    case TopologyKind::kGrid:
+    case TopologyKind::kTorus:
+      return base + "/" + std::to_string(rows) + "x" + std::to_string(cols);
+    case TopologyKind::kHypercube:
+      return base + "/d=" + std::to_string(dims);
+    case TopologyKind::kRandomConnected:
+      return base + "/n=" + std::to_string(n) + "+" + std::to_string(extraEdges);
+    case TopologyKind::kFigure3:
+      return base;
+    default:
+      return base + "/n=" + std::to_string(n);
   }
-  return "?";
+}
+
+// The flat-field shim members are references into `topo`, so copying must
+// rebind them to the destination's own `topo` instead of memberwise-copying
+// the references; hence the user-defined special members. Every value field
+// must be listed here - new fields added to ExperimentConfig belong in both.
+ExperimentConfig::ExperimentConfig(const ExperimentConfig& other)
+    : topo(other.topo),
+      daemon(other.daemon),
+      daemonProbability(other.daemonProbability),
+      seed(other.seed),
+      corruption(other.corruption),
+      traffic(other.traffic),
+      messageCount(other.messageCount),
+      perSource(other.perSource),
+      hotspot(other.hotspot),
+      payloadSpace(other.payloadSpace),
+      maxSteps(other.maxSteps),
+      checkInvariantsEveryStep(other.checkInvariantsEveryStep),
+      destinations(other.destinations),
+      choicePolicy(other.choicePolicy) {}
+
+ExperimentConfig& ExperimentConfig::operator=(const ExperimentConfig& other) {
+  topo = other.topo;
+  daemon = other.daemon;
+  daemonProbability = other.daemonProbability;
+  seed = other.seed;
+  corruption = other.corruption;
+  traffic = other.traffic;
+  messageCount = other.messageCount;
+  perSource = other.perSource;
+  hotspot = other.hotspot;
+  payloadSpace = other.payloadSpace;
+  maxSteps = other.maxSteps;
+  checkInvariantsEveryStep = other.checkInvariantsEveryStep;
+  destinations = other.destinations;
+  choicePolicy = other.choicePolicy;
+  return *this;
+}
+
+bool operator==(const ExperimentConfig& a, const ExperimentConfig& b) {
+  return a.topo == b.topo && a.daemon == b.daemon &&
+         a.daemonProbability == b.daemonProbability && a.seed == b.seed &&
+         a.corruption == b.corruption && a.traffic == b.traffic &&
+         a.messageCount == b.messageCount && a.perSource == b.perSource &&
+         a.hotspot == b.hotspot && a.payloadSpace == b.payloadSpace &&
+         a.maxSteps == b.maxSteps &&
+         a.checkInvariantsEveryStep == b.checkInvariantsEveryStep &&
+         a.destinations == b.destinations && a.choicePolicy == b.choicePolicy;
 }
 
 Graph buildTopology(const ExperimentConfig& cfg, Rng& rng) {
-  switch (cfg.topology) {
-    case TopologyKind::kPath: return topo::path(cfg.n);
-    case TopologyKind::kRing: return topo::ring(cfg.n);
-    case TopologyKind::kStar: return topo::star(cfg.n);
-    case TopologyKind::kComplete: return topo::complete(cfg.n);
-    case TopologyKind::kBinaryTree: return topo::binaryTree(cfg.n);
-    case TopologyKind::kRandomTree: return topo::randomTree(cfg.n, rng);
-    case TopologyKind::kGrid: return topo::grid(cfg.rows, cfg.cols);
-    case TopologyKind::kTorus: return topo::torus(cfg.rows, cfg.cols);
-    case TopologyKind::kHypercube: return topo::hypercube(cfg.dims);
+  const TopologySpec& t = cfg.topo;
+  switch (t.kind) {
+    case TopologyKind::kPath: return topo::path(t.n);
+    case TopologyKind::kRing: return topo::ring(t.n);
+    case TopologyKind::kStar: return topo::star(t.n);
+    case TopologyKind::kComplete: return topo::complete(t.n);
+    case TopologyKind::kBinaryTree: return topo::binaryTree(t.n);
+    case TopologyKind::kRandomTree: return topo::randomTree(t.n, rng);
+    case TopologyKind::kGrid: return topo::grid(t.rows, t.cols);
+    case TopologyKind::kTorus: return topo::torus(t.rows, t.cols);
+    case TopologyKind::kHypercube: return topo::hypercube(t.dims);
     case TopologyKind::kRandomConnected:
-      return topo::randomConnected(cfg.n, cfg.extraEdges, rng);
+      return topo::randomConnected(t.n, t.extraEdges, rng);
     case TopologyKind::kFigure3: return topo::figure3Network();
   }
   return Graph(1);

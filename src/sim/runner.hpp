@@ -15,6 +15,7 @@
 #include "graph/graph.hpp"
 #include "routing/selfstab_bfs.hpp"
 #include "ssmfp/ssmfp.hpp"
+#include "util/names.hpp"
 #include "util/rng.hpp"
 #include "workload/workload.hpp"
 
@@ -51,17 +52,79 @@ enum class TrafficKind {
   kAntipodal,
 };
 
-[[nodiscard]] const char* toString(TopologyKind kind);
-[[nodiscard]] const char* toString(DaemonKind kind);
-[[nodiscard]] const char* toString(TrafficKind kind);
+template <>
+struct EnumNames<TopologyKind> {
+  static constexpr auto entries = std::to_array<NamedEnum<TopologyKind>>({
+      {TopologyKind::kPath, "path"},
+      {TopologyKind::kRing, "ring"},
+      {TopologyKind::kStar, "star"},
+      {TopologyKind::kComplete, "complete"},
+      {TopologyKind::kBinaryTree, "binary-tree"},
+      {TopologyKind::kRandomTree, "random-tree"},
+      {TopologyKind::kGrid, "grid"},
+      {TopologyKind::kTorus, "torus"},
+      {TopologyKind::kHypercube, "hypercube"},
+      {TopologyKind::kRandomConnected, "random-connected"},
+      {TopologyKind::kFigure3, "figure3"},
+  });
+};
+
+template <>
+struct EnumNames<DaemonKind> {
+  static constexpr auto entries = std::to_array<NamedEnum<DaemonKind>>({
+      {DaemonKind::kSynchronous, "synchronous"},
+      {DaemonKind::kCentralRoundRobin, "central-rr"},
+      {DaemonKind::kCentralRandom, "central-random"},
+      {DaemonKind::kDistributedRandom, "distributed-random"},
+      {DaemonKind::kWeaklyFair, "weakly-fair"},
+      {DaemonKind::kAdversarial, "adversarial"},
+  });
+};
+
+template <>
+struct EnumNames<TrafficKind> {
+  static constexpr auto entries = std::to_array<NamedEnum<TrafficKind>>({
+      {TrafficKind::kNone, "none"},
+      {TrafficKind::kUniform, "uniform"},
+      {TrafficKind::kAllToOne, "all-to-one"},
+      {TrafficKind::kPermutation, "permutation"},
+      {TrafficKind::kAntipodal, "antipodal"},
+  });
+};
+
+/// A topology family plus the parameters that family actually uses. The
+/// factories set only the relevant ones (the rest keep their defaults and
+/// are ignored by buildTopology), so a spec reads as "grid 4x5", not as
+/// five loose size fields whose applicability depends on `topology`.
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kRing;
+  std::size_t n = 8;           // path/ring/star/complete/trees/random-connected
+  std::size_t rows = 3;        // grid/torus
+  std::size_t cols = 3;        // grid/torus
+  std::size_t dims = 3;        // hypercube
+  std::size_t extraEdges = 4;  // random-connected
+
+  static TopologySpec path(std::size_t n);
+  static TopologySpec ring(std::size_t n);
+  static TopologySpec star(std::size_t n);
+  static TopologySpec complete(std::size_t n);
+  static TopologySpec binaryTree(std::size_t n);
+  static TopologySpec randomTree(std::size_t n);
+  static TopologySpec grid(std::size_t rows, std::size_t cols);
+  static TopologySpec torus(std::size_t rows, std::size_t cols);
+  static TopologySpec hypercube(std::size_t dims);
+  static TopologySpec randomConnected(std::size_t n, std::size_t extraEdges);
+  static TopologySpec figure3();
+
+  /// "ring/n=8", "grid/3x3", "random-connected/n=10+4" - stable cell label
+  /// for tables and JSONL.
+  [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
+};
 
 struct ExperimentConfig {
-  TopologyKind topology = TopologyKind::kRing;
-  std::size_t n = 8;          // path/ring/star/complete/trees/random
-  std::size_t rows = 3;       // grid/torus
-  std::size_t cols = 3;
-  std::size_t dims = 3;       // hypercube
-  std::size_t extraEdges = 4; // randomConnected
+  TopologySpec topo;
 
   DaemonKind daemon = DaemonKind::kDistributedRandom;
   double daemonProbability = 0.5;
@@ -84,6 +147,23 @@ struct ExperimentConfig {
 
   /// choice_p(d) selection policy (paper: round-robin; others = ablation).
   ChoicePolicy choicePolicy = ChoicePolicy::kRoundRobin;
+
+  // --- Deprecated shim ----------------------------------------------------
+  // Flat aliases into `topo`, kept so pre-TopologySpec call sites compile
+  // during the migration; new code should set `topo` (via the factories)
+  // directly. The aliases force the user-defined copy operations below.
+  TopologyKind& topology = topo.kind;
+  std::size_t& n = topo.n;
+  std::size_t& rows = topo.rows;
+  std::size_t& cols = topo.cols;
+  std::size_t& dims = topo.dims;
+  std::size_t& extraEdges = topo.extraEdges;
+
+  ExperimentConfig() = default;
+  ExperimentConfig(const ExperimentConfig& other);
+  ExperimentConfig& operator=(const ExperimentConfig& other);
+
+  friend bool operator==(const ExperimentConfig& a, const ExperimentConfig& b);
 };
 
 struct ExperimentResult {
@@ -112,6 +192,8 @@ struct ExperimentResult {
   std::uint32_t graphDiameter = 0;
 
   std::optional<std::string> invariantViolation;
+
+  friend bool operator==(const ExperimentResult&, const ExperimentResult&) = default;
 };
 
 /// Builds the configured topology (uses `rng` for the random families).

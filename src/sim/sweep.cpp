@@ -1,23 +1,36 @@
 #include "sim/sweep.hpp"
 
+#include <thread>
+
 #include "stats/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace snapfwd {
 
-SweepResult runSweep(
-    ExperimentConfig cfg, std::uint64_t firstSeed, std::size_t seedCount,
-    bool baseline,
-    const std::function<void(ExperimentConfig&, std::uint64_t seed)>& mutate) {
-  SweepResult result;
-  result.runs.reserve(seedCount);
-  for (std::size_t i = 0; i < seedCount; ++i) {
-    const std::uint64_t seed = firstSeed + i;
-    ExperimentConfig runCfg = cfg;
-    runCfg.seed = seed;
-    if (mutate) mutate(runCfg, seed);
-    ExperimentResult run =
-        baseline ? runBaselineExperiment(runCfg) : runSsmfpExperiment(runCfg);
+std::size_t resolveThreadCount(std::size_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
 
+std::vector<ExperimentResult> runExperiments(const std::vector<ExperimentJob>& jobs,
+                                             std::size_t threads) {
+  std::vector<ExperimentResult> results(jobs.size());
+  ThreadPool pool(resolveThreadCount(threads));
+  // One chunk per job: runs vary wildly in length (corrupted starts run to
+  // stabilization, clean ones quit early), so the pool's dynamic chunk
+  // queue load-balances better than static ranges. Each chunk writes only
+  // its own slot; order is restored by indexing, not by scheduling.
+  pool.parallelFor(jobs.size(), [&](std::size_t i) {
+    results[i] = jobs[i].baseline ? runBaselineExperiment(jobs[i].config)
+                                  : runSsmfpExperiment(jobs[i].config);
+  });
+  return results;
+}
+
+SweepResult aggregateRuns(std::vector<ExperimentResult> runs) {
+  SweepResult result;
+  for (const ExperimentResult& run : runs) {
     if (!run.quiescent) {
       ++result.nonQuiescent;
     } else if (run.spec.satisfiesSp()) {
@@ -32,9 +45,35 @@ SweepResult runSweep(
     result.amortizedRoundsPerDelivery.add(run.amortizedRoundsPerDelivery);
     result.routingSilentRound.add(static_cast<double>(run.routingSilentRound));
     result.invalidDelivered.add(static_cast<double>(run.invalidDelivered));
-    result.runs.push_back(std::move(run));
   }
+  result.runs = std::move(runs);
   return result;
+}
+
+SweepResult runSweep(const ExperimentConfig& cfg, const SweepOptions& options) {
+  std::vector<ExperimentJob> jobs;
+  jobs.reserve(options.seedCount);
+  for (std::size_t i = 0; i < options.seedCount; ++i) {
+    const std::uint64_t seed = options.firstSeed + i;
+    ExperimentJob job{cfg, options.baseline};
+    job.config.seed = seed;
+    if (options.mutate) options.mutate(job.config, seed);
+    jobs.push_back(std::move(job));
+  }
+  return aggregateRuns(runExperiments(jobs, options.threads));
+}
+
+SweepResult runSweep(
+    ExperimentConfig cfg, std::uint64_t firstSeed, std::size_t seedCount,
+    bool baseline,
+    const std::function<void(ExperimentConfig&, std::uint64_t seed)>& mutate) {
+  SweepOptions options;
+  options.firstSeed = firstSeed;
+  options.seedCount = seedCount;
+  options.threads = 1;
+  options.baseline = baseline;
+  options.mutate = mutate;
+  return runSweep(cfg, options);
 }
 
 std::vector<std::string> sweepRowCells(const SweepResult& result) {
@@ -42,11 +81,16 @@ std::vector<std::string> sweepRowCells(const SweepResult& result) {
       Table::num(std::uint64_t{result.runs.size()}),
       Table::num(std::uint64_t{result.satisfiedSp}) + "/" +
           Table::num(std::uint64_t{result.runs.size()}),
+      Table::num(std::uint64_t{result.nonQuiescent}),
       Table::num(result.rounds.mean(), 1),
       Table::num(result.avgDeliveryRounds.mean(), 1) + " +/- " +
           Table::num(result.avgDeliveryRounds.stddev(), 1),
       Table::num(result.amortizedRoundsPerDelivery.mean(), 2),
   };
+}
+
+std::vector<std::string> sweepRowHeader() {
+  return {"runs", "SP", "non-quiescent", "rounds", "avg latency", "amortized"};
 }
 
 }  // namespace snapfwd

@@ -3,9 +3,14 @@
 // optional config variants), aggregate the metrics of interest with
 // Summary statistics, and keep the per-run results for inspection.
 //
-// This is the library form of the loops every benchmark harness writes by
-// hand; downstream users evaluating a variant (new choice policy, new
-// daemon) get mean/stddev/percentiles and an SP tally in one call.
+// Runs fan out over a ThreadPool. Each run is already a pure function of
+// its config - every stochastic component forks from Rng(cfg.seed) - so
+// the engine just (1) materializes the per-seed configs serially (the
+// mutate hook therefore needs no locking and sees seeds in order), (2)
+// executes them on the pool, writing each result into its seed's slot, and
+// (3) aggregates in seed order. Serial and parallel execution of the same
+// sweep produce bit-identical SweepResults (pinned by Sweep.*Deterministic
+// tests), so thread count is a pure throughput knob, never a science knob.
 
 #include <functional>
 #include <string>
@@ -15,6 +20,19 @@
 #include "stats/summary.hpp"
 
 namespace snapfwd {
+
+struct SweepOptions {
+  std::uint64_t firstSeed = 1;
+  std::size_t seedCount = 1;
+  /// Worker threads for the run fan-out; 0 = one per hardware thread,
+  /// 1 = serial. Any value yields the same SweepResult.
+  std::size_t threads = 1;
+  /// Run the Merlin-Schweitzer baseline stack instead of SSMFP.
+  bool baseline = false;
+  /// Applied to each seed's config before running; called serially in
+  /// seed order on the sweeping thread (safe to capture by reference).
+  std::function<void(ExperimentConfig&, std::uint64_t seed)> mutate;
+};
 
 struct SweepResult {
   std::vector<ExperimentResult> runs;
@@ -32,18 +50,45 @@ struct SweepResult {
   Summary invalidDelivered;
 
   [[nodiscard]] bool allSp() const { return violatedSp == 0 && nonQuiescent == 0; }
+
+  friend bool operator==(const SweepResult&, const SweepResult&) = default;
 };
 
-/// Runs `cfg` once per seed in [firstSeed, firstSeed + seedCount), with
-/// `mutate` (optional) applied to each seed's config before running.
-/// `baseline` selects the Merlin-Schweitzer stack instead of SSMFP.
+/// Runs cfg once per seed in [options.firstSeed, firstSeed + seedCount)
+/// across options.threads workers.
+[[nodiscard]] SweepResult runSweep(const ExperimentConfig& cfg,
+                                   const SweepOptions& options);
+
+/// Legacy serial-signature form (threads = 1); forwards to the above.
 [[nodiscard]] SweepResult runSweep(
     ExperimentConfig cfg, std::uint64_t firstSeed, std::size_t seedCount,
     bool baseline = false,
     const std::function<void(ExperimentConfig&, std::uint64_t seed)>& mutate = {});
 
+/// One fully materialized unit of sweep work.
+struct ExperimentJob {
+  ExperimentConfig config;
+  bool baseline = false;
+};
+
+/// Runs every job across `threads` workers (0 = hardware concurrency);
+/// results come back in job order regardless of thread count or
+/// scheduling. Building block shared by runSweep and runSweepMatrix.
+[[nodiscard]] std::vector<ExperimentResult> runExperiments(
+    const std::vector<ExperimentJob>& jobs, std::size_t threads);
+
+/// Folds per-run results (in the given order) into a SweepResult.
+[[nodiscard]] SweepResult aggregateRuns(std::vector<ExperimentResult> runs);
+
+/// Resolves the "0 = all hardware threads" convention.
+[[nodiscard]] std::size_t resolveThreadCount(std::size_t threads);
+
 /// Convenience: one row of summary cells for a Table
-/// (n runs, SP tally, rounds mean, avg-latency mean+/-sd, amortized mean).
+/// (n runs, SP tally, non-quiescent tally, rounds mean,
+/// avg-latency mean+/-sd, amortized mean). Pair with sweepRowHeader().
 [[nodiscard]] std::vector<std::string> sweepRowCells(const SweepResult& result);
+
+/// Column titles matching sweepRowCells.
+[[nodiscard]] std::vector<std::string> sweepRowHeader();
 
 }  // namespace snapfwd

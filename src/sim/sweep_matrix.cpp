@@ -1,0 +1,85 @@
+#include "sim/sweep_matrix.hpp"
+
+namespace snapfwd {
+
+std::string SweepCell::label() const {
+  std::string out = topo.label();
+  out += ' ';
+  out += toString(daemon);
+  if (!corruptionLabel.empty()) {
+    out += ' ';
+    out += corruptionLabel;
+  }
+  return out;
+}
+
+bool SweepMatrixResult::allSp() const {
+  for (const SweepCell& cell : cells) {
+    if (!cell.result.allSp()) return false;
+  }
+  return true;
+}
+
+std::size_t SweepMatrixResult::totalRuns() const {
+  std::size_t total = 0;
+  for (const SweepCell& cell : cells) total += cell.result.runs.size();
+  return total;
+}
+
+SweepMatrixResult runSweepMatrix(const SweepMatrix& matrix) {
+  const std::vector<TopologySpec> topologies =
+      matrix.topologies.empty() ? std::vector<TopologySpec>{matrix.base.topo}
+                                : matrix.topologies;
+  const std::vector<DaemonKind> daemons =
+      matrix.daemons.empty() ? std::vector<DaemonKind>{matrix.base.daemon}
+                             : matrix.daemons;
+  const std::vector<NamedCorruption> corruptions =
+      matrix.corruptions.empty()
+          ? std::vector<NamedCorruption>{{"", matrix.base.corruption}}
+          : matrix.corruptions;
+
+  SweepMatrixResult out;
+  std::vector<ExperimentJob> jobs;
+  jobs.reserve(topologies.size() * daemons.size() * corruptions.size() *
+               matrix.options.seedCount);
+  for (const TopologySpec& topo : topologies) {
+    for (const DaemonKind daemon : daemons) {
+      for (const NamedCorruption& corruption : corruptions) {
+        SweepCell cell;
+        cell.topo = topo;
+        cell.daemon = daemon;
+        cell.corruptionLabel = corruption.label;
+        cell.corruption = corruption.plan;
+        out.cells.push_back(std::move(cell));
+
+        for (std::size_t i = 0; i < matrix.options.seedCount; ++i) {
+          const std::uint64_t seed = matrix.options.firstSeed + i;
+          ExperimentJob job{matrix.base, matrix.options.baseline};
+          job.config.topo = topo;
+          job.config.daemon = daemon;
+          job.config.corruption = corruption.plan;
+          job.config.seed = seed;
+          if (matrix.options.mutate) matrix.options.mutate(job.config, seed);
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+  }
+
+  std::vector<ExperimentResult> results =
+      runExperiments(jobs, matrix.options.threads);
+
+  // Slice the flat result vector back into per-cell sweeps, in job order.
+  auto it = results.begin();
+  for (SweepCell& cell : out.cells) {
+    std::vector<ExperimentResult> runs(
+        std::make_move_iterator(it),
+        std::make_move_iterator(it + static_cast<std::ptrdiff_t>(
+                                         matrix.options.seedCount)));
+    it += static_cast<std::ptrdiff_t>(matrix.options.seedCount);
+    cell.result = aggregateRuns(std::move(runs));
+  }
+  return out;
+}
+
+}  // namespace snapfwd

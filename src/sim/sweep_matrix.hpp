@@ -1,0 +1,62 @@
+#pragma once
+// SweepMatrix: the library form of the nested for-loops every evaluation
+// harness used to hand-roll. A matrix crosses topologies x daemons x
+// (named) corruption plans over one base config, runs every cell across
+// the configured seed range, and hands back per-cell SweepResults with the
+// per-run ExperimentResults still attached (bound checks in the benches
+// need them).
+//
+// All (cell, seed) runs of the whole matrix are flattened onto ONE thread
+// pool, so a matrix with many small cells still saturates the machine
+// instead of serializing on cell boundaries. Determinism is inherited from
+// runExperiments: results land in (cell-major, seed-minor) order whatever
+// the thread count.
+
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+
+namespace snapfwd {
+
+/// A corruption plan plus the label it carries into tables and JSONL.
+struct NamedCorruption {
+  std::string label;
+  CorruptionPlan plan;
+};
+
+struct SweepMatrix {
+  /// Everything not varied by an axis (traffic, policy, maxSteps, ...).
+  ExperimentConfig base;
+
+  /// Axes; an empty axis inherits the base config's value (one cell).
+  std::vector<TopologySpec> topologies;
+  std::vector<DaemonKind> daemons;
+  std::vector<NamedCorruption> corruptions;
+
+  /// Seed range, thread count, baseline switch, per-run mutate hook.
+  SweepOptions options;
+};
+
+struct SweepCell {
+  TopologySpec topo;
+  DaemonKind daemon = DaemonKind::kDistributedRandom;
+  std::string corruptionLabel;
+  CorruptionPlan corruption;
+  SweepResult result;
+
+  /// "ring/n=8 synchronous corrupted" - stable row label.
+  [[nodiscard]] std::string label() const;
+};
+
+struct SweepMatrixResult {
+  /// Topology-major, then daemon, then corruption plan.
+  std::vector<SweepCell> cells;
+
+  [[nodiscard]] bool allSp() const;
+  [[nodiscard]] std::size_t totalRuns() const;
+};
+
+[[nodiscard]] SweepMatrixResult runSweepMatrix(const SweepMatrix& matrix);
+
+}  // namespace snapfwd

@@ -6,13 +6,11 @@
 
 namespace snapfwd {
 
-std::string ruleName(std::uint16_t layer, std::uint16_t rule) {
-  if (layer == 0xFFFF) return "rule" + std::to_string(rule);
-  if (rule >= kR1Generate && rule <= kR6Consume) {
-    return "R" + std::to_string(rule);
-  }
-  return "rule" + std::to_string(rule);
-}
+// util/names.hpp's ruleName hardcodes the 1..6 forwarding-rule window so
+// snapfwd_util does not depend on the ssmfp layer; pin the convention here
+// where the constants are visible.
+static_assert(kR1Generate == 1 && kR6Consume == 6,
+              "util/names.cpp ruleName assumes SSMFP rules number 1..6");
 
 ExecutionTracer::ExecutionTracer(Engine& engine, int routingLayer)
     : routingLayer_(routingLayer) {

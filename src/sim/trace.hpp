@@ -14,12 +14,9 @@
 
 #include "core/engine.hpp"
 #include "ssmfp/ssmfp.hpp"
+#include "util/names.hpp"  // ruleName ("R1".."R6", "rule<k>" fallback)
 
 namespace snapfwd {
-
-/// Human-readable names for SSMFP rules ("R1".."R6") and the routing
-/// layer's correction rule ("RFix"); falls back to "rule<k>".
-[[nodiscard]] std::string ruleName(std::uint16_t layer, std::uint16_t rule);
 
 struct TraceEntry {
   std::uint64_t step = 0;

@@ -5,15 +5,6 @@
 
 namespace snapfwd {
 
-const char* toString(ChoicePolicy policy) {
-  switch (policy) {
-    case ChoicePolicy::kRoundRobin: return "round-robin";
-    case ChoicePolicy::kFixedPriority: return "fixed-priority";
-    case ChoicePolicy::kOldestFirst: return "oldest-first";
-  }
-  return "?";
-}
-
 SsmfpProtocol::SsmfpProtocol(const Graph& graph, const RoutingProvider& routing,
                              std::vector<NodeId> destinations,
                              ChoicePolicy policy)

@@ -58,6 +58,7 @@
 #include "graph/graph.hpp"
 #include "routing/routing.hpp"
 #include "ssmfp/message.hpp"
+#include "util/names.hpp"
 #include "util/rng.hpp"
 
 namespace snapfwd {
@@ -84,7 +85,14 @@ enum class ChoicePolicy : std::uint8_t {
   kOldestFirst,
 };
 
-[[nodiscard]] const char* toString(ChoicePolicy policy);
+template <>
+struct EnumNames<ChoicePolicy> {
+  static constexpr auto entries = std::to_array<NamedEnum<ChoicePolicy>>({
+      {ChoicePolicy::kRoundRobin, "round-robin"},
+      {ChoicePolicy::kFixedPriority, "fixed-priority"},
+      {ChoicePolicy::kOldestFirst, "oldest-first"},
+  });
+};
 
 /// Rule identifiers (Action::rule), numbered as in Algorithm 1.
 enum SsmfpRule : std::uint16_t {

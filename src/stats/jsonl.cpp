@@ -1,0 +1,331 @@
+#include "stats/jsonl.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+namespace snapfwd::jsonl {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string formatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
+  return buf;
+}
+
+// --- Array ----------------------------------------------------------------
+
+Array& Array::rawValue(std::string_view text) {
+  if (!body_.empty()) body_ += ',';
+  body_ += text;
+  return *this;
+}
+
+Array& Array::push(std::string_view value) {
+  return rawValue("\"" + escape(value) + "\"");
+}
+Array& Array::push(const char* value) { return push(std::string_view(value)); }
+Array& Array::push(bool value) { return rawValue(value ? "true" : "false"); }
+Array& Array::push(double value) { return rawValue(formatDouble(value)); }
+Array& Array::push(std::uint64_t value) { return rawValue(std::to_string(value)); }
+Array& Array::push(std::int64_t value) { return rawValue(std::to_string(value)); }
+Array& Array::pushRaw(std::string_view rawJson) { return rawValue(rawJson); }
+Array& Array::push(const Object& object) { return rawValue(object.str()); }
+Array& Array::push(const Array& array) { return rawValue(array.str()); }
+
+// --- Object ---------------------------------------------------------------
+
+Object& Object::rawField(std::string_view key, std::string_view text) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += escape(key);
+  body_ += "\":";
+  body_ += text;
+  return *this;
+}
+
+Object& Object::field(std::string_view key, std::string_view value) {
+  return rawField(key, "\"" + escape(value) + "\"");
+}
+Object& Object::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+Object& Object::field(std::string_view key, bool value) {
+  return rawField(key, value ? "true" : "false");
+}
+Object& Object::field(std::string_view key, double value) {
+  return rawField(key, formatDouble(value));
+}
+Object& Object::field(std::string_view key, std::uint64_t value) {
+  return rawField(key, std::to_string(value));
+}
+Object& Object::field(std::string_view key, std::int64_t value) {
+  return rawField(key, std::to_string(value));
+}
+Object& Object::field(std::string_view key, const Object& object) {
+  return rawField(key, object.str());
+}
+Object& Object::field(std::string_view key, const Array& array) {
+  return rawField(key, array.str());
+}
+Object& Object::fieldRaw(std::string_view key, std::string_view rawJson) {
+  return rawField(key, rawJson);
+}
+
+// --- Value ----------------------------------------------------------------
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool Value::asBool(bool fallback) const {
+  return kind == Kind::kBool ? boolean : fallback;
+}
+
+double Value::asDouble(double fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  try {
+    return std::stod(text);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+std::uint64_t Value::asU64(std::uint64_t fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return fallback;
+  return out;
+}
+
+std::int64_t Value::asI64(std::int64_t fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return fallback;
+  return out;
+}
+
+bool Value::boolAt(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return v ? v->asBool(fallback) : fallback;
+}
+double Value::doubleAt(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return v ? v->asDouble(fallback) : fallback;
+}
+std::uint64_t Value::u64At(std::string_view key, std::uint64_t fallback) const {
+  const Value* v = find(key);
+  return v ? v->asU64(fallback) : fallback;
+}
+std::string Value::stringAt(std::string_view key, std::string_view fallback) const {
+  const Value* v = find(key);
+  return v && v->kind == Kind::kString ? v->text : std::string(fallback);
+}
+
+// --- Parser ---------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view in;
+  std::size_t pos = 0;
+
+  void skipWs() {
+    while (pos < in.size() &&
+           (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\n' || in[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos < in.size() && in[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (in.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parseString(std::string& out) {
+    if (!eat('"')) return false;
+    while (pos < in.size()) {
+      const char c = in[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= in.size()) return false;
+        const char esc = in[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > in.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = in[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // Escaped control characters are the only \u we emit; decode
+            // the Latin-1 range and pass anything else through as UTF-8 is
+            // out of scope for this writer's own output.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else {
+              return false;
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parseValue(Value& out) {
+    skipWs();
+    if (pos >= in.size()) return false;
+    const char c = in[pos];
+    if (c == '{') {
+      ++pos;
+      out.kind = Value::Kind::kObject;
+      skipWs();
+      if (eat('}')) return true;
+      for (;;) {
+        skipWs();
+        std::string key;
+        if (!parseString(key)) return false;
+        skipWs();
+        if (!eat(':')) return false;
+        Value member;
+        if (!parseValue(member)) return false;
+        out.members.emplace_back(std::move(key), std::move(member));
+        skipWs();
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out.kind = Value::Kind::kArray;
+      skipWs();
+      if (eat(']')) return true;
+      for (;;) {
+        Value item;
+        if (!parseValue(item)) return false;
+        out.items.push_back(std::move(item));
+        skipWs();
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') {
+      out.kind = Value::Kind::kString;
+      return parseString(out.text);
+    }
+    if (literal("true")) {
+      out.kind = Value::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.kind = Value::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out.kind = Value::Kind::kNull;
+      return true;
+    }
+    // Number: grab the maximal token, validate lazily on conversion.
+    const std::size_t start = pos;
+    if (c == '-' || c == '+') ++pos;
+    bool any = false;
+    while (pos < in.size()) {
+      const char d = in[pos];
+      if ((d >= '0' && d <= '9') || d == '.' || d == 'e' || d == 'E' ||
+          d == '+' || d == '-') {
+        ++pos;
+        any = true;
+      } else {
+        break;
+      }
+    }
+    if (!any) return false;
+    out.kind = Value::Kind::kNumber;
+    out.text = std::string(in.substr(start, pos - start));
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view json) {
+  Parser parser{json};
+  Value value;
+  if (!parser.parseValue(value)) return std::nullopt;
+  parser.skipWs();
+  if (parser.pos != json.size()) return std::nullopt;
+  return value;
+}
+
+// --- Writer ---------------------------------------------------------------
+
+Writer& Writer::write(const Object& object) { return writeRaw(object.str()); }
+Writer& Writer::write(const Array& array) { return writeRaw(array.str()); }
+
+Writer& Writer::writeRaw(std::string_view rawJsonLine) {
+  out_ << rawJsonLine << '\n';
+  ++lines_;
+  return *this;
+}
+
+}  // namespace snapfwd::jsonl

@@ -1,0 +1,125 @@
+#pragma once
+// JSON Lines building blocks: a small allocation-light JSON object/array
+// builder, a line-oriented Writer, and a minimal parser for reading lines
+// back (round-trip tests, result tooling). Deliberately dependency-free
+// and schema-agnostic; the experiment-specific schemas live next to the
+// types they serialize (sim/experiment_json.hpp).
+//
+// Numbers: unsigned/signed integers are emitted verbatim (no double
+// round-trip, so 64-bit counters survive); doubles are emitted with
+// max_digits10 significant digits so parsing the text recovers the exact
+// bit pattern. The parser keeps the raw number token and converts on
+// demand for the same reason.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snapfwd::jsonl {
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string escape(std::string_view text);
+
+/// Round-trip double formatting (max_digits10, shortest-faithful "%.17g").
+[[nodiscard]] std::string formatDouble(double value);
+
+class Object;
+
+/// Builds a JSON array incrementally; str() yields "[...]".
+class Array {
+ public:
+  Array& push(std::string_view value);           // quoted + escaped
+  Array& push(const char* value);
+  Array& push(bool value);
+  Array& push(double value);
+  Array& push(std::uint64_t value);
+  Array& push(std::int64_t value);
+  Array& pushRaw(std::string_view rawJson);      // pre-serialized value
+  Array& push(const Object& object);
+  Array& push(const Array& array);
+
+  [[nodiscard]] std::string str() const { return "[" + body_ + "]"; }
+  [[nodiscard]] bool empty() const { return body_.empty(); }
+
+ private:
+  Array& rawValue(std::string_view text);
+  std::string body_;
+};
+
+/// Builds a JSON object incrementally; str() yields "{...}". Keys are
+/// emitted in insertion order (stable schemas diff cleanly).
+class Object {
+ public:
+  Object& field(std::string_view key, std::string_view value);  // quoted
+  Object& field(std::string_view key, const char* value);
+  Object& field(std::string_view key, bool value);
+  Object& field(std::string_view key, double value);
+  Object& field(std::string_view key, std::uint64_t value);
+  Object& field(std::string_view key, std::int64_t value);
+  Object& field(std::string_view key, const Object& object);
+  Object& field(std::string_view key, const Array& array);
+  Object& fieldRaw(std::string_view key, std::string_view rawJson);
+
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+  [[nodiscard]] bool empty() const { return body_.empty(); }
+
+ private:
+  Object& rawField(std::string_view key, std::string_view text);
+  std::string body_;
+};
+
+/// Parsed JSON value. Numbers keep their raw token (see header comment);
+/// object members keep insertion order.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string text;  // string contents (unescaped) or raw number token
+  std::vector<std::pair<std::string, Value>> members;  // kObject
+  std::vector<Value> items;                            // kArray
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  [[nodiscard]] bool asBool(bool fallback = false) const;
+  [[nodiscard]] double asDouble(double fallback = 0.0) const;
+  [[nodiscard]] std::uint64_t asU64(std::uint64_t fallback = 0) const;
+  [[nodiscard]] std::int64_t asI64(std::int64_t fallback = 0) const;
+  [[nodiscard]] const std::string& asString() const { return text; }
+
+  /// Convenience: member lookup + conversion with fallback when missing.
+  [[nodiscard]] bool boolAt(std::string_view key, bool fallback = false) const;
+  [[nodiscard]] double doubleAt(std::string_view key, double fallback = 0.0) const;
+  [[nodiscard]] std::uint64_t u64At(std::string_view key,
+                                    std::uint64_t fallback = 0) const;
+  [[nodiscard]] std::string stringAt(std::string_view key,
+                                     std::string_view fallback = "") const;
+};
+
+/// Parses one JSON document (object, array, or scalar). Returns nullopt on
+/// malformed input or trailing garbage.
+[[nodiscard]] std::optional<Value> parse(std::string_view json);
+
+/// Writes one JSON value per line (the JSONL framing contract: no raw
+/// newlines inside a record - escape() guarantees that for strings).
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  Writer& write(const Object& object);
+  Writer& write(const Array& array);
+  Writer& writeRaw(std::string_view rawJsonLine);
+
+  [[nodiscard]] std::size_t lines() const { return lines_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace snapfwd::jsonl

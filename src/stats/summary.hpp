@@ -24,6 +24,15 @@ class Summary {
   [[nodiscard]] double percentile(double q) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
 
+  /// Raw samples in insertion order (serialization, equality tests).
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Same samples in the same order (bit-wise; used by the serial-vs-
+  /// parallel determinism tests).
+  friend bool operator==(const Summary& a, const Summary& b) {
+    return a.values_ == b.values_;
+  }
+
  private:
   std::vector<double> values_;
   mutable std::vector<double> sorted_;

@@ -1,0 +1,13 @@
+#include "util/names.hpp"
+
+namespace snapfwd {
+
+std::string ruleName(std::uint16_t layer, std::uint16_t rule) {
+  if (layer == 0xFFFF) return "rule" + std::to_string(rule);
+  if (rule >= 1 && rule <= 6) {
+    return "R" + std::to_string(rule);
+  }
+  return "rule" + std::to_string(rule);
+}
+
+}  // namespace snapfwd

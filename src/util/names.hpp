@@ -1,0 +1,71 @@
+#pragma once
+// One home for enum <-> string naming. Every user-facing enum (topology,
+// daemon, traffic, choice policy, ...) gets a single NameTable
+// specialization next to its definition; the generic helpers below derive
+// toString(), a round-tripping parseEnum<E>() for the CLI, and the
+// "a|b|c" lists the usage text prints. This replaces the per-enum
+// toString overloads and per-enum fromName parsers that used to be
+// scattered over sim/runner.cpp and cli/args.cpp (and drifted apart).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace snapfwd {
+
+/// Specialize per enum (next to the enum's definition):
+///   template <> struct EnumNames<TopologyKind> {
+///     static constexpr auto entries = std::to_array<NamedEnum<TopologyKind>>({
+///         {TopologyKind::kPath, "path"}, ...});
+///   };
+/// Every enumerator must appear exactly once; names are the canonical
+/// CLI spellings (kebab-case).
+template <typename Enum>
+struct NamedEnum {
+  Enum value;
+  const char* name;
+};
+
+template <typename Enum>
+struct EnumNames;  // intentionally undefined: specialize per enum
+
+/// Canonical name of an enumerator ("?" for out-of-table values, which
+/// only happen through casts of untrusted integers).
+template <typename Enum>
+[[nodiscard]] constexpr const char* toString(Enum value) noexcept {
+  for (const auto& entry : EnumNames<Enum>::entries) {
+    if (entry.value == value) return entry.name;
+  }
+  return "?";
+}
+
+/// Round-trip inverse of toString: parseEnum<E>(toString(e)) == e.
+template <typename Enum>
+[[nodiscard]] constexpr std::optional<Enum> parseEnum(std::string_view name) noexcept {
+  for (const auto& entry : EnumNames<Enum>::entries) {
+    if (name == entry.name) return entry.value;
+  }
+  return std::nullopt;
+}
+
+/// "path|ring|star|..." — the usage/help text form of the table.
+template <typename Enum>
+[[nodiscard]] std::string enumNameList(std::string_view separator = "|") {
+  std::string out;
+  for (const auto& entry : EnumNames<Enum>::entries) {
+    if (!out.empty()) out += separator;
+    out += entry.name;
+  }
+  return out;
+}
+
+/// Canonical rule label used by traces and JSONL tallies: SSMFP forwarding
+/// rules 1..6 render as "R1".."R6", anything else as "rule<k>". The layer
+/// argument mirrors TraceEntry::layer; 0xFFFF marks "unknown layer"
+/// (rendered with the fallback form). Kept here with the other naming
+/// helpers; sim/trace.cpp static_asserts the rule-number convention.
+[[nodiscard]] std::string ruleName(std::uint16_t layer, std::uint16_t rule);
+
+}  // namespace snapfwd

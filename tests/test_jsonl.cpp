@@ -1,0 +1,244 @@
+// Tests of the generic JSONL layer and the experiment schema built on it:
+// escaping, number fidelity, parser robustness, and exact round-trips of
+// ExperimentConfig / ExperimentResult through text.
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "routing/selfstab_bfs.hpp"
+#include "sim/experiment_json.hpp"
+#include "stats/jsonl.hpp"
+
+namespace snapfwd {
+namespace {
+
+TEST(Jsonl, EscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(jsonl::escape("plain"), "plain");
+  EXPECT_EQ(jsonl::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonl::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonl::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(jsonl::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Jsonl, ObjectAndArrayBuildersEmitInsertionOrder) {
+  jsonl::Array inner;
+  inner.push(std::uint64_t{1}).push("two").push(true);
+  jsonl::Object object;
+  object.field("b", std::uint64_t{2}).field("a", inner).field("c", 0.5);
+  EXPECT_EQ(object.str(), R"({"b":2,"a":[1,"two",true],"c":0.5})");
+}
+
+TEST(Jsonl, IntegersSurvive64Bits) {
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  jsonl::Object object;
+  object.field("v", big);
+  const auto value = jsonl::parse(object.str());
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->u64At("v"), big);
+}
+
+TEST(Jsonl, DoublesRoundTripBitExactly) {
+  const double samples[] = {0.0, 1.0 / 3.0, 6.02214076e23, -1e-300,
+                            std::nextafter(1.0, 2.0)};
+  for (const double sample : samples) {
+    const auto value = jsonl::parse(jsonl::formatDouble(sample));
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->asDouble(), sample);  // exact, not near
+  }
+}
+
+TEST(Jsonl, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(jsonl::parse("{").has_value());
+  EXPECT_FALSE(jsonl::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(jsonl::parse("[1,2,]").has_value());
+  EXPECT_FALSE(jsonl::parse("{} trailing").has_value());
+  EXPECT_FALSE(jsonl::parse("").has_value());
+  EXPECT_TRUE(jsonl::parse(R"({"a":[1,{"b":null}]})").has_value());
+}
+
+TEST(Jsonl, ParserUnescapesStrings) {
+  const auto value = jsonl::parse(R"({"k":"a\"b\\c\nd"})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->stringAt("k"), "a\"b\\c\nd");
+}
+
+TEST(Jsonl, WriterFramesOneRecordPerLine) {
+  std::ostringstream out;
+  jsonl::Writer writer(out);
+  jsonl::Object a;
+  a.field("i", std::uint64_t{1});
+  jsonl::Object b;
+  b.field("i", std::uint64_t{2});
+  writer.write(a).write(b);
+  EXPECT_EQ(writer.lines(), 2u);
+  EXPECT_EQ(out.str(), "{\"i\":1}\n{\"i\":2}\n");
+}
+
+ExperimentConfig fancyConfig() {
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::randomConnected(10, 4);
+  cfg.daemon = DaemonKind::kAdversarial;
+  cfg.daemonProbability = 0.25;
+  cfg.seed = 987654321;
+  cfg.corruption.routingFraction = 1.0 / 3.0;
+  cfg.corruption.invalidMessages = 7;
+  cfg.corruption.scrambleQueues = true;
+  cfg.traffic = TrafficKind::kAllToOne;
+  cfg.messageCount = 42;
+  cfg.perSource = 3;
+  cfg.hotspot = 2;
+  cfg.payloadSpace = 17;
+  cfg.maxSteps = 123'456;
+  cfg.checkInvariantsEveryStep = true;
+  cfg.destinations = {0, 2, 5};
+  cfg.choicePolicy = ChoicePolicy::kOldestFirst;
+  return cfg;
+}
+
+TEST(ExperimentJson, ConfigRoundTripsExactly) {
+  const ExperimentConfig cfg = fancyConfig();
+  const auto value = jsonl::parse(toJson(cfg).str());
+  ASSERT_TRUE(value.has_value());
+  const ExperimentConfig back = experimentConfigFromJson(*value);
+  EXPECT_TRUE(back == cfg);
+  // The non-default double survives textual round-trip bit-exactly.
+  EXPECT_EQ(back.corruption.routingFraction, cfg.corruption.routingFraction);
+}
+
+TEST(ExperimentJson, TopologySpecOmitsIrrelevantParamsButRoundTrips) {
+  const std::string ringJson = toJson(TopologySpec::ring(9)).str();
+  EXPECT_EQ(ringJson.find("rows"), std::string::npos);
+  const auto ring = jsonl::parse(ringJson);
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_TRUE(topologySpecFromJson(*ring) == TopologySpec::ring(9));
+
+  const auto grid = jsonl::parse(toJson(TopologySpec::grid(4, 6)).str());
+  ASSERT_TRUE(grid.has_value());
+  EXPECT_TRUE(topologySpecFromJson(*grid) == TopologySpec::grid(4, 6));
+}
+
+TEST(ExperimentJson, ExperimentResultRoundTripsExactly) {
+  // Use a real corrupted run so latency summaries, spec counters and the
+  // routing fields are all populated with non-trivial values.
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::ring(8);
+  cfg.seed = 6;
+  cfg.messageCount = 12;
+  cfg.corruption.routingFraction = 1.0;
+  cfg.corruption.invalidMessages = 5;
+  const ExperimentResult result = runSsmfpExperiment(cfg);
+  ASSERT_TRUE(result.routingCorrupted);
+
+  const std::string line = toJson(result).str();
+  const auto value = jsonl::parse(line);
+  ASSERT_TRUE(value.has_value());
+  const ExperimentResult back = experimentResultFromJson(*value);
+  EXPECT_TRUE(back == result);  // defaulted ==: every field, bit-exact
+}
+
+TEST(ExperimentJson, WriteSweepJsonlLayout) {
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::ring(6);
+  cfg.messageCount = 6;
+  SweepOptions options;
+  options.firstSeed = 4;
+  options.seedCount = 3;
+  const SweepResult sweep = runSweep(cfg, options);
+
+  RunManifest manifest;
+  manifest.experiment = "test_jsonl";
+  manifest.firstSeed = options.firstSeed;
+  manifest.seedCount = options.seedCount;
+
+  std::ostringstream out;
+  writeSweepJsonl(out, manifest, cfg, sweep);
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<jsonl::Value> lines;
+  while (std::getline(in, line)) {
+    auto value = jsonl::parse(line);
+    ASSERT_TRUE(value.has_value()) << line;
+    lines.push_back(*std::move(value));
+  }
+  // manifest + 3 runs + 1 aggregate line.
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0].stringAt("type"), "manifest");
+  EXPECT_EQ(lines[0].stringAt("experiment"), "test_jsonl");
+  EXPECT_EQ(lines[0].u64At("firstSeed"), 4u);
+  ASSERT_NE(lines[0].find("config"), nullptr);
+  EXPECT_TRUE(experimentConfigFromJson(*lines[0].find("config")) == cfg);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(lines[i].stringAt("type"), "run");
+    EXPECT_EQ(lines[i].u64At("seed"), 3u + i);  // seeds 4,5,6 in order
+    ASSERT_NE(lines[i].find("result"), nullptr);
+    EXPECT_TRUE(experimentResultFromJson(*lines[i].find("result")) ==
+                sweep.runs[i - 1]);
+  }
+  EXPECT_EQ(lines[4].stringAt("type"), "sweep");
+  const jsonl::Value* aggregates = lines[4].find("aggregates");
+  ASSERT_NE(aggregates, nullptr);
+  EXPECT_EQ(aggregates->u64At("runs"), 3u);
+  EXPECT_EQ(aggregates->u64At("satisfiedSp"), 3u);
+}
+
+TEST(ExperimentJson, WriteMatrixJsonlTagsCells) {
+  SweepMatrix matrix;
+  matrix.base.messageCount = 6;
+  matrix.topologies = {TopologySpec::ring(6), TopologySpec::path(5)};
+  matrix.options.seedCount = 2;
+  const SweepMatrixResult result = runSweepMatrix(matrix);
+
+  RunManifest manifest;
+  manifest.experiment = "test_matrix";
+  std::ostringstream out;
+  writeMatrixJsonl(out, manifest, matrix.base, result);
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t runLines = 0;
+  std::vector<std::string> sweepCells;
+  bool sawManifest = false;
+  while (std::getline(in, line)) {
+    const auto value = jsonl::parse(line);
+    ASSERT_TRUE(value.has_value()) << line;
+    const std::string type = value->stringAt("type");
+    if (type == "manifest") sawManifest = true;
+    if (type == "run") {
+      ++runLines;
+      EXPECT_FALSE(value->stringAt("cell").empty());
+    }
+    if (type == "sweep") sweepCells.push_back(value->stringAt("cell"));
+  }
+  EXPECT_TRUE(sawManifest);
+  EXPECT_EQ(runLines, 4u);  // 2 cells x 2 seeds
+  ASSERT_EQ(sweepCells.size(), 2u);
+  EXPECT_NE(sweepCells[0], sweepCells[1]);
+}
+
+TEST(ExperimentJson, RuleTalliesNameRoutingLayer) {
+  std::vector<ExecutionTracer::RuleCount> counts;
+  counts.push_back({0, SelfStabBfsRouting::kRuleFix, 12});
+  counts.push_back({1, kR1Generate, 3});
+  const std::string json = toJson(counts, /*routingLayer=*/0).str();
+  EXPECT_NE(json.find("\"RFix\""), std::string::npos);
+  EXPECT_NE(json.find("\"R1\""), std::string::npos);
+  const auto value = jsonl::parse(json);
+  ASSERT_TRUE(value.has_value());
+  ASSERT_EQ(value->items.size(), 2u);
+  EXPECT_EQ(value->items[0].u64At("count"), 12u);
+}
+
+TEST(ExperimentJson, ManifestCarriesGitDescribe) {
+  RunManifest manifest;
+  manifest.experiment = "x";
+  const auto value = jsonl::parse(toJson(manifest, ExperimentConfig{}).str());
+  ASSERT_TRUE(value.has_value());
+  EXPECT_FALSE(value->stringAt("git").empty());
+  EXPECT_EQ(value->stringAt("git"), buildGitDescribe());
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -14,6 +14,88 @@ TEST(RunnerFactories, TopologyNamesAreStable) {
   EXPECT_STREQ(toString(TrafficKind::kAllToOne), "all-to-one");
 }
 
+TEST(RunnerFactories, EnumNamesRoundTripThroughParseEnum) {
+  for (const auto& entry : EnumNames<TopologyKind>::entries) {
+    EXPECT_EQ(parseEnum<TopologyKind>(toString(entry.value)), entry.value);
+  }
+  for (const auto& entry : EnumNames<DaemonKind>::entries) {
+    EXPECT_EQ(parseEnum<DaemonKind>(toString(entry.value)), entry.value);
+  }
+  for (const auto& entry : EnumNames<TrafficKind>::entries) {
+    EXPECT_EQ(parseEnum<TrafficKind>(toString(entry.value)), entry.value);
+  }
+  for (const auto& entry : EnumNames<ChoicePolicy>::entries) {
+    EXPECT_EQ(parseEnum<ChoicePolicy>(toString(entry.value)), entry.value);
+  }
+  EXPECT_EQ(parseEnum<TopologyKind>("no-such-topology"), std::nullopt);
+}
+
+TEST(TopologySpec, FactoriesSetOnlyRelevantParameters) {
+  const TopologySpec ring = TopologySpec::ring(12);
+  EXPECT_EQ(ring.kind, TopologyKind::kRing);
+  EXPECT_EQ(ring.n, 12u);
+  const TopologySpec grid = TopologySpec::grid(4, 5);
+  EXPECT_EQ(grid.kind, TopologyKind::kGrid);
+  EXPECT_EQ(grid.rows, 4u);
+  EXPECT_EQ(grid.cols, 5u);
+  const TopologySpec cube = TopologySpec::hypercube(4);
+  EXPECT_EQ(cube.kind, TopologyKind::kHypercube);
+  EXPECT_EQ(cube.dims, 4u);
+  EXPECT_EQ(TopologySpec::randomConnected(10, 4).extraEdges, 4u);
+  EXPECT_EQ(TopologySpec::ring(8).label(), "ring/n=8");
+  EXPECT_EQ(TopologySpec::grid(3, 3).label(), "grid/3x3");
+  EXPECT_EQ(TopologySpec::randomConnected(10, 4).label(),
+            "random-connected/n=10+4");
+  EXPECT_EQ(TopologySpec::figure3().label(), "figure3");
+}
+
+TEST(TopologySpec, DeprecatedFlatShimAliasesTopoFields) {
+  ExperimentConfig cfg;
+  cfg.topology = TopologyKind::kGrid;  // writes through the shim...
+  cfg.rows = 4;
+  cfg.cols = 7;
+  EXPECT_EQ(cfg.topo.kind, TopologyKind::kGrid);  // ...lands in topo
+  EXPECT_EQ(cfg.topo.rows, 4u);
+  EXPECT_EQ(cfg.topo.cols, 7u);
+
+  cfg.topo = TopologySpec::hypercube(5);  // and the reverse direction
+  EXPECT_EQ(cfg.topology, TopologyKind::kHypercube);
+  EXPECT_EQ(cfg.dims, 5u);
+}
+
+TEST(TopologySpec, ConfigCopiesRebindShimToOwnTopo) {
+  ExperimentConfig a;
+  a.topo = TopologySpec::ring(6);
+  ExperimentConfig b = a;
+  b.n = 99;  // must mutate b.topo, not a.topo
+  EXPECT_EQ(a.topo.n, 6u);
+  EXPECT_EQ(b.topo.n, 99u);
+
+  ExperimentConfig c;
+  c = b;
+  c.topology = TopologyKind::kStar;
+  EXPECT_EQ(b.topo.kind, TopologyKind::kRing);
+  EXPECT_EQ(c.topo.kind, TopologyKind::kStar);
+  EXPECT_TRUE(c.topo == TopologySpec::star(99));
+}
+
+TEST(TopologySpec, ShimAndSpecConfiguredRunsAreIdentical) {
+  ExperimentConfig flat;
+  flat.topology = TopologyKind::kGrid;
+  flat.rows = 3;
+  flat.cols = 3;
+  flat.seed = 11;
+  flat.messageCount = 8;
+
+  ExperimentConfig spec;
+  spec.topo = TopologySpec::grid(3, 3);
+  spec.seed = 11;
+  spec.messageCount = 8;
+
+  EXPECT_TRUE(flat == spec);
+  EXPECT_TRUE(runSsmfpExperiment(flat) == runSsmfpExperiment(spec));
+}
+
 TEST(RunnerFactories, BuildTopologyHonorsKind) {
   ExperimentConfig cfg;
   Rng rng(1);

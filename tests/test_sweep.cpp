@@ -61,10 +61,86 @@ TEST(Sweep, BaselineSelectionWorks) {
 TEST(Sweep, RowCellsShapeAndContent) {
   const SweepResult result = runSweep(smallConfig(), 1, 3);
   const auto cells = sweepRowCells(result);
-  ASSERT_EQ(cells.size(), 5u);
+  ASSERT_EQ(cells.size(), sweepRowHeader().size());
+  ASSERT_EQ(cells.size(), 6u);
   EXPECT_EQ(cells[0], "3");
   EXPECT_EQ(cells[1], "3/3");
-  EXPECT_NE(cells[3].find("+/-"), std::string::npos);
+  EXPECT_EQ(cells[2], "0");  // nonQuiescent tally
+  EXPECT_NE(cells[4].find("+/-"), std::string::npos);
+}
+
+TEST(Sweep, RowCellsSurfaceNonQuiescentRuns) {
+  ExperimentConfig cfg = smallConfig();
+  cfg.maxSteps = 10;  // nothing quiesces in 10 steps
+  const SweepResult result = runSweep(cfg, 1, 3);
+  EXPECT_EQ(result.nonQuiescent, 3u);
+  const auto cells = sweepRowCells(result);
+  EXPECT_EQ(cells[2], "3");
+  EXPECT_FALSE(result.allSp());
+}
+
+TEST(Sweep, ParallelMatchesSerialBitIdentical) {
+  ExperimentConfig cfg = smallConfig();
+  cfg.corruption.routingFraction = 0.5;
+  cfg.corruption.invalidMessages = 4;
+
+  SweepOptions serial;
+  serial.firstSeed = 3;
+  serial.seedCount = 12;
+  serial.threads = 1;
+  const SweepResult reference = runSweep(cfg, serial);
+
+  for (const std::size_t threads : {2u, 8u}) {
+    SweepOptions parallel = serial;
+    parallel.threads = threads;
+    const SweepResult result = runSweep(cfg, parallel);
+    // operator== compares every per-run field and every Summary sample
+    // bit-wise; thread count must be a pure throughput knob.
+    EXPECT_TRUE(result == reference) << "threads=" << threads;
+  }
+}
+
+TEST(Sweep, ParallelBaselineMatchesSerial) {
+  ExperimentConfig cfg = smallConfig();
+  cfg.maxSteps = 150'000;
+  SweepOptions serial;
+  serial.firstSeed = 1;
+  serial.seedCount = 6;
+  serial.threads = 1;
+  serial.baseline = true;
+  SweepOptions parallel = serial;
+  parallel.threads = 4;
+  EXPECT_TRUE(runSweep(cfg, serial) == runSweep(cfg, parallel));
+}
+
+TEST(Sweep, MutateRunsSeriallyInSeedOrderEvenWhenParallel) {
+  std::vector<std::uint64_t> seenSeeds;
+  SweepOptions options;
+  options.firstSeed = 20;
+  options.seedCount = 5;
+  options.threads = 8;
+  options.mutate = [&](ExperimentConfig&, std::uint64_t seed) {
+    seenSeeds.push_back(seed);  // no lock: the hook contract is serial
+  };
+  (void)runSweep(smallConfig(), options);
+  EXPECT_EQ(seenSeeds, (std::vector<std::uint64_t>{20, 21, 22, 23, 24}));
+}
+
+TEST(Sweep, RunExperimentsPreservesJobOrder) {
+  std::vector<ExperimentJob> jobs;
+  for (const std::uint64_t seed : {7ull, 9ull, 11ull, 13ull}) {
+    ExperimentJob job;
+    job.config = smallConfig();
+    job.config.seed = seed;
+    jobs.push_back(std::move(job));
+  }
+  const auto serial = runExperiments(jobs, 1);
+  const auto parallel = runExperiments(jobs, 4);
+  ASSERT_EQ(serial.size(), 4u);
+  ASSERT_EQ(parallel.size(), 4u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i] == parallel[i]) << "job " << i;
+  }
 }
 
 TEST(Sweep, AggregatesTrackRuns) {

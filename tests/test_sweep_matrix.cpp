@@ -1,0 +1,104 @@
+// Tests of the topology x daemon x corruption sweep matrix.
+#include "sim/sweep_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snapfwd {
+namespace {
+
+SweepMatrix smallMatrix() {
+  SweepMatrix matrix;
+  matrix.base.messageCount = 6;
+  matrix.base.maxSteps = 300'000;
+  matrix.topologies = {TopologySpec::ring(6), TopologySpec::path(5)};
+  matrix.daemons = {DaemonKind::kSynchronous, DaemonKind::kDistributedRandom};
+  CorruptionPlan corrupted;
+  corrupted.routingFraction = 1.0;
+  corrupted.invalidMessages = 4;
+  matrix.corruptions = {{"clean", {}}, {"corrupted", corrupted}};
+  matrix.options.firstSeed = 1;
+  matrix.options.seedCount = 2;
+  return matrix;
+}
+
+TEST(SweepMatrix, CrossesAllAxesInDeclarationOrder) {
+  const SweepMatrixResult result = runSweepMatrix(smallMatrix());
+  ASSERT_EQ(result.cells.size(), 8u);  // 2 topologies x 2 daemons x 2 plans
+  EXPECT_EQ(result.totalRuns(), 16u);
+  // Topology-major, then daemon, then corruption plan.
+  EXPECT_EQ(result.cells[0].label(), "ring/n=6 synchronous clean");
+  EXPECT_EQ(result.cells[1].label(), "ring/n=6 synchronous corrupted");
+  EXPECT_EQ(result.cells[2].label(), "ring/n=6 distributed-random clean");
+  EXPECT_EQ(result.cells[7].label(), "path/n=5 distributed-random corrupted");
+  for (const SweepCell& cell : result.cells) {
+    EXPECT_EQ(cell.result.runs.size(), 2u) << cell.label();
+    EXPECT_TRUE(cell.result.allSp()) << cell.label();
+  }
+  EXPECT_TRUE(result.allSp());
+}
+
+TEST(SweepMatrix, CellConfigsActuallyVary) {
+  const SweepMatrixResult result = runSweepMatrix(smallMatrix());
+  // Corrupted cells start with corrupted tables; clean ones do not.
+  for (const SweepCell& cell : result.cells) {
+    const bool expectCorrupted = cell.corruptionLabel == "corrupted";
+    for (const ExperimentResult& run : cell.result.runs) {
+      EXPECT_EQ(run.routingCorrupted, expectCorrupted) << cell.label();
+    }
+  }
+  // Ring cells see n=6 graphs, path cells n=5.
+  EXPECT_EQ(result.cells.front().result.runs.front().graphN, 6u);
+  EXPECT_EQ(result.cells.back().result.runs.front().graphN, 5u);
+}
+
+TEST(SweepMatrix, EmptyAxesInheritBaseConfig) {
+  SweepMatrix matrix;
+  matrix.base.topo = TopologySpec::star(7);
+  matrix.base.daemon = DaemonKind::kSynchronous;
+  matrix.base.messageCount = 6;
+  matrix.options.seedCount = 2;
+  const SweepMatrixResult result = runSweepMatrix(matrix);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].topo, TopologySpec::star(7));
+  EXPECT_EQ(result.cells[0].daemon, DaemonKind::kSynchronous);
+  EXPECT_EQ(result.cells[0].result.runs.front().graphN, 7u);
+}
+
+TEST(SweepMatrix, ParallelMatchesSerialCellForCell) {
+  SweepMatrix serial = smallMatrix();
+  serial.options.threads = 1;
+  SweepMatrix parallel = smallMatrix();
+  parallel.options.threads = 8;
+  const SweepMatrixResult a = runSweepMatrix(serial);
+  const SweepMatrixResult b = runSweepMatrix(parallel);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_TRUE(a.cells[i].result == b.cells[i].result) << a.cells[i].label();
+  }
+}
+
+TEST(SweepMatrix, MatrixCellMatchesStandaloneSweep) {
+  // A matrix cell must be indistinguishable from running the same config
+  // through plain runSweep: same seeds, same RNG forks, same results.
+  SweepMatrix matrix;
+  matrix.base.messageCount = 6;
+  matrix.topologies = {TopologySpec::ring(6)};
+  matrix.daemons = {DaemonKind::kDistributedRandom};
+  matrix.options.firstSeed = 5;
+  matrix.options.seedCount = 3;
+  const SweepMatrixResult viaMatrix = runSweepMatrix(matrix);
+
+  ExperimentConfig cfg = matrix.base;
+  cfg.topo = TopologySpec::ring(6);
+  cfg.daemon = DaemonKind::kDistributedRandom;
+  SweepOptions options;
+  options.firstSeed = 5;
+  options.seedCount = 3;
+  const SweepResult direct = runSweep(cfg, options);
+
+  ASSERT_EQ(viaMatrix.cells.size(), 1u);
+  EXPECT_TRUE(viaMatrix.cells[0].result == direct);
+}
+
+}  // namespace
+}  // namespace snapfwd

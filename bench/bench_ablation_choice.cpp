@@ -38,10 +38,10 @@ int main() {
   for (const auto& net : nets) {
     for (const auto policy : policies) {
       ExperimentConfig cfg;
-      cfg.topology = net.topology;
-      cfg.n = net.n;
-      cfg.rows = 3;
-      cfg.cols = 3;
+      cfg.topo.kind = net.topology;
+      cfg.topo.n = net.n;
+      cfg.topo.rows = 3;
+      cfg.topo.cols = 3;
       cfg.seed = 33;
       cfg.daemon = DaemonKind::kDistributedRandom;
       cfg.traffic = TrafficKind::kAllToOne;

@@ -106,20 +106,20 @@ int main() {
   }
   for (const bool tree : {true, false}) {
     ExperimentConfig cfg;
-    cfg.topology = tree ? TopologyKind::kBinaryTree : TopologyKind::kRing;
-    cfg.n = tree ? 7 : 6;
+    cfg.topo.kind = tree ? TopologyKind::kBinaryTree : TopologyKind::kRing;
+    cfg.topo.n = tree ? 7 : 6;
     cfg.seed = 13;
     cfg.daemon = DaemonKind::kDistributedRandom;
     cfg.traffic = TrafficKind::kPermutation;
     const char* net = tree ? "tree(7)" : "ring(6)";
     const ExperimentResult base = runBaselineExperiment(cfg);
     economy.addRow({net, "destination-based (Fig.1)",
-                    Table::num(std::uint64_t{cfg.n}), "no",
+                    Table::num(std::uint64_t{cfg.topo.n}), "no",
                     Table::yesNo(base.quiescent),
                     Table::num(base.spec.validDelivered) + "/" +
                         Table::num(base.spec.validGenerated)});
     const ExperimentResult ssmfp = runSsmfpExperiment(cfg);
-    economy.addRow({net, "SSMFP (Fig.2)", Table::num(std::uint64_t{2 * cfg.n}),
+    economy.addRow({net, "SSMFP (Fig.2)", Table::num(std::uint64_t{2 * cfg.topo.n}),
                     "SNAP", Table::yesNo(ssmfp.quiescent),
                     Table::num(ssmfp.spec.validDelivered) + "/" +
                         Table::num(ssmfp.spec.validGenerated)});

@@ -1,13 +1,31 @@
-// E12 - engine throughput and the parallel guard-evaluation ablation.
+// E12 - engine throughput: scan-mode (full vs incremental) x topology x
+// serial/parallel guard evaluation.
 //
-// google-benchmark microbenchmarks of the state-model engine: steps/second
-// as a function of network size, serial vs thread-pool guard evaluation.
-// This quantifies the simulator substrate itself (not a paper claim).
+// google-benchmark microbenchmarks of the state-model engine substrate
+// (not a paper claim): steps/second under ScanMode::kFull (evaluate every
+// guard every step) vs ScanMode::kIncremental (re-evaluate only the dirty
+// neighborhood N[W]), on ring / grid / random topologies, with the
+// guard-evals-per-step counter exposing the work actually performed.
+//
+// Run with --scanmode-report[=path] to skip google-benchmark and instead
+// write the archived sparse-activity comparison (n >= 1024, few in-flight
+// messages - the regime the incremental scheduler exists for) as JSON.
+// Exits non-zero if incremental fails to reach 2x steps/sec there, so the
+// archived numbers cannot silently regress.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "core/engine.hpp"
 #include "graph/builders.hpp"
+#include "routing/frozen.hpp"
 #include "routing/selfstab_bfs.hpp"
 #include "ssmfp/ssmfp.hpp"
 #include "util/rng.hpp"
@@ -17,40 +35,227 @@ namespace {
 
 using namespace snapfwd;
 
-void runSteps(benchmark::State& state, ThreadPool* pool) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(42);
-  const Graph graph = topo::randomConnected(n, n / 2, rng);
+Graph makeTopology(int kind, std::size_t n, Rng& rng) {
+  switch (kind) {
+    case 0: return topo::ring(n);
+    case 1: {
+      std::size_t side = 1;
+      while (side * side < n) ++side;
+      return topo::grid(side, side);
+    }
+    default: return topo::randomConnected(n, n / 4, rng);
+  }
+}
+
+const char* topologyName(int kind) {
+  switch (kind) {
+    case 0: return "ring";
+    case 1: return "grid";
+    default: return "random-connected";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark section: full SSMFP stack (self-stabilizing routing +
+// forwarding), moderate n, corrupted start - the dense-activity regime.
+// ---------------------------------------------------------------------------
+
+void runSteps(benchmark::State& state, ThreadPool* pool, ScanMode mode) {
+  const int topoKind = static_cast<int>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  Rng topoRng(42);
+  const Graph graph = makeTopology(topoKind, n, topoRng);
+
+  std::uint64_t guardEvals = 0;
+  std::uint64_t steps = 0;
   for (auto _ : state) {
     state.PauseTiming();
     SelfStabBfsRouting routing(graph);
-    // Restrict destinations to keep state quadratic growth in check.
-    std::vector<NodeId> dests{0, static_cast<NodeId>(n / 2)};
+    // Restrict destinations to keep quadratic state growth in check.
+    std::vector<NodeId> dests{0, static_cast<NodeId>(graph.size() / 2)};
     SsmfpProtocol forwarding(graph, routing, dests);
     Rng faultRng(7);
     routing.corrupt(faultRng, 0.5);
     for (NodeId p = 1; p < graph.size(); ++p) forwarding.send(p, 0, p);
-    DistributedRandomDaemon daemon(rng.fork(1), 0.5);
-    Engine engine(graph, {&routing, &forwarding}, daemon, pool);
+    Rng daemonRng(43);
+    DistributedRandomDaemon daemon(daemonRng.fork(1), 0.5);
+    Engine engine(graph, {&routing, &forwarding}, daemon, pool, mode);
     forwarding.attachEngine(&engine);
     state.ResumeTiming();
 
     const std::uint64_t executed = engine.run(500);
     benchmark::DoNotOptimize(executed);
+
+    state.PauseTiming();
+    guardEvals += engine.scanStats().guardEvals;
+    steps += engine.stepCount();
+    state.ResumeTiming();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 500);
+  state.counters["guard_evals_per_step"] =
+      steps == 0 ? 0.0
+                 : static_cast<double>(guardEvals) / static_cast<double>(steps);
+  state.SetLabel(std::string(topologyName(topoKind)) + "/" +
+                 (mode == ScanMode::kFull ? "full" : "incremental"));
 }
 
-void BM_EngineSerial(benchmark::State& state) { runSteps(state, nullptr); }
+void BM_EngineFull(benchmark::State& state) {
+  runSteps(state, nullptr, ScanMode::kFull);
+}
 
-void BM_EngineParallel(benchmark::State& state) {
+void BM_EngineIncremental(benchmark::State& state) {
+  runSteps(state, nullptr, ScanMode::kIncremental);
+}
+
+void BM_EngineFullParallel(benchmark::State& state) {
   static ThreadPool pool(4);
-  runSteps(state, &pool);
+  runSteps(state, &pool, ScanMode::kFull);
 }
 
-BENCHMARK(BM_EngineSerial)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_EngineParallel)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+void BM_EngineIncrementalParallel(benchmark::State& state) {
+  static ThreadPool pool(4);
+  runSteps(state, &pool, ScanMode::kIncremental);
+}
+
+void scanModeArgs(benchmark::internal::Benchmark* bench) {
+  for (int topoKind : {0, 1, 2}) {
+    for (int n : {64, 128}) bench->Args({topoKind, n});
+  }
+}
+
+BENCHMARK(BM_EngineFull)->Apply(scanModeArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineIncremental)->Apply(scanModeArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineFullParallel)->Args({2, 128})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineIncrementalParallel)
+    ->Args({2, 128})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// --scanmode-report section: the sparse-activity regime. Large network
+// (n >= 1024), correct (frozen) routing tables, a handful of in-flight
+// messages: only a few processors are ever enabled, so a full sweep
+// re-evaluates ~n guards to find ~8 enabled ones. This is the workload the
+// incremental scheduler targets; the archived JSON pins its advantage.
+// ---------------------------------------------------------------------------
+
+struct ModeMeasurement {
+  std::uint64_t steps = 0;
+  double seconds = 0.0;
+  double stepsPerSec = 0.0;
+  double guardEvalsPerStep = 0.0;
+  ScanStats scan;
+};
+
+ModeMeasurement measureSparse(const Graph& graph, ScanMode mode,
+                              std::uint64_t maxSteps) {
+  FrozenRouting routing(graph);  // correct tables: routing layer absent
+  std::vector<NodeId> dests{0, static_cast<NodeId>(graph.size() / 2)};
+  SsmfpProtocol forwarding(graph, routing, dests);
+  // Few in-flight messages from fixed sources: sparse enabled sets.
+  for (NodeId src = 1; src <= 8; ++src) {
+    forwarding.send(static_cast<NodeId>(src * graph.size() / 9), 0,
+                    static_cast<Payload>(src));
+  }
+  Rng daemonRng(77);
+  DistributedRandomDaemon daemon(daemonRng.fork(1), 0.5);
+  Engine engine(graph, {&forwarding}, daemon, nullptr, mode);
+  forwarding.attachEngine(&engine);
+
+  const auto start = std::chrono::steady_clock::now();
+  engine.run(maxSteps);
+  const auto stop = std::chrono::steady_clock::now();
+
+  ModeMeasurement m;
+  m.steps = engine.stepCount();
+  m.seconds = std::chrono::duration<double>(stop - start).count();
+  m.stepsPerSec = m.seconds > 0.0 ? static_cast<double>(m.steps) / m.seconds : 0.0;
+  m.scan = engine.scanStats();
+  m.guardEvalsPerStep =
+      m.steps == 0 ? 0.0
+                   : static_cast<double>(m.scan.guardEvals) /
+                         static_cast<double>(m.steps);
+  return m;
+}
+
+void appendMeasurement(std::ostringstream& out, const char* mode,
+                       const ModeMeasurement& m) {
+  out << "\"" << mode << "\":{"
+      << "\"steps\":" << m.steps << ",\"seconds\":" << m.seconds
+      << ",\"stepsPerSec\":" << m.stepsPerSec
+      << ",\"guardEvalsPerStep\":" << m.guardEvalsPerStep
+      << ",\"fullScans\":" << m.scan.fullScans
+      << ",\"incrementalScans\":" << m.scan.incrementalScans
+      << ",\"avgDirtySize\":" << m.scan.avgDirtySize() << "}";
+}
+
+int writeScanModeReport(const std::string& path) {
+  constexpr std::size_t kN = 1024;
+  constexpr std::uint64_t kMaxSteps = 30'000;
+  std::ostringstream out;
+  out << "{\"experiment\":\"engine-scanmode-sparse\",\"n\":" << kN
+      << ",\"inFlightMessages\":8,\"maxSteps\":" << kMaxSteps
+      << ",\"topologies\":[";
+
+  bool allFast = true;
+  for (int topoKind : {0, 1, 2}) {
+    Rng topoRng(42);
+    const Graph graph = makeTopology(topoKind, kN, topoRng);
+    const ModeMeasurement full = measureSparse(graph, ScanMode::kFull, kMaxSteps);
+    const ModeMeasurement inc =
+        measureSparse(graph, ScanMode::kIncremental, kMaxSteps);
+    // Identical executions: both run the same number of steps.
+    if (full.steps != inc.steps) {
+      std::cerr << "scan-mode divergence on " << topologyName(topoKind) << ": "
+                << full.steps << " vs " << inc.steps << " steps\n";
+      return 2;
+    }
+    const double speedup =
+        full.stepsPerSec > 0.0 ? inc.stepsPerSec / full.stepsPerSec : 0.0;
+    if (topoKind != 0) out << ",";
+    out << "{\"topology\":\"" << topologyName(topoKind) << "\",\"graphN\":"
+        << graph.size() << ",";
+    appendMeasurement(out, "full", full);
+    out << ",";
+    appendMeasurement(out, "incremental", inc);
+    out << ",\"speedup\":" << speedup << "}";
+    std::cerr << topologyName(topoKind) << ": full " << full.stepsPerSec
+              << " steps/s (" << full.guardEvalsPerStep
+              << " guard evals/step), incremental " << inc.stepsPerSec
+              << " steps/s (" << inc.guardEvalsPerStep
+              << " guard evals/step), speedup " << speedup << "x\n";
+    if (speedup < 2.0) allFast = false;
+  }
+  out << "]}";
+
+  std::ofstream file(path);
+  file << out.str() << "\n";
+  if (!file) {
+    std::cerr << "cannot write " << path << "\n";
+    return 2;
+  }
+  if (!allFast) {
+    std::cerr << "FAIL: incremental scan below 2x on at least one topology\n";
+    return 1;
+  }
+  return 0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--scanmode-report", 0) == 0) {
+      const auto eq = arg.find('=');
+      const std::string path = eq == std::string_view::npos
+                                   ? std::string("BENCH_engine_scanmode.json")
+                                   : std::string(arg.substr(eq + 1));
+      return writeScanModeReport(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -35,10 +35,10 @@ int main() {
   double worstTimeFactor = 0.0;
   for (const auto& row : rows) {
     ExperimentConfig cfg;
-    cfg.topology = row.topology;
-    cfg.n = row.n;
-    cfg.rows = 3;
-    cfg.cols = 3;
+    cfg.topo.kind = row.topology;
+    cfg.topo.n = row.n;
+    cfg.topo.rows = 3;
+    cfg.topo.cols = 3;
     cfg.seed = 21;
     cfg.daemon = DaemonKind::kDistributedRandom;
     cfg.traffic = TrafficKind::kUniform;

@@ -38,10 +38,10 @@ int main() {
     bool allSp = true;
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
       ExperimentConfig cfg;
-      cfg.topology = row.topology;
-      cfg.n = row.n;
-      cfg.rows = row.rows;
-      cfg.cols = row.cols;
+      cfg.topo.kind = row.topology;
+      cfg.topo.n = row.n;
+      cfg.topo.rows = row.rows;
+      cfg.topo.cols = row.cols;
       cfg.seed = seed;
       cfg.daemon = DaemonKind::kDistributedRandom;
       cfg.traffic = TrafficKind::kPermutation;

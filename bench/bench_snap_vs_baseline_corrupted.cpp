@@ -34,8 +34,8 @@ int main() {
                   baseStuck = 0;
     for (std::uint64_t seed = 1; seed <= 20; ++seed) {
       ExperimentConfig cfg;
-      cfg.topology = topology;
-      cfg.n = 8;
+      cfg.topo.kind = topology;
+      cfg.topo.n = 8;
       cfg.seed = seed;
       cfg.daemon = DaemonKind::kDistributedRandom;
       cfg.traffic = TrafficKind::kUniform;

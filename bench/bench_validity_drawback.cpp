@@ -32,8 +32,8 @@ int main() {
     std::uint64_t exactGarbage = 0, exactCollide = 0, exactValid = 0;
     for (std::uint64_t seed = 1; seed <= 20; ++seed) {
       ExperimentConfig cfg;
-      cfg.topology = TopologyKind::kRandomConnected;
-      cfg.n = 8;
+      cfg.topo.kind = TopologyKind::kRandomConnected;
+      cfg.topo.n = 8;
       cfg.seed = seed;
       cfg.daemon = DaemonKind::kDistributedRandom;
       cfg.messageCount = 16;

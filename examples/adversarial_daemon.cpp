@@ -30,9 +30,9 @@ int main(int argc, char** argv) {
   bool fairAllSp = true;
   for (const auto daemon : daemons) {
     ExperimentConfig cfg;
-    cfg.topology = TopologyKind::kRandomConnected;
-    cfg.n = 10;
-    cfg.extraEdges = 5;
+    cfg.topo.kind = TopologyKind::kRandomConnected;
+    cfg.topo.n = 10;
+    cfg.topo.extraEdges = 5;
     cfg.seed = seed;
     cfg.daemon = daemon;
     cfg.traffic = TrafficKind::kUniform;

@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4;
 
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kRing;
-  cfg.n = 8;
+  cfg.topo.kind = TopologyKind::kRing;
+  cfg.topo.n = 8;
   cfg.seed = seed;
   cfg.daemon = DaemonKind::kDistributedRandom;
   cfg.traffic = TrafficKind::kUniform;

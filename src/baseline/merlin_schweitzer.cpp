@@ -171,8 +171,9 @@ void MerlinSchweitzerProtocol::stage(NodeId p, const Action& a) {
   staged_.push_back(std::move(op));
 }
 
-void MerlinSchweitzerProtocol::commit() {
+void MerlinSchweitzerProtocol::commit(std::vector<NodeId>& written) {
   for (auto& op : staged_) {
+    written.push_back(op.p);  // every rule writes only p's buffers/queues
     const std::size_t idx = cell(op.p, op.d);
     if (op.writeBuf) buf_[idx] = op.newBuf;
     if (op.writeLastFlag) lastFlag_[idx][op.lastFlagSlot] = op.newLastFlag;
@@ -204,6 +205,7 @@ TraceId MerlinSchweitzerProtocol::send(NodeId src, NodeId dest, Payload payload)
   assert(dest < graph_.size() && destSlot_[dest] != kNoSlot);
   const TraceId trace = nextTrace_++;
   outbox_[src].push_back({dest, payload, trace});
+  notifyExternalMutation();  // outbox feeds src's generation guard
   return trace;
 }
 
@@ -225,10 +227,12 @@ void MerlinSchweitzerProtocol::injectBuffer(NodeId p, NodeId d, BaselineMessage 
   msg.dest = d;
   if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
   buf_[cell(p, d)] = msg;
+  notifyExternalMutation();
 }
 
 void MerlinSchweitzerProtocol::scrambleQueues(Rng& rng) {
   for (auto& q : queue_) rng.shuffle(q);
+  notifyExternalMutation();
 }
 
 }  // namespace snapfwd

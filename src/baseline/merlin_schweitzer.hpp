@@ -96,7 +96,7 @@ class MerlinSchweitzerProtocol final : public Protocol {
   [[nodiscard]] std::string_view name() const override { return "merlin-schweitzer"; }
   void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
   void stage(NodeId p, const Action& a) override;
-  void commit() override;
+  void commit(std::vector<NodeId>& written) override;
 
   // -- Application interface ---------------------------------------------
   TraceId send(NodeId src, NodeId dest, Payload payload);

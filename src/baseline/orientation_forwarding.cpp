@@ -229,8 +229,9 @@ void OrientationForwardingProtocol::stage(NodeId p, const Action& a) {
   staged_.push_back(std::move(op));
 }
 
-void OrientationForwardingProtocol::commit() {
+void OrientationForwardingProtocol::commit(std::vector<NodeId>& written) {
   for (auto& op : staged_) {
+    written.push_back(op.p);  // every rule writes only p's buffers/flags
     const std::size_t idx = cell(op.p, op.cls);
     if (op.writeBuf) buf_[idx] = op.newBuf;
     if (op.writeLastFlag) lastFlag_[idx][op.lastFlagSlot] = op.newLastFlag;
@@ -256,6 +257,7 @@ TraceId OrientationForwardingProtocol::send(NodeId src, NodeId dest,
   assert(src < graph_.size() && dest < graph_.size());
   const TraceId trace = nextTrace_++;
   outbox_[src].push_back({dest, payload, trace});
+  notifyExternalMutation();  // outbox feeds src's generation guard
   return trace;
 }
 

@@ -1,41 +1,98 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdlib>
 
 namespace snapfwd {
 
+namespace {
+
+// Process-wide default-mode override; -1 = none (env / built-in default).
+std::atomic<int> gScanModeOverride{-1};
+
+}  // namespace
+
+ScanMode Engine::defaultScanMode() {
+  const int forced = gScanModeOverride.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<ScanMode>(forced);
+  if (const char* env = std::getenv("SNAPFWD_SCAN_MODE")) {
+    if (const auto parsed = parseEnum<ScanMode>(env)) return *parsed;
+  }
+  return ScanMode::kIncremental;
+}
+
+void Engine::setDefaultScanMode(std::optional<ScanMode> mode) {
+  gScanModeOverride.store(mode ? static_cast<int>(*mode) : -1,
+                          std::memory_order_relaxed);
+}
+
 Engine::Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
-               ThreadPool* pool)
+               ThreadPool* pool, ScanMode scanMode)
     : graph_(graph),
       layers_(std::move(layers)),
       daemon_(daemon),
       pool_(pool),
+      scanMode_(scanMode),
       executedThisStep_(graph.size(), false),
+      writtenMark_(graph.size(), false),
+      dirtyMark_(graph.size(), false),
       roundPending_(graph.size(), false),
       actionsPerLayer_(layers_.size(), 0) {
   assert(!layers_.empty());
+  if (scanMode_ == ScanMode::kIncremental) cache_.resize(graph.size());
+  for (Protocol* layer : layers_) {
+    layer->setInvalidationHook([this] { invalidateEnabledCache(); });
+  }
+}
+
+Engine::~Engine() {
+  for (Protocol* layer : layers_) layer->setInvalidationHook(nullptr);
+}
+
+void Engine::invalidateEnabledCache() {
+  cacheValid_ = false;
+  enabledFresh_ = false;
+  for (const NodeId p : pendingWrites_) writtenMark_[p] = false;
+  pendingWrites_.clear();
+}
+
+bool Engine::evaluateProcessor(NodeId p, EnabledProcessor& entry) const {
+  for (std::uint16_t l = 0; l < layers_.size(); ++l) {
+    entry.actions.clear();
+    layers_[l]->enumerateEnabled(p, entry.actions);
+    if (!entry.actions.empty()) {
+      entry.p = p;
+      entry.layer = l;
+      return true;
+    }
+  }
+  return false;
 }
 
 void Engine::buildEnabled() {
+  if (enabledFresh_) {
+    ++scanStats_.cachedScans;
+    return;
+  }
+  if (scanMode_ == ScanMode::kIncremental && cacheValid_) {
+    incrementalScan();
+  } else {
+    fullScan();
+  }
+  enabledFresh_ = true;
+}
+
+void Engine::fullScan() {
   const std::size_t n = graph_.size();
   enabled_.clear();
-
-  auto evaluate = [&](NodeId p, EnabledProcessor& entry) -> bool {
-    for (std::uint16_t l = 0; l < layers_.size(); ++l) {
-      entry.actions.clear();
-      layers_[l]->enumerateEnabled(p, entry.actions);
-      if (!entry.actions.empty()) {
-        entry.p = p;
-        entry.layer = l;
-        return true;
-      }
-    }
-    return false;
-  };
+  const bool fillCache = scanMode_ == ScanMode::kIncremental;
+  if (fillCache) enabledIds_.clear();
 
   if (pool_ != nullptr && pool_->threadCount() > 1 && n >= 64) {
     // Parallel sweep with deterministic merge: fixed chunking by processor
-    // ranges, chunk results concatenated in chunk order.
+    // ranges, chunk results concatenated in chunk order (= id order).
     const std::size_t chunks = pool_->threadCount() * 4;
     const std::size_t per = (n + chunks - 1) / chunks;
     std::vector<std::vector<EnabledProcessor>> partial(chunks);
@@ -44,23 +101,128 @@ void Engine::buildEnabled() {
       const std::size_t end = std::min(n, begin + per);
       for (std::size_t p = begin; p < end; ++p) {
         EnabledProcessor entry;
-        if (evaluate(static_cast<NodeId>(p), entry)) {
-          partial[c].push_back(std::move(entry));
+        const bool on = evaluateProcessor(static_cast<NodeId>(p), entry);
+        if (fillCache) {
+          CacheEntry& slot = cache_[p];  // distinct p per chunk: no race
+          slot.enabled = on;
+          slot.layer = entry.layer;
+          slot.actions = entry.actions;
         }
+        if (on) partial[c].push_back(std::move(entry));
       }
     });
     for (auto& chunk : partial) {
-      for (auto& entry : chunk) enabled_.push_back(std::move(entry));
+      for (auto& entry : chunk) {
+        if (fillCache) enabledIds_.push_back(entry.p);
+        enabled_.push_back(std::move(entry));
+      }
     }
   } else {
     EnabledProcessor entry;
     for (NodeId p = 0; p < n; ++p) {
-      if (evaluate(p, entry)) {
+      const bool on = evaluateProcessor(p, entry);
+      if (fillCache) {
+        CacheEntry& slot = cache_[p];
+        slot.enabled = on;
+        slot.layer = entry.layer;
+        slot.actions = entry.actions;
+        if (on) enabledIds_.push_back(p);
+      }
+      if (on) {
         enabled_.push_back(entry);
         entry = EnabledProcessor{};
       }
     }
   }
+
+  ++scanStats_.fullScans;
+  scanStats_.guardEvals += n;
+  if (fillCache) {
+    cacheValid_ = true;
+    for (const NodeId p : pendingWrites_) writtenMark_[p] = false;
+    pendingWrites_.clear();
+  }
+}
+
+void Engine::incrementalScan() {
+  const std::size_t n = graph_.size();
+  // Dirty set: closed neighborhoods of every processor written since the
+  // last scan. Only these can have changed enabled status (guards read at
+  // most distance 1 - the model's locality; see protocol.hpp).
+  dirtyScratch_.clear();
+  for (const NodeId w : pendingWrites_) {
+    writtenMark_[w] = false;
+    if (!dirtyMark_[w]) {
+      dirtyMark_[w] = true;
+      dirtyScratch_.push_back(w);
+    }
+    for (const NodeId q : graph_.neighbors(w)) {
+      if (!dirtyMark_[q]) {
+        dirtyMark_[q] = true;
+        dirtyScratch_.push_back(q);
+      }
+    }
+  }
+  pendingWrites_.clear();
+  std::sort(dirtyScratch_.begin(), dirtyScratch_.end());
+
+  if (pool_ != nullptr && pool_->threadCount() > 1 && dirtyScratch_.size() >= 64) {
+    const std::size_t chunks = pool_->threadCount() * 4;
+    const std::size_t per = (dirtyScratch_.size() + chunks - 1) / chunks;
+    pool_->parallelFor(chunks, [&](std::size_t c) {
+      const std::size_t begin = c * per;
+      const std::size_t end = std::min(dirtyScratch_.size(), begin + per);
+      EnabledProcessor entry;
+      for (std::size_t i = begin; i < end; ++i) {
+        const NodeId p = dirtyScratch_[i];
+        CacheEntry& slot = cache_[p];  // distinct p per chunk: no race
+        slot.enabled = evaluateProcessor(p, entry);
+        slot.layer = entry.layer;
+        slot.actions.swap(entry.actions);
+      }
+    });
+  } else {
+    EnabledProcessor entry;
+    for (const NodeId p : dirtyScratch_) {
+      CacheEntry& slot = cache_[p];
+      slot.enabled = evaluateProcessor(p, entry);
+      slot.layer = entry.layer;
+      slot.actions.swap(entry.actions);
+    }
+  }
+
+  // Merge: previously enabled ids minus re-evaluated ones, plus the dirty
+  // processors now enabled - both inputs sorted, output stays sorted (the
+  // id order a full sweep produces).
+  nextEnabledScratch_.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < enabledIds_.size() || j < dirtyScratch_.size()) {
+    if (j == dirtyScratch_.size() ||
+        (i < enabledIds_.size() && enabledIds_[i] < dirtyScratch_[j])) {
+      nextEnabledScratch_.push_back(enabledIds_[i++]);
+    } else {
+      const NodeId p = dirtyScratch_[j++];
+      if (i < enabledIds_.size() && enabledIds_[i] == p) ++i;
+      if (cache_[p].enabled) nextEnabledScratch_.push_back(p);
+    }
+  }
+  enabledIds_.swap(nextEnabledScratch_);
+
+  enabled_.clear();
+  for (const NodeId p : enabledIds_) {
+    EnabledProcessor entry;
+    entry.p = p;
+    entry.layer = cache_[p].layer;
+    entry.actions = cache_[p].actions;
+    enabled_.push_back(std::move(entry));
+  }
+
+  ++scanStats_.incrementalScans;
+  scanStats_.guardEvals += dirtyScratch_.size();
+  scanStats_.guardEvalsSaved += n - dirtyScratch_.size();
+  scanStats_.dirtySum += dirtyScratch_.size();
+  for (const NodeId p : dirtyScratch_) dirtyMark_[p] = false;
 }
 
 void Engine::settleRoundAccounting() {
@@ -105,7 +267,8 @@ bool Engine::step() {
   if (choices_.empty()) return false;
 
   // Stage all chosen actions against the pre-step configuration, then
-  // commit layer by layer (composite atomicity).
+  // commit layer by layer (composite atomicity), collecting the write sets
+  // that drive the next incremental scan.
   std::fill(executedThisStep_.begin(), executedThisStep_.end(), false);
   executedActions_.clear();
   std::vector<bool> layerTouched(layers_.size(), false);
@@ -122,8 +285,19 @@ bool Engine::step() {
     ++actions_;
     ++actionsPerLayer_[entry.layer];
   }
+  writtenScratch_.clear();
   for (std::size_t l = 0; l < layers_.size(); ++l) {
-    if (layerTouched[l]) layers_[l]->commit();
+    if (layerTouched[l]) layers_[l]->commit(writtenScratch_);
+  }
+  enabledFresh_ = false;
+  if (scanMode_ == ScanMode::kIncremental && cacheValid_) {
+    for (const NodeId w : writtenScratch_) {
+      assert(w < graph_.size());
+      if (!writtenMark_[w]) {
+        writtenMark_[w] = true;
+        pendingWrites_.push_back(w);
+      }
+    }
   }
 
   // Round accounting: executed processors discharge their obligation.

@@ -18,24 +18,90 @@
 // Rounds are counted per the paper's definition: a round completes when
 // every processor that was enabled at the round's start has either executed
 // an action or been neutralized (enabled -> disabled without executing).
+//
+// Scan modes. The model is local: a guard of p reads only the variables of
+// p's closed neighborhood, so a step that wrote processors W can only flip
+// the enabled status of processors in N[W] = union of closed neighborhoods
+// of W. ScanMode::kIncremental exploits this: the engine caches one enabled
+// entry per processor and, between steps, re-evaluates only the dirty
+// neighborhood N[W] (W reported by the layers' commit()), falling back to a
+// full sweep after any out-of-band mutation (Protocol's invalidation hook)
+// or explicit invalidateEnabledCache(). ScanMode::kFull is the original
+// evaluate-everything sweep, kept for differential testing. Both modes
+// produce bit-identical enabled sets in the same (processor-id) order, so
+// daemon choices, traces and experiment results are mode-independent; only
+// the ScanStats accounting differs.
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/daemon.hpp"
 #include "core/protocol.hpp"
 #include "graph/graph.hpp"
+#include "util/names.hpp"
 #include "util/thread_pool.hpp"
 
 namespace snapfwd {
 
+/// How buildEnabled() walks the configuration (see file comment).
+enum class ScanMode : std::uint8_t {
+  kFull,
+  kIncremental,
+};
+
+template <>
+struct EnumNames<ScanMode> {
+  static constexpr auto entries = std::to_array<NamedEnum<ScanMode>>({
+      {ScanMode::kFull, "full"},
+      {ScanMode::kIncremental, "incremental"},
+  });
+};
+
+/// Scheduler accounting: how much guard-evaluation work the scan strategy
+/// performed vs. avoided. Describes how a result was computed, never what
+/// it is - results are identical across modes.
+struct ScanStats {
+  std::uint64_t fullScans = 0;         // whole-configuration sweeps
+  std::uint64_t incrementalScans = 0;  // dirty-neighborhood sweeps
+  std::uint64_t cachedScans = 0;       // buildEnabled() answered from cache
+  std::uint64_t guardEvals = 0;        // processor guard evaluations performed
+  std::uint64_t guardEvalsSaved = 0;   // evaluations skipped vs. full sweeps
+  std::uint64_t dirtySum = 0;          // sum of dirty-set sizes (incremental)
+
+  /// Mean dirty-set size over incremental scans (0 when none ran).
+  [[nodiscard]] double avgDirtySize() const {
+    return incrementalScans == 0
+               ? 0.0
+               : static_cast<double>(dirtySum) / static_cast<double>(incrementalScans);
+  }
+
+  friend bool operator==(const ScanStats&, const ScanStats&) = default;
+};
+
 class Engine {
  public:
   /// `layers` in priority order (layers[0] wins). All pointers must outlive
-  /// the engine. `pool` may be null (serial guard evaluation).
+  /// the engine. `pool` may be null (serial guard evaluation). The engine
+  /// registers itself as the layers' invalidation hook; a protocol must not
+  /// be driven by two live engines at once.
   Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
-         ThreadPool* pool = nullptr);
+         ThreadPool* pool = nullptr, ScanMode scanMode = defaultScanMode());
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The mode new engines default to: the process-wide override (set below)
+  /// if any, else the SNAPFWD_SCAN_MODE environment variable ("full" /
+  /// "incremental") if set and valid, else kIncremental.
+  [[nodiscard]] static ScanMode defaultScanMode();
+  /// Process-wide default override (tests / differential harnesses);
+  /// nullopt restores env-then-kIncremental resolution.
+  static void setDefaultScanMode(std::optional<ScanMode> mode);
+
+  [[nodiscard]] ScanMode scanMode() const noexcept { return scanMode_; }
 
   /// Executes one atomic step. Returns false without executing anything if
   /// the configuration is terminal (no enabled processor) or the daemon
@@ -49,6 +115,12 @@ class Engine {
   /// True iff no processor has any enabled action right now.
   [[nodiscard]] bool isTerminal();
 
+  /// Drops the per-processor enabled cache AND the current enabled set; the
+  /// next buildEnabled() does a full sweep. Out-of-band mutators reach this
+  /// through Protocol::notifyExternalMutation(); callers that mutate state
+  /// behind the protocols' backs (none should) can invoke it directly.
+  void invalidateEnabledCache();
+
   [[nodiscard]] std::uint64_t stepCount() const noexcept { return steps_; }
   /// Completed rounds so far.
   [[nodiscard]] std::uint64_t roundCount() const noexcept { return rounds_; }
@@ -57,11 +129,13 @@ class Engine {
   [[nodiscard]] const std::vector<std::uint64_t>& actionsPerLayer() const noexcept {
     return actionsPerLayer_;
   }
+  [[nodiscard]] const ScanStats& scanStats() const noexcept { return scanStats_; }
 
   [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
 
   /// Invoked after each committed step; used e.g. by online workloads to
-  /// submit new messages between steps.
+  /// submit new messages between steps (protocol entry points self-report
+  /// such mutations via the invalidation hook, so no extra care is needed).
   void setPostStepHook(std::function<void(Engine&)> hook) {
     postStepHook_ = std::move(hook);
   }
@@ -85,18 +159,48 @@ class Engine {
   }
 
  private:
+  /// Refreshes enabled_ for the current configuration. No-op when it is
+  /// already fresh (fixes the historical isTerminal()-then-step() double
+  /// sweep); otherwise full or dirty-neighborhood scan per mode/validity.
   void buildEnabled();
+  void fullScan();
+  void incrementalScan();
+  /// Evaluates p's layers into `entry`; true iff any action is enabled.
+  bool evaluateProcessor(NodeId p, EnabledProcessor& entry) const;
   void settleRoundAccounting();
 
   const Graph& graph_;
   std::vector<Protocol*> layers_;
   Daemon& daemon_;
   ThreadPool* pool_;
+  ScanMode scanMode_;
 
   std::vector<EnabledProcessor> enabled_;
   std::vector<Choice> choices_;
   std::vector<bool> executedThisStep_;
   std::vector<ExecutedAction> executedActions_;
+
+  // Incremental-scan state. cache_[p] holds p's last evaluated entry
+  // (actions empty when disabled); enabledIds_ the sorted ids of enabled
+  // processors. cacheValid_ guards both; enabledFresh_ says enabled_
+  // matches the current configuration (cleared by commits/invalidation).
+  struct CacheEntry {
+    std::vector<Action> actions;
+    std::uint16_t layer = 0;
+    bool enabled = false;
+  };
+  std::vector<CacheEntry> cache_;
+  std::vector<NodeId> enabledIds_;
+  bool cacheValid_ = false;
+  bool enabledFresh_ = false;
+  std::vector<NodeId> pendingWrites_;  // written since last scan (deduped)
+  std::vector<bool> writtenMark_;      // dedupe scratch for pendingWrites_
+  std::vector<NodeId> writtenScratch_;  // per-step commit() write-set sink
+  std::vector<NodeId> dirtyScratch_;    // expanded closed neighborhoods
+  std::vector<bool> dirtyMark_;
+  std::vector<NodeId> nextEnabledScratch_;
+
+  ScanStats scanStats_;
 
   // Round accounting: processors still owing an execution/neutralization in
   // the current round. roundActive_ is false before the first enabled-set

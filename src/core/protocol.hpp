@@ -11,12 +11,32 @@
 //                     pending writes internally; DO NOT modify observable
 //                     state. Called once per chosen processor per step.
 //   2. commit()     - apply every pending write recorded since the last
-//                     commit. Called once per step per protocol that staged
+//                     commit, and report the WRITE SET: the id of every
+//                     processor whose observable variables were written.
+//                     Called once per step per protocol that staged
 //                     anything.
 //
 // Because a processor writes only its own variables and at most one action
 // per processor is chosen per step, staged writes never conflict.
+//
+// The write set powers the engine's incremental scheduler: in the paper's
+// model (Section 2.1) a guard of processor p reads only the variables of
+// its closed neighborhood N_p u {p}, so after a step only processors within
+// distance 1 of a written processor can change enabled status. commit()
+// reporting its writes lets the engine re-evaluate exactly those guards. A
+// protocol whose guards read state beyond the closed neighborhood of the
+// written processors (e.g. a global counter) must report every affected
+// processor as written - over-reporting is always safe, under-reporting
+// silently stales the enabled cache.
+//
+// Out-of-band mutation: any entry point that changes observable state
+// OUTSIDE the stage/commit cycle (application sends, fault injection,
+// snapshot restoration, ...) must call notifyExternalMutation(), which
+// invalidates the whole enabled cache of the attached engine. This is the
+// coarse hammer matching "the initial configuration is arbitrary": such
+// mutations are rare and non-local, so a full re-sweep is the right cost.
 
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -32,7 +52,8 @@ class Protocol {
 
   /// Appends every enabled action of processor `p` (guards evaluated on the
   /// current configuration) to `out`. Must be const and thread-safe for
-  /// concurrent calls with distinct or equal `p` (pure read).
+  /// concurrent calls with distinct or equal `p` (pure read). Guards may
+  /// read only the variables of p's closed neighborhood (see header note).
   virtual void enumerateEnabled(NodeId p, std::vector<Action>& out) const = 0;
 
   /// True iff `p` has at least one enabled action. Override when a cheaper
@@ -47,8 +68,27 @@ class Protocol {
   /// Phase 1 of the atomic step: record the writes of action `a` at `p`.
   virtual void stage(NodeId p, const Action& a) = 0;
 
-  /// Phase 2: apply all staged writes.
-  virtual void commit() = 0;
+  /// Phase 2: apply all staged writes; append the id of every processor
+  /// whose observable variables were written to `written` (duplicates
+  /// allowed - the engine dedupes).
+  virtual void commit(std::vector<NodeId>& written) = 0;
+
+  /// Registered by the engine executing this protocol; cleared on engine
+  /// destruction. Protocol implementations do not call this directly -
+  /// they call notifyExternalMutation().
+  void setInvalidationHook(std::function<void()> hook) {
+    invalidationHook_ = std::move(hook);
+  }
+
+ protected:
+  /// Must be invoked by every out-of-band mutator (see header note). Cheap
+  /// (sets a flag in the engine); a no-op when no engine is attached.
+  void notifyExternalMutation() {
+    if (invalidationHook_) invalidationHook_();
+  }
+
+ private:
+  std::function<void()> invalidationHook_;
 };
 
 }  // namespace snapfwd

@@ -13,6 +13,14 @@
 //
 // All sampling is driven by a caller-provided Rng, so a (topology, seed)
 // pair reproduces the exact same "arbitrary" configuration.
+//
+// Scheduler interaction: every mutation below flows through self-notifying
+// protocol/provider entry points (injectReception, scrambleQueues,
+// corrupt, ...), each of which invalidates the attached engine's enabled
+// cache via Protocol::notifyExternalMutation() (or the RoutingProvider
+// mutation callback). Corruption may therefore be applied before a run or
+// mid-run - e.g. from a post-step hook - without any extra bookkeeping;
+// the incremental scheduler falls back to one full sweep afterwards.
 
 #include <cstdint>
 

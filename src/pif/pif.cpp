@@ -107,9 +107,10 @@ void PifProtocol::stage(NodeId p, const Action& a) {
   }
 }
 
-void PifProtocol::commit() {
+void PifProtocol::commit(std::vector<NodeId>& written) {
   for (const auto& op : staged_) {
     state_[op.p] = op.newState;
+    written.push_back(op.p);  // state_ and pendingRequests_ are p's variables
     switch (op.rule) {
       case kPifStart:
         assert(pendingRequests_ > 0);
@@ -156,11 +157,13 @@ void PifProtocol::scrambleStates(Rng& rng) {
     state_[p] = pick == 0 ? PifState::kClean
                           : (pick == 1 ? PifState::kBroadcast : PifState::kFeedback);
   }
+  notifyExternalMutation();
 }
 
 void PifProtocol::setState(NodeId p, PifState s) {
   assert(p != root_ || s != PifState::kFeedback);
   state_[p] = s;
+  notifyExternalMutation();
 }
 
 bool PifProtocol::allClean() const {

@@ -74,11 +74,14 @@ class PifProtocol final : public Protocol {
   [[nodiscard]] std::string_view name() const override { return "pif"; }
   void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
   void stage(NodeId p, const Action& a) override;
-  void commit() override;
+  void commit(std::vector<NodeId>& written) override;
 
   // -- Application interface ---------------------------------------------
   /// Queues one wave request at the root (the paper's request flag).
-  void requestWave() { ++pendingRequests_; }
+  void requestWave() {
+    ++pendingRequests_;
+    notifyExternalMutation();  // flips the root's START guard out-of-band
+  }
   [[nodiscard]] std::size_t pendingRequests() const { return pendingRequests_; }
 
   // -- Observation -----------------------------------------------------------

@@ -23,6 +23,7 @@ NodeId FrozenRouting::nextHop(NodeId p, NodeId d) const {
 void FrozenRouting::setEntry(NodeId p, NodeId d, NodeId parent) {
   assert(graph_.hasEdge(p, parent));
   next_[index(p, d)] = parent;
+  notifyMutation();
 }
 
 void FrozenRouting::corrupt(Rng& rng, double fraction) {
@@ -34,6 +35,7 @@ void FrozenRouting::corrupt(Rng& rng, double fraction) {
       next_[index(p, d)] = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
     }
   }
+  notifyMutation();
 }
 
 }  // namespace snapfwd

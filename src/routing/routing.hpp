@@ -7,6 +7,8 @@
 // when the tables are garbage -- and the routing layer is expected to
 // repair itself over time (self-stabilizing, silent).
 
+#include <functional>
+
 #include "graph/graph.hpp"
 
 namespace snapfwd {
@@ -24,6 +26,23 @@ class RoutingProvider {
   /// before consumption - a duplication the paper's model excludes by
   /// construction of the destination-based buffer graph.)
   [[nodiscard]] virtual NodeId nextHop(NodeId p, NodeId d) const = 0;
+
+  /// Registered by the (single) consumer whose guards read these tables -
+  /// SsmfpProtocol forwards it to its engine's enabled-cache invalidation.
+  /// Const because observing mutations does not mutate tables. Mutable
+  /// providers must call notifyMutation() from every table-writing entry
+  /// point that runs outside an engine's stage/commit cycle.
+  void setMutationCallback(std::function<void()> cb) const {
+    mutationCallback_ = std::move(cb);
+  }
+
+ protected:
+  void notifyMutation() {
+    if (mutationCallback_) mutationCallback_();
+  }
+
+ private:
+  mutable std::function<void()> mutationCallback_;
 };
 
 }  // namespace snapfwd

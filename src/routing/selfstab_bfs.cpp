@@ -76,10 +76,11 @@ void SelfStabBfsRouting::stage(NodeId p, const Action& a) {
   staged_.push_back({p, a.dest, t.dist, t.parent});
 }
 
-void SelfStabBfsRouting::commit() {
+void SelfStabBfsRouting::commit(std::vector<NodeId>& written) {
   for (const auto& w : staged_) {
     dist_[index(w.p, w.d)] = w.dist;
     parent_[index(w.p, w.d)] = w.parent;
+    written.push_back(w.p);  // R-fix writes only p's own table row
   }
   staged_.clear();
 }
@@ -100,6 +101,8 @@ void SelfStabBfsRouting::setEntry(NodeId p, NodeId d, std::uint32_t distance,
   assert(graph_.hasEdge(p, parent) && "routing parent must be a neighbor");
   dist_[index(p, d)] = std::min(distance, cap_);
   parent_[index(p, d)] = parent;
+  notifyExternalMutation();
+  notifyMutation();
 }
 
 void SelfStabBfsRouting::corrupt(Rng& rng, double fraction) {
@@ -112,6 +115,8 @@ void SelfStabBfsRouting::corrupt(Rng& rng, double fraction) {
       parent_[index(p, d)] = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
     }
   }
+  notifyExternalMutation();
+  notifyMutation();
 }
 
 bool SelfStabBfsRouting::isSilent() const {

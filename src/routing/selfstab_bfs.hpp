@@ -47,7 +47,7 @@ class SelfStabBfsRouting final : public Protocol, public RoutingProvider {
   void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
   [[nodiscard]] bool anyEnabled(NodeId p) const override;
   void stage(NodeId p, const Action& a) override;
-  void commit() override;
+  void commit(std::vector<NodeId>& written) override;
 
   // -- RoutingProvider ------------------------------------------------------
   [[nodiscard]] NodeId nextHop(NodeId p, NodeId d) const override;

@@ -1,5 +1,6 @@
 #include "sim/experiment_json.hpp"
 
+#include <atomic>
 #include <ostream>
 
 namespace snapfwd {
@@ -171,6 +172,27 @@ SpecReport specReportFromJson(const jsonl::Value& value) {
   return report;
 }
 
+namespace {
+std::atomic<bool> gEmitScanStats{false};
+}  // namespace
+
+void setEmitScanStats(bool emit) {
+  gEmitScanStats.store(emit, std::memory_order_relaxed);
+}
+
+bool emitScanStats() { return gEmitScanStats.load(std::memory_order_relaxed); }
+
+jsonl::Object toJson(const ScanStats& stats) {
+  jsonl::Object out;
+  out.field("fullScans", stats.fullScans);
+  out.field("incrementalScans", stats.incrementalScans);
+  out.field("cachedScans", stats.cachedScans);
+  out.field("guardEvals", stats.guardEvals);
+  out.field("guardEvalsSaved", stats.guardEvalsSaved);
+  out.field("avgDirtySize", stats.avgDirtySize());
+  return out;
+}
+
 jsonl::Object toJson(const ExperimentResult& result) {
   jsonl::Object out;
   out.field("quiescent", result.quiescent);
@@ -193,6 +215,10 @@ jsonl::Object toJson(const ExperimentResult& result) {
   out.field("graphDiameter", std::uint64_t{result.graphDiameter});
   if (result.invariantViolation.has_value()) {
     out.field("invariantViolation", *result.invariantViolation);
+  }
+  if (emitScanStats()) {
+    out.field("scanMode", std::string(toString(result.scanMode)));
+    out.field("scan", toJson(result.scan));
   }
   return out;
 }
@@ -221,6 +247,19 @@ ExperimentResult experimentResultFromJson(const jsonl::Value& value) {
   result.graphDiameter = static_cast<std::uint32_t>(value.u64At("graphDiameter"));
   if (const jsonl::Value* violation = value.find("invariantViolation")) {
     result.invariantViolation = violation->text;
+  }
+  if (const jsonl::Value* mode = value.find("scanMode")) {
+    if (const auto parsed = parseEnum<ScanMode>(mode->text)) {
+      result.scanMode = *parsed;
+    }
+  }
+  if (const jsonl::Value* scan = value.find("scan")) {
+    result.scan.fullScans = scan->u64At("fullScans");
+    result.scan.incrementalScans = scan->u64At("incrementalScans");
+    result.scan.cachedScans = scan->u64At("cachedScans");
+    result.scan.guardEvals = scan->u64At("guardEvals");
+    result.scan.guardEvalsSaved = scan->u64At("guardEvalsSaved");
+    // dirtySum is not serialized (avgDirtySize is derived); leave 0.
   }
   return result;
 }
@@ -253,6 +292,11 @@ jsonl::Object aggregatesJson(const SweepResult& result) {
             toJson(result.amortizedRoundsPerDelivery));
   out.field("routingSilentRound", toJson(result.routingSilentRound));
   out.field("invalidDelivered", toJson(result.invalidDelivered));
+  if (emitScanStats()) {
+    out.field("guardEvals", toJson(result.guardEvals));
+    out.field("guardEvalsSaved", toJson(result.guardEvalsSaved));
+    out.field("avgDirtySize", toJson(result.avgDirtySize));
+  }
   return out;
 }
 

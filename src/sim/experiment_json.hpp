@@ -38,6 +38,15 @@ struct RunManifest {
   std::string gitDescribe = buildGitDescribe();
 };
 
+/// Opt-in emission of scheduler scan stats ("scanMode" + "scan" fields on
+/// result lines, guard-eval summaries on aggregate lines). OFF by default
+/// so the default JSONL stream is bit-identical across ScanModes (pinned
+/// by the scan-mode differential test); benches that study the scheduler
+/// itself flip it on. Process-wide.
+void setEmitScanStats(bool emit);
+[[nodiscard]] bool emitScanStats();
+
+[[nodiscard]] jsonl::Object toJson(const ScanStats& stats);
 [[nodiscard]] jsonl::Object toJson(const TopologySpec& spec);
 [[nodiscard]] jsonl::Object toJson(const CorruptionPlan& plan);
 [[nodiscard]] jsonl::Object toJson(const ExperimentConfig& config);

@@ -109,55 +109,6 @@ std::string TopologySpec::label() const {
   }
 }
 
-// The flat-field shim members are references into `topo`, so copying must
-// rebind them to the destination's own `topo` instead of memberwise-copying
-// the references; hence the user-defined special members. Every value field
-// must be listed here - new fields added to ExperimentConfig belong in both.
-ExperimentConfig::ExperimentConfig(const ExperimentConfig& other)
-    : topo(other.topo),
-      daemon(other.daemon),
-      daemonProbability(other.daemonProbability),
-      seed(other.seed),
-      corruption(other.corruption),
-      traffic(other.traffic),
-      messageCount(other.messageCount),
-      perSource(other.perSource),
-      hotspot(other.hotspot),
-      payloadSpace(other.payloadSpace),
-      maxSteps(other.maxSteps),
-      checkInvariantsEveryStep(other.checkInvariantsEveryStep),
-      destinations(other.destinations),
-      choicePolicy(other.choicePolicy) {}
-
-ExperimentConfig& ExperimentConfig::operator=(const ExperimentConfig& other) {
-  topo = other.topo;
-  daemon = other.daemon;
-  daemonProbability = other.daemonProbability;
-  seed = other.seed;
-  corruption = other.corruption;
-  traffic = other.traffic;
-  messageCount = other.messageCount;
-  perSource = other.perSource;
-  hotspot = other.hotspot;
-  payloadSpace = other.payloadSpace;
-  maxSteps = other.maxSteps;
-  checkInvariantsEveryStep = other.checkInvariantsEveryStep;
-  destinations = other.destinations;
-  choicePolicy = other.choicePolicy;
-  return *this;
-}
-
-bool operator==(const ExperimentConfig& a, const ExperimentConfig& b) {
-  return a.topo == b.topo && a.daemon == b.daemon &&
-         a.daemonProbability == b.daemonProbability && a.seed == b.seed &&
-         a.corruption == b.corruption && a.traffic == b.traffic &&
-         a.messageCount == b.messageCount && a.perSource == b.perSource &&
-         a.hotspot == b.hotspot && a.payloadSpace == b.payloadSpace &&
-         a.maxSteps == b.maxSteps &&
-         a.checkInvariantsEveryStep == b.checkInvariantsEveryStep &&
-         a.destinations == b.destinations && a.choicePolicy == b.choicePolicy;
-}
-
 Graph buildTopology(const ExperimentConfig& cfg, Rng& rng) {
   const TopologySpec& t = cfg.topo;
   switch (t.kind) {
@@ -305,6 +256,8 @@ ExperimentResult runSsmfpExperiment(const ExperimentConfig& cfg) {
   result.spec = checkSpec(forwarding);
   result.invalidDelivered = forwarding.invalidDeliveryCount();
   fillTimingMetrics(forwarding, result);
+  result.scanMode = engine.scanMode();
+  result.scan = engine.scanStats();
   return result;
 }
 
@@ -344,6 +297,8 @@ ExperimentResult runBaselineExperiment(const ExperimentConfig& cfg) {
   result.spec = checkSpec(forwarding);
   result.invalidDelivered = result.spec.invalidDelivered;
   fillTimingMetrics(forwarding, result);
+  result.scanMode = engine.scanMode();
+  result.scan = engine.scanStats();
   return result;
 }
 

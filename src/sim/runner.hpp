@@ -11,6 +11,7 @@
 
 #include "checker/spec_checker.hpp"
 #include "core/daemon.hpp"
+#include "core/engine.hpp"
 #include "faults/corruptor.hpp"
 #include "graph/graph.hpp"
 #include "routing/selfstab_bfs.hpp"
@@ -148,22 +149,7 @@ struct ExperimentConfig {
   /// choice_p(d) selection policy (paper: round-robin; others = ablation).
   ChoicePolicy choicePolicy = ChoicePolicy::kRoundRobin;
 
-  // --- Deprecated shim ----------------------------------------------------
-  // Flat aliases into `topo`, kept so pre-TopologySpec call sites compile
-  // during the migration; new code should set `topo` (via the factories)
-  // directly. The aliases force the user-defined copy operations below.
-  TopologyKind& topology = topo.kind;
-  std::size_t& n = topo.n;
-  std::size_t& rows = topo.rows;
-  std::size_t& cols = topo.cols;
-  std::size_t& dims = topo.dims;
-  std::size_t& extraEdges = topo.extraEdges;
-
-  ExperimentConfig() = default;
-  ExperimentConfig(const ExperimentConfig& other);
-  ExperimentConfig& operator=(const ExperimentConfig& other);
-
-  friend bool operator==(const ExperimentConfig& a, const ExperimentConfig& b);
+  friend bool operator==(const ExperimentConfig&, const ExperimentConfig&) = default;
 };
 
 struct ExperimentResult {
@@ -193,7 +179,29 @@ struct ExperimentResult {
 
   std::optional<std::string> invariantViolation;
 
-  friend bool operator==(const ExperimentResult&, const ExperimentResult&) = default;
+  /// How the enabled set was computed (accounting only - never part of
+  /// result identity; the same experiment under kFull and kIncremental
+  /// compares equal and serializes identically by default).
+  ScanMode scanMode = ScanMode::kIncremental;
+  ScanStats scan;
+
+  friend bool operator==(const ExperimentResult& a, const ExperimentResult& b) {
+    return a.quiescent == b.quiescent && a.steps == b.steps &&
+           a.rounds == b.rounds && a.actions == b.actions &&
+           a.routingCorrupted == b.routingCorrupted &&
+           a.routingSilentStep == b.routingSilentStep &&
+           a.routingSilentRound == b.routingSilentRound && a.spec == b.spec &&
+           a.invalidInjected == b.invalidInjected &&
+           a.invalidDelivered == b.invalidDelivered &&
+           a.avgDeliveryRounds == b.avgDeliveryRounds &&
+           a.maxDeliveryRounds == b.maxDeliveryRounds &&
+           a.avgGenerationRound == b.avgGenerationRound &&
+           a.maxGenerationRound == b.maxGenerationRound &&
+           a.amortizedRoundsPerDelivery == b.amortizedRoundsPerDelivery &&
+           a.graphN == b.graphN && a.graphDelta == b.graphDelta &&
+           a.graphDiameter == b.graphDiameter &&
+           a.invariantViolation == b.invariantViolation;
+  }
 };
 
 /// Builds the configured topology (uses `rng` for the random families).

@@ -45,6 +45,9 @@ SweepResult aggregateRuns(std::vector<ExperimentResult> runs) {
     result.amortizedRoundsPerDelivery.add(run.amortizedRoundsPerDelivery);
     result.routingSilentRound.add(static_cast<double>(run.routingSilentRound));
     result.invalidDelivered.add(static_cast<double>(run.invalidDelivered));
+    result.guardEvals.add(static_cast<double>(run.scan.guardEvals));
+    result.guardEvalsSaved.add(static_cast<double>(run.scan.guardEvalsSaved));
+    result.avgDirtySize.add(run.scan.avgDirtySize());
   }
   result.runs = std::move(runs);
   return result;

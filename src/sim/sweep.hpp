@@ -49,9 +49,26 @@ struct SweepResult {
   Summary routingSilentRound;
   Summary invalidDelivered;
 
+  // Scheduler accounting (per run): guard evaluations performed / avoided
+  // and mean dirty-set size. Describes how results were computed, so -
+  // like ExperimentResult::scan - it is excluded from equality: the same
+  // sweep under kFull and kIncremental compares equal.
+  Summary guardEvals;
+  Summary guardEvalsSaved;
+  Summary avgDirtySize;
+
   [[nodiscard]] bool allSp() const { return violatedSp == 0 && nonQuiescent == 0; }
 
-  friend bool operator==(const SweepResult&, const SweepResult&) = default;
+  friend bool operator==(const SweepResult& a, const SweepResult& b) {
+    return a.runs == b.runs && a.satisfiedSp == b.satisfiedSp &&
+           a.violatedSp == b.violatedSp && a.nonQuiescent == b.nonQuiescent &&
+           a.rounds == b.rounds && a.steps == b.steps &&
+           a.avgDeliveryRounds == b.avgDeliveryRounds &&
+           a.maxDeliveryRounds == b.maxDeliveryRounds &&
+           a.amortizedRoundsPerDelivery == b.amortizedRoundsPerDelivery &&
+           a.routingSilentRound == b.routingSilentRound &&
+           a.invalidDelivered == b.invalidDelivered;
+  }
 };
 
 /// Runs cfg once per seed in [options.firstSeed, firstSeed + seedCount)

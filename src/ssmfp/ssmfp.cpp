@@ -38,7 +38,13 @@ SsmfpProtocol::SsmfpProtocol(const Graph& graph, const RoutingProvider& routing,
       q.push_back(p);
     }
   }
+  // SSMFP guards read the routing tables; out-of-band table rewrites
+  // (FrozenRouting::setEntry / corrupt, ...) must invalidate our engine's
+  // enabled cache just like our own out-of-band mutators do.
+  routing_.setMutationCallback([this] { notifyExternalMutation(); });
 }
+
+SsmfpProtocol::~SsmfpProtocol() { routing_.setMutationCallback(nullptr); }
 
 std::uint64_t SsmfpProtocol::nowStep() const {
   return engine_ != nullptr ? engine_->stepCount() : 0;
@@ -285,8 +291,9 @@ void SsmfpProtocol::stage(NodeId p, const Action& a) {
   staged_.push_back(std::move(op));
 }
 
-void SsmfpProtocol::commit() {
+void SsmfpProtocol::commit(std::vector<NodeId>& written) {
   for (auto& op : staged_) {
+    written.push_back(op.p);  // every statement writes only p's variables
     const std::size_t idx = cell(op.p, op.d);
     if (op.writeR) bufR_[idx] = op.newR;
     if (op.writeE) bufE_[idx] = op.newE;
@@ -325,6 +332,7 @@ TraceId SsmfpProtocol::send(NodeId src, NodeId dest, Payload payload) {
          "dest must be an active destination");
   const TraceId trace = nextTrace_++;
   outbox_[src].push_back({dest, payload, trace});
+  notifyExternalMutation();  // request_p flipped outside stage/commit
   return trace;
 }
 
@@ -336,6 +344,7 @@ void SsmfpProtocol::injectReception(NodeId p, NodeId d, Message msg) {
   msg.dest = d;
   if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
   bufR_[cell(p, d)] = msg;
+  notifyExternalMutation();
 }
 
 void SsmfpProtocol::injectEmission(NodeId p, NodeId d, Message msg) {
@@ -346,22 +355,26 @@ void SsmfpProtocol::injectEmission(NodeId p, NodeId d, Message msg) {
   msg.dest = d;
   if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
   bufE_[cell(p, d)] = msg;
+  notifyExternalMutation();
 }
 
 void SsmfpProtocol::scrambleQueues(Rng& rng) {
   for (auto& q : queue_) rng.shuffle(q);
+  notifyExternalMutation();
 }
 
 void SsmfpProtocol::restoreReception(NodeId p, NodeId d, const Message& msg) {
   assert(p < graph_.size() && destSlot_[d] != kNoSlot);
   assert(msg.color <= delta_);
   bufR_[cell(p, d)] = msg;
+  notifyExternalMutation();
 }
 
 void SsmfpProtocol::restoreEmission(NodeId p, NodeId d, const Message& msg) {
   assert(p < graph_.size() && destSlot_[d] != kNoSlot);
   assert(msg.color <= delta_);
   bufE_[cell(p, d)] = msg;
+  notifyExternalMutation();
 }
 
 void SsmfpProtocol::setFairnessQueue(NodeId p, NodeId d, std::vector<NodeId> order) {
@@ -372,12 +385,14 @@ void SsmfpProtocol::setFairnessQueue(NodeId p, NodeId d, std::vector<NodeId> ord
   }
 #endif
   queue_[cell(p, d)] = std::move(order);
+  notifyExternalMutation();
 }
 
 void SsmfpProtocol::restoreOutboxEntry(NodeId p, NodeId dest, Payload payload,
                                        TraceId trace) {
   assert(p < graph_.size() && destSlot_[dest] != kNoSlot);
   outbox_[p].push_back({dest, payload, trace});
+  notifyExternalMutation();
 }
 
 std::size_t SsmfpProtocol::occupiedBufferCount() const {

@@ -128,6 +128,7 @@ class SsmfpProtocol final : public Protocol {
   SsmfpProtocol(const Graph& graph, const RoutingProvider& routing,
                 std::vector<NodeId> destinations = {},
                 ChoicePolicy policy = ChoicePolicy::kRoundRobin);
+  ~SsmfpProtocol() override;
 
   [[nodiscard]] ChoicePolicy choicePolicy() const { return policy_; }
 
@@ -135,12 +136,14 @@ class SsmfpProtocol final : public Protocol {
   [[nodiscard]] std::string_view name() const override { return "ssmfp"; }
   void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
   void stage(NodeId p, const Action& a) override;
-  void commit() override;
+  void commit(std::vector<NodeId>& written) override;
 
   // -- Application interface (request_p / nextMessage_p) -----------------
   /// Queues a message at src's higher layer; it is "waiting" until R1
   /// accepts it (request_p semantics; the wait is blocking, so queue order
   /// is preserved). Returns the unique trace id used by the SP checker.
+  /// Out-of-band mutation: notifies the attached engine's enabled cache
+  /// (as do all injection/restoration entry points below).
   TraceId send(NodeId src, NodeId dest, Payload payload);
 
   /// request_p of the paper: true iff src's higher layer has a waiting

@@ -106,8 +106,8 @@ class PolicySweep : public ::testing::TestWithParam<PolicyParam> {};
 
 TEST_P(PolicySweep, CorruptedStartSatisfiesSp) {
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kRandomConnected;
-  cfg.n = 8;
+  cfg.topo.kind = TopologyKind::kRandomConnected;
+  cfg.topo.n = 8;
   cfg.seed = GetParam().seed;
   cfg.daemon = DaemonKind::kDistributedRandom;
   cfg.messageCount = 20;
@@ -147,8 +147,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ChoicePolicyFairness, FixedPriorityStretchesServiceOfHighIds) {
   auto maxWaitFor = [](ChoicePolicy policy) {
     ExperimentConfig cfg;
-    cfg.topology = TopologyKind::kStar;
-    cfg.n = 6;
+    cfg.topo.kind = TopologyKind::kStar;
+    cfg.topo.n = 6;
     cfg.seed = 9;
     cfg.daemon = DaemonKind::kCentralRoundRobin;
     cfg.traffic = TrafficKind::kAllToOne;

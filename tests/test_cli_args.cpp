@@ -15,7 +15,7 @@ TEST(CliArgs, DefaultsWhenNoFlags) {
   const auto result = parse({});
   ASSERT_TRUE(result.options.has_value());
   const auto& o = *result.options;
-  EXPECT_EQ(o.config.topology, TopologyKind::kRing);
+  EXPECT_EQ(o.config.topo.kind, TopologyKind::kRing);
   EXPECT_EQ(o.protocol, ProtocolChoice::kSsmfp);
   EXPECT_EQ(o.format, OutputFormat::kText);
   EXPECT_FALSE(o.showHelp);
@@ -24,9 +24,9 @@ TEST(CliArgs, DefaultsWhenNoFlags) {
 TEST(CliArgs, ParsesTopologyAndSize) {
   const auto result = parse({"--topology=grid", "--rows=4", "--cols=5"});
   ASSERT_TRUE(result.options.has_value());
-  EXPECT_EQ(result.options->config.topology, TopologyKind::kGrid);
-  EXPECT_EQ(result.options->config.rows, 4u);
-  EXPECT_EQ(result.options->config.cols, 5u);
+  EXPECT_EQ(result.options->config.topo.kind, TopologyKind::kGrid);
+  EXPECT_EQ(result.options->config.topo.rows, 4u);
+  EXPECT_EQ(result.options->config.topo.cols, 5u);
 }
 
 TEST(CliArgs, ParsesDaemonTrafficPolicyProtocol) {
@@ -56,7 +56,7 @@ TEST(CliArgs, ParsesNumericFlags) {
   EXPECT_EQ(result.options->config.messageCount, 44u);
   EXPECT_EQ(result.options->config.maxSteps, 1000u);
   EXPECT_EQ(result.options->config.payloadSpace, 3u);
-  EXPECT_EQ(result.options->config.n, 17u);
+  EXPECT_EQ(result.options->config.topo.n, 17u);
 }
 
 TEST(CliArgs, HelpAndCsvAndInvariants) {

@@ -25,8 +25,8 @@ class TempFile {
 
 CliOptions corruptedOptions() {
   CliOptions options;
-  options.config.topology = TopologyKind::kRing;
-  options.config.n = 6;
+  options.config.topo.kind = TopologyKind::kRing;
+  options.config.topo.n = 6;
   options.config.seed = 11;
   options.config.messageCount = 8;
   options.config.corruption.routingFraction = 1.0;

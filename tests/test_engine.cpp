@@ -25,9 +25,18 @@ class CountdownProtocol final : public Protocol {
 
   void stage(NodeId p, const Action&) override { staged_.push_back(p); }
 
-  void commit() override {
-    for (const NodeId p : staged_) --tokens_[p];
+  void commit(std::vector<NodeId>& written) override {
+    for (const NodeId p : staged_) {
+      --tokens_[p];
+      written.push_back(p);
+    }
     staged_.clear();
+  }
+
+  /// Out-of-band mutator (models an application submit): re-arms p.
+  void addToken(NodeId p) {
+    ++tokens_[p];
+    notifyExternalMutation();
   }
 
   [[nodiscard]] int tokens(NodeId p) const { return tokens_[p]; }
@@ -60,10 +69,14 @@ class RotateProtocol final : public Protocol {
     staged_.push_back({p, values_[right]});  // read of pre-step state
   }
 
-  void commit() override {
+  void commit(std::vector<NodeId>& written) override {
     for (const auto& [p, v] : staged_) values_[p] = v;
     staged_.clear();
     --remaining_;
+    // remaining_ is a GLOBAL guard input (every guard reads it), so this
+    // protocol's write set is all of I - the contract's escape hatch for
+    // non-local guards.
+    for (NodeId p = 0; p < graph_.size(); ++p) written.push_back(p);
   }
 
   [[nodiscard]] const std::vector<int>& values() const { return values_; }
@@ -100,8 +113,11 @@ class SinkProtocol final : public Protocol {
   }
 
   void stage(NodeId p, const Action&) override { staged_.push_back(p); }
-  void commit() override {
-    for (const NodeId p : staged_) x_[p] = 0;
+  void commit(std::vector<NodeId>& written) override {
+    for (const NodeId p : staged_) {
+      x_[p] = 0;
+      written.push_back(p);
+    }
     staged_.clear();
   }
 
@@ -272,6 +288,118 @@ TEST(Engine, LastEnabledExposesEntries) {
   ASSERT_EQ(enabled.size(), 2u);
   EXPECT_EQ(enabled[0].p, 0u);
   EXPECT_EQ(enabled[1].p, 2u);
+}
+
+TEST(Engine, IsTerminalThenStepSweepsOnce) {
+  // Historical bug: isTerminal() and the step() that follows each swept the
+  // whole configuration. The enabled set is now cached between the two.
+  const Graph g = topo::path(3);
+  CountdownProtocol proto({1, 1, 1});
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon, nullptr, ScanMode::kFull);
+  ASSERT_FALSE(engine.isTerminal());
+  ASSERT_TRUE(engine.step());
+  EXPECT_EQ(engine.scanStats().fullScans, 1u);
+  EXPECT_EQ(engine.scanStats().cachedScans, 1u);  // step() reused the sweep
+}
+
+TEST(Engine, IncrementalSavesGuardEvalsAndMatchesFull) {
+  // Sparse activity on a large ring: only N[W] of the few active
+  // processors should be re-evaluated per step.
+  const std::size_t n = 256;
+  std::vector<int> tokens(n, 0);
+  tokens[7] = 3;
+  tokens[101] = 5;
+  const Graph g = topo::ring(n);
+
+  CountdownProtocol fullProto(tokens);
+  SynchronousDaemon d1;
+  Engine full(g, {&fullProto}, d1, nullptr, ScanMode::kFull);
+  const auto fullSteps = full.run(1000);
+
+  CountdownProtocol incProto(tokens);
+  SynchronousDaemon d2;
+  Engine inc(g, {&incProto}, d2, nullptr, ScanMode::kIncremental);
+  const auto incSteps = inc.run(1000);
+
+  EXPECT_EQ(fullSteps, incSteps);
+  EXPECT_EQ(full.roundCount(), inc.roundCount());
+  EXPECT_EQ(incProto.total(), 0);
+  EXPECT_EQ(inc.scanStats().fullScans, 1u);  // only the initial sweep
+  EXPECT_GT(inc.scanStats().incrementalScans, 0u);
+  EXPECT_GT(inc.scanStats().guardEvalsSaved, 0u);
+  EXPECT_LT(inc.scanStats().guardEvals, full.scanStats().guardEvals);
+  // Dirty sets: closed neighborhoods of <= 2 written processors on a ring.
+  EXPECT_LE(inc.scanStats().avgDirtySize(), 6.0);
+}
+
+TEST(Engine, IncrementalMatchesFullWithNeutralization) {
+  // SinkProtocol has cross-processor guards (p enabled via neighbor's
+  // token), exercising the dirty-neighborhood expansion.
+  const std::size_t n = 80;
+  std::vector<int> x(n, 0);
+  x[0] = 1;
+  x[40] = 1;
+  x[41] = 1;
+  const Graph g = topo::ring(n);
+
+  SinkProtocol fullProto(g, x);
+  CentralRoundRobinDaemon d1;
+  Engine full(g, {&fullProto}, d1, nullptr, ScanMode::kFull);
+  full.run(1000);
+
+  SinkProtocol incProto(g, x);
+  CentralRoundRobinDaemon d2;
+  Engine inc(g, {&incProto}, d2, nullptr, ScanMode::kIncremental);
+  inc.run(1000);
+
+  EXPECT_EQ(full.stepCount(), inc.stepCount());
+  EXPECT_EQ(full.roundCount(), inc.roundCount());
+  EXPECT_EQ(full.actionCount(), inc.actionCount());
+}
+
+TEST(Engine, ExternalMutationInvalidatesCache) {
+  const Graph g = topo::ring(8);
+  CountdownProtocol proto({1, 0, 0, 0, 0, 0, 0, 0});
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon, nullptr, ScanMode::kIncremental);
+  engine.run(100);
+  ASSERT_TRUE(engine.isTerminal());
+  const auto fullScansBefore = engine.scanStats().fullScans;
+
+  proto.addToken(5);  // out-of-band: processor 5 becomes enabled
+  EXPECT_FALSE(engine.isTerminal());
+  ASSERT_TRUE(engine.step());
+  EXPECT_EQ(proto.tokens(5), 0);
+  EXPECT_TRUE(engine.isTerminal());
+  // The mutation forced a fresh full sweep (cache was dropped).
+  EXPECT_GT(engine.scanStats().fullScans, fullScansBefore);
+}
+
+TEST(Engine, RotationIdenticalAcrossScanModes) {
+  // RotateProtocol's guard reads a global counter; its commit() reports
+  // every processor as written, which must keep incremental mode exact.
+  const Graph g = topo::ring(5);
+  RotateProtocol fullProto(g, {10, 20, 30, 40, 50}, 3);
+  SynchronousDaemon d1;
+  Engine full(g, {&fullProto}, d1, nullptr, ScanMode::kFull);
+  full.run(10);
+
+  RotateProtocol incProto(g, {10, 20, 30, 40, 50}, 3);
+  SynchronousDaemon d2;
+  Engine inc(g, {&incProto}, d2, nullptr, ScanMode::kIncremental);
+  inc.run(10);
+
+  EXPECT_EQ(fullProto.values(), incProto.values());
+  EXPECT_EQ(full.stepCount(), inc.stepCount());
+}
+
+TEST(Engine, DefaultScanModeOverrideRoundTrips) {
+  Engine::setDefaultScanMode(ScanMode::kFull);
+  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kFull);
+  Engine::setDefaultScanMode(ScanMode::kIncremental);
+  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kIncremental);
+  Engine::setDefaultScanMode(std::nullopt);  // back to env / built-in
 }
 
 TEST(ThreadPoolTest, ParallelForCoversAllChunks) {

@@ -38,12 +38,12 @@ std::string paramName(const ::testing::TestParamInfo<SweepParam>& paramInfo) {
 
 ExperimentConfig configFor(const SweepParam& p) {
   ExperimentConfig cfg;
-  cfg.topology = p.topology;
-  cfg.n = 8;
-  cfg.rows = 3;
-  cfg.cols = 3;
-  cfg.dims = 3;
-  cfg.extraEdges = 4;
+  cfg.topo.kind = p.topology;
+  cfg.topo.n = 8;
+  cfg.topo.rows = 3;
+  cfg.topo.cols = 3;
+  cfg.topo.dims = 3;
+  cfg.topo.extraEdges = 4;
   cfg.daemon = p.daemon;
   cfg.seed = p.seed;
   cfg.traffic = TrafficKind::kUniform;
@@ -118,8 +118,8 @@ class SsmfpAdversarialClean : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SsmfpAdversarialClean, CleanStartSatisfiesSp) {
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kRandomConnected;
-  cfg.n = 8;
+  cfg.topo.kind = TopologyKind::kRandomConnected;
+  cfg.topo.n = 8;
   cfg.daemon = DaemonKind::kAdversarial;
   cfg.seed = GetParam();
   cfg.messageCount = 16;
@@ -138,9 +138,9 @@ class SsmfpTrafficSweep : public ::testing::TestWithParam<TrafficKind> {};
 
 TEST_P(SsmfpTrafficSweep, AllPatternsSatisfySp) {
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kTorus;
-  cfg.rows = 3;
-  cfg.cols = 3;
+  cfg.topo.kind = TopologyKind::kTorus;
+  cfg.topo.rows = 3;
+  cfg.topo.cols = 3;
   cfg.daemon = DaemonKind::kDistributedRandom;
   cfg.seed = 11;
   cfg.traffic = GetParam();
@@ -173,8 +173,8 @@ INSTANTIATE_TEST_SUITE_P(Patterns, SsmfpTrafficSweep,
 // Determinism: the whole stack is seed-reproducible.
 TEST(SsmfpDeterminism, SameSeedSameOutcome) {
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kRandomConnected;
-  cfg.n = 10;
+  cfg.topo.kind = TopologyKind::kRandomConnected;
+  cfg.topo.n = 10;
   cfg.daemon = DaemonKind::kDistributedRandom;
   cfg.seed = 99;
   cfg.messageCount = 30;
@@ -191,8 +191,8 @@ TEST(SsmfpDeterminism, SameSeedSameOutcome) {
 
 TEST(SsmfpDeterminism, DifferentSeedsDiffer) {
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kRandomConnected;
-  cfg.n = 10;
+  cfg.topo.kind = TopologyKind::kRandomConnected;
+  cfg.topo.n = 10;
   cfg.daemon = DaemonKind::kDistributedRandom;
   cfg.messageCount = 30;
   cfg.corruption.routingFraction = 1.0;

@@ -46,10 +46,10 @@ TEST_P(Prop4Sweep, InvalidDeliveriesToDestinationAtMost2N) {
   // buffers), run to quiescence, count deliveries of invalid messages.
   const auto param = GetParam();
   ExperimentConfig cfg;
-  cfg.topology = param.topology;
-  cfg.n = 8;
-  cfg.rows = 3;
-  cfg.cols = 3;
+  cfg.topo.kind = param.topology;
+  cfg.topo.n = 8;
+  cfg.topo.rows = 3;
+  cfg.topo.cols = 3;
   cfg.seed = param.seed;
   cfg.daemon = DaemonKind::kDistributedRandom;
   cfg.traffic = TrafficKind::kNone;
@@ -87,8 +87,8 @@ TEST(Prop4, BoundIsTightOnPinnedSeed) {
   // The 2n bound is not slack: on this pinned configuration every one of
   // the 2n garbage messages in the d=0 component reaches the destination.
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kPath;
-  cfg.n = 8;
+  cfg.topo.kind = TopologyKind::kPath;
+  cfg.topo.n = 8;
   cfg.seed = 1;
   cfg.daemon = DaemonKind::kDistributedRandom;
   cfg.traffic = TrafficKind::kNone;
@@ -105,8 +105,8 @@ TEST(Prop4, GarbageOnlyRunsDrainCompletely) {
   // After all invalid messages are delivered or erased, every buffer is
   // empty and the system is silent (the routing layer converged, too).
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kRing;
-  cfg.n = 6;
+  cfg.topo.kind = TopologyKind::kRing;
+  cfg.topo.n = 6;
   cfg.seed = 3;
   cfg.daemon = DaemonKind::kCentralRandom;
   cfg.traffic = TrafficKind::kNone;
@@ -133,10 +133,10 @@ class Prop5Sweep : public ::testing::TestWithParam<LatencyParam> {};
 TEST_P(Prop5Sweep, DeliveryWithinBound) {
   const auto param = GetParam();
   ExperimentConfig cfg;
-  cfg.topology = param.topology;
-  cfg.n = param.n;
-  cfg.rows = 3;
-  cfg.cols = 3;
+  cfg.topo.kind = param.topology;
+  cfg.topo.n = param.n;
+  cfg.topo.rows = 3;
+  cfg.topo.cols = 3;
   cfg.seed = param.seed;
   cfg.daemon = DaemonKind::kDistributedRandom;
   cfg.traffic = TrafficKind::kAntipodal;  // long paths
@@ -181,8 +181,8 @@ TEST(Prop6, WaitingTimeBetweenEmissionsBounded) {
   // Prop. 5 because each generation waits for bufR to free and for at most
   // Delta - 1 queue passes.
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kPath;
-  cfg.n = 6;
+  cfg.topo.kind = TopologyKind::kPath;
+  cfg.topo.n = 6;
   cfg.seed = 4;
   cfg.daemon = DaemonKind::kDistributedRandom;
   cfg.traffic = TrafficKind::kAllToOne;
@@ -208,8 +208,8 @@ TEST(Prop6, EveryRequestIsEventuallyGenerated) {
   // The first property of SP: any message can be generated in finite time,
   // even under heavy contention for the same reception buffer.
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kStar;
-  cfg.n = 7;
+  cfg.topo.kind = TopologyKind::kStar;
+  cfg.topo.n = 7;
   cfg.seed = 5;
   cfg.daemon = DaemonKind::kCentralRandom;
   cfg.traffic = TrafficKind::kAllToOne;
@@ -233,8 +233,8 @@ TEST(Prop7, AmortizedRoundsPerDeliveryWithin3D) {
   // at least one delivery occurs every 3D rounds, so rounds/deliveries is
   // at most ~3D once stabilization (R_A) has been amortized away.
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kRing;
-  cfg.n = 8;  // D = 4
+  cfg.topo.kind = TopologyKind::kRing;
+  cfg.topo.n = 8;  // D = 4
   cfg.seed = 6;
   cfg.daemon = DaemonKind::kSynchronous;  // rounds == steps: sharpest count
   cfg.traffic = TrafficKind::kAllToOne;
@@ -253,8 +253,8 @@ TEST(Prop7, AmortizedIncludesStabilizationOnceOnly) {
   // With corrupted tables, R_A is paid once; over many deliveries the
   // amortized cost returns to O(D).
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kRing;
-  cfg.n = 8;
+  cfg.topo.kind = TopologyKind::kRing;
+  cfg.topo.n = 8;
   cfg.seed = 7;
   cfg.daemon = DaemonKind::kSynchronous;
   cfg.traffic = TrafficKind::kAllToOne;

@@ -1,0 +1,242 @@
+// Differential pinning of ScanMode::kIncremental against ScanMode::kFull:
+// the incremental dirty-neighborhood scheduler is a pure optimization, so
+// every observable - enabled sets, daemon choices, execution traces,
+// experiment results, sweep JSONL bytes - must be identical across modes.
+// Only the ScanStats accounting may differ (and must, or the incremental
+// path is not actually engaged).
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "faults/corruptor.hpp"
+#include "sim/experiment_json.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep_matrix.hpp"
+#include "sim/trace.hpp"
+
+namespace snapfwd {
+namespace {
+
+/// Forces the process-wide default scan mode for one scope.
+class ScanModeGuard {
+ public:
+  explicit ScanModeGuard(ScanMode mode) { Engine::setDefaultScanMode(mode); }
+  ~ScanModeGuard() { Engine::setDefaultScanMode(std::nullopt); }
+};
+
+SweepMatrix differentialMatrix() {
+  SweepMatrix matrix;
+  matrix.base.traffic = TrafficKind::kUniform;
+  matrix.base.messageCount = 10;
+  matrix.base.seed = 1;
+  matrix.topologies = {TopologySpec::ring(8), TopologySpec::grid(3, 3),
+                       TopologySpec::randomConnected(9, 5)};
+  matrix.daemons = {DaemonKind::kSynchronous, DaemonKind::kCentralRoundRobin,
+                    DaemonKind::kDistributedRandom};
+  CorruptionPlan corrupted;
+  corrupted.routingFraction = 0.7;
+  corrupted.invalidMessages = 3;
+  corrupted.scrambleQueues = true;
+  matrix.corruptions = {{"clean", {}}, {"corrupted", corrupted}};
+  matrix.options.firstSeed = 1;
+  matrix.options.seedCount = 3;
+  matrix.options.threads = 1;
+  return matrix;
+}
+
+std::string matrixJsonl(const SweepMatrixResult& result, const SweepMatrix& matrix) {
+  RunManifest manifest;
+  manifest.experiment = "scan-mode-differential";
+  manifest.firstSeed = matrix.options.firstSeed;
+  manifest.seedCount = matrix.options.seedCount;
+  manifest.threads = matrix.options.threads;
+  std::ostringstream out;
+  writeMatrixJsonl(out, manifest, matrix.base, result);
+  return out.str();
+}
+
+TEST(ScanModes, SweepMatrixResultsAndJsonlAreByteIdentical) {
+  const SweepMatrix matrix = differentialMatrix();
+
+  SweepMatrixResult full;
+  SweepMatrixResult incremental;
+  {
+    ScanModeGuard guard(ScanMode::kFull);
+    full = runSweepMatrix(matrix);
+  }
+  {
+    ScanModeGuard guard(ScanMode::kIncremental);
+    incremental = runSweepMatrix(matrix);
+  }
+
+  ASSERT_EQ(full.cells.size(), incremental.cells.size());
+  for (std::size_t i = 0; i < full.cells.size(); ++i) {
+    EXPECT_TRUE(full.cells[i].result == incremental.cells[i].result)
+        << "cell " << full.cells[i].label() << " diverged between scan modes";
+    // The incremental path must actually have run (not silently fallen
+    // back to full sweeps): every run that stepped at all saved work.
+    for (const ExperimentResult& run : incremental.cells[i].result.runs) {
+      EXPECT_EQ(run.scanMode, ScanMode::kIncremental);
+      if (run.steps > 1) {
+        EXPECT_GT(run.scan.incrementalScans, 0u)
+            << "cell " << full.cells[i].label();
+        EXPECT_GT(run.scan.guardEvalsSaved, 0u);
+      }
+    }
+    for (const ExperimentResult& run : full.cells[i].result.runs) {
+      EXPECT_EQ(run.scanMode, ScanMode::kFull);
+      EXPECT_EQ(run.scan.incrementalScans, 0u);
+    }
+  }
+
+  // Default JSONL omits scan stats, so the streams must match byte for
+  // byte (archived sweeps stay comparable whatever mode produced them).
+  EXPECT_EQ(matrixJsonl(full, matrix), matrixJsonl(incremental, matrix));
+}
+
+/// Runs one traced SSMFP execution with mid-run fault injection under the
+/// given mode; returns the rendered trace plus final counters.
+struct TracedRun {
+  std::string trace;
+  std::uint64_t steps = 0;
+  std::uint64_t rounds = 0;
+  bool terminal = false;
+  ScanStats scan;
+};
+
+TracedRun runTracedWithMidRunFaults(ScanMode mode) {
+  ScanModeGuard guard(mode);
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::randomConnected(9, 4);
+  cfg.seed = 7;
+  cfg.messageCount = 8;
+  cfg.corruption.routingFraction = 0.5;
+  cfg.corruption.invalidMessages = 2;
+
+  SsmfpStack stack = buildSsmfpStack(cfg);
+  auto daemon = makeDaemon(DaemonKind::kDistributedRandom, 0.5, stack.rng);
+  Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+                *daemon);
+  stack.forwarding->attachEngine(&engine);
+  ExecutionTracer tracer(engine, 0);
+
+  // Mid-run out-of-band mutation: corruption bursts + fresh traffic from a
+  // post-step hook, exercising the invalidation path while the incremental
+  // cache is hot.
+  Rng faultRng(999);
+  Rng trafficRng(555);
+  engine.setPostStepHook([&](Engine& e) {
+    if (e.stepCount() == 20 || e.stepCount() == 45) {
+      CorruptionPlan burst;
+      burst.routingFraction = 0.6;
+      burst.invalidMessages = 1;
+      applyCorruption(burst, *stack.routing, *stack.forwarding, faultRng);
+      submitAll(*stack.forwarding,
+                uniformTraffic(stack.graph->size(), 2, trafficRng, 4));
+    }
+  });
+
+  engine.run(500'000);
+
+  TracedRun out;
+  out.trace = tracer.render();
+  out.steps = engine.stepCount();
+  out.rounds = engine.roundCount();
+  out.terminal = engine.isTerminal();
+  out.scan = engine.scanStats();
+  return out;
+}
+
+TEST(ScanModes, MidRunCorruptionTracesAreIdentical) {
+  const TracedRun full = runTracedWithMidRunFaults(ScanMode::kFull);
+  const TracedRun incremental = runTracedWithMidRunFaults(ScanMode::kIncremental);
+
+  EXPECT_TRUE(full.terminal);
+  EXPECT_TRUE(incremental.terminal);
+  EXPECT_EQ(full.steps, incremental.steps);
+  EXPECT_EQ(full.rounds, incremental.rounds);
+  EXPECT_EQ(full.trace, incremental.trace);
+
+  // The two corruption bursts forced (at least) two extra full sweeps on
+  // top of the initial one; everything between ran incrementally.
+  EXPECT_GE(incremental.scan.fullScans, 3u);
+  EXPECT_GT(incremental.scan.incrementalScans, 0u);
+  EXPECT_LT(incremental.scan.guardEvals, full.scan.guardEvals);
+}
+
+TEST(ScanModes, ParallelDirtySetEvaluationMatchesSerial) {
+  // Large enough that the engine's parallel incremental path (dirty set
+  // >= 64) engages when a pool is present.
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::randomConnected(96, 40);
+  cfg.seed = 3;
+  cfg.messageCount = 64;
+  cfg.corruption.routingFraction = 0.4;
+
+  auto runWith = [&](ThreadPool* pool) {
+    ScanModeGuard guard(ScanMode::kIncremental);
+    SsmfpStack stack = buildSsmfpStack(cfg);
+    auto daemon = makeDaemon(DaemonKind::kSynchronous, 0.5, stack.rng);
+    Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+                  *daemon, pool);
+    stack.forwarding->attachEngine(&engine);
+    ExecutionTracer tracer(engine, 0);
+    engine.run(200'000);
+    return tracer.render();
+  };
+
+  ThreadPool pool(4);
+  EXPECT_EQ(runWith(nullptr), runWith(&pool));
+}
+
+TEST(ScanModes, EmittedScanStatsRoundTripThroughJson) {
+  ExperimentResult result;
+  result.steps = 10;
+  result.scanMode = ScanMode::kIncremental;
+  result.scan.fullScans = 2;
+  result.scan.incrementalScans = 9;
+  result.scan.cachedScans = 10;
+  result.scan.guardEvals = 123;
+  result.scan.guardEvalsSaved = 456;
+
+  setEmitScanStats(true);
+  const std::string emitted = toJson(result).str();
+  setEmitScanStats(false);
+  EXPECT_NE(emitted.find("\"scanMode\":\"incremental\""), std::string::npos);
+
+  const auto value = jsonl::parse(emitted);
+  ASSERT_TRUE(value.has_value());
+  const ExperimentResult parsed = experimentResultFromJson(*value);
+  EXPECT_EQ(parsed.scanMode, ScanMode::kIncremental);
+  EXPECT_EQ(parsed.scan.fullScans, 2u);
+  EXPECT_EQ(parsed.scan.incrementalScans, 9u);
+  EXPECT_EQ(parsed.scan.cachedScans, 10u);
+  EXPECT_EQ(parsed.scan.guardEvals, 123u);
+  EXPECT_EQ(parsed.scan.guardEvalsSaved, 456u);
+
+  // Default emission omits the block entirely.
+  const std::string silent = toJson(result).str();
+  EXPECT_EQ(silent.find("scanMode"), std::string::npos);
+  EXPECT_EQ(silent.find("\"scan\""), std::string::npos);
+}
+
+TEST(ScanModes, EnvVariableSelectsDefaultMode) {
+  Engine::setDefaultScanMode(std::nullopt);
+  ASSERT_EQ(setenv("SNAPFWD_SCAN_MODE", "full", 1), 0);
+  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kFull);
+  ASSERT_EQ(setenv("SNAPFWD_SCAN_MODE", "incremental", 1), 0);
+  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kIncremental);
+  ASSERT_EQ(setenv("SNAPFWD_SCAN_MODE", "bogus", 1), 0);
+  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kIncremental);  // fallback
+  // The explicit override outranks the environment.
+  ASSERT_EQ(setenv("SNAPFWD_SCAN_MODE", "incremental", 1), 0);
+  Engine::setDefaultScanMode(ScanMode::kFull);
+  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kFull);
+  Engine::setDefaultScanMode(std::nullopt);
+  unsetenv("SNAPFWD_SCAN_MODE");
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -49,67 +49,54 @@ TEST(TopologySpec, FactoriesSetOnlyRelevantParameters) {
   EXPECT_EQ(TopologySpec::figure3().label(), "figure3");
 }
 
-TEST(TopologySpec, DeprecatedFlatShimAliasesTopoFields) {
-  ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kGrid;  // writes through the shim...
-  cfg.rows = 4;
-  cfg.cols = 7;
-  EXPECT_EQ(cfg.topo.kind, TopologyKind::kGrid);  // ...lands in topo
-  EXPECT_EQ(cfg.topo.rows, 4u);
-  EXPECT_EQ(cfg.topo.cols, 7u);
-
-  cfg.topo = TopologySpec::hypercube(5);  // and the reverse direction
-  EXPECT_EQ(cfg.topology, TopologyKind::kHypercube);
-  EXPECT_EQ(cfg.dims, 5u);
-}
-
-TEST(TopologySpec, ConfigCopiesRebindShimToOwnTopo) {
+TEST(TopologySpec, ConfigHasPlainValueSemantics) {
+  // ExperimentConfig used to carry reference-member aliases into `topo`
+  // (the PR-1 migration shim) with hand-written copy operations; it is a
+  // plain value type again - copies must be fully independent.
   ExperimentConfig a;
   a.topo = TopologySpec::ring(6);
   ExperimentConfig b = a;
-  b.n = 99;  // must mutate b.topo, not a.topo
+  b.topo.n = 99;  // must mutate b.topo, not a.topo
   EXPECT_EQ(a.topo.n, 6u);
   EXPECT_EQ(b.topo.n, 99u);
 
   ExperimentConfig c;
   c = b;
-  c.topology = TopologyKind::kStar;
+  c.topo.kind = TopologyKind::kStar;
   EXPECT_EQ(b.topo.kind, TopologyKind::kRing);
   EXPECT_EQ(c.topo.kind, TopologyKind::kStar);
   EXPECT_TRUE(c.topo == TopologySpec::star(99));
 }
 
-TEST(TopologySpec, ShimAndSpecConfiguredRunsAreIdentical) {
-  ExperimentConfig flat;
-  flat.topology = TopologyKind::kGrid;
-  flat.rows = 3;
-  flat.cols = 3;
-  flat.seed = 11;
-  flat.messageCount = 8;
+TEST(TopologySpec, EqualConfigsRunIdentically) {
+  ExperimentConfig lhs;
+  lhs.topo = TopologySpec::grid(3, 3);
+  lhs.seed = 11;
+  lhs.messageCount = 8;
 
-  ExperimentConfig spec;
-  spec.topo = TopologySpec::grid(3, 3);
-  spec.seed = 11;
-  spec.messageCount = 8;
+  ExperimentConfig rhs;
+  rhs.topo = TopologySpec::grid(3, 3);
+  rhs.seed = 11;
+  rhs.messageCount = 8;
 
-  EXPECT_TRUE(flat == spec);
-  EXPECT_TRUE(runSsmfpExperiment(flat) == runSsmfpExperiment(spec));
+  EXPECT_TRUE(lhs == rhs);
+  EXPECT_TRUE(runSsmfpExperiment(lhs) == runSsmfpExperiment(rhs));
 }
 
 TEST(RunnerFactories, BuildTopologyHonorsKind) {
   ExperimentConfig cfg;
   Rng rng(1);
-  cfg.topology = TopologyKind::kStar;
-  cfg.n = 9;
+  cfg.topo.kind = TopologyKind::kStar;
+  cfg.topo.n = 9;
   EXPECT_EQ(buildTopology(cfg, rng).maxDegree(), 8u);
-  cfg.topology = TopologyKind::kGrid;
-  cfg.rows = 2;
-  cfg.cols = 5;
+  cfg.topo.kind = TopologyKind::kGrid;
+  cfg.topo.rows = 2;
+  cfg.topo.cols = 5;
   EXPECT_EQ(buildTopology(cfg, rng).size(), 10u);
-  cfg.topology = TopologyKind::kHypercube;
-  cfg.dims = 4;
+  cfg.topo.kind = TopologyKind::kHypercube;
+  cfg.topo.dims = 4;
   EXPECT_EQ(buildTopology(cfg, rng).size(), 16u);
-  cfg.topology = TopologyKind::kFigure3;
+  cfg.topo.kind = TopologyKind::kFigure3;
   EXPECT_EQ(buildTopology(cfg, rng).size(), 4u);
 }
 
@@ -134,8 +121,8 @@ TEST(RunnerFactories, MakeTrafficHonorsKind) {
 
 TEST(Runner, SsmfpExperimentPopulatesGraphMetrics) {
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kRing;
-  cfg.n = 6;
+  cfg.topo.kind = TopologyKind::kRing;
+  cfg.topo.n = 6;
   cfg.messageCount = 4;
   const ExperimentResult r = runSsmfpExperiment(cfg);
   EXPECT_EQ(r.graphN, 6u);
@@ -148,8 +135,8 @@ TEST(Runner, SsmfpExperimentPopulatesGraphMetrics) {
 
 TEST(Runner, CleanStartHasNoRoutingWork) {
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kPath;
-  cfg.n = 5;
+  cfg.topo.kind = TopologyKind::kPath;
+  cfg.topo.n = 5;
   cfg.messageCount = 4;
   const ExperimentResult r = runSsmfpExperiment(cfg);
   EXPECT_FALSE(r.routingCorrupted);
@@ -158,8 +145,8 @@ TEST(Runner, CleanStartHasNoRoutingWork) {
 
 TEST(Runner, CorruptedStartRecordsRoutingSilence) {
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kPath;
-  cfg.n = 6;
+  cfg.topo.kind = TopologyKind::kPath;
+  cfg.topo.n = 6;
   cfg.seed = 4;
   cfg.messageCount = 4;
   cfg.corruption.routingFraction = 1.0;
@@ -171,9 +158,9 @@ TEST(Runner, CorruptedStartRecordsRoutingSilence) {
 
 TEST(Runner, BaselineExperimentCleanSatisfiesSp) {
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kGrid;
-  cfg.rows = 3;
-  cfg.cols = 3;
+  cfg.topo.kind = TopologyKind::kGrid;
+  cfg.topo.rows = 3;
+  cfg.topo.cols = 3;
   cfg.seed = 5;
   cfg.messageCount = 12;
   const ExperimentResult r = runBaselineExperiment(cfg);
@@ -188,8 +175,8 @@ TEST(Runner, BaselineExperimentCorruptedViolatesSpSomewhere) {
   bool anyViolation = false;
   for (std::uint64_t seed = 1; seed <= 6 && !anyViolation; ++seed) {
     ExperimentConfig cfg;
-    cfg.topology = TopologyKind::kRing;
-    cfg.n = 8;
+    cfg.topo.kind = TopologyKind::kRing;
+    cfg.topo.n = 8;
     cfg.seed = seed;
     cfg.messageCount = 16;
     cfg.corruption.routingFraction = 1.0;
@@ -203,8 +190,8 @@ TEST(Runner, BaselineExperimentCorruptedViolatesSpSomewhere) {
 
 TEST(Runner, SsmfpRestrictedDestinationsStillSp) {
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kRing;
-  cfg.n = 8;
+  cfg.topo.kind = TopologyKind::kRing;
+  cfg.topo.n = 8;
   cfg.seed = 6;
   cfg.traffic = TrafficKind::kAllToOne;
   cfg.hotspot = 0;

@@ -8,8 +8,8 @@ namespace {
 
 ExperimentConfig smallConfig() {
   ExperimentConfig cfg;
-  cfg.topology = TopologyKind::kRing;
-  cfg.n = 6;
+  cfg.topo.kind = TopologyKind::kRing;
+  cfg.topo.n = 6;
   cfg.daemon = DaemonKind::kDistributedRandom;
   cfg.messageCount = 8;
   return cfg;

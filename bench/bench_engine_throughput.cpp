@@ -60,7 +60,8 @@ const char* topologyName(int kind) {
 // forwarding), moderate n, corrupted start - the dense-activity regime.
 // ---------------------------------------------------------------------------
 
-void runSteps(benchmark::State& state, ThreadPool* pool, ScanMode mode) {
+void runSteps(benchmark::State& state, ThreadPool* pool, ScanMode mode,
+              bool audit = false) {
   const int topoKind = static_cast<int>(state.range(0));
   const auto n = static_cast<std::size_t>(state.range(1));
   Rng topoRng(42);
@@ -80,6 +81,7 @@ void runSteps(benchmark::State& state, ThreadPool* pool, ScanMode mode) {
     Rng daemonRng(43);
     DistributedRandomDaemon daemon(daemonRng.fork(1), 0.5);
     Engine engine(graph, {&routing, &forwarding}, daemon, pool, mode);
+    if (audit) engine.setAuditMode(true);
     forwarding.attachEngine(&engine);
     state.ResumeTiming();
 
@@ -96,7 +98,8 @@ void runSteps(benchmark::State& state, ThreadPool* pool, ScanMode mode) {
       steps == 0 ? 0.0
                  : static_cast<double>(guardEvals) / static_cast<double>(steps);
   state.SetLabel(std::string(topologyName(topoKind)) + "/" +
-                 (mode == ScanMode::kFull ? "full" : "incremental"));
+                 (mode == ScanMode::kFull ? "full" : "incremental") +
+                 (audit ? "/audit" : ""));
 }
 
 void BM_EngineFull(benchmark::State& state) {
@@ -105,6 +108,29 @@ void BM_EngineFull(benchmark::State& state) {
 
 void BM_EngineIncremental(benchmark::State& state) {
   runSteps(state, nullptr, ScanMode::kIncremental);
+}
+
+// Audit axis: the same workloads with per-step access auditing on, pinning
+// the contract-checking overhead (audit-capable builds only; a non-capable
+// binary reports "audit-unavailable" instead of timing nothing useful).
+void BM_EngineFullAudit(benchmark::State& state) {
+  if (!kAuditCapable) {
+    for (auto _ : state) {
+    }
+    state.SetLabel("audit-unavailable");
+    return;
+  }
+  runSteps(state, nullptr, ScanMode::kFull, /*audit=*/true);
+}
+
+void BM_EngineIncrementalAudit(benchmark::State& state) {
+  if (!kAuditCapable) {
+    for (auto _ : state) {
+    }
+    state.SetLabel("audit-unavailable");
+    return;
+  }
+  runSteps(state, nullptr, ScanMode::kIncremental, /*audit=*/true);
 }
 
 void BM_EngineFullParallel(benchmark::State& state) {
@@ -125,6 +151,10 @@ void scanModeArgs(benchmark::internal::Benchmark* bench) {
 
 BENCHMARK(BM_EngineFull)->Apply(scanModeArgs)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineIncremental)->Apply(scanModeArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineFullAudit)->Args({0, 64})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineIncrementalAudit)
+    ->Args({0, 64})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineFullParallel)->Args({2, 128})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineIncrementalParallel)
     ->Args({2, 128})

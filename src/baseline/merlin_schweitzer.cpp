@@ -11,8 +11,7 @@ MerlinSchweitzerProtocol::MerlinSchweitzerProtocol(const Graph& graph,
     : graph_(graph),
       routing_(routing),
       dests_(std::move(destinations)),
-      destSlot_(graph.size(), kNoSlot),
-      outbox_(graph.size()) {
+      destSlot_(graph.size(), kNoSlot) {
   if (dests_.empty()) {
     dests_.resize(graph.size());
     for (NodeId d = 0; d < graph.size(); ++d) dests_[d] = d;
@@ -23,18 +22,24 @@ MerlinSchweitzerProtocol::MerlinSchweitzerProtocol(const Graph& graph,
     destSlot_[dests_[slot]] = static_cast<std::uint32_t>(slot);
   }
   const std::size_t cells = graph.size() * dests_.size();
+  buf_.configure(accessTrackerSlot(), dests_.size());
+  lastFlag_.configure(accessTrackerSlot(), dests_.size());
+  genBit_.configure(accessTrackerSlot(), dests_.size());
+  queue_.configure(accessTrackerSlot(), dests_.size());
+  outbox_.configure(accessTrackerSlot(), 1);
   buf_.resize(cells);
   lastFlag_.resize(cells);
+  outbox_.resize(graph.size());
   for (NodeId p = 0; p < graph.size(); ++p) {
     for (const NodeId d : dests_) {
-      lastFlag_[cell(p, d)].resize(graph.degree(p));
+      lastFlag_.write(cell(p, d)).resize(graph.degree(p));
     }
   }
   genBit_.assign(cells, 0);
   queue_.resize(cells);
   for (NodeId p = 0; p < graph.size(); ++p) {
     for (const NodeId d : dests_) {
-      auto& q = queue_[cell(p, d)];
+      auto& q = queue_.write(cell(p, d));
       q = graph.neighbors(p);
       q.push_back(p);
     }
@@ -50,35 +55,36 @@ std::uint64_t MerlinSchweitzerProtocol::nowRound() const {
 }
 
 NodeId MerlinSchweitzerProtocol::nextDestination(NodeId p) const {
-  return outbox_[p].empty() ? kNoNode : outbox_[p].front().dest;
+  const auto& box = outbox_.read(p);
+  return box.empty() ? kNoNode : box.front().dest;
 }
 
 bool MerlinSchweitzerProtocol::choiceCandidate(NodeId p, NodeId d, NodeId c) const {
   if (c == p) return request(p) && nextDestination(p) == d;
-  const auto& b = buf_[cell(c, d)];
+  const auto& b = buf_.read(cell(c, d));
   if (!b.has_value() || routing_.nextHop(c, d) != p) return false;
   // Per-link flag dedupe: do not re-accept from c the exact copy p already
   // took from c.
   const auto slot = graph_.neighborIndex(p, c);
   if (!slot.has_value()) return false;
-  const auto& last = lastFlag_[cell(p, d)][*slot];
+  const auto& last = lastFlag_.read(cell(p, d))[*slot];
   return !(last.has_value() && *last == b->flag);
 }
 
 NodeId MerlinSchweitzerProtocol::choice(NodeId p, NodeId d) const {
-  for (const NodeId c : queue_[cell(p, d)]) {
+  for (const NodeId c : queue_.read(cell(p, d))) {
     if (choiceCandidate(p, d, c)) return c;
   }
   return kNoNode;
 }
 
 bool MerlinSchweitzerProtocol::guardB1(NodeId p, NodeId d) const {
-  return request(p) && nextDestination(p) == d && !buf_[cell(p, d)].has_value() &&
-         choice(p, d) == p;
+  return request(p) && nextDestination(p) == d &&
+         !buf_.read(cell(p, d)).has_value() && choice(p, d) == p;
 }
 
 NodeId MerlinSchweitzerProtocol::guardB2(NodeId p, NodeId d) const {
-  if (buf_[cell(p, d)].has_value()) return kNoNode;
+  if (buf_.read(cell(p, d)).has_value()) return kNoNode;
   const NodeId s = choice(p, d);
   if (s == kNoNode || s == p) return kNoNode;
   return s;
@@ -86,19 +92,19 @@ NodeId MerlinSchweitzerProtocol::guardB2(NodeId p, NodeId d) const {
 
 bool MerlinSchweitzerProtocol::guardB3(NodeId p, NodeId d) const {
   if (p == d) return false;
-  const auto& b = buf_[cell(p, d)];
+  const auto& b = buf_.read(cell(p, d));
   if (!b.has_value()) return false;
   const NodeId h = routing_.nextHop(p, d);
-  const auto& hb = buf_[cell(h, d)];
+  const auto& hb = buf_.read(cell(h, d));
   if (hb.has_value() && hb->flag == b->flag) return true;
   const auto slot = graph_.neighborIndex(h, p);
   if (!slot.has_value()) return false;
-  const auto& hl = lastFlag_[cell(h, d)][*slot];
+  const auto& hl = lastFlag_.read(cell(h, d))[*slot];
   return hl.has_value() && *hl == b->flag;
 }
 
 bool MerlinSchweitzerProtocol::guardB4(NodeId p, NodeId d) const {
-  return p == d && buf_[cell(p, d)].has_value();
+  return p == d && buf_.read(cell(p, d)).has_value();
 }
 
 void MerlinSchweitzerProtocol::enumerateEnabled(NodeId p,
@@ -122,10 +128,10 @@ void MerlinSchweitzerProtocol::stage(NodeId p, const Action& a) {
   switch (a.rule) {
     case kB1Generate: {
       assert(guardB1(p, d));
-      const auto& waiting = outbox_[p].front();
+      const auto& waiting = outbox_.read(p).front();
       BaselineMessage msg;
       msg.payload = waiting.payload;
-      msg.flag = {p, genBit_[cell(p, d)]};
+      msg.flag = {p, genBit_.read(cell(p, d))};
       msg.trace = waiting.trace;
       msg.valid = true;
       msg.source = p;
@@ -143,7 +149,7 @@ void MerlinSchweitzerProtocol::stage(NodeId p, const Action& a) {
     case kB2Copy: {
       const NodeId s = static_cast<NodeId>(a.aux);
       assert(guardB2(p, d) == s);
-      const BaselineMessage msg = *buf_[cell(s, d)];
+      const BaselineMessage msg = *buf_.read(cell(s, d));
       op.writeBuf = true;
       op.newBuf = msg;
       op.writeLastFlag = true;
@@ -160,7 +166,7 @@ void MerlinSchweitzerProtocol::stage(NodeId p, const Action& a) {
     }
     case kB4Consume: {
       assert(guardB4(p, d));
-      op.delivered = *buf_[cell(p, d)];
+      op.delivered = *buf_.read(cell(p, d));
       op.writeBuf = true;
       op.newBuf = std::nullopt;
       break;
@@ -173,13 +179,14 @@ void MerlinSchweitzerProtocol::stage(NodeId p, const Action& a) {
 
 void MerlinSchweitzerProtocol::commit(std::vector<NodeId>& written) {
   for (auto& op : staged_) {
+    auditCommitOp(op.p, op.rule);
     written.push_back(op.p);  // every rule writes only p's buffers/queues
     const std::size_t idx = cell(op.p, op.d);
-    if (op.writeBuf) buf_[idx] = op.newBuf;
-    if (op.writeLastFlag) lastFlag_[idx][op.lastFlagSlot] = op.newLastFlag;
-    if (op.flipGenBit) genBit_[idx] ^= 1;
+    if (op.writeBuf) buf_.write(idx) = op.newBuf;
+    if (op.writeLastFlag) lastFlag_.write(idx)[op.lastFlagSlot] = op.newLastFlag;
+    if (op.flipGenBit) genBit_.write(idx) ^= 1;
     if (op.rotateToBack != kNoNode) {
-      auto& q = queue_[idx];
+      auto& q = queue_.write(idx);
       const auto it = std::find(q.begin(), q.end(), op.rotateToBack);
       if (it != q.end()) {
         q.erase(it);
@@ -187,8 +194,9 @@ void MerlinSchweitzerProtocol::commit(std::vector<NodeId>& written) {
       }
     }
     if (op.popOutbox) {
-      assert(!outbox_[op.p].empty());
-      outbox_[op.p].pop_front();
+      auto& box = outbox_.write(op.p);
+      assert(!box.empty());
+      box.pop_front();
     }
     if (op.generated.has_value()) {
       generations_.push_back({*op.generated, nowStep(), nowRound()});
@@ -204,20 +212,20 @@ TraceId MerlinSchweitzerProtocol::send(NodeId src, NodeId dest, Payload payload)
   assert(src < graph_.size());
   assert(dest < graph_.size() && destSlot_[dest] != kNoSlot);
   const TraceId trace = nextTrace_++;
-  outbox_[src].push_back({dest, payload, trace});
+  outbox_.write(src).push_back({dest, payload, trace});
   notifyExternalMutation();  // outbox feeds src's generation guard
   return trace;
 }
 
 std::size_t MerlinSchweitzerProtocol::occupiedBufferCount() const {
   std::size_t count = 0;
-  for (const auto& b : buf_) count += b.has_value() ? 1 : 0;
+  for (const auto& b : buf_.raw()) count += b.has_value() ? 1 : 0;
   return count;
 }
 
 bool MerlinSchweitzerProtocol::fullyDrained() const {
   if (occupiedBufferCount() != 0) return false;
-  return std::all_of(outbox_.begin(), outbox_.end(),
+  return std::all_of(outbox_.raw().begin(), outbox_.raw().end(),
                      [](const auto& box) { return box.empty(); });
 }
 
@@ -226,12 +234,12 @@ void MerlinSchweitzerProtocol::injectBuffer(NodeId p, NodeId d, BaselineMessage 
   msg.valid = false;
   msg.dest = d;
   if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
-  buf_[cell(p, d)] = msg;
+  buf_.write(cell(p, d)) = msg;
   notifyExternalMutation();
 }
 
 void MerlinSchweitzerProtocol::scrambleQueues(Rng& rng) {
-  for (auto& q : queue_) rng.shuffle(q);
+  for (auto& q : queue_.rawMutable()) rng.shuffle(q);
   notifyExternalMutation();
 }
 

@@ -100,9 +100,11 @@ class MerlinSchweitzerProtocol final : public Protocol {
 
   // -- Application interface ---------------------------------------------
   TraceId send(NodeId src, NodeId dest, Payload payload);
-  [[nodiscard]] bool request(NodeId p) const { return !outbox_[p].empty(); }
+  [[nodiscard]] bool request(NodeId p) const { return !outbox_.read(p).empty(); }
   [[nodiscard]] NodeId nextDestination(NodeId p) const;
-  [[nodiscard]] std::size_t outboxSize(NodeId p) const { return outbox_[p].size(); }
+  [[nodiscard]] std::size_t outboxSize(NodeId p) const {
+    return outbox_.read(p).size();
+  }
 
   // -- Events & state -------------------------------------------------------
   [[nodiscard]] const std::vector<BaselineGenerationRecord>& generations() const {
@@ -114,7 +116,7 @@ class MerlinSchweitzerProtocol final : public Protocol {
   void attachEngine(const Engine* engine) { engine_ = engine; }
 
   [[nodiscard]] const std::optional<BaselineMessage>& buffer(NodeId p, NodeId d) const {
-    return buf_[cell(p, d)];
+    return buf_.read(cell(p, d));
   }
   [[nodiscard]] const Graph& graph() const { return graph_; }
   [[nodiscard]] const std::vector<NodeId>& destinations() const { return dests_; }
@@ -147,19 +149,21 @@ class MerlinSchweitzerProtocol final : public Protocol {
   std::vector<NodeId> dests_;
   std::vector<std::uint32_t> destSlot_;
 
-  std::vector<std::optional<BaselineMessage>> buf_;
+  // Observable variables, one row per processor (audit-mode access
+  // recording; see core/access_tracker.hpp).
+  CheckedStore<std::optional<BaselineMessage>> buf_;
   // lastFlag_[cell(p,d)][i] = flag of the last message p accepted into
   // b_p(d) from its i-th neighbor (per-link handshake state).
-  std::vector<std::vector<std::optional<BaselineFlag>>> lastFlag_;
-  std::vector<std::uint8_t> genBit_;
-  std::vector<std::vector<NodeId>> queue_;
+  CheckedStore<std::vector<std::optional<BaselineFlag>>> lastFlag_;
+  CheckedStore<std::uint8_t> genBit_;
+  CheckedStore<std::vector<NodeId>> queue_;
 
   struct OutboxEntry {
     NodeId dest;
     Payload payload;
     TraceId trace;
   };
-  std::vector<std::deque<OutboxEntry>> outbox_;
+  CheckedStore<std::deque<OutboxEntry>> outbox_;
   TraceId nextTrace_ = 1;
 
   std::vector<BaselineGenerationRecord> generations_;

@@ -88,14 +88,18 @@ OrientationForwardingProtocol::OrientationForwardingProtocol(
     : graph_(graph),
       routing_(routing),
       scheme_(scheme),
-      k_(scheme.classCount()),
-      buf_(graph.size() * k_),
-      lastFlag_(graph.size() * k_),
-      genBit_(graph.size() * graph.size(), 0),
-      outbox_(graph.size()) {
+      k_(scheme.classCount()) {
+  buf_.configure(accessTrackerSlot(), k_);
+  lastFlag_.configure(accessTrackerSlot(), k_);
+  genBit_.configure(accessTrackerSlot(), graph.size());
+  outbox_.configure(accessTrackerSlot(), 1);
+  buf_.resize(graph.size() * k_);
+  lastFlag_.resize(graph.size() * k_);
+  genBit_.assign(graph.size() * graph.size(), 0);
+  outbox_.resize(graph.size());
   for (NodeId p = 0; p < graph.size(); ++p) {
     for (std::size_t cls = 0; cls < k_; ++cls) {
-      lastFlag_[cell(p, cls)].resize(graph.degree(p));
+      lastFlag_.write(cell(p, cls)).resize(graph.degree(p));
     }
   }
 }
@@ -110,15 +114,15 @@ std::uint64_t OrientationForwardingProtocol::nowRound() const {
 
 std::optional<std::size_t> OrientationForwardingProtocol::incomingClass(
     NodeId p, NodeId s, std::size_t cls) const {
-  const auto& b = buf_[cell(s, cls)];
+  const auto& b = buf_.read(cell(s, cls));
   if (!b.has_value() || b->dest == s) return std::nullopt;
   if (routing_.nextHop(s, b->dest) != p) return std::nullopt;
   const auto target = scheme_.classAfterHop(s, p, cls);
   if (!target.has_value()) return std::nullopt;
-  if (buf_[cell(p, *target)].has_value()) return std::nullopt;
+  if (buf_.read(cell(p, *target)).has_value()) return std::nullopt;
   const auto slot = graph_.neighborIndex(p, s);
   if (!slot.has_value()) return std::nullopt;
-  const auto& last = lastFlag_[cell(p, *target)][*slot];
+  const auto& last = lastFlag_.read(cell(p, *target))[*slot];
   if (last.has_value() && *last == b->flag) return std::nullopt;
   return target;
 }
@@ -127,9 +131,9 @@ void OrientationForwardingProtocol::enumerateEnabled(NodeId p,
                                                      std::vector<Action>& out) const {
   // O1: generate the waiting message into its initial class.
   if (request(p)) {
-    const auto& waiting = outbox_[p].front();
+    const auto& waiting = outbox_.read(p).front();
     const std::size_t c0 = scheme_.initialClass(p, waiting.dest);
-    if (!buf_[cell(p, c0)].has_value()) {
+    if (!buf_.read(cell(p, c0)).has_value()) {
       out.push_back(Action{kO1Generate, kNoNode, 0});
     }
   }
@@ -143,7 +147,7 @@ void OrientationForwardingProtocol::enumerateEnabled(NodeId p,
     }
   }
   for (std::size_t cls = 0; cls < k_; ++cls) {
-    const auto& b = buf_[cell(p, cls)];
+    const auto& b = buf_.read(cell(p, cls));
     if (!b.has_value()) continue;
     if (b->dest == p) {
       // O4: consume at the destination.
@@ -154,12 +158,12 @@ void OrientationForwardingProtocol::enumerateEnabled(NodeId p,
     const NodeId v = routing_.nextHop(p, b->dest);
     const auto target = scheme_.classAfterHop(p, v, cls);
     if (!target.has_value()) continue;  // cover mismatch: hold (tests catch)
-    const auto& vb = buf_[cell(v, *target)];
+    const auto& vb = buf_.read(cell(v, *target));
     bool acked = vb.has_value() && vb->flag == b->flag;
     if (!acked) {
       const auto slot = graph_.neighborIndex(v, p);
       if (slot.has_value()) {
-        const auto& last = lastFlag_[cell(v, *target)][*slot];
+        const auto& last = lastFlag_.read(cell(v, *target))[*slot];
         acked = last.has_value() && *last == b->flag;
       }
     }
@@ -170,17 +174,19 @@ void OrientationForwardingProtocol::enumerateEnabled(NodeId p,
 void OrientationForwardingProtocol::stage(NodeId p, const Action& a) {
   StagedOp op;
   op.p = p;
+  op.rule = a.rule;
   switch (a.rule) {
     case kO1Generate: {
       assert(request(p));
-      const auto& waiting = outbox_[p].front();
+      const auto& waiting = outbox_.read(p).front();
       const std::size_t c0 = scheme_.initialClass(p, waiting.dest);
-      assert(!buf_[cell(p, c0)].has_value());
+      assert(!buf_.read(cell(p, c0)).has_value());
       OrientMessage msg;
       msg.payload = waiting.payload;
       msg.dest = waiting.dest;
       msg.flag = {p, waiting.dest,
-                  genBit_[static_cast<std::size_t>(p) * graph_.size() + waiting.dest]};
+                  genBit_.read(static_cast<std::size_t>(p) * graph_.size() +
+                               waiting.dest)};
       msg.trace = waiting.trace;
       msg.valid = true;
       msg.source = p;
@@ -199,7 +205,7 @@ void OrientationForwardingProtocol::stage(NodeId p, const Action& a) {
       const std::size_t cls = static_cast<std::size_t>(a.aux % k_);
       const auto target = incomingClass(p, s, cls);
       assert(target.has_value());
-      const OrientMessage msg = *buf_[cell(s, cls)];
+      const OrientMessage msg = *buf_.read(cell(s, cls));
       op.cls = *target;
       op.writeBuf = true;
       op.newBuf = msg;
@@ -210,15 +216,15 @@ void OrientationForwardingProtocol::stage(NodeId p, const Action& a) {
     }
     case kO3Erase: {
       op.cls = static_cast<std::size_t>(a.aux);
-      assert(buf_[cell(p, op.cls)].has_value());
+      assert(buf_.read(cell(p, op.cls)).has_value());
       op.writeBuf = true;
       op.newBuf = std::nullopt;
       break;
     }
     case kO4Consume: {
       op.cls = static_cast<std::size_t>(a.aux);
-      assert(buf_[cell(p, op.cls)].has_value());
-      op.delivered = *buf_[cell(p, op.cls)];
+      assert(buf_.read(cell(p, op.cls)).has_value());
+      op.delivered = *buf_.read(cell(p, op.cls));
       op.writeBuf = true;
       op.newBuf = std::nullopt;
       break;
@@ -231,16 +237,19 @@ void OrientationForwardingProtocol::stage(NodeId p, const Action& a) {
 
 void OrientationForwardingProtocol::commit(std::vector<NodeId>& written) {
   for (auto& op : staged_) {
+    auditCommitOp(op.p, op.rule);
     written.push_back(op.p);  // every rule writes only p's buffers/flags
     const std::size_t idx = cell(op.p, op.cls);
-    if (op.writeBuf) buf_[idx] = op.newBuf;
-    if (op.writeLastFlag) lastFlag_[idx][op.lastFlagSlot] = op.newLastFlag;
+    if (op.writeBuf) buf_.write(idx) = op.newBuf;
+    if (op.writeLastFlag) lastFlag_.write(idx)[op.lastFlagSlot] = op.newLastFlag;
     if (op.flipGenBit && op.newBuf.has_value()) {
-      genBit_[static_cast<std::size_t>(op.p) * graph_.size() + op.newBuf->dest] ^= 1;
+      genBit_.write(static_cast<std::size_t>(op.p) * graph_.size() +
+                    op.newBuf->dest) ^= 1;
     }
     if (op.popOutbox) {
-      assert(!outbox_[op.p].empty());
-      outbox_[op.p].pop_front();
+      auto& box = outbox_.write(op.p);
+      assert(!box.empty());
+      box.pop_front();
     }
     if (op.generated.has_value()) {
       generations_.push_back({*op.generated, nowStep(), nowRound()});
@@ -256,20 +265,20 @@ TraceId OrientationForwardingProtocol::send(NodeId src, NodeId dest,
                                             Payload payload) {
   assert(src < graph_.size() && dest < graph_.size());
   const TraceId trace = nextTrace_++;
-  outbox_[src].push_back({dest, payload, trace});
+  outbox_.write(src).push_back({dest, payload, trace});
   notifyExternalMutation();  // outbox feeds src's generation guard
   return trace;
 }
 
 std::size_t OrientationForwardingProtocol::occupiedBufferCount() const {
   std::size_t count = 0;
-  for (const auto& b : buf_) count += b.has_value() ? 1 : 0;
+  for (const auto& b : buf_.raw()) count += b.has_value() ? 1 : 0;
   return count;
 }
 
 bool OrientationForwardingProtocol::fullyDrained() const {
   if (occupiedBufferCount() != 0) return false;
-  for (const auto& box : outbox_) {
+  for (const auto& box : outbox_.raw()) {
     if (!box.empty()) return false;
   }
   return true;

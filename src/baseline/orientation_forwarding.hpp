@@ -181,7 +181,7 @@ class OrientationForwardingProtocol final : public Protocol {
 
   // -- Application interface ---------------------------------------------
   TraceId send(NodeId src, NodeId dest, Payload payload);
-  [[nodiscard]] bool request(NodeId p) const { return !outbox_[p].empty(); }
+  [[nodiscard]] bool request(NodeId p) const { return !outbox_.read(p).empty(); }
 
   // -- Events & state -------------------------------------------------------
   [[nodiscard]] const std::vector<OrientGenerationRecord>& generations() const {
@@ -194,7 +194,7 @@ class OrientationForwardingProtocol final : public Protocol {
 
   [[nodiscard]] const std::optional<OrientMessage>& buffer(NodeId p,
                                                            std::size_t cls) const {
-    return buf_[cell(p, cls)];
+    return buf_.read(cell(p, cls));
   }
   [[nodiscard]] std::size_t classCount() const { return k_; }
   /// Buffers per processor - the quantity the conclusion compares.
@@ -220,17 +220,19 @@ class OrientationForwardingProtocol final : public Protocol {
   const BufferClassScheme& scheme_;
   std::size_t k_;
 
-  std::vector<std::optional<OrientMessage>> buf_;  // [p * k + cls]
+  // Observable variables, one row per processor (audit-mode access
+  // recording; see core/access_tracker.hpp).
+  CheckedStore<std::optional<OrientMessage>> buf_;  // [p * k + cls]
   // lastFlag_[cell][neighborIndex]: per-link, per-class handshake state.
-  std::vector<std::vector<std::optional<OrientFlag>>> lastFlag_;
-  std::vector<std::uint8_t> genBit_;  // per (source, dest)
+  CheckedStore<std::vector<std::optional<OrientFlag>>> lastFlag_;
+  CheckedStore<std::uint8_t> genBit_;  // per (source, dest)
 
   struct OutboxEntry {
     NodeId dest;
     Payload payload;
     TraceId trace;
   };
-  std::vector<std::deque<OutboxEntry>> outbox_;
+  CheckedStore<std::deque<OutboxEntry>> outbox_;
   TraceId nextTrace_ = 1;
 
   std::vector<OrientGenerationRecord> generations_;
@@ -239,6 +241,7 @@ class OrientationForwardingProtocol final : public Protocol {
 
   struct StagedOp {
     NodeId p = kNoNode;
+    std::uint16_t rule = 0;
     std::size_t cls = 0;
     bool writeBuf = false;
     std::optional<OrientMessage> newBuf;

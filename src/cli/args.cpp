@@ -3,6 +3,8 @@
 #include <fstream>
 #include <optional>
 
+#include "cli/audit.hpp"
+
 #include "sim/experiment_json.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/sweep.hpp"
@@ -66,6 +68,9 @@ ParseResult parseArgs(int argc, const char* const* argv) {
   if (argc > 1 && std::string(argv[1]) == "sweep") {
     options.command = Command::kSweep;
     first = 2;
+  } else if (argc > 1 && std::string(argv[1]) == "audit") {
+    options.command = Command::kAudit;
+    first = 2;
   }
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,8 +103,8 @@ ParseResult parseArgs(int argc, const char* const* argv) {
       if (!policy) return fail("unknown policy '" + value + "'");
       options.config.choicePolicy = *policy;
     } else if (key == "seeds") {
-      if (options.command != Command::kSweep) {
-        return fail("--seeds is a sweep flag (snapfwd_cli sweep ...)");
+      if (options.command == Command::kRun) {
+        return fail("--seeds is a sweep/audit flag (snapfwd_cli sweep ...)");
       }
       if (!needValue() || !parseNumber(value, options.sweepSeeds) ||
           options.sweepSeeds == 0) {
@@ -113,8 +118,8 @@ ParseResult parseArgs(int argc, const char* const* argv) {
         return fail("--threads needs an integer (0 = all hardware threads)");
       }
     } else if (key == "jsonl") {
-      if (options.command != Command::kSweep) {
-        return fail("--jsonl is a sweep flag (snapfwd_cli sweep ...)");
+      if (options.command == Command::kRun) {
+        return fail("--jsonl is a sweep/audit flag (snapfwd_cli sweep ...)");
       }
       if (!needValue()) return fail("--jsonl needs a file path (or '-')");
       options.jsonlOut = value;
@@ -212,7 +217,8 @@ std::string usage() {
   std::ostringstream out;
   out << "snapfwd_cli - run one SSMFP/baseline experiment and report SP\n\n"
       << "usage: snapfwd_cli [--flag=value ...]\n"
-      << "       snapfwd_cli sweep [--flag=value ...]   multi-seed sweep\n\n"
+      << "       snapfwd_cli sweep [--flag=value ...]   multi-seed sweep\n"
+      << "       snapfwd_cli audit [--flag=value ...]   access-audit replay\n\n"
       << "  --topology=" << enumNameList<TopologyKind>() << "\n"
       << "             (default ring)\n"
       << "  --n=<k> --rows=<k> --cols=<k> --dims=<k> --extra-edges=<k>\n"
@@ -233,6 +239,11 @@ std::string usage() {
       << "  --seeds=<k>            seeds to run (default 10)\n"
       << "  --threads=<k>          worker threads, 0 = all hardware (default)\n"
       << "  --jsonl=<file|->       write manifest + per-run + aggregate JSONL\n\n"
+      << "audit: replays the topology x daemon x corruption matrix (all\n"
+      << "protocols) with access auditing on, reporting every guard-locality,\n"
+      << "stage-purity or write-set violation. Honors --seeds and --jsonl.\n"
+      << "Exits 0 = clean, 1 = violations, 2 = binary not built with\n"
+      << "-DSNAPFWD_AUDIT=ON.\n\n"
       << "examples:\n"
       << "  snapfwd_cli --topology=random-connected --n=12 "
          "--corrupt-routing=1 \\\n"
@@ -353,6 +364,13 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       return 2;
     }
     return runSweepCommand(options, out, err);
+  }
+  if (options.command == Command::kAudit) {
+    if (tooling) {
+      err << "error: snapshot/trace/render flags do not apply to audit\n";
+      return 2;
+    }
+    return runAuditCommand(options, out, err);
   }
   if (options.protocol == ProtocolChoice::kBaseline) {
     if (tooling) {

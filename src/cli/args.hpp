@@ -18,8 +18,10 @@ enum class ProtocolChoice { kSsmfp, kBaseline };
 enum class OutputFormat { kText, kCsv };
 
 /// `snapfwd_cli [--flags]` runs one experiment; `snapfwd_cli sweep
-/// [--flags]` runs a multi-seed parallel sweep and can emit JSONL.
-enum class Command { kRun, kSweep };
+/// [--flags]` runs a multi-seed parallel sweep and can emit JSONL;
+/// `snapfwd_cli audit [--flags]` replays the experiment matrix with access
+/// auditing enabled (requires a -DSNAPFWD_AUDIT=ON build).
+enum class Command { kRun, kSweep, kAudit };
 
 struct CliOptions {
   ExperimentConfig config;
@@ -28,7 +30,7 @@ struct CliOptions {
   OutputFormat format = OutputFormat::kText;
   bool showHelp = false;
 
-  // Sweep subcommand (config.seed is the first seed of the range):
+  // Sweep/audit subcommands (config.seed is the first seed of the range):
   std::size_t sweepSeeds = 10;   // --seeds
   std::size_t sweepThreads = 0;  // --threads (0 = all hardware threads)
   std::string jsonlOut;          // --jsonl=<path> ("-" = stdout)

@@ -1,0 +1,231 @@
+#include "cli/audit.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/orientation_forwarding.hpp"
+#include "core/access_tracker.hpp"
+#include "core/daemon.hpp"
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+#include "mp/mp_ssmfp.hpp"
+#include "pif/pif.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep_matrix.hpp"
+#include "stats/jsonl.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd::cli {
+namespace {
+
+/// Forces audit-mode on for every Engine constructed while alive and
+/// restores the build-flavor default afterwards, exceptions included.
+class ScopedDefaultAudit {
+ public:
+  ScopedDefaultAudit() { Engine::setDefaultAuditMode(true); }
+  ~ScopedDefaultAudit() { Engine::setDefaultAuditMode(std::nullopt); }
+  ScopedDefaultAudit(const ScopedDefaultAudit&) = delete;
+  ScopedDefaultAudit& operator=(const ScopedDefaultAudit&) = delete;
+};
+
+/// Collects per-run outcomes; violations go to `err` immediately (and to
+/// JSONL when requested) so a failing CI log names the breach inline.
+class AuditReport {
+ public:
+  AuditReport(std::ostream& err, jsonl::Writer* writer)
+      : err_(err), writer_(writer) {}
+
+  template <typename Body>
+  void run(const std::string& label, std::uint64_t seed, Body&& body) {
+    ++runs_;
+    try {
+      body();
+    } catch (const AccessAuditError& e) {
+      ++violatingRuns_;
+      const AccessViolation& v = e.violation();
+      err_ << "audit violation [" << label << " seed=" << seed
+           << "]: " << v.describe() << "\n";
+      if (writer_ != nullptr) {
+        jsonl::Object o;
+        o.field("event", "audit-violation")
+            .field("cell", label)
+            .field("seed", seed)
+            .field("kind", toString(v.kind))
+            .field("protocol", v.protocol)
+            .field("rule", std::uint64_t{v.rule})
+            .field("actor", std::uint64_t{v.actor})
+            .field("variable-owner", std::uint64_t{v.variableOwner})
+            .field("declared-radius", std::uint64_t{v.declaredRadius})
+            .field("step", v.step);
+        writer_->write(o);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t runs() const { return runs_; }
+  [[nodiscard]] std::size_t violatingRuns() const { return violatingRuns_; }
+
+ private:
+  std::ostream& err_;
+  jsonl::Writer* writer_;
+  std::size_t runs_ = 0;
+  std::size_t violatingRuns_ = 0;
+};
+
+void auditMatrix(const CliOptions& options, AuditReport& report) {
+  const std::vector<TopologySpec> topologies = {TopologySpec::ring(8),
+                                                TopologySpec::grid(3, 3)};
+  const std::vector<DaemonKind> daemons = {DaemonKind::kSynchronous,
+                                           DaemonKind::kCentralRoundRobin,
+                                           DaemonKind::kDistributedRandom};
+  std::vector<NamedCorruption> corruptions(2);
+  corruptions[0].label = "clean";
+  corruptions[1].label = "corrupted";
+  corruptions[1].plan.routingFraction = 1.0;
+  corruptions[1].plan.invalidMessages = 8;
+  corruptions[1].plan.scrambleQueues = true;
+
+  for (const auto& topo : topologies) {
+    for (const DaemonKind daemon : daemons) {
+      for (const auto& corruption : corruptions) {
+        ExperimentConfig cfg = options.config;
+        cfg.topo = topo;
+        cfg.daemon = daemon;
+        cfg.corruption = corruption.plan;
+        const std::string cell = topo.label() + " " +
+                                 std::string(toString(daemon)) + " " +
+                                 corruption.label;
+        for (std::size_t i = 0; i < options.sweepSeeds; ++i) {
+          cfg.seed = options.config.seed + i;
+          report.run("ssmfp " + cell, cfg.seed,
+                     [&] { (void)runSsmfpExperiment(cfg); });
+          report.run("baseline " + cell, cfg.seed,
+                     [&] { (void)runBaselineExperiment(cfg); });
+        }
+      }
+    }
+  }
+}
+
+void auditPif(std::uint64_t seed, AuditReport& report) {
+  report.run("pif binary-tree-7", seed, [&] {
+    const Graph g = topo::binaryTree(7);
+    PifProtocol pif(g, /*root=*/0);
+    Rng rng(seed);
+    pif.scrambleStates(rng);
+    pif.requestWave();
+    DistributedRandomDaemon daemon(rng, 0.5);
+    Engine engine(g, {&pif}, daemon);
+    pif.attachEngine(&engine);
+    engine.run(100000);
+  });
+}
+
+void auditOrientationRing(std::uint64_t seed, AuditReport& report) {
+  report.run("orientation ring-8-cw", seed, [&] {
+    const Graph g = topo::ring(8);
+    ClockwiseRingRouting routing(8);
+    UnidirectionalRingScheme scheme(8);
+    OrientationForwardingProtocol proto(g, routing, scheme);
+    proto.send(0, 4, 11);
+    proto.send(2, 7, 22);
+    proto.send(5, 1, 33);
+    Rng rng(seed);
+    DistributedRandomDaemon daemon(rng, 0.5);
+    Engine engine(g, {&proto}, daemon);
+    proto.attachEngine(&engine);
+    engine.run(100000);
+  });
+}
+
+void auditOrientationTree(std::uint64_t seed, AuditReport& report) {
+  report.run("orientation binary-tree-7", seed, [&] {
+    const Graph g = topo::binaryTree(7);
+    TreeUpDownScheme scheme(g, /*root=*/0);
+    TreePathRouting routing(g, scheme);
+    OrientationForwardingProtocol proto(g, routing, scheme);
+    proto.send(3, 6, 44);
+    proto.send(5, 4, 55);
+    proto.send(0, 2, 66);
+    Rng rng(seed);
+    DistributedRandomDaemon daemon(rng, 0.5);
+    Engine engine(g, {&proto}, daemon);
+    proto.attachEngine(&engine);
+    engine.run(100000);
+  });
+}
+
+void auditMessagePassing(std::uint64_t seed, AuditReport& report) {
+  report.run("mp-ssmfp ring-6", seed, [&] {
+    const Graph g = topo::ring(6);
+    MpSsmfpSimulator sim(g, {}, seed);
+    sim.setAuditMode(true);
+    Rng rng(seed ^ 0xA0D17);
+    sim.corruptRouting(rng, 1.0);
+    sim.scrambleQueues(rng);
+    sim.send(0, 3, 42);
+    sim.send(2, 5, 7);
+    sim.run(200000);
+  });
+}
+
+int runAudit(const CliOptions& options, std::ostream& out, std::ostream& err,
+             jsonl::Writer* writer) {
+  const ScopedDefaultAudit scoped;
+  AuditReport report(err, writer);
+
+  auditMatrix(options, report);
+  for (std::size_t i = 0; i < options.sweepSeeds; ++i) {
+    const std::uint64_t seed = options.config.seed + i;
+    auditPif(seed, report);
+    auditOrientationRing(seed, report);
+    auditOrientationTree(seed, report);
+    auditMessagePassing(seed, report);
+  }
+
+  if (writer != nullptr) {
+    jsonl::Object summary;
+    summary.field("event", "audit-summary")
+        .field("runs", std::uint64_t{report.runs()})
+        .field("violations", std::uint64_t{report.violatingRuns()})
+        .field("capable", true);
+    writer->write(summary);
+  }
+  out << "audit: " << report.runs() << " runs, " << report.violatingRuns()
+      << " with access violations\n";
+  return report.violatingRuns() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int runAuditCommand(const CliOptions& options, std::ostream& out,
+                    std::ostream& err) {
+  if (!kAuditCapable) {
+    err << "error: this binary was built without -DSNAPFWD_AUDIT=ON; "
+           "access auditing is unavailable\n";
+    return 2;
+  }
+  if (options.jsonlOut.empty()) {
+    return runAudit(options, out, err, nullptr);
+  }
+  if (options.jsonlOut == "-") {
+    jsonl::Writer writer(out);
+    return runAudit(options, out, err, &writer);
+  }
+  std::ofstream file(options.jsonlOut);
+  if (!file) {
+    err << "error: cannot write '" << options.jsonlOut << "'\n";
+    return 2;
+  }
+  jsonl::Writer writer(file);
+  const int code = runAudit(options, out, err, &writer);
+  out << "jsonl written to " << options.jsonlOut << "\n";
+  return code;
+}
+
+}  // namespace snapfwd::cli

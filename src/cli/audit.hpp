@@ -1,0 +1,22 @@
+#pragma once
+// `snapfwd_cli audit`: replays the sweep experiment matrix (topologies x
+// daemons x corruption plans x seeds, SSMFP and baseline stacks) plus
+// dedicated PIF / orientation-forwarding / message-passing scenarios with
+// access auditing enabled, and reports every access-contract violation
+// (see core/access_tracker.hpp).
+//
+// Runs are serial - an AccessAuditError must unwind to the per-run handler,
+// and the tracker is not thread-safe anyway. Exit codes: 0 = every run
+// clean, 1 = at least one violation, 2 = the binary was built without
+// -DSNAPFWD_AUDIT=ON (auditing impossible).
+
+#include <iosfwd>
+
+#include "cli/args.hpp"
+
+namespace snapfwd::cli {
+
+int runAuditCommand(const CliOptions& options, std::ostream& out,
+                    std::ostream& err);
+
+}  // namespace snapfwd::cli

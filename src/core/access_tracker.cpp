@@ -1,0 +1,184 @@
+#include "core/access_tracker.hpp"
+
+#include <algorithm>
+
+namespace snapfwd {
+
+std::string AccessViolation::describe() const {
+  std::string out(protocol);
+  out += ": ";
+  switch (kind) {
+    case AccessViolationKind::kNonLocalGuardRead:
+      out += "guard of processor " + std::to_string(actor) +
+             " read a variable of processor " + std::to_string(variableOwner) +
+             " outside its declared access radius " +
+             std::to_string(declaredRadius);
+      break;
+    case AccessViolationKind::kNonLocalStageRead:
+      out += "rule " + std::to_string(rule) + " stage at processor " +
+             std::to_string(actor) + " read a variable of processor " +
+             std::to_string(variableOwner) +
+             " outside its declared access radius " +
+             std::to_string(declaredRadius);
+      break;
+    case AccessViolationKind::kGuardWrite:
+      out += "guard of processor " + std::to_string(actor) +
+             " wrote a variable of processor " + std::to_string(variableOwner) +
+             " (guards must be pure)";
+      break;
+    case AccessViolationKind::kStageWrite:
+      out += "rule " + std::to_string(rule) + " stage at processor " +
+             std::to_string(actor) + " wrote a variable of processor " +
+             std::to_string(variableOwner) +
+             " (stage must not touch observable state)";
+      break;
+    case AccessViolationKind::kCrossProcessorWrite:
+      out += "rule " + std::to_string(rule) + " commit acting at processor " +
+             std::to_string(actor) + " wrote a variable of processor " +
+             std::to_string(variableOwner) +
+             " (actions write only their own processor's variables)";
+      break;
+    case AccessViolationKind::kUnderReportedWrite:
+      out += "commit wrote a variable of processor " +
+             std::to_string(variableOwner) +
+             " but omitted it from the reported write set (stales the "
+             "incremental enabled cache)";
+      break;
+  }
+  out += " [step " + std::to_string(step) + "]";
+  return out;
+}
+
+AccessTracker::AccessTracker(const Graph& graph) : graph_(graph) {}
+
+void AccessTracker::beginGuard(NodeId actor, unsigned radius,
+                               std::string_view protocol) {
+  phase_ = Phase::kGuard;
+  actor_ = actor;
+  radius_ = radius;
+  rule_ = 0;
+  protocol_ = protocol;
+}
+
+void AccessTracker::beginStage(NodeId actor, unsigned radius,
+                               std::uint16_t rule, std::string_view protocol) {
+  phase_ = Phase::kStage;
+  actor_ = actor;
+  radius_ = radius;
+  rule_ = rule;
+  protocol_ = protocol;
+}
+
+void AccessTracker::beginCommit(std::string_view protocol) {
+  phase_ = Phase::kCommit;
+  actor_ = kNoNode;
+  rule_ = 0;
+  protocol_ = protocol;
+  commitWrites_.clear();
+}
+
+void AccessTracker::beginExclusive(NodeId actor, std::string_view protocol) {
+  phase_ = Phase::kExclusive;
+  actor_ = actor;
+  radius_ = 0;
+  rule_ = 0;
+  protocol_ = protocol;
+}
+
+void AccessTracker::endPhase() {
+  phase_ = Phase::kIdle;
+  actor_ = kNoNode;
+}
+
+void AccessTracker::setCommitActor(NodeId actor, std::uint16_t rule) {
+  actor_ = actor;
+  rule_ = rule;
+}
+
+void AccessTracker::endCommit(const NodeId* reported, std::size_t count) {
+  // Superset check: every owner actually written must appear in the
+  // protocol's reported slice. Over-reporting is allowed (it only costs
+  // spurious dirty-set entries); under-reporting is the hard failure.
+  for (std::size_t i = 0; i < commitWrites_.size(); ++i) {
+    const NodeId owner = commitWrites_[i];
+    if (std::find(commitWrites_.begin(), commitWrites_.begin() + i, owner) !=
+        commitWrites_.begin() + i) {
+      continue;  // already checked (and possibly reported) this owner
+    }
+    if (std::find(reported, reported + count, owner) == reported + count) {
+      addViolation(AccessViolationKind::kUnderReportedWrite, owner);
+    }
+  }
+  commitWrites_.clear();
+  phase_ = Phase::kIdle;
+  actor_ = kNoNode;
+}
+
+void AccessTracker::noteRead(NodeId owner) {
+  switch (phase_) {
+    case Phase::kGuard:
+      if (!withinRadius(owner)) {
+        addViolation(AccessViolationKind::kNonLocalGuardRead, owner);
+      }
+      break;
+    case Phase::kStage:
+      if (!withinRadius(owner)) {
+        addViolation(AccessViolationKind::kNonLocalStageRead, owner);
+      }
+      break;
+    case Phase::kExclusive:
+      if (owner != actor_) {
+        addViolation(AccessViolationKind::kNonLocalGuardRead, owner);
+      }
+      break;
+    case Phase::kCommit:  // commit may read its staged bookkeeping freely
+    case Phase::kIdle:    // out-of-phase tooling (hashers, checkers, ...)
+      break;
+  }
+}
+
+void AccessTracker::noteWrite(NodeId owner) {
+  switch (phase_) {
+    case Phase::kGuard:
+      addViolation(AccessViolationKind::kGuardWrite, owner);
+      break;
+    case Phase::kStage:
+      addViolation(AccessViolationKind::kStageWrite, owner);
+      break;
+    case Phase::kCommit:
+      commitWrites_.push_back(owner);
+      if (actor_ != kNoNode && owner != actor_) {
+        addViolation(AccessViolationKind::kCrossProcessorWrite, owner);
+      }
+      break;
+    case Phase::kExclusive:
+      if (owner != actor_) {
+        addViolation(AccessViolationKind::kCrossProcessorWrite, owner);
+      }
+      break;
+    case Phase::kIdle:
+      break;
+  }
+}
+
+bool AccessTracker::withinRadius(NodeId owner) const {
+  if (owner == actor_) return true;
+  if (radius_ == 0) return false;
+  if (graph_.hasEdge(actor_, owner)) return true;
+  if (radius_ == 1) return false;
+  return graph_.distance(actor_, owner) <= radius_;
+}
+
+void AccessTracker::addViolation(AccessViolationKind kind, NodeId owner) {
+  violations_.push_back(AccessViolation{
+      .kind = kind,
+      .protocol = std::string(protocol_),
+      .rule = rule_,
+      .actor = actor_,
+      .variableOwner = owner,
+      .declaredRadius = radius_,
+      .step = step_,
+  });
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,228 @@
+#pragma once
+// Access auditing: the mechanically-checked form of the state model's
+// locality contract (Section 2.1 of the paper, and the write-set contract
+// in core/protocol.hpp).
+//
+// The model the proofs live in makes three structural assumptions:
+//   (a) a guard of processor p reads only the variables of p's closed
+//       neighborhood N[p] (generalized here to a declared accessRadius),
+//   (b) an action writes only p's own variables (composite atomicity),
+//   (c) commit() reports a write set covering every processor actually
+//       written (PR 2's incremental scheduler re-evaluates exactly the
+//       dirty neighborhood of that set - under-reporting silently stales
+//       the enabled cache).
+// Until now (a)-(c) were enforced by comments. In audit mode every
+// protocol routes observable-variable reads/writes through CheckedStore
+// views that record (phase, actor, owner) into an AccessTracker; the
+// engine brackets guard evaluation, staging and commits, and cross-checks
+// the recorded access sets against the contract each step.
+//
+// Audit capability is compile-time (-DSNAPFWD_AUDIT=ON -> the SNAPFWD_AUDIT
+// macro): without it CheckedStore::read/write compile down to plain vector
+// indexing, so default builds pay nothing and produce byte-identical
+// results. Audit *mode* is then per-engine (Engine::setAuditMode) or
+// process-wide (SNAPFWD_AUDIT environment variable).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/names.hpp"
+
+namespace snapfwd {
+
+/// True iff this binary was compiled with -DSNAPFWD_AUDIT=ON and can
+/// actually record accesses. Engine::setAuditMode(true) throws otherwise.
+inline constexpr bool kAuditCapable =
+#ifdef SNAPFWD_AUDIT
+    true;
+#else
+    false;
+#endif
+
+enum class AccessViolationKind : std::uint8_t {
+  kNonLocalGuardRead,    // guard read outside the declared access radius
+  kNonLocalStageRead,    // stage read outside the declared access radius
+  kGuardWrite,           // guard evaluation mutated observable state
+  kStageWrite,           // stage() mutated observable state (impure stage)
+  kCrossProcessorWrite,  // commit wrote a variable the actor does not own
+  kUnderReportedWrite,   // commit's reported write set missed a write
+};
+
+template <>
+struct EnumNames<AccessViolationKind> {
+  static constexpr auto entries = std::to_array<NamedEnum<AccessViolationKind>>({
+      {AccessViolationKind::kNonLocalGuardRead, "non-local-guard-read"},
+      {AccessViolationKind::kNonLocalStageRead, "non-local-stage-read"},
+      {AccessViolationKind::kGuardWrite, "guard-write"},
+      {AccessViolationKind::kStageWrite, "stage-write"},
+      {AccessViolationKind::kCrossProcessorWrite, "cross-processor-write"},
+      {AccessViolationKind::kUnderReportedWrite, "under-reported-write"},
+  });
+};
+
+/// One detected contract breach: which rule of which protocol, acting at
+/// which processor, touched whose variable, and in which step.
+struct AccessViolation {
+  AccessViolationKind kind = AccessViolationKind::kNonLocalGuardRead;
+  std::string protocol;
+  std::uint16_t rule = 0;       // 0 in guard phase (no rule chosen yet)
+  NodeId actor = kNoNode;       // processor whose guard/action was running
+  NodeId variableOwner = kNoNode;  // processor owning the touched variable
+  unsigned declaredRadius = 1;
+  std::uint64_t step = 0;
+
+  /// "ssmfp: guard of processor 3 read variable of processor 7 ..." -
+  /// the hard-failure diagnostic named by the contract.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const AccessViolation&, const AccessViolation&) = default;
+};
+
+/// Thrown by the engine (default policy) on the first violation of a step.
+class AccessAuditError : public std::runtime_error {
+ public:
+  explicit AccessAuditError(AccessViolation violation)
+      : std::runtime_error(violation.describe()), violation_(std::move(violation)) {}
+
+  [[nodiscard]] const AccessViolation& violation() const noexcept {
+    return violation_;
+  }
+
+ private:
+  AccessViolation violation_;
+};
+
+/// Records observable-variable accesses during the bracketed phases of an
+/// atomic step and turns contract breaches into AccessViolations.
+///
+/// Phases mirror the engine's step anatomy:
+///   guard   - enumerateEnabled(actor): reads must stay within the
+///             declared radius of the actor; writes are forbidden.
+///   stage   - stage(actor, a): same read locality; writes forbidden
+///             (staging records pending effects internally, it must not
+///             touch observable state).
+///   commit  - commit(): writes recorded; each must be owned by the staged
+///             actor announced via setCommitActor (composite atomicity),
+///             and endCommit() checks the protocol's reported write set
+///             covers every owner actually written. Reads are unchecked
+///             (commit may inspect its own staged bookkeeping freely).
+///   exclusive - the message-passing simulator's node round: reads AND
+///             writes must both target the actor's own variables (radius
+///             0; neighbor information only flows through snapshots).
+///
+/// Outside any phase (checkers, printers, hashers, out-of-band mutators)
+/// noteRead/noteWrite are no-ops, so tooling needs no special casing.
+/// Not thread-safe: audit mode forces serial guard evaluation.
+class AccessTracker {
+ public:
+  explicit AccessTracker(const Graph& graph);
+
+  void setStep(std::uint64_t step) { step_ = step; }
+
+  void beginGuard(NodeId actor, unsigned radius, std::string_view protocol);
+  void beginStage(NodeId actor, unsigned radius, std::uint16_t rule,
+                  std::string_view protocol);
+  void beginCommit(std::string_view protocol);
+  void beginExclusive(NodeId actor, std::string_view protocol);
+  /// Ends the guard/stage/exclusive phase.
+  void endPhase();
+  /// The staged op whose effects the protocol is now applying (commit
+  /// phase); enables the cross-processor-write check.
+  void setCommitActor(NodeId actor, std::uint16_t rule);
+  /// Ends the commit phase, checking the protocol's reported write set
+  /// (`reported[0..count)`) is a superset of the writes actually recorded.
+  void endCommit(const NodeId* reported, std::size_t count);
+
+  void noteRead(NodeId owner);
+  void noteWrite(NodeId owner);
+
+  [[nodiscard]] const std::vector<AccessViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool hasViolations() const { return !violations_.empty(); }
+  void clearViolations() { violations_.clear(); }
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kGuard, kStage, kCommit, kExclusive };
+
+  [[nodiscard]] bool withinRadius(NodeId owner) const;
+  void addViolation(AccessViolationKind kind, NodeId owner);
+
+  const Graph& graph_;
+  Phase phase_ = Phase::kIdle;
+  NodeId actor_ = kNoNode;
+  unsigned radius_ = 1;
+  std::uint16_t rule_ = 0;
+  std::string_view protocol_;
+  std::uint64_t step_ = 0;
+
+  std::vector<NodeId> commitWrites_;  // owners written during this commit
+  std::vector<AccessViolation> violations_;
+};
+
+/// The typed checked-state accessor view: a flat per-processor variable
+/// store whose read()/write() record the owning processor with the bound
+/// AccessTracker. The owner of index i is i / rowSize (every protocol here
+/// lays out state as one row of rowSize variables per processor).
+///
+/// Binding goes through a pointer-to-slot (AccessTracker* const*) so the
+/// store follows the protocol's tracker attachment/detachment without
+/// rebinding. Without SNAPFWD_AUDIT the recording fields and calls are
+/// compiled out entirely.
+template <typename T>
+class CheckedStore {
+ public:
+  /// `slot` outlives the store; rowSize >= 1.
+  void configure([[maybe_unused]] class AccessTracker* const* slot,
+                 [[maybe_unused]] std::size_t rowSize) {
+#ifdef SNAPFWD_AUDIT
+    slot_ = slot;
+    rowSize_ = rowSize == 0 ? 1 : rowSize;
+#endif
+  }
+
+  void resize(std::size_t n) { data_.resize(n); }
+  void assign(std::size_t n, const T& value) { data_.assign(n, value); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] const T& read(std::size_t idx) const {
+#ifdef SNAPFWD_AUDIT
+    note(idx, /*isWrite=*/false);
+#endif
+    return data_[idx];
+  }
+
+  [[nodiscard]] T& write(std::size_t idx) {
+#ifdef SNAPFWD_AUDIT
+    note(idx, /*isWrite=*/true);
+#endif
+    return data_[idx];
+  }
+
+  /// Unaudited access for out-of-phase tooling (hashers, printers, bulk
+  /// iteration); never use inside guards, stage() or commit().
+  [[nodiscard]] const std::vector<T>& raw() const { return data_; }
+  [[nodiscard]] std::vector<T>& rawMutable() { return data_; }
+
+ private:
+#ifdef SNAPFWD_AUDIT
+  void note(std::size_t idx, bool isWrite) const {
+    if (slot_ == nullptr || *slot_ == nullptr) return;
+    const NodeId owner = static_cast<NodeId>(idx / rowSize_);
+    if (isWrite) {
+      (*slot_)->noteWrite(owner);
+    } else {
+      (*slot_)->noteRead(owner);
+    }
+  }
+  AccessTracker* const* slot_ = nullptr;
+  std::size_t rowSize_ = 1;
+#endif
+  std::vector<T> data_;
+};
+
+}  // namespace snapfwd

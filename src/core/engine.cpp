@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
+#include <stdexcept>
 
 namespace snapfwd {
 
@@ -11,6 +13,14 @@ namespace {
 
 // Process-wide default-mode override; -1 = none (env / built-in default).
 std::atomic<int> gScanModeOverride{-1};
+
+// Process-wide audit-mode override; -1 = none (env / off).
+std::atomic<int> gAuditModeOverride{-1};
+
+bool envFlagSet(const char* value) {
+  return std::strcmp(value, "1") == 0 || std::strcmp(value, "on") == 0 ||
+         std::strcmp(value, "true") == 0;
+}
 
 }  // namespace
 
@@ -28,6 +38,37 @@ void Engine::setDefaultScanMode(std::optional<ScanMode> mode) {
                           std::memory_order_relaxed);
 }
 
+bool Engine::defaultAuditMode() {
+  if (!kAuditCapable) return false;
+  const int forced = gAuditModeOverride.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  if (const char* env = std::getenv("SNAPFWD_AUDIT")) return envFlagSet(env);
+  return false;
+}
+
+void Engine::setDefaultAuditMode(std::optional<bool> on) {
+  gAuditModeOverride.store(on ? static_cast<int>(*on) : -1,
+                           std::memory_order_relaxed);
+}
+
+void Engine::setAuditMode(bool on) {
+  if (!on) {
+    if (tracker_ != nullptr) {
+      for (Protocol* layer : layers_) layer->setAccessTracker(nullptr);
+      tracker_.reset();
+    }
+    return;
+  }
+  if (!kAuditCapable) {
+    throw std::logic_error(
+        "Engine::setAuditMode: this binary was compiled without "
+        "-DSNAPFWD_AUDIT=ON; checked-state recording is unavailable");
+  }
+  if (tracker_ != nullptr) return;
+  tracker_ = std::make_unique<AccessTracker>(graph_);
+  for (Protocol* layer : layers_) layer->setAccessTracker(tracker_.get());
+}
+
 Engine::Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
                ThreadPool* pool, ScanMode scanMode)
     : graph_(graph),
@@ -42,13 +83,20 @@ Engine::Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon
       actionsPerLayer_(layers_.size(), 0) {
   assert(!layers_.empty());
   if (scanMode_ == ScanMode::kIncremental) cache_.resize(graph.size());
+  for (const Protocol* layer : layers_) {
+    maxAccessRadius_ = std::max(maxAccessRadius_, layer->accessRadius());
+  }
   for (Protocol* layer : layers_) {
     layer->setInvalidationHook([this] { invalidateEnabledCache(); });
   }
+  if (defaultAuditMode()) setAuditMode(true);
 }
 
 Engine::~Engine() {
-  for (Protocol* layer : layers_) layer->setInvalidationHook(nullptr);
+  for (Protocol* layer : layers_) {
+    layer->setInvalidationHook(nullptr);
+    if (tracker_ != nullptr) layer->setAccessTracker(nullptr);
+  }
 }
 
 void Engine::invalidateEnabledCache() {
@@ -61,7 +109,13 @@ void Engine::invalidateEnabledCache() {
 bool Engine::evaluateProcessor(NodeId p, EnabledProcessor& entry) const {
   for (std::uint16_t l = 0; l < layers_.size(); ++l) {
     entry.actions.clear();
-    layers_[l]->enumerateEnabled(p, entry.actions);
+    if (tracker_ != nullptr) {
+      tracker_->beginGuard(p, layers_[l]->accessRadius(), layers_[l]->name());
+      layers_[l]->enumerateEnabled(p, entry.actions);
+      tracker_->endPhase();
+    } else {
+      layers_[l]->enumerateEnabled(p, entry.actions);
+    }
     if (!entry.actions.empty()) {
       entry.p = p;
       entry.layer = l;
@@ -76,12 +130,14 @@ void Engine::buildEnabled() {
     ++scanStats_.cachedScans;
     return;
   }
+  if (tracker_ != nullptr) tracker_->setStep(steps_);
   if (scanMode_ == ScanMode::kIncremental && cacheValid_) {
     incrementalScan();
   } else {
     fullScan();
   }
   enabledFresh_ = true;
+  flushAuditViolations();
 }
 
 void Engine::fullScan() {
@@ -90,7 +146,10 @@ void Engine::fullScan() {
   const bool fillCache = scanMode_ == ScanMode::kIncremental;
   if (fillCache) enabledIds_.clear();
 
-  if (pool_ != nullptr && pool_->threadCount() > 1 && n >= 64) {
+  // The tracker records one bracketed phase at a time, so audit mode
+  // evaluates serially (results are identical either way).
+  if (pool_ != nullptr && pool_->threadCount() > 1 && n >= 64 &&
+      tracker_ == nullptr) {
     // Parallel sweep with deterministic merge: fixed chunking by processor
     // ranges, chunk results concatenated in chunk order (= id order).
     const std::size_t chunks = pool_->threadCount() * 4;
@@ -146,9 +205,11 @@ void Engine::fullScan() {
 
 void Engine::incrementalScan() {
   const std::size_t n = graph_.size();
-  // Dirty set: closed neighborhoods of every processor written since the
-  // last scan. Only these can have changed enabled status (guards read at
-  // most distance 1 - the model's locality; see protocol.hpp).
+  // Dirty set: the radius-r balls around every processor written since the
+  // last scan, r = max over layers of the declared accessRadius (1 = the
+  // model's closed neighborhoods N[W]; see protocol.hpp). Only these can
+  // have changed enabled status. Expansion is an iterative frontier BFS:
+  // depth d's frontier is the slice of dirtyScratch_ appended at depth d-1.
   dirtyScratch_.clear();
   for (const NodeId w : pendingWrites_) {
     writtenMark_[w] = false;
@@ -156,17 +217,26 @@ void Engine::incrementalScan() {
       dirtyMark_[w] = true;
       dirtyScratch_.push_back(w);
     }
-    for (const NodeId q : graph_.neighbors(w)) {
-      if (!dirtyMark_[q]) {
-        dirtyMark_[q] = true;
-        dirtyScratch_.push_back(q);
+  }
+  std::size_t frontierBegin = 0;
+  for (unsigned depth = 0; depth < maxAccessRadius_; ++depth) {
+    const std::size_t frontierEnd = dirtyScratch_.size();
+    if (frontierBegin == frontierEnd) break;
+    for (std::size_t i = frontierBegin; i < frontierEnd; ++i) {
+      for (const NodeId q : graph_.neighbors(dirtyScratch_[i])) {
+        if (!dirtyMark_[q]) {
+          dirtyMark_[q] = true;
+          dirtyScratch_.push_back(q);
+        }
       }
     }
+    frontierBegin = frontierEnd;
   }
   pendingWrites_.clear();
   std::sort(dirtyScratch_.begin(), dirtyScratch_.end());
 
-  if (pool_ != nullptr && pool_->threadCount() > 1 && dirtyScratch_.size() >= 64) {
+  if (pool_ != nullptr && pool_->threadCount() > 1 &&
+      dirtyScratch_.size() >= 64 && tracker_ == nullptr) {
     const std::size_t chunks = pool_->threadCount() * 4;
     const std::size_t per = (dirtyScratch_.size() + chunks - 1) / chunks;
     pool_->parallelFor(chunks, [&](std::size_t c) {
@@ -252,6 +322,18 @@ void Engine::settleRoundAccounting() {
   }
 }
 
+void Engine::flushAuditViolations() {
+  if (tracker_ == nullptr || !tracker_->hasViolations()) return;
+  if (auditHandler_) {
+    for (const AccessViolation& v : tracker_->violations()) auditHandler_(v);
+    tracker_->clearViolations();
+    return;
+  }
+  AccessViolation first = tracker_->violations().front();
+  tracker_->clearViolations();
+  throw AccessAuditError(std::move(first));
+}
+
 bool Engine::isTerminal() {
   buildEnabled();
   return enabled_.empty();
@@ -278,17 +360,37 @@ bool Engine::step() {
     assert(choice.actionIndex < entry.actions.size());
     if (executedThisStep_[entry.p]) continue;  // at most one action per processor
     executedThisStep_[entry.p] = true;
-    layers_[entry.layer]->stage(entry.p, entry.actions[choice.actionIndex]);
+    const Action& action = entry.actions[choice.actionIndex];
+    if (tracker_ != nullptr) {
+      tracker_->beginStage(entry.p, layers_[entry.layer]->accessRadius(),
+                           action.rule, layers_[entry.layer]->name());
+      layers_[entry.layer]->stage(entry.p, action);
+      tracker_->endPhase();
+    } else {
+      layers_[entry.layer]->stage(entry.p, action);
+    }
     layerTouched[entry.layer] = true;
-    executedActions_.push_back(
-        {entry.p, entry.layer, entry.actions[choice.actionIndex]});
+    executedActions_.push_back({entry.p, entry.layer, action});
     ++actions_;
     ++actionsPerLayer_[entry.layer];
   }
   writtenScratch_.clear();
   for (std::size_t l = 0; l < layers_.size(); ++l) {
-    if (layerTouched[l]) layers_[l]->commit(writtenScratch_);
+    if (!layerTouched[l]) continue;
+    if (tracker_ != nullptr) {
+      // Per-layer write-honesty check: the slice this layer appends to
+      // writtenScratch_ must cover every write the tracker recorded during
+      // its commit (superset; over-reporting is fine).
+      const std::size_t before = writtenScratch_.size();
+      tracker_->beginCommit(layers_[l]->name());
+      layers_[l]->commit(writtenScratch_);
+      tracker_->endCommit(writtenScratch_.data() + before,
+                          writtenScratch_.size() - before);
+    } else {
+      layers_[l]->commit(writtenScratch_);
+    }
   }
+  flushAuditViolations();
   enabledFresh_ = false;
   if (scanMode_ == ScanMode::kIncremental && cacheValid_) {
     for (const NodeId w : writtenScratch_) {

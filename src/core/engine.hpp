@@ -34,9 +34,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/access_tracker.hpp"
 #include "core/daemon.hpp"
 #include "core/protocol.hpp"
 #include "graph/graph.hpp"
@@ -103,6 +105,37 @@ class Engine {
 
   [[nodiscard]] ScanMode scanMode() const noexcept { return scanMode_; }
 
+  /// Whether new engines enable audit mode at construction: the
+  /// process-wide override (set below) if any, else the SNAPFWD_AUDIT
+  /// environment variable ("1"/"on"/"true"), else off. Only honored in
+  /// audit-capable binaries (kAuditCapable) - a non-capable binary
+  /// silently ignores the request here so whole test suites can run with
+  /// SNAPFWD_AUDIT=1 regardless of build flavor; explicit setAuditMode
+  /// calls still throw.
+  [[nodiscard]] static bool defaultAuditMode();
+  /// Process-wide default override; nullopt restores env resolution.
+  static void setDefaultAuditMode(std::optional<bool> on);
+
+  /// Enables/disables per-step access auditing: attaches an AccessTracker
+  /// to every layer, brackets guard/stage/commit phases around their
+  /// calls, forces serial guard evaluation (the tracker is not
+  /// thread-safe), and cross-checks the recorded access sets against the
+  /// state-model contract each step. Throws std::logic_error when enabling
+  /// on a binary compiled without -DSNAPFWD_AUDIT=ON.
+  void setAuditMode(bool on);
+  [[nodiscard]] bool auditMode() const noexcept { return tracker_ != nullptr; }
+
+  /// Called once per violation instead of the default policy (throwing
+  /// AccessAuditError on the first violation of the step). Used by the
+  /// audit CLI to collect every diagnostic of a run.
+  void setAuditViolationHandler(std::function<void(const AccessViolation&)> handler) {
+    auditHandler_ = std::move(handler);
+  }
+
+  /// max over layers of Protocol::accessRadius(): the dirty-set expansion
+  /// depth incremental scans use.
+  [[nodiscard]] unsigned maxAccessRadius() const noexcept { return maxAccessRadius_; }
+
   /// Executes one atomic step. Returns false without executing anything if
   /// the configuration is terminal (no enabled processor) or the daemon
   /// declined to choose (scripted daemon at end of script).
@@ -168,12 +201,22 @@ class Engine {
   /// Evaluates p's layers into `entry`; true iff any action is enabled.
   bool evaluateProcessor(NodeId p, EnabledProcessor& entry) const;
   void settleRoundAccounting();
+  /// Dispatches collected tracker violations to the handler, or throws
+  /// AccessAuditError on the first one. No-op outside audit mode.
+  void flushAuditViolations();
 
   const Graph& graph_;
   std::vector<Protocol*> layers_;
   Daemon& daemon_;
   ThreadPool* pool_;
   ScanMode scanMode_;
+  unsigned maxAccessRadius_ = 1;
+
+  // Audit mode (null when off): attached to every layer; guard evaluation
+  // goes serial while active so the tracker sees one bracketed phase at a
+  // time.
+  std::unique_ptr<AccessTracker> tracker_;
+  std::function<void(const AccessViolation&)> auditHandler_;
 
   std::vector<EnabledProcessor> enabled_;
   std::vector<Choice> choices_;

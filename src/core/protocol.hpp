@@ -36,10 +36,19 @@
 // coarse hammer matching "the initial configuration is arbitrary": such
 // mutations are rare and non-local, so a full re-sweep is the right cost.
 
+// Audit mode (core/access_tracker.hpp) converts the contract above from
+// trust into a checked property: protocols route observable-variable
+// accesses through CheckedStore views bound to accessTrackerSlot(), and an
+// engine in audit mode attaches an AccessTracker that cross-checks guard
+// locality, stage purity, write-set honesty, and composite atomicity every
+// step. Without -DSNAPFWD_AUDIT=ON all of this compiles away.
+
+#include <cstdint>
 #include <functional>
 #include <string_view>
 #include <vector>
 
+#include "core/access_tracker.hpp"
 #include "core/action.hpp"
 
 namespace snapfwd {
@@ -73,12 +82,27 @@ class Protocol {
   /// allowed - the engine dedupes).
   virtual void commit(std::vector<NodeId>& written) = 0;
 
+  /// Maximum distance (in hops) any of this protocol's guards or stages
+  /// reads from the evaluated processor. 1 is the model's closed
+  /// neighborhood N_p u {p} and the default. The engine widens incremental
+  /// dirty sets to this radius, and audit mode verifies every recorded
+  /// read stays inside the declared ball - so a protocol that legitimately
+  /// reads further (e.g. a distance-2 dependency) declares it here instead
+  /// of over-reporting writes.
+  [[nodiscard]] virtual unsigned accessRadius() const { return 1; }
+
   /// Registered by the engine executing this protocol; cleared on engine
   /// destruction. Protocol implementations do not call this directly -
   /// they call notifyExternalMutation().
   void setInvalidationHook(std::function<void()> hook) {
     invalidationHook_ = std::move(hook);
   }
+
+  /// Attached by an engine (or test harness) entering audit mode; nullptr
+  /// otherwise. CheckedStore views bound to accessTrackerSlot() observe
+  /// attachment changes automatically.
+  void setAccessTracker(AccessTracker* tracker) { accessTracker_ = tracker; }
+  [[nodiscard]] AccessTracker* accessTracker() const { return accessTracker_; }
 
  protected:
   /// Must be invoked by every out-of-band mutator (see header note). Cheap
@@ -87,8 +111,38 @@ class Protocol {
     if (invalidationHook_) invalidationHook_();
   }
 
+  /// Stable slot for CheckedStore::configure - stores bound here follow
+  /// tracker attachment/detachment without rebinding.
+  [[nodiscard]] AccessTracker* const* accessTrackerSlot() const {
+    return &accessTracker_;
+  }
+
+  /// Marks the staged op whose effects the commit loop is now applying
+  /// (the actor for the cross-processor-write check). Call at the top of
+  /// each per-op iteration inside commit(). No-op outside audit mode.
+  void auditCommitOp([[maybe_unused]] NodeId actor,
+                     [[maybe_unused]] std::uint16_t rule) {
+#ifdef SNAPFWD_AUDIT
+    if (accessTracker_ != nullptr) accessTracker_->setCommitActor(actor, rule);
+#endif
+  }
+
+  /// Records an access to a scalar observable variable that does not live
+  /// in a CheckedStore (e.g. PIF's root-owned pending-request counter).
+  void auditRead([[maybe_unused]] NodeId owner) const {
+#ifdef SNAPFWD_AUDIT
+    if (accessTracker_ != nullptr) accessTracker_->noteRead(owner);
+#endif
+  }
+  void auditWrite([[maybe_unused]] NodeId owner) const {
+#ifdef SNAPFWD_AUDIT
+    if (accessTracker_ != nullptr) accessTracker_->noteWrite(owner);
+#endif
+  }
+
  private:
   std::function<void()> invalidationHook_;
+  AccessTracker* accessTracker_ = nullptr;
 };
 
 }  // namespace snapfwd

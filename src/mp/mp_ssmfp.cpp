@@ -57,6 +57,8 @@ MpSsmfpSimulator::MpSsmfpSimulator(const Graph& graph,
     destSlot_[dests_[slot]] = static_cast<std::uint32_t>(slot);
   }
 
+  state_.configure(&trackerPtr_, dests_.size());
+  queue_.configure(&trackerPtr_, dests_.size());
   state_.resize(graph.size() * dests_.size());
   queue_.resize(graph.size() * dests_.size());
   nodes_.resize(graph.size());
@@ -67,7 +69,7 @@ MpSsmfpSimulator::MpSsmfpSimulator(const Graph& graph,
   for (const NodeId d : dests_) {
     const auto fromD = graph.bfsDistances(d);
     for (NodeId p = 0; p < graph.size(); ++p) {
-      auto& cellState = state_[cell(p, d)];
+      auto& cellState = state_.write(cell(p, d));
       cellState.dist = fromD[p];
       if (p == d) {
         cellState.parent = graph.degree(p) > 0 ? graph.neighbors(p)[0] : p;
@@ -83,7 +85,7 @@ MpSsmfpSimulator::MpSsmfpSimulator(const Graph& graph,
   }
   for (NodeId p = 0; p < graph.size(); ++p) {
     for (const NodeId d : dests_) {
-      auto& q = queue_[cell(p, d)];
+      auto& q = queue_.write(cell(p, d));
       q = graph.neighbors(p);
       q.push_back(p);
     }
@@ -103,6 +105,22 @@ MpSsmfpSimulator::MpSsmfpSimulator(const Graph& graph,
   channelLastDelivery_.assign(channelCount, 0);
 }
 
+void MpSsmfpSimulator::setAuditMode(bool on) {
+  if (on) {
+    if (!kAuditCapable) {
+      throw std::logic_error(
+          "MpSsmfpSimulator::setAuditMode(true): this binary was built "
+          "without -DSNAPFWD_AUDIT=ON; checked-state recording is compiled "
+          "out");
+    }
+    if (tracker_ == nullptr) tracker_ = std::make_unique<AccessTracker>(graph_);
+    trackerPtr_ = tracker_.get();
+  } else {
+    trackerPtr_ = nullptr;
+    tracker_.reset();
+  }
+}
+
 TraceId MpSsmfpSimulator::send(NodeId src, NodeId dest, Payload payload) {
   assert(src < graph_.size() && destSlot_[dest] != 0xFFFF'FFFFu);
   const TraceId trace = nextTrace_++;
@@ -114,8 +132,8 @@ TraceId MpSsmfpSimulator::send(NodeId src, NodeId dest, Payload payload) {
 void MpSsmfpSimulator::setRoutingEntry(NodeId p, NodeId d, std::uint32_t dist,
                                        NodeId parent) {
   assert(graph_.hasEdge(p, parent));
-  state_[cell(p, d)].dist = std::min(dist, cap_);
-  state_[cell(p, d)].parent = parent;
+  state_.write(cell(p, d)).dist = std::min(dist, cap_);
+  state_.write(cell(p, d)).parent = parent;
 }
 
 void MpSsmfpSimulator::corruptRouting(Rng& rng, double fraction) {
@@ -124,8 +142,9 @@ void MpSsmfpSimulator::corruptRouting(Rng& rng, double fraction) {
     const auto& nbrs = graph_.neighbors(p);
     for (const NodeId d : dests_) {
       if (!rng.chance(fraction)) continue;
-      state_[cell(p, d)].dist = static_cast<std::uint32_t>(rng.below(cap_ + 1));
-      state_[cell(p, d)].parent =
+      state_.write(cell(p, d)).dist =
+          static_cast<std::uint32_t>(rng.below(cap_ + 1));
+      state_.write(cell(p, d)).parent =
           nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
     }
   }
@@ -137,7 +156,7 @@ void MpSsmfpSimulator::injectReception(NodeId p, NodeId d, Message msg) {
   msg.valid = false;
   msg.dest = d;
   if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
-  state_[cell(p, d)].bufR = msg;
+  state_.write(cell(p, d)).bufR = msg;
 }
 
 void MpSsmfpSimulator::injectEmission(NodeId p, NodeId d, Message msg) {
@@ -146,11 +165,11 @@ void MpSsmfpSimulator::injectEmission(NodeId p, NodeId d, Message msg) {
   msg.valid = false;
   msg.dest = d;
   if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
-  state_[cell(p, d)].bufE = msg;
+  state_.write(cell(p, d)).bufE = msg;
 }
 
 void MpSsmfpSimulator::scrambleQueues(Rng& rng) {
-  for (auto& q : queue_) rng.shuffle(q);
+  for (auto& q : queue_.rawMutable()) rng.shuffle(q);
 }
 
 // ---------------------------------------------------------------------------
@@ -168,7 +187,7 @@ const MpDestState* MpSsmfpSimulator::viewOf(NodeId viewer, NodeId q,
 
 NodeId MpSsmfpSimulator::cachedNextHop(NodeId p, NodeId d) const {
   if (p == d) return p;
-  const NodeId parent = state_[cell(p, d)].parent;
+  const NodeId parent = state_.read(cell(p, d)).parent;
   if (graph_.hasEdge(p, parent)) return parent;
   return graph_.degree(p) > 0 ? graph_.neighbors(p)[0] : p;
 }
@@ -207,7 +226,7 @@ bool MpSsmfpSimulator::routingStepEnabled(NodeId p, NodeId d,
     targetDist = best >= cap_ ? cap_ : best + 1;
     targetParent = bestNeighbor;
   }
-  const auto& own = state_[cell(p, d)];
+  const auto& own = state_.read(cell(p, d));
   if (own.dist == targetDist && own.parent == targetParent) return false;
   newDist = targetDist;
   newParent = targetParent;
@@ -224,7 +243,7 @@ bool MpSsmfpSimulator::choiceCandidate(NodeId p, NodeId d, NodeId c) const {
 }
 
 NodeId MpSsmfpSimulator::choiceOf(NodeId p, NodeId d) const {
-  for (const NodeId c : queue_[cell(p, d)]) {
+  for (const NodeId c : queue_.read(cell(p, d))) {
     if (choiceCandidate(p, d, c)) return c;
   }
   return kNoNode;
@@ -257,15 +276,17 @@ bool MpSsmfpSimulator::executeNodeRound(NodeId p) {
     std::uint32_t newDist;
     NodeId newParent;
     if (routingStepEnabled(p, d, newDist, newParent)) {
-      state_[cell(p, d)].dist = newDist;
-      state_[cell(p, d)].parent = newParent;
+      state_.write(cell(p, d)).dist = newDist;
+      state_.write(cell(p, d)).parent = newParent;
       return true;
     }
   }
   // SSMFP: the first enabled rule in (destination, R1..R6) order - the
   // same selection the state-model SynchronousDaemon makes (actions[0]).
   for (const NodeId d : dests_) {
-    auto& own = state_[cell(p, d)];
+    // write() is deliberate: a node round may both read and mutate its own
+    // cell, and the exclusive phase checks owner == actor either way.
+    auto& own = state_.write(cell(p, d));
     // R1
     if (!nodes_[p].outbox.empty() && nodes_[p].outbox.front().first == d &&
         !own.bufR.has_value() && choiceOf(p, d) == p) {
@@ -281,7 +302,7 @@ bool MpSsmfpSimulator::executeNodeRound(NodeId p) {
       own.bufR = msg;
       nodes_[p].outbox.pop_front();
       nodes_[p].outboxTraces.pop_front();
-      auto& q = queue_[cell(p, d)];
+      auto& q = queue_.write(cell(p, d));
       const auto it = std::find(q.begin(), q.end(), p);
       if (it != q.end()) {
         q.erase(it);
@@ -319,7 +340,7 @@ bool MpSsmfpSimulator::executeNodeRound(NodeId p) {
         Message msg = *view->bufE;
         msg.lastHop = s;
         own.bufR = msg;
-        auto& q = queue_[cell(p, d)];
+        auto& q = queue_.write(cell(p, d));
         const auto it = std::find(q.begin(), q.end(), s);
         if (it != q.end()) {
           q.erase(it);
@@ -379,7 +400,8 @@ bool MpSsmfpSimulator::executeNodeRound(NodeId p) {
 std::vector<MpDestState> MpSsmfpSimulator::makeSnapshot(NodeId p) const {
   std::vector<MpDestState> snapshot(dests_.size());
   for (std::size_t slot = 0; slot < dests_.size(); ++slot) {
-    snapshot[slot] = state_[static_cast<std::size_t>(p) * dests_.size() + slot];
+    snapshot[slot] =
+        state_.raw()[static_cast<std::size_t>(p) * dests_.size() + slot];
   }
   return snapshot;
 }
@@ -417,12 +439,12 @@ std::uint64_t MpSsmfpSimulator::run(std::uint64_t maxTicks) {
   auto nodeHash = [&](NodeId p) {
     StateHasher hasher;
     for (const NodeId d : dests_) {
-      const auto& cellState = state_[cell(p, d)];
+      const auto& cellState = state_.raw()[cell(p, d)];
       addBuffer(hasher, cellState.bufR);
       addBuffer(hasher, cellState.bufE);
       hasher.add(cellState.dist);
       hasher.add(cellState.parent);
-      for (const NodeId c : queue_[cell(p, d)]) hasher.add(c);
+      for (const NodeId c : queue_.raw()[cell(p, d)]) hasher.add(c);
     }
     hasher.add(nodes_[p].outbox.size());
     for (const auto& [dest, payload] : nodes_[p].outbox) {
@@ -472,7 +494,19 @@ std::uint64_t MpSsmfpSimulator::run(std::uint64_t maxTicks) {
         }
       }
       if (!ready) continue;
+      if (trackerPtr_ != nullptr) {
+        trackerPtr_->setStep(tick_);
+        trackerPtr_->beginExclusive(p, "mp-ssmfp");
+      }
       const bool acted = executeNodeRound(p);
+      if (trackerPtr_ != nullptr) {
+        trackerPtr_->endPhase();
+        if (trackerPtr_->hasViolations()) {
+          AccessViolation violation = trackerPtr_->violations().front();
+          trackerPtr_->clearViolations();
+          throw AccessAuditError(std::move(violation));
+        }
+      }
       ++node.round;
       if (acted) lastActiveRound_ = std::max(lastActiveRound_, node.round);
       nodeRoundHashes[p].push_back(nodeHash(p));
@@ -505,12 +539,12 @@ std::uint64_t MpSsmfpSimulator::stateHash() const {
   for (NodeId p = 0; p < graph_.size(); ++p) {
     StateHasher hasher;
     for (const NodeId d : dests_) {
-      const auto& cellState = state_[cell(p, d)];
+      const auto& cellState = state_.raw()[cell(p, d)];
       addBuffer(hasher, cellState.bufR);
       addBuffer(hasher, cellState.bufE);
       hasher.add(cellState.dist);
       hasher.add(cellState.parent);
-      for (const NodeId c : queue_[cell(p, d)]) hasher.add(c);
+      for (const NodeId c : queue_.raw()[cell(p, d)]) hasher.add(c);
     }
     hasher.add(nodes_[p].outbox.size());
     for (const auto& [dest, payload] : nodes_[p].outbox) {

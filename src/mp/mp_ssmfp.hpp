@@ -31,9 +31,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/access_tracker.hpp"
 #include "graph/graph.hpp"
 #include "ssmfp/message.hpp"
 #include "ssmfp/ssmfp.hpp"
@@ -91,6 +93,15 @@ class MpSsmfpSimulator {
   /// all channels drained) or `maxTicks`. Returns ticks consumed.
   std::uint64_t run(std::uint64_t maxTicks);
 
+  /// Audit mode: node rounds run in the tracker's exclusive phase - every
+  /// recorded read AND write must target the executing node's own
+  /// variables (neighbor information only flows through snapshots). The
+  /// first violation aborts run() with AccessAuditError. Throws
+  /// std::logic_error when enabling on a binary built without
+  /// -DSNAPFWD_AUDIT=ON.
+  void setAuditMode(bool on);
+  [[nodiscard]] bool auditMode() const { return trackerPtr_ != nullptr; }
+
   [[nodiscard]] bool quiescent() const { return quiescent_; }
   [[nodiscard]] std::uint64_t completedRounds() const { return completedRounds_; }
   [[nodiscard]] std::uint64_t packetsSent() const { return packetsSent_; }
@@ -112,10 +123,10 @@ class MpSsmfpSimulator {
   [[nodiscard]] std::uint64_t stateHash() const;
 
   [[nodiscard]] const Buffer& bufR(NodeId p, NodeId d) const {
-    return state_[cell(p, d)].bufR;
+    return state_.read(cell(p, d)).bufR;
   }
   [[nodiscard]] const Buffer& bufE(NodeId p, NodeId d) const {
-    return state_[cell(p, d)].bufE;
+    return state_.read(cell(p, d)).bufE;
   }
   [[nodiscard]] const std::vector<NodeId>& destinations() const { return dests_; }
 
@@ -164,8 +175,13 @@ class MpSsmfpSimulator {
   Color delta_;
   std::uint32_t cap_;  // routing distance cap (= n)
 
-  std::vector<MpDestState> state_;               // own state per (p, d)
-  std::vector<std::vector<NodeId>> queue_;       // fairness queue per (p, d)
+  // Observable per-(p, d) state behind checked views; trackerPtr_ is the
+  // binding slot (null = audit off). NodeRuntime (snapshots, outboxes,
+  // round counters) is synchronizer plumbing, not model state.
+  CheckedStore<MpDestState> state_;              // own state per (p, d)
+  CheckedStore<std::vector<NodeId>> queue_;      // fairness queue per (p, d)
+  std::unique_ptr<AccessTracker> tracker_;
+  AccessTracker* trackerPtr_ = nullptr;
   std::vector<NodeRuntime> nodes_;
   std::vector<std::deque<Packet>> channels_;     // per directed edge index
   std::vector<std::uint64_t> channelLastDelivery_;

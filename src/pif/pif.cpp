@@ -19,10 +19,11 @@ PifProtocol::PifProtocol(const Graph& graph, NodeId root)
       root_(root),
       parent_(graph.size(), kNoNode),
       children_(graph.size()),
-      state_(graph.size(), PifState::kClean),
       bSteps_(graph.size()) {
   assert(graph.isConnected() && graph.edgeCount() + 1 == graph.size() &&
          "PIF requires a tree");
+  state_.configure(accessTrackerSlot(), 1);
+  state_.assign(graph.size(), PifState::kClean);
   const auto dist = graph.bfsDistances(root);
   parent_[root] = root;
   for (NodeId v = 0; v < graph.size(); ++v) {
@@ -44,22 +45,24 @@ std::uint64_t PifProtocol::nowStep() const {
 
 bool PifProtocol::allChildren(NodeId p, PifState s) const {
   return std::all_of(children_[p].begin(), children_[p].end(),
-                     [&](NodeId c) { return state_[c] == s; });
+                     [&](NodeId c) { return state_.read(c) == s; });
 }
 
 void PifProtocol::enumerateEnabled(NodeId p, std::vector<Action>& out) const {
   if (p == root_) {
-    if (pendingRequests_ > 0 && state_[p] == PifState::kClean &&
+    auditRead(root_);  // the request flag is the root's own variable
+    if (pendingRequests_ > 0 && state_.read(p) == PifState::kClean &&
         allChildren(p, PifState::kClean)) {
       out.push_back(Action{kPifStart, kNoNode, 0});
     }
-    if (state_[p] == PifState::kBroadcast && allChildren(p, PifState::kFeedback)) {
+    if (state_.read(p) == PifState::kBroadcast &&
+        allChildren(p, PifState::kFeedback)) {
       out.push_back(Action{kPifComplete, kNoNode, 0});
     }
     return;
   }
-  const PifState parentState = state_[parent_[p]];
-  switch (state_[p]) {
+  const PifState parentState = state_.read(parent_[p]);
+  switch (state_.read(p)) {
     case PifState::kClean:
       if (parentState == PifState::kBroadcast &&
           allChildren(p, PifState::kClean)) {
@@ -109,11 +112,13 @@ void PifProtocol::stage(NodeId p, const Action& a) {
 
 void PifProtocol::commit(std::vector<NodeId>& written) {
   for (const auto& op : staged_) {
-    state_[op.p] = op.newState;
+    auditCommitOp(op.p, op.rule);
+    state_.write(op.p) = op.newState;
     written.push_back(op.p);  // state_ and pendingRequests_ are p's variables
     switch (op.rule) {
       case kPifStart:
         assert(pendingRequests_ > 0);
+        auditWrite(root_);  // START consumes the root's request flag
         --pendingRequests_;
         ++starts_;
         startSeen_ = true;
@@ -154,20 +159,21 @@ void PifProtocol::commit(std::vector<NodeId>& written) {
 void PifProtocol::scrambleStates(Rng& rng) {
   for (NodeId p = 0; p < graph_.size(); ++p) {
     const auto pick = rng.below(p == root_ ? 2 : 3);
-    state_[p] = pick == 0 ? PifState::kClean
-                          : (pick == 1 ? PifState::kBroadcast : PifState::kFeedback);
+    state_.write(p) = pick == 0 ? PifState::kClean
+                                : (pick == 1 ? PifState::kBroadcast
+                                             : PifState::kFeedback);
   }
   notifyExternalMutation();
 }
 
 void PifProtocol::setState(NodeId p, PifState s) {
   assert(p != root_ || s != PifState::kFeedback);
-  state_[p] = s;
+  state_.write(p) = s;
   notifyExternalMutation();
 }
 
 bool PifProtocol::allClean() const {
-  return std::all_of(state_.begin(), state_.end(),
+  return std::all_of(state_.raw().begin(), state_.raw().end(),
                      [](PifState s) { return s == PifState::kClean; });
 }
 

@@ -85,7 +85,7 @@ class PifProtocol final : public Protocol {
   [[nodiscard]] std::size_t pendingRequests() const { return pendingRequests_; }
 
   // -- Observation -----------------------------------------------------------
-  [[nodiscard]] PifState state(NodeId p) const { return state_[p]; }
+  [[nodiscard]] PifState state(NodeId p) const { return state_.read(p); }
   [[nodiscard]] NodeId parent(NodeId p) const { return parent_[p]; }
   [[nodiscard]] NodeId root() const { return root_; }
   [[nodiscard]] const std::vector<WaveRecord>& waves() const { return waves_; }
@@ -115,7 +115,11 @@ class PifProtocol final : public Protocol {
   NodeId root_;
   std::vector<NodeId> parent_;                 // parent_[root] == root
   std::vector<std::vector<NodeId>> children_;
-  std::vector<PifState> state_;
+  // S_p, the one observable variable per processor (parent_/children_ are
+  // immutable tree structure, not state). pendingRequests_ is the root's
+  // scalar request flag: accesses are recorded via auditRead/auditWrite
+  // since it lives outside a CheckedStore.
+  CheckedStore<PifState> state_;
 
   std::size_t pendingRequests_ = 0;
   std::uint64_t starts_ = 0;

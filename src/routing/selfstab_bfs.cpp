@@ -8,21 +8,24 @@ namespace snapfwd {
 SelfStabBfsRouting::SelfStabBfsRouting(const Graph& graph)
     : graph_(graph),
       n_(graph.size()),
-      cap_(static_cast<std::uint32_t>(graph.size())),
-      dist_(n_ * n_, 0),
-      parent_(n_ * n_, kNoNode) {
+      cap_(static_cast<std::uint32_t>(graph.size())) {
   assert(graph.isConnected() && "SSMFP is specified on connected networks");
+  dist_.configure(accessTrackerSlot(), n_);
+  parent_.configure(accessTrackerSlot(), n_);
+  dist_.assign(n_ * n_, 0);
+  parent_.assign(n_ * n_, kNoNode);
   // Initialize correct (tests corrupt explicitly when needed).
   for (NodeId d = 0; d < n_; ++d) {
     const auto fromD = graph.bfsDistances(d);
     for (NodeId p = 0; p < n_; ++p) {
-      dist_[index(p, d)] = fromD[p];
+      dist_.write(index(p, d)) = fromD[p];
       if (p == d) {
-        parent_[index(p, d)] = graph.degree(p) > 0 ? graph.neighbors(p)[0] : p;
+        parent_.write(index(p, d)) =
+            graph.degree(p) > 0 ? graph.neighbors(p)[0] : p;
       } else {
         for (const NodeId q : graph.neighbors(p)) {
           if (fromD[q] + 1 == fromD[p]) {
-            parent_[index(p, d)] = q;
+            parent_.write(index(p, d)) = q;
             break;
           }
         }
@@ -41,7 +44,7 @@ SelfStabBfsRouting::Target SelfStabBfsRouting::computeTarget(NodeId p,
   std::uint32_t best = cap_;
   NodeId bestNeighbor = graph_.neighbors(p)[0];
   for (const NodeId q : graph_.neighbors(p)) {
-    const std::uint32_t dq = dist_[index(q, d)];
+    const std::uint32_t dq = dist_.read(index(q, d));
     if (dq < best) {
       best = dq;
       bestNeighbor = q;  // sorted neighbors: first strict improvement = min id
@@ -54,7 +57,8 @@ SelfStabBfsRouting::Target SelfStabBfsRouting::computeTarget(NodeId p,
 void SelfStabBfsRouting::enumerateEnabled(NodeId p, std::vector<Action>& out) const {
   for (NodeId d = 0; d < n_; ++d) {
     const Target t = computeTarget(p, d);
-    if (t.dist != dist_[index(p, d)] || t.parent != parent_[index(p, d)]) {
+    if (t.dist != dist_.read(index(p, d)) ||
+        t.parent != parent_.read(index(p, d))) {
       out.push_back(Action{kRuleFix, d, 0});
     }
   }
@@ -63,7 +67,8 @@ void SelfStabBfsRouting::enumerateEnabled(NodeId p, std::vector<Action>& out) co
 bool SelfStabBfsRouting::anyEnabled(NodeId p) const {
   for (NodeId d = 0; d < n_; ++d) {
     const Target t = computeTarget(p, d);
-    if (t.dist != dist_[index(p, d)] || t.parent != parent_[index(p, d)]) {
+    if (t.dist != dist_.read(index(p, d)) ||
+        t.parent != parent_.read(index(p, d))) {
       return true;
     }
   }
@@ -78,8 +83,9 @@ void SelfStabBfsRouting::stage(NodeId p, const Action& a) {
 
 void SelfStabBfsRouting::commit(std::vector<NodeId>& written) {
   for (const auto& w : staged_) {
-    dist_[index(w.p, w.d)] = w.dist;
-    parent_[index(w.p, w.d)] = w.parent;
+    auditCommitOp(w.p, kRuleFix);
+    dist_.write(index(w.p, w.d)) = w.dist;
+    parent_.write(index(w.p, w.d)) = w.parent;
     written.push_back(w.p);  // R-fix writes only p's own table row
   }
   staged_.clear();
@@ -90,7 +96,7 @@ NodeId SelfStabBfsRouting::nextHop(NodeId p, NodeId d) const {
   // qualifies as a forwarder in any neighbor's choice predicate (a message
   // reaching bufE_d(d) can only be consumed by R6, never pulled back out).
   if (p == d) return p;
-  const NodeId par = parent_[index(p, d)];
+  const NodeId par = parent_.read(index(p, d));
   // The contract guarantees a neighbor even for garbage state.
   if (graph_.hasEdge(p, par)) return par;
   return graph_.degree(p) > 0 ? graph_.neighbors(p)[0] : p;
@@ -99,8 +105,8 @@ NodeId SelfStabBfsRouting::nextHop(NodeId p, NodeId d) const {
 void SelfStabBfsRouting::setEntry(NodeId p, NodeId d, std::uint32_t distance,
                                   NodeId parent) {
   assert(graph_.hasEdge(p, parent) && "routing parent must be a neighbor");
-  dist_[index(p, d)] = std::min(distance, cap_);
-  parent_[index(p, d)] = parent;
+  dist_.write(index(p, d)) = std::min(distance, cap_);
+  parent_.write(index(p, d)) = parent;
   notifyExternalMutation();
   notifyMutation();
 }
@@ -111,8 +117,9 @@ void SelfStabBfsRouting::corrupt(Rng& rng, double fraction) {
     for (NodeId d = 0; d < n_; ++d) {
       if (!rng.chance(fraction)) continue;
       const auto& nbrs = graph_.neighbors(p);
-      dist_[index(p, d)] = static_cast<std::uint32_t>(rng.below(cap_ + 1));
-      parent_[index(p, d)] = nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
+      dist_.write(index(p, d)) = static_cast<std::uint32_t>(rng.below(cap_ + 1));
+      parent_.write(index(p, d)) =
+          nbrs[static_cast<std::size_t>(rng.below(nbrs.size()))];
     }
   }
   notifyExternalMutation();
@@ -130,9 +137,9 @@ bool SelfStabBfsRouting::matchesBfs() const {
   for (NodeId d = 0; d < n_; ++d) {
     const auto fromD = graph_.bfsDistances(d);
     for (NodeId p = 0; p < n_; ++p) {
-      if (dist_[index(p, d)] != fromD[p]) return false;
+      if (dist_.read(index(p, d)) != fromD[p]) return false;
       if (p != d) {
-        const NodeId par = parent_[index(p, d)];
+        const NodeId par = parent_.read(index(p, d));
         if (!graph_.hasEdge(p, par)) return false;
         if (fromD[par] + 1 != fromD[p]) return false;
       }

@@ -54,10 +54,10 @@ class SelfStabBfsRouting final : public Protocol, public RoutingProvider {
 
   // -- State access & fault injection ---------------------------------------
   [[nodiscard]] std::uint32_t dist(NodeId p, NodeId d) const {
-    return dist_[index(p, d)];
+    return dist_.read(index(p, d));
   }
   [[nodiscard]] NodeId parent(NodeId p, NodeId d) const {
-    return parent_[index(p, d)];
+    return parent_.read(index(p, d));
   }
 
   /// Overwrites one table entry (fault injection / crafted scenarios).
@@ -88,8 +88,11 @@ class SelfStabBfsRouting final : public Protocol, public RoutingProvider {
   const Graph& graph_;
   std::size_t n_;
   std::uint32_t cap_;  // = n, the "unknown" distance value
-  std::vector<std::uint32_t> dist_;
-  std::vector<NodeId> parent_;
+  // Observable table rows, one per processor (audit-mode access recording):
+  // SSMFP guards reading nextHop(c, d) record reads of c's row through
+  // these stores automatically.
+  CheckedStore<std::uint32_t> dist_;
+  CheckedStore<NodeId> parent_;
 
   struct Pending {
     NodeId p;

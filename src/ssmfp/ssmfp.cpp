@@ -13,8 +13,7 @@ SsmfpProtocol::SsmfpProtocol(const Graph& graph, const RoutingProvider& routing,
       dests_(std::move(destinations)),
       destSlot_(graph.size(), kNoSlot),
       delta_(static_cast<Color>(graph.maxDegree())),
-      policy_(policy),
-      outbox_(graph.size()) {
+      policy_(policy) {
   if (dests_.empty()) {
     dests_.resize(graph.size());
     for (NodeId d = 0; d < graph.size(); ++d) dests_[d] = d;
@@ -27,13 +26,18 @@ SsmfpProtocol::SsmfpProtocol(const Graph& graph, const RoutingProvider& routing,
   }
 
   const std::size_t cells = graph.size() * dests_.size();
+  bufR_.configure(accessTrackerSlot(), dests_.size());
+  bufE_.configure(accessTrackerSlot(), dests_.size());
+  queue_.configure(accessTrackerSlot(), dests_.size());
+  outbox_.configure(accessTrackerSlot(), 1);
   bufR_.resize(cells);
   bufE_.resize(cells);
   queue_.resize(cells);
+  outbox_.resize(graph.size());
   // Fairness queue: N_p in id order, then p itself (the Delta+1 queue).
   for (NodeId p = 0; p < graph.size(); ++p) {
     for (const NodeId d : dests_) {
-      auto& q = queue_[cell(p, d)];
+      auto& q = queue_.write(cell(p, d));
       q = graph.neighbors(p);
       q.push_back(p);
     }
@@ -55,7 +59,8 @@ std::uint64_t SsmfpProtocol::nowRound() const {
 }
 
 NodeId SsmfpProtocol::nextDestination(NodeId p) const {
-  return outbox_[p].empty() ? kNoNode : outbox_[p].front().dest;
+  const auto& box = outbox_.read(p);
+  return box.empty() ? kNoNode : box.front().dest;
 }
 
 bool SsmfpProtocol::choiceCandidate(NodeId p, NodeId d, NodeId c) const {
@@ -65,14 +70,14 @@ bool SsmfpProtocol::choiceCandidate(NodeId p, NodeId d, NodeId c) const {
     return request(p) && nextDestination(p) == d;
   }
   // Neighbor candidacy: c's emission buffer holds a message routed to p.
-  const Buffer& e = bufE_[cell(c, d)];
+  const Buffer& e = bufE_.read(cell(c, d));
   return e.has_value() && routing_.nextHop(c, d) == p;
 }
 
 NodeId SsmfpProtocol::choice(NodeId p, NodeId d) const {
   switch (policy_) {
     case ChoicePolicy::kRoundRobin:
-      for (const NodeId c : queue_[cell(p, d)]) {
+      for (const NodeId c : queue_.read(cell(p, d))) {
         if (choiceCandidate(p, d, c)) return c;
       }
       return kNoNode;
@@ -99,9 +104,9 @@ NodeId SsmfpProtocol::choice(NodeId p, NodeId d) const {
       };
       for (const NodeId c : graph_.neighbors(p)) {
         if (!choiceCandidate(p, d, c)) continue;
-        consider(c, bufE_[cell(c, d)]->trace);
+        consider(c, bufE_.read(cell(c, d))->trace);
       }
-      if (choiceCandidate(p, d, p)) consider(p, outbox_[p].front().trace);
+      if (choiceCandidate(p, d, p)) consider(p, outbox_.read(p).front().trace);
       return best;
     }
   }
@@ -117,7 +122,7 @@ Color SsmfpProtocol::colorFor(NodeId p, NodeId d) const {
   thread_local std::vector<bool> used;
   used.assign(static_cast<std::size_t>(delta_) + 1, false);
   for (const NodeId q : graph_.neighbors(p)) {
-    const Buffer& r = bufR_[cell(q, d)];
+    const Buffer& r = bufR_.read(cell(q, d));
     if (r.has_value() && r->color <= delta_) used[r->color] = true;
   }
   for (Color c = 0; c <= delta_; ++c) {
@@ -132,25 +137,25 @@ Color SsmfpProtocol::colorFor(NodeId p, NodeId d) const {
 // ---------------------------------------------------------------------------
 
 bool SsmfpProtocol::guardR1(NodeId p, NodeId d) const {
-  return request(p) && nextDestination(p) == d && !bufR_[cell(p, d)].has_value() &&
-         choice(p, d) == p;
+  return request(p) && nextDestination(p) == d &&
+         !bufR_.read(cell(p, d)).has_value() && choice(p, d) == p;
 }
 
 bool SsmfpProtocol::guardR2(NodeId p, NodeId d) const {
-  if (bufE_[cell(p, d)].has_value()) return false;
-  const Buffer& r = bufR_[cell(p, d)];
+  if (bufE_.read(cell(p, d)).has_value()) return false;
+  const Buffer& r = bufR_.read(cell(p, d));
   if (!r.has_value()) return false;
   const NodeId q = r->lastHop;
   if (q == p) return true;
   // Defensive: lastHop of injected garbage is constrained to N_p u {p},
   // but treat an out-of-range q as "no matching upstream copy".
   if (q >= graph_.size()) return true;
-  const Buffer& upstream = bufE_[cell(q, d)];
+  const Buffer& upstream = bufE_.read(cell(q, d));
   return !upstream.has_value() || !sameInfoAndColor(*upstream, *r);
 }
 
 NodeId SsmfpProtocol::guardR3(NodeId p, NodeId d) const {
-  if (bufR_[cell(p, d)].has_value()) return kNoNode;
+  if (bufR_.read(cell(p, d)).has_value()) return kNoNode;
   const NodeId s = choice(p, d);
   if (s == kNoNode || s == p) return kNoNode;
   // choiceCandidate already checked bufE_s(d) non-empty.
@@ -159,12 +164,12 @@ NodeId SsmfpProtocol::guardR3(NodeId p, NodeId d) const {
 
 bool SsmfpProtocol::guardR4(NodeId p, NodeId d) const {
   if (p == d) return false;
-  const Buffer& e = bufE_[cell(p, d)];
+  const Buffer& e = bufE_.read(cell(p, d));
   if (!e.has_value()) return false;
   const NodeId hop = routing_.nextHop(p, d);
   bool copyAtHop = false;
   for (const NodeId r : graph_.neighbors(p)) {
-    const Buffer& rb = bufR_[cell(r, d)];
+    const Buffer& rb = bufR_.read(cell(r, d));
     const bool match =
         rb.has_value() && matchesTriplet(*rb, e->payload, p, e->color);
     if (r == hop) {
@@ -177,7 +182,7 @@ bool SsmfpProtocol::guardR4(NodeId p, NodeId d) const {
 }
 
 bool SsmfpProtocol::guardR5(NodeId p, NodeId d) const {
-  const Buffer& r = bufR_[cell(p, d)];
+  const Buffer& r = bufR_.read(cell(p, d));
   if (!r.has_value()) return false;
   const NodeId q = r->lastHop;
   // q = p means the message was generated here (R1), not forwarded: it can
@@ -189,13 +194,13 @@ bool SsmfpProtocol::guardR5(NodeId p, NodeId d) const {
   // disjunct confirms the intended reading.
   if (q == p) return false;
   if (q >= graph_.size()) return false;
-  const Buffer& upstream = bufE_[cell(q, d)];
+  const Buffer& upstream = bufE_.read(cell(q, d));
   if (!upstream.has_value() || !sameInfoAndColor(*upstream, *r)) return false;
   return routing_.nextHop(q, d) != p;
 }
 
 bool SsmfpProtocol::guardR6(NodeId p, NodeId d) const {
-  return p == d && bufE_[cell(p, d)].has_value();
+  return p == d && bufE_.read(cell(p, d)).has_value();
 }
 
 void SsmfpProtocol::enumerateEnabled(NodeId p, std::vector<Action>& out) const {
@@ -226,7 +231,7 @@ void SsmfpProtocol::stage(NodeId p, const Action& a) {
   switch (a.rule) {
     case kR1Generate: {
       assert(guardR1(p, d));
-      const OutboxEntry& waiting = outbox_[p].front();
+      const OutboxEntry& waiting = outbox_.read(p).front();
       Message msg;
       msg.payload = waiting.payload;
       msg.lastHop = p;
@@ -246,7 +251,7 @@ void SsmfpProtocol::stage(NodeId p, const Action& a) {
     }
     case kR2Internal: {
       assert(guardR2(p, d));
-      Message msg = *bufR_[cell(p, d)];
+      Message msg = *bufR_.read(cell(p, d));
       msg.lastHop = p;
       msg.color = colorFor(p, d);
       op.writeE = true;
@@ -258,7 +263,7 @@ void SsmfpProtocol::stage(NodeId p, const Action& a) {
     case kR3Forward: {
       const NodeId s = static_cast<NodeId>(a.aux);
       assert(guardR3(p, d) == s);
-      Message msg = *bufE_[cell(s, d)];
+      Message msg = *bufE_.read(cell(s, d));
       msg.lastHop = s;  // color kept (the footnote's q != s case applies to
                         // invalid initial messages; we forward them anyway)
       op.writeR = true;
@@ -280,7 +285,7 @@ void SsmfpProtocol::stage(NodeId p, const Action& a) {
     }
     case kR6Consume: {
       assert(guardR6(p, d));
-      op.delivered = *bufE_[cell(p, d)];
+      op.delivered = *bufE_.read(cell(p, d));
       op.writeE = true;
       op.newE = std::nullopt;
       break;
@@ -293,12 +298,13 @@ void SsmfpProtocol::stage(NodeId p, const Action& a) {
 
 void SsmfpProtocol::commit(std::vector<NodeId>& written) {
   for (auto& op : staged_) {
+    auditCommitOp(op.p, op.rule);
     written.push_back(op.p);  // every statement writes only p's variables
     const std::size_t idx = cell(op.p, op.d);
-    if (op.writeR) bufR_[idx] = op.newR;
-    if (op.writeE) bufE_[idx] = op.newE;
+    if (op.writeR) bufR_.write(idx) = op.newR;
+    if (op.writeE) bufE_.write(idx) = op.newE;
     if (op.rotateToBack != kNoNode) {
-      auto& q = queue_[idx];
+      auto& q = queue_.write(idx);
       const auto it = std::find(q.begin(), q.end(), op.rotateToBack);
       if (it != q.end()) {
         q.erase(it);
@@ -306,8 +312,9 @@ void SsmfpProtocol::commit(std::vector<NodeId>& written) {
       }
     }
     if (op.popOutbox) {
-      assert(!outbox_[op.p].empty());
-      outbox_[op.p].pop_front();
+      auto& box = outbox_.write(op.p);
+      assert(!box.empty());
+      box.pop_front();
     }
     if (op.generated.has_value()) {
       generations_.push_back({*op.generated, nowStep(), nowRound()});
@@ -331,7 +338,7 @@ TraceId SsmfpProtocol::send(NodeId src, NodeId dest, Payload payload) {
   assert(dest < graph_.size() && destSlot_[dest] != kNoSlot &&
          "dest must be an active destination");
   const TraceId trace = nextTrace_++;
-  outbox_[src].push_back({dest, payload, trace});
+  outbox_.write(src).push_back({dest, payload, trace});
   notifyExternalMutation();  // request_p flipped outside stage/commit
   return trace;
 }
@@ -343,7 +350,7 @@ void SsmfpProtocol::injectReception(NodeId p, NodeId d, Message msg) {
   msg.valid = false;
   msg.dest = d;
   if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
-  bufR_[cell(p, d)] = msg;
+  bufR_.write(cell(p, d)) = msg;
   notifyExternalMutation();
 }
 
@@ -354,26 +361,26 @@ void SsmfpProtocol::injectEmission(NodeId p, NodeId d, Message msg) {
   msg.valid = false;
   msg.dest = d;
   if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
-  bufE_[cell(p, d)] = msg;
+  bufE_.write(cell(p, d)) = msg;
   notifyExternalMutation();
 }
 
 void SsmfpProtocol::scrambleQueues(Rng& rng) {
-  for (auto& q : queue_) rng.shuffle(q);
+  for (auto& q : queue_.rawMutable()) rng.shuffle(q);
   notifyExternalMutation();
 }
 
 void SsmfpProtocol::restoreReception(NodeId p, NodeId d, const Message& msg) {
   assert(p < graph_.size() && destSlot_[d] != kNoSlot);
   assert(msg.color <= delta_);
-  bufR_[cell(p, d)] = msg;
+  bufR_.write(cell(p, d)) = msg;
   notifyExternalMutation();
 }
 
 void SsmfpProtocol::restoreEmission(NodeId p, NodeId d, const Message& msg) {
   assert(p < graph_.size() && destSlot_[d] != kNoSlot);
   assert(msg.color <= delta_);
-  bufE_[cell(p, d)] = msg;
+  bufE_.write(cell(p, d)) = msg;
   notifyExternalMutation();
 }
 
@@ -384,27 +391,27 @@ void SsmfpProtocol::setFairnessQueue(NodeId p, NodeId d, std::vector<NodeId> ord
     assert(c == p || graph_.hasEdge(p, c));
   }
 #endif
-  queue_[cell(p, d)] = std::move(order);
+  queue_.write(cell(p, d)) = std::move(order);
   notifyExternalMutation();
 }
 
 void SsmfpProtocol::restoreOutboxEntry(NodeId p, NodeId dest, Payload payload,
                                        TraceId trace) {
   assert(p < graph_.size() && destSlot_[dest] != kNoSlot);
-  outbox_[p].push_back({dest, payload, trace});
+  outbox_.write(p).push_back({dest, payload, trace});
   notifyExternalMutation();
 }
 
 std::size_t SsmfpProtocol::occupiedBufferCount() const {
   std::size_t count = 0;
-  for (const auto& b : bufR_) count += b.has_value() ? 1 : 0;
-  for (const auto& b : bufE_) count += b.has_value() ? 1 : 0;
+  for (const auto& b : bufR_.raw()) count += b.has_value() ? 1 : 0;
+  for (const auto& b : bufE_.raw()) count += b.has_value() ? 1 : 0;
   return count;
 }
 
 bool SsmfpProtocol::fullyDrained() const {
   if (occupiedBufferCount() != 0) return false;
-  return std::all_of(outbox_.begin(), outbox_.end(),
+  return std::all_of(outbox_.raw().begin(), outbox_.raw().end(),
                      [](const auto& box) { return box.empty(); });
 }
 

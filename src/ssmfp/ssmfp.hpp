@@ -148,8 +148,10 @@ class SsmfpProtocol final : public Protocol {
 
   /// request_p of the paper: true iff src's higher layer has a waiting
   /// message (we model the flag as outbox non-emptiness).
-  [[nodiscard]] bool request(NodeId p) const { return !outbox_[p].empty(); }
-  [[nodiscard]] std::size_t outboxSize(NodeId p) const { return outbox_[p].size(); }
+  [[nodiscard]] bool request(NodeId p) const { return !outbox_.read(p).empty(); }
+  [[nodiscard]] std::size_t outboxSize(NodeId p) const {
+    return outbox_.read(p).size();
+  }
   /// Destination of the waiting message, or kNoNode (nextDestination_p).
   [[nodiscard]] NodeId nextDestination(NodeId p) const;
 
@@ -157,7 +159,7 @@ class SsmfpProtocol final : public Protocol {
   /// (used by the cross-model state hash; see mp/mp_ssmfp.hpp).
   template <typename F>
   void forEachWaiting(NodeId p, F&& f) const {
-    for (const auto& entry : outbox_[p]) f(entry.dest, entry.payload);
+    for (const auto& entry : outbox_.read(p)) f(entry.dest, entry.payload);
   }
 
   // -- Event records ------------------------------------------------------
@@ -191,14 +193,14 @@ class SsmfpProtocol final : public Protocol {
   [[nodiscard]] Color delta() const { return delta_; }
 
   [[nodiscard]] const Buffer& bufR(NodeId p, NodeId d) const {
-    return bufR_[cell(p, d)];
+    return bufR_.read(cell(p, d));
   }
   [[nodiscard]] const Buffer& bufE(NodeId p, NodeId d) const {
-    return bufE_[cell(p, d)];
+    return bufE_.read(cell(p, d));
   }
   /// The fairness queue backing choice_p(d), in current rotation order.
   [[nodiscard]] const std::vector<NodeId>& fairnessQueue(NodeId p, NodeId d) const {
-    return queue_[cell(p, d)];
+    return queue_.read(cell(p, d));
   }
 
   /// The procedures of Algorithm 1, exposed for tests and checkers.
@@ -237,7 +239,7 @@ class SsmfpProtocol final : public Protocol {
   void setNextTraceId(TraceId next) { nextTrace_ = next; }
   /// Trace id of p's k-th waiting message (snapshot support).
   [[nodiscard]] TraceId waitingTrace(NodeId p, std::size_t k) const {
-    return outbox_[p][k].trace;
+    return outbox_.read(p)[k].trace;
   }
 
  private:
@@ -268,16 +270,18 @@ class SsmfpProtocol final : public Protocol {
   Color delta_;
   ChoicePolicy policy_;
 
-  std::vector<Buffer> bufR_;
-  std::vector<Buffer> bufE_;
-  std::vector<std::vector<NodeId>> queue_;  // fairness queue per (p, d)
+  // Observable variables, one row per processor (audit-mode access
+  // recording; see core/access_tracker.hpp).
+  CheckedStore<Buffer> bufR_;
+  CheckedStore<Buffer> bufE_;
+  CheckedStore<std::vector<NodeId>> queue_;  // fairness queue per (p, d)
 
   struct OutboxEntry {
     NodeId dest;
     Payload payload;
     TraceId trace;
   };
-  std::vector<std::deque<OutboxEntry>> outbox_;
+  CheckedStore<std::deque<OutboxEntry>> outbox_;
 
   TraceId nextTrace_ = 1;
   std::vector<GenerationRecord> generations_;

@@ -1,0 +1,318 @@
+// Tests of audit mode (core/access_tracker.hpp): deliberately-violating
+// protocol fixtures must be caught with the right diagnostic, and every
+// shipped protocol must run clean under audit - including from corrupted
+// initial configurations.
+//
+// The violation fixtures only work in an audit-capable binary
+// (-DSNAPFWD_AUDIT=ON); elsewhere they GTEST_SKIP, and the suite instead
+// checks that explicit setAuditMode(true) refuses with std::logic_error.
+#include "core/access_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "baseline/orientation_forwarding.hpp"
+#include "core/daemon.hpp"
+#include "core/engine.hpp"
+#include "graph/builders.hpp"
+#include "mp/mp_ssmfp.hpp"
+#include "pif/pif.hpp"
+#include "sim/runner.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+namespace {
+
+// Minimal one-shot protocol: every processor fires exactly once, flipping
+// its own value 0 -> 1. The access contract holds as written; each
+// violating fixture below overrides exactly one hook to breach it.
+class OneShotProtocol : public Protocol {
+ public:
+  explicit OneShotProtocol(const Graph& graph) : graph_(graph) {
+    value_.configure(accessTrackerSlot(), 1);
+    value_.assign(graph.size(), 0);
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "one-shot"; }
+
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
+    if (guardHolds(p)) out.push_back(Action{1, kNoNode, 0});
+  }
+
+  void stage(NodeId p, const Action&) override {
+    staged_.push_back(p);
+    onStage(p);
+  }
+
+  void commit(std::vector<NodeId>& written) override {
+    for (const NodeId p : staged_) commitOne(p, written);
+    staged_.clear();
+  }
+
+ protected:
+  [[nodiscard]] virtual bool guardHolds(NodeId p) const {
+    return value_.read(p) == 0;
+  }
+  virtual void onStage(NodeId) {}
+  virtual void commitOne(NodeId p, std::vector<NodeId>& written) {
+    auditCommitOp(p, 1);
+    value_.write(p) = 1;
+    written.push_back(p);
+  }
+
+  const Graph& graph_;
+  CheckedStore<int> value_;
+  std::vector<NodeId> staged_;
+};
+
+// (a) Guard locality: reads a distance-2 variable under the default
+// declared radius of 1.
+class NonLocalGuardProtocol final : public OneShotProtocol {
+ public:
+  using OneShotProtocol::OneShotProtocol;
+
+ protected:
+  [[nodiscard]] bool guardHolds(NodeId p) const override {
+    const NodeId far = static_cast<NodeId>((p + 2) % graph_.size());
+    return value_.read(far) == 0 && value_.read(p) == 0;
+  }
+};
+
+// (b) Stage purity: stage() writes an observable variable.
+class ImpureStageProtocol final : public OneShotProtocol {
+ public:
+  using OneShotProtocol::OneShotProtocol;
+
+ protected:
+  void onStage(NodeId p) override { value_.write(p) = 1; }
+};
+
+// (c) Write-set honesty: commit() writes but reports nothing.
+class UnderReportProtocol final : public OneShotProtocol {
+ public:
+  using OneShotProtocol::OneShotProtocol;
+
+ protected:
+  void commitOne(NodeId p, std::vector<NodeId>& written) override {
+    auditCommitOp(p, 1);
+    value_.write(p) = 1;
+    (void)written;
+  }
+};
+
+// (d) Ownership: commit at p also writes the successor's variable (the
+// write IS reported, so only the cross-processor check can fire).
+class CrossProcessorWriteProtocol final : public OneShotProtocol {
+ public:
+  using OneShotProtocol::OneShotProtocol;
+
+ protected:
+  void commitOne(NodeId p, std::vector<NodeId>& written) override {
+    const NodeId next = static_cast<NodeId>((p + 1) % graph_.size());
+    auditCommitOp(p, 1);
+    value_.write(p) = 1;
+    value_.write(next) = 1;
+    written.push_back(p);
+    written.push_back(next);
+  }
+};
+
+template <typename Fixture>
+AccessViolation firstViolation() {
+  const Graph g = topo::ring(5);
+  Fixture proto(g);
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  engine.setAuditMode(true);
+  try {
+    engine.run(10);
+  } catch (const AccessAuditError& e) {
+    return e.violation();
+  }
+  ADD_FAILURE() << "expected an AccessAuditError, none thrown";
+  return {};
+}
+
+#define SKIP_UNLESS_AUDIT_CAPABLE()                                      \
+  if (!kAuditCapable) {                                                  \
+    GTEST_SKIP() << "binary built without -DSNAPFWD_AUDIT=ON";           \
+  }
+
+TEST(AccessAudit, CatchesNonLocalGuardRead) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const AccessViolation v = firstViolation<NonLocalGuardProtocol>();
+  EXPECT_EQ(v.kind, AccessViolationKind::kNonLocalGuardRead);
+  EXPECT_EQ(v.protocol, "one-shot");
+  EXPECT_EQ(v.declaredRadius, 1u);
+  // Ring of 5: the offending read is at distance 2 from the actor.
+  EXPECT_EQ(v.variableOwner, (v.actor + 2) % 5);
+  EXPECT_NE(v.describe().find("outside its declared access radius"),
+            std::string::npos)
+      << v.describe();
+}
+
+TEST(AccessAudit, CatchesImpureStage) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const AccessViolation v = firstViolation<ImpureStageProtocol>();
+  EXPECT_EQ(v.kind, AccessViolationKind::kStageWrite);
+  EXPECT_EQ(v.rule, 1u);
+  EXPECT_EQ(v.actor, v.variableOwner);
+  EXPECT_NE(v.describe().find("stage must not touch observable state"),
+            std::string::npos)
+      << v.describe();
+}
+
+TEST(AccessAudit, CatchesUnderReportedCommitWrite) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const AccessViolation v = firstViolation<UnderReportProtocol>();
+  EXPECT_EQ(v.kind, AccessViolationKind::kUnderReportedWrite);
+  EXPECT_EQ(v.protocol, "one-shot");
+  EXPECT_NE(v.describe().find("omitted it from the reported write set"),
+            std::string::npos)
+      << v.describe();
+}
+
+TEST(AccessAudit, CatchesCrossProcessorWrite) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const AccessViolation v = firstViolation<CrossProcessorWriteProtocol>();
+  EXPECT_EQ(v.kind, AccessViolationKind::kCrossProcessorWrite);
+  EXPECT_EQ(v.rule, 1u);
+  EXPECT_EQ(v.variableOwner, (v.actor + 1) % 5);
+  EXPECT_NE(v.describe().find("write only their own processor"),
+            std::string::npos)
+      << v.describe();
+}
+
+// The handler path (used by the audit CLI) collects diagnostics without
+// aborting the run: the cross-processor fixture still terminates (every
+// value flips in step 1), producing one violation per processor.
+TEST(AccessAudit, ViolationHandlerCollectsWithoutThrowing) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const Graph g = topo::ring(5);
+  CrossProcessorWriteProtocol proto(g);
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  engine.setAuditMode(true);
+  std::vector<AccessViolation> collected;
+  engine.setAuditViolationHandler(
+      [&](const AccessViolation& v) { collected.push_back(v); });
+  EXPECT_NO_THROW(engine.run(10));
+  EXPECT_TRUE(engine.isTerminal());
+  ASSERT_EQ(collected.size(), 5u);
+  for (const auto& v : collected) {
+    EXPECT_EQ(v.kind, AccessViolationKind::kCrossProcessorWrite);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Clean runs: every shipped protocol honors the contract, including from
+// corrupted initial configurations.
+// ---------------------------------------------------------------------------
+
+/// Scopes Engine::setDefaultAuditMode(true) so stacks built inside
+/// runSsmfpExperiment / runBaselineExperiment come up audited.
+class ScopedDefaultAudit {
+ public:
+  ScopedDefaultAudit() { Engine::setDefaultAuditMode(true); }
+  ~ScopedDefaultAudit() { Engine::setDefaultAuditMode(std::nullopt); }
+};
+
+TEST(AccessAuditClean, SsmfpAndBaselineCorruptedExperiments) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const ScopedDefaultAudit scoped;
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::ring(8);
+  cfg.corruption.routingFraction = 1.0;
+  cfg.corruption.invalidMessages = 6;
+  cfg.corruption.scrambleQueues = true;
+  cfg.messageCount = 8;
+  cfg.seed = 11;
+  const ExperimentResult ssmfp = runSsmfpExperiment(cfg);
+  EXPECT_TRUE(ssmfp.quiescent);
+  const ExperimentResult baseline = runBaselineExperiment(cfg);
+  EXPECT_TRUE(baseline.quiescent);
+}
+
+TEST(AccessAuditClean, PifScrambledWave) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const Graph g = topo::binaryTree(7);
+  PifProtocol pif(g, /*root=*/0);
+  Rng rng(3);
+  pif.scrambleStates(rng);
+  pif.requestWave();
+  DistributedRandomDaemon daemon(rng, 0.5);
+  Engine engine(g, {&pif}, daemon);
+  engine.setAuditMode(true);
+  pif.attachEngine(&engine);
+  EXPECT_NO_THROW(engine.run(100000));
+  EXPECT_TRUE(engine.isTerminal());
+}
+
+TEST(AccessAuditClean, OrientationForwardingBothCovers) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  {
+    const Graph ring = topo::ring(8);
+    ClockwiseRingRouting routing(8);
+    UnidirectionalRingScheme scheme(8);
+    OrientationForwardingProtocol proto(ring, routing, scheme);
+    proto.send(0, 5, 7);
+    proto.send(3, 1, 9);
+    SynchronousDaemon daemon;
+    Engine engine(ring, {&proto}, daemon);
+    engine.setAuditMode(true);
+    proto.attachEngine(&engine);
+    EXPECT_NO_THROW(engine.run(100000));
+    EXPECT_TRUE(proto.fullyDrained());
+  }
+  {
+    const Graph tree = topo::binaryTree(7);
+    TreeUpDownScheme scheme(tree, 0);
+    TreePathRouting routing(tree, scheme);
+    OrientationForwardingProtocol proto(tree, routing, scheme);
+    proto.send(3, 6, 1);
+    proto.send(5, 4, 2);
+    SynchronousDaemon daemon;
+    Engine engine(tree, {&proto}, daemon);
+    engine.setAuditMode(true);
+    proto.attachEngine(&engine);
+    EXPECT_NO_THROW(engine.run(100000));
+    EXPECT_TRUE(proto.fullyDrained());
+  }
+}
+
+TEST(AccessAuditClean, MessagePassingCorruptedRun) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const Graph g = topo::ring(6);
+  MpSsmfpSimulator sim(g, {}, /*seed=*/5);
+  sim.setAuditMode(true);
+  EXPECT_TRUE(sim.auditMode());
+  Rng rng(17);
+  sim.corruptRouting(rng, 1.0);
+  sim.scrambleQueues(rng);
+  sim.send(0, 3, 42);
+  sim.send(2, 5, 7);
+  EXPECT_NO_THROW(sim.run(200000));
+  EXPECT_TRUE(sim.quiescent());
+}
+
+// ---------------------------------------------------------------------------
+// Non-capable flavor: enabling audit must refuse loudly, not no-op.
+// ---------------------------------------------------------------------------
+
+TEST(AccessAudit, NonCapableBinaryRefusesAuditMode) {
+  if (kAuditCapable) {
+    GTEST_SKIP() << "binary built with -DSNAPFWD_AUDIT=ON";
+  }
+  const Graph g = topo::ring(4);
+  OneShotProtocol proto(g);
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  EXPECT_THROW(engine.setAuditMode(true), std::logic_error);
+  MpSsmfpSimulator sim(g, {}, 1);
+  EXPECT_THROW(sim.setAuditMode(true), std::logic_error);
+}
+
+}  // namespace
+}  // namespace snapfwd

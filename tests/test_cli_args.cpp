@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "core/access_tracker.hpp"
+
 namespace snapfwd::cli {
 namespace {
 
@@ -89,6 +93,39 @@ TEST(CliArgs, RejectsMalformedNumbers) {
 
 TEST(CliArgs, RejectsNonFlagArgument) {
   EXPECT_FALSE(parse({"ring"}).options.has_value());
+}
+
+TEST(CliArgs, AuditSubcommandParses) {
+  const auto result = parse({"audit", "--seeds=3", "--jsonl=-", "--seed=7"});
+  ASSERT_TRUE(result.options.has_value());
+  EXPECT_EQ(result.options->command, Command::kAudit);
+  EXPECT_EQ(result.options->sweepSeeds, 3u);
+  EXPECT_EQ(result.options->jsonlOut, "-");
+  EXPECT_EQ(result.options->config.seed, 7u);
+}
+
+TEST(CliArgs, SweepFlagsRejectedForPlainRun) {
+  EXPECT_FALSE(parse({"--seeds=3"}).options.has_value());
+  EXPECT_FALSE(parse({"--jsonl=-"}).options.has_value());
+  // --threads stays sweep-only: audit runs are serial by design.
+  EXPECT_FALSE(parse({"audit", "--threads=2"}).options.has_value());
+}
+
+TEST(CliAudit, DispatchMatchesBuildCapability) {
+  auto parsed = parse({"audit", "--seeds=1", "--messages=4"});
+  ASSERT_TRUE(parsed.options.has_value());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = runCli(*parsed.options, out, err);
+  if (kAuditCapable) {
+    // All shipped protocols honor the access contract.
+    EXPECT_EQ(code, 0) << err.str();
+    EXPECT_NE(out.str().find("0 with access violations"), std::string::npos)
+        << out.str();
+  } else {
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(err.str().find("SNAPFWD_AUDIT"), std::string::npos) << err.str();
+  }
 }
 
 TEST(CliArgs, UsageMentionsEveryFlagGroup) {

@@ -49,42 +49,58 @@ class CountdownProtocol final : public Protocol {
   std::vector<NodeId> staged_;
 };
 
-/// Toy protocol proving reads happen against the pre-step configuration:
-/// every processor simultaneously adopts its right neighbor's value (on a
-/// ring). Only correct staging yields a pure rotation.
+/// Toy protocol proving reads happen against the pre-step configuration
+/// AND exercising a declared accessRadius() > 1: every processor adopts
+/// the value two hops clockwise on a ring, guarded by that same distant
+/// processor's remaining-steps counter. Guards and stage() read distance-2
+/// state, so the protocol declares accessRadius() == 2 and the engine
+/// widens incremental dirty-set expansion to the 2-ball; commit() writes
+/// only p's own variables and reports exactly {p} - no over-report needed.
 class RotateProtocol final : public Protocol {
  public:
   RotateProtocol(const Graph& graph, std::vector<int> values, int steps)
-      : graph_(graph), values_(std::move(values)), remaining_(steps) {}
+      : graph_(graph) {
+    values_.configure(accessTrackerSlot(), 1);
+    remaining_.configure(accessTrackerSlot(), 1);
+    const std::size_t n = values.size();
+    values_.rawMutable() = std::move(values);
+    remaining_.assign(n, steps);
+  }
 
   std::string_view name() const override { return "rotate"; }
+  unsigned accessRadius() const override { return 2; }
 
   void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
-    if (remaining_ > 0) out.push_back(Action{0, kNoNode, 0});
-    (void)p;
+    // Self-limiting (own counter) AND gated on the distance-2 counter:
+    // when src's counter hits 0, p's guard flips without any write in
+    // N[p] - only radius-2 dirty expansion re-evaluates it.
+    const NodeId src = static_cast<NodeId>((p + 2) % graph_.size());
+    if (remaining_.read(p) > 0 && remaining_.read(src) > 0) {
+      out.push_back(Action{0, kNoNode, 0});
+    }
   }
 
   void stage(NodeId p, const Action&) override {
-    const NodeId right = static_cast<NodeId>((p + 1) % graph_.size());
-    staged_.push_back({p, values_[right]});  // read of pre-step state
+    const NodeId src = static_cast<NodeId>((p + 2) % graph_.size());
+    staged_.push_back({p, values_.read(src)});  // read of pre-step state
   }
 
   void commit(std::vector<NodeId>& written) override {
-    for (const auto& [p, v] : staged_) values_[p] = v;
+    for (const auto& [p, v] : staged_) {
+      auditCommitOp(p, 0);
+      values_.write(p) = v;
+      --remaining_.write(p);
+      written.push_back(p);
+    }
     staged_.clear();
-    --remaining_;
-    // remaining_ is a GLOBAL guard input (every guard reads it), so this
-    // protocol's write set is all of I - the contract's escape hatch for
-    // non-local guards.
-    for (NodeId p = 0; p < graph_.size(); ++p) written.push_back(p);
   }
 
-  [[nodiscard]] const std::vector<int>& values() const { return values_; }
+  [[nodiscard]] const std::vector<int>& values() const { return values_.raw(); }
 
  private:
   const Graph& graph_;
-  std::vector<int> values_;
-  int remaining_;
+  CheckedStore<int> values_;
+  CheckedStore<int> remaining_;
   std::vector<std::pair<NodeId, int>> staged_;
 };
 
@@ -176,8 +192,18 @@ TEST(Engine, CompositeAtomicityRotation) {
   SynchronousDaemon daemon;
   Engine engine(g, {&proto}, daemon);
   engine.run(10);
-  // Two simultaneous left-rotations.
-  EXPECT_EQ(proto.values(), (std::vector<int>{30, 40, 50, 10, 20}));
+  // Two simultaneous rotate-left-by-2 steps = rotate-left-by-4, which on a
+  // 5-ring is one right rotation.
+  EXPECT_EQ(proto.values(), (std::vector<int>{50, 10, 20, 30, 40}));
+}
+
+TEST(Engine, MaxAccessRadiusTakenFromLayers) {
+  const Graph g = topo::ring(5);
+  RotateProtocol wide(g, {1, 2, 3, 4, 5}, 1);  // declares radius 2
+  CountdownProtocol narrow({0, 0, 0, 0, 0});   // default radius 1
+  SynchronousDaemon daemon;
+  Engine engine(g, {&narrow, &wide}, daemon);
+  EXPECT_EQ(engine.maxAccessRadius(), 2u);
 }
 
 TEST(Engine, SynchronousRoundsEqualSteps) {
@@ -377,8 +403,8 @@ TEST(Engine, ExternalMutationInvalidatesCache) {
 }
 
 TEST(Engine, RotationIdenticalAcrossScanModes) {
-  // RotateProtocol's guard reads a global counter; its commit() reports
-  // every processor as written, which must keep incremental mode exact.
+  // RotateProtocol's guards read distance-2 state; its declared
+  // accessRadius() of 2 must keep incremental mode exact.
   const Graph g = topo::ring(5);
   RotateProtocol fullProto(g, {10, 20, 30, 40, 50}, 3);
   SynchronousDaemon d1;
@@ -392,6 +418,35 @@ TEST(Engine, RotationIdenticalAcrossScanModes) {
 
   EXPECT_EQ(fullProto.values(), incProto.values());
   EXPECT_EQ(full.stepCount(), inc.stepCount());
+}
+
+TEST(Engine, DeclaredRadiusWidensIncrementalDirtySet) {
+  // Central daemon, one commit per step: the dirty set after p executes is
+  // {p}, and p's counter gates the guard of (p + 4) % 6 - distance 2 away
+  // on a 6-ring. Radius-1 widening would leave that guard stale-enabled
+  // once the counter hits zero; the declared radius of 2 re-evaluates it.
+  // Full scan is ground truth: identical step counts and values required.
+  const Graph g = topo::ring(6);
+  const std::vector<int> init{1, 2, 3, 4, 5, 6};
+
+  RotateProtocol fullProto(g, init, 2);
+  CentralRoundRobinDaemon d1;
+  Engine full(g, {&fullProto}, d1, nullptr, ScanMode::kFull);
+  const auto fullSteps = full.run(1000);
+  ASSERT_TRUE(full.isTerminal());
+
+  RotateProtocol incProto(g, init, 2);
+  CentralRoundRobinDaemon d2;
+  Engine inc(g, {&incProto}, d2, nullptr, ScanMode::kIncremental);
+  const auto incSteps = inc.run(1000);
+
+  EXPECT_TRUE(inc.isTerminal());
+  EXPECT_EQ(fullSteps, incSteps);
+  // Processors 0-3 execute twice; 4 and 5 are disabled mid-round by the
+  // distance-2 counters of 0 and 1 hitting zero - the exact propagation a
+  // radius-1 dirty set would miss.
+  EXPECT_EQ(fullSteps, 10u);
+  EXPECT_EQ(fullProto.values(), incProto.values());
 }
 
 TEST(Engine, DefaultScanModeOverrideRoundTrips) {

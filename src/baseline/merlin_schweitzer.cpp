@@ -243,4 +243,45 @@ void MerlinSchweitzerProtocol::scrambleQueues(Rng& rng) {
   notifyExternalMutation();
 }
 
+void MerlinSchweitzerProtocol::restoreBuffer(NodeId p, NodeId d,
+                                             const BaselineMessage& msg) {
+  assert(p < graph_.size() && destSlot_[d] != kNoSlot);
+  buf_.write(cell(p, d)) = msg;
+  notifyExternalMutation();
+}
+
+void MerlinSchweitzerProtocol::setLastFlag(NodeId p, NodeId d,
+                                           std::size_t neighborIndex,
+                                           std::optional<BaselineFlag> flag) {
+  assert(p < graph_.size() && destSlot_[d] != kNoSlot);
+  assert(neighborIndex < graph_.degree(p));
+  lastFlag_.write(cell(p, d))[neighborIndex] = flag;
+  notifyExternalMutation();
+}
+
+void MerlinSchweitzerProtocol::setGenBit(NodeId p, NodeId d, std::uint8_t bit) {
+  assert(p < graph_.size() && destSlot_[d] != kNoSlot);
+  genBit_.write(cell(p, d)) = bit & 1;
+  notifyExternalMutation();
+}
+
+void MerlinSchweitzerProtocol::setFairnessQueue(NodeId p, NodeId d,
+                                                std::vector<NodeId> order) {
+  assert(order.size() == graph_.degree(p) + 1);
+#ifndef NDEBUG
+  for (const NodeId c : order) {
+    assert(c == p || graph_.hasEdge(p, c));
+  }
+#endif
+  queue_.write(cell(p, d)) = std::move(order);
+  notifyExternalMutation();
+}
+
+void MerlinSchweitzerProtocol::restoreOutboxEntry(NodeId p, NodeId dest,
+                                                  Payload payload, TraceId trace) {
+  assert(p < graph_.size() && destSlot_[dest] != kNoSlot);
+  outbox_.write(p).push_back({dest, payload, trace});
+  notifyExternalMutation();
+}
+
 }  // namespace snapfwd

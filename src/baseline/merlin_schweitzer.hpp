@@ -129,6 +129,38 @@ class MerlinSchweitzerProtocol final : public Protocol {
   void injectBuffer(NodeId p, NodeId d, BaselineMessage msg);
   void scrambleQueues(Rng& rng);
 
+  // -- Exact state access & restoration (canonical serialization; see
+  // src/explore/canon.hpp) --------------------------------------------------
+  [[nodiscard]] const std::optional<BaselineFlag>& lastFlag(
+      NodeId p, NodeId d, std::size_t neighborIndex) const {
+    return lastFlag_.read(cell(p, d))[neighborIndex];
+  }
+  [[nodiscard]] std::uint8_t genBit(NodeId p, NodeId d) const {
+    return genBit_.read(cell(p, d));
+  }
+  [[nodiscard]] const std::vector<NodeId>& fairnessQueue(NodeId p, NodeId d) const {
+    return queue_.read(cell(p, d));
+  }
+  struct WaitingEntry {
+    NodeId dest = kNoNode;
+    Payload payload = 0;
+    TraceId trace = kInvalidTrace;
+  };
+  [[nodiscard]] WaitingEntry waitingAt(NodeId p, std::size_t k) const {
+    const auto& entry = outbox_.read(p)[k];
+    return {entry.dest, entry.payload, entry.trace};
+  }
+  [[nodiscard]] TraceId nextTraceId() const { return nextTrace_; }
+  void setNextTraceId(TraceId next) { nextTrace_ = next; }
+  /// Unlike injectBuffer these copy state verbatim (validity, trace and
+  /// provenance preserved).
+  void restoreBuffer(NodeId p, NodeId d, const BaselineMessage& msg);
+  void setLastFlag(NodeId p, NodeId d, std::size_t neighborIndex,
+                   std::optional<BaselineFlag> flag);
+  void setGenBit(NodeId p, NodeId d, std::uint8_t bit);
+  void setFairnessQueue(NodeId p, NodeId d, std::vector<NodeId> order);
+  void restoreOutboxEntry(NodeId p, NodeId dest, Payload payload, TraceId trace);
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFFu;
   [[nodiscard]] std::size_t cell(NodeId p, NodeId d) const {

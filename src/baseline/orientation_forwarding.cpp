@@ -284,4 +284,35 @@ bool OrientationForwardingProtocol::fullyDrained() const {
   return true;
 }
 
+void OrientationForwardingProtocol::restoreBuffer(NodeId p, std::size_t cls,
+                                                  const OrientMessage& msg) {
+  assert(p < graph_.size() && cls < k_);
+  buf_.write(cell(p, cls)) = msg;
+  notifyExternalMutation();
+}
+
+void OrientationForwardingProtocol::setLastFlag(NodeId p, std::size_t cls,
+                                                std::size_t neighborIndex,
+                                                std::optional<OrientFlag> flag) {
+  assert(p < graph_.size() && cls < k_);
+  assert(neighborIndex < graph_.degree(p));
+  lastFlag_.write(cell(p, cls))[neighborIndex] = flag;
+  notifyExternalMutation();
+}
+
+void OrientationForwardingProtocol::setGenBit(NodeId source, NodeId dest,
+                                              std::uint8_t bit) {
+  assert(source < graph_.size() && dest < graph_.size());
+  genBit_.write(static_cast<std::size_t>(source) * graph_.size() + dest) = bit & 1;
+  notifyExternalMutation();
+}
+
+void OrientationForwardingProtocol::restoreOutboxEntry(NodeId p, NodeId dest,
+                                                       Payload payload,
+                                                       TraceId trace) {
+  assert(p < graph_.size() && dest < graph_.size());
+  outbox_.write(p).push_back({dest, payload, trace});
+  notifyExternalMutation();
+}
+
 }  // namespace snapfwd

@@ -197,10 +197,42 @@ class OrientationForwardingProtocol final : public Protocol {
     return buf_.read(cell(p, cls));
   }
   [[nodiscard]] std::size_t classCount() const { return k_; }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
   /// Buffers per processor - the quantity the conclusion compares.
   [[nodiscard]] std::size_t buffersPerProcessor() const { return k_; }
   [[nodiscard]] std::size_t occupiedBufferCount() const;
   [[nodiscard]] bool fullyDrained() const;
+
+  // -- Exact state access & restoration (canonical serialization; see
+  // src/explore/canon.hpp) --------------------------------------------------
+  [[nodiscard]] const std::optional<OrientFlag>& lastFlag(
+      NodeId p, std::size_t cls, std::size_t neighborIndex) const {
+    return lastFlag_.read(cell(p, cls))[neighborIndex];
+  }
+  /// genBit_p maintained per (source, dest) pair.
+  [[nodiscard]] std::uint8_t genBit(NodeId source, NodeId dest) const {
+    return genBit_.read(static_cast<std::size_t>(source) * graph_.size() + dest);
+  }
+  [[nodiscard]] std::size_t outboxSize(NodeId p) const {
+    return outbox_.read(p).size();
+  }
+  struct WaitingEntry {
+    NodeId dest = kNoNode;
+    Payload payload = 0;
+    TraceId trace = kInvalidTrace;
+  };
+  [[nodiscard]] WaitingEntry waitingAt(NodeId p, std::size_t k) const {
+    const auto& entry = outbox_.read(p)[k];
+    return {entry.dest, entry.payload, entry.trace};
+  }
+  [[nodiscard]] TraceId nextTraceId() const { return nextTrace_; }
+  void setNextTraceId(TraceId next) { nextTrace_ = next; }
+  /// Verbatim state restoration (validity, trace, provenance preserved).
+  void restoreBuffer(NodeId p, std::size_t cls, const OrientMessage& msg);
+  void setLastFlag(NodeId p, std::size_t cls, std::size_t neighborIndex,
+                   std::optional<OrientFlag> flag);
+  void setGenBit(NodeId source, NodeId dest, std::uint8_t bit);
+  void restoreOutboxEntry(NodeId p, NodeId dest, Payload payload, TraceId trace);
 
  private:
   [[nodiscard]] std::size_t cell(NodeId p, std::size_t cls) const {

@@ -5,10 +5,103 @@
 #include "checker/caterpillar.hpp"
 
 namespace snapfwd {
+namespace {
+
+/// Walks every occupied buffer as f(p, d, buffer, isReception); the first
+/// non-nullopt result aborts the sweep.
+template <typename F>
+std::optional<std::string> forEachOccupied(const SsmfpProtocol& protocol, F&& f) {
+  const Graph& g = protocol.graph();
+  for (NodeId p = 0; p < g.size(); ++p) {
+    for (const NodeId d : protocol.destinations()) {
+      const Buffer& r = protocol.bufR(p, d);
+      if (r.has_value()) {
+        if (auto v = f(p, d, *r, true)) return v;
+      }
+      const Buffer& e = protocol.bufE(p, d);
+      if (e.has_value()) {
+        if (auto v = f(p, d, *e, false)) return v;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> checkBufferWellFormedness(
+    const SsmfpProtocol& protocol) {
+  const Graph& g = protocol.graph();
+  return forEachOccupied(
+      protocol,
+      [&](NodeId p, NodeId d, const Message& b,
+          bool reception) -> std::optional<std::string> {
+        if (b.color > protocol.delta()) {
+          std::ostringstream out;
+          out << "I1 violated: " << (reception ? "bufR" : "bufE") << "_" << p
+              << "(" << d << ") holds color " << b.color
+              << " > Delta=" << protocol.delta();
+          return out.str();
+        }
+        if (b.lastHop != p && !g.hasEdge(p, b.lastHop)) {
+          std::ostringstream out;
+          out << "I1 violated: " << (reception ? "bufR" : "bufE") << "_" << p
+              << "(" << d << ") lastHop " << b.lastHop << " not in N_p u {p}";
+          return out.str();
+        }
+        return std::nullopt;
+      });
+}
+
+std::optional<std::string> checkSingleEmissionCopy(const SsmfpProtocol& protocol) {
+  std::unordered_map<TraceId, std::uint32_t> emissionCopies;
+  (void)forEachOccupied(protocol,
+                        [&](NodeId, NodeId, const Message& b,
+                            bool reception) -> std::optional<std::string> {
+                          if (b.valid && !reception) ++emissionCopies[b.trace];
+                          return std::nullopt;
+                        });
+  for (const auto& [trace, count] : emissionCopies) {
+    if (count > 1) {
+      std::ostringstream out;
+      out << "I3 violated: valid trace " << trace << " occupies " << count
+          << " emission buffers";
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> checkConservation(
+    const SsmfpProtocol& protocol, const std::vector<TraceId>& outstanding) {
+  if (outstanding.empty()) return std::nullopt;
+  std::unordered_set<TraceId> present;
+  (void)forEachOccupied(protocol,
+                        [&](NodeId, NodeId, const Message& b,
+                            bool) -> std::optional<std::string> {
+                          if (b.valid) present.insert(b.trace);
+                          return std::nullopt;
+                        });
+  for (const TraceId trace : outstanding) {
+    if (present.count(trace) == 0) {
+      std::ostringstream out;
+      out << "I2 violated: valid trace " << trace
+          << " vanished without delivery";
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> checkCaterpillarCoverage(const SsmfpProtocol& protocol) {
+  // Classification is total by construction; classifyBuffers asserts
+  // occupancy and covers every occupied buffer, so just exercise it.
+  (void)classifyBuffers(protocol);
+  return std::nullopt;
+}
 
 std::optional<std::string> InvariantMonitor::check() {
   ++checksRun_;
-  const Graph& g = protocol_.graph();
 
   // Ingest new deliveries (I4: exactly-once online).
   const auto& deliveries = protocol_.deliveries();
@@ -29,64 +122,19 @@ std::optional<std::string> InvariantMonitor::check() {
     }
   }
 
-  // Sweep buffers: I1, I3 and copy census for I2.
-  std::unordered_map<TraceId, std::uint32_t> copies;
-  std::unordered_map<TraceId, std::uint32_t> emissionCopies;
-  auto checkBuffer = [&](NodeId p, NodeId d, const Buffer& b, bool reception)
-      -> std::optional<std::string> {
-    if (!b.has_value()) return std::nullopt;
-    if (b->color > protocol_.delta()) {
-      std::ostringstream out;
-      out << "I1 violated: " << (reception ? "bufR" : "bufE") << "_" << p << "("
-          << d << ") holds color " << b->color << " > Delta=" << protocol_.delta();
-      return out.str();
-    }
-    if (b->lastHop != p && !g.hasEdge(p, b->lastHop)) {
-      std::ostringstream out;
-      out << "I1 violated: " << (reception ? "bufR" : "bufE") << "_" << p << "("
-          << d << ") lastHop " << b->lastHop << " not in N_p u {p}";
-      return out.str();
-    }
-    if (b->valid) {
-      ++copies[b->trace];
-      if (!reception) ++emissionCopies[b->trace];
-    }
-    return std::nullopt;
-  };
-
-  for (NodeId p = 0; p < g.size(); ++p) {
-    for (const NodeId d : protocol_.destinations()) {
-      if (auto v = checkBuffer(p, d, protocol_.bufR(p, d), true)) return v;
-      if (auto v = checkBuffer(p, d, protocol_.bufE(p, d), false)) return v;
-    }
-  }
-
-  // I3: at most one emission copy per valid trace.
-  for (const auto& [trace, count] : emissionCopies) {
-    if (count > 1) {
-      std::ostringstream out;
-      out << "I3 violated: valid trace " << trace << " occupies " << count
-          << " emission buffers";
-      return out.str();
-    }
-  }
+  if (auto v = checkBufferWellFormedness(protocol_)) return v;
+  if (auto v = checkSingleEmissionCopy(protocol_)) return v;
 
   // I2: every generated-but-undelivered valid trace has >= 1 copy.
+  std::vector<TraceId> outstanding;
   for (const auto& gen : protocol_.generations()) {
-    const TraceId trace = gen.msg.trace;
-    if (deliveredValid_.count(trace) != 0) continue;
-    if (copies.find(trace) == copies.end()) {
-      std::ostringstream out;
-      out << "I2 violated: valid trace " << trace << " (payload="
-          << gen.msg.payload << ", " << gen.msg.source << "->" << gen.msg.dest
-          << ") vanished without delivery";
-      return out.str();
+    if (deliveredValid_.count(gen.msg.trace) == 0) {
+      outstanding.push_back(gen.msg.trace);
     }
   }
+  if (auto v = checkConservation(protocol_, outstanding)) return v;
 
-  // I5: classification is total by construction; classifyBuffers asserts
-  // occupancy and covers every occupied buffer, so just exercise it.
-  (void)classifyBuffers(protocol_);
+  if (auto v = checkCaterpillarCoverage(protocol_)) return v;
 
   return std::nullopt;
 }

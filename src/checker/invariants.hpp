@@ -26,10 +26,35 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "ssmfp/ssmfp.hpp"
 
 namespace snapfwd {
+
+// -- Stateless per-configuration checks --------------------------------------
+// Shared between the per-step InvariantMonitor and the state-space explorer
+// (src/explore/), which evaluates them at every reached configuration and
+// carries the execution history (outstanding traces) inside the explored
+// state itself.
+
+/// I1: every occupied buffer holds color <= Delta and lastHop in N_p u {p}.
+[[nodiscard]] std::optional<std::string> checkBufferWellFormedness(
+    const SsmfpProtocol& protocol);
+
+/// I3: a valid trace occupies at most one emission buffer.
+[[nodiscard]] std::optional<std::string> checkSingleEmissionCopy(
+    const SsmfpProtocol& protocol);
+
+/// I2 against an explicit outstanding set (valid traces generated but not
+/// yet delivered): each must still occupy at least one buffer.
+[[nodiscard]] std::optional<std::string> checkConservation(
+    const SsmfpProtocol& protocol, const std::vector<TraceId>& outstanding);
+
+/// I5: Definition 3 is exhaustive - every occupied buffer classifies
+/// (classifyBuffers asserts coverage; this wraps it as a check).
+[[nodiscard]] std::optional<std::string> checkCaterpillarCoverage(
+    const SsmfpProtocol& protocol);
 
 class InvariantMonitor {
  public:

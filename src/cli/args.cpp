@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "cli/audit.hpp"
+#include "cli/explore.hpp"
+#include "explore/explore.hpp"
 
 #include "sim/experiment_json.hpp"
 #include "sim/snapshot.hpp"
@@ -71,6 +73,9 @@ ParseResult parseArgs(int argc, const char* const* argv) {
   } else if (argc > 1 && std::string(argv[1]) == "audit") {
     options.command = Command::kAudit;
     first = 2;
+  } else if (argc > 1 && std::string(argv[1]) == "explore") {
+    options.command = Command::kExplore;
+    first = 2;
   }
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,8 +116,9 @@ ParseResult parseArgs(int argc, const char* const* argv) {
         return fail("--seeds needs a positive integer");
       }
     } else if (key == "threads") {
-      if (options.command != Command::kSweep) {
-        return fail("--threads is a sweep flag (snapfwd_cli sweep ...)");
+      if (options.command != Command::kSweep &&
+          options.command != Command::kExplore) {
+        return fail("--threads is a sweep/explore flag");
       }
       if (!needValue() || !parseNumber(value, options.sweepThreads)) {
         return fail("--threads needs an integer (0 = all hardware threads)");
@@ -123,6 +129,53 @@ ParseResult parseArgs(int argc, const char* const* argv) {
       }
       if (!needValue()) return fail("--jsonl needs a file path (or '-')");
       options.jsonlOut = value;
+    } else if (key == "model") {
+      if (options.command != Command::kExplore) {
+        return fail("--model is an explore flag (snapfwd_cli explore ...)");
+      }
+      if (!needValue() || (value != "ssmfp" && value != "pif")) {
+        return fail("--model needs ssmfp or pif");
+      }
+      options.exploreModel = value;
+    } else if (key == "daemon-closure") {
+      if (options.command != Command::kExplore) {
+        return fail("--daemon-closure is an explore flag");
+      }
+      if (!needValue() ||
+          !parseEnum<explore::DaemonClosure>(value).has_value()) {
+        return fail("--daemon-closure needs one of " +
+                    enumNameList<explore::DaemonClosure>());
+      }
+      options.exploreClosure = value;
+    } else if (key == "start-set") {
+      if (options.command != Command::kExplore) {
+        return fail("--start-set is an explore flag");
+      }
+      if (!needValue()) return fail("--start-set needs a value");
+      options.exploreStartSet = value;
+    } else if (key == "depth") {
+      if (options.command != Command::kExplore) {
+        return fail("--depth is an explore flag");
+      }
+      if (!needValue() || !parseNumber(value, options.exploreDepth)) {
+        return fail("--depth needs an integer (0 = unbounded)");
+      }
+    } else if (key == "max-states") {
+      if (options.command != Command::kExplore) {
+        return fail("--max-states is an explore flag");
+      }
+      if (!needValue() || !parseNumber(value, options.exploreMaxStates) ||
+          options.exploreMaxStates == 0) {
+        return fail("--max-states needs a positive integer");
+      }
+    } else if (key == "max-choices") {
+      if (options.command != Command::kExplore) {
+        return fail("--max-choices is an explore flag");
+      }
+      if (!needValue() || !parseNumber(value, options.exploreMaxChoices) ||
+          options.exploreMaxChoices == 0) {
+        return fail("--max-choices needs a positive integer");
+      }
     } else if (key == "protocol") {
       if (value == "ssmfp") {
         options.protocol = ProtocolChoice::kSsmfp;
@@ -218,7 +271,9 @@ std::string usage() {
   out << "snapfwd_cli - run one SSMFP/baseline experiment and report SP\n\n"
       << "usage: snapfwd_cli [--flag=value ...]\n"
       << "       snapfwd_cli sweep [--flag=value ...]   multi-seed sweep\n"
-      << "       snapfwd_cli audit [--flag=value ...]   access-audit replay\n\n"
+      << "       snapfwd_cli audit [--flag=value ...]   access-audit replay\n"
+      << "       snapfwd_cli explore [--flag=value ...] exhaustive state-space "
+         "closure\n\n"
       << "  --topology=" << enumNameList<TopologyKind>() << "\n"
       << "             (default ring)\n"
       << "  --n=<k> --rows=<k> --cols=<k> --dims=<k> --extra-edges=<k>\n"
@@ -239,6 +294,21 @@ std::string usage() {
       << "  --seeds=<k>            seeds to run (default 10)\n"
       << "  --threads=<k>          worker threads, 0 = all hardware (default)\n"
       << "  --jsonl=<file|->       write manifest + per-run + aggregate JSONL\n\n"
+      << "explore flags (bounded explicit-state model checking, src/explore/):\n"
+      << "  --model=ssmfp|pif      the protocol stack to close (default ssmfp)\n"
+      << "  --daemon-closure=" << enumNameList<explore::DaemonClosure>() << "\n"
+      << "                         (default central)\n"
+      << "  --start-set=<name>     ssmfp: figure2-corruptions (default, every\n"
+      << "                         single-variable corruption of the paper's\n"
+      << "                         Figure 2 instance) | figure2-clean;\n"
+      << "                         pif: scramble (default, all 3^n states)\n"
+      << "  --depth=<k>            BFS depth bound (0 = unbounded)\n"
+      << "  --max-states=<k>       visited-set bound (default 1000000)\n"
+      << "  --max-choices=<k>      per-state move bound (default 256)\n"
+      << "  --threads=<k>          frontier workers, 0 = all hardware\n"
+      << "  --jsonl=<file|->       explore-stats / explore-violation records\n"
+      << "Exits 0 = clean closure, 1 = violation found (counterexample is\n"
+      << "shrunk and its schedule printed), 2 = usage error.\n\n"
       << "audit: replays the topology x daemon x corruption matrix (all\n"
       << "protocols) with access auditing on, reporting every guard-locality,\n"
       << "stage-purity or write-set violation. Honors --seeds and --jsonl.\n"
@@ -371,6 +441,13 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       return 2;
     }
     return runAuditCommand(options, out, err);
+  }
+  if (options.command == Command::kExplore) {
+    if (tooling) {
+      err << "error: snapshot/trace/render flags do not apply to explore\n";
+      return 2;
+    }
+    return runExploreCommand(options, out, err);
   }
   if (options.protocol == ProtocolChoice::kBaseline) {
     if (tooling) {

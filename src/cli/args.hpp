@@ -20,8 +20,10 @@ enum class OutputFormat { kText, kCsv };
 /// `snapfwd_cli [--flags]` runs one experiment; `snapfwd_cli sweep
 /// [--flags]` runs a multi-seed parallel sweep and can emit JSONL;
 /// `snapfwd_cli audit [--flags]` replays the experiment matrix with access
-/// auditing enabled (requires a -DSNAPFWD_AUDIT=ON build).
-enum class Command { kRun, kSweep, kAudit };
+/// auditing enabled (requires a -DSNAPFWD_AUDIT=ON build); `snapfwd_cli
+/// explore [--flags]` exhaustively closes a model instance's state space
+/// under a daemon class (src/explore/).
+enum class Command { kRun, kSweep, kAudit, kExplore };
 
 struct CliOptions {
   ExperimentConfig config;
@@ -34,6 +36,15 @@ struct CliOptions {
   std::size_t sweepSeeds = 10;   // --seeds
   std::size_t sweepThreads = 0;  // --threads (0 = all hardware threads)
   std::string jsonlOut;          // --jsonl=<path> ("-" = stdout)
+
+  // Explore subcommand (values validated at parse time; resolved against
+  // src/explore/ in runExploreCommand):
+  std::string exploreModel = "ssmfp";      // --model=ssmfp|pif
+  std::string exploreClosure = "central";  // --daemon-closure=central|...
+  std::string exploreStartSet;             // --start-set (default per model)
+  std::uint64_t exploreDepth = 0;          // --depth (0 = unbounded)
+  std::uint64_t exploreMaxStates = 1'000'000;  // --max-states
+  std::size_t exploreMaxChoices = 256;         // --max-choices per state
 
   // Tooling (SSMFP stack only):
   std::string snapshotOut;  // write the initial configuration to this file

@@ -1,0 +1,160 @@
+#include "cli/explore.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "explore/explore.hpp"
+#include "explore/models.hpp"
+#include "sim/sweep.hpp"
+#include "stats/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snapfwd::cli {
+namespace {
+
+using explore::DaemonClosure;
+using explore::ExploreOptions;
+using explore::ExploreResult;
+using explore::ExploreViolation;
+using explore::Move;
+using explore::StepSelection;
+
+/// The spanning tree of the Figure 2 network rooted at a (edges a-b, a-c,
+/// a-d) - the PIF instance small enough for the full 3^n scramble closure.
+Graph figure2SpanningTree() {
+  Graph tree(4);
+  tree.addEdge(0, 1);
+  tree.addEdge(0, 2);
+  tree.addEdge(0, 3);
+  return tree;
+}
+
+std::string renderSchedule(const std::vector<Move>& path) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    out << "  step " << i << ":";
+    for (const StepSelection& sel : path[i]) {
+      out << " (p=" << sel.p << " layer=" << sel.layer
+          << " rule=" << sel.action.rule;
+      if (sel.action.dest != kNoNode) out << " dest=" << sel.action.dest;
+      out << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void renderStats(std::ostream& out, std::string_view model,
+                 const ExploreOptions& options, const ExploreResult& result,
+                 double seconds) {
+  Table table("snapfwd explore", {"metric", "value"});
+  table.addRow({"model", std::string(model)});
+  table.addRow({"daemon closure", toString(options.closure)});
+  table.addRow({"threads", Table::num(std::uint64_t{options.threads})});
+  table.addRow({"start states", Table::num(result.stats.startStates)});
+  table.addRow({"visited states", Table::num(result.stats.visited)});
+  table.addRow({"transitions", Table::num(result.stats.transitions)});
+  table.addRow({"dedup hits", Table::num(result.stats.dedupHits)});
+  table.addRow({"frontier peak", Table::num(result.stats.frontierPeak)});
+  table.addRow({"depth reached", Table::num(result.stats.depthReached)});
+  table.addRow({"truncated states", Table::num(result.stats.truncatedStates)});
+  table.addRow({"terminal states", Table::num(result.stats.terminalStates)});
+  table.addRow({"max progress count", Table::num(result.stats.maxProgressCount)});
+  table.addRow({"exhausted (closure proof)", Table::yesNo(result.stats.exhausted)});
+  table.addRow({"violations", Table::num(std::uint64_t{result.violations.size()})});
+  table.addRow({"seconds", Table::num(seconds, 2)});
+  table.printMarkdown(out);
+}
+
+}  // namespace
+
+int runExploreCommand(const CliOptions& options, std::ostream& out,
+                      std::ostream& err) {
+  ExploreOptions exploreOptions;
+  exploreOptions.closure =
+      *parseEnum<DaemonClosure>(options.exploreClosure);  // parse-validated
+  exploreOptions.maxDepth =
+      options.exploreDepth == 0 ? UINT64_MAX : options.exploreDepth;
+  exploreOptions.maxStates = options.exploreMaxStates;
+  exploreOptions.maxMovesPerState = options.exploreMaxChoices;
+  exploreOptions.threads = resolveThreadCount(options.sweepThreads);
+
+  std::unique_ptr<explore::ExploreModel> model;
+  std::unique_ptr<explore::SsmfpExploreModel> ssmfpModel;
+  if (options.exploreModel == "ssmfp") {
+    const std::string startSet = options.exploreStartSet.empty()
+                                     ? "figure2-corruptions"
+                                     : options.exploreStartSet;
+    if (startSet == "figure2-corruptions") {
+      ssmfpModel = std::make_unique<explore::SsmfpExploreModel>(
+          explore::SsmfpExploreModel::figure2CorruptionClosure());
+    } else if (startSet == "figure2-clean") {
+      ssmfpModel = std::make_unique<explore::SsmfpExploreModel>(
+          explore::SsmfpExploreModel::figure2Clean());
+    } else {
+      err << "error: unknown ssmfp start set '" << startSet
+          << "' (figure2-corruptions | figure2-clean)\n";
+      return 2;
+    }
+  } else {
+    const std::string startSet =
+        options.exploreStartSet.empty() ? "scramble" : options.exploreStartSet;
+    if (startSet != "scramble") {
+      err << "error: unknown pif start set '" << startSet << "' (scramble)\n";
+      return 2;
+    }
+    model = std::make_unique<explore::PifExploreModel>(
+        explore::PifExploreModel::scrambleClosure(figure2SpanningTree(),
+                                                  /*root=*/0));
+  }
+  const explore::ExploreModel& chosen = ssmfpModel ? *ssmfpModel : *model;
+
+  std::unique_ptr<ThreadPool> pool;
+  if (exploreOptions.threads > 1) {
+    pool = std::make_unique<ThreadPool>(exploreOptions.threads);
+  }
+
+  const auto begin = std::chrono::steady_clock::now();
+  const ExploreResult result = explore::explore(chosen, exploreOptions, pool.get());
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  renderStats(out, chosen.name(), exploreOptions, result, seconds);
+
+  if (!result.clean()) {
+    const ExploreViolation& v = result.violations.front();
+    out << "violation: " << v.kind << " at depth " << v.depth << " from start #"
+        << v.rootIndex << "\n  " << v.message << "\nschedule:\n"
+        << renderSchedule(v.path);
+    if (ssmfpModel) {
+      const ShrinkResult shrunk =
+          explore::shrinkSsmfpViolation(*ssmfpModel, v, exploreOptions);
+      out << "shrunk start configuration (" << shrunk.probes << " probes, "
+          << shrunk.removedLines << " lines removed, " << shrunk.zeroedPayloads
+          << " payloads zeroed):\n"
+          << shrunk.snapshot;
+    }
+  }
+
+  if (!options.jsonlOut.empty()) {
+    if (options.jsonlOut == "-") {
+      explore::writeExploreJsonl(out, chosen.name(), exploreOptions, result);
+    } else {
+      std::ofstream file(options.jsonlOut);
+      if (!file) {
+        err << "error: cannot write '" << options.jsonlOut << "'\n";
+        return 2;
+      }
+      explore::writeExploreJsonl(file, chosen.name(), exploreOptions, result);
+      out << "jsonl written to " << options.jsonlOut << "\n";
+    }
+  }
+  return result.clean() ? 0 : 1;
+}
+
+}  // namespace snapfwd::cli

@@ -1,0 +1,17 @@
+#pragma once
+// `snapfwd_cli explore` - bounded exhaustive state-space closure of a model
+// instance (src/explore/) with violation reporting, counterexample
+// shrinking and JSONL emission. See args.hpp for the flag surface.
+
+#include <iosfwd>
+
+#include "cli/args.hpp"
+
+namespace snapfwd::cli {
+
+/// Exit code: 0 = clean closure (check `exhausted` in the output for
+/// whether it is a proof), 1 = violation found, 2 = usage error.
+int runExploreCommand(const CliOptions& options, std::ostream& out,
+                      std::ostream& err);
+
+}  // namespace snapfwd::cli

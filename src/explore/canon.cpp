@@ -1,0 +1,550 @@
+#include "explore/canon.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baseline/merlin_schweitzer.hpp"
+#include "baseline/orientation_forwarding.hpp"
+#include "graph/graph.hpp"
+#include "mp/mp_ssmfp.hpp"
+#include "pif/pif.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "sim/snapshot.hpp"
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd::explore {
+
+std::uint64_t hash64(std::string_view text) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x00000100000001B3ull;  // FNV prime
+  }
+  return h;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Line-based parsing helpers shared by the restore functions. Each format is
+// a header line, a body of space-separated token lines, and a final "end".
+// ---------------------------------------------------------------------------
+
+class LineParser {
+ public:
+  LineParser(const std::string& text, std::string_view format)
+      : in_(text), format_(format) {}
+
+  /// Next non-empty line, split into tokens; false at end of input.
+  bool next(std::vector<std::string>& tokens) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++lineNo_;
+      tokens.clear();
+      std::istringstream ls(line);
+      std::string tok;
+      while (ls >> tok) tokens.push_back(tok);
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error(std::string(format_) + " restore: line " +
+                             std::to_string(lineNo_) + ": " + what);
+  }
+
+  void expectCount(const std::vector<std::string>& tokens, std::size_t want) const {
+    if (tokens.size() != want) {
+      fail("expected " + std::to_string(want) + " tokens, got " +
+           std::to_string(tokens.size()));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t num(const std::string& tok) const {
+    try {
+      std::size_t pos = 0;
+      const std::uint64_t v = std::stoull(tok, &pos);
+      if (pos != tok.size()) fail("trailing characters in number '" + tok + "'");
+      return v;
+    } catch (const std::invalid_argument&) {
+      fail("not a number: '" + tok + "'");
+    } catch (const std::out_of_range&) {
+      fail("number out of range: '" + tok + "'");
+    }
+  }
+
+ private:
+  std::istringstream in_;
+  std::string_view format_;
+  std::size_t lineNo_ = 0;
+};
+
+void writeMessageFields(std::ostream& out, const Message& m) {
+  out << m.payload << ' ' << m.lastHop << ' ' << m.color << ' ' << m.trace
+      << ' ' << (m.valid ? 1 : 0) << ' ' << m.source << ' ' << m.dest << ' '
+      << m.bornStep << ' ' << m.bornRound;
+}
+
+/// Reads the 9 Message fields starting at tokens[base].
+Message parseMessageFields(const LineParser& lp,
+                           const std::vector<std::string>& tokens,
+                           std::size_t base) {
+  Message m;
+  m.payload = lp.num(tokens[base]);
+  m.lastHop = static_cast<NodeId>(lp.num(tokens[base + 1]));
+  m.color = static_cast<Color>(lp.num(tokens[base + 2]));
+  m.trace = lp.num(tokens[base + 3]);
+  m.valid = lp.num(tokens[base + 4]) != 0;
+  m.source = static_cast<NodeId>(lp.num(tokens[base + 5]));
+  m.dest = static_cast<NodeId>(lp.num(tokens[base + 6]));
+  m.bornStep = lp.num(tokens[base + 7]);
+  m.bornRound = lp.num(tokens[base + 8]);
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SSMFP stack / forwarding-only
+// ---------------------------------------------------------------------------
+
+std::string canonSsmfpStack(const Graph& graph, const SelfStabBfsRouting& routing,
+                            const SsmfpProtocol& forwarding) {
+  SnapshotOptions options;
+  options.normalizeBirthStamps = true;
+  return snapshotToString(graph, routing, forwarding, options);
+}
+
+std::string canonForwardingState(const SsmfpProtocol& forwarding) {
+  const Graph& graph = forwarding.graph();
+  std::ostringstream out;
+  out << "fwdstate v1\n";
+  out << "dests " << forwarding.destinations().size();
+  for (const NodeId d : forwarding.destinations()) out << ' ' << d;
+  out << '\n';
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : forwarding.destinations()) {
+      if (const Buffer& b = forwarding.bufR(p, d)) {
+        out << "bufR " << p << ' ' << d << ' ';
+        writeMessageFields(out, *b);
+        out << '\n';
+      }
+      if (const Buffer& b = forwarding.bufE(p, d)) {
+        out << "bufE " << p << ' ' << d << ' ';
+        writeMessageFields(out, *b);
+        out << '\n';
+      }
+      out << "queue " << p << ' ' << d;
+      for (const NodeId c : forwarding.fairnessQueue(p, d)) out << ' ' << c;
+      out << '\n';
+    }
+    const std::size_t waiting = forwarding.outboxSize(p);
+    std::size_t k = 0;
+    forwarding.forEachWaiting(p, [&](NodeId dest, Payload payload) {
+      out << "outbox " << p << ' ' << dest << ' ' << payload << ' '
+          << forwarding.waitingTrace(p, k) << '\n';
+      ++k;
+    });
+    assert(k == waiting);
+    (void)waiting;
+  }
+  out << "nexttrace " << forwarding.nextTraceId() << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// PIF
+// ---------------------------------------------------------------------------
+
+std::string canonPifState(const PifProtocol& pif) {
+  std::ostringstream out;
+  out << "pif v1\n";
+  out << "root " << pif.root() << '\n';
+  out << "states";
+  for (NodeId p = 0; p < pif.graph().size(); ++p) {
+    out << ' ' << static_cast<unsigned>(pif.state(p));
+  }
+  out << '\n';
+  out << "pending " << pif.pendingRequests() << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+void restorePifState(PifProtocol& pif, const std::string& canon) {
+  LineParser lp(canon, "pif");
+  std::vector<std::string> tokens;
+  if (!lp.next(tokens) || tokens.size() != 2 || tokens[0] != "pif" ||
+      tokens[1] != "v1") {
+    lp.fail("expected header 'pif v1'");
+  }
+  bool done = false;
+  while (!done && lp.next(tokens)) {
+    if (tokens[0] == "root") {
+      lp.expectCount(tokens, 2);
+      if (static_cast<NodeId>(lp.num(tokens[1])) != pif.root()) {
+        lp.fail("root mismatch");
+      }
+    } else if (tokens[0] == "states") {
+      if (tokens.size() != 1 + pif.graph().size()) lp.fail("state count mismatch");
+      for (NodeId p = 0; p < pif.graph().size(); ++p) {
+        const std::uint64_t s = lp.num(tokens[1 + p]);
+        if (s > 2) lp.fail("state out of range");
+        pif.setState(p, static_cast<PifState>(s));
+      }
+    } else if (tokens[0] == "pending") {
+      lp.expectCount(tokens, 2);
+      const std::uint64_t want = lp.num(tokens[1]);
+      if (pif.pendingRequests() > want) lp.fail("pending requests already above target");
+      while (pif.pendingRequests() < want) pif.requestWave();
+    } else if (tokens[0] == "end") {
+      done = true;
+    } else {
+      lp.fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!done) lp.fail("missing 'end'");
+}
+
+// ---------------------------------------------------------------------------
+// Merlin-Schweitzer destination-based baseline
+// ---------------------------------------------------------------------------
+
+std::string canonBaselineState(const MerlinSchweitzerProtocol& baseline) {
+  const Graph& graph = baseline.graph();
+  std::ostringstream out;
+  out << "msbaseline v1\n";
+  out << "dests " << baseline.destinations().size();
+  for (const NodeId d : baseline.destinations()) out << ' ' << d;
+  out << '\n';
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : baseline.destinations()) {
+      if (const auto& b = baseline.buffer(p, d)) {
+        out << "buf " << p << ' ' << d << ' ' << b->payload << ' '
+            << b->flag.source << ' ' << static_cast<unsigned>(b->flag.bit) << ' '
+            << b->trace << ' ' << (b->valid ? 1 : 0) << ' ' << b->source << ' '
+            << b->dest << ' ' << b->bornStep << ' ' << b->bornRound << '\n';
+      }
+      for (std::size_t i = 0; i < graph.degree(p); ++i) {
+        if (const auto& f = baseline.lastFlag(p, d, i)) {
+          out << "lastflag " << p << ' ' << d << ' ' << i << ' ' << f->source
+              << ' ' << static_cast<unsigned>(f->bit) << '\n';
+        }
+      }
+      if (baseline.genBit(p, d) != 0) {
+        out << "genbit " << p << ' ' << d << '\n';
+      }
+      out << "queue " << p << ' ' << d;
+      for (const NodeId c : baseline.fairnessQueue(p, d)) out << ' ' << c;
+      out << '\n';
+    }
+    for (std::size_t k = 0; k < baseline.outboxSize(p); ++k) {
+      const auto entry = baseline.waitingAt(p, k);
+      out << "outbox " << p << ' ' << entry.dest << ' ' << entry.payload << ' '
+          << entry.trace << '\n';
+    }
+  }
+  out << "nexttrace " << baseline.nextTraceId() << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+void restoreBaselineState(MerlinSchweitzerProtocol& baseline,
+                          const std::string& canon) {
+  const Graph& graph = baseline.graph();
+  LineParser lp(canon, "msbaseline");
+  std::vector<std::string> tokens;
+  if (!lp.next(tokens) || tokens.size() != 2 || tokens[0] != "msbaseline" ||
+      tokens[1] != "v1") {
+    lp.fail("expected header 'msbaseline v1'");
+  }
+  bool done = false;
+  while (!done && lp.next(tokens)) {
+    if (tokens[0] == "dests") {
+      if (tokens.size() < 2 ||
+          lp.num(tokens[1]) != baseline.destinations().size() ||
+          tokens.size() != 2 + baseline.destinations().size()) {
+        lp.fail("destination set mismatch");
+      }
+      for (std::size_t i = 0; i < baseline.destinations().size(); ++i) {
+        if (static_cast<NodeId>(lp.num(tokens[2 + i])) !=
+            baseline.destinations()[i]) {
+          lp.fail("destination set mismatch");
+        }
+      }
+    } else if (tokens[0] == "buf") {
+      lp.expectCount(tokens, 12);
+      BaselineMessage m;
+      const NodeId p = static_cast<NodeId>(lp.num(tokens[1]));
+      const NodeId d = static_cast<NodeId>(lp.num(tokens[2]));
+      m.payload = lp.num(tokens[3]);
+      m.flag.source = static_cast<NodeId>(lp.num(tokens[4]));
+      m.flag.bit = static_cast<std::uint8_t>(lp.num(tokens[5]));
+      m.trace = lp.num(tokens[6]);
+      m.valid = lp.num(tokens[7]) != 0;
+      m.source = static_cast<NodeId>(lp.num(tokens[8]));
+      m.dest = static_cast<NodeId>(lp.num(tokens[9]));
+      m.bornStep = lp.num(tokens[10]);
+      m.bornRound = lp.num(tokens[11]);
+      baseline.restoreBuffer(p, d, m);
+    } else if (tokens[0] == "lastflag") {
+      lp.expectCount(tokens, 6);
+      BaselineFlag f;
+      const NodeId p = static_cast<NodeId>(lp.num(tokens[1]));
+      const NodeId d = static_cast<NodeId>(lp.num(tokens[2]));
+      const std::size_t i = lp.num(tokens[3]);
+      f.source = static_cast<NodeId>(lp.num(tokens[4]));
+      f.bit = static_cast<std::uint8_t>(lp.num(tokens[5]));
+      if (i >= graph.degree(p)) lp.fail("neighbor index out of range");
+      baseline.setLastFlag(p, d, i, f);
+    } else if (tokens[0] == "genbit") {
+      lp.expectCount(tokens, 3);
+      baseline.setGenBit(static_cast<NodeId>(lp.num(tokens[1])),
+                         static_cast<NodeId>(lp.num(tokens[2])), 1);
+    } else if (tokens[0] == "queue") {
+      if (tokens.size() < 3) lp.fail("queue line too short");
+      const NodeId p = static_cast<NodeId>(lp.num(tokens[1]));
+      if (tokens.size() != 3 + graph.degree(p) + 1) lp.fail("queue length mismatch");
+      std::vector<NodeId> order;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        order.push_back(static_cast<NodeId>(lp.num(tokens[i])));
+      }
+      baseline.setFairnessQueue(p, static_cast<NodeId>(lp.num(tokens[2])),
+                                std::move(order));
+    } else if (tokens[0] == "outbox") {
+      lp.expectCount(tokens, 5);
+      baseline.restoreOutboxEntry(static_cast<NodeId>(lp.num(tokens[1])),
+                                  static_cast<NodeId>(lp.num(tokens[2])),
+                                  lp.num(tokens[3]), lp.num(tokens[4]));
+    } else if (tokens[0] == "nexttrace") {
+      lp.expectCount(tokens, 2);
+      baseline.setNextTraceId(lp.num(tokens[1]));
+    } else if (tokens[0] == "end") {
+      done = true;
+    } else {
+      lp.fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!done) lp.fail("missing 'end'");
+}
+
+// ---------------------------------------------------------------------------
+// Orientation (buffer-class) scheme
+// ---------------------------------------------------------------------------
+
+std::string canonOrientationState(const OrientationForwardingProtocol& orientation) {
+  const Graph& graph = orientation.graph();
+  const std::size_t k = orientation.classCount();
+  const std::size_t n = graph.size();
+  std::ostringstream out;
+  out << "orient v1\n";
+  out << "classes " << k << '\n';
+  for (NodeId p = 0; p < n; ++p) {
+    for (std::size_t cls = 0; cls < k; ++cls) {
+      if (const auto& b = orientation.buffer(p, cls)) {
+        out << "buf " << p << ' ' << cls << ' ' << b->payload << ' ' << b->dest
+            << ' ' << b->flag.source << ' ' << b->flag.dest << ' '
+            << static_cast<unsigned>(b->flag.bit) << ' ' << b->trace << ' '
+            << (b->valid ? 1 : 0) << ' ' << b->source << ' ' << b->bornStep
+            << ' ' << b->bornRound << '\n';
+      }
+      for (std::size_t i = 0; i < graph.degree(p); ++i) {
+        if (const auto& f = orientation.lastFlag(p, cls, i)) {
+          out << "lastflag " << p << ' ' << cls << ' ' << i << ' ' << f->source
+              << ' ' << f->dest << ' ' << static_cast<unsigned>(f->bit) << '\n';
+        }
+      }
+    }
+    for (std::size_t j = 0; j < orientation.outboxSize(p); ++j) {
+      const auto entry = orientation.waitingAt(p, j);
+      out << "outbox " << p << ' ' << entry.dest << ' ' << entry.payload << ' '
+          << entry.trace << '\n';
+    }
+  }
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (orientation.genBit(s, d) != 0) {
+        out << "genbit " << s << ' ' << d << '\n';
+      }
+    }
+  }
+  out << "nexttrace " << orientation.nextTraceId() << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+void restoreOrientationState(OrientationForwardingProtocol& orientation,
+                             const std::string& canon) {
+  const Graph& graph = orientation.graph();
+  LineParser lp(canon, "orient");
+  std::vector<std::string> tokens;
+  if (!lp.next(tokens) || tokens.size() != 2 || tokens[0] != "orient" ||
+      tokens[1] != "v1") {
+    lp.fail("expected header 'orient v1'");
+  }
+  bool done = false;
+  while (!done && lp.next(tokens)) {
+    if (tokens[0] == "classes") {
+      lp.expectCount(tokens, 2);
+      if (lp.num(tokens[1]) != orientation.classCount()) {
+        lp.fail("class count mismatch");
+      }
+    } else if (tokens[0] == "buf") {
+      lp.expectCount(tokens, 13);
+      OrientMessage m;
+      const NodeId p = static_cast<NodeId>(lp.num(tokens[1]));
+      const std::size_t cls = lp.num(tokens[2]);
+      m.payload = lp.num(tokens[3]);
+      m.dest = static_cast<NodeId>(lp.num(tokens[4]));
+      m.flag.source = static_cast<NodeId>(lp.num(tokens[5]));
+      m.flag.dest = static_cast<NodeId>(lp.num(tokens[6]));
+      m.flag.bit = static_cast<std::uint8_t>(lp.num(tokens[7]));
+      m.trace = lp.num(tokens[8]);
+      m.valid = lp.num(tokens[9]) != 0;
+      m.source = static_cast<NodeId>(lp.num(tokens[10]));
+      m.bornStep = lp.num(tokens[11]);
+      m.bornRound = lp.num(tokens[12]);
+      if (cls >= orientation.classCount()) lp.fail("class out of range");
+      orientation.restoreBuffer(p, cls, m);
+    } else if (tokens[0] == "lastflag") {
+      lp.expectCount(tokens, 7);
+      OrientFlag f;
+      const NodeId p = static_cast<NodeId>(lp.num(tokens[1]));
+      const std::size_t cls = lp.num(tokens[2]);
+      const std::size_t i = lp.num(tokens[3]);
+      f.source = static_cast<NodeId>(lp.num(tokens[4]));
+      f.dest = static_cast<NodeId>(lp.num(tokens[5]));
+      f.bit = static_cast<std::uint8_t>(lp.num(tokens[6]));
+      if (cls >= orientation.classCount() || i >= graph.degree(p)) {
+        lp.fail("lastflag index out of range");
+      }
+      orientation.setLastFlag(p, cls, i, f);
+    } else if (tokens[0] == "genbit") {
+      lp.expectCount(tokens, 3);
+      orientation.setGenBit(static_cast<NodeId>(lp.num(tokens[1])),
+                            static_cast<NodeId>(lp.num(tokens[2])), 1);
+    } else if (tokens[0] == "outbox") {
+      lp.expectCount(tokens, 5);
+      orientation.restoreOutboxEntry(static_cast<NodeId>(lp.num(tokens[1])),
+                                     static_cast<NodeId>(lp.num(tokens[2])),
+                                     lp.num(tokens[3]), lp.num(tokens[4]));
+    } else if (tokens[0] == "nexttrace") {
+      lp.expectCount(tokens, 2);
+      orientation.setNextTraceId(lp.num(tokens[1]));
+    } else if (tokens[0] == "end") {
+      done = true;
+    } else {
+      lp.fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!done) lp.fail("missing 'end'");
+}
+
+// ---------------------------------------------------------------------------
+// Message-passing embedding (protocol-visible state only)
+// ---------------------------------------------------------------------------
+
+std::string canonMpState(const MpSsmfpSimulator& sim) {
+  const Graph& graph = sim.graph();
+  std::ostringstream out;
+  out << "mp-ssmfp v1\n";
+  out << "dests " << sim.destinations().size();
+  for (const NodeId d : sim.destinations()) out << ' ' << d;
+  out << '\n';
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : sim.destinations()) {
+      out << "routing " << p << ' ' << d << ' ' << sim.routingDist(p, d) << ' '
+          << sim.routingParent(p, d) << '\n';
+      if (const Buffer& b = sim.bufR(p, d)) {
+        out << "bufR " << p << ' ' << d << ' ';
+        writeMessageFields(out, *b);
+        out << '\n';
+      }
+      if (const Buffer& b = sim.bufE(p, d)) {
+        out << "bufE " << p << ' ' << d << ' ';
+        writeMessageFields(out, *b);
+        out << '\n';
+      }
+      out << "queue " << p << ' ' << d;
+      for (const NodeId c : sim.fairnessQueue(p, d)) out << ' ' << c;
+      out << '\n';
+    }
+    for (std::size_t k = 0; k < sim.outboxSize(p); ++k) {
+      const auto entry = sim.waitingAt(p, k);
+      out << "outbox " << p << ' ' << entry.dest << ' ' << entry.payload << ' '
+          << entry.trace << '\n';
+    }
+  }
+  out << "nexttrace " << sim.nextTraceId() << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+void restoreMpState(MpSsmfpSimulator& sim, const std::string& canon) {
+  const Graph& graph = sim.graph();
+  LineParser lp(canon, "mp-ssmfp");
+  std::vector<std::string> tokens;
+  if (!lp.next(tokens) || tokens.size() != 2 || tokens[0] != "mp-ssmfp" ||
+      tokens[1] != "v1") {
+    lp.fail("expected header 'mp-ssmfp v1'");
+  }
+  bool done = false;
+  while (!done && lp.next(tokens)) {
+    if (tokens[0] == "dests") {
+      if (tokens.size() < 2 || lp.num(tokens[1]) != sim.destinations().size() ||
+          tokens.size() != 2 + sim.destinations().size()) {
+        lp.fail("destination set mismatch");
+      }
+      for (std::size_t i = 0; i < sim.destinations().size(); ++i) {
+        if (static_cast<NodeId>(lp.num(tokens[2 + i])) != sim.destinations()[i]) {
+          lp.fail("destination set mismatch");
+        }
+      }
+    } else if (tokens[0] == "routing") {
+      lp.expectCount(tokens, 5);
+      sim.setRoutingEntry(static_cast<NodeId>(lp.num(tokens[1])),
+                          static_cast<NodeId>(lp.num(tokens[2])),
+                          static_cast<std::uint32_t>(lp.num(tokens[3])),
+                          static_cast<NodeId>(lp.num(tokens[4])));
+    } else if (tokens[0] == "bufR" || tokens[0] == "bufE") {
+      lp.expectCount(tokens, 12);
+      const NodeId p = static_cast<NodeId>(lp.num(tokens[1]));
+      const NodeId d = static_cast<NodeId>(lp.num(tokens[2]));
+      const Message m = parseMessageFields(lp, tokens, 3);
+      if (tokens[0] == "bufR") {
+        sim.restoreReception(p, d, m);
+      } else {
+        sim.restoreEmission(p, d, m);
+      }
+    } else if (tokens[0] == "queue") {
+      if (tokens.size() < 3) lp.fail("queue line too short");
+      const NodeId p = static_cast<NodeId>(lp.num(tokens[1]));
+      if (tokens.size() != 3 + graph.degree(p) + 1) lp.fail("queue length mismatch");
+      std::vector<NodeId> order;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        order.push_back(static_cast<NodeId>(lp.num(tokens[i])));
+      }
+      sim.setFairnessQueue(p, static_cast<NodeId>(lp.num(tokens[2])),
+                           std::move(order));
+    } else if (tokens[0] == "outbox") {
+      lp.expectCount(tokens, 5);
+      sim.restoreOutboxEntry(static_cast<NodeId>(lp.num(tokens[1])),
+                             static_cast<NodeId>(lp.num(tokens[2])),
+                             lp.num(tokens[3]), lp.num(tokens[4]));
+    } else if (tokens[0] == "nexttrace") {
+      lp.expectCount(tokens, 2);
+      sim.setNextTraceId(lp.num(tokens[1]));
+    } else if (tokens[0] == "end") {
+      done = true;
+    } else {
+      lp.fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!done) lp.fail("missing 'end'");
+}
+
+}  // namespace snapfwd::explore

@@ -1,0 +1,80 @@
+#pragma once
+// Canonical configuration serialization + 64-bit hashing: the state
+// identity layer of the explicit-state explorer (explore.hpp).
+//
+// "Canonical" means: two configurations are protocol-equivalent iff their
+// canonical strings are byte-identical. Everything guards can read is
+// serialized in a fixed order (processor-id major, destination minor);
+// bookkeeping that never feeds a guard (bornStep/bornRound latency stamps)
+// is normalized away where noted, so states reached by different-length
+// executions still dedupe.
+//
+// The SSMFP stack form reuses the line-based snapshot format
+// (sim/snapshot.hpp) and stays readSnapshot()-loadable - restore IS the
+// successor-generation loader. The other four protocols get their own
+// compact line formats with matching restore functions; together they back
+// the serialize -> hash -> restore -> hash fixed-point test that is the
+// explorer's soundness bedrock (tests/test_canon_roundtrip.cpp).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace snapfwd {
+class Graph;
+class SelfStabBfsRouting;
+class SsmfpProtocol;
+class PifProtocol;
+class MerlinSchweitzerProtocol;
+class OrientationForwardingProtocol;
+class MpSsmfpSimulator;
+}  // namespace snapfwd
+
+namespace snapfwd::explore {
+
+/// FNV-1a, 64 bit. Stable across platforms and runs (no seeding): hashes
+/// are comparable between serial and parallel frontiers and across
+/// processes.
+[[nodiscard]] std::uint64_t hash64(std::string_view text);
+
+/// Full SSMFP stack (graph + routing tables + forwarding state): the
+/// snapshot-v1 text with birth stamps normalized to zero. Loadable with
+/// readSnapshot()/snapshotFromString().
+[[nodiscard]] std::string canonSsmfpStack(const Graph& graph,
+                                          const SelfStabBfsRouting& routing,
+                                          const SsmfpProtocol& forwarding);
+
+/// Forwarding-layer state only (buffers, fairness queues, outboxes,
+/// nexttrace) - works with any RoutingProvider, e.g. the FrozenRouting of
+/// the Figure 3 replay. Birth stamps are kept verbatim: scripted replays
+/// are deterministic and the golden corpus pins them.
+[[nodiscard]] std::string canonForwardingState(const SsmfpProtocol& forwarding);
+
+/// PIF protocol-visible state: root, per-node S_p, pending requests.
+[[nodiscard]] std::string canonPifState(const PifProtocol& pif);
+/// Applies a canonPifState() string to a freshly constructed protocol on
+/// the same tree. Throws std::runtime_error on malformed input.
+void restorePifState(PifProtocol& pif, const std::string& canon);
+
+/// Destination-based baseline: buffers, per-link handshake flags, gen
+/// bits, fairness queues, outboxes, nexttrace.
+[[nodiscard]] std::string canonBaselineState(
+    const MerlinSchweitzerProtocol& baseline);
+void restoreBaselineState(MerlinSchweitzerProtocol& baseline,
+                          const std::string& canon);
+
+/// Orientation (buffer-class) scheme: class buffers, per-link per-class
+/// flags, per-(source,dest) gen bits, outboxes, nexttrace.
+[[nodiscard]] std::string canonOrientationState(
+    const OrientationForwardingProtocol& orientation);
+void restoreOrientationState(OrientationForwardingProtocol& orientation,
+                             const std::string& canon);
+
+/// Message-passing embedding, protocol-visible state only (the
+/// synchronizer's channels/round counters are plumbing, not model state -
+/// see mp/mp_ssmfp.hpp): routing entries, buffer pairs, fairness queues,
+/// outboxes, nexttrace.
+[[nodiscard]] std::string canonMpState(const MpSsmfpSimulator& sim);
+void restoreMpState(MpSsmfpSimulator& sim, const std::string& canon);
+
+}  // namespace snapfwd::explore

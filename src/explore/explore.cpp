@@ -1,0 +1,382 @@
+#include "explore/explore.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+
+#include "explore/canon.hpp"
+#include "stats/jsonl.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snapfwd::explore {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Visited set: 64-way lock striping keyed on the state hash. Stores the BFS
+// tree (parent hash + incoming move) for counterexample-path reconstruction.
+// Equal hashes are treated as equal states - the standard hash-compaction
+// tradeoff of explicit-state checking; with 64-bit FNV over the bounded
+// instances explored here, collision probability is negligible.
+// ---------------------------------------------------------------------------
+
+struct VisitedEntry {
+  std::uint64_t parentHash = 0;
+  Move move;  // the step parent -> this (empty for start states)
+  std::uint32_t rootIndex = 0;
+  std::uint64_t depth = 0;
+};
+
+class VisitedSet {
+ public:
+  VisitedSet() : shards_(kShards) {}
+
+  /// True iff `hash` was not present (first inserter wins; the losing
+  /// entry is discarded).
+  bool insert(std::uint64_t hash, VisitedEntry entry) {
+    Shard& shard = shards_[shardOf(hash)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.map.emplace(hash, std::move(entry)).second;
+  }
+
+  [[nodiscard]] const VisitedEntry* find(std::uint64_t hash) {
+    Shard& shard = shards_[shardOf(hash)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(hash);
+    return it == shard.map.end() ? nullptr : &it->second;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  [[nodiscard]] static std::size_t shardOf(std::uint64_t hash) {
+    return (hash >> 58) & (kShards - 1);  // top bits: FNV mixes them well
+  }
+
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, VisitedEntry> map;
+  };
+  std::vector<Shard> shards_;
+};
+
+struct FrontierItem {
+  std::uint64_t hash = 0;
+  std::string state;
+  std::uint32_t rootIndex = 0;
+  std::uint64_t depth = 0;
+};
+
+/// A violation as recorded during expansion, before path reconstruction.
+struct RawViolation {
+  ModelViolation what;
+  std::uint64_t hash = 0;
+  std::uint64_t depth = 0;
+  std::uint32_t rootIndex = 0;
+  std::string state;
+};
+
+/// Appends the action combinations of `entries` (one action per entry) to
+/// `out` as moves, mixed-radix over the per-entry action counts.
+void pushActionCombinations(const std::vector<const EnabledProcessor*>& entries,
+                            std::size_t maxMoves, std::vector<Move>& out,
+                            bool& truncated) {
+  std::vector<std::size_t> radix(entries.size(), 0);
+  while (true) {
+    if (out.size() >= maxMoves) {
+      truncated = true;
+      return;
+    }
+    Move move;
+    move.reserve(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      move.push_back({entries[i]->p, entries[i]->layer,
+                      entries[i]->actions[radix[i]]});
+    }
+    out.push_back(std::move(move));
+    // Odometer increment.
+    std::size_t i = 0;
+    for (; i < entries.size(); ++i) {
+      if (++radix[i] < entries[i]->actions.size()) break;
+      radix[i] = 0;
+    }
+    if (i == entries.size()) return;
+  }
+}
+
+}  // namespace
+
+void enumerateMovesFromEnabled(const std::vector<EnabledProcessor>& enabled,
+                               DaemonClosure closure, std::size_t maxMoves,
+                               std::vector<Move>& out, bool& truncated) {
+  out.clear();
+  truncated = false;
+  if (enabled.empty()) return;
+  switch (closure) {
+    case DaemonClosure::kCentral: {
+      for (const EnabledProcessor& e : enabled) {
+        for (const Action& a : e.actions) {
+          if (out.size() >= maxMoves) {
+            truncated = true;
+            return;
+          }
+          out.push_back({StepSelection{e.p, e.layer, a}});
+        }
+      }
+      return;
+    }
+    case DaemonClosure::kSynchronous: {
+      std::vector<const EnabledProcessor*> all;
+      all.reserve(enabled.size());
+      for (const EnabledProcessor& e : enabled) all.push_back(&e);
+      pushActionCombinations(all, maxMoves, out, truncated);
+      return;
+    }
+    case DaemonClosure::kDistributed: {
+      // Every non-empty subset of enabled processors. Beyond 20 processors
+      // the 2^k masks cannot fit any sane move bound anyway; cap the mask
+      // width and report truncation.
+      constexpr std::size_t kMaxSubsetBits = 20;
+      const std::size_t k = enabled.size();
+      if (k > kMaxSubsetBits) truncated = true;
+      const std::size_t bits = std::min(k, kMaxSubsetBits);
+      std::vector<const EnabledProcessor*> subset;
+      for (std::uint64_t mask = 1; mask < (1ull << bits); ++mask) {
+        subset.clear();
+        for (std::size_t i = 0; i < bits; ++i) {
+          if (mask & (1ull << i)) subset.push_back(&enabled[i]);
+        }
+        pushActionCombinations(subset, maxMoves, out, truncated);
+        if (truncated) return;
+      }
+      return;
+    }
+  }
+}
+
+ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
+                      ThreadPool* pool) {
+  ExploreResult result;
+  VisitedSet visited;
+  std::vector<FrontierItem> frontier;
+  std::vector<RawViolation> rawViolations;
+  std::mutex accumMutex;  // guards frontier-builder + rawViolations + maxima
+
+  std::atomic<std::uint64_t> visitedCount{0};
+  std::atomic<std::uint64_t> transitions{0};
+  std::atomic<std::uint64_t> dedupHits{0};
+  std::atomic<std::uint64_t> truncatedStates{0};
+  std::atomic<std::uint64_t> terminalStates{0};
+  std::atomic<bool> boundHit{false};
+  std::uint64_t maxProgress = 0;
+  std::uint64_t depthReached = 0;
+
+  const std::vector<std::string>& starts = model.startStates();
+  result.stats.startStates = starts.size();
+
+  // Seed level 0: dedupe the start set itself and run the state checks on
+  // every distinct start.
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    const std::uint64_t h = hash64(starts[i]);
+    VisitedEntry entry;
+    entry.parentHash = h;
+    entry.rootIndex = static_cast<std::uint32_t>(i);
+    entry.depth = 0;
+    if (!visited.insert(h, std::move(entry))) {
+      ++dedupHits;
+      continue;
+    }
+    ++visitedCount;
+    auto inst = model.load(starts[i]);
+    maxProgress = std::max(maxProgress, inst->progressCount());
+    if (auto v = inst->checkState()) {
+      rawViolations.push_back(
+          {std::move(*v), h, 0, static_cast<std::uint32_t>(i), starts[i]});
+      continue;
+    }
+    frontier.push_back({h, starts[i], static_cast<std::uint32_t>(i), 0});
+  }
+
+  const auto expandItem = [&](const FrontierItem& item,
+                              std::vector<FrontierItem>& next) {
+    auto inst = model.load(item.state);
+    std::vector<Move> moves;
+    bool truncated = false;
+    inst->enumerateMoves(options.closure, options.maxMovesPerState, moves,
+                         truncated);
+    if (truncated) {
+      ++truncatedStates;
+      boundHit = true;
+    }
+    if (moves.empty()) {
+      ++terminalStates;
+      if (auto v = inst->checkTerminal()) {
+        std::lock_guard<std::mutex> lock(accumMutex);
+        rawViolations.push_back(
+            {std::move(*v), item.hash, item.depth, item.rootIndex, item.state});
+      }
+      return;
+    }
+    for (const Move& move : moves) {
+      ++transitions;
+      auto child = model.load(item.state);
+      const bool applied = child->apply(move);
+      assert(applied);
+      if (!applied) continue;
+      std::string text = child->serialize();
+      const std::uint64_t h = hash64(text);
+      VisitedEntry entry;
+      entry.parentHash = item.hash;
+      entry.move = move;
+      entry.rootIndex = item.rootIndex;
+      entry.depth = item.depth + 1;
+      if (!visited.insert(h, std::move(entry))) {
+        ++dedupHits;
+        continue;
+      }
+      ++visitedCount;
+      const std::uint64_t progress = child->progressCount();
+      auto v = child->checkState();
+      std::lock_guard<std::mutex> lock(accumMutex);
+      depthReached = std::max(depthReached, item.depth + 1);
+      maxProgress = std::max(maxProgress, progress);
+      if (v) {
+        rawViolations.push_back(
+            {std::move(*v), h, item.depth + 1, item.rootIndex, std::move(text)});
+        continue;  // violating states are not expanded further
+      }
+      if (item.depth + 1 >= options.maxDepth) {
+        boundHit = true;
+        continue;
+      }
+      if (visitedCount.load() > options.maxStates) {
+        boundHit = true;
+        continue;
+      }
+      next.push_back({h, std::move(text), item.rootIndex, item.depth + 1});
+    }
+  };
+
+  while (!frontier.empty()) {
+    result.stats.frontierPeak =
+        std::max<std::uint64_t>(result.stats.frontierPeak, frontier.size());
+    std::vector<FrontierItem> next;
+    if (pool != nullptr && options.threads > 1 && frontier.size() > 1) {
+      pool->parallelForRange(
+          frontier.size(), [&](std::size_t begin, std::size_t end) {
+            std::vector<FrontierItem> local;
+            for (std::size_t i = begin; i < end; ++i) {
+              expandItem(frontier[i], local);
+            }
+            std::lock_guard<std::mutex> lock(accumMutex);
+            for (auto& item : local) next.push_back(std::move(item));
+          });
+    } else {
+      for (const FrontierItem& item : frontier) expandItem(item, next);
+    }
+    frontier = std::move(next);
+    if (options.stopOnViolation && !rawViolations.empty()) break;
+  }
+
+  result.stats.visited = visitedCount.load();
+  result.stats.transitions = transitions.load();
+  result.stats.dedupHits = dedupHits.load();
+  result.stats.truncatedStates = truncatedStates.load();
+  result.stats.terminalStates = terminalStates.load();
+  result.stats.maxProgressCount = maxProgress;
+  result.stats.depthReached = depthReached;
+  result.stats.exhausted = !boundHit.load() && rawViolations.empty();
+
+  // Deterministic violation order regardless of worker interleaving.
+  std::sort(rawViolations.begin(), rawViolations.end(),
+            [](const RawViolation& a, const RawViolation& b) {
+              if (a.depth != b.depth) return a.depth < b.depth;
+              if (a.hash != b.hash) return a.hash < b.hash;
+              return a.what.kind < b.what.kind;
+            });
+  for (RawViolation& raw : rawViolations) {
+    ExploreViolation violation;
+    violation.kind = std::move(raw.what.kind);
+    violation.message = std::move(raw.what.message);
+    violation.depth = raw.depth;
+    violation.rootIndex = raw.rootIndex;
+    violation.rootState = starts[raw.rootIndex];
+    violation.violatingState = std::move(raw.state);
+    violation.stateHash = raw.hash;
+    // Walk the BFS tree back to the start state. Parent pointers may differ
+    // between runs (first-inserter-wins), but any recorded path is a valid
+    // schedule of the same length (BFS depth is order-independent).
+    std::uint64_t cursor = raw.hash;
+    while (true) {
+      const VisitedEntry* entry = visited.find(cursor);
+      assert(entry != nullptr);
+      if (entry == nullptr || entry->depth == 0) break;
+      violation.path.push_back(entry->move);
+      cursor = entry->parentHash;
+    }
+    std::reverse(violation.path.begin(), violation.path.end());
+    assert(violation.path.size() == violation.depth);
+    result.violations.push_back(std::move(violation));
+  }
+  return result;
+}
+
+void writeExploreJsonl(std::ostream& out, std::string_view modelName,
+                       const ExploreOptions& options, const ExploreResult& result) {
+  jsonl::Writer writer(out);
+  {
+    jsonl::Object o;
+    o.field("record", "explore-stats");
+    o.field("model", modelName);
+    o.field("closure", toString(options.closure));
+    o.field("max_depth", static_cast<std::uint64_t>(options.maxDepth));
+    o.field("max_states", static_cast<std::uint64_t>(options.maxStates));
+    o.field("max_moves_per_state",
+            static_cast<std::uint64_t>(options.maxMovesPerState));
+    o.field("threads", static_cast<std::uint64_t>(options.threads));
+    o.field("start_states", result.stats.startStates);
+    o.field("visited", result.stats.visited);
+    o.field("transitions", result.stats.transitions);
+    o.field("dedup_hits", result.stats.dedupHits);
+    o.field("frontier_peak", result.stats.frontierPeak);
+    o.field("depth_reached", result.stats.depthReached);
+    o.field("truncated_states", result.stats.truncatedStates);
+    o.field("terminal_states", result.stats.terminalStates);
+    o.field("max_progress", result.stats.maxProgressCount);
+    o.field("exhausted", result.stats.exhausted);
+    o.field("violations", static_cast<std::uint64_t>(result.violations.size()));
+    writer.write(o);
+  }
+  for (const ExploreViolation& v : result.violations) {
+    jsonl::Object o;
+    o.field("record", "explore-violation");
+    o.field("model", modelName);
+    o.field("kind", v.kind);
+    o.field("message", v.message);
+    o.field("depth", v.depth);
+    o.field("root_index", static_cast<std::uint64_t>(v.rootIndex));
+    o.field("state_hash", v.stateHash);
+    jsonl::Array path;
+    for (const Move& move : v.path) {
+      jsonl::Array step;
+      for (const StepSelection& sel : move) {
+        jsonl::Object s;
+        s.field("p", static_cast<std::uint64_t>(sel.p));
+        s.field("layer", static_cast<std::uint64_t>(sel.layer));
+        s.field("rule", static_cast<std::uint64_t>(sel.action.rule));
+        s.field("dest", static_cast<std::uint64_t>(sel.action.dest));
+        s.field("aux", sel.action.aux);
+        step.push(s);
+      }
+      path.push(step);
+    }
+    o.field("path", path);
+    o.field("root_state", v.rootState);
+    writer.write(o);
+  }
+}
+
+}  // namespace snapfwd::explore

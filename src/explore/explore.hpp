@@ -1,0 +1,225 @@
+#pragma once
+// Bounded explicit-state exploration over the state-model protocols.
+//
+// The simulator (sim/) samples executions one daemon at a time; this module
+// instead CLOSES the transition relation: from a set of start
+// configurations it enumerates, breadth-first, every configuration
+// reachable under every scheduling decision a daemon of the chosen class
+// could make, deduplicating via canonical serialization (canon.hpp) and
+// evaluating the checker/ invariants at every reached configuration. A
+// clean exhaustive closure is a PROOF (for that instance and daemon class)
+// that no daemon of the class can drive the protocol into a violation -
+// the per-instance analogue of the paper's Lemmas 4-5 / Theorem 1, and the
+// harness under which the deliberate guard mutations of
+// SsmfpGuardMutation must be caught.
+//
+// Monitor-in-state: safety properties like "no valid message is delivered
+// twice" are history-dependent, so the explored state is (configuration,
+// monitor) - the serialized text carries the outstanding valid traces and
+// the invalid-delivery count, and two executions only merge when both
+// components agree. This keeps on-the-fly checking sound across merged
+// paths.
+//
+// Exploration is level-synchronous parallel BFS: each depth level is
+// expanded by ThreadPool workers into a lock-striped visited set.
+// First-inserter-wins within a level is race-free for counting because BFS
+// depth is order-independent - serial and parallel runs visit the SAME set
+// of states (the acceptance check `snapfwd_cli explore --threads N` vs
+// serial relies on this).
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/daemon.hpp"
+#include "util/names.hpp"
+
+namespace snapfwd {
+class ThreadPool;
+}
+
+namespace snapfwd::explore {
+
+/// Which daemon class the successor relation quantifies over.
+///   kCentral     - one enabled processor, one action per step (the class
+///                  the paper's worst-case bounds are stated against).
+///   kSynchronous - every enabled processor moves; branching only over the
+///                  per-processor action alternatives.
+///   kDistributed - every non-empty subset of enabled processors, one
+///                  action each (the full distributed daemon; superset of
+///                  both others - and exponential, hence the per-state
+///                  move bound).
+enum class DaemonClosure : std::uint8_t {
+  kCentral,
+  kSynchronous,
+  kDistributed,
+};
+
+}  // namespace snapfwd::explore
+
+namespace snapfwd {
+template <>
+struct EnumNames<explore::DaemonClosure> {
+  static constexpr auto entries = std::to_array<NamedEnum<explore::DaemonClosure>>({
+      {explore::DaemonClosure::kCentral, "central"},
+      {explore::DaemonClosure::kSynchronous, "synchronous"},
+      {explore::DaemonClosure::kDistributed, "distributed"},
+  });
+};
+}  // namespace snapfwd
+
+namespace snapfwd::explore {
+
+/// One processor's scheduled action within a step - the stable (replayable)
+/// form of a daemon Choice: indices into an enabled vector depend on the
+/// configuration, (p, layer, action) does not.
+struct StepSelection {
+  NodeId p = kNoNode;
+  std::uint16_t layer = 0;
+  Action action;
+  friend bool operator==(const StepSelection&, const StepSelection&) = default;
+};
+
+/// One atomic step: the non-empty selection set the daemon commits together.
+using Move = std::vector<StepSelection>;
+
+/// A safety-property failure, as reported by a model.
+struct ModelViolation {
+  std::string kind;     // stable slug, e.g. "duplicate-delivery"
+  std::string message;  // human-readable context
+};
+
+/// A live configuration of a model: an engine stack (or equivalent) loaded
+/// at one canonical state. Instances are single-threaded and throwaway -
+/// the explorer loads a fresh one per expanded transition.
+class ModelInstance {
+ public:
+  virtual ~ModelInstance() = default;
+
+  /// Successor moves of the current configuration under `closure`, capped
+  /// at `maxMoves` (sets `truncated` instead of overflowing; order is
+  /// deterministic). Empty output = terminal configuration.
+  virtual void enumerateMoves(DaemonClosure closure, std::size_t maxMoves,
+                              std::vector<Move>& out, bool& truncated) = 0;
+
+  /// Executes one move atomically (guards re-matched by (p, layer, action);
+  /// false = the move is not enabled here, a replay desync).
+  [[nodiscard]] virtual bool apply(const Move& move) = 0;
+
+  /// Canonical state text (configuration + monitor; see canon.hpp).
+  [[nodiscard]] virtual std::string serialize() = 0;
+
+  /// First safety violation holding in the current configuration, including
+  /// violations detected DURING the last apply() (e.g. a duplicate
+  /// delivery); nullopt when clean.
+  [[nodiscard]] virtual std::optional<ModelViolation> checkState() = 0;
+
+  /// Violations that only terminal configurations exhibit (deadlock with
+  /// undelivered messages, undrained outboxes). Called when enumerateMoves
+  /// returned nothing.
+  [[nodiscard]] virtual std::optional<ModelViolation> checkTerminal() = 0;
+
+  /// Monotone per-path progress metric folded into stats as a maximum
+  /// (SSMFP: invalid deliveries so far - the Proposition 4 quantity).
+  [[nodiscard]] virtual std::uint64_t progressCount() const { return 0; }
+};
+
+struct ExploreOptions {
+  DaemonClosure closure = DaemonClosure::kCentral;
+  /// BFS depth bound (steps from a start state); states at the bound are
+  /// checked but not expanded.
+  std::uint64_t maxDepth = UINT64_MAX;
+  /// Visited-set size bound; reaching it stops expansion (exhausted=false).
+  std::uint64_t maxStates = 1'000'000;
+  /// Per-state successor bound for the subset-enumerating closures.
+  std::size_t maxMovesPerState = 256;
+  /// Worker threads for frontier expansion (<= 1 = serial).
+  std::size_t threads = 1;
+  /// Stop at the end of the first BFS level that found a violation
+  /// (deterministic: the reported violation minimizes (depth, state hash)).
+  bool stopOnViolation = true;
+};
+
+struct ExploreStats {
+  std::uint64_t startStates = 0;
+  std::uint64_t visited = 0;       // distinct canonical states reached
+  std::uint64_t transitions = 0;   // moves applied (incl. dedup hits)
+  std::uint64_t dedupHits = 0;     // transitions into already-visited states
+  std::uint64_t frontierPeak = 0;  // widest BFS level
+  std::uint64_t depthReached = 0;  // deepest level with a fresh state
+  std::uint64_t truncatedStates = 0;  // states whose move set was capped
+  std::uint64_t terminalStates = 0;   // states with no successor
+  std::uint64_t maxProgressCount = 0;  // max ModelInstance::progressCount()
+  /// True iff every reachable state was expanded: no depth/state/move bound
+  /// cut the search and no violation stopped it early. Only an exhausted
+  /// run is a closure proof.
+  bool exhausted = false;
+};
+
+struct ExploreViolation {
+  std::string kind;
+  std::string message;
+  std::uint64_t depth = 0;       // steps from the start state
+  std::size_t rootIndex = 0;     // index into the model's start set
+  std::string rootState;         // canonical start state
+  std::string violatingState;    // canonical state exhibiting the violation
+  std::uint64_t stateHash = 0;
+  /// The schedule from rootState to violatingState, one Move per step -
+  /// replayable via ModelInstance::apply and convertible to a
+  /// ScriptedDaemon script (models.hpp).
+  std::vector<Move> path;
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  /// Violations of the stopping level, sorted by (depth, hash, kind); empty
+  /// for a clean closure. With stopOnViolation the interesting entry is
+  /// front().
+  std::vector<ExploreViolation> violations;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+};
+
+/// A protocol family + instance + property set, explorable from a fixed
+/// start set. load() must be thread-safe (const access only).
+class ExploreModel {
+ public:
+  virtual ~ExploreModel() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Canonical start states (the "corruption closure" - e.g. every
+  /// single-variable corruption of a base configuration).
+  [[nodiscard]] virtual const std::vector<std::string>& startStates() const = 0;
+  /// Materializes a live instance at `state` (a canonical text produced by
+  /// startStates() or ModelInstance::serialize()).
+  [[nodiscard]] virtual std::unique_ptr<ModelInstance> load(
+      const std::string& state) const = 0;
+};
+
+/// Shared successor enumeration: expands an engine's enabled set into the
+/// move set of the chosen daemon closure (deterministic order; capped at
+/// `maxMoves` with `truncated` set). Central: one singleton move per
+/// (processor, action). Synchronous: the cross-product of one action per
+/// enabled processor. Distributed: every non-empty processor subset times
+/// the per-subset action combinations.
+void enumerateMovesFromEnabled(const std::vector<EnabledProcessor>& enabled,
+                               DaemonClosure closure, std::size_t maxMoves,
+                               std::vector<Move>& out, bool& truncated);
+
+/// Exhaustive bounded BFS over `model`'s reachable states. `pool` (may be
+/// null) supplies the workers when options.threads > 1.
+[[nodiscard]] ExploreResult explore(const ExploreModel& model,
+                                    const ExploreOptions& options,
+                                    ThreadPool* pool = nullptr);
+
+/// JSONL emission: one `explore-stats` record, then one `explore-violation`
+/// record per violation (schema kept stable for tooling; see
+/// docs/ARCHITECTURE.md).
+void writeExploreJsonl(std::ostream& out, std::string_view modelName,
+                       const ExploreOptions& options, const ExploreResult& result);
+
+}  // namespace snapfwd::explore

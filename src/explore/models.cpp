@@ -1,0 +1,565 @@
+#include "explore/models.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "checker/invariants.hpp"
+#include "core/engine.hpp"
+#include "explore/canon.hpp"
+#include "graph/builders.hpp"
+#include "pif/pif.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "sim/snapshot.hpp"
+
+namespace snapfwd::explore {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// ForcedDaemon: replays exactly the explorer-chosen move, matching enabled
+// entries by (processor, layer, action). A selection that matches nothing
+// clears the choice set (halting the engine) and reports the desync.
+// ---------------------------------------------------------------------------
+
+class ForcedDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "forced"; }
+
+  void choose(std::uint64_t /*step*/, const std::vector<EnabledProcessor>& enabled,
+              std::vector<Choice>& out) override {
+    out.clear();
+    matched_ = move_ != nullptr;
+    if (move_ == nullptr) return;
+    for (const StepSelection& sel : *move_) {
+      bool found = false;
+      for (std::size_t e = 0; e < enabled.size() && !found; ++e) {
+        if (enabled[e].p != sel.p || enabled[e].layer != sel.layer) continue;
+        for (std::size_t a = 0; a < enabled[e].actions.size(); ++a) {
+          if (enabled[e].actions[a] == sel.action) {
+            out.push_back({e, a});
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) {
+        matched_ = false;
+        out.clear();
+        return;
+      }
+    }
+  }
+
+  void setMove(const Move* move) { move_ = move; }
+  [[nodiscard]] bool matched() const { return matched_; }
+
+ private:
+  const Move* move_ = nullptr;
+  bool matched_ = false;
+};
+
+std::string monitorTail(const std::vector<TraceId>& outstanding,
+                        std::uint64_t invalidDeliveries) {
+  std::ostringstream out;
+  out << "outstanding " << outstanding.size();
+  for (const TraceId t : outstanding) out << ' ' << t;
+  out << '\n';
+  out << "invdel " << invalidDeliveries << '\n';
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// SSMFP instance
+// ---------------------------------------------------------------------------
+
+class SsmfpInstance final : public ModelInstance {
+ public:
+  SsmfpInstance(const std::string& state, SsmfpGuardMutation mutation) {
+    std::istringstream in(state);
+    stack_ = readSnapshot(in);  // consumes through "end"; tail follows
+    std::string key;
+    std::size_t count = 0;
+    if (!(in >> key) || key != "outstanding" || !(in >> count)) {
+      throw std::runtime_error("ssmfp explore state: missing monitor tail");
+    }
+    outstanding_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!(in >> outstanding_[i])) {
+        throw std::runtime_error("ssmfp explore state: truncated outstanding list");
+      }
+    }
+    if (!(in >> key) || key != "invdel" || !(in >> invalidDeliveries_)) {
+      throw std::runtime_error("ssmfp explore state: missing invdel line");
+    }
+    std::sort(outstanding_.begin(), outstanding_.end());
+    if (mutation != SsmfpGuardMutation::kNone) {
+      stack_.forwarding->setGuardMutationForTest(mutation);
+    }
+    engine_ = std::make_unique<Engine>(
+        *stack_.graph,
+        std::vector<Protocol*>{stack_.routing.get(), stack_.forwarding.get()},
+        daemon_);
+    stack_.forwarding->attachEngine(engine_.get());
+  }
+
+  void enumerateMoves(DaemonClosure closure, std::size_t maxMoves,
+                      std::vector<Move>& out, bool& truncated) override {
+    (void)engine_->isTerminal();  // refreshes the enabled set
+    enumerateMovesFromEnabled(engine_->lastEnabled(), closure, maxMoves, out,
+                              truncated);
+  }
+
+  [[nodiscard]] bool apply(const Move& move) override {
+    daemon_.setMove(&move);
+    const bool stepped = engine_->step();
+    daemon_.setMove(nullptr);
+    if (!stepped || !daemon_.matched()) return false;
+    ingestEvents();
+    return true;
+  }
+
+  [[nodiscard]] std::string serialize() override {
+    return canonSsmfpStack(*stack_.graph, *stack_.routing, *stack_.forwarding) +
+           monitorTail(outstanding_, invalidDeliveries_);
+  }
+
+  [[nodiscard]] std::optional<ModelViolation> checkState() override {
+    if (stepViolation_) return stepViolation_;
+    if (auto v = checkBufferWellFormedness(*stack_.forwarding)) {
+      return ModelViolation{"buffer-well-formedness", std::move(*v)};
+    }
+    if (auto v = checkSingleEmissionCopy(*stack_.forwarding)) {
+      return ModelViolation{"multiple-emission-copies", std::move(*v)};
+    }
+    if (auto v = checkConservation(*stack_.forwarding, outstanding_)) {
+      return ModelViolation{"conservation", std::move(*v)};
+    }
+    if (auto v = checkCaterpillarCoverage(*stack_.forwarding)) {
+      return ModelViolation{"caterpillar-coverage", std::move(*v)};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::optional<ModelViolation> checkTerminal() override {
+    if (!outstanding_.empty()) {
+      std::ostringstream msg;
+      msg << outstanding_.size()
+          << " valid trace(s) outstanding in a terminal configuration:";
+      for (const TraceId t : outstanding_) msg << ' ' << t;
+      return ModelViolation{"terminal-outstanding", msg.str()};
+    }
+    if (!stack_.forwarding->fullyDrained()) {
+      return ModelViolation{
+          "terminal-not-drained",
+          "terminal configuration with occupied buffers or waiting messages"};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::uint64_t progressCount() const override {
+    return invalidDeliveries_;
+  }
+
+ private:
+  /// Folds this step's generation/delivery records into the monitor. The
+  /// record vectors accumulate over the instance's lifetime (counterexample
+  /// replay applies many moves to one instance), so consume from the
+  /// watermark on.
+  void ingestEvents() {
+    const auto& allGens = stack_.forwarding->generations();
+    const auto& allDels = stack_.forwarding->deliveries();
+    const std::span<const GenerationRecord> gens{allGens.data() + genSeen_,
+                                                 allGens.size() - genSeen_};
+    const std::span<const DeliveryRecord> dels{allDels.data() + delSeen_,
+                                               allDels.size() - delSeen_};
+    genSeen_ = allGens.size();
+    delSeen_ = allDels.size();
+    for (const GenerationRecord& gen : gens) {
+      const auto it = std::lower_bound(outstanding_.begin(), outstanding_.end(),
+                                       gen.msg.trace);
+      outstanding_.insert(it, gen.msg.trace);
+    }
+    for (const DeliveryRecord& del : dels) {
+      if (!del.msg.valid) {
+        ++invalidDeliveries_;
+        continue;
+      }
+      if (del.msg.dest != del.at) {
+        std::ostringstream msg;
+        msg << "valid trace " << del.msg.trace << " (payload " << del.msg.payload
+            << ") delivered at node " << del.at << " but addressed to "
+            << del.msg.dest;
+        if (!stepViolation_) stepViolation_ = ModelViolation{"misdelivery", msg.str()};
+        continue;
+      }
+      const auto it = std::lower_bound(outstanding_.begin(), outstanding_.end(),
+                                       del.msg.trace);
+      if (it == outstanding_.end() || *it != del.msg.trace) {
+        std::ostringstream msg;
+        msg << "valid trace " << del.msg.trace << " (payload " << del.msg.payload
+            << ") delivered at node " << del.at
+            << " a second time (not outstanding)";
+        if (!stepViolation_) {
+          stepViolation_ = ModelViolation{"duplicate-delivery", msg.str()};
+        }
+        continue;
+      }
+      outstanding_.erase(it);
+    }
+  }
+
+  RestoredStack stack_;
+  ForcedDaemon daemon_;
+  std::unique_ptr<Engine> engine_;
+  std::vector<TraceId> outstanding_;  // sorted valid traces not yet delivered
+  std::uint64_t invalidDeliveries_ = 0;
+  std::size_t genSeen_ = 0;  // record-vector watermarks (see ingestEvents)
+  std::size_t delSeen_ = 0;
+  std::optional<ModelViolation> stepViolation_;
+};
+
+/// The Figure 2 base instance: network N, destination b, one pending send
+/// of m=100 at c.
+RestoredStack makeFigure2Base() {
+  RestoredStack stack;
+  stack.graph = std::make_unique<Graph>(topo::figure3Network());
+  stack.routing = std::make_unique<SelfStabBfsRouting>(*stack.graph);
+  stack.forwarding = std::make_unique<SsmfpProtocol>(
+      *stack.graph, *stack.routing, std::vector<NodeId>{1});
+  stack.forwarding->send(2, 1, 100);
+  return stack;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SsmfpExploreModel
+// ---------------------------------------------------------------------------
+
+SsmfpExploreModel::SsmfpExploreModel(std::vector<std::string> startStates,
+                                     SsmfpGuardMutation mutation, std::string name)
+    : starts_(std::move(startStates)), mutation_(mutation), name_(std::move(name)) {}
+
+std::unique_ptr<ModelInstance> SsmfpExploreModel::load(
+    const std::string& state) const {
+  return std::make_unique<SsmfpInstance>(state, mutation_);
+}
+
+std::string SsmfpExploreModel::canonicalStart(const Graph& graph,
+                                              const SelfStabBfsRouting& routing,
+                                              const SsmfpProtocol& forwarding) {
+  return canonSsmfpStack(graph, routing, forwarding) + monitorTail({}, 0);
+}
+
+SsmfpExploreModel SsmfpExploreModel::figure2Clean(SsmfpGuardMutation mutation) {
+  const RestoredStack base = makeFigure2Base();
+  std::vector<std::string> starts{
+      canonicalStart(*base.graph, *base.routing, *base.forwarding)};
+  return SsmfpExploreModel(std::move(starts), mutation, "ssmfp-figure2");
+}
+
+SsmfpExploreModel SsmfpExploreModel::figure2CorruptionClosure(
+    SsmfpGuardMutation mutation) {
+  const RestoredStack base = makeFigure2Base();
+  const Graph& graph = *base.graph;
+  const NodeId dest = 1;
+  const std::string baseText =
+      canonicalStart(graph, *base.routing, *base.forwarding);
+  std::vector<std::string> starts{baseText};
+
+  const auto variant = [&](const auto& corrupt) {
+    RestoredStack stack = snapshotFromString(baseText);
+    corrupt(stack);
+    starts.push_back(
+        canonicalStart(*stack.graph, *stack.routing, *stack.forwarding));
+  };
+
+  // Every value of every routing table entry (p, b).
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (std::uint32_t dist = 0; dist <= graph.size(); ++dist) {
+      for (const NodeId parent : graph.neighbors(p)) {
+        if (dist == base.routing->dist(p, dest) &&
+            parent == base.routing->parent(p, dest)) {
+          continue;
+        }
+        variant([&](RestoredStack& stack) {
+          stack.routing->setEntry(p, dest, dist, parent);
+        });
+      }
+    }
+  }
+
+  // One garbage message (the paper's m' = 55) in every buffer, under every
+  // lastHop in N_p u {p} and every color in {0..Delta}.
+  const Color delta = base.forwarding->delta();
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    std::vector<NodeId> hops = graph.neighbors(p);
+    hops.push_back(p);
+    for (const NodeId lastHop : hops) {
+      for (Color color = 0; color <= delta; ++color) {
+        for (const bool emission : {false, true}) {
+          variant([&](RestoredStack& stack) {
+            Message garbage;
+            garbage.payload = 55;
+            garbage.lastHop = lastHop;
+            garbage.color = color;
+            garbage.trace = kInvalidTrace;
+            garbage.valid = false;
+            garbage.source = lastHop;
+            garbage.dest = dest;
+            if (emission) {
+              stack.forwarding->restoreEmission(p, dest, garbage);
+            } else {
+              stack.forwarding->restoreReception(p, dest, garbage);
+            }
+          });
+        }
+      }
+    }
+  }
+
+  // Every rotation of every fairness queue (their content is arbitrary).
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (std::size_t rot = 1; rot <= graph.degree(p); ++rot) {
+      variant([&](RestoredStack& stack) {
+        std::vector<NodeId> order = stack.forwarding->fairnessQueue(p, dest);
+        std::rotate(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(rot), order.end());
+        stack.forwarding->setFairnessQueue(p, dest, std::move(order));
+      });
+    }
+  }
+
+  return SsmfpExploreModel(std::move(starts), mutation,
+                           "ssmfp-figure2-corruptions");
+}
+
+// ---------------------------------------------------------------------------
+// PIF instance
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class PifInstance final : public ModelInstance {
+ public:
+  PifInstance(const Graph& graph, NodeId root, const std::string& state)
+      : pif_(graph, root) {
+    restorePifState(pif_, state);
+    // Monitor tail follows the "end" line of the pif canon text.
+    const std::size_t endPos = state.find("\nend\n");
+    if (endPos == std::string::npos) {
+      throw std::runtime_error("pif explore state: missing 'end'");
+    }
+    std::istringstream in(state.substr(endPos + 5));
+    std::string key;
+    unsigned wave = 0;
+    if (!(in >> key) || key != "wave" || !(in >> wave) ||
+        !(in >> key) || key != "parts" || !(in >> participants_) ||
+        !(in >> key) || key != "invcomp" || !(in >> invalidCompletions_)) {
+      throw std::runtime_error("pif explore state: missing monitor tail");
+    }
+    waveActive_ = wave != 0;
+    engine_ = std::make_unique<Engine>(graph, std::vector<Protocol*>{&pif_},
+                                       daemon_);
+    pif_.attachEngine(engine_.get());
+    fullMask_ = graph.size() >= 64 ? ~0ull : ((1ull << graph.size()) - 1);
+  }
+
+  void enumerateMoves(DaemonClosure closure, std::size_t maxMoves,
+                      std::vector<Move>& out, bool& truncated) override {
+    (void)engine_->isTerminal();
+    enumerateMovesFromEnabled(engine_->lastEnabled(), closure, maxMoves, out,
+                              truncated);
+  }
+
+  [[nodiscard]] bool apply(const Move& move) override {
+    daemon_.setMove(&move);
+    const bool stepped = engine_->step();
+    daemon_.setMove(nullptr);
+    if (!stepped || !daemon_.matched()) return false;
+    ingestStep();
+    return true;
+  }
+
+  [[nodiscard]] std::string serialize() override {
+    std::ostringstream tail;
+    tail << "wave " << (waveActive_ ? 1 : 0) << '\n';
+    tail << "parts " << participants_ << '\n';
+    tail << "invcomp " << invalidCompletions_ << '\n';
+    return canonPifState(pif_) + tail.str();
+  }
+
+  [[nodiscard]] std::optional<ModelViolation> checkState() override {
+    return stepViolation_;
+  }
+
+  [[nodiscard]] std::optional<ModelViolation> checkTerminal() override {
+    if (pif_.pendingRequests() > 0) {
+      return ModelViolation{"terminal-pending-request",
+                            "terminal configuration with an unserved wave request"};
+    }
+    if (waveActive_) {
+      return ModelViolation{"terminal-wave-stuck",
+                            "terminal configuration inside a started wave"};
+    }
+    if (!pif_.allClean()) {
+      return ModelViolation{"terminal-not-clean",
+                            "terminal configuration with non-Clean processors"};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::uint64_t progressCount() const override {
+    return invalidCompletions_;
+  }
+
+ private:
+  /// Folds the committed step into the wave monitor. Order matters under
+  /// multi-processor steps: COMPLETE is judged against PRE-step
+  /// participation (co-stepping broadcasts read the pre-step configuration
+  /// too), then START opens the new window, then BROADCASTs join it. Under
+  /// the central closure (one action per step) the monitor is exact.
+  void ingestStep() {
+    const auto& executed = engine_->lastExecuted();
+    for (const Engine::ExecutedAction& ex : executed) {
+      if (ex.action.rule != kPifComplete) continue;
+      if (!waveActive_) {
+        ++invalidCompletions_;
+        if (invalidCompletions_ >= 2 && !stepViolation_) {
+          stepViolation_ = ModelViolation{
+              "multiple-invalid-completions",
+              "two wave completions without a starting action (at most one "
+              "pre-existing completed-looking wave can exist)"};
+        }
+        continue;
+      }
+      if (participants_ != fullMask_ && !stepViolation_) {
+        std::ostringstream msg;
+        msg << "started wave completed with participation mask " << participants_
+            << " != full mask " << fullMask_;
+        stepViolation_ = ModelViolation{"incomplete-wave", msg.str()};
+      }
+      waveActive_ = false;
+      participants_ = 0;
+    }
+    for (const Engine::ExecutedAction& ex : executed) {
+      if (ex.action.rule == kPifStart) {
+        waveActive_ = true;
+        participants_ = 1ull << pif_.root();
+      }
+    }
+    for (const Engine::ExecutedAction& ex : executed) {
+      if (ex.action.rule == kPifBroadcast && waveActive_) {
+        participants_ |= 1ull << ex.p;
+      }
+    }
+  }
+
+  PifProtocol pif_;
+  ForcedDaemon daemon_;
+  std::unique_ptr<Engine> engine_;
+  std::uint64_t participants_ = 0;
+  std::uint64_t fullMask_ = 0;
+  std::uint64_t invalidCompletions_ = 0;
+  bool waveActive_ = false;
+  std::optional<ModelViolation> stepViolation_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PifExploreModel
+// ---------------------------------------------------------------------------
+
+PifExploreModel::PifExploreModel(Graph graph, NodeId root,
+                                 std::vector<std::string> startStates,
+                                 std::string name)
+    : graph_(std::move(graph)),
+      root_(root),
+      starts_(std::move(startStates)),
+      name_(std::move(name)) {}
+
+std::unique_ptr<ModelInstance> PifExploreModel::load(
+    const std::string& state) const {
+  return std::make_unique<PifInstance>(graph_, root_, state);
+}
+
+PifExploreModel PifExploreModel::scrambleClosure(Graph graph, NodeId root,
+                                                 std::size_t pendingRequests) {
+  const std::size_t n = graph.size();
+  assert(n > 0 && n < 64);
+  std::vector<std::string> starts;
+  PifProtocol scratch(graph, root);
+  for (std::size_t i = 0; i < pendingRequests; ++i) scratch.requestWave();
+  std::size_t assignments = 1;
+  for (std::size_t i = 0; i < n; ++i) assignments *= 3;
+  for (std::size_t code = 0; code < assignments; ++code) {
+    std::size_t rest = code;
+    bool legal = true;
+    for (NodeId p = 0; p < n; ++p) {
+      const auto s = static_cast<PifState>(rest % 3);
+      rest /= 3;
+      // The root has no F state (protocol definition), so F-at-root codes
+      // are not configurations of the model.
+      if (p == root && s == PifState::kFeedback) {
+        legal = false;
+        break;
+      }
+      scratch.setState(p, s);
+    }
+    if (!legal) continue;
+    starts.push_back(canonPifState(scratch) + "wave 0\nparts 0\ninvcomp 0\n");
+  }
+  return PifExploreModel(std::move(graph), root, std::move(starts));
+}
+
+// ---------------------------------------------------------------------------
+// Counterexample minimization & replay
+// ---------------------------------------------------------------------------
+
+ShrinkResult shrinkSsmfpViolation(const SsmfpExploreModel& model,
+                                  const ExploreViolation& violation,
+                                  const ExploreOptions& options) {
+  const std::size_t endPos = violation.rootState.find("\nend\n");
+  if (endPos == std::string::npos) {
+    throw std::runtime_error("shrinkSsmfpViolation: malformed root state");
+  }
+  const std::string snapshotPart = violation.rootState.substr(0, endPos + 5);
+  ExploreOptions probeOptions = options;
+  probeOptions.threads = 1;
+  probeOptions.stopOnViolation = true;
+  const std::string targetKind = violation.kind;
+  const SsmfpGuardMutation mutation = model.mutation();
+  const ShrinkPredicate stillViolates = [&](RestoredStack& stack) {
+    std::vector<std::string> starts{SsmfpExploreModel::canonicalStart(
+        *stack.graph, *stack.routing, *stack.forwarding)};
+    const SsmfpExploreModel probe(std::move(starts), mutation, "shrink-probe");
+    const ExploreResult probed = explore(probe, probeOptions, nullptr);
+    for (const ExploreViolation& v : probed.violations) {
+      if (v.kind == targetKind) return true;
+    }
+    return false;
+  };
+  return shrinkSnapshot(snapshotPart, stillViolates);
+}
+
+std::vector<std::vector<ScriptedDaemon::Selection>> toScript(
+    const std::vector<Move>& path) {
+  std::vector<std::vector<ScriptedDaemon::Selection>> script;
+  script.reserve(path.size());
+  for (const Move& move : path) {
+    std::vector<ScriptedDaemon::Selection> step;
+    step.reserve(move.size());
+    for (const StepSelection& sel : move) {
+      step.push_back({sel.p, sel.action.rule, sel.action.dest});
+    }
+    script.push_back(std::move(step));
+  }
+  return script;
+}
+
+}  // namespace snapfwd::explore

@@ -1,0 +1,131 @@
+#pragma once
+// Explorable models: protocol stacks adapted to the ExploreModel /
+// ModelInstance interface of explore.hpp, with their safety monitors and
+// start-set generators.
+//
+//   SsmfpExploreModel - the full SSMFP stack (SelfStabBfsRouting priority
+//     layer + SsmfpProtocol) driven through a real Engine, so exploration
+//     exercises exactly the code paths the simulator runs (including audit
+//     mode when enabled). State = normalized snapshot text + monitor tail
+//     (outstanding valid traces, invalid-delivery count). Checked at every
+//     state: buffer well-formedness, single emission copy per valid trace,
+//     conservation of outstanding traces, caterpillar coverage, exactly-
+//     once / right-node delivery (detected at the delivering step), and
+//     terminal-state drain.
+//
+//   PifExploreModel - the snap-stabilizing PIF protocol on a rooted tree.
+//     State = pif canon text + wave monitor (wave-active flag,
+//     participation bitmask, invalid-completion count). Checked: every
+//     completion of a started wave has full participation, at most one
+//     completion ever lacks a starting action, and terminal states are
+//     all-clean with no pending request.
+//
+// Start-set generators implement the "corruption closure" methodology:
+// explore from EVERY single-variable corruption of a base configuration
+// (the tractable stand-in for the paper's "arbitrary initial
+// configuration" quantifier - single-variable faults plus exhaustive
+// scheduling already falsify every guard weakening we can plant).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "graph/graph.hpp"
+#include "sim/shrink.hpp"
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd {
+class SelfStabBfsRouting;
+class PifProtocol;
+}  // namespace snapfwd
+
+namespace snapfwd::explore {
+
+class SsmfpExploreModel final : public ExploreModel {
+ public:
+  /// `startStates` must be texts produced by canonicalStart() (or instance
+  /// serialize()). `mutation` is planted into every loaded instance - the
+  /// mutation smoke test explores a deliberately broken protocol.
+  explicit SsmfpExploreModel(std::vector<std::string> startStates,
+                             SsmfpGuardMutation mutation = SsmfpGuardMutation::kNone,
+                             std::string name = "ssmfp");
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] const std::vector<std::string>& startStates() const override {
+    return starts_;
+  }
+  [[nodiscard]] std::unique_ptr<ModelInstance> load(
+      const std::string& state) const override;
+
+  [[nodiscard]] SsmfpGuardMutation mutation() const { return mutation_; }
+
+  /// Canonical start text for a live stack with no execution history yet
+  /// (empty monitor: nothing outstanding, no invalid deliveries).
+  [[nodiscard]] static std::string canonicalStart(const Graph& graph,
+                                                  const SelfStabBfsRouting& routing,
+                                                  const SsmfpProtocol& forwarding);
+
+  /// The Figure 2 instance (network N of the paper's worked example:
+  /// a-b, a-c, a-d, c-b; destination b; c sends m=100 to b) started from
+  /// the base configuration plus EVERY single-variable corruption of it:
+  /// each routing entry value, each single garbage message (payload 55,
+  /// every lastHop and color) in each buffer, each fairness-queue rotation.
+  [[nodiscard]] static SsmfpExploreModel figure2CorruptionClosure(
+      SsmfpGuardMutation mutation = SsmfpGuardMutation::kNone);
+
+  /// The same instance from the single clean start (correct tables, empty
+  /// buffers, the one pending send) - the small search space the mutation
+  /// smoke test uses for depth-minimal counterexamples.
+  [[nodiscard]] static SsmfpExploreModel figure2Clean(
+      SsmfpGuardMutation mutation = SsmfpGuardMutation::kNone);
+
+ private:
+  std::vector<std::string> starts_;
+  SsmfpGuardMutation mutation_;
+  std::string name_;
+};
+
+class PifExploreModel final : public ExploreModel {
+ public:
+  PifExploreModel(Graph graph, NodeId root, std::vector<std::string> startStates,
+                  std::string name = "pif");
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] const std::vector<std::string>& startStates() const override {
+    return starts_;
+  }
+  [[nodiscard]] std::unique_ptr<ModelInstance> load(
+      const std::string& state) const override;
+
+  /// Every assignment of {C, B, F} to every processor (the FULL arbitrary-
+  /// initial-configuration quantifier - 3^n starts, so keep the tree
+  /// small) with `pendingRequests` wave requests queued at the root.
+  [[nodiscard]] static PifExploreModel scrambleClosure(
+      Graph graph, NodeId root, std::size_t pendingRequests = 1);
+
+ private:
+  Graph graph_;
+  NodeId root_;
+  std::vector<std::string> starts_;
+  std::string name_;
+};
+
+/// Counterexample minimization: delta-debugs the violating start snapshot
+/// through sim/shrink, keeping an edit while serial re-exploration (same
+/// options, forced single-threaded) from the edited start still reaches a
+/// violation of the same kind. Returns the shrink report; the minimized
+/// start is `.snapshot` (snapshot text only - reload via
+/// SsmfpExploreModel::canonicalStart on the restored stack).
+[[nodiscard]] ShrinkResult shrinkSsmfpViolation(const SsmfpExploreModel& model,
+                                                const ExploreViolation& violation,
+                                                const ExploreOptions& options);
+
+/// Converts an explorer counterexample path into a ScriptedDaemon script
+/// (one Selection set per step), replayable on a stack restored from the
+/// violation's rootState.
+[[nodiscard]] std::vector<std::vector<ScriptedDaemon::Selection>> toScript(
+    const std::vector<Move>& path);
+
+}  // namespace snapfwd::explore

@@ -172,6 +172,34 @@ void MpSsmfpSimulator::scrambleQueues(Rng& rng) {
   for (auto& q : queue_.rawMutable()) rng.shuffle(q);
 }
 
+void MpSsmfpSimulator::restoreReception(NodeId p, NodeId d, const Message& msg) {
+  assert(msg.color <= delta_);
+  state_.write(cell(p, d)).bufR = msg;
+}
+
+void MpSsmfpSimulator::restoreEmission(NodeId p, NodeId d, const Message& msg) {
+  assert(msg.color <= delta_);
+  state_.write(cell(p, d)).bufE = msg;
+}
+
+void MpSsmfpSimulator::setFairnessQueue(NodeId p, NodeId d,
+                                        std::vector<NodeId> order) {
+  assert(order.size() == graph_.degree(p) + 1);
+#ifndef NDEBUG
+  for (const NodeId c : order) {
+    assert(c == p || graph_.hasEdge(p, c));
+  }
+#endif
+  queue_.write(cell(p, d)) = std::move(order);
+}
+
+void MpSsmfpSimulator::restoreOutboxEntry(NodeId p, NodeId dest, Payload payload,
+                                          TraceId trace) {
+  assert(p < graph_.size());
+  nodes_[p].outbox.emplace_back(dest, payload);
+  nodes_[p].outboxTraces.push_back(trace);
+}
+
 // ---------------------------------------------------------------------------
 // Views (cached neighbor snapshots of the node currently executing)
 // ---------------------------------------------------------------------------

@@ -129,6 +129,40 @@ class MpSsmfpSimulator {
     return state_.read(cell(p, d)).bufE;
   }
   [[nodiscard]] const std::vector<NodeId>& destinations() const { return dests_; }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+
+  // -- Exact state access & restoration (canonical serialization; see
+  // src/explore/canon.hpp). Unlike injectReception/injectEmission the
+  // restore entry points copy messages verbatim (validity, trace and
+  // provenance preserved). ---------------------------------------------------
+  [[nodiscard]] std::uint32_t routingDist(NodeId p, NodeId d) const {
+    return state_.read(cell(p, d)).dist;
+  }
+  [[nodiscard]] NodeId routingParent(NodeId p, NodeId d) const {
+    return state_.read(cell(p, d)).parent;
+  }
+  [[nodiscard]] const std::vector<NodeId>& fairnessQueue(NodeId p, NodeId d) const {
+    return queue_.read(cell(p, d));
+  }
+  [[nodiscard]] std::size_t outboxSize(NodeId p) const {
+    return nodes_[p].outbox.size();
+  }
+  struct WaitingEntry {
+    NodeId dest = kNoNode;
+    Payload payload = 0;
+    TraceId trace = kInvalidTrace;
+  };
+  [[nodiscard]] WaitingEntry waitingAt(NodeId p, std::size_t k) const {
+    return {nodes_[p].outbox[k].first, nodes_[p].outbox[k].second,
+            nodes_[p].outboxTraces[k]};
+  }
+  [[nodiscard]] TraceId nextTraceId() const { return nextTrace_; }
+  void setNextTraceId(TraceId next) { nextTrace_ = next; }
+  void restoreReception(NodeId p, NodeId d, const Message& msg);
+  void restoreEmission(NodeId p, NodeId d, const Message& msg);
+  /// `order` must be a permutation of N_p u {p} (asserted).
+  void setFairnessQueue(NodeId p, NodeId d, std::vector<NodeId> order);
+  void restoreOutboxEntry(NodeId p, NodeId dest, Payload payload, TraceId trace);
 
  private:
   struct Packet {

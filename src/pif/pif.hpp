@@ -88,6 +88,7 @@ class PifProtocol final : public Protocol {
   [[nodiscard]] PifState state(NodeId p) const { return state_.read(p); }
   [[nodiscard]] NodeId parent(NodeId p) const { return parent_[p]; }
   [[nodiscard]] NodeId root() const { return root_; }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
   [[nodiscard]] const std::vector<WaveRecord>& waves() const { return waves_; }
   [[nodiscard]] std::uint64_t startsExecuted() const { return starts_; }
 

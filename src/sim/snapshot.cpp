@@ -11,11 +11,14 @@ namespace {
 constexpr const char* kHeader = "snapfwd-snapshot v1";
 
 void writeBuffer(std::ostream& out, const char* tag, NodeId p, NodeId d,
-                 const Buffer& b) {
+                 const Buffer& b, const SnapshotOptions& options) {
   if (!b.has_value()) return;
+  const std::uint64_t bornStep = options.normalizeBirthStamps ? 0 : b->bornStep;
+  const std::uint64_t bornRound =
+      options.normalizeBirthStamps ? 0 : b->bornRound;
   out << tag << " " << p << " " << d << " " << b->payload << " " << b->lastHop
       << " " << b->color << " " << b->trace << " " << (b->valid ? 1 : 0) << " "
-      << b->source << " " << b->dest << " " << b->bornStep << " " << b->bornRound
+      << b->source << " " << b->dest << " " << bornStep << " " << bornRound
       << "\n";
 }
 
@@ -29,6 +32,13 @@ void writeBuffer(std::ostream& out, const char* tag, NodeId p, NodeId d,
 void writeSnapshot(std::ostream& out, const Graph& graph,
                    const SelfStabBfsRouting& routing,
                    const SsmfpProtocol& forwarding) {
+  writeSnapshot(out, graph, routing, forwarding, SnapshotOptions{});
+}
+
+void writeSnapshot(std::ostream& out, const Graph& graph,
+                   const SelfStabBfsRouting& routing,
+                   const SsmfpProtocol& forwarding,
+                   const SnapshotOptions& options) {
   out << kHeader << "\n";
   out << "graph " << graph.size() << "\n";
   for (const auto& [u, v] : graph.edges()) {
@@ -46,8 +56,8 @@ void writeSnapshot(std::ostream& out, const Graph& graph,
   }
   for (NodeId p = 0; p < graph.size(); ++p) {
     for (const NodeId d : forwarding.destinations()) {
-      writeBuffer(out, "bufR", p, d, forwarding.bufR(p, d));
-      writeBuffer(out, "bufE", p, d, forwarding.bufE(p, d));
+      writeBuffer(out, "bufR", p, d, forwarding.bufR(p, d), options);
+      writeBuffer(out, "bufE", p, d, forwarding.bufE(p, d), options);
       out << "queue " << p << " " << d;
       for (const NodeId c : forwarding.fairnessQueue(p, d)) out << " " << c;
       out << "\n";
@@ -68,6 +78,14 @@ std::string snapshotToString(const Graph& graph, const SelfStabBfsRouting& routi
                              const SsmfpProtocol& forwarding) {
   std::ostringstream out;
   writeSnapshot(out, graph, routing, forwarding);
+  return out.str();
+}
+
+std::string snapshotToString(const Graph& graph, const SelfStabBfsRouting& routing,
+                             const SsmfpProtocol& forwarding,
+                             const SnapshotOptions& options) {
+  std::ostringstream out;
+  writeSnapshot(out, graph, routing, forwarding, options);
   return out.str();
 }
 

@@ -18,16 +18,34 @@
 
 namespace snapfwd {
 
+/// Serialization tweaks for consumers that need canonical output rather
+/// than an exact archive (the state-space explorer, src/explore/).
+struct SnapshotOptions {
+  /// Zero out bornStep/bornRound of every buffered message. These stamps
+  /// are bookkeeping for latency measurements, not protocol-visible state:
+  /// two configurations differing only in birth stamps have identical
+  /// guards and successors, so canonicalization must not distinguish them.
+  bool normalizeBirthStamps = false;
+};
+
 /// Serializes graph + routing + forwarding state. The output is stable
 /// across runs (no addresses, no iteration-order dependence).
 void writeSnapshot(std::ostream& out, const Graph& graph,
                    const SelfStabBfsRouting& routing,
                    const SsmfpProtocol& forwarding);
+void writeSnapshot(std::ostream& out, const Graph& graph,
+                   const SelfStabBfsRouting& routing,
+                   const SsmfpProtocol& forwarding,
+                   const SnapshotOptions& options);
 
 /// Convenience: snapshot to a string.
 [[nodiscard]] std::string snapshotToString(const Graph& graph,
                                            const SelfStabBfsRouting& routing,
                                            const SsmfpProtocol& forwarding);
+[[nodiscard]] std::string snapshotToString(const Graph& graph,
+                                           const SelfStabBfsRouting& routing,
+                                           const SsmfpProtocol& forwarding,
+                                           const SnapshotOptions& options);
 
 /// A restored stack. Objects own each other's lifetimes in declaration
 /// order; `forwarding` reads `routing` which reads `graph`.

@@ -147,6 +147,7 @@ bool SsmfpProtocol::guardR2(NodeId p, NodeId d) const {
   if (!r.has_value()) return false;
   const NodeId q = r->lastHop;
   if (q == p) return true;
+  if (mutation_ == SsmfpGuardMutation::kR2SkipUpstreamCheck) return true;
   // Defensive: lastHop of injected garbage is constrained to N_p u {p},
   // but treat an out-of-range q as "no matching upstream copy".
   if (q >= graph_.size()) return true;
@@ -174,7 +175,8 @@ bool SsmfpProtocol::guardR4(NodeId p, NodeId d) const {
         rb.has_value() && matchesTriplet(*rb, e->payload, p, e->color);
     if (r == hop) {
       copyAtHop = match;
-    } else if (match) {
+    } else if (match &&
+               mutation_ != SsmfpGuardMutation::kR4SkipStrayCopyCheck) {
       return false;  // a stray copy elsewhere: R5 must clean it first
     }
   }

@@ -94,6 +94,34 @@ struct EnumNames<ChoicePolicy> {
   });
 };
 
+/// Deliberate guard weakenings behind a test hook (setGuardMutationForTest).
+/// The state-space explorer's mutation smoke test plants one of these and
+/// asserts the explorer finds the resulting safety violation; production
+/// code always runs with kNone.
+///   kR2SkipUpstreamCheck : R2 drops "q = p || bufE_q(d) != (m,.,c)" - the
+///     internal move fires while the upstream emission copy still exists,
+///     so one valid trace occupies two emission buffers (breaks I3 and,
+///     downstream, exactly-once delivery).
+///   kR4SkipStrayCopyCheck : R4 drops "forall r in N_p \ {nextHop}:
+///     bufR_r(d) != (m,p,c)" - the emission copy is erased while a stray
+///     reception copy survives on a wrong neighbor (left over from a
+///     since-repaired routing table), which later travels to the
+///     destination as a second delivery (breaks exactly-once, Lemma 5).
+enum class SsmfpGuardMutation : std::uint8_t {
+  kNone,
+  kR2SkipUpstreamCheck,
+  kR4SkipStrayCopyCheck,
+};
+
+template <>
+struct EnumNames<SsmfpGuardMutation> {
+  static constexpr auto entries = std::to_array<NamedEnum<SsmfpGuardMutation>>({
+      {SsmfpGuardMutation::kNone, "none"},
+      {SsmfpGuardMutation::kR2SkipUpstreamCheck, "r2-skip-upstream-check"},
+      {SsmfpGuardMutation::kR4SkipStrayCopyCheck, "r4-skip-stray-copy-check"},
+  });
+};
+
 /// Rule identifiers (Action::rule), numbered as in Algorithm 1.
 enum SsmfpRule : std::uint16_t {
   kR1Generate = 1,
@@ -242,6 +270,15 @@ class SsmfpProtocol final : public Protocol {
     return outbox_.read(p)[k].trace;
   }
 
+  // -- Fault-seeding hook (explorer mutation smoke test) --------------------
+  /// Plants a deliberate guard weakening; see SsmfpGuardMutation. Notifies
+  /// the enabled cache (guards change out of band).
+  void setGuardMutationForTest(SsmfpGuardMutation mutation) {
+    mutation_ = mutation;
+    notifyExternalMutation();
+  }
+  [[nodiscard]] SsmfpGuardMutation guardMutation() const { return mutation_; }
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFFu;
 
@@ -269,6 +306,7 @@ class SsmfpProtocol final : public Protocol {
   std::vector<std::uint32_t> destSlot_;  // node id -> slot in dests_, kNoSlot
   Color delta_;
   ChoicePolicy policy_;
+  SsmfpGuardMutation mutation_ = SsmfpGuardMutation::kNone;
 
   // Observable variables, one row per processor (audit-mode access
   // recording; see core/access_tracker.hpp).

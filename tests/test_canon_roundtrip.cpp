@@ -1,0 +1,237 @@
+// Canonical-serialization round trips: for the observable state of every
+// protocol in the repo, serialize -> hash -> restore -> serialize -> hash
+// must be a fixed point (byte-identical text, equal hash). This is the
+// soundness bedrock of the state-space explorer: dedup via canonical text
+// is only valid if restore reproduces exactly the state that was
+// serialized.
+#include "explore/canon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/merlin_schweitzer.hpp"
+#include "baseline/orientation_forwarding.hpp"
+#include "core/engine.hpp"
+#include "faults/corruptor.hpp"
+#include "graph/builders.hpp"
+#include "mp/mp_ssmfp.hpp"
+#include "pif/pif.hpp"
+#include "routing/frozen.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "sim/snapshot.hpp"
+
+namespace snapfwd {
+namespace {
+
+using explore::hash64;
+
+TEST(Hash64, IsStableFnv1a) {
+  // Offset basis of 64-bit FNV-1a: hashes are comparable across runs,
+  // processes and (serial vs parallel) frontiers.
+  EXPECT_EQ(hash64(""), 0xCBF29CE484222325ull);
+  EXPECT_EQ(hash64("a"), 0xAF63DC4C8601EC8Cull);
+  EXPECT_NE(hash64("snapfwd"), hash64("snapfwe"));
+}
+
+// ---------------------------------------------------------------------------
+// SSMFP stack (graph + routing + forwarding) - covers the routing protocol
+// too, since its full table is part of the canonical text.
+// ---------------------------------------------------------------------------
+
+TEST(CanonRoundTrip, SsmfpMessyStack) {
+  Graph g = topo::ring(5);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Rng rng(42);
+  CorruptionPlan plan;
+  plan.routingFraction = 1.0;
+  plan.invalidMessages = 12;
+  plan.payloadSpace = 5;
+  plan.scrambleQueues = true;
+  applyCorruption(plan, routing, proto, rng);
+  proto.send(1, 3, 77);
+  proto.send(4, 0, 78);
+
+  const std::string text = explore::canonSsmfpStack(g, routing, proto);
+  const RestoredStack restored = snapshotFromString(text);
+  const std::string again = explore::canonSsmfpStack(
+      *restored.graph, *restored.routing, *restored.forwarding);
+  EXPECT_EQ(text, again);
+  EXPECT_EQ(hash64(text), hash64(again));
+}
+
+TEST(CanonRoundTrip, SsmfpMidExecutionStates) {
+  // Round-trip organically reached states (partial colors, queues rotated,
+  // messages in flight), not just injected ones.
+  Graph g = topo::ring(4);
+  SelfStabBfsRouting routing(g);
+  Rng corruptRng(7);
+  routing.corrupt(corruptRng, 1.0);
+  SsmfpProtocol proto(g, routing);
+  proto.send(0, 2, 10);
+  proto.send(1, 3, 11);
+  proto.send(2, 0, 12);
+  CentralRoundRobinDaemon daemon;
+  Engine engine(g, {&routing, &proto}, daemon);
+  proto.attachEngine(&engine);
+  for (int step = 0; step < 40 && engine.step(); ++step) {
+    const std::string text = explore::canonSsmfpStack(g, routing, proto);
+    const RestoredStack restored = snapshotFromString(text);
+    ASSERT_EQ(text, explore::canonSsmfpStack(*restored.graph, *restored.routing,
+                                             *restored.forwarding))
+        << "diverged at step " << step;
+  }
+}
+
+TEST(CanonRoundTrip, SsmfpNormalizesBirthStamps) {
+  // Two executions reaching the same configuration at different times must
+  // produce the same canonical text (birth stamps are latency bookkeeping,
+  // not protocol state).
+  Graph g = topo::path(3);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Message garbage;
+  garbage.payload = 9;
+  garbage.lastHop = 1;
+  garbage.color = 2;
+  garbage.valid = false;
+  garbage.source = 1;
+  garbage.dest = 0;
+  garbage.bornStep = 123;
+  garbage.bornRound = 45;
+  proto.restoreReception(2, 0, garbage);
+  const std::string text = explore::canonSsmfpStack(g, routing, proto);
+  garbage.bornStep = 0;
+  garbage.bornRound = 0;
+  SelfStabBfsRouting routing2(g);
+  SsmfpProtocol proto2(g, routing2);
+  proto2.restoreReception(2, 0, garbage);
+  EXPECT_EQ(text, explore::canonSsmfpStack(g, routing2, proto2));
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding-only canon (FrozenRouting stacks, golden-corpus form)
+// ---------------------------------------------------------------------------
+
+TEST(CanonRoundTrip, ForwardingStateIsDeterministic) {
+  Graph g = topo::figure3Network();
+  FrozenRouting routing(g);
+  SsmfpProtocol proto(g, routing, {1});
+  proto.send(2, 1, 100);
+  const std::string a = explore::canonForwardingState(proto);
+  const std::string b = explore::canonForwardingState(proto);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("fwdstate v1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// PIF
+// ---------------------------------------------------------------------------
+
+TEST(CanonRoundTrip, PifAllStateAssignments) {
+  Graph tree(4);
+  tree.addEdge(0, 1);
+  tree.addEdge(0, 2);
+  tree.addEdge(2, 3);
+  PifProtocol pif(tree, 0);
+  pif.requestWave();
+  for (int code = 0; code < 81; ++code) {
+    int rest = code;
+    bool legal = true;
+    for (NodeId p = 0; p < 4; ++p) {
+      const auto s = static_cast<PifState>(rest % 3);
+      rest /= 3;
+      if (p == 0 && s == PifState::kFeedback) {
+        legal = false;
+        break;
+      }
+      pif.setState(p, s);
+    }
+    if (!legal) continue;
+    const std::string text = explore::canonPifState(pif);
+    PifProtocol fresh(tree, 0);
+    explore::restorePifState(fresh, text);
+    EXPECT_EQ(text, explore::canonPifState(fresh)) << "code " << code;
+    EXPECT_EQ(hash64(text), hash64(explore::canonPifState(fresh)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Merlin-Schweitzer baseline
+// ---------------------------------------------------------------------------
+
+TEST(CanonRoundTrip, BaselineMidExecutionStates) {
+  Graph g = topo::star(5);
+  FrozenRouting routing(g);
+  MerlinSchweitzerProtocol proto(g, routing);
+  proto.send(1, 3, 41);
+  proto.send(2, 4, 42);
+  proto.send(3, 1, 43);
+  CentralRoundRobinDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  for (int step = 0; step < 40; ++step) {
+    const std::string text = explore::canonBaselineState(proto);
+    MerlinSchweitzerProtocol fresh(g, routing);
+    explore::restoreBaselineState(fresh, text);
+    ASSERT_EQ(text, explore::canonBaselineState(fresh))
+        << "diverged at step " << step;
+    if (!engine.step()) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Orientation (buffer-class) forwarding
+// ---------------------------------------------------------------------------
+
+TEST(CanonRoundTrip, OrientationMidExecutionStates) {
+  const Graph g = topo::binaryTree(7);
+  const TreeUpDownScheme scheme(g, 0);
+  const TreePathRouting routing(g, scheme);
+  OrientationForwardingProtocol proto(g, routing, scheme);
+  proto.send(3, 6, 31);
+  proto.send(4, 5, 32);
+  proto.send(6, 3, 33);
+  CentralRoundRobinDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  for (int step = 0; step < 60; ++step) {
+    const std::string text = explore::canonOrientationState(proto);
+    OrientationForwardingProtocol fresh(g, routing, scheme);
+    explore::restoreOrientationState(fresh, text);
+    ASSERT_EQ(text, explore::canonOrientationState(fresh))
+        << "diverged at step " << step;
+    if (!engine.step()) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message-passing embedding (protocol-visible state)
+// ---------------------------------------------------------------------------
+
+TEST(CanonRoundTrip, MpMidExecutionStates) {
+  const Graph g = topo::ring(4);
+  MpSsmfpSimulator sim(g, {0}, /*seed=*/5);
+  Rng rng(6);
+  sim.corruptRouting(rng, 1.0);
+  Message garbage;
+  garbage.payload = 8;
+  garbage.lastHop = 1;
+  garbage.color = 1;
+  garbage.valid = false;
+  garbage.source = 1;
+  garbage.dest = 0;
+  sim.injectReception(2, 0, garbage);
+  sim.send(1, 0, 21);
+  sim.send(3, 0, 22);
+  for (int leg = 0; leg < 5; ++leg) {
+    const std::string text = explore::canonMpState(sim);
+    MpSsmfpSimulator fresh(g, {0}, /*seed=*/5);
+    explore::restoreMpState(fresh, text);
+    ASSERT_EQ(text, explore::canonMpState(fresh)) << "leg " << leg;
+    EXPECT_EQ(hash64(text), hash64(explore::canonMpState(fresh)));
+    sim.run(20);
+  }
+}
+
+}  // namespace
+}  // namespace snapfwd

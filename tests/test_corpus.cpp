@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <iomanip>
 
 #include "checker/deadlock.hpp"
 #include "checker/invariants.hpp"
 #include "checker/spec_checker.hpp"
+#include "core/access_tracker.hpp"
 #include "core/engine.hpp"
+#include "explore/canon.hpp"
+#include "sim/figure3.hpp"
 #include "sim/snapshot.hpp"
 
 #ifndef SNAPFWD_CORPUS_DIR
@@ -104,6 +108,73 @@ TEST(Corpus, SnapshotsAreSerializationStable) {
     writeSnapshot(out, *b.graph, *b.routing, *b.forwarding);
     EXPECT_EQ(text, out.str()) << name;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Golden Figure 3 replay hashes: the canonical forwarding-state hash after
+// every scripted step of the paper's worked execution, checked in as
+// corpus data. Pins the exact execution byte-for-byte: any drift in the
+// rules, the replay script, the canonical serialization, or the hash
+// function fails here first.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> figure3ReplayHashLines() {
+  Figure3Replay replay;
+  std::vector<std::string> lines;
+  const bool ok = replay.run([&](std::size_t step, const std::string&) {
+    std::ostringstream line;
+    line << "step " << step << " " << std::hex << std::setw(16)
+         << std::setfill('0')
+         << explore::hash64(explore::canonForwardingState(replay.protocol()));
+    lines.push_back(line.str());
+  });
+  EXPECT_TRUE(ok);
+  std::ostringstream final;
+  final << "final " << std::hex << std::setw(16) << std::setfill('0')
+        << explore::hash64(explore::canonForwardingState(replay.protocol()));
+  lines.push_back(final.str());
+  return lines;
+}
+
+std::vector<std::string> goldenFigure3Hashes() {
+  const std::string path =
+      std::string(SNAPFWD_CORPUS_DIR) + "/figure3_replay.hashes";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing corpus file " << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string joined(const std::vector<std::string>& lines) {
+  std::string all;
+  for (const auto& line : lines) all += line + "\n";
+  return all;
+}
+
+TEST(Corpus, Figure3ReplayHashesMatchGoldenUnderBothScanModes) {
+  const std::vector<std::string> golden = goldenFigure3Hashes();
+  for (const ScanMode mode : {ScanMode::kFull, ScanMode::kIncremental}) {
+    Engine::setDefaultScanMode(mode);
+    const std::vector<std::string> lines = figure3ReplayHashLines();
+    EXPECT_EQ(lines, golden) << "scan mode " << toString(mode)
+                             << "; computed:\n"
+                             << joined(lines);
+  }
+  Engine::setDefaultScanMode(std::nullopt);
+}
+
+TEST(Corpus, Figure3ReplayHashesMatchGoldenUnderAudit) {
+  if (!kAuditCapable) {
+    GTEST_SKIP() << "binary built without -DSNAPFWD_AUDIT=ON";
+  }
+  Engine::setDefaultAuditMode(true);
+  const std::vector<std::string> lines = figure3ReplayHashLines();
+  Engine::setDefaultAuditMode(std::nullopt);
+  EXPECT_EQ(lines, goldenFigure3Hashes()) << "computed:\n" << joined(lines);
 }
 
 TEST(Corpus, InvariantsHoldThroughoutCorpusRuns) {

@@ -1,0 +1,304 @@
+// Tests of the exhaustive state-space explorer (src/explore/): successor
+// enumeration per daemon closure, clean closures as per-instance proofs,
+// serial == parallel visited sets, the mutation smoke tests (a deliberately
+// broken guard MUST be caught and the counterexample must shrink), and the
+// JSONL emission.
+#include "explore/explore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "explore/canon.hpp"
+#include "explore/models.hpp"
+#include "graph/builders.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "sim/snapshot.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snapfwd {
+namespace {
+
+using explore::DaemonClosure;
+using explore::ExploreOptions;
+using explore::ExploreResult;
+using explore::ExploreViolation;
+using explore::Move;
+using explore::PifExploreModel;
+using explore::SsmfpExploreModel;
+using explore::StepSelection;
+
+std::vector<EnabledProcessor> twoProcessorsEnabled() {
+  std::vector<EnabledProcessor> enabled(2);
+  enabled[0].p = 0;
+  enabled[0].layer = 0;
+  enabled[0].actions = {Action{1, 5, 0}, Action{2, 5, 0}};
+  enabled[1].p = 3;
+  enabled[1].layer = 1;
+  enabled[1].actions = {Action{4, kNoNode, 0}};
+  return enabled;
+}
+
+TEST(EnumerateMoves, CentralIsOneSingletonPerAction) {
+  std::vector<Move> moves;
+  bool truncated = true;
+  explore::enumerateMovesFromEnabled(twoProcessorsEnabled(),
+                                     DaemonClosure::kCentral, 256, moves,
+                                     truncated);
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(moves.size(), 3u);  // 2 actions at p=0, 1 at p=3
+  for (const Move& move : moves) EXPECT_EQ(move.size(), 1u);
+}
+
+TEST(EnumerateMoves, SynchronousIsTheActionCrossProduct) {
+  std::vector<Move> moves;
+  bool truncated = true;
+  explore::enumerateMovesFromEnabled(twoProcessorsEnabled(),
+                                     DaemonClosure::kSynchronous, 256, moves,
+                                     truncated);
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(moves.size(), 2u);  // 2 x 1 combinations, all processors move
+  for (const Move& move : moves) EXPECT_EQ(move.size(), 2u);
+}
+
+TEST(EnumerateMoves, DistributedCoversEveryNonEmptySubset) {
+  std::vector<Move> moves;
+  bool truncated = true;
+  explore::enumerateMovesFromEnabled(twoProcessorsEnabled(),
+                                     DaemonClosure::kDistributed, 256, moves,
+                                     truncated);
+  EXPECT_FALSE(truncated);
+  // Subsets: {p0} x 2 actions, {p3} x 1, {p0,p3} x 2 = 5 moves; the
+  // distributed closure strictly contains both other closures.
+  ASSERT_EQ(moves.size(), 5u);
+}
+
+TEST(EnumerateMoves, MoveCapSetsTruncatedInsteadOfOverflowing) {
+  std::vector<Move> moves;
+  bool truncated = false;
+  explore::enumerateMovesFromEnabled(twoProcessorsEnabled(),
+                                     DaemonClosure::kDistributed, 2, moves,
+                                     truncated);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(moves.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Clean closures: the per-instance snap-stabilization proof.
+// ---------------------------------------------------------------------------
+
+TEST(Explore, CleanFigure2ClosesWithZeroViolations) {
+  const SsmfpExploreModel model = SsmfpExploreModel::figure2Clean();
+  const ExploreResult result = explore::explore(model, ExploreOptions{});
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(result.stats.exhausted);
+  EXPECT_GE(result.stats.terminalStates, 1u);
+  EXPECT_EQ(result.stats.maxProgressCount, 0u);  // no garbage, no invalid del.
+}
+
+TEST(Explore, Figure2CorruptionClosureIsCleanUnderEveryDaemonClass) {
+  const SsmfpExploreModel model = SsmfpExploreModel::figure2CorruptionClosure();
+  EXPECT_GT(model.startStates().size(), 100u);  // the single-variable sweep
+  for (const DaemonClosure closure :
+       {DaemonClosure::kCentral, DaemonClosure::kSynchronous,
+        DaemonClosure::kDistributed}) {
+    ExploreOptions options;
+    options.closure = closure;
+    const ExploreResult result = explore::explore(model, options);
+    EXPECT_TRUE(result.clean()) << toString(closure) << ": "
+                                << (result.violations.empty()
+                                        ? ""
+                                        : result.violations.front().message);
+    EXPECT_TRUE(result.stats.exhausted) << toString(closure);
+    EXPECT_EQ(result.stats.truncatedStates, 0u) << toString(closure);
+  }
+}
+
+TEST(Explore, SerialAndParallelVisitTheSameStates) {
+  const SsmfpExploreModel model = SsmfpExploreModel::figure2CorruptionClosure();
+  ExploreOptions serial;
+  const ExploreResult serialResult = explore::explore(model, serial);
+
+  ExploreOptions parallel;
+  parallel.threads = 4;
+  ThreadPool pool(4);
+  const ExploreResult parallelResult = explore::explore(model, parallel, &pool);
+
+  EXPECT_EQ(serialResult.stats.visited, parallelResult.stats.visited);
+  EXPECT_EQ(serialResult.stats.transitions, parallelResult.stats.transitions);
+  EXPECT_EQ(serialResult.stats.dedupHits, parallelResult.stats.dedupHits);
+  EXPECT_EQ(serialResult.stats.depthReached, parallelResult.stats.depthReached);
+  EXPECT_EQ(serialResult.stats.exhausted, parallelResult.stats.exhausted);
+  EXPECT_TRUE(serialResult.clean());
+  EXPECT_TRUE(parallelResult.clean());
+}
+
+TEST(Explore, DepthBoundClearsExhaustedWithoutViolations) {
+  const SsmfpExploreModel model = SsmfpExploreModel::figure2CorruptionClosure();
+  ExploreOptions options;
+  options.maxDepth = 2;
+  const ExploreResult result = explore::explore(model, options);
+  EXPECT_TRUE(result.clean());
+  EXPECT_FALSE(result.stats.exhausted);  // bounded != proved
+  EXPECT_LE(result.stats.depthReached, 2u);
+}
+
+TEST(Explore, StateBoundClearsExhausted) {
+  const SsmfpExploreModel model = SsmfpExploreModel::figure2CorruptionClosure();
+  ExploreOptions options;
+  options.maxStates = 50;
+  const ExploreResult result = explore::explore(model, options);
+  EXPECT_FALSE(result.stats.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation smoke tests: the explorer must catch a deliberately broken guard.
+// ---------------------------------------------------------------------------
+
+TEST(ExploreMutation, R2SkipUpstreamCheckIsCaughtFromCleanStart) {
+  // Dropping R2's "upstream emission copy gone" conjunct lets one valid
+  // trace occupy two emission buffers: a clean start suffices.
+  const SsmfpExploreModel model =
+      SsmfpExploreModel::figure2Clean(SsmfpGuardMutation::kR2SkipUpstreamCheck);
+  const ExploreResult result = explore::explore(model, ExploreOptions{});
+  ASSERT_FALSE(result.clean());
+  const ExploreViolation& v = result.violations.front();
+  EXPECT_EQ(v.kind, "multiple-emission-copies");
+  EXPECT_EQ(v.path.size(), v.depth);
+  EXPECT_GT(v.depth, 0u);
+
+  // The counterexample path must replay: applying the schedule from the
+  // root state reproduces a state exhibiting the same violation kind.
+  const auto instance = model.load(v.rootState);
+  for (const Move& move : v.path) ASSERT_TRUE(instance->apply(move));
+  EXPECT_EQ(instance->serialize(), v.violatingState);
+  const auto replayed = instance->checkState();
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->kind, v.kind);
+}
+
+TEST(ExploreMutation, R2CounterexampleShrinksToHandMinimalStart) {
+  const SsmfpExploreModel model =
+      SsmfpExploreModel::figure2Clean(SsmfpGuardMutation::kR2SkipUpstreamCheck);
+  ExploreOptions options;
+  const ExploreResult result = explore::explore(model, options);
+  ASSERT_FALSE(result.clean());
+  const ShrinkResult shrunk =
+      explore::shrinkSsmfpViolation(model, result.violations.front(), options);
+  EXPECT_GT(shrunk.probes, 0u);
+  // Hand-minimal configuration for this violation: the one pending send and
+  // nothing else - one outbox line, no occupied buffers. The shrinker must
+  // not end above that.
+  const RestoredStack minimal = snapshotFromString(shrunk.snapshot);
+  EXPECT_EQ(minimal.forwarding->occupiedBufferCount(), 0u);
+  std::size_t waiting = 0;
+  for (NodeId p = 0; p < minimal.graph->size(); ++p) {
+    minimal.forwarding->forEachWaiting(p, [&](NodeId, Payload) { ++waiting; });
+  }
+  EXPECT_EQ(waiting, 1u);
+  // And the minimized start still produces the violation when explored.
+  const SsmfpExploreModel reModel(
+      {SsmfpExploreModel::canonicalStart(*minimal.graph, *minimal.routing,
+                                         *minimal.forwarding)},
+      SsmfpGuardMutation::kR2SkipUpstreamCheck);
+  EXPECT_FALSE(explore::explore(reModel, options).clean());
+}
+
+TEST(ExploreMutation, R4SkipStrayCopyCheckIsCaughtFromCorruptedStarts) {
+  // Dropping R4's stray-reception-copy conjunct only bites when a stale
+  // copy already sits on a wrong neighbor - exactly what the corruption
+  // closure provides; the clean start alone must NOT expose it.
+  const SsmfpExploreModel clean = SsmfpExploreModel::figure2Clean(
+      SsmfpGuardMutation::kR4SkipStrayCopyCheck);
+  EXPECT_TRUE(explore::explore(clean, ExploreOptions{}).clean());
+
+  const SsmfpExploreModel model = SsmfpExploreModel::figure2CorruptionClosure(
+      SsmfpGuardMutation::kR4SkipStrayCopyCheck);
+  const ExploreResult result = explore::explore(model, ExploreOptions{});
+  ASSERT_FALSE(result.clean());
+  EXPECT_EQ(result.violations.front().path.size(),
+            result.violations.front().depth);
+}
+
+TEST(ExploreMutation, ViolationPathConvertsToScriptedDaemonScript) {
+  const SsmfpExploreModel model =
+      SsmfpExploreModel::figure2Clean(SsmfpGuardMutation::kR2SkipUpstreamCheck);
+  const ExploreResult result = explore::explore(model, ExploreOptions{});
+  ASSERT_FALSE(result.clean());
+  const auto script = explore::toScript(result.violations.front().path);
+  ASSERT_EQ(script.size(), result.violations.front().path.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    ASSERT_EQ(script[i].size(), result.violations.front().path[i].size());
+    EXPECT_EQ(script[i][0].p, result.violations.front().path[i][0].p);
+    EXPECT_EQ(script[i][0].rule, result.violations.front().path[i][0].action.rule);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PIF closure
+// ---------------------------------------------------------------------------
+
+Graph star4Tree() {
+  Graph tree(4);
+  tree.addEdge(0, 1);
+  tree.addEdge(0, 2);
+  tree.addEdge(0, 3);
+  return tree;
+}
+
+TEST(ExplorePif, ScrambleClosureIsCleanAndExhaustive) {
+  const PifExploreModel model = PifExploreModel::scrambleClosure(star4Tree(), 0);
+  EXPECT_EQ(model.startStates().size(), 54u);  // 2 root states x 3^3
+  const ExploreResult result = explore::explore(model, ExploreOptions{});
+  EXPECT_TRUE(result.clean())
+      << (result.violations.empty() ? "" : result.violations.front().message);
+  EXPECT_TRUE(result.stats.exhausted);
+  // Snap-stabilization's "at most one completed-looking initial wave":
+  // invalid completions never exceed 1 on any reachable path.
+  EXPECT_LE(result.stats.maxProgressCount, 1u);
+}
+
+TEST(ExplorePif, DeeperTreeClosesCleanUnderDistributedClosure) {
+  Graph tree(4);
+  tree.addEdge(0, 1);
+  tree.addEdge(1, 2);
+  tree.addEdge(2, 3);
+  const PifExploreModel model = PifExploreModel::scrambleClosure(tree, 0);
+  ExploreOptions options;
+  options.closure = DaemonClosure::kDistributed;
+  const ExploreResult result = explore::explore(model, options);
+  EXPECT_TRUE(result.clean())
+      << (result.violations.empty() ? "" : result.violations.front().message);
+  EXPECT_TRUE(result.stats.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL emission
+// ---------------------------------------------------------------------------
+
+TEST(ExploreJsonl, StatsAndViolationRecords) {
+  const SsmfpExploreModel model =
+      SsmfpExploreModel::figure2Clean(SsmfpGuardMutation::kR2SkipUpstreamCheck);
+  ExploreOptions options;
+  const ExploreResult result = explore::explore(model, options);
+  std::ostringstream out;
+  explore::writeExploreJsonl(out, model.name(), options, result);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"record\":\"explore-stats\""), std::string::npos);
+  EXPECT_NE(text.find("\"record\":\"explore-violation\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"multiple-emission-copies\""), std::string::npos);
+  // One JSON object per line.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++count;
+  }
+  EXPECT_EQ(count, 1u + result.violations.size());
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -16,6 +16,8 @@
 
 #include <cmath>
 
+#include "explore/explore.hpp"
+#include "explore/models.hpp"
 #include "faults/corruptor.hpp"
 #include "graph/builders.hpp"
 #include "routing/selfstab_bfs.hpp"
@@ -99,6 +101,55 @@ TEST(Prop4, BoundIsTightOnPinnedSeed) {
   const ExperimentResult result = runSsmfpExperiment(cfg);
   ASSERT_TRUE(result.quiescent);
   EXPECT_EQ(result.invalidDelivered, 2 * result.graphN);  // exactly 2n
+}
+
+TEST(Prop4, ExplorerProvesTheExact2NBoundOnSaturatedStart) {
+  // The sharpest form of Prop. 4, as a state-space closure rather than a
+  // sampled run: saturate EVERY buffer of the d=0 component with distinct
+  // garbage payloads (no R5 cross-matching), then exhaustively explore all
+  // central-daemon schedules. The maximum invalid-delivery count over every
+  // reachable state must be EXACTLY 2n - the bound is reached on some
+  // schedule and never exceeded on any.
+  const Graph g = topo::path(2);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing, {0});
+  Payload payload = 1;
+  for (NodeId p = 0; p < g.size(); ++p) {
+    Message garbage;
+    garbage.lastHop = p;
+    garbage.color = 0;
+    garbage.valid = false;
+    garbage.source = p;
+    garbage.dest = 0;
+    garbage.payload = payload++;
+    proto.restoreReception(p, 0, garbage);
+    garbage.payload = payload++;
+    proto.restoreEmission(p, 0, garbage);
+  }
+  const explore::SsmfpExploreModel model(
+      {explore::SsmfpExploreModel::canonicalStart(g, routing, proto)},
+      SsmfpGuardMutation::kNone, "prop4-saturated");
+  const explore::ExploreResult result =
+      explore::explore(model, explore::ExploreOptions{});
+  ASSERT_TRUE(result.clean())
+      << (result.violations.empty() ? "" : result.violations.front().message);
+  ASSERT_TRUE(result.stats.exhausted);
+  EXPECT_EQ(result.stats.maxProgressCount, 2 * g.size());  // exactly 2n
+}
+
+TEST(Prop4, ExplorerBoundsInvalidDeliveriesPerStartSet) {
+  // Per explored start set the invalid-delivery maximum is exact, not just
+  // <= 2n: every Figure 2 corruption start carries at most ONE garbage
+  // message, so across the whole closure the maximum is exactly 1 (some
+  // corrupted start delivers its garbage; none can deliver more).
+  const auto model = explore::SsmfpExploreModel::figure2CorruptionClosure();
+  const explore::ExploreResult result =
+      explore::explore(model, explore::ExploreOptions{});
+  ASSERT_TRUE(result.clean());
+  ASSERT_TRUE(result.stats.exhausted);
+  EXPECT_EQ(result.stats.maxProgressCount, 1u);
+  EXPECT_LE(result.stats.maxProgressCount,
+            2 * topo::figure3Network().size());  // the Prop. 4 ceiling
 }
 
 TEST(Prop4, GarbageOnlyRunsDrainCompletely) {

@@ -2,15 +2,28 @@
 //
 // Closes the Figure 2 corruption set (141 single-variable corruptions of
 // the paper's worked instance) under each daemon closure, serial and
-// parallel, and reports states/second plus the closure certificate
-// (exhausted, zero violations). The parallel frontier must visit exactly
-// the serial state set - any drift fails the bench (non-zero exit), so
-// this doubles as a push-button exhaustive regression. The PIF scramble
-// closure rides along as the second model.
-
+// parallel, under BOTH state codecs (canonical text and the compact
+// binary codec with fork-from-parent delta stepping), and reports
+// states/second, bytes/state, and the closure certificate (exhausted,
+// zero violations). Every (model, closure) cell must produce the exact
+// same visited/transition/violation counts regardless of codec or thread
+// count - any drift fails the bench (non-zero exit), so this doubles as
+// a push-button exhaustive regression and as the differential oracle for
+// the binary state store. The PIF scramble closure rides along as the
+// second model.
+//
+// Flags:
+//   --codec=text|binary   restrict the codec axis (repeatable; default both)
+//   --perf-report=<path>  write one JSONL record per bench row
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "explore/explore.hpp"
 #include "explore/models.hpp"
@@ -21,100 +34,185 @@
 
 namespace {
 
+using snapfwd::explore::DaemonClosure;
+using snapfwd::explore::StateCodec;
+
 struct Row {
   snapfwd::explore::ExploreResult result;
   double seconds = 0.0;
 };
 
+/// Best of `reps` timed runs, so the text-vs-binary speedup below is not
+/// dominated by a single unlucky scheduling hiccup.
 Row timedExplore(snapfwd::explore::ExploreModel& model,
                  snapfwd::explore::ExploreOptions options,
-                 snapfwd::ThreadPool* pool) {
-  const auto start = std::chrono::steady_clock::now();
-  Row row;
-  row.result = snapfwd::explore::explore(model, options, pool);
-  row.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
-  return row;
+                 snapfwd::ThreadPool* pool, int reps = 3) {
+  Row best;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    Row row;
+    row.result = snapfwd::explore::explore(model, options, pool);
+    row.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (i == 0 || row.seconds < best.seconds) best = std::move(row);
+  }
+  return best;
+}
+
+double statesPerSec(const Row& row) {
+  return static_cast<double>(row.result.stats.visited) /
+         std::max(row.seconds, 1e-9);
+}
+
+std::uint64_t bytesPerState(const Row& row) {
+  const std::uint64_t visited = row.result.stats.visited;
+  return visited == 0 ? 0 : row.result.stats.stateBytes / visited;
+}
+
+void writePerfRecord(std::ostream& out, std::string_view model,
+                     DaemonClosure closure, std::size_t threads,
+                     const Row& row) {
+  using snapfwd::toString;
+  const auto& s = row.result.stats;
+  out << "{\"bench\":\"explore\",\"model\":\"" << model << "\",\"closure\":\""
+      << toString(closure) << "\",\"codec\":\"" << toString(s.codecUsed)
+      << "\",\"threads\":" << threads << ",\"visited\":" << s.visited
+      << ",\"transitions\":" << s.transitions << ",\"violations\":"
+      << row.result.violations.size() << ",\"exhausted\":"
+      << (s.exhausted ? "true" : "false") << ",\"seconds\":" << row.seconds
+      << ",\"states_per_sec\":" << statesPerSec(row) << ",\"state_bytes\":"
+      << s.stateBytes << ",\"arena_bytes\":" << s.arenaBytes
+      << ",\"bytes_per_state\":" << bytesPerState(row) << "}\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snapfwd;
-  using explore::DaemonClosure;
+
+  std::vector<StateCodec> codecs;
+  std::string perfReportPath;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--codec=", 0) == 0) {
+      const auto parsed = parseEnum<StateCodec>(arg.substr(8));
+      if (!parsed) {
+        std::cerr << "error: --codec needs one of " << enumNameList<StateCodec>()
+                  << "\n";
+        return 2;
+      }
+      codecs.push_back(*parsed);
+    } else if (arg.rfind("--perf-report=", 0) == 0) {
+      perfReportPath = arg.substr(14);
+    } else {
+      std::cerr << "usage: bench_explore [--codec=text|binary ...]"
+                   " [--perf-report=<path>]\n";
+      return 2;
+    }
+  }
+  if (codecs.empty()) codecs = {StateCodec::kText, StateCodec::kBinary};
+
   std::cout << "# Exhaustive exploration: closure sizes and throughput\n\n";
 
   // At least 4 workers even on small machines, so the serial-vs-parallel
   // equality check below is never vacuous.
   const std::size_t hw = std::max<std::size_t>(resolveThreadCount(0), 4);
   Table table("Figure 2 corruption closure (141 starts) + PIF scramble closure",
-              {"model", "closure", "threads", "visited", "transitions",
-               "depth", "states/s", "exhausted", "violations"});
+              {"model", "closure", "codec", "threads", "visited", "transitions",
+               "depth", "states/s", "bytes/state", "exhausted", "violations"});
 
   bool allClean = true;
-  std::uint64_t serialVisited = 0;
-  bool serialParallelAgree = true;
+  // Differential oracle: every run of the same (model, closure) cell -
+  // regardless of codec or thread count - must agree on all three counts.
+  using CountKey = std::pair<std::string, DaemonClosure>;
+  using Counts = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
+  std::map<CountKey, Counts> expected;
+  bool countsAgree = true;
+  // Serial figure2-corruptions states/s per codec, for the speedup line.
+  std::map<StateCodec, double> serialRate;
+
+  std::ofstream perfFile;
+  std::ostream* perf = nullptr;
+  if (!perfReportPath.empty()) {
+    perfFile.open(perfReportPath);
+    if (!perfFile) {
+      std::cerr << "error: cannot write '" << perfReportPath << "'\n";
+      return 2;
+    }
+    perf = &perfFile;
+  }
+
+  auto runCell = [&](explore::ExploreModel& model, DaemonClosure closure,
+                     StateCodec codec, std::size_t threads) {
+    explore::ExploreOptions options;
+    options.closure = closure;
+    options.codec = codec;
+    options.threads = threads;
+    ThreadPool pool(threads > 1 ? threads : 0);
+    const Row row = timedExplore(model, options, threads > 1 ? &pool : nullptr);
+
+    const auto& s = row.result.stats;
+    allClean &= s.exhausted && row.result.violations.empty();
+    const Counts counts{s.visited, s.transitions, row.result.violations.size()};
+    const auto [it, inserted] =
+        expected.try_emplace({std::string(model.name()), closure}, counts);
+    if (!inserted) countsAgree &= it->second == counts;
+    table.addRow({std::string(model.name()), toString(closure),
+                  std::string(toString(s.codecUsed)), Table::num(threads),
+                  Table::num(s.visited), Table::num(s.transitions),
+                  Table::num(s.depthReached),
+                  Table::num(static_cast<std::uint64_t>(statesPerSec(row))),
+                  Table::num(bytesPerState(row)), Table::yesNo(s.exhausted),
+                  Table::num(row.result.violations.size())});
+    if (perf != nullptr) {
+      writePerfRecord(*perf, model.name(), closure, threads, row);
+    }
+    return row;
+  };
 
   for (const DaemonClosure closure :
        {DaemonClosure::kCentral, DaemonClosure::kSynchronous,
         DaemonClosure::kDistributed}) {
-    for (const std::size_t threads : {std::size_t{1}, hw}) {
-      auto model = explore::SsmfpExploreModel::figure2CorruptionClosure();
-      explore::ExploreOptions options;
-      options.closure = closure;
-      options.threads = threads;
-      ThreadPool pool(threads > 1 ? threads : 0);
-      const Row row =
-          timedExplore(model, options, threads > 1 ? &pool : nullptr);
-
-      const bool clean =
-          row.result.stats.exhausted && row.result.violations.empty();
-      allClean &= clean;
-      if (threads == 1) {
-        serialVisited = row.result.stats.visited;
-      } else {
-        serialParallelAgree &= row.result.stats.visited == serialVisited;
+    for (const StateCodec codec : codecs) {
+      for (const std::size_t threads : {std::size_t{1}, hw}) {
+        auto model = explore::SsmfpExploreModel::figure2CorruptionClosure();
+        const Row row = runCell(model, closure, codec, threads);
+        if (closure == DaemonClosure::kCentral && threads == 1) {
+          serialRate[row.result.stats.codecUsed] = statesPerSec(row);
+        }
       }
-      table.addRow({std::string(model.name()), toString(closure), Table::num(threads),
-                    Table::num(row.result.stats.visited),
-                    Table::num(row.result.stats.transitions),
-                    Table::num(row.result.stats.depthReached),
-                    Table::num(static_cast<std::uint64_t>(
-                        row.result.stats.visited / std::max(row.seconds, 1e-9))),
-                    Table::yesNo(row.result.stats.exhausted),
-                    Table::num(row.result.violations.size())});
     }
   }
 
   {
     const Graph tree = topo::star(4);  // the Figure 2 spanning tree shape
-    auto pif = explore::PifExploreModel::scrambleClosure(tree, 0);
-    explore::ExploreOptions options;
-    options.closure = DaemonClosure::kDistributed;
-    const Row row = timedExplore(pif, options, nullptr);
-    const bool clean =
-        row.result.stats.exhausted && row.result.violations.empty();
-    allClean &= clean;
-    table.addRow({std::string(pif.name()), toString(options.closure), Table::num(std::uint64_t{1}),
-                  Table::num(row.result.stats.visited),
-                  Table::num(row.result.stats.transitions),
-                  Table::num(row.result.stats.depthReached),
-                  Table::num(static_cast<std::uint64_t>(
-                      row.result.stats.visited / std::max(row.seconds, 1e-9))),
-                  Table::yesNo(row.result.stats.exhausted),
-                  Table::num(row.result.violations.size())});
+    for (const StateCodec codec : codecs) {
+      auto pif = explore::PifExploreModel::scrambleClosure(tree, 0);
+      runCell(pif, DaemonClosure::kDistributed, codec, 1);
+    }
   }
 
   table.printMarkdown(std::cout);
   std::cout << "all closures exhausted with zero violations: "
             << (allClean ? "yes" : "NO") << "\n"
-            << "parallel frontier visits the serial state set: "
-            << (serialParallelAgree ? "yes" : "NO") << "\n";
+            << "identical counts across codecs and thread counts: "
+            << (countsAgree ? "yes" : "NO") << "\n";
+  if (serialRate.count(StateCodec::kText) != 0 &&
+      serialRate.count(StateCodec::kBinary) != 0 &&
+      serialRate[StateCodec::kText] > 0.0) {
+    std::cout << "binary/text serial speedup (figure2-corruptions, central): "
+              << static_cast<std::uint64_t>(serialRate[StateCodec::kBinary] /
+                                            serialRate[StateCodec::kText])
+              << "x\n";
+  }
+  if (perf != nullptr) {
+    std::cout << "perf report written to " << perfReportPath << "\n";
+  }
 
   std::cout << "\nEvery row is a universal statement over its daemon class on\n"
                "the paper's own instance: no reachable state, under any\n"
                "schedule, violates the checker invariants or the terminal\n"
                "delivery conditions.\n";
-  return (allClean && serialParallelAgree) ? 0 : 1;
+  return (allClean && countsAgree) ? 0 : 1;
 }

@@ -62,18 +62,19 @@ int main() {
   Rng g1 = rng.fork(1);
   cases.push_back({"random(10,+5)", topo::randomConnected(10, 5, g1)});
 
+  AcyclicityScratch scratch;
   for (auto& c : cases) {
     const OracleRouting correct(c.graph);
     bool allAcyclic = true;
     for (NodeId d = 0; d < c.graph.size(); ++d) {
-      allAcyclic &= isAcyclic(destinationBufferGraph(c.graph, correct, d));
+      allAcyclic &= isAcyclic(destinationBufferGraph(c.graph, correct, d), scratch);
     }
     FrozenRouting corrupted(c.graph);
     Rng corruptRng = rng.fork(mix64(reinterpret_cast<std::uintptr_t>(c.name)));
     corrupted.corrupt(corruptRng, 1.0);
     std::size_t acyclicCount = 0, cyclicCount = 0;
     for (NodeId d = 0; d < c.graph.size(); ++d) {
-      if (isAcyclic(destinationBufferGraph(c.graph, corrupted, d))) {
+      if (isAcyclic(destinationBufferGraph(c.graph, corrupted, d), scratch)) {
         ++acyclicCount;
       } else {
         ++cyclicCount;

@@ -153,6 +153,15 @@ ParseResult parseArgs(int argc, const char* const* argv) {
       }
       if (!needValue()) return fail("--start-set needs a value");
       options.exploreStartSet = value;
+    } else if (key == "codec") {
+      if (options.command != Command::kExplore) {
+        return fail("--codec is an explore flag");
+      }
+      if (!needValue() || !parseEnum<explore::StateCodec>(value).has_value()) {
+        return fail("--codec needs one of " +
+                    enumNameList<explore::StateCodec>());
+      }
+      options.exploreCodec = value;
     } else if (key == "depth") {
       if (options.command != Command::kExplore) {
         return fail("--depth is an explore flag");
@@ -305,6 +314,9 @@ std::string usage() {
       << "  --depth=<k>            BFS depth bound (0 = unbounded)\n"
       << "  --max-states=<k>       visited-set bound (default 1000000)\n"
       << "  --max-choices=<k>      per-state move bound (default 256)\n"
+      << "  --codec=" << enumNameList<explore::StateCodec>()
+      << "      state store: canonical text (default) or the\n"
+         "                         compact binary codec + delta stepping\n"
       << "  --threads=<k>          frontier workers, 0 = all hardware\n"
       << "  --jsonl=<file|->       explore-stats / explore-violation records\n"
       << "Exits 0 = clean closure, 1 = violation found (counterexample is\n"

@@ -45,6 +45,7 @@ struct CliOptions {
   std::uint64_t exploreDepth = 0;          // --depth (0 = unbounded)
   std::uint64_t exploreMaxStates = 1'000'000;  // --max-states
   std::size_t exploreMaxChoices = 256;         // --max-choices per state
+  std::string exploreCodec = "text";           // --codec=text|binary
 
   // Tooling (SSMFP stack only):
   std::string snapshotOut;  // write the initial configuration to this file

@@ -54,6 +54,7 @@ void renderStats(std::ostream& out, std::string_view model,
   Table table("snapfwd explore", {"metric", "value"});
   table.addRow({"model", std::string(model)});
   table.addRow({"daemon closure", toString(options.closure)});
+  table.addRow({"state codec", toString(result.stats.codecUsed)});
   table.addRow({"threads", Table::num(std::uint64_t{options.threads})});
   table.addRow({"start states", Table::num(result.stats.startStates)});
   table.addRow({"visited states", Table::num(result.stats.visited)});
@@ -82,6 +83,8 @@ int runExploreCommand(const CliOptions& options, std::ostream& out,
   exploreOptions.maxStates = options.exploreMaxStates;
   exploreOptions.maxMovesPerState = options.exploreMaxChoices;
   exploreOptions.threads = resolveThreadCount(options.sweepThreads);
+  exploreOptions.codec =
+      *parseEnum<explore::StateCodec>(options.exploreCodec);  // parse-validated
 
   std::unique_ptr<explore::ExploreModel> model;
   std::unique_ptr<explore::SsmfpExploreModel> ssmfpModel;

@@ -83,6 +83,8 @@ Engine::Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon
       actionsPerLayer_(layers_.size(), 0) {
   assert(!layers_.empty());
   if (scanMode_ == ScanMode::kIncremental) cache_.resize(graph.size());
+  enabled_.reserve(graph.size());
+  enabledIds_.reserve(graph.size());
   for (const Protocol* layer : layers_) {
     maxAccessRadius_ = std::max(maxAccessRadius_, layer->accessRadius());
   }
@@ -154,8 +156,12 @@ void Engine::fullScan() {
     // ranges, chunk results concatenated in chunk order (= id order).
     const std::size_t chunks = pool_->threadCount() * 4;
     const std::size_t per = (n + chunks - 1) / chunks;
-    std::vector<std::vector<EnabledProcessor>> partial(chunks);
+    // Member scratch: chunk vectors keep their capacity across sweeps, so
+    // repeated full scans stop heap-allocating (entries are moved out below).
+    if (scanPartial_.size() < chunks) scanPartial_.resize(chunks);
+    std::vector<std::vector<EnabledProcessor>>& partial = scanPartial_;
     pool_->parallelFor(chunks, [&](std::size_t c) {
+      partial[c].clear();
       const std::size_t begin = c * per;
       const std::size_t end = std::min(n, begin + per);
       for (std::size_t p = begin; p < end; ++p) {
@@ -170,8 +176,8 @@ void Engine::fullScan() {
         if (on) partial[c].push_back(std::move(entry));
       }
     });
-    for (auto& chunk : partial) {
-      for (auto& entry : chunk) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      for (auto& entry : partial[c]) {
         if (fillCache) enabledIds_.push_back(entry.p);
         enabled_.push_back(std::move(entry));
       }

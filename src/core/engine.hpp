@@ -191,6 +191,16 @@ class Engine {
     return executedActions_;
   }
 
+  /// The union of the layers' commit() write sets of the most recent
+  /// committed step (may contain duplicates across layers). This is the
+  /// undo log the explorer's fork-from-parent delta stepping rewinds: per
+  /// the state-model contract every variable a step mutated belongs to a
+  /// processor listed here. Valid after a successful step(), until the
+  /// next one.
+  [[nodiscard]] const std::vector<NodeId>& lastStepWrites() const noexcept {
+    return writtenScratch_;
+  }
+
  private:
   /// Refreshes enabled_ for the current configuration. No-op when it is
   /// already fresh (fixes the historical isTerminal()-then-step() double
@@ -242,6 +252,8 @@ class Engine {
   std::vector<NodeId> dirtyScratch_;    // expanded closed neighborhoods
   std::vector<bool> dirtyMark_;
   std::vector<NodeId> nextEnabledScratch_;
+  // Parallel full-scan chunk scratch; chunk capacity persists across sweeps.
+  std::vector<std::vector<EnabledProcessor>> scanPartial_;
 
   ScanStats scanStats_;
 

@@ -1,0 +1,663 @@
+#include "explore/codec.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baseline/merlin_schweitzer.hpp"
+#include "baseline/orientation_forwarding.hpp"
+#include "explore/canon.hpp"
+#include "mp/mp_ssmfp.hpp"
+#include "pif/pif.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd::explore {
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+void putVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>(static_cast<std::uint8_t>(v) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(static_cast<std::uint8_t>(v)));
+}
+
+void putByte(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void putNode(std::string& out, NodeId v) {
+  putVarint(out, v == kNoNode ? 0 : static_cast<std::uint64_t>(v) + 1);
+}
+
+namespace {
+
+void putU32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+void patchU32le(std::string& out, std::size_t at, std::uint32_t v) {
+  assert(at + 4 <= out.size());
+  for (int i = 0; i < 4; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void putU64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+}  // namespace
+
+std::uint64_t BinReader::varint() {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= bytes_.size()) fail("truncated varint");
+    const auto b = static_cast<std::uint8_t>(bytes_[pos_++]);
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  fail("varint too long");
+}
+
+std::uint8_t BinReader::byte() {
+  if (pos_ >= bytes_.size()) fail("truncated byte");
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint32_t BinReader::u32le() {
+  if (pos_ + 4 > bytes_.size()) fail("truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BinReader::u64le() {
+  if (pos_ + 8 > bytes_.size()) fail("truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+NodeId BinReader::node() {
+  const std::uint64_t raw = varint();
+  return raw == 0 ? kNoNode : static_cast<NodeId>(raw - 1);
+}
+
+void BinReader::expectMagic(char m0, char m1, std::uint8_t version,
+                            const char* what) {
+  if (pos_ + 3 > bytes_.size() || bytes_[pos_] != m0 || bytes_[pos_ + 1] != m1 ||
+      static_cast<std::uint8_t>(bytes_[pos_ + 2]) != version) {
+    fail(what);
+  }
+  pos_ += 3;
+}
+
+void BinReader::seek(std::size_t pos) {
+  if (pos > bytes_.size()) fail("seek out of bounds");
+  pos_ = pos;
+}
+
+void BinReader::fail(const char* what) const {
+  throw std::runtime_error(std::string("binary state decode: ") + what);
+}
+
+// ---------------------------------------------------------------------------
+// SSMFP stack
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kSsmfpMagic0 = 'B';
+constexpr char kSsmfpMagic1 = 'S';
+constexpr std::uint8_t kSsmfpVersion = 1;
+
+/// Canonical message fields of the stack form: the guard-visible triplet
+/// plus verification metadata, birth stamps omitted (the text canon
+/// normalizes them to zero; decode restores zeros).
+void putStackMessage(std::string& out, const Message& m) {
+  putVarint(out, m.payload);
+  putNode(out, m.lastHop);
+  putVarint(out, m.color);
+  putVarint(out, m.trace);
+  putByte(out, m.valid ? 1 : 0);
+  putNode(out, m.source);
+  putNode(out, m.dest);
+}
+
+[[nodiscard]] Message getStackMessage(BinReader& r) {
+  Message m;
+  m.payload = r.varint();
+  m.lastHop = r.node();
+  m.color = static_cast<Color>(r.varint());
+  m.trace = r.varint();
+  m.valid = r.byte() != 0;
+  m.source = r.node();
+  m.dest = r.node();
+  m.bornStep = 0;
+  m.bornRound = 0;
+  return m;
+}
+
+/// Everything processor p owns: its routing table row (all destinations -
+/// the routing layer's rules rewrite it), then per model destination the
+/// buffer pair + fairness queue, then the outbox. This is the unit the
+/// delta path rewinds per written processor.
+void encodeSsmfpSection(NodeId p, const Graph& graph,
+                        const SelfStabBfsRouting& routing,
+                        const SsmfpProtocol& forwarding, std::string& out) {
+  for (NodeId d = 0; d < graph.size(); ++d) {
+    putVarint(out, routing.dist(p, d));
+    putVarint(out, routing.parent(p, d));
+  }
+  for (const NodeId d : forwarding.destinations()) {
+    const Buffer& r = forwarding.bufR(p, d);
+    const Buffer& e = forwarding.bufE(p, d);
+    putByte(out, static_cast<std::uint8_t>((r.has_value() ? 1 : 0) |
+                                           (e.has_value() ? 2 : 0)));
+    if (r) putStackMessage(out, *r);
+    if (e) putStackMessage(out, *e);
+    for (const NodeId c : forwarding.fairnessQueue(p, d)) putVarint(out, c);
+  }
+  putVarint(out, forwarding.outboxSize(p));
+  std::size_t k = 0;
+  forwarding.forEachWaiting(p, [&](NodeId dest, Payload payload) {
+    putVarint(out, dest);
+    putVarint(out, payload);
+    putVarint(out, forwarding.waitingTrace(p, k));
+    ++k;
+  });
+}
+
+void decodeSsmfpSection(BinReader& r, NodeId p, const Graph& graph,
+                        SelfStabBfsRouting& routing, SsmfpProtocol& forwarding) {
+  for (NodeId d = 0; d < graph.size(); ++d) {
+    const auto dist = static_cast<std::uint32_t>(r.varint());
+    const auto parent = static_cast<NodeId>(r.varint());
+    routing.setEntry(p, d, dist, parent);
+  }
+  std::vector<NodeId> order(graph.degree(p) + 1);
+  for (const NodeId d : forwarding.destinations()) {
+    const std::uint8_t flags = r.byte();
+    if (flags & 1) {
+      forwarding.restoreReception(p, d, getStackMessage(r));
+    } else {
+      forwarding.clearReceptionForRestore(p, d);
+    }
+    if (flags & 2) {
+      forwarding.restoreEmission(p, d, getStackMessage(r));
+    } else {
+      forwarding.clearEmissionForRestore(p, d);
+    }
+    for (NodeId& c : order) c = static_cast<NodeId>(r.varint());
+    forwarding.setFairnessQueue(p, d, order);
+  }
+  forwarding.clearOutboxForRestore(p);
+  const std::uint64_t waiting = r.varint();
+  for (std::uint64_t k = 0; k < waiting; ++k) {
+    const auto dest = static_cast<NodeId>(r.varint());
+    const Payload payload = r.varint();
+    const TraceId trace = r.varint();
+    forwarding.restoreOutboxEntry(p, dest, payload, trace);
+  }
+}
+
+/// Validates header + structure fingerprint; returns a reader at the
+/// offset table. `n` is filled with the processor count.
+BinReader openSsmfpStack(std::string_view bytes, const Graph& graph,
+                         std::uint64_t structHash, std::size_t& n) {
+  BinReader r(bytes);
+  r.expectMagic(kSsmfpMagic0, kSsmfpMagic1, kSsmfpVersion, "bad ssmfp magic");
+  n = r.varint();
+  if (n != graph.size()) r.fail("processor count mismatch");
+  if (r.u64le() != structHash) r.fail("stack structure mismatch");
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t ssmfpStructHash(const Graph& graph,
+                              const SsmfpProtocol& forwarding) {
+  std::string s = "ssmfp-struct";
+  putVarint(s, graph.size());
+  for (const auto& [u, v] : graph.edges()) {
+    putVarint(s, u);
+    putVarint(s, v);
+  }
+  putVarint(s, forwarding.destinations().size());
+  for (const NodeId d : forwarding.destinations()) putVarint(s, d);
+  putByte(s, static_cast<std::uint8_t>(forwarding.choicePolicy()));
+  return hash64(s);
+}
+
+void encodeSsmfpStack(const SelfStabBfsRouting& routing,
+                      const SsmfpProtocol& forwarding, std::uint64_t structHash,
+                      std::string& out) {
+  const Graph& graph = forwarding.graph();
+  const std::size_t n = graph.size();
+  out.push_back(kSsmfpMagic0);
+  out.push_back(kSsmfpMagic1);
+  putByte(out, kSsmfpVersion);
+  putVarint(out, n);
+  putU64le(out, structHash);
+  const std::size_t table = out.size();
+  for (std::size_t i = 0; i <= n; ++i) putU32le(out, 0);
+  const std::size_t base = out.size();
+  for (NodeId p = 0; p < n; ++p) {
+    patchU32le(out, table + 4 * p, static_cast<std::uint32_t>(out.size() - base));
+    encodeSsmfpSection(p, graph, routing, forwarding, out);
+  }
+  patchU32le(out, table + 4 * n, static_cast<std::uint32_t>(out.size() - base));
+  putVarint(out, forwarding.nextTraceId());
+}
+
+BinReader decodeSsmfpStack(std::string_view bytes, SelfStabBfsRouting& routing,
+                           SsmfpProtocol& forwarding, std::uint64_t structHash) {
+  const Graph& graph = forwarding.graph();
+  std::size_t n = 0;
+  BinReader r = openSsmfpStack(bytes, graph, structHash, n);
+  const std::size_t table = r.pos();
+  const std::size_t base = table + 4 * (n + 1);
+  r.seek(base);
+  for (NodeId p = 0; p < n; ++p) {
+    decodeSsmfpSection(r, p, graph, routing, forwarding);
+  }
+  forwarding.setNextTraceId(r.varint());
+  return r;
+}
+
+void restoreSsmfpProcessors(std::string_view bytes,
+                            std::span<const NodeId> processors,
+                            SelfStabBfsRouting& routing,
+                            SsmfpProtocol& forwarding,
+                            std::uint64_t structHash) {
+  const Graph& graph = forwarding.graph();
+  std::size_t n = 0;
+  BinReader r = openSsmfpStack(bytes, graph, structHash, n);
+  const std::size_t table = r.pos();
+  const std::size_t base = table + 4 * (n + 1);
+  for (const NodeId p : processors) {
+    if (p >= n) r.fail("processor id out of range");
+    r.seek(table + 4 * p);
+    const std::uint32_t offset = r.u32le();
+    r.seek(base + offset);
+    decodeSsmfpSection(r, p, graph, routing, forwarding);
+  }
+  r.seek(table + 4 * n);
+  const std::uint32_t end = r.u32le();
+  r.seek(base + end);
+  forwarding.setNextTraceId(r.varint());
+}
+
+// ---------------------------------------------------------------------------
+// PIF
+// ---------------------------------------------------------------------------
+
+void encodePifState(const PifProtocol& pif, std::string& out) {
+  const std::size_t n = pif.graph().size();
+  out.push_back('B');
+  out.push_back('P');
+  putByte(out, 1);
+  putVarint(out, n);
+  putVarint(out, pif.root());
+  // 2-bit-packed S_p values, four per byte, low bits first.
+  std::uint8_t packed = 0;
+  for (NodeId p = 0; p < n; ++p) {
+    packed |= static_cast<std::uint8_t>(static_cast<unsigned>(pif.state(p))
+                                        << (2 * (p % 4)));
+    if (p % 4 == 3 || p + 1 == n) {
+      putByte(out, packed);
+      packed = 0;
+    }
+  }
+  putVarint(out, pif.pendingRequests());
+}
+
+BinReader decodePifState(std::string_view bytes, PifProtocol& pif) {
+  BinReader r(bytes);
+  r.expectMagic('B', 'P', 1, "bad pif magic");
+  const std::size_t n = pif.graph().size();
+  if (r.varint() != n) r.fail("processor count mismatch");
+  if (r.varint() != pif.root()) r.fail("root mismatch");
+  std::uint8_t packed = 0;
+  for (NodeId p = 0; p < n; ++p) {
+    if (p % 4 == 0) packed = r.byte();
+    const unsigned s = (packed >> (2 * (p % 4))) & 3u;
+    if (s > 2) r.fail("pif state out of range");
+    pif.setState(p, static_cast<PifState>(s));
+  }
+  pif.setPendingRequests(r.varint());
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Merlin-Schweitzer baseline
+// ---------------------------------------------------------------------------
+
+void encodeBaselineState(const MerlinSchweitzerProtocol& baseline,
+                         std::string& out) {
+  const Graph& graph = baseline.graph();
+  out.push_back('B');
+  out.push_back('M');
+  putByte(out, 1);
+  putVarint(out, graph.size());
+  putVarint(out, baseline.destinations().size());
+  for (const NodeId d : baseline.destinations()) putVarint(out, d);
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : baseline.destinations()) {
+      const auto& b = baseline.buffer(p, d);
+      putByte(out, static_cast<std::uint8_t>(
+                       (b.has_value() ? 1 : 0) |
+                       (baseline.genBit(p, d) != 0 ? 2 : 0)));
+      if (b) {
+        putVarint(out, b->payload);
+        putNode(out, b->flag.source);
+        putByte(out, b->flag.bit);
+        putVarint(out, b->trace);
+        putByte(out, b->valid ? 1 : 0);
+        putNode(out, b->source);
+        putNode(out, b->dest);
+        putVarint(out, b->bornStep);
+        putVarint(out, b->bornRound);
+      }
+      for (std::size_t i = 0; i < graph.degree(p); ++i) {
+        const auto& f = baseline.lastFlag(p, d, i);
+        putByte(out, f.has_value() ? 1 : 0);
+        if (f) {
+          putNode(out, f->source);
+          putByte(out, f->bit);
+        }
+      }
+      for (const NodeId c : baseline.fairnessQueue(p, d)) putVarint(out, c);
+    }
+    putVarint(out, baseline.outboxSize(p));
+    for (std::size_t k = 0; k < baseline.outboxSize(p); ++k) {
+      const auto entry = baseline.waitingAt(p, k);
+      putVarint(out, entry.dest);
+      putVarint(out, entry.payload);
+      putVarint(out, entry.trace);
+    }
+  }
+  putVarint(out, baseline.nextTraceId());
+}
+
+void decodeBaselineState(std::string_view bytes,
+                         MerlinSchweitzerProtocol& baseline) {
+  const Graph& graph = baseline.graph();
+  BinReader r(bytes);
+  r.expectMagic('B', 'M', 1, "bad baseline magic");
+  if (r.varint() != graph.size()) r.fail("processor count mismatch");
+  if (r.varint() != baseline.destinations().size()) {
+    r.fail("destination count mismatch");
+  }
+  for (const NodeId d : baseline.destinations()) {
+    if (r.varint() != d) r.fail("destination set mismatch");
+  }
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : baseline.destinations()) {
+      const std::uint8_t flags = r.byte();
+      if (flags & 1) {
+        BaselineMessage m;
+        m.payload = r.varint();
+        m.flag.source = r.node();
+        m.flag.bit = r.byte();
+        m.trace = r.varint();
+        m.valid = r.byte() != 0;
+        m.source = r.node();
+        m.dest = r.node();
+        m.bornStep = r.varint();
+        m.bornRound = r.varint();
+        baseline.restoreBuffer(p, d, m);
+      }
+      if (flags & 2) baseline.setGenBit(p, d, 1);
+      for (std::size_t i = 0; i < graph.degree(p); ++i) {
+        if (r.byte() != 0) {
+          BaselineFlag f;
+          f.source = r.node();
+          f.bit = r.byte();
+          baseline.setLastFlag(p, d, i, f);
+        }
+      }
+      std::vector<NodeId> order(graph.degree(p) + 1);
+      for (NodeId& c : order) c = static_cast<NodeId>(r.varint());
+      baseline.setFairnessQueue(p, d, std::move(order));
+    }
+    const std::uint64_t waiting = r.varint();
+    for (std::uint64_t k = 0; k < waiting; ++k) {
+      const auto dest = static_cast<NodeId>(r.varint());
+      const Payload payload = r.varint();
+      const TraceId trace = r.varint();
+      baseline.restoreOutboxEntry(p, dest, payload, trace);
+    }
+  }
+  baseline.setNextTraceId(r.varint());
+}
+
+// ---------------------------------------------------------------------------
+// Orientation (buffer-class) scheme
+// ---------------------------------------------------------------------------
+
+void encodeOrientationState(const OrientationForwardingProtocol& orientation,
+                            std::string& out) {
+  const Graph& graph = orientation.graph();
+  const std::size_t n = graph.size();
+  const std::size_t k = orientation.classCount();
+  out.push_back('B');
+  out.push_back('O');
+  putByte(out, 1);
+  putVarint(out, n);
+  putVarint(out, k);
+  for (NodeId p = 0; p < n; ++p) {
+    for (std::size_t cls = 0; cls < k; ++cls) {
+      const auto& b = orientation.buffer(p, cls);
+      putByte(out, b.has_value() ? 1 : 0);
+      if (b) {
+        putVarint(out, b->payload);
+        putNode(out, b->dest);
+        putNode(out, b->flag.source);
+        putNode(out, b->flag.dest);
+        putByte(out, b->flag.bit);
+        putVarint(out, b->trace);
+        putByte(out, b->valid ? 1 : 0);
+        putNode(out, b->source);
+        putVarint(out, b->bornStep);
+        putVarint(out, b->bornRound);
+      }
+      for (std::size_t i = 0; i < graph.degree(p); ++i) {
+        const auto& f = orientation.lastFlag(p, cls, i);
+        putByte(out, f.has_value() ? 1 : 0);
+        if (f) {
+          putNode(out, f->source);
+          putNode(out, f->dest);
+          putByte(out, f->bit);
+        }
+      }
+    }
+    putVarint(out, orientation.outboxSize(p));
+    for (std::size_t j = 0; j < orientation.outboxSize(p); ++j) {
+      const auto entry = orientation.waitingAt(p, j);
+      putVarint(out, entry.dest);
+      putVarint(out, entry.payload);
+      putVarint(out, entry.trace);
+    }
+  }
+  // Per-(source, dest) generation bits, packed eight per byte.
+  std::uint8_t packed = 0;
+  std::size_t bit = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (orientation.genBit(s, d) != 0) {
+        packed |= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      ++bit;
+      if (bit % 8 == 0) {
+        putByte(out, packed);
+        packed = 0;
+      }
+    }
+  }
+  if (bit % 8 != 0) putByte(out, packed);
+  putVarint(out, orientation.nextTraceId());
+}
+
+void decodeOrientationState(std::string_view bytes,
+                            OrientationForwardingProtocol& orientation) {
+  const Graph& graph = orientation.graph();
+  const std::size_t n = graph.size();
+  BinReader r(bytes);
+  r.expectMagic('B', 'O', 1, "bad orientation magic");
+  if (r.varint() != n) r.fail("processor count mismatch");
+  if (r.varint() != orientation.classCount()) r.fail("class count mismatch");
+  for (NodeId p = 0; p < n; ++p) {
+    for (std::size_t cls = 0; cls < orientation.classCount(); ++cls) {
+      if (r.byte() != 0) {
+        OrientMessage m;
+        m.payload = r.varint();
+        m.dest = r.node();
+        m.flag.source = r.node();
+        m.flag.dest = r.node();
+        m.flag.bit = r.byte();
+        m.trace = r.varint();
+        m.valid = r.byte() != 0;
+        m.source = r.node();
+        m.bornStep = r.varint();
+        m.bornRound = r.varint();
+        orientation.restoreBuffer(p, cls, m);
+      }
+      for (std::size_t i = 0; i < graph.degree(p); ++i) {
+        if (r.byte() != 0) {
+          OrientFlag f;
+          f.source = r.node();
+          f.dest = r.node();
+          f.bit = r.byte();
+          orientation.setLastFlag(p, cls, i, f);
+        }
+      }
+    }
+    const std::uint64_t waiting = r.varint();
+    for (std::uint64_t j = 0; j < waiting; ++j) {
+      const auto dest = static_cast<NodeId>(r.varint());
+      const Payload payload = r.varint();
+      const TraceId trace = r.varint();
+      orientation.restoreOutboxEntry(p, dest, payload, trace);
+    }
+  }
+  std::uint8_t packed = 0;
+  std::size_t bit = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (bit % 8 == 0) packed = r.byte();
+      if ((packed >> (bit % 8)) & 1u) orientation.setGenBit(s, d, 1);
+      ++bit;
+    }
+  }
+  orientation.setNextTraceId(r.varint());
+}
+
+// ---------------------------------------------------------------------------
+// Message-passing embedding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// MP messages keep their birth stamps (the text canon stores them
+/// verbatim - scripted replays are deterministic).
+void putMpMessage(std::string& out, const Message& m) {
+  putStackMessage(out, m);
+  putVarint(out, m.bornStep);
+  putVarint(out, m.bornRound);
+}
+
+[[nodiscard]] Message getMpMessage(BinReader& r) {
+  Message m = getStackMessage(r);
+  m.bornStep = r.varint();
+  m.bornRound = r.varint();
+  return m;
+}
+
+}  // namespace
+
+void encodeMpState(const MpSsmfpSimulator& sim, std::string& out) {
+  const Graph& graph = sim.graph();
+  out.push_back('B');
+  out.push_back('R');
+  putByte(out, 1);
+  putVarint(out, graph.size());
+  putVarint(out, sim.destinations().size());
+  for (const NodeId d : sim.destinations()) putVarint(out, d);
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : sim.destinations()) {
+      putVarint(out, sim.routingDist(p, d));
+      putNode(out, sim.routingParent(p, d));
+      const Buffer& br = sim.bufR(p, d);
+      const Buffer& be = sim.bufE(p, d);
+      putByte(out, static_cast<std::uint8_t>((br.has_value() ? 1 : 0) |
+                                             (be.has_value() ? 2 : 0)));
+      if (br) putMpMessage(out, *br);
+      if (be) putMpMessage(out, *be);
+      for (const NodeId c : sim.fairnessQueue(p, d)) putVarint(out, c);
+    }
+    putVarint(out, sim.outboxSize(p));
+    for (std::size_t k = 0; k < sim.outboxSize(p); ++k) {
+      const auto entry = sim.waitingAt(p, k);
+      putVarint(out, entry.dest);
+      putVarint(out, entry.payload);
+      putVarint(out, entry.trace);
+    }
+  }
+  putVarint(out, sim.nextTraceId());
+}
+
+void decodeMpState(std::string_view bytes, MpSsmfpSimulator& sim) {
+  const Graph& graph = sim.graph();
+  BinReader r(bytes);
+  r.expectMagic('B', 'R', 1, "bad mp magic");
+  if (r.varint() != graph.size()) r.fail("processor count mismatch");
+  if (r.varint() != sim.destinations().size()) {
+    r.fail("destination count mismatch");
+  }
+  for (const NodeId d : sim.destinations()) {
+    if (r.varint() != d) r.fail("destination set mismatch");
+  }
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (const NodeId d : sim.destinations()) {
+      const auto dist = static_cast<std::uint32_t>(r.varint());
+      const NodeId parent = r.node();
+      sim.setRoutingEntry(p, d, dist, parent);
+      const std::uint8_t flags = r.byte();
+      if (flags & 1) sim.restoreReception(p, d, getMpMessage(r));
+      if (flags & 2) sim.restoreEmission(p, d, getMpMessage(r));
+      std::vector<NodeId> order(graph.degree(p) + 1);
+      for (NodeId& c : order) c = static_cast<NodeId>(r.varint());
+      sim.setFairnessQueue(p, d, std::move(order));
+    }
+    const std::uint64_t waiting = r.varint();
+    for (std::uint64_t k = 0; k < waiting; ++k) {
+      const auto dest = static_cast<NodeId>(r.varint());
+      const Payload payload = r.varint();
+      const TraceId trace = r.varint();
+      sim.restoreOutboxEntry(p, dest, payload, trace);
+    }
+  }
+  sim.setNextTraceId(r.varint());
+}
+
+}  // namespace snapfwd::explore

@@ -1,0 +1,180 @@
+#pragma once
+// Compact binary state codec - the fast counterpart of the canonical text
+// formats in canon.hpp.
+//
+// The textual canon stays the authoritative, golden-hash-pinned state
+// identity (two configurations are equivalent iff their canonical strings
+// match); the binary codec is a bijective re-encoding of the same
+// equivalence classes, built for the explorer's hot path: varint/bit-packed
+// fields, no parsing, and - for the SSMFP stack - a per-processor offset
+// table so fork-from-parent delta stepping can restore exactly the
+// processors a step wrote (see explore.hpp / models.cpp) without touching
+// the rest of the configuration. Each format opens with a two-byte magic
+// plus a version byte; SSMFP additionally pins a structure fingerprint
+// (graph + destinations + policy) so bytes are never decoded onto the
+// wrong instance.
+//
+// Field-level conventions shared by all formats:
+//   - integers are LEB128 varints unless a fixed width is stated;
+//   - NodeId fields that may be kNoNode are stored shifted by one
+//     (0 = kNoNode, v+1 otherwise) to stay single-byte;
+//   - optional records carry a presence flag byte;
+//   - birth stamps (bornStep/bornRound) follow the matching text canon:
+//     omitted for the SSMFP stack (canonSsmfpStack normalizes them away),
+//     kept verbatim for the baseline/orientation/mp formats.
+//
+// Soundness is pinned by tests/test_explore_codec.cpp: binary round trips
+// are fixed points of the TEXT canon (encode -> decode -> text == text),
+// and explorer closures are count-identical across codecs.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "graph/graph.hpp"
+#include "util/names.hpp"
+
+namespace snapfwd {
+class SelfStabBfsRouting;
+class SsmfpProtocol;
+class PifProtocol;
+class MerlinSchweitzerProtocol;
+class OrientationForwardingProtocol;
+class MpSsmfpSimulator;
+}  // namespace snapfwd
+
+namespace snapfwd::explore {
+
+/// Which state representation the explorer stores and dedups on.
+///   kText   - canonical text (canon.hpp): authoritative, human-readable,
+///             the PR-4 baseline path.
+///   kBinary - this codec + fork-from-parent delta stepping.
+/// Closure counts are representation-independent (pinned by tests and
+/// bench_explore); only throughput and bytes/state differ.
+enum class StateCodec : std::uint8_t {
+  kText,
+  kBinary,
+};
+
+}  // namespace snapfwd::explore
+
+namespace snapfwd {
+template <>
+struct EnumNames<explore::StateCodec> {
+  static constexpr auto entries = std::to_array<NamedEnum<explore::StateCodec>>({
+      {explore::StateCodec::kText, "text"},
+      {explore::StateCodec::kBinary, "binary"},
+  });
+};
+}  // namespace snapfwd
+
+namespace snapfwd::explore {
+
+// ---------------------------------------------------------------------------
+// Byte-level primitives (exposed so model instances can append their
+// monitor fields behind the protocol part with the same encoding).
+// ---------------------------------------------------------------------------
+
+/// Appends `v` as a LEB128 varint.
+void putVarint(std::string& out, std::uint64_t v);
+/// Appends one raw byte.
+void putByte(std::string& out, std::uint8_t v);
+/// Appends a NodeId with the kNoNode-safe shift (0 = kNoNode, v+1 else).
+void putNode(std::string& out, NodeId v);
+
+/// Bounds-checked sequential reader over an encoded byte string. All
+/// malformed-input paths throw std::runtime_error (decoding only ever sees
+/// bytes this codec produced, so a throw is a logic error upstream, but
+/// truncated input must never read out of bounds).
+class BinReader {
+ public:
+  explicit BinReader(std::string_view bytes, std::size_t pos = 0)
+      : bytes_(bytes), pos_(pos) {}
+
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] std::uint8_t byte();
+  [[nodiscard]] std::uint32_t u32le();
+  [[nodiscard]] std::uint64_t u64le();
+  [[nodiscard]] NodeId node();  // inverse of putNode
+  /// Consumes and validates a 2-byte magic + version byte.
+  void expectMagic(char m0, char m1, std::uint8_t version, const char* what);
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  void seek(std::size_t pos);
+  [[nodiscard]] bool atEnd() const noexcept { return pos_ == bytes_.size(); }
+  [[noreturn]] void fail(const char* what) const;
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SSMFP stack ('B' 'S' v1) - the explorer's hot format.
+// ---------------------------------------------------------------------------
+
+/// Fingerprint of the immutable stack structure (graph size + edges +
+/// destination set + choice policy). Encoded into every state; decode
+/// verifies it against the target instance. Compute once per instance.
+[[nodiscard]] std::uint64_t ssmfpStructHash(const Graph& graph,
+                                            const SsmfpProtocol& forwarding);
+
+/// Appends the full stack state (routing tables + buffers + fairness
+/// queues + outboxes + nexttrace; birth stamps normalized away as in
+/// canonSsmfpStack). `structHash` must be ssmfpStructHash() of the stack.
+void encodeSsmfpStack(const SelfStabBfsRouting& routing,
+                      const SsmfpProtocol& forwarding, std::uint64_t structHash,
+                      std::string& out);
+
+/// Restores every processor section onto a live stack of the same
+/// structure (buffers/outboxes not present in `bytes` are cleared, so the
+/// target may hold any prior state). Returns a reader positioned after the
+/// protocol part - the caller's monitor fields follow.
+BinReader decodeSsmfpStack(std::string_view bytes,
+                           SelfStabBfsRouting& routing,
+                           SsmfpProtocol& forwarding, std::uint64_t structHash);
+
+/// Delta restore: rewinds only `processors` (typically the engine's commit
+/// write set of one step) plus nexttrace to the state in `bytes`, via the
+/// per-processor offset table. Equivalent to decodeSsmfpStack for those
+/// sections; every other processor's state is left untouched.
+void restoreSsmfpProcessors(std::string_view bytes,
+                            std::span<const NodeId> processors,
+                            SelfStabBfsRouting& routing,
+                            SsmfpProtocol& forwarding, std::uint64_t structHash);
+
+// ---------------------------------------------------------------------------
+// PIF ('B' 'P' v1)
+// ---------------------------------------------------------------------------
+
+/// Appends root + 2-bit-packed per-processor states + pending requests.
+void encodePifState(const PifProtocol& pif, std::string& out);
+
+/// Applies an encodePifState() string onto a live protocol on the same
+/// tree (size and root verified). Returns a reader positioned after the
+/// protocol part.
+BinReader decodePifState(std::string_view bytes, PifProtocol& pif);
+
+// ---------------------------------------------------------------------------
+// Merlin-Schweitzer baseline ('B' 'M' v1), orientation ('B' 'O' v1) and
+// message-passing embedding ('B' 'R' v1): full-state encode plus decode
+// onto a FRESHLY CONSTRUCTED instance (these models have no clear-state
+// entry points; the explorer does not delta-step them). Mirrors the
+// canon*/restore* text pairs field for field, stamps verbatim.
+// ---------------------------------------------------------------------------
+
+void encodeBaselineState(const MerlinSchweitzerProtocol& baseline,
+                         std::string& out);
+void decodeBaselineState(std::string_view bytes,
+                         MerlinSchweitzerProtocol& baseline);
+
+void encodeOrientationState(const OrientationForwardingProtocol& orientation,
+                            std::string& out);
+void decodeOrientationState(std::string_view bytes,
+                            OrientationForwardingProtocol& orientation);
+
+void encodeMpState(const MpSsmfpSimulator& sim, std::string& out);
+void decodeMpState(std::string_view bytes, MpSsmfpSimulator& sim);
+
+}  // namespace snapfwd::explore

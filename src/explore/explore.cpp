@@ -5,49 +5,107 @@
 #include <cassert>
 #include <mutex>
 #include <ostream>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
 #include "explore/canon.hpp"
 #include "stats/jsonl.hpp"
+#include "util/arena.hpp"
 #include "util/thread_pool.hpp"
 
 namespace snapfwd::explore {
 
+void ModelInstance::encodeState(std::string&) {
+  throw std::logic_error("ModelInstance::encodeState: binary codec unsupported");
+}
+
+void ModelInstance::restoreState(std::string_view) {
+  throw std::logic_error("ModelInstance::restoreState: binary codec unsupported");
+}
+
+void ModelInstance::undoToRestored() {
+  throw std::logic_error("ModelInstance::undoToRestored: binary codec unsupported");
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
-// Visited set: 64-way lock striping keyed on the state hash. Stores the BFS
-// tree (parent hash + incoming move) for counterexample-path reconstruction.
-// Equal hashes are treated as equal states - the standard hash-compaction
-// tradeoff of explicit-state checking; with 64-bit FNV over the bounded
-// instances explored here, collision probability is negligible.
+// Visited set: 64-way lock striping keyed on the state hash. Each shard
+// owns a ByteArena; a state's encoded bytes are interned exactly once and
+// every later structure (records, frontier, dedup compares) works on
+// stable string_view handles into the arenas instead of owning strings.
+// Dedup is hash + byte-compare with per-hash collision chaining, so equal
+// hashes of DIFFERENT states never merge (unlike classic hash compaction).
+// Records double as the BFS tree (parent ref + incoming move) for
+// counterexample-path reconstruction.
 // ---------------------------------------------------------------------------
 
-struct VisitedEntry {
-  std::uint64_t parentHash = 0;
-  Move move;  // the step parent -> this (empty for start states)
-  std::uint32_t rootIndex = 0;
+constexpr std::uint32_t kNoRecord = 0xFFFF'FFFFu;
+constexpr std::uint64_t kNoRef = UINT64_MAX;
+
+struct VisitedRecord {
+  std::string_view bytes;  // arena-interned encoded state
+  Move move;               // the step parent -> this (empty for start states)
+  std::uint64_t parentRef = kNoRef;
   std::uint64_t depth = 0;
+  std::uint32_t rootIndex = 0;
+  std::uint32_t nextSameHash = kNoRecord;  // collision chain within the shard
 };
 
 class VisitedSet {
  public:
   VisitedSet() : shards_(kShards) {}
 
-  /// True iff `hash` was not present (first inserter wins; the losing
-  /// entry is discarded).
-  bool insert(std::uint64_t hash, VisitedEntry entry) {
-    Shard& shard = shards_[shardOf(hash)];
+  struct InsertResult {
+    std::uint64_t ref = kNoRef;    // stable handle: shard << 32 | record index
+    std::string_view bytes;        // the interned copy (arena-stable)
+    bool fresh = false;            // first inserter wins
+  };
+
+  /// Interns `bytes` if no record in the hash's chain byte-compares equal.
+  /// The losing inserter's `move` is not consumed.
+  InsertResult insert(std::uint64_t hash, std::string_view bytes, Move&& move,
+                      std::uint64_t parentRef, std::uint32_t rootIndex,
+                      std::uint64_t depth) {
+    const std::size_t s = shardOf(hash);
+    Shard& shard = shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
-    return shard.map.emplace(hash, std::move(entry)).second;
+    auto [it, firstOfHash] = shard.index.try_emplace(hash, kNoRecord);
+    if (!firstOfHash) {
+      std::uint32_t idx = it->second;
+      while (true) {
+        VisitedRecord& rec = shard.records[idx];
+        if (rec.bytes == bytes) return {makeRef(s, idx), rec.bytes, false};
+        if (rec.nextSameHash == kNoRecord) break;
+        idx = rec.nextSameHash;
+      }
+      const std::uint32_t fresh =
+          appendLocked(shard, bytes, std::move(move), parentRef, rootIndex, depth);
+      shard.records[idx].nextSameHash = fresh;
+      return {makeRef(s, fresh), shard.records[fresh].bytes, true};
+    }
+    const std::uint32_t fresh =
+        appendLocked(shard, bytes, std::move(move), parentRef, rootIndex, depth);
+    it->second = fresh;
+    return {makeRef(s, fresh), shard.records[fresh].bytes, true};
   }
 
-  [[nodiscard]] const VisitedEntry* find(std::uint64_t hash) {
-    Shard& shard = shards_[shardOf(hash)];
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.map.find(hash);
-    return it == shard.map.end() ? nullptr : &it->second;
+  /// Record lookup by ref. Not synchronized: call only after expansion has
+  /// quiesced (path reconstruction) or for refs this thread inserted.
+  [[nodiscard]] const VisitedRecord& record(std::uint64_t ref) const {
+    return shards_[ref >> 32].records[static_cast<std::uint32_t>(ref)];
+  }
+
+  [[nodiscard]] std::uint64_t storedBytes() const {
+    std::uint64_t sum = 0;
+    for (const Shard& shard : shards_) sum += shard.arena.storedBytes();
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t allocatedBytes() const {
+    std::uint64_t sum = 0;
+    for (const Shard& shard : shards_) sum += shard.arena.allocatedBytes();
+    return sum;
   }
 
  private:
@@ -55,28 +113,87 @@ class VisitedSet {
   [[nodiscard]] static std::size_t shardOf(std::uint64_t hash) {
     return (hash >> 58) & (kShards - 1);  // top bits: FNV mixes them well
   }
+  [[nodiscard]] static std::uint64_t makeRef(std::size_t shard,
+                                             std::uint32_t idx) {
+    return (static_cast<std::uint64_t>(shard) << 32) | idx;
+  }
 
   struct Shard {
     std::mutex mutex;
-    std::unordered_map<std::uint64_t, VisitedEntry> map;
+    std::unordered_map<std::uint64_t, std::uint32_t> index;  // hash -> chain head
+    std::vector<VisitedRecord> records;
+    ByteArena arena;
   };
+
+  static std::uint32_t appendLocked(Shard& shard, std::string_view bytes,
+                                    Move&& move, std::uint64_t parentRef,
+                                    std::uint32_t rootIndex,
+                                    std::uint64_t depth) {
+    VisitedRecord rec;
+    rec.bytes = shard.arena.intern(bytes);
+    rec.move = std::move(move);
+    rec.parentRef = parentRef;
+    rec.rootIndex = rootIndex;
+    rec.depth = depth;
+    shard.records.push_back(std::move(rec));
+    return static_cast<std::uint32_t>(shard.records.size() - 1);
+  }
+
   std::vector<Shard> shards_;
 };
 
+/// Frontier entries borrow the visited set's interned bytes - no owned
+/// strings cross BFS levels (the level barrier orders arena publication
+/// before consumption; within a level the shard mutex does).
 struct FrontierItem {
-  std::uint64_t hash = 0;
-  std::string state;
+  std::uint64_t ref = kNoRef;
+  std::string_view bytes;
   std::uint32_t rootIndex = 0;
   std::uint64_t depth = 0;
 };
 
 /// A violation as recorded during expansion, before path reconstruction.
+/// `state` is always canonical TEXT (recovered via serialize() at detection
+/// time), whatever codec the run stores.
 struct RawViolation {
   ModelViolation what;
+  std::uint64_t ref = kNoRef;
   std::uint64_t hash = 0;
   std::uint64_t depth = 0;
   std::uint32_t rootIndex = 0;
   std::string state;
+};
+
+/// Free-list of live instances for the delta-stepping path: one instance
+/// per concurrently-expanding worker, reused across the whole run (the
+/// whole point - instance construction is the textual path's hot cost).
+class InstancePool {
+ public:
+  InstancePool(const ExploreModel& model, const std::string& seedState)
+      : model_(model), seedState_(seedState) {}
+
+  [[nodiscard]] std::unique_ptr<ModelInstance> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        auto inst = std::move(free_.back());
+        free_.pop_back();
+        return inst;
+      }
+    }
+    return model_.load(seedState_);
+  }
+
+  void release(std::unique_ptr<ModelInstance> inst) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(inst));
+  }
+
+ private:
+  const ExploreModel& model_;
+  const std::string& seedState_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<ModelInstance>> free_;
 };
 
 /// Appends the action combinations of `entries` (one action per entry) to
@@ -177,32 +294,81 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
   const std::vector<std::string>& starts = model.startStates();
   result.stats.startStates = starts.size();
 
+  // Resolve the codec: kBinary needs instance support; otherwise fall back
+  // to the textual path (counts are identical either way).
+  StateCodec codec = options.codec;
+  if (codec == StateCodec::kBinary &&
+      (starts.empty() || !model.load(starts.front())->supportsBinaryCodec())) {
+    codec = StateCodec::kText;
+  }
+  result.stats.codecUsed = codec;
+
   // Seed level 0: dedupe the start set itself and run the state checks on
-  // every distinct start.
+  // every distinct start. Serial; instances are loaded per start anyway.
+  std::string seedScratch;
   for (std::size_t i = 0; i < starts.size(); ++i) {
-    const std::uint64_t h = hash64(starts[i]);
-    VisitedEntry entry;
-    entry.parentHash = h;
-    entry.rootIndex = static_cast<std::uint32_t>(i);
-    entry.depth = 0;
-    if (!visited.insert(h, std::move(entry))) {
+    std::unique_ptr<ModelInstance> inst;
+    std::string_view bytes;
+    if (codec == StateCodec::kBinary) {
+      inst = model.load(starts[i]);
+      seedScratch.clear();
+      inst->encodeState(seedScratch);
+      bytes = seedScratch;
+    } else {
+      bytes = starts[i];
+    }
+    const std::uint64_t h = hash64(bytes);
+    const auto ins = visited.insert(h, bytes, Move{}, kNoRef,
+                                    static_cast<std::uint32_t>(i), 0);
+    if (!ins.fresh) {
       ++dedupHits;
       continue;
     }
     ++visitedCount;
-    auto inst = model.load(starts[i]);
+    if (inst == nullptr) inst = model.load(starts[i]);
     maxProgress = std::max(maxProgress, inst->progressCount());
     if (auto v = inst->checkState()) {
       rawViolations.push_back(
-          {std::move(*v), h, 0, static_cast<std::uint32_t>(i), starts[i]});
+          {std::move(*v), ins.ref, h, 0, static_cast<std::uint32_t>(i), starts[i]});
       continue;
     }
-    frontier.push_back({h, starts[i], static_cast<std::uint32_t>(i), 0});
+    frontier.push_back({ins.ref, ins.bytes, static_cast<std::uint32_t>(i), 0});
   }
 
-  const auto expandItem = [&](const FrontierItem& item,
-                              std::vector<FrontierItem>& next) {
-    auto inst = model.load(item.state);
+  // One successor's bookkeeping after its state has been encoded into
+  // `bytes`: insert, count, check, and queue. `violText` must already hold
+  // the canonical text when `v` is set. Returns under accumMutex.
+  const auto recordChild = [&](const FrontierItem& item,
+                               std::optional<ModelViolation>&& v,
+                               std::uint64_t progress, std::string&& violText,
+                               std::vector<FrontierItem>& next,
+                               const VisitedSet::InsertResult& ins,
+                               std::uint64_t h) {
+    std::lock_guard<std::mutex> lock(accumMutex);
+    depthReached = std::max(depthReached, item.depth + 1);
+    maxProgress = std::max(maxProgress, progress);
+    if (v) {
+      rawViolations.push_back({std::move(*v), ins.ref, h, item.depth + 1,
+                               item.rootIndex, std::move(violText)});
+      return;  // violating states are not expanded further
+    }
+    if (item.depth + 1 >= options.maxDepth) {
+      boundHit = true;
+      return;
+    }
+    if (visitedCount.load() > options.maxStates) {
+      boundHit = true;
+      return;
+    }
+    next.push_back({ins.ref, ins.bytes, item.rootIndex, item.depth + 1});
+  };
+
+  // Textual path: the PR-4 semantics - one instance to enumerate, one
+  // fresh instance per successor, full canonical re-serialization.
+  const auto expandItemText = [&](const FrontierItem& item,
+                                  std::vector<FrontierItem>& next) {
+    const std::string parentText(item.bytes);
+    auto inst = model.load(parentText);
     std::vector<Move> moves;
     bool truncated = false;
     inst->enumerateMoves(options.closure, options.maxMovesPerState, moves,
@@ -215,48 +381,103 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
       ++terminalStates;
       if (auto v = inst->checkTerminal()) {
         std::lock_guard<std::mutex> lock(accumMutex);
-        rawViolations.push_back(
-            {std::move(*v), item.hash, item.depth, item.rootIndex, item.state});
+        rawViolations.push_back({std::move(*v), item.ref, hash64(item.bytes),
+                                 item.depth, item.rootIndex, parentText});
       }
       return;
     }
-    for (const Move& move : moves) {
+    for (Move& move : moves) {
       ++transitions;
-      auto child = model.load(item.state);
+      auto child = model.load(parentText);
       const bool applied = child->apply(move);
       assert(applied);
       if (!applied) continue;
       std::string text = child->serialize();
       const std::uint64_t h = hash64(text);
-      VisitedEntry entry;
-      entry.parentHash = item.hash;
-      entry.move = move;
-      entry.rootIndex = item.rootIndex;
-      entry.depth = item.depth + 1;
-      if (!visited.insert(h, std::move(entry))) {
+      auto ins = visited.insert(h, text, std::move(move), item.ref,
+                                item.rootIndex, item.depth + 1);
+      if (!ins.fresh) {
         ++dedupHits;
         continue;
       }
       ++visitedCount;
       const std::uint64_t progress = child->progressCount();
       auto v = child->checkState();
-      std::lock_guard<std::mutex> lock(accumMutex);
-      depthReached = std::max(depthReached, item.depth + 1);
-      maxProgress = std::max(maxProgress, progress);
-      if (v) {
-        rawViolations.push_back(
-            {std::move(*v), h, item.depth + 1, item.rootIndex, std::move(text)});
-        continue;  // violating states are not expanded further
+      recordChild(item, std::move(v), progress, std::move(text), next, ins, h);
+    }
+  };
+
+  // Binary path: fork-from-parent delta stepping. One live instance per
+  // worker, decoded once per parent; each successor is apply -> encode ->
+  // undo over the engine's commit write set.
+  const std::string poolSeed = starts.empty() ? std::string() : starts.front();
+  InstancePool instances(model, poolSeed);
+  const auto expandItemBinary = [&](const FrontierItem& item,
+                                    std::vector<FrontierItem>& next,
+                                    ModelInstance& inst, std::string& scratch,
+                                    std::vector<Move>& moves) {
+    inst.restoreState(item.bytes);
+    bool truncated = false;
+    inst.enumerateMoves(options.closure, options.maxMovesPerState, moves,
+                        truncated);
+    if (truncated) {
+      ++truncatedStates;
+      boundHit = true;
+    }
+    if (moves.empty()) {
+      ++terminalStates;
+      if (auto v = inst.checkTerminal()) {
+        std::string text = inst.serialize();
+        std::lock_guard<std::mutex> lock(accumMutex);
+        rawViolations.push_back({std::move(*v), item.ref, hash64(item.bytes),
+                                 item.depth, item.rootIndex, std::move(text)});
       }
-      if (item.depth + 1 >= options.maxDepth) {
-        boundHit = true;
+      return;
+    }
+    for (Move& move : moves) {
+      ++transitions;
+      const bool applied = inst.apply(move);
+      assert(applied);
+      if (!applied) continue;  // not enabled here: state unchanged, no undo
+      scratch.clear();
+      inst.encodeState(scratch);
+      const std::uint64_t h = hash64(scratch);
+      auto ins = visited.insert(h, scratch, std::move(move), item.ref,
+                                item.rootIndex, item.depth + 1);
+      if (!ins.fresh) {
+        ++dedupHits;
+        inst.undoToRestored();
         continue;
       }
-      if (visitedCount.load() > options.maxStates) {
-        boundHit = true;
-        continue;
+      ++visitedCount;
+      const std::uint64_t progress = inst.progressCount();
+      auto v = inst.checkState();
+      // The counterexample report needs the canonical text; recover it now,
+      // while the instance still holds the violating configuration.
+      std::string violText;
+      if (v) violText = inst.serialize();
+      inst.undoToRestored();
+      recordChild(item, std::move(v), progress, std::move(violText), next, ins,
+                  h);
+    }
+  };
+
+  // Per-worker expansion over an index range (binary path acquires its
+  // live instance + scratch once per range, not per item).
+  const auto expandRange = [&](std::size_t begin, std::size_t end,
+                               std::vector<FrontierItem>& next) {
+    if (codec == StateCodec::kBinary) {
+      auto inst = instances.acquire();
+      std::string scratch;
+      std::vector<Move> moves;
+      for (std::size_t i = begin; i < end; ++i) {
+        expandItemBinary(frontier[i], next, *inst, scratch, moves);
       }
-      next.push_back({h, std::move(text), item.rootIndex, item.depth + 1});
+      instances.release(std::move(inst));
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        expandItemText(frontier[i], next);
+      }
     }
   };
 
@@ -268,14 +489,12 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
       pool->parallelForRange(
           frontier.size(), [&](std::size_t begin, std::size_t end) {
             std::vector<FrontierItem> local;
-            for (std::size_t i = begin; i < end; ++i) {
-              expandItem(frontier[i], local);
-            }
+            expandRange(begin, end, local);
             std::lock_guard<std::mutex> lock(accumMutex);
             for (auto& item : local) next.push_back(std::move(item));
           });
     } else {
-      for (const FrontierItem& item : frontier) expandItem(item, next);
+      expandRange(0, frontier.size(), next);
     }
     frontier = std::move(next);
     if (options.stopOnViolation && !rawViolations.empty()) break;
@@ -289,6 +508,8 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
   result.stats.maxProgressCount = maxProgress;
   result.stats.depthReached = depthReached;
   result.stats.exhausted = !boundHit.load() && rawViolations.empty();
+  result.stats.stateBytes = visited.storedBytes();
+  result.stats.arenaBytes = visited.allocatedBytes();
 
   // Deterministic violation order regardless of worker interleaving.
   std::sort(rawViolations.begin(), rawViolations.end(),
@@ -306,16 +527,15 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
     violation.rootState = starts[raw.rootIndex];
     violation.violatingState = std::move(raw.state);
     violation.stateHash = raw.hash;
-    // Walk the BFS tree back to the start state. Parent pointers may differ
+    // Walk the BFS tree back to the start state. Parent refs may differ
     // between runs (first-inserter-wins), but any recorded path is a valid
     // schedule of the same length (BFS depth is order-independent).
-    std::uint64_t cursor = raw.hash;
+    std::uint64_t cursor = raw.ref;
     while (true) {
-      const VisitedEntry* entry = visited.find(cursor);
-      assert(entry != nullptr);
-      if (entry == nullptr || entry->depth == 0) break;
-      violation.path.push_back(entry->move);
-      cursor = entry->parentHash;
+      const VisitedRecord& rec = visited.record(cursor);
+      if (rec.depth == 0) break;
+      violation.path.push_back(rec.move);
+      cursor = rec.parentRef;
     }
     std::reverse(violation.path.begin(), violation.path.end());
     assert(violation.path.size() == violation.depth);
@@ -332,6 +552,7 @@ void writeExploreJsonl(std::ostream& out, std::string_view modelName,
     o.field("record", "explore-stats");
     o.field("model", modelName);
     o.field("closure", toString(options.closure));
+    o.field("codec", toString(result.stats.codecUsed));
     o.field("max_depth", static_cast<std::uint64_t>(options.maxDepth));
     o.field("max_states", static_cast<std::uint64_t>(options.maxStates));
     o.field("max_moves_per_state",
@@ -346,6 +567,8 @@ void writeExploreJsonl(std::ostream& out, std::string_view modelName,
     o.field("truncated_states", result.stats.truncatedStates);
     o.field("terminal_states", result.stats.terminalStates);
     o.field("max_progress", result.stats.maxProgressCount);
+    o.field("state_bytes", result.stats.stateBytes);
+    o.field("arena_bytes", result.stats.arenaBytes);
     o.field("exhausted", result.stats.exhausted);
     o.field("violations", static_cast<std::uint64_t>(result.violations.size()));
     writer.write(o);

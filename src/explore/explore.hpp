@@ -37,6 +37,7 @@
 
 #include "core/action.hpp"
 #include "core/daemon.hpp"
+#include "explore/codec.hpp"  // StateCodec
 #include "util/names.hpp"
 
 namespace snapfwd {
@@ -127,6 +128,29 @@ class ModelInstance {
   /// Monotone per-path progress metric folded into stats as a maximum
   /// (SSMFP: invalid deliveries so far - the Proposition 4 quantity).
   [[nodiscard]] virtual std::uint64_t progressCount() const { return 0; }
+
+  // -- Binary codec + fork-from-parent delta stepping (codec.hpp) -----------
+  // A model that returns true from supportsBinaryCodec() must implement the
+  // three hooks below; the explorer then keeps ONE live instance per worker
+  // and walks a whole frontier level as restoreState(parent) followed by,
+  // per successor move, apply -> encodeState -> undoToRestored, instead of
+  // reconstructing the full stack per successor. The binary form must be a
+  // bijective re-encoding of serialize()'s equivalence classes so closure
+  // counts stay codec-independent. Defaults throw (the explorer falls back
+  // to the textual path without calling them).
+
+  [[nodiscard]] virtual bool supportsBinaryCodec() const { return false; }
+  /// Appends the compact binary state (configuration + monitor) to `out`.
+  virtual void encodeState(std::string& out);
+  /// Restores this live instance to the configuration in `bytes`, which
+  /// must come from encodeState() of an instance of the same model (the
+  /// codec verifies the structure fingerprint).
+  virtual void restoreState(std::string_view bytes);
+  /// Rewinds the most recent successful apply() back to the last
+  /// restoreState() configuration by re-decoding only the processor
+  /// sections the engine's commit write set names. Exactly one successful
+  /// apply() may be outstanding when this is called.
+  virtual void undoToRestored();
 };
 
 struct ExploreOptions {
@@ -143,6 +167,10 @@ struct ExploreOptions {
   /// Stop at the end of the first BFS level that found a violation
   /// (deterministic: the reported violation minimizes (depth, state hash)).
   bool stopOnViolation = true;
+  /// State representation stored and deduplicated on (codec.hpp). kBinary
+  /// silently falls back to kText when the model's instances do not
+  /// support it; stats.codecUsed reports what actually ran.
+  StateCodec codec = StateCodec::kText;
 };
 
 struct ExploreStats {
@@ -159,6 +187,14 @@ struct ExploreStats {
   /// cut the search and no violation stopped it early. Only an exhausted
   /// run is a closure proof.
   bool exhausted = false;
+  /// The representation the run actually stored (== options.codec unless
+  /// kBinary fell back to kText for an unsupporting model).
+  StateCodec codecUsed = StateCodec::kText;
+  /// Encoded payload bytes interned into the visited set (sum over states;
+  /// stateBytes / visited = mean bytes per state).
+  std::uint64_t stateBytes = 0;
+  /// Bytes the visited-set arenas reserved from the system (>= stateBytes).
+  std::uint64_t arenaBytes = 0;
 };
 
 struct ExploreViolation {

@@ -10,6 +10,7 @@
 #include "checker/invariants.hpp"
 #include "core/engine.hpp"
 #include "explore/canon.hpp"
+#include "explore/codec.hpp"
 #include "graph/builders.hpp"
 #include "pif/pif.hpp"
 #include "routing/selfstab_bfs.hpp"
@@ -104,6 +105,47 @@ class SsmfpInstance final : public ModelInstance {
         std::vector<Protocol*>{stack_.routing.get(), stack_.forwarding.get()},
         daemon_);
     stack_.forwarding->attachEngine(engine_.get());
+    structHash_ = ssmfpStructHash(*stack_.graph, *stack_.forwarding);
+  }
+
+  [[nodiscard]] bool supportsBinaryCodec() const override { return true; }
+
+  void encodeState(std::string& out) override {
+    encodeSsmfpStack(*stack_.routing, *stack_.forwarding, structHash_, out);
+    putVarint(out, outstanding_.size());
+    for (const TraceId t : outstanding_) putVarint(out, t);
+    putVarint(out, invalidDeliveries_);
+  }
+
+  void restoreState(std::string_view bytes) override {
+    BinReader r = decodeSsmfpStack(bytes, *stack_.routing, *stack_.forwarding,
+                                   structHash_);
+    outstanding_.resize(r.varint());
+    for (TraceId& t : outstanding_) t = r.varint();  // stored sorted
+    invalidDeliveries_ = r.varint();
+    // Re-baseline the monitor: this instance's accumulated event records
+    // belong to a different path through the state space.
+    stack_.forwarding->clearEventRecordsForRestore();
+    genSeen_ = 0;
+    delSeen_ = 0;
+    stepViolation_.reset();
+    // Keep the parent for the per-successor delta undo.
+    parentState_.assign(bytes.data(), bytes.size());
+    parentOutstanding_ = outstanding_;
+    parentInvalidDeliveries_ = invalidDeliveries_;
+  }
+
+  void undoToRestored() override {
+    // Rewind exactly the processors the committed step wrote (the engine's
+    // commit write sets cover every mutated variable per the state-model
+    // contract), plus the trace counter and the monitor copies.
+    restoreSsmfpProcessors(parentState_, engine_->lastStepWrites(),
+                           *stack_.routing, *stack_.forwarding, structHash_);
+    outstanding_ = parentOutstanding_;
+    invalidDeliveries_ = parentInvalidDeliveries_;
+    stepViolation_.reset();
+    // ingestEvents() already advanced the watermarks past the undone step's
+    // records, so stale events can never be re-ingested.
   }
 
   void enumerateMoves(DaemonClosure closure, std::size_t maxMoves,
@@ -220,6 +262,13 @@ class SsmfpInstance final : public ModelInstance {
   std::size_t genSeen_ = 0;  // record-vector watermarks (see ingestEvents)
   std::size_t delSeen_ = 0;
   std::optional<ModelViolation> stepViolation_;
+
+  // Binary-codec support (codec.hpp): the structure fingerprint plus the
+  // parent configuration undoToRestored() rewinds to.
+  std::uint64_t structHash_ = 0;
+  std::string parentState_;
+  std::vector<TraceId> parentOutstanding_;
+  std::uint64_t parentInvalidDeliveries_ = 0;
 };
 
 /// The Figure 2 base instance: network N, destination b, one pending send
@@ -369,6 +418,25 @@ class PifInstance final : public ModelInstance {
     fullMask_ = graph.size() >= 64 ? ~0ull : ((1ull << graph.size()) - 1);
   }
 
+  [[nodiscard]] bool supportsBinaryCodec() const override { return true; }
+
+  void encodeState(std::string& out) override {
+    encodePifState(pif_, out);
+    putByte(out, waveActive_ ? 1 : 0);
+    putVarint(out, participants_);
+    putVarint(out, invalidCompletions_);
+  }
+
+  void restoreState(std::string_view bytes) override {
+    restoreBinary(bytes);
+    parentState_.assign(bytes.data(), bytes.size());
+  }
+
+  void undoToRestored() override {
+    // PIF states are a handful of bytes; a full re-decode IS the delta.
+    restoreBinary(parentState_);
+  }
+
   void enumerateMoves(DaemonClosure closure, std::size_t maxMoves,
                       std::vector<Move>& out, bool& truncated) override {
     (void)engine_->isTerminal();
@@ -459,6 +527,15 @@ class PifInstance final : public ModelInstance {
     }
   }
 
+  void restoreBinary(std::string_view bytes) {
+    BinReader r = decodePifState(bytes, pif_);
+    waveActive_ = r.byte() != 0;
+    participants_ = r.varint();
+    invalidCompletions_ = r.varint();
+    pif_.clearEventRecordsForRestore();
+    stepViolation_.reset();
+  }
+
   PifProtocol pif_;
   ForcedDaemon daemon_;
   std::unique_ptr<Engine> engine_;
@@ -467,6 +544,7 @@ class PifInstance final : public ModelInstance {
   std::uint64_t invalidCompletions_ = 0;
   bool waveActive_ = false;
   std::optional<ModelViolation> stepViolation_;
+  std::string parentState_;  // binary-codec undo target
 };
 
 }  // namespace

@@ -103,6 +103,23 @@ class PifProtocol final : public Protocol {
   void scrambleStates(Rng& rng);
   void setState(NodeId p, PifState s);
 
+  // -- Exact state restoration (binary codec; see explore/codec.hpp) -------
+  /// Overwrites the root's request counter (START commits decrement it, so
+  /// restoring a state must be able to rewind it too).
+  void setPendingRequests(std::size_t pending) {
+    pendingRequests_ = pending;
+    notifyExternalMutation();
+  }
+  /// Drops accumulated wave/broadcast/start records; the explorer
+  /// re-baselines its monitor per restored state.
+  void clearEventRecordsForRestore() {
+    waves_.clear();
+    starts_ = 0;
+    lastStartStep_ = 0;
+    startSeen_ = false;
+    for (auto& steps : bSteps_) steps.clear();
+  }
+
   void attachEngine(const Engine* engine) { engine_ = engine; }
 
   /// True iff every processor is Clean (the silent idle configuration).

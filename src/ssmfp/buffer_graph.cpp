@@ -1,7 +1,5 @@
 #include "ssmfp/buffer_graph.hpp"
 
-#include <deque>
-
 namespace snapfwd {
 
 DirectedBufferGraph destinationBufferGraph(const Graph& graph,
@@ -43,27 +41,43 @@ DirectedBufferGraph ssmfpBufferGraph(const Graph& graph,
   return bg;
 }
 
-bool isAcyclic(const DirectedBufferGraph& bg) {
-  std::vector<std::size_t> indegree(bg.vertexCount, 0);
-  std::vector<std::vector<std::size_t>> out(bg.vertexCount);
+bool isAcyclic(const DirectedBufferGraph& bg, AcyclicityScratch& scratch) {
+  const std::size_t n = bg.vertexCount;
+  scratch.indegree.assign(n, 0);
+  scratch.offsets.assign(n + 1, 0);
   for (const auto& [from, to] : bg.arcs) {
-    out[from].push_back(to);
-    ++indegree[to];
+    ++scratch.offsets[from + 1];
+    ++scratch.indegree[to];
   }
-  std::deque<std::size_t> ready;
-  for (std::size_t v = 0; v < bg.vertexCount; ++v) {
-    if (indegree[v] == 0) ready.push_back(v);
+  for (std::size_t v = 0; v < n; ++v) {
+    scratch.offsets[v + 1] += scratch.offsets[v];
   }
-  std::size_t removed = 0;
-  while (!ready.empty()) {
-    const std::size_t v = ready.front();
-    ready.pop_front();
-    ++removed;
-    for (const std::size_t w : out[v]) {
-      if (--indegree[w] == 0) ready.push_back(w);
+  scratch.cursor.assign(scratch.offsets.begin(), scratch.offsets.end() - 1);
+  scratch.targets.resize(bg.arcs.size());
+  for (const auto& [from, to] : bg.arcs) {
+    scratch.targets[scratch.cursor[from]++] = to;
+  }
+
+  scratch.ready.clear();
+  scratch.ready.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (scratch.indegree[v] == 0) scratch.ready.push_back(v);
+  }
+  // Kahn's algorithm; ready doubles as the removal log, scanned by head
+  // index, so no element is ever popped or shifted.
+  for (std::size_t head = 0; head < scratch.ready.size(); ++head) {
+    const std::size_t v = scratch.ready[head];
+    for (std::size_t i = scratch.offsets[v]; i < scratch.offsets[v + 1]; ++i) {
+      const std::size_t w = scratch.targets[i];
+      if (--scratch.indegree[w] == 0) scratch.ready.push_back(w);
     }
   }
-  return removed == bg.vertexCount;
+  return scratch.ready.size() == n;
+}
+
+bool isAcyclic(const DirectedBufferGraph& bg) {
+  AcyclicityScratch scratch;
+  return isAcyclic(bg, scratch);
 }
 
 }  // namespace snapfwd

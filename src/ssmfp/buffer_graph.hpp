@@ -40,7 +40,23 @@ struct DirectedBufferGraph {
 [[nodiscard]] DirectedBufferGraph ssmfpBufferGraph(
     const Graph& graph, const RoutingProvider& routing, NodeId d);
 
+/// Reusable workspace for isAcyclic: the CSR adjacency (offsets/targets),
+/// indegrees and the Kahn worklist, rebuilt in place each call so callers
+/// that check many buffer graphs (benchmark sweeps, per-destination loops)
+/// stop paying one allocation set per check. Plain value type; reuse
+/// across graphs of any size.
+struct AcyclicityScratch {
+  std::vector<std::size_t> indegree;
+  std::vector<std::size_t> offsets;  // CSR row starts (vertexCount + 1)
+  std::vector<std::size_t> cursor;   // CSR fill cursors
+  std::vector<std::size_t> targets;  // CSR arc targets
+  std::vector<std::size_t> ready;    // Kahn worklist / removal log
+};
+
 /// Kahn's algorithm; true iff the graph has no directed cycle.
+[[nodiscard]] bool isAcyclic(const DirectedBufferGraph& bg,
+                             AcyclicityScratch& scratch);
+/// Convenience overload with a throwaway scratch (one-off checks, tests).
 [[nodiscard]] bool isAcyclic(const DirectedBufferGraph& bg);
 
 }  // namespace snapfwd

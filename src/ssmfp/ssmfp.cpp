@@ -404,6 +404,30 @@ void SsmfpProtocol::restoreOutboxEntry(NodeId p, NodeId dest, Payload payload,
   notifyExternalMutation();
 }
 
+void SsmfpProtocol::clearReceptionForRestore(NodeId p, NodeId d) {
+  assert(p < graph_.size() && destSlot_[d] != kNoSlot);
+  bufR_.write(cell(p, d)).reset();
+  notifyExternalMutation();
+}
+
+void SsmfpProtocol::clearEmissionForRestore(NodeId p, NodeId d) {
+  assert(p < graph_.size() && destSlot_[d] != kNoSlot);
+  bufE_.write(cell(p, d)).reset();
+  notifyExternalMutation();
+}
+
+void SsmfpProtocol::clearOutboxForRestore(NodeId p) {
+  assert(p < graph_.size());
+  outbox_.write(p).clear();
+  notifyExternalMutation();
+}
+
+void SsmfpProtocol::clearEventRecordsForRestore() {
+  generations_.clear();
+  deliveries_.clear();
+  invalidDeliveries_ = 0;
+}
+
 std::size_t SsmfpProtocol::occupiedBufferCount() const {
   std::size_t count = 0;
   for (const auto& b : bufR_.raw()) count += b.has_value() ? 1 : 0;

@@ -263,6 +263,18 @@ class SsmfpProtocol final : public Protocol {
   void setFairnessQueue(NodeId p, NodeId d, std::vector<NodeId> order);
   /// Appends a waiting message with an explicit trace id.
   void restoreOutboxEntry(NodeId p, NodeId dest, Payload payload, TraceId trace);
+  /// Empties bufR_p(d) / bufE_p(d) / p's whole outbox without going through
+  /// a rule. The binary-codec restore path (explore/codec.hpp) rewrites a
+  /// live stack in place, so absent fields must be clearable as well as
+  /// settable.
+  void clearReceptionForRestore(NodeId p, NodeId d);
+  void clearEmissionForRestore(NodeId p, NodeId d);
+  void clearOutboxForRestore(NodeId p);
+  /// Drops accumulated generation/delivery records and the invalid-delivery
+  /// counter. The explorer re-baselines its conservation monitor per
+  /// restored state, and unbounded record growth would otherwise leak
+  /// across the millions of restores of a closure run.
+  void clearEventRecordsForRestore();
   [[nodiscard]] TraceId nextTraceId() const { return nextTrace_; }
   void setNextTraceId(TraceId next) { nextTrace_ = next; }
   /// Trace id of p's k-th waiting message (snapshot support).

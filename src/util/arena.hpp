@@ -1,0 +1,77 @@
+#pragma once
+// ByteArena - a chunked bump allocator for immutable byte strings.
+//
+// The state-space explorer interns every visited state's encoded bytes
+// exactly once; the visited set and the BFS frontier then pass around
+// std::string_view handles instead of owning std::strings. Two properties
+// make that safe:
+//   - stability: memory is allocated in fixed-size chunks that are never
+//     reallocated or freed before the arena dies, so a returned view stays
+//     valid for the arena's lifetime;
+//   - append-only: interned bytes are immutable, so concurrent readers
+//     need no synchronization once the view has been published (the
+//     explorer publishes views under the owning shard's lock).
+//
+// The arena itself is NOT thread-safe; the explorer gives each visited-set
+// shard its own arena and serializes appends with the shard mutex.
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace snapfwd {
+
+class ByteArena {
+ public:
+  /// `chunkBytes` is the granularity of the backing allocations; strings
+  /// longer than a chunk get a dedicated exact-size chunk.
+  explicit ByteArena(std::size_t chunkBytes = kDefaultChunkBytes)
+      : chunkBytes_(chunkBytes == 0 ? kDefaultChunkBytes : chunkBytes) {}
+
+  ByteArena(const ByteArena&) = delete;
+  ByteArena& operator=(const ByteArena&) = delete;
+  ByteArena(ByteArena&&) = default;
+  ByteArena& operator=(ByteArena&&) = default;
+
+  /// Copies `bytes` into the arena and returns a stable view of the copy.
+  [[nodiscard]] std::string_view intern(std::string_view bytes) {
+    if (chunks_.empty() || bytes.size() > capacity_ - used_) {
+      grow(bytes.size());
+    }
+    char* dst = chunks_.back().get() + used_;
+    if (!bytes.empty()) std::memcpy(dst, bytes.data(), bytes.size());
+    used_ += bytes.size();
+    storedBytes_ += bytes.size();
+    return {dst, bytes.size()};
+  }
+
+  /// Total payload bytes interned so far.
+  [[nodiscard]] std::size_t storedBytes() const noexcept { return storedBytes_; }
+  /// Total bytes reserved from the system (>= storedBytes; the difference
+  /// is bump-allocation slack at chunk tails).
+  [[nodiscard]] std::size_t allocatedBytes() const noexcept {
+    return allocatedBytes_;
+  }
+
+ private:
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 16;
+
+  void grow(std::size_t need) {
+    const std::size_t size = need > chunkBytes_ ? need : chunkBytes_;
+    chunks_.push_back(std::make_unique<char[]>(size));
+    allocatedBytes_ += size;
+    capacity_ = size;
+    used_ = 0;
+  }
+
+  std::size_t chunkBytes_;
+  std::size_t capacity_ = 0;  // size of chunks_.back(); 0 while empty
+  std::size_t used_ = 0;      // bytes consumed in chunks_.back()
+  std::size_t storedBytes_ = 0;
+  std::size_t allocatedBytes_ = 0;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+};
+
+}  // namespace snapfwd

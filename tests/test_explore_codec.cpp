@@ -1,0 +1,388 @@
+// Binary state codec soundness (src/explore/codec.*): for every protocol
+// the binary encoding must be a bijective re-encoding of the TEXT canon's
+// equivalence classes - encode -> decode -> canon text is a fixed point,
+// and re-encoding the decoded state reproduces the exact bytes. On top of
+// the per-protocol round trips, differential explorer runs pin that
+// closures are count-identical across codecs, thread counts and daemon
+// classes, and that the mutation smoke test catches the same violation
+// kind under the binary fast path (with the violation still reported as
+// canonical text).
+#include "explore/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "baseline/merlin_schweitzer.hpp"
+#include "baseline/orientation_forwarding.hpp"
+#include "core/engine.hpp"
+#include "explore/canon.hpp"
+#include "explore/explore.hpp"
+#include "explore/models.hpp"
+#include "faults/corruptor.hpp"
+#include "graph/builders.hpp"
+#include "mp/mp_ssmfp.hpp"
+#include "pif/pif.hpp"
+#include "routing/frozen.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snapfwd {
+namespace {
+
+using explore::BinReader;
+using explore::DaemonClosure;
+using explore::ExploreOptions;
+using explore::ExploreResult;
+using explore::PifExploreModel;
+using explore::SsmfpExploreModel;
+using explore::StateCodec;
+
+// ---------------------------------------------------------------------------
+// SSMFP stack ('B' 'S' v1)
+// ---------------------------------------------------------------------------
+
+TEST(BinaryCodec, SsmfpMessyStackRoundTripsThroughTextCanon) {
+  Graph g = topo::ring(5);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  Rng rng(42);
+  CorruptionPlan plan;
+  plan.routingFraction = 1.0;
+  plan.invalidMessages = 12;
+  plan.payloadSpace = 5;
+  plan.scrambleQueues = true;
+  applyCorruption(plan, routing, proto, rng);
+  proto.send(1, 3, 77);
+  proto.send(4, 0, 78);
+
+  const std::string text = explore::canonSsmfpStack(g, routing, proto);
+  const std::uint64_t structHash = explore::ssmfpStructHash(g, proto);
+  std::string bin;
+  explore::encodeSsmfpStack(routing, proto, structHash, bin);
+  EXPECT_LT(bin.size(), text.size());  // the point of the codec
+
+  // Decode onto a live stack already holding unrelated state: every
+  // buffer/queue/outbox must end up exactly as encoded, not merged.
+  SelfStabBfsRouting routing2(g);
+  SsmfpProtocol proto2(g, routing2);
+  proto2.send(0, 2, 3);
+  proto2.send(3, 1, 4);
+  BinReader reader = explore::decodeSsmfpStack(bin, routing2, proto2, structHash);
+  EXPECT_TRUE(reader.atEnd());
+  EXPECT_EQ(explore::canonSsmfpStack(g, routing2, proto2), text);
+
+  std::string bin2;
+  explore::encodeSsmfpStack(routing2, proto2, structHash, bin2);
+  EXPECT_EQ(bin, bin2);  // bijective re-encoding
+}
+
+TEST(BinaryCodec, SsmfpMidExecutionStatesRoundTrip) {
+  Graph g = topo::ring(4);
+  SelfStabBfsRouting routing(g);
+  Rng corruptRng(7);
+  routing.corrupt(corruptRng, 1.0);
+  SsmfpProtocol proto(g, routing);
+  proto.send(0, 2, 10);
+  proto.send(1, 3, 11);
+  proto.send(2, 0, 12);
+  CentralRoundRobinDaemon daemon;
+  Engine engine(g, {&routing, &proto}, daemon);
+  proto.attachEngine(&engine);
+
+  const std::uint64_t structHash = explore::ssmfpStructHash(g, proto);
+  SelfStabBfsRouting shadow(g);
+  SsmfpProtocol shadowProto(g, shadow);
+  for (int step = 0; step < 40 && engine.step(); ++step) {
+    const std::string text = explore::canonSsmfpStack(g, routing, proto);
+    std::string bin;
+    explore::encodeSsmfpStack(routing, proto, structHash, bin);
+    explore::decodeSsmfpStack(bin, shadow, shadowProto, structHash);
+    ASSERT_EQ(explore::canonSsmfpStack(g, shadow, shadowProto), text)
+        << "diverged at step " << step;
+  }
+}
+
+TEST(BinaryCodec, SsmfpDeltaRestoreRewindsOneStep) {
+  // The fork-from-parent contract: after a committed step, restoring only
+  // the engine's write set from the parent's bytes must reproduce the
+  // parent configuration exactly.
+  Graph g = topo::ring(4);
+  SelfStabBfsRouting routing(g);
+  Rng corruptRng(7);
+  routing.corrupt(corruptRng, 1.0);
+  SsmfpProtocol proto(g, routing);
+  proto.send(0, 2, 10);
+  proto.send(1, 3, 11);
+  proto.send(2, 0, 12);
+  CentralRoundRobinDaemon daemon;
+  Engine engine(g, {&routing, &proto}, daemon);
+  proto.attachEngine(&engine);
+
+  const std::uint64_t structHash = explore::ssmfpStructHash(g, proto);
+  int rewinds = 0;
+  for (int step = 0; step < 30; ++step) {
+    const std::string parentText = explore::canonSsmfpStack(g, routing, proto);
+    std::string parentBin;
+    explore::encodeSsmfpStack(routing, proto, structHash, parentBin);
+    if (!engine.step()) break;
+    ASSERT_FALSE(engine.lastStepWrites().empty());
+    explore::restoreSsmfpProcessors(parentBin, engine.lastStepWrites(), routing,
+                                    proto, structHash);
+    ASSERT_EQ(explore::canonSsmfpStack(g, routing, proto), parentText)
+        << "rewind diverged at step " << step;
+    ++rewinds;
+    if (!engine.step()) break;  // advance for real before the next probe
+  }
+  EXPECT_GT(rewinds, 5);
+}
+
+TEST(BinaryCodec, SsmfpDecodeRejectsForeignAndTruncatedBytes) {
+  Graph g = topo::ring(4);
+  SelfStabBfsRouting routing(g);
+  SsmfpProtocol proto(g, routing);
+  const std::uint64_t structHash = explore::ssmfpStructHash(g, proto);
+  std::string bin;
+  explore::encodeSsmfpStack(routing, proto, structHash, bin);
+
+  EXPECT_THROW(explore::decodeSsmfpStack(bin, routing, proto, structHash + 1),
+               std::runtime_error);
+  EXPECT_THROW(explore::decodeSsmfpStack(
+                   std::string_view(bin).substr(0, bin.size() / 2), routing,
+                   proto, structHash),
+               std::runtime_error);
+  EXPECT_THROW(explore::decodeSsmfpStack("", routing, proto, structHash),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// PIF ('B' 'P' v1)
+// ---------------------------------------------------------------------------
+
+TEST(BinaryCodec, PifAllStateAssignmentsRoundTrip) {
+  Graph tree(4);
+  tree.addEdge(0, 1);
+  tree.addEdge(0, 2);
+  tree.addEdge(2, 3);
+  PifProtocol pif(tree, 0);
+  pif.requestWave();
+  for (int code = 0; code < 81; ++code) {
+    int rest = code;
+    bool legal = true;
+    for (NodeId p = 0; p < 4; ++p) {
+      const auto s = static_cast<PifState>(rest % 3);
+      rest /= 3;
+      if (p == 0 && s == PifState::kFeedback) {
+        legal = false;
+        break;
+      }
+      pif.setState(p, s);
+    }
+    if (!legal) continue;
+    const std::string text = explore::canonPifState(pif);
+    std::string bin;
+    explore::encodePifState(pif, bin);
+    PifProtocol fresh(tree, 0);
+    BinReader reader = explore::decodePifState(bin, fresh);
+    EXPECT_TRUE(reader.atEnd()) << "code " << code;
+    EXPECT_EQ(explore::canonPifState(fresh), text) << "code " << code;
+    std::string bin2;
+    explore::encodePifState(fresh, bin2);
+    EXPECT_EQ(bin, bin2) << "code " << code;
+  }
+}
+
+TEST(BinaryCodec, PifDecodeRejectsWrongTree) {
+  Graph tree(4);
+  tree.addEdge(0, 1);
+  tree.addEdge(0, 2);
+  tree.addEdge(2, 3);
+  PifProtocol pif(tree, 0);
+  std::string bin;
+  explore::encodePifState(pif, bin);
+
+  Graph bigger = topo::star(5);
+  PifProtocol other(bigger, 0);
+  EXPECT_THROW(explore::decodePifState(bin, other), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Merlin-Schweitzer baseline ('B' 'M' v1)
+// ---------------------------------------------------------------------------
+
+TEST(BinaryCodec, BaselineMidExecutionStatesRoundTrip) {
+  Graph g = topo::star(5);
+  FrozenRouting routing(g);
+  MerlinSchweitzerProtocol proto(g, routing);
+  proto.send(1, 3, 41);
+  proto.send(2, 4, 42);
+  proto.send(3, 1, 43);
+  CentralRoundRobinDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  for (int step = 0; step < 40; ++step) {
+    const std::string text = explore::canonBaselineState(proto);
+    std::string bin;
+    explore::encodeBaselineState(proto, bin);
+    MerlinSchweitzerProtocol fresh(g, routing);
+    explore::decodeBaselineState(bin, fresh);
+    ASSERT_EQ(explore::canonBaselineState(fresh), text)
+        << "diverged at step " << step;
+    std::string bin2;
+    explore::encodeBaselineState(fresh, bin2);
+    ASSERT_EQ(bin, bin2) << "diverged at step " << step;
+    if (!engine.step()) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Orientation (buffer-class) forwarding ('B' 'O' v1)
+// ---------------------------------------------------------------------------
+
+TEST(BinaryCodec, OrientationMidExecutionStatesRoundTrip) {
+  const Graph g = topo::binaryTree(7);
+  const TreeUpDownScheme scheme(g, 0);
+  const TreePathRouting routing(g, scheme);
+  OrientationForwardingProtocol proto(g, routing, scheme);
+  proto.send(3, 6, 31);
+  proto.send(4, 5, 32);
+  proto.send(6, 3, 33);
+  CentralRoundRobinDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  for (int step = 0; step < 60; ++step) {
+    const std::string text = explore::canonOrientationState(proto);
+    std::string bin;
+    explore::encodeOrientationState(proto, bin);
+    OrientationForwardingProtocol fresh(g, routing, scheme);
+    explore::decodeOrientationState(bin, fresh);
+    ASSERT_EQ(explore::canonOrientationState(fresh), text)
+        << "diverged at step " << step;
+    std::string bin2;
+    explore::encodeOrientationState(fresh, bin2);
+    ASSERT_EQ(bin, bin2) << "diverged at step " << step;
+    if (!engine.step()) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message-passing embedding ('B' 'R' v1)
+// ---------------------------------------------------------------------------
+
+TEST(BinaryCodec, MpMidExecutionStatesRoundTrip) {
+  const Graph g = topo::ring(4);
+  MpSsmfpSimulator sim(g, {0}, /*seed=*/5);
+  Rng rng(6);
+  sim.corruptRouting(rng, 1.0);
+  Message garbage;
+  garbage.payload = 8;
+  garbage.lastHop = 1;
+  garbage.color = 1;
+  garbage.valid = false;
+  garbage.source = 1;
+  garbage.dest = 0;
+  sim.injectReception(2, 0, garbage);
+  sim.send(1, 0, 21);
+  sim.send(3, 0, 22);
+  for (int leg = 0; leg < 5; ++leg) {
+    const std::string text = explore::canonMpState(sim);
+    std::string bin;
+    explore::encodeMpState(sim, bin);
+    MpSsmfpSimulator fresh(g, {0}, /*seed=*/5);
+    explore::decodeMpState(bin, fresh);
+    ASSERT_EQ(explore::canonMpState(fresh), text) << "leg " << leg;
+    std::string bin2;
+    explore::encodeMpState(fresh, bin2);
+    ASSERT_EQ(bin, bin2) << "leg " << leg;
+    sim.run(20);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential exploration: the state store must be invisible in every
+// closure count, for every daemon class, serial and parallel.
+// ---------------------------------------------------------------------------
+
+void expectSameClosure(const ExploreResult& a, const ExploreResult& b,
+                       const char* what) {
+  EXPECT_EQ(a.stats.visited, b.stats.visited) << what;
+  EXPECT_EQ(a.stats.transitions, b.stats.transitions) << what;
+  EXPECT_EQ(a.stats.dedupHits, b.stats.dedupHits) << what;
+  EXPECT_EQ(a.stats.depthReached, b.stats.depthReached) << what;
+  EXPECT_EQ(a.stats.terminalStates, b.stats.terminalStates) << what;
+  EXPECT_EQ(a.stats.maxProgressCount, b.stats.maxProgressCount) << what;
+  EXPECT_EQ(a.stats.exhausted, b.stats.exhausted) << what;
+  EXPECT_EQ(a.violations.size(), b.violations.size()) << what;
+}
+
+TEST(ExploreCodecDifferential, Figure2ClosureCountsMatchAcrossCodecs) {
+  const SsmfpExploreModel model = SsmfpExploreModel::figure2CorruptionClosure();
+  ThreadPool pool(4);
+  for (const DaemonClosure closure :
+       {DaemonClosure::kCentral, DaemonClosure::kSynchronous,
+        DaemonClosure::kDistributed}) {
+    ExploreOptions text;
+    text.closure = closure;
+    const ExploreResult textResult = explore::explore(model, text);
+    ASSERT_EQ(textResult.stats.codecUsed, StateCodec::kText);
+
+    ExploreOptions binary = text;
+    binary.codec = StateCodec::kBinary;
+    const ExploreResult binaryResult = explore::explore(model, binary);
+    ASSERT_EQ(binaryResult.stats.codecUsed, StateCodec::kBinary);
+    expectSameClosure(textResult, binaryResult, toString(closure));
+    EXPECT_TRUE(binaryResult.clean()) << toString(closure);
+    // The compact representation must actually be compact.
+    EXPECT_LT(binaryResult.stats.stateBytes, textResult.stats.stateBytes);
+
+    ExploreOptions parallel = binary;
+    parallel.threads = 4;
+    const ExploreResult parallelResult = explore::explore(model, parallel, &pool);
+    expectSameClosure(textResult, parallelResult, toString(closure));
+  }
+}
+
+TEST(ExploreCodecDifferential, PifScrambleClosureMatchesAcrossCodecs) {
+  const Graph tree = topo::star(4);
+  const PifExploreModel model = PifExploreModel::scrambleClosure(tree, 0);
+  for (const DaemonClosure closure :
+       {DaemonClosure::kCentral, DaemonClosure::kDistributed}) {
+    ExploreOptions text;
+    text.closure = closure;
+    const ExploreResult textResult = explore::explore(model, text);
+    ExploreOptions binary = text;
+    binary.codec = StateCodec::kBinary;
+    const ExploreResult binaryResult = explore::explore(model, binary);
+    ASSERT_EQ(binaryResult.stats.codecUsed, StateCodec::kBinary);
+    expectSameClosure(textResult, binaryResult, toString(closure));
+    EXPECT_TRUE(binaryResult.clean()) << toString(closure);
+  }
+}
+
+TEST(ExploreCodecDifferential, MutationSmokeFindsSameViolationKind) {
+  // A deliberately broken R2 guard must be caught identically through the
+  // delta-stepping fast path, and the reported violation must still carry
+  // canonical TEXT states (the authoritative identity) for shrinking and
+  // replay.
+  const SsmfpExploreModel model =
+      SsmfpExploreModel::figure2Clean(SsmfpGuardMutation::kR2SkipUpstreamCheck);
+  ExploreOptions text;
+  const ExploreResult textResult = explore::explore(model, text);
+  ExploreOptions binary;
+  binary.codec = StateCodec::kBinary;
+  const ExploreResult binaryResult = explore::explore(model, binary);
+
+  ASSERT_FALSE(textResult.violations.empty());
+  ASSERT_FALSE(binaryResult.violations.empty());
+  EXPECT_EQ(binaryResult.violations.front().kind,
+            textResult.violations.front().kind);
+  EXPECT_EQ(binaryResult.violations.front().depth,
+            textResult.violations.front().depth);
+  const std::string& state = binaryResult.violations.front().violatingState;
+  EXPECT_NE(state.find("snapfwd"), std::string::npos)
+      << "violating state is not canonical text:\n"
+      << state;
+}
+
+}  // namespace
+}  // namespace snapfwd

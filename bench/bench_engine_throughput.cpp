@@ -80,8 +80,8 @@ void runSteps(benchmark::State& state, ThreadPool* pool, ScanMode mode,
     for (NodeId p = 1; p < graph.size(); ++p) forwarding.send(p, 0, p);
     Rng daemonRng(43);
     DistributedRandomDaemon daemon(daemonRng.fork(1), 0.5);
-    Engine engine(graph, {&routing, &forwarding}, daemon, pool, mode);
-    if (audit) engine.setAuditMode(true);
+    Engine engine(graph, {&routing, &forwarding}, daemon, pool,
+                  EngineOptions{.scanMode = mode, .audit = audit});
     forwarding.attachEngine(&engine);
     state.ResumeTiming();
 
@@ -188,7 +188,8 @@ ModeMeasurement measureSparse(const Graph& graph, ScanMode mode,
   }
   Rng daemonRng(77);
   DistributedRandomDaemon daemon(daemonRng.fork(1), 0.5);
-  Engine engine(graph, {&forwarding}, daemon, nullptr, mode);
+  Engine engine(graph, {&forwarding}, daemon, nullptr,
+                EngineOptions{.scanMode = mode});
   forwarding.attachEngine(&engine);
 
   const auto start = std::chrono::steady_clock::now();

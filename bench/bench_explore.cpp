@@ -10,11 +10,16 @@
 // count - any drift fails the bench (non-zero exit), so this doubles as
 // a push-button exhaustive regression and as the differential oracle for
 // the binary state store. The PIF scramble closure rides along as the
-// second model.
+// second model. The exec axis (virtual enumerateEnabled vs guard-kernel
+// batches, see core/soa_state.hpp) crosses every cell the same way: the
+// explorer builds a fresh Engine per expanded state through the process
+// defaults, so closure counts double as a whole-state-space differential
+// for kernel evaluation.
 //
 // Flags:
-//   --codec=text|binary   restrict the codec axis (repeatable; default both)
-//   --perf-report=<path>  write one JSONL record per bench row
+//   --codec=text|binary     restrict the codec axis (repeatable; default both)
+//   --exec=virtual|kernel   restrict the exec axis (repeatable; default both)
+//   --perf-report=<path>    write one JSONL record per bench row
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -25,6 +30,7 @@
 #include <tuple>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "explore/explore.hpp"
 #include "explore/models.hpp"
 #include "graph/builders.hpp"
@@ -34,6 +40,7 @@
 
 namespace {
 
+using snapfwd::ExecMode;
 using snapfwd::explore::DaemonClosure;
 using snapfwd::explore::StateCodec;
 
@@ -71,13 +78,13 @@ std::uint64_t bytesPerState(const Row& row) {
 }
 
 void writePerfRecord(std::ostream& out, std::string_view model,
-                     DaemonClosure closure, std::size_t threads,
+                     DaemonClosure closure, ExecMode exec, std::size_t threads,
                      const Row& row) {
   using snapfwd::toString;
   const auto& s = row.result.stats;
   out << "{\"bench\":\"explore\",\"model\":\"" << model << "\",\"closure\":\""
       << toString(closure) << "\",\"codec\":\"" << toString(s.codecUsed)
-      << "\",\"threads\":" << threads << ",\"visited\":" << s.visited
+      << "\",\"exec\":\"" << toString(exec) << "\",\"threads\":" << threads << ",\"visited\":" << s.visited
       << ",\"transitions\":" << s.transitions << ",\"violations\":"
       << row.result.violations.size() << ",\"exhausted\":"
       << (s.exhausted ? "true" : "false") << ",\"seconds\":" << row.seconds
@@ -92,6 +99,7 @@ int main(int argc, char** argv) {
   using namespace snapfwd;
 
   std::vector<StateCodec> codecs;
+  std::vector<ExecMode> execModes;
   std::string perfReportPath;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,15 +111,24 @@ int main(int argc, char** argv) {
         return 2;
       }
       codecs.push_back(*parsed);
+    } else if (arg.rfind("--exec=", 0) == 0) {
+      const auto parsed = parseEnum<ExecMode>(arg.substr(7));
+      if (!parsed) {
+        std::cerr << "error: --exec needs one of " << enumNameList<ExecMode>()
+                  << "\n";
+        return 2;
+      }
+      execModes.push_back(*parsed);
     } else if (arg.rfind("--perf-report=", 0) == 0) {
       perfReportPath = arg.substr(14);
     } else {
       std::cerr << "usage: bench_explore [--codec=text|binary ...]"
-                   " [--perf-report=<path>]\n";
+                   " [--exec=virtual|kernel ...] [--perf-report=<path>]\n";
       return 2;
     }
   }
   if (codecs.empty()) codecs = {StateCodec::kText, StateCodec::kBinary};
+  if (execModes.empty()) execModes = {ExecMode::kVirtual, ExecMode::kKernel};
 
   std::cout << "# Exhaustive exploration: closure sizes and throughput\n\n";
 
@@ -119,8 +136,9 @@ int main(int argc, char** argv) {
   // equality check below is never vacuous.
   const std::size_t hw = std::max<std::size_t>(resolveThreadCount(0), 4);
   Table table("Figure 2 corruption closure (141 starts) + PIF scramble closure",
-              {"model", "closure", "codec", "threads", "visited", "transitions",
-               "depth", "states/s", "bytes/state", "exhausted", "violations"});
+              {"model", "closure", "codec", "exec", "threads", "visited",
+               "transitions", "depth", "states/s", "bytes/state", "exhausted",
+               "violations"});
 
   bool allClean = true;
   // Differential oracle: every run of the same (model, closure) cell -
@@ -129,7 +147,8 @@ int main(int argc, char** argv) {
   using Counts = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
   std::map<CountKey, Counts> expected;
   bool countsAgree = true;
-  // Serial figure2-corruptions states/s per codec, for the speedup line.
+  // Serial virtual-exec figure2-corruptions states/s per codec, for the
+  // speedup line.
   std::map<StateCodec, double> serialRate;
 
   std::ofstream perfFile;
@@ -144,7 +163,9 @@ int main(int argc, char** argv) {
   }
 
   auto runCell = [&](explore::ExploreModel& model, DaemonClosure closure,
-                     StateCodec codec, std::size_t threads) {
+                     StateCodec codec, ExecMode exec, std::size_t threads) {
+    // The explorer instantiates engines through the process defaults.
+    const ScopedEngineDefaults execGuard(EngineOptions{.execMode = exec});
     explore::ExploreOptions options;
     options.closure = closure;
     options.codec = codec;
@@ -159,14 +180,15 @@ int main(int argc, char** argv) {
         expected.try_emplace({std::string(model.name()), closure}, counts);
     if (!inserted) countsAgree &= it->second == counts;
     table.addRow({std::string(model.name()), toString(closure),
-                  std::string(toString(s.codecUsed)), Table::num(threads),
+                  std::string(toString(s.codecUsed)),
+                  std::string(toString(exec)), Table::num(threads),
                   Table::num(s.visited), Table::num(s.transitions),
                   Table::num(s.depthReached),
                   Table::num(static_cast<std::uint64_t>(statesPerSec(row))),
                   Table::num(bytesPerState(row)), Table::yesNo(s.exhausted),
                   Table::num(row.result.violations.size())});
     if (perf != nullptr) {
-      writePerfRecord(*perf, model.name(), closure, threads, row);
+      writePerfRecord(*perf, model.name(), closure, exec, threads, row);
     }
     return row;
   };
@@ -175,11 +197,14 @@ int main(int argc, char** argv) {
        {DaemonClosure::kCentral, DaemonClosure::kSynchronous,
         DaemonClosure::kDistributed}) {
     for (const StateCodec codec : codecs) {
-      for (const std::size_t threads : {std::size_t{1}, hw}) {
-        auto model = explore::SsmfpExploreModel::figure2CorruptionClosure();
-        const Row row = runCell(model, closure, codec, threads);
-        if (closure == DaemonClosure::kCentral && threads == 1) {
-          serialRate[row.result.stats.codecUsed] = statesPerSec(row);
+      for (const ExecMode exec : execModes) {
+        for (const std::size_t threads : {std::size_t{1}, hw}) {
+          auto model = explore::SsmfpExploreModel::figure2CorruptionClosure();
+          const Row row = runCell(model, closure, codec, exec, threads);
+          if (closure == DaemonClosure::kCentral && threads == 1 &&
+              exec == ExecMode::kVirtual) {
+            serialRate[row.result.stats.codecUsed] = statesPerSec(row);
+          }
         }
       }
     }
@@ -188,15 +213,17 @@ int main(int argc, char** argv) {
   {
     const Graph tree = topo::star(4);  // the Figure 2 spanning tree shape
     for (const StateCodec codec : codecs) {
-      auto pif = explore::PifExploreModel::scrambleClosure(tree, 0);
-      runCell(pif, DaemonClosure::kDistributed, codec, 1);
+      for (const ExecMode exec : execModes) {
+        auto pif = explore::PifExploreModel::scrambleClosure(tree, 0);
+        runCell(pif, DaemonClosure::kDistributed, codec, exec, 1);
+      }
     }
   }
 
   table.printMarkdown(std::cout);
   std::cout << "all closures exhausted with zero violations: "
             << (allClean ? "yes" : "NO") << "\n"
-            << "identical counts across codecs and thread counts: "
+            << "identical counts across codecs, exec modes and thread counts: "
             << (countsAgree ? "yes" : "NO") << "\n";
   if (serialRate.count(StateCodec::kText) != 0 &&
       serialRate.count(StateCodec::kBinary) != 0 &&

@@ -62,6 +62,391 @@ ParseResult fail(const std::string& message) {
   return {std::nullopt, message + " (try --help)"};
 }
 
+// -- Flag table ---------------------------------------------------------------
+//
+// Every flag is one row: its per-subcommand applicability, value parser and
+// help text live together, and both parseArgs() and usage() walk the same
+// table, so the parser and --help cannot drift apart.
+
+constexpr unsigned kRunBit = 1u << static_cast<unsigned>(Command::kRun);
+constexpr unsigned kSweepBit = 1u << static_cast<unsigned>(Command::kSweep);
+constexpr unsigned kAuditBit = 1u << static_cast<unsigned>(Command::kAudit);
+constexpr unsigned kExploreBit = 1u << static_cast<unsigned>(Command::kExplore);
+constexpr unsigned kAllBits = kRunBit | kSweepBit | kAuditBit | kExploreBit;
+
+[[nodiscard]] unsigned commandBit(Command c) {
+  return 1u << static_cast<unsigned>(c);
+}
+
+/// usage() section a flag is listed under (rendered in this order).
+enum Section : int {
+  kSecExperiment = 0,
+  kSecEngine,
+  kSecTooling,
+  kSecSweep,
+  kSecExplore,
+  kSectionCount,
+};
+
+using ApplyFn = std::optional<std::string> (*)(CliOptions&, const std::string&);
+using HintFn = std::string (*)();
+
+struct FlagSpec {
+  const char* name;      // without the leading "--"
+  unsigned commands;     // bitmask of commandBit() values where valid
+  const char* scope;     // error tail when used with a command outside mask
+  bool takesValue;       // value flags require `--name=value`, value non-empty
+  const char* needMsg;   // "--name <needMsg>" when the value is missing/empty
+  HintFn hint;           // value placeholder for --help (value flags only)
+  const char* help;      // one-line description for --help
+  int section;
+  // Applies the (non-empty) value, or fires the effect of a value-less
+  // flag. Returns the full error message on failure (fail() appends the
+  // "(try --help)" suffix), nullopt on success.
+  ApplyFn apply;
+};
+
+// Small hint helpers (capture-less lambdas convert to HintFn).
+const HintFn kHintK = +[] { return std::string("<k>"); };
+const HintFn kHintU64 = +[] { return std::string("<u64>"); };
+const HintFn kHintFile = +[] { return std::string("<file>"); };
+
+const FlagSpec kFlagTable[] = {
+    // -- experiment setup -----------------------------------------------------
+    {"topology", kAllBits, nullptr, true, "needs a value",
+     +[] { return enumNameList<TopologyKind>(); },
+     "network family (default ring)", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       const auto kind = parseEnum<TopologyKind>(v);
+       if (!kind) return "unknown topology '" + v + "'";
+       o.config.topo.kind = *kind;
+       return std::nullopt;
+     }},
+    {"n", kAllBits, nullptr, true, "needs an integer", kHintK,
+     "processor count (size-parameterized topologies)", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.topo.n)) return "--n needs an integer";
+       return std::nullopt;
+     }},
+    {"rows", kAllBits, nullptr, true, "needs an integer", kHintK,
+     "grid/torus rows", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.topo.rows)) return "--rows needs an integer";
+       return std::nullopt;
+     }},
+    {"cols", kAllBits, nullptr, true, "needs an integer", kHintK,
+     "grid/torus columns", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.topo.cols)) return "--cols needs an integer";
+       return std::nullopt;
+     }},
+    {"dims", kAllBits, nullptr, true, "needs an integer", kHintK,
+     "hypercube dimensions", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.topo.dims)) return "--dims needs an integer";
+       return std::nullopt;
+     }},
+    {"extra-edges", kAllBits, nullptr, true, "needs an integer", kHintK,
+     "random-connected: chords beyond the spanning tree", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.topo.extraEdges)) {
+         return "--extra-edges needs an integer";
+       }
+       return std::nullopt;
+     }},
+    {"daemon", kAllBits, nullptr, true, "needs a value",
+     +[] { return enumNameList<DaemonKind>(); },
+     "scheduling adversary (default distributed-random)", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       const auto kind = parseEnum<DaemonKind>(v);
+       if (!kind) return "unknown daemon '" + v + "'";
+       o.config.daemon = *kind;
+       return std::nullopt;
+     }},
+    {"daemon-probability", kAllBits, nullptr, true,
+     "needs a number in (0,1]", +[] { return std::string("<p>"); },
+     "per-processor activation probability", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseDouble(v, o.config.daemonProbability)) {
+         return "--daemon-probability needs a number in (0,1]";
+       }
+       return std::nullopt;
+     }},
+    {"traffic", kAllBits, nullptr, true, "needs a value",
+     +[] { return enumNameList<TrafficKind>(); },
+     "request workload shape", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       const auto kind = parseEnum<TrafficKind>(v);
+       if (!kind) return "unknown traffic '" + v + "'";
+       o.config.traffic = *kind;
+       return std::nullopt;
+     }},
+    {"messages", kAllBits, nullptr, true, "needs an integer", kHintK,
+     "total messages to send", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.messageCount)) {
+         return "--messages needs an integer";
+       }
+       return std::nullopt;
+     }},
+    {"per-source", kAllBits, nullptr, true, "needs an integer", kHintK,
+     "messages per source (permutation/antipodal)", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.perSource)) {
+         return "--per-source needs an integer";
+       }
+       return std::nullopt;
+     }},
+    {"hotspot", kAllBits, nullptr, true, "needs an integer",
+     +[] { return std::string("<id>"); },
+     "all-to-one sink processor", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.hotspot)) {
+         return "--hotspot needs an integer";
+       }
+       return std::nullopt;
+     }},
+    {"payload-space", kAllBits, nullptr, true, "needs an integer", kHintK,
+     "distinct payload values (duplicate detection stress)", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.payloadSpace)) {
+         return "--payload-space needs an integer";
+       }
+       return std::nullopt;
+     }},
+    {"corrupt-routing", kAllBits, nullptr, true, "needs a number in [0,1]",
+     +[] { return std::string("<fraction>"); },
+     "randomize this fraction of routing entries at start", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseDouble(v, o.config.corruption.routingFraction)) {
+         return "--corrupt-routing needs a number in [0,1]";
+       }
+       return std::nullopt;
+     }},
+    {"invalid-messages", kAllBits, nullptr, true, "needs an integer", kHintK,
+     "invalid messages planted in buffers at start", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.corruption.invalidMessages)) {
+         return "--invalid-messages needs an integer";
+       }
+       return std::nullopt;
+     }},
+    {"scramble-queues", kAllBits, nullptr, false, nullptr, nullptr,
+     "shuffle every fairness queue at start", kSecExperiment,
+     +[](CliOptions& o, const std::string&) -> std::optional<std::string> {
+       o.config.corruption.scrambleQueues = true;
+       return std::nullopt;
+     }},
+    {"policy", kAllBits, nullptr, true, "needs a value",
+     +[] { return enumNameList<ChoicePolicy>(); },
+     "choice_p(d) arbitration policy", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       const auto policy = parseEnum<ChoicePolicy>(v);
+       if (!policy) return "unknown policy '" + v + "'";
+       o.config.choicePolicy = *policy;
+       return std::nullopt;
+     }},
+    {"protocol", kAllBits, nullptr, true, "needs ssmfp or baseline",
+     +[] { return std::string("ssmfp|baseline"); },
+     "protocol stack under test", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (v == "ssmfp") {
+         o.protocol = ProtocolChoice::kSsmfp;
+       } else if (v == "baseline") {
+         o.protocol = ProtocolChoice::kBaseline;
+       } else {
+         return "unknown protocol '" + v + "'";
+       }
+       return std::nullopt;
+     }},
+    {"seed", kAllBits, nullptr, true, "needs an integer", kHintU64,
+     "root RNG seed (sweep/audit: first seed of the range)", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.seed)) return "--seed needs an integer";
+       return std::nullopt;
+     }},
+    {"max-steps", kAllBits, nullptr, true, "needs an integer", kHintU64,
+     "step budget before declaring the run stuck", kSecExperiment,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.config.maxSteps)) {
+         return "--max-steps needs an integer";
+       }
+       return std::nullopt;
+     }},
+    {"check-invariants", kAllBits, nullptr, false, nullptr, nullptr,
+     "verify protocol invariants after every step", kSecExperiment,
+     +[](CliOptions& o, const std::string&) -> std::optional<std::string> {
+       o.config.checkInvariantsEveryStep = true;
+       return std::nullopt;
+     }},
+    {"csv", kAllBits, nullptr, false, nullptr, nullptr,
+     "emit CSV instead of a markdown table", kSecExperiment,
+     +[](CliOptions& o, const std::string&) -> std::optional<std::string> {
+       o.format = OutputFormat::kCsv;
+       return std::nullopt;
+     }},
+    {"help", kAllBits, nullptr, false, nullptr, nullptr,
+     "print this text", kSecExperiment,
+     +[](CliOptions& o, const std::string&) -> std::optional<std::string> {
+       o.showHelp = true;
+       return std::nullopt;
+     }},
+
+    // -- engine selection -----------------------------------------------------
+    {"scanmode", kAllBits, nullptr, true, "needs a value",
+     +[] { return enumNameList<ScanMode>(); },
+     "guard re-evaluation strategy for every engine built", kSecEngine,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       const auto mode = parseEnum<ScanMode>(v);
+       if (!mode) {
+         return "--scanmode needs one of " + enumNameList<ScanMode>();
+       }
+       o.scanMode = *mode;
+       return std::nullopt;
+     }},
+    {"exec", kAllBits, nullptr, true, "needs a value",
+     +[] { return enumNameList<ExecMode>(); },
+     "guard execution path: virtual dispatch or batch kernels", kSecEngine,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       const auto mode = parseEnum<ExecMode>(v);
+       if (!mode) return "--exec needs one of " + enumNameList<ExecMode>();
+       o.execMode = *mode;
+       return std::nullopt;
+     }},
+
+    // -- tooling (plain run, ssmfp only; rejected at dispatch otherwise) ------
+    {"snapshot-out", kAllBits, nullptr, true, "needs a file path", kHintFile,
+     "write the initial configuration (ssmfp)", kSecTooling,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       o.snapshotOut = v;
+       return std::nullopt;
+     }},
+    {"snapshot-in", kAllBits, nullptr, true, "needs a file path", kHintFile,
+     "load the initial configuration (ssmfp)", kSecTooling,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       o.snapshotIn = v;
+       return std::nullopt;
+     }},
+    {"trace", kAllBits, nullptr, false, nullptr, nullptr,
+     "print the action trace after the run", kSecTooling,
+     +[](CliOptions& o, const std::string&) -> std::optional<std::string> {
+       o.trace = true;
+       return std::nullopt;
+     }},
+    {"render", kAllBits, nullptr, false, nullptr, nullptr,
+     "print initial/final configurations", kSecTooling,
+     +[](CliOptions& o, const std::string&) -> std::optional<std::string> {
+       o.render = true;
+       return std::nullopt;
+     }},
+
+    // -- sweep / audit --------------------------------------------------------
+    {"seeds", kSweepBit | kAuditBit | kExploreBit,
+     "is a sweep/audit flag (snapfwd_cli sweep ...)", true,
+     "needs a positive integer", kHintK,
+     "seeds to run (default 10)", kSecSweep,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.sweepSeeds) || o.sweepSeeds == 0) {
+         return "--seeds needs a positive integer";
+       }
+       return std::nullopt;
+     }},
+    {"threads", kSweepBit | kExploreBit, "is a sweep/explore flag", true,
+     "needs an integer (0 = all hardware threads)", kHintK,
+     "worker threads, 0 = all hardware (default)", kSecSweep,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.sweepThreads)) {
+         return "--threads needs an integer (0 = all hardware threads)";
+       }
+       return std::nullopt;
+     }},
+    {"jsonl", kSweepBit | kAuditBit | kExploreBit,
+     "is a sweep/audit flag (snapfwd_cli sweep ...)", true,
+     "needs a file path (or '-')", +[] { return std::string("<file|->"); },
+     "write manifest + per-run + aggregate JSONL", kSecSweep,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       o.jsonlOut = v;
+       return std::nullopt;
+     }},
+
+    // -- explore --------------------------------------------------------------
+    {"model", kExploreBit, "is an explore flag (snapfwd_cli explore ...)",
+     true, "needs ssmfp or pif", +[] { return std::string("ssmfp|pif"); },
+     "the protocol stack to close (default ssmfp)", kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (v != "ssmfp" && v != "pif") return "--model needs ssmfp or pif";
+       o.exploreModel = v;
+       return std::nullopt;
+     }},
+    {"daemon-closure", kExploreBit, "is an explore flag", true,
+     "needs a value",
+     +[] { return enumNameList<explore::DaemonClosure>(); },
+     "daemon class to close under (default central)", kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseEnum<explore::DaemonClosure>(v).has_value()) {
+         return "--daemon-closure needs one of " +
+                enumNameList<explore::DaemonClosure>();
+       }
+       o.exploreClosure = v;
+       return std::nullopt;
+     }},
+    {"start-set", kExploreBit, "is an explore flag", true, "needs a value",
+     +[] { return std::string("<name>"); },
+     "initial states: ssmfp figure2-corruptions (default) | "
+     "figure2-clean; pif scramble (default)",
+     kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       o.exploreStartSet = v;
+       return std::nullopt;
+     }},
+    {"depth", kExploreBit, "is an explore flag", true,
+     "needs an integer (0 = unbounded)", kHintK,
+     "BFS depth bound (0 = unbounded)", kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.exploreDepth)) {
+         return "--depth needs an integer (0 = unbounded)";
+       }
+       return std::nullopt;
+     }},
+    {"max-states", kExploreBit, "is an explore flag", true,
+     "needs a positive integer", kHintK,
+     "visited-set bound (default 1000000)", kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.exploreMaxStates) || o.exploreMaxStates == 0) {
+         return "--max-states needs a positive integer";
+       }
+       return std::nullopt;
+     }},
+    {"max-choices", kExploreBit, "is an explore flag", true,
+     "needs a positive integer", kHintK,
+     "per-state move bound (default 256)", kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.exploreMaxChoices) || o.exploreMaxChoices == 0) {
+         return "--max-choices needs a positive integer";
+       }
+       return std::nullopt;
+     }},
+    {"codec", kExploreBit, "is an explore flag", true, "needs a value",
+     +[] { return enumNameList<explore::StateCodec>(); },
+     "state store: canonical text (default) or compact binary + "
+     "delta stepping",
+     kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseEnum<explore::StateCodec>(v).has_value()) {
+         return "--codec needs one of " + enumNameList<explore::StateCodec>();
+       }
+       o.exploreCodec = v;
+       return std::nullopt;
+     }},
+};
+
+[[nodiscard]] const FlagSpec* findFlag(const std::string& key) {
+  for (const FlagSpec& spec : kFlagTable) {
+    if (key == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 ParseResult parseArgs(int argc, const char* const* argv) {
@@ -83,243 +468,53 @@ ParseResult parseArgs(int argc, const char* const* argv) {
     if (!flag.has_value()) return fail("unrecognized argument '" + arg + "'");
     const auto& [key, value, hasValue] = *flag;
 
-    auto needValue = [&]() -> bool { return hasValue && !value.empty(); };
-
-    if (key == "help") {
-      options.showHelp = true;
-    } else if (key == "topology") {
-      if (!needValue()) return fail("--topology needs a value");
-      const auto kind = parseEnum<TopologyKind>(value);
-      if (!kind) return fail("unknown topology '" + value + "'");
-      options.config.topo.kind = *kind;
-    } else if (key == "daemon") {
-      if (!needValue()) return fail("--daemon needs a value");
-      const auto kind = parseEnum<DaemonKind>(value);
-      if (!kind) return fail("unknown daemon '" + value + "'");
-      options.config.daemon = *kind;
-    } else if (key == "traffic") {
-      if (!needValue()) return fail("--traffic needs a value");
-      const auto kind = parseEnum<TrafficKind>(value);
-      if (!kind) return fail("unknown traffic '" + value + "'");
-      options.config.traffic = *kind;
-    } else if (key == "policy") {
-      if (!needValue()) return fail("--policy needs a value");
-      const auto policy = parseEnum<ChoicePolicy>(value);
-      if (!policy) return fail("unknown policy '" + value + "'");
-      options.config.choicePolicy = *policy;
-    } else if (key == "seeds") {
-      if (options.command == Command::kRun) {
-        return fail("--seeds is a sweep/audit flag (snapfwd_cli sweep ...)");
-      }
-      if (!needValue() || !parseNumber(value, options.sweepSeeds) ||
-          options.sweepSeeds == 0) {
-        return fail("--seeds needs a positive integer");
-      }
-    } else if (key == "threads") {
-      if (options.command != Command::kSweep &&
-          options.command != Command::kExplore) {
-        return fail("--threads is a sweep/explore flag");
-      }
-      if (!needValue() || !parseNumber(value, options.sweepThreads)) {
-        return fail("--threads needs an integer (0 = all hardware threads)");
-      }
-    } else if (key == "jsonl") {
-      if (options.command == Command::kRun) {
-        return fail("--jsonl is a sweep/audit flag (snapfwd_cli sweep ...)");
-      }
-      if (!needValue()) return fail("--jsonl needs a file path (or '-')");
-      options.jsonlOut = value;
-    } else if (key == "model") {
-      if (options.command != Command::kExplore) {
-        return fail("--model is an explore flag (snapfwd_cli explore ...)");
-      }
-      if (!needValue() || (value != "ssmfp" && value != "pif")) {
-        return fail("--model needs ssmfp or pif");
-      }
-      options.exploreModel = value;
-    } else if (key == "daemon-closure") {
-      if (options.command != Command::kExplore) {
-        return fail("--daemon-closure is an explore flag");
-      }
-      if (!needValue() ||
-          !parseEnum<explore::DaemonClosure>(value).has_value()) {
-        return fail("--daemon-closure needs one of " +
-                    enumNameList<explore::DaemonClosure>());
-      }
-      options.exploreClosure = value;
-    } else if (key == "start-set") {
-      if (options.command != Command::kExplore) {
-        return fail("--start-set is an explore flag");
-      }
-      if (!needValue()) return fail("--start-set needs a value");
-      options.exploreStartSet = value;
-    } else if (key == "codec") {
-      if (options.command != Command::kExplore) {
-        return fail("--codec is an explore flag");
-      }
-      if (!needValue() || !parseEnum<explore::StateCodec>(value).has_value()) {
-        return fail("--codec needs one of " +
-                    enumNameList<explore::StateCodec>());
-      }
-      options.exploreCodec = value;
-    } else if (key == "depth") {
-      if (options.command != Command::kExplore) {
-        return fail("--depth is an explore flag");
-      }
-      if (!needValue() || !parseNumber(value, options.exploreDepth)) {
-        return fail("--depth needs an integer (0 = unbounded)");
-      }
-    } else if (key == "max-states") {
-      if (options.command != Command::kExplore) {
-        return fail("--max-states is an explore flag");
-      }
-      if (!needValue() || !parseNumber(value, options.exploreMaxStates) ||
-          options.exploreMaxStates == 0) {
-        return fail("--max-states needs a positive integer");
-      }
-    } else if (key == "max-choices") {
-      if (options.command != Command::kExplore) {
-        return fail("--max-choices is an explore flag");
-      }
-      if (!needValue() || !parseNumber(value, options.exploreMaxChoices) ||
-          options.exploreMaxChoices == 0) {
-        return fail("--max-choices needs a positive integer");
-      }
-    } else if (key == "protocol") {
-      if (value == "ssmfp") {
-        options.protocol = ProtocolChoice::kSsmfp;
-      } else if (value == "baseline") {
-        options.protocol = ProtocolChoice::kBaseline;
-      } else {
-        return fail("unknown protocol '" + value + "'");
-      }
-    } else if (key == "n") {
-      if (!needValue() || !parseNumber(value, options.config.topo.n)) {
-        return fail("--n needs an integer");
-      }
-    } else if (key == "rows") {
-      if (!needValue() || !parseNumber(value, options.config.topo.rows)) {
-        return fail("--rows needs an integer");
-      }
-    } else if (key == "cols") {
-      if (!needValue() || !parseNumber(value, options.config.topo.cols)) {
-        return fail("--cols needs an integer");
-      }
-    } else if (key == "dims") {
-      if (!needValue() || !parseNumber(value, options.config.topo.dims)) {
-        return fail("--dims needs an integer");
-      }
-    } else if (key == "extra-edges") {
-      if (!needValue() || !parseNumber(value, options.config.topo.extraEdges)) {
-        return fail("--extra-edges needs an integer");
-      }
-    } else if (key == "seed") {
-      if (!needValue() || !parseNumber(value, options.config.seed)) {
-        return fail("--seed needs an integer");
-      }
-    } else if (key == "messages") {
-      if (!needValue() || !parseNumber(value, options.config.messageCount)) {
-        return fail("--messages needs an integer");
-      }
-    } else if (key == "per-source") {
-      if (!needValue() || !parseNumber(value, options.config.perSource)) {
-        return fail("--per-source needs an integer");
-      }
-    } else if (key == "hotspot") {
-      if (!needValue() || !parseNumber(value, options.config.hotspot)) {
-        return fail("--hotspot needs an integer");
-      }
-    } else if (key == "payload-space") {
-      if (!needValue() || !parseNumber(value, options.config.payloadSpace)) {
-        return fail("--payload-space needs an integer");
-      }
-    } else if (key == "max-steps") {
-      if (!needValue() || !parseNumber(value, options.config.maxSteps)) {
-        return fail("--max-steps needs an integer");
-      }
-    } else if (key == "corrupt-routing") {
-      if (!needValue() ||
-          !parseDouble(value, options.config.corruption.routingFraction)) {
-        return fail("--corrupt-routing needs a number in [0,1]");
-      }
-    } else if (key == "invalid-messages") {
-      if (!needValue() ||
-          !parseNumber(value, options.config.corruption.invalidMessages)) {
-        return fail("--invalid-messages needs an integer");
-      }
-    } else if (key == "daemon-probability") {
-      if (!needValue() ||
-          !parseDouble(value, options.config.daemonProbability)) {
-        return fail("--daemon-probability needs a number in (0,1]");
-      }
-    } else if (key == "scramble-queues") {
-      options.config.corruption.scrambleQueues = true;
-    } else if (key == "check-invariants") {
-      options.config.checkInvariantsEveryStep = true;
-    } else if (key == "csv") {
-      options.format = OutputFormat::kCsv;
-    } else if (key == "snapshot-out") {
-      if (!needValue()) return fail("--snapshot-out needs a file path");
-      options.snapshotOut = value;
-    } else if (key == "snapshot-in") {
-      if (!needValue()) return fail("--snapshot-in needs a file path");
-      options.snapshotIn = value;
-    } else if (key == "trace") {
-      options.trace = true;
-    } else if (key == "render") {
-      options.render = true;
-    } else {
-      return fail("unknown flag '--" + key + "'");
+    const FlagSpec* spec = findFlag(key);
+    if (spec == nullptr) return fail("unknown flag '--" + key + "'");
+    if ((spec->commands & commandBit(options.command)) == 0) {
+      return fail("--" + key + " " + spec->scope);
+    }
+    if (spec->takesValue && (!hasValue || value.empty())) {
+      return fail("--" + key + " " + spec->needMsg);
+    }
+    if (auto error = spec->apply(options, value); error.has_value()) {
+      return fail(*error);
     }
   }
   return {options, ""};
 }
 
 std::string usage() {
+  static constexpr const char* kSectionTitles[kSectionCount] = {
+      "experiment flags:",
+      "engine flags (every subcommand; env: SNAPFWD_SCAN_MODE, SNAPFWD_EXEC):",
+      "tooling flags (plain run, --protocol=ssmfp only):",
+      "sweep / audit flags (seed range starts at --seed):",
+      "explore flags (bounded explicit-state model checking, src/explore/):",
+  };
   std::ostringstream out;
   out << "snapfwd_cli - run one SSMFP/baseline experiment and report SP\n\n"
       << "usage: snapfwd_cli [--flag=value ...]\n"
       << "       snapfwd_cli sweep [--flag=value ...]   multi-seed sweep\n"
       << "       snapfwd_cli audit [--flag=value ...]   access-audit replay\n"
       << "       snapfwd_cli explore [--flag=value ...] exhaustive state-space "
-         "closure\n\n"
-      << "  --topology=" << enumNameList<TopologyKind>() << "\n"
-      << "             (default ring)\n"
-      << "  --n=<k> --rows=<k> --cols=<k> --dims=<k> --extra-edges=<k>\n"
-      << "  --daemon=" << enumNameList<DaemonKind>() << "\n"
-      << "  --daemon-probability=<p>\n"
-      << "  --traffic=" << enumNameList<TrafficKind>() << "\n"
-      << "  --messages=<k> --per-source=<k> --hotspot=<id> --payload-space=<k>\n"
-      << "  --corrupt-routing=<fraction> --invalid-messages=<k> "
-         "--scramble-queues\n"
-      << "  --policy=" << enumNameList<ChoicePolicy>() << "\n"
-      << "  --protocol=ssmfp|baseline --seed=<u64> --max-steps=<u64>\n"
-      << "  --check-invariants --csv --help\n"
-      << "  --snapshot-out=<file>  write the initial configuration (ssmfp)\n"
-      << "  --snapshot-in=<file>   load the initial configuration (ssmfp)\n"
-      << "  --trace                print the action trace after the run\n"
-      << "  --render               print initial/final configurations\n\n"
-      << "sweep flags (seed range starts at --seed):\n"
-      << "  --seeds=<k>            seeds to run (default 10)\n"
-      << "  --threads=<k>          worker threads, 0 = all hardware (default)\n"
-      << "  --jsonl=<file|->       write manifest + per-run + aggregate JSONL\n\n"
-      << "explore flags (bounded explicit-state model checking, src/explore/):\n"
-      << "  --model=ssmfp|pif      the protocol stack to close (default ssmfp)\n"
-      << "  --daemon-closure=" << enumNameList<explore::DaemonClosure>() << "\n"
-      << "                         (default central)\n"
-      << "  --start-set=<name>     ssmfp: figure2-corruptions (default, every\n"
-      << "                         single-variable corruption of the paper's\n"
-      << "                         Figure 2 instance) | figure2-clean;\n"
-      << "                         pif: scramble (default, all 3^n states)\n"
-      << "  --depth=<k>            BFS depth bound (0 = unbounded)\n"
-      << "  --max-states=<k>       visited-set bound (default 1000000)\n"
-      << "  --max-choices=<k>      per-state move bound (default 256)\n"
-      << "  --codec=" << enumNameList<explore::StateCodec>()
-      << "      state store: canonical text (default) or the\n"
-         "                         compact binary codec + delta stepping\n"
-      << "  --threads=<k>          frontier workers, 0 = all hardware\n"
-      << "  --jsonl=<file|->       explore-stats / explore-violation records\n"
-      << "Exits 0 = clean closure, 1 = violation found (counterexample is\n"
+         "closure\n";
+  for (int section = 0; section < kSectionCount; ++section) {
+    out << "\n" << kSectionTitles[section] << "\n";
+    for (const FlagSpec& spec : kFlagTable) {
+      if (spec.section != section) continue;
+      std::string lhs = "  --" + std::string(spec.name);
+      if (spec.takesValue) lhs += "=" + spec.hint();
+      if (lhs.size() < 26) {
+        lhs.append(26 - lhs.size(), ' ');
+        out << lhs << " " << spec.help << "\n";
+      } else {
+        // Long enum lists get the description on their own line.
+        out << lhs << "\n" << std::string(27, ' ') << spec.help << "\n";
+      }
+    }
+  }
+  out << "\nexplore exits 0 = clean closure, 1 = violation found "
+         "(counterexample is\n"
       << "shrunk and its schedule printed), 2 = usage error.\n\n"
       << "audit: replays the topology x daemon x corruption matrix (all\n"
       << "protocols) with access auditing on, reporting every guard-locality,\n"
@@ -333,7 +528,9 @@ std::string usage() {
          "--messages=30\n"
       << "  snapfwd_cli sweep --topology=ring --n=8 --seeds=100 "
          "--threads=0 \\\n"
-      << "              --jsonl=ring.jsonl\n";
+      << "              --jsonl=ring.jsonl\n"
+      << "  snapfwd_cli sweep --exec=kernel --scanmode=incremental "
+         "--seeds=20\n";
   return out.str();
 }
 
@@ -437,6 +634,14 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     out << usage();
     return 0;
   }
+  // --scanmode / --exec apply to every engine the invocation builds (run,
+  // sweep workers, audit matrix, explorer restarts): install them as scoped
+  // process defaults layered on whatever defaults the embedder set.
+  EngineOptions engineDefaults = EngineOptions::processDefaults();
+  if (options.scanMode.has_value()) engineDefaults.scanMode = options.scanMode;
+  if (options.execMode.has_value()) engineDefaults.execMode = options.execMode;
+  const ScopedEngineDefaults scopedDefaults(engineDefaults);
+
   const bool tooling = !options.snapshotOut.empty() ||
                        !options.snapshotIn.empty() || options.trace ||
                        options.render;

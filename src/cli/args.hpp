@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "sim/runner.hpp"
 
 namespace snapfwd::cli {
@@ -52,6 +53,13 @@ struct CliOptions {
   std::string snapshotIn;   // load the initial configuration from this file
   bool trace = false;       // print the action trace after the run
   bool render = false;      // print initial/final configuration renderings
+
+  // Engine execution (valid for every subcommand; runCli installs them as
+  // scoped process-wide EngineOptions defaults, so every engine the
+  // invocation builds - run, sweep workers, audit matrix, explorer -
+  // inherits the selection):
+  std::optional<ScanMode> scanMode;  // --scanmode=full|incremental
+  std::optional<ExecMode> execMode;  // --exec=virtual|kernel
 };
 
 struct ParseResult {
@@ -59,23 +67,15 @@ struct ParseResult {
   std::string error;                  // non-empty on error
 };
 
-/// Parses argv[1..argc). An optional leading "sweep" word selects the
-/// multi-seed sweep subcommand (adds --seeds/--threads/--jsonl; the run
-/// uses config.seed as the first seed). Recognized flags (all --key=value):
-///   --topology=path|ring|star|complete|binary-tree|random-tree|grid|torus|
-///              hypercube|random-connected|figure3
-///   --n --rows --cols --dims --extra-edges
-///   --daemon=synchronous|central-rr|central-random|distributed-random|
-///            weakly-fair|adversarial        --daemon-probability=<0..1>
-///   --traffic=none|uniform|all-to-one|permutation|antipodal
-///   --messages --per-source --hotspot --payload-space
-///   --corrupt-routing=<0..1> --invalid-messages=<k> --scramble-queues
-///   --policy=round-robin|fixed-priority|oldest-first
-///   --protocol=ssmfp|baseline --seed=<u64> --max-steps=<u64>
-///   --check-invariants --csv --help
+/// Parses argv[1..argc). An optional leading subcommand word ("sweep",
+/// "audit", "explore") selects the command; everything else is a
+/// `--key=value` flag. All flags live in one table (args.cpp) carrying
+/// their per-subcommand applicability, value parser and help text; the
+/// usage() output is generated from the same table, so the parser and
+/// --help cannot drift apart. Run `snapfwd_cli --help` for the flag list.
 [[nodiscard]] ParseResult parseArgs(int argc, const char* const* argv);
 
-/// The usage text printed by --help.
+/// The usage text printed by --help (generated from the flag table).
 [[nodiscard]] std::string usage();
 
 /// Renders an ExperimentResult in the requested format.

@@ -23,16 +23,6 @@
 namespace snapfwd::cli {
 namespace {
 
-/// Forces audit-mode on for every Engine constructed while alive and
-/// restores the build-flavor default afterwards, exceptions included.
-class ScopedDefaultAudit {
- public:
-  ScopedDefaultAudit() { Engine::setDefaultAuditMode(true); }
-  ~ScopedDefaultAudit() { Engine::setDefaultAuditMode(std::nullopt); }
-  ScopedDefaultAudit(const ScopedDefaultAudit&) = delete;
-  ScopedDefaultAudit& operator=(const ScopedDefaultAudit&) = delete;
-};
-
 /// Collects per-run outcomes; violations go to `err` immediately (and to
 /// JSONL when requested) so a failing CI log names the breach inline.
 class AuditReport {
@@ -176,7 +166,12 @@ void auditMessagePassing(std::uint64_t seed, AuditReport& report) {
 
 int runAudit(const CliOptions& options, std::ostream& out, std::ostream& err,
              jsonl::Writer* writer) {
-  const ScopedDefaultAudit scoped;
+  // Audit-mode on for every engine built inside the run, restored on exit.
+  // Layered on top of the current process defaults so an outer --scanmode /
+  // --exec selection keeps applying to the audited engines.
+  EngineOptions auditDefaults = EngineOptions::processDefaults();
+  auditDefaults.audit = true;
+  const ScopedEngineDefaults scoped(auditDefaults);
   AuditReport report(err, writer);
 
   auditMatrix(options, report);

@@ -3,55 +3,95 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <cstdlib>
-#include <cstring>
 #include <stdexcept>
+
+#include "util/env.hpp"
 
 namespace snapfwd {
 
 namespace {
 
-// Process-wide default-mode override; -1 = none (env / built-in default).
-std::atomic<int> gScanModeOverride{-1};
-
-// Process-wide audit-mode override; -1 = none (env / off).
-std::atomic<int> gAuditModeOverride{-1};
-
-bool envFlagSet(const char* value) {
-  return std::strcmp(value, "1") == 0 || std::strcmp(value, "on") == 0 ||
-         std::strcmp(value, "true") == 0;
-}
+// Process-wide defaults (EngineOptions::setProcessDefaults); -1 = unset
+// (resolution falls through to the environment, then the built-ins).
+std::atomic<int> gScanModeDefault{-1};
+std::atomic<int> gExecModeDefault{-1};
+std::atomic<int> gAuditDefault{-1};
 
 }  // namespace
 
-ScanMode Engine::defaultScanMode() {
-  const int forced = gScanModeOverride.load(std::memory_order_relaxed);
-  if (forced >= 0) return static_cast<ScanMode>(forced);
-  if (const char* env = std::getenv("SNAPFWD_SCAN_MODE")) {
-    if (const auto parsed = parseEnum<ScanMode>(env)) return *parsed;
+ScanMode EngineOptions::resolvedScanMode() const {
+  if (scanMode) return *scanMode;
+  const int d = gScanModeDefault.load(std::memory_order_relaxed);
+  if (d >= 0) return static_cast<ScanMode>(d);
+  if (const auto fromEnv = env::enumValue<ScanMode>("SNAPFWD_SCAN_MODE")) {
+    return *fromEnv;
   }
   return ScanMode::kIncremental;
 }
 
-void Engine::setDefaultScanMode(std::optional<ScanMode> mode) {
-  gScanModeOverride.store(mode ? static_cast<int>(*mode) : -1,
-                          std::memory_order_relaxed);
+ExecMode EngineOptions::resolvedExecMode() const {
+  if (execMode) return *execMode;
+  const int d = gExecModeDefault.load(std::memory_order_relaxed);
+  if (d >= 0) return static_cast<ExecMode>(d);
+  if (const auto fromEnv = env::enumValue<ExecMode>("SNAPFWD_EXEC")) {
+    return *fromEnv;
+  }
+  return ExecMode::kVirtual;
 }
 
-bool Engine::defaultAuditMode() {
+bool EngineOptions::resolvedAudit() const {
+  // Non-capable binaries resolve to off whatever was requested (see struct
+  // comment); explicit Engine::setAuditMode(true) still throws.
   if (!kAuditCapable) return false;
-  const int forced = gAuditModeOverride.load(std::memory_order_relaxed);
-  if (forced >= 0) return forced != 0;
-  if (const char* env = std::getenv("SNAPFWD_AUDIT")) return envFlagSet(env);
-  return false;
+  if (audit) return *audit;
+  const int d = gAuditDefault.load(std::memory_order_relaxed);
+  if (d >= 0) return d != 0;
+  return env::flag("SNAPFWD_AUDIT");
 }
+
+void EngineOptions::setProcessDefaults(const EngineOptions& defaults) {
+  gScanModeDefault.store(
+      defaults.scanMode ? static_cast<int>(*defaults.scanMode) : -1,
+      std::memory_order_relaxed);
+  gExecModeDefault.store(
+      defaults.execMode ? static_cast<int>(*defaults.execMode) : -1,
+      std::memory_order_relaxed);
+  gAuditDefault.store(defaults.audit ? static_cast<int>(*defaults.audit) : -1,
+                      std::memory_order_relaxed);
+}
+
+EngineOptions EngineOptions::processDefaults() {
+  EngineOptions out;
+  const int scan = gScanModeDefault.load(std::memory_order_relaxed);
+  if (scan >= 0) out.scanMode = static_cast<ScanMode>(scan);
+  const int exec = gExecModeDefault.load(std::memory_order_relaxed);
+  if (exec >= 0) out.execMode = static_cast<ExecMode>(exec);
+  const int audit = gAuditDefault.load(std::memory_order_relaxed);
+  if (audit >= 0) out.audit = audit != 0;
+  return out;
+}
+
+// Deprecated shims: one-field views of the EngineOptions process defaults.
+// Implemented against the storage directly so the shims never call each
+// other (keeps -Wdeprecated-declarations clean inside this file).
+ScanMode Engine::defaultScanMode() { return EngineOptions{}.resolvedScanMode(); }
+
+void Engine::setDefaultScanMode(std::optional<ScanMode> mode) {
+  gScanModeDefault.store(mode ? static_cast<int>(*mode) : -1,
+                         std::memory_order_relaxed);
+}
+
+bool Engine::defaultAuditMode() { return EngineOptions{}.resolvedAudit(); }
 
 void Engine::setDefaultAuditMode(std::optional<bool> on) {
-  gAuditModeOverride.store(on ? static_cast<int>(*on) : -1,
-                           std::memory_order_relaxed);
+  gAuditDefault.store(on ? static_cast<int>(*on) : -1,
+                      std::memory_order_relaxed);
 }
 
 void Engine::setAuditMode(bool on) {
+  // Any audit toggle invalidates kernel-mirror trust: while a tracker is
+  // attached the kernel path is bypassed, so mirrors silently go stale.
+  mirrorsDirty_ = true;
   if (!on) {
     if (tracker_ != nullptr) {
       for (Protocol* layer : layers_) layer->setAccessTracker(nullptr);
@@ -70,29 +110,65 @@ void Engine::setAuditMode(bool on) {
 }
 
 Engine::Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
-               ThreadPool* pool, ScanMode scanMode)
+               ThreadPool* pool, EngineOptions options)
     : graph_(graph),
       layers_(std::move(layers)),
       daemon_(daemon),
       pool_(pool),
-      scanMode_(scanMode),
+      scanMode_(options.resolvedScanMode()),
+      execMode_(options.resolvedExecMode()),
       executedThisStep_(graph.size(), false),
+      layerTouchedScratch_(layers_.size(), false),
       writtenMark_(graph.size(), false),
       dirtyMark_(graph.size(), false),
       roundPending_(graph.size(), false),
+      roundMark_(graph.size(), false),
       actionsPerLayer_(layers_.size(), 0) {
   assert(!layers_.empty());
   if (scanMode_ == ScanMode::kIncremental) cache_.resize(graph.size());
   enabled_.reserve(graph.size());
   enabledIds_.reserve(graph.size());
+  guardSources_.reserve(layers_.size());
+  kernels_.reserve(layers_.size());
+  for (const Protocol* layer : layers_) {
+    guardSources_.push_back(layer);
+    // Kernel sets (and the SoA mirrors behind them) are only materialized
+    // when this engine will actually use them: a virtual-exec engine must
+    // not pay for mirror construction and upkeep it never reads.
+    const GuardKernelSet* kset =
+        execMode_ == ExecMode::kKernel ? layer->guardKernels() : nullptr;
+    kernels_.push_back(kset);
+    if (kset != nullptr) haveKernels_ = true;
+  }
+  if (execMode_ == ExecMode::kKernel) {
+    allIds_.resize(graph.size());
+    for (std::size_t p = 0; p < graph.size(); ++p) {
+      allIds_[p] = static_cast<NodeId>(p);
+    }
+  }
   for (const Protocol* layer : layers_) {
     maxAccessRadius_ = std::max(maxAccessRadius_, layer->accessRadius());
   }
   for (Protocol* layer : layers_) {
     layer->setInvalidationHook([this] { invalidateEnabledCache(); });
   }
-  if (defaultAuditMode()) setAuditMode(true);
+  if (options.resolvedAudit()) setAuditMode(true);
+  if (useKernels()) {
+    // Prime the mirrors now, at construction: the invalidation hooks are
+    // registered above, so any later out-of-band mutation re-flags them,
+    // and the first in-run batch starts from a trusted mirror instead of
+    // paying a full syncAll inside the measured stepping.
+    for (const GuardKernelSet* kset : kernels_) {
+      if (kset != nullptr && kset->syncAll != nullptr) kset->syncAll(kset->self);
+    }
+    mirrorsDirty_ = false;
+  }
 }
+
+Engine::Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
+               ThreadPool* pool, ScanMode scanMode)
+    : Engine(graph, std::move(layers), daemon, pool,
+             EngineOptions{.scanMode = scanMode}) {}
 
 Engine::~Engine() {
   for (Protocol* layer : layers_) {
@@ -104,6 +180,7 @@ Engine::~Engine() {
 void Engine::invalidateEnabledCache() {
   cacheValid_ = false;
   enabledFresh_ = false;
+  mirrorsDirty_ = true;
   for (const NodeId p : pendingWrites_) writtenMark_[p] = false;
   pendingWrites_.clear();
 }
@@ -127,6 +204,16 @@ bool Engine::evaluateProcessor(NodeId p, EnabledProcessor& entry) const {
   return false;
 }
 
+void Engine::batchEvaluate(const NodeId* ids, std::size_t count) {
+  if (mirrorsDirty_) {
+    for (const GuardKernelSet* kset : kernels_) {
+      if (kset != nullptr && kset->syncAll != nullptr) kset->syncAll(kset->self);
+    }
+    mirrorsDirty_ = false;
+  }
+  batch_.run(guardSources_.data(), kernels_.data(), layers_.size(), ids, count);
+}
+
 void Engine::buildEnabled() {
   if (enabledFresh_) {
     ++scanStats_.cachedScans;
@@ -144,16 +231,54 @@ void Engine::buildEnabled() {
 
 void Engine::fullScan() {
   const std::size_t n = graph_.size();
-  enabled_.clear();
   const bool fillCache = scanMode_ == ScanMode::kIncremental;
   if (fillCache) enabledIds_.clear();
 
-  // The tracker records one bracketed phase at a time, so audit mode
-  // evaluates serially (results are identical either way).
-  if (pool_ != nullptr && pool_->threadCount() > 1 && n >= 64 &&
-      tracker_ == nullptr) {
+  // Entry-reuse rebuild: append() recycles the EnabledProcessor slots (and
+  // their action-vector capacity) already sitting in enabled_ instead of
+  // destroying and reallocating them every sweep.
+  std::size_t used = 0;
+  auto append = [&]() -> EnabledProcessor& {
+    if (used == enabled_.size()) enabled_.emplace_back();
+    return enabled_[used++];
+  };
+
+  if (useKernels()) {
+    // Kernel sweep: one serial batch over 0..n-1 (determinism first; the
+    // batches are branch-light enough that threading is not worth the
+    // nondeterministic merge complexity).
+    batchEvaluate(allIds_.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId p = allIds_[i];
+      const bool on = batch_.enabled(i);
+      if (fillCache) {
+        // Cache-entry invariant (all fill sites): layer/actions are only
+        // written - and only read - when the slot is enabled. Disabled
+        // slots keep stale garbage, which saves the vector traffic on the
+        // overwhelmingly-disabled sweeps.
+        CacheEntry& slot = cache_[p];
+        slot.enabled = on;
+        if (on) {
+          slot.layer = batch_.layer(i);
+          slot.actions.assign(batch_.actionsBegin(i), batch_.actionsEnd(i));
+          enabledIds_.push_back(p);
+        }
+      }
+      if (on) {
+        EnabledProcessor& e = append();
+        e.p = p;
+        e.layer = batch_.layer(i);
+        e.actions.assign(batch_.actionsBegin(i), batch_.actionsEnd(i));
+      }
+    }
+    enabled_.resize(used);
+  } else if (pool_ != nullptr && pool_->threadCount() > 1 && n >= 64 &&
+             tracker_ == nullptr) {
     // Parallel sweep with deterministic merge: fixed chunking by processor
-    // ranges, chunk results concatenated in chunk order (= id order).
+    // ranges, chunk results concatenated in chunk order (= id order). The
+    // tracker records one bracketed phase at a time, so audit mode
+    // evaluates serially (results are identical either way).
+    enabled_.clear();
     const std::size_t chunks = pool_->threadCount() * 4;
     const std::size_t per = (n + chunks - 1) / chunks;
     // Member scratch: chunk vectors keep their capacity across sweeps, so
@@ -170,8 +295,10 @@ void Engine::fullScan() {
         if (fillCache) {
           CacheEntry& slot = cache_[p];  // distinct p per chunk: no race
           slot.enabled = on;
-          slot.layer = entry.layer;
-          slot.actions = entry.actions;
+          if (on) {
+            slot.layer = entry.layer;
+            slot.actions = entry.actions;
+          }
         }
         if (on) partial[c].push_back(std::move(entry));
       }
@@ -183,21 +310,26 @@ void Engine::fullScan() {
       }
     }
   } else {
-    EnabledProcessor entry;
+    EnabledProcessor probe;
     for (NodeId p = 0; p < n; ++p) {
-      const bool on = evaluateProcessor(p, entry);
+      const bool on = evaluateProcessor(p, probe);
       if (fillCache) {
         CacheEntry& slot = cache_[p];
         slot.enabled = on;
-        slot.layer = entry.layer;
-        slot.actions = entry.actions;
-        if (on) enabledIds_.push_back(p);
+        if (on) {
+          slot.layer = probe.layer;
+          slot.actions = probe.actions;  // copy: probe is swapped out below
+          enabledIds_.push_back(p);
+        }
       }
       if (on) {
-        enabled_.push_back(entry);
-        entry = EnabledProcessor{};
+        EnabledProcessor& e = append();
+        e.p = p;
+        e.layer = probe.layer;
+        e.actions.swap(probe.actions);
       }
     }
+    enabled_.resize(used);
   }
 
   ++scanStats_.fullScans;
@@ -241,8 +373,18 @@ void Engine::incrementalScan() {
   pendingWrites_.clear();
   std::sort(dirtyScratch_.begin(), dirtyScratch_.end());
 
-  if (pool_ != nullptr && pool_->threadCount() > 1 &&
-      dirtyScratch_.size() >= 64 && tracker_ == nullptr) {
+  if (useKernels()) {
+    batchEvaluate(dirtyScratch_.data(), dirtyScratch_.size());
+    for (std::size_t i = 0; i < dirtyScratch_.size(); ++i) {
+      CacheEntry& slot = cache_[dirtyScratch_[i]];
+      slot.enabled = batch_.enabled(i);
+      if (slot.enabled) {
+        slot.layer = batch_.layer(i);
+        slot.actions.assign(batch_.actionsBegin(i), batch_.actionsEnd(i));
+      }
+    }
+  } else if (pool_ != nullptr && pool_->threadCount() > 1 &&
+             dirtyScratch_.size() >= 64 && tracker_ == nullptr) {
     const std::size_t chunks = pool_->threadCount() * 4;
     const std::size_t per = (dirtyScratch_.size() + chunks - 1) / chunks;
     pool_->parallelFor(chunks, [&](std::size_t c) {
@@ -253,8 +395,10 @@ void Engine::incrementalScan() {
         const NodeId p = dirtyScratch_[i];
         CacheEntry& slot = cache_[p];  // distinct p per chunk: no race
         slot.enabled = evaluateProcessor(p, entry);
-        slot.layer = entry.layer;
-        slot.actions.swap(entry.actions);
+        if (slot.enabled) {
+          slot.layer = entry.layer;
+          slot.actions.swap(entry.actions);
+        }
       }
     });
   } else {
@@ -262,8 +406,10 @@ void Engine::incrementalScan() {
     for (const NodeId p : dirtyScratch_) {
       CacheEntry& slot = cache_[p];
       slot.enabled = evaluateProcessor(p, entry);
-      slot.layer = entry.layer;
-      slot.actions.swap(entry.actions);
+      if (slot.enabled) {
+        slot.layer = entry.layer;
+        slot.actions.swap(entry.actions);
+      }
     }
   }
 
@@ -285,14 +431,23 @@ void Engine::incrementalScan() {
   }
   enabledIds_.swap(nextEnabledScratch_);
 
-  enabled_.clear();
+  // Entry-reuse rebuild (same scheme as fullScan): recycle enabled_ slots
+  // and their action capacity instead of reallocating per step.
+  std::size_t used = 0;
   for (const NodeId p : enabledIds_) {
-    EnabledProcessor entry;
-    entry.p = p;
-    entry.layer = cache_[p].layer;
-    entry.actions = cache_[p].actions;
-    enabled_.push_back(std::move(entry));
+    const bool fresh = used == enabled_.size();
+    if (fresh) enabled_.emplace_back();
+    EnabledProcessor& e = enabled_[used++];
+    // A recycled slot already holding p is still byte-identical to
+    // cache_[p] unless p was re-evaluated this scan (dirtyMark_ is not
+    // cleared until scan end): every cache_[p] change has p in that scan's
+    // dirty set, and that scan's rebuild refreshed or evicted the slot.
+    if (!fresh && e.p == p && !dirtyMark_[p]) continue;
+    e.p = p;
+    e.layer = cache_[p].layer;
+    e.actions.assign(cache_[p].actions.begin(), cache_[p].actions.end());
   }
+  enabled_.resize(used);
 
   ++scanStats_.incrementalScans;
   scanStats_.guardEvals += dirtyScratch_.size();
@@ -304,16 +459,24 @@ void Engine::incrementalScan() {
 void Engine::settleRoundAccounting() {
   // Called with enabled_ freshly computed for the imminent step.
   // 1. Neutralization: processors owing the round that are no longer
-  //    enabled are discharged.
+  //    enabled are discharged. Iterates the compact pending-id list
+  //    (skipping ids the executed-discharge already cleared) against
+  //    roundMark_ = current enabled membership, so the pass costs
+  //    O(|pending| + |enabled|) instead of O(n).
   if (roundActive_ && roundPendingCount_ > 0) {
-    std::vector<bool> enabledNow(graph_.size(), false);
-    for (const auto& e : enabled_) enabledNow[e.p] = true;
-    for (NodeId p = 0; p < graph_.size(); ++p) {
-      if (roundPending_[p] && !enabledNow[p]) {
+    for (const auto& e : enabled_) roundMark_[e.p] = true;
+    std::size_t kept = 0;
+    for (const NodeId p : roundPendingIds_) {
+      if (!roundPending_[p]) continue;  // stale: discharged by execution
+      if (!roundMark_[p]) {
         roundPending_[p] = false;
         --roundPendingCount_;
+      } else {
+        roundPendingIds_[kept++] = p;
       }
     }
+    roundPendingIds_.resize(kept);
+    for (const auto& e : enabled_) roundMark_[e.p] = false;
   }
   // 2. Round completion / (re)start.
   if (roundActive_ && roundPendingCount_ == 0) {
@@ -321,8 +484,14 @@ void Engine::settleRoundAccounting() {
     roundActive_ = false;
   }
   if (!roundActive_ && !enabled_.empty()) {
-    std::fill(roundPending_.begin(), roundPending_.end(), false);
-    for (const auto& e : enabled_) roundPending_[e.p] = true;
+    // roundPendingCount_ == 0 here, and every discharge paired a count
+    // decrement with a bit clear - so all roundPending_ bits are already
+    // false and no O(n) reset is needed.
+    roundPendingIds_.clear();
+    for (const auto& e : enabled_) {
+      roundPending_[e.p] = true;
+      roundPendingIds_.push_back(e.p);
+    }
     roundPendingCount_ = enabled_.size();
     roundActive_ = true;
   }
@@ -356,10 +525,14 @@ bool Engine::step() {
 
   // Stage all chosen actions against the pre-step configuration, then
   // commit layer by layer (composite atomicity), collecting the write sets
-  // that drive the next incremental scan.
-  std::fill(executedThisStep_.begin(), executedThisStep_.end(), false);
+  // that drive the next incremental scan. executedThisStep_ bits are set
+  // exactly for the previous step's executedActions_, so clearing them
+  // sparsely (before the list resets) replaces the old O(n) fill.
+  for (const ExecutedAction& ex : executedActions_) {
+    executedThisStep_[ex.p] = false;
+  }
   executedActions_.clear();
-  std::vector<bool> layerTouched(layers_.size(), false);
+  std::fill(layerTouchedScratch_.begin(), layerTouchedScratch_.end(), false);
   for (const auto& choice : choices_) {
     assert(choice.entryIndex < enabled_.size());
     const auto& entry = enabled_[choice.entryIndex];
@@ -375,14 +548,14 @@ bool Engine::step() {
     } else {
       layers_[entry.layer]->stage(entry.p, action);
     }
-    layerTouched[entry.layer] = true;
+    layerTouchedScratch_[entry.layer] = true;
     executedActions_.push_back({entry.p, entry.layer, action});
     ++actions_;
     ++actionsPerLayer_[entry.layer];
   }
   writtenScratch_.clear();
   for (std::size_t l = 0; l < layers_.size(); ++l) {
-    if (!layerTouched[l]) continue;
+    if (!layerTouchedScratch_[l]) continue;
     if (tracker_ != nullptr) {
       // Per-layer write-honesty check: the slice this layer appends to
       // writtenScratch_ must cover every write the tracker recorded during
@@ -408,10 +581,31 @@ bool Engine::step() {
     }
   }
 
-  // Round accounting: executed processors discharge their obligation.
-  for (NodeId p = 0; p < graph_.size(); ++p) {
-    if (executedThisStep_[p] && roundPending_[p]) {
-      roundPending_[p] = false;
+  // Kernel-mirror upkeep: refresh the mirror rows of everything this step
+  // wrote - the UNION of the layers' write sets, because one layer's
+  // guards may read another layer's variables (SSMFP reads the routing
+  // tables). When the kernel path is inactive (virtual exec, audit) or an
+  // out-of-band mutation already flagged the mirrors, just stay/flag dirty
+  // and let the next batch syncAll.
+  if (haveKernels_) {
+    if (useKernels() && !mirrorsDirty_) {
+      for (const GuardKernelSet* kset : kernels_) {
+        if (kset != nullptr && kset->syncWritten != nullptr) {
+          kset->syncWritten(kset->self, writtenScratch_.data(),
+                            writtenScratch_.size());
+        }
+      }
+    } else {
+      mirrorsDirty_ = true;
+    }
+  }
+
+  // Round accounting: executed processors discharge their obligation (their
+  // ids stay in roundPendingIds_ as stale entries; settleRoundAccounting
+  // skips them via the cleared roundPending_ bit).
+  for (const ExecutedAction& ex : executedActions_) {
+    if (roundPending_[ex.p]) {
+      roundPending_[ex.p] = false;
       --roundPendingCount_;
     }
   }

@@ -31,6 +31,25 @@
 // produce bit-identical enabled sets in the same (processor-id) order, so
 // daemon choices, traces and experiment results are mode-independent; only
 // the ScanStats accounting differs.
+//
+// Exec modes. Orthogonally to *which* processors a scan evaluates, ExecMode
+// selects *how* a processor's guards are evaluated: kVirtual calls the
+// layers' enumerateEnabled one processor at a time (the authoritative
+// reference path), kKernel batch-evaluates the whole id list through the
+// layers' GuardKernelSet over packed SoA state (core/soa_state.hpp), with
+// a per-layer virtual fallback for layers without kernels. Kernel batches
+// run serially (the thread pool is ignored for guard evaluation in kernel
+// mode) and audit mode always forces the virtual path - the access
+// tracker validates the reference implementation, and kernels read a
+// derived mirror that bypasses the CheckedStore recording. Both exec modes
+// produce byte-identical enabled sets, traces and results; only speed (and
+// nothing in ScanStats) differs.
+//
+// Configuration: construction-time knobs (scan mode, exec mode, audit)
+// travel in one EngineOptions struct; unset fields resolve through the
+// process-wide defaults (EngineOptions::setProcessDefaults) and then the
+// SNAPFWD_SCAN_MODE / SNAPFWD_EXEC / SNAPFWD_AUDIT environment variables
+// (parsed in util/env.hpp) before the built-in defaults.
 
 #include <cstdint>
 #include <functional>
@@ -41,6 +60,7 @@
 #include "core/access_tracker.hpp"
 #include "core/daemon.hpp"
 #include "core/protocol.hpp"
+#include "core/soa_state.hpp"
 #include "graph/graph.hpp"
 #include "util/names.hpp"
 #include "util/thread_pool.hpp"
@@ -59,6 +79,67 @@ struct EnumNames<ScanMode> {
       {ScanMode::kFull, "full"},
       {ScanMode::kIncremental, "incremental"},
   });
+};
+
+/// How a scan evaluates guards (see file comment).
+enum class ExecMode : std::uint8_t {
+  kVirtual,
+  kKernel,
+};
+
+template <>
+struct EnumNames<ExecMode> {
+  static constexpr auto entries = std::to_array<NamedEnum<ExecMode>>({
+      {ExecMode::kVirtual, "virtual"},
+      {ExecMode::kKernel, "kernel"},
+  });
+};
+
+/// Construction-time engine configuration. Unset (nullopt) fields resolve,
+/// in order, through: the process-wide defaults installed with
+/// setProcessDefaults(), the environment (SNAPFWD_SCAN_MODE / SNAPFWD_EXEC
+/// / SNAPFWD_AUDIT, util/env.hpp), then the built-in defaults
+/// (incremental, virtual, audit off). `audit` resolves to false on a
+/// binary compiled without -DSNAPFWD_AUDIT=ON whatever was requested, so
+/// whole suites can run with SNAPFWD_AUDIT=1 regardless of build flavor;
+/// use Engine::setAuditMode(true) to get a hard error instead.
+///
+/// This struct replaces the former knob surface of static
+/// Engine::setDefaultScanMode / setDefaultAuditMode pairs plus scattered
+/// getenv calls; those statics survive as deprecated shims routing here.
+struct EngineOptions {
+  std::optional<ScanMode> scanMode{};
+  std::optional<ExecMode> execMode{};
+  std::optional<bool> audit{};
+
+  [[nodiscard]] ScanMode resolvedScanMode() const;
+  [[nodiscard]] ExecMode resolvedExecMode() const;
+  [[nodiscard]] bool resolvedAudit() const;
+
+  /// Installs process-wide defaults consulted by resolution (nullopt
+  /// fields clear the corresponding default). Thread-safe.
+  static void setProcessDefaults(const EngineOptions& defaults);
+  /// The currently installed process-wide defaults.
+  [[nodiscard]] static EngineOptions processDefaults();
+};
+
+/// RAII scope for EngineOptions::setProcessDefaults: installs `defaults`
+/// and restores the previous process defaults on destruction. The standard
+/// way for tests, benches and the CLI to force a mode for every engine
+/// built inside a region.
+class ScopedEngineDefaults {
+ public:
+  explicit ScopedEngineDefaults(const EngineOptions& defaults)
+      : previous_(EngineOptions::processDefaults()) {
+    EngineOptions::setProcessDefaults(defaults);
+  }
+  ~ScopedEngineDefaults() { EngineOptions::setProcessDefaults(previous_); }
+
+  ScopedEngineDefaults(const ScopedEngineDefaults&) = delete;
+  ScopedEngineDefaults& operator=(const ScopedEngineDefaults&) = delete;
+
+ private:
+  EngineOptions previous_;
 };
 
 /// Scheduler accounting: how much guard-evaluation work the scan strategy
@@ -87,34 +168,36 @@ class Engine {
   /// `layers` in priority order (layers[0] wins). All pointers must outlive
   /// the engine. `pool` may be null (serial guard evaluation). The engine
   /// registers itself as the layers' invalidation hook; a protocol must not
-  /// be driven by two live engines at once.
+  /// be driven by two live engines at once. Unset `options` fields resolve
+  /// through process defaults / environment (see EngineOptions).
   Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
-         ThreadPool* pool = nullptr, ScanMode scanMode = defaultScanMode());
+         ThreadPool* pool = nullptr, EngineOptions options = {});
+  /// Deprecated positional-ScanMode constructor (pre-EngineOptions API).
+  /// No defaulted parameters, so `Engine(g, layers, d)` keeps resolving to
+  /// the EngineOptions overload above.
+  [[deprecated("pass EngineOptions{.scanMode = ...} instead")]]
+  Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
+         ThreadPool* pool, ScanMode scanMode);
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// The mode new engines default to: the process-wide override (set below)
-  /// if any, else the SNAPFWD_SCAN_MODE environment variable ("full" /
-  /// "incremental") if set and valid, else kIncremental.
+  /// Deprecated shims for the pre-EngineOptions static knob surface. They
+  /// read/write the same process-wide defaults as
+  /// EngineOptions::{processDefaults,setProcessDefaults} restricted to one
+  /// field each; prefer ScopedEngineDefaults for scoped overrides.
+  [[deprecated("use EngineOptions{}.resolvedScanMode()")]]
   [[nodiscard]] static ScanMode defaultScanMode();
-  /// Process-wide default override (tests / differential harnesses);
-  /// nullopt restores env-then-kIncremental resolution.
+  [[deprecated("use EngineOptions::setProcessDefaults / ScopedEngineDefaults")]]
   static void setDefaultScanMode(std::optional<ScanMode> mode);
+  [[deprecated("use EngineOptions{}.resolvedAudit()")]]
+  [[nodiscard]] static bool defaultAuditMode();
+  [[deprecated("use EngineOptions::setProcessDefaults / ScopedEngineDefaults")]]
+  static void setDefaultAuditMode(std::optional<bool> on);
 
   [[nodiscard]] ScanMode scanMode() const noexcept { return scanMode_; }
-
-  /// Whether new engines enable audit mode at construction: the
-  /// process-wide override (set below) if any, else the SNAPFWD_AUDIT
-  /// environment variable ("1"/"on"/"true"), else off. Only honored in
-  /// audit-capable binaries (kAuditCapable) - a non-capable binary
-  /// silently ignores the request here so whole test suites can run with
-  /// SNAPFWD_AUDIT=1 regardless of build flavor; explicit setAuditMode
-  /// calls still throw.
-  [[nodiscard]] static bool defaultAuditMode();
-  /// Process-wide default override; nullopt restores env resolution.
-  static void setDefaultAuditMode(std::optional<bool> on);
+  [[nodiscard]] ExecMode execMode() const noexcept { return execMode_; }
 
   /// Enables/disables per-step access auditing: attaches an AccessTracker
   /// to every layer, brackets guard/stage/commit phases around their
@@ -210,6 +293,15 @@ class Engine {
   void incrementalScan();
   /// Evaluates p's layers into `entry`; true iff any action is enabled.
   bool evaluateProcessor(NodeId p, EnabledProcessor& entry) const;
+  /// True when this scan should take the kernel path: kernel mode
+  /// requested, at least one layer registered kernels, and no tracker
+  /// attached (audit validates the virtual reference path).
+  [[nodiscard]] bool useKernels() const noexcept {
+    return execMode_ == ExecMode::kKernel && haveKernels_ && tracker_ == nullptr;
+  }
+  /// Runs the batch evaluator over `ids`, syncing stale kernel mirrors
+  /// first. Results in batch_, indexed by position in `ids`.
+  void batchEvaluate(const NodeId* ids, std::size_t count);
   void settleRoundAccounting();
   /// Dispatches collected tracker violations to the handler, or throws
   /// AccessAuditError on the first one. No-op outside audit mode.
@@ -220,7 +312,19 @@ class Engine {
   Daemon& daemon_;
   ThreadPool* pool_;
   ScanMode scanMode_;
+  ExecMode execMode_;
   unsigned maxAccessRadius_ = 1;
+
+  // Kernel-path state. guardSources_/kernels_ are per-layer views of
+  // layers_ (kernels_[l] null when layer l has no GuardKernelSet);
+  // mirrorsDirty_ means the kernels' SoA mirrors may lag the authoritative
+  // state and must be syncAll'd before the next batch evaluation.
+  std::vector<const GuardSource*> guardSources_;
+  std::vector<const GuardKernelSet*> kernels_;
+  bool haveKernels_ = false;
+  bool mirrorsDirty_ = true;
+  KernelBatchEvaluator batch_;
+  std::vector<NodeId> allIds_;  // 0..n-1, kernel full-scan input
 
   // Audit mode (null when off): attached to every layer; guard evaluation
   // goes serial while active so the tracker sees one bracketed phase at a
@@ -232,12 +336,16 @@ class Engine {
   std::vector<Choice> choices_;
   std::vector<bool> executedThisStep_;
   std::vector<ExecutedAction> executedActions_;
+  std::vector<bool> layerTouchedScratch_;  // per-step staged-layer marks
 
   // Incremental-scan state. cache_[p] holds p's last evaluated entry
   // (actions empty when disabled); enabledIds_ the sorted ids of enabled
   // processors. cacheValid_ guards both; enabledFresh_ says enabled_
   // matches the current configuration (cleared by commits/invalidation).
   struct CacheEntry {
+    // layer/actions are valid ONLY while enabled is true: disabled slots
+    // keep whatever they last held (every fill site skips the vector
+    // traffic for them, and no reader looks at a disabled slot's actions).
     std::vector<Action> actions;
     std::uint16_t layer = 0;
     bool enabled = false;
@@ -258,9 +366,14 @@ class Engine {
   ScanStats scanStats_;
 
   // Round accounting: processors still owing an execution/neutralization in
-  // the current round. roundActive_ is false before the first enabled-set
-  // computation.
+  // the current round. roundPendingIds_ lists them compactly (may hold
+  // stale ids whose roundPending_ bit was already cleared by the executed
+  // discharge - iteration skips those); roundActive_ is false before the
+  // first enabled-set computation. roundMark_ is scratch for the
+  // neutralization pass (enabled-now membership).
   std::vector<bool> roundPending_;
+  std::vector<NodeId> roundPendingIds_;
+  std::vector<bool> roundMark_;
   std::size_t roundPendingCount_ = 0;
   bool roundActive_ = false;
 

@@ -42,6 +42,20 @@
 // engine in audit mode attaches an AccessTracker that cross-checks guard
 // locality, stage purity, write-set honesty, and composite atomicity every
 // step. Without -DSNAPFWD_AUDIT=ON all of this compiles away.
+//
+// Interface split (migration note). The read side of the old monolithic
+// Protocol interface - enumerateEnabled / anyEnabled / accessRadius, plus
+// the optional guardKernels() batch hook - now lives in the GuardSource
+// base class, so the virtual reference path and the devirtualized kernel
+// path (core/soa_state.hpp) implement one read-side contract. Protocol
+// derives from GuardSource and adds the write side (stage/commit) and the
+// engine attachment points; existing protocol subclasses compile
+// unchanged, and callers that only evaluate guards (checkers, the
+// explorer's enabled probes) can accept a GuardSource& instead of a
+// Protocol&. The historical anyEnabled() thread_local scratch was removed
+// at the same time: the default now uses a plain local vector (re-entrant,
+// no per-thread capacity held for the process lifetime); protocols on a
+// hot path override it with an early-exit guard walk anyway.
 
 #include <cstdint>
 #include <functional>
@@ -53,11 +67,14 @@
 
 namespace snapfwd {
 
-class Protocol {
- public:
-  virtual ~Protocol() = default;
+struct GuardKernelSet;  // core/soa_state.hpp
 
-  [[nodiscard]] virtual std::string_view name() const = 0;
+/// The read-side contract of a protocol layer: pure guard evaluation on
+/// the current configuration. See the header comment for the locality
+/// rules guards must obey.
+class GuardSource {
+ public:
+  virtual ~GuardSource() = default;
 
   /// Appends every enabled action of processor `p` (guards evaluated on the
   /// current configuration) to `out`. Must be const and thread-safe for
@@ -66,21 +83,14 @@ class Protocol {
   virtual void enumerateEnabled(NodeId p, std::vector<Action>& out) const = 0;
 
   /// True iff `p` has at least one enabled action. Override when a cheaper
-  /// check than full enumeration exists.
+  /// check than full enumeration exists. The default enumerates into a
+  /// local vector: one small allocation per call, but re-entrant and free
+  /// of the old thread_local's process-lifetime scratch.
   [[nodiscard]] virtual bool anyEnabled(NodeId p) const {
-    thread_local std::vector<Action> scratch;
-    scratch.clear();
+    std::vector<Action> scratch;
     enumerateEnabled(p, scratch);
     return !scratch.empty();
   }
-
-  /// Phase 1 of the atomic step: record the writes of action `a` at `p`.
-  virtual void stage(NodeId p, const Action& a) = 0;
-
-  /// Phase 2: apply all staged writes; append the id of every processor
-  /// whose observable variables were written to `written` (duplicates
-  /// allowed - the engine dedupes).
-  virtual void commit(std::vector<NodeId>& written) = 0;
 
   /// Maximum distance (in hops) any of this protocol's guards or stages
   /// reads from the evaluated processor. 1 is the model's closed
@@ -90,6 +100,28 @@ class Protocol {
   /// reads further (e.g. a distance-2 dependency) declares it here instead
   /// of over-reporting writes.
   [[nodiscard]] virtual unsigned accessRadius() const { return 1; }
+
+  /// Optional batch guard kernels over a struct-of-arrays projection of
+  /// the observable state (core/soa_state.hpp). nullptr (the default)
+  /// means "virtual path only"; a non-null set must produce exactly the
+  /// actions enumerateEnabled produces, in the same order. The returned
+  /// pointer must stay valid for the lifetime of the object.
+  [[nodiscard]] virtual const GuardKernelSet* guardKernels() const {
+    return nullptr;
+  }
+};
+
+class Protocol : public GuardSource {
+ public:
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Phase 1 of the atomic step: record the writes of action `a` at `p`.
+  virtual void stage(NodeId p, const Action& a) = 0;
+
+  /// Phase 2: apply all staged writes; append the id of every processor
+  /// whose observable variables were written to `written` (duplicates
+  /// allowed - the engine dedupes).
+  virtual void commit(std::vector<NodeId>& written) = 0;
 
   /// Registered by the engine executing this protocol; cleared on engine
   /// destruction. Protocol implementations do not call this directly -

@@ -1,0 +1,84 @@
+#include "core/soa_state.hpp"
+
+#include "core/protocol.hpp"
+
+namespace snapfwd {
+
+void KernelBatchEvaluator::run(const GuardSource* const* layers,
+                               const GuardKernelSet* const* kernels,
+                               std::size_t layerCount, const NodeId* ids,
+                               std::size_t count) {
+  begin_.resize(count);
+  end_.resize(count);
+  layer_.resize(count);
+  if (outs_.size() < layerCount) outs_.resize(layerCount);
+
+  auto evalLayer = [&](std::size_t l, const NodeId* lids, std::size_t lcount,
+                       KernelOut& out) {
+    out.clear();
+    if (kernels[l] != nullptr && kernels[l]->evaluate != nullptr) {
+      kernels[l]->evaluate(kernels[l]->self, lids, lcount, out);
+    } else {
+      // Virtual fallback: same grouping contract as a kernel.
+      for (std::size_t i = 0; i < lcount; ++i) {
+        out.beginProcessor(lids[i]);
+        layers[l]->enumerateEnabled(lids[i], out.actions());
+      }
+    }
+  };
+
+  // Layer 0 sees the whole input list, so its group order IS input order:
+  // record every span directly (empty group = undecided-so-far, which
+  // enabled() reads as disabled). With a single layer - the common stack -
+  // the ping-pong undecided machinery below never runs at all.
+  KernelOut& first = outs_[0];
+  evalLayer(0, ids, count, first);
+  std::vector<NodeId>* cur = &ids_[0];
+  std::vector<std::uint32_t>* curPos = &pos_[0];
+  cur->clear();
+  curPos->clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t b = first.groupBegin(i);
+    const std::uint32_t e = first.groupEnd(i);
+    layer_[i] = 0;
+    begin_[i] = b;
+    end_[i] = e;
+    if (b == e && layerCount > 1) {
+      cur->push_back(ids[i]);
+      curPos->push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Undecided = no layer has produced an action yet. Layer l+1 only sees
+  // the ids layer l left undecided, which is exactly the virtual path's
+  // first-enabled-layer-wins priority rule.
+  std::vector<NodeId>* next = &ids_[1];
+  std::vector<std::uint32_t>* nextPos = &pos_[1];
+  for (std::size_t l = 1; l < layerCount && !cur->empty(); ++l) {
+    KernelOut& out = outs_[l];
+    evalLayer(l, cur->data(), cur->size(), out);
+    next->clear();
+    nextPos->clear();
+    for (std::size_t i = 0; i < cur->size(); ++i) {
+      const std::uint32_t b = out.groupBegin(i);
+      const std::uint32_t e = out.groupEnd(i);
+      if (b != e) {
+        // Decided: record the span in place - the sink stays untouched
+        // until the next run(), so no copy is needed.
+        const std::uint32_t at = (*curPos)[i];
+        layer_[at] = static_cast<std::uint16_t>(l);
+        begin_[at] = b;
+        end_[at] = e;
+      } else {
+        next->push_back((*cur)[i]);
+        nextPos->push_back((*curPos)[i]);
+      }
+    }
+    std::swap(cur, next);
+    std::swap(curPos, nextPos);
+  }
+  // Ids still undecided after the last layer are disabled: their spans
+  // stayed empty, which enabled() reports as false.
+}
+
+}  // namespace snapfwd

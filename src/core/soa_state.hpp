@@ -1,0 +1,147 @@
+#pragma once
+// Struct-of-arrays guard-kernel substrate.
+//
+// The paper's locality guarantee (Section 2.1: a guard of p reads only the
+// closed neighborhood N_p u {p}) makes guard evaluation embarrassingly
+// batchable: given the incremental scheduler's dirty id list, a protocol
+// can evaluate every guard in one tight loop over packed per-variable
+// arrays instead of one virtual enumerateEnabled call per processor. This
+// header defines the contract between the engine and such kernels:
+//
+//   KernelOut        - the action sink a kernel fills: one group per
+//                      evaluated processor (possibly empty), groups in
+//                      input order, actions appended flat.
+//   GuardKernelSet   - plain function pointers (no virtual dispatch in the
+//                      hot loop) for batch evaluation plus the two mirror
+//                      maintenance hooks. A protocol that opts in returns
+//                      one from GuardSource::guardKernels(); the kernels
+//                      evaluate against a packed SoA *projection* of the
+//                      guard-visible state which the protocol keeps in
+//                      sync via syncWritten (per-step commit write sets)
+//                      and syncAll (after any out-of-band mutation).
+//   KernelBatchEvaluator - the engine-side driver: layer-major evaluation
+//                      of a processor id list across a priority-ordered
+//                      layer stack, with a virtual enumerateEnabled
+//                      fallback for layers without kernels. Reproduces the
+//                      virtual path's first-enabled-layer-wins semantics
+//                      and action order exactly, so kernel and virtual
+//                      execution are byte-identical (tests/test_exec_modes
+//                      pins this).
+//
+// The authoritative state always stays inside the protocols; the SoA
+// arrays are a derived read-only view used exclusively by guard kernels.
+// Audit mode bypasses kernels entirely (the tracker validates the
+// reference path), so kernels never run with an AccessTracker attached.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/action.hpp"
+
+namespace snapfwd {
+
+class GuardSource;
+
+/// Per-batch action sink. A kernel (or the virtual fallback) must call
+/// beginProcessor(ids[i]) once per input id, in input order, then push
+/// that processor's enabled actions; an empty group means "disabled".
+class KernelOut {
+ public:
+  void clear() {
+    actions_.clear();
+    starts_.clear();
+  }
+
+  void beginProcessor(NodeId /*p*/) {
+    starts_.push_back(static_cast<std::uint32_t>(actions_.size()));
+  }
+
+  void push(const Action& a) { actions_.push_back(a); }
+
+  /// Direct append access for the virtual fallback path
+  /// (enumerateEnabled(p, out.actions()) between beginProcessor calls).
+  [[nodiscard]] std::vector<Action>& actions() { return actions_; }
+
+  [[nodiscard]] std::size_t groupCount() const { return starts_.size(); }
+  /// [begin, end) indices of group i within actions().
+  [[nodiscard]] std::uint32_t groupBegin(std::size_t i) const {
+    return starts_[i];
+  }
+  [[nodiscard]] std::uint32_t groupEnd(std::size_t i) const {
+    return i + 1 < starts_.size() ? starts_[i + 1]
+                                  : static_cast<std::uint32_t>(actions_.size());
+  }
+  [[nodiscard]] const Action* actionData() const { return actions_.data(); }
+
+ private:
+  std::vector<Action> actions_;
+  std::vector<std::uint32_t> starts_;
+};
+
+/// One protocol layer's batch kernels. Plain function pointers + self so
+/// the engine's hot loop performs no virtual dispatch. syncWritten /
+/// syncAll may be null when the kernel reads the authoritative state
+/// directly and needs no mirror upkeep (e.g. the routing layer).
+struct GuardKernelSet {
+  void* self = nullptr;
+
+  /// Batch-evaluates guards for `count` processors `ids` (engine passes
+  /// them sorted ascending). Must produce, per id, exactly the actions
+  /// GuardSource::enumerateEnabled produces, in the same order.
+  void (*evaluate)(const void* self, const NodeId* ids, std::size_t count,
+                   KernelOut& out) = nullptr;
+
+  /// Refreshes the SoA mirror rows of the listed processors (duplicates
+  /// allowed) from the authoritative state. The engine calls this after
+  /// every committed step with the union of the layers' write sets - the
+  /// union, not the layer's own set, because one layer's guards may read
+  /// another layer's variables (SSMFP reads the routing tables).
+  void (*syncWritten)(void* self, const NodeId* ids, std::size_t count) = nullptr;
+
+  /// Rebuilds the whole mirror. The engine calls this before the first
+  /// kernel evaluation and after any enabled-cache invalidation
+  /// (out-of-band mutation, snapshot restore, guard-mutation hooks).
+  void (*syncAll)(void* self) = nullptr;
+};
+
+/// Engine-side layer-major batch driver (see file comment). Scratch is
+/// reused across calls; not thread-safe (the engine runs kernel batches
+/// serially - determinism comes first, and batches are branch-light).
+class KernelBatchEvaluator {
+ public:
+  /// Evaluates `count` ids against `layerCount` priority-ordered layers.
+  /// kernels[l] may be null: that layer falls back to virtual
+  /// enumerateEnabled, so mixed stacks (one layer with kernels, one
+  /// without) work and whole test suites can run under SNAPFWD_EXEC=kernel
+  /// regardless of which layers opted in.
+  void run(const GuardSource* const* layers, const GuardKernelSet* const* kernels,
+           std::size_t layerCount, const NodeId* ids, std::size_t count);
+
+  // Results, indexed by input position i (valid until the next run()):
+  [[nodiscard]] bool enabled(std::size_t i) const { return begin_[i] != end_[i]; }
+  [[nodiscard]] std::uint16_t layer(std::size_t i) const { return layer_[i]; }
+  [[nodiscard]] const Action* actionsBegin(std::size_t i) const {
+    return outs_[layer_[i]].actionData() + begin_[i];
+  }
+  [[nodiscard]] const Action* actionsEnd(std::size_t i) const {
+    return outs_[layer_[i]].actionData() + end_[i];
+  }
+
+ private:
+  // One sink per layer, kept alive until the next run() so the result
+  // spans can point straight into them - no staging copy of the action
+  // stream (which would dominate on action-dense sweeps like routing
+  // convergence, where nearly every processor is enabled).
+  std::vector<KernelOut> outs_;
+  // Ping-pong undecided lists: ids with no action from any layer so far,
+  // paired with their original input positions.
+  std::vector<NodeId> ids_[2];
+  std::vector<std::uint32_t> pos_[2];
+  // Per-input-position action spans (into outs_[layer_[i]]) + winning layer.
+  std::vector<std::uint32_t> begin_;
+  std::vector<std::uint32_t> end_;
+  std::vector<std::uint16_t> layer_;
+};
+
+}  // namespace snapfwd

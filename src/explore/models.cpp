@@ -100,6 +100,11 @@ class SsmfpInstance final : public ModelInstance {
     if (mutation != SsmfpGuardMutation::kNone) {
       stack_.forwarding->setGuardMutationForTest(mutation);
     }
+    // Built with default EngineOptions, so the scan/exec strategy resolves
+    // through the process defaults: wrapping explore() in
+    // ScopedEngineDefaults{.execMode = kKernel} routes the entire closure
+    // computation through guard kernels (test_exec_modes pins identical
+    // closure counts; bench_explore's --exec axis measures it).
     engine_ = std::make_unique<Engine>(
         *stack_.graph,
         std::vector<Protocol*>{stack_.routing.get(), stack_.forwarding.get()},

@@ -32,6 +32,25 @@ SelfStabBfsRouting::SelfStabBfsRouting(const Graph& graph)
       }
     }
   }
+  kernelSet_.self = this;
+  kernelSet_.evaluate = &SelfStabBfsRouting::kernelEvaluate;
+  // syncWritten / syncAll stay null: the kernel reads the tables directly.
+}
+
+void SelfStabBfsRouting::kernelEvaluate(const void* self, const NodeId* ids,
+                                        std::size_t count, KernelOut& out) {
+  const auto& r = *static_cast<const SelfStabBfsRouting*>(self);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId p = ids[i];
+    out.beginProcessor(p);
+    for (NodeId d = 0; d < r.n_; ++d) {
+      const Target t = r.computeTarget(p, d);
+      if (t.dist != r.dist_.read(r.index(p, d)) ||
+          t.parent != r.parent_.read(r.index(p, d))) {
+        out.push(Action{kRuleFix, d, 0});
+      }
+    }
+  }
 }
 
 SelfStabBfsRouting::Target SelfStabBfsRouting::computeTarget(NodeId p,

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/soa_state.hpp"
 #include "graph/graph.hpp"
 #include "routing/routing.hpp"
 #include "util/rng.hpp"
@@ -48,6 +49,14 @@ class SelfStabBfsRouting final : public Protocol, public RoutingProvider {
   [[nodiscard]] bool anyEnabled(NodeId p) const override;
   void stage(NodeId p, const Action& a) override;
   void commit(std::vector<NodeId>& written) override;
+  /// Batch kernels evaluating directly against the authoritative tables:
+  /// no SoA mirror is needed (the tables already are flat arrays and
+  /// CheckedStore reads are plain loads without a tracker attached, which
+  /// is the only condition under which kernels run), so the sync hooks
+  /// stay null.
+  [[nodiscard]] const GuardKernelSet* guardKernels() const override {
+    return &kernelSet_;
+  }
 
   // -- RoutingProvider ------------------------------------------------------
   [[nodiscard]] NodeId nextHop(NodeId p, NodeId d) const override;
@@ -81,6 +90,8 @@ class SelfStabBfsRouting final : public Protocol, public RoutingProvider {
     NodeId parent;
   };
   [[nodiscard]] Target computeTarget(NodeId p, NodeId d) const;
+  static void kernelEvaluate(const void* self, const NodeId* ids,
+                             std::size_t count, KernelOut& out);
   [[nodiscard]] std::size_t index(NodeId p, NodeId d) const {
     return static_cast<std::size_t>(p) * n_ + d;
   }
@@ -101,6 +112,7 @@ class SelfStabBfsRouting final : public Protocol, public RoutingProvider {
     NodeId parent;
   };
   std::vector<Pending> staged_;
+  GuardKernelSet kernelSet_;
 };
 
 }  // namespace snapfwd

@@ -1,7 +1,10 @@
 #include "ssmfp/ssmfp.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+
+#include "ssmfp/ssmfp_kernels.hpp"
 
 namespace snapfwd {
 
@@ -46,9 +49,14 @@ SsmfpProtocol::SsmfpProtocol(const Graph& graph, const RoutingProvider& routing,
   // (FrozenRouting::setEntry / corrupt, ...) must invalidate our engine's
   // enabled cache just like our own out-of-band mutators do.
   routing_.setMutationCallback([this] { notifyExternalMutation(); });
+
+  kernelState_ = std::make_unique<SsmfpKernelState>(*this);
+  kernelSet_ = makeSsmfpGuardKernels(*kernelState_);
 }
 
 SsmfpProtocol::~SsmfpProtocol() { routing_.setMutationCallback(nullptr); }
+
+const GuardKernelSet* SsmfpProtocol::guardKernels() const { return &kernelSet_; }
 
 std::uint64_t SsmfpProtocol::nowStep() const {
   return engine_ != nullptr ? engine_->stepCount() : 0;
@@ -118,9 +126,18 @@ Color SsmfpProtocol::colorFor(NodeId p, NodeId d) const {
   // buffer of a neighbor of p. At most Delta neighbors occupy at most
   // Delta colors, so a free one always exists among Delta+1. Only the
   // degree(p) colors actually present matter, so a degree-sized scan
-  // suffices for any Delta.
-  thread_local std::vector<bool> used;
-  used.assign(static_cast<std::size_t>(delta_) + 1, false);
+  // suffices for any Delta; for the ubiquitous Delta < 64 a bitmask
+  // replaces the per-call occupancy vector.
+  if (delta_ < 64) {
+    std::uint64_t used = 0;
+    for (const NodeId q : graph_.neighbors(p)) {
+      const Buffer& r = bufR_.read(cell(q, d));
+      if (r.has_value() && r->color <= delta_) used |= std::uint64_t{1} << r->color;
+    }
+    // First zero bit = smallest free color; pigeonhole keeps it <= Delta.
+    return static_cast<Color>(std::countr_one(used));
+  }
+  std::vector<bool> used(static_cast<std::size_t>(delta_) + 1, false);
   for (const NodeId q : graph_.neighbors(p)) {
     const Buffer& r = bufR_.read(cell(q, d));
     if (r.has_value() && r->color <= delta_) used[r->color] = true;

@@ -51,10 +51,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "core/protocol.hpp"
+#include "core/soa_state.hpp"
 #include "graph/graph.hpp"
 #include "routing/routing.hpp"
 #include "ssmfp/message.hpp"
@@ -62,6 +64,8 @@
 #include "util/rng.hpp"
 
 namespace snapfwd {
+
+class SsmfpKernelState;  // ssmfp/ssmfp_kernels.hpp
 
 /// Selection policy behind choice_p(d).
 ///
@@ -165,6 +169,9 @@ class SsmfpProtocol final : public Protocol {
   void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
   void stage(NodeId p, const Action& a) override;
   void commit(std::vector<NodeId>& written) override;
+  /// Batch guard kernels over the SoA mirror (ssmfp/ssmfp_kernels.hpp);
+  /// engines in ExecMode::kKernel evaluate through these.
+  [[nodiscard]] const GuardKernelSet* guardKernels() const override;
 
   // -- Application interface (request_p / nextMessage_p) -----------------
   /// Queues a message at src's higher layer; it is "waiting" until R1
@@ -355,6 +362,12 @@ class SsmfpProtocol final : public Protocol {
     Buffer generated;  // message accepted from the higher layer (R1)
   };
   std::vector<StagedOp> staged_;
+
+  // Kernel-mode support: the SoA guard mirror and its trampoline set. Built
+  // eagerly (construction is one full sync, cheap relative to any run) so
+  // guardKernels() is valid from the first engine construction on.
+  std::unique_ptr<SsmfpKernelState> kernelState_;
+  GuardKernelSet kernelSet_;
 };
 
 }  // namespace snapfwd

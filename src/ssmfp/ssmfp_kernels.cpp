@@ -1,0 +1,300 @@
+#include "ssmfp/ssmfp_kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/graph.hpp"
+
+namespace snapfwd {
+
+SsmfpKernelState::SsmfpKernelState(const SsmfpProtocol& protocol)
+    : protocol_(protocol),
+      n_(static_cast<std::uint32_t>(protocol.graph().size())),
+      destCount_(static_cast<std::uint32_t>(protocol.destinations().size())),
+      dests_(protocol.destinations()),
+      policy_(protocol.choicePolicy()) {
+  const Graph& g = protocol.graph();
+  adjOff_.assign(n_ + 1, 0);
+  for (NodeId p = 0; p < n_; ++p) {
+    adjOff_[p + 1] =
+        adjOff_[p] + static_cast<std::uint32_t>(g.neighbors(p).size());
+  }
+  adj_.resize(adjOff_[n_]);
+  for (NodeId p = 0; p < n_; ++p) {
+    const auto& nbrs = g.neighbors(p);
+    std::copy(nbrs.begin(), nbrs.end(), adj_.begin() + adjOff_[p]);
+  }
+
+  const std::size_t cells = static_cast<std::size_t>(n_) * destCount_;
+  rOcc_.assign(cells, 0);
+  rPayload_.assign(cells, 0);
+  rLastHop_.assign(cells, kNoNode);
+  rColor_.assign(cells, 0);
+  eOcc_.assign(cells, 0);
+  ePayload_.assign(cells, 0);
+  eColor_.assign(cells, 0);
+  eTrace_.assign(cells, 0);
+  nhop_.assign(cells, kNoNode);
+  reqDest_.assign(n_, kNoNode);
+  reqTrace_.assign(n_, 0);
+  occ_.assign(n_, 0);
+  eSlots_.assign(n_, 0);
+  // Lazily mirrored from birth: every row starts stale and is pulled from
+  // the authoritative state on first read (or by the engine's construction
+  // priming syncAll). Every read path funnels through ensureFresh, so no
+  // eager full sync is needed here.
+  stale_.assign(n_, 1);
+  mutation_ = protocol.guardMutation();
+
+  rowLen_.resize(n_);
+  qStart_.resize(n_);
+  std::uint32_t total = 0;
+  for (NodeId p = 0; p < n_; ++p) {
+    rowLen_[p] = static_cast<std::uint32_t>(g.neighbors(p).size()) + 1;
+    qStart_[p] = total;
+    total += rowLen_[p] * destCount_;
+  }
+  queue_.assign(total, kNoNode);
+}
+
+void SsmfpKernelState::syncProcessor(NodeId p) {
+  const std::size_t D = destCount_;
+  reqDest_[p] = protocol_.nextDestination(p);
+  reqTrace_[p] = reqDest_[p] != kNoNode ? protocol_.waitingTrace(p, 0) : 0;
+  const std::size_t row = static_cast<std::size_t>(p) * D;
+  const std::uint32_t len = rowLen_[p];
+  std::uint8_t box = reqDest_[p] != kNoNode ? 4 : 0;
+  std::uint8_t slots = 0;
+  for (std::size_t s = 0; s < D; ++s) {
+    const NodeId d = dests_[s];
+    const std::size_t idx = row + s;
+    const Buffer& r = protocol_.bufR(p, d);
+    rOcc_[idx] = r.has_value() ? 1 : 0;
+    if (r.has_value()) {
+      rPayload_[idx] = r->payload;
+      rLastHop_[idx] = r->lastHop;
+      rColor_[idx] = r->color;
+      box |= 1;
+    }
+    const Buffer& e = protocol_.bufE(p, d);
+    eOcc_[idx] = e.has_value() ? 1 : 0;
+    if (e.has_value()) {
+      ePayload_[idx] = e->payload;
+      eColor_[idx] = e->color;
+      eTrace_[idx] = e->trace;
+      box |= 2;
+      slots |= static_cast<std::uint8_t>(1u << (s < 7 ? s : 7));
+    }
+    nhop_[idx] = protocol_.routing().nextHop(p, d);
+    const auto& q = protocol_.fairnessQueue(p, d);
+    assert(q.size() == len && "fairness queue must stay a Delta+1 permutation");
+    std::copy(q.begin(), q.begin() + len, queue_.begin() + qStart_[p] + s * len);
+  }
+  occ_[p] = box;
+  eSlots_[p] = slots;
+}
+
+void SsmfpKernelState::syncAll() {
+  mutation_ = protocol_.guardMutation();
+  for (NodeId p = 0; p < n_; ++p) syncProcessor(p);
+  std::fill(stale_.begin(), stale_.end(), std::uint8_t{0});
+}
+
+void SsmfpKernelState::syncWritten(const NodeId* ids, std::size_t count) {
+  // Mark only: rows refresh lazily on first read in evaluate(). A written
+  // processor the guards never look at again costs one byte here instead
+  // of a full O(destCount * Delta) row rebuild.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ids[i] < n_) stale_[ids[i]] = 1;
+  }
+}
+
+bool SsmfpKernelState::candidate(NodeId p, std::size_t s, NodeId c) const {
+  if (c == p) {
+    // Self-candidacy: a waiting message targeting this slot's destination
+    // (the header-documented divergence: nextDestination must equal d).
+    return reqDest_[p] == dests_[s];
+  }
+  // Neighbor candidacy: c's emission buffer holds a message routed to p.
+  const std::size_t idx = static_cast<std::size_t>(c) * destCount_ + s;
+  return eOcc_[idx] != 0 && nhop_[idx] == p;
+}
+
+NodeId SsmfpKernelState::choiceAt(NodeId p, std::size_t s) const {
+  switch (policy_) {
+    case ChoicePolicy::kRoundRobin: {
+      const std::uint32_t len = rowLen_[p];
+      const NodeId* q = queue_.data() + qStart_[p] + s * len;
+      for (std::uint32_t k = 0; k < len; ++k) {
+        if (candidate(p, s, q[k])) return q[k];
+      }
+      return kNoNode;
+    }
+    case ChoicePolicy::kFixedPriority: {
+      NodeId best = kNoNode;
+      for (std::uint32_t a = adjOff_[p]; a < adjOff_[p + 1]; ++a) {
+        const NodeId c = adj_[a];
+        if (c < best && candidate(p, s, c)) best = c;
+      }
+      if (p < best && candidate(p, s, p)) best = p;
+      return best;
+    }
+    case ChoicePolicy::kOldestFirst: {
+      NodeId best = kNoNode;
+      TraceId bestAge = ~TraceId{0};
+      auto consider = [&](NodeId c, TraceId age) {
+        if (age < bestAge || (age == bestAge && c < best)) {
+          best = c;
+          bestAge = age;
+        }
+      };
+      for (std::uint32_t a = adjOff_[p]; a < adjOff_[p + 1]; ++a) {
+        const NodeId c = adj_[a];
+        if (!candidate(p, s, c)) continue;
+        consider(c, eTrace_[static_cast<std::size_t>(c) * destCount_ + s]);
+      }
+      if (candidate(p, s, p)) consider(p, reqTrace_[p]);
+      return best;
+    }
+  }
+  return kNoNode;
+}
+
+void SsmfpKernelState::evaluate(const NodeId* ids, std::size_t count,
+                                KernelOut& out) {
+  const std::size_t D = destCount_;
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId p = ids[i];
+    out.beginProcessor(p);
+    // Lazy refresh of everything p's guards read by row: p itself and its
+    // neighborhood (candidate/R4 scans). The upstream lastHop row R2/R5
+    // read is refreshed at its use site - it can be an arbitrary id under
+    // corruption, not necessarily a neighbor.
+    ensureFresh(p);
+    // One pass over the neighborhood: refresh stale rows and gather the
+    // emission-occupancy union for idle rejection (see occ_) - a processor
+    // with no local occupancy and no neighbor emission has every rule
+    // disabled (R1 needs the request, R2/R5 need R, R4/R6 need E, R3 an
+    // upstream emission routed here), so the per-slot scans are skipped.
+    std::uint8_t nbrOcc = 0;
+    std::uint8_t nbrSlots = 0;
+    for (std::uint32_t a = adjOff_[p]; a < adjOff_[p + 1]; ++a) {
+      const NodeId q = adj_[a];
+      ensureFresh(q);
+      nbrOcc |= occ_[q];
+      nbrSlots |= eSlots_[q];
+    }
+    if (occ_[p] == 0 && (nbrOcc & 2) == 0) continue;
+    const std::size_t row = static_cast<std::size_t>(p) * D;
+    for (std::size_t s = 0; s < D; ++s) {
+      const NodeId d = dests_[s];
+      const std::size_t idx = row + s;
+      const bool rOcc = rOcc_[idx] != 0;
+      const bool selfReq = reqDest_[p] == d;
+      // choice_p(d) serves both R1 (== p) and R3 (!= p); both require an
+      // empty reception buffer, so one lazy computation covers them. The
+      // queue scan is skipped outright when no candidate can exist: the
+      // only candidates are p itself (requires the request to target d)
+      // and neighbors with an occupied E buffer in this slot (eSlots_).
+      const bool nbrMayEmit =
+          (nbrSlots & static_cast<std::uint8_t>(1u << (s < 7 ? s : 7))) != 0;
+      const NodeId ch =
+          rOcc || (!selfReq && !nbrMayEmit) ? kNoNode : choiceAt(p, s);
+
+      // R1 generation.
+      if (!rOcc && selfReq && ch == p) {
+        out.push(Action{kR1Generate, d, 0});
+      }
+      // R2 internal: no matching upstream emission copy (or self-generated).
+      if (eOcc_[idx] == 0 && rOcc) {
+        const NodeId q = rLastHop_[idx];
+        bool fire;
+        if (q == p || mutation_ == SsmfpGuardMutation::kR2SkipUpstreamCheck ||
+            q >= n_) {
+          fire = true;
+        } else {
+          ensureFresh(q);
+          const std::size_t uidx = static_cast<std::size_t>(q) * D + s;
+          fire = eOcc_[uidx] == 0 || ePayload_[uidx] != rPayload_[idx] ||
+                 eColor_[uidx] != rColor_[idx];
+        }
+        if (fire) out.push(Action{kR2Internal, d, 0});
+      }
+      // R3 forwarding.
+      if (!rOcc && ch != kNoNode && ch != p) {
+        out.push(Action{kR3Forward, d, ch});
+      }
+      // R4 erase-forwarded: copy sits at the next hop and nowhere else.
+      if (p != d && eOcc_[idx] != 0) {
+        const NodeId hop = nhop_[idx];
+        const Payload m = ePayload_[idx];
+        const Color c = eColor_[idx];
+        bool copyAtHop = false;
+        bool stray = false;
+        for (std::uint32_t a = adjOff_[p]; a < adjOff_[p + 1]; ++a) {
+          const NodeId r = adj_[a];
+          const std::size_t ridx = static_cast<std::size_t>(r) * D + s;
+          const bool match = rOcc_[ridx] != 0 && rPayload_[ridx] == m &&
+                             rLastHop_[ridx] == p && rColor_[ridx] == c;
+          if (r == hop) {
+            copyAtHop = match;
+          } else if (match &&
+                     mutation_ != SsmfpGuardMutation::kR4SkipStrayCopyCheck) {
+            stray = true;  // R5 must clean it first
+            break;
+          }
+        }
+        if (!stray && copyAtHop) out.push(Action{kR4EraseForwarded, d, 0});
+      }
+      // R5 erase-duplicate: forwarded copy whose upstream no longer routes
+      // through p (q == p means generated here, never a duplicate).
+      if (rOcc) {
+        const NodeId q = rLastHop_[idx];
+        if (q != p && q < n_) {
+          ensureFresh(q);
+          const std::size_t uidx = static_cast<std::size_t>(q) * D + s;
+          if (eOcc_[uidx] != 0 && ePayload_[uidx] == rPayload_[idx] &&
+              eColor_[uidx] == rColor_[idx] && nhop_[uidx] != p) {
+            out.push(Action{kR5EraseDuplicate, d, 0});
+          }
+        }
+      }
+      // R6 consume.
+      if (p == d && eOcc_[idx] != 0) {
+        out.push(Action{kR6Consume, d, 0});
+      }
+    }
+  }
+}
+
+namespace {
+
+void ssmfpEvaluate(const void* self, const NodeId* ids, std::size_t count,
+                   KernelOut& out) {
+  // The const_cast is confined to the derived mirror: evaluate() performs
+  // lazy cache refresh (mutating only mirror arrays), never touches the
+  // authoritative protocol state.
+  const_cast<SsmfpKernelState*>(static_cast<const SsmfpKernelState*>(self))
+      ->evaluate(ids, count, out);
+}
+
+void ssmfpSyncWritten(void* self, const NodeId* ids, std::size_t count) {
+  static_cast<SsmfpKernelState*>(self)->syncWritten(ids, count);
+}
+
+void ssmfpSyncAll(void* self) {
+  static_cast<SsmfpKernelState*>(self)->syncAll();
+}
+
+}  // namespace
+
+GuardKernelSet makeSsmfpGuardKernels(SsmfpKernelState& state) {
+  GuardKernelSet set;
+  set.self = &state;
+  set.evaluate = &ssmfpEvaluate;
+  set.syncWritten = &ssmfpSyncWritten;
+  set.syncAll = &ssmfpSyncAll;
+  return set;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,134 @@
+#pragma once
+// Struct-of-arrays guard kernels for SSMFP (core/soa_state.hpp).
+//
+// SsmfpKernelState keeps a packed projection of everything the R1-R6
+// guards read: per-(processor, destination-slot) buffer occupancy flags
+// and triplet fields split into parallel arrays, the routing layer's
+// nextHop answers, the outbox head (request_p / nextDestination_p /
+// waiting trace), and the fairness queues flattened row-major. evaluate()
+// replays Algorithm 1's guard logic over these arrays - branch-light
+// array reads instead of CheckedStore + std::optional + virtual routing
+// lookups - and must produce, per processor, exactly the actions
+// SsmfpProtocol::enumerateEnabled produces, in the same order
+// (tests/test_exec_modes.cpp pins byte-identity).
+//
+// The mirror is maintained by the engine's sync driving: syncWritten with
+// each step's union write set (the routing layer's writes invalidate our
+// nextHop rows, which is why the engine passes the union), syncAll after
+// any out-of-band mutation (injection, restores, sends, guard-mutation
+// hooks - everything that calls notifyExternalMutation). The guard
+// mutation and choice policy are captured at sync time; colorFor needs no
+// mirror because colors are assigned at stage time, which stays on the
+// authoritative path.
+//
+// Refresh is LAZY: syncWritten only marks rows stale (O(|W|)), and
+// evaluate() refreshes exactly the stale rows it is about to read - the
+// evaluated processor, its neighbors, and the upstream lastHop row that
+// R2/R5 inspect. Eager refresh would be O(|W| * destCount * Delta) per
+// step, which during routing convergence (the routing layer writing
+// nearly every processor while layer priority keeps SSMFP guards
+// unevaluated) costs more than the virtual path's entire scan; laziness
+// restores the invariant that kernel mode never does guard-side work the
+// virtual path would skip.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/soa_state.hpp"
+#include "ssmfp/message.hpp"
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd {
+
+class SsmfpKernelState {
+ public:
+  /// Builds the static structure (CSR adjacency, queue row offsets); the
+  /// mirror itself starts all-stale and fills lazily (or via the engine's
+  /// construction-time syncAll). `protocol` must outlive this object.
+  explicit SsmfpKernelState(const SsmfpProtocol& protocol);
+
+  /// Rebuilds the whole mirror from the authoritative state.
+  void syncAll();
+  /// Marks the listed processors' mirror rows stale (duplicates fine);
+  /// evaluate() refreshes them on first read.
+  void syncWritten(const NodeId* ids, std::size_t count);
+  /// Batch guard evaluation; grouping contract per core/soa_state.hpp.
+  /// Mutates only the derived mirror (lazy refresh), never the protocol.
+  void evaluate(const NodeId* ids, std::size_t count, KernelOut& out);
+
+ private:
+  void syncProcessor(NodeId p);
+  /// Lazy-refresh entry: reloads p's row iff marked stale.
+  void ensureFresh(NodeId p) {
+    if (stale_[p] != 0) {
+      stale_[p] = 0;
+      syncProcessor(p);
+    }
+  }
+  [[nodiscard]] bool candidate(NodeId p, std::size_t s, NodeId c) const;
+  [[nodiscard]] NodeId choiceAt(NodeId p, std::size_t s) const;
+
+  const SsmfpProtocol& protocol_;
+  std::uint32_t n_ = 0;
+  std::uint32_t destCount_ = 0;
+  std::vector<NodeId> dests_;  // sorted ascending (slot order = dest order)
+  ChoicePolicy policy_;
+  SsmfpGuardMutation mutation_ = SsmfpGuardMutation::kNone;
+
+  // CSR adjacency, preserving Graph::neighbors iteration order (choice
+  // tie-breaking depends on it).
+  std::vector<std::uint32_t> adjOff_;
+  std::vector<NodeId> adj_;
+
+  // Per cell idx = p * destCount_ + slot. Occupancy split from the triplet
+  // fields so disabled-heavy sweeps touch one byte per cell.
+  std::vector<std::uint8_t> rOcc_;
+  std::vector<Payload> rPayload_;
+  std::vector<NodeId> rLastHop_;
+  std::vector<Color> rColor_;
+  std::vector<std::uint8_t> eOcc_;
+  std::vector<Payload> ePayload_;
+  std::vector<Color> eColor_;
+  std::vector<TraceId> eTrace_;  // kOldestFirst candidate age
+  std::vector<NodeId> nhop_;     // routing().nextHop(p, dests[slot])
+
+  // Outbox head: destination of the waiting message (kNoNode = no request)
+  // and its trace (kOldestFirst self-candidate age).
+  std::vector<NodeId> reqDest_;
+  std::vector<TraceId> reqTrace_;
+
+  // Per-processor staleness for lazy refresh (see file comment).
+  std::vector<std::uint8_t> stale_;
+
+  // Per-processor occupancy summary, maintained by syncProcessor:
+  // bit 0 = some R buffer occupied, bit 1 = some E buffer occupied,
+  // bit 2 = outbox request present. A processor whose summary is 0 and
+  // whose neighbors all lack E occupancy has every guard disabled (R1
+  // needs the request, R2/R5 need R, R4/R6 need E, R3 needs an upstream
+  // emission routed here), so idle regions - the bulk of a sparse sweep -
+  // reject in O(deg) byte loads instead of full queue scans per slot.
+  std::vector<std::uint8_t> occ_;
+
+  // Per-processor emission-slot bitmap, maintained alongside occ_: bit
+  // min(s, 7) is set when the E buffer of slot s is occupied (bit 7 is a
+  // sticky "some slot >= 7" bucket, so the test stays conservative for
+  // destCount > 8). evaluate() ORs it over the neighborhood to skip the
+  // choice queue scan for slots where no neighbor can possibly be a
+  // candidate and no local request targets the slot's destination.
+  std::vector<std::uint8_t> eSlots_;
+
+  // Fairness queues, flattened: processor p's queue for slot s occupies
+  // queue_[qStart_[p] + s * rowLen_[p] ..+ rowLen_[p]], rowLen_[p] =
+  // degree(p) + 1 (the paper's Delta+1 queue is per-processor-degree here).
+  std::vector<std::uint32_t> qStart_;
+  std::vector<std::uint32_t> rowLen_;
+  std::vector<NodeId> queue_;
+};
+
+/// The GuardKernelSet trampolines over `state` (which must outlive any
+/// engine holding the returned set).
+[[nodiscard]] GuardKernelSet makeSsmfpGuardKernels(SsmfpKernelState& state);
+
+}  // namespace snapfwd

@@ -1,0 +1,17 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace snapfwd::env {
+
+const char* raw(const char* name) { return std::getenv(name); }
+
+bool flag(const char* name) {
+  const char* value = raw(name);
+  if (value == nullptr) return false;
+  return std::strcmp(value, "1") == 0 || std::strcmp(value, "on") == 0 ||
+         std::strcmp(value, "true") == 0;
+}
+
+}  // namespace snapfwd::env

@@ -1,0 +1,38 @@
+#pragma once
+// The single environment-variable parsing entry point (SNAPFWD_* knobs).
+//
+// Every process-level configuration variable the library honors is read
+// through these helpers, so the spelling rules live in exactly one place:
+//   - enum-valued variables use the same canonical names as the CLI
+//     (util/names.hpp EnumNames tables); unknown spellings read as unset,
+//     falling back to the built-in default rather than aborting;
+//   - boolean variables accept "1", "on" and "true" (anything else,
+//     including unset, is false).
+//
+// Current variables (resolved by EngineOptions, core/engine.hpp):
+//   SNAPFWD_SCAN_MODE  full|incremental   buildEnabled() walk strategy
+//   SNAPFWD_EXEC       virtual|kernel     guard evaluation path
+//   SNAPFWD_AUDIT      1|on|true          audit mode (audit-capable builds)
+
+#include <optional>
+
+#include "util/names.hpp"
+
+namespace snapfwd::env {
+
+/// Raw value of the variable, or nullptr when unset.
+[[nodiscard]] const char* raw(const char* name);
+
+/// Boolean variable: set to "1", "on" or "true".
+[[nodiscard]] bool flag(const char* name);
+
+/// Enum-valued variable via the EnumNames table of E. Unset or
+/// unparseable values read as nullopt (caller applies its default).
+template <typename Enum>
+[[nodiscard]] std::optional<Enum> enumValue(const char* name) {
+  const char* value = raw(name);
+  if (value == nullptr) return std::nullopt;
+  return parseEnum<Enum>(value);
+}
+
+}  // namespace snapfwd::env

@@ -211,12 +211,14 @@ TEST(AccessAudit, ViolationHandlerCollectsWithoutThrowing) {
 // corrupted initial configurations.
 // ---------------------------------------------------------------------------
 
-/// Scopes Engine::setDefaultAuditMode(true) so stacks built inside
+/// Scopes process-default audit=true so stacks built inside
 /// runSsmfpExperiment / runBaselineExperiment come up audited.
 class ScopedDefaultAudit {
  public:
-  ScopedDefaultAudit() { Engine::setDefaultAuditMode(true); }
-  ~ScopedDefaultAudit() { Engine::setDefaultAuditMode(std::nullopt); }
+  ScopedDefaultAudit() : scoped_(EngineOptions{.audit = true}) {}
+
+ private:
+  ScopedEngineDefaults scoped_;
 };
 
 TEST(AccessAuditClean, SsmfpAndBaselineCorruptedExperiments) {

@@ -155,26 +155,38 @@ std::string joined(const std::vector<std::string>& lines) {
   return all;
 }
 
-TEST(Corpus, Figure3ReplayHashesMatchGoldenUnderBothScanModes) {
+TEST(Corpus, Figure3ReplayHashesMatchGoldenAcrossScanAndExecModes) {
+  // The golden corpus hashes must be invariant across the full
+  // {scan} x {exec} grid: the scheduler and the guard-evaluation strategy
+  // are both pure execution-strategy choices.
   const std::vector<std::string> golden = goldenFigure3Hashes();
-  for (const ScanMode mode : {ScanMode::kFull, ScanMode::kIncremental}) {
-    Engine::setDefaultScanMode(mode);
-    const std::vector<std::string> lines = figure3ReplayHashLines();
-    EXPECT_EQ(lines, golden) << "scan mode " << toString(mode)
-                             << "; computed:\n"
-                             << joined(lines);
+  for (const ScanMode scan : {ScanMode::kFull, ScanMode::kIncremental}) {
+    for (const ExecMode exec : {ExecMode::kVirtual, ExecMode::kKernel}) {
+      const ScopedEngineDefaults guard(
+          EngineOptions{.scanMode = scan, .execMode = exec});
+      const std::vector<std::string> lines = figure3ReplayHashLines();
+      EXPECT_EQ(lines, golden)
+          << "scan " << toString(scan) << ", exec " << toString(exec)
+          << "; computed:\n"
+          << joined(lines);
+    }
   }
-  Engine::setDefaultScanMode(std::nullopt);
 }
 
 TEST(Corpus, Figure3ReplayHashesMatchGoldenUnderAudit) {
   if (!kAuditCapable) {
     GTEST_SKIP() << "binary built without -DSNAPFWD_AUDIT=ON";
   }
-  Engine::setDefaultAuditMode(true);
-  const std::vector<std::string> lines = figure3ReplayHashLines();
-  Engine::setDefaultAuditMode(std::nullopt);
-  EXPECT_EQ(lines, goldenFigure3Hashes()) << "computed:\n" << joined(lines);
+  // Audit forces the virtual reference path even when kernel exec is
+  // requested; the hashes must stay golden either way.
+  for (const ExecMode exec : {ExecMode::kVirtual, ExecMode::kKernel}) {
+    const ScopedEngineDefaults guard(
+        EngineOptions{.execMode = exec, .audit = true});
+    const std::vector<std::string> lines = figure3ReplayHashLines();
+    EXPECT_EQ(lines, goldenFigure3Hashes())
+        << "exec " << toString(exec) << "; computed:\n"
+        << joined(lines);
+  }
 }
 
 TEST(Corpus, InvariantsHoldThroughoutCorpusRuns) {

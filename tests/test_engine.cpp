@@ -322,7 +322,7 @@ TEST(Engine, IsTerminalThenStepSweepsOnce) {
   const Graph g = topo::path(3);
   CountdownProtocol proto({1, 1, 1});
   SynchronousDaemon daemon;
-  Engine engine(g, {&proto}, daemon, nullptr, ScanMode::kFull);
+  Engine engine(g, {&proto}, daemon, nullptr, EngineOptions{.scanMode = ScanMode::kFull});
   ASSERT_FALSE(engine.isTerminal());
   ASSERT_TRUE(engine.step());
   EXPECT_EQ(engine.scanStats().fullScans, 1u);
@@ -340,12 +340,12 @@ TEST(Engine, IncrementalSavesGuardEvalsAndMatchesFull) {
 
   CountdownProtocol fullProto(tokens);
   SynchronousDaemon d1;
-  Engine full(g, {&fullProto}, d1, nullptr, ScanMode::kFull);
+  Engine full(g, {&fullProto}, d1, nullptr, EngineOptions{.scanMode = ScanMode::kFull});
   const auto fullSteps = full.run(1000);
 
   CountdownProtocol incProto(tokens);
   SynchronousDaemon d2;
-  Engine inc(g, {&incProto}, d2, nullptr, ScanMode::kIncremental);
+  Engine inc(g, {&incProto}, d2, nullptr, EngineOptions{.scanMode = ScanMode::kIncremental});
   const auto incSteps = inc.run(1000);
 
   EXPECT_EQ(fullSteps, incSteps);
@@ -371,12 +371,12 @@ TEST(Engine, IncrementalMatchesFullWithNeutralization) {
 
   SinkProtocol fullProto(g, x);
   CentralRoundRobinDaemon d1;
-  Engine full(g, {&fullProto}, d1, nullptr, ScanMode::kFull);
+  Engine full(g, {&fullProto}, d1, nullptr, EngineOptions{.scanMode = ScanMode::kFull});
   full.run(1000);
 
   SinkProtocol incProto(g, x);
   CentralRoundRobinDaemon d2;
-  Engine inc(g, {&incProto}, d2, nullptr, ScanMode::kIncremental);
+  Engine inc(g, {&incProto}, d2, nullptr, EngineOptions{.scanMode = ScanMode::kIncremental});
   inc.run(1000);
 
   EXPECT_EQ(full.stepCount(), inc.stepCount());
@@ -388,7 +388,7 @@ TEST(Engine, ExternalMutationInvalidatesCache) {
   const Graph g = topo::ring(8);
   CountdownProtocol proto({1, 0, 0, 0, 0, 0, 0, 0});
   SynchronousDaemon daemon;
-  Engine engine(g, {&proto}, daemon, nullptr, ScanMode::kIncremental);
+  Engine engine(g, {&proto}, daemon, nullptr, EngineOptions{.scanMode = ScanMode::kIncremental});
   engine.run(100);
   ASSERT_TRUE(engine.isTerminal());
   const auto fullScansBefore = engine.scanStats().fullScans;
@@ -408,12 +408,12 @@ TEST(Engine, RotationIdenticalAcrossScanModes) {
   const Graph g = topo::ring(5);
   RotateProtocol fullProto(g, {10, 20, 30, 40, 50}, 3);
   SynchronousDaemon d1;
-  Engine full(g, {&fullProto}, d1, nullptr, ScanMode::kFull);
+  Engine full(g, {&fullProto}, d1, nullptr, EngineOptions{.scanMode = ScanMode::kFull});
   full.run(10);
 
   RotateProtocol incProto(g, {10, 20, 30, 40, 50}, 3);
   SynchronousDaemon d2;
-  Engine inc(g, {&incProto}, d2, nullptr, ScanMode::kIncremental);
+  Engine inc(g, {&incProto}, d2, nullptr, EngineOptions{.scanMode = ScanMode::kIncremental});
   inc.run(10);
 
   EXPECT_EQ(fullProto.values(), incProto.values());
@@ -431,13 +431,13 @@ TEST(Engine, DeclaredRadiusWidensIncrementalDirtySet) {
 
   RotateProtocol fullProto(g, init, 2);
   CentralRoundRobinDaemon d1;
-  Engine full(g, {&fullProto}, d1, nullptr, ScanMode::kFull);
+  Engine full(g, {&fullProto}, d1, nullptr, EngineOptions{.scanMode = ScanMode::kFull});
   const auto fullSteps = full.run(1000);
   ASSERT_TRUE(full.isTerminal());
 
   RotateProtocol incProto(g, init, 2);
   CentralRoundRobinDaemon d2;
-  Engine inc(g, {&incProto}, d2, nullptr, ScanMode::kIncremental);
+  Engine inc(g, {&incProto}, d2, nullptr, EngineOptions{.scanMode = ScanMode::kIncremental});
   const auto incSteps = inc.run(1000);
 
   EXPECT_TRUE(inc.isTerminal());
@@ -450,11 +450,43 @@ TEST(Engine, DeclaredRadiusWidensIncrementalDirtySet) {
 }
 
 TEST(Engine, DefaultScanModeOverrideRoundTrips) {
+  // The pre-EngineOptions statics survive as deprecated shims over the
+  // process defaults; pin that they still round-trip (and agree with the
+  // EngineOptions resolution they forward to) until their removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   Engine::setDefaultScanMode(ScanMode::kFull);
   EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kFull);
+  EXPECT_EQ(EngineOptions{}.resolvedScanMode(), ScanMode::kFull);
   Engine::setDefaultScanMode(ScanMode::kIncremental);
   EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kIncremental);
+  EXPECT_EQ(EngineOptions::processDefaults().scanMode, ScanMode::kIncremental);
   Engine::setDefaultScanMode(std::nullopt);  // back to env / built-in
+  EXPECT_EQ(EngineOptions::processDefaults().scanMode, std::nullopt);
+#pragma GCC diagnostic pop
+}
+
+TEST(Engine, DeprecatedPositionalCtorMatchesEngineOptions) {
+  // The positional-ScanMode constructor must keep building an engine
+  // equivalent to EngineOptions{.scanMode = ...} until its removal.
+  const Graph g = topo::ring(4);
+  CountdownProtocol a({2, 1, 2, 1});
+  CountdownProtocol b({2, 1, 2, 1});
+  SynchronousDaemon d1;
+  SynchronousDaemon d2;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Engine legacy(g, {&a}, d1, nullptr, ScanMode::kFull);
+#pragma GCC diagnostic pop
+  Engine modern(g, {&b}, d2, nullptr, EngineOptions{.scanMode = ScanMode::kFull});
+  EXPECT_EQ(legacy.scanMode(), ScanMode::kFull);
+  EXPECT_EQ(legacy.scanMode(), modern.scanMode());
+  EXPECT_EQ(legacy.execMode(), modern.execMode());
+  legacy.run(50);
+  modern.run(50);
+  EXPECT_EQ(legacy.stepCount(), modern.stepCount());
+  EXPECT_EQ(a.total(), 0);
+  EXPECT_EQ(b.total(), 0);
 }
 
 TEST(ThreadPoolTest, ParallelForCoversAllChunks) {

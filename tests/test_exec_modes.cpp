@@ -1,0 +1,230 @@
+// Differential pinning of ExecMode::kKernel against ExecMode::kVirtual:
+// guard kernels (core/soa_state.hpp, ssmfp/ssmfp_kernels.hpp) are a pure
+// execution-strategy change, so every observable - executed-action traces,
+// step/round counters, terminal configurations, explorer closure counts -
+// must be byte-identical across exec modes, in every scan mode, through
+// mid-run out-of-band mutation (the mirror-invalidation path) and with
+// either explorer state codec. Also pins the EngineOptions resolution
+// order for the exec axis (explicit field > process default > SNAPFWD_EXEC
+// > built-in) and the audit interaction (audit forces the virtual
+// reference path).
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "explore/explore.hpp"
+#include "explore/models.hpp"
+#include "faults/corruptor.hpp"
+#include "graph/builders.hpp"
+#include "routing/frozen.hpp"
+#include "sim/runner.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+namespace {
+
+using explore::DaemonClosure;
+using explore::ExploreOptions;
+using explore::ExploreResult;
+using explore::SsmfpExploreModel;
+using explore::StateCodec;
+
+/// One traced SSMFP execution with mid-run corruption bursts under the
+/// given (scan, exec) cell; the bursts exercise the kernel-mirror
+/// invalidation + full-resync path while the incremental cache is hot.
+struct TracedRun {
+  std::string trace;
+  std::uint64_t steps = 0;
+  std::uint64_t rounds = 0;
+  bool terminal = false;
+};
+
+TracedRun runTracedWithMidRunFaults(ScanMode scan, ExecMode exec) {
+  const ScopedEngineDefaults guard(
+      EngineOptions{.scanMode = scan, .execMode = exec});
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::randomConnected(9, 4);
+  cfg.seed = 7;
+  cfg.messageCount = 8;
+  cfg.corruption.routingFraction = 0.5;
+  cfg.corruption.invalidMessages = 2;
+
+  SsmfpStack stack = buildSsmfpStack(cfg);
+  auto daemon = makeDaemon(DaemonKind::kDistributedRandom, 0.5, stack.rng);
+  Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+                *daemon);
+  stack.forwarding->attachEngine(&engine);
+  ExecutionTracer tracer(engine, 0);
+
+  Rng faultRng(999);
+  Rng trafficRng(555);
+  engine.setPostStepHook([&](Engine& e) {
+    if (e.stepCount() == 20 || e.stepCount() == 45) {
+      CorruptionPlan burst;
+      burst.routingFraction = 0.6;
+      burst.invalidMessages = 1;
+      applyCorruption(burst, *stack.routing, *stack.forwarding, faultRng);
+      submitAll(*stack.forwarding,
+                uniformTraffic(stack.graph->size(), 2, trafficRng, 4));
+    }
+  });
+
+  engine.run(500'000);
+
+  TracedRun out;
+  out.trace = tracer.render();
+  out.steps = engine.stepCount();
+  out.rounds = engine.roundCount();
+  out.terminal = engine.isTerminal();
+  return out;
+}
+
+TEST(ExecModes, MidRunCorruptionTracesAreIdenticalAcrossTheModeGrid) {
+  const TracedRun reference =
+      runTracedWithMidRunFaults(ScanMode::kIncremental, ExecMode::kVirtual);
+  EXPECT_TRUE(reference.terminal);
+  for (const ScanMode scan : {ScanMode::kFull, ScanMode::kIncremental}) {
+    for (const ExecMode exec : {ExecMode::kVirtual, ExecMode::kKernel}) {
+      const TracedRun run = runTracedWithMidRunFaults(scan, exec);
+      EXPECT_EQ(run.steps, reference.steps)
+          << toString(scan) << "/" << toString(exec);
+      EXPECT_EQ(run.rounds, reference.rounds)
+          << toString(scan) << "/" << toString(exec);
+      EXPECT_EQ(run.trace, reference.trace)
+          << toString(scan) << "/" << toString(exec);
+      EXPECT_TRUE(run.terminal) << toString(scan) << "/" << toString(exec);
+    }
+  }
+}
+
+/// FrozenRouting is not an engine layer, so its setEntry/corrupt mutations
+/// reach the engine purely out-of-band (RoutingProvider mutation callback
+/// -> Protocol::notifyExternalMutation -> enabled-cache invalidation +
+/// kernel-mirror resync). The kernel's cached nextHop rows MUST pick up
+/// the rewrites, or R3/R4 guards replay against stale routes.
+TracedRun runFrozenRerouteRun(ScanMode scan, ExecMode exec) {
+  const ScopedEngineDefaults guard(
+      EngineOptions{.scanMode = scan, .execMode = exec});
+  const Graph graph = topo::grid(4, 4);
+  FrozenRouting routing(graph);
+  SsmfpProtocol forwarding(graph, routing, {0, 15});
+  for (NodeId src : {3u, 7u, 12u, 14u}) {
+    forwarding.send(src, 0, src);
+    forwarding.send(src, 15, src + 100);
+  }
+  Rng daemonRng(11);
+  DistributedRandomDaemon daemon(daemonRng.fork(1), 0.5);
+  Engine engine(graph, {&forwarding}, daemon);
+  forwarding.attachEngine(&engine);
+  ExecutionTracer tracer(engine, -1);
+
+  Rng rerouteRng(321);
+  engine.setPostStepHook([&](Engine& e) {
+    if (e.stepCount() == 10) {
+      // Targeted detour: 5 routes to 0 via 6 instead of the BFS parent.
+      routing.setEntry(5, 0, 6);
+    } else if (e.stepCount() == 25) {
+      routing.corrupt(rerouteRng, 0.4);
+    }
+  });
+
+  engine.run(500'000);
+
+  TracedRun out;
+  out.trace = tracer.render();
+  out.steps = engine.stepCount();
+  out.rounds = engine.roundCount();
+  out.terminal = engine.isTerminal();
+  return out;
+}
+
+TEST(ExecModes, FrozenRoutingOutOfBandRewritesStayByteIdentical) {
+  const TracedRun reference =
+      runFrozenRerouteRun(ScanMode::kIncremental, ExecMode::kVirtual);
+  EXPECT_TRUE(reference.terminal);
+  EXPECT_GT(reference.steps, 25u);  // both rewrites actually happened
+  for (const ScanMode scan : {ScanMode::kFull, ScanMode::kIncremental}) {
+    for (const ExecMode exec : {ExecMode::kVirtual, ExecMode::kKernel}) {
+      const TracedRun run = runFrozenRerouteRun(scan, exec);
+      EXPECT_EQ(run.steps, reference.steps)
+          << toString(scan) << "/" << toString(exec);
+      EXPECT_EQ(run.trace, reference.trace)
+          << toString(scan) << "/" << toString(exec);
+    }
+  }
+}
+
+TEST(ExecModes, ExplorerClosureCountsMatchAcrossExecModesAndCodecs) {
+  // The explorer rebuilds a fresh Engine per expanded state (through the
+  // process defaults), so forcing kernel exec routes the entire closure
+  // computation through batch evaluation. Closure counts are the
+  // strongest aggregate invariant: one divergent enabled set anywhere in
+  // the reachable space changes them.
+  ExploreResult reference;
+  {
+    const ScopedEngineDefaults guard(
+        EngineOptions{.execMode = ExecMode::kVirtual});
+    const SsmfpExploreModel model = SsmfpExploreModel::figure2CorruptionClosure();
+    reference = explore::explore(model, ExploreOptions{});
+  }
+  EXPECT_TRUE(reference.clean());
+  EXPECT_TRUE(reference.stats.exhausted);
+
+  for (const ExecMode exec : {ExecMode::kVirtual, ExecMode::kKernel}) {
+    for (const StateCodec codec : {StateCodec::kText, StateCodec::kBinary}) {
+      const ScopedEngineDefaults guard(EngineOptions{.execMode = exec});
+      const SsmfpExploreModel model =
+          SsmfpExploreModel::figure2CorruptionClosure();
+      ExploreOptions options;
+      options.codec = codec;
+      const ExploreResult result = explore::explore(model, options);
+      const std::string label =
+          std::string(toString(exec)) + "/" + std::string(toString(codec));
+      EXPECT_TRUE(result.clean()) << label;
+      EXPECT_EQ(result.stats.visited, reference.stats.visited) << label;
+      EXPECT_EQ(result.stats.transitions, reference.stats.transitions) << label;
+      EXPECT_EQ(result.stats.terminalStates, reference.stats.terminalStates)
+          << label;
+      EXPECT_EQ(result.stats.exhausted, reference.stats.exhausted) << label;
+    }
+  }
+}
+
+TEST(ExecModes, EngineOptionsResolutionPrecedenceForExec) {
+  const ScopedEngineDefaults clear(EngineOptions{});
+  unsetenv("SNAPFWD_EXEC");
+  EXPECT_EQ(EngineOptions{}.resolvedExecMode(), ExecMode::kVirtual);  // built-in
+  ASSERT_EQ(setenv("SNAPFWD_EXEC", "kernel", 1), 0);
+  EXPECT_EQ(EngineOptions{}.resolvedExecMode(), ExecMode::kKernel);
+  {
+    // Process default outranks the environment ...
+    const ScopedEngineDefaults forced(
+        EngineOptions{.execMode = ExecMode::kVirtual});
+    EXPECT_EQ(EngineOptions{}.resolvedExecMode(), ExecMode::kVirtual);
+    // ... and the explicit field outranks both.
+    EXPECT_EQ(EngineOptions{.execMode = ExecMode::kKernel}.resolvedExecMode(),
+              ExecMode::kKernel);
+  }
+  EXPECT_EQ(EngineOptions{}.resolvedExecMode(), ExecMode::kKernel);  // env again
+  ASSERT_EQ(setenv("SNAPFWD_EXEC", "bogus", 1), 0);
+  EXPECT_EQ(EngineOptions{}.resolvedExecMode(), ExecMode::kVirtual);  // fallback
+  unsetenv("SNAPFWD_EXEC");
+}
+
+TEST(ExecModes, EngineReportsRequestedExecMode) {
+  const Graph graph = topo::ring(4);
+  FrozenRouting routing(graph);
+  SsmfpProtocol forwarding(graph, routing, {0});
+  SynchronousDaemon daemon;
+  Engine engine(graph, {&forwarding}, daemon, nullptr,
+                EngineOptions{.execMode = ExecMode::kKernel});
+  forwarding.attachEngine(&engine);
+  EXPECT_EQ(engine.execMode(), ExecMode::kKernel);
+  EXPECT_EQ(engine.scanMode(), EngineOptions{}.resolvedScanMode());
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -19,13 +19,6 @@
 namespace snapfwd {
 namespace {
 
-/// Forces the process-wide default scan mode for one scope.
-class ScanModeGuard {
- public:
-  explicit ScanModeGuard(ScanMode mode) { Engine::setDefaultScanMode(mode); }
-  ~ScanModeGuard() { Engine::setDefaultScanMode(std::nullopt); }
-};
-
 SweepMatrix differentialMatrix() {
   SweepMatrix matrix;
   matrix.base.traffic = TrafficKind::kUniform;
@@ -63,11 +56,12 @@ TEST(ScanModes, SweepMatrixResultsAndJsonlAreByteIdentical) {
   SweepMatrixResult full;
   SweepMatrixResult incremental;
   {
-    ScanModeGuard guard(ScanMode::kFull);
+    const ScopedEngineDefaults guard(EngineOptions{.scanMode = ScanMode::kFull});
     full = runSweepMatrix(matrix);
   }
   {
-    ScanModeGuard guard(ScanMode::kIncremental);
+    const ScopedEngineDefaults guard(
+        EngineOptions{.scanMode = ScanMode::kIncremental});
     incremental = runSweepMatrix(matrix);
   }
 
@@ -107,7 +101,7 @@ struct TracedRun {
 };
 
 TracedRun runTracedWithMidRunFaults(ScanMode mode) {
-  ScanModeGuard guard(mode);
+  const ScopedEngineDefaults guard(EngineOptions{.scanMode = mode});
   ExperimentConfig cfg;
   cfg.topo = TopologySpec::randomConnected(9, 4);
   cfg.seed = 7;
@@ -176,7 +170,8 @@ TEST(ScanModes, ParallelDirtySetEvaluationMatchesSerial) {
   cfg.corruption.routingFraction = 0.4;
 
   auto runWith = [&](ThreadPool* pool) {
-    ScanModeGuard guard(ScanMode::kIncremental);
+    const ScopedEngineDefaults guard(
+        EngineOptions{.scanMode = ScanMode::kIncremental});
     SsmfpStack stack = buildSsmfpStack(cfg);
     auto daemon = makeDaemon(DaemonKind::kSynchronous, 0.5, stack.rng);
     Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
@@ -223,18 +218,25 @@ TEST(ScanModes, EmittedScanStatsRoundTripThroughJson) {
 }
 
 TEST(ScanModes, EnvVariableSelectsDefaultMode) {
-  Engine::setDefaultScanMode(std::nullopt);
+  const ScopedEngineDefaults clear(EngineOptions{});
   ASSERT_EQ(setenv("SNAPFWD_SCAN_MODE", "full", 1), 0);
-  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kFull);
+  EXPECT_EQ(EngineOptions{}.resolvedScanMode(), ScanMode::kFull);
   ASSERT_EQ(setenv("SNAPFWD_SCAN_MODE", "incremental", 1), 0);
-  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kIncremental);
+  EXPECT_EQ(EngineOptions{}.resolvedScanMode(), ScanMode::kIncremental);
   ASSERT_EQ(setenv("SNAPFWD_SCAN_MODE", "bogus", 1), 0);
-  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kIncremental);  // fallback
-  // The explicit override outranks the environment.
+  EXPECT_EQ(EngineOptions{}.resolvedScanMode(),
+            ScanMode::kIncremental);  // fallback
+  // Explicit field > process default > environment.
   ASSERT_EQ(setenv("SNAPFWD_SCAN_MODE", "incremental", 1), 0);
-  Engine::setDefaultScanMode(ScanMode::kFull);
-  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kFull);
-  Engine::setDefaultScanMode(std::nullopt);
+  {
+    const ScopedEngineDefaults forced(
+        EngineOptions{.scanMode = ScanMode::kFull});
+    EXPECT_EQ(EngineOptions{}.resolvedScanMode(), ScanMode::kFull);
+    EXPECT_EQ(
+        EngineOptions{.scanMode = ScanMode::kIncremental}.resolvedScanMode(),
+        ScanMode::kIncremental);
+  }
+  EXPECT_EQ(EngineOptions{}.resolvedScanMode(), ScanMode::kIncremental);
   unsetenv("SNAPFWD_SCAN_MODE");
 }
 

@@ -1,0 +1,266 @@
+// E21 - the protocol-family tournament: the journal paper's two
+// snap-stabilizing forwarding protocols (ssmfp: destination-indexed buffer
+// pairs; ssmfp2: rank-indexed slots) head to head over the same topology x
+// daemon x corruption matrix, same seeds, same routing substrate.
+//
+// Per cell and family: delivery-latency rounds, invalid deliveries, peak
+// buffer occupancy against the family's slot capacity (the economy axis:
+// ssmfp provisions 2|I|n buffers, ssmfp2 (D+1)n), and wall-clock steps/sec.
+// Writes BENCH_tournament.json.
+//
+// The corrupted plans corrupt ROUTING TABLES and fairness queues only - no
+// buffer garbage - so "invalid deliveries" has an exact expected value of
+// zero for both families and the bench exit-gates on it (garbage injection
+// legitimately delivers under the Proposition 4 bound and would make the
+// gate vacuous). Both families must also satisfy SP and quiesce on every
+// run; any miss is exit 1.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/runner.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace snapfwd;
+
+struct RunOutcome {
+  ExperimentResult result;
+  std::size_t peakOccupied = 0;
+  double seconds = 0.0;
+};
+
+/// One timed run with a per-step occupancy probe (the runner has no
+/// occupancy hook; the stack builders keep seed streams identical to
+/// runForwardingExperiment, so the schedule is the canonical one).
+RunOutcome runOne(const ExperimentConfig& cfg) {
+  ForwardingStack stack = buildForwardingStack(cfg);
+  RunOutcome out;
+  out.result.graphN = stack.graph->size();
+  out.result.invalidInjected = stack.invalidInjected;
+
+  auto daemon = makeDaemon(cfg.daemon, cfg.daemonProbability, stack.rng);
+  Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+                *daemon);
+  stack.forwarding->attachEngine(&engine);
+  out.peakOccupied = stack.forwarding->occupiedBufferCount();
+  engine.setPostStepHook([&](Engine&) {
+    out.peakOccupied =
+        std::max(out.peakOccupied, stack.forwarding->occupiedBufferCount());
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t executed = engine.run(cfg.maxSteps);
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  out.result.quiescent = executed < cfg.maxSteps;
+  out.result.steps = engine.stepCount();
+  out.result.rounds = engine.roundCount();
+  out.result.spec = checkSpec(*stack.forwarding);
+  out.result.invalidDelivered = stack.forwarding->invalidDeliveryCount();
+  double sumLatency = 0.0;
+  std::uint64_t validDeliveries = 0;
+  for (const auto& rec : stack.forwarding->deliveries()) {
+    if (!rec.msg.valid) continue;
+    ++validDeliveries;
+    const std::uint64_t latency = rec.round - rec.msg.bornRound;
+    sumLatency += static_cast<double>(latency);
+    out.result.maxDeliveryRounds =
+        std::max(out.result.maxDeliveryRounds, latency);
+  }
+  if (validDeliveries > 0) {
+    out.result.avgDeliveryRounds =
+        sumLatency / static_cast<double>(validDeliveries);
+  }
+  return out;
+}
+
+/// Total buffer slots the family provisions on this stack (the denominator
+/// of the occupancy ratio): ssmfp keeps a reception+emission pair per
+/// (processor, destination); ssmfp2 keeps D+1 rank slots per processor.
+std::size_t slotCapacity(ForwardingFamilyId family, const Graph& graph,
+                         std::size_t destinations) {
+  switch (family) {
+    case ForwardingFamilyId::kSsmfp: return 2 * destinations * graph.size();
+    case ForwardingFamilyId::kSsmfp2:
+      return (static_cast<std::size_t>(graph.diameter()) + 1) * graph.size();
+  }
+  return 0;
+}
+
+struct CellStats {
+  std::size_t runs = 0;
+  std::size_t spOk = 0;
+  std::size_t quiescent = 0;
+  std::uint64_t invalidDelivered = 0;
+  std::size_t peakOccupiedMax = 0;
+  std::size_t slots = 0;
+  Summary rounds;
+  Summary avgDeliveryRounds;
+  Summary maxDeliveryRounds;
+  Summary peakOccupied;
+  double bestStepsPerSec = 0.0;
+};
+
+void appendJson(std::ostringstream& out, const TopologySpec& topo,
+                DaemonKind daemon, std::string_view corruption,
+                ForwardingFamilyId family, const CellStats& s) {
+  out << "{\"topology\":\"" << topo.label() << "\",\"daemon\":\""
+      << toString(daemon) << "\",\"corruption\":\"" << corruption
+      << "\",\"family\":\"" << toString(family) << "\",\"runs\":" << s.runs
+      << ",\"spOk\":" << s.spOk << ",\"quiescent\":" << s.quiescent
+      << ",\"invalidDelivered\":" << s.invalidDelivered
+      << ",\"meanRounds\":" << s.rounds.mean()
+      << ",\"avgDeliveryRounds\":" << s.avgDeliveryRounds.mean()
+      << ",\"maxDeliveryRounds\":" << s.maxDeliveryRounds.max()
+      << ",\"bufferSlots\":" << s.slots
+      << ",\"peakOccupiedMean\":" << s.peakOccupied.mean()
+      << ",\"peakOccupiedMax\":" << s.peakOccupiedMax
+      << ",\"bestStepsPerSec\":" << s.bestStepsPerSec << "}";
+}
+
+int runTournament(const std::string& path, std::size_t seeds) {
+  const std::vector<TopologySpec> topologies = {
+      TopologySpec::ring(8), TopologySpec::grid(3, 3),
+      TopologySpec::randomConnected(10, 4), TopologySpec::figure3()};
+  const std::vector<DaemonKind> daemons = {DaemonKind::kSynchronous,
+                                           DaemonKind::kCentralRoundRobin,
+                                           DaemonKind::kDistributedRandom};
+  struct NamedPlan {
+    const char* label;
+    CorruptionPlan plan;
+  };
+  std::vector<NamedPlan> corruptions(2);
+  corruptions[0].label = "clean";
+  corruptions[1].label = "routing-corrupted";
+  corruptions[1].plan.routingFraction = 1.0;
+  corruptions[1].plan.scrambleQueues = true;
+  // Deliberately NO invalidMessages: see the file comment - the gate needs
+  // an exact zero expectation for invalid deliveries.
+
+  const ForwardingFamilyId families[] = {ForwardingFamilyId::kSsmfp,
+                                         ForwardingFamilyId::kSsmfp2};
+
+  std::ostringstream json;
+  json << "{\"experiment\":\"tournament\",\"seeds\":" << seeds
+       << ",\"messages\":12,\"cells\":[";
+
+  Table table("ssmfp vs ssmfp2, " + std::to_string(seeds) + " seeds per cell",
+              {"topology", "daemon", "corruption", "family", "SP",
+               "invalid", "avg latency", "peak/slots", "steps/s"});
+  bool first = true;
+  bool gateOk = true;
+  for (const auto& topo : topologies) {
+    for (const DaemonKind daemon : daemons) {
+      for (const auto& corruption : corruptions) {
+        for (const ForwardingFamilyId family : families) {
+          ExperimentConfig cfg;
+          cfg.topo = topo;
+          cfg.family = family;
+          cfg.daemon = daemon;
+          cfg.corruption = corruption.plan;
+          cfg.traffic = TrafficKind::kUniform;
+          cfg.messageCount = 12;
+          cfg.payloadSpace = 4;
+          cfg.maxSteps = 400'000;
+
+          CellStats s;
+          for (std::size_t i = 0; i < seeds; ++i) {
+            cfg.seed = 1 + i;
+            const RunOutcome run = runOne(cfg);
+            ++s.runs;
+            if (run.result.spec.satisfiesSp()) ++s.spOk;
+            if (run.result.quiescent) ++s.quiescent;
+            s.invalidDelivered += run.result.invalidDelivered;
+            s.rounds.add(static_cast<double>(run.result.rounds));
+            s.avgDeliveryRounds.add(run.result.avgDeliveryRounds);
+            s.maxDeliveryRounds.add(
+                static_cast<double>(run.result.maxDeliveryRounds));
+            s.peakOccupied.add(static_cast<double>(run.peakOccupied));
+            s.peakOccupiedMax = std::max(s.peakOccupiedMax, run.peakOccupied);
+            if (run.seconds > 0.0) {
+              s.bestStepsPerSec =
+                  std::max(s.bestStepsPerSec,
+                           static_cast<double>(run.result.steps) / run.seconds);
+            }
+          }
+          // Capacity comes from a real build of the cell's graph (the
+          // random topologies need the actual diameter / destination set).
+          {
+            ExperimentConfig capCfg = cfg;
+            capCfg.seed = 1;
+            const ForwardingStack stack = buildForwardingStack(capCfg);
+            s.slots = slotCapacity(family, *stack.graph,
+                                   stack.forwarding->destinations().size());
+          }
+
+          const bool cellOk = s.spOk == s.runs && s.quiescent == s.runs &&
+                              s.invalidDelivered == 0;
+          if (!cellOk) gateOk = false;
+
+          if (!first) json << ",";
+          first = false;
+          appendJson(json, topo, daemon, corruption.label, family, s);
+          table.addRow(
+              {topo.label(), std::string(toString(daemon)), corruption.label,
+               std::string(toString(family)),
+               Table::num(std::uint64_t{s.spOk}) + "/" +
+                   Table::num(std::uint64_t{s.runs}),
+               Table::num(s.invalidDelivered),
+               Table::num(s.avgDeliveryRounds.mean(), 1),
+               Table::num(std::uint64_t{s.peakOccupiedMax}) + "/" +
+                   Table::num(std::uint64_t{s.slots}),
+               Table::num(s.bestStepsPerSec, 0)});
+        }
+      }
+    }
+  }
+  json << "]}";
+
+  table.printMarkdown(std::cout);
+  std::ofstream file(path);
+  file << json.str() << "\n";
+  if (!file) {
+    std::cerr << "cannot write " << path << "\n";
+    return 2;
+  }
+  std::cout << "json written to " << path << "\n";
+  if (!gateOk) {
+    std::cerr << "FAIL: a family missed SP/quiescence or delivered an "
+                 "invalid message on the garbage-free matrix\n";
+    return 1;
+  }
+  std::cout << "both families: SP on every run, zero invalid deliveries\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = "BENCH_tournament.json";
+  std::size_t seeds = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--out=", 0) == 0) {
+      path = std::string(arg.substr(6));
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      seeds = static_cast<std::size_t>(
+          std::stoull(std::string(arg.substr(8))));
+    } else {
+      std::cerr << "usage: bench_tournament [--out=path] [--seeds=k]\n";
+      return 2;
+    }
+  }
+  return runTournament(path, seeds == 0 ? 1 : seeds);
+}

@@ -56,15 +56,31 @@ namespace snapfwd {
 [[nodiscard]] std::optional<std::string> checkCaterpillarCoverage(
     const SsmfpProtocol& protocol);
 
-class InvariantMonitor {
+/// Family-agnostic face of a per-step invariant battery: tests and the
+/// auditor hold one of these and dispatch through makeInvariantMonitor()
+/// (checker/invariants2.hpp) when the forwarding family is not fixed at
+/// compile time.
+class StepInvariantMonitor {
+ public:
+  virtual ~StepInvariantMonitor() = default;
+
+  /// Checks the family's invariants against the current configuration;
+  /// remembers delivery progress between calls. Call after every committed
+  /// step; returns the first violation as a human-readable string.
+  [[nodiscard]] virtual std::optional<std::string> check() = 0;
+
+  [[nodiscard]] virtual std::uint64_t checksRun() const = 0;
+};
+
+class InvariantMonitor final : public StepInvariantMonitor {
  public:
   explicit InvariantMonitor(const SsmfpProtocol& protocol) : protocol_(protocol) {}
 
   /// Checks I1..I5 against the current configuration; remembers delivery
   /// progress between calls. Call after every committed step.
-  [[nodiscard]] std::optional<std::string> check();
+  [[nodiscard]] std::optional<std::string> check() override;
 
-  [[nodiscard]] std::uint64_t checksRun() const { return checksRun_; }
+  [[nodiscard]] std::uint64_t checksRun() const override { return checksRun_; }
 
  private:
   const SsmfpProtocol& protocol_;

@@ -1,0 +1,145 @@
+#include "checker/invariants2.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+#include "ssmfp/ssmfp.hpp"
+
+namespace snapfwd {
+namespace {
+
+/// Walks every occupied slot as f(p, k, buffer, state); the first
+/// non-nullopt result aborts the sweep.
+template <typename F>
+std::optional<std::string> forEachOccupiedSlot(const Ssmfp2Protocol& protocol,
+                                               F&& f) {
+  const Graph& g = protocol.graph();
+  for (NodeId p = 0; p < g.size(); ++p) {
+    for (std::uint32_t k = 0; k <= protocol.maxRank(); ++k) {
+      const Buffer& b = protocol.slot(p, k);
+      if (!b.has_value()) continue;
+      if (auto v = f(p, k, *b, protocol.slotState(p, k))) return v;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> checkSlotWellFormedness(
+    const Ssmfp2Protocol& protocol) {
+  const Graph& g = protocol.graph();
+  return forEachOccupiedSlot(
+      protocol,
+      [&](NodeId p, std::uint32_t k, const Message& b,
+          SlotState) -> std::optional<std::string> {
+        if (b.color > protocol.delta()) {
+          std::ostringstream out;
+          out << "I1' violated: slot_" << p << "[" << k << "] holds color "
+              << b.color << " > Delta=" << protocol.delta();
+          return out.str();
+        }
+        if (b.lastHop != p && !g.hasEdge(p, b.lastHop)) {
+          std::ostringstream out;
+          out << "I1' violated: slot_" << p << "[" << k << "] lastHop "
+              << b.lastHop << " not in N_p u {p}";
+          return out.str();
+        }
+        return std::nullopt;
+      });
+}
+
+std::optional<std::string> checkSingleReadyCopy(const Ssmfp2Protocol& protocol) {
+  std::unordered_map<TraceId, std::uint32_t> readyCopies;
+  (void)forEachOccupiedSlot(protocol,
+                            [&](NodeId, std::uint32_t, const Message& b,
+                                SlotState s) -> std::optional<std::string> {
+                              if (b.valid && s == SlotState::kReady) {
+                                ++readyCopies[b.trace];
+                              }
+                              return std::nullopt;
+                            });
+  for (const auto& [trace, count] : readyCopies) {
+    if (count > 1) {
+      std::ostringstream out;
+      out << "I3' violated: valid trace " << trace << " occupies " << count
+          << " ready slots";
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> checkSlotConservation(
+    const Ssmfp2Protocol& protocol, const std::vector<TraceId>& outstanding) {
+  if (outstanding.empty()) return std::nullopt;
+  std::unordered_set<TraceId> present;
+  (void)forEachOccupiedSlot(protocol,
+                            [&](NodeId, std::uint32_t, const Message& b,
+                                SlotState) -> std::optional<std::string> {
+                              if (b.valid) present.insert(b.trace);
+                              return std::nullopt;
+                            });
+  for (const TraceId trace : outstanding) {
+    if (present.count(trace) == 0) {
+      std::ostringstream out;
+      out << "I2' violated: valid trace " << trace
+          << " vanished without delivery";
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Ssmfp2InvariantMonitor::check() {
+  ++checksRun_;
+
+  // Ingest new deliveries (I4': exactly-once online).
+  const auto& deliveries = protocol_.deliveries();
+  for (; deliveriesSeen_ < deliveries.size(); ++deliveriesSeen_) {
+    const auto& rec = deliveries[deliveriesSeen_];
+    if (!rec.msg.valid) continue;
+    if (!deliveredValid_.insert(rec.msg.trace).second) {
+      std::ostringstream out;
+      out << "I4' violated: valid trace " << rec.msg.trace
+          << " delivered more than once (payload=" << rec.msg.payload << ")";
+      return out.str();
+    }
+    if (rec.at != rec.msg.dest) {
+      std::ostringstream out;
+      out << "I4' violated: valid trace " << rec.msg.trace << " delivered at "
+          << rec.at << " instead of " << rec.msg.dest;
+      return out.str();
+    }
+  }
+
+  if (auto v = checkSlotWellFormedness(protocol_)) return v;
+  if (auto v = checkSingleReadyCopy(protocol_)) return v;
+
+  std::vector<TraceId> outstanding;
+  for (const auto& gen : protocol_.generations()) {
+    if (deliveredValid_.count(gen.msg.trace) == 0) {
+      outstanding.push_back(gen.msg.trace);
+    }
+  }
+  if (auto v = checkSlotConservation(protocol_, outstanding)) return v;
+
+  return std::nullopt;
+}
+
+std::unique_ptr<StepInvariantMonitor> makeInvariantMonitor(
+    const ForwardingProtocol& protocol) {
+  switch (protocol.family()) {
+    case ForwardingFamilyId::kSsmfp:
+      return std::make_unique<InvariantMonitor>(
+          static_cast<const SsmfpProtocol&>(protocol));
+    case ForwardingFamilyId::kSsmfp2:
+      return std::make_unique<Ssmfp2InvariantMonitor>(
+          static_cast<const Ssmfp2Protocol&>(protocol));
+  }
+  assert(false && "unknown forwarding family");
+  return nullptr;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,73 @@
+#pragma once
+// Per-step invariant battery for SSMFP2 executions, mirroring
+// checker/invariants.hpp for the rank-indexed slot ladder:
+//
+//   I1' well-formedness: every occupied slot holds color <= Delta and
+//       lastHop in N_p u {p} (the injection surface preserves this even
+//       for initial garbage);
+//   I2' conservation: every valid generated trace not yet delivered still
+//       occupies at least one slot (no erasure rule can take the last
+//       valid copy: 2R4/2R5 fire only while the partner copy exists and
+//       2R8 only matches rank-inconsistent copies, which valid executions
+//       never produce);
+//   I3' single ready copy: a valid trace owns at most one ready-state slot
+//       at a time (2R2 promotes only after the upstream 2R4 erasure, the
+//       rank-sliced color handshake);
+//   I4' exactly-once so far: no valid trace delivered twice, and always at
+//       its destination, checked online.
+//
+// There is no caterpillar battery here: the rank ladder's shape invariant
+// IS the rank index, which 2R8's footprint check covers syntactically.
+//
+// The file also hosts makeInvariantMonitor(), the family dispatch point:
+// callers holding a ForwardingProtocol& get the right battery without
+// naming a family.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "checker/invariants.hpp"
+#include "ssmfp2/ssmfp2.hpp"
+
+namespace snapfwd {
+
+// -- Stateless per-configuration checks --------------------------------------
+
+/// I1': every occupied slot holds color <= Delta and lastHop in N_p u {p}.
+[[nodiscard]] std::optional<std::string> checkSlotWellFormedness(
+    const Ssmfp2Protocol& protocol);
+
+/// I3': a valid trace occupies at most one ready-state slot.
+[[nodiscard]] std::optional<std::string> checkSingleReadyCopy(
+    const Ssmfp2Protocol& protocol);
+
+/// I2' against an explicit outstanding set (valid traces generated but not
+/// yet delivered): each must still occupy at least one slot.
+[[nodiscard]] std::optional<std::string> checkSlotConservation(
+    const Ssmfp2Protocol& protocol, const std::vector<TraceId>& outstanding);
+
+class Ssmfp2InvariantMonitor final : public StepInvariantMonitor {
+ public:
+  explicit Ssmfp2InvariantMonitor(const Ssmfp2Protocol& protocol)
+      : protocol_(protocol) {}
+
+  [[nodiscard]] std::optional<std::string> check() override;
+
+  [[nodiscard]] std::uint64_t checksRun() const override { return checksRun_; }
+
+ private:
+  const Ssmfp2Protocol& protocol_;
+  std::uint64_t checksRun_ = 0;
+  std::unordered_set<TraceId> deliveredValid_;
+  std::size_t deliveriesSeen_ = 0;
+};
+
+/// Family dispatch: the battery matching protocol.family(). The protocol
+/// must outlive the returned monitor.
+[[nodiscard]] std::unique_ptr<StepInvariantMonitor> makeInvariantMonitor(
+    const ForwardingProtocol& protocol);
+
+}  // namespace snapfwd

@@ -52,7 +52,7 @@ SpecReport checkSpec(const std::vector<GenEvent>& generated,
   return report;
 }
 
-SpecReport checkSpec(const SsmfpProtocol& protocol) {
+SpecReport checkSpec(const ForwardingProtocol& protocol) {
   std::vector<GenEvent> gen;
   gen.reserve(protocol.generations().size());
   for (const auto& g : protocol.generations()) {

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "baseline/merlin_schweitzer.hpp"
-#include "ssmfp/ssmfp.hpp"
+#include "fwd/forwarding.hpp"
 
 namespace snapfwd {
 
@@ -60,8 +60,9 @@ struct DelEvent {
 [[nodiscard]] SpecReport checkSpec(const std::vector<GenEvent>& generated,
                                    const std::vector<DelEvent>& delivered);
 
-/// Convenience adapters for the protocols.
-[[nodiscard]] SpecReport checkSpec(const SsmfpProtocol& protocol);
+/// Convenience adapters for the protocols. Any family behind the
+/// ForwardingProtocol surface (ssmfp, ssmfp2, ...) shares one adapter.
+[[nodiscard]] SpecReport checkSpec(const ForwardingProtocol& protocol);
 [[nodiscard]] SpecReport checkSpec(const MerlinSchweitzerProtocol& protocol);
 [[nodiscard]] SpecReport checkSpec(const class OrientationForwardingProtocol& protocol);
 

@@ -6,6 +6,7 @@
 #include "cli/audit.hpp"
 #include "cli/explore.hpp"
 #include "explore/explore.hpp"
+#include "fwd/forwarding.hpp"
 
 #include "sim/experiment_json.hpp"
 #include "sim/snapshot.hpp"
@@ -246,16 +247,20 @@ const FlagSpec kFlagTable[] = {
        o.config.choicePolicy = *policy;
        return std::nullopt;
      }},
-    {"protocol", kAllBits, nullptr, true, "needs ssmfp or baseline",
-     +[] { return std::string("ssmfp|baseline"); },
+    {"protocol", kAllBits, nullptr, true, "needs a forwarding family or baseline",
+     +[] { return enumNameList<ForwardingFamilyId>() + "|baseline"; },
      "protocol stack under test", kSecExperiment,
      +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
-       if (v == "ssmfp") {
-         o.protocol = ProtocolChoice::kSsmfp;
+       if (const auto family = parseEnum<ForwardingFamilyId>(v)) {
+         o.protocol = *family == ForwardingFamilyId::kSsmfp
+                          ? ProtocolChoice::kSsmfp
+                          : ProtocolChoice::kSsmfp2;
+         o.config.family = *family;
        } else if (v == "baseline") {
          o.protocol = ProtocolChoice::kBaseline;
        } else {
-         return "unknown protocol '" + v + "'";
+         return "unknown protocol '" + v + "' (need one of " +
+                enumNameList<ForwardingFamilyId>() + "|baseline)";
        }
        return std::nullopt;
      }},
@@ -371,10 +376,14 @@ const FlagSpec kFlagTable[] = {
 
     // -- explore --------------------------------------------------------------
     {"model", kExploreBit, "is an explore flag (snapfwd_cli explore ...)",
-     true, "needs ssmfp or pif", +[] { return std::string("ssmfp|pif"); },
+     true, "needs a forwarding family or pif",
+     +[] { return enumNameList<ForwardingFamilyId>() + "|pif"; },
      "the protocol stack to close (default ssmfp)", kSecExplore,
      +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
-       if (v != "ssmfp" && v != "pif") return "--model needs ssmfp or pif";
+       if (!parseEnum<ForwardingFamilyId>(v).has_value() && v != "pif") {
+         return "--model needs one of " + enumNameList<ForwardingFamilyId>() +
+                "|pif";
+       }
        o.exploreModel = v;
        return std::nullopt;
      }},
@@ -392,7 +401,7 @@ const FlagSpec kFlagTable[] = {
      }},
     {"start-set", kExploreBit, "is an explore flag", true, "needs a value",
      +[] { return std::string("<name>"); },
-     "initial states: ssmfp figure2-corruptions (default) | "
+     "initial states: forwarding families figure2-corruptions (default) | "
      "figure2-clean; pif scramble (default)",
      kSecExplore,
      +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
@@ -536,8 +545,9 @@ std::string usage() {
 
 std::string renderResult(const CliOptions& options, const ExperimentResult& r) {
   Table table("snapfwd experiment", {"metric", "value"});
-  table.addRow({"protocol",
-                options.protocol == ProtocolChoice::kSsmfp ? "ssmfp" : "baseline"});
+  table.addRow({"protocol", options.protocol == ProtocolChoice::kBaseline
+                                ? "baseline"
+                                : toString(options.config.family)});
   table.addRow({"topology", options.config.topo.label()});
   table.addRow({"n", Table::num(std::uint64_t{r.graphN})});
   table.addRow({"Delta", Table::num(std::uint64_t{r.graphDelta})});
@@ -666,13 +676,15 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     }
     return runExploreCommand(options, out, err);
   }
-  if (options.protocol == ProtocolChoice::kBaseline) {
+  if (options.protocol != ProtocolChoice::kSsmfp) {
     if (tooling) {
       err << "error: snapshot/trace/render flags support --protocol=ssmfp "
              "only\n";
       return 2;
     }
-    const ExperimentResult result = runBaselineExperiment(options.config);
+    const ExperimentResult result = options.protocol == ProtocolChoice::kBaseline
+                                        ? runBaselineExperiment(options.config)
+                                        : runForwardingExperiment(options.config);
     out << renderResult(options, result);
     return result.spec.satisfiesSp() && result.quiescent ? 0 : 1;
   }

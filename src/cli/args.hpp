@@ -15,7 +15,9 @@
 
 namespace snapfwd::cli {
 
-enum class ProtocolChoice { kSsmfp, kBaseline };
+/// --protocol: a forwarding family member (runs over the self-stabilizing
+/// routing layer) or the non-stabilizing Merlin-Schweitzer baseline.
+enum class ProtocolChoice { kSsmfp, kSsmfp2, kBaseline };
 enum class OutputFormat { kText, kCsv };
 
 /// `snapfwd_cli [--flags]` runs one experiment; `snapfwd_cli sweep
@@ -40,7 +42,7 @@ struct CliOptions {
 
   // Explore subcommand (values validated at parse time; resolved against
   // src/explore/ in runExploreCommand):
-  std::string exploreModel = "ssmfp";      // --model=ssmfp|pif
+  std::string exploreModel = "ssmfp";      // --model=<family>|pif
   std::string exploreClosure = "central";  // --daemon-closure=central|...
   std::string exploreStartSet;             // --start-set (default per model)
   std::uint64_t exploreDepth = 0;          // --depth (0 = unbounded)

@@ -92,8 +92,12 @@ void auditMatrix(const CliOptions& options, AuditReport& report) {
                                  corruption.label;
         for (std::size_t i = 0; i < options.sweepSeeds; ++i) {
           cfg.seed = options.config.seed + i;
-          report.run("ssmfp " + cell, cfg.seed,
-                     [&] { (void)runSsmfpExperiment(cfg); });
+          for (const auto family :
+               {ForwardingFamilyId::kSsmfp, ForwardingFamilyId::kSsmfp2}) {
+            cfg.family = family;
+            report.run(std::string(toString(family)) + " " + cell, cfg.seed,
+                       [&] { (void)runForwardingExperiment(cfg); });
+          }
           report.run("baseline " + cell, cfg.seed,
                      [&] { (void)runBaselineExperiment(cfg); });
         }

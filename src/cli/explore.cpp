@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "explore/explore.hpp"
+#include "explore/family.hpp"
 #include "explore/models.hpp"
 #include "sim/sweep.hpp"
 #include "stats/table.hpp"
@@ -87,21 +88,23 @@ int runExploreCommand(const CliOptions& options, std::ostream& out,
       *parseEnum<explore::StateCodec>(options.exploreCodec);  // parse-validated
 
   std::unique_ptr<explore::ExploreModel> model;
-  std::unique_ptr<explore::SsmfpExploreModel> ssmfpModel;
-  if (options.exploreModel == "ssmfp") {
+  explore::SsmfpExploreModel* ssmfpModel = nullptr;
+  if (const explore::FamilyModelOps* family =
+          explore::findFamilyModelOps(options.exploreModel)) {
     const std::string startSet = options.exploreStartSet.empty()
                                      ? "figure2-corruptions"
                                      : options.exploreStartSet;
     if (startSet == "figure2-corruptions") {
-      ssmfpModel = std::make_unique<explore::SsmfpExploreModel>(
-          explore::SsmfpExploreModel::figure2CorruptionClosure());
+      model = family->figure2CorruptionModel();
     } else if (startSet == "figure2-clean") {
-      ssmfpModel = std::make_unique<explore::SsmfpExploreModel>(
-          explore::SsmfpExploreModel::figure2Clean());
+      model = family->figure2CleanModel();
     } else {
-      err << "error: unknown ssmfp start set '" << startSet
+      err << "error: unknown " << family->name << " start set '" << startSet
           << "' (figure2-corruptions | figure2-clean)\n";
       return 2;
+    }
+    if (family->id == ForwardingFamilyId::kSsmfp) {
+      ssmfpModel = static_cast<explore::SsmfpExploreModel*>(model.get());
     }
   } else {
     const std::string startSet =
@@ -114,7 +117,7 @@ int runExploreCommand(const CliOptions& options, std::ostream& out,
         explore::PifExploreModel::scrambleClosure(figure2SpanningTree(),
                                                   /*root=*/0));
   }
-  const explore::ExploreModel& chosen = ssmfpModel ? *ssmfpModel : *model;
+  const explore::ExploreModel& chosen = *model;
 
   std::unique_ptr<ThreadPool> pool;
   if (exploreOptions.threads > 1) {

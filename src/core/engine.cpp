@@ -71,23 +71,6 @@ EngineOptions EngineOptions::processDefaults() {
   return out;
 }
 
-// Deprecated shims: one-field views of the EngineOptions process defaults.
-// Implemented against the storage directly so the shims never call each
-// other (keeps -Wdeprecated-declarations clean inside this file).
-ScanMode Engine::defaultScanMode() { return EngineOptions{}.resolvedScanMode(); }
-
-void Engine::setDefaultScanMode(std::optional<ScanMode> mode) {
-  gScanModeDefault.store(mode ? static_cast<int>(*mode) : -1,
-                         std::memory_order_relaxed);
-}
-
-bool Engine::defaultAuditMode() { return EngineOptions{}.resolvedAudit(); }
-
-void Engine::setDefaultAuditMode(std::optional<bool> on) {
-  gAuditDefault.store(on ? static_cast<int>(*on) : -1,
-                      std::memory_order_relaxed);
-}
-
 void Engine::setAuditMode(bool on) {
   // Any audit toggle invalidates kernel-mirror trust: while a tracker is
   // attached the kernel path is bypassed, so mirrors silently go stale.
@@ -164,11 +147,6 @@ Engine::Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon
     mirrorsDirty_ = false;
   }
 }
-
-Engine::Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
-               ThreadPool* pool, ScanMode scanMode)
-    : Engine(graph, std::move(layers), daemon, pool,
-             EngineOptions{.scanMode = scanMode}) {}
 
 Engine::~Engine() {
   for (Protocol* layer : layers_) {

@@ -104,9 +104,9 @@ struct EnumNames<ExecMode> {
 /// whole suites can run with SNAPFWD_AUDIT=1 regardless of build flavor;
 /// use Engine::setAuditMode(true) to get a hard error instead.
 ///
-/// This struct replaces the former knob surface of static
+/// This struct replaced the former knob surface of static
 /// Engine::setDefaultScanMode / setDefaultAuditMode pairs plus scattered
-/// getenv calls; those statics survive as deprecated shims routing here.
+/// getenv calls; those shims are gone - this is the only knob surface.
 struct EngineOptions {
   std::optional<ScanMode> scanMode{};
   std::optional<ExecMode> execMode{};
@@ -172,29 +172,10 @@ class Engine {
   /// through process defaults / environment (see EngineOptions).
   Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
          ThreadPool* pool = nullptr, EngineOptions options = {});
-  /// Deprecated positional-ScanMode constructor (pre-EngineOptions API).
-  /// No defaulted parameters, so `Engine(g, layers, d)` keeps resolving to
-  /// the EngineOptions overload above.
-  [[deprecated("pass EngineOptions{.scanMode = ...} instead")]]
-  Engine(const Graph& graph, std::vector<Protocol*> layers, Daemon& daemon,
-         ThreadPool* pool, ScanMode scanMode);
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
-
-  /// Deprecated shims for the pre-EngineOptions static knob surface. They
-  /// read/write the same process-wide defaults as
-  /// EngineOptions::{processDefaults,setProcessDefaults} restricted to one
-  /// field each; prefer ScopedEngineDefaults for scoped overrides.
-  [[deprecated("use EngineOptions{}.resolvedScanMode()")]]
-  [[nodiscard]] static ScanMode defaultScanMode();
-  [[deprecated("use EngineOptions::setProcessDefaults / ScopedEngineDefaults")]]
-  static void setDefaultScanMode(std::optional<ScanMode> mode);
-  [[deprecated("use EngineOptions{}.resolvedAudit()")]]
-  [[nodiscard]] static bool defaultAuditMode();
-  [[deprecated("use EngineOptions::setProcessDefaults / ScopedEngineDefaults")]]
-  static void setDefaultAuditMode(std::optional<bool> on);
 
   [[nodiscard]] ScanMode scanMode() const noexcept { return scanMode_; }
   [[nodiscard]] ExecMode execMode() const noexcept { return execMode_; }

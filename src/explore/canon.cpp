@@ -14,6 +14,7 @@
 #include "routing/selfstab_bfs.hpp"
 #include "sim/snapshot.hpp"
 #include "ssmfp/ssmfp.hpp"
+#include "ssmfp2/ssmfp2.hpp"
 
 namespace snapfwd::explore {
 
@@ -155,6 +156,128 @@ std::string canonForwardingState(const SsmfpProtocol& forwarding) {
   out << "nexttrace " << forwarding.nextTraceId() << '\n';
   out << "end\n";
   return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// SSMFP2 stack
+// ---------------------------------------------------------------------------
+
+std::string canonSsmfp2Stack(const SelfStabBfsRouting& routing,
+                             const Ssmfp2Protocol& forwarding) {
+  const Graph& graph = forwarding.graph();
+  std::ostringstream out;
+  out << "ssmfp2stack v1\n";
+  out << "maxrank " << forwarding.maxRank() << '\n';
+  out << "dests " << forwarding.destinations().size();
+  for (const NodeId d : forwarding.destinations()) out << ' ' << d;
+  out << '\n';
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (NodeId d = 0; d < graph.size(); ++d) {
+      out << "routing " << p << ' ' << d << ' ' << routing.dist(p, d) << ' '
+          << routing.parent(p, d) << '\n';
+    }
+  }
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (std::uint32_t k = 0; k <= forwarding.maxRank(); ++k) {
+      if (const Buffer& b = forwarding.slot(p, k)) {
+        Message norm = *b;  // stamps normalized for path-independent dedupe
+        norm.bornStep = 0;
+        norm.bornRound = 0;
+        out << "slot " << p << ' ' << k << ' '
+            << (forwarding.slotState(p, k) == SlotState::kReady ? 1 : 0) << ' ';
+        writeMessageFields(out, norm);
+        out << '\n';
+      }
+      if (k >= 1) {
+        out << "queue " << p << ' ' << k;
+        for (const NodeId c : forwarding.fairnessQueue(p, k)) out << ' ' << c;
+        out << '\n';
+      }
+    }
+    for (std::size_t w = 0; w < forwarding.outboxSize(p); ++w) {
+      const auto [dest, payload] = forwarding.waitingAt(p, w);
+      out << "outbox " << p << ' ' << dest << ' ' << payload << ' '
+          << forwarding.waitingTrace(p, w) << '\n';
+    }
+  }
+  out << "nexttrace " << forwarding.nextTraceId() << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+void restoreSsmfp2Stack(SelfStabBfsRouting& routing, Ssmfp2Protocol& forwarding,
+                        const std::string& canon) {
+  const Graph& graph = forwarding.graph();
+  // The text lists only occupied slots/waiting entries: wipe first.
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (std::uint32_t k = 0; k <= forwarding.maxRank(); ++k) {
+      forwarding.clearSlotForRestore(p, k);
+    }
+    forwarding.clearOutboxForRestore(p);
+  }
+  LineParser lp(canon, "ssmfp2stack");
+  std::vector<std::string> tokens;
+  if (!lp.next(tokens) || tokens.size() != 2 || tokens[0] != "ssmfp2stack" ||
+      tokens[1] != "v1") {
+    lp.fail("expected header 'ssmfp2stack v1'");
+  }
+  bool done = false;
+  while (!done && lp.next(tokens)) {
+    if (tokens[0] == "maxrank") {
+      lp.expectCount(tokens, 2);
+      if (lp.num(tokens[1]) != forwarding.maxRank()) lp.fail("maxrank mismatch");
+    } else if (tokens[0] == "dests") {
+      if (tokens.size() < 2) lp.fail("truncated dests line");
+      const std::uint64_t count = lp.num(tokens[1]);
+      lp.expectCount(tokens, 2 + count);
+      if (count != forwarding.destinations().size()) lp.fail("dest count mismatch");
+      for (std::size_t i = 0; i < count; ++i) {
+        if (static_cast<NodeId>(lp.num(tokens[2 + i])) !=
+            forwarding.destinations()[i]) {
+          lp.fail("destination set mismatch");
+        }
+      }
+    } else if (tokens[0] == "routing") {
+      lp.expectCount(tokens, 5);
+      routing.setEntry(static_cast<NodeId>(lp.num(tokens[1])),
+                       static_cast<NodeId>(lp.num(tokens[2])),
+                       static_cast<std::uint32_t>(lp.num(tokens[3])),
+                       static_cast<NodeId>(lp.num(tokens[4])));
+    } else if (tokens[0] == "slot") {
+      lp.expectCount(tokens, 13);
+      const auto p = static_cast<NodeId>(lp.num(tokens[1]));
+      const auto k = static_cast<std::uint32_t>(lp.num(tokens[2]));
+      if (p >= graph.size() || k > forwarding.maxRank()) lp.fail("slot out of range");
+      const SlotState state =
+          lp.num(tokens[3]) != 0 ? SlotState::kReady : SlotState::kReceived;
+      forwarding.restoreSlot(p, k, state, parseMessageFields(lp, tokens, 4));
+    } else if (tokens[0] == "queue") {
+      if (tokens.size() < 3) lp.fail("truncated queue line");
+      const auto p = static_cast<NodeId>(lp.num(tokens[1]));
+      const auto k = static_cast<std::uint32_t>(lp.num(tokens[2]));
+      if (p >= graph.size() || k < 1 || k > forwarding.maxRank()) {
+        lp.fail("queue out of range");
+      }
+      std::vector<NodeId> order;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        order.push_back(static_cast<NodeId>(lp.num(tokens[i])));
+      }
+      forwarding.setFairnessQueue(p, k, std::move(order));
+    } else if (tokens[0] == "outbox") {
+      lp.expectCount(tokens, 5);
+      forwarding.restoreOutboxEntry(static_cast<NodeId>(lp.num(tokens[1])),
+                                    static_cast<NodeId>(lp.num(tokens[2])),
+                                    lp.num(tokens[3]), lp.num(tokens[4]));
+    } else if (tokens[0] == "nexttrace") {
+      lp.expectCount(tokens, 2);
+      forwarding.setNextTraceId(lp.num(tokens[1]));
+    } else if (tokens[0] == "end") {
+      done = true;
+    } else {
+      lp.fail("unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!done) lp.fail("missing 'end'");
 }
 
 // ---------------------------------------------------------------------------

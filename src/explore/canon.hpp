@@ -24,6 +24,7 @@ namespace snapfwd {
 class Graph;
 class SelfStabBfsRouting;
 class SsmfpProtocol;
+class Ssmfp2Protocol;
 class PifProtocol;
 class MerlinSchweitzerProtocol;
 class OrientationForwardingProtocol;
@@ -49,6 +50,18 @@ namespace snapfwd::explore {
 /// the Figure 3 replay. Birth stamps are kept verbatim: scripted replays
 /// are deterministic and the golden corpus pins them.
 [[nodiscard]] std::string canonForwardingState(const SsmfpProtocol& forwarding);
+
+/// SSMFP2 stack (routing tables + rank-slot ladder + fairness queues +
+/// outboxes + nexttrace). The graph is NOT serialized - the explore model
+/// owns it (PifExploreModel pattern); restore targets a live stack on the
+/// same graph. Birth stamps are normalized to zero for explorer dedupe.
+[[nodiscard]] std::string canonSsmfp2Stack(const SelfStabBfsRouting& routing,
+                                           const Ssmfp2Protocol& forwarding);
+/// Applies a canonSsmfp2Stack() string onto a live stack of the same
+/// structure (slots/outboxes absent from the text are cleared). Throws
+/// std::runtime_error on malformed input.
+void restoreSsmfp2Stack(SelfStabBfsRouting& routing, Ssmfp2Protocol& forwarding,
+                        const std::string& canon);
 
 /// PIF protocol-visible state: root, per-node S_p, pending requests.
 [[nodiscard]] std::string canonPifState(const PifProtocol& pif);

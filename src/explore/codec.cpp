@@ -12,6 +12,7 @@
 #include "pif/pif.hpp"
 #include "routing/selfstab_bfs.hpp"
 #include "ssmfp/ssmfp.hpp"
+#include "ssmfp2/ssmfp2.hpp"
 
 namespace snapfwd::explore {
 
@@ -300,6 +301,166 @@ void restoreSsmfpProcessors(std::string_view bytes,
     const std::uint32_t offset = r.u32le();
     r.seek(base + offset);
     decodeSsmfpSection(r, p, graph, routing, forwarding);
+  }
+  r.seek(table + 4 * n);
+  const std::uint32_t end = r.u32le();
+  r.seek(base + end);
+  forwarding.setNextTraceId(r.varint());
+}
+
+// ---------------------------------------------------------------------------
+// SSMFP2 stack
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kSsmfp2Magic0 = 'B';
+constexpr char kSsmfp2Magic1 = '2';
+constexpr std::uint8_t kSsmfp2Version = 1;
+
+/// Processor section: routing row, then per rank a flag byte
+/// (bit 0 occupied, bit 1 ready-state) + message + (k >= 1) the fairness
+/// queue, then the outbox. The delta-restore unit, as for SSMFP.
+void encodeSsmfp2Section(NodeId p, const Graph& graph,
+                         const SelfStabBfsRouting& routing,
+                         const Ssmfp2Protocol& forwarding, std::string& out) {
+  for (NodeId d = 0; d < graph.size(); ++d) {
+    putVarint(out, routing.dist(p, d));
+    putVarint(out, routing.parent(p, d));
+  }
+  for (std::uint32_t k = 0; k <= forwarding.maxRank(); ++k) {
+    const Buffer& b = forwarding.slot(p, k);
+    const bool ready =
+        b.has_value() && forwarding.slotState(p, k) == SlotState::kReady;
+    putByte(out, static_cast<std::uint8_t>((b.has_value() ? 1 : 0) |
+                                           (ready ? 2 : 0)));
+    if (b) putStackMessage(out, *b);
+    if (k >= 1) {
+      for (const NodeId c : forwarding.fairnessQueue(p, k)) putVarint(out, c);
+    }
+  }
+  putVarint(out, forwarding.outboxSize(p));
+  for (std::size_t w = 0; w < forwarding.outboxSize(p); ++w) {
+    const auto [dest, payload] = forwarding.waitingAt(p, w);
+    putVarint(out, dest);
+    putVarint(out, payload);
+    putVarint(out, forwarding.waitingTrace(p, w));
+  }
+}
+
+void decodeSsmfp2Section(BinReader& r, NodeId p, const Graph& graph,
+                         SelfStabBfsRouting& routing,
+                         Ssmfp2Protocol& forwarding) {
+  for (NodeId d = 0; d < graph.size(); ++d) {
+    const auto dist = static_cast<std::uint32_t>(r.varint());
+    const auto parent = static_cast<NodeId>(r.varint());
+    routing.setEntry(p, d, dist, parent);
+  }
+  std::vector<NodeId> order(graph.degree(p));
+  for (std::uint32_t k = 0; k <= forwarding.maxRank(); ++k) {
+    const std::uint8_t flags = r.byte();
+    if (flags & 1) {
+      forwarding.restoreSlot(
+          p, k, (flags & 2) ? SlotState::kReady : SlotState::kReceived,
+          getStackMessage(r));
+    } else {
+      forwarding.clearSlotForRestore(p, k);
+    }
+    if (k >= 1) {
+      for (NodeId& c : order) c = static_cast<NodeId>(r.varint());
+      forwarding.setFairnessQueue(p, k, order);
+    }
+  }
+  forwarding.clearOutboxForRestore(p);
+  const std::uint64_t waiting = r.varint();
+  for (std::uint64_t w = 0; w < waiting; ++w) {
+    const auto dest = static_cast<NodeId>(r.varint());
+    const Payload payload = r.varint();
+    const TraceId trace = r.varint();
+    forwarding.restoreOutboxEntry(p, dest, payload, trace);
+  }
+}
+
+BinReader openSsmfp2Stack(std::string_view bytes, const Graph& graph,
+                          std::uint64_t structHash, std::size_t& n) {
+  BinReader r(bytes);
+  r.expectMagic(kSsmfp2Magic0, kSsmfp2Magic1, kSsmfp2Version,
+                "bad ssmfp2 magic");
+  n = r.varint();
+  if (n != graph.size()) r.fail("processor count mismatch");
+  if (r.u64le() != structHash) r.fail("stack structure mismatch");
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t ssmfp2StructHash(const Graph& graph,
+                               const Ssmfp2Protocol& forwarding) {
+  std::string s = "ssmfp2-struct";
+  putVarint(s, graph.size());
+  for (const auto& [u, v] : graph.edges()) {
+    putVarint(s, u);
+    putVarint(s, v);
+  }
+  putVarint(s, forwarding.destinations().size());
+  for (const NodeId d : forwarding.destinations()) putVarint(s, d);
+  putVarint(s, forwarding.maxRank());
+  return hash64(s);
+}
+
+void encodeSsmfp2Stack(const SelfStabBfsRouting& routing,
+                       const Ssmfp2Protocol& forwarding, std::uint64_t structHash,
+                       std::string& out) {
+  const Graph& graph = forwarding.graph();
+  const std::size_t n = graph.size();
+  out.push_back(kSsmfp2Magic0);
+  out.push_back(kSsmfp2Magic1);
+  putByte(out, kSsmfp2Version);
+  putVarint(out, n);
+  putU64le(out, structHash);
+  const std::size_t table = out.size();
+  for (std::size_t i = 0; i <= n; ++i) putU32le(out, 0);
+  const std::size_t base = out.size();
+  for (NodeId p = 0; p < n; ++p) {
+    patchU32le(out, table + 4 * p, static_cast<std::uint32_t>(out.size() - base));
+    encodeSsmfp2Section(p, graph, routing, forwarding, out);
+  }
+  patchU32le(out, table + 4 * n, static_cast<std::uint32_t>(out.size() - base));
+  putVarint(out, forwarding.nextTraceId());
+}
+
+BinReader decodeSsmfp2Stack(std::string_view bytes, SelfStabBfsRouting& routing,
+                            Ssmfp2Protocol& forwarding,
+                            std::uint64_t structHash) {
+  const Graph& graph = forwarding.graph();
+  std::size_t n = 0;
+  BinReader r = openSsmfp2Stack(bytes, graph, structHash, n);
+  const std::size_t table = r.pos();
+  const std::size_t base = table + 4 * (n + 1);
+  r.seek(base);
+  for (NodeId p = 0; p < n; ++p) {
+    decodeSsmfp2Section(r, p, graph, routing, forwarding);
+  }
+  forwarding.setNextTraceId(r.varint());
+  return r;
+}
+
+void restoreSsmfp2Processors(std::string_view bytes,
+                             std::span<const NodeId> processors,
+                             SelfStabBfsRouting& routing,
+                             Ssmfp2Protocol& forwarding,
+                             std::uint64_t structHash) {
+  const Graph& graph = forwarding.graph();
+  std::size_t n = 0;
+  BinReader r = openSsmfp2Stack(bytes, graph, structHash, n);
+  const std::size_t table = r.pos();
+  const std::size_t base = table + 4 * (n + 1);
+  for (const NodeId p : processors) {
+    if (p >= n) r.fail("processor id out of range");
+    r.seek(table + 4 * p);
+    const std::uint32_t offset = r.u32le();
+    r.seek(base + offset);
+    decodeSsmfp2Section(r, p, graph, routing, forwarding);
   }
   r.seek(table + 4 * n);
   const std::uint32_t end = r.u32le();

@@ -38,6 +38,7 @@
 namespace snapfwd {
 class SelfStabBfsRouting;
 class SsmfpProtocol;
+class Ssmfp2Protocol;
 class PifProtocol;
 class MerlinSchweitzerProtocol;
 class OrientationForwardingProtocol;
@@ -143,6 +144,36 @@ void restoreSsmfpProcessors(std::string_view bytes,
                             std::span<const NodeId> processors,
                             SelfStabBfsRouting& routing,
                             SsmfpProtocol& forwarding, std::uint64_t structHash);
+
+// ---------------------------------------------------------------------------
+// SSMFP2 stack ('B' '2' v1) - same layout discipline as the SSMFP format:
+// header + structure fingerprint + per-processor u32le offset table, so the
+// explorer's fork-from-parent delta stepping works identically.
+// ---------------------------------------------------------------------------
+
+/// Fingerprint of the immutable SSMFP2 stack structure (graph size + edges
+/// + destination set + max rank).
+[[nodiscard]] std::uint64_t ssmfp2StructHash(const Graph& graph,
+                                             const Ssmfp2Protocol& forwarding);
+
+/// Appends the full stack state (routing tables + rank slots + fairness
+/// queues + outboxes + nexttrace; birth stamps normalized away as in
+/// canonSsmfp2Stack).
+void encodeSsmfp2Stack(const SelfStabBfsRouting& routing,
+                       const Ssmfp2Protocol& forwarding, std::uint64_t structHash,
+                       std::string& out);
+
+/// Restores every processor section onto a live stack of the same
+/// structure. Returns a reader positioned after the protocol part.
+BinReader decodeSsmfp2Stack(std::string_view bytes, SelfStabBfsRouting& routing,
+                            Ssmfp2Protocol& forwarding, std::uint64_t structHash);
+
+/// Delta restore of only `processors` plus nexttrace (the SSMFP2 analogue
+/// of restoreSsmfpProcessors).
+void restoreSsmfp2Processors(std::string_view bytes,
+                             std::span<const NodeId> processors,
+                             SelfStabBfsRouting& routing,
+                             Ssmfp2Protocol& forwarding, std::uint64_t structHash);
 
 // ---------------------------------------------------------------------------
 // PIF ('B' 'P' v1)

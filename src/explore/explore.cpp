@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <iostream>
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
@@ -295,11 +296,16 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
   result.stats.startStates = starts.size();
 
   // Resolve the codec: kBinary needs instance support; otherwise fall back
-  // to the textual path (counts are identical either way).
+  // to the textual path (counts are identical either way, but the caller
+  // asked for the fast path and should hear that it did not run).
   StateCodec codec = options.codec;
   if (codec == StateCodec::kBinary &&
       (starts.empty() || !model.load(starts.front())->supportsBinaryCodec())) {
     codec = StateCodec::kText;
+    result.stats.codecFellBack = true;
+    std::cerr << "warning: model '" << model.name()
+              << "' has no binary state codec; --state-codec=binary fell "
+                 "back to text\n";
   }
   result.stats.codecUsed = codec;
 
@@ -553,6 +559,7 @@ void writeExploreJsonl(std::ostream& out, std::string_view modelName,
     o.field("model", modelName);
     o.field("closure", toString(options.closure));
     o.field("codec", toString(result.stats.codecUsed));
+    o.field("codec_fallback", result.stats.codecFellBack);
     o.field("max_depth", static_cast<std::uint64_t>(options.maxDepth));
     o.field("max_states", static_cast<std::uint64_t>(options.maxStates));
     o.field("max_moves_per_state",

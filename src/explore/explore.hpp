@@ -168,8 +168,10 @@ struct ExploreOptions {
   /// (deterministic: the reported violation minimizes (depth, state hash)).
   bool stopOnViolation = true;
   /// State representation stored and deduplicated on (codec.hpp). kBinary
-  /// silently falls back to kText when the model's instances do not
-  /// support it; stats.codecUsed reports what actually ran.
+  /// falls back to kText when the model's instances do not support it -
+  /// loudly: a warning goes to stderr, stats.codecFellBack is set (the
+  /// `codec_fallback` JSONL field), and stats.codecUsed reports what
+  /// actually ran.
   StateCodec codec = StateCodec::kText;
 };
 
@@ -190,6 +192,8 @@ struct ExploreStats {
   /// The representation the run actually stored (== options.codec unless
   /// kBinary fell back to kText for an unsupporting model).
   StateCodec codecUsed = StateCodec::kText;
+  /// True iff kBinary was requested but the model does not support it.
+  bool codecFellBack = false;
   /// Encoded payload bytes interned into the visited set (sum over states;
   /// stateBytes / visited = mean bytes per state).
   std::uint64_t stateBytes = 0;

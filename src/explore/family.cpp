@@ -1,0 +1,48 @@
+#include "explore/family.hpp"
+
+#include <array>
+#include <memory>
+
+#include "explore/models.hpp"
+
+namespace snapfwd::explore {
+
+namespace {
+
+std::unique_ptr<ExploreModel> makeSsmfpCorruptions() {
+  return std::make_unique<SsmfpExploreModel>(
+      SsmfpExploreModel::figure2CorruptionClosure());
+}
+
+std::unique_ptr<ExploreModel> makeSsmfpClean() {
+  return std::make_unique<SsmfpExploreModel>(SsmfpExploreModel::figure2Clean());
+}
+
+std::unique_ptr<ExploreModel> makeSsmfp2Corruptions() {
+  return std::make_unique<Ssmfp2ExploreModel>(
+      Ssmfp2ExploreModel::figure2CorruptionClosure());
+}
+
+std::unique_ptr<ExploreModel> makeSsmfp2Clean() {
+  return std::make_unique<Ssmfp2ExploreModel>(Ssmfp2ExploreModel::figure2Clean());
+}
+
+constexpr std::array<FamilyModelOps, 2> kRegistry = {{
+    {ForwardingFamilyId::kSsmfp, "ssmfp", /*hasBinaryCodec=*/true,
+     &makeSsmfpCorruptions, &makeSsmfpClean},
+    {ForwardingFamilyId::kSsmfp2, "ssmfp2", /*hasBinaryCodec=*/true,
+     &makeSsmfp2Corruptions, &makeSsmfp2Clean},
+}};
+
+}  // namespace
+
+std::span<const FamilyModelOps> familyModelRegistry() { return kRegistry; }
+
+const FamilyModelOps* findFamilyModelOps(std::string_view name) {
+  for (const auto& ops : kRegistry) {
+    if (ops.name == name) return &ops;
+  }
+  return nullptr;
+}
+
+}  // namespace snapfwd::explore

@@ -1,0 +1,43 @@
+#pragma once
+// Registry of forwarding families at the explore layer: one row per
+// ForwardingFamilyId, binding the family name to its explorer model
+// factories (the figure-2 corruption-closure and clean start sets of
+// models.hpp) and advertising whether the family has a binary state
+// codec (codec.hpp). The CLI explore command dispatches through this
+// table instead of naming protocols, so a new family only has to add a
+// row here (plus its canon/codec/model implementations) to be reachable
+// from `snapfwd_cli explore --model=<name>`.
+//
+// Per-family representation code (canon text, binary codec, invariant
+// monitors) stays in its own TU; this table only holds factories. The
+// name column mirrors EnumNames<ForwardingFamilyId> - parseEnum and
+// findFamilyModelOps agree by construction (pinned by tests).
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "explore/explore.hpp"
+#include "fwd/forwarding.hpp"
+
+namespace snapfwd::explore {
+
+/// One forwarding family's explorer surface.
+struct FamilyModelOps {
+  ForwardingFamilyId id;
+  std::string_view name;
+  /// True when codec.hpp has an encode/decode/delta-restore triple for the
+  /// family, i.e. --state-codec=binary is native (no text fallback).
+  bool hasBinaryCodec;
+  /// Figure-2 methodology start sets on the family's reference instance.
+  std::unique_ptr<ExploreModel> (*figure2CorruptionModel)();
+  std::unique_ptr<ExploreModel> (*figure2CleanModel)();
+};
+
+/// All registered families, in ForwardingFamilyId order.
+[[nodiscard]] std::span<const FamilyModelOps> familyModelRegistry();
+
+/// Row for `name`, or nullptr if no family has that name.
+[[nodiscard]] const FamilyModelOps* findFamilyModelOps(std::string_view name);
+
+}  // namespace snapfwd::explore

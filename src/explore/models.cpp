@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "checker/invariants.hpp"
+#include "checker/invariants2.hpp"
 #include "core/engine.hpp"
 #include "explore/canon.hpp"
 #include "explore/codec.hpp"
@@ -71,6 +72,58 @@ std::string monitorTail(const std::vector<TraceId>& outstanding,
   out << '\n';
   out << "invdel " << invalidDeliveries << '\n';
   return out.str();
+}
+
+/// Shared delivery monitor for forwarding families: folds the records past
+/// the watermarks into (outstanding, invalidDeliveries) and raises
+/// misdelivery/duplicate-delivery violations. The record vectors accumulate
+/// over the instance's lifetime (counterexample replay applies many moves
+/// to one instance), so consume from the watermark on.
+void ingestForwardingEvents(const ForwardingProtocol& fwd, std::size_t& genSeen,
+                            std::size_t& delSeen,
+                            std::vector<TraceId>& outstanding,
+                            std::uint64_t& invalidDeliveries,
+                            std::optional<ModelViolation>& stepViolation) {
+  const auto& allGens = fwd.generations();
+  const auto& allDels = fwd.deliveries();
+  const std::span<const GenerationRecord> gens{allGens.data() + genSeen,
+                                               allGens.size() - genSeen};
+  const std::span<const DeliveryRecord> dels{allDels.data() + delSeen,
+                                             allDels.size() - delSeen};
+  genSeen = allGens.size();
+  delSeen = allDels.size();
+  for (const GenerationRecord& gen : gens) {
+    const auto it = std::lower_bound(outstanding.begin(), outstanding.end(),
+                                     gen.msg.trace);
+    outstanding.insert(it, gen.msg.trace);
+  }
+  for (const DeliveryRecord& del : dels) {
+    if (!del.msg.valid) {
+      ++invalidDeliveries;
+      continue;
+    }
+    if (del.msg.dest != del.at) {
+      std::ostringstream msg;
+      msg << "valid trace " << del.msg.trace << " (payload " << del.msg.payload
+          << ") delivered at node " << del.at << " but addressed to "
+          << del.msg.dest;
+      if (!stepViolation) stepViolation = ModelViolation{"misdelivery", msg.str()};
+      continue;
+    }
+    const auto it = std::lower_bound(outstanding.begin(), outstanding.end(),
+                                     del.msg.trace);
+    if (it == outstanding.end() || *it != del.msg.trace) {
+      std::ostringstream msg;
+      msg << "valid trace " << del.msg.trace << " (payload " << del.msg.payload
+          << ") delivered at node " << del.at
+          << " a second time (not outstanding)";
+      if (!stepViolation) {
+        stepViolation = ModelViolation{"duplicate-delivery", msg.str()};
+      }
+      continue;
+    }
+    outstanding.erase(it);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -212,51 +265,9 @@ class SsmfpInstance final : public ModelInstance {
   }
 
  private:
-  /// Folds this step's generation/delivery records into the monitor. The
-  /// record vectors accumulate over the instance's lifetime (counterexample
-  /// replay applies many moves to one instance), so consume from the
-  /// watermark on.
   void ingestEvents() {
-    const auto& allGens = stack_.forwarding->generations();
-    const auto& allDels = stack_.forwarding->deliveries();
-    const std::span<const GenerationRecord> gens{allGens.data() + genSeen_,
-                                                 allGens.size() - genSeen_};
-    const std::span<const DeliveryRecord> dels{allDels.data() + delSeen_,
-                                               allDels.size() - delSeen_};
-    genSeen_ = allGens.size();
-    delSeen_ = allDels.size();
-    for (const GenerationRecord& gen : gens) {
-      const auto it = std::lower_bound(outstanding_.begin(), outstanding_.end(),
-                                       gen.msg.trace);
-      outstanding_.insert(it, gen.msg.trace);
-    }
-    for (const DeliveryRecord& del : dels) {
-      if (!del.msg.valid) {
-        ++invalidDeliveries_;
-        continue;
-      }
-      if (del.msg.dest != del.at) {
-        std::ostringstream msg;
-        msg << "valid trace " << del.msg.trace << " (payload " << del.msg.payload
-            << ") delivered at node " << del.at << " but addressed to "
-            << del.msg.dest;
-        if (!stepViolation_) stepViolation_ = ModelViolation{"misdelivery", msg.str()};
-        continue;
-      }
-      const auto it = std::lower_bound(outstanding_.begin(), outstanding_.end(),
-                                       del.msg.trace);
-      if (it == outstanding_.end() || *it != del.msg.trace) {
-        std::ostringstream msg;
-        msg << "valid trace " << del.msg.trace << " (payload " << del.msg.payload
-            << ") delivered at node " << del.at
-            << " a second time (not outstanding)";
-        if (!stepViolation_) {
-          stepViolation_ = ModelViolation{"duplicate-delivery", msg.str()};
-        }
-        continue;
-      }
-      outstanding_.erase(it);
-    }
+    ingestForwardingEvents(*stack_.forwarding, genSeen_, delSeen_, outstanding_,
+                           invalidDeliveries_, stepViolation_);
   }
 
   RestoredStack stack_;
@@ -287,6 +298,182 @@ RestoredStack makeFigure2Base() {
   stack.forwarding->send(2, 1, 100);
   return stack;
 }
+
+/// Family-generic figure-2 corruption-closure driver. The axis ORDER is
+/// part of the pinned start-set contract (CI counts the ssmfp set):
+/// routing-entry values first, then the family's single-garbage plants,
+/// then its fairness-queue rotations - the base start itself is the
+/// caller's first entry. `variant(corrupt)` reloads the base stack, applies
+/// `corrupt` to it, and appends the resulting canonical start; the routing
+/// axis is family-independent (every forwarding family sits on
+/// SelfStabBfsRouting), while `garbageAxis(variant)` and
+/// `queueAxis(variant)` supply the family-specific inner loops.
+template <typename Variant, typename RoutingCorrupt, typename GarbageAxis,
+          typename QueueAxis>
+void appendFigure2Corruptions(const Graph& graph,
+                              const SelfStabBfsRouting& baseRouting, NodeId dest,
+                              const Variant& variant,
+                              const RoutingCorrupt& corruptRouting,
+                              const GarbageAxis& garbageAxis,
+                              const QueueAxis& queueAxis) {
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (std::uint32_t dist = 0; dist <= graph.size(); ++dist) {
+      for (const NodeId parent : graph.neighbors(p)) {
+        if (dist == baseRouting.dist(p, dest) &&
+            parent == baseRouting.parent(p, dest)) {
+          continue;
+        }
+        variant([&](auto& stack) { corruptRouting(stack, p, dist, parent); });
+      }
+    }
+  }
+  garbageAxis(variant);
+  queueAxis(variant);
+}
+
+// ---------------------------------------------------------------------------
+// SSMFP2 instance
+// ---------------------------------------------------------------------------
+
+class Ssmfp2Instance final : public ModelInstance {
+ public:
+  Ssmfp2Instance(const Graph& graph, const std::vector<NodeId>& dests,
+                 const std::string& state, Ssmfp2GuardMutation mutation)
+      : routing_(graph), forwarding_(graph, routing_, dests) {
+    restoreSsmfp2Stack(routing_, forwarding_, state);
+    // Monitor tail follows the "end" line of the stack canon text.
+    const std::size_t endPos = state.find("\nend\n");
+    if (endPos == std::string::npos) {
+      throw std::runtime_error("ssmfp2 explore state: missing 'end'");
+    }
+    std::istringstream in(state.substr(endPos + 5));
+    std::string key;
+    std::size_t count = 0;
+    if (!(in >> key) || key != "outstanding" || !(in >> count)) {
+      throw std::runtime_error("ssmfp2 explore state: missing monitor tail");
+    }
+    outstanding_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!(in >> outstanding_[i])) {
+        throw std::runtime_error("ssmfp2 explore state: truncated outstanding list");
+      }
+    }
+    if (!(in >> key) || key != "invdel" || !(in >> invalidDeliveries_)) {
+      throw std::runtime_error("ssmfp2 explore state: missing invdel line");
+    }
+    std::sort(outstanding_.begin(), outstanding_.end());
+    if (mutation != Ssmfp2GuardMutation::kNone) {
+      forwarding_.setGuardMutationForTest(mutation);
+    }
+    engine_ = std::make_unique<Engine>(
+        graph, std::vector<Protocol*>{&routing_, &forwarding_}, daemon_);
+    forwarding_.attachEngine(engine_.get());
+    structHash_ = ssmfp2StructHash(graph, forwarding_);
+  }
+
+  [[nodiscard]] bool supportsBinaryCodec() const override { return true; }
+
+  void encodeState(std::string& out) override {
+    encodeSsmfp2Stack(routing_, forwarding_, structHash_, out);
+    putVarint(out, outstanding_.size());
+    for (const TraceId t : outstanding_) putVarint(out, t);
+    putVarint(out, invalidDeliveries_);
+  }
+
+  void restoreState(std::string_view bytes) override {
+    BinReader r = decodeSsmfp2Stack(bytes, routing_, forwarding_, structHash_);
+    outstanding_.resize(r.varint());
+    for (TraceId& t : outstanding_) t = r.varint();  // stored sorted
+    invalidDeliveries_ = r.varint();
+    forwarding_.clearEventRecordsForRestore();
+    genSeen_ = 0;
+    delSeen_ = 0;
+    stepViolation_.reset();
+    parentState_.assign(bytes.data(), bytes.size());
+    parentOutstanding_ = outstanding_;
+    parentInvalidDeliveries_ = invalidDeliveries_;
+  }
+
+  void undoToRestored() override {
+    restoreSsmfp2Processors(parentState_, engine_->lastStepWrites(), routing_,
+                            forwarding_, structHash_);
+    outstanding_ = parentOutstanding_;
+    invalidDeliveries_ = parentInvalidDeliveries_;
+    stepViolation_.reset();
+  }
+
+  void enumerateMoves(DaemonClosure closure, std::size_t maxMoves,
+                      std::vector<Move>& out, bool& truncated) override {
+    (void)engine_->isTerminal();  // refreshes the enabled set
+    enumerateMovesFromEnabled(engine_->lastEnabled(), closure, maxMoves, out,
+                              truncated);
+  }
+
+  [[nodiscard]] bool apply(const Move& move) override {
+    daemon_.setMove(&move);
+    const bool stepped = engine_->step();
+    daemon_.setMove(nullptr);
+    if (!stepped || !daemon_.matched()) return false;
+    ingestForwardingEvents(forwarding_, genSeen_, delSeen_, outstanding_,
+                           invalidDeliveries_, stepViolation_);
+    return true;
+  }
+
+  [[nodiscard]] std::string serialize() override {
+    return canonSsmfp2Stack(routing_, forwarding_) +
+           monitorTail(outstanding_, invalidDeliveries_);
+  }
+
+  [[nodiscard]] std::optional<ModelViolation> checkState() override {
+    if (stepViolation_) return stepViolation_;
+    if (auto v = checkSlotWellFormedness(forwarding_)) {
+      return ModelViolation{"slot-well-formedness", std::move(*v)};
+    }
+    if (auto v = checkSingleReadyCopy(forwarding_)) {
+      return ModelViolation{"multiple-ready-copies", std::move(*v)};
+    }
+    if (auto v = checkSlotConservation(forwarding_, outstanding_)) {
+      return ModelViolation{"conservation", std::move(*v)};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::optional<ModelViolation> checkTerminal() override {
+    if (!outstanding_.empty()) {
+      std::ostringstream msg;
+      msg << outstanding_.size()
+          << " valid trace(s) outstanding in a terminal configuration:";
+      for (const TraceId t : outstanding_) msg << ' ' << t;
+      return ModelViolation{"terminal-outstanding", msg.str()};
+    }
+    if (!forwarding_.fullyDrained()) {
+      return ModelViolation{
+          "terminal-not-drained",
+          "terminal configuration with occupied slots or waiting messages"};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::uint64_t progressCount() const override {
+    return invalidDeliveries_;
+  }
+
+ private:
+  SelfStabBfsRouting routing_;
+  Ssmfp2Protocol forwarding_;
+  ForcedDaemon daemon_;
+  std::unique_ptr<Engine> engine_;
+  std::vector<TraceId> outstanding_;  // sorted valid traces not yet delivered
+  std::uint64_t invalidDeliveries_ = 0;
+  std::size_t genSeen_ = 0;
+  std::size_t delSeen_ = 0;
+  std::optional<ModelViolation> stepViolation_;
+
+  std::uint64_t structHash_ = 0;
+  std::string parentState_;
+  std::vector<TraceId> parentOutstanding_;
+  std::uint64_t parentInvalidDeliveries_ = 0;
+};
 
 }  // namespace
 
@@ -332,64 +519,192 @@ SsmfpExploreModel SsmfpExploreModel::figure2CorruptionClosure(
         canonicalStart(*stack.graph, *stack.routing, *stack.forwarding));
   };
 
-  // Every value of every routing table entry (p, b).
-  for (NodeId p = 0; p < graph.size(); ++p) {
-    for (std::uint32_t dist = 0; dist <= graph.size(); ++dist) {
-      for (const NodeId parent : graph.neighbors(p)) {
-        if (dist == base.routing->dist(p, dest) &&
-            parent == base.routing->parent(p, dest)) {
-          continue;
-        }
-        variant([&](RestoredStack& stack) {
-          stack.routing->setEntry(p, dest, dist, parent);
-        });
-      }
-    }
-  }
-
   // One garbage message (the paper's m' = 55) in every buffer, under every
   // lastHop in N_p u {p} and every color in {0..Delta}.
   const Color delta = base.forwarding->delta();
-  for (NodeId p = 0; p < graph.size(); ++p) {
-    std::vector<NodeId> hops = graph.neighbors(p);
-    hops.push_back(p);
-    for (const NodeId lastHop : hops) {
-      for (Color color = 0; color <= delta; ++color) {
-        for (const bool emission : {false, true}) {
-          variant([&](RestoredStack& stack) {
-            Message garbage;
-            garbage.payload = 55;
-            garbage.lastHop = lastHop;
-            garbage.color = color;
-            garbage.trace = kInvalidTrace;
-            garbage.valid = false;
-            garbage.source = lastHop;
-            garbage.dest = dest;
-            if (emission) {
-              stack.forwarding->restoreEmission(p, dest, garbage);
-            } else {
-              stack.forwarding->restoreReception(p, dest, garbage);
+  const auto garbageAxis = [&](const auto& emit) {
+    for (NodeId p = 0; p < graph.size(); ++p) {
+      std::vector<NodeId> hops = graph.neighbors(p);
+      hops.push_back(p);
+      for (const NodeId lastHop : hops) {
+        for (Color color = 0; color <= delta; ++color) {
+          for (const bool emission : {false, true}) {
+            emit([&](RestoredStack& stack) {
+              Message garbage;
+              garbage.payload = 55;
+              garbage.lastHop = lastHop;
+              garbage.color = color;
+              garbage.trace = kInvalidTrace;
+              garbage.valid = false;
+              garbage.source = lastHop;
+              garbage.dest = dest;
+              if (emission) {
+                stack.forwarding->restoreEmission(p, dest, garbage);
+              } else {
+                stack.forwarding->restoreReception(p, dest, garbage);
+              }
+            });
+          }
+        }
+      }
+    }
+  };
+
+  // Every rotation of every fairness queue (their content is arbitrary).
+  const auto queueAxis = [&](const auto& emit) {
+    for (NodeId p = 0; p < graph.size(); ++p) {
+      for (std::size_t rot = 1; rot <= graph.degree(p); ++rot) {
+        emit([&](RestoredStack& stack) {
+          std::vector<NodeId> order = stack.forwarding->fairnessQueue(p, dest);
+          std::rotate(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(rot),
+                      order.end());
+          stack.forwarding->setFairnessQueue(p, dest, std::move(order));
+        });
+      }
+    }
+  };
+
+  appendFigure2Corruptions(
+      graph, *base.routing, dest, variant,
+      [&](RestoredStack& stack, NodeId p, std::uint32_t dist, NodeId parent) {
+        stack.routing->setEntry(p, dest, dist, parent);
+      },
+      garbageAxis, queueAxis);
+
+  return SsmfpExploreModel(std::move(starts), mutation,
+                           "ssmfp-figure2-corruptions");
+}
+
+// ---------------------------------------------------------------------------
+// Ssmfp2ExploreModel
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Figure-2 base for the rank-slot family: same network N, same
+/// destination b, same pending send of m=100 at c.
+struct Ssmfp2BaseStack {
+  Graph graph = topo::figure3Network();
+  SelfStabBfsRouting routing{graph};
+  Ssmfp2Protocol forwarding{graph, routing, std::vector<NodeId>{1}};
+};
+
+}  // namespace
+
+Ssmfp2ExploreModel::Ssmfp2ExploreModel(Graph graph,
+                                       std::vector<NodeId> destinations,
+                                       std::vector<std::string> startStates,
+                                       Ssmfp2GuardMutation mutation,
+                                       std::string name)
+    : graph_(std::move(graph)),
+      dests_(std::move(destinations)),
+      starts_(std::move(startStates)),
+      mutation_(mutation),
+      name_(std::move(name)) {}
+
+std::unique_ptr<ModelInstance> Ssmfp2ExploreModel::load(
+    const std::string& state) const {
+  return std::make_unique<Ssmfp2Instance>(graph_, dests_, state, mutation_);
+}
+
+std::string Ssmfp2ExploreModel::canonicalStart(const SelfStabBfsRouting& routing,
+                                               const Ssmfp2Protocol& forwarding) {
+  return canonSsmfp2Stack(routing, forwarding) + monitorTail({}, 0);
+}
+
+Ssmfp2ExploreModel Ssmfp2ExploreModel::figure2Clean(
+    Ssmfp2GuardMutation mutation) {
+  Ssmfp2BaseStack base;
+  base.forwarding.send(2, 1, 100);
+  std::vector<std::string> starts{canonicalStart(base.routing, base.forwarding)};
+  return Ssmfp2ExploreModel(base.graph, {1}, std::move(starts), mutation,
+                            "ssmfp2-figure2");
+}
+
+Ssmfp2ExploreModel Ssmfp2ExploreModel::figure2CorruptionClosure(
+    Ssmfp2GuardMutation mutation) {
+  Ssmfp2BaseStack base;
+  base.forwarding.send(2, 1, 100);
+  const Graph& graph = base.graph;
+  const NodeId dest = 1;
+  const std::string baseText = canonicalStart(base.routing, base.forwarding);
+  std::vector<std::string> starts{baseText};
+
+  const auto variant = [&](const auto& corrupt) {
+    Ssmfp2BaseStack stack;
+    restoreSsmfp2Stack(stack.routing, stack.forwarding, baseText);
+    corrupt(stack);
+    starts.push_back(canonicalStart(stack.routing, stack.forwarding));
+  };
+
+  // One garbage message in every DETECTABLY rank-inconsistent slot form
+  // (the 2R8 footprint): received-state copies at rank 0 (any legal
+  // lastHop), ready copies with a foreign lastHop, and received copies at
+  // rank >= 1 stamped with p itself. Garbage that byte-mimics a legitimate
+  // in-flight copy is deliberately NOT in this set - it is covered by the
+  // Proposition-4-style delivery bound, not the zero-invalid-delivery
+  // closure (see ssmfp2.hpp).
+  const Color delta = base.forwarding.delta();
+  const std::uint32_t maxRank = base.forwarding.maxRank();
+  const auto garbageAxis = [&](const auto& emit) {
+    for (NodeId p = 0; p < graph.size(); ++p) {
+      std::vector<NodeId> hops = graph.neighbors(p);
+      hops.push_back(p);
+      for (std::uint32_t k = 0; k <= maxRank; ++k) {
+        for (const NodeId lastHop : hops) {
+          for (Color color = 0; color <= delta; ++color) {
+            for (const SlotState state :
+                 {SlotState::kReceived, SlotState::kReady}) {
+              const bool junk =
+                  state == SlotState::kReceived
+                      ? (k == 0 || lastHop == p)
+                      : lastHop != p;
+              if (!junk) continue;
+              emit([&](Ssmfp2BaseStack& stack) {
+                Message garbage;
+                garbage.payload = 55;
+                garbage.lastHop = lastHop;
+                garbage.color = color;
+                garbage.trace = kInvalidTrace;
+                garbage.valid = false;
+                garbage.source = lastHop;
+                garbage.dest = dest;
+                stack.forwarding.restoreSlot(p, k, state, garbage);
+              });
             }
+          }
+        }
+      }
+    }
+  };
+
+  // Every rotation of every per-rank fairness queue.
+  const auto queueAxis = [&](const auto& emit) {
+    for (NodeId p = 0; p < graph.size(); ++p) {
+      for (std::uint32_t k = 1; k <= maxRank; ++k) {
+        for (std::size_t rot = 1; rot <= graph.degree(p); ++rot) {
+          emit([&](Ssmfp2BaseStack& stack) {
+            std::vector<NodeId> order = stack.forwarding.fairnessQueue(p, k);
+            std::rotate(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(rot),
+                        order.end());
+            stack.forwarding.setFairnessQueue(p, k, std::move(order));
           });
         }
       }
     }
-  }
+  };
 
-  // Every rotation of every fairness queue (their content is arbitrary).
-  for (NodeId p = 0; p < graph.size(); ++p) {
-    for (std::size_t rot = 1; rot <= graph.degree(p); ++rot) {
-      variant([&](RestoredStack& stack) {
-        std::vector<NodeId> order = stack.forwarding->fairnessQueue(p, dest);
-        std::rotate(order.begin(),
-                    order.begin() + static_cast<std::ptrdiff_t>(rot), order.end());
-        stack.forwarding->setFairnessQueue(p, dest, std::move(order));
-      });
-    }
-  }
+  appendFigure2Corruptions(
+      graph, base.routing, dest, variant,
+      [&](Ssmfp2BaseStack& stack, NodeId p, std::uint32_t dist, NodeId parent) {
+        stack.routing.setEntry(p, dest, dist, parent);
+      },
+      garbageAxis, queueAxis);
 
-  return SsmfpExploreModel(std::move(starts), mutation,
-                           "ssmfp-figure2-corruptions");
+  return Ssmfp2ExploreModel(graph, {1}, std::move(starts), mutation,
+                            "ssmfp2-figure2-corruptions");
 }
 
 // ---------------------------------------------------------------------------

@@ -35,6 +35,7 @@
 #include "graph/graph.hpp"
 #include "sim/shrink.hpp"
 #include "ssmfp/ssmfp.hpp"
+#include "ssmfp2/ssmfp2.hpp"
 
 namespace snapfwd {
 class SelfStabBfsRouting;
@@ -84,6 +85,50 @@ class SsmfpExploreModel final : public ExploreModel {
  private:
   std::vector<std::string> starts_;
   SsmfpGuardMutation mutation_;
+  std::string name_;
+};
+
+class Ssmfp2ExploreModel final : public ExploreModel {
+ public:
+  /// The model owns the graph and destination set (the ssmfp2 canon does
+  /// not serialize the graph - PifExploreModel pattern); `startStates` are
+  /// canonicalStart() texts on that structure.
+  Ssmfp2ExploreModel(Graph graph, std::vector<NodeId> destinations,
+                     std::vector<std::string> startStates,
+                     Ssmfp2GuardMutation mutation = Ssmfp2GuardMutation::kNone,
+                     std::string name = "ssmfp2");
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] const std::vector<std::string>& startStates() const override {
+    return starts_;
+  }
+  [[nodiscard]] std::unique_ptr<ModelInstance> load(
+      const std::string& state) const override;
+
+  [[nodiscard]] Ssmfp2GuardMutation mutation() const { return mutation_; }
+
+  /// Canonical start text for a live stack with empty monitor tail.
+  [[nodiscard]] static std::string canonicalStart(
+      const SelfStabBfsRouting& routing, const Ssmfp2Protocol& forwarding);
+
+  /// Figure-2 methodology on the same network N: base configuration plus
+  /// every routing-entry value, every DETECTABLY rank-inconsistent single
+  /// garbage plant (the 2R8 footprint - see ssmfp2.hpp; mimicking garbage
+  /// is excluded and covered by the Prop-4-style delivery bound instead),
+  /// and every fairness-queue rotation. The closure over this start set
+  /// must reach ZERO invalid deliveries - ssmfp2's headline property.
+  [[nodiscard]] static Ssmfp2ExploreModel figure2CorruptionClosure(
+      Ssmfp2GuardMutation mutation = Ssmfp2GuardMutation::kNone);
+
+  /// Single clean start (correct tables, empty slots, one pending send).
+  [[nodiscard]] static Ssmfp2ExploreModel figure2Clean(
+      Ssmfp2GuardMutation mutation = Ssmfp2GuardMutation::kNone);
+
+ private:
+  Graph graph_;
+  std::vector<NodeId> dests_;
+  std::vector<std::string> starts_;
+  Ssmfp2GuardMutation mutation_;
   std::string name_;
 };
 

@@ -51,6 +51,55 @@ std::size_t injectInvalidMessages(SsmfpProtocol& forwarding, std::size_t count,
   return placed;
 }
 
+std::size_t injectInvalidMessages(Ssmfp2Protocol& forwarding, std::size_t count,
+                                  Payload payloadSpace, Rng& rng) {
+  const Graph& graph = forwarding.graph();
+  struct Slot {
+    NodeId p;
+    std::uint32_t k;
+  };
+  std::vector<Slot> empty;
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (std::uint32_t k = 0; k <= forwarding.maxRank(); ++k) {
+      if (!forwarding.slot(p, k).has_value()) empty.push_back({p, k});
+    }
+  }
+  rng.shuffle(empty);
+  const std::size_t placed = std::min(count, empty.size());
+  const auto& dests = forwarding.destinations();
+  for (std::size_t i = 0; i < placed; ++i) {
+    const Slot& slot = empty[i];
+    Message msg =
+        randomGarbage(graph, slot.p, forwarding.delta(), payloadSpace, rng);
+    msg.dest = dests[static_cast<std::size_t>(rng.below(dests.size()))];
+    const auto state = rng.below(2) == 0 ? SlotState::kReceived : SlotState::kReady;
+    forwarding.injectSlot(slot.p, slot.k, state, msg);
+  }
+  return placed;
+}
+
+std::size_t injectInvalidMessages(ForwardingProtocol& forwarding,
+                                  std::size_t count, Payload payloadSpace,
+                                  Rng& rng) {
+  switch (forwarding.family()) {
+    case ForwardingFamilyId::kSsmfp:
+      return injectInvalidMessages(static_cast<SsmfpProtocol&>(forwarding),
+                                   count, payloadSpace, rng);
+    case ForwardingFamilyId::kSsmfp2:
+      return injectInvalidMessages(static_cast<Ssmfp2Protocol&>(forwarding),
+                                   count, payloadSpace, rng);
+  }
+  return 0;
+}
+
+std::size_t applyCorruption(const CorruptionPlan& plan, SelfStabBfsRouting& routing,
+                            ForwardingProtocol& forwarding, Rng& rng) {
+  if (plan.routingFraction > 0.0) routing.corrupt(rng, plan.routingFraction);
+  if (plan.scrambleQueues) forwarding.scrambleQueues(rng);
+  return injectInvalidMessages(forwarding, plan.invalidMessages, plan.payloadSpace,
+                               rng);
+}
+
 std::size_t applyCorruption(const CorruptionPlan& plan, SelfStabBfsRouting& routing,
                             SsmfpProtocol& forwarding, Rng& rng) {
   if (plan.routingFraction > 0.0) routing.corrupt(rng, plan.routingFraction);

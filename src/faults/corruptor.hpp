@@ -25,9 +25,11 @@
 #include <cstdint>
 
 #include "baseline/merlin_schweitzer.hpp"
+#include "fwd/forwarding.hpp"
 #include "routing/frozen.hpp"
 #include "routing/selfstab_bfs.hpp"
 #include "ssmfp/ssmfp.hpp"
+#include "ssmfp2/ssmfp2.hpp"
 #include "util/rng.hpp"
 
 namespace snapfwd {
@@ -66,5 +68,21 @@ std::size_t applyCorruption(const CorruptionPlan& plan, FrozenRouting& routing,
 /// SSMFP buffers (no routing corruption). Returns number placed.
 std::size_t injectInvalidMessages(SsmfpProtocol& forwarding, std::size_t count,
                                   Payload payloadSpace, Rng& rng);
+
+/// SSMFP2 variant: garbage lands in uniformly chosen empty rank slots with
+/// a random handshake state and a random active destination in the header.
+std::size_t injectInvalidMessages(Ssmfp2Protocol& forwarding, std::size_t count,
+                                  Payload payloadSpace, Rng& rng);
+
+/// Family dispatch: routes to the matching overload above based on
+/// forwarding.family(). The ssmfp path consumes the Rng stream exactly as
+/// the SsmfpProtocol overload does (differential runs stay reproducible).
+std::size_t injectInvalidMessages(ForwardingProtocol& forwarding,
+                                  std::size_t count, Payload payloadSpace,
+                                  Rng& rng);
+
+/// Family dispatch for whole plans over a self-stabilizing routing stack.
+std::size_t applyCorruption(const CorruptionPlan& plan, SelfStabBfsRouting& routing,
+                            ForwardingProtocol& forwarding, Rng& rng);
 
 }  // namespace snapfwd

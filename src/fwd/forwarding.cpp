@@ -1,0 +1,8 @@
+#include "fwd/forwarding.hpp"
+
+namespace snapfwd {
+
+// Out-of-line destructor anchors the vtable in this translation unit.
+ForwardingProtocol::~ForwardingProtocol() = default;
+
+}  // namespace snapfwd

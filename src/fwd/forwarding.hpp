@@ -1,0 +1,141 @@
+#pragma once
+// The forwarding-protocol family layer.
+//
+// The journal version of the source paper ships TWO snap-stabilizing
+// message-forwarding protocols: the destination-indexed SSMFP of the
+// conference paper (n buffer pairs per processor, ssmfp/ssmfp.hpp) and a
+// rank-indexed scheme with Theta(D) buffers per processor
+// (ssmfp2/ssmfp2.hpp). Both solve the same specification SP against the
+// same routing substrate, application interface (request_p/nextMessage_p)
+// and fault model, so everything downstream of the protocol - the spec
+// checker, corruptors, experiment runner, sweeps, snapshots, the explorer
+// and the CLI - should dispatch on an explicit family id instead of naming
+// SSMFP.
+//
+// ForwardingProtocol is that dispatch surface: the abstract superset of
+// the Protocol interface every family member implements. It covers
+//   - the paper's application interface (send / request_p /
+//     nextDestination_p) and the event records the SP oracle consumes,
+//   - arbitrary-initial-configuration injection (queue scrambles; message
+//     garbage goes through the family-aware injectors in
+//     faults/corruptor.hpp, which need family-specific slot enumeration),
+//   - the snapshot/restore entry points shared by every member (outbox and
+//     trace-id bookkeeping; buffer-level restore stays family-specific
+//     because the buffer shapes differ).
+//
+// Subsystems with per-family *representation* code (canonical text,
+// binary codec, explorer models, invariant monitors) keep one
+// implementation per family and select it by family() - see
+// explore/family.hpp for the registry the explorer and CLI use.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "fwd/message.hpp"
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "util/names.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+
+class Engine;
+
+/// Identity of a forwarding-protocol family member. The names are the CLI
+/// vocabulary (`--family=...`, `--model=...`) and the JSONL `family` field.
+enum class ForwardingFamilyId : std::uint8_t {
+  kSsmfp,   // destination-indexed buffer pairs (conference paper, Algorithm 1)
+  kSsmfp2,  // rank-indexed slots, D+1 buffers per processor (journal paper)
+};
+
+template <>
+struct EnumNames<ForwardingFamilyId> {
+  static constexpr auto entries = std::to_array<NamedEnum<ForwardingFamilyId>>({
+      {ForwardingFamilyId::kSsmfp, "ssmfp"},
+      {ForwardingFamilyId::kSsmfp2, "ssmfp2"},
+  });
+};
+
+/// A message accepted by a generation rule (SSMFP R1 / SSMFP2 2R1).
+struct GenerationRecord {
+  Message msg;
+  std::uint64_t step = 0;
+  std::uint64_t round = 0;
+};
+
+/// A message handed to the higher layer by a consumption rule.
+struct DeliveryRecord {
+  Message msg;
+  NodeId at = kNoNode;
+  std::uint64_t step = 0;
+  std::uint64_t round = 0;
+};
+
+/// Abstract family member: a guarded-rule forwarding protocol with the
+/// paper's application interface. See the file comment for scope.
+class ForwardingProtocol : public Protocol {
+ public:
+  ~ForwardingProtocol() override;
+
+  [[nodiscard]] virtual ForwardingFamilyId family() const = 0;
+
+  // -- Application interface (request_p / nextMessage_p) --------------------
+  /// Queues a message at src's higher layer; it is "waiting" until the
+  /// generation rule accepts it. Returns the unique trace id used by the SP
+  /// checker. Out-of-band mutation: implementations notify the attached
+  /// engine's enabled cache.
+  virtual TraceId send(NodeId src, NodeId dest, Payload payload) = 0;
+  /// request_p of the paper: true iff src's higher layer has a waiting
+  /// message.
+  [[nodiscard]] virtual bool request(NodeId p) const = 0;
+  [[nodiscard]] virtual std::size_t outboxSize(NodeId p) const = 0;
+  /// Destination of the waiting message, or kNoNode (nextDestination_p).
+  [[nodiscard]] virtual NodeId nextDestination(NodeId p) const = 0;
+
+  // -- Event records --------------------------------------------------------
+  [[nodiscard]] virtual const std::vector<GenerationRecord>& generations() const = 0;
+  [[nodiscard]] virtual const std::vector<DeliveryRecord>& deliveries() const = 0;
+  /// Deliveries whose message was not generated in this execution (the
+  /// Proposition 4 quantity).
+  [[nodiscard]] virtual std::uint64_t invalidDeliveryCount() const = 0;
+  /// Optional callback invoked at commit time for each delivery.
+  virtual void setDeliveryHook(std::function<void(const DeliveryRecord&)> hook) = 0;
+  /// Attach the engine whose step/round counters stamp events. Must be the
+  /// engine executing this protocol; may be null (counters stay 0).
+  virtual void attachEngine(const Engine* engine) = 0;
+
+  // -- State access (checkers, printers, tests) -----------------------------
+  [[nodiscard]] virtual const Graph& graph() const = 0;
+  [[nodiscard]] virtual const RoutingProvider& routing() const = 0;
+  [[nodiscard]] virtual const std::vector<NodeId>& destinations() const = 0;
+  [[nodiscard]] virtual bool isDestination(NodeId d) const = 0;
+  /// Number of occupied buffers over all processors.
+  [[nodiscard]] virtual std::size_t occupiedBufferCount() const = 0;
+  /// True iff every buffer is empty and every outbox drained.
+  [[nodiscard]] virtual bool fullyDrained() const = 0;
+
+  // -- Arbitrary-initial-configuration injection ----------------------------
+  /// Random rotation/shuffle of every fairness queue (their initial content
+  /// is arbitrary in a stabilizing setting).
+  virtual void scrambleQueues(Rng& rng) = 0;
+
+  // -- Snapshot / restore bookkeeping ---------------------------------------
+  /// Appends a waiting message with an explicit trace id (verbatim restore,
+  /// unlike send()).
+  virtual void restoreOutboxEntry(NodeId p, NodeId dest, Payload payload,
+                                  TraceId trace) = 0;
+  /// Empties p's whole outbox without going through a rule.
+  virtual void clearOutboxForRestore(NodeId p) = 0;
+  /// Drops accumulated generation/delivery records and the invalid-delivery
+  /// counter (per-restored-state re-baselining; see ssmfp.hpp).
+  virtual void clearEventRecordsForRestore() = 0;
+  [[nodiscard]] virtual TraceId nextTraceId() const = 0;
+  virtual void setNextTraceId(TraceId next) = 0;
+  /// Trace id of p's k-th waiting message (snapshot support).
+  [[nodiscard]] virtual TraceId waitingTrace(NodeId p, std::size_t k) const = 0;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,68 @@
+#pragma once
+// Messages of the forwarding-protocol family (fwd/forwarding.hpp).
+//
+// Algorithm 1 treats a message as a triplet (m, q, c):
+//   m - the useful information (payload),
+//   q - identity of the last processor the message crossed (in N_p u {p}),
+//   c - a color in {0, ..., Delta}, assigned dynamically by color_p(d) when
+//       the message enters an emission buffer.
+// For the destination-indexed protocol (SSMFP) the destination is implicit
+// in the buffer index (one protocol copy per destination); the rank-indexed
+// protocol (SSMFP2) carries the destination address in the message header
+// instead, so its guards read `dest` as part of the useful information.
+//
+// Every SSMFP guard of R1-R6 compares ONLY (payload, lastHop, color); the
+// SSMFP2 guards additionally read `dest`. The remaining fields are
+// verification metadata carried along by the simulator: `trace` uniquely
+// identifies a generated message even when payloads collide (the paper's
+// proof must survive identical useful information; see Section 3.3),
+// `valid` distinguishes generated messages from garbage present in the
+// initial configuration (the paper's valid/invalid distinction), and
+// source/bornStep support the complexity measurements of Propositions 4-7.
+// No guard ever reads them.
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.hpp"
+
+namespace snapfwd {
+
+using Payload = std::uint64_t;
+using TraceId = std::uint64_t;
+using Color = std::uint16_t;
+
+inline constexpr TraceId kInvalidTrace = 0;
+
+struct Message {
+  // --- protocol-visible triplet (m, q, c) ---
+  Payload payload = 0;
+  NodeId lastHop = kNoNode;
+  Color color = 0;
+
+  // --- verification metadata (never read by any SSMFP guard; SSMFP2 reads
+  //     `dest` as part of its message header) ---
+  TraceId trace = kInvalidTrace;
+  bool valid = false;
+  NodeId source = kNoNode;
+  NodeId dest = kNoNode;
+  std::uint64_t bornStep = 0;
+  std::uint64_t bornRound = 0;
+};
+
+/// Guard comparison "(m, ., c)": same useful information and color, any last
+/// hop. Used by R2's and R5's bufE_q(d) (=|!=) (m, q', c) clauses.
+[[nodiscard]] inline bool sameInfoAndColor(const Message& a, const Message& b) {
+  return a.payload == b.payload && a.color == b.color;
+}
+
+/// Guard comparison "= (m, p, c)": full triplet match against an expected
+/// last hop. Used by R4's reception-buffer clauses.
+[[nodiscard]] inline bool matchesTriplet(const Message& msg, Payload payload,
+                                         NodeId lastHop, Color color) {
+  return msg.payload == payload && msg.lastHop == lastHop && msg.color == color;
+}
+
+using Buffer = std::optional<Message>;
+
+}  // namespace snapfwd

@@ -84,6 +84,7 @@ CorruptionPlan corruptionPlanFromJson(const jsonl::Value& value) {
 jsonl::Object toJson(const ExperimentConfig& config) {
   jsonl::Object out;
   out.field("topology", toJson(config.topo));
+  out.field("family", toString(config.family));
   out.field("daemon", toString(config.daemon));
   out.field("daemonProbability", config.daemonProbability);
   out.field("seed", config.seed);
@@ -107,6 +108,7 @@ ExperimentConfig experimentConfigFromJson(const jsonl::Value& value) {
   if (const jsonl::Value* topo = value.find("topology")) {
     config.topo = topologySpecFromJson(*topo);
   }
+  config.family = enumFromJson(value, "family", config.family);
   config.daemon = enumFromJson(value, "daemon", config.daemon);
   config.daemonProbability =
       value.doubleAt("daemonProbability", config.daemonProbability);

@@ -5,11 +5,13 @@
 
 #include "baseline/merlin_schweitzer.hpp"
 #include "checker/invariants.hpp"
+#include "checker/invariants2.hpp"
 #include "core/engine.hpp"
 #include "graph/builders.hpp"
 #include "routing/frozen.hpp"
 #include "routing/selfstab_bfs.hpp"
 #include "ssmfp/ssmfp.hpp"
+#include "ssmfp2/ssmfp2.hpp"
 
 namespace snapfwd {
 
@@ -197,15 +199,23 @@ void fillTimingMetrics(const ProtocolT& protocol, ExperimentResult& result) {
 
 }  // namespace
 
-SsmfpStack buildSsmfpStack(const ExperimentConfig& cfg) {
-  SsmfpStack stack;
+ForwardingStack buildForwardingStack(const ExperimentConfig& cfg) {
+  ForwardingStack stack;
   stack.rng = Rng(cfg.seed);
   Rng topoRng = stack.rng.fork(0x7070);
   stack.graph = std::make_unique<Graph>(buildTopology(cfg, topoRng));
   assert(stack.graph->isConnected());
   stack.routing = std::make_unique<SelfStabBfsRouting>(*stack.graph);
-  stack.forwarding = std::make_unique<SsmfpProtocol>(
-      *stack.graph, *stack.routing, cfg.destinations, cfg.choicePolicy);
+  switch (cfg.family) {
+    case ForwardingFamilyId::kSsmfp:
+      stack.forwarding = std::make_unique<SsmfpProtocol>(
+          *stack.graph, *stack.routing, cfg.destinations, cfg.choicePolicy);
+      break;
+    case ForwardingFamilyId::kSsmfp2:
+      stack.forwarding = std::make_unique<Ssmfp2Protocol>(
+          *stack.graph, *stack.routing, cfg.destinations);
+      break;
+  }
 
   Rng faultRng = stack.rng.fork(0xFA17);
   stack.invalidInjected =
@@ -216,11 +226,25 @@ SsmfpStack buildSsmfpStack(const ExperimentConfig& cfg) {
   return stack;
 }
 
-ExperimentResult runSsmfpExperiment(const ExperimentConfig& cfg) {
-  SsmfpStack stack = buildSsmfpStack(cfg);
+SsmfpStack buildSsmfpStack(const ExperimentConfig& cfg) {
+  ExperimentConfig ssmfpCfg = cfg;
+  ssmfpCfg.family = ForwardingFamilyId::kSsmfp;
+  ForwardingStack generic = buildForwardingStack(ssmfpCfg);
+  SsmfpStack stack;
+  stack.graph = std::move(generic.graph);
+  stack.routing = std::move(generic.routing);
+  stack.forwarding.reset(
+      static_cast<SsmfpProtocol*>(generic.forwarding.release()));
+  stack.invalidInjected = generic.invalidInjected;
+  stack.rng = generic.rng;
+  return stack;
+}
+
+ExperimentResult runForwardingExperiment(const ExperimentConfig& cfg) {
+  ForwardingStack stack = buildForwardingStack(cfg);
   const Graph& graph = *stack.graph;
   SelfStabBfsRouting& routing = *stack.routing;
-  SsmfpProtocol& forwarding = *stack.forwarding;
+  ForwardingProtocol& forwarding = *stack.forwarding;
   Rng& rng = stack.rng;
 
   ExperimentResult result;
@@ -234,7 +258,7 @@ ExperimentResult runSsmfpExperiment(const ExperimentConfig& cfg) {
   Engine engine(graph, {&routing, &forwarding}, *daemon);
   forwarding.attachEngine(&engine);
 
-  InvariantMonitor monitor(forwarding);
+  const auto monitor = makeInvariantMonitor(forwarding);
   bool routingSilentSeen = routing.isSilent();
   engine.setPostStepHook([&](Engine& e) {
     if (!routingSilentSeen && routing.isSilent()) {
@@ -243,7 +267,7 @@ ExperimentResult runSsmfpExperiment(const ExperimentConfig& cfg) {
       result.routingSilentRound = e.roundCount();
     }
     if (cfg.checkInvariantsEveryStep && !result.invariantViolation) {
-      result.invariantViolation = monitor.check();
+      result.invariantViolation = monitor->check();
     }
   });
 
@@ -259,6 +283,12 @@ ExperimentResult runSsmfpExperiment(const ExperimentConfig& cfg) {
   result.scanMode = engine.scanMode();
   result.scan = engine.scanStats();
   return result;
+}
+
+ExperimentResult runSsmfpExperiment(const ExperimentConfig& cfg) {
+  ExperimentConfig ssmfpCfg = cfg;
+  ssmfpCfg.family = ForwardingFamilyId::kSsmfp;
+  return runForwardingExperiment(ssmfpCfg);
 }
 
 ExperimentResult runBaselineExperiment(const ExperimentConfig& cfg) {

@@ -1,7 +1,10 @@
 #pragma once
-// One-call experiment runner: composes topology + routing + SSMFP (or the
-// baseline) + daemon + corruption + workload, runs to quiescence, and
-// returns the measurements Propositions 4-7 are stated in.
+// One-call experiment runner: composes topology + routing + a forwarding
+// family member (or the baseline) + daemon + corruption + workload, runs
+// to quiescence, and returns the measurements Propositions 4-7 are stated
+// in. The family axis (ExperimentConfig::family) selects which of the
+// journal paper's two protocols forwards: ssmfp (destination-indexed
+// buffer pairs) or ssmfp2 (rank-indexed slots).
 
 #include <cstdint>
 #include <memory>
@@ -13,6 +16,7 @@
 #include "core/daemon.hpp"
 #include "core/engine.hpp"
 #include "faults/corruptor.hpp"
+#include "fwd/forwarding.hpp"
 #include "graph/graph.hpp"
 #include "routing/selfstab_bfs.hpp"
 #include "ssmfp/ssmfp.hpp"
@@ -127,6 +131,9 @@ struct TopologySpec {
 struct ExperimentConfig {
   TopologySpec topo;
 
+  /// Which forwarding family member runs (runForwardingExperiment).
+  ForwardingFamilyId family = ForwardingFamilyId::kSsmfp;
+
   DaemonKind daemon = DaemonKind::kDistributedRandom;
   double daemonProbability = 0.5;
 
@@ -229,9 +236,29 @@ struct SsmfpStack {
 /// Composes the stack exactly as runSsmfpExperiment does (same RNG fork
 /// order, so seeds reproduce identically); exposed for tooling that needs
 /// the live objects (CLI snapshotting, tracing, custom measurement).
+/// Ignores cfg.family - the stack is always SSMFP.
 [[nodiscard]] SsmfpStack buildSsmfpStack(const ExperimentConfig& cfg);
 
-/// SSMFP stack: SelfStabBfsRouting (priority layer) + SsmfpProtocol.
+/// The family-generic form of SsmfpStack: any ForwardingProtocol member
+/// over the self-stabilizing routing layer.
+struct ForwardingStack {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<SelfStabBfsRouting> routing;
+  std::unique_ptr<ForwardingProtocol> forwarding;
+  std::size_t invalidInjected = 0;
+  Rng rng{0};
+};
+
+/// Composes the cfg.family member's stack with the same RNG fork order as
+/// buildSsmfpStack (for kSsmfp the two are interchangeable seed-for-seed).
+[[nodiscard]] ForwardingStack buildForwardingStack(const ExperimentConfig& cfg);
+
+/// Family stack: SelfStabBfsRouting (priority layer) + the cfg.family
+/// protocol. For kSsmfp this is runSsmfpExperiment bit-for-bit.
+[[nodiscard]] ExperimentResult runForwardingExperiment(const ExperimentConfig& cfg);
+
+/// SSMFP stack: SelfStabBfsRouting (priority layer) + SsmfpProtocol
+/// (runForwardingExperiment with the family forced to kSsmfp).
 [[nodiscard]] ExperimentResult runSsmfpExperiment(const ExperimentConfig& cfg);
 
 /// Baseline stack: Merlin-Schweitzer over frozen tables (corrupted per the

@@ -23,7 +23,7 @@ std::vector<ExperimentResult> runExperiments(const std::vector<ExperimentJob>& j
   // its own slot; order is restored by indexing, not by scheduling.
   pool.parallelFor(jobs.size(), [&](std::size_t i) {
     results[i] = jobs[i].baseline ? runBaselineExperiment(jobs[i].config)
-                                  : runSsmfpExperiment(jobs[i].config);
+                                  : runForwardingExperiment(jobs[i].config);
   });
   return results;
 }

@@ -57,6 +57,7 @@
 #include "core/engine.hpp"
 #include "core/protocol.hpp"
 #include "core/soa_state.hpp"
+#include "fwd/forwarding.hpp"
 #include "graph/graph.hpp"
 #include "routing/routing.hpp"
 #include "ssmfp/message.hpp"
@@ -136,22 +137,11 @@ enum SsmfpRule : std::uint16_t {
   kR6Consume = 6,
 };
 
-/// A message accepted by R1 (the paper's "generation" move).
-struct GenerationRecord {
-  Message msg;
-  std::uint64_t step = 0;
-  std::uint64_t round = 0;
-};
+// GenerationRecord / DeliveryRecord live in fwd/forwarding.hpp: they are
+// the family-wide event vocabulary the SP oracle consumes, shared with
+// SSMFP2.
 
-/// A message handed to the higher layer by R6 (the "consumption" move).
-struct DeliveryRecord {
-  Message msg;
-  NodeId at = kNoNode;
-  std::uint64_t step = 0;
-  std::uint64_t round = 0;
-};
-
-class SsmfpProtocol final : public Protocol {
+class SsmfpProtocol final : public ForwardingProtocol {
  public:
   /// `routing` is the nextHop oracle (typically the self-stabilizing layer
   /// running above this protocol in engine priority). `destinations` lists
@@ -163,6 +153,11 @@ class SsmfpProtocol final : public Protocol {
   ~SsmfpProtocol() override;
 
   [[nodiscard]] ChoicePolicy choicePolicy() const { return policy_; }
+
+  // -- ForwardingProtocol family identity -------------------------------
+  [[nodiscard]] ForwardingFamilyId family() const override {
+    return ForwardingFamilyId::kSsmfp;
+  }
 
   // -- Protocol ---------------------------------------------------------
   [[nodiscard]] std::string_view name() const override { return "ssmfp"; }
@@ -179,16 +174,18 @@ class SsmfpProtocol final : public Protocol {
   /// is preserved). Returns the unique trace id used by the SP checker.
   /// Out-of-band mutation: notifies the attached engine's enabled cache
   /// (as do all injection/restoration entry points below).
-  TraceId send(NodeId src, NodeId dest, Payload payload);
+  TraceId send(NodeId src, NodeId dest, Payload payload) override;
 
   /// request_p of the paper: true iff src's higher layer has a waiting
   /// message (we model the flag as outbox non-emptiness).
-  [[nodiscard]] bool request(NodeId p) const { return !outbox_.read(p).empty(); }
-  [[nodiscard]] std::size_t outboxSize(NodeId p) const {
+  [[nodiscard]] bool request(NodeId p) const override {
+    return !outbox_.read(p).empty();
+  }
+  [[nodiscard]] std::size_t outboxSize(NodeId p) const override {
     return outbox_.read(p).size();
   }
   /// Destination of the waiting message, or kNoNode (nextDestination_p).
-  [[nodiscard]] NodeId nextDestination(NodeId p) const;
+  [[nodiscard]] NodeId nextDestination(NodeId p) const override;
 
   /// Iterates p's waiting messages in queue order as f(dest, payload)
   /// (used by the cross-model state hash; see mp/mp_ssmfp.hpp).
@@ -198,31 +195,33 @@ class SsmfpProtocol final : public Protocol {
   }
 
   // -- Event records ------------------------------------------------------
-  [[nodiscard]] const std::vector<GenerationRecord>& generations() const {
+  [[nodiscard]] const std::vector<GenerationRecord>& generations() const override {
     return generations_;
   }
-  [[nodiscard]] const std::vector<DeliveryRecord>& deliveries() const {
+  [[nodiscard]] const std::vector<DeliveryRecord>& deliveries() const override {
     return deliveries_;
   }
   /// Deliveries whose message was not generated by R1 in this execution
   /// (Proposition 4 counts these; bound 2n per destination).
-  [[nodiscard]] std::uint64_t invalidDeliveryCount() const {
+  [[nodiscard]] std::uint64_t invalidDeliveryCount() const override {
     return invalidDeliveries_;
   }
   /// Optional callback invoked at commit time for each delivery.
-  void setDeliveryHook(std::function<void(const DeliveryRecord&)> hook) {
+  void setDeliveryHook(std::function<void(const DeliveryRecord&)> hook) override {
     deliveryHook_ = std::move(hook);
   }
 
   /// Attach the engine whose step/round counters stamp events. Must be the
   /// engine executing this protocol; may be null (counters stay 0).
-  void attachEngine(const Engine* engine) { engine_ = engine; }
+  void attachEngine(const Engine* engine) override { engine_ = engine; }
 
   // -- State access (checkers, printers, tests) ----------------------------
-  [[nodiscard]] const Graph& graph() const { return graph_; }
-  [[nodiscard]] const RoutingProvider& routing() const { return routing_; }
-  [[nodiscard]] const std::vector<NodeId>& destinations() const { return dests_; }
-  [[nodiscard]] bool isDestination(NodeId d) const {
+  [[nodiscard]] const Graph& graph() const override { return graph_; }
+  [[nodiscard]] const RoutingProvider& routing() const override { return routing_; }
+  [[nodiscard]] const std::vector<NodeId>& destinations() const override {
+    return dests_;
+  }
+  [[nodiscard]] bool isDestination(NodeId d) const override {
     return destSlot_[d] != kNoSlot;
   }
   [[nodiscard]] Color delta() const { return delta_; }
@@ -247,9 +246,9 @@ class SsmfpProtocol final : public Protocol {
   [[nodiscard]] Color colorFor(NodeId p, NodeId d) const;
 
   /// Number of occupied buffers over all processors and destinations.
-  [[nodiscard]] std::size_t occupiedBufferCount() const;
+  [[nodiscard]] std::size_t occupiedBufferCount() const override;
   /// True iff every buffer is empty and every outbox drained.
-  [[nodiscard]] bool fullyDrained() const;
+  [[nodiscard]] bool fullyDrained() const override;
 
   // -- Arbitrary-initial-configuration injection ----------------------------
   /// Places `msg` in bufR_p(d) / bufE_p(d). Marks it invalid (a message
@@ -259,7 +258,7 @@ class SsmfpProtocol final : public Protocol {
   void injectEmission(NodeId p, NodeId d, Message msg);
   /// Random rotation of every fairness queue (their initial content is
   /// arbitrary in a stabilizing setting).
-  void scrambleQueues(Rng& rng);
+  void scrambleQueues(Rng& rng) override;
 
   // -- Exact state restoration (snapshot support; see sim/snapshot.hpp) -----
   /// Unlike injectReception/injectEmission these copy `msg` verbatim
@@ -269,23 +268,24 @@ class SsmfpProtocol final : public Protocol {
   /// `order` must be a permutation of N_p u {p} (asserted).
   void setFairnessQueue(NodeId p, NodeId d, std::vector<NodeId> order);
   /// Appends a waiting message with an explicit trace id.
-  void restoreOutboxEntry(NodeId p, NodeId dest, Payload payload, TraceId trace);
+  void restoreOutboxEntry(NodeId p, NodeId dest, Payload payload,
+                          TraceId trace) override;
   /// Empties bufR_p(d) / bufE_p(d) / p's whole outbox without going through
   /// a rule. The binary-codec restore path (explore/codec.hpp) rewrites a
   /// live stack in place, so absent fields must be clearable as well as
   /// settable.
   void clearReceptionForRestore(NodeId p, NodeId d);
   void clearEmissionForRestore(NodeId p, NodeId d);
-  void clearOutboxForRestore(NodeId p);
+  void clearOutboxForRestore(NodeId p) override;
   /// Drops accumulated generation/delivery records and the invalid-delivery
   /// counter. The explorer re-baselines its conservation monitor per
   /// restored state, and unbounded record growth would otherwise leak
   /// across the millions of restores of a closure run.
-  void clearEventRecordsForRestore();
-  [[nodiscard]] TraceId nextTraceId() const { return nextTrace_; }
-  void setNextTraceId(TraceId next) { nextTrace_ = next; }
+  void clearEventRecordsForRestore() override;
+  [[nodiscard]] TraceId nextTraceId() const override { return nextTrace_; }
+  void setNextTraceId(TraceId next) override { nextTrace_ = next; }
   /// Trace id of p's k-th waiting message (snapshot support).
-  [[nodiscard]] TraceId waitingTrace(NodeId p, std::size_t k) const {
+  [[nodiscard]] TraceId waitingTrace(NodeId p, std::size_t k) const override {
     return outbox_.read(p)[k].trace;
   }
 

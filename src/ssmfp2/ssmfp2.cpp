@@ -1,0 +1,530 @@
+#include "ssmfp2/ssmfp2.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <deque>
+
+namespace snapfwd {
+
+namespace {
+
+/// BFS eccentricity-based diameter (graphs here are connected and small;
+/// unreachable pairs are ignored so a degenerate input cannot wedge the
+/// constructor).
+std::uint32_t computeDiameter(const Graph& graph) {
+  const std::size_t n = graph.size();
+  std::uint32_t diameter = 0;
+  std::vector<std::uint32_t> dist(n);
+  std::deque<NodeId> frontier;
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), UINT32_MAX);
+    dist[s] = 0;
+    frontier.assign(1, s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const NodeId v : graph.neighbors(u)) {
+        if (dist[v] != UINT32_MAX) continue;
+        dist[v] = dist[u] + 1;
+        diameter = std::max(diameter, dist[v]);
+        frontier.push_back(v);
+      }
+    }
+  }
+  return diameter;
+}
+
+/// "Same useful information" for the rank scheme: the header a guard may
+/// compare is (payload, dest); SSMFP's sameInfoAndColor additionally pins
+/// the color.
+bool sameInfo(const Message& a, const Message& b) {
+  return a.payload == b.payload && a.dest == b.dest;
+}
+
+}  // namespace
+
+Ssmfp2Protocol::Ssmfp2Protocol(const Graph& graph, const RoutingProvider& routing,
+                               std::vector<NodeId> destinations)
+    : graph_(graph),
+      routing_(routing),
+      dests_(std::move(destinations)),
+      destFlag_(graph.size(), 0),
+      delta_(static_cast<Color>(graph.maxDegree())),
+      maxRank_(computeDiameter(graph)) {
+  if (dests_.empty()) {
+    dests_.resize(graph.size());
+    for (NodeId d = 0; d < graph.size(); ++d) dests_[d] = d;
+  }
+  std::sort(dests_.begin(), dests_.end());
+  dests_.erase(std::unique(dests_.begin(), dests_.end()), dests_.end());
+  for (const NodeId d : dests_) {
+    assert(d < graph.size());
+    destFlag_[d] = 1;
+  }
+
+  const std::size_t rowSize = maxRank_ + 1;
+  const std::size_t cells = graph.size() * rowSize;
+  slot_.configure(accessTrackerSlot(), rowSize);
+  state_.configure(accessTrackerSlot(), rowSize);
+  queue_.configure(accessTrackerSlot(), rowSize);
+  outbox_.configure(accessTrackerSlot(), 1);
+  slot_.resize(cells);
+  state_.resize(cells);
+  queue_.resize(cells);
+  outbox_.resize(graph.size());
+  // One pull queue per rank >= 1: N_p in id order (the Delta queue).
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (std::uint32_t k = 1; k <= maxRank_; ++k) {
+      queue_.write(cell(p, k)) = graph.neighbors(p);
+    }
+  }
+  // 2R3/2R4/2R5 guards read the routing tables; out-of-band table rewrites
+  // must invalidate our engine's enabled cache.
+  routing_.setMutationCallback([this] { notifyExternalMutation(); });
+}
+
+Ssmfp2Protocol::~Ssmfp2Protocol() { routing_.setMutationCallback(nullptr); }
+
+std::uint64_t Ssmfp2Protocol::nowStep() const {
+  return engine_ != nullptr ? engine_->stepCount() : 0;
+}
+
+std::uint64_t Ssmfp2Protocol::nowRound() const {
+  return engine_ != nullptr ? engine_->roundCount() : 0;
+}
+
+NodeId Ssmfp2Protocol::nextDestination(NodeId p) const {
+  const auto& box = outbox_.read(p);
+  return box.empty() ? kNoNode : box.front().dest;
+}
+
+bool Ssmfp2Protocol::upstreamReadyMatch(NodeId q, std::uint32_t j,
+                                        const Message& msg) const {
+  const Buffer& up = slot_.read(cell(q, j));
+  return up.has_value() &&
+         static_cast<SlotState>(state_.read(cell(q, j))) == SlotState::kReady &&
+         sameInfo(*up, msg) && up->color == msg.color;
+}
+
+bool Ssmfp2Protocol::pullCandidate(NodeId p, std::uint32_t k, NodeId s) const {
+  // s's rank-(k-1) slot must hold a rank-consistent ready copy (lastHop =
+  // s; see the 2R8 discussion in the header - an inconsistent copy is junk
+  // awaiting erasure and must never be propagated) routed to p.
+  const std::size_t idx = cell(s, k - 1);
+  const Buffer& up = slot_.read(idx);
+  if (!up.has_value() ||
+      static_cast<SlotState>(state_.read(idx)) != SlotState::kReady) {
+    return false;
+  }
+  if (up->lastHop != s) return false;
+  return routing_.nextHop(s, up->dest) == p;
+}
+
+NodeId Ssmfp2Protocol::choice2(NodeId p, std::uint32_t k) const {
+  assert(k >= 1 && k <= maxRank_);
+  for (const NodeId s : queue_.read(cell(p, k))) {
+    if (pullCandidate(p, k, s)) return s;
+  }
+  return kNoNode;
+}
+
+Color Ssmfp2Protocol::freshColor(NodeId p, std::uint32_t k) const {
+  // Smallest color in {0..Delta} carried by no received-state copy at rank
+  // k+1 of a neighbor of p: those are exactly the copies a 2R4 handshake
+  // might still compare against a copy (re-)entering rank k here, so
+  // avoiding their colors rules out ABA confusions (the SSMFP color_p(d)
+  // argument, rank-sliced). Rank K feeds no downstream handshake.
+  if (k >= maxRank_) return 0;
+  std::uint64_t used = 0;
+  std::vector<bool> usedWide;
+  const bool wide = delta_ >= 64;
+  if (wide) usedWide.assign(static_cast<std::size_t>(delta_) + 1, false);
+  for (const NodeId q : graph_.neighbors(p)) {
+    const std::size_t idx = cell(q, k + 1);
+    const Buffer& b = slot_.read(idx);
+    if (!b.has_value() || b->color > delta_) continue;
+    if (static_cast<SlotState>(state_.read(idx)) != SlotState::kReceived) continue;
+    if (wide) {
+      usedWide[b->color] = true;
+    } else {
+      used |= std::uint64_t{1} << b->color;
+    }
+  }
+  if (!wide) return static_cast<Color>(std::countr_one(used));
+  for (Color c = 0; c <= delta_; ++c) {
+    if (!usedWide[c]) return c;
+  }
+  assert(false && "freshColor: no free color - pigeonhole violated");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Guards
+// ---------------------------------------------------------------------------
+
+bool Ssmfp2Protocol::guardR1(NodeId p) const {
+  // Generation yields the rank-0 slot to a pending recycle (2R7): a rank-K
+  // survivor must not be starved by steady local traffic.
+  return request(p) && !slot_.read(cell(p, 0)).has_value() && !guardR7(p);
+}
+
+bool Ssmfp2Protocol::guardR2(NodeId p, std::uint32_t k) const {
+  if (k == 0) return false;  // rank-0 slots are never in received state
+  const std::size_t idx = cell(p, k);
+  const Buffer& b = slot_.read(idx);
+  if (!b.has_value() ||
+      static_cast<SlotState>(state_.read(idx)) != SlotState::kReceived) {
+    return false;
+  }
+  const NodeId q = b->lastHop;
+  // Rank-inconsistent received copies (lastHop = p or not a neighbor) are
+  // 2R8's to erase, never to promote.
+  if (q == p || q >= graph_.size() || !graph_.hasEdge(p, q)) return false;
+  if (mutation_ == Ssmfp2GuardMutation::k2R2SkipUpstreamCheck) return true;
+  return !upstreamReadyMatch(q, k - 1, *b);
+}
+
+NodeId Ssmfp2Protocol::guardR3(NodeId p, std::uint32_t k) const {
+  if (k == 0) return kNoNode;
+  if (slot_.read(cell(p, k)).has_value()) return kNoNode;
+  return choice2(p, k);
+}
+
+bool Ssmfp2Protocol::guardR4(NodeId p, std::uint32_t k) const {
+  if (k >= maxRank_) return false;  // no rank K+1: 2R7 handles rank K
+  const std::size_t idx = cell(p, k);
+  const Buffer& b = slot_.read(idx);
+  if (!b.has_value() ||
+      static_cast<SlotState>(state_.read(idx)) != SlotState::kReady) {
+    return false;
+  }
+  if (b->lastHop != p) return false;  // junk; 2R8
+  if (b->dest == p) return false;     // 2R6 consumes
+  const NodeId hop = routing_.nextHop(p, b->dest);
+  bool copyAtHop = false;
+  for (const NodeId r : graph_.neighbors(p)) {
+    const std::size_t ridx = cell(r, k + 1);
+    const Buffer& rb = slot_.read(ridx);
+    const bool match =
+        rb.has_value() &&
+        static_cast<SlotState>(state_.read(ridx)) == SlotState::kReceived &&
+        sameInfo(*rb, *b) && rb->lastHop == p && rb->color == b->color;
+    if (r == hop) {
+      copyAtHop = match;
+    } else if (match &&
+               mutation_ != Ssmfp2GuardMutation::k2R4SkipStrayCopyCheck) {
+      return false;  // a stray copy elsewhere: 2R5 must clean it first
+    }
+  }
+  return copyAtHop;
+}
+
+bool Ssmfp2Protocol::guardR5(NodeId p, std::uint32_t k) const {
+  if (k == 0) return false;
+  const std::size_t idx = cell(p, k);
+  const Buffer& b = slot_.read(idx);
+  if (!b.has_value() ||
+      static_cast<SlotState>(state_.read(idx)) != SlotState::kReceived) {
+    return false;
+  }
+  const NodeId q = b->lastHop;
+  if (q == p || q >= graph_.size() || !graph_.hasEdge(p, q)) return false;
+  if (!upstreamReadyMatch(q, k - 1, *b)) return false;
+  return routing_.nextHop(q, b->dest) != p;
+}
+
+bool Ssmfp2Protocol::guardR6(NodeId p, std::uint32_t k) const {
+  const std::size_t idx = cell(p, k);
+  const Buffer& b = slot_.read(idx);
+  return b.has_value() &&
+         static_cast<SlotState>(state_.read(idx)) == SlotState::kReady &&
+         b->lastHop == p &&  // junk ready copies are 2R8's, not deliverable
+         b->dest == p;
+}
+
+bool Ssmfp2Protocol::guardR7(NodeId p) const {
+  if (maxRank_ == 0) return false;
+  const std::size_t idx = cell(p, maxRank_);
+  const Buffer& b = slot_.read(idx);
+  return b.has_value() &&
+         static_cast<SlotState>(state_.read(idx)) == SlotState::kReady &&
+         b->lastHop == p && b->dest != p &&
+         !slot_.read(cell(p, 0)).has_value();
+}
+
+bool Ssmfp2Protocol::guardR8(NodeId p, std::uint32_t k) const {
+  const std::size_t idx = cell(p, k);
+  const Buffer& b = slot_.read(idx);
+  if (!b.has_value()) return false;
+  const NodeId q = b->lastHop;
+  const bool ready =
+      static_cast<SlotState>(state_.read(idx)) == SlotState::kReady;
+  // Rank-consistency footprint (see header): rank-0 copies and ready
+  // copies carry lastHop = p; received copies at rank >= 1 carry a
+  // neighbor. Anything else is initial garbage.
+  if (k == 0) return !ready || q != p;
+  if (ready) return q != p;
+  return q == p || q >= graph_.size() || !graph_.hasEdge(p, q);
+}
+
+void Ssmfp2Protocol::enumerateEnabled(NodeId p, std::vector<Action>& out) const {
+  // Action encoding: dest = unused (kNoNode), aux = rank for the
+  // rank-indexed rules; 2R3 packs (rank, chosen sender) as rank * n + s.
+  if (guardR1(p)) out.push_back(Action{k2R1Generate, kNoNode, 0});
+  if (guardR7(p)) out.push_back(Action{k2R7Recycle, kNoNode, 0});
+  for (std::uint32_t k = 0; k <= maxRank_; ++k) {
+    if (guardR2(p, k)) out.push_back(Action{k2R2Internal, kNoNode, k});
+    if (const NodeId s = guardR3(p, k); s != kNoNode) {
+      out.push_back(Action{k2R3Forward, kNoNode,
+                           std::uint64_t{k} * graph_.size() + s});
+    }
+    if (guardR4(p, k)) out.push_back(Action{k2R4EraseForwarded, kNoNode, k});
+    if (guardR5(p, k)) out.push_back(Action{k2R5EraseDuplicate, kNoNode, k});
+    if (guardR6(p, k)) out.push_back(Action{k2R6Consume, kNoNode, k});
+    if (guardR8(p, k)) out.push_back(Action{k2R8EraseJunk, kNoNode, k});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statements (staged against the pre-step configuration)
+// ---------------------------------------------------------------------------
+
+void Ssmfp2Protocol::stage(NodeId p, const Action& a) {
+  StagedOp op;
+  op.p = p;
+  op.rule = a.rule;
+
+  switch (a.rule) {
+    case k2R1Generate: {
+      assert(guardR1(p));
+      const OutboxEntry& waiting = outbox_.read(p).front();
+      Message msg;
+      msg.payload = waiting.payload;
+      msg.lastHop = p;
+      msg.color = freshColor(p, 0);
+      msg.trace = waiting.trace;
+      msg.valid = true;
+      msg.source = p;
+      msg.dest = waiting.dest;
+      msg.bornStep = nowStep();
+      msg.bornRound = nowRound();
+      op.k = 0;
+      op.writeSlot = true;
+      op.newSlot = msg;
+      op.newState = SlotState::kReady;
+      op.popOutbox = true;  // request_p := false
+      op.generated = msg;
+      break;
+    }
+    case k2R2Internal: {
+      const auto k = static_cast<std::uint32_t>(a.aux);
+      assert(guardR2(p, k));
+      Message msg = *slot_.read(cell(p, k));
+      msg.lastHop = p;
+      msg.color = freshColor(p, k);
+      op.k = k;
+      op.writeSlot = true;
+      op.newSlot = msg;
+      op.newState = SlotState::kReady;
+      break;
+    }
+    case k2R3Forward: {
+      const auto k = static_cast<std::uint32_t>(a.aux / graph_.size());
+      const auto s = static_cast<NodeId>(a.aux % graph_.size());
+      assert(guardR3(p, k) == s);
+      Message msg = *slot_.read(cell(s, k - 1));
+      msg.lastHop = s;  // color kept: the handshake signature at rank k
+      op.k = k;
+      op.writeSlot = true;
+      op.newSlot = msg;
+      op.newState = SlotState::kReceived;
+      op.rotateToBack = s;
+      break;
+    }
+    case k2R4EraseForwarded: {
+      const auto k = static_cast<std::uint32_t>(a.aux);
+      assert(guardR4(p, k));
+      op.k = k;
+      op.writeSlot = true;
+      op.newSlot = std::nullopt;
+      break;
+    }
+    case k2R5EraseDuplicate: {
+      const auto k = static_cast<std::uint32_t>(a.aux);
+      assert(guardR5(p, k));
+      op.k = k;
+      op.writeSlot = true;
+      op.newSlot = std::nullopt;
+      break;
+    }
+    case k2R6Consume: {
+      const auto k = static_cast<std::uint32_t>(a.aux);
+      assert(guardR6(p, k));
+      op.k = k;
+      op.delivered = *slot_.read(cell(p, k));
+      op.writeSlot = true;
+      op.newSlot = std::nullopt;
+      break;
+    }
+    case k2R7Recycle: {
+      assert(guardR7(p));
+      Message msg = *slot_.read(cell(p, maxRank_));
+      msg.lastHop = p;
+      msg.color = freshColor(p, 0);
+      op.k = maxRank_;
+      op.writeSlot = true;
+      op.newSlot = std::nullopt;
+      op.writeRank0 = true;
+      op.newRank0 = msg;
+      break;
+    }
+    case k2R8EraseJunk: {
+      const auto k = static_cast<std::uint32_t>(a.aux);
+      assert(guardR8(p, k));
+      op.k = k;
+      op.writeSlot = true;
+      op.newSlot = std::nullopt;
+      break;
+    }
+    default:
+      assert(false && "unknown SSMFP2 rule");
+  }
+  staged_.push_back(std::move(op));
+}
+
+void Ssmfp2Protocol::commit(std::vector<NodeId>& written) {
+  for (auto& op : staged_) {
+    auditCommitOp(op.p, op.rule);
+    written.push_back(op.p);  // every statement writes only p's variables
+    const std::size_t idx = cell(op.p, op.k);
+    if (op.writeSlot) {
+      slot_.write(idx) = op.newSlot;
+      state_.write(idx) = static_cast<std::uint8_t>(op.newState);
+    }
+    if (op.writeRank0) {
+      const std::size_t idx0 = cell(op.p, 0);
+      slot_.write(idx0) = op.newRank0;
+      state_.write(idx0) = static_cast<std::uint8_t>(SlotState::kReady);
+    }
+    if (op.rotateToBack != kNoNode) {
+      auto& q = queue_.write(idx);
+      const auto it = std::find(q.begin(), q.end(), op.rotateToBack);
+      if (it != q.end()) {
+        q.erase(it);
+        q.push_back(op.rotateToBack);
+      }
+    }
+    if (op.popOutbox) {
+      auto& box = outbox_.write(op.p);
+      assert(!box.empty());
+      box.pop_front();
+    }
+    if (op.generated.has_value()) {
+      generations_.push_back({*op.generated, nowStep(), nowRound()});
+    }
+    if (op.delivered.has_value()) {
+      DeliveryRecord record{*op.delivered, op.p, nowStep(), nowRound()};
+      if (!record.msg.valid) ++invalidDeliveries_;
+      deliveries_.push_back(record);
+      if (deliveryHook_) deliveryHook_(deliveries_.back());
+    }
+  }
+  staged_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Application interface & injection
+// ---------------------------------------------------------------------------
+
+TraceId Ssmfp2Protocol::send(NodeId src, NodeId dest, Payload payload) {
+  assert(src < graph_.size());
+  assert(isDestination(dest) && "dest must be an active destination");
+  const TraceId trace = nextTrace_++;
+  outbox_.write(src).push_back({dest, payload, trace});
+  notifyExternalMutation();  // request_p flipped outside stage/commit
+  return trace;
+}
+
+void Ssmfp2Protocol::injectSlot(NodeId p, std::uint32_t k, SlotState state,
+                                Message msg) {
+  assert(p < graph_.size() && k <= maxRank_);
+  assert(msg.color <= delta_);
+  assert(msg.lastHop == p || graph_.hasEdge(p, msg.lastHop));
+  assert(isDestination(msg.dest));
+  msg.valid = false;
+  if (msg.trace == kInvalidTrace) msg.trace = nextTrace_++;
+  slot_.write(cell(p, k)) = msg;
+  state_.write(cell(p, k)) = static_cast<std::uint8_t>(state);
+  notifyExternalMutation();
+}
+
+void Ssmfp2Protocol::scrambleQueues(Rng& rng) {
+  for (NodeId p = 0; p < graph_.size(); ++p) {
+    for (std::uint32_t k = 1; k <= maxRank_; ++k) {
+      rng.shuffle(queue_.rawMutable()[cell(p, k)]);
+    }
+  }
+  notifyExternalMutation();
+}
+
+void Ssmfp2Protocol::restoreSlot(NodeId p, std::uint32_t k, SlotState state,
+                                 const Message& msg) {
+  assert(p < graph_.size() && k <= maxRank_);
+  assert(msg.color <= delta_);
+  slot_.write(cell(p, k)) = msg;
+  state_.write(cell(p, k)) = static_cast<std::uint8_t>(state);
+  notifyExternalMutation();
+}
+
+void Ssmfp2Protocol::setFairnessQueue(NodeId p, std::uint32_t k,
+                                      std::vector<NodeId> order) {
+  assert(k >= 1 && k <= maxRank_);
+  assert(order.size() == graph_.degree(p));
+#ifndef NDEBUG
+  for (const NodeId c : order) {
+    assert(graph_.hasEdge(p, c));
+  }
+#endif
+  queue_.write(cell(p, k)) = std::move(order);
+  notifyExternalMutation();
+}
+
+void Ssmfp2Protocol::restoreOutboxEntry(NodeId p, NodeId dest, Payload payload,
+                                        TraceId trace) {
+  assert(p < graph_.size() && isDestination(dest));
+  outbox_.write(p).push_back({dest, payload, trace});
+  notifyExternalMutation();
+}
+
+void Ssmfp2Protocol::clearSlotForRestore(NodeId p, std::uint32_t k) {
+  assert(p < graph_.size() && k <= maxRank_);
+  slot_.write(cell(p, k)).reset();
+  notifyExternalMutation();
+}
+
+void Ssmfp2Protocol::clearOutboxForRestore(NodeId p) {
+  assert(p < graph_.size());
+  outbox_.write(p).clear();
+  notifyExternalMutation();
+}
+
+void Ssmfp2Protocol::clearEventRecordsForRestore() {
+  generations_.clear();
+  deliveries_.clear();
+  invalidDeliveries_ = 0;
+}
+
+std::size_t Ssmfp2Protocol::occupiedBufferCount() const {
+  std::size_t count = 0;
+  for (const auto& b : slot_.raw()) count += b.has_value() ? 1 : 0;
+  return count;
+}
+
+bool Ssmfp2Protocol::fullyDrained() const {
+  if (occupiedBufferCount() != 0) return false;
+  return std::all_of(outbox_.raw().begin(), outbox_.raw().end(),
+                     [](const auto& box) { return box.empty(); });
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,343 @@
+#pragma once
+// SSMFP2 - the journal paper's second snap-stabilizing message forwarding
+// protocol: rank-indexed slots, D+1 buffers per processor (D = network
+// diameter), implemented as a guarded-rule Protocol in the state model.
+//
+// Faithfulness note (documented divergence): the journal text ("Two
+// snap-stabilizing point-to-point communication protocols in
+// message-switched networks", arXiv 0905.2540) was reconstructed from its
+// abstract - "the second one needs only D+1 buffers per processor" - and
+// the buffer-graph toolbox of the companion CNS paper (arXiv 0905.1786).
+// This implementation is the classic hops-so-far buffer-ranking scheme of
+// that literature, fitted with the conference paper's color/erasure
+// handshake so it is snap-stabilizing in the same sense as SSMFP. Where
+// the published rule set differs in detail, this file is the authoritative
+// specification of what the repo calls "ssmfp2".
+//
+// Every processor p holds K+1 slots, K = diameter(G); slot_p[k] carries at
+// most one message that has crossed k hops since (re-)entering the slot
+// ladder. Unlike SSMFP the destination is not implicit in a buffer index:
+// messages carry their destination in the header (Message::dest), and a
+// slot is a PAIR (buffer, state) with state in {received, ready}:
+//   received - the copy just arrived from the upstream neighbor and the
+//              handshake with it is still in progress (SSMFP's bufR role),
+//   ready    - the copy owns the message and offers it downstream
+//              (SSMFP's bufE role).
+//
+// Rules (processor p, rank k):
+//  2R1 generation : request_p && slot_p[0] empty && no recycle pending
+//                   -> slot_p[0] := ready(m, p, freshColor_p(0));
+//                      request_p := false
+//  2R2 internal   : slot_p[k] = received(m,q,c) && q in N_p
+//                   && slot_q[k-1] != ready(m,.,c)
+//                   -> slot_p[k] := ready(m, p, freshColor_p(k))
+//  2R3 forwarding : slot_p[k] empty && k >= 1 && choice2_p(k) = s
+//                   && slot_s[k-1] = ready(m,s,c) && nextHop_s(m.dest) = p
+//                   -> slot_p[k] := received(m, s, c)
+//  2R4 erase-fwd  : slot_p[k] = ready(m,p,c) && m.dest != p && k < K
+//                   && slot_{nextHop_p(m.dest)}[k+1] = received(m,p,c)
+//                   && forall r in N_p \ {nextHop}: slot_r[k+1] != received(m,p,c)
+//                   -> slot_p[k] := empty
+//  2R5 erase-dup  : slot_p[k] = received(m,q,c) && slot_q[k-1] = ready(m,.,c)
+//                   && nextHop_q(m.dest) != p
+//                   -> slot_p[k] := empty
+//  2R6 consume    : slot_p[k] = ready(m,p,c) && m.dest = p
+//                   -> deliver_p(m); slot_p[k] := empty
+//  2R7 recycle    : slot_p[K] = ready(m,p,c) && m.dest != p && slot_p[0] empty
+//                   -> slot_p[0] := ready(m, p, freshColor_p(0));
+//                      slot_p[K] := empty
+//  2R8 erase-junk : slot_p[k] holds a rank-inconsistent copy (see below)
+//                   -> slot_p[k] := empty
+//
+// freshColor_p(k) is the smallest color in {0..Delta} carried by no
+// received-state copy in a neighbor's slot at rank k+1 (SSMFP's color_p(d)
+// argument: at most Delta neighbors pin at most Delta colors). choice2_p(k)
+// is a round-robin queue over N_p (one queue per rank >= 1, length Delta).
+//
+// Rank-consistency (2R8). The rank discipline leaves a syntactic footprint
+// no legitimate execution ever violates:
+//   - rank-0 slots are written only by 2R1/2R7, both of which produce
+//     ready(m, p, .): any received-state or foreign-lastHop rank-0 copy is
+//     initial garbage;
+//   - ready copies at any rank are produced only by 2R1/2R2/2R7, all of
+//     which stamp lastHop := p: a ready copy with lastHop != p is garbage;
+//   - received copies at rank >= 1 are produced only by 2R3, which stamps
+//     the upstream NEIGHBOR: a received copy with lastHop = p is garbage.
+// 2R8 erases exactly these, which is what lets the explorer prove a ZERO
+// invalid-delivery bound on the figure-2-style corruption start set (every
+// enumerated single-buffer corruption is rank-inconsistent) - a detection
+// power the destination-indexed SSMFP structurally lacks. Garbage that
+// byte-mimics a legitimate in-flight copy (ready with lastHop = p, or
+// received from a real neighbor) is delivered like any message, bounded by
+// the Proposition-4-style count (<= initially occupied slots;
+// tests/test_propositions.cpp).
+//
+// Deadlock note (the CNS sufficiency condition): the rank ladder is the
+// classic acyclic hops-so-far buffer graph, except for the 2R7 recycle arc
+// rank K -> rank 0, which only corrupted initial configurations exercise.
+// A configuration saturating a whole recycle cycle with mimicking garbage
+// can deadlock; the CNS buffer-sufficiency condition (initial occupancy
+// leaves one free slot per cycle) rules it out and is assumed by the
+// experiments, matching the journal's setting.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "fwd/forwarding.hpp"
+#include "fwd/message.hpp"
+#include "graph/graph.hpp"
+#include "routing/routing.hpp"
+#include "util/names.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+
+/// Slot handshake states (protocol-visible; serialized by canon/codec).
+enum class SlotState : std::uint8_t {
+  kReceived,
+  kReady,
+};
+
+/// Deliberate guard weakenings behind a test hook, mirroring
+/// SsmfpGuardMutation: the explorer's mutation smoke test plants one and
+/// asserts the closure finds the violation.
+///   k2R2SkipUpstreamCheck : 2R2 drops "slot_q[k-1] != ready(m,.,c)" - the
+///     promotion fires while the upstream ready copy still exists, so one
+///     valid trace owns two ready copies (breaks the single-ready-copy
+///     invariant and, downstream, exactly-once delivery).
+///   k2R4SkipStrayCopyCheck : 2R4 drops the stray-copy quantifier - the
+///     ready copy is erased while a stray received copy survives on a wrong
+///     neighbor, which later travels to the destination as a second
+///     delivery.
+enum class Ssmfp2GuardMutation : std::uint8_t {
+  kNone,
+  k2R2SkipUpstreamCheck,
+  k2R4SkipStrayCopyCheck,
+};
+
+template <>
+struct EnumNames<Ssmfp2GuardMutation> {
+  static constexpr auto entries = std::to_array<NamedEnum<Ssmfp2GuardMutation>>({
+      {Ssmfp2GuardMutation::kNone, "none"},
+      {Ssmfp2GuardMutation::k2R2SkipUpstreamCheck, "2r2-skip-upstream-check"},
+      {Ssmfp2GuardMutation::k2R4SkipStrayCopyCheck, "2r4-skip-stray-copy-check"},
+  });
+};
+
+/// Rule identifiers (Action::rule), numbered 2R1..2R8.
+enum Ssmfp2Rule : std::uint16_t {
+  k2R1Generate = 1,
+  k2R2Internal = 2,
+  k2R3Forward = 3,
+  k2R4EraseForwarded = 4,
+  k2R5EraseDuplicate = 5,
+  k2R6Consume = 6,
+  k2R7Recycle = 7,
+  k2R8EraseJunk = 8,
+};
+
+class Ssmfp2Protocol final : public ForwardingProtocol {
+ public:
+  /// `routing` is the nextHop oracle (the self-stabilizing layer running
+  /// above this protocol in engine priority). `destinations` restricts
+  /// which nodes messages may target (empty = all of I); unlike SSMFP it
+  /// does not size any buffer - slots are rank-indexed.
+  Ssmfp2Protocol(const Graph& graph, const RoutingProvider& routing,
+                 std::vector<NodeId> destinations = {});
+  ~Ssmfp2Protocol() override;
+
+  // -- ForwardingProtocol family identity -----------------------------------
+  [[nodiscard]] ForwardingFamilyId family() const override {
+    return ForwardingFamilyId::kSsmfp2;
+  }
+
+  // -- Protocol -------------------------------------------------------------
+  [[nodiscard]] std::string_view name() const override { return "ssmfp2"; }
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
+  void stage(NodeId p, const Action& a) override;
+  void commit(std::vector<NodeId>& written) override;
+  // guardKernels() stays the GuardSource default (nullptr): the engine's
+  // per-layer virtual fallback keeps ExecMode::kKernel runs working; a SoA
+  // kernel set for the rank ladder is a cheap follow-up.
+
+  // -- Application interface (request_p / nextMessage_p) --------------------
+  TraceId send(NodeId src, NodeId dest, Payload payload) override;
+  [[nodiscard]] bool request(NodeId p) const override {
+    return !outbox_.read(p).empty();
+  }
+  [[nodiscard]] std::size_t outboxSize(NodeId p) const override {
+    return outbox_.read(p).size();
+  }
+  [[nodiscard]] NodeId nextDestination(NodeId p) const override;
+
+  // -- Event records --------------------------------------------------------
+  [[nodiscard]] const std::vector<GenerationRecord>& generations() const override {
+    return generations_;
+  }
+  [[nodiscard]] const std::vector<DeliveryRecord>& deliveries() const override {
+    return deliveries_;
+  }
+  [[nodiscard]] std::uint64_t invalidDeliveryCount() const override {
+    return invalidDeliveries_;
+  }
+  void setDeliveryHook(std::function<void(const DeliveryRecord&)> hook) override {
+    deliveryHook_ = std::move(hook);
+  }
+  void attachEngine(const Engine* engine) override { engine_ = engine; }
+
+  // -- State access (checkers, printers, tests) -----------------------------
+  [[nodiscard]] const Graph& graph() const override { return graph_; }
+  [[nodiscard]] const RoutingProvider& routing() const override {
+    return routing_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& destinations() const override {
+    return dests_;
+  }
+  [[nodiscard]] bool isDestination(NodeId d) const override {
+    return d < graph_.size() && destFlag_[d] != 0;
+  }
+  [[nodiscard]] Color delta() const { return delta_; }
+  /// K = diameter(G): the highest rank; K+1 slots per processor.
+  [[nodiscard]] std::uint32_t maxRank() const { return maxRank_; }
+
+  [[nodiscard]] const Buffer& slot(NodeId p, std::uint32_t k) const {
+    return slot_.read(cell(p, k));
+  }
+  /// Meaningful only while slot(p, k) is occupied.
+  [[nodiscard]] SlotState slotState(NodeId p, std::uint32_t k) const {
+    return static_cast<SlotState>(state_.read(cell(p, k)));
+  }
+  /// The round-robin queue backing choice2_p(k), k >= 1, in current order.
+  [[nodiscard]] const std::vector<NodeId>& fairnessQueue(NodeId p,
+                                                         std::uint32_t k) const {
+    return queue_.read(cell(p, k));
+  }
+
+  /// choice2_p(k): first queue element s with a pullable ready copy at rank
+  /// k-1 routed to p; kNoNode when no candidate qualifies.
+  [[nodiscard]] NodeId choice2(NodeId p, std::uint32_t k) const;
+  /// freshColor_p(k): smallest color in {0..Delta} absent from all
+  /// received-state copies at rank k+1 of p's neighbors (k = K: 0).
+  [[nodiscard]] Color freshColor(NodeId p, std::uint32_t k) const;
+
+  [[nodiscard]] std::size_t occupiedBufferCount() const override;
+  [[nodiscard]] bool fullyDrained() const override;
+
+  // -- Arbitrary-initial-configuration injection ----------------------------
+  /// Places `msg` in slot_p[k] with the given handshake state. Marks it
+  /// invalid (initial-configuration garbage). lastHop must be in N_p u {p}
+  /// and color <= Delta (asserted); dest must be an active destination;
+  /// trace is auto-assigned if kInvalidTrace.
+  void injectSlot(NodeId p, std::uint32_t k, SlotState state, Message msg);
+  void scrambleQueues(Rng& rng) override;
+
+  // -- Exact state restoration (canon/codec support) ------------------------
+  /// Copies `msg` verbatim (validity, trace, provenance preserved).
+  void restoreSlot(NodeId p, std::uint32_t k, SlotState state, const Message& msg);
+  /// `order` must be a permutation of N_p (asserted).
+  void setFairnessQueue(NodeId p, std::uint32_t k, std::vector<NodeId> order);
+  void restoreOutboxEntry(NodeId p, NodeId dest, Payload payload,
+                          TraceId trace) override;
+  void clearSlotForRestore(NodeId p, std::uint32_t k);
+  void clearOutboxForRestore(NodeId p) override;
+  void clearEventRecordsForRestore() override;
+  [[nodiscard]] TraceId nextTraceId() const override { return nextTrace_; }
+  void setNextTraceId(TraceId next) override { nextTrace_ = next; }
+  [[nodiscard]] TraceId waitingTrace(NodeId p, std::size_t k) const override {
+    return outbox_.read(p)[k].trace;
+  }
+  /// Waiting outbox entry k of p as (dest, payload); waitingTrace(p, k)
+  /// carries the trace (canon/codec walk the outbox through these).
+  [[nodiscard]] std::pair<NodeId, Payload> waitingAt(NodeId p,
+                                                     std::size_t k) const {
+    const auto& e = outbox_.read(p)[k];
+    return {e.dest, e.payload};
+  }
+
+  // -- Fault-seeding hook (explorer mutation smoke test) --------------------
+  void setGuardMutationForTest(Ssmfp2GuardMutation mutation) {
+    mutation_ = mutation;
+    notifyExternalMutation();
+  }
+  [[nodiscard]] Ssmfp2GuardMutation guardMutation() const { return mutation_; }
+
+ private:
+  [[nodiscard]] std::size_t cell(NodeId p, std::uint32_t k) const {
+    return static_cast<std::size_t>(p) * (maxRank_ + 1) + k;
+  }
+  [[nodiscard]] bool occupied(NodeId p, std::uint32_t k, SlotState s) const {
+    return slot_.read(cell(p, k)).has_value() &&
+           static_cast<SlotState>(state_.read(cell(p, k))) == s;
+  }
+  /// "slot_q[j] = ready(m,.,c)" of 2R2/2R5 (useful info = payload + dest).
+  [[nodiscard]] bool upstreamReadyMatch(NodeId q, std::uint32_t j,
+                                        const Message& msg) const;
+
+  // Guard predicates, factored per rule; all read only current state.
+  [[nodiscard]] bool guardR1(NodeId p) const;
+  [[nodiscard]] bool guardR2(NodeId p, std::uint32_t k) const;
+  [[nodiscard]] NodeId guardR3(NodeId p, std::uint32_t k) const;  // s or kNoNode
+  [[nodiscard]] bool guardR4(NodeId p, std::uint32_t k) const;
+  [[nodiscard]] bool guardR5(NodeId p, std::uint32_t k) const;
+  [[nodiscard]] bool guardR6(NodeId p, std::uint32_t k) const;
+  [[nodiscard]] bool guardR7(NodeId p) const;
+  [[nodiscard]] bool guardR8(NodeId p, std::uint32_t k) const;
+
+  /// Can s's rank-(k-1) ready copy be pulled into slot_p[k]?
+  [[nodiscard]] bool pullCandidate(NodeId p, std::uint32_t k, NodeId s) const;
+
+  [[nodiscard]] std::uint64_t nowStep() const;
+  [[nodiscard]] std::uint64_t nowRound() const;
+
+  const Graph& graph_;
+  const RoutingProvider& routing_;
+  std::vector<NodeId> dests_;
+  std::vector<std::uint8_t> destFlag_;  // node id -> is active destination
+  Color delta_;
+  std::uint32_t maxRank_;  // K = diameter(G)
+  Ssmfp2GuardMutation mutation_ = Ssmfp2GuardMutation::kNone;
+
+  // Observable variables, one row of (K+1) cells per processor (audit-mode
+  // access recording; see core/access_tracker.hpp).
+  CheckedStore<Buffer> slot_;
+  CheckedStore<std::uint8_t> state_;  // SlotState; valid iff slot occupied
+  CheckedStore<std::vector<NodeId>> queue_;  // per (p, k), k >= 1; [p,0] unused
+
+  struct OutboxEntry {
+    NodeId dest;
+    Payload payload;
+    TraceId trace;
+  };
+  CheckedStore<std::deque<OutboxEntry>> outbox_;
+
+  TraceId nextTrace_ = 1;
+  std::vector<GenerationRecord> generations_;
+  std::vector<DeliveryRecord> deliveries_;
+  std::uint64_t invalidDeliveries_ = 0;
+  std::function<void(const DeliveryRecord&)> deliveryHook_;
+  const Engine* engine_ = nullptr;
+
+  // Staged effects of the current atomic step.
+  struct StagedOp {
+    NodeId p = kNoNode;
+    std::uint32_t k = 0;
+    std::uint16_t rule = 0;
+    bool writeSlot = false;
+    Buffer newSlot;
+    SlotState newState = SlotState::kReceived;
+    bool writeRank0 = false;  // 2R7 writes rank K (k) and rank 0 together
+    Buffer newRank0;
+    NodeId rotateToBack = kNoNode;  // fairness-queue element served (rank k)
+    bool popOutbox = false;
+    Buffer delivered;
+    Buffer generated;
+  };
+  std::vector<StagedOp> staged_;
+};
+
+}  // namespace snapfwd

@@ -4,7 +4,7 @@
 #include <numeric>
 
 #include "baseline/merlin_schweitzer.hpp"
-#include "ssmfp/ssmfp.hpp"
+#include "fwd/forwarding.hpp"
 
 namespace snapfwd {
 
@@ -67,7 +67,7 @@ std::vector<TrafficItem> antipodalTraffic(std::size_t n, Payload payloadSpace) {
   return out;
 }
 
-std::vector<TraceId> submitAll(SsmfpProtocol& protocol,
+std::vector<TraceId> submitAll(ForwardingProtocol& protocol,
                                const std::vector<TrafficItem>& traffic) {
   std::vector<TraceId> traces;
   traces.reserve(traffic.size());

@@ -9,13 +9,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "fwd/message.hpp"
 #include "graph/graph.hpp"
-#include "ssmfp/message.hpp"
 #include "util/rng.hpp"
 
 namespace snapfwd {
 
-class SsmfpProtocol;
+class ForwardingProtocol;
 class MerlinSchweitzerProtocol;
 class Engine;
 
@@ -48,7 +48,7 @@ struct TrafficItem {
 
 /// Submits every item to the protocol's outbox (order preserved). Returns
 /// the assigned trace ids.
-std::vector<TraceId> submitAll(SsmfpProtocol& protocol,
+std::vector<TraceId> submitAll(ForwardingProtocol& protocol,
                                const std::vector<TrafficItem>& traffic);
 std::vector<TraceId> submitAll(MerlinSchweitzerProtocol& protocol,
                                const std::vector<TrafficItem>& traffic);

@@ -85,6 +85,30 @@ TEST(CliArgs, RejectsUnknownEnumValue) {
   EXPECT_FALSE(parse({"--protocol=udp"}).options.has_value());
 }
 
+TEST(CliArgs, ParsesEveryForwardingFamilyAsProtocol) {
+  const auto ssmfp = parse({"--protocol=ssmfp"});
+  ASSERT_TRUE(ssmfp.options.has_value());
+  EXPECT_EQ(ssmfp.options->protocol, ProtocolChoice::kSsmfp);
+  EXPECT_EQ(ssmfp.options->config.family, ForwardingFamilyId::kSsmfp);
+  const auto ssmfp2 = parse({"--protocol=ssmfp2"});
+  ASSERT_TRUE(ssmfp2.options.has_value());
+  EXPECT_EQ(ssmfp2.options->protocol, ProtocolChoice::kSsmfp2);
+  EXPECT_EQ(ssmfp2.options->config.family, ForwardingFamilyId::kSsmfp2);
+}
+
+TEST(CliArgs, UnknownFamilyErrorListsValidChoices) {
+  // The rejection message must enumerate the registry-backed vocabulary so
+  // a typo is self-correcting from the error alone.
+  const auto protocol = parse({"--protocol=ssmpf2"});
+  ASSERT_FALSE(protocol.options.has_value());
+  EXPECT_NE(protocol.error.find("ssmfp|ssmfp2|baseline"), std::string::npos)
+      << protocol.error;
+  const auto model = parse({"explore", "--model=ssmpf2"});
+  ASSERT_FALSE(model.options.has_value());
+  EXPECT_NE(model.error.find("ssmfp|ssmfp2|pif"), std::string::npos)
+      << model.error;
+}
+
 TEST(CliArgs, RejectsMalformedNumbers) {
   EXPECT_FALSE(parse({"--n=three"}).options.has_value());
   EXPECT_FALSE(parse({"--seed="}).options.has_value());

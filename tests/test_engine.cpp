@@ -449,42 +449,39 @@ TEST(Engine, DeclaredRadiusWidensIncrementalDirtySet) {
   EXPECT_EQ(fullProto.values(), incProto.values());
 }
 
-TEST(Engine, DefaultScanModeOverrideRoundTrips) {
-  // The pre-EngineOptions statics survive as deprecated shims over the
-  // process defaults; pin that they still round-trip (and agree with the
-  // EngineOptions resolution they forward to) until their removal.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Engine::setDefaultScanMode(ScanMode::kFull);
-  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kFull);
+TEST(Engine, ProcessDefaultScanModeRoundTrips) {
+  // EngineOptions::setProcessDefaults is the only knob surface (the old
+  // static Engine::setDefault* shims are gone): installed defaults must be
+  // read back by processDefaults(), drive unset-field resolution, and clear
+  // back to env / built-in when the field is nullopt.
+  EngineOptions::setProcessDefaults(EngineOptions{.scanMode = ScanMode::kFull});
   EXPECT_EQ(EngineOptions{}.resolvedScanMode(), ScanMode::kFull);
-  Engine::setDefaultScanMode(ScanMode::kIncremental);
-  EXPECT_EQ(Engine::defaultScanMode(), ScanMode::kIncremental);
+  EXPECT_EQ(EngineOptions::processDefaults().scanMode, ScanMode::kFull);
+  EngineOptions::setProcessDefaults(
+      EngineOptions{.scanMode = ScanMode::kIncremental});
+  EXPECT_EQ(EngineOptions{}.resolvedScanMode(), ScanMode::kIncremental);
   EXPECT_EQ(EngineOptions::processDefaults().scanMode, ScanMode::kIncremental);
-  Engine::setDefaultScanMode(std::nullopt);  // back to env / built-in
+  EngineOptions::setProcessDefaults(EngineOptions{});  // back to env / built-in
   EXPECT_EQ(EngineOptions::processDefaults().scanMode, std::nullopt);
-#pragma GCC diagnostic pop
 }
 
-TEST(Engine, DeprecatedPositionalCtorMatchesEngineOptions) {
-  // The positional-ScanMode constructor must keep building an engine
-  // equivalent to EngineOptions{.scanMode = ...} until its removal.
+TEST(Engine, ScopedDefaultsDriveEngineConstruction) {
+  // An engine built with unset options must pick up the scoped process
+  // default, and one with an explicit option must override it.
   const Graph g = topo::ring(4);
   CountdownProtocol a({2, 1, 2, 1});
   CountdownProtocol b({2, 1, 2, 1});
   SynchronousDaemon d1;
   SynchronousDaemon d2;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Engine legacy(g, {&a}, d1, nullptr, ScanMode::kFull);
-#pragma GCC diagnostic pop
-  Engine modern(g, {&b}, d2, nullptr, EngineOptions{.scanMode = ScanMode::kFull});
-  EXPECT_EQ(legacy.scanMode(), ScanMode::kFull);
-  EXPECT_EQ(legacy.scanMode(), modern.scanMode());
-  EXPECT_EQ(legacy.execMode(), modern.execMode());
-  legacy.run(50);
-  modern.run(50);
-  EXPECT_EQ(legacy.stepCount(), modern.stepCount());
+  const ScopedEngineDefaults scoped(EngineOptions{.scanMode = ScanMode::kFull});
+  Engine inherited(g, {&a}, d1);
+  Engine overridden(g, {&b}, d2, nullptr,
+                    EngineOptions{.scanMode = ScanMode::kIncremental});
+  EXPECT_EQ(inherited.scanMode(), ScanMode::kFull);
+  EXPECT_EQ(overridden.scanMode(), ScanMode::kIncremental);
+  inherited.run(50);
+  overridden.run(50);
+  EXPECT_EQ(inherited.stepCount(), overridden.stepCount());
   EXPECT_EQ(a.total(), 0);
   EXPECT_EQ(b.total(), 0);
 }

@@ -20,8 +20,10 @@
 #include "explore/models.hpp"
 #include "faults/corruptor.hpp"
 #include "graph/builders.hpp"
+#include "routing/oracle.hpp"
 #include "routing/selfstab_bfs.hpp"
 #include "sim/runner.hpp"
+#include "ssmfp2/ssmfp2.hpp"
 #include "workload/workload.hpp"
 
 namespace snapfwd {
@@ -167,6 +169,56 @@ TEST(Prop4, GarbageOnlyRunsDrainCompletely) {
   EXPECT_TRUE(result.quiescent);
   EXPECT_EQ(result.invalidInjected, 2u * 6u * 6u);  // 2 buffers x n x n dests
   EXPECT_LE(result.invalidDelivered, result.invalidInjected);
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 4, SSMFP2 form: the rank-consistency footprint (2R8) turns
+// the <= 2n bound into an exact ZERO on every detectable corruption, while
+// mimicking garbage keeps the occupied-slot bound.
+// ---------------------------------------------------------------------------
+
+TEST(Prop4Ssmfp2, ExplorerProvesZeroInvalidOnDetectableCorruptionSet) {
+  // The explored-start-set delivery bound for ssmfp2: every single-variable
+  // corruption in the figure-2 start set is rank-inconsistent, so across
+  // the WHOLE closure (every schedule of the central class) the maximum
+  // invalid-delivery count is exactly 0 - not 1, as the same methodology
+  // yields for SSMFP above.
+  const auto model = explore::Ssmfp2ExploreModel::figure2CorruptionClosure();
+  const explore::ExploreResult result =
+      explore::explore(model, explore::ExploreOptions{});
+  ASSERT_TRUE(result.clean())
+      << (result.violations.empty() ? "" : result.violations.front().message);
+  ASSERT_TRUE(result.stats.exhausted);
+  EXPECT_EQ(result.stats.maxProgressCount, 0u);
+}
+
+TEST(Prop4Ssmfp2, MimickingGarbageBoundedByInitiallyOccupiedSlots) {
+  // Garbage that byte-mimics a legitimate ready copy (lastHop = p) escapes
+  // 2R8 and is delivered like a real message - but each occupied slot
+  // holds at most one such copy, so invalid deliveries are bounded by the
+  // initial occupancy (the Prop-4 analogue for the rank ladder).
+  const Graph g = topo::path(4);
+  OracleRouting routing(g);
+  Ssmfp2Protocol proto(g, routing);
+  std::size_t injected = 0;
+  for (NodeId p = 0; p < g.size() - 1; ++p) {
+    Message garbage;
+    garbage.payload = 50 + p;
+    garbage.lastHop = p;  // mimics a generation/promotion product
+    garbage.color = 0;
+    garbage.dest = 3;
+    proto.injectSlot(p, 1, SlotState::kReady, garbage);
+    ++injected;
+  }
+  ASSERT_EQ(proto.occupiedBufferCount(), injected);
+  CentralRoundRobinDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  proto.attachEngine(&engine);
+  engine.run(100'000);
+  EXPECT_TRUE(engine.isTerminal());
+  EXPECT_LE(proto.invalidDeliveryCount(), injected);
+  EXPECT_GE(proto.invalidDeliveryCount(), 1u);  // some garbage does arrive
+  EXPECT_TRUE(proto.fullyDrained());
 }
 
 // ---------------------------------------------------------------------------

@@ -27,7 +27,11 @@ TEST(RunnerFactories, EnumNamesRoundTripThroughParseEnum) {
   for (const auto& entry : EnumNames<ChoicePolicy>::entries) {
     EXPECT_EQ(parseEnum<ChoicePolicy>(toString(entry.value)), entry.value);
   }
+  for (const auto& entry : EnumNames<ForwardingFamilyId>::entries) {
+    EXPECT_EQ(parseEnum<ForwardingFamilyId>(toString(entry.value)), entry.value);
+  }
   EXPECT_EQ(parseEnum<TopologyKind>("no-such-topology"), std::nullopt);
+  EXPECT_EQ(parseEnum<ForwardingFamilyId>("no-such-family"), std::nullopt);
 }
 
 TEST(TopologySpec, FactoriesSetOnlyRelevantParameters) {

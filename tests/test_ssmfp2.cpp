@@ -1,0 +1,440 @@
+// SSMFP2 (the journal paper's rank-indexed slot protocol, src/ssmfp2/)
+// and the protocol-family layer around it: rule-level unit tests on
+// crafted configurations, the 2R8 rank-consistency footprint, canon and
+// binary-codec round trips, the family registry / invariant-monitor
+// dispatch, the runner integration, and the explorer closures that prove
+// the headline property - ZERO invalid deliveries over the figure-2-style
+// corruption start set, under every daemon class (where SSMFP's bound is
+// only <= 2n).
+#include "ssmfp2/ssmfp2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "checker/invariants2.hpp"
+#include "core/engine.hpp"
+#include "explore/canon.hpp"
+#include "explore/codec.hpp"
+#include "explore/explore.hpp"
+#include "explore/family.hpp"
+#include "explore/models.hpp"
+#include "faults/corruptor.hpp"
+#include "graph/builders.hpp"
+#include "routing/oracle.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "sim/runner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snapfwd {
+namespace {
+
+using explore::DaemonClosure;
+using explore::ExploreOptions;
+using explore::ExploreResult;
+using explore::Ssmfp2ExploreModel;
+using explore::StateCodec;
+
+/// Returns true iff processor p has rule `rule` enabled at rank `k` (2R3
+/// packs (rank, sender) into aux, so it is matched on rule alone).
+bool ruleEnabledAt(const Ssmfp2Protocol& proto, NodeId p, std::uint16_t rule,
+                   std::uint64_t aux) {
+  std::vector<Action> actions;
+  proto.enumerateEnabled(p, actions);
+  for (const auto& a : actions) {
+    if (a.rule == rule && a.aux == aux) return true;
+  }
+  return false;
+}
+
+bool ruleEnabled(const Ssmfp2Protocol& proto, NodeId p, std::uint16_t rule) {
+  std::vector<Action> actions;
+  proto.enumerateEnabled(p, actions);
+  for (const auto& a : actions) {
+    if (a.rule == rule) return true;
+  }
+  return false;
+}
+
+Message garbageMsg(NodeId dest, NodeId lastHop, Color color, Payload payload) {
+  Message m;
+  m.payload = payload;
+  m.lastHop = lastHop;
+  m.color = color;
+  m.dest = dest;
+  return m;
+}
+
+// Fixture: path 0-1-2-3 (K = diameter = 3, so 4 slots per processor),
+// correct oracle routing.
+class Ssmfp2PathFixture : public ::testing::Test {
+ protected:
+  Ssmfp2PathFixture()
+      : graph_(topo::path(4)), routing_(graph_), proto_(graph_, routing_) {}
+
+  Graph graph_;
+  OracleRouting routing_;
+  Ssmfp2Protocol proto_;
+};
+
+// ---------------------------------------------------------------------------
+// Family identity, registry, monitor dispatch
+// ---------------------------------------------------------------------------
+
+TEST(ForwardingFamily, EnumRoundTripsAndRejectsUnknown) {
+  for (const auto& entry : EnumNames<ForwardingFamilyId>::entries) {
+    EXPECT_EQ(parseEnum<ForwardingFamilyId>(toString(entry.value)), entry.value);
+  }
+  EXPECT_EQ(parseEnum<ForwardingFamilyId>("no-such-family"), std::nullopt);
+  EXPECT_EQ(enumNameList<ForwardingFamilyId>(), "ssmfp|ssmfp2");
+}
+
+TEST(ForwardingFamily, ModelRegistryMirrorsEnumNames) {
+  const auto registry = explore::familyModelRegistry();
+  ASSERT_EQ(registry.size(), EnumNames<ForwardingFamilyId>::entries.size());
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    EXPECT_EQ(registry[i].id, EnumNames<ForwardingFamilyId>::entries[i].value);
+    EXPECT_EQ(registry[i].name, EnumNames<ForwardingFamilyId>::entries[i].name);
+    ASSERT_NE(registry[i].figure2CorruptionModel, nullptr);
+    ASSERT_NE(registry[i].figure2CleanModel, nullptr);
+    const auto model = registry[i].figure2CleanModel();
+    EXPECT_EQ(model->name().substr(0, registry[i].name.size()), registry[i].name);
+    EXPECT_FALSE(model->startStates().empty());
+  }
+  EXPECT_NE(explore::findFamilyModelOps("ssmfp"), nullptr);
+  EXPECT_NE(explore::findFamilyModelOps("ssmfp2"), nullptr);
+  EXPECT_EQ(explore::findFamilyModelOps("pif"), nullptr);
+  EXPECT_EQ(explore::findFamilyModelOps("bogus"), nullptr);
+}
+
+TEST(ForwardingFamily, InvariantMonitorDispatchesOnFamily) {
+  const Graph g = topo::path(3);
+  OracleRouting routing(g);
+  SsmfpProtocol ssmfp(g, routing);
+  Ssmfp2Protocol ssmfp2(g, routing);
+  const auto m1 = makeInvariantMonitor(ssmfp);
+  const auto m2 = makeInvariantMonitor(ssmfp2);
+  ASSERT_NE(m1, nullptr);
+  ASSERT_NE(m2, nullptr);
+  EXPECT_EQ(m1->check(), std::nullopt);  // clean stacks pass their battery
+  EXPECT_EQ(m2->check(), std::nullopt);
+  EXPECT_EQ(m1->checksRun(), 1u);
+  EXPECT_EQ(m2->checksRun(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Rules on crafted configurations
+// ---------------------------------------------------------------------------
+
+TEST_F(Ssmfp2PathFixture, SlotLadderSizedByDiameter) {
+  EXPECT_EQ(proto_.maxRank(), 3u);  // path(4): K = D = 3
+  EXPECT_EQ(proto_.occupiedBufferCount(), 0u);
+  EXPECT_TRUE(proto_.fullyDrained());
+}
+
+TEST_F(Ssmfp2PathFixture, R1GeneratesIntoRankZero) {
+  EXPECT_FALSE(ruleEnabled(proto_, 0, k2R1Generate));
+  proto_.send(0, 3, 42);
+  EXPECT_TRUE(proto_.request(0));
+  EXPECT_EQ(proto_.nextDestination(0), 3u);
+  ASSERT_TRUE(ruleEnabled(proto_, 0, k2R1Generate));
+
+  ScriptedDaemon daemon({{{0, k2R1Generate, kNoNode}}});
+  Engine engine(graph_, {&proto_}, daemon);
+  proto_.attachEngine(&engine);
+  ASSERT_TRUE(engine.step());
+  const Buffer& slot = proto_.slot(0, 0);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(slot->payload, 42u);
+  EXPECT_EQ(slot->lastHop, 0u);  // generation stamps lastHop := p
+  EXPECT_TRUE(slot->valid);
+  EXPECT_EQ(proto_.slotState(0, 0), SlotState::kReady);
+  EXPECT_FALSE(proto_.request(0));
+  ASSERT_EQ(proto_.generations().size(), 1u);
+}
+
+TEST_F(Ssmfp2PathFixture, EndToEndDeliversExactlyOnceAndDrains) {
+  proto_.send(0, 3, 42);
+  CentralRoundRobinDaemon daemon;
+  Engine engine(graph_, {&proto_}, daemon);
+  proto_.attachEngine(&engine);
+  engine.run(10'000);
+  EXPECT_TRUE(engine.isTerminal());
+  ASSERT_EQ(proto_.deliveries().size(), 1u);
+  EXPECT_EQ(proto_.deliveries()[0].at, 3u);
+  EXPECT_EQ(proto_.deliveries()[0].msg.payload, 42u);
+  EXPECT_TRUE(proto_.deliveries()[0].msg.valid);
+  EXPECT_EQ(proto_.invalidDeliveryCount(), 0u);
+  EXPECT_TRUE(proto_.fullyDrained());
+}
+
+TEST_F(Ssmfp2PathFixture, R8ErasesRankZeroReceivedGarbage) {
+  // Rank-0 slots are written only by generation/recycle, which produce
+  // ready(m, p, .): a received-state rank-0 copy is syntactic garbage.
+  proto_.injectSlot(1, 0, SlotState::kReceived, garbageMsg(3, 1, 0, 55));
+  EXPECT_TRUE(ruleEnabledAt(proto_, 1, k2R8EraseJunk, 0));
+  CentralRoundRobinDaemon daemon;
+  Engine engine(graph_, {&proto_}, daemon);
+  proto_.attachEngine(&engine);
+  engine.run(10'000);
+  EXPECT_TRUE(engine.isTerminal());
+  EXPECT_EQ(proto_.invalidDeliveryCount(), 0u);  // erased, never delivered
+  EXPECT_EQ(proto_.deliveries().size(), 0u);
+  EXPECT_TRUE(proto_.fullyDrained());
+}
+
+TEST_F(Ssmfp2PathFixture, R8ErasesForeignLastHopReady) {
+  // Ready copies are produced only by rules stamping lastHop := p.
+  proto_.injectSlot(1, 2, SlotState::kReady, garbageMsg(3, 0, 1, 55));
+  EXPECT_TRUE(ruleEnabledAt(proto_, 1, k2R8EraseJunk, 2));
+}
+
+TEST_F(Ssmfp2PathFixture, R8ErasesSelfLastHopReceived) {
+  // Received copies at rank >= 1 are produced only by 2R3, which stamps
+  // the upstream NEIGHBOR; lastHop = p is garbage.
+  proto_.injectSlot(2, 1, SlotState::kReceived, garbageMsg(3, 2, 0, 55));
+  EXPECT_TRUE(ruleEnabledAt(proto_, 2, k2R8EraseJunk, 1));
+}
+
+TEST_F(Ssmfp2PathFixture, MimickingReadyGarbageIsNotJunk) {
+  // ready with lastHop = p byte-mimics a legitimate copy: 2R8 must NOT
+  // match it (it is covered by the Prop-4-style delivery bound instead).
+  proto_.injectSlot(1, 2, SlotState::kReady, garbageMsg(3, 1, 0, 55));
+  EXPECT_FALSE(ruleEnabledAt(proto_, 1, k2R8EraseJunk, 2));
+}
+
+TEST_F(Ssmfp2PathFixture, R7RecyclesRankKIntoRankZero) {
+  // A non-consumable ready copy at the top rank re-enters the ladder.
+  proto_.injectSlot(1, 3, SlotState::kReady, garbageMsg(3, 1, 0, 55));
+  ASSERT_TRUE(ruleEnabled(proto_, 1, k2R7Recycle));
+  ScriptedDaemon daemon({{{1, k2R7Recycle, kNoNode}}});
+  Engine engine(graph_, {&proto_}, daemon);
+  proto_.attachEngine(&engine);
+  ASSERT_TRUE(engine.step());
+  EXPECT_FALSE(proto_.slot(1, 3).has_value());
+  ASSERT_TRUE(proto_.slot(1, 0).has_value());
+  EXPECT_EQ(proto_.slot(1, 0)->payload, 55u);
+  EXPECT_EQ(proto_.slotState(1, 0), SlotState::kReady);
+}
+
+TEST_F(Ssmfp2PathFixture, MimickingGarbageDeliversAsInvalid) {
+  // The flip side of the zero-invalid property: garbage 2R8 cannot detect
+  // travels like a real message and is delivered (counted as invalid).
+  proto_.injectSlot(1, 1, SlotState::kReady, garbageMsg(3, 1, 0, 55));
+  CentralRoundRobinDaemon daemon;
+  Engine engine(graph_, {&proto_}, daemon);
+  proto_.attachEngine(&engine);
+  engine.run(10'000);
+  EXPECT_TRUE(engine.isTerminal());
+  EXPECT_EQ(proto_.invalidDeliveryCount(), 1u);
+  EXPECT_TRUE(proto_.fullyDrained());
+}
+
+// ---------------------------------------------------------------------------
+// Canon + binary codec round trips
+// ---------------------------------------------------------------------------
+
+/// A corrupted, mid-traffic SSMFP2 stack on the cfg's topology, built
+/// through the family runner path (same RNG forks as the experiments).
+ForwardingStack messyStack() {
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::ring(5);
+  cfg.family = ForwardingFamilyId::kSsmfp2;
+  cfg.seed = 42;
+  cfg.traffic = TrafficKind::kNone;
+  cfg.corruption.routingFraction = 1.0;
+  cfg.corruption.invalidMessages = 6;
+  cfg.corruption.payloadSpace = 5;
+  cfg.corruption.scrambleQueues = true;
+  ForwardingStack stack = buildForwardingStack(cfg);
+  stack.forwarding->send(1, 3, 77);
+  stack.forwarding->send(4, 0, 78);
+  return stack;
+}
+
+TEST(Ssmfp2Canon, MessyStackRoundTrips) {
+  const ForwardingStack stack = messyStack();
+  auto& proto = static_cast<Ssmfp2Protocol&>(*stack.forwarding);
+  const std::string text = explore::canonSsmfp2Stack(*stack.routing, proto);
+
+  // Restore onto a fresh stack of the same structure holding unrelated
+  // state; the canon must come back byte-identical.
+  Graph g2 = *stack.graph;
+  SelfStabBfsRouting routing2(g2);
+  Ssmfp2Protocol proto2(g2, routing2);
+  proto2.send(0, 2, 3);
+  explore::restoreSsmfp2Stack(routing2, proto2, text);
+  EXPECT_EQ(explore::canonSsmfp2Stack(routing2, proto2), text);
+}
+
+TEST(Ssmfp2Codec, BinaryIsABijectiveReEncodingOfTheCanon) {
+  const ForwardingStack stack = messyStack();
+  auto& proto = static_cast<Ssmfp2Protocol&>(*stack.forwarding);
+  const std::string text = explore::canonSsmfp2Stack(*stack.routing, proto);
+  const std::uint64_t structHash = explore::ssmfp2StructHash(*stack.graph, proto);
+  std::string bin;
+  explore::encodeSsmfp2Stack(*stack.routing, proto, structHash, bin);
+  EXPECT_LT(bin.size(), text.size());  // the point of the codec
+
+  Graph g2 = *stack.graph;
+  SelfStabBfsRouting routing2(g2);
+  Ssmfp2Protocol proto2(g2, routing2);
+  proto2.send(0, 2, 3);
+  const explore::BinReader reader =
+      explore::decodeSsmfp2Stack(bin, routing2, proto2, structHash);
+  EXPECT_TRUE(reader.atEnd());
+  EXPECT_EQ(explore::canonSsmfp2Stack(routing2, proto2), text);
+
+  std::string bin2;
+  explore::encodeSsmfp2Stack(routing2, proto2, structHash, bin2);
+  EXPECT_EQ(bin, bin2);
+}
+
+TEST(Ssmfp2Codec, MidExecutionStatesRoundTrip) {
+  Graph g = topo::ring(4);
+  SelfStabBfsRouting routing(g);
+  Rng corruptRng(7);
+  routing.corrupt(corruptRng, 1.0);
+  Ssmfp2Protocol proto(g, routing);
+  proto.send(0, 2, 10);
+  proto.send(1, 3, 11);
+  CentralRoundRobinDaemon daemon;
+  Engine engine(g, {&routing, &proto}, daemon);
+  proto.attachEngine(&engine);
+
+  const std::uint64_t structHash = explore::ssmfp2StructHash(g, proto);
+  SelfStabBfsRouting shadow(g);
+  Ssmfp2Protocol shadowProto(g, shadow);
+  for (int step = 0; step < 40 && engine.step(); ++step) {
+    const std::string text = explore::canonSsmfp2Stack(routing, proto);
+    std::string bin;
+    explore::encodeSsmfp2Stack(routing, proto, structHash, bin);
+    explore::decodeSsmfp2Stack(bin, shadow, shadowProto, structHash);
+    ASSERT_EQ(explore::canonSsmfp2Stack(shadow, shadowProto), text)
+        << "diverged at step " << step;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runner integration
+// ---------------------------------------------------------------------------
+
+TEST(Ssmfp2Runner, CorruptedGridRunSatisfiesSpWithInvariantsOn) {
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::grid(3, 3);
+  cfg.family = ForwardingFamilyId::kSsmfp2;
+  cfg.seed = 5;
+  cfg.daemon = DaemonKind::kDistributedRandom;
+  cfg.traffic = TrafficKind::kUniform;
+  cfg.messageCount = 12;
+  cfg.corruption.routingFraction = 1.0;
+  cfg.corruption.invalidMessages = 4;
+  cfg.corruption.scrambleQueues = true;
+  cfg.checkInvariantsEveryStep = true;
+  const ExperimentResult result = runForwardingExperiment(cfg);
+  EXPECT_TRUE(result.quiescent);
+  EXPECT_TRUE(result.spec.satisfiesSp()) << result.spec.summary();
+  EXPECT_EQ(result.invariantViolation, std::nullopt);
+}
+
+TEST(Ssmfp2Runner, SsmfpFamilyIsBitIdenticalToTheDedicatedRunner) {
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::ring(6);
+  cfg.seed = 9;
+  cfg.corruption.routingFraction = 0.5;
+  cfg.corruption.invalidMessages = 3;
+  cfg.family = ForwardingFamilyId::kSsmfp;
+  EXPECT_EQ(runForwardingExperiment(cfg), runSsmfpExperiment(cfg));
+}
+
+// ---------------------------------------------------------------------------
+// Explorer closures: the per-instance proofs
+// ---------------------------------------------------------------------------
+
+TEST(Ssmfp2Explore, CleanFigure2ClosesWithZeroViolations) {
+  const Ssmfp2ExploreModel model = Ssmfp2ExploreModel::figure2Clean();
+  const ExploreResult result = explore::explore(model, ExploreOptions{});
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(result.stats.exhausted);
+  EXPECT_GE(result.stats.terminalStates, 1u);
+  EXPECT_EQ(result.stats.maxProgressCount, 0u);
+}
+
+TEST(Ssmfp2Explore, CorruptionClosureHasZeroInvalidUnderEveryDaemonClass) {
+  // The headline property: every enumerated single-variable corruption is
+  // rank-inconsistent (the 2R8 footprint), so NO schedule of NO daemon
+  // class delivers a single invalid message - maxProgressCount stays 0
+  // where SSMFP's figure-2 closure reaches 1.
+  const Ssmfp2ExploreModel model = Ssmfp2ExploreModel::figure2CorruptionClosure();
+  EXPECT_GT(model.startStates().size(), 100u);  // the single-variable sweep
+  for (const DaemonClosure closure :
+       {DaemonClosure::kCentral, DaemonClosure::kSynchronous,
+        DaemonClosure::kDistributed}) {
+    ExploreOptions options;
+    options.closure = closure;
+    const ExploreResult result = explore::explore(model, options);
+    EXPECT_TRUE(result.clean()) << toString(closure) << ": "
+                                << (result.violations.empty()
+                                        ? ""
+                                        : result.violations.front().message);
+    EXPECT_TRUE(result.stats.exhausted) << toString(closure);
+    EXPECT_EQ(result.stats.truncatedStates, 0u) << toString(closure);
+    EXPECT_EQ(result.stats.maxProgressCount, 0u) << toString(closure);
+  }
+}
+
+TEST(Ssmfp2Explore, SerialAndParallelVisitTheSameStates) {
+  const Ssmfp2ExploreModel model = Ssmfp2ExploreModel::figure2CorruptionClosure();
+  ExploreOptions serial;
+  const ExploreResult serialResult = explore::explore(model, serial);
+
+  ExploreOptions parallel;
+  parallel.threads = 4;
+  ThreadPool pool(4);
+  const ExploreResult parallelResult = explore::explore(model, parallel, &pool);
+
+  EXPECT_EQ(serialResult.stats.visited, parallelResult.stats.visited);
+  EXPECT_EQ(serialResult.stats.transitions, parallelResult.stats.transitions);
+  EXPECT_EQ(serialResult.stats.dedupHits, parallelResult.stats.dedupHits);
+  EXPECT_EQ(serialResult.stats.depthReached, parallelResult.stats.depthReached);
+  EXPECT_TRUE(serialResult.clean());
+  EXPECT_TRUE(parallelResult.clean());
+}
+
+TEST(Ssmfp2Explore, TextAndBinaryCodecCountsMatch) {
+  const Ssmfp2ExploreModel model = Ssmfp2ExploreModel::figure2CorruptionClosure();
+  ExploreOptions text;
+  text.codec = StateCodec::kText;
+  const ExploreResult textResult = explore::explore(model, text);
+
+  ExploreOptions binary;
+  binary.codec = StateCodec::kBinary;
+  const ExploreResult binResult = explore::explore(model, binary);
+  EXPECT_EQ(binResult.stats.codecUsed, StateCodec::kBinary);
+  EXPECT_FALSE(binResult.stats.codecFellBack);
+
+  EXPECT_EQ(textResult.stats.visited, binResult.stats.visited);
+  EXPECT_EQ(textResult.stats.transitions, binResult.stats.transitions);
+  EXPECT_EQ(textResult.stats.maxProgressCount, binResult.stats.maxProgressCount);
+  EXPECT_TRUE(textResult.clean());
+  EXPECT_TRUE(binResult.clean());
+}
+
+TEST(Ssmfp2ExploreMutation, R2SkipUpstreamCheckIsCaught) {
+  // Dropping 2R2's "upstream ready copy gone" conjunct lets one valid
+  // trace own two ready copies; the closure must find the violation.
+  const Ssmfp2ExploreModel model = Ssmfp2ExploreModel::figure2Clean(
+      Ssmfp2GuardMutation::k2R2SkipUpstreamCheck);
+  const ExploreResult result = explore::explore(model, ExploreOptions{});
+  ASSERT_FALSE(result.clean());
+}
+
+TEST(Ssmfp2ExploreMutation, R4SkipStrayCopyCheckIsCaught) {
+  // Dropping 2R4's stray-copy quantifier leaves a duplicate received copy
+  // alive; some schedule delivers it twice.
+  const Ssmfp2ExploreModel model = Ssmfp2ExploreModel::figure2CorruptionClosure(
+      Ssmfp2GuardMutation::k2R4SkipStrayCopyCheck);
+  const ExploreResult result = explore::explore(model, ExploreOptions{});
+  ASSERT_FALSE(result.clean());
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -1,0 +1,45 @@
+# Header self-sufficiency check (SNAPFWD_HEADER_SELFCHECK, default ON).
+#
+# Every public header under src/ must compile standalone: a consumer may
+# include it first, so it must pull in its own dependencies and carry a
+# working include guard. For each header this generates a tiny probe TU
+# that includes the header TWICE (guard check) and compiles all probes
+# into an OBJECT library that nothing links - compilation is the test.
+#
+# Probes are written only when their content changes, so reconfiguring
+# does not recompile the world.
+
+function(snapfwd_add_header_selfcheck)
+  file(GLOB_RECURSE _snapfwd_public_headers CONFIGURE_DEPENDS
+    ${PROJECT_SOURCE_DIR}/src/*.hpp)
+
+  set(_probe_dir ${PROJECT_BINARY_DIR}/header_selfcheck)
+  set(_probe_sources)
+  foreach(_header IN LISTS _snapfwd_public_headers)
+    file(RELATIVE_PATH _rel ${PROJECT_SOURCE_DIR}/src ${_header})
+    string(REPLACE "/" "__" _stem ${_rel})
+    string(REPLACE ".hpp" "" _stem ${_stem})
+    string(MAKE_C_IDENTIFIER ${_stem} _stem)
+    set(_probe ${_probe_dir}/${_stem}.selfcheck.cpp)
+    set(_content "// auto-generated: standalone-compile probe for src/${_rel}
+#include \"${_rel}\"
+#include \"${_rel}\"  // include guard must make the second include a no-op
+[[maybe_unused]] static const int snapfwd_selfcheck_anchor_${_stem} = 0;
+")
+    set(_existing "")
+    if(EXISTS ${_probe})
+      file(READ ${_probe} _existing)
+    endif()
+    if(NOT _existing STREQUAL _content)
+      file(WRITE ${_probe} "${_content}")
+    endif()
+    list(APPEND _probe_sources ${_probe})
+  endforeach()
+
+  add_library(snapfwd_header_selfcheck OBJECT ${_probe_sources})
+  target_include_directories(snapfwd_header_selfcheck PRIVATE
+    ${PROJECT_SOURCE_DIR}/src)
+  target_link_libraries(snapfwd_header_selfcheck PRIVATE snapfwd_options)
+endfunction()
+
+snapfwd_add_header_selfcheck()

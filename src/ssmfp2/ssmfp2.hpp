@@ -141,7 +141,9 @@ enum Ssmfp2Rule : std::uint16_t {
   k2R8EraseJunk = 8,
 };
 
-class Ssmfp2Protocol final : public ForwardingProtocol {
+// Not `final`: the audit-contract tests (tests/test_access_audit.cpp)
+// subclass it to seed each violation class against the real rule set.
+class Ssmfp2Protocol : public ForwardingProtocol {
  public:
   /// `routing` is the nextHop oracle (the self-stabilizing layer running
   /// above this protocol in engine priority). `destinations` restricts

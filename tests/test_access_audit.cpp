@@ -19,7 +19,9 @@
 #include "graph/builders.hpp"
 #include "mp/mp_ssmfp.hpp"
 #include "pif/pif.hpp"
+#include "routing/oracle.hpp"
 #include "sim/runner.hpp"
+#include "ssmfp2/ssmfp2.hpp"
 #include "util/rng.hpp"
 
 namespace snapfwd {
@@ -207,6 +209,121 @@ TEST(AccessAudit, ViolationHandlerCollectsWithoutThrowing) {
 }
 
 // ---------------------------------------------------------------------------
+// The same four violation classes seeded inside the REAL rank-ladder
+// protocol (ssmfp2): the auditor must see through the full
+// GuardSource -> Protocol -> ForwardingProtocol hierarchy and the
+// CheckedStore rows of a shipped protocol, not just the toy store above.
+// Each fixture overrides exactly one phase hook of Ssmfp2Protocol and
+// breaches the contract through its public state-access surface.
+// ---------------------------------------------------------------------------
+
+// (a) Guard locality: the guard sweep reads a distance-2 slot row.
+class Ssmfp2NonLocalGuard : public Ssmfp2Protocol {
+ public:
+  using Ssmfp2Protocol::Ssmfp2Protocol;
+
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
+    const NodeId far = static_cast<NodeId>((p + 2) % graph().size());
+    (void)slot(far, 0);  // distance 2 on a ring, declared radius 1
+    Ssmfp2Protocol::enumerateEnabled(p, out);
+  }
+};
+
+// (b) Stage purity: stage() clears an observable slot before staging.
+class Ssmfp2ImpureStage : public Ssmfp2Protocol {
+ public:
+  using Ssmfp2Protocol::Ssmfp2Protocol;
+
+  void stage(NodeId p, const Action& a) override {
+    clearSlotForRestore(p, 0);
+    Ssmfp2Protocol::stage(p, a);
+  }
+};
+
+// (c) Write-set honesty: commit() applies the staged ops but reports into
+// a scratch vector, leaving the engine's write set empty.
+class Ssmfp2UnderReport : public Ssmfp2Protocol {
+ public:
+  using Ssmfp2Protocol::Ssmfp2Protocol;
+
+  void commit(std::vector<NodeId>& written) override {
+    std::vector<NodeId> scratch;
+    Ssmfp2Protocol::commit(scratch);
+    (void)written;
+  }
+};
+
+// (d) Ownership: after the honest commit, the last staged actor also
+// clears the successor's rank-0 slot (reported, so only the
+// cross-processor check can fire).
+class Ssmfp2CrossWrite : public Ssmfp2Protocol {
+ public:
+  using Ssmfp2Protocol::Ssmfp2Protocol;
+
+  void commit(std::vector<NodeId>& written) override {
+    Ssmfp2Protocol::commit(written);
+    if (written.empty()) return;
+    const NodeId other =
+        static_cast<NodeId>((written.back() + 1) % graph().size());
+    clearSlotForRestore(other, 0);
+    written.push_back(other);
+  }
+};
+
+template <typename Fixture>
+AccessViolation firstSsmfp2Violation() {
+  const Graph g = topo::ring(5);
+  OracleRouting routing(g);
+  Fixture proto(g, routing);
+  SynchronousDaemon daemon;
+  Engine engine(g, {&proto}, daemon);
+  engine.setAuditMode(true);
+  proto.attachEngine(&engine);
+  proto.send(0, 2, 7);  // enables 2R1 at processor 0
+  try {
+    engine.run(50);
+  } catch (const AccessAuditError& e) {
+    return e.violation();
+  }
+  ADD_FAILURE() << "expected an AccessAuditError, none thrown";
+  return {};
+}
+
+TEST(AccessAuditSsmfp2, CatchesNonLocalGuardRead) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const AccessViolation v = firstSsmfp2Violation<Ssmfp2NonLocalGuard>();
+  EXPECT_EQ(v.kind, AccessViolationKind::kNonLocalGuardRead);
+  EXPECT_EQ(v.protocol, "ssmfp2");
+  EXPECT_EQ(v.declaredRadius, 1u);
+  EXPECT_EQ(v.variableOwner, (v.actor + 2) % 5);
+}
+
+TEST(AccessAuditSsmfp2, CatchesImpureStage) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const AccessViolation v = firstSsmfp2Violation<Ssmfp2ImpureStage>();
+  EXPECT_EQ(v.kind, AccessViolationKind::kStageWrite);
+  EXPECT_EQ(v.protocol, "ssmfp2");
+  EXPECT_EQ(v.rule, k2R1Generate);
+  EXPECT_EQ(v.actor, 0u);
+  EXPECT_EQ(v.variableOwner, 0u);
+}
+
+TEST(AccessAuditSsmfp2, CatchesUnderReportedCommitWrite) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const AccessViolation v = firstSsmfp2Violation<Ssmfp2UnderReport>();
+  EXPECT_EQ(v.kind, AccessViolationKind::kUnderReportedWrite);
+  EXPECT_EQ(v.protocol, "ssmfp2");
+}
+
+TEST(AccessAuditSsmfp2, CatchesCrossProcessorWrite) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const AccessViolation v = firstSsmfp2Violation<Ssmfp2CrossWrite>();
+  EXPECT_EQ(v.kind, AccessViolationKind::kCrossProcessorWrite);
+  EXPECT_EQ(v.protocol, "ssmfp2");
+  EXPECT_EQ(v.variableOwner, (v.actor + 1) % 5);
+}
+
+// ---------------------------------------------------------------------------
 // Clean runs: every shipped protocol honors the contract, including from
 // corrupted initial configurations.
 // ---------------------------------------------------------------------------
@@ -235,6 +352,21 @@ TEST(AccessAuditClean, SsmfpAndBaselineCorruptedExperiments) {
   EXPECT_TRUE(ssmfp.quiescent);
   const ExperimentResult baseline = runBaselineExperiment(cfg);
   EXPECT_TRUE(baseline.quiescent);
+}
+
+TEST(AccessAuditClean, Ssmfp2CorruptedExperiment) {
+  SKIP_UNLESS_AUDIT_CAPABLE();
+  const ScopedDefaultAudit scoped;
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::ring(8);
+  cfg.family = ForwardingFamilyId::kSsmfp2;
+  cfg.corruption.routingFraction = 1.0;
+  cfg.corruption.invalidMessages = 6;
+  cfg.corruption.scrambleQueues = true;
+  cfg.messageCount = 8;
+  cfg.seed = 11;
+  const ExperimentResult result = runForwardingExperiment(cfg);
+  EXPECT_TRUE(result.quiescent);
 }
 
 TEST(AccessAuditClean, PifScrambledWave) {

@@ -1,0 +1,95 @@
+#include "CommitWriteSetCheck.h"
+
+#include "ContractUtils.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace snapfwd {
+
+namespace {
+
+/// The write-set out-parameter of M: a non-const lvalue reference to
+/// std::vector<integral> (NodeId is std::uint32_t). vector<Action> etc.
+/// have a record element type and do not qualify.
+const ParmVarDecl *writeSetParam(const CXXMethodDecl *M) {
+  for (const ParmVarDecl *P : M->parameters()) {
+    const QualType T = P->getType();
+    if (!T->isLValueReferenceType())
+      continue;
+    const QualType Pointee = T->getPointeeType();
+    if (Pointee.isConstQualified())
+      continue;
+    const CXXRecordDecl *RD = Pointee->getAsCXXRecordDecl();
+    if (RD == nullptr || identifierOf(RD) != "vector")
+      continue;
+    const auto *Spec = llvm::dyn_cast<ClassTemplateSpecializationDecl>(RD);
+    if (Spec == nullptr || Spec->getTemplateArgs().size() == 0)
+      continue;
+    const TemplateArgument &Arg = Spec->getTemplateArgs().get(0);
+    if (Arg.getKind() == TemplateArgument::Type &&
+        Arg.getAsType()->isIntegerType())
+      return P;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void CommitWriteSetCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxMethodDecl(ofClass(cxxRecordDecl(
+                        isSameOrDerivedFrom("::snapfwd::Protocol"))),
+                    isDefinition(), hasBody(compoundStmt()),
+                    unless(anyOf(cxxConstructorDecl(), cxxDestructorDecl())))
+          .bind("method"),
+      this);
+}
+
+void CommitWriteSetCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *M = Result.Nodes.getNodeAs<CXXMethodDecl>("method");
+  if (M == nullptr)
+    return;
+  const ParmVarDecl *WriteSet = writeSetParam(M);
+  if (WriteSet == nullptr)
+    return;
+
+  bool WritesObservable = false;
+  bool TouchesWriteSet = false;
+  const CXXMethodDecl *FirstWriter = nullptr;
+  SourceLocation FirstWriteLoc;
+  forEachDescendantStmt(M->getBody(), [&](const Stmt *S) {
+    if (const auto *MCE = llvm::dyn_cast<CXXMemberCallExpr>(S)) {
+      const CXXMethodDecl *Callee = MCE->getMethodDecl();
+      const bool Writes =
+          isCheckedStoreMember(Callee, {"write", "rawMutable"}) ||
+          identifierOf(Callee) == "auditWrite";
+      if (Writes && !WritesObservable) {
+        WritesObservable = true;
+        FirstWriter = Callee;
+        FirstWriteLoc = MCE->getExprLoc();
+      }
+    } else if (const auto *DRE = llvm::dyn_cast<DeclRefExpr>(S)) {
+      // Any mention counts: push_back, insert, or forwarding the vector to
+      // a helper that reports on this path's behalf.
+      if (DRE->getDecl() == WriteSet)
+        TouchesWriteSet = true;
+    }
+  });
+
+  if (!WritesObservable || TouchesWriteSet)
+    return;
+  diag(FirstWriteLoc,
+       "%0 writes observable state (first via %1) but never touches its "
+       "write-set parameter %2; every written processor must be reported - "
+       "under-reporting silently stales the incremental scheduler's enabled "
+       "cache")
+      << M << FirstWriter << WriteSet;
+}
+
+}  // namespace snapfwd
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,40 @@
+#pragma once
+// snapfwd-commit-writeset
+//
+// Protocol::commit(std::vector<NodeId>& written) must report every
+// processor whose observable variables it wrote: the engine's incremental
+// scheduler re-evaluates exactly the dirty closed neighborhood of that
+// set, so an under-reported write silently stales the enabled cache (and
+// with it every closure certificate the explorer emits). The runtime
+// auditor catches under-reporting on executed paths; this check flags the
+// structural extreme on every path: a commit-shaped method that writes
+// observable state (CheckedStore::write/rawMutable or auditWrite) without
+// ever touching its write-set parameter.
+//
+// "Commit-shaped" means: a method of a snapfwd::Protocol subclass with a
+// non-const lvalue-reference parameter of type std::vector<integral> -
+// the write-set out-parameter convention shared by commit() and its
+// helpers (commitOne etc. receive the same vector by reference). Passing
+// the parameter to a helper counts as touching it, so only a commit path
+// with no way of ever reporting is diagnosed.
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace snapfwd {
+
+class CommitWriteSetCheck : public ClangTidyCheck {
+public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace snapfwd
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,91 @@
+#pragma once
+// Shared AST helpers for the snapfwd-tidy checks (see README.md).
+//
+// The four checks all reason about the same small vocabulary: "a method of
+// a snapfwd::Protocol subclass", "a call into the CheckedStore accessor
+// surface", "a statement body walked for a forbidden pattern". Keeping the
+// helpers header-only and version-tolerant (they avoid every StringRef API
+// that was renamed between LLVM 14 and 18) is what lets one plugin source
+// build against the whole pinned range in ci.yml.
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/Stmt.h"
+#include "llvm/ADT/ArrayRef.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace snapfwd {
+
+/// Depth-first visit of S and every descendant statement (null-safe; AST
+/// child lists contain nulls for e.g. absent for-loop clauses).
+template <typename Fn>
+void forEachDescendantStmt(const Stmt *S, const Fn &Visit) {
+  if (S == nullptr)
+    return;
+  Visit(S);
+  for (const Stmt *Child : S->children())
+    forEachDescendantStmt(Child, Visit);
+}
+
+/// StringRef::startswith/starts_with without naming either (the former is
+/// removed in new LLVM, the latter absent from old LLVM).
+inline bool nameStartsWith(llvm::StringRef Name, llvm::StringRef Prefix) {
+  return !Prefix.empty() && Name.substr(0, Prefix.size()) == Prefix;
+}
+
+/// Splits a semicolon-separated check option ("a;b;c"). The returned refs
+/// view `Joined`, which must outlive them (checks keep options as members).
+inline llvm::SmallVector<llvm::StringRef, 8> splitNameList(llvm::StringRef Joined) {
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  Joined.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  return Parts;
+}
+
+inline bool nameInList(llvm::StringRef Name,
+                       llvm::ArrayRef<llvm::StringRef> List) {
+  for (const llvm::StringRef Entry : List)
+    if (Name == Entry)
+      return true;
+  return false;
+}
+
+/// The plain identifier of D, or "" for operators/constructors/etc.
+inline llvm::StringRef identifierOf(const NamedDecl *D) {
+  if (D == nullptr)
+    return {};
+  const IdentifierInfo *II = D->getIdentifier();
+  return II == nullptr ? llvm::StringRef() : II->getName();
+}
+
+/// True iff D is a member of snapfwd::CheckedStore<T> named one of Names
+/// (works on the implicit-instantiation record the member call resolves to).
+inline bool isCheckedStoreMember(const CXXMethodDecl *D,
+                                 llvm::ArrayRef<llvm::StringRef> Names) {
+  if (D == nullptr || !nameInList(identifierOf(D), Names))
+    return false;
+  const CXXRecordDecl *Parent = D->getParent();
+  if (Parent == nullptr || identifierOf(Parent) != "CheckedStore")
+    return false;
+  const DeclContext *NS = Parent->getDeclContext()->getEnclosingNamespaceContext();
+  const auto *ND = llvm::dyn_cast_or_null<NamespaceDecl>(NS);
+  return ND != nullptr && identifierOf(ND) == "snapfwd";
+}
+
+/// True iff the member expression's base is (an implicit or explicit)
+/// `this` of the enclosing class.
+inline bool isMemberOfThis(const MemberExpr *ME) {
+  if (ME == nullptr)
+    return false;
+  const Expr *Base = ME->getBase()->IgnoreParenImpCasts();
+  return llvm::isa<CXXThisExpr>(Base);
+}
+
+}  // namespace snapfwd
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,123 @@
+#include "GuardPurityCheck.h"
+
+#include "ContractUtils.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace snapfwd {
+
+GuardPurityCheck::GuardPurityCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      GuardMethods(llvm::StringRef(
+                       Options.get("GuardMethods", "enumerateEnabled;anyEnabled"))
+                       .str()),
+      GuardMethodPrefix(
+          llvm::StringRef(Options.get("GuardMethodPrefix", "guard")).str()),
+      ExcludedMethods(llvm::StringRef(Options.get("ExcludedMethods",
+                                                  "guardKernels;guardMutation"))
+                          .str()) {}
+
+void GuardPurityCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "GuardMethods", GuardMethods);
+  Options.store(Opts, "GuardMethodPrefix", GuardMethodPrefix);
+  Options.store(Opts, "ExcludedMethods", ExcludedMethods);
+}
+
+void GuardPurityCheck::registerMatchers(MatchFinder *Finder) {
+  // Every method definition of a GuardSource subclass; the guard-name
+  // filter runs in check() so the options stay plain strings.
+  Finder->addMatcher(
+      cxxMethodDecl(ofClass(cxxRecordDecl(
+                        isSameOrDerivedFrom("::snapfwd::GuardSource"))),
+                    isDefinition(),
+                    unless(anyOf(cxxConstructorDecl(), cxxDestructorDecl())))
+          .bind("method"),
+      this);
+}
+
+void GuardPurityCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *M = Result.Nodes.getNodeAs<CXXMethodDecl>("method");
+  if (M == nullptr || M->isStatic())
+    return;
+  const llvm::StringRef Name = identifierOf(M);
+  if (Name.empty() || nameInList(Name, splitNameList(ExcludedMethods)))
+    return;
+  const bool IsGuard = nameInList(Name, splitNameList(GuardMethods)) ||
+                       nameStartsWith(Name, GuardMethodPrefix);
+  if (!IsGuard)
+    return;
+
+  if (!M->isConst()) {
+    diag(M->getLocation(),
+         "guard method %0 must be const: guards are pure reads of the "
+         "current configuration (core/protocol.hpp contract)")
+        << M;
+  }
+
+  const CXXRecordDecl *Owner = M->getParent()->getCanonicalDecl();
+  const auto FlagMemberWrite = [&](const Expr *Target, SourceLocation Loc) {
+    const auto *ME =
+        llvm::dyn_cast<MemberExpr>(Target->IgnoreParenImpCasts());
+    if (ME == nullptr || !llvm::isa<FieldDecl>(ME->getMemberDecl()) ||
+        !isMemberOfThis(ME))
+      return;
+    diag(Loc, "guard method %0 writes data member %1; guard evaluation must "
+              "not mutate captured state")
+        << M << ME->getMemberDecl();
+  };
+
+  forEachDescendantStmt(M->getBody(), [&](const Stmt *S) {
+    if (const auto *MCE = llvm::dyn_cast<CXXMemberCallExpr>(S)) {
+      const CXXMethodDecl *Callee = MCE->getMethodDecl();
+      if (isCheckedStoreMember(Callee,
+                               {"write", "rawMutable", "assign", "resize"})) {
+        diag(MCE->getExprLoc(),
+             "guard method %0 mutates observable state through "
+             "CheckedStore::%1")
+            << M << Callee;
+        return;
+      }
+      const llvm::StringRef CalleeName = identifierOf(Callee);
+      if (CalleeName == "auditWrite" || CalleeName == "notifyExternalMutation") {
+        diag(MCE->getExprLoc(),
+             "guard method %0 calls %1, which declares an observable-state "
+             "mutation; guards must not mutate")
+            << M << Callee;
+        return;
+      }
+      // A non-const call on `this` within the same class: mutation by
+      // delegation (only expressible at all once the guard itself lost
+      // const, so this usually rides along with the missing-const diag).
+      if (Callee != nullptr && !Callee->isStatic() && !Callee->isConst() &&
+          Callee->getParent() != nullptr &&
+          Callee->getParent()->getCanonicalDecl() == Owner) {
+        const Expr *Obj = MCE->getImplicitObjectArgument();
+        if (Obj != nullptr && llvm::isa<CXXThisExpr>(Obj->IgnoreParenImpCasts())) {
+          diag(MCE->getExprLoc(),
+               "guard method %0 calls non-const member %1; guard evaluation "
+               "must stay a pure read")
+              << M << Callee;
+        }
+      }
+    } else if (const auto *CC = llvm::dyn_cast<CXXConstCastExpr>(S)) {
+      diag(CC->getExprLoc(),
+           "const_cast inside guard method %0 defeats the guard purity "
+           "contract")
+          << M;
+    } else if (const auto *BO = llvm::dyn_cast<BinaryOperator>(S)) {
+      if (BO->isAssignmentOp())
+        FlagMemberWrite(BO->getLHS(), BO->getOperatorLoc());
+    } else if (const auto *UO = llvm::dyn_cast<UnaryOperator>(S)) {
+      if (UO->isIncrementDecrementOp())
+        FlagMemberWrite(UO->getSubExpr(), UO->getOperatorLoc());
+    }
+  });
+}
+
+}  // namespace snapfwd
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,53 @@
+#pragma once
+// snapfwd-guard-purity
+//
+// The state model's proofs assume guard evaluation is a pure read of the
+// current configuration (core/protocol.hpp: enumerateEnabled "must be
+// const and thread-safe ... pure read"). The runtime auditor enforces this
+// on executed paths; this check enforces the structural half on every
+// path:
+//
+//   - guard methods (enumerateEnabled / anyEnabled overrides and guard*
+//     helpers) of a snapfwd::GuardSource subclass must be declared const;
+//   - a guard method must not mutate observable state: no
+//     CheckedStore::write/rawMutable/assign/resize, no auditWrite /
+//     notifyExternalMutation, no const_cast, no write to a data member,
+//     and no call to a non-const member of the same class.
+//
+// Options:
+//   GuardMethods      - ';'-separated method names always treated as
+//                       guards (default: enumerateEnabled;anyEnabled)
+//   GuardMethodPrefix - helper-name prefix treated as guard code
+//                       (default: guard)
+//   ExcludedMethods   - guard-prefixed names that are NOT guard predicates
+//                       (default: guardKernels;guardMutation - the kernel
+//                       registration hook and the test-mutation getter)
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <string>
+
+namespace clang {
+namespace tidy {
+namespace snapfwd {
+
+class GuardPurityCheck : public ClangTidyCheck {
+public:
+  GuardPurityCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string GuardMethods;
+  const std::string GuardMethodPrefix;
+  const std::string ExcludedMethods;
+};
+
+}  // namespace snapfwd
+}  // namespace tidy
+}  // namespace clang

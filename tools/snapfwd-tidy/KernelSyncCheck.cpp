@@ -1,0 +1,79 @@
+#include "KernelSyncCheck.h"
+
+#include "ContractUtils.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace snapfwd {
+
+KernelSyncCheck::KernelSyncCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      RefreshMethods(
+          llvm::StringRef(Options.get(
+                              "RefreshMethods",
+                              "ensureFresh;syncProcessor;syncAll;syncWritten"))
+              .str()) {}
+
+void KernelSyncCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "RefreshMethods", RefreshMethods);
+}
+
+void KernelSyncCheck::registerMatchers(MatchFinder *Finder) {
+  // Public mutating entry points of a kernel mirror (a class with a
+  // `stale_` field and a `syncWritten` method).
+  Finder->addMatcher(
+      cxxMethodDecl(
+          isDefinition(), isPublic(), unless(isConst()),
+          unless(anyOf(cxxConstructorDecl(), cxxDestructorDecl())),
+          ofClass(cxxRecordDecl(has(fieldDecl(hasName("stale_"))),
+                                hasMethod(hasName("syncWritten")))
+                      .bind("mirror")))
+          .bind("method"),
+      this);
+}
+
+void KernelSyncCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *M = Result.Nodes.getNodeAs<CXXMethodDecl>("method");
+  const auto *Mirror = Result.Nodes.getNodeAs<CXXRecordDecl>("mirror");
+  if (M == nullptr || Mirror == nullptr || M->isStatic())
+    return;
+  const llvm::StringRef Name = identifierOf(M);
+  if (Name.empty() || nameStartsWith(Name, "sync") ||
+      nameInList(Name, splitNameList(RefreshMethods)))
+    return;
+
+  const CXXRecordDecl *Canon = Mirror->getCanonicalDecl();
+  bool TouchesMirror = false;
+  bool Refreshes = false;
+  forEachDescendantStmt(M->getBody(), [&](const Stmt *S) {
+    if (const auto *ME = llvm::dyn_cast<MemberExpr>(S)) {
+      const auto *Field = llvm::dyn_cast<FieldDecl>(ME->getMemberDecl());
+      if (Field != nullptr &&
+          Field->getParent()->getCanonicalDecl() == Canon)
+        TouchesMirror = true;
+    }
+    if (const auto *CE = llvm::dyn_cast<CallExpr>(S)) {
+      const auto *Callee =
+          llvm::dyn_cast_or_null<NamedDecl>(CE->getCalleeDecl());
+      if (Callee != nullptr &&
+          nameInList(identifierOf(Callee), splitNameList(RefreshMethods)))
+        Refreshes = true;
+    }
+  });
+
+  if (!TouchesMirror || Refreshes)
+    return;
+  diag(M->getLocation(),
+       "mutating entry point %0 of kernel mirror %1 reads mirror rows "
+       "without reaching a stale-bit refresh (%2); lazy mirrors must "
+       "refresh every row before trusting it")
+      << M << Mirror << RefreshMethods;
+}
+
+}  // namespace snapfwd
+}  // namespace tidy
+}  // namespace clang

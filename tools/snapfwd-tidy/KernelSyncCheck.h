@@ -1,0 +1,49 @@
+#pragma once
+// snapfwd-kernel-sync
+//
+// The SoA guard-kernel mirrors (src/ssmfp/ssmfp_kernels.hpp) refresh
+// LAZILY: syncWritten() only marks rows stale, and every entry point that
+// reads mirror rows must go through the stale-bit refresh (ensureFresh /
+// syncProcessor) before trusting them. An entry point that skips the
+// refresh reads rows the authoritative protocol has since rewritten - the
+// kernel and virtual paths then diverge, which breaks the byte-identity
+// differential every kernel-mode certificate rests on.
+//
+// A "kernel mirror" is any class with a `stale_` member and a
+// `syncWritten` method (the mirror maintenance contract of
+// core/soa_state.hpp). This check flags every public non-const method of
+// such a class that references mirror data members without any call to a
+// refresh entry point being reachable from its body. Sync methods
+// themselves (`sync*`) and private helpers (which run behind an entry
+// point that already refreshed) are exempt.
+//
+// Options:
+//   RefreshMethods - ';'-separated refresh entry points
+//                    (default: ensureFresh;syncProcessor;syncAll;syncWritten)
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <string>
+
+namespace clang {
+namespace tidy {
+namespace snapfwd {
+
+class KernelSyncCheck : public ClangTidyCheck {
+public:
+  KernelSyncCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string RefreshMethods;
+};
+
+}  // namespace snapfwd
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,66 @@
+#include "RawObservableAccessCheck.h"
+
+#include "ContractUtils.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace snapfwd {
+
+RawObservableAccessCheck::RawObservableAccessCheck(StringRef Name,
+                                                   ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      PhaseMethods(llvm::StringRef(
+                       Options.get("PhaseMethods",
+                                   "enumerateEnabled;anyEnabled;stage;commit"))
+                       .str()),
+      GuardMethodPrefix(
+          llvm::StringRef(Options.get("GuardMethodPrefix", "guard")).str()) {}
+
+void RawObservableAccessCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "PhaseMethods", PhaseMethods);
+  Options.store(Opts, "GuardMethodPrefix", GuardMethodPrefix);
+}
+
+void RawObservableAccessCheck::registerMatchers(MatchFinder *Finder) {
+  // Every raw()/rawMutable() call on a snapfwd::CheckedStore whose nearest
+  // enclosing callable is a method of a Protocol subclass. The phase-name
+  // filter happens in check() so the option list stays data, not matchers.
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              hasAnyName("raw", "rawMutable"),
+              ofClass(cxxRecordDecl(hasName("::snapfwd::CheckedStore"))))),
+          forCallable(
+              cxxMethodDecl(ofClass(cxxRecordDecl(
+                                isSameOrDerivedFrom("::snapfwd::Protocol"))))
+                  .bind("caller")))
+          .bind("call"),
+      this);
+}
+
+void RawObservableAccessCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>("call");
+  const auto *Caller = Result.Nodes.getNodeAs<CXXMethodDecl>("caller");
+  if (Call == nullptr || Caller == nullptr)
+    return;
+  const llvm::StringRef CallerName = identifierOf(Caller);
+  if (CallerName.empty())
+    return;
+  const bool IsPhase = nameInList(CallerName, splitNameList(PhaseMethods)) ||
+                       nameStartsWith(CallerName, GuardMethodPrefix);
+  if (!IsPhase)
+    return;
+  diag(Call->getExprLoc(),
+       "%0 bypasses the audited accessors inside phase method %1; observable "
+       "state in guard/stage/commit code must go through CheckedStore "
+       "read()/write() so audit mode records the access")
+      << Call->getMethodDecl() << Caller;
+}
+
+}  // namespace snapfwd
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,48 @@
+#pragma once
+// snapfwd-raw-observable-access
+//
+// Observable protocol state in audit-capable protocols lives in
+// CheckedStore views whose read()/write() record (phase, actor, owner)
+// with the engine's AccessTracker (src/core/access_tracker.hpp). The
+// raw()/rawMutable() escape hatches exist for OUT-OF-PHASE tooling only
+// (hashers, printers, restore paths); using them inside a phase method -
+// guard evaluation, stage(), commit(), or a guard* helper - silently
+// removes that method from the runtime auditor's view, so the locality /
+// purity / write-set contracts the proofs lean on go unchecked on exactly
+// the code paths they are about.
+//
+// This check flags every CheckedStore::raw()/rawMutable() call whose
+// nearest enclosing callable is a phase method of a snapfwd::Protocol
+// subclass. Options:
+//   PhaseMethods      - ';'-separated phase entry points
+//                       (default: enumerateEnabled;anyEnabled;stage;commit)
+//   GuardMethodPrefix - helper-name prefix treated as guard code
+//                       (default: guard)
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <string>
+
+namespace clang {
+namespace tidy {
+namespace snapfwd {
+
+class RawObservableAccessCheck : public ClangTidyCheck {
+public:
+  RawObservableAccessCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string PhaseMethods;
+  const std::string GuardMethodPrefix;
+};
+
+}  // namespace snapfwd
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,38 @@
+// snapfwd-tidy: out-of-tree clang-tidy module enforcing the snapfwd
+// protocol access contracts (see README.md). Loaded with
+//   clang-tidy -load SnapfwdTidyModule.so --checks='-*,snapfwd-*' ...
+
+#include "CommitWriteSetCheck.h"
+#include "GuardPurityCheck.h"
+#include "KernelSyncCheck.h"
+#include "RawObservableAccessCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang {
+namespace tidy {
+namespace snapfwd {
+
+class SnapfwdModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<RawObservableAccessCheck>(
+        "snapfwd-raw-observable-access");
+    Factories.registerCheck<GuardPurityCheck>("snapfwd-guard-purity");
+    Factories.registerCheck<CommitWriteSetCheck>("snapfwd-commit-writeset");
+    Factories.registerCheck<KernelSyncCheck>("snapfwd-kernel-sync");
+  }
+};
+
+}  // namespace snapfwd
+
+// Register the module with clang-tidy's global registry; the static
+// initializer runs when the shared object is loaded via -load.
+static ClangTidyModuleRegistry::Add<snapfwd::SnapfwdModule>
+    X("snapfwd-module", "Checks for the snapfwd protocol access contracts.");
+
+// Anchor the registration so the linker keeps the static initializer.
+volatile int SnapfwdModuleAnchorSource = 0;
+
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,37 @@
+// Violation fixture for snapfwd-commit-writeset: commit() applies staged
+// writes but never reports a single processor into its write-set
+// parameter - the structural form of the kUnderReportedWrite runtime
+// violation (the incremental scheduler's enabled cache goes silently
+// stale).
+
+#include "core/protocol.hpp"
+
+namespace snapfwd {
+
+class ForgetfulCommitProtocol final : public Protocol {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "forgetful-commit";
+  }
+
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
+    if (value_.read(p) == 0) out.push_back(Action{1, kNoNode, 0});
+  }
+
+  void stage(NodeId p, const Action&) override { staged_.push_back(p); }
+
+  void commit(std::vector<NodeId>& written) override {
+    for (const NodeId p : staged_) {
+      auditCommitOp(p, 1);
+      // EXPECT-DIAG: never touches its write-set parameter
+      value_.write(p) = 1;
+    }
+    staged_.clear();
+  }
+
+ private:
+  CheckedStore<int> value_;
+  std::vector<NodeId> staged_;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,34 @@
+// Clean twin of commit_writeset.cpp: every applied write reports its
+// owner into the write-set parameter.
+
+#include "core/protocol.hpp"
+
+namespace snapfwd {
+
+class HonestCommitProtocol final : public Protocol {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "honest-commit";
+  }
+
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
+    if (value_.read(p) == 0) out.push_back(Action{1, kNoNode, 0});
+  }
+
+  void stage(NodeId p, const Action&) override { staged_.push_back(p); }
+
+  void commit(std::vector<NodeId>& written) override {
+    for (const NodeId p : staged_) {
+      auditCommitOp(p, 1);
+      value_.write(p) = 1;
+      written.push_back(p);
+    }
+    staged_.clear();
+  }
+
+ private:
+  CheckedStore<int> value_;
+  std::vector<NodeId> staged_;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,36 @@
+// Violation fixture for snapfwd-guard-purity: a guard helper that is not
+// const and mutates captured state during evaluation - exactly the
+// heisenbug class the runtime auditor flags as kGuardWrite, caught here
+// before the code ever runs.
+
+#include "core/protocol.hpp"
+
+namespace snapfwd {
+
+class CountingGuardProtocol final : public Protocol {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "counting-guard";
+  }
+
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
+    if (value_.read(p) != 0) out.push_back(Action{1, kNoNode, 0});
+  }
+
+  void stage(NodeId, const Action&) override {}
+
+  void commit(std::vector<NodeId>& written) override { written.clear(); }
+
+  // EXPECT-DIAG: must be const
+  bool guardReady(NodeId p) {
+    // EXPECT-DIAG: writes data member
+    ++evalCount_;
+    return value_.read(p) > evalCount_;
+  }
+
+ private:
+  CheckedStore<int> value_;
+  int evalCount_ = 0;
+};
+
+}  // namespace snapfwd

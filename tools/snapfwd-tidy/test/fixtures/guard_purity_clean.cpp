@@ -1,0 +1,26 @@
+// Clean twin of guard_purity.cpp: the guard helper is const and reads
+// through the audited accessor only.
+
+#include "core/protocol.hpp"
+
+namespace snapfwd {
+
+class PureGuardProtocol final : public Protocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "pure-guard"; }
+
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
+    if (guardReady(p)) out.push_back(Action{1, kNoNode, 0});
+  }
+
+  void stage(NodeId, const Action&) override {}
+
+  void commit(std::vector<NodeId>& written) override { written.clear(); }
+
+  [[nodiscard]] bool guardReady(NodeId p) const { return value_.read(p) != 0; }
+
+ private:
+  CheckedStore<int> value_;
+};
+
+}  // namespace snapfwd

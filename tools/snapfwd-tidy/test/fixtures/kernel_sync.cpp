@@ -1,0 +1,46 @@
+// Violation fixture for snapfwd-kernel-sync: a lazily-refreshed SoA
+// mirror (stale_ bits + syncWritten maintenance contract, as in
+// ssmfp/ssmfp_kernels.hpp) whose evaluate() entry point reads mirror rows
+// without ever reaching the stale-bit refresh - the kernel path silently
+// diverges from the authoritative state.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snapfwd {
+
+class ToyKernelState {
+ public:
+  void resize(std::size_t n) {
+    rows_.assign(n, 0);
+    stale_.assign(n, true);
+    syncAll();
+  }
+
+  // Mirror maintenance contract: writers mark rows stale...
+  void syncWritten(const std::uint32_t* ids, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) stale_[ids[i]] = true;
+  }
+
+  void syncAll() {
+    for (std::size_t p = 0; p < rows_.size(); ++p) ensureFresh(p);
+  }
+
+  // ...and readers must refresh before trusting them. This one does not.
+  // EXPECT-DIAG: without reaching a stale-bit refresh
+  int evaluate(std::size_t p) { return rows_[p]; }
+
+ private:
+  void ensureFresh(std::size_t p) {
+    if (stale_[p]) {
+      rows_[p] = 1;  // re-project from the authoritative store
+      stale_[p] = false;
+    }
+  }
+
+  std::vector<int> rows_;
+  std::vector<bool> stale_;
+};
+
+}  // namespace snapfwd

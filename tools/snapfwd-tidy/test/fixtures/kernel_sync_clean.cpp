@@ -1,0 +1,43 @@
+// Clean twin of kernel_sync.cpp: evaluate() refreshes the row through
+// ensureFresh() before reading it, honoring the lazy-mirror contract.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snapfwd {
+
+class ToyKernelState {
+ public:
+  void resize(std::size_t n) {
+    rows_.assign(n, 0);
+    stale_.assign(n, true);
+    syncAll();
+  }
+
+  void syncWritten(const std::uint32_t* ids, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) stale_[ids[i]] = true;
+  }
+
+  void syncAll() {
+    for (std::size_t p = 0; p < rows_.size(); ++p) ensureFresh(p);
+  }
+
+  int evaluate(std::size_t p) {
+    ensureFresh(p);
+    return rows_[p];
+  }
+
+ private:
+  void ensureFresh(std::size_t p) {
+    if (stale_[p]) {
+      rows_[p] = 1;  // re-project from the authoritative store
+      stale_[p] = false;
+    }
+  }
+
+  std::vector<int> rows_;
+  std::vector<bool> stale_;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,26 @@
+// Violation fixture for snapfwd-raw-observable-access: a guard reads
+// observable state through CheckedStore::raw(), bypassing the audit
+// recording that the runtime locality checks depend on.
+
+#include "core/protocol.hpp"
+
+namespace snapfwd {
+
+class RawReadProtocol final : public Protocol {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "raw-read"; }
+
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
+    // EXPECT-DIAG: bypasses the audited accessors inside phase method
+    if (value_.raw()[p] != 0) out.push_back(Action{1, kNoNode, 0});
+  }
+
+  void stage(NodeId, const Action&) override {}
+
+  void commit(std::vector<NodeId>& written) override { written.clear(); }
+
+ private:
+  CheckedStore<int> value_;
+};
+
+}  // namespace snapfwd

@@ -1,0 +1,34 @@
+// Clean twin of raw_observable_access.cpp: the guard goes through
+// CheckedStore::read(), and the raw() escape hatch appears only in a
+// non-phase helper (a hasher), which the contract allows.
+
+#include "core/protocol.hpp"
+
+namespace snapfwd {
+
+class CheckedReadProtocol final : public Protocol {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "checked-read";
+  }
+
+  void enumerateEnabled(NodeId p, std::vector<Action>& out) const override {
+    if (value_.read(p) != 0) out.push_back(Action{1, kNoNode, 0});
+  }
+
+  void stage(NodeId, const Action&) override {}
+
+  void commit(std::vector<NodeId>& written) override { written.clear(); }
+
+  // Out-of-phase tooling may use raw(): hashers iterate the whole store.
+  [[nodiscard]] std::size_t hashState() const {
+    std::size_t h = 0;
+    for (const int v : value_.raw()) h = h * 31 + static_cast<std::size_t>(v);
+    return h;
+  }
+
+ private:
+  CheckedStore<int> value_;
+};
+
+}  // namespace snapfwd

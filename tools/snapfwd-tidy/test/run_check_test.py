@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fixture driver for one snapfwd-tidy check.
+
+Runs clang-tidy (with the snapfwd plugin loaded and only the check under
+test enabled) over a violation fixture and its clean twin:
+
+  * violation fixture: clang-tidy must exit nonzero, the output must name
+    the check, and every `// EXPECT-DIAG: <substring>` annotation in the
+    fixture must appear in the output.
+  * clean twin: clang-tidy must exit zero and never mention the check.
+
+A fixture that fails to *compile* fails both legs (compile errors do not
+name the check), so harness rot is caught instead of silently passing.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"//\s*EXPECT-DIAG:\s*(.+?)\s*$")
+
+
+def run_tidy(args, source):
+    cmd = [
+        args.clang_tidy,
+        f"-load={args.plugin}",
+        f"--checks=-*,{args.check}",
+        f"--warnings-as-errors={args.check}",
+        "--quiet",
+        source,
+        "--",
+    ] + args.flags
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expected_diags(path):
+    with open(path, encoding="utf-8") as f:
+        return [m.group(1) for m in map(EXPECT_RE.search, f) if m]
+
+
+def fail(title, output):
+    print(f"FAIL: {title}", file=sys.stderr)
+    print(output, file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", required=True)
+    parser.add_argument("--plugin", required=True)
+    parser.add_argument("--check", required=True)
+    parser.add_argument("--violation", required=True)
+    parser.add_argument("--clean", required=True)
+    parser.add_argument("flags", nargs="*", help="compiler flags after --")
+    args = parser.parse_args()
+
+    expects = expected_diags(args.violation)
+    if not expects:
+        return fail(f"{args.violation} has no EXPECT-DIAG annotations", "")
+
+    rc, out = run_tidy(args, args.violation)
+    if rc == 0:
+        return fail(f"{args.check}: violation fixture passed clang-tidy", out)
+    if args.check not in out:
+        return fail(
+            f"{args.check}: nonzero exit but no [{args.check}] diagnostic "
+            "(compile error in fixture?)", out)
+    for expect in expects:
+        if expect not in out:
+            return fail(
+                f"{args.check}: missing expected diagnostic text: {expect}",
+                out)
+
+    rc, out = run_tidy(args, args.clean)
+    if rc != 0:
+        return fail(f"{args.check}: clean twin rejected", out)
+    if args.check in out:
+        return fail(f"{args.check}: clean twin produced diagnostics", out)
+
+    print(f"PASS: {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   corruptedPlan.routingFraction = 1.0;
   corruptedPlan.invalidMessages = 6;
   corruptedPlan.scrambleQueues = true;
-  matrix.corruptions = {{"clean", {}}, {"corrupted", corruptedPlan}};
+  matrix.corruptions = {{"clean", {}, {}}, {"corrupted", corruptedPlan, {}}};
   matrix.options.firstSeed = 5;
   matrix.options.seedCount = 1;
   matrix.options.threads = 0;  // all hardware threads

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   }
   CorruptionPlan corruptedPlan;
   corruptedPlan.routingFraction = 1.0;
-  matrix.corruptions = {{"clean", {}}, {"corrupted", corruptedPlan}};
+  matrix.corruptions = {{"clean", {}, {}}, {"corrupted", corruptedPlan, {}}};
   matrix.options.firstSeed = 13;
   matrix.options.seedCount = 1;
   matrix.options.threads = 0;  // all hardware threads

@@ -1,0 +1,161 @@
+#include "checker/streaming.hpp"
+
+#include <ostream>
+
+#include "ssmfp/ssmfp.hpp"
+#include "ssmfp2/ssmfp2.hpp"
+#include "stats/jsonl.hpp"
+
+namespace snapfwd {
+
+void collectBufferTraces(const ForwardingProtocol& protocol,
+                         std::unordered_set<TraceId>& out) {
+  switch (protocol.family()) {
+    case ForwardingFamilyId::kSsmfp: {
+      const auto& p = static_cast<const SsmfpProtocol&>(protocol);
+      for (NodeId node = 0; node < p.graph().size(); ++node) {
+        for (const NodeId d : p.destinations()) {
+          if (const Buffer& r = p.bufR(node, d); r.has_value()) {
+            out.insert(r->trace);
+          }
+          if (const Buffer& e = p.bufE(node, d); e.has_value()) {
+            out.insert(e->trace);
+          }
+        }
+      }
+      return;
+    }
+    case ForwardingFamilyId::kSsmfp2: {
+      const auto& p = static_cast<const Ssmfp2Protocol&>(protocol);
+      for (NodeId node = 0; node < p.graph().size(); ++node) {
+        for (std::uint32_t k = 0; k <= p.maxRank(); ++k) {
+          if (const Buffer& b = p.slot(node, k); b.has_value()) {
+            out.insert(b->trace);
+          }
+        }
+      }
+      return;
+    }
+  }
+}
+
+StreamingInvariantChecker::StreamingInvariantChecker(
+    ForwardingProtocol& protocol, StreamingCheckerOptions options)
+    : protocol_(protocol), options_(options) {
+  // Anything generated before attachment would read as a ghost delivery
+  // later; folding here baselines the checker on the protocol's current
+  // records instead. Construction grants no amnesty - call noteFaultEvent()
+  // right after seeding mid-run faults.
+  consumeRecords();
+}
+
+void StreamingInvariantChecker::noteFaultEvent(std::uint64_t /*step*/) {
+  // Fold what happened strictly-before the fault first, so pre-fault
+  // deliveries are judged against the pre-fault outstanding set.
+  consumeRecords();
+  ++faultEvents_;
+  // Amnesty covers exactly what the fault could touch: every trace with a
+  // copy in some buffer right now. That includes stale copies of traces
+  // already delivered (their re-homed duplicates must not read as ghosts)
+  // and, by conservation, every outstanding trace.
+  collectBufferTraces(protocol_, amnestied_);
+  amnestiedOutstanding_ += outstanding_.size();
+  amnestied_.insert(outstanding_.begin(), outstanding_.end());
+  outstanding_.clear();
+}
+
+void StreamingInvariantChecker::noteRoutingFaultEvent(std::uint64_t /*step*/) {
+  // Routing tables and fairness queues carry no message state: the fault
+  // cannot have damaged any in-flight copy, so strict checking continues
+  // uninterrupted (the fold keeps the delivery/outstanding bookkeeping in
+  // step order).
+  consumeRecords();
+  ++routingFaultEvents_;
+}
+
+void StreamingInvariantChecker::consumeRecords() {
+  if (violation_.has_value()) return;
+  for (const GenerationRecord& g : protocol_.generations()) {
+    ++generations_;
+    if (g.msg.valid) outstanding_.insert(g.msg.trace);
+  }
+  for (const DeliveryRecord& d : protocol_.deliveries()) {
+    ++deliveries_;
+    if (!d.msg.valid) {
+      ++invalidDeliveries_;
+      continue;
+    }
+    if (const auto it = outstanding_.find(d.msg.trace); it != outstanding_.end()) {
+      outstanding_.erase(it);
+      ++validDeliveries_;
+      continue;
+    }
+    if (amnestied_.contains(d.msg.trace)) {
+      // In flight at some fault: duplication (SSMFP lastHop re-homing) and
+      // loss (SSMFP2 2R8 after an upstream 2R4) are both legitimate -
+      // tally, don't judge.
+      ++amnestiedDeliveries_;
+      continue;
+    }
+    violation_ = "exactly-once violated: valid trace " +
+                 std::to_string(d.msg.trace) + " delivered at " +
+                 std::to_string(d.at) + " (step " + std::to_string(d.step) +
+                 ") without an outstanding generation (duplicate or ghost)";
+    return;
+  }
+  if (invalidDeliveries_ > options_.invalidDeliveryBudget &&
+      !violation_.has_value()) {
+    violation_ = "invalid-delivery budget exceeded: " +
+                 std::to_string(invalidDeliveries_) + " > " +
+                 std::to_string(options_.invalidDeliveryBudget);
+    return;
+  }
+  // The fold: this is what makes the checker O(in-flight) instead of
+  // O(horizon) - and what forecloses post-hoc checkSpec on this run.
+  protocol_.clearEventRecordsForRestore();
+}
+
+std::optional<std::string> StreamingInvariantChecker::conservationScan(
+    std::uint64_t step) const {
+  if (outstanding_.empty()) return std::nullopt;
+  std::unordered_set<TraceId> present;
+  collectBufferTraces(protocol_, present);
+  for (const TraceId t : outstanding_) {
+    if (!present.contains(t)) {
+      return "conservation violated: valid trace " + std::to_string(t) +
+             " generated but in no buffer at step " + std::to_string(step);
+    }
+  }
+  return std::nullopt;
+}
+
+void StreamingInvariantChecker::writeCheckpoint(std::uint64_t step) {
+  jsonl::Object line;
+  line.field("step", step)
+      .field("generations", generations_)
+      .field("deliveries", deliveries_)
+      .field("valid_deliveries", validDeliveries_)
+      .field("invalid_deliveries", invalidDeliveries_)
+      .field("amnestied_deliveries", amnestiedDeliveries_)
+      .field("outstanding", static_cast<std::uint64_t>(outstanding_.size()))
+      .field("amnestied", static_cast<std::uint64_t>(amnestied_.size()))
+      .field("fault_events", faultEvents_)
+      .field("routing_fault_events", routingFaultEvents_);
+  *options_.checkpointOut << line.str() << '\n';
+}
+
+std::optional<std::string> StreamingInvariantChecker::poll(std::uint64_t step) {
+  ++polls_;
+  consumeRecords();
+  if (!violation_.has_value() && options_.conservationEveryPolls != 0 &&
+      polls_ % options_.conservationEveryPolls == 0) {
+    violation_ = conservationScan(step);
+  }
+  if (options_.checkpointEveryPolls != 0 && options_.checkpointOut != nullptr &&
+      polls_ % options_.checkpointEveryPolls == 0) {
+    writeCheckpoint(step);
+  }
+  return violation_;
+}
+
+}  // namespace snapfwd

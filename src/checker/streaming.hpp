@@ -1,0 +1,167 @@
+#pragma once
+// Streaming (online) invariant checking for long-horizon soak runs.
+//
+// The post-hoc oracle (checker/spec_checker.hpp) and the per-step
+// invariant batteries (checker/invariants.hpp, invariants2.hpp) both
+// assume the protocol's generation/delivery record vectors survive the
+// whole run - at 10^8..10^9 steps those vectors are the run's memory bill.
+// StreamingInvariantChecker evaluates the Prop-4/Prop-5 style monitors
+// online instead:
+//
+//   - exactly-once: every delivered valid trace was generated exactly once
+//     and never delivered before;
+//   - conservation: every generated-but-undelivered valid trace still
+//     occupies some buffer (checked periodically - it is an O(n * slots)
+//     scan);
+//   - invalid-delivery budget: protocol-counted invalid deliveries must
+//     stay within the configured budget (Prop 4 bounds them by the
+//     initially occupied buffers).
+//
+// Memory contract: O(in-flight + faults * in-flight). The checker FOLDS
+// the protocol's event records into its own counters on every poll and
+// then clears them (ForwardingProtocol::clearEventRecordsForRestore), so
+// record growth is bounded by the events of one polling interval; the
+// persistent state is the outstanding-trace set (bounded by buffer
+// capacity) plus the amnestied-trace set (bounded by buffer capacity per
+// fault event), both independent of the horizon. Consequence: a run
+// monitored by this checker CANNOT be fed to the post-hoc checkSpec
+// afterwards - the records are gone. Choose one.
+//
+// Fault amnesty: a BUFFER-TOUCHING fault - a topology mutation or a
+// corruption plan that plants garbage in buffers - legitimately breaks
+// exactly-once and conservation for the messages IN FLIGHT when the fault
+// hit: SSMFP's lastHop re-homing can duplicate them, SSMFP2's 2R8 can
+// erase them (see the protocols' onTopologyMutation notes), and injected
+// garbage can collide with a valid copy's (payload, hop, color) identity.
+// At each such fault event (noteFaultEvent) the checker amnesties every
+// trace holding a copy in some buffer at that moment (which, by
+// conservation, includes the whole outstanding set): those traces may
+// later be delivered any number of times (tallied, not judged) and are
+// exempt from the conservation scan. Everything else stays strict - in
+// particular a message still WAITING in an outbox at fault time was in no
+// buffer, cannot have been damaged, and is fully checked once generated.
+//
+// A ROUTING-ONLY fault (routing-table corruption and/or fairness-queue
+// scrambling, no buffer touched) amnesties NOTHING
+// (noteRoutingFaultEvent): the forwarding layer never trusts the routing
+// layer for safety - that is the paper's central claim - so exactly-once
+// and conservation must hold for every in-flight message across arbitrary
+// routing churn. Keeping the checker strict here is what gives the
+// adversarial campaign its regression power: a guard weakening that lets
+// a routing flip smuggle a duplicate through is a hard violation, not an
+// amnestied tally.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "fwd/forwarding.hpp"
+
+namespace snapfwd {
+
+struct StreamingCheckerOptions {
+  /// Max tolerated invalid deliveries (messages present in the initial or
+  /// post-fault configuration). Prop 4's bound is 2n per destination for
+  /// SSMFP; clean-start soaks use 0.
+  std::uint64_t invalidDeliveryBudget = 0;
+  /// Run the conservation scan every this many polls (0 = never). The scan
+  /// walks every buffer, so keep it sparse on big runs.
+  std::uint64_t conservationEveryPolls = 4096;
+  /// Emit a JSONL checkpoint line to `checkpointOut` every this many polls
+  /// (0 = never).
+  std::uint64_t checkpointEveryPolls = 0;
+  std::ostream* checkpointOut = nullptr;
+};
+
+class StreamingInvariantChecker {
+ public:
+  /// `protocol` must outlive the checker. Non-const: polling folds and
+  /// clears the protocol's event records (see the memory contract above).
+  explicit StreamingInvariantChecker(ForwardingProtocol& protocol,
+                                     StreamingCheckerOptions options = {});
+
+  /// Registers a buffer-touching fault at `step` (topology mutation
+  /// applied, garbage planted in buffers): every trace currently holding a
+  /// buffer copy - and every outstanding (generated, undelivered) trace -
+  /// becomes amnestied; its future deliveries are tallied instead of
+  /// checked, and the conservation scan stops expecting it.
+  void noteFaultEvent(std::uint64_t step);
+
+  /// Registers a routing-only fault at `step` (routing tables corrupted,
+  /// fairness queues scrambled, buffers untouched). Counted, but nothing
+  /// is amnestied: safety is routing-independent, so every in-flight
+  /// message stays strictly checked.
+  void noteRoutingFaultEvent(std::uint64_t step);
+
+  /// Consumes all event records accumulated since the last poll, updates
+  /// the monitors, folds the records away, and periodically runs the
+  /// conservation scan / writes a checkpoint. Call after every committed
+  /// step (or every k steps; correctness only needs eventual polling).
+  /// Returns the first violation as a human-readable string; once a
+  /// violation is returned every later poll returns it again.
+  [[nodiscard]] std::optional<std::string> poll(std::uint64_t step);
+
+  // -- Counters (cumulative over the whole run) ---------------------------
+  [[nodiscard]] std::uint64_t generationsSeen() const { return generations_; }
+  [[nodiscard]] std::uint64_t deliveriesSeen() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t validDeliveries() const { return validDeliveries_; }
+  [[nodiscard]] std::uint64_t invalidDeliveries() const {
+    return invalidDeliveries_;
+  }
+  /// Deliveries of amnestied (in flight at some fault) traces, exempt from
+  /// strict checking.
+  [[nodiscard]] std::uint64_t amnestiedDeliveries() const {
+    return amnestiedDeliveries_;
+  }
+  /// Traces moved from the outstanding to the amnestied set at fault
+  /// events (cumulative; the set itself may be smaller on re-faults).
+  [[nodiscard]] std::uint64_t amnestiedOutstanding() const {
+    return amnestiedOutstanding_;
+  }
+  [[nodiscard]] std::size_t outstandingCount() const {
+    return outstanding_.size();
+  }
+  [[nodiscard]] std::size_t amnestiedCount() const { return amnestied_.size(); }
+  [[nodiscard]] std::uint64_t pollsRun() const { return polls_; }
+  /// Buffer-touching fault events (each raised the amnesty set).
+  [[nodiscard]] std::uint64_t faultEvents() const { return faultEvents_; }
+  /// Routing-only fault events (strictness preserved).
+  [[nodiscard]] std::uint64_t routingFaultEvents() const {
+    return routingFaultEvents_;
+  }
+  [[nodiscard]] const std::optional<std::string>& violation() const {
+    return violation_;
+  }
+
+ private:
+  void consumeRecords();
+  [[nodiscard]] std::optional<std::string> conservationScan(
+      std::uint64_t step) const;
+  void writeCheckpoint(std::uint64_t step);
+
+  ForwardingProtocol& protocol_;
+  StreamingCheckerOptions options_;
+  std::unordered_set<TraceId> outstanding_;  // generated, valid, undelivered
+  std::unordered_set<TraceId> amnestied_;    // in flight at some fault event
+  std::optional<std::string> violation_;
+
+  std::uint64_t generations_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t validDeliveries_ = 0;
+  std::uint64_t invalidDeliveries_ = 0;
+  std::uint64_t amnestiedDeliveries_ = 0;
+  std::uint64_t amnestiedOutstanding_ = 0;
+  std::uint64_t polls_ = 0;
+  std::uint64_t faultEvents_ = 0;
+  std::uint64_t routingFaultEvents_ = 0;
+};
+
+/// Appends the trace id of every message currently occupying a buffer of
+/// `protocol` (family-dispatched slot walk; shared with the conservation
+/// scan and tests).
+void collectBufferTraces(const ForwardingProtocol& protocol,
+                         std::unordered_set<TraceId>& out);
+
+}  // namespace snapfwd

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "cli/audit.hpp"
+#include "cli/campaign.hpp"
 #include "cli/explore.hpp"
 #include "explore/explore.hpp"
 #include "fwd/forwarding.hpp"
@@ -73,6 +74,9 @@ constexpr unsigned kRunBit = 1u << static_cast<unsigned>(Command::kRun);
 constexpr unsigned kSweepBit = 1u << static_cast<unsigned>(Command::kSweep);
 constexpr unsigned kAuditBit = 1u << static_cast<unsigned>(Command::kAudit);
 constexpr unsigned kExploreBit = 1u << static_cast<unsigned>(Command::kExplore);
+constexpr unsigned kCampaignBit = 1u << static_cast<unsigned>(Command::kCampaign);
+// Campaign runs a fixed scenario table, so the experiment-setup flags do not
+// apply to it; only --steps, --jsonl, the engine flags and --help do.
 constexpr unsigned kAllBits = kRunBit | kSweepBit | kAuditBit | kExploreBit;
 
 [[nodiscard]] unsigned commandBit(Command c) {
@@ -86,6 +90,7 @@ enum Section : int {
   kSecTooling,
   kSecSweep,
   kSecExplore,
+  kSecCampaign,
   kSectionCount,
 };
 
@@ -290,7 +295,7 @@ const FlagSpec kFlagTable[] = {
        o.format = OutputFormat::kCsv;
        return std::nullopt;
      }},
-    {"help", kAllBits, nullptr, false, nullptr, nullptr,
+    {"help", kAllBits | kCampaignBit, nullptr, false, nullptr, nullptr,
      "print this text", kSecExperiment,
      +[](CliOptions& o, const std::string&) -> std::optional<std::string> {
        o.showHelp = true;
@@ -298,7 +303,7 @@ const FlagSpec kFlagTable[] = {
      }},
 
     // -- engine selection -----------------------------------------------------
-    {"scanmode", kAllBits, nullptr, true, "needs a value",
+    {"scanmode", kAllBits | kCampaignBit, nullptr, true, "needs a value",
      +[] { return enumNameList<ScanMode>(); },
      "guard re-evaluation strategy for every engine built", kSecEngine,
      +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
@@ -309,7 +314,7 @@ const FlagSpec kFlagTable[] = {
        o.scanMode = *mode;
        return std::nullopt;
      }},
-    {"exec", kAllBits, nullptr, true, "needs a value",
+    {"exec", kAllBits | kCampaignBit, nullptr, true, "needs a value",
      +[] { return enumNameList<ExecMode>(); },
      "guard execution path: virtual dispatch or batch kernels", kSecEngine,
      +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
@@ -365,8 +370,8 @@ const FlagSpec kFlagTable[] = {
        }
        return std::nullopt;
      }},
-    {"jsonl", kSweepBit | kAuditBit | kExploreBit,
-     "is a sweep/audit flag (snapfwd_cli sweep ...)", true,
+    {"jsonl", kSweepBit | kAuditBit | kExploreBit | kCampaignBit,
+     "is a sweep/audit/campaign flag (snapfwd_cli sweep ...)", true,
      "needs a file path (or '-')", +[] { return std::string("<file|->"); },
      "write manifest + per-run + aggregate JSONL", kSecSweep,
      +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
@@ -447,6 +452,21 @@ const FlagSpec kFlagTable[] = {
        o.exploreCodec = v;
        return std::nullopt;
      }},
+
+    // -- campaign -------------------------------------------------------------
+    {"steps", kCampaignBit, "is a campaign flag (snapfwd_cli campaign ...)",
+     true, "needs a positive step count (scientific notation ok: 1e5)",
+     +[] { return std::string("<steps|1eN>"); },
+     "soak-budget scale for the scenario table (default 1e5)", kSecCampaign,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       double steps = 0;
+       if (!parseDouble(v, steps) || steps < 1 || steps > 1e18) {
+         return "--steps needs a positive step count (scientific notation "
+                "ok: 1e5)";
+       }
+       o.campaignSteps = static_cast<std::uint64_t>(steps);
+       return std::nullopt;
+     }},
 };
 
 [[nodiscard]] const FlagSpec* findFlag(const std::string& key) {
@@ -469,6 +489,9 @@ ParseResult parseArgs(int argc, const char* const* argv) {
     first = 2;
   } else if (argc > 1 && std::string(argv[1]) == "explore") {
     options.command = Command::kExplore;
+    first = 2;
+  } else if (argc > 1 && std::string(argv[1]) == "campaign") {
+    options.command = Command::kCampaign;
     first = 2;
   }
   for (int i = first; i < argc; ++i) {
@@ -499,6 +522,8 @@ std::string usage() {
       "tooling flags (plain run, --protocol=ssmfp only):",
       "sweep / audit flags (seed range starts at --seed):",
       "explore flags (bounded explicit-state model checking, src/explore/):",
+      "campaign flags (built-in adversarial scenario table, "
+      "src/sim/campaign.hpp):",
   };
   std::ostringstream out;
   out << "snapfwd_cli - run one SSMFP/baseline experiment and report SP\n\n"
@@ -506,7 +531,9 @@ std::string usage() {
       << "       snapfwd_cli sweep [--flag=value ...]   multi-seed sweep\n"
       << "       snapfwd_cli audit [--flag=value ...]   access-audit replay\n"
       << "       snapfwd_cli explore [--flag=value ...] exhaustive state-space "
-         "closure\n";
+         "closure\n"
+      << "       snapfwd_cli campaign [--flag=value ...] adversarial scenario "
+         "campaign\n";
   for (int section = 0; section < kSectionCount; ++section) {
     out << "\n" << kSectionTitles[section] << "\n";
     for (const FlagSpec& spec : kFlagTable) {
@@ -525,6 +552,12 @@ std::string usage() {
   out << "\nexplore exits 0 = clean closure, 1 = violation found "
          "(counterexample is\n"
       << "shrunk and its schedule printed), 2 = usage error.\n\n"
+      << "campaign: runs every built-in scenario (churn soaks, mid-run\n"
+      << "corruption, CNS buffer-sufficiency wedges, frozen-routing traps,\n"
+      << "one guard-weakened violation cell) and compares outcomes against\n"
+      << "expectations. Exits 0 = passed (zero unexpected cells AND at least\n"
+      << "one expected-failure cell fired), 1 = unexpected outcome or vacuous\n"
+      << "pass, 2 = usage/IO error. Honors --jsonl for the per-cell report.\n\n"
       << "audit: replays the topology x daemon x corruption matrix (all\n"
       << "protocols) with access auditing on, reporting every guard-locality,\n"
       << "stage-purity or write-set violation. Honors --seeds and --jsonl.\n"
@@ -675,6 +708,13 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       return 2;
     }
     return runExploreCommand(options, out, err);
+  }
+  if (options.command == Command::kCampaign) {
+    if (tooling) {
+      err << "error: snapshot/trace/render flags do not apply to campaign\n";
+      return 2;
+    }
+    return runCampaignCommand(options, out, err);
   }
   if (options.protocol != ProtocolChoice::kSsmfp) {
     if (tooling) {

@@ -25,8 +25,9 @@ enum class OutputFormat { kText, kCsv };
 /// `snapfwd_cli audit [--flags]` replays the experiment matrix with access
 /// auditing enabled (requires a -DSNAPFWD_AUDIT=ON build); `snapfwd_cli
 /// explore [--flags]` exhaustively closes a model instance's state space
-/// under a daemon class (src/explore/).
-enum class Command { kRun, kSweep, kAudit, kExplore };
+/// under a daemon class (src/explore/); `snapfwd_cli campaign [--flags]`
+/// runs the built-in adversarial scenario campaign (src/sim/campaign.hpp).
+enum class Command { kRun, kSweep, kAudit, kExplore, kCampaign };
 
 struct CliOptions {
   ExperimentConfig config;
@@ -39,6 +40,10 @@ struct CliOptions {
   std::size_t sweepSeeds = 10;   // --seeds
   std::size_t sweepThreads = 0;  // --threads (0 = all hardware threads)
   std::string jsonlOut;          // --jsonl=<path> ("-" = stdout)
+
+  // Campaign subcommand: soak-budget scale for the built-in scenario table
+  // (accepts scientific notation: --steps=1e5 smoke, 1e7 nightly).
+  std::uint64_t campaignSteps = 100'000;  // --steps
 
   // Explore subcommand (values validated at parse time; resolved against
   // src/explore/ in runExploreCommand):

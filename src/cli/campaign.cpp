@@ -1,0 +1,65 @@
+#include "cli/campaign.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "sim/campaign.hpp"
+#include "stats/table.hpp"
+
+namespace snapfwd::cli {
+
+int runCampaignCommand(const CliOptions& options, std::ostream& out,
+                       std::ostream& err) {
+  const CampaignReport report =
+      runCampaign(builtinCampaign(options.campaignSteps));
+
+  Table table("snapfwd campaign, soak scale " +
+                  std::to_string(options.campaignSteps) + " steps",
+              {"cell", "expect", "outcome", "ok", "steps", "valid", "invalid",
+               "amnestied", "detail"});
+  for (const CampaignCellResult& cell : report.cells) {
+    std::string detail;
+    if (cell.violation.has_value()) {
+      detail = *cell.violation;
+      if (detail.size() > 48) detail = detail.substr(0, 45) + "...";
+    } else if (cell.outcome != CampaignOutcome::kClean) {
+      detail = std::to_string(cell.occupiedAtEnd) + " buffered at end";
+    }
+    table.addRow({cell.name, toString(cell.expect), toString(cell.outcome),
+                  Table::yesNo(cell.asExpected), Table::num(cell.steps),
+                  Table::num(cell.validDeliveries),
+                  Table::num(cell.invalidDeliveries),
+                  Table::num(cell.amnestiedDeliveries), detail});
+  }
+  std::ostringstream rendered;
+  if (options.format == OutputFormat::kCsv) {
+    table.printCsv(rendered);
+  } else {
+    table.printMarkdown(rendered);
+  }
+  out << rendered.str();
+  out << "campaign: " << report.cells.size() << " cells, "
+      << report.unexpected() << " unexpected, " << report.expectedFailuresFired()
+      << " expected failures fired -> "
+      << (report.passed() ? "PASSED" : "FAILED") << "\n";
+
+  if (!options.jsonlOut.empty()) {
+    if (options.jsonlOut == "-") {
+      writeCampaignReport(report, out);
+    } else {
+      std::ofstream file(options.jsonlOut);
+      if (!file) {
+        err << "error: cannot write '" << options.jsonlOut << "'\n";
+        return 2;
+      }
+      writeCampaignReport(report, file);
+      out << "jsonl written to " << options.jsonlOut << " ("
+          << report.cells.size() + 1 << " lines)\n";
+    }
+  }
+  return report.passed() ? 0 : 1;
+}
+
+}  // namespace snapfwd::cli

@@ -1,0 +1,16 @@
+#pragma once
+// `snapfwd_cli campaign`: runs the built-in adversarial scenario table
+// (src/sim/campaign.hpp) at the --steps soak scale and renders the
+// per-cell outcomes. Exit code 0 iff the campaign passed (no unexpected
+// cells AND at least one expected-failure cell fired).
+
+#include <iosfwd>
+
+#include "cli/args.hpp"
+
+namespace snapfwd::cli {
+
+int runCampaignCommand(const CliOptions& options, std::ostream& out,
+                       std::ostream& err);
+
+}  // namespace snapfwd::cli

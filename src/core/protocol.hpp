@@ -123,6 +123,15 @@ class Protocol : public GuardSource {
   /// allowed - the engine dedupes).
   virtual void commit(std::vector<NodeId>& written) = 0;
 
+  /// Invoked by a topology mutator (faults/topology.hpp) after it rewired
+  /// the Graph this protocol was constructed over, between atomic steps.
+  /// Overrides repair any per-processor state whose well-formedness depends
+  /// on the adjacency lists (fairness-queue membership, buffered lastHop
+  /// links, kernel CSR mirrors, ...) and MUST end by invalidating the
+  /// engine cache; the default covers protocols with no such state by just
+  /// calling notifyExternalMutation().
+  virtual void onTopologyMutation() { notifyExternalMutation(); }
+
   /// Registered by the engine executing this protocol; cleared on engine
   /// destruction. Protocol implementations do not call this directly -
   /// they call notifyExternalMutation().

@@ -1,0 +1,342 @@
+#include "explore/advsearch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "checker/streaming.hpp"
+#include "core/engine.hpp"
+#include "faults/corruptor.hpp"
+
+namespace snapfwd {
+
+namespace {
+
+/// Delegates every scheduling decision to the searched daemon and records
+/// the committed selections in the stable (p, rule, dest) form a
+/// ScriptedDaemon can replay.
+class RecordingDaemon final : public Daemon {
+ public:
+  RecordingDaemon(Daemon& inner, DaemonScript& out) : inner_(inner), out_(out) {}
+
+  [[nodiscard]] std::string_view name() const override { return "recording"; }
+
+  void choose(std::uint64_t step, const std::vector<EnabledProcessor>& enabled,
+              std::vector<Choice>& out) override {
+    inner_.choose(step, enabled, out);
+    std::vector<ScriptedDaemon::Selection> moves;
+    moves.reserve(out.size());
+    for (const Choice& c : out) {
+      const EnabledProcessor& e = enabled[c.entryIndex];
+      const Action& a = e.actions[c.actionIndex];
+      moves.push_back({e.p, a.rule, a.dest});
+    }
+    out_.push_back(std::move(moves));
+  }
+
+ private:
+  Daemon& inner_;
+  DaemonScript& out_;
+};
+
+struct ProbeOutcome {
+  std::optional<std::string> violation;
+  std::uint64_t steps = 0;
+  bool scriptMatched = true;
+};
+
+/// One adversarial probe: builds the stack with the standard fork
+/// discipline, plants the seeded weakness, runs under the configured
+/// daemon (or a ScriptedDaemon when `replay` is given, with the configured
+/// daemon still constructed so the 0xFA18 corruption stream is identical),
+/// fires topology/corruption events on schedule, and polls the streaming
+/// checker every step - stopping at the FIRST violation so recorded
+/// scripts end exactly at the violating step.
+ProbeOutcome runProbe(const ExperimentConfig& cfg,
+                      const TopologySchedule& topology,
+                      SsmfpGuardMutation ssmfpWeakness,
+                      Ssmfp2GuardMutation ssmfp2Weakness,
+                      std::uint64_t invalidDeliveryBudget,
+                      const DaemonScript* replay, DaemonScript* record) {
+  ForwardingStack stack = buildForwardingStack(cfg);
+  switch (cfg.family) {
+    case ForwardingFamilyId::kSsmfp:
+      if (ssmfpWeakness != SsmfpGuardMutation::kNone) {
+        static_cast<SsmfpProtocol&>(*stack.forwarding)
+            .setGuardMutationForTest(ssmfpWeakness);
+      }
+      break;
+    case ForwardingFamilyId::kSsmfp2:
+      if (ssmfp2Weakness != Ssmfp2GuardMutation::kNone) {
+        static_cast<Ssmfp2Protocol&>(*stack.forwarding)
+            .setGuardMutationForTest(ssmfp2Weakness);
+      }
+      break;
+  }
+
+  auto searched = makeDaemon(cfg.daemon, cfg.daemonProbability, stack.rng);
+  std::optional<ScriptedDaemon> scripted;
+  std::optional<RecordingDaemon> recording;
+  Daemon* daemon = searched.get();
+  if (replay != nullptr) {
+    scripted.emplace(*replay);
+    daemon = &*scripted;
+  } else if (record != nullptr) {
+    recording.emplace(*searched, *record);
+    daemon = &*recording;
+  }
+
+  Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+                *daemon);
+  stack.forwarding->attachEngine(&engine);
+  TopologyMutator mutator(*stack.graph, topology,
+                          {stack.routing.get(), stack.forwarding.get()});
+
+  std::vector<CorruptionEvent> schedule = cfg.corruptionSchedule;
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const CorruptionEvent& a, const CorruptionEvent& b) {
+                     return a.step < b.step;
+                   });
+  std::size_t nextEvent = 0;
+  Rng corruptionRng = schedule.empty() ? Rng(0) : stack.rng.fork(0xFA18);
+
+  StreamingCheckerOptions checkerOptions;
+  checkerOptions.invalidDeliveryBudget = invalidDeliveryBudget;
+  checkerOptions.conservationEveryPolls = 256;
+  StreamingInvariantChecker checker(*stack.forwarding, checkerOptions);
+
+  // Buffer-touching faults amnesty the in-flight set; routing-only plans
+  // keep the checker strict (safety is routing-independent) - which is
+  // what lets the search catch a guard weakening red-handed.
+  auto fireDue = [&](std::uint64_t upTo, std::uint64_t now) {
+    if (mutator.applyDue(upTo) > 0) checker.noteFaultEvent(now);
+    while (nextEvent < schedule.size() && schedule[nextEvent].step <= upTo) {
+      const CorruptionPlan& plan = schedule[nextEvent++].plan;
+      applyCorruption(plan, *stack.routing, *stack.forwarding, corruptionRng);
+      if (plan.touchesBuffers()) {
+        checker.noteFaultEvent(now);
+      } else {
+        checker.noteRoutingFaultEvent(now);
+      }
+    }
+  };
+
+  ProbeOutcome outcome;
+  std::uint64_t executed = 0;
+  for (;;) {
+    const std::uint64_t ran = engine.run(1);
+    executed += ran;
+    const std::uint64_t now = engine.stepCount();
+    fireDue(now, now);
+    if (auto v = checker.poll(now); v.has_value()) {
+      outcome.violation = std::move(v);
+      break;
+    }
+    if (executed >= cfg.maxSteps) break;
+    if (ran == 0) {
+      // Terminal (or end of script) with events still pending: fire the
+      // earliest batch into the idle network and resume.
+      constexpr std::uint64_t kNever = UINT64_MAX;
+      const std::uint64_t pendingTopo = mutator.nextEventStep();
+      const std::uint64_t pendingCorruption =
+          nextEvent < schedule.size() ? schedule[nextEvent].step : kNever;
+      if (pendingTopo == kNever && pendingCorruption == kNever) break;
+      fireDue(std::min(pendingTopo, pendingCorruption), now);
+      if (auto v = checker.poll(now); v.has_value()) {
+        outcome.violation = std::move(v);
+        break;
+      }
+    }
+  }
+  outcome.steps = engine.stepCount();
+  if (scripted.has_value()) outcome.scriptMatched = scripted->allMatched();
+  return outcome;
+}
+
+/// Greedy shrink: drops topology events, drops and thins corruption
+/// events, then ddmin-style chunks script steps - keeping every edit whose
+/// replay still violates. Probe count is bounded to keep the search cheap.
+void shrinkFinding(AdversarialFinding& finding) {
+  constexpr std::size_t kMaxProbes = 400;
+  auto violates = [&](const ExperimentConfig& cfg,
+                      const TopologySchedule& topology,
+                      const DaemonScript& script) {
+    if (finding.shrinkProbes >= kMaxProbes) return false;
+    ++finding.shrinkProbes;
+    return runProbe(cfg, topology, finding.ssmfpWeakness,
+                    finding.ssmfp2Weakness, finding.invalidDeliveryBudget,
+                    &script, nullptr)
+        .violation.has_value();
+  };
+
+  // Topology events, one at a time.
+  {
+    std::vector<TopologyEvent> events = finding.topology.events();
+    for (std::size_t i = 0; i < events.size();) {
+      std::vector<TopologyEvent> candidate = events;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (violates(finding.config, TopologySchedule(candidate),
+                   finding.script)) {
+        events = std::move(candidate);
+        ++finding.droppedTopologyEvents;
+      } else {
+        ++i;
+      }
+    }
+    finding.topology = TopologySchedule(std::move(events));
+  }
+
+  // Corruption events: drop whole events, then thin surviving plans.
+  {
+    auto& schedule = finding.config.corruptionSchedule;
+    for (std::size_t i = 0; i < schedule.size();) {
+      ExperimentConfig candidate = finding.config;
+      candidate.corruptionSchedule.erase(
+          candidate.corruptionSchedule.begin() + static_cast<std::ptrdiff_t>(i));
+      if (violates(candidate, finding.topology, finding.script)) {
+        finding.config = std::move(candidate);
+        ++finding.droppedCorruptionEvents;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      while (schedule[i].plan.invalidMessages > 0) {
+        ExperimentConfig candidate = finding.config;
+        candidate.corruptionSchedule[i].plan.invalidMessages /= 2;
+        if (!violates(candidate, finding.topology, finding.script)) break;
+        finding.config = std::move(candidate);
+      }
+      if (schedule[i].plan.scrambleQueues) {
+        ExperimentConfig candidate = finding.config;
+        candidate.corruptionSchedule[i].plan.scrambleQueues = false;
+        if (violates(candidate, finding.topology, finding.script)) {
+          finding.config = std::move(candidate);
+        }
+      }
+    }
+  }
+
+  // Script steps, halving chunk sizes (plain drop-one is quadratic in the
+  // script length).
+  for (std::size_t chunk = std::max<std::size_t>(finding.script.size() / 2, 1);
+       ; chunk /= 2) {
+    for (std::size_t start = 0; start + chunk <= finding.script.size();) {
+      DaemonScript candidate = finding.script;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(start),
+                      candidate.begin() + static_cast<std::ptrdiff_t>(start + chunk));
+      if (violates(finding.config, finding.topology, candidate)) {
+        finding.script = std::move(candidate);
+        finding.droppedScriptSteps += chunk;
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+}
+
+}  // namespace
+
+std::string AdversarialFinding::describe() const {
+  std::string out = "violation [" + violation + "]";
+  out += " seed=" + std::to_string(config.seed);
+  out += " corruption-events=" + std::to_string(config.corruptionSchedule.size());
+  out += " topology=[" + topology.label() + "]";
+  out += " script-steps=" + std::to_string(script.size());
+  out += " candidates=" + std::to_string(candidatesTried);
+  out += " shrink-probes=" + std::to_string(shrinkProbes);
+  return out;
+}
+
+std::optional<AdversarialFinding> searchAdversarialSchedule(
+    const AdversarialSearchConfig& config) {
+  const std::vector<TopologySchedule> topologies =
+      config.topologies.empty() ? std::vector<TopologySchedule>{{}}
+                                : config.topologies;
+  const std::vector<std::uint64_t> steps =
+      config.corruptionSteps.empty() ? std::vector<std::uint64_t>{0}
+                                     : config.corruptionSteps;
+
+  std::size_t tried = 0;
+  for (const TopologySchedule& topology : topologies) {
+    for (const std::uint64_t step : steps) {
+      // An empty plan axis degenerates to pure churn probes (one neutral
+      // entry so the seed loop still runs).
+      const std::size_t planCount = std::max<std::size_t>(config.plans.size(), 1);
+      for (std::size_t planIdx = 0; planIdx < planCount; ++planIdx) {
+        for (std::size_t i = 0; i < config.seedsPerCandidate; ++i) {
+          ExperimentConfig cfg = config.base;
+          cfg.seed = config.base.seed + i;
+          if (planIdx < config.plans.size()) {
+            cfg.corruptionSchedule.push_back({step, config.plans[planIdx]});
+          }
+          ++tried;
+          DaemonScript script;
+          ProbeOutcome probe =
+              runProbe(cfg, topology, config.ssmfpWeakness,
+                       config.ssmfp2Weakness, config.invalidDeliveryBudget,
+                       nullptr, &script);
+          if (!probe.violation.has_value()) continue;
+
+          AdversarialFinding finding;
+          finding.config = std::move(cfg);
+          finding.topology = topology;
+          finding.ssmfpWeakness = config.ssmfpWeakness;
+          finding.ssmfp2Weakness = config.ssmfp2Weakness;
+          finding.script = std::move(script);
+          finding.invalidDeliveryBudget = config.invalidDeliveryBudget;
+          finding.violation = *probe.violation;
+          finding.candidatesTried = tried;
+          shrinkFinding(finding);
+          // The shrunk artifact must still reproduce; refresh the
+          // violation text from one final replay.
+          if (auto v = replayFinding(finding); v.has_value()) {
+            finding.violation = *v;
+          }
+          return finding;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> replayFinding(const AdversarialFinding& finding) {
+  return runProbe(finding.config, finding.topology, finding.ssmfpWeakness,
+                  finding.ssmfp2Weakness, finding.invalidDeliveryBudget,
+                  &finding.script, nullptr)
+      .violation;
+}
+
+AdversarialSearchConfig seededWeaknessSearch(std::uint64_t maxStepsPerProbe) {
+  AdversarialSearchConfig search;
+  search.base.family = ForwardingFamilyId::kSsmfp;
+  search.base.topo = TopologySpec::ring(6);
+  search.base.traffic = TrafficKind::kUniform;
+  // A deep outbox backlog keeps strict (post-fault) traffic entering the
+  // network while the routing layer is still reconverging - the window the
+  // weakened R4 needs to smuggle a duplicate through.
+  search.base.messageCount = 60;
+  search.base.seed = 1;
+  search.base.maxSteps = maxStepsPerProbe;
+  search.ssmfpWeakness = SsmfpGuardMutation::kR4SkipStrayCopyCheck;
+
+  // The routing-only plan is the sharp one: the checker amnesties nothing
+  // across it, so any duplicate it provokes is a hard violation.
+  CorruptionPlan heavy;
+  heavy.routingFraction = 0.8;
+  heavy.scrambleQueues = true;
+  CorruptionPlan mixed;
+  mixed.routingFraction = 0.5;
+  mixed.invalidMessages = 4;
+  search.plans = {heavy, mixed};
+  search.corruptionSteps = {20, 40, 80, 150};
+
+  TopologySchedule flap;
+  flap.linkDown(60, 2, 3).linkUp(160, 2, 3);
+  search.topologies = {TopologySchedule{}, flap};
+  search.seedsPerCandidate = 8;
+  return search;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,110 @@
+#pragma once
+// Adversarial corruption-schedule search.
+//
+// The explorer (explore/explore.hpp) proves per-instance safety by closing
+// the transition relation from a FIXED start set; this module attacks the
+// orthogonal axis: WHEN the transient faults land. It drives a candidate
+// grid of (topology-churn schedule x corruption step x corruption plan x
+// seed) cells through the streaming invariant checker, looking for a
+// violation of exactly-once/conservation for post-fault traffic - the
+// snap-stabilization promise itself.
+//
+// Against the unweakened protocols the search is expected to come back
+// empty (that is the acceptance criterion soaks pin); its positive duty is
+// regression power. A seeded guard weakening (SsmfpGuardMutation /
+// Ssmfp2GuardMutation) must be FOUND, and the finding must be small enough
+// to read: every violating run is captured as a ScriptedDaemon script (the
+// exact (processor, rule, dest) sequence the daemon chose) plus the fault
+// schedules, then greedily shrunk - dropping topology events, dropping and
+// thinning corruption events, dropping script steps - while the replay
+// still violates. The result replays deterministically without any random
+// daemon, ready to paste into a regression test.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "faults/topology.hpp"
+#include "sim/runner.hpp"
+#include "ssmfp/ssmfp.hpp"
+#include "ssmfp2/ssmfp2.hpp"
+
+namespace snapfwd {
+
+/// One scripted atomic step: the selections the daemon committed together.
+using DaemonScript = std::vector<std::vector<ScriptedDaemon::Selection>>;
+
+struct AdversarialSearchConfig {
+  /// Everything the probe runs share: family, topology, traffic, daemon
+  /// kind, step budget (maxSteps bounds each probe). base.seed is the
+  /// first seed of each candidate's seed range.
+  ExperimentConfig base;
+
+  /// Seeded weaknesses to plant per family (kNone = attack the real rules).
+  SsmfpGuardMutation ssmfpWeakness = SsmfpGuardMutation::kNone;
+  Ssmfp2GuardMutation ssmfp2Weakness = Ssmfp2GuardMutation::kNone;
+
+  /// The candidate grid. Empty axes get one neutral entry (no churn / the
+  /// base plan at step 0 only when plans are provided).
+  std::vector<TopologySchedule> topologies;
+  std::vector<std::uint64_t> corruptionSteps;
+  std::vector<CorruptionPlan> plans;
+
+  /// Seeds probed per grid cell: base.seed .. base.seed + seedsPerCandidate.
+  std::size_t seedsPerCandidate = 4;
+
+  /// Tolerated invalid deliveries per probe (mirrors
+  /// StreamingCheckerOptions::invalidDeliveryBudget).
+  std::uint64_t invalidDeliveryBudget = 64;
+};
+
+/// A shrunk violating cell: the exact configuration plus the deterministic
+/// replay artifact.
+struct AdversarialFinding {
+  /// The violating configuration (seed and corruptionSchedule filled in).
+  ExperimentConfig config;
+  TopologySchedule topology;
+  SsmfpGuardMutation ssmfpWeakness = SsmfpGuardMutation::kNone;
+  Ssmfp2GuardMutation ssmfp2Weakness = Ssmfp2GuardMutation::kNone;
+
+  /// The daemon's choices up to (and including) the violating step; replay
+  /// runs these through a ScriptedDaemon instead of the searched daemon.
+  DaemonScript script;
+
+  /// Budget the violating probe ran under (replay uses the same, so
+  /// budget-class violations reproduce too).
+  std::uint64_t invalidDeliveryBudget = 0;
+
+  std::string violation;
+
+  // Search/shrink accounting.
+  std::size_t candidatesTried = 0;
+  std::size_t shrinkProbes = 0;
+  std::size_t droppedTopologyEvents = 0;
+  std::size_t droppedCorruptionEvents = 0;
+  std::size_t droppedScriptSteps = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Probes the candidate grid in deterministic order; on the first
+/// violating cell, shrinks it and returns the finding. std::nullopt means
+/// the whole grid survived (the expected verdict for unweakened rules).
+[[nodiscard]] std::optional<AdversarialFinding> searchAdversarialSchedule(
+    const AdversarialSearchConfig& config);
+
+/// Deterministically re-runs a finding through a ScriptedDaemon (same build
+/// and RNG fork discipline as the search probes). Returns the violation
+/// reported by the replay, or std::nullopt if it no longer reproduces.
+[[nodiscard]] std::optional<std::string> replayFinding(
+    const AdversarialFinding& finding);
+
+/// The canonical seeded-weakness search (SSMFP, R4 stray-copy quantifier
+/// dropped): the CI/bench cell asserting the search machinery still finds
+/// and shrinks a planted exactly-once violation.
+[[nodiscard]] AdversarialSearchConfig seededWeaknessSearch(
+    std::uint64_t maxStepsPerProbe = 50'000);
+
+}  // namespace snapfwd

@@ -46,6 +46,13 @@ struct CorruptionPlan {
   /// Shuffle every choice_p(d) fairness queue.
   bool scrambleQueues = false;
 
+  /// True when the plan plants garbage IN BUFFERS. Routing corruption and
+  /// queue scrambling touch no message state, so a plan without buffer
+  /// garbage is a "routing-only" fault: the streaming checker keeps strict
+  /// exactly-once/conservation across it (safety is routing-independent),
+  /// whereas a buffer-touching plan amnesties the in-flight set.
+  [[nodiscard]] bool touchesBuffers() const { return invalidMessages > 0; }
+
   friend bool operator==(const CorruptionPlan&, const CorruptionPlan&) = default;
 };
 

@@ -1,0 +1,144 @@
+#include "faults/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snapfwd {
+
+namespace {
+
+const char* kindName(TopologyEventKind kind) {
+  switch (kind) {
+    case TopologyEventKind::kLinkDown:
+      return "linkDown";
+    case TopologyEventKind::kLinkUp:
+      return "linkUp";
+    case TopologyEventKind::kNodeDown:
+      return "nodeDown";
+    case TopologyEventKind::kNodeUp:
+      return "nodeUp";
+  }
+  return "?";
+}
+
+bool isLinkEvent(TopologyEventKind kind) {
+  return kind == TopologyEventKind::kLinkDown ||
+         kind == TopologyEventKind::kLinkUp;
+}
+
+}  // namespace
+
+void TopologySchedule::sortByStep() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TopologyEvent& a, const TopologyEvent& b) {
+                     return a.step < b.step;
+                   });
+}
+
+std::string TopologySchedule::label() const {
+  std::string out;
+  for (const TopologyEvent& e : events_) {
+    if (!out.empty()) out += "; ";
+    out += kindName(e.kind);
+    out += '@';
+    out += std::to_string(e.step);
+    out += ' ';
+    out += std::to_string(e.u);
+    if (isLinkEvent(e.kind)) {
+      out += '-';
+      out += std::to_string(e.v);
+    }
+  }
+  return out;
+}
+
+TopologyMutator::TopologyMutator(Graph& graph, TopologySchedule schedule,
+                                 std::vector<Protocol*> layers)
+    : graph_(graph),
+      layers_(std::move(layers)),
+      originalEdges_(graph.edges()),
+      alive_(graph.size(), 1) {
+  schedule.sortByStep();
+  events_ = schedule.events();
+#ifndef NDEBUG
+  for (const TopologyEvent& e : events_) {
+    assert(e.u < graph_.size());
+    if (isLinkEvent(e.kind)) {
+      assert(e.v < graph_.size());
+      const auto edge = std::minmax(e.u, e.v);
+      assert(std::find(originalEdges_.begin(), originalEdges_.end(),
+                       std::make_pair(edge.first, edge.second)) !=
+                 originalEdges_.end() &&
+             "link events may only name edges of the original graph");
+    }
+  }
+#endif
+}
+
+std::uint64_t TopologyMutator::nextEventStep() const {
+  return done() ? ~std::uint64_t{0} : events_[next_].step;
+}
+
+std::size_t TopologyMutator::applyDue(std::uint64_t step) {
+  std::size_t applied = 0;
+  while (next_ < events_.size() && events_[next_].step <= step) {
+    apply(events_[next_]);
+    ++next_;
+    ++applied;
+  }
+  if (applied != 0) {
+    // One repair pass per batch, in engine priority order: each layer
+    // re-validates its topology-dependent state against the final graph
+    // and invalidates the engine cache (a layer-level contract,
+    // Protocol::onTopologyMutation).
+    for (Protocol* layer : layers_) layer->onTopologyMutation();
+  }
+  return applied;
+}
+
+void TopologyMutator::apply(const TopologyEvent& e) {
+  switch (e.kind) {
+    case TopologyEventKind::kLinkDown:
+      graph_.removeEdge(e.u, e.v);
+      break;
+    case TopologyEventKind::kLinkUp:
+      // A dead endpoint keeps the link down; nodeUp restores it later.
+      if (alive_[e.u] != 0 && alive_[e.v] != 0) graph_.addEdge(e.u, e.v);
+      break;
+    case TopologyEventKind::kNodeDown: {
+      const std::vector<NodeId> nbrs = graph_.neighbors(e.u);  // copy: mutating
+      for (const NodeId q : nbrs) graph_.removeEdge(e.u, q);
+      alive_[e.u] = 0;
+      break;
+    }
+    case TopologyEventKind::kNodeUp: {
+      alive_[e.u] = 1;
+      for (const auto& [a, b] : originalEdges_) {
+        if (a != e.u && b != e.u) continue;
+        const NodeId other = a == e.u ? b : a;
+        if (alive_[other] != 0) graph_.addEdge(a, b);
+      }
+      break;
+    }
+  }
+}
+
+TopologySchedule makeLinkChurnSchedule(const Graph& graph, Rng& rng,
+                                       std::uint64_t horizon,
+                                       std::size_t flaps,
+                                       std::uint64_t downSpan) {
+  assert(horizon > downSpan + 1);
+  TopologySchedule schedule;
+  const auto edges = graph.edges();
+  if (edges.empty()) return schedule;
+  for (std::size_t i = 0; i < flaps; ++i) {
+    const auto& [u, v] = edges[static_cast<std::size_t>(rng.below(edges.size()))];
+    const std::uint64_t at = 1 + rng.below(horizon - downSpan - 1);
+    schedule.linkDown(at, u, v);
+    schedule.linkUp(at + downSpan, u, v);
+  }
+  schedule.sortByStep();
+  return schedule;
+}
+
+}  // namespace snapfwd

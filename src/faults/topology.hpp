@@ -1,0 +1,145 @@
+#pragma once
+// Dynamic topology mutation: link/node kill and join at chosen steps.
+//
+// The paper's snap-stabilization claim is about forwarding correctly WHILE
+// the self-stabilizing routing layer A reconverges after transient faults.
+// A topology mutation is the transient fault production networks actually
+// see: a link flaps, a node reboots. TopologyMutator rewires the Graph the
+// whole stack was built over between atomic steps (driven from the
+// engine's post-step hook), then gives every layer a chance to repair its
+// topology-dependent state via Protocol::onTopologyMutation() - which must
+// end in notifyExternalMutation(), so the incremental enabled cache and
+// the kernel SoA mirrors resync exactly like any other out-of-band
+// mutation.
+//
+// Vocabulary (the "original edges" rule): the processor set is FIXED - the
+// engine, the protocols and every per-processor array are sized by n at
+// construction. A node going down means all its currently present
+// incident edges are removed; a node coming back restores its ORIGINAL
+// incident edges whose other endpoint is alive. Link events may only name
+// edges of the original graph (asserted). Consequently degree(p) never
+// exceeds its construction-time value, so Delta-derived caches (color
+// spaces, queue capacities) stay valid, and the graph may transiently
+// disconnect - routing answers "unreachable" and messages wait.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace snapfwd {
+
+enum class TopologyEventKind : std::uint8_t {
+  kLinkDown,
+  kLinkUp,
+  kNodeDown,
+  kNodeUp,
+};
+
+/// One scheduled rewiring. For link events `u`/`v` name the edge; for node
+/// events `u` names the node and `v` is unused (kNoNode).
+struct TopologyEvent {
+  std::uint64_t step = 0;
+  TopologyEventKind kind = TopologyEventKind::kLinkDown;
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+
+  friend bool operator==(const TopologyEvent&, const TopologyEvent&) = default;
+};
+
+/// A step-ordered list of topology events with builder helpers. Events
+/// added out of order are sorted (stably) by step on first use.
+class TopologySchedule {
+ public:
+  TopologySchedule() = default;
+  /// Wraps an explicit event list (shrinkers rebuild schedules from edited
+  /// vectors).
+  explicit TopologySchedule(std::vector<TopologyEvent> events)
+      : events_(std::move(events)) {}
+
+  TopologySchedule& linkDown(std::uint64_t step, NodeId u, NodeId v) {
+    events_.push_back({step, TopologyEventKind::kLinkDown, u, v});
+    return *this;
+  }
+  TopologySchedule& linkUp(std::uint64_t step, NodeId u, NodeId v) {
+    events_.push_back({step, TopologyEventKind::kLinkUp, u, v});
+    return *this;
+  }
+  TopologySchedule& nodeDown(std::uint64_t step, NodeId p) {
+    events_.push_back({step, TopologyEventKind::kNodeDown, p, kNoNode});
+    return *this;
+  }
+  TopologySchedule& nodeUp(std::uint64_t step, NodeId p) {
+    events_.push_back({step, TopologyEventKind::kNodeUp, p, kNoNode});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<TopologyEvent>& events() const {
+    return events_;
+  }
+
+  /// Stable-sorts the events by step (builder order breaks ties).
+  void sortByStep();
+
+  /// Human-readable one-line summary ("linkDown@50 2-3; nodeUp@120 4").
+  [[nodiscard]] std::string label() const;
+
+  friend bool operator==(const TopologySchedule&,
+                         const TopologySchedule&) = default;
+
+ private:
+  std::vector<TopologyEvent> events_;
+};
+
+/// Applies a TopologySchedule to a live forwarding stack. Construct it over
+/// the stack's Graph and layer list, then call applyDue(step) from the
+/// engine's post-step hook; all events whose step has arrived fire, and -
+/// iff anything changed - every layer's onTopologyMutation() runs once.
+class TopologyMutator {
+ public:
+  /// `layers` in engine priority order; pointers must outlive the mutator.
+  /// Captures the original edge set (the restore vocabulary) from `graph`
+  /// as constructed, so build the mutator before any mutation. Validates
+  /// that link events name original edges and node ids are in range
+  /// (asserted).
+  TopologyMutator(Graph& graph, TopologySchedule schedule,
+                  std::vector<Protocol*> layers);
+
+  /// Applies every not-yet-applied event with event.step <= `step`.
+  /// Returns the number of events applied; when nonzero, the layers'
+  /// repair hooks have already run.
+  std::size_t applyDue(std::uint64_t step);
+
+  [[nodiscard]] bool done() const { return next_ >= events_.size(); }
+  [[nodiscard]] std::size_t appliedCount() const { return next_; }
+  /// Step of the next pending event (UINT64_MAX when done).
+  [[nodiscard]] std::uint64_t nextEventStep() const;
+  [[nodiscard]] bool nodeAlive(NodeId p) const { return alive_[p] != 0; }
+
+ private:
+  void apply(const TopologyEvent& e);
+
+  Graph& graph_;
+  std::vector<TopologyEvent> events_;
+  std::size_t next_ = 0;
+  std::vector<Protocol*> layers_;
+  std::vector<std::pair<NodeId, NodeId>> originalEdges_;
+  std::vector<std::uint8_t> alive_;
+};
+
+/// Random link-flap schedule for soak runs: `flaps` edges of `graph` (drawn
+/// with replacement from the original edge set) go down at a uniform step
+/// in [1, horizon - downSpan) and come back `downSpan` steps later.
+[[nodiscard]] TopologySchedule makeLinkChurnSchedule(const Graph& graph,
+                                                     Rng& rng,
+                                                     std::uint64_t horizon,
+                                                     std::size_t flaps,
+                                                     std::uint64_t downSpan);
+
+}  // namespace snapfwd

@@ -18,6 +18,16 @@ void Graph::addEdge(NodeId u, NodeId v) {
   insertSorted(adjacency_[v], u);
 }
 
+void Graph::removeEdge(NodeId u, NodeId v) {
+  assert(u < size() && v < size());
+  if (u == v || !hasEdge(u, v)) return;
+  auto eraseSorted = [](std::vector<NodeId>& list, NodeId x) {
+    list.erase(std::lower_bound(list.begin(), list.end(), x));
+  };
+  eraseSorted(adjacency_[u], v);
+  eraseSorted(adjacency_[v], u);
+}
+
 bool Graph::hasEdge(NodeId u, NodeId v) const {
   if (u >= size() || v >= size()) return false;
   const auto& list = adjacency_[u];

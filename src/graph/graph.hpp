@@ -29,6 +29,11 @@ class Graph {
   /// Adds the undirected edge {u, v}. Ignores duplicates and self-loops.
   void addEdge(NodeId u, NodeId v);
 
+  /// Removes the undirected edge {u, v}. Ignores absent edges and
+  /// self-loops. Removal may disconnect the graph; layers driven through a
+  /// topology mutation schedule (faults/topology.hpp) must tolerate that.
+  void removeEdge(NodeId u, NodeId v);
+
   [[nodiscard]] bool hasEdge(NodeId u, NodeId v) const;
 
   /// Neighbor identities of p, sorted ascending (the paper's N_p).

@@ -60,6 +60,10 @@ SelfStabBfsRouting::Target SelfStabBfsRouting::computeTarget(NodeId p,
     // forwarding (R4 never fires at d) but kept normalized for silence.
     return {0, graph_.degree(p) > 0 ? graph_.neighbors(p)[0] : p};
   }
+  // A node isolated by topology mutation has no neighbor to route through:
+  // its target is "unreachable" with a self-parent (nextHop already treats a
+  // non-neighbor parent as garbage, so self is as good as any sentinel).
+  if (graph_.degree(p) == 0) return {cap_, p};
   std::uint32_t best = cap_;
   NodeId bestNeighbor = graph_.neighbors(p)[0];
   for (const NodeId q : graph_.neighbors(p)) {

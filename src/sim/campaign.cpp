@@ -1,0 +1,454 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "core/engine.hpp"
+#include "faults/corruptor.hpp"
+#include "ssmfp/ssmfp.hpp"
+#include "ssmfp2/ssmfp2.hpp"
+#include "stats/jsonl.hpp"
+#include "workload/workload.hpp"
+
+namespace snapfwd {
+
+std::string CampaignCellResult::describe() const {
+  std::string out = name;
+  out += ": ";
+  out += toString(outcome);
+  out += asExpected ? " (expected)" : " (EXPECTED ";
+  if (!asExpected) {
+    out += toString(expect);
+    out += ")";
+  }
+  out += " steps=" + std::to_string(steps);
+  out += " valid=" + std::to_string(validDeliveries);
+  out += " invalid=" + std::to_string(invalidDeliveries);
+  if (violation.has_value()) out += " [" + *violation + "]";
+  return out;
+}
+
+std::size_t CampaignReport::unexpected() const {
+  std::size_t count = 0;
+  for (const CampaignCellResult& cell : cells) {
+    if (!cell.asExpected) ++count;
+  }
+  return count;
+}
+
+std::size_t CampaignReport::expectedFailuresFired() const {
+  std::size_t count = 0;
+  for (const CampaignCellResult& cell : cells) {
+    if (cell.expect != CampaignOutcome::kClean && cell.asExpected) ++count;
+  }
+  return count;
+}
+
+bool CampaignReport::passed() const {
+  return unexpected() == 0 && expectedFailuresFired() > 0;
+}
+
+CampaignCellResult runCampaignScenario(const CampaignScenario& scenario) {
+  const ExperimentConfig& cfg = scenario.config;
+
+  // Same build discipline (RNG fork order included) as buildForwardingStack,
+  // with the routing substrate swappable for the frozen ablation.
+  Rng rng(cfg.seed);
+  Rng topoRng = rng.fork(0x7070);
+  Graph graph = buildTopology(cfg, topoRng);
+  assert(graph.isConnected());
+
+  std::unique_ptr<SelfStabBfsRouting> selfstab;
+  std::unique_ptr<FrozenRouting> frozen;
+  const RoutingProvider* provider = nullptr;
+  if (scenario.frozenRouting) {
+    frozen = std::make_unique<FrozenRouting>(graph);
+    provider = frozen.get();
+  } else {
+    selfstab = std::make_unique<SelfStabBfsRouting>(graph);
+    provider = selfstab.get();
+  }
+
+  std::unique_ptr<ForwardingProtocol> forwarding;
+  switch (cfg.family) {
+    case ForwardingFamilyId::kSsmfp:
+      forwarding = std::make_unique<SsmfpProtocol>(graph, *provider,
+                                                   cfg.destinations,
+                                                   cfg.choicePolicy);
+      break;
+    case ForwardingFamilyId::kSsmfp2:
+      forwarding =
+          std::make_unique<Ssmfp2Protocol>(graph, *provider, cfg.destinations);
+      break;
+  }
+
+  CampaignCellResult result;
+  result.name = scenario.name;
+  result.expect = scenario.expect;
+
+  // Applies a corruption plan to whichever routing substrate this scenario
+  // runs over (the family dispatcher only knows the self-stabilizing one).
+  auto applyPlan = [&](const CorruptionPlan& plan, Rng& faultRng) {
+    if (selfstab) {
+      return applyCorruption(plan, *selfstab, *forwarding, faultRng);
+    }
+    if (plan.routingFraction > 0.0) frozen->corrupt(faultRng, plan.routingFraction);
+    const std::size_t placed = injectInvalidMessages(
+        *forwarding, plan.invalidMessages, plan.payloadSpace, faultRng);
+    if (plan.scrambleQueues) forwarding->scrambleQueues(faultRng);
+    return placed;
+  };
+
+  Rng faultRng = rng.fork(0xFA17);
+  result.invalidInjected += applyPlan(cfg.corruption, faultRng);
+
+  Rng trafficRng = rng.fork(0x7AFF);
+  submitAll(*forwarding, makeTraffic(cfg, graph.size(), trafficRng));
+
+  auto daemon = makeDaemon(cfg.daemon, cfg.daemonProbability, rng);
+  std::vector<Protocol*> layers;
+  if (selfstab) layers.push_back(selfstab.get());
+  layers.push_back(forwarding.get());
+  Engine engine(graph, layers, *daemon);
+  forwarding->attachEngine(&engine);
+
+  if (scenario.prepare) {
+    CampaignStack stack{graph, selfstab.get(), frozen.get(), *forwarding, rng};
+    scenario.prepare(stack);
+  }
+
+  TopologyMutator mutator(graph, scenario.topology, layers);
+
+  std::vector<CorruptionEvent> schedule = cfg.corruptionSchedule;
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const CorruptionEvent& a, const CorruptionEvent& b) {
+                     return a.step < b.step;
+                   });
+  std::size_t nextEvent = 0;
+  Rng corruptionRng = schedule.empty() ? Rng(0) : rng.fork(0xFA18);
+
+  StreamingInvariantChecker checker(*forwarding, scenario.checker);
+
+  // Fires every topology/corruption event due at or before `upTo`.
+  // Buffer-touching faults amnesty the in-flight set; routing-only plans
+  // keep the checker strict (safety is routing-independent).
+  auto fireDue = [&](std::uint64_t upTo, std::uint64_t now) {
+    const std::size_t applied = mutator.applyDue(upTo);
+    result.topologyEventsApplied += applied;
+    if (applied > 0) checker.noteFaultEvent(now);
+    while (nextEvent < schedule.size() && schedule[nextEvent].step <= upTo) {
+      const CorruptionPlan& plan = schedule[nextEvent++].plan;
+      result.invalidInjected += applyPlan(plan, corruptionRng);
+      ++result.corruptionEventsFired;
+      if (plan.touchesBuffers()) {
+        checker.noteFaultEvent(now);
+      } else {
+        checker.noteRoutingFaultEvent(now);
+      }
+    }
+  };
+
+  engine.setPostStepHook([&](Engine& e) {
+    const std::uint64_t step = e.stepCount();
+    fireDue(step, step);
+    (void)checker.poll(step);
+  });
+
+  std::uint64_t executed = 0;
+  for (;;) {
+    executed += engine.run(cfg.maxSteps - executed);
+    if (executed >= cfg.maxSteps || checker.violation().has_value()) break;
+    // Terminal with events still pending: fire the earliest batch into the
+    // idle network and resume.
+    constexpr std::uint64_t kNever = UINT64_MAX;
+    const std::uint64_t pendingTopo = mutator.nextEventStep();
+    const std::uint64_t pendingCorruption =
+        nextEvent < schedule.size() ? schedule[nextEvent].step : kNever;
+    if (pendingTopo == kNever && pendingCorruption == kNever) break;
+    const std::uint64_t now = engine.stepCount();
+    fireDue(std::min(pendingTopo, pendingCorruption), now);
+    (void)checker.poll(now);
+  }
+
+  result.steps = engine.stepCount();
+  result.terminal = engine.isTerminal();
+  result.drained = forwarding->fullyDrained();
+  result.occupiedAtEnd = forwarding->occupiedBufferCount();
+  result.validDeliveries = checker.validDeliveries();
+  result.invalidDeliveries = checker.invalidDeliveries();
+  result.amnestiedDeliveries = checker.amnestiedDeliveries();
+  result.violation = checker.violation();
+
+  if (result.violation.has_value()) {
+    result.outcome = CampaignOutcome::kViolation;
+  } else if (result.drained) {
+    result.outcome = CampaignOutcome::kClean;
+  } else if (result.terminal) {
+    result.outcome = CampaignOutcome::kWedge;
+  } else {
+    result.outcome = CampaignOutcome::kLivelock;
+  }
+  result.asExpected = result.outcome == result.expect;
+  return result;
+}
+
+CampaignReport runCampaign(const std::vector<CampaignScenario>& scenarios) {
+  CampaignReport report;
+  report.cells.reserve(scenarios.size());
+  for (const CampaignScenario& scenario : scenarios) {
+    report.cells.push_back(runCampaignScenario(scenario));
+  }
+  return report;
+}
+
+void writeCampaignReport(const CampaignReport& report, std::ostream& out) {
+  jsonl::Writer writer(out);
+  for (const CampaignCellResult& cell : report.cells) {
+    jsonl::Object line;
+    line.field("scenario", cell.name)
+        .field("expect", toString(cell.expect))
+        .field("outcome", toString(cell.outcome))
+        .field("as_expected", cell.asExpected)
+        .field("steps", cell.steps)
+        .field("terminal", cell.terminal)
+        .field("drained", cell.drained)
+        .field("occupied_at_end", static_cast<std::uint64_t>(cell.occupiedAtEnd))
+        .field("topology_events",
+               static_cast<std::uint64_t>(cell.topologyEventsApplied))
+        .field("corruption_events",
+               static_cast<std::uint64_t>(cell.corruptionEventsFired))
+        .field("invalid_injected",
+               static_cast<std::uint64_t>(cell.invalidInjected))
+        .field("valid_deliveries", cell.validDeliveries)
+        .field("invalid_deliveries", cell.invalidDeliveries)
+        .field("amnestied_deliveries", cell.amnestiedDeliveries)
+        .field("violation", cell.violation.value_or(""));
+    writer.write(line);
+  }
+  jsonl::Object summary;
+  summary.field("cells", static_cast<std::uint64_t>(report.cells.size()))
+      .field("unexpected", static_cast<std::uint64_t>(report.unexpected()))
+      .field("expected_failures_fired",
+             static_cast<std::uint64_t>(report.expectedFailuresFired()))
+      .field("passed", report.passed());
+  writer.write(summary);
+}
+
+namespace {
+
+Message garbage(Payload payload, NodeId lastHop, Color color, NodeId dest) {
+  Message m;
+  m.payload = payload;
+  m.lastHop = lastHop;
+  m.color = color;
+  m.dest = dest;
+  return m;
+}
+
+/// The SSMFP frozen-trap configuration of tests/test_deadlock.cpp: routing
+/// 0 <-> 1 for destination 3 on a 4-ring, all four trap buffers occupied.
+/// With `spare` the reception buffer of processor 1 stays free - enough
+/// buffers to keep moving, never enough routing to arrive.
+void seedSsmfpTrap(CampaignStack& stack, bool spare) {
+  auto& proto = static_cast<SsmfpProtocol&>(stack.forwarding);
+  if (stack.frozen != nullptr) {
+    stack.frozen->setEntry(0, 3, 1);
+    stack.frozen->setEntry(1, 3, 0);
+  } else {
+    stack.selfstab->setEntry(0, 3, 1, 1);
+    stack.selfstab->setEntry(1, 3, 1, 0);
+  }
+  proto.injectEmission(0, 3, garbage(10, 0, 0, 3));
+  proto.injectEmission(1, 3, garbage(11, 1, 1, 3));
+  proto.injectReception(0, 3, garbage(12, 0, 2, 3));
+  if (!spare) proto.injectReception(1, 3, garbage(13, 1, 2, 3));
+}
+
+/// CNS buffer-sufficiency seeding for SSMFP2 on a ring: fill rank slots of
+/// every processor with garbage that byte-mimics a legitimate ready copy
+/// (lastHop = p, so the 2R8 rank-consistency sieve cannot see it),
+/// addressed to the antipodal node. Saturating ALL slots wedges the rank
+/// ladder's recycle cycle (nothing can pull, generate or recycle); leaving
+/// `freeRanksPerProcessor` entry ranks empty on EVERY ladder is the CNS
+/// condition - one free slot per recycle cycle - and the whole
+/// configuration drains as bounded invalid deliveries. (One free slot
+/// somewhere is NOT enough: the other ladders' cycles stay saturated and
+/// the rotation stalls as soon as every free slot's feeders route
+/// elsewhere - empirically one global free slot wedges after a single
+/// delivery.)
+void seedSsmfp2Saturation(CampaignStack& stack,
+                          std::uint32_t freeRanksPerProcessor) {
+  auto& proto = static_cast<Ssmfp2Protocol&>(stack.forwarding);
+  const std::size_t n = stack.graph.size();
+  const Color colors = static_cast<Color>(proto.delta() + 1);
+  for (NodeId p = 0; p < n; ++p) {
+    for (std::uint32_t k = freeRanksPerProcessor; k <= proto.maxRank(); ++k) {
+      const NodeId dest = static_cast<NodeId>((p + n / 2) % n);
+      proto.injectSlot(p, k, SlotState::kReady,
+                       garbage(100 + p, p, static_cast<Color>(k % colors), dest));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CampaignScenario> builtinCampaign(std::uint64_t steps) {
+  std::vector<CampaignScenario> scenarios;
+  const std::uint64_t soakSteps = std::max<std::uint64_t>(steps, 10'000);
+
+  // -- Positive cells: churn soaks (the tentpole claim) ---------------------
+  for (const ForwardingFamilyId family :
+       {ForwardingFamilyId::kSsmfp, ForwardingFamilyId::kSsmfp2}) {
+    CampaignScenario s;
+    s.name = std::string(toString(family)) + "/link-churn";
+    s.config.family = family;
+    s.config.topo = TopologySpec::randomConnected(10, 4);
+    s.config.traffic = TrafficKind::kUniform;
+    s.config.messageCount = 24;
+    s.config.seed = 11;
+    s.config.maxSteps = soakSteps;
+    // Derive the churn schedule over the same graph the runner will build
+    // (identical seed and fork discipline).
+    {
+      Rng rng(s.config.seed);
+      Rng topoRng = rng.fork(0x7070);
+      const Graph g = buildTopology(s.config, topoRng);
+      Rng churnRng(s.config.seed ^ 0xC4C4u);
+      s.topology = makeLinkChurnSchedule(g, churnRng, soakSteps, 4,
+                                         std::max<std::uint64_t>(soakSteps / 10, 50));
+    }
+    s.expect = CampaignOutcome::kClean;
+    scenarios.push_back(std::move(s));
+  }
+
+  // -- Positive cells: mid-run corruption recovery --------------------------
+  for (const ForwardingFamilyId family :
+       {ForwardingFamilyId::kSsmfp, ForwardingFamilyId::kSsmfp2}) {
+    CampaignScenario s;
+    s.name = std::string(toString(family)) + "/midrun-corruption";
+    s.config.family = family;
+    s.config.topo = TopologySpec::ring(8);
+    s.config.traffic = TrafficKind::kUniform;
+    s.config.messageCount = 16;
+    s.config.seed = 7;
+    s.config.maxSteps = soakSteps;
+    CorruptionPlan plan;
+    plan.routingFraction = 0.5;
+    plan.invalidMessages = 6;
+    plan.scrambleQueues = true;
+    s.config.corruptionSchedule.push_back({120, plan});
+    // Prop-4 style bound: each injected garbage message is delivered at
+    // most once, plus slack for garbage erased instead of delivered.
+    s.checker.invalidDeliveryBudget = 12;
+    s.expect = CampaignOutcome::kClean;
+    scenarios.push_back(std::move(s));
+  }
+
+  // -- CNS buffer-sufficiency pair (SSMFP2 rank ladder) ---------------------
+  {
+    CampaignScenario s;
+    s.name = "ssmfp2/cns-saturated-recycle";
+    s.config.family = ForwardingFamilyId::kSsmfp2;
+    s.config.topo = TopologySpec::ring(4);
+    s.config.traffic = TrafficKind::kNone;
+    s.config.seed = 3;
+    s.config.maxSteps = std::min<std::uint64_t>(soakSteps, 100'000);
+    s.prepare = [](CampaignStack& stack) { seedSsmfp2Saturation(stack, 0); };
+    s.checker.invalidDeliveryBudget = 64;
+    s.expect = CampaignOutcome::kWedge;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    CampaignScenario s;
+    s.name = "ssmfp2/cns-free-slot-per-ladder";
+    s.config.family = ForwardingFamilyId::kSsmfp2;
+    s.config.topo = TopologySpec::ring(4);
+    s.config.traffic = TrafficKind::kNone;
+    s.config.seed = 3;
+    s.config.maxSteps = std::min<std::uint64_t>(soakSteps, 100'000);
+    s.prepare = [](CampaignStack& stack) { seedSsmfp2Saturation(stack, 1); };
+    s.checker.invalidDeliveryBudget = 64;
+    s.expect = CampaignOutcome::kClean;
+    scenarios.push_back(std::move(s));
+  }
+
+  // -- Frozen-routing trap trio (SSMFP) -------------------------------------
+  {
+    CampaignScenario s;
+    s.name = "ssmfp/frozen-trap-wedge";
+    s.config.family = ForwardingFamilyId::kSsmfp;
+    s.config.topo = TopologySpec::ring(4);
+    s.config.traffic = TrafficKind::kNone;
+    s.config.seed = 5;
+    s.config.maxSteps = std::min<std::uint64_t>(soakSteps, 50'000);
+    s.frozenRouting = true;
+    s.prepare = [](CampaignStack& stack) { seedSsmfpTrap(stack, false); };
+    s.checker.invalidDeliveryBudget = 8;
+    s.expect = CampaignOutcome::kWedge;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    CampaignScenario s;
+    s.name = "ssmfp/frozen-trap-livelock";
+    s.config.family = ForwardingFamilyId::kSsmfp;
+    s.config.topo = TopologySpec::ring(4);
+    s.config.traffic = TrafficKind::kNone;
+    s.config.seed = 5;
+    s.config.maxSteps = std::min<std::uint64_t>(soakSteps, 50'000);
+    s.frozenRouting = true;
+    s.prepare = [](CampaignStack& stack) { seedSsmfpTrap(stack, true); };
+    s.checker.invalidDeliveryBudget = 8;
+    s.expect = CampaignOutcome::kLivelock;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    CampaignScenario s;
+    s.name = "ssmfp/selfstab-trap-resolves";
+    s.config.family = ForwardingFamilyId::kSsmfp;
+    s.config.topo = TopologySpec::ring(4);
+    s.config.traffic = TrafficKind::kNone;
+    s.config.seed = 5;
+    s.config.maxSteps = std::min<std::uint64_t>(soakSteps, 50'000);
+    s.prepare = [](CampaignStack& stack) { seedSsmfpTrap(stack, false); };
+    s.checker.invalidDeliveryBudget = 8;
+    s.expect = CampaignOutcome::kClean;
+    scenarios.push_back(std::move(s));
+  }
+
+  // -- Seeded-weakness violation cell ---------------------------------------
+  // kR4SkipStrayCopyCheck is a DELIBERATE guard weakening (the protocol
+  // itself is not under suspicion): it demonstrates the streaming checker
+  // detects a duplicate delivery when R4's stray-copy quantifier is gone.
+  // The duplicate needs a routing flip between two pulls of the same
+  // emission buffer, so the cell re-corrupts the routing tables MID-RUN
+  // (routing-only: the checker stays strict) while the outbox backlog keeps
+  // strict traffic entering the reconverging network.
+  {
+    CampaignScenario s;
+    s.name = "ssmfp/weakened-r4-duplicate";
+    s.config.family = ForwardingFamilyId::kSsmfp;
+    s.config.topo = TopologySpec::ring(6);
+    s.config.traffic = TrafficKind::kUniform;
+    s.config.messageCount = 60;
+    s.config.seed = 7;
+    s.config.maxSteps = std::min<std::uint64_t>(soakSteps, 200'000);
+    CorruptionPlan heavy;
+    heavy.routingFraction = 0.8;
+    heavy.scrambleQueues = true;
+    s.config.corruptionSchedule.push_back({40, heavy});
+    s.config.corruptionSchedule.push_back({80, heavy});
+    s.prepare = [](CampaignStack& stack) {
+      static_cast<SsmfpProtocol&>(stack.forwarding)
+          .setGuardMutationForTest(SsmfpGuardMutation::kR4SkipStrayCopyCheck);
+    };
+    s.expect = CampaignOutcome::kViolation;
+    scenarios.push_back(std::move(s));
+  }
+
+  return scenarios;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,156 @@
+#pragma once
+// Adversarial scenario campaign: named scenarios combining dynamic topology
+// churn (faults/topology.hpp), mid-run corruption schedules and streaming
+// invariant checking (checker/streaming.hpp) into pass/fail cells.
+//
+// A campaign is a table of scenarios, each carrying an EXPECTATION. The
+// positive cells assert the paper's claim (snap-stabilizing forwarding
+// survives churn and mid-run corruption with zero unexplained deliveries);
+// the negative cells assert that the claim's ASSUMPTIONS are necessary, the
+// way FrozenRouting already ablates the routing assumption:
+//
+//   kClean    - the run drains: every valid message delivered exactly once,
+//               invalid deliveries within budget, no invariant violation.
+//   kWedge    - the run deadlocks: the engine goes terminal with messages
+//               still buffered. The CNS buffer-sufficiency cells live here:
+//               a configuration saturating a buffer-graph cycle with
+//               mimicking garbage wedges (insufficient buffers), and the
+//               scenario PASSES by wedging.
+//   kLivelock - the step budget is exhausted with messages still in flight:
+//               enough buffers to keep moving, but (frozen, cyclic) routing
+//               never lets them arrive.
+//   kViolation- the streaming checker reports a safety violation. Only
+//               deliberately weakened protocols (guard-mutation hooks) are
+//               expected here; an unweakened protocol reaching this outcome
+//               is a finding.
+//
+// A cell whose outcome differs from its expectation is UNEXPECTED; the
+// campaign as a whole passes iff no cell is unexpected and at least one
+// expected-failure (non-kClean) cell actually fired - guarding against the
+// vacuous pass where the negative scenarios silently stopped exercising
+// anything.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "checker/streaming.hpp"
+#include "faults/topology.hpp"
+#include "fwd/forwarding.hpp"
+#include "graph/graph.hpp"
+#include "routing/frozen.hpp"
+#include "routing/selfstab_bfs.hpp"
+#include "sim/runner.hpp"
+#include "util/names.hpp"
+
+namespace snapfwd {
+
+enum class CampaignOutcome : std::uint8_t {
+  kClean,
+  kWedge,
+  kLivelock,
+  kViolation,
+};
+
+template <>
+struct EnumNames<CampaignOutcome> {
+  static constexpr auto entries = std::to_array<NamedEnum<CampaignOutcome>>({
+      {CampaignOutcome::kClean, "clean"},
+      {CampaignOutcome::kWedge, "wedge"},
+      {CampaignOutcome::kLivelock, "livelock"},
+      {CampaignOutcome::kViolation, "violation"},
+  });
+};
+
+/// The live objects of a scenario run, handed to the prepare hook after the
+/// stack is built and corrupted but before the streaming checker attaches.
+/// Exactly one of `selfstab` / `frozen` is non-null, matching the
+/// scenario's routing substrate.
+struct CampaignStack {
+  Graph& graph;
+  SelfStabBfsRouting* selfstab;
+  FrozenRouting* frozen;
+  ForwardingProtocol& forwarding;
+  Rng& rng;
+};
+
+struct CampaignScenario {
+  std::string name;
+
+  /// Topology, family, daemon, seed, traffic, step budget, build-time
+  /// corruption and the mid-run corruption schedule all come from here
+  /// (the same vocabulary as runForwardingExperiment).
+  ExperimentConfig config;
+
+  /// Mid-run link/node churn, applied between atomic steps.
+  TopologySchedule topology;
+
+  /// Run over FrozenRouting instead of the self-stabilizing layer (the
+  /// routing-assumption ablation; the routing layer then has no rules and
+  /// is not an engine layer). config.corruption.routingFraction corrupts
+  /// the frozen tables.
+  bool frozenRouting = false;
+
+  CampaignOutcome expect = CampaignOutcome::kClean;
+
+  StreamingCheckerOptions checker;
+
+  /// Runs after build+corruption+traffic, before the checker attaches:
+  /// seed CNS garbage, craft routing-table traps, plant guard mutations.
+  std::function<void(CampaignStack&)> prepare;
+};
+
+struct CampaignCellResult {
+  std::string name;
+  CampaignOutcome expect = CampaignOutcome::kClean;
+  CampaignOutcome outcome = CampaignOutcome::kClean;
+  bool asExpected = false;
+
+  std::uint64_t steps = 0;
+  bool terminal = false;
+  bool drained = false;
+  std::size_t occupiedAtEnd = 0;
+  std::size_t topologyEventsApplied = 0;
+  std::size_t corruptionEventsFired = 0;
+  std::size_t invalidInjected = 0;
+
+  // Streaming-checker counters (cumulative over the run).
+  std::uint64_t validDeliveries = 0;
+  std::uint64_t invalidDeliveries = 0;
+  std::uint64_t amnestiedDeliveries = 0;
+  std::optional<std::string> violation;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct CampaignReport {
+  std::vector<CampaignCellResult> cells;
+
+  /// Cells whose outcome differs from their expectation.
+  [[nodiscard]] std::size_t unexpected() const;
+  /// Expected-failure cells (expect != kClean) that actually fired.
+  [[nodiscard]] std::size_t expectedFailuresFired() const;
+  /// Zero unexpected cells AND at least one expected failure fired.
+  [[nodiscard]] bool passed() const;
+};
+
+[[nodiscard]] CampaignCellResult runCampaignScenario(
+    const CampaignScenario& scenario);
+
+[[nodiscard]] CampaignReport runCampaign(
+    const std::vector<CampaignScenario>& scenarios);
+
+/// One JSONL line per cell plus a final summary line.
+void writeCampaignReport(const CampaignReport& report, std::ostream& out);
+
+/// The built-in scenario table (both families): link-churn soaks, mid-run
+/// corruption recoveries, the CNS buffer-sufficiency wedge/flip pairs, the
+/// frozen-routing trap trio (wedge / livelock / self-stab resolution) and
+/// one deliberately guard-weakened violation cell. `steps` scales the soak
+/// budgets (smoke: 1e5; nightly: 1e7+).
+[[nodiscard]] std::vector<CampaignScenario> builtinCampaign(std::uint64_t steps);
+
+}  // namespace snapfwd

@@ -258,9 +258,38 @@ ExperimentResult runForwardingExperiment(const ExperimentConfig& cfg) {
   Engine engine(graph, {&routing, &forwarding}, *daemon);
   forwarding.attachEngine(&engine);
 
+  // Mid-run corruption schedule: events fire from the post-step hook once
+  // their step arrives, each drawing from the 0xFA18 fork (keyed after all
+  // build-time forks, so an empty schedule reproduces the historical
+  // stream byte-for-byte). A terminal configuration with events still
+  // pending fires them immediately - corruption hitting an idle network -
+  // and resumes stepping.
+  std::vector<CorruptionEvent> schedule = cfg.corruptionSchedule;
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const CorruptionEvent& a, const CorruptionEvent& b) {
+                     return a.step < b.step;
+                   });
+  std::size_t nextEvent = 0;
+  Rng corruptionRng = schedule.empty() ? Rng(0) : rng.fork(0xFA18);
+
   const auto monitor = makeInvariantMonitor(forwarding);
   bool routingSilentSeen = routing.isSilent();
+  auto fireEvent = [&] {
+    const CorruptionPlan& plan = schedule[nextEvent++].plan;
+    result.invalidInjected +=
+        applyCorruption(plan, routing, forwarding, corruptionRng);
+    if (plan.routingFraction > 0.0) {
+      result.routingCorrupted = true;
+      // Track the LAST stabilization: the post-fault reconvergence time is
+      // the quantity the snap-stabilization claim is about.
+      routingSilentSeen = routing.isSilent();
+    }
+  };
   engine.setPostStepHook([&](Engine& e) {
+    while (nextEvent < schedule.size() &&
+           schedule[nextEvent].step <= e.stepCount()) {
+      fireEvent();
+    }
     if (!routingSilentSeen && routing.isSilent()) {
       routingSilentSeen = true;
       result.routingSilentStep = e.stepCount();
@@ -271,7 +300,12 @@ ExperimentResult runForwardingExperiment(const ExperimentConfig& cfg) {
     }
   });
 
-  const std::uint64_t executed = engine.run(cfg.maxSteps);
+  std::uint64_t executed = 0;
+  for (;;) {
+    executed += engine.run(cfg.maxSteps - executed);
+    if (executed >= cfg.maxSteps || nextEvent >= schedule.size()) break;
+    fireEvent();
+  }
   result.quiescent = executed < cfg.maxSteps;
   result.steps = engine.stepCount();
   result.rounds = engine.roundCount();

@@ -128,6 +128,18 @@ struct TopologySpec {
   friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
 };
 
+/// A corruption plan fired mid-run: applied from the engine's post-step
+/// hook once stepCount() reaches `step` (step 0 = before the first step,
+/// i.e. the classic initial-configuration corruption). Each event draws
+/// from its own keyed RNG fork, so adding or removing events never shifts
+/// the topology/daemon/traffic streams of the same seed.
+struct CorruptionEvent {
+  std::uint64_t step = 0;
+  CorruptionPlan plan;
+
+  friend bool operator==(const CorruptionEvent&, const CorruptionEvent&) = default;
+};
+
 struct ExperimentConfig {
   TopologySpec topo;
 
@@ -140,6 +152,12 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
 
   CorruptionPlan corruption;  // default: clean start
+
+  /// Mid-run corruption schedule (sorted or not; events fire when their
+  /// step arrives). The initial `corruption` plan above still applies at
+  /// build time; these hit the already-running stack, forcing the
+  /// snap-stabilization path instead of only the arbitrary-start path.
+  std::vector<CorruptionEvent> corruptionSchedule;
 
   TrafficKind traffic = TrafficKind::kUniform;
   std::size_t messageCount = 16;  // uniform

@@ -35,7 +35,8 @@ SweepMatrixResult runSweepMatrix(const SweepMatrix& matrix) {
                              : matrix.daemons;
   const std::vector<NamedCorruption> corruptions =
       matrix.corruptions.empty()
-          ? std::vector<NamedCorruption>{{"", matrix.base.corruption}}
+          ? std::vector<NamedCorruption>{{"", matrix.base.corruption,
+                                          matrix.base.corruptionSchedule}}
           : matrix.corruptions;
 
   SweepMatrixResult out;
@@ -50,6 +51,7 @@ SweepMatrixResult runSweepMatrix(const SweepMatrix& matrix) {
         cell.daemon = daemon;
         cell.corruptionLabel = corruption.label;
         cell.corruption = corruption.plan;
+        cell.corruptionSchedule = corruption.schedule;
         out.cells.push_back(std::move(cell));
 
         for (std::size_t i = 0; i < matrix.options.seedCount; ++i) {
@@ -58,6 +60,7 @@ SweepMatrixResult runSweepMatrix(const SweepMatrix& matrix) {
           job.config.topo = topo;
           job.config.daemon = daemon;
           job.config.corruption = corruption.plan;
+          job.config.corruptionSchedule = corruption.schedule;
           job.config.seed = seed;
           if (matrix.options.mutate) matrix.options.mutate(job.config, seed);
           jobs.push_back(std::move(job));

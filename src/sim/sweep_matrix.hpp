@@ -20,9 +20,14 @@
 namespace snapfwd {
 
 /// A corruption plan plus the label it carries into tables and JSONL.
+/// `schedule` fires additional plans mid-run (ExperimentConfig::
+/// corruptionSchedule); the axis replaces BOTH the build-time plan and
+/// the schedule of the base config, so "same plan at step S" and "same
+/// plan at step 0" are distinct, directly comparable cells.
 struct NamedCorruption {
   std::string label;
   CorruptionPlan plan;
+  std::vector<CorruptionEvent> schedule;
 };
 
 struct SweepMatrix {
@@ -43,6 +48,7 @@ struct SweepCell {
   DaemonKind daemon = DaemonKind::kDistributedRandom;
   std::string corruptionLabel;
   CorruptionPlan corruption;
+  std::vector<CorruptionEvent> corruptionSchedule;
   SweepResult result;
 
   /// "ring/n=8 synchronous corrupted" - stable row label.

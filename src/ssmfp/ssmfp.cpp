@@ -445,6 +445,41 @@ void SsmfpProtocol::clearEventRecordsForRestore() {
   invalidDeliveries_ = 0;
 }
 
+void SsmfpProtocol::onTopologyMutation() {
+  for (NodeId p = 0; p < graph_.size(); ++p) {
+    const auto& nbrs = graph_.neighbors(p);
+    for (const NodeId d : dests_) {
+      const std::size_t idx = cell(p, d);
+      // Fairness queue: drop dead links, keep the survivors' rotation
+      // order, append restored neighbors in id order (the deterministic
+      // spot a joining link starts its fair wait from).
+      auto& q = queue_.write(idx);
+      std::erase_if(q, [&](NodeId c) {
+        return c != p && !graph_.hasEdge(p, c);
+      });
+      for (const NodeId c : nbrs) {
+        if (std::find(q.begin(), q.end(), c) == q.end()) q.push_back(c);
+      }
+      assert(q.size() == graph_.degree(p) + 1);
+      // lastHop re-homing: R2/R5 read bufE of the recorded hop, which must
+      // stay inside the closed neighborhood (guard locality). A hop cut
+      // away makes the upstream-copy check unanswerable; adopting the
+      // message as locally generated keeps it flowing at the cost of a
+      // possible duplicate (the surviving upstream copy re-forwards), which
+      // the streaming checker amnesties for pre-fault traces.
+      for (CheckedStore<Buffer>* store : {&bufR_, &bufE_}) {
+        Buffer& b = store->write(idx);
+        if (b.has_value() && b->lastHop != p &&
+            (b->lastHop >= graph_.size() || !graph_.hasEdge(p, b->lastHop))) {
+          b->lastHop = p;
+        }
+      }
+    }
+  }
+  kernelState_->rebuildTopology();
+  notifyExternalMutation();
+}
+
 std::size_t SsmfpProtocol::occupiedBufferCount() const {
   std::size_t count = 0;
   for (const auto& b : bufR_.raw()) count += b.has_value() ? 1 : 0;

@@ -164,6 +164,15 @@ class SsmfpProtocol final : public ForwardingProtocol {
   void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
   void stage(NodeId p, const Action& a) override;
   void commit(std::vector<NodeId>& written) override;
+  /// Repairs topology-dependent state after the Graph was rewired out of
+  /// band (faults/topology.hpp): filters dead members out of every
+  /// fairness queue and appends newly restored neighbors (rotation order of
+  /// survivors preserved), re-homes the lastHop of any buffered message
+  /// whose recorded hop is no longer a neighbor (the message is treated as
+  /// locally generated from here on - no-loss over no-duplication), and
+  /// rebuilds the kernel mirror's CSR/queue geometry before invalidating
+  /// the engine cache.
+  void onTopologyMutation() override;
   /// Batch guard kernels over the SoA mirror (ssmfp/ssmfp_kernels.hpp);
   /// engines in ExecMode::kKernel evaluate through these.
   [[nodiscard]] const GuardKernelSet* guardKernels() const override;

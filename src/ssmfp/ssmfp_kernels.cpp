@@ -94,6 +94,28 @@ void SsmfpKernelState::syncProcessor(NodeId p) {
   eSlots_[p] = slots;
 }
 
+void SsmfpKernelState::rebuildTopology() {
+  const Graph& g = protocol_.graph();
+  adjOff_.assign(n_ + 1, 0);
+  for (NodeId p = 0; p < n_; ++p) {
+    adjOff_[p + 1] =
+        adjOff_[p] + static_cast<std::uint32_t>(g.neighbors(p).size());
+  }
+  adj_.resize(adjOff_[n_]);
+  for (NodeId p = 0; p < n_; ++p) {
+    const auto& nbrs = g.neighbors(p);
+    std::copy(nbrs.begin(), nbrs.end(), adj_.begin() + adjOff_[p]);
+  }
+  std::uint32_t total = 0;
+  for (NodeId p = 0; p < n_; ++p) {
+    rowLen_[p] = static_cast<std::uint32_t>(g.neighbors(p).size()) + 1;
+    qStart_[p] = total;
+    total += rowLen_[p] * destCount_;
+  }
+  queue_.assign(total, kNoNode);
+  std::fill(stale_.begin(), stale_.end(), std::uint8_t{1});
+}
+
 void SsmfpKernelState::syncAll() {
   mutation_ = protocol_.guardMutation();
   for (NodeId p = 0; p < n_; ++p) syncProcessor(p);

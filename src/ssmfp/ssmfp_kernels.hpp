@@ -51,6 +51,12 @@ class SsmfpKernelState {
 
   /// Rebuilds the whole mirror from the authoritative state.
   void syncAll();
+  /// Re-derives the topology-dependent geometry (CSR adjacency, fairness
+  /// queue row lengths/offsets) from the current Graph and marks every row
+  /// stale. Must be called after the graph was rewired out of band and the
+  /// protocol's fairness queues were repaired to match the new degrees
+  /// (SsmfpProtocol::onTopologyMutation does both in order).
+  void rebuildTopology();
   /// Marks the listed processors' mirror rows stale (duplicates fine);
   /// evaluate() refreshes them on first read.
   void syncWritten(const NodeId* ids, std::size_t count);

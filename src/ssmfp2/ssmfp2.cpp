@@ -515,6 +515,25 @@ void Ssmfp2Protocol::clearEventRecordsForRestore() {
   invalidDeliveries_ = 0;
 }
 
+void Ssmfp2Protocol::onTopologyMutation() {
+  // Only the pull queues depend on the adjacency lists: every guard that
+  // names another processor re-checks hasEdge live, and 2R8 junks received
+  // copies whose recorded upstream is no longer a neighbor. Keep the
+  // survivors' rotation order, append restored neighbors in id order.
+  for (NodeId p = 0; p < graph_.size(); ++p) {
+    const auto& nbrs = graph_.neighbors(p);
+    for (std::uint32_t k = 1; k <= maxRank_; ++k) {
+      auto& q = queue_.write(cell(p, k));
+      std::erase_if(q, [&](NodeId c) { return !graph_.hasEdge(p, c); });
+      for (const NodeId c : nbrs) {
+        if (std::find(q.begin(), q.end(), c) == q.end()) q.push_back(c);
+      }
+      assert(q.size() == graph_.degree(p));
+    }
+  }
+  notifyExternalMutation();
+}
+
 std::size_t Ssmfp2Protocol::occupiedBufferCount() const {
   std::size_t count = 0;
   for (const auto& b : slot_.raw()) count += b.has_value() ? 1 : 0;

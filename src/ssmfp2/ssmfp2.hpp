@@ -163,6 +163,13 @@ class Ssmfp2Protocol : public ForwardingProtocol {
   void enumerateEnabled(NodeId p, std::vector<Action>& out) const override;
   void stage(NodeId p, const Action& a) override;
   void commit(std::vector<NodeId>& written) override;
+  /// Repairs topology-dependent state after the Graph was rewired out of
+  /// band (faults/topology.hpp). Only the fairness queues need repair: the
+  /// 2R2/2R3/2R5 guards already check hasEdge live, and 2R8 erases a
+  /// received copy whose recorded upstream is gone - a straddling message
+  /// can thus be lost (erased after its upstream already 2R4'd), which the
+  /// streaming checker amnesties for pre-fault traces.
+  void onTopologyMutation() override;
   // guardKernels() stays the GuardSource default (nullptr): the engine's
   // per-layer virtual fallback keeps ExecMode::kKernel runs working; a SoA
   // kernel set for the rank ladder is a cheap follow-up.

@@ -1,0 +1,64 @@
+// Adversarial corruption-schedule search (explore/advsearch.hpp): the
+// grid prober that attacks WHEN transient faults land, shrinks any
+// violating cell to a deterministic ScriptedDaemon replay, and - against
+// the unweakened rules - is expected to come back empty. Pins
+//   - the canonical seeded weakness (SSMFP R4 with the stray-copy
+//     quantifier dropped) is FOUND: a mid-run routing-only flip between
+//     two pulls of the same emission buffer smuggles a duplicate through,
+//     and the strict streaming checker reports exactly-once;
+//   - the finding is SHRUNK (fault schedules thinned, script trimmed) and
+//     REPLAYS deterministically, twice, without any random daemon;
+//   - the same grid with the weakness removed survives for both families.
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "explore/advsearch.hpp"
+
+namespace snapfwd {
+namespace {
+
+TEST(AdversarialSearch, SeededR4WeaknessIsFoundShrunkAndReplayable) {
+  const AdversarialSearchConfig config = seededWeaknessSearch();
+  ASSERT_EQ(config.ssmfpWeakness, SsmfpGuardMutation::kR4SkipStrayCopyCheck);
+
+  const std::optional<AdversarialFinding> finding =
+      searchAdversarialSchedule(config);
+  ASSERT_TRUE(finding.has_value()) << "the planted weakness must be found";
+  EXPECT_NE(finding->violation.find("exactly-once"), std::string::npos)
+      << finding->violation;
+  EXPECT_EQ(finding->ssmfpWeakness, SsmfpGuardMutation::kR4SkipStrayCopyCheck);
+
+  // The duplicate needs a routing flip DURING forwarding, so the shrunk
+  // cell must keep at least one mid-run corruption event.
+  EXPECT_FALSE(finding->config.corruptionSchedule.empty());
+  EXPECT_FALSE(finding->script.empty());
+  EXPECT_GT(finding->candidatesTried, 0u);
+  EXPECT_GT(finding->shrinkProbes, 0u);
+
+  // Deterministic replay: the ScriptedDaemon re-runs the shrunk script and
+  // reproduces a violation, and does so identically on a second replay.
+  const std::optional<std::string> first = replayFinding(*finding);
+  ASSERT_TRUE(first.has_value()) << "shrunk finding no longer reproduces";
+  EXPECT_NE(first->find("exactly-once"), std::string::npos) << *first;
+  EXPECT_EQ(replayFinding(*finding), first);
+}
+
+TEST(AdversarialSearch, UnweakenedSsmfpSurvivesTheGrid) {
+  AdversarialSearchConfig config = seededWeaknessSearch();
+  config.ssmfpWeakness = SsmfpGuardMutation::kNone;
+  config.seedsPerCandidate = 2;  // runtime cap; the full grid soaks in CI
+  EXPECT_EQ(searchAdversarialSchedule(config), std::nullopt);
+}
+
+TEST(AdversarialSearch, UnweakenedSsmfp2SurvivesTheGrid) {
+  AdversarialSearchConfig config = seededWeaknessSearch();
+  config.ssmfpWeakness = SsmfpGuardMutation::kNone;
+  config.base.family = ForwardingFamilyId::kSsmfp2;
+  config.seedsPerCandidate = 2;
+  EXPECT_EQ(searchAdversarialSchedule(config), std::nullopt);
+}
+
+}  // namespace
+}  // namespace snapfwd

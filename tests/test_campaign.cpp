@@ -1,0 +1,167 @@
+// Adversarial scenario campaign (sim/campaign.hpp): the built-in table
+// combines topology churn, mid-run corruption schedules and streaming
+// invariant checking into expectation-carrying cells. Pins
+//   - the whole builtin table at smoke scale: every cell lands on its
+//     expected outcome and the report passes non-vacuously;
+//   - the CNS buffer-sufficiency pair: a fully saturated recycle cycle
+//     wedges, one free slot PER recycle cycle drains (delivering exactly
+//     the injected garbage);
+//   - the frozen-routing trap trio (wedge / livelock / self-stab resolve);
+//   - the weakened-R4 cell: the mid-run routing flip smuggles a duplicate
+//     past the dropped stray-copy quantifier, caught by the strict
+//     (routing-only) checker as a hard exactly-once violation;
+//   - the report calculus: unexpected cells fail, all-clean passes are
+//     vacuous, and the JSONL writer emits one line per cell + a summary.
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/campaign.hpp"
+
+namespace snapfwd {
+namespace {
+
+const CampaignCellResult& cellNamed(const CampaignReport& report,
+                                    const std::string& name) {
+  for (const CampaignCellResult& cell : report.cells) {
+    if (cell.name == name) return cell;
+  }
+  ADD_FAILURE() << "no campaign cell named " << name;
+  static const CampaignCellResult kMissing{};
+  return kMissing;
+}
+
+class CampaignBuiltin : public ::testing::Test {
+ protected:
+  // One smoke-scale run shared by every assertion block (the soak cells
+  // drain long before the budget; only the livelock cell spends it).
+  static void SetUpTestSuite() {
+    report_ = new CampaignReport(runCampaign(builtinCampaign(100'000)));
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    report_ = nullptr;
+  }
+  static CampaignReport* report_;
+};
+
+CampaignReport* CampaignBuiltin::report_ = nullptr;
+
+TEST_F(CampaignBuiltin, EveryCellLandsOnItsExpectation) {
+  for (const CampaignCellResult& cell : report_->cells) {
+    EXPECT_TRUE(cell.asExpected)
+        << cell.name << ": expected " << toString(cell.expect) << ", got "
+        << toString(cell.outcome)
+        << (cell.violation ? " (" + *cell.violation + ")" : "");
+  }
+  EXPECT_EQ(report_->unexpected(), 0u);
+  EXPECT_EQ(report_->expectedFailuresFired(), 4u);
+  EXPECT_TRUE(report_->passed());
+}
+
+TEST_F(CampaignBuiltin, ChurnSoaksApplyTheirEventsAndStayExactlyOnce) {
+  for (const char* name : {"ssmfp/link-churn", "ssmfp2/link-churn"}) {
+    const CampaignCellResult& cell = cellNamed(*report_, name);
+    EXPECT_EQ(cell.outcome, CampaignOutcome::kClean) << name;
+    EXPECT_GT(cell.topologyEventsApplied, 0u) << name;
+    EXPECT_GT(cell.validDeliveries, 0u) << name;
+    EXPECT_EQ(cell.violation, std::nullopt) << name;
+  }
+  for (const char* name :
+       {"ssmfp/midrun-corruption", "ssmfp2/midrun-corruption"}) {
+    const CampaignCellResult& cell = cellNamed(*report_, name);
+    EXPECT_EQ(cell.outcome, CampaignOutcome::kClean) << name;
+    EXPECT_GT(cell.corruptionEventsFired, 0u) << name;
+  }
+}
+
+TEST_F(CampaignBuiltin, CnsBufferSufficiencyPairWedgesAndFlips) {
+  // Saturated recycle cycle: every slot of the cycle holds mimicking
+  // garbage, no rule can fire - the insufficient-buffer configuration the
+  // CNS condition excludes, passing BY wedging.
+  const CampaignCellResult& wedged =
+      cellNamed(*report_, "ssmfp2/cns-saturated-recycle");
+  EXPECT_EQ(wedged.outcome, CampaignOutcome::kWedge);
+  EXPECT_GT(wedged.occupiedAtEnd, 0u);
+
+  // One free slot per recycle cycle (per ladder) is the flip: the same
+  // garbage drains, delivering exactly the injected invalid messages.
+  const CampaignCellResult& free =
+      cellNamed(*report_, "ssmfp2/cns-free-slot-per-ladder");
+  EXPECT_EQ(free.outcome, CampaignOutcome::kClean);
+  // The seeded garbage (planted by the prepare hook, so not counted in
+  // invalidInjected) drains out as invalid deliveries instead of wedging.
+  EXPECT_GT(free.invalidDeliveries, 0u);
+}
+
+TEST_F(CampaignBuiltin, FrozenRoutingTrapTrioSeparatesTheAssumption) {
+  EXPECT_EQ(cellNamed(*report_, "ssmfp/frozen-trap-wedge").outcome,
+            CampaignOutcome::kWedge);
+  EXPECT_EQ(cellNamed(*report_, "ssmfp/frozen-trap-livelock").outcome,
+            CampaignOutcome::kLivelock);
+  // The same trap under the self-stabilizing layer resolves: routing
+  // reconverges and the messages arrive.
+  EXPECT_EQ(cellNamed(*report_, "ssmfp/selfstab-trap-resolves").outcome,
+            CampaignOutcome::kClean);
+}
+
+TEST_F(CampaignBuiltin, WeakenedR4CellFiresAsAnExactlyOnceViolation) {
+  const CampaignCellResult& cell =
+      cellNamed(*report_, "ssmfp/weakened-r4-duplicate");
+  EXPECT_EQ(cell.outcome, CampaignOutcome::kViolation);
+  ASSERT_TRUE(cell.violation.has_value());
+  EXPECT_NE(cell.violation->find("exactly-once"), std::string::npos)
+      << *cell.violation;
+  EXPECT_GT(cell.corruptionEventsFired, 0u);  // the mid-run routing flips
+}
+
+TEST(CampaignReportCalculus, PassRequiresZeroUnexpectedAndANonVacuousFire) {
+  CampaignCellResult clean;
+  clean.name = "clean";
+  clean.expect = CampaignOutcome::kClean;
+  clean.outcome = CampaignOutcome::kClean;
+  clean.asExpected = true;
+
+  CampaignReport report;
+  report.cells = {clean};
+  EXPECT_EQ(report.unexpected(), 0u);
+  EXPECT_FALSE(report.passed());  // vacuous: no expected failure fired
+
+  CampaignCellResult wedge = clean;
+  wedge.name = "wedge";
+  wedge.expect = CampaignOutcome::kWedge;
+  wedge.outcome = CampaignOutcome::kWedge;
+  report.cells.push_back(wedge);
+  EXPECT_EQ(report.expectedFailuresFired(), 1u);
+  EXPECT_TRUE(report.passed());
+
+  CampaignCellResult bad = clean;
+  bad.name = "bad";
+  bad.outcome = CampaignOutcome::kViolation;
+  bad.asExpected = false;
+  report.cells.push_back(bad);
+  EXPECT_EQ(report.unexpected(), 1u);
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(CampaignReportCalculus, JsonlWriterEmitsOneLinePerCellPlusSummary) {
+  CampaignCellResult cell;
+  cell.name = "ring/example";
+  cell.expect = CampaignOutcome::kWedge;
+  cell.outcome = CampaignOutcome::kWedge;
+  cell.asExpected = true;
+  CampaignReport report;
+  report.cells = {cell, cell};
+
+  std::ostringstream out;
+  writeCampaignReport(report, out);
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find("ring/example"), std::string::npos);
+  EXPECT_NE(text.find("\"expect\":\"wedge\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -17,6 +17,7 @@
 #include "explore/explore.hpp"
 #include "explore/models.hpp"
 #include "faults/corruptor.hpp"
+#include "faults/topology.hpp"
 #include "graph/builders.hpp"
 #include "routing/frozen.hpp"
 #include "sim/runner.hpp"
@@ -92,6 +93,61 @@ TEST(ExecModes, MidRunCorruptionTracesAreIdenticalAcrossTheModeGrid) {
       EXPECT_EQ(run.steps, reference.steps)
           << toString(scan) << "/" << toString(exec);
       EXPECT_EQ(run.rounds, reference.rounds)
+          << toString(scan) << "/" << toString(exec);
+      EXPECT_EQ(run.trace, reference.trace)
+          << toString(scan) << "/" << toString(exec);
+      EXPECT_TRUE(run.terminal) << toString(scan) << "/" << toString(exec);
+    }
+  }
+}
+
+/// A topology mutation rewires the Graph between atomic steps and runs
+/// every layer's onTopologyMutation() repair hook (which must end in
+/// notifyExternalMutation) - the heaviest out-of-band mutation the engine
+/// supports: adjacency itself changes under the kernel's cached neighbor
+/// rows. The whole scan x exec grid must replay it byte-identically.
+TracedRun runTracedThroughTopologyMutation(ScanMode scan, ExecMode exec) {
+  const ScopedEngineDefaults guard(
+      EngineOptions{.scanMode = scan, .execMode = exec});
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::ring(6);
+  cfg.seed = 13;
+  cfg.messageCount = 10;
+  SsmfpStack stack = buildSsmfpStack(cfg);
+  auto daemon = makeDaemon(DaemonKind::kDistributedRandom, 0.5, stack.rng);
+  Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+                *daemon);
+  stack.forwarding->attachEngine(&engine);
+  ExecutionTracer tracer(engine, 0);
+
+  // One link flap: the ring degrades to a path (routing reconverges, the
+  // forwarding layer re-homes) and heals while traffic is still in flight.
+  TopologySchedule schedule;
+  schedule.linkDown(10, 1, 2).linkUp(35, 1, 2);
+  TopologyMutator mutator(*stack.graph, schedule,
+                          {stack.routing.get(), stack.forwarding.get()});
+  engine.setPostStepHook(
+      [&](Engine& e) { mutator.applyDue(e.stepCount()); });
+
+  engine.run(500'000);
+
+  TracedRun out;
+  out.trace = tracer.render();
+  out.steps = engine.stepCount();
+  out.rounds = engine.roundCount();
+  out.terminal = engine.isTerminal();
+  return out;
+}
+
+TEST(ExecModes, TopologyMutationTracesAreIdenticalAcrossTheModeGrid) {
+  const TracedRun reference =
+      runTracedThroughTopologyMutation(ScanMode::kIncremental, ExecMode::kVirtual);
+  EXPECT_TRUE(reference.terminal);
+  EXPECT_GT(reference.steps, 35u);  // both flap events actually applied
+  for (const ScanMode scan : {ScanMode::kFull, ScanMode::kIncremental}) {
+    for (const ExecMode exec : {ExecMode::kVirtual, ExecMode::kKernel}) {
+      const TracedRun run = runTracedThroughTopologyMutation(scan, exec);
+      EXPECT_EQ(run.steps, reference.steps)
           << toString(scan) << "/" << toString(exec);
       EXPECT_EQ(run.trace, reference.trace)
           << toString(scan) << "/" << toString(exec);

@@ -32,7 +32,7 @@ SweepMatrix differentialMatrix() {
   corrupted.routingFraction = 0.7;
   corrupted.invalidMessages = 3;
   corrupted.scrambleQueues = true;
-  matrix.corruptions = {{"clean", {}}, {"corrupted", corrupted}};
+  matrix.corruptions = {{"clean", {}, {}}, {"corrupted", corrupted, {}}};
   matrix.options.firstSeed = 1;
   matrix.options.seedCount = 3;
   matrix.options.threads = 1;

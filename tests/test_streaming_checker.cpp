@@ -1,0 +1,255 @@
+// StreamingInvariantChecker (checker/streaming.hpp): the O(in-flight)
+// online monitors long soaks run instead of the post-hoc oracle. Pins
+//   - the fold: event records are consumed and cleared every poll, so a
+//     monitored run holds no per-horizon state;
+//   - exactly-once: a fabricated verbatim duplicate of a delivered valid
+//     trace is a hard violation;
+//   - the fault-class split: a BUFFER-TOUCHING fault (noteFaultEvent)
+//     amnesties exactly the traces with a buffer copy at fault time, while
+//     a ROUTING-ONLY fault (noteRoutingFaultEvent) amnesties NOTHING -
+//     safety is routing-independent, the paper's central claim, and the
+//     strictness across routing churn is what gives the adversarial
+//     campaign its regression power;
+//   - the periodic conservation scan and the invalid-delivery budget;
+//   - JSONL checkpoint emission.
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "checker/streaming.hpp"
+#include "sim/runner.hpp"
+
+namespace snapfwd {
+namespace {
+
+ExperimentConfig quietRing4() {
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::ring(4);
+  cfg.traffic = TrafficKind::kNone;  // tests submit their own messages
+  cfg.seed = 9;
+  cfg.destinations = {0};
+  return cfg;
+}
+
+/// A live SSMFP ring with an engine ready to run; destination 0 only.
+struct Rig {
+  explicit Rig(const ExperimentConfig& cfg = quietRing4())
+      : stack(buildSsmfpStack(cfg)),
+        daemon(makeDaemon(DaemonKind::kSynchronous, 0.5, stack.rng)),
+        engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+               *daemon) {
+    stack.forwarding->attachEngine(&engine);
+  }
+
+  /// Runs to quiescence, polling `checker` after every committed step.
+  void runPolled(StreamingInvariantChecker& checker,
+                 std::uint64_t budget = 100'000) {
+    engine.setPostStepHook(
+        [&](Engine& e) { (void)checker.poll(e.stepCount()); });
+    engine.run(budget);
+  }
+
+  SsmfpStack stack;
+  std::unique_ptr<Daemon> daemon;
+  Engine engine;
+};
+
+TEST(StreamingChecker, CleanRunCountsDeliveriesAndFoldsRecordsAway) {
+  Rig rig;
+  rig.stack.forwarding->send(2, 0, 7);
+  rig.stack.forwarding->send(1, 0, 8);
+  rig.stack.forwarding->send(3, 0, 9);
+  StreamingInvariantChecker checker(*rig.stack.forwarding);
+  rig.runPolled(checker);
+
+  EXPECT_TRUE(rig.engine.isTerminal());
+  EXPECT_EQ(checker.poll(rig.engine.stepCount()), std::nullopt);
+  EXPECT_EQ(checker.generationsSeen(), 3u);
+  EXPECT_EQ(checker.validDeliveries(), 3u);
+  EXPECT_EQ(checker.invalidDeliveries(), 0u);
+  EXPECT_EQ(checker.outstandingCount(), 0u);
+  EXPECT_EQ(checker.amnestiedCount(), 0u);
+  // The memory contract: records are folded into counters, not retained
+  // (which is also why a streamed run cannot be fed to checkSpec after).
+  EXPECT_TRUE(rig.stack.forwarding->generations().empty());
+  EXPECT_TRUE(rig.stack.forwarding->deliveries().empty());
+}
+
+/// A verbatim valid copy of an already-delivered trace, placed where R6
+/// will consume it (the destination's emission buffer) - the observable a
+/// guard weakening would produce.
+Message duplicateOf(TraceId trace) {
+  Message dup;
+  dup.payload = 7;
+  dup.lastHop = 0;
+  dup.color = 1;
+  dup.trace = trace;
+  dup.valid = true;
+  dup.source = 2;
+  dup.dest = 0;
+  return dup;
+}
+
+TEST(StreamingChecker, DuplicateDeliveryOfValidTraceIsAViolation) {
+  Rig rig;
+  const TraceId trace = rig.stack.forwarding->send(2, 0, 7);
+  StreamingInvariantChecker checker(*rig.stack.forwarding);
+  rig.runPolled(checker);
+  ASSERT_EQ(checker.validDeliveries(), 1u);
+
+  rig.stack.forwarding->restoreEmission(0, 0, duplicateOf(trace));
+  rig.engine.run(100);
+
+  const auto violation = checker.poll(rig.engine.stepCount());
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("exactly-once"), std::string::npos) << *violation;
+  // Sticky: every later poll reports the same first violation.
+  EXPECT_EQ(checker.poll(rig.engine.stepCount() + 1), violation);
+}
+
+TEST(StreamingChecker, RoutingOnlyFaultAmnestiesNothing) {
+  Rig rig;
+  const TraceId trace = rig.stack.forwarding->send(2, 0, 7);
+  StreamingInvariantChecker checker(*rig.stack.forwarding);
+  rig.runPolled(checker);
+  ASSERT_EQ(checker.validDeliveries(), 1u);
+
+  // Routing churn cannot damage message state, so the fabricated duplicate
+  // that follows must still read as a hard exactly-once violation.
+  rig.stack.forwarding->restoreEmission(0, 0, duplicateOf(trace));
+  checker.noteRoutingFaultEvent(rig.engine.stepCount());
+  EXPECT_EQ(checker.routingFaultEvents(), 1u);
+  EXPECT_EQ(checker.amnestiedCount(), 0u);
+  rig.engine.run(100);
+
+  const auto violation = checker.poll(rig.engine.stepCount());
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("exactly-once"), std::string::npos) << *violation;
+}
+
+TEST(StreamingChecker, BufferFaultAmnestiesExactlyTheBufferedTraces) {
+  Rig rig;
+  const TraceId trace = rig.stack.forwarding->send(2, 0, 7);
+  StreamingInvariantChecker checker(*rig.stack.forwarding);
+  rig.runPolled(checker);
+  ASSERT_EQ(checker.validDeliveries(), 1u);
+
+  // The same duplicate, but its copy is in a buffer when a buffer-touching
+  // fault is registered: the trace is amnestied and the extra delivery is
+  // tallied instead of judged.
+  rig.stack.forwarding->restoreEmission(0, 0, duplicateOf(trace));
+  checker.noteFaultEvent(rig.engine.stepCount());
+  EXPECT_EQ(checker.faultEvents(), 1u);
+  EXPECT_GE(checker.amnestiedCount(), 1u);
+  rig.engine.run(100);
+
+  EXPECT_EQ(checker.poll(rig.engine.stepCount()), std::nullopt);
+  EXPECT_EQ(checker.amnestiedDeliveries(), 1u);
+  EXPECT_EQ(checker.validDeliveries(), 1u);
+}
+
+TEST(StreamingChecker, FaultClassesMoveOutstandingTracesDifferently) {
+  Rig rig;
+  rig.stack.forwarding->send(2, 0, 7);
+  StreamingInvariantChecker checker(*rig.stack.forwarding);
+  // Step until the message is generated (outstanding) but not delivered.
+  while (checker.generationsSeen() == 0) {
+    ASSERT_TRUE(rig.engine.step());
+    (void)checker.poll(rig.engine.stepCount());
+  }
+  ASSERT_EQ(checker.outstandingCount(), 1u);
+  ASSERT_EQ(checker.validDeliveries(), 0u);
+
+  checker.noteRoutingFaultEvent(rig.engine.stepCount());
+  EXPECT_EQ(checker.outstandingCount(), 1u);  // still strictly checked
+  EXPECT_EQ(checker.amnestiedCount(), 0u);
+
+  checker.noteFaultEvent(rig.engine.stepCount());
+  EXPECT_EQ(checker.outstandingCount(), 0u);  // moved to the amnesty set
+  EXPECT_GE(checker.amnestiedCount(), 1u);
+  EXPECT_EQ(checker.amnestiedOutstanding(), 1u);
+
+  rig.engine.setPostStepHook(nullptr);
+  rig.engine.run(100'000);
+  EXPECT_EQ(checker.poll(rig.engine.stepCount()), std::nullopt);
+  EXPECT_EQ(checker.amnestiedDeliveries(), 1u);
+}
+
+TEST(StreamingChecker, ConservationScanCatchesAVaporizedTrace) {
+  Rig rig;
+  rig.stack.forwarding->send(2, 0, 7);
+  StreamingCheckerOptions options;
+  options.conservationEveryPolls = 1;
+  StreamingInvariantChecker checker(*rig.stack.forwarding, options);
+  while (checker.generationsSeen() == 0) {
+    ASSERT_TRUE(rig.engine.step());
+    (void)checker.poll(rig.engine.stepCount());
+  }
+  ASSERT_EQ(checker.outstandingCount(), 1u);
+
+  // Erase every buffered copy out of band - the message is now generated
+  // but in no buffer, which conservation must flag on the next scan.
+  SsmfpProtocol& fwd = *rig.stack.forwarding;
+  for (NodeId p = 0; p < fwd.graph().size(); ++p) {
+    fwd.clearReceptionForRestore(p, 0);
+    fwd.clearEmissionForRestore(p, 0);
+  }
+  const auto violation = checker.poll(rig.engine.stepCount());
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("conservation"), std::string::npos) << *violation;
+}
+
+TEST(StreamingChecker, InvalidDeliveryBudgetGatesInitialGarbage) {
+  // Garbage planted where R6 consumes it; budget 0 flags it, budget 1
+  // tolerates it (Prop 4 bounds such deliveries by the initial occupancy).
+  Message garbage;
+  garbage.payload = 3;
+  garbage.lastHop = 1;
+  garbage.color = 1;
+  {
+    Rig rig;
+    rig.stack.forwarding->injectEmission(0, 0, garbage);
+    StreamingInvariantChecker checker(*rig.stack.forwarding);  // budget 0
+    rig.runPolled(checker);
+    const auto violation = checker.poll(rig.engine.stepCount());
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_NE(violation->find("invalid-delivery budget"), std::string::npos)
+        << *violation;
+  }
+  {
+    Rig rig;
+    rig.stack.forwarding->injectEmission(0, 0, garbage);
+    StreamingCheckerOptions options;
+    options.invalidDeliveryBudget = 1;
+    StreamingInvariantChecker checker(*rig.stack.forwarding, options);
+    rig.runPolled(checker);
+    EXPECT_EQ(checker.poll(rig.engine.stepCount()), std::nullopt);
+    EXPECT_EQ(checker.invalidDeliveries(), 1u);
+  }
+}
+
+TEST(StreamingChecker, CheckpointsAreJsonlWithFaultClassCounters) {
+  Rig rig;
+  std::ostringstream out;
+  StreamingCheckerOptions options;
+  options.conservationEveryPolls = 0;
+  options.checkpointEveryPolls = 2;
+  options.checkpointOut = &out;
+  StreamingInvariantChecker checker(*rig.stack.forwarding, options);
+  checker.noteRoutingFaultEvent(1);
+  for (std::uint64_t step = 1; step <= 4; ++step) {
+    (void)checker.poll(step);
+  }
+  const std::string text = out.str();
+  // 4 polls at every-2 cadence = 2 checkpoint lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("\"step\":"), std::string::npos);
+  EXPECT_NE(text.find("\"routing_fault_events\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"fault_events\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snapfwd

@@ -15,7 +15,7 @@ SweepMatrix smallMatrix() {
   CorruptionPlan corrupted;
   corrupted.routingFraction = 1.0;
   corrupted.invalidMessages = 4;
-  matrix.corruptions = {{"clean", {}}, {"corrupted", corrupted}};
+  matrix.corruptions = {{"clean", {}, {}}, {"corrupted", corrupted, {}}};
   matrix.options.firstSeed = 1;
   matrix.options.seedCount = 2;
   return matrix;
@@ -75,6 +75,43 @@ TEST(SweepMatrix, ParallelMatchesSerialCellForCell) {
   for (std::size_t i = 0; i < a.cells.size(); ++i) {
     EXPECT_TRUE(a.cells[i].result == b.cells[i].result) << a.cells[i].label();
   }
+}
+
+TEST(SweepMatrix, MidRunCorruptionScheduleIsPartOfTheAxis) {
+  // A NamedCorruption carries a mid-run schedule: "same plan at build
+  // time" and "same plan at step 30" are distinct, directly comparable
+  // cells, and the schedule replaces the base config's (never merges).
+  CorruptionPlan plan;
+  plan.routingFraction = 1.0;
+  plan.invalidMessages = 4;
+
+  SweepMatrix matrix;
+  matrix.base.topo = TopologySpec::ring(6);
+  matrix.base.messageCount = 12;
+  matrix.base.maxSteps = 300'000;
+  matrix.base.corruptionSchedule = {{5, plan}};  // must NOT leak into cells
+  matrix.corruptions = {{"build-time", plan, {}},
+                        {"mid-run", {}, {{30, plan}}}};
+  matrix.options.seedCount = 2;
+  const SweepMatrixResult result = runSweepMatrix(matrix);
+
+  ASSERT_EQ(result.cells.size(), 2u);
+  const SweepCell& buildTime = result.cells[0];
+  const SweepCell& midRun = result.cells[1];
+  EXPECT_TRUE(buildTime.corruptionSchedule.empty());
+  ASSERT_EQ(midRun.corruptionSchedule.size(), 1u);
+  EXPECT_EQ(midRun.corruptionSchedule[0].step, 30u);
+
+  // Both corruption timings must still satisfy SP (snap-stabilization
+  // covers mid-run faults), but they are different experiments: the
+  // mid-run cell corrupts a converged, already-forwarding stack.
+  EXPECT_TRUE(buildTime.result.allSp()) << buildTime.label();
+  EXPECT_TRUE(midRun.result.allSp()) << midRun.label();
+  for (const ExperimentResult& run : midRun.result.runs) {
+    EXPECT_TRUE(run.routingCorrupted);
+    EXPECT_GT(run.steps, 30u);  // the event actually fired mid-flight
+  }
+  EXPECT_FALSE(buildTime.result.runs == midRun.result.runs);
 }
 
 TEST(SweepMatrix, MatrixCellMatchesStandaloneSweep) {

@@ -1,0 +1,156 @@
+// Dynamic topology churn (faults/topology.hpp): TopologyMutator rewires
+// the live Graph between atomic steps under the "original edges" rule
+// (fixed processor set, node-up restores original incident edges, degree
+// never exceeds its construction-time value), then runs every layer's
+// onTopologyMutation() repair hook. Pins the mutator semantics, the churn
+// schedule generator's determinism, and an end-to-end flap soak: an SSMFP
+// run through a link flap stays exactly-once under the streaming checker's
+// buffer-fault amnesty and still drains completely.
+#include <algorithm>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "checker/streaming.hpp"
+#include "faults/topology.hpp"
+#include "graph/builders.hpp"
+#include "sim/runner.hpp"
+
+namespace snapfwd {
+namespace {
+
+TEST(TopologyMutation, MutatorAppliesEventsInStepOrder) {
+  Graph g = topo::ring(4);  // edges 0-1, 1-2, 2-3, 3-0
+  const std::size_t originalDelta = g.maxDegree();
+  TopologySchedule schedule;
+  schedule.linkUp(25, 0, 1);  // added out of order: sorted on first use
+  schedule.linkDown(5, 0, 1);
+  schedule.nodeDown(10, 2);
+  schedule.nodeUp(20, 2);
+  TopologyMutator mutator(g, schedule, {});
+
+  EXPECT_EQ(mutator.applyDue(4), 0u);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_EQ(mutator.nextEventStep(), 5u);
+
+  EXPECT_EQ(mutator.applyDue(5), 1u);
+  EXPECT_FALSE(g.hasEdge(0, 1));
+
+  // Node 2 down: all its present incident edges go; the graph may
+  // transiently disconnect (routing answers unreachable, messages wait).
+  EXPECT_EQ(mutator.applyDue(10), 1u);
+  EXPECT_FALSE(mutator.nodeAlive(2));
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_FALSE(g.isConnected());
+
+  // Node 2 back: ORIGINAL incident edges whose other endpoint is alive
+  // return; the independently-downed link 0-1 stays down.
+  EXPECT_EQ(mutator.applyDue(20), 1u);
+  EXPECT_TRUE(mutator.nodeAlive(2));
+  EXPECT_TRUE(g.hasEdge(1, 2));
+  EXPECT_TRUE(g.hasEdge(2, 3));
+  EXPECT_FALSE(g.hasEdge(0, 1));
+
+  EXPECT_EQ(mutator.applyDue(100), 1u);  // the late linkUp
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(mutator.done());
+  EXPECT_EQ(mutator.appliedCount(), 4u);
+  EXPECT_EQ(g.edgeCount(), 4u);          // back to the original edge set
+  EXPECT_LE(g.maxDegree(), originalDelta);
+  EXPECT_EQ(mutator.nextEventStep(), UINT64_MAX);
+}
+
+TEST(TopologyMutation, ScheduleLabelReadsAsOneLine) {
+  TopologySchedule schedule;
+  schedule.linkDown(50, 2, 3).nodeUp(120, 4);
+  EXPECT_EQ(schedule.label(), "linkDown@50 2-3; nodeUp@120 4");
+}
+
+TEST(TopologyMutation, LinkChurnScheduleIsDeterministicAndPaired) {
+  const Graph g = topo::ring(8);
+  constexpr std::uint64_t kHorizon = 1'000;
+  constexpr std::size_t kFlaps = 5;
+  constexpr std::uint64_t kDownSpan = 40;
+
+  Rng rngA(77);
+  Rng rngB(77);
+  const TopologySchedule a =
+      makeLinkChurnSchedule(g, rngA, kHorizon, kFlaps, kDownSpan);
+  const TopologySchedule b =
+      makeLinkChurnSchedule(g, rngB, kHorizon, kFlaps, kDownSpan);
+  EXPECT_EQ(a, b);  // same seed, same flap schedule
+
+  ASSERT_EQ(a.size(), 2 * kFlaps);
+  std::size_t downs = 0;
+  for (const TopologyEvent& e : a.events()) {
+    ASSERT_TRUE(g.hasEdge(e.u, e.v));  // original edges only
+    if (e.kind == TopologyEventKind::kLinkDown) {
+      ++downs;
+      EXPECT_GE(e.step, 1u);
+      EXPECT_LT(e.step, kHorizon - kDownSpan);
+      // Every down has its matching up, downSpan later, same edge.
+      const auto& events = a.events();
+      EXPECT_TRUE(std::any_of(
+          events.begin(), events.end(), [&](const TopologyEvent& up) {
+            return up.kind == TopologyEventKind::kLinkUp &&
+                   up.step == e.step + kDownSpan && up.u == e.u && up.v == e.v;
+          }));
+    }
+  }
+  EXPECT_EQ(downs, kFlaps);
+}
+
+TEST(TopologyMutation, FlappedSsmfpRunStaysExactlyOnceAndDrains) {
+  ExperimentConfig cfg;
+  cfg.topo = TopologySpec::ring(6);
+  cfg.seed = 5;
+  cfg.messageCount = 12;
+  SsmfpStack stack = buildSsmfpStack(cfg);
+  auto daemon = makeDaemon(cfg.daemon, cfg.daemonProbability, stack.rng);
+  Engine engine(*stack.graph, {stack.routing.get(), stack.forwarding.get()},
+                *daemon);
+  stack.forwarding->attachEngine(&engine);
+
+  TopologySchedule schedule;
+  schedule.linkDown(30, 1, 2).linkUp(160, 1, 2);
+  TopologyMutator mutator(*stack.graph, schedule,
+                          {stack.routing.get(), stack.forwarding.get()});
+  StreamingCheckerOptions options;
+  options.conservationEveryPolls = 16;
+  StreamingInvariantChecker checker(*stack.forwarding, options);
+  engine.setPostStepHook([&](Engine& e) {
+    // Mutations touch buffers (lastHop re-homing), so they take the
+    // amnesty path - the strict-vs-amnesty split itself is pinned in
+    // test_streaming_checker.cpp.
+    if (mutator.applyDue(e.stepCount()) > 0) {
+      checker.noteFaultEvent(e.stepCount());
+    }
+    (void)checker.poll(e.stepCount());
+  });
+
+  // A terminal lull with churn still pending means the next event hits an
+  // idle network: force it and resume (the campaign runner's loop).
+  constexpr std::uint64_t kBudget = 200'000;
+  std::uint64_t executed = 0;
+  for (;;) {
+    executed += engine.run(kBudget - executed);
+    if (executed >= kBudget || mutator.done()) break;
+    mutator.applyDue(mutator.nextEventStep());
+    checker.noteFaultEvent(engine.stepCount());
+  }
+
+  EXPECT_TRUE(engine.isTerminal());
+  EXPECT_TRUE(mutator.done());
+  EXPECT_EQ(checker.poll(engine.stepCount()), std::nullopt);
+  EXPECT_TRUE(stack.forwarding->fullyDrained());
+  EXPECT_EQ(checker.outstandingCount(), 0u);
+  EXPECT_EQ(checker.invalidDeliveries(), 0u);
+  EXPECT_EQ(checker.faultEvents(), 2u);
+  // Ring minus one edge stays connected, so nothing is lost: every
+  // generated message is delivered (strictly or under amnesty).
+  EXPECT_GE(checker.validDeliveries() + checker.amnestiedDeliveries(),
+            cfg.messageCount);
+}
+
+}  // namespace
+}  // namespace snapfwd

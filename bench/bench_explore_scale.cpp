@@ -1,0 +1,360 @@
+// Explorer scale run: symmetry + partial-order reduction + out-of-core
+// visited set at >= 10^7 states (docs/ARCHITECTURE.md § Explorer reduction
+// & out-of-core, EXPERIMENTS.md E23).
+//
+// Two phases, both exit-code gated:
+//
+//   Phase A - soundness differentials on E19-size closures. Reduction-off
+//   runs must reproduce the BENCH_explore_perf baselines to the state;
+//   the symmetry quotient of the orbit-closed ring set must equal the
+//   unclosed unreduced space exactly; POR must stay clean and exhausted
+//   while shrinking transitions; every guard weakening the full run
+//   catches must still be caught under symmetry / por / both; and a
+//   mem-budget run must switch to spill with identical counts.
+//
+//   Phase B - the scale run: the odd-ring corruption closure with
+//   stride-sampled corruption pairs AND triples under reduction=both,
+//   binary codec, spill store, paths off. Gates: clean + exhausted,
+//   > 141 start states (strictly larger than E19/E20), the Proposition 4
+//   progress bound maxProgressCount <= 2n machine-checked over every
+//   visited state, and (full mode) visited >= 10^7. (Pairs alone
+//   saturate near 3.5M - closures from different pairs overlap heavily -
+//   so the triple plants carry the bulk of the fresh 3-copy
+//   interleavings.)
+//
+// Flags:
+//   --quick             Phase B at pair stride 200 / no triples (~10^5
+//                       states, CI-sized); the >= 10^7 gate is waived but
+//                       every other gate holds
+//   --pair-stride=<k>   override the Phase B pair stride (default 2)
+//   --triple-stride=<k> override the Phase B triple stride (default 1500)
+//   --out=<path>        JSON report (default BENCH_explore_scale.json)
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "explore/models.hpp"
+#include "graph/builders.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using snapfwd::Graph;
+using snapfwd::SsmfpGuardMutation;
+using snapfwd::Ssmfp2GuardMutation;
+using snapfwd::Table;
+using snapfwd::explore::DaemonClosure;
+using snapfwd::explore::ExploreOptions;
+using snapfwd::explore::ExploreResult;
+using snapfwd::explore::Reduction;
+using snapfwd::explore::RingScaleSpec;
+using snapfwd::explore::SsmfpExploreModel;
+using snapfwd::explore::Ssmfp2ExploreModel;
+using snapfwd::explore::StateCodec;
+using snapfwd::explore::StoreKind;
+
+int failures = 0;
+
+void gate(bool ok, const std::string& what) {
+  std::cout << (ok ? "  ok   " : "  FAIL ") << what << "\n";
+  if (!ok) ++failures;
+}
+
+struct Timed {
+  ExploreResult result;
+  double seconds = 0.0;
+};
+
+Timed run(const snapfwd::explore::ExploreModel& model, ExploreOptions options) {
+  Timed out;
+  const auto begin = std::chrono::steady_clock::now();
+  out.result = snapfwd::explore::explore(model, options);
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  return out;
+}
+
+ExploreOptions withReduction(Reduction reduction) {
+  ExploreOptions options;
+  options.reduction = reduction;
+  return options;
+}
+
+/// Phase A1: the reduction plumbing must be invisible when switched off -
+/// every BENCH_explore_perf closure count reproduced exactly.
+void baselineDifferential() {
+  std::cout << "[A1] reduction-off baselines (BENCH_explore_perf)\n";
+  struct Cell {
+    DaemonClosure closure;
+    std::uint64_t visited, transitions;
+  };
+  const std::vector<Cell> cells = {
+      {DaemonClosure::kCentral, 2328, 4764},
+      {DaemonClosure::kSynchronous, 366, 374},
+      {DaemonClosure::kDistributed, 2502, 9913},
+  };
+  for (const Cell& cell : cells) {
+    const auto model = SsmfpExploreModel::figure2CorruptionClosure();
+    ExploreOptions options;
+    options.closure = cell.closure;
+    const ExploreResult r = snapfwd::explore::explore(model, options);
+    std::ostringstream label;
+    label << "ssmfp " << snapfwd::toString(cell.closure) << " " << r.stats.visited << "/"
+          << r.stats.transitions;
+    gate(r.stats.visited == cell.visited &&
+             r.stats.transitions == cell.transitions && r.stats.exhausted &&
+             r.clean(),
+         label.str());
+  }
+  const auto pif = snapfwd::explore::PifExploreModel::scrambleClosure(
+      snapfwd::topo::star(4), 0);
+  ExploreOptions options;
+  options.closure = DaemonClosure::kDistributed;
+  const ExploreResult r = snapfwd::explore::explore(pif, options);
+  std::ostringstream label;
+  label << "pif distributed " << r.stats.visited << "/" << r.stats.transitions;
+  gate(r.stats.visited == 132 && r.stats.transitions == 454 &&
+           r.stats.exhausted && r.clean(),
+       label.str());
+}
+
+/// Phase A2+A3: quotient exactness and POR on the equivariant ring set.
+void quotientDifferential(std::ostream& json) {
+  std::cout << "[A2] symmetry quotient exactness\n";
+  RingScaleSpec spec;
+  spec.withSend = true;
+  const SsmfpExploreModel plainModel = SsmfpExploreModel::ringScaleClosure(spec);
+  const ExploreResult plain =
+      snapfwd::explore::explore(plainModel, withReduction(Reduction::kNone));
+
+  spec.orbitClose = true;
+  const SsmfpExploreModel closedModel =
+      SsmfpExploreModel::ringScaleClosure(spec);
+  const ExploreResult closedFull =
+      snapfwd::explore::explore(closedModel, withReduction(Reduction::kNone));
+  const ExploreResult quotient = snapfwd::explore::explore(
+      closedModel, withReduction(Reduction::kSymmetry));
+
+  gate(plain.stats.exhausted && closedFull.stats.exhausted &&
+           quotient.stats.exhausted,
+       "all three runs exhausted");
+  gate(closedFull.stats.visited > plain.stats.visited,
+       "orbit closure enlarges the concrete space (" +
+           std::to_string(closedFull.stats.visited) + " > " +
+           std::to_string(plain.stats.visited) + ")");
+  gate(quotient.stats.visited == plain.stats.visited &&
+           quotient.stats.symCanonFolds > 0,
+       "quotient(closed) == unreduced(unclosed) == " +
+           std::to_string(quotient.stats.visited));
+
+  std::cout << "[A3] POR + codec cross-checks\n";
+  spec.orbitClose = false;
+  const SsmfpExploreModel porModel = SsmfpExploreModel::ringScaleClosure(spec);
+  const ExploreResult por =
+      snapfwd::explore::explore(porModel, withReduction(Reduction::kPor));
+  gate(por.stats.exhausted && por.clean() && por.stats.amplePicks > 0 &&
+           por.stats.transitions < plain.stats.transitions,
+       "por clean, exhausted, fewer transitions (" +
+           std::to_string(por.stats.transitions) + " < " +
+           std::to_string(plain.stats.transitions) + ")");
+  ExploreOptions symBinary = withReduction(Reduction::kSymmetry);
+  symBinary.codec = StateCodec::kBinary;
+  const ExploreResult quotientBinary =
+      snapfwd::explore::explore(closedModel, symBinary);
+  gate(quotientBinary.stats.visited == quotient.stats.visited,
+       "symmetry quotient codec-independent");
+
+  json << "  \"quotient\": {\"unreducedUnclosed\": " << plain.stats.visited
+       << ", \"unreducedOrbitClosed\": " << closedFull.stats.visited
+       << ", \"symmetryQuotient\": " << quotient.stats.visited
+       << ", \"symFolds\": " << quotient.stats.symCanonFolds
+       << ", \"porVisited\": " << por.stats.visited
+       << ", \"porTransitions\": " << por.stats.transitions
+       << ", \"unreducedTransitions\": " << plain.stats.transitions << "},\n";
+}
+
+/// Phase A4: every guard weakening the unreduced run catches must still be
+/// caught under each requested reduction axis.
+void mutationDifferential() {
+  std::cout << "[A4] guard-weakening differentials under reduction\n";
+  for (const Reduction reduction :
+       {Reduction::kSymmetry, Reduction::kPor, Reduction::kBoth}) {
+    RingScaleSpec spec;
+    spec.withSend = true;
+    spec.mutation = SsmfpGuardMutation::kR2SkipUpstreamCheck;
+    const auto model = SsmfpExploreModel::ringScaleClosure(spec);
+    const ExploreResult r =
+        snapfwd::explore::explore(model, withReduction(reduction));
+    gate(!r.clean(), std::string("r2 weakening caught under ") +
+                         std::string(snapfwd::toString(reduction)));
+  }
+  // R4 needs a corrupt routing entry (which the equivariant ring set cannot
+  // plant - corrupt distances make the repair tie-break label-dependent),
+  // so its differential runs on the figure2 closure where POR engages and a
+  // symmetry request falls back loudly to the unreduced run.
+  for (const Reduction reduction : {Reduction::kPor, Reduction::kBoth}) {
+    const auto model = SsmfpExploreModel::figure2CorruptionClosure(
+        SsmfpGuardMutation::kR4SkipStrayCopyCheck);
+    const ExploreResult r =
+        snapfwd::explore::explore(model, withReduction(reduction));
+    gate(!r.clean(), std::string("r4 weakening caught under ") +
+                         std::string(snapfwd::toString(reduction)));
+  }
+  const auto ssmfp2 = Ssmfp2ExploreModel::figure2CorruptionClosure(
+      Ssmfp2GuardMutation::k2R4SkipStrayCopyCheck);
+  const ExploreResult r2r4 =
+      snapfwd::explore::explore(ssmfp2, withReduction(Reduction::kPor));
+  gate(!r2r4.clean(), "2r4 weakening caught under por");
+}
+
+/// Phase A5: a tiny mem budget must switch the store to spill without
+/// perturbing a single count.
+void spillDifferential() {
+  std::cout << "[A5] mem-budget spill switchover\n";
+  RingScaleSpec spec;
+  spec.withSend = true;
+  const auto model = SsmfpExploreModel::ringScaleClosure(spec);
+  const ExploreResult ram =
+      snapfwd::explore::explore(model, ExploreOptions{});
+  ExploreOptions budget;
+  budget.memBudgetBytes = 1 << 20;
+  const ExploreResult spilled = snapfwd::explore::explore(model, budget);
+  gate(spilled.stats.spillActivated && spilled.stats.exhausted,
+       "1 MiB budget activates spill");
+  gate(spilled.stats.visited == ram.stats.visited &&
+           spilled.stats.transitions == ram.stats.transitions,
+       "spill counts identical to ram");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::uint64_t pairStride = 2;
+  std::uint64_t tripleStride = 1500;
+  std::string outPath = "BENCH_explore_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+      pairStride = 200;
+      tripleStride = 0;
+    } else if (arg.rfind("--pair-stride=", 0) == 0) {
+      pairStride = std::stoull(arg.substr(14));
+    } else if (arg.rfind("--triple-stride=", 0) == 0) {
+      tripleStride = std::stoull(arg.substr(16));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      outPath = arg.substr(6);
+    } else {
+      std::cerr << "usage: bench_explore_scale [--quick] [--pair-stride=<k>] "
+                   "[--triple-stride=<k>] [--out=<path>]\n";
+      return 2;
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"experiment\": \"explore-scale\",\n";
+
+  baselineDifferential();
+  quotientDifferential(json);
+  mutationDifferential();
+  spillDifferential();
+
+  std::cout << "[B] scale run: ring-5 closure, pair stride " << pairStride
+            << ", triple stride " << tripleStride
+            << ", reduction=both, binary codec, spill store\n";
+  RingScaleSpec spec;
+  spec.withSend = true;
+  spec.pairStride = pairStride;
+  spec.tripleStride = tripleStride;
+  const auto begin = std::chrono::steady_clock::now();
+  const SsmfpExploreModel model = SsmfpExploreModel::ringScaleClosure(spec);
+  const double genSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  ExploreOptions options;
+  options.reduction = Reduction::kBoth;
+  options.codec = StateCodec::kBinary;
+  options.store = StoreKind::kSpill;
+  options.trackPaths = false;
+  options.maxStates = 100'000'000;
+  const Timed scale = run(model, options);
+  const auto& s = scale.result.stats;
+
+  const std::uint64_t prop4Bound = 2 * spec.n;  // Proposition 4: <= 2n
+  gate(scale.result.clean(), "scale closure clean");
+  gate(s.exhausted, "scale closure exhausted (no truncation)");
+  gate(s.startStates > 141,
+       "start set strictly larger than E19/E20 (" +
+           std::to_string(s.startStates) + " > 141)");
+  gate(s.maxProgressCount <= prop4Bound,
+       "Proposition 4 bound: max invalid deliveries " +
+           std::to_string(s.maxProgressCount) + " <= 2n = " +
+           std::to_string(prop4Bound));
+  gate(!s.reductionFellBack && s.symGroupSize == 10 && s.amplePicks > 0,
+       "both reduction axes engaged");
+  gate(s.spillActivated && s.spillBytes > 0, "spill store active");
+  if (!quick) {
+    gate(s.visited >= 10'000'000,
+         "visited >= 10^7 (" + std::to_string(s.visited) + ")");
+  }
+
+  Table table("explore scale", {"metric", "value"});
+  table.addRow({"start states", Table::num(s.startStates)});
+  table.addRow({"visited", Table::num(s.visited)});
+  table.addRow({"transitions", Table::num(s.transitions)});
+  table.addRow({"states/sec", Table::num(s.visited / scale.seconds, 0)});
+  table.addRow({"sym folds", Table::num(s.symCanonFolds)});
+  table.addRow({"ample picks", Table::num(s.amplePicks)});
+  table.addRow({"ample fallbacks", Table::num(s.ampleFallbacks)});
+  table.addRow({"state bytes", Table::num(s.stateBytes)});
+  table.addRow({"resident bytes", Table::num(s.residentBytes)});
+  table.addRow({"spill bytes", Table::num(s.spillBytes)});
+  table.addRow({"peak RSS bytes", Table::num(s.peakRssBytes)});
+  table.addRow({"max invalid deliveries", Table::num(s.maxProgressCount)});
+  table.addRow({"seconds (explore)", Table::num(scale.seconds, 1)});
+  table.addRow({"seconds (start gen)", Table::num(genSeconds, 1)});
+  table.printMarkdown(std::cout);
+
+  json << "  \"scale\": {\"quick\": " << (quick ? "true" : "false")
+       << ", \"ring\": " << spec.n << ", \"pairStride\": " << pairStride
+       << ", \"tripleStride\": " << tripleStride
+       << ", \"startStates\": " << s.startStates
+       << ", \"visited\": " << s.visited
+       << ", \"transitions\": " << s.transitions
+       << ", \"reduction\": \"both\", \"store\": \"spill\", \"codec\": "
+          "\"binary\""
+       << ", \"symGroup\": " << s.symGroupSize
+       << ", \"symFolds\": " << s.symCanonFolds
+       << ", \"amplePicks\": " << s.amplePicks
+       << ", \"ampleFallbacks\": " << s.ampleFallbacks
+       << ", \"stateBytes\": " << s.stateBytes
+       << ", \"residentBytes\": " << s.residentBytes
+       << ", \"spillBytes\": " << s.spillBytes
+       << ", \"peakRssBytes\": " << s.peakRssBytes
+       << ", \"maxInvalidDeliveries\": " << s.maxProgressCount
+       << ", \"prop4Bound\": " << prop4Bound
+       << ", \"exhausted\": " << (s.exhausted ? "true" : "false")
+       << ", \"violations\": " << scale.result.violations.size()
+       << ", \"statesPerSec\": "
+       << static_cast<std::uint64_t>(s.visited / scale.seconds)
+       << ", \"seconds\": " << scale.seconds << "},\n";
+  json << "  \"gatesFailed\": " << failures << "\n}\n";
+
+  std::ofstream file(outPath);
+  file << json.str();
+  std::cout << "report written to " << outPath << "\n";
+
+  if (failures > 0) {
+    std::cout << failures << " gate(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "all gates passed\n";
+  return 0;
+}

@@ -452,6 +452,97 @@ const FlagSpec kFlagTable[] = {
        o.exploreCodec = v;
        return std::nullopt;
      }},
+    {"reduction", kExploreBit, "is an explore flag", true, "needs a value",
+     +[] { return enumNameList<explore::Reduction>(); },
+     "state-space reduction: symmetry quotient, partial-order, or both "
+     "(default none)",
+     kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseEnum<explore::Reduction>(v).has_value()) {
+         return "--reduction needs one of " +
+                enumNameList<explore::Reduction>();
+       }
+       o.exploreReduction = v;
+       return std::nullopt;
+     }},
+    {"store", kExploreBit, "is an explore flag", true, "needs a value",
+     +[] { return enumNameList<explore::StoreKind>(); },
+     "visited-set placement: ram (default) or mmap spill segments",
+     kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseEnum<explore::StoreKind>(v).has_value()) {
+         return "--store needs one of " + enumNameList<explore::StoreKind>();
+       }
+       o.exploreStore = v;
+       return std::nullopt;
+     }},
+    {"spill-dir", kExploreBit, "is an explore flag", true, "needs a path",
+     +[] { return std::string("<dir>"); },
+     "directory for spill segments (default $TMPDIR, then /tmp)", kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       o.exploreSpillDir = v;
+       return std::nullopt;
+     }},
+    {"mem-budget", kExploreBit, "is an explore flag", true,
+     "needs a byte count (scientific notation ok: 2e9)",
+     +[] { return std::string("<bytes|1eN>"); },
+     "soft cap on resident visited-set bytes; exceeding it switches the "
+     "store to spill instead of growing RSS (0 = off)",
+     kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       double bytes = 0;
+       if (!parseDouble(v, bytes) || bytes < 0 || bytes > 1e18) {
+         return "--mem-budget needs a byte count (scientific notation ok: "
+                "2e9)";
+       }
+       o.exploreMemBudget = static_cast<std::uint64_t>(bytes);
+       return std::nullopt;
+     }},
+    {"compress-states", kExploreBit, "is an explore flag", false, nullptr,
+     nullptr, "RLE-compress stored state bytes (dedup stays exact)",
+     kSecExplore,
+     +[](CliOptions& o, const std::string&) -> std::optional<std::string> {
+       o.exploreCompress = true;
+       return std::nullopt;
+     }},
+    {"allow-truncation", kExploreBit, "is an explore flag", false, nullptr,
+     nullptr,
+     "exit 0 even when move/state bounds truncated the closure (the "
+     "default treats a truncated clean run as a failure)",
+     kSecExplore,
+     +[](CliOptions& o, const std::string&) -> std::optional<std::string> {
+       o.exploreAllowTruncation = true;
+       return std::nullopt;
+     }},
+    {"pair-stride", kExploreBit, "is an explore flag", true,
+     "needs an integer (0 = singles only)", kHintK,
+     "ring-scale start set: plant every k-th corruption pair (0 = off)",
+     kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.explorePairStride)) {
+         return "--pair-stride needs an integer (0 = singles only)";
+       }
+       return std::nullopt;
+     }},
+    {"triple-stride", kExploreBit, "is an explore flag", true,
+     "needs an integer (0 = no triples)", kHintK,
+     "ring-scale start set: plant every k-th corruption triple (0 = off)",
+     kSecExplore,
+     +[](CliOptions& o, const std::string& v) -> std::optional<std::string> {
+       if (!parseNumber(v, o.exploreTripleStride)) {
+         return "--triple-stride needs an integer (0 = no triples)";
+       }
+       return std::nullopt;
+     }},
+    {"orbit-close", kExploreBit, "is an explore flag", false, nullptr, nullptr,
+     "ring-scale start set: close the starts under the ring's dihedral "
+     "group (the symmetry quotient then folds ~2n concrete states per "
+     "representative)",
+     kSecExplore,
+     +[](CliOptions& o, const std::string&) -> std::optional<std::string> {
+       o.exploreOrbitClose = true;
+       return std::nullopt;
+     }},
 
     // -- campaign -------------------------------------------------------------
     {"steps", kCampaignBit, "is a campaign flag (snapfwd_cli campaign ...)",

@@ -54,6 +54,15 @@ struct CliOptions {
   std::uint64_t exploreMaxStates = 1'000'000;  // --max-states
   std::size_t exploreMaxChoices = 256;         // --max-choices per state
   std::string exploreCodec = "text";           // --codec=text|binary
+  std::string exploreReduction = "none";       // --reduction=none|symmetry|por|both
+  std::string exploreStore = "ram";            // --store=ram|spill
+  std::string exploreSpillDir;                 // --spill-dir (default $TMPDIR)
+  std::uint64_t exploreMemBudget = 0;          // --mem-budget bytes (0 = off)
+  bool exploreCompress = false;                // --compress-states
+  bool exploreAllowTruncation = false;         // --allow-truncation
+  std::uint64_t explorePairStride = 0;         // --pair-stride (ring-scale)
+  std::uint64_t exploreTripleStride = 0;       // --triple-stride (ring-scale)
+  bool exploreOrbitClose = false;              // --orbit-close (ring-scale)
 
   // Tooling (SSMFP stack only):
   std::string snapshotOut;  // write the initial configuration to this file

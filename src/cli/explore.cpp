@@ -56,6 +56,13 @@ void renderStats(std::ostream& out, std::string_view model,
   table.addRow({"model", std::string(model)});
   table.addRow({"daemon closure", toString(options.closure)});
   table.addRow({"state codec", toString(result.stats.codecUsed)});
+  table.addRow({"reduction", std::string(toString(options.reduction)) +
+                                (result.stats.reductionFellBack
+                                     ? " (fell back)"
+                                     : "")});
+  table.addRow({"store", toString(result.stats.spillActivated
+                                      ? explore::StoreKind::kSpill
+                                      : explore::StoreKind::kRam)});
   table.addRow({"threads", Table::num(std::uint64_t{options.threads})});
   table.addRow({"start states", Table::num(result.stats.startStates)});
   table.addRow({"visited states", Table::num(result.stats.visited)});
@@ -66,6 +73,19 @@ void renderStats(std::ostream& out, std::string_view model,
   table.addRow({"truncated states", Table::num(result.stats.truncatedStates)});
   table.addRow({"terminal states", Table::num(result.stats.terminalStates)});
   table.addRow({"max progress count", Table::num(result.stats.maxProgressCount)});
+  if (result.stats.symGroupSize > 1) {
+    table.addRow({"symmetry group", Table::num(result.stats.symGroupSize)});
+    table.addRow({"symmetry folds", Table::num(result.stats.symCanonFolds)});
+  }
+  if (result.stats.amplePicks + result.stats.ampleFallbacks > 0) {
+    table.addRow({"ample picks", Table::num(result.stats.amplePicks)});
+    table.addRow({"ample fallbacks", Table::num(result.stats.ampleFallbacks)});
+  }
+  table.addRow({"resident bytes", Table::num(result.stats.residentBytes)});
+  table.addRow({"spill bytes", Table::num(result.stats.spillBytes)});
+  if (result.stats.peakRssBytes > 0) {
+    table.addRow({"peak RSS bytes", Table::num(result.stats.peakRssBytes)});
+  }
   table.addRow({"exhausted (closure proof)", Table::yesNo(result.stats.exhausted)});
   table.addRow({"violations", Table::num(std::uint64_t{result.violations.size()})});
   table.addRow({"seconds", Table::num(seconds, 2)});
@@ -86,6 +106,12 @@ int runExploreCommand(const CliOptions& options, std::ostream& out,
   exploreOptions.threads = resolveThreadCount(options.sweepThreads);
   exploreOptions.codec =
       *parseEnum<explore::StateCodec>(options.exploreCodec);  // parse-validated
+  exploreOptions.reduction =
+      *parseEnum<explore::Reduction>(options.exploreReduction);
+  exploreOptions.store = *parseEnum<explore::StoreKind>(options.exploreStore);
+  exploreOptions.spillDir = options.exploreSpillDir;
+  exploreOptions.memBudgetBytes = options.exploreMemBudget;
+  exploreOptions.compressStates = options.exploreCompress;
 
   std::unique_ptr<explore::ExploreModel> model;
   explore::SsmfpExploreModel* ssmfpModel = nullptr;
@@ -98,9 +124,28 @@ int runExploreCommand(const CliOptions& options, std::ostream& out,
       model = family->figure2CorruptionModel();
     } else if (startSet == "figure2-clean") {
       model = family->figure2CleanModel();
+    } else if (startSet == "ring-scale") {
+      if (family->id != ForwardingFamilyId::kSsmfp) {
+        err << "error: start set 'ring-scale' is only available for "
+               "--model=ssmfp\n";
+        return 2;
+      }
+      if (options.config.topo.n < 3 || options.config.topo.n % 2 == 0) {
+        err << "error: --start-set=ring-scale needs an odd ring size >= 3 "
+               "(pass --n=5, --n=7, ...)\n";
+        return 2;
+      }
+      explore::RingScaleSpec spec;
+      spec.n = options.config.topo.n;
+      spec.pairStride = options.explorePairStride;
+      spec.tripleStride = options.exploreTripleStride;
+      spec.orbitClose = options.exploreOrbitClose;
+      spec.withSend = true;
+      model = std::make_unique<explore::SsmfpExploreModel>(
+          explore::SsmfpExploreModel::ringScaleClosure(spec));
     } else {
       err << "error: unknown " << family->name << " start set '" << startSet
-          << "' (figure2-corruptions | figure2-clean)\n";
+          << "' (figure2-corruptions | figure2-clean | ring-scale [ssmfp])\n";
       return 2;
     }
     if (family->id == ForwardingFamilyId::kSsmfp) {
@@ -160,7 +205,18 @@ int runExploreCommand(const CliOptions& options, std::ostream& out,
       out << "jsonl written to " << options.jsonlOut << "\n";
     }
   }
-  return result.clean() ? 0 : 1;
+  if (!result.clean()) return 1;
+  // A clean run that did NOT close the state space (move/state/depth bounds
+  // truncated it) proves nothing - refuse the 0 exit unless the caller
+  // explicitly opted in. CI differentials gate on this.
+  if (!result.stats.exhausted && !options.exploreAllowTruncation) {
+    err << "error: closure truncated (visited " << result.stats.visited
+        << " states, " << result.stats.truncatedStates
+        << " move-capped); not a closure proof. Raise --max-states/"
+           "--max-choices/--depth or pass --allow-truncation.\n";
+    return 3;
+  }
+  return 0;
 }
 
 }  // namespace snapfwd::cli

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <limits>
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
@@ -13,6 +16,7 @@
 #include "explore/canon.hpp"
 #include "stats/jsonl.hpp"
 #include "util/arena.hpp"
+#include "util/rle0.hpp"
 #include "util/thread_pool.hpp"
 
 namespace snapfwd::explore {
@@ -29,6 +33,26 @@ void ModelInstance::undoToRestored() {
   throw std::logic_error("ModelInstance::undoToRestored: binary codec unsupported");
 }
 
+void ModelInstance::encodePermutedState(const Perm&, StateCodec, std::string&) {
+  throw std::logic_error(
+      "ModelInstance::encodePermutedState: permuted encode unsupported");
+}
+
+const std::vector<Perm>& ExploreModel::symmetryGenerators() const {
+  static const std::vector<Perm> kEmpty;
+  return kEmpty;
+}
+
+StepSelection ExploreModel::permuteSelection(const StepSelection& sel,
+                                             const Perm& perm) const {
+  StepSelection out = sel;
+  out.p = perm[sel.p];
+  if (sel.action.dest != kNoNode && sel.action.dest < perm.size()) {
+    out.action.dest = perm[sel.action.dest];
+  }
+  return out;
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -39,19 +63,31 @@ namespace {
 // Dedup is hash + byte-compare with per-hash collision chaining, so equal
 // hashes of DIFFERENT states never merge (unlike classic hash compaction).
 // Records double as the BFS tree (parent ref + incoming move) for
-// counterexample-path reconstruction.
+// counterexample-path reconstruction; scale runs can drop the tree
+// (trackPaths=false) and keep only the dedup structure.
+//
+// Out-of-core mode: the shard arenas spill to per-shard unlinked mmap'd
+// files (util/arena.hpp) - the shard index is the top 6 hash bits, so the
+// spill layout is hash-prefix bucketed across 64 files. Spill can start at
+// construction (StoreKind::kSpill) or mid-run at a level boundary when a
+// memory budget trips; either way existing views stay valid.
 // ---------------------------------------------------------------------------
 
 constexpr std::uint32_t kNoRecord = 0xFFFF'FFFFu;
 constexpr std::uint64_t kNoRef = UINT64_MAX;
+constexpr std::uint32_t kIdentityPerm = 0;
 
 struct VisitedRecord {
-  std::string_view bytes;  // arena-interned encoded state
+  std::string_view bytes;  // arena-interned encoded (maybe compressed) state
   Move move;               // the step parent -> this (empty for start states)
   std::uint64_t parentRef = kNoRef;
   std::uint64_t depth = 0;
   std::uint32_t rootIndex = 0;
   std::uint32_t nextSameHash = kNoRecord;  // collision chain within the shard
+  /// Index (into the closed symmetry group) of the permutation that mapped
+  /// the reached configuration to this stored representative - the sigma_i
+  /// of the gamma-folded path reconstruction.
+  std::uint32_t permIndex = kIdentityPerm;
 };
 
 class VisitedSet {
@@ -68,7 +104,7 @@ class VisitedSet {
   /// The losing inserter's `move` is not consumed.
   InsertResult insert(std::uint64_t hash, std::string_view bytes, Move&& move,
                       std::uint64_t parentRef, std::uint32_t rootIndex,
-                      std::uint64_t depth) {
+                      std::uint64_t depth, std::uint32_t permIndex) {
     const std::size_t s = shardOf(hash);
     Shard& shard = shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -81,13 +117,15 @@ class VisitedSet {
         if (rec.nextSameHash == kNoRecord) break;
         idx = rec.nextSameHash;
       }
-      const std::uint32_t fresh =
-          appendLocked(shard, bytes, std::move(move), parentRef, rootIndex, depth);
+      const std::uint32_t fresh = appendLocked(shard, bytes, std::move(move),
+                                               parentRef, rootIndex, depth,
+                                               permIndex);
       shard.records[idx].nextSameHash = fresh;
       return {makeRef(s, fresh), shard.records[fresh].bytes, true};
     }
-    const std::uint32_t fresh =
-        appendLocked(shard, bytes, std::move(move), parentRef, rootIndex, depth);
+    const std::uint32_t fresh = appendLocked(shard, bytes, std::move(move),
+                                             parentRef, rootIndex, depth,
+                                             permIndex);
     it->second = fresh;
     return {makeRef(s, fresh), shard.records[fresh].bytes, true};
   }
@@ -98,6 +136,17 @@ class VisitedSet {
     return shards_[ref >> 32].records[static_cast<std::uint32_t>(ref)];
   }
 
+  /// Routes subsequent arena growth of every shard to spill files under
+  /// `dir`. Returns true iff at least one shard could spill.
+  bool enableSpill(const std::string& dir) {
+    bool any = false;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      any = shard.arena.enableSpill(dir) || any;
+    }
+    return any;
+  }
+
   [[nodiscard]] std::uint64_t storedBytes() const {
     std::uint64_t sum = 0;
     for (const Shard& shard : shards_) sum += shard.arena.storedBytes();
@@ -106,6 +155,16 @@ class VisitedSet {
   [[nodiscard]] std::uint64_t allocatedBytes() const {
     std::uint64_t sum = 0;
     for (const Shard& shard : shards_) sum += shard.arena.allocatedBytes();
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t residentBytes() const {
+    std::uint64_t sum = 0;
+    for (const Shard& shard : shards_) sum += shard.arena.residentBytes();
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t spillBytes() const {
+    std::uint64_t sum = 0;
+    for (const Shard& shard : shards_) sum += shard.arena.spillBytes();
     return sum;
   }
 
@@ -128,14 +187,15 @@ class VisitedSet {
 
   static std::uint32_t appendLocked(Shard& shard, std::string_view bytes,
                                     Move&& move, std::uint64_t parentRef,
-                                    std::uint32_t rootIndex,
-                                    std::uint64_t depth) {
+                                    std::uint32_t rootIndex, std::uint64_t depth,
+                                    std::uint32_t permIndex) {
     VisitedRecord rec;
     rec.bytes = shard.arena.intern(bytes);
     rec.move = std::move(move);
     rec.parentRef = parentRef;
     rec.rootIndex = rootIndex;
     rec.depth = depth;
+    rec.permIndex = permIndex;
     shard.records.push_back(std::move(rec));
     return static_cast<std::uint32_t>(shard.records.size() - 1);
   }
@@ -154,7 +214,8 @@ struct FrontierItem {
 };
 
 /// A violation as recorded during expansion, before path reconstruction.
-/// `state` is always canonical TEXT (recovered via serialize() at detection
+/// `state` is always canonical TEXT (recovered via serialize() - or the
+/// orbit representative's permuted text under symmetry - at detection
 /// time), whatever codec the run stores.
 struct RawViolation {
   ModelViolation what;
@@ -225,6 +286,32 @@ void pushActionCombinations(const std::vector<const EnabledProcessor*>& entries,
   }
 }
 
+/// Peak resident set size of this process, in bytes, where the platform
+/// reports it (Linux VmHWM). Accounting only.
+std::uint64_t processPeakRssBytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string key;
+  while (status >> key) {
+    if (key == "VmHWM:") {
+      std::uint64_t kb = 0;
+      status >> kb;
+      return kb * 1024;
+    }
+    status.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  }
+#endif
+  return 0;
+}
+
+std::string resolveSpillDir(const std::string& requested) {
+  if (!requested.empty()) return requested;
+  if (const char* tmp = std::getenv("TMPDIR"); tmp != nullptr && *tmp != '\0') {
+    return tmp;
+  }
+  return "/tmp";
+}
+
 }  // namespace
 
 void enumerateMovesFromEnabled(const std::vector<EnabledProcessor>& enabled,
@@ -288,6 +375,9 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
   std::atomic<std::uint64_t> dedupHits{0};
   std::atomic<std::uint64_t> truncatedStates{0};
   std::atomic<std::uint64_t> terminalStates{0};
+  std::atomic<std::uint64_t> symCanonFolds{0};
+  std::atomic<std::uint64_t> amplePicks{0};
+  std::atomic<std::uint64_t> ampleFallbacks{0};
   std::atomic<bool> boundHit{false};
   std::uint64_t maxProgress = 0;
   std::uint64_t depthReached = 0;
@@ -309,28 +399,144 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
   }
   result.stats.codecUsed = codec;
 
+  // -- Resolve the reduction axes -------------------------------------------
+  const bool wantSymmetry = options.reduction == Reduction::kSymmetry ||
+                            options.reduction == Reduction::kBoth;
+  const bool wantPor = options.reduction == Reduction::kPor ||
+                       options.reduction == Reduction::kBoth;
+
+  // Symmetry: close the generator set and probe permuted-encode support.
+  // Any missing piece falls back loudly to the unreduced axis.
+  std::vector<Perm> group;
+  if (wantSymmetry && !starts.empty()) {
+    if (!model.load(starts.front())->supportsPermutedEncode()) {
+      result.stats.reductionFellBack = true;
+      std::cerr << "warning: model '" << model.name()
+                << "' has no permuted state encode; symmetry reduction fell "
+                   "back to none\n";
+    } else if (model.symmetryGenerators().empty()) {
+      result.stats.reductionFellBack = true;
+      std::cerr << "warning: model '" << model.name()
+                << "' supplies no symmetry generators; symmetry reduction "
+                   "fell back to none\n";
+    } else {
+      group = closeGroup(model.symmetryGenerators());
+      constexpr std::size_t kGroupCap = 20160;
+      if (group.size() >= kGroupCap) {
+        result.stats.reductionFellBack = true;
+        std::cerr << "warning: symmetry group of model '" << model.name()
+                  << "' exceeds " << kGroupCap
+                  << " elements; symmetry reduction fell back to none\n";
+        group.clear();
+      }
+    }
+  }
+  const bool symActive = group.size() > 1;
+  result.stats.symGroupSize = symActive ? group.size() : 1;
+
+  // POR: needs the structure graph for the independence check, and is a
+  // no-op under the synchronous closure (all enabled processors step as one
+  // move - there are no interleavings to prune).
+  const Graph* structGraph = wantPor ? model.structureGraph() : nullptr;
+  if (wantPor && structGraph == nullptr) {
+    result.stats.reductionFellBack = true;
+    std::cerr << "warning: model '" << model.name()
+              << "' supplies no structure graph; partial-order reduction "
+                 "fell back to none\n";
+  }
+  const bool porActive = wantPor && structGraph != nullptr &&
+                         options.closure != DaemonClosure::kSynchronous;
+
+  // All-pairs distances for the ample independence test (graphs here are
+  // protocol topologies - tens of nodes, not state spaces).
+  std::vector<std::vector<std::uint32_t>> dist;
+  if (porActive) {
+    dist.reserve(structGraph->size());
+    for (NodeId p = 0; p < structGraph->size(); ++p) {
+      dist.push_back(structGraph->bfsDistances(p));
+    }
+  }
+
+  // -- Store placement ------------------------------------------------------
+  const std::string spillDir = resolveSpillDir(options.spillDir);
+  std::uint64_t memBudget = options.memBudgetBytes;
+  bool spilling = false;
+  if (options.store == StoreKind::kSpill) {
+    spilling = visited.enableSpill(spillDir);
+    if (!spilling) {
+      std::cerr << "warning: could not open spill files under '" << spillDir
+                << "'; visited set stays in RAM\n";
+    }
+  }
+
+  // -- Canonicalization -----------------------------------------------------
+  // Encodes the instance's current configuration into `out` (orbit-minimal
+  // under `group` when symmetry is active, optionally rle0-compressed) and
+  // returns the index of the canonicalizing permutation.
+  const auto encodeCurrent = [codec](ModelInstance& inst, std::string& out) {
+    if (codec == StateCodec::kBinary) {
+      inst.encodeState(out);
+    } else {
+      out += inst.serialize();
+    }
+  };
+  const auto canonicalize = [&](ModelInstance& inst, std::string& out,
+                                std::string& trial) -> std::uint32_t {
+    out.clear();
+    encodeCurrent(inst, out);
+    std::uint32_t best = kIdentityPerm;
+    if (symActive) {
+      for (std::uint32_t i = 1; i < group.size(); ++i) {
+        trial.clear();
+        inst.encodePermutedState(group[i], codec, trial);
+        if (trial < out) {
+          out.swap(trial);
+          best = i;
+        }
+      }
+    }
+    if (options.compressStates) {
+      trial.clear();
+      rle0Compress(out, trial);
+      out.swap(trial);
+    }
+    return best;
+  };
+  // The raw (uncompressed) bytes an instance must be loaded/restored from.
+  const auto rawBytes = [&](std::string_view stored,
+                            std::string& scratch) -> std::string_view {
+    if (!options.compressStates) return stored;
+    scratch.clear();
+    const bool ok = rle0Decompress(stored, scratch);
+    assert(ok);
+    (void)ok;
+    return scratch;
+  };
+
   // Seed level 0: dedupe the start set itself and run the state checks on
   // every distinct start. Serial; instances are loaded per start anyway.
   std::string seedScratch;
+  std::string seedTrial;
   for (std::size_t i = 0; i < starts.size(); ++i) {
     std::unique_ptr<ModelInstance> inst;
+    std::uint32_t perm = kIdentityPerm;
     std::string_view bytes;
-    if (codec == StateCodec::kBinary) {
-      inst = model.load(starts[i]);
-      seedScratch.clear();
-      inst->encodeState(seedScratch);
-      bytes = seedScratch;
+    if (codec == StateCodec::kText && !symActive && !options.compressStates) {
+      bytes = starts[i];  // start texts are already canonical serializations
     } else {
-      bytes = starts[i];
+      inst = model.load(starts[i]);
+      perm = canonicalize(*inst, seedScratch, seedTrial);
+      bytes = seedScratch;
     }
     const std::uint64_t h = hash64(bytes);
     const auto ins = visited.insert(h, bytes, Move{}, kNoRef,
-                                    static_cast<std::uint32_t>(i), 0);
+                                    static_cast<std::uint32_t>(i), 0, perm);
     if (!ins.fresh) {
       ++dedupHits;
       continue;
     }
     ++visitedCount;
+    if (perm != kIdentityPerm) ++symCanonFolds;
     if (inst == nullptr) inst = model.load(starts[i]);
     maxProgress = std::max(maxProgress, inst->progressCount());
     if (auto v = inst->checkState()) {
@@ -369,21 +575,125 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
     next.push_back({ins.ref, ins.bytes, item.rootIndex, item.depth + 1});
   };
 
+  // -- Move planning (shared by both expansion paths) -----------------------
+  // Enumerates the moves to expand from the instance's current state.
+  // Without POR this is exactly the PR-4 semantics: one enumerateMoves call
+  // under options.closure. With POR, the central singleton enumeration
+  // derives the enabled set; if an "ample" processor exists (all its
+  // selections invisible, every other enabled processor at structure
+  // distance >= 2, i.e. provably independent under the radius-1 access
+  // contract) only its singleton moves are expanded. The cycle proviso:
+  // if ANY ample successor was already visited, the state re-expands its
+  // FULL move set (minus the already-applied ample singletons), so no
+  // cycle can indefinitely defer a pruned move (the "ignoring problem").
+  struct MovePlan {
+    bool terminal = false;
+    bool usedAmple = false;
+    NodeId amplePick = kNoNode;
+  };
+  const auto planMoves = [&](ModelInstance& inst, std::vector<Move>& moves,
+                             bool& truncated) -> MovePlan {
+    MovePlan plan;
+    if (!porActive) {
+      inst.enumerateMoves(options.closure, options.maxMovesPerState, moves,
+                          truncated);
+      plan.terminal = moves.empty();
+      return plan;
+    }
+    std::vector<Move> central;
+    bool centralTruncated = false;
+    inst.enumerateMoves(DaemonClosure::kCentral, options.maxMovesPerState,
+                        central, centralTruncated);
+    if (central.empty()) {
+      plan.terminal = true;
+      moves.clear();
+      truncated = centralTruncated;
+      return plan;
+    }
+    if (!centralTruncated) {
+      // Enabled processors and their visibility, aggregated over the
+      // singleton moves (a processor may appear in several layers - merge,
+      // or a visible layer could hide behind an invisible one).
+      NodeId pick = kNoNode;
+      std::vector<NodeId> enabled;
+      std::vector<bool> allInvisible;
+      for (const Move& m : central) {
+        const NodeId p = m.front().p;
+        std::size_t at = enabled.size();
+        for (std::size_t c = 0; c < enabled.size(); ++c) {
+          if (enabled[c] == p) {
+            at = c;
+            break;
+          }
+        }
+        if (at == enabled.size()) {
+          enabled.push_back(p);
+          allInvisible.push_back(true);
+        }
+        if (model.selectionVisible(m.front())) allInvisible[at] = false;
+      }
+      for (std::size_t c = 0; c < enabled.size() && pick == kNoNode; ++c) {
+        if (!allInvisible[c]) continue;
+        bool independent = true;
+        for (const NodeId q : enabled) {
+          if (q == enabled[c]) continue;
+          if (enabled[c] >= dist.size() || q >= dist[enabled[c]].size() ||
+              dist[enabled[c]][q] < 2) {
+            independent = false;
+            break;
+          }
+        }
+        if (independent) pick = enabled[c];
+      }
+      if (pick != kNoNode) {
+        moves.clear();
+        for (Move& m : central) {
+          if (m.front().p == pick) moves.push_back(std::move(m));
+        }
+        truncated = false;
+        plan.usedAmple = true;
+        plan.amplePick = pick;
+        return plan;
+      }
+    }
+    // No ample processor (or the enabled set itself overflowed the move
+    // bound): full expansion under the requested closure.
+    if (options.closure == DaemonClosure::kCentral) {
+      moves = std::move(central);
+      truncated = centralTruncated;
+    } else {
+      inst.enumerateMoves(options.closure, options.maxMovesPerState, moves,
+                          truncated);
+    }
+    return plan;
+  };
+
+  // The proviso's second pass: the full move set minus the ample singletons
+  // already applied.
+  const auto fullMinusAmple = [&](ModelInstance& inst, NodeId amplePick,
+                                  std::vector<Move>& moves, bool& truncated) {
+    inst.enumerateMoves(options.closure, options.maxMovesPerState, moves,
+                        truncated);
+    std::erase_if(moves, [&](const Move& m) {
+      return m.size() == 1 && m.front().p == amplePick;
+    });
+  };
+
   // Textual path: the PR-4 semantics - one instance to enumerate, one
   // fresh instance per successor, full canonical re-serialization.
   const auto expandItemText = [&](const FrontierItem& item,
                                   std::vector<FrontierItem>& next) {
-    const std::string parentText(item.bytes);
+    std::string rawScratch;
+    const std::string parentText(rawBytes(item.bytes, rawScratch));
     auto inst = model.load(parentText);
     std::vector<Move> moves;
     bool truncated = false;
-    inst->enumerateMoves(options.closure, options.maxMovesPerState, moves,
-                         truncated);
+    MovePlan plan = planMoves(*inst, moves, truncated);
     if (truncated) {
       ++truncatedStates;
       boundHit = true;
     }
-    if (moves.empty()) {
+    if (plan.terminal) {
       ++terminalStates;
       if (auto v = inst->checkTerminal()) {
         std::lock_guard<std::mutex> lock(accumMutex);
@@ -392,24 +702,59 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
       }
       return;
     }
-    for (Move& move : moves) {
+    std::string canonScratch;
+    std::string canonTrial;
+    bool sawDedup = false;
+    const auto expandMove = [&](Move& move) {
       ++transitions;
       auto child = model.load(parentText);
       const bool applied = child->apply(move);
       assert(applied);
-      if (!applied) continue;
-      std::string text = child->serialize();
-      const std::uint64_t h = hash64(text);
-      auto ins = visited.insert(h, text, std::move(move), item.ref,
-                                item.rootIndex, item.depth + 1);
+      if (!applied) return;
+      const std::uint32_t perm = canonicalize(*child, canonScratch, canonTrial);
+      const std::uint64_t h = hash64(canonScratch);
+      Move stored = options.trackPaths ? std::move(move) : Move{};
+      auto ins = visited.insert(h, canonScratch, std::move(stored),
+                                options.trackPaths ? item.ref : kNoRef,
+                                item.rootIndex, item.depth + 1, perm);
       if (!ins.fresh) {
         ++dedupHits;
-        continue;
+        sawDedup = true;
+        return;
       }
       ++visitedCount;
+      if (perm != kIdentityPerm) ++symCanonFolds;
       const std::uint64_t progress = child->progressCount();
       auto v = child->checkState();
-      recordChild(item, std::move(v), progress, std::move(text), next, ins, h);
+      std::string violText;
+      if (v) {
+        violText = symActive && perm != kIdentityPerm
+                       ? [&] {
+                           std::string t;
+                           child->encodePermutedState(group[perm],
+                                                      StateCodec::kText, t);
+                           return t;
+                         }()
+                       : child->serialize();
+      }
+      recordChild(item, std::move(v), progress, std::move(violText), next, ins,
+                  h);
+    };
+    for (Move& move : moves) expandMove(move);
+    if (plan.usedAmple) {
+      if (sawDedup) {
+        ++ampleFallbacks;
+        std::vector<Move> rest;
+        bool restTruncated = false;
+        fullMinusAmple(*inst, plan.amplePick, rest, restTruncated);
+        if (restTruncated) {
+          ++truncatedStates;
+          boundHit = true;
+        }
+        for (Move& move : rest) expandMove(move);
+      } else {
+        ++amplePicks;
+      }
     }
   };
 
@@ -421,16 +766,16 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
   const auto expandItemBinary = [&](const FrontierItem& item,
                                     std::vector<FrontierItem>& next,
                                     ModelInstance& inst, std::string& scratch,
+                                    std::string& trial, std::string& raw,
                                     std::vector<Move>& moves) {
-    inst.restoreState(item.bytes);
+    inst.restoreState(rawBytes(item.bytes, raw));
     bool truncated = false;
-    inst.enumerateMoves(options.closure, options.maxMovesPerState, moves,
-                        truncated);
+    MovePlan plan = planMoves(inst, moves, truncated);
     if (truncated) {
       ++truncatedStates;
       boundHit = true;
     }
-    if (moves.empty()) {
+    if (plan.terminal) {
       ++terminalStates;
       if (auto v = inst.checkTerminal()) {
         std::string text = inst.serialize();
@@ -440,31 +785,57 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
       }
       return;
     }
-    for (Move& move : moves) {
+    bool sawDedup = false;
+    const auto expandMove = [&](Move& move) {
       ++transitions;
       const bool applied = inst.apply(move);
       assert(applied);
-      if (!applied) continue;  // not enabled here: state unchanged, no undo
-      scratch.clear();
-      inst.encodeState(scratch);
+      if (!applied) return;  // not enabled here: state unchanged, no undo
+      const std::uint32_t perm = canonicalize(inst, scratch, trial);
       const std::uint64_t h = hash64(scratch);
-      auto ins = visited.insert(h, scratch, std::move(move), item.ref,
-                                item.rootIndex, item.depth + 1);
+      Move stored = options.trackPaths ? std::move(move) : Move{};
+      auto ins = visited.insert(h, scratch, std::move(stored),
+                                options.trackPaths ? item.ref : kNoRef,
+                                item.rootIndex, item.depth + 1, perm);
       if (!ins.fresh) {
         ++dedupHits;
+        sawDedup = true;
         inst.undoToRestored();
-        continue;
+        return;
       }
       ++visitedCount;
+      if (perm != kIdentityPerm) ++symCanonFolds;
       const std::uint64_t progress = inst.progressCount();
       auto v = inst.checkState();
       // The counterexample report needs the canonical text; recover it now,
       // while the instance still holds the violating configuration.
       std::string violText;
-      if (v) violText = inst.serialize();
+      if (v) {
+        if (symActive && perm != kIdentityPerm) {
+          inst.encodePermutedState(group[perm], StateCodec::kText, violText);
+        } else {
+          violText = inst.serialize();
+        }
+      }
       inst.undoToRestored();
       recordChild(item, std::move(v), progress, std::move(violText), next, ins,
                   h);
+    };
+    for (Move& move : moves) expandMove(move);
+    if (plan.usedAmple) {
+      if (sawDedup) {
+        ++ampleFallbacks;
+        std::vector<Move> rest;
+        bool restTruncated = false;
+        fullMinusAmple(inst, plan.amplePick, rest, restTruncated);
+        if (restTruncated) {
+          ++truncatedStates;
+          boundHit = true;
+        }
+        for (Move& move : rest) expandMove(move);
+      } else {
+        ++amplePicks;
+      }
     }
   };
 
@@ -475,9 +846,11 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
     if (codec == StateCodec::kBinary) {
       auto inst = instances.acquire();
       std::string scratch;
+      std::string trial;
+      std::string raw;
       std::vector<Move> moves;
       for (std::size_t i = begin; i < end; ++i) {
-        expandItemBinary(frontier[i], next, *inst, scratch, moves);
+        expandItemBinary(frontier[i], next, *inst, scratch, trial, raw, moves);
       }
       instances.release(std::move(inst));
     } else {
@@ -490,6 +863,24 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
   while (!frontier.empty()) {
     result.stats.frontierPeak =
         std::max<std::uint64_t>(result.stats.frontierPeak, frontier.size());
+    result.stats.frontierPeakBytes = std::max<std::uint64_t>(
+        result.stats.frontierPeakBytes, frontier.size() * sizeof(FrontierItem));
+    // Memory budget (soft): when the resident visited set + frontier
+    // bookkeeping cross the cap, switch the arenas to spill growth instead
+    // of OOMing. Level boundaries are single-threaded, so no lock dance.
+    if (!spilling && memBudget > 0) {
+      const std::uint64_t resident = visited.residentBytes() +
+                                     frontier.size() * sizeof(FrontierItem);
+      if (resident > memBudget) {
+        spilling = visited.enableSpill(spillDir);
+        if (!spilling) {
+          std::cerr << "warning: memory budget exceeded but spill unavailable "
+                       "under '"
+                    << spillDir << "'; continuing in RAM\n";
+          memBudget = 0;  // do not retry every level
+        }
+      }
+    }
     std::vector<FrontierItem> next;
     if (pool != nullptr && options.threads > 1 && frontier.size() > 1) {
       pool->parallelForRange(
@@ -516,6 +907,13 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
   result.stats.exhausted = !boundHit.load() && rawViolations.empty();
   result.stats.stateBytes = visited.storedBytes();
   result.stats.arenaBytes = visited.allocatedBytes();
+  result.stats.residentBytes = visited.residentBytes();
+  result.stats.spillBytes = visited.spillBytes();
+  result.stats.spillActivated = spilling;
+  result.stats.symCanonFolds = symCanonFolds.load();
+  result.stats.amplePicks = amplePicks.load();
+  result.stats.ampleFallbacks = ampleFallbacks.load();
+  result.stats.peakRssBytes = processPeakRssBytes();
 
   // Deterministic violation order regardless of worker interleaving.
   std::sort(rawViolations.begin(), rawViolations.end(),
@@ -533,18 +931,51 @@ ExploreResult explore(const ExploreModel& model, const ExploreOptions& options,
     violation.rootState = starts[raw.rootIndex];
     violation.violatingState = std::move(raw.state);
     violation.stateHash = raw.hash;
-    // Walk the BFS tree back to the start state. Parent refs may differ
-    // between runs (first-inserter-wins), but any recorded path is a valid
-    // schedule of the same length (BFS depth is order-independent).
-    std::uint64_t cursor = raw.ref;
-    while (true) {
-      const VisitedRecord& rec = visited.record(cursor);
-      if (rec.depth == 0) break;
-      violation.path.push_back(rec.move);
-      cursor = rec.parentRef;
+    if (options.trackPaths) {
+      // Walk the BFS tree back to the start state. Parent refs may differ
+      // between runs (first-inserter-wins), but any recorded path is a
+      // valid schedule of the same length (BFS depth is order-independent).
+      std::uint64_t cursor = raw.ref;
+      std::vector<const VisitedRecord*> chain;
+      while (true) {
+        const VisitedRecord& rec = visited.record(cursor);
+        chain.push_back(&rec);
+        if (rec.depth == 0) break;
+        cursor = rec.parentRef;
+      }
+      std::reverse(chain.begin(), chain.end());  // root first
+      if (!symActive) {
+        for (std::size_t i = 1; i < chain.size(); ++i) {
+          violation.path.push_back(chain[i]->move);
+        }
+      } else {
+        // Gamma folding: stored moves live in each parent REPRESENTATIVE's
+        // frame; conjugate step i by the inverse of the accumulated
+        // canonicalizing permutation so the whole path replays from the
+        // ROOT representative. gammaInv_0 = id; emitted move i =
+        // gammaInv_{i-1}(move_i); gammaInv_i = gammaInv_{i-1} o sigma_i^-1.
+        Perm gammaInv = identityPerm(group.front().size());
+        for (std::size_t i = 1; i < chain.size(); ++i) {
+          Move mapped;
+          mapped.reserve(chain[i]->move.size());
+          for (const StepSelection& sel : chain[i]->move) {
+            mapped.push_back(model.permuteSelection(sel, gammaInv));
+          }
+          violation.path.push_back(std::move(mapped));
+          gammaInv = composePerm(gammaInv, invertPerm(group[chain[i]->permIndex]));
+        }
+        // The replayable root is the ROOT REPRESENTATIVE, not the original
+        // start: re-render the start through its canonicalizing sigma_0.
+        if (chain.front()->permIndex != kIdentityPerm) {
+          auto rootInst = model.load(starts[raw.rootIndex]);
+          std::string repText;
+          rootInst->encodePermutedState(group[chain.front()->permIndex],
+                                        StateCodec::kText, repText);
+          violation.rootState = std::move(repText);
+        }
+      }
+      assert(violation.path.size() == violation.depth);
     }
-    std::reverse(violation.path.begin(), violation.path.end());
-    assert(violation.path.size() == violation.depth);
     result.violations.push_back(std::move(violation));
   }
   return result;
@@ -560,6 +991,13 @@ void writeExploreJsonl(std::ostream& out, std::string_view modelName,
     o.field("closure", toString(options.closure));
     o.field("codec", toString(result.stats.codecUsed));
     o.field("codec_fallback", result.stats.codecFellBack);
+    o.field("reduction", toString(options.reduction));
+    o.field("reduction_fallback", result.stats.reductionFellBack);
+    // Effective store: a --mem-budget run that crossed the cap reports
+    // spill even though it was requested as ram (matches the CLI table).
+    o.field("store", toString(result.stats.spillActivated ? StoreKind::kSpill
+                                                          : StoreKind::kRam));
+    o.field("compress", options.compressStates);
     o.field("max_depth", static_cast<std::uint64_t>(options.maxDepth));
     o.field("max_states", static_cast<std::uint64_t>(options.maxStates));
     o.field("max_moves_per_state",
@@ -576,6 +1014,15 @@ void writeExploreJsonl(std::ostream& out, std::string_view modelName,
     o.field("max_progress", result.stats.maxProgressCount);
     o.field("state_bytes", result.stats.stateBytes);
     o.field("arena_bytes", result.stats.arenaBytes);
+    o.field("resident_bytes", result.stats.residentBytes);
+    o.field("spill_bytes", result.stats.spillBytes);
+    o.field("frontier_peak_bytes", result.stats.frontierPeakBytes);
+    o.field("peak_rss_bytes", result.stats.peakRssBytes);
+    o.field("spill_activated", result.stats.spillActivated);
+    o.field("sym_group", result.stats.symGroupSize);
+    o.field("sym_folds", result.stats.symCanonFolds);
+    o.field("ample_picks", result.stats.amplePicks);
+    o.field("ample_fallbacks", result.stats.ampleFallbacks);
     o.field("exhausted", result.stats.exhausted);
     o.field("violations", static_cast<std::uint64_t>(result.violations.size()));
     writer.write(o);

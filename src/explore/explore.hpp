@@ -38,6 +38,7 @@
 #include "core/action.hpp"
 #include "core/daemon.hpp"
 #include "explore/codec.hpp"  // StateCodec
+#include "explore/symmetry.hpp"  // Perm
 #include "util/names.hpp"
 
 namespace snapfwd {
@@ -61,6 +62,34 @@ enum class DaemonClosure : std::uint8_t {
   kDistributed,
 };
 
+/// Which state-space reductions the explorer applies (opt-in; kNone keeps
+/// the PR-4/PR-5 semantics bit-for-bit and stays the differential anchor).
+///   kSymmetry - orbit canonicalization of processor ids: every state is
+///               stored as the lexicographic minimum over the model's
+///               symmetry group, so whole orbits collapse to one record.
+///   kPor      - partial-order reduction: at states with an "ample"
+///               processor (all its actions invisible, every other enabled
+///               processor at structure-graph distance >= 2), expand only
+///               that processor's moves; a cycle-proviso fallback expands
+///               fully when the ample successors are all already visited.
+///   kBoth     - both of the above.
+enum class Reduction : std::uint8_t {
+  kNone,
+  kSymmetry,
+  kPor,
+  kBoth,
+};
+
+/// Where the visited set's interned state bytes live.
+///   kRam   - anonymous heap chunks (the PR-5 arena).
+///   kSpill - file-backed mmap chunks under ExploreOptions::spillDir,
+///            sealed + kernel-reclaimable once full, so the resident
+///            footprint stays bounded while closures exceed RAM.
+enum class StoreKind : std::uint8_t {
+  kRam,
+  kSpill,
+};
+
 }  // namespace snapfwd::explore
 
 namespace snapfwd {
@@ -70,6 +99,22 @@ struct EnumNames<explore::DaemonClosure> {
       {explore::DaemonClosure::kCentral, "central"},
       {explore::DaemonClosure::kSynchronous, "synchronous"},
       {explore::DaemonClosure::kDistributed, "distributed"},
+  });
+};
+template <>
+struct EnumNames<explore::Reduction> {
+  static constexpr auto entries = std::to_array<NamedEnum<explore::Reduction>>({
+      {explore::Reduction::kNone, "none"},
+      {explore::Reduction::kSymmetry, "symmetry"},
+      {explore::Reduction::kPor, "por"},
+      {explore::Reduction::kBoth, "both"},
+  });
+};
+template <>
+struct EnumNames<explore::StoreKind> {
+  static constexpr auto entries = std::to_array<NamedEnum<explore::StoreKind>>({
+      {explore::StoreKind::kRam, "ram"},
+      {explore::StoreKind::kSpill, "spill"},
   });
 };
 }  // namespace snapfwd
@@ -151,6 +196,22 @@ class ModelInstance {
   /// sections the engine's commit write set names. Exactly one successful
   /// apply() may be outstanding when this is called.
   virtual void undoToRestored();
+
+  // -- Symmetry reduction (symmetry.hpp) ------------------------------------
+  // A model that returns true from supportsPermutedEncode() can render the
+  // image of its current configuration under a processor-id permutation
+  // without mutating itself; the explorer minimizes over the model's
+  // symmetry group to orbit-canonicalize states. The encode must be exact:
+  // encodePermutedState(identity, codec) == serialize() (kText) /
+  // encodeState() (kBinary) byte for byte, and for every group element the
+  // output must equal what serialize()/encodeState() WOULD produce on the
+  // relabeled configuration. Defaults: unsupported / throw.
+
+  [[nodiscard]] virtual bool supportsPermutedEncode() const { return false; }
+  /// Appends the `codec` encoding of the current configuration relabeled by
+  /// `perm` (perm[p] = image of p) to `out`.
+  virtual void encodePermutedState(const Perm& perm, StateCodec codec,
+                                   std::string& out);
 };
 
 struct ExploreOptions {
@@ -173,6 +234,34 @@ struct ExploreOptions {
   /// `codec_fallback` JSONL field), and stats.codecUsed reports what
   /// actually ran.
   StateCodec codec = StateCodec::kText;
+  /// State-space reductions (opt-in; see Reduction). kSymmetry/kBoth need a
+  /// model with symmetry generators AND permuted-encode instances - when
+  /// either is missing the run falls back loudly (stats.reductionFellBack)
+  /// to the unreduced semantics for that axis. kPor is skipped under the
+  /// kSynchronous closure (every enabled processor steps together - no
+  /// interleavings to prune).
+  Reduction reduction = Reduction::kNone;
+  /// Visited-set placement. kSpill needs spillDir; on any file/mmap failure
+  /// the store keeps running from the heap (spill is an optimization, never
+  /// a correctness dependency).
+  StoreKind store = StoreKind::kRam;
+  /// Directory for the (immediately unlinked) spill files. Empty = the
+  /// TMPDIR environment variable, or /tmp.
+  std::string spillDir;
+  /// Soft resident-bytes cap (0 = none). Checked at BFS level boundaries:
+  /// when the visited set + frontier exceed it, a kRam store switches to
+  /// spill (using spillDir) instead of growing the heap further.
+  std::uint64_t memBudgetBytes = 0;
+  /// Store states rle0-compressed (util/rle0.hpp). The compression is
+  /// injective, so dedup merges byte-for-byte the same states; only
+  /// bytes/state changes.
+  bool compressStates = false;
+  /// Keep the per-state incoming move + parent ref (the BFS tree) for
+  /// counterexample paths. Scale runs that only need counts/bounds can
+  /// switch this off and save the dominant non-arena memory. With
+  /// trackPaths=false a violating run still reports the violation, just
+  /// with an empty path.
+  bool trackPaths = true;
 };
 
 struct ExploreStats {
@@ -199,6 +288,38 @@ struct ExploreStats {
   std::uint64_t stateBytes = 0;
   /// Bytes the visited-set arenas reserved from the system (>= stateBytes).
   std::uint64_t arenaBytes = 0;
+
+  // -- Memory accounting (satellite: explore-stats JSONL + CLI table) -------
+  /// Arena bytes still pinned in RAM at the end of the run (heap chunks +
+  /// unsealed spill tails; sealed spill pages are kernel-reclaimable).
+  std::uint64_t residentBytes = 0;
+  /// Arena bytes written to sealed spill-file regions.
+  std::uint64_t spillBytes = 0;
+  /// Peak frontier footprint across levels, in bytes (items + their encoded
+  /// state views; the views alias the arenas, so this is bookkeeping size).
+  std::uint64_t frontierPeakBytes = 0;
+  /// Process peak RSS (VmHWM) observed after the run, when the platform
+  /// exposes it (Linux /proc); 0 elsewhere.
+  std::uint64_t peakRssBytes = 0;
+  /// True iff the store spilled (requested kSpill, or a kRam run crossed
+  /// memBudgetBytes and switched over).
+  bool spillActivated = false;
+
+  // -- Reduction accounting -------------------------------------------------
+  /// Closed symmetry-group size the run canonicalized over (1 = no
+  /// symmetry quotient in effect).
+  std::uint64_t symGroupSize = 1;
+  /// States whose canonical representative used a non-identity permutation
+  /// (each is a state the unreduced run would have stored separately).
+  std::uint64_t symCanonFolds = 0;
+  /// States expanded through an ample set instead of the full move set.
+  std::uint64_t amplePicks = 0;
+  /// Ample expansions the cycle proviso re-expanded to the full move set.
+  std::uint64_t ampleFallbacks = 0;
+  /// True iff a requested reduction axis could not run (no generators, no
+  /// permuted-encode support) and the run silently-for-counts (loudly on
+  /// stderr) proceeded unreduced on that axis.
+  bool reductionFellBack = false;
 };
 
 struct ExploreViolation {
@@ -211,7 +332,14 @@ struct ExploreViolation {
   std::uint64_t stateHash = 0;
   /// The schedule from rootState to violatingState, one Move per step -
   /// replayable via ModelInstance::apply and convertible to a
-  /// ScriptedDaemon script (models.hpp).
+  /// ScriptedDaemon script (models.hpp). Under symmetry reduction the
+  /// stored tree records moves in each parent REPRESENTATIVE's frame; the
+  /// explorer re-expresses them here in the frame of rootState (gamma
+  /// folding: step i is conjugated by the inverse of the accumulated
+  /// canonicalizing permutation), so the path replays verbatim on an
+  /// unreduced instance loaded from rootState. The replay then ends in a
+  /// state EQUIVALENT to violatingState (its orbit representative) with
+  /// the same violation kind. Empty when options.trackPaths was false.
   std::vector<Move> path;
 };
 
@@ -238,6 +366,35 @@ class ExploreModel {
   /// startStates() or ModelInstance::serialize()).
   [[nodiscard]] virtual std::unique_ptr<ModelInstance> load(
       const std::string& state) const = 0;
+
+  // -- Reduction hooks (all optional; defaults = no reduction possible) -----
+
+  /// Symmetry-group generators valid for this model's instances (verified
+  /// automorphisms whose relabeling action the instances implement via
+  /// encodePermutedState). Empty = identity-only group.
+  [[nodiscard]] virtual const std::vector<Perm>& symmetryGenerators() const;
+
+  /// The topology the instances run on, for partial-order independence
+  /// (two processors at graph distance >= 2 have disjoint closed
+  /// neighborhoods, and every protocol layer obeys accessRadius() == 1:
+  /// guards read N[p], commits write p). nullptr = POR unavailable.
+  [[nodiscard]] virtual const Graph* structureGraph() const { return nullptr; }
+
+  /// Whether `sel` can change the truth of the model's checked properties
+  /// or its progress metric (POR "visibility"). Ample sets contain only
+  /// invisible selections. The default claims everything visible, which
+  /// disables POR rather than risking an unsound quotient.
+  [[nodiscard]] virtual bool selectionVisible(
+      const StepSelection& /*sel*/) const {
+    return true;
+  }
+
+  /// The image of `sel` under processor relabeling `perm` - used to
+  /// re-express counterexample paths in the root frame. The default maps
+  /// the processor and the destination operand; models whose rules carry
+  /// processor ids in `aux` (SSMFP's R3 sender) override.
+  [[nodiscard]] virtual StepSelection permuteSelection(const StepSelection& sel,
+                                                       const Perm& perm) const;
 };
 
 /// Shared successor enumeration: expands an engine's enabled set into the

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <span>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "checker/invariants.hpp"
@@ -15,6 +17,7 @@
 #include "graph/builders.hpp"
 #include "pif/pif.hpp"
 #include "routing/selfstab_bfs.hpp"
+#include "sim/runner.hpp"  // TopologySpec
 #include "sim/snapshot.hpp"
 
 namespace snapfwd::explore {
@@ -264,6 +267,108 @@ class SsmfpInstance final : public ModelInstance {
     return invalidDeliveries_;
   }
 
+  [[nodiscard]] bool supportsPermutedEncode() const override { return true; }
+
+  /// Renders the image of the current configuration under processor
+  /// relabeling `perm` by rewriting a lazily-built scratch stack (same
+  /// graph, destinations and policy) and encoding it through the SAME
+  /// canon/codec as the plain paths, so the permuted encode cannot drift
+  /// from serialize()/encodeState().
+  ///
+  /// One wrinkle is the routing diagonal: computeTarget(p, p) breaks its
+  /// tie by neighbor id, so the CORRECT entry at (p, p) is (0, min N_p) - a
+  /// form that is not equivariant under relabeling. Correctness of the
+  /// diagonal (RFix disabled there) is the semantic content, so a correct
+  /// diagonal is rewritten to the image's correct form; a corrupt diagonal
+  /// is copied verbatim; and the one ambiguous case - a corrupt diagonal
+  /// whose verbatim image collides with the image's correct form, which
+  /// would merge inequivalent states - throws. Start sets that never
+  /// corrupt routing (the ring-scale closure) can never hit the throw.
+  void encodePermutedState(const Perm& perm, StateCodec codec,
+                           std::string& out) override {
+    const Graph& graph = *stack_.graph;
+    const std::size_t n = graph.size();
+    if (perm.size() != n) {
+      throw std::logic_error("ssmfp permuted encode: permutation rank mismatch");
+    }
+    if (scratchRouting_ == nullptr) {
+      scratchRouting_ = std::make_unique<SelfStabBfsRouting>(graph);
+      scratchFwd_ = std::make_unique<SsmfpProtocol>(
+          graph, *scratchRouting_, stack_.forwarding->destinations(),
+          stack_.forwarding->choicePolicy());
+    }
+    const SelfStabBfsRouting& src = *stack_.routing;
+    const SsmfpProtocol& fwd = *stack_.forwarding;
+    SelfStabBfsRouting& outRouting = *scratchRouting_;
+    SsmfpProtocol& outFwd = *scratchFwd_;
+    for (NodeId p = 0; p < n; ++p) {
+      for (NodeId d = 0; d < n; ++d) {
+        std::uint32_t dist = src.dist(p, d);
+        NodeId imgParent = src.parent(p, d);
+        if (imgParent < n) imgParent = perm[imgParent];
+        if (p == d && graph.degree(p) > 0) {
+          const bool correct =
+              dist == 0 && src.parent(p, d) == graph.neighbors(p)[0];
+          const NodeId imgCorrectParent = graph.neighbors(perm[p])[0];
+          if (correct) {
+            imgParent = imgCorrectParent;
+          } else if (dist == 0 && imgParent == imgCorrectParent) {
+            throw std::logic_error(
+                "ssmfp permuted encode: corrupt routing diagonal collides "
+                "with the relabeled correct form; this start set is not "
+                "symmetry-reducible");
+          }
+        }
+        outRouting.setEntry(perm[p], perm[d], dist, imgParent);
+      }
+    }
+    const auto permuteMsg = [&](Message m) {
+      if (m.lastHop < n) m.lastHop = perm[m.lastHop];
+      if (m.source < n) m.source = perm[m.source];
+      if (m.dest < n) m.dest = perm[m.dest];
+      return m;
+    };
+    for (NodeId p = 0; p < n; ++p) {
+      outFwd.clearOutboxForRestore(p);
+      for (const NodeId d : fwd.destinations()) {
+        outFwd.clearReceptionForRestore(p, d);
+        outFwd.clearEmissionForRestore(p, d);
+      }
+    }
+    for (NodeId p = 0; p < n; ++p) {
+      for (const NodeId d : fwd.destinations()) {
+        if (const Buffer& r = fwd.bufR(p, d); r.has_value()) {
+          outFwd.restoreReception(perm[p], perm[d], permuteMsg(*r));
+        }
+        if (const Buffer& e = fwd.bufE(p, d); e.has_value()) {
+          outFwd.restoreEmission(perm[p], perm[d], permuteMsg(*e));
+        }
+        std::vector<NodeId> order = fwd.fairnessQueue(p, d);
+        for (NodeId& q : order) q = perm[q];
+        outFwd.setFairnessQueue(perm[p], perm[d], std::move(order));
+      }
+      std::size_t k = 0;
+      fwd.forEachWaiting(p, [&](NodeId dest, Payload payload) {
+        // Trace ids are NOT relabeled: they come from a global counter the
+        // dynamics threads through identically on both sides of the
+        // commuting square.
+        outFwd.restoreOutboxEntry(perm[p], perm[dest], payload,
+                                  fwd.waitingTrace(p, k));
+        ++k;
+      });
+    }
+    outFwd.setNextTraceId(fwd.nextTraceId());
+    if (codec == StateCodec::kBinary) {
+      encodeSsmfpStack(outRouting, outFwd, structHash_, out);
+      putVarint(out, outstanding_.size());
+      for (const TraceId t : outstanding_) putVarint(out, t);
+      putVarint(out, invalidDeliveries_);
+    } else {
+      out += canonSsmfpStack(graph, outRouting, outFwd);
+      out += monitorTail(outstanding_, invalidDeliveries_);
+    }
+  }
+
  private:
   void ingestEvents() {
     ingestForwardingEvents(*stack_.forwarding, genSeen_, delSeen_, outstanding_,
@@ -285,6 +390,12 @@ class SsmfpInstance final : public ModelInstance {
   std::string parentState_;
   std::vector<TraceId> parentOutstanding_;
   std::uint64_t parentInvalidDeliveries_ = 0;
+
+  // Permuted-encode scratch (symmetry reduction): a second stack on the
+  // same structure, fully rewritten per encodePermutedState call. Lazy -
+  // unreduced runs never pay for it.
+  std::unique_ptr<SelfStabBfsRouting> scratchRouting_;
+  std::unique_ptr<SsmfpProtocol> scratchFwd_;
 };
 
 /// The Figure 2 base instance: network N, destination b, one pending send
@@ -500,7 +611,9 @@ SsmfpExploreModel SsmfpExploreModel::figure2Clean(SsmfpGuardMutation mutation) {
   const RestoredStack base = makeFigure2Base();
   std::vector<std::string> starts{
       canonicalStart(*base.graph, *base.routing, *base.forwarding)};
-  return SsmfpExploreModel(std::move(starts), mutation, "ssmfp-figure2");
+  SsmfpExploreModel model(std::move(starts), mutation, "ssmfp-figure2");
+  model.structGraph_ = std::make_shared<const Graph>(*base.graph);
+  return model;
 }
 
 SsmfpExploreModel SsmfpExploreModel::figure2CorruptionClosure(
@@ -572,8 +685,148 @@ SsmfpExploreModel SsmfpExploreModel::figure2CorruptionClosure(
       },
       garbageAxis, queueAxis);
 
-  return SsmfpExploreModel(std::move(starts), mutation,
-                           "ssmfp-figure2-corruptions");
+  SsmfpExploreModel model(std::move(starts), mutation,
+                          "ssmfp-figure2-corruptions");
+  model.structGraph_ = std::make_shared<const Graph>(graph);
+  return model;
+}
+
+bool SsmfpExploreModel::selectionVisible(const StepSelection& sel) const {
+  if (sel.layer == 0) return true;  // routing repairs re-gate the forwarding
+  return sel.action.rule == kR1Generate || sel.action.rule == kR6Consume;
+}
+
+StepSelection SsmfpExploreModel::permuteSelection(const StepSelection& sel,
+                                                  const Perm& perm) const {
+  StepSelection out = ExploreModel::permuteSelection(sel, perm);
+  if (sel.layer == 1 && sel.action.rule == kR3Forward &&
+      sel.action.aux < perm.size()) {
+    out.action.aux = perm[sel.action.aux];  // R3's aux is the sender id
+  }
+  return out;
+}
+
+SsmfpExploreModel SsmfpExploreModel::ringScaleClosure(const RingScaleSpec& spec) {
+  if (spec.n < 3 || spec.n % 2 == 0) {
+    throw std::invalid_argument(
+        "ringScaleClosure: ring size must be odd and >= 3 (even rings break "
+        "tie-break equivariance)");
+  }
+  auto structGraph = std::make_shared<const Graph>(topo::ring(spec.n));
+  const Graph& graph = *structGraph;
+
+  RestoredStack base;
+  base.graph = std::make_unique<Graph>(graph);
+  base.routing = std::make_unique<SelfStabBfsRouting>(*base.graph);
+  base.forwarding = std::make_unique<SsmfpProtocol>(
+      *base.graph, *base.routing, std::vector<NodeId>{});  // all destinations
+  if (spec.withSend) {
+    base.forwarding->send(2 % static_cast<NodeId>(spec.n), 0, 100);
+  }
+  const std::string baseText =
+      canonicalStart(*base.graph, *base.routing, *base.forwarding);
+
+  // The single-corruption planters, in a fixed order so pair/triple
+  // sampling is reproducible: every garbage message (payload 55, every
+  // (p, d, lastHop in N_p u {p}, color <= Delta, buffer side)), then every
+  // fairness-queue rotation. Routing is deliberately NEVER corrupted: the
+  // correct tables are the part of the state whose relabeling is exactly
+  // equivariant on an odd ring (see RingScaleSpec).
+  using Planter = std::function<void(RestoredStack&)>;
+  std::vector<Planter> planters;
+  const Color delta = base.forwarding->delta();
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    std::vector<NodeId> hops = graph.neighbors(p);
+    hops.push_back(p);
+    for (NodeId d = 0; d < graph.size(); ++d) {
+      for (const NodeId lastHop : hops) {
+        for (Color color = 0; color <= delta; ++color) {
+          for (const bool emission : {false, true}) {
+            planters.push_back([p, d, lastHop, color, emission](RestoredStack& stack) {
+              Message garbage;
+              garbage.payload = 55;
+              garbage.lastHop = lastHop;
+              garbage.color = color;
+              garbage.trace = kInvalidTrace;
+              garbage.valid = false;
+              garbage.source = lastHop;
+              garbage.dest = d;
+              if (emission) {
+                stack.forwarding->restoreEmission(p, d, garbage);
+              } else {
+                stack.forwarding->restoreReception(p, d, garbage);
+              }
+            });
+          }
+        }
+      }
+    }
+  }
+  const std::size_t garbageCount = planters.size();
+  for (NodeId p = 0; p < graph.size(); ++p) {
+    for (NodeId d = 0; d < graph.size(); ++d) {
+      for (std::size_t rot = 1; rot <= graph.degree(p); ++rot) {
+        planters.push_back([p, d, rot](RestoredStack& stack) {
+          std::vector<NodeId> order = stack.forwarding->fairnessQueue(p, d);
+          std::rotate(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(rot),
+                      order.end());
+          stack.forwarding->setFairnessQueue(p, d, std::move(order));
+        });
+      }
+    }
+  }
+
+  std::vector<std::string> starts{baseText};
+  const auto emit = [&](std::initializer_list<std::size_t> which) {
+    RestoredStack stack = snapshotFromString(baseText);
+    for (const std::size_t i : which) planters[i](stack);
+    starts.push_back(
+        canonicalStart(*stack.graph, *stack.routing, *stack.forwarding));
+  };
+  for (std::size_t i = 0; i < planters.size(); ++i) emit({i});
+  // Pair / triple plants are sampled over GARBAGE planters only (queue
+  // rotations compose trivially and would just dilute the sample).
+  if (spec.pairStride > 0) {
+    std::size_t counter = 0;
+    for (std::size_t i = 0; i < garbageCount; ++i) {
+      for (std::size_t j = i + 1; j < garbageCount; ++j) {
+        if (counter++ % spec.pairStride == 0) emit({i, j});
+      }
+    }
+  }
+  if (spec.tripleStride > 0) {
+    std::size_t counter = 0;
+    for (std::size_t i = 0; i < garbageCount; ++i) {
+      for (std::size_t j = i + 1; j < garbageCount; ++j) {
+        for (std::size_t k = j + 1; k < garbageCount; ++k) {
+          if (counter++ % spec.tripleStride == 0) emit({i, j, k});
+        }
+      }
+    }
+  }
+
+  if (spec.orbitClose) {
+    const std::vector<Perm> group =
+        closeGroup(topologyAutomorphismGenerators(TopologySpec::ring(spec.n)));
+    std::unordered_set<std::string> seen(starts.begin(), starts.end());
+    const std::size_t original = starts.size();
+    for (std::size_t s = 0; s < original; ++s) {
+      SsmfpInstance inst(starts[s], spec.mutation);
+      std::string image;
+      for (std::size_t g = 1; g < group.size(); ++g) {  // 0 is the identity
+        inst.encodePermutedState(group[g], StateCodec::kText, image);
+        if (seen.insert(image).second) starts.push_back(image);
+      }
+    }
+  }
+
+  std::string name = "ssmfp-ring" + std::to_string(spec.n) + "-scale";
+  SsmfpExploreModel model(std::move(starts), spec.mutation, std::move(name));
+  model.generators_ =
+      topologyAutomorphismGenerators(TopologySpec::ring(spec.n));
+  model.structGraph_ = std::move(structGraph);
+  return model;
 }
 
 // ---------------------------------------------------------------------------
@@ -705,6 +958,11 @@ Ssmfp2ExploreModel Ssmfp2ExploreModel::figure2CorruptionClosure(
 
   return Ssmfp2ExploreModel(graph, {1}, std::move(starts), mutation,
                             "ssmfp2-figure2-corruptions");
+}
+
+bool Ssmfp2ExploreModel::selectionVisible(const StepSelection& sel) const {
+  if (sel.layer == 0) return true;
+  return sel.action.rule == k2R1Generate || sel.action.rule == k2R6Consume;
 }
 
 // ---------------------------------------------------------------------------

@@ -44,6 +44,42 @@ class PifProtocol;
 
 namespace snapfwd::explore {
 
+/// Parameters of the scalable odd-ring corruption closure
+/// (SsmfpExploreModel::ringScaleClosure) - the start set the 10^7-state
+/// scale runs explore with symmetry + POR + spill enabled.
+///
+/// The ring must be ODD: on an even ring the min-id parent tie-break of
+/// the routing layer actually ties at antipodal pairs and breaks
+/// equivariance; on an odd ring shortest paths are unique, so the correct
+/// tables (which this closure never corrupts - only messages and queues)
+/// relabel exactly under the full dihedral group.
+struct RingScaleSpec {
+  /// Ring size; odd, >= 3. Every node is a destination (the paper's "all
+  /// of I" setting), so the whole dihedral group D_n stabilizes the
+  /// destination set.
+  std::size_t n = 5;
+  /// 0 = single-corruption starts only. k >= 1 additionally plants every
+  /// k-th PAIR of single garbage corruptions (lexicographic pair order) -
+  /// the axis that scales the closure from ~10^5 into the 10^7..10^8 range.
+  std::size_t pairStride = 0;
+  /// Same for corruption TRIPLES (coarser; combinatorially enormous, keep
+  /// the stride large).
+  std::size_t tripleStride = 0;
+  /// Queue one pending valid send (payload 100) before corrupting - the
+  /// mutation differentials need a valid message in flight for R2/R4
+  /// weakenings to misdeliver.
+  bool withSend = false;
+  /// Close the start set under the ring's dihedral group (every start also
+  /// planted in all its relabeled images). The default single-corruption
+  /// set is NOT orbit-closed - the fairness queues' base order relabels to
+  /// orders no other start has - so without this the symmetry quotient
+  /// relabels representatives but folds nothing. With it, the unreduced
+  /// space grows ~|G| = 2n while the quotient stays put: the compression
+  /// the symmetry differentials pin.
+  bool orbitClose = false;
+  SsmfpGuardMutation mutation = SsmfpGuardMutation::kNone;
+};
+
 class SsmfpExploreModel final : public ExploreModel {
  public:
   /// `startStates` must be texts produced by canonicalStart() (or instance
@@ -82,10 +118,42 @@ class SsmfpExploreModel final : public ExploreModel {
   [[nodiscard]] static SsmfpExploreModel figure2Clean(
       SsmfpGuardMutation mutation = SsmfpGuardMutation::kNone);
 
+  /// Odd-ring scale closure (see RingScaleSpec): correct routing tables,
+  /// every node a destination, base plus every single garbage-message plant
+  /// (payload 55, every (p, d, lastHop, color, buffer side)), every
+  /// fairness-queue rotation, and stride-sampled pair/triple plants. The
+  /// model carries the ring's dihedral generators and structure graph, so
+  /// reduction=symmetry/por/both engage.
+  [[nodiscard]] static SsmfpExploreModel ringScaleClosure(
+      const RingScaleSpec& spec);
+
+  // -- Reduction hooks ------------------------------------------------------
+  [[nodiscard]] const std::vector<Perm>& symmetryGenerators() const override {
+    return generators_;
+  }
+  [[nodiscard]] const Graph* structureGraph() const override {
+    return structGraph_.get();
+  }
+  /// Routing repairs and the monitor-changing forwarding rules (R1
+  /// generates an outstanding trace, R6 delivers) are visible; the
+  /// buffer-shuffling rules R2-R5 are invisible - their POR soundness rides
+  /// on the ample independence condition plus the quotient-soundness
+  /// differentials.
+  [[nodiscard]] bool selectionVisible(const StepSelection& sel) const override;
+  /// Default relabeling plus R3's aux operand (the sender id).
+  [[nodiscard]] StepSelection permuteSelection(const StepSelection& sel,
+                                               const Perm& perm) const override;
+
  private:
   std::vector<std::string> starts_;
   SsmfpGuardMutation mutation_;
   std::string name_;
+  /// Set by the factories whose topology has known automorphisms
+  /// (ringScaleClosure); empty elsewhere, which keeps symmetry off.
+  std::vector<Perm> generators_;
+  /// Set by factories with a fixed instance topology; shared so the model
+  /// stays copyable.
+  std::shared_ptr<const Graph> structGraph_;
 };
 
 class Ssmfp2ExploreModel final : public ExploreModel {
@@ -123,6 +191,13 @@ class Ssmfp2ExploreModel final : public ExploreModel {
   /// Single clean start (correct tables, empty slots, one pending send).
   [[nodiscard]] static Ssmfp2ExploreModel figure2Clean(
       Ssmfp2GuardMutation mutation = Ssmfp2GuardMutation::kNone);
+
+  // -- Reduction hooks (POR only; the rank-slot family has no permuted
+  // encode, so symmetry falls back loudly) ---------------------------------
+  [[nodiscard]] const Graph* structureGraph() const override { return &graph_; }
+  /// 2R1 (generates) and 2R6 (delivers) change the monitor; everything
+  /// else - including the junk-erasing 2R7/2R8 - is invisible for POR.
+  [[nodiscard]] bool selectionVisible(const StepSelection& sel) const override;
 
  private:
   Graph graph_;

@@ -1,0 +1,192 @@
+#include "explore/symmetry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/builders.hpp"
+#include "sim/runner.hpp"
+
+namespace snapfwd::explore {
+
+Perm identityPerm(std::size_t n) {
+  Perm perm(n);
+  for (std::size_t p = 0; p < n; ++p) perm[p] = static_cast<NodeId>(p);
+  return perm;
+}
+
+Perm composePerm(const Perm& outer, const Perm& inner) {
+  Perm out(inner.size());
+  for (std::size_t p = 0; p < inner.size(); ++p) out[p] = outer[inner[p]];
+  return out;
+}
+
+Perm invertPerm(const Perm& perm) {
+  Perm out(perm.size());
+  for (std::size_t p = 0; p < perm.size(); ++p) out[perm[p]] = static_cast<NodeId>(p);
+  return out;
+}
+
+bool isAutomorphism(const Graph& graph, const Perm& perm) {
+  const std::size_t n = graph.size();
+  if (perm.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (perm[p] >= n || seen[perm[p]]) return false;
+    seen[perm[p]] = true;
+  }
+  for (NodeId p = 0; p < n; ++p) {
+    if (graph.degree(perm[p]) != graph.degree(p)) return false;
+    for (const NodeId q : graph.neighbors(p)) {
+      const auto& img = graph.neighbors(perm[p]);
+      if (!std::binary_search(img.begin(), img.end(), perm[q])) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Perm> closeGroup(const std::vector<Perm>& generators,
+                             std::size_t maxElements) {
+  if (generators.empty()) return {};
+  const std::size_t n = generators.front().size();
+  std::set<Perm> seen;
+  std::vector<Perm> group;
+  std::vector<Perm> queue;
+  const auto push = [&](Perm perm) {
+    if (seen.insert(perm).second) {
+      group.push_back(perm);
+      queue.push_back(std::move(perm));
+    }
+  };
+  push(identityPerm(n));
+  for (const Perm& g : generators) {
+    if (g.size() == n) push(g);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    if (group.size() >= maxElements) break;
+    const Perm current = queue[head];  // copy: queue may reallocate
+    for (const Perm& g : generators) {
+      if (g.size() != n) continue;
+      push(composePerm(g, current));
+      if (group.size() >= maxElements) break;
+    }
+  }
+  return group;
+}
+
+namespace {
+
+/// Keeps only the permutations that really are automorphisms of `graph` -
+/// belt-and-braces for generator constructions with edge cases (n=1 rings,
+/// degenerate tori).
+std::vector<Perm> verified(const Graph& graph, std::vector<Perm> perms) {
+  std::vector<Perm> out;
+  for (Perm& perm : perms) {
+    if (isAutomorphism(graph, perm)) out.push_back(std::move(perm));
+  }
+  return out;
+}
+
+std::vector<Perm> ringGenerators(std::size_t n) {
+  if (n < 3) return {};
+  Perm rotate(n);
+  Perm reflect(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    rotate[p] = static_cast<NodeId>((p + 1) % n);
+    reflect[p] = static_cast<NodeId>((n - p) % n);
+  }
+  return {rotate, reflect};
+}
+
+std::vector<Perm> torusGenerators(std::size_t rows, std::size_t cols) {
+  if (rows < 3 || cols < 3) return {};  // smaller tori collapse to multigraphs
+  const std::size_t n = rows * cols;
+  Perm rowShift(n);
+  Perm colShift(n);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      rowShift[r * cols + c] = static_cast<NodeId>(((r + 1) % rows) * cols + c);
+      colShift[r * cols + c] = static_cast<NodeId>(r * cols + (c + 1) % cols);
+    }
+  }
+  std::vector<Perm> gens{rowShift, colShift};
+  if (rows == cols) {
+    Perm transpose(n);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        transpose[r * cols + c] = static_cast<NodeId>(c * cols + r);
+      }
+    }
+    gens.push_back(std::move(transpose));
+  }
+  return gens;
+}
+
+std::vector<Perm> hypercubeGenerators(std::size_t dims) {
+  if (dims == 0) return {};
+  const std::size_t n = std::size_t{1} << dims;
+  std::vector<Perm> gens;
+  for (std::size_t b = 0; b + 1 < dims; ++b) {
+    Perm swapBits(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t lo = (v >> b) & 1;
+      const std::size_t hi = (v >> (b + 1)) & 1;
+      std::size_t img = v & ~((std::size_t{1} << b) | (std::size_t{1} << (b + 1)));
+      img |= lo << (b + 1);
+      img |= hi << b;
+      swapBits[v] = static_cast<NodeId>(img);
+    }
+    gens.push_back(std::move(swapBits));
+  }
+  Perm flip(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    flip[v] = static_cast<NodeId>(v ^ 1);
+  }
+  gens.push_back(std::move(flip));
+  return gens;
+}
+
+}  // namespace
+
+std::vector<Perm> topologyAutomorphismGenerators(const TopologySpec& spec) {
+  switch (spec.kind) {
+    case TopologyKind::kRing: {
+      Graph graph = topo::ring(spec.n);
+      return verified(graph, ringGenerators(spec.n));
+    }
+    case TopologyKind::kTorus: {
+      Graph graph = topo::torus(spec.rows, spec.cols);
+      return verified(graph, torusGenerators(spec.rows, spec.cols));
+    }
+    case TopologyKind::kHypercube: {
+      Graph graph = topo::hypercube(spec.dims);
+      return verified(graph, hypercubeGenerators(spec.dims));
+    }
+    default:
+      return {};
+  }
+}
+
+std::vector<Perm> destinationStabilizer(const std::vector<Perm>& group,
+                                        const std::vector<NodeId>& destinations,
+                                        std::size_t n) {
+  if (destinations.empty()) return group;  // all nodes: trivially stabilized
+  std::vector<bool> isDest(n, false);
+  for (const NodeId d : destinations) {
+    if (d < n) isDest[d] = true;
+  }
+  std::vector<Perm> out;
+  for (const Perm& perm : group) {
+    bool stable = perm.size() == n;
+    for (const NodeId d : destinations) {
+      if (d >= n || !isDest[perm[d]]) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) out.push_back(perm);
+  }
+  return out;
+}
+
+}  // namespace snapfwd::explore

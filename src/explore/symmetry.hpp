@@ -1,0 +1,71 @@
+#pragma once
+// Processor-id symmetry for the explorer: automorphism groups of the
+// explored topology, and the small amount of group machinery orbit
+// canonicalization needs (explore.hpp `Reduction::kSymmetry`).
+//
+// A permutation pi of processor ids is a symmetry of a model when
+//   (a) pi is a graph automorphism of the instance's topology,
+//   (b) the destination set is closed under pi, and
+//   (c) the protocol itself is equivariant: relabeling a configuration by
+//       pi and stepping commutes with stepping and then relabeling.
+// (a) and (b) are checked here; (c) is a property of the protocol + its
+// tie-breaking rules that the models opt into via
+// ModelInstance::supportsPermutedEncode (see models.cpp - the SSMFP stack
+// is equivariant on odd rings with every node a destination, where the
+// min-id parent tie-break never actually ties) and that the quotient-
+// soundness differentials in tests/ and bench_explore_scale gate
+// empirically: a reduced run must find every violation the full run finds.
+//
+// The explorer takes the CLOSED group (closeGroup of the generators) and
+// canonicalizes every encoded state to the lexicographic minimum over the
+// group's images - states in the same orbit intern identical bytes, so the
+// visited set quotients by the orbit relation with no other changes.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace snapfwd {
+struct TopologySpec;
+}
+
+namespace snapfwd::explore {
+
+/// A processor-id permutation: perm[p] is the image of p.
+using Perm = std::vector<NodeId>;
+
+[[nodiscard]] Perm identityPerm(std::size_t n);
+[[nodiscard]] Perm composePerm(const Perm& outer, const Perm& inner);  // outer(inner(p))
+[[nodiscard]] Perm invertPerm(const Perm& perm);
+
+/// True iff `perm` maps every edge of `graph` to an edge (and is a valid
+/// permutation of 0..n-1).
+[[nodiscard]] bool isAutomorphism(const Graph& graph, const Perm& perm);
+
+/// Closes `generators` under composition (breadth-first over products).
+/// The identity is always element 0. Stops and returns the partial closure
+/// once `maxElements` is reached - callers treat an over-cap group as "no
+/// symmetry" rather than risking an unsound partial quotient elsewhere, so
+/// the cap is also the signal.
+[[nodiscard]] std::vector<Perm> closeGroup(const std::vector<Perm>& generators,
+                                           std::size_t maxElements = 20160);
+
+/// Generators of the automorphism groups this PR ships:
+///   ring      - rotation by one + reflection (dihedral group, 2n elements)
+///   torus     - row/column translations (+ the transpose when square)
+///   hypercube - adjacent coordinate transpositions + one coordinate flip
+///               (generates the full hyperoctahedral group, 2^d * d!)
+/// Everything else gets no generators (identity-only group). The returned
+/// permutations are verified automorphisms of the built topology.
+[[nodiscard]] std::vector<Perm> topologyAutomorphismGenerators(
+    const TopologySpec& spec);
+
+/// Filters `group` down to the permutations that map `destinations` (as a
+/// set) onto itself - the stabilizer the forwarding layer needs. An empty
+/// destination list means "every node" and stabilizes everything.
+[[nodiscard]] std::vector<Perm> destinationStabilizer(
+    const std::vector<Perm>& group, const std::vector<NodeId>& destinations,
+    std::size_t n);
+
+}  // namespace snapfwd::explore

@@ -1,0 +1,141 @@
+#include "util/arena.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SNAPFWD_ARENA_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define SNAPFWD_ARENA_HAS_MMAP 0
+#endif
+
+namespace snapfwd {
+
+namespace {
+
+std::size_t pageAlign(std::size_t bytes) {
+#if SNAPFWD_ARENA_HAS_MMAP
+  static const std::size_t kPage =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+#else
+  constexpr std::size_t kPage = 4096;
+#endif
+  return (bytes + kPage - 1) / kPage * kPage;
+}
+
+}  // namespace
+
+bool ByteArena::enableSpill(const std::string& dir) {
+#if SNAPFWD_ARENA_HAS_MMAP
+  if (spillFd_ >= 0) return true;
+  std::string tmpl = dir + "/snapfwd-arena-XXXXXX";
+  std::vector<char> path(tmpl.begin(), tmpl.end());
+  path.push_back('\0');
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) return false;
+  // Unlink immediately: the file lives exactly as long as the descriptor,
+  // so a crashed or killed run leaks no disk space.
+  ::unlink(path.data());
+  spillFd_ = fd;
+  return true;
+#else
+  (void)dir;
+  return false;
+#endif
+}
+
+void ByteArena::grow(std::size_t need) {
+  const std::size_t size = need > chunkBytes_ ? need : chunkBytes_;
+  if (spillFd_ >= 0 && growSpill(size)) return;
+  growHeap(size);
+}
+
+void ByteArena::growHeap(std::size_t size) {
+  heapChunks_.push_back(std::make_unique<char[]>(size));
+  chunks_.push_back(heapChunks_.back().get());
+  allocatedBytes_ += size;
+  residentBytes_ += size;
+  capacity_ = size;
+  used_ = 0;
+  backIsSpill_ = false;
+}
+
+bool ByteArena::growSpill(std::size_t size) {
+#if SNAPFWD_ARENA_HAS_MMAP
+  sealSpillTail();
+  // Coarse mappings: each mmap burns a VMA slot against the process-wide
+  // vm.max_map_count, so spill chunks must be much larger than heap
+  // chunks or a multi-GiB spill exhausts the map table (see the ctor doc).
+  const std::size_t mapped =
+      pageAlign(size > spillChunkBytes_ ? size : spillChunkBytes_);
+  const std::size_t offset = spillFileSize_;
+  if (::ftruncate(spillFd_, static_cast<off_t>(offset + mapped)) != 0) {
+    return false;
+  }
+  void* base = ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE, MAP_SHARED,
+                      spillFd_, static_cast<off_t>(offset));
+  if (base == MAP_FAILED) return false;
+  spillFileSize_ = offset + mapped;
+  mappings_.push_back({static_cast<char*>(base), mapped});
+  chunks_.push_back(static_cast<char*>(base));
+  allocatedBytes_ += mapped;
+  residentBytes_ += mapped;  // unsealed tail counts as resident
+  capacity_ = mapped;        // bump-fill the whole mapping before growing again
+  used_ = 0;
+  backIsSpill_ = true;
+  return true;
+#else
+  (void)size;
+  return false;
+#endif
+}
+
+void ByteArena::sealSpillTail() {
+#if SNAPFWD_ARENA_HAS_MMAP
+  if (!backIsSpill_ || mappings_.empty()) return;
+  const Mapping& tail = mappings_.back();
+  // Flush the filled chunk and invite the kernel to drop its pages; the
+  // mapping itself stays alive so existing string_views remain valid (a
+  // later read faults the page back in from the file).
+  ::msync(tail.base, tail.size, MS_ASYNC);
+  ::madvise(tail.base, tail.size, MADV_DONTNEED);
+  residentBytes_ -= tail.size < residentBytes_ ? tail.size : residentBytes_;
+  spillBytes_ += tail.size;
+#endif
+}
+
+void ByteArena::releaseMappings() {
+#if SNAPFWD_ARENA_HAS_MMAP
+  for (const Mapping& m : mappings_) ::munmap(m.base, m.size);
+  mappings_.clear();
+  if (spillFd_ >= 0) ::close(spillFd_);
+  spillFd_ = -1;
+#endif
+}
+
+void ByteArena::moveFrom(ByteArena& other) noexcept {
+  chunkBytes_ = other.chunkBytes_;
+  spillChunkBytes_ = other.spillChunkBytes_;
+  capacity_ = other.capacity_;
+  used_ = other.used_;
+  storedBytes_ = other.storedBytes_;
+  allocatedBytes_ = other.allocatedBytes_;
+  residentBytes_ = other.residentBytes_;
+  spillBytes_ = other.spillBytes_;
+  chunks_ = std::move(other.chunks_);
+  heapChunks_ = std::move(other.heapChunks_);
+  mappings_ = std::move(other.mappings_);
+  spillFd_ = other.spillFd_;
+  spillFileSize_ = other.spillFileSize_;
+  backIsSpill_ = other.backIsSpill_;
+  other.chunks_.clear();
+  other.heapChunks_.clear();
+  other.mappings_.clear();
+  other.spillFd_ = -1;
+  other.spillFileSize_ = 0;
+  other.capacity_ = 0;
+  other.used_ = 0;
+  other.backIsSpill_ = false;
+}
+
+}  // namespace snapfwd

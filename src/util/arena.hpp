@@ -1,23 +1,40 @@
 #pragma once
-// ByteArena - a chunked bump allocator for immutable byte strings.
+// ByteArena - a chunked bump allocator for immutable byte strings, with an
+// optional spill-to-disk mode for out-of-core visited sets.
 //
 // The state-space explorer interns every visited state's encoded bytes
 // exactly once; the visited set and the BFS frontier then pass around
 // std::string_view handles instead of owning std::strings. Two properties
 // make that safe:
 //   - stability: memory is allocated in fixed-size chunks that are never
-//     reallocated or freed before the arena dies, so a returned view stays
-//     valid for the arena's lifetime;
+//     reallocated, unmapped or freed before the arena dies, so a returned
+//     view stays valid for the arena's lifetime;
 //   - append-only: interned bytes are immutable, so concurrent readers
 //     need no synchronization once the view has been published (the
 //     explorer publishes views under the owning shard's lock).
 //
-// The arena itself is NOT thread-safe; the explorer gives each visited-set
-// shard its own arena and serializes appends with the shard mutex.
+// Spill mode (enableSpill): chunks allocated AFTER the call are backed by
+// an unlinked temporary file in the given directory, mapped MAP_SHARED so
+// the kernel may write dirty pages out under memory pressure instead of
+// keeping them resident (anonymous heap chunks can only go to swap). When
+// a spill chunk fills up, the arena seals it - msync + MADV_DONTNEED -
+// explicitly inviting the kernel to drop the pages; later reads fault them
+// back in from the file transparently through the still-live mapping, so
+// every previously returned string_view keeps working. One spill file per
+// arena; the explorer gives each visited-set shard its own arena, so the
+// shard index (derived from the state hash) doubles as the on-disk
+// hash-prefix bucketing. On platforms without mmap (or on any syscall
+// failure) enableSpill degrades to the heap path and reports spillActive()
+// == false - callers treat spill as an optimization, never a correctness
+// dependency.
+//
+// The arena itself is NOT thread-safe; the explorer serializes appends
+// with the shard mutex.
 
 #include <cstddef>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -25,27 +42,54 @@ namespace snapfwd {
 
 class ByteArena {
  public:
-  /// `chunkBytes` is the granularity of the backing allocations; strings
-  /// longer than a chunk get a dedicated exact-size chunk.
-  explicit ByteArena(std::size_t chunkBytes = kDefaultChunkBytes)
-      : chunkBytes_(chunkBytes == 0 ? kDefaultChunkBytes : chunkBytes) {}
+  /// `chunkBytes` is the granularity of the backing heap allocations;
+  /// strings longer than a chunk get a dedicated exact-size chunk.
+  /// `spillChunkBytes` is the (page-rounded) granularity of file-backed
+  /// mappings once spill mode is on - deliberately much coarser, because
+  /// every mmap consumes one of the process's vm.max_map_count VMA slots
+  /// (65530 by default on Linux): 64 KiB spill mappings would cap the
+  /// whole process at ~4 GiB of spill, after which every later mmap -
+  /// including glibc's own - fails and allocations throw bad_alloc. The
+  /// 4 MiB default pushes that ceiling to ~256 GiB.
+  explicit ByteArena(std::size_t chunkBytes = kDefaultChunkBytes,
+                     std::size_t spillChunkBytes = kSpillChunkBytes)
+      : chunkBytes_(chunkBytes == 0 ? kDefaultChunkBytes : chunkBytes),
+        spillChunkBytes_(spillChunkBytes == 0 ? kSpillChunkBytes
+                                              : spillChunkBytes) {}
 
   ByteArena(const ByteArena&) = delete;
   ByteArena& operator=(const ByteArena&) = delete;
-  ByteArena(ByteArena&&) = default;
-  ByteArena& operator=(ByteArena&&) = default;
+  ByteArena(ByteArena&& other) noexcept { moveFrom(other); }
+  ByteArena& operator=(ByteArena&& other) noexcept {
+    if (this != &other) {
+      releaseMappings();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  ~ByteArena() { releaseMappings(); }
 
   /// Copies `bytes` into the arena and returns a stable view of the copy.
   [[nodiscard]] std::string_view intern(std::string_view bytes) {
     if (chunks_.empty() || bytes.size() > capacity_ - used_) {
       grow(bytes.size());
     }
-    char* dst = chunks_.back().get() + used_;
+    char* dst = chunks_.back() + used_;
     if (!bytes.empty()) std::memcpy(dst, bytes.data(), bytes.size());
     used_ += bytes.size();
     storedBytes_ += bytes.size();
     return {dst, bytes.size()};
   }
+
+  /// Switches subsequent chunk allocations to file-backed mappings under
+  /// `dir` (which must exist). Already-allocated heap chunks stay where
+  /// they are - spill bounds GROWTH, it does not evict history. Returns
+  /// whether the backing file could be created; on failure the arena keeps
+  /// allocating from the heap.
+  bool enableSpill(const std::string& dir);
+
+  /// True iff enableSpill succeeded and new chunks go to the spill file.
+  [[nodiscard]] bool spillActive() const noexcept { return spillFd_ >= 0; }
 
   /// Total payload bytes interned so far.
   [[nodiscard]] std::size_t storedBytes() const noexcept { return storedBytes_; }
@@ -54,24 +98,53 @@ class ByteArena {
   [[nodiscard]] std::size_t allocatedBytes() const noexcept {
     return allocatedBytes_;
   }
+  /// Bytes in anonymous heap chunks plus the still-unsealed tail of the
+  /// spill file - the upper bound on what this arena pins in RAM (sealed
+  /// spill pages are reclaimable by the kernel at will).
+  [[nodiscard]] std::size_t residentBytes() const noexcept {
+    return residentBytes_;
+  }
+  /// Bytes living in the spill file: sealed, kernel-reclaimable regions
+  /// plus the used part of the still-unsealed tail mapping (which also
+  /// counts as resident until it fills and seals).
+  [[nodiscard]] std::size_t spillBytes() const noexcept {
+    return spillBytes_ + (backIsSpill_ ? used_ : 0);
+  }
 
  private:
   static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 16;
+  static constexpr std::size_t kSpillChunkBytes = std::size_t{1} << 22;
 
-  void grow(std::size_t need) {
-    const std::size_t size = need > chunkBytes_ ? need : chunkBytes_;
-    chunks_.push_back(std::make_unique<char[]>(size));
-    allocatedBytes_ += size;
-    capacity_ = size;
-    used_ = 0;
-  }
+  void grow(std::size_t need);
+  void growHeap(std::size_t size);
+  bool growSpill(std::size_t size);
+  void sealSpillTail();
+  void releaseMappings();
+  void moveFrom(ByteArena& other) noexcept;
 
-  std::size_t chunkBytes_;
+  std::size_t chunkBytes_ = kDefaultChunkBytes;
+  std::size_t spillChunkBytes_ = kSpillChunkBytes;
   std::size_t capacity_ = 0;  // size of chunks_.back(); 0 while empty
   std::size_t used_ = 0;      // bytes consumed in chunks_.back()
   std::size_t storedBytes_ = 0;
   std::size_t allocatedBytes_ = 0;
-  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t residentBytes_ = 0;
+  std::size_t spillBytes_ = 0;
+
+  /// Raw chunk base pointers; ownership is tracked by the parallel lists
+  /// below (heapChunks_ owns the anonymous ones, mappings_ records the
+  /// file-backed ones for munmap at destruction).
+  std::vector<char*> chunks_;
+  std::vector<std::unique_ptr<char[]>> heapChunks_;
+  struct Mapping {
+    char* base = nullptr;
+    std::size_t size = 0;
+  };
+  std::vector<Mapping> mappings_;
+
+  int spillFd_ = -1;             // unlinked backing file; -1 = heap mode
+  std::size_t spillFileSize_ = 0;  // bytes ftruncate'd so far
+  bool backIsSpill_ = false;       // is chunks_.back() file-backed?
 };
 
 }  // namespace snapfwd

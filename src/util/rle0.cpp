@@ -1,0 +1,100 @@
+#include "util/rle0.hpp"
+
+#include <cstdint>
+
+namespace snapfwd {
+
+namespace {
+
+constexpr char kTagRaw = 'R';
+constexpr char kTagZero = 'Z';
+
+void putVar(std::string& out, std::size_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+bool getVar(std::string_view in, std::size_t& pos, std::size_t& v) {
+  v = 0;
+  int shift = 0;
+  while (pos < in.size()) {
+    const auto byte = static_cast<std::uint8_t>(in[pos++]);
+    v |= static_cast<std::size_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+    if (shift > 63) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+void rle0Compress(std::string_view in, std::string& out) {
+  const std::size_t mark = out.size();
+  out.push_back(kTagZero);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    std::size_t lit = i;
+    // A literal run extends until a zero run long enough to pay for its
+    // two descriptors (>= 3 zeros) or the end of input.
+    while (lit < in.size()) {
+      if (in[lit] == '\0') {
+        std::size_t z = lit;
+        while (z < in.size() && in[z] == '\0') ++z;
+        if (z - lit >= 3) break;
+        lit = z;
+        continue;
+      }
+      ++lit;
+    }
+    putVar(out, lit - i);
+    out.append(in.substr(i, lit - i));
+    std::size_t z = lit;
+    while (z < in.size() && in[z] == '\0') ++z;
+    putVar(out, z - lit);
+    i = z;
+  }
+  if (in.empty()) {
+    putVar(out, 0);
+    putVar(out, 0);
+  }
+  if (out.size() - mark > in.size() + 1) {
+    // Compression lost: fall back to the verbatim tag so the output never
+    // exceeds input + 1 byte. Still injective - the tag disambiguates.
+    out.resize(mark);
+    out.push_back(kTagRaw);
+    out.append(in);
+  }
+}
+
+bool rle0Decompress(std::string_view in, std::string& out) {
+  const std::size_t mark = out.size();
+  if (in.empty()) return false;
+  if (in[0] == kTagRaw) {
+    out.append(in.substr(1));
+    return true;
+  }
+  if (in[0] != kTagZero) return false;
+  std::size_t pos = 1;
+  while (pos < in.size()) {
+    std::size_t lit = 0;
+    std::size_t zeros = 0;
+    if (!getVar(in, pos, lit) || in.size() - pos < lit) {
+      out.resize(mark);
+      return false;
+    }
+    out.append(in.substr(pos, lit));
+    pos += lit;
+    if (!getVar(in, pos, zeros)) {
+      out.resize(mark);
+      return false;
+    }
+    out.append(zeros, '\0');
+  }
+  return true;
+}
+
+}  // namespace snapfwd

@@ -1,0 +1,37 @@
+#pragma once
+// Tagged zero-run-length block compression for interned explorer states.
+//
+// Encoded protocol states are dominated by zero bytes (empty buffers,
+// varint zeros, untouched routing deltas), so a zero-run code recovers
+// most of the redundancy at memcpy-like speed without any dependency.
+//
+// Format: one tag byte, then the body.
+//   tag 'R': the body is the input verbatim (compression would not have
+//            saved anything - never inflate by more than the tag byte).
+//   tag 'Z': the body alternates <literal-run><zero-run> descriptors:
+//            a varint literal length followed by that many bytes, then a
+//            varint zero-run length (bytes elided). Runs of length 0 are
+//            legal (needed at the block edges), so every input has exactly
+//            one 'Z' body.
+//
+// The mapping input -> compress(input) is INJECTIVE: distinct states have
+// distinct compressed forms and equal states equal forms, so a visited set
+// may dedupe directly on compressed bytes (hash + byte-compare) with
+// byte-for-byte the same merge decisions as on raw bytes. That property -
+// not the ratio - is the contract the explorer relies on; pinned by
+// tests (round-trip identity + cross-pair distinctness).
+
+#include <string>
+#include <string_view>
+
+namespace snapfwd {
+
+/// Appends the compressed form of `in` to `out` (tag byte included).
+void rle0Compress(std::string_view in, std::string& out);
+
+/// Appends the decompressed payload of `in` (which must be a full
+/// rle0Compress output) to `out`. Returns false on malformed input
+/// (unknown tag, truncated body) with `out` restored to its entry size.
+[[nodiscard]] bool rle0Decompress(std::string_view in, std::string& out);
+
+}  // namespace snapfwd

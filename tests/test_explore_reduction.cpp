@@ -1,0 +1,431 @@
+// Tests of the explorer's state-space reductions and out-of-core store
+// (src/explore/symmetry, ExploreOptions::reduction / store / memBudgetBytes):
+//
+//   - group machinery (closure sizes, compose/invert round trips);
+//   - permuted-encode contract (identity == plain encode, image == the
+//     serialize of the relabeled stack);
+//   - quotient soundness: reduced runs stay count-identical where theory
+//     says they must, and every guard-weakening violation the full run
+//     finds is also found under symmetry / POR / both, with a gamma-folded
+//     counterexample path that replays verbatim on an UNREDUCED instance;
+//   - the spill arena + rle0 codec primitives;
+//   - the mem-budget switchover and the CLI truncation exit code.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "cli/args.hpp"
+#include "explore/explore.hpp"
+#include "explore/models.hpp"
+#include "explore/symmetry.hpp"
+#include "graph/builders.hpp"
+#include "sim/runner.hpp"
+#include "util/arena.hpp"
+#include "util/rle0.hpp"
+
+namespace snapfwd {
+namespace {
+
+using explore::ExploreOptions;
+using explore::ExploreResult;
+using explore::Perm;
+using explore::Reduction;
+using explore::RingScaleSpec;
+using explore::SsmfpExploreModel;
+using explore::Ssmfp2ExploreModel;
+using explore::StoreKind;
+
+// ---------------------------------------------------------------------------
+// Group machinery
+// ---------------------------------------------------------------------------
+
+TEST(Symmetry, RingClosureIsTheDihedralGroup) {
+  for (const std::size_t n : {3u, 5u, 7u}) {
+    const auto gens =
+        explore::topologyAutomorphismGenerators(TopologySpec::ring(n));
+    const auto group = explore::closeGroup(gens);
+    EXPECT_EQ(group.size(), 2 * n) << "D_" << n;
+    EXPECT_EQ(group.front(), explore::identityPerm(n));
+    const Graph ring = topo::ring(n);
+    for (const Perm& perm : group) {
+      EXPECT_TRUE(explore::isAutomorphism(ring, perm));
+    }
+  }
+}
+
+TEST(Symmetry, ComposeAndInvertRoundTrip) {
+  const auto group = explore::closeGroup(
+      explore::topologyAutomorphismGenerators(TopologySpec::ring(5)));
+  const Perm id = explore::identityPerm(5);
+  for (const Perm& perm : group) {
+    EXPECT_EQ(explore::composePerm(perm, explore::invertPerm(perm)), id);
+    EXPECT_EQ(explore::composePerm(explore::invertPerm(perm), perm), id);
+  }
+}
+
+TEST(Symmetry, DestinationStabilizerFiltersAndEmptyMeansAll) {
+  const auto group = explore::closeGroup(
+      explore::topologyAutomorphismGenerators(TopologySpec::ring(5)));
+  // Every node a destination: the whole group survives.
+  EXPECT_EQ(explore::destinationStabilizer(group, {}, 5).size(), group.size());
+  // A single pinned destination: only its stabilizer (identity + the
+  // reflection fixing it) survives.
+  const auto stab = explore::destinationStabilizer(group, {2}, 5);
+  EXPECT_EQ(stab.size(), 2u);
+  for (const Perm& perm : stab) EXPECT_EQ(perm[2], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Permuted encode
+// ---------------------------------------------------------------------------
+
+TEST(PermutedEncode, IdentityMatchesPlainEncode) {
+  RingScaleSpec spec;
+  spec.withSend = true;
+  const SsmfpExploreModel model = SsmfpExploreModel::ringScaleClosure(spec);
+  const Perm id = explore::identityPerm(spec.n);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{17}}) {
+    const auto inst = model.load(model.startStates()[i]);
+    ASSERT_TRUE(inst->supportsPermutedEncode());
+    std::string text;
+    inst->encodePermutedState(id, explore::StateCodec::kText, text);
+    EXPECT_EQ(text, inst->serialize());
+    std::string viaPerm, plain;
+    inst->encodePermutedState(id, explore::StateCodec::kBinary, viaPerm);
+    ASSERT_TRUE(inst->supportsBinaryCodec());
+    inst->encodeState(plain);
+    EXPECT_EQ(viaPerm, plain);
+  }
+}
+
+TEST(PermutedEncode, ImageIsAValidLoadableStart) {
+  RingScaleSpec spec;
+  spec.withSend = true;
+  const SsmfpExploreModel model = SsmfpExploreModel::ringScaleClosure(spec);
+  const auto group = explore::closeGroup(model.symmetryGenerators());
+  ASSERT_EQ(group.size(), 10u);  // D_5
+  const auto inst = model.load(model.startStates()[42]);
+  for (const Perm& perm : group) {
+    std::string image;
+    inst->encodePermutedState(perm, explore::StateCodec::kText, image);
+    // The image must itself be a fixed point of load+serialize (i.e. a
+    // well-formed canonical text), and relabeling by the inverse must come
+    // back to the original bytes.
+    const auto imageInst = model.load(image);
+    EXPECT_EQ(imageInst->serialize(), image);
+    std::string back;
+    imageInst->encodePermutedState(explore::invertPerm(perm),
+                                   explore::StateCodec::kText, back);
+    EXPECT_EQ(back, inst->serialize());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quotient counts
+// ---------------------------------------------------------------------------
+
+ExploreResult runRingScale(RingScaleSpec spec, Reduction reduction,
+                           StoreKind store = StoreKind::kRam) {
+  const SsmfpExploreModel model = SsmfpExploreModel::ringScaleClosure(spec);
+  ExploreOptions options;
+  options.reduction = reduction;
+  options.store = store;
+  return explore::explore(model, options);
+}
+
+TEST(ReductionCounts, ReductionOffMatchesThePinnedFigure2Baseline) {
+  const SsmfpExploreModel model = SsmfpExploreModel::figure2CorruptionClosure();
+  ExploreOptions options;
+  options.reduction = Reduction::kNone;
+  const ExploreResult result = explore::explore(model, options);
+  // The pinned BENCH_explore_perf baseline - reduction plumbing must not
+  // perturb a reduction-off run by a single state.
+  EXPECT_EQ(result.stats.visited, 2328u);
+  EXPECT_EQ(result.stats.transitions, 4764u);
+  EXPECT_TRUE(result.stats.exhausted);
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(ReductionCounts, SymmetryQuotientOfOrbitClosureMatchesUnclosedSpace) {
+  // The exactness signature of orbit canonicalization: the quotient of the
+  // orbit-CLOSED start set has exactly one representative per orbit, and
+  // no two distinct original-frame states share an orbit here, so
+  //   quotient(closed) == unreduced(unclosed).
+  RingScaleSpec spec;
+  spec.withSend = true;
+  const ExploreResult plain = runRingScale(spec, Reduction::kNone);
+  ASSERT_TRUE(plain.stats.exhausted);
+
+  spec.orbitClose = true;
+  const ExploreResult closedFull = runRingScale(spec, Reduction::kNone);
+  const ExploreResult quotient = runRingScale(spec, Reduction::kSymmetry);
+  ASSERT_TRUE(closedFull.stats.exhausted);
+  ASSERT_TRUE(quotient.stats.exhausted);
+  EXPECT_TRUE(quotient.clean());
+  EXPECT_EQ(quotient.stats.symGroupSize, 10u);
+  EXPECT_GT(quotient.stats.symCanonFolds, 0u);
+  EXPECT_GT(closedFull.stats.visited, plain.stats.visited);
+  EXPECT_EQ(quotient.stats.visited, plain.stats.visited);
+}
+
+TEST(ReductionCounts, SymmetryCountsAreCodecIndependent) {
+  // Orbit cardinality does not depend on which representative the
+  // byte-order picks, so text and binary quotients must agree exactly.
+  RingScaleSpec spec;
+  spec.withSend = true;
+  const SsmfpExploreModel model = SsmfpExploreModel::ringScaleClosure(spec);
+  ExploreOptions options;
+  options.reduction = Reduction::kSymmetry;
+  const ExploreResult text = explore::explore(model, options);
+  options.codec = explore::StateCodec::kBinary;
+  const ExploreResult binary = explore::explore(model, options);
+  ASSERT_FALSE(binary.stats.codecFellBack);
+  EXPECT_EQ(text.stats.visited, binary.stats.visited);
+  EXPECT_EQ(text.stats.transitions, binary.stats.transitions);
+}
+
+TEST(ReductionCounts, PorShrinksTheSpaceAndStaysClean) {
+  RingScaleSpec spec;
+  spec.withSend = true;
+  const ExploreResult full = runRingScale(spec, Reduction::kNone);
+  const ExploreResult por = runRingScale(spec, Reduction::kPor);
+  ASSERT_TRUE(full.stats.exhausted);
+  ASSERT_TRUE(por.stats.exhausted);
+  EXPECT_TRUE(por.clean());
+  EXPECT_GT(por.stats.amplePicks, 0u);
+  EXPECT_LE(por.stats.visited, full.stats.visited);
+  EXPECT_LT(por.stats.transitions, full.stats.transitions);
+}
+
+TEST(ReductionCounts, UnsupportedSymmetryFallsBackLoudlyAndKeepsCounts) {
+  // figure2 has no automorphism generators: a symmetry request must fall
+  // back (flagged in stats) and reproduce the unreduced counts exactly.
+  const SsmfpExploreModel model = SsmfpExploreModel::figure2CorruptionClosure();
+  ExploreOptions options;
+  options.reduction = Reduction::kSymmetry;
+  const ExploreResult result = explore::explore(model, options);
+  EXPECT_TRUE(result.stats.reductionFellBack);
+  EXPECT_EQ(result.stats.symGroupSize, 1u);
+  EXPECT_EQ(result.stats.visited, 2328u);
+  EXPECT_EQ(result.stats.transitions, 4764u);
+}
+
+// ---------------------------------------------------------------------------
+// Quotient soundness: mutation differentials + gamma-folded replay
+// ---------------------------------------------------------------------------
+
+class ReductionSoundness : public ::testing::TestWithParam<Reduction> {};
+
+TEST_P(ReductionSoundness, R2WeakeningIsFoundUnderReduction) {
+  // R2's upstream-check weakening misdelivers straight from a planted
+  // garbage reception copy, so the routing-correct ring closure (the only
+  // start set whose relabeling is exactly equivariant - see RingScaleSpec)
+  // exposes it, and every reduction axis must keep finding it.
+  RingScaleSpec spec;
+  spec.withSend = true;
+  spec.mutation = SsmfpGuardMutation::kR2SkipUpstreamCheck;
+  const ExploreResult reduced = runRingScale(spec, GetParam());
+  EXPECT_FALSE(reduced.clean())
+      << "r2 weakening survived reduction " << toString(GetParam());
+}
+
+TEST_P(ReductionSoundness, R4WeakeningIsFoundUnderReductionOnFigure2) {
+  // R4's stray-copy weakening only bites when a corrupt routing entry
+  // loops the valid copy - and routing corruption is exactly what the
+  // symmetric ring closure cannot plant (corrupt distances make the
+  // repair rule's min-id tie-break label-dependent, voiding equivariance).
+  // So this differential runs on the figure2 closure: POR engages through
+  // its structure graph, and a symmetry request falls back loudly to the
+  // unreduced run - either way the violation must surface.
+  const SsmfpExploreModel model = SsmfpExploreModel::figure2CorruptionClosure(
+      SsmfpGuardMutation::kR4SkipStrayCopyCheck);
+  ExploreOptions options;
+  options.reduction = GetParam();
+  const ExploreResult reduced = explore::explore(model, options);
+  EXPECT_FALSE(reduced.clean())
+      << "r4 weakening survived reduction " << toString(GetParam());
+}
+
+TEST_P(ReductionSoundness, FoldedCounterexampleReplaysOnUnreducedInstance) {
+  RingScaleSpec spec;
+  spec.withSend = true;
+  spec.mutation = SsmfpGuardMutation::kR2SkipUpstreamCheck;
+  const SsmfpExploreModel model = SsmfpExploreModel::ringScaleClosure(spec);
+  ExploreOptions options;
+  options.reduction = GetParam();
+  const ExploreResult result = explore::explore(model, options);
+  ASSERT_FALSE(result.clean());
+  const explore::ExploreViolation& v = result.violations.front();
+  ASSERT_EQ(v.path.size(), v.depth);
+  // The gamma-folded path must replay step by step on a plain (unreduced)
+  // instance loaded from the root-frame start state.
+  const auto instance = model.load(v.rootState);
+  for (const explore::Move& move : v.path) {
+    ASSERT_TRUE(instance->apply(move));
+  }
+  // And it converts to a ScriptedDaemon script like any other path.
+  EXPECT_EQ(explore::toScript(v.path).size(), v.path.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAxes, ReductionSoundness,
+                         ::testing::Values(Reduction::kSymmetry,
+                                           Reduction::kPor, Reduction::kBoth),
+                         [](const auto& paramInfo) {
+                           return std::string(toString(paramInfo.param));
+                         });
+
+TEST(ReductionSoundness2, Ssmfp2StrayCopyWeakeningIsFoundUnderPor) {
+  const Ssmfp2ExploreModel broken = Ssmfp2ExploreModel::figure2CorruptionClosure(
+      Ssmfp2GuardMutation::k2R4SkipStrayCopyCheck);
+  ExploreOptions options;
+  options.reduction = Reduction::kPor;
+  const ExploreResult reduced = explore::explore(broken, options);
+  EXPECT_FALSE(reduced.clean());
+
+  const Ssmfp2ExploreModel clean = Ssmfp2ExploreModel::figure2CorruptionClosure();
+  const ExploreResult cleanRun = explore::explore(clean, options);
+  EXPECT_TRUE(cleanRun.clean());
+  EXPECT_TRUE(cleanRun.stats.exhausted);
+  EXPECT_GT(cleanRun.stats.amplePicks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core primitives + store axis
+// ---------------------------------------------------------------------------
+
+TEST(SpillArena, ViewsSurviveSpillAndSealing) {
+  // Tiny spill granularity so the 200 plants cross many sealed mappings.
+  ByteArena arena(/*chunkBytes=*/256, /*spillChunkBytes=*/256);
+  std::vector<std::pair<std::string, std::string_view>> interned;
+  const auto plant = [&](int tag) {
+    std::string payload(100, static_cast<char>('a' + tag % 26));
+    payload += std::to_string(tag);
+    interned.emplace_back(payload, arena.intern(payload));
+  };
+  for (int i = 0; i < 10; ++i) plant(i);
+  const char* tmpdir = std::getenv("TMPDIR");
+  ASSERT_TRUE(arena.enableSpill(tmpdir != nullptr ? tmpdir : "/tmp"));
+  ASSERT_TRUE(arena.spillActive());
+  for (int i = 10; i < 200; ++i) plant(i);  // crosses many sealed chunks
+  for (const auto& [expected, view] : interned) {
+    EXPECT_EQ(std::string(view), expected);
+  }
+  EXPECT_GT(arena.spillBytes(), 0u);
+  EXPECT_GT(arena.storedBytes(), 0u);
+  EXPECT_LT(arena.residentBytes(), arena.allocatedBytes());
+}
+
+TEST(SpillArena, DefaultSpillMappingsAreCoarse) {
+  // Each mmap consumes a vm.max_map_count VMA slot (65530 by default), so
+  // spill mappings must be far coarser than the 64 KiB heap chunks - at
+  // 64 KiB per mapping the whole process tops out at ~4 GiB of spill and
+  // every later allocation (glibc's included) starts failing. Pin the
+  // default granularity at >= 4 MiB so a multi-GiB spill stays under a
+  // few thousand mappings.
+  ByteArena arena;
+  const char* tmpdir = std::getenv("TMPDIR");
+  ASSERT_TRUE(arena.enableSpill(tmpdir != nullptr ? tmpdir : "/tmp"));
+  (void)arena.intern("x");
+  EXPECT_GE(arena.allocatedBytes(), std::size_t{1} << 22);
+}
+
+TEST(Rle0, RoundTripAndNeverInflatesBeyondTag) {
+  const std::vector<std::string> cases = {
+      "", std::string(1, '\0'), std::string(300, '\0'), "abc",
+      std::string("a\0\0\0b", 5), std::string(64, 'x') + std::string(64, '\0')};
+  for (const std::string& in : cases) {
+    std::string packed, back;
+    rle0Compress(in, packed);
+    EXPECT_LE(packed.size(), in.size() + 1) << "inflated";
+    ASSERT_TRUE(rle0Decompress(packed, back));
+    EXPECT_EQ(back, in);
+  }
+}
+
+TEST(Rle0, InjectiveOnDistinctInputsAndRejectsMalformed) {
+  const std::vector<std::string> inputs = {
+      "", std::string(1, '\0'), std::string(2, '\0'), "a",
+      std::string("a\0", 2), std::string("\0a", 2), "aa"};
+  std::vector<std::string> packed;
+  for (const std::string& in : inputs) {
+    std::string out;
+    rle0Compress(in, out);
+    packed.push_back(out);
+  }
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    for (std::size_t j = i + 1; j < packed.size(); ++j) {
+      EXPECT_NE(packed[i], packed[j]);
+    }
+  }
+  std::string sink;
+  EXPECT_FALSE(rle0Decompress("", sink));
+  EXPECT_FALSE(rle0Decompress("Qxyz", sink));
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(StoreAxis, SpillStoreKeepsCountsIdentical) {
+  RingScaleSpec spec;
+  spec.withSend = true;
+  const ExploreResult ram = runRingScale(spec, Reduction::kNone, StoreKind::kRam);
+  const ExploreResult spill =
+      runRingScale(spec, Reduction::kNone, StoreKind::kSpill);
+  EXPECT_EQ(ram.stats.visited, spill.stats.visited);
+  EXPECT_EQ(ram.stats.transitions, spill.stats.transitions);
+  EXPECT_TRUE(spill.stats.spillActivated);
+  EXPECT_GT(spill.stats.spillBytes, 0u);
+}
+
+TEST(StoreAxis, MemBudgetSwitchesARamRunToSpill) {
+  RingScaleSpec spec;
+  spec.withSend = true;
+  const SsmfpExploreModel model = SsmfpExploreModel::ringScaleClosure(spec);
+  ExploreOptions options;
+  options.memBudgetBytes = 1 << 20;  // far below the ~12 MB this run interns
+  const ExploreResult result = explore::explore(model, options);
+  EXPECT_TRUE(result.stats.spillActivated);
+  EXPECT_TRUE(result.stats.exhausted);
+  const ExploreResult plain = explore::explore(model, ExploreOptions{});
+  EXPECT_EQ(result.stats.visited, plain.stats.visited);
+}
+
+TEST(StoreAxis, CompressedStoreKeepsCountsIdentical) {
+  RingScaleSpec spec;
+  spec.withSend = true;
+  const SsmfpExploreModel model = SsmfpExploreModel::ringScaleClosure(spec);
+  // Zero-runs live in the binary encoding (text states are dense ASCII),
+  // so the ratio assertion runs on the binary codec; the count assertions
+  // are codec-independent because rle0 is injective.
+  ExploreOptions options;
+  options.codec = explore::StateCodec::kBinary;
+  options.compressStates = true;
+  const ExploreResult packed = explore::explore(model, options);
+  options.compressStates = false;
+  const ExploreResult plain = explore::explore(model, options);
+  ASSERT_FALSE(packed.stats.codecFellBack);
+  EXPECT_EQ(packed.stats.visited, plain.stats.visited);
+  EXPECT_EQ(packed.stats.transitions, plain.stats.transitions);
+  EXPECT_LT(packed.stats.stateBytes, plain.stats.stateBytes);
+}
+
+// ---------------------------------------------------------------------------
+// CLI: truncated closures are not proofs
+// ---------------------------------------------------------------------------
+
+TEST(CliTruncation, TruncatedCleanRunExitsNonZeroWithoutOptIn) {
+  cli::CliOptions options;
+  options.command = cli::Command::kExplore;
+  options.exploreMaxStates = 100;  // far below the 2328-state closure
+  std::ostringstream out, err;
+  EXPECT_EQ(cli::runCli(options, out, err), 3);
+  EXPECT_NE(err.str().find("truncated"), std::string::npos);
+
+  options.exploreAllowTruncation = true;
+  std::ostringstream out2, err2;
+  EXPECT_EQ(cli::runCli(options, out2, err2), 0);
+}
+
+}  // namespace
+}  // namespace snapfwd
